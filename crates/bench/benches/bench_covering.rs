@@ -1,0 +1,74 @@
+//! Criterion benches for the generic covering engine (experiment E28).
+//!
+//! * `covering_engine/serve` — engine throughput as the candidate density
+//!   grows (the fractional loop dominates; loops scale with cost · log d).
+//! * `smcl_abstraction/{specialized,generic}` — the abstraction-cost
+//!   ablation: the `GenericSmcl` adapter vs the hand-written `SmclOnline`
+//!   on identical instances and seeds. The two are bit-equal in output, so
+//!   any runtime gap is pure abstraction overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::rng::seeded;
+use leasing_workloads::set_systems::{random_system, zipf_arrivals};
+use online_covering::{CoveringEngine, GenericSmcl};
+use set_cover_leasing::instance::SmclInstance;
+use set_cover_leasing::online::SmclOnline;
+use std::hint::black_box;
+
+fn lease_structure(k: usize) -> LeaseStructure {
+    let types = (0..k)
+        .map(|i| LeaseType::new(4u64 << (2 * i), (1.5f64).powi(i as i32 + 1)))
+        .collect();
+    LeaseStructure::new(types).expect("increasing lengths")
+}
+
+fn bench_engine_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering_engine");
+    for density in [2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("serve", density),
+            &density,
+            |b, &density| {
+                b.iter(|| {
+                    let mut engine: CoveringEngine<(usize, usize)> =
+                        CoveringEngine::new(8, 42);
+                    for j in 0..64usize {
+                        let candidates: Vec<((usize, usize), f64)> = (0..density)
+                            .map(|i| (((j + i) % 96, i), 1.0 + (i % 4) as f64))
+                            .collect();
+                        engine.serve(black_box(&candidates));
+                    }
+                    black_box(engine.total_cost())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_smcl_abstraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smcl_abstraction");
+    for n in [32usize, 128] {
+        let mut rng = seeded(77 + n as u64);
+        let system = random_system(&mut rng, n, n / 2, 4);
+        let arr = zipf_arrivals(&mut rng, &system, n, 256, 1.1, 2);
+        let inst = SmclInstance::uniform(system, lease_structure(3), arr).expect("feasible");
+        group.bench_with_input(BenchmarkId::new("specialized", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut alg = SmclOnline::new(inst, 11);
+                black_box(alg.run())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("generic", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut alg = GenericSmcl::new(inst, 11);
+                black_box(alg.run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_serve, bench_smcl_abstraction);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Performance of the LOCAL-model simulator: Luby MIS wall-clock scaling
+//! with network size, and the phase-1 bidding protocol's simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distributed_leasing::bidding::{distributed_bidding, BiddingInstance};
+use distributed_leasing::luby::luby_mis;
+use leasing_core::rng::seeded;
+use leasing_graph::generators::grid;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn bench_luby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("luby_mis");
+    for &side in &[8usize, 16, 32] {
+        let g = grid(side, side, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(luby_mis(g, seed, 10_000).0.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bidding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_bidding");
+    for &clients in &[8usize, 32, 128] {
+        let mut rng = seeded(5 + clients as u64);
+        let m = 4;
+        let distances: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..clients).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
+        let inst = BiddingInstance::new(vec![4.0; m], distances).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &inst, |b, inst| {
+            b.iter(|| black_box(distributed_bidding(inst, 0.1).stats.rounds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_luby, bench_bidding);
+criterion_main!(benches);

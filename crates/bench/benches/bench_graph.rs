@@ -1,0 +1,36 @@
+//! Performance of the graph substrate: Dijkstra and Kruskal scaling with
+//! graph size (the inner loops of Steiner leasing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leasing_core::rng::seeded;
+use leasing_graph::generators::connected_erdos_renyi;
+use leasing_graph::mst::kruskal_mst;
+use leasing_graph::paths::dijkstra;
+use std::hint::black_box;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    for &n in &[50usize, 200, 800] {
+        let mut rng = seeded(42);
+        let g = connected_erdos_renyi(&mut rng, n, 0.1, 1.0..5.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(dijkstra(g, 0).distance(n - 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kruskal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kruskal");
+    for &n in &[50usize, 200, 800] {
+        let mut rng = seeded(43);
+        let g = connected_erdos_renyi(&mut rng, n, 0.1, 1.0..5.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(kruskal_mst(g).weight));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_kruskal);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Performance of the from-scratch LP/ILP substrate: two-phase simplex on
+//! covering LPs and branch-and-bound on set-cover ILPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leasing_core::rng::seeded;
+use leasing_lp::{Cmp, IntegerProgram, LinearProgram};
+use rand::{Rng, RngExt};
+use std::hint::black_box;
+
+/// A random covering LP: minimise Σ c_j x_j subject to random 0/1 rows.
+fn covering_lp<R: Rng + ?Sized>(rng: &mut R, vars: usize, rows: usize) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    let ids: Vec<usize> =
+        (0..vars).map(|_| lp.add_bounded_var(0.5 + rng.random::<f64>(), 1.0)).collect();
+    for _ in 0..rows {
+        let coeffs: Vec<(usize, f64)> = ids
+            .iter()
+            .filter(|_| rng.random::<f64>() < 0.3)
+            .map(|&v| (v, 1.0))
+            .collect();
+        if coeffs.is_empty() {
+            continue;
+        }
+        lp.add_constraint(coeffs, Cmp::Ge, 1.0);
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for (vars, rows) in [(20usize, 10usize), (40, 20), (80, 40)] {
+        let lp = covering_lp(&mut seeded(17), vars, rows);
+        group.bench_with_input(
+            BenchmarkId::new("covering", format!("{vars}x{rows}")),
+            &lp,
+            |b, lp| b.iter(|| black_box(lp.solve())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    group.sample_size(10);
+    for (vars, rows) in [(12usize, 8usize), (20, 12)] {
+        let lp = covering_lp(&mut seeded(19), vars, rows);
+        let ip = IntegerProgram::all_integer(lp);
+        group.bench_with_input(
+            BenchmarkId::new("set_cover", format!("{vars}x{rows}")),
+            &ip,
+            |b, ip| b.iter(|| black_box(ip.solve(100_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_bnb);
+criterion_main!(benches);

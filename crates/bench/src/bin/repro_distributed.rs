@@ -1,0 +1,193 @@
+//! Experiment E20: distributed leasing (thesis §4.5 outlook).
+//!
+//! * E20a: Luby's MIS round count grows logarithmically in the network
+//!   size while messages grow near-linearly in the edge count.
+//! * E20b: the facility-leasing phase-2 pipeline — sequential greedy MIS vs
+//!   distributed Luby MIS on conflict graphs induced by client bids; both
+//!   are valid, the distributed one pays rounds and messages.
+//! * E20d: distributed phase-1 bidding — the geometric-growth dual ascent
+//!   as a LOCAL protocol: accuracy (vs the exact centralized primal-dual)
+//!   against its round/message price, swept over the growth parameter ε
+//!   and the instance size.
+
+use distributed_leasing::bidding::{distributed_step, BiddingInstance};
+use distributed_leasing::conflict::{resolve_conflicts, ConflictInstance, MisStrategy};
+use distributed_leasing::luby::{is_mis, luby_mis};
+use facility_leasing::instance::FacilityInstance;
+use facility_leasing::metric::Point;
+use facility_leasing::offline_primal_dual;
+use leasing_bench::table;
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::rng::seeded;
+use leasing_graph::generators::{connected_erdos_renyi, grid};
+use rand::RngExt;
+
+/// A random single-step instance on the plane: `m` facility sites, `c`
+/// clients, unit-price facilities. Returns both the bidding view and the
+/// equivalent one-batch `FacilityInstance` (K = 1) for the centralized
+/// reference.
+fn single_step_instance(
+    seed: u64,
+    m: usize,
+    c: usize,
+    price: f64,
+) -> (BiddingInstance, FacilityInstance) {
+    let mut rng = seeded(seed);
+    let side = 10.0;
+    let facilities: Vec<Point> = (0..m)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+    let clients: Vec<Point> = (0..c)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+    let distances: Vec<Vec<f64>> = facilities
+        .iter()
+        .map(|f| clients.iter().map(|cl| f.distance(cl)).collect())
+        .collect();
+    let bidding = BiddingInstance::new(vec![price; m], distances).expect("valid instance");
+    let structure =
+        LeaseStructure::new(vec![LeaseType::new(1, price)]).expect("single type");
+    let fac_inst = FacilityInstance::euclidean(facilities, structure, vec![(0, clients)])
+        .expect("valid facility instance");
+    (bidding, fac_inst)
+}
+
+const SEED: u64 = 20001;
+
+fn main() {
+    println!("== E20a: Luby MIS scaling (seed {SEED}) ==");
+    println!("paper: distributed implementations suggested in §4.5; Luby is O(log n) rounds\n");
+    table::header(&["n", "edges", "rounds", "messages", "mis size"], 10);
+    for &side in &[4usize, 8, 16, 32] {
+        let g = grid(side, side, 1.0);
+        let mut rounds_sum = 0usize;
+        let mut messages_sum = 0usize;
+        let mut size_sum = 0usize;
+        let trials = 5u64;
+        for seed in 0..trials {
+            let (mask, stats) = luby_mis(&g, SEED + seed, 5_000);
+            assert!(is_mis(&g, &mask));
+            rounds_sum += stats.rounds;
+            messages_sum += stats.messages;
+            size_sum += mask.iter().filter(|&&m| m).count();
+        }
+        table::row(
+            &[
+                table::i(side * side),
+                table::i(g.num_edges()),
+                table::f(rounds_sum as f64 / trials as f64),
+                table::f(messages_sum as f64 / trials as f64),
+                table::f(size_sum as f64 / trials as f64),
+            ],
+            10,
+        );
+    }
+    println!("\nExpect rounds to grow ~log n while messages track the edge count.\n");
+
+    println!("== E20b: phase-2 conflict resolution — sequential vs distributed ==\n");
+    table::header(&["candidates", "conflicts", "seq open", "luby open", "rounds", "msgs"], 10);
+    for &m in &[10usize, 40, 160] {
+        let mut rng = seeded(SEED * 3 + m as u64);
+        let bids: Vec<Vec<usize>> = (0..2 * m)
+            .map(|_| {
+                let k = 1 + rng.random_range(0..3);
+                (0..k).map(|_| rng.random_range(0..m)).collect()
+            })
+            .collect();
+        let inst = ConflictInstance::from_bids(m, &bids);
+        let seq = resolve_conflicts(&inst, MisStrategy::SequentialGreedy);
+        let dist = resolve_conflicts(&inst, MisStrategy::DistributedLuby { seed: SEED });
+        let stats = dist.stats.expect("distributed run has stats");
+        assert!(is_mis(&inst.graph(), &seq.chosen));
+        assert!(is_mis(&inst.graph(), &dist.chosen));
+        table::row(
+            &[
+                table::i(m),
+                table::i(inst.edges.len()),
+                table::i(seq.open_ids().len()),
+                table::i(dist.open_ids().len()),
+                table::i(stats.rounds),
+                table::i(stats.messages),
+            ],
+            10,
+        );
+    }
+    println!("\nBoth strategies produce valid phase-2 MIS sets (the Lemma 4.1");
+    println!("analysis applies to either); the distributed one pays O(log n) rounds.");
+
+    println!("\n== E20c: Luby validity across random topologies ==\n");
+    let mut checked = 0;
+    for seed in 0..30u64 {
+        let mut rng = seeded(SEED * 5 + seed);
+        let n = 2 + rng.random_range(0..40);
+        let g = connected_erdos_renyi(&mut rng, n, 0.2, 1.0..2.0);
+        let (mask, stats) = luby_mis(&g, seed, 5_000);
+        assert!(is_mis(&g, &mask), "seed {seed}");
+        assert!(stats.terminated);
+        checked += 1;
+    }
+    println!("{checked}/30 random topologies verified: Luby output is always a valid MIS.");
+
+    println!("\n== E20d: distributed phase-1 bidding (geometric dual ascent) ==");
+    println!("reference: the exact centralized primal-dual on the same instance\n");
+
+    println!("-- accuracy/rounds trade-off: sweep ε (m = 4, clients = 12) --");
+    table::header(&["eps", "dist/exact", "rounds", "messages", "INV1 viol"], 11);
+    for eps in [0.5f64, 0.2, 0.1, 0.05, 0.02] {
+        let trials = 8u64;
+        let mut ratio = 0.0;
+        let mut rounds = 0usize;
+        let mut messages = 0usize;
+        let mut violation = 0.0f64;
+        for t in 0..trials {
+            let (bid_inst, fac_inst) = single_step_instance(SEED ^ (t * 7919), 4, 12, 4.0);
+            let exact = offline_primal_dual::solve(&fac_inst).total_cost();
+            let step = distributed_step(&bid_inst, eps, SEED + t);
+            ratio += step.total_cost / exact;
+            rounds += step.bidding.stats.rounds;
+            messages += step.bidding.stats.messages;
+            violation = violation.max(step.bidding.invariant_violation);
+        }
+        let n = trials as f64;
+        table::row(
+            &[
+                table::f(eps),
+                table::f(ratio / n),
+                table::f(rounds as f64 / n),
+                table::f(messages as f64 / n),
+                table::f(violation),
+            ],
+            11,
+        );
+    }
+
+    println!("\n-- scaling: sweep clients (ε = 0.1, m = 4) --");
+    table::header(&["clients", "dist/exact", "rounds", "messages"], 11);
+    for c in [4usize, 8, 16, 32] {
+        let trials = 8u64;
+        let mut ratio = 0.0;
+        let mut rounds = 0usize;
+        let mut messages = 0usize;
+        for t in 0..trials {
+            let (bid_inst, fac_inst) =
+                single_step_instance(SEED ^ (t * 104729 + c as u64), 4, c, 4.0);
+            let exact = offline_primal_dual::solve(&fac_inst).total_cost();
+            let step = distributed_step(&bid_inst, 0.1, SEED + t);
+            ratio += step.total_cost / exact;
+            rounds += step.bidding.stats.rounds;
+            messages += step.bidding.stats.messages;
+        }
+        let n = trials as f64;
+        table::row(
+            &[
+                table::i(c),
+                table::f(ratio / n),
+                table::f(rounds as f64 / n),
+                table::f(messages as f64 / n),
+            ],
+            11,
+        );
+    }
+    println!("\nRounds grow ~log(range)/ε (ping-pong count), messages ~ edges per");
+    println!("growth step; accuracy degrades gracefully as ε grows.");
+}

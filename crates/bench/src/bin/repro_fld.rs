@@ -1,0 +1,144 @@
+//! Experiment E27: facility leasing with deadlines (§5.6 outlook).
+//!
+//! §5.6 closes by suggesting the deadline model be carried to other
+//! infrastructure problems, "starting, for instance, with FacilityLeasing".
+//! The `facility_leasing::fld` module does exactly that; this binary
+//! measures three online reductions against the window-extended Figure 4.1
+//! ILP, on the *same* base instances across all slack levels (paired
+//! design):
+//!
+//! * **serve-on-arrival** — the Chapter 4 algorithm on the arrival times
+//!   (slack ignored);
+//! * **defer-to-deadline** — clients postponed to their own deadline day.
+//!   With heterogeneous slacks this *scatters* co-arriving clients across
+//!   days and can lose the batching the Chapter 4 algorithm feeds on;
+//! * **defer-to-aligned** — clients snapped to the last `l_min`-aligned
+//!   boundary inside their window: the alignment idea of Lemma 2.6 /
+//!   OLD Step 2, pooling clients with different deadlines onto common
+//!   service days.
+//!
+//! The `opt/opt0` column prices the flexibility itself: the optimum of the
+//! windowed instance relative to the rigid (`d = 0`) optimum of the same
+//! base instance.
+
+use facility_leasing::fld::{self, FldInstance};
+use facility_leasing::online::PrimalDualFacility;
+use facility_leasing::series::ArrivalPattern;
+use leasing_bench::table;
+use leasing_core::harness::RatioStats;
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::rng::seeded;
+use leasing_workloads::facilities::facility_instance;
+use rand::RngExt;
+
+const SEED: u64 = 67001;
+const TRIALS: u64 = 5;
+
+fn structure() -> LeaseStructure {
+    LeaseStructure::new(vec![LeaseType::new(2, 2.0), LeaseType::new(16, 6.0)])
+        .expect("increasing lengths")
+}
+
+fn main() {
+    println!("seed {SEED}\n");
+
+    println!("== E27: slack sweep (K = 2, constant arrivals over 10 steps, paired) ==\n");
+    table::header(&["max d", "arrive", "deadline", "aligned", "opt/opt0"], 12);
+
+    // One base instance + rigid optimum per trial, reused for every slack
+    // level (paired design).
+    let bases: Vec<_> = (0..TRIALS)
+        .map(|t| {
+            let mut rng = seeded(SEED + 31 * t);
+            facility_instance(&mut rng, 3, structure(), ArrivalPattern::Constant(2), 10, 30.0)
+        })
+        .collect();
+    let rigid_opts: Vec<f64> = bases
+        .iter()
+        .map(|base| {
+            let rigid = FldInstance::new(base.clone(), vec![0; base.num_clients()])
+                .expect("matching slack count");
+            fld::optimal_cost(&rigid, 100_000).unwrap_or_else(|| fld::lp_lower_bound(&rigid))
+        })
+        .collect();
+
+    for &max_slack in &[0u64, 2, 4, 8, 16] {
+        let mut arrive_stats = RatioStats::new();
+        let mut deadline_stats = RatioStats::new();
+        let mut aligned_stats = RatioStats::new();
+        let mut opt_rel = RatioStats::new();
+        for (t, base) in bases.iter().enumerate() {
+            let mut slack_rng = seeded(SEED + 997 * max_slack + t as u64);
+            let slacks: Vec<u64> = (0..base.num_clients())
+                .map(|_| {
+                    if max_slack == 0 { 0 } else { slack_rng.random_range(0..=max_slack) }
+                })
+                .collect();
+            let inst = FldInstance::new(base.clone(), slacks).expect("matching slack count");
+            let opt = fld::optimal_cost(&inst, 100_000)
+                .unwrap_or_else(|| fld::lp_lower_bound(&inst));
+            if opt <= 0.0 || rigid_opts[t] <= 0.0 {
+                continue;
+            }
+            opt_rel.push(opt / rigid_opts[t]);
+            arrive_stats.push(PrimalDualFacility::new(inst.base()).run() / opt);
+            let by_deadline = inst.defer_to_deadline();
+            deadline_stats.push(PrimalDualFacility::new(&by_deadline).run() / opt);
+            let by_aligned = inst.defer_to_aligned();
+            aligned_stats.push(PrimalDualFacility::new(&by_aligned).run() / opt);
+        }
+        table::row(
+            &[
+                table::i(max_slack),
+                table::f(arrive_stats.mean()),
+                table::f(deadline_stats.mean()),
+                table::f(aligned_stats.mean()),
+                table::f(opt_rel.mean()),
+            ],
+            12,
+        );
+    }
+    println!("\n(shape: on dense demand the long lease already pools everything, so");
+    println!(" flexibility is worth little and serving on arrival is near-optimal —");
+    println!(" the windowed optimum barely drops and all reductions sit close)");
+
+    println!("\n== E27b: common-deadline pooling (one client/day, shared deadline) ==\n");
+    table::header(&["span", "arrive", "deadline", "aligned", "opt"], 12);
+    use facility_leasing::instance::FacilityInstance;
+    use facility_leasing::metric::Point;
+    for &span in &[4u64, 8, 16] {
+        // One co-located client per day for `span` days; everyone must be
+        // served by day `span` (slack = span − arrival): the facility-
+        // flavoured flash-sale. Serving on arrival re-buys the short lease
+        // every l_min days; deferring pools everyone onto one day.
+        let base = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0)],
+            structure(),
+            (0..span).map(|t| (t, vec![Point::new(0.1, 0.0)])).collect(),
+        )
+        .expect("sorted batches");
+        let slacks: Vec<u64> = (0..span).map(|t| span - t).collect();
+        let inst = FldInstance::new(base, slacks).expect("matching slack count");
+        let opt = fld::optimal_cost(&inst, 200_000)
+            .unwrap_or_else(|| fld::lp_lower_bound(&inst));
+        let arrive = PrimalDualFacility::new(inst.base()).run() / opt;
+        let by_deadline = inst.defer_to_deadline();
+        let deadline = PrimalDualFacility::new(&by_deadline).run() / opt;
+        let by_aligned = inst.defer_to_aligned();
+        let aligned = PrimalDualFacility::new(&by_aligned).run() / opt;
+        table::row(
+            &[
+                table::i(span),
+                table::f(arrive),
+                table::f(deadline),
+                table::f(aligned),
+                table::f(opt),
+            ],
+            12,
+        );
+    }
+    println!("\n(shape: the serve-on-arrival ratio grows like span/l_min — the OLD");
+    println!(" lower-bound intuition of Figure 5.3 carried to facilities — while both");
+    println!(" deferral strategies stay near 1: when deadlines genuinely pool, the");
+    println!(" deadline model pays for itself)");
+}

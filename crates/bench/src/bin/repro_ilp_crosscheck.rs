@@ -1,0 +1,146 @@
+//! Experiment E15: the ILP formulations of Figures 2.2, 3.2, 4.1, 5.2 and
+//! 5.4, solved with the from-scratch `leasing-lp` substrate and
+//! cross-checked against the independent combinatorial DPs / known optima,
+//! plus a weak-duality check (Theorem 2.3).
+
+use leasing_bench::table;
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::rng::seeded;
+use leasing_workloads::rainy_days;
+use leasing_workloads::set_systems::{random_system, zipf_arrivals};
+use parking_permit::{ilp as permit_ilp, offline as permit_offline, PermitInstance};
+use rand::RngExt;
+use set_cover_leasing::instance::SmclInstance;
+use set_cover_leasing::offline as sc_offline;
+use leasing_deadlines::offline as dl_offline;
+use leasing_deadlines::old::{OldClient, OldInstance};
+use leasing_deadlines::tight::{tight_example, tight_example_optimum};
+
+const SEED: u64 = 77001;
+
+fn main() {
+    let structure = LeaseStructure::new(vec![
+        LeaseType::new(2, 1.0),
+        LeaseType::new(8, 2.5),
+        LeaseType::new(32, 6.0),
+    ])
+    .expect("valid");
+
+    println!("== E15a: Figure 2.2 (parking permit) — ILP vs hierarchical DP ==\n");
+    table::header(&["trial", "demands", "DP", "ILP", "LP bound"], 10);
+    let mut max_gap = 0.0f64;
+    for trial in 0..6u64 {
+        let mut rng = seeded(SEED + trial);
+        let days = rainy_days(&mut rng, 64, 0.3);
+        let inst = PermitInstance::new(structure.clone(), days.clone());
+        let dp = permit_offline::optimal_cost_interval_model(&structure, &inst.demands);
+        let ilp = permit_ilp::optimal_cost_ilp(&inst);
+        let lp = permit_ilp::lp_lower_bound(&inst);
+        max_gap = max_gap.max((dp - ilp).abs());
+        assert!(lp <= ilp + 1e-6, "LP must lower-bound the ILP");
+        table::row(
+            &[
+                table::i(trial),
+                table::i(inst.demands.len()),
+                table::f(dp),
+                table::f(ilp),
+                table::f(lp),
+            ],
+            10,
+        );
+    }
+    println!("\nmax |DP - ILP| gap: {max_gap:.2e} (must be ~0)");
+    assert!(max_gap < 1e-5);
+
+    println!("\n== E15b: Figure 3.2 (set multicover leasing) — literal vs distinct-set ILP ==\n");
+    table::header(&["trial", "literal", "distinct", "greedy"], 10);
+    for trial in 0..4u64 {
+        let mut rng = seeded(SEED ^ (trial * 13));
+        let system = random_system(&mut rng, 12, 6, 3);
+        let arrivals = zipf_arrivals(&mut rng, &system, 12, 32, 1.1, 2);
+        let inst = SmclInstance::uniform(system, structure.clone(), arrivals).expect("valid");
+        let (lit, _) = sc_offline::build_ilp_literal(&inst);
+        let lit_opt = lit
+            .solve(50_000)
+            .best()
+            .map(|s| s.objective)
+            .unwrap_or(f64::NAN);
+        let dist_opt = sc_offline::optimal_cost(&inst, 50_000).unwrap_or(f64::NAN);
+        let (greedy_cost, _) = sc_offline::greedy(&inst);
+        // Literal ILP is a relaxation of the distinct-set semantics.
+        assert!(lit_opt <= dist_opt + 1e-6, "literal must not exceed distinct");
+        assert!(greedy_cost >= dist_opt - 1e-6, "greedy is feasible, so >= opt");
+        table::row(
+            &[
+                table::i(trial),
+                table::f(lit_opt),
+                table::f(dist_opt),
+                table::f(greedy_cost),
+            ],
+            10,
+        );
+    }
+
+    println!("\n== E15c: Figure 5.2 (OLD) — ILP vs the known tight-example optimum ==\n");
+    table::header(&["d_max", "ILP", "expected"], 10);
+    for d_max in [8u64, 16, 32] {
+        let inst = tight_example(d_max, 2, 0.01);
+        let ilp = dl_offline::old_optimal_cost(&inst, 100_000).expect("solvable");
+        let expected = tight_example_optimum(0.01);
+        assert!((ilp - expected).abs() < 1e-6);
+        table::row(&[table::i(d_max), table::f(ilp), table::f(expected)], 10);
+    }
+
+    println!("\n== E15d: weak duality (Theorem 2.3) on covering LP relaxations ==\n");
+    table::header(&["trial", "primal", "dual", "gap"], 12);
+    for trial in 0..5u64 {
+        let mut rng = seeded(SEED + 31 * trial);
+        let mut clients: Vec<OldClient> = Vec::new();
+        for t in 0..20u64 {
+            if rng.random::<f64>() < 0.5 {
+                clients.push(OldClient::new(t, rng.random_range(0..6)));
+            }
+        }
+        if clients.is_empty() {
+            continue;
+        }
+        let inst = OldInstance::new(structure.clone(), clients).expect("sorted");
+        // The Figure 5.2 relaxation with `x >= 0` only (no upper bounds):
+        // the reported duals then cover *all* rows, so strong duality must
+        // close the gap exactly. (With 0/1-bounded variables the internal
+        // bound rows carry dual mass that `duals` does not report.)
+        let mut lp = leasing_lp::LinearProgram::new();
+        let mut var_of: std::collections::HashMap<leasing_core::lease::Lease, usize> =
+            std::collections::HashMap::new();
+        for client in &inst.clients {
+            let row: Vec<(usize, f64)> = leasing_core::interval::candidates_intersecting(
+                &inst.structure,
+                client.window(),
+            )
+            .into_iter()
+            .map(|lease| {
+                let cost = lease.cost(&inst.structure);
+                let v = *var_of.entry(lease).or_insert_with(|| lp.add_var(cost));
+                (v, 1.0)
+            })
+            .collect();
+            lp.add_constraint(row, leasing_lp::Cmp::Ge, 1.0);
+        }
+        let sol = lp.solve().expect_optimal();
+        // Dual objective = Σ y_i * rhs_i (all covering rows have rhs 1).
+        let dual_obj: f64 = sol.duals.iter().sum();
+        let gap = (sol.objective - dual_obj).abs();
+        assert!(gap < 1e-5, "strong duality gap {gap}");
+        assert!(sol.duals.iter().all(|&y| y >= -1e-9), "covering duals must be >= 0");
+        table::row(
+            &[
+                table::i(trial),
+                table::f(sol.objective),
+                table::f(dual_obj),
+                format!("{gap:.2e}"),
+            ],
+            12,
+        );
+    }
+    println!("\nall cross-checks passed");
+}

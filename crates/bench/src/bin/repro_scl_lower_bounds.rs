@@ -1,0 +1,103 @@
+//! Experiment E25: the §3.5 lower-bound sources for SetCoverLeasing,
+//! realised as interactive adversaries against the running Chapter 3
+//! algorithm.
+//!
+//! §3.5 quotes the known lower bounds — deterministic
+//! `Ω(K + log m log n / (log log m + log log n))`, randomized
+//! `Ω(log K + log m log n)` — and notes they combine the parking-permit
+//! hardness (the `K` factor, Theorem 2.8) with the OnlineSetCover hardness
+//! (the `log m` factor). Two drivers exercise each source separately:
+//!
+//! * E25a — the `m = 1` **PPP embedding** with Meyerson's adversarial
+//!   structure (`c_k = 2^k`, `l_k = (2K)^k`): demand exactly on uncovered
+//!   days; the hindsight optimum is the Figure 3.2 ILP. The ratio must
+//!   grow with `K`.
+//! * E25b — the **halving game** on the power-set system: `log₂ m` nested
+//!   demands per `l_max`-window, each aimed at the half of the surviving
+//!   candidate family holding fewer active leases; one set per window
+//!   suffices in hindsight. The ratio must grow with `log₂ m`.
+
+use leasing_bench::table;
+use leasing_core::harness::RatioStats;
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use set_cover_leasing::lower_bounds::{drive_halving_adversary, drive_ppp_embedding};
+use set_cover_leasing::offline;
+
+const SEED: u64 = 61001;
+const TRIALS: u64 = 5;
+
+fn main() {
+    println!("seed {SEED}\n");
+
+    println!("== E25a: PPP embedding (m = 1), Theorem 2.8 structure, horizon 2·l_max ==\n");
+    table::header(&["K", "l_max", "arrivals", "mean", "max", "K ref"], 10);
+    for k in 1..=3usize {
+        let structure = LeaseStructure::meyerson_adversarial(k);
+        let mut stats = RatioStats::new();
+        let mut arrivals = 0usize;
+        for t in 0..TRIALS {
+            let (template, outcome) =
+                drive_ppp_embedding(&structure, 2 * structure.l_max(), SEED + 31 * t + k as u64);
+            arrivals = outcome.arrivals.len();
+            let cost = outcome.algorithm_cost;
+            let inst = outcome.into_instance(&template);
+            let opt = offline::optimal_cost(&inst, 200_000)
+                .unwrap_or_else(|| offline::lp_lower_bound(&inst));
+            if opt <= 0.0 {
+                continue;
+            }
+            stats.push(cost / opt);
+        }
+        table::row(
+            &[
+                table::i(k),
+                table::i(structure.l_max()),
+                table::i(arrivals),
+                table::f(stats.mean()),
+                table::f(stats.max()),
+                table::f(k as f64),
+            ],
+            10,
+        );
+    }
+    println!("\n(paper: the K factor of the §3.5 deterministic lower bound is inherited");
+    println!(" from the parking permit problem — the measured ratio grows with K)");
+
+    println!("\n== E25b: halving game on the power-set system (4 windows) ==\n");
+    table::header(&["m", "n", "mean", "max", "log2(m)", "log2(n+1)"], 10);
+    let structure =
+        LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 2.5)])
+            .expect("increasing lengths");
+    for &m in &[2usize, 4, 8, 16] {
+        let mut stats = RatioStats::new();
+        let mut n = 0usize;
+        for t in 0..TRIALS {
+            let (template, outcome) =
+                drive_halving_adversary(m, &structure, 4, SEED + 977 * t + m as u64);
+            n = template.system.num_elements();
+            let cost = outcome.algorithm_cost;
+            let inst = outcome.into_instance(&template);
+            let opt = offline::optimal_cost(&inst, 200_000)
+                .unwrap_or_else(|| offline::lp_lower_bound(&inst));
+            if opt <= 0.0 {
+                continue;
+            }
+            stats.push(cost / opt);
+        }
+        table::row(
+            &[
+                table::i(m),
+                table::i(n),
+                table::f(stats.mean()),
+                table::f(stats.max()),
+                table::f((m as f64).log2()),
+                table::f(((n + 1) as f64).log2()),
+            ],
+            10,
+        );
+    }
+    println!("\n(paper: the §3.5 randomized lower bound is Ω(log m log n); on the");
+    println!(" power-set family log₂ n = m dominates — the measured ratio grows");
+    println!(" linearly in log₂ n while the hindsight optimum stays at one set per");
+    println!(" window, so no algorithm-side log n dependence can be avoided here)");
+}

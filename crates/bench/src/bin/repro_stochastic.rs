@@ -1,0 +1,142 @@
+//! Experiment E19: stochastic leasing (thesis §3.5/§5.6 outlook).
+//!
+//! * E19a: rate-informed policies vs the worst-case primal-dual vs the
+//!   clairvoyant DP, across demand processes and rates.
+//! * E19b: robustness — the switch combiner with a *wrong* prediction stays
+//!   close to the worst-case algorithm; with a right one it tracks the
+//!   informed policy.
+//! * E19c: time-varying prices — price-aware online vs the priced DP.
+
+use leasing_bench::table;
+use leasing_core::harness::RatioStats;
+use leasing_core::interval::power_of_two_structure;
+use leasing_core::rng::seeded;
+use parking_permit::det::DeterministicPrimalDual;
+use parking_permit::offline;
+use parking_permit::PermitOnline;
+use stochastic_leasing::demand::{Bernoulli, DemandProcess, MarkovModulated, Seasonal};
+use stochastic_leasing::policies::{EmpiricalRate, RateThreshold, SwitchCombiner};
+use stochastic_leasing::prices::{optimal_cost_priced, PriceAwarePermit, PricePath};
+
+type DaySampler = Box<dyn Fn(u64) -> Vec<u64>>;
+
+const SEED: u64 = 19001;
+const TRIALS: u64 = 10;
+
+fn mean_ratio<P: PermitOnline>(
+    make: impl Fn() -> P,
+    sample: impl Fn(u64) -> Vec<u64>,
+    structure: &leasing_core::lease::LeaseStructure,
+) -> f64 {
+    let mut stats = RatioStats::new();
+    for trial in 0..TRIALS {
+        let days = sample(trial);
+        if days.is_empty() {
+            continue;
+        }
+        let mut alg = make();
+        for &t in &days {
+            alg.serve_demand(t);
+        }
+        let opt = offline::optimal_cost_interval_model(structure, &days);
+        stats.push(alg.total_cost() / opt);
+    }
+    stats.mean()
+}
+
+fn main() {
+    let s = power_of_two_structure(&[(0, 1.0), (3, 4.0), (6, 16.0)]);
+
+    println!("== E19a: mean cost / clairvoyant-DP per process (seed {SEED}) ==\n");
+    table::header(&["process", "p", "informed", "empirical", "worst-case"], 11);
+    let processes: Vec<(&str, f64, DaySampler)> = vec![
+        ("bernoulli", 0.1, {
+            let p = Bernoulli::new(512, 0.1);
+            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
+        }),
+        ("bernoulli", 0.5, {
+            let p = Bernoulli::new(512, 0.5);
+            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
+        }),
+        ("bernoulli", 0.9, {
+            let p = Bernoulli::new(512, 0.9);
+            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
+        }),
+        ("markov", 0.33, {
+            let p = MarkovModulated::new(512, 0.8, 0.1);
+            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
+        }),
+        ("seasonal", 0.5, {
+            let p = Seasonal::new(512, 0.5, 0.4, 64);
+            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
+        }),
+    ];
+    for (name, rate, sampler) in &processes {
+        let informed = mean_ratio(|| RateThreshold::new(s.clone(), *rate), sampler, &s);
+        let empirical = mean_ratio(|| EmpiricalRate::new(s.clone()), sampler, &s);
+        let worst = mean_ratio(|| DeterministicPrimalDual::new(s.clone()), sampler, &s);
+        table::row(
+            &[
+                (*name).into(),
+                table::f(*rate),
+                table::f(informed),
+                table::f(empirical),
+                table::f(worst),
+            ],
+            11,
+        );
+    }
+    println!("\nExpect informed <= worst-case at high rates; all >= 1.\n");
+
+    println!("== E19b: robustness of the switch combiner to wrong predictions ==\n");
+    table::header(&["true p", "pred p", "combined", "informed", "worst-case"], 11);
+    for &(p_true, p_pred) in &[(0.9, 0.9), (0.9, 0.02), (0.05, 0.9)] {
+        let proc = Bernoulli::new(512, p_true);
+        let sample = |t: u64| proc.sample(&mut seeded(SEED * 3 + t));
+        let combined = mean_ratio(
+            || {
+                SwitchCombiner::new(
+                    s.clone(),
+                    RateThreshold::new(s.clone(), p_pred),
+                    DeterministicPrimalDual::new(s.clone()),
+                )
+            },
+            sample,
+            &s,
+        );
+        let informed = mean_ratio(|| RateThreshold::new(s.clone(), p_pred), sample, &s);
+        let worst = mean_ratio(|| DeterministicPrimalDual::new(s.clone()), sample, &s);
+        table::row(
+            &[
+                table::f(p_true),
+                table::f(p_pred),
+                table::f(combined),
+                table::f(informed),
+                table::f(worst),
+            ],
+            11,
+        );
+    }
+    println!("\nExpect the combiner near min(informed, worst-case) in every row.\n");
+
+    println!("== E19c: time-varying prices — online vs clairvoyant priced DP ==\n");
+    table::header(&["volatility", "onl/opt mean", "onl/opt max"], 13);
+    for &vol in &[0.0f64, 0.1, 0.3] {
+        let mut stats = RatioStats::new();
+        for trial in 0..TRIALS {
+            let prices = PricePath::sample(&mut seeded(SEED * 7 + trial), 256, vol, 0.5, 2.0);
+            let demands = Bernoulli::new(256, 0.3).sample(&mut seeded(SEED * 11 + trial));
+            if demands.is_empty() {
+                continue;
+            }
+            let mut alg = PriceAwarePermit::new(s.clone(), &prices);
+            for &t in &demands {
+                alg.serve_demand(t);
+            }
+            let opt = optimal_cost_priced(&s, &prices, &demands);
+            stats.push(alg.total_cost() / opt);
+        }
+        table::row(&[table::f(vol), table::f(stats.mean()), table::f(stats.max())], 13);
+    }
+    println!("\nExpect the ratio to grow mildly with volatility (price risk).");
+}

@@ -1,0 +1,5 @@
+//! Experiment harness shared by the `repro_*` binaries and the Criterion
+//! benchmarks. See each binary under `src/bin/` for the per-experiment
+//! tables (E1-E15 in `DESIGN.md`).
+
+pub mod table;

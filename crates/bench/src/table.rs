@@ -1,0 +1,34 @@
+//! Minimal fixed-width table printer for the experiment binaries.
+
+/// Prints a header row followed by a separator, with every column padded to
+/// `width` characters.
+pub fn header(columns: &[&str], width: usize) {
+    let row: Vec<String> = columns.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join(" | "));
+    println!("{}", vec!["-".repeat(width); columns.len()].join("-+-"));
+}
+
+/// Prints one data row with every cell padded to `width` characters.
+pub fn row(cells: &[String], width: usize) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join(" | "));
+}
+
+/// Formats a float with 3 decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an integer-valued cell.
+pub fn i(x: impl std::fmt::Display) -> String {
+    format!("{x}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(super::f(1.23456), "1.235");
+        assert_eq!(super::i(42), "42");
+    }
+}

@@ -1,0 +1,146 @@
+//! Capacitated facility-leasing instances.
+
+use facility_leasing::instance::{FacilityInstance, FacilityInstanceError};
+use serde::{Deserialize, Serialize};
+
+/// Why a [`CapacitatedInstance`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CapacitatedError {
+    /// The underlying facility instance is malformed.
+    Base(FacilityInstanceError),
+    /// Capacities must be one per facility and at least 1.
+    BadCapacities,
+    /// Batch `usize` has more clients than the total capacity of all
+    /// facilities, so no assignment can serve it.
+    BatchExceedsCapacity(usize),
+}
+
+impl std::fmt::Display for CapacitatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacitatedError::Base(e) => write!(f, "{e}"),
+            CapacitatedError::BadCapacities => {
+                write!(f, "capacities must be one per facility and at least 1")
+            }
+            CapacitatedError::BatchExceedsCapacity(i) => {
+                write!(f, "batch {i} exceeds the total facility capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapacitatedError {}
+
+impl From<FacilityInstanceError> for CapacitatedError {
+    fn from(e: FacilityInstanceError) -> Self {
+        CapacitatedError::Base(e)
+    }
+}
+
+/// A capacitated facility-leasing instance (thesis §4.5 outlook): facility
+/// `i` can serve at most `capacities[i]` clients *per time step* while it
+/// holds an active lease. Leasing twice does not increase capacity — the
+/// facility is one physical machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CapacitatedInstance {
+    /// The uncapacitated core (metric, lease costs, batches).
+    pub base: FacilityInstance,
+    /// Per-facility clients-per-step capacity.
+    pub capacities: Vec<usize>,
+}
+
+impl CapacitatedInstance {
+    /// Validates and builds a capacitated instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CapacitatedError`] if capacities are malformed or some
+    /// batch is larger than the total capacity (structurally infeasible).
+    pub fn new(
+        base: FacilityInstance,
+        capacities: Vec<usize>,
+    ) -> Result<Self, CapacitatedError> {
+        if capacities.len() != base.num_facilities() || capacities.contains(&0) {
+            return Err(CapacitatedError::BadCapacities);
+        }
+        let total: usize = capacities.iter().sum();
+        for (bi, b) in base.batches().iter().enumerate() {
+            if b.clients.len() > total {
+                return Err(CapacitatedError::BatchExceedsCapacity(bi));
+            }
+        }
+        Ok(CapacitatedInstance { base, capacities })
+    }
+
+    /// Uniform capacity `cap` for every facility.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CapacitatedInstance::new`].
+    pub fn uniform(base: FacilityInstance, cap: usize) -> Result<Self, CapacitatedError> {
+        let m = base.num_facilities();
+        CapacitatedInstance::new(base, vec![cap; m])
+    }
+
+    /// Capacity of facility `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn capacity(&self, i: usize) -> usize {
+        self.capacities[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_leasing::metric::Point;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+
+    fn base(batch_sizes: &[usize]) -> FacilityInstance {
+        let structure =
+            LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap();
+        let facilities = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let batches: Vec<(u64, Vec<Point>)> = batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(t, &n)| {
+                (t as u64, (0..n).map(|i| Point::new(0.1 * i as f64, 0.5)).collect())
+            })
+            .collect();
+        FacilityInstance::euclidean(facilities, structure, batches).unwrap()
+    }
+
+    #[test]
+    fn accepts_feasible_capacities() {
+        let inst = CapacitatedInstance::uniform(base(&[2, 3]), 2).unwrap();
+        assert_eq!(inst.capacity(0), 2);
+        assert_eq!(inst.capacities.len(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_or_missing_capacities() {
+        assert_eq!(
+            CapacitatedInstance::new(base(&[1]), vec![1]),
+            Err(CapacitatedError::BadCapacities)
+        );
+        assert_eq!(
+            CapacitatedInstance::new(base(&[1]), vec![1, 0]),
+            Err(CapacitatedError::BadCapacities)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_batches() {
+        // Two facilities with capacity 1 cannot serve a batch of 3.
+        let err = CapacitatedInstance::uniform(base(&[3]), 1);
+        assert_eq!(err, Err(CapacitatedError::BatchExceedsCapacity(0)));
+    }
+
+    #[test]
+    fn error_display_covers_all_variants() {
+        assert!(CapacitatedError::BadCapacities.to_string().contains("capacities"));
+        assert!(CapacitatedError::BatchExceedsCapacity(2).to_string().contains('2'));
+    }
+}

@@ -1,0 +1,294 @@
+//! Online greedy algorithms for capacitated facility leasing.
+
+use crate::instance::CapacitatedInstance;
+use leasing_core::framework::Triple;
+use leasing_core::interval::candidates_covering;
+use leasing_core::time::TimeStep;
+use std::collections::HashSet;
+
+/// How the greedy picks a lease type when opening a facility.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LeaseChoice {
+    /// Minimize the immediate price `c_{i,k}` (myopic; never overpays now,
+    /// may re-lease often).
+    CheapestTotal,
+    /// Minimize the price per covered step `c_{i,k} / l_k` (invests in long
+    /// leases; wins under sustained demand).
+    BestRate,
+}
+
+/// Per-category cost counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct CapacitatedCosts {
+    /// Total lease payments.
+    pub leasing: f64,
+    /// Total connection payments.
+    pub connection: f64,
+}
+
+impl CapacitatedCosts {
+    /// Lease plus connection cost.
+    pub fn total(&self) -> f64 {
+        self.leasing + self.connection
+    }
+}
+
+/// Greedy online algorithm: each client connects to the cheapest available
+/// option — an active facility with spare capacity at its arrival step, or a
+/// newly leased one (lease price plus connection).
+///
+/// Capacity binds *per time step*: a facility serving `cap_i` clients in the
+/// current batch is unavailable for further clients of that batch no matter
+/// how many leases it holds.
+#[derive(Clone, Debug)]
+pub struct CapacitatedGreedy<'a> {
+    instance: &'a CapacitatedInstance,
+    choice: LeaseChoice,
+    owned: HashSet<Triple>,
+    /// `(client, facility)` assignment log.
+    assignments: Vec<(usize, usize)>,
+    costs: CapacitatedCosts,
+}
+
+impl<'a> CapacitatedGreedy<'a> {
+    /// Creates the greedy with the given lease-type rule.
+    pub fn new(instance: &'a CapacitatedInstance, choice: LeaseChoice) -> Self {
+        CapacitatedGreedy {
+            instance,
+            choice,
+            owned: HashSet::new(),
+            assignments: Vec::new(),
+            costs: CapacitatedCosts::default(),
+        }
+    }
+
+    /// Whether facility `i` holds an active lease at time `t`.
+    pub fn is_active(&self, i: usize, t: TimeStep) -> bool {
+        candidates_covering(self.instance.base.structure(), t)
+            .into_iter()
+            .any(|lease| self.owned.contains(&Triple::new(i, lease.type_index, lease.start)))
+    }
+
+    /// Serves one batch of clients arriving at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch structurally exceeds total capacity (validated
+    /// instances never do).
+    pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
+        let base = &self.instance.base;
+        let m = base.num_facilities();
+        let mut usage = vec![0usize; m];
+        for &j in clients {
+            let mut best: Option<(f64, usize, Option<Triple>)> = None;
+            for (i, &used) in usage.iter().enumerate() {
+                if used >= self.instance.capacity(i) {
+                    continue;
+                }
+                let d = base.distance(i, j);
+                let option = if self.is_active(i, t) {
+                    (d, i, None)
+                } else {
+                    let (k, price) = self.pick_lease(i);
+                    let lease = candidates_covering(base.structure(), t)
+                        .into_iter()
+                        .find(|l| l.type_index == k)
+                        .expect("every type has an aligned candidate per step");
+                    (d + price, i, Some(Triple::new(i, lease.type_index, lease.start)))
+                };
+                if best.as_ref().is_none_or(|b| option.0 < b.0) {
+                    best = Some(option);
+                }
+            }
+            let (_, i, new_lease) =
+                best.expect("validated instances always leave an available facility");
+            if let Some(triple) = new_lease {
+                self.owned.insert(triple);
+                self.costs.leasing += base.cost(i, triple.type_index);
+            }
+            self.costs.connection += base.distance(i, j);
+            usage[i] += 1;
+            self.assignments.push((j, i));
+        }
+    }
+
+    /// Runs the whole instance and returns the final total cost.
+    pub fn run(&mut self) -> f64 {
+        for batch in self.instance.base.batches().to_vec() {
+            self.serve_batch(batch.time, &batch.clients);
+        }
+        self.total_cost()
+    }
+
+    /// Total cost paid so far.
+    pub fn total_cost(&self) -> f64 {
+        self.costs.total()
+    }
+
+    /// Cost split into leasing and connection parts.
+    pub fn costs(&self) -> CapacitatedCosts {
+        self.costs
+    }
+
+    /// `(client, facility)` assignments in service order.
+    pub fn assignments(&self) -> &[(usize, usize)] {
+        &self.assignments
+    }
+
+    /// The leases bought so far.
+    pub fn owned(&self) -> impl Iterator<Item = &Triple> {
+        self.owned.iter()
+    }
+
+    fn pick_lease(&self, i: usize) -> (usize, f64) {
+        let base = &self.instance.base;
+        let structure = base.structure();
+        let mut best = (0usize, f64::INFINITY);
+        for k in 0..structure.num_types() {
+            let price = base.cost(i, k);
+            let score = match self.choice {
+                LeaseChoice::CheapestTotal => price,
+                LeaseChoice::BestRate => price / structure.length(k) as f64,
+            };
+            if score < best.1 {
+                best = (k, score);
+            }
+        }
+        (best.0, base.cost(i, best.0))
+    }
+}
+
+/// Whether `assignments` (paired with the bought `owned` leases) is a valid
+/// capacitated solution: every client is assigned to a facility that is
+/// active at the client's arrival step, and no facility exceeds its per-step
+/// capacity.
+pub fn is_feasible_assignment(
+    instance: &CapacitatedInstance,
+    owned: &HashSet<Triple>,
+    assignments: &[(usize, usize)],
+) -> bool {
+    let base = &instance.base;
+    let structure = base.structure();
+    // Client -> assigned facility (every client exactly once).
+    let mut assigned = vec![None; base.num_clients()];
+    for &(j, i) in assignments {
+        if j >= base.num_clients() || i >= base.num_facilities() || assigned[j].is_some() {
+            return false;
+        }
+        assigned[j] = Some(i);
+    }
+    for batch in base.batches() {
+        let mut usage = vec![0usize; base.num_facilities()];
+        for &j in &batch.clients {
+            let Some(Some(i)) = assigned.get(j).copied() else {
+                return false;
+            };
+            let active = owned.iter().any(|tr| {
+                tr.element == i && tr.covers(structure, batch.time)
+            });
+            if !active {
+                return false;
+            }
+            usage[i] += 1;
+            if usage[i] > instance.capacity(i) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_leasing::instance::FacilityInstance;
+    use facility_leasing::metric::Point;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
+    }
+
+    /// Two facilities 1 apart; batches of co-located clients at facility 0.
+    fn two_facility_instance(batch_sizes: &[usize], cap: usize) -> CapacitatedInstance {
+        let facilities = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let batches: Vec<(u64, Vec<Point>)> = batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(t, &n)| (t as u64, vec![Point::new(0.0, 0.0); n]))
+            .collect();
+        let base = FacilityInstance::euclidean(facilities, structure(), batches).unwrap();
+        CapacitatedInstance::uniform(base, cap).unwrap()
+    }
+
+    #[test]
+    fn single_client_opens_the_nearest_facility() {
+        let inst = two_facility_instance(&[1], 1);
+        let mut alg = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);
+        let cost = alg.run();
+        assert!((cost - 1.0).abs() < 1e-9); // short lease at the co-located site
+        assert_eq!(alg.assignments(), &[(0, 0)]);
+        let owned: HashSet<Triple> = alg.owned().copied().collect();
+        assert!(is_feasible_assignment(&inst, &owned, alg.assignments()));
+    }
+
+    #[test]
+    fn capacity_forces_a_second_facility_open() {
+        // Batch of 2 with capacity 1: the second client must spill to the
+        // remote facility even though it is farther.
+        let inst = two_facility_instance(&[2], 1);
+        let mut alg = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);
+        let _ = alg.run();
+        let facilities: HashSet<usize> =
+            alg.assignments().iter().map(|&(_, i)| i).collect();
+        assert_eq!(facilities.len(), 2, "both facilities must serve");
+        let owned: HashSet<Triple> = alg.owned().copied().collect();
+        assert!(is_feasible_assignment(&inst, &owned, alg.assignments()));
+    }
+
+    #[test]
+    fn capacity_resets_between_time_steps() {
+        // One client per step fits within capacity 1 at the same facility.
+        let inst = two_facility_instance(&[1, 1], 1);
+        let mut alg = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);
+        let _ = alg.run();
+        let facilities: HashSet<usize> =
+            alg.assignments().iter().map(|&(_, i)| i).collect();
+        assert_eq!(facilities.len(), 1, "the same facility serves both steps");
+    }
+
+    #[test]
+    fn best_rate_invests_in_long_leases() {
+        // Sustained demand: 8 consecutive steps. BestRate leases long once;
+        // CheapestTotal re-buys short leases.
+        let inst = two_facility_instance(&[1, 1, 1, 1, 1, 1, 1, 1], 1);
+        let mut myopic = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);
+        let myopic_cost = myopic.run();
+        let mut rate = CapacitatedGreedy::new(&inst, LeaseChoice::BestRate);
+        let rate_cost = rate.run();
+        assert!(
+            rate_cost < myopic_cost,
+            "BestRate {rate_cost} must beat CheapestTotal {myopic_cost} under sustained demand"
+        );
+    }
+
+    #[test]
+    fn active_facility_is_reused_without_new_lease() {
+        let inst = two_facility_instance(&[1, 1], 2);
+        let mut alg = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);
+        let _ = alg.run();
+        // Both arrivals (t=0, t=1) fit in one 2-step lease.
+        assert!((alg.costs().leasing - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_checker_rejects_overload() {
+        let inst = two_facility_instance(&[2], 1);
+        let mut owned = HashSet::new();
+        owned.insert(Triple::new(0, 1, 0)); // long lease at facility 0
+        // Both clients at facility 0 exceeds capacity 1.
+        assert!(!is_feasible_assignment(&inst, &owned, &[(0, 0), (1, 0)]));
+        // Unassigned client is also infeasible.
+        assert!(!is_feasible_assignment(&inst, &owned, &[(0, 0)]));
+    }
+}

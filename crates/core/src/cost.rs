@@ -1,0 +1,108 @@
+//! Cost accounting for online algorithms.
+
+use std::collections::BTreeMap;
+
+/// Accumulates the money an algorithm spends, broken down by category
+/// (e.g. `"lease"` vs `"connection"` for facility leasing, or `"rounding
+/// fallback"` for the randomized set cover algorithms).
+///
+/// ```
+/// use leasing_core::cost::CostMeter;
+/// let mut meter = CostMeter::new();
+/// meter.charge("lease", 3.0);
+/// meter.charge("connection", 1.5);
+/// meter.charge("lease", 2.0);
+/// assert!((meter.total() - 6.5).abs() < 1e-12);
+/// assert!((meter.category("lease") - 5.0).abs() < 1e-12);
+/// assert!((meter.category("unknown") - 0.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostMeter {
+    total: f64,
+    by_category: BTreeMap<&'static str, f64>,
+}
+
+impl CostMeter {
+    /// A meter with zero spend.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// Records a payment of `amount` under `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `amount` is negative or not finite —
+    /// algorithms never un-spend money.
+    pub fn charge(&mut self, category: &'static str, amount: f64) {
+        debug_assert!(amount.is_finite() && amount >= 0.0, "charges must be non-negative");
+        self.total += amount;
+        *self.by_category.entry(category).or_insert(0.0) += amount;
+    }
+
+    /// Total money spent so far.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Money spent under `category` (zero if never charged).
+    pub fn category(&self, category: &str) -> f64 {
+        self.by_category.get(category).copied().unwrap_or(0.0)
+    }
+
+    /// All categories with their spend, ordered by category name.
+    pub fn breakdown(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.by_category.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl std::fmt::Display for CostMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "total={:.4}", self.total)?;
+        for (k, v) in &self.by_category {
+            write!(f, " {k}={v:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_category() {
+        let mut m = CostMeter::new();
+        m.charge("a", 1.0);
+        m.charge("b", 2.0);
+        m.charge("a", 0.5);
+        assert!((m.total() - 3.5).abs() < 1e-12);
+        assert!((m.category("a") - 1.5).abs() < 1e-12);
+        let breakdown: Vec<_> = m.breakdown().collect();
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown[0].0, "a");
+    }
+
+    #[test]
+    fn display_lists_total_and_categories() {
+        let mut m = CostMeter::new();
+        m.charge("lease", 2.0);
+        let s = m.to_string();
+        assert!(s.contains("total=2.0000") && s.contains("lease=2.0000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_charges_are_rejected_in_debug() {
+        let mut m = CostMeter::new();
+        m.charge("a", -1.0);
+    }
+
+    #[test]
+    fn zero_charge_is_allowed() {
+        let mut m = CostMeter::new();
+        m.charge("a", 0.0);
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.category("a"), 0.0);
+    }
+}

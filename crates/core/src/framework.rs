@@ -1,0 +1,147 @@
+//! The leasing framework of §2.3.
+//!
+//! The thesis transforms any online problem with a *temporal covering
+//! aspect* — demands arrive over time and must be covered by buying
+//! infrastructure elements — into its leasing variant: instead of buying an
+//! element `i ∈ I` forever, an algorithm leases the triple `(i, k, t)` which
+//! covers suitable demands during `[t, t + l_k)`.
+//!
+//! The concrete problem crates (`set-cover-leasing`, `facility-leasing`,
+//! `leasing-deadlines`) instantiate this module's vocabulary: the
+//! [`Triple`] type is the element of the *infrastructure leasing set*
+//! `Ī = I × {1..K} × ℕ`, and [`OnlineAlgorithm`] is the driver-facing trait
+//! every online algorithm in the workspace implements.
+
+use crate::lease::{Lease, LeaseStructure};
+use crate::time::{TimeStep, Window};
+use serde::{Deserialize, Serialize};
+
+/// An element of the infrastructure leasing set `Ī = I × {1..K} × ℕ`: the
+/// infrastructure element `element`, leased with type `type_index`, starting
+/// at `start`.
+///
+/// Infrastructure elements are identified by dense `usize` ids (set ids in
+/// Chapter 3, facility ids in Chapter 4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Infrastructure element id `i ∈ I`.
+    pub element: usize,
+    /// Lease type `k` (0-based index into the problem's [`LeaseStructure`]).
+    pub type_index: usize,
+    /// Lease start time `t`.
+    pub start: TimeStep,
+}
+
+impl Triple {
+    /// Creates the triple `(element, type_index, start)`.
+    pub fn new(element: usize, type_index: usize, start: TimeStep) -> Self {
+        Triple { element, type_index, start }
+    }
+
+    /// The time component as a [`Lease`] (dropping the element).
+    pub fn lease(&self) -> Lease {
+        Lease::new(self.type_index, self.start)
+    }
+
+    /// The validity window `[start, start + l_k)` under `structure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_index` is out of range for `structure`.
+    pub fn window(&self, structure: &LeaseStructure) -> Window {
+        self.lease().window(structure)
+    }
+
+    /// Whether this triple is active at time `t` under `structure`, i.e.
+    /// whether it belongs to `Ī(t)`.
+    pub fn covers(&self, structure: &LeaseStructure, t: TimeStep) -> bool {
+        self.window(structure).contains(t)
+    }
+}
+
+/// Driver-facing interface of every online algorithm in the workspace.
+///
+/// Requests arrive in non-decreasing time order; the algorithm must serve
+/// each request immediately and irrevocably (the online model of §2.1). The
+/// driver later compares [`total_cost`](OnlineAlgorithm::total_cost) against
+/// an offline optimum.
+pub trait OnlineAlgorithm {
+    /// One unit of input revealed at a time step (a demand, a batch of
+    /// clients, ...).
+    type Request;
+
+    /// Serves the request that arrives at `time`.
+    ///
+    /// Implementations may assume that `time` is non-decreasing across
+    /// calls; they are free to panic otherwise.
+    fn serve(&mut self, time: TimeStep, request: Self::Request);
+
+    /// Total cost paid so far.
+    fn total_cost(&self) -> f64;
+}
+
+/// Feeds a time-stamped request sequence to `alg` and returns its final cost.
+///
+/// # Panics
+///
+/// Panics if the request times are decreasing.
+pub fn run_online<A: OnlineAlgorithm>(
+    alg: &mut A,
+    requests: impl IntoIterator<Item = (TimeStep, A::Request)>,
+) -> f64 {
+    let mut last: Option<TimeStep> = None;
+    for (t, req) in requests {
+        if let Some(prev) = last {
+            assert!(t >= prev, "requests must arrive in non-decreasing time order");
+        }
+        last = Some(t);
+        alg.serve(t, req);
+    }
+    alg.total_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lease::LeaseType;
+
+    struct CountingAlg {
+        served: Vec<(TimeStep, u32)>,
+    }
+
+    impl OnlineAlgorithm for CountingAlg {
+        type Request = u32;
+        fn serve(&mut self, time: TimeStep, request: u32) {
+            self.served.push((time, request));
+        }
+        fn total_cost(&self) -> f64 {
+            self.served.iter().map(|&(_, r)| r as f64).sum()
+        }
+    }
+
+    #[test]
+    fn run_online_feeds_in_order_and_sums_cost() {
+        let mut alg = CountingAlg { served: vec![] };
+        let cost = run_online(&mut alg, vec![(0, 1), (0, 2), (3, 4)]);
+        assert_eq!(cost, 7.0);
+        assert_eq!(alg.served, vec![(0, 1), (0, 2), (3, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn run_online_rejects_time_travel() {
+        let mut alg = CountingAlg { served: vec![] };
+        let _ = run_online(&mut alg, vec![(5, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn triple_covers_its_window_only() {
+        let s = LeaseStructure::new(vec![LeaseType::new(4, 1.0)]).unwrap();
+        let triple = Triple::new(7, 0, 8);
+        assert!(triple.covers(&s, 8));
+        assert!(triple.covers(&s, 11));
+        assert!(!triple.covers(&s, 12));
+        assert!(!triple.covers(&s, 7));
+        assert_eq!(triple.lease(), Lease::new(0, 8));
+    }
+}

@@ -1,0 +1,191 @@
+//! Competitive-ratio accounting shared by every experiment.
+
+/// The outcome of running an online algorithm against a (lower bound on the)
+/// offline optimum on one instance.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CompetitiveOutcome {
+    /// Cost paid by the online algorithm.
+    pub algorithm_cost: f64,
+    /// Cost of the offline optimum (or a certified lower bound on it, in
+    /// which case [`ratio`](CompetitiveOutcome::ratio) over-estimates the
+    /// true competitive ratio — the safe direction).
+    pub optimum_cost: f64,
+}
+
+impl CompetitiveOutcome {
+    /// Bundles the two costs.
+    pub fn new(algorithm_cost: f64, optimum_cost: f64) -> Self {
+        CompetitiveOutcome { algorithm_cost, optimum_cost }
+    }
+
+    /// `algorithm_cost / optimum_cost`, with the conventions `0/0 = 1` and
+    /// `x/0 = +∞` for `x > 0`.
+    pub fn ratio(&self) -> f64 {
+        if self.optimum_cost <= 0.0 {
+            if self.algorithm_cost <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.algorithm_cost / self.optimum_cost
+        }
+    }
+}
+
+impl std::fmt::Display for CompetitiveOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alg={:.4} opt={:.4} ratio={:.4}",
+            self.algorithm_cost,
+            self.optimum_cost,
+            self.ratio()
+        )
+    }
+}
+
+/// Summary statistics over a collection of competitive ratios (one per seed
+/// or per instance). Used to print one table row per parameter setting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RatioStats {
+    samples: Vec<f64>,
+}
+
+impl RatioStats {
+    /// An empty collection.
+    pub fn new() -> Self {
+        RatioStats::default()
+    }
+
+    /// Adds one measured ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on NaN — infinite ratios are accepted and
+    /// reported, NaN indicates a harness bug.
+    pub fn push(&mut self, ratio: f64) {
+        debug_assert!(!ratio.is_nan(), "NaN ratio indicates a harness bug");
+        self.samples.push(ratio);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            f64::NAN
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NAN, f64::max)
+    }
+
+    /// Smallest sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The raw samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for RatioStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        RatioStats { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<f64> for RatioStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+impl std::fmt::Display for RatioStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean={:.3} max={:.3} min={:.3} sd={:.3} n={}",
+            self.mean(),
+            self.max(),
+            self.min(),
+            self.std_dev(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_optimum() {
+        assert_eq!(CompetitiveOutcome::new(0.0, 0.0).ratio(), 1.0);
+        assert_eq!(CompetitiveOutcome::new(1.0, 0.0).ratio(), f64::INFINITY);
+        assert!((CompetitiveOutcome::new(3.0, 2.0).ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_summarize_samples() {
+        let stats: RatioStats = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(stats.len(), 3);
+        assert!((stats.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(stats.max(), 3.0);
+        assert_eq!(stats.min(), 1.0);
+        assert!((stats.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_nan_but_harmless() {
+        let stats = RatioStats::new();
+        assert!(stats.is_empty());
+        assert!(stats.mean().is_nan());
+        assert!(stats.max().is_nan());
+        assert_eq!(stats.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn extend_appends_samples() {
+        let mut stats = RatioStats::new();
+        stats.extend([1.0, 3.0]);
+        stats.push(2.0);
+        assert_eq!(stats.samples(), &[1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn display_formats_summary() {
+        let stats: RatioStats = [2.0].into_iter().collect();
+        assert!(stats.to_string().contains("mean=2.000"));
+    }
+}

@@ -1,0 +1,460 @@
+//! Lease types and validated lease structures.
+//!
+//! Every problem in the thesis is parameterised by `K` *lease types*, each
+//! with a duration `l_k` and a price `c_k` (Chapter 2.2.1). A
+//! [`LeaseStructure`] owns the `K` types, validates the model assumptions and
+//! provides the named constructors used across the experiments (geometric
+//! economies of scale, Meyerson's adversarial structure from Theorem 2.8,
+//! ...).
+
+use crate::time::{TimeStep, Window};
+use serde::{Deserialize, Serialize};
+
+/// A single lease type: buying one instance costs [`cost`](LeaseType::cost)
+/// and keeps the resource active for [`length`](LeaseType::length)
+/// consecutive time steps.
+#[derive(Copy, Clone, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LeaseType {
+    /// Duration `l_k` in time steps. Always `>= 1`.
+    pub length: u64,
+    /// Price `c_k` of one purchase. Always finite and `> 0`.
+    pub cost: f64,
+}
+
+impl LeaseType {
+    /// Creates a lease type of the given duration and price.
+    pub fn new(length: u64, cost: f64) -> Self {
+        LeaseType { length, cost }
+    }
+
+    /// Price per covered time step, `c_k / l_k`.
+    pub fn cost_per_step(&self) -> f64 {
+        self.cost / self.length as f64
+    }
+}
+
+/// Why a [`LeaseStructure`] failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeaseStructureError {
+    /// The structure must offer at least one lease type.
+    Empty,
+    /// Lease lengths must be strictly increasing; the `usize` is the index of
+    /// the first offending type.
+    LengthsNotIncreasing(usize),
+    /// A length of zero makes a lease useless; the `usize` is the index.
+    ZeroLength(usize),
+    /// Costs must be finite and strictly positive; the `usize` is the index.
+    InvalidCost(usize),
+}
+
+impl std::fmt::Display for LeaseStructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseStructureError::Empty => write!(f, "lease structure has no lease types"),
+            LeaseStructureError::LengthsNotIncreasing(i) => {
+                write!(f, "lease lengths must be strictly increasing (violated at index {i})")
+            }
+            LeaseStructureError::ZeroLength(i) => {
+                write!(f, "lease type {i} has zero length")
+            }
+            LeaseStructureError::InvalidCost(i) => {
+                write!(f, "lease type {i} has a non-finite or non-positive cost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeaseStructureError {}
+
+/// The `K` lease types available to an algorithm, ordered by strictly
+/// increasing length.
+///
+/// Invariants enforced by [`LeaseStructure::new`]:
+/// * at least one type,
+/// * lengths strictly increasing and positive,
+/// * costs finite and strictly positive.
+///
+/// Economies of scale (`c_k / l_k` non-increasing in `k`) are *typical* but
+/// not required by the thesis model; use
+/// [`has_economies_of_scale`](LeaseStructure::has_economies_of_scale) to test
+/// for them.
+///
+/// ```
+/// use leasing_core::lease::{LeaseStructure, LeaseType};
+/// let s = LeaseStructure::new(vec![LeaseType::new(1, 1.0), LeaseType::new(4, 3.0)]).unwrap();
+/// assert_eq!(s.num_types(), 2);
+/// assert_eq!(s.l_max(), 4);
+/// assert!(s.has_economies_of_scale());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeaseStructure {
+    types: Vec<LeaseType>,
+}
+
+impl LeaseStructure {
+    /// Validates and builds a lease structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LeaseStructureError`] if the type list is empty, lengths
+    /// are not strictly increasing and positive, or any cost is non-finite or
+    /// non-positive.
+    pub fn new(types: Vec<LeaseType>) -> Result<Self, LeaseStructureError> {
+        if types.is_empty() {
+            return Err(LeaseStructureError::Empty);
+        }
+        for (i, t) in types.iter().enumerate() {
+            if t.length == 0 {
+                return Err(LeaseStructureError::ZeroLength(i));
+            }
+            if !t.cost.is_finite() || t.cost <= 0.0 {
+                return Err(LeaseStructureError::InvalidCost(i));
+            }
+            if i > 0 && types[i - 1].length >= t.length {
+                return Err(LeaseStructureError::LengthsNotIncreasing(i));
+            }
+        }
+        Ok(LeaseStructure { types })
+    }
+
+    /// A single lease type of the given length and cost (the `K = 1` special
+    /// case that recovers the non-leasing variant of each problem).
+    pub fn single(length: u64, cost: f64) -> Self {
+        LeaseStructure::new(vec![LeaseType::new(length, cost)])
+            .expect("single lease type with positive length/cost is always valid")
+    }
+
+    /// Geometric structure: `l_k = l_min * factor^(k-1)` and
+    /// `c_k = base_cost * (l_k / l_min)^gamma`.
+    ///
+    /// `gamma < 1` yields economies of scale (longer leases are cheaper per
+    /// step), the regime the thesis motivates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `l_min == 0`, `factor < 2`, `base_cost <= 0`, or
+    /// `gamma` is not finite.
+    pub fn geometric(k: usize, l_min: u64, factor: u64, base_cost: f64, gamma: f64) -> Self {
+        assert!(k > 0, "need at least one lease type");
+        assert!(l_min > 0, "l_min must be positive");
+        assert!(factor >= 2, "factor must be at least 2 to keep lengths increasing");
+        assert!(base_cost > 0.0, "base cost must be positive");
+        assert!(gamma.is_finite(), "gamma must be finite");
+        let mut types = Vec::with_capacity(k);
+        let mut len = l_min;
+        for _ in 0..k {
+            let ratio = (len / l_min) as f64;
+            types.push(LeaseType::new(len, base_cost * ratio.powf(gamma)));
+            len = len.saturating_mul(factor);
+        }
+        LeaseStructure::new(types).expect("geometric construction yields increasing lengths")
+    }
+
+    /// Meyerson's adversarial structure from the Theorem 2.8 lower bound:
+    /// `c_k = 2^k` and `l_k = (2K)^k` for `k = 1..=K` (already in power-of-two
+    /// friendly nesting: each length divides the next).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the lengths overflow `u64`.
+    pub fn meyerson_adversarial(k: usize) -> Self {
+        assert!(k > 0, "need at least one lease type");
+        let base = 2 * k as u64;
+        let mut types = Vec::with_capacity(k);
+        let mut len = 1u64;
+        for i in 1..=k {
+            len = len.checked_mul(base).expect("lease length overflow");
+            types.push(LeaseType::new(len, (2.0f64).powi(i as i32)));
+        }
+        LeaseStructure::new(types).expect("adversarial construction yields increasing lengths")
+    }
+
+    /// Number of lease types `K`.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The lease types, ordered by increasing length.
+    pub fn types(&self) -> &[LeaseType] {
+        &self.types
+    }
+
+    /// Length `l_k` of type `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= K`.
+    pub fn length(&self, k: usize) -> u64 {
+        self.types[k].length
+    }
+
+    /// Cost `c_k` of type `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= K`.
+    pub fn cost(&self, k: usize) -> f64 {
+        self.types[k].cost
+    }
+
+    /// Shortest lease length `l_min`.
+    pub fn l_min(&self) -> u64 {
+        self.types[0].length
+    }
+
+    /// Longest lease length `l_max`.
+    pub fn l_max(&self) -> u64 {
+        self.types[self.types.len() - 1].length
+    }
+
+    /// Whether cost per step is non-increasing in the lease length.
+    pub fn has_economies_of_scale(&self) -> bool {
+        self.types
+            .windows(2)
+            .all(|w| w[1].cost_per_step() <= w[0].cost_per_step() + crate::EPS)
+    }
+
+    /// Whether every length is a power of two and each length divides the
+    /// next (the shape required by the interval model; see
+    /// [`crate::interval`]).
+    pub fn is_interval_model_shape(&self) -> bool {
+        self.types.iter().all(|t| t.length.is_power_of_two())
+            && self.types.windows(2).all(|w| w[1].length % w[0].length == 0)
+    }
+
+    /// Rounds every length up to the next power of two, merging types that
+    /// collide on the same rounded length (keeping the cheapest). This is the
+    /// first step of the Lemma 2.6 reduction.
+    pub fn rounded_to_powers_of_two(&self) -> LeaseStructure {
+        let mut rounded: Vec<LeaseType> = Vec::with_capacity(self.types.len());
+        for t in &self.types {
+            let len = t.length.next_power_of_two();
+            match rounded.last_mut() {
+                Some(last) if last.length == len => {
+                    if t.cost < last.cost {
+                        last.cost = t.cost;
+                    }
+                }
+                _ => rounded.push(LeaseType::new(len, t.cost)),
+            }
+        }
+        LeaseStructure::new(rounded).expect("rounding preserves increasing lengths")
+    }
+}
+
+/// A concrete purchased (or candidate) lease: type `type_index` starting at
+/// time `start`, active during `[start, start + l_k)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Lease {
+    /// Index into the owning [`LeaseStructure`] (0-based).
+    pub type_index: usize,
+    /// First time step of validity.
+    pub start: TimeStep,
+}
+
+impl Lease {
+    /// Creates a lease of the given type starting at `start`.
+    pub fn new(type_index: usize, start: TimeStep) -> Self {
+        Lease { type_index, start }
+    }
+
+    /// The validity window of this lease under `structure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_index` is out of range for `structure`.
+    pub fn window(&self, structure: &LeaseStructure) -> Window {
+        Window::new(self.start, structure.length(self.type_index))
+    }
+
+    /// The price of this lease under `structure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_index` is out of range for `structure`.
+    pub fn cost(&self, structure: &LeaseStructure) -> f64 {
+        structure.cost(self.type_index)
+    }
+}
+
+/// Total price of a multiset of leases under `structure`.
+pub fn solution_cost(structure: &LeaseStructure, leases: &[Lease]) -> f64 {
+    leases.iter().map(|l| l.cost(structure)).sum()
+}
+
+/// Whether every demand time step is covered by at least one lease.
+pub fn covers_all(structure: &LeaseStructure, leases: &[Lease], demands: &[TimeStep]) -> bool {
+    demands
+        .iter()
+        .all(|&t| leases.iter().any(|l| l.window(structure).contains(t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple() -> LeaseStructure {
+        LeaseStructure::new(vec![
+            LeaseType::new(1, 1.0),
+            LeaseType::new(4, 3.0),
+            LeaseType::new(16, 8.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_empty() {
+        assert_eq!(LeaseStructure::new(vec![]), Err(LeaseStructureError::Empty));
+    }
+
+    #[test]
+    fn validation_rejects_non_increasing_lengths() {
+        let err = LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(4, 2.0)]);
+        assert_eq!(err, Err(LeaseStructureError::LengthsNotIncreasing(1)));
+    }
+
+    #[test]
+    fn validation_rejects_zero_length() {
+        let err = LeaseStructure::new(vec![LeaseType::new(0, 1.0)]);
+        assert_eq!(err, Err(LeaseStructureError::ZeroLength(0)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_costs() {
+        assert_eq!(
+            LeaseStructure::new(vec![LeaseType::new(1, 0.0)]),
+            Err(LeaseStructureError::InvalidCost(0))
+        );
+        assert_eq!(
+            LeaseStructure::new(vec![LeaseType::new(1, f64::NAN)]),
+            Err(LeaseStructureError::InvalidCost(0))
+        );
+        assert_eq!(
+            LeaseStructure::new(vec![LeaseType::new(1, -2.0)]),
+            Err(LeaseStructureError::InvalidCost(0))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = LeaseStructureError::LengthsNotIncreasing(3).to_string();
+        assert!(msg.contains("strictly increasing") && msg.contains('3'));
+    }
+
+    #[test]
+    fn accessors_report_extremes() {
+        let s = simple();
+        assert_eq!(s.num_types(), 3);
+        assert_eq!(s.l_min(), 1);
+        assert_eq!(s.l_max(), 16);
+        assert_eq!(s.length(1), 4);
+        assert!((s.cost(1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn economies_of_scale_detection() {
+        assert!(simple().has_economies_of_scale());
+        let diseconomy = LeaseStructure::new(vec![
+            LeaseType::new(1, 1.0),
+            LeaseType::new(2, 10.0),
+        ])
+        .unwrap();
+        assert!(!diseconomy.has_economies_of_scale());
+    }
+
+    #[test]
+    fn meyerson_adversarial_matches_theorem_2_8() {
+        let s = LeaseStructure::meyerson_adversarial(3);
+        // l_k = (2K)^k = 6^k, c_k = 2^k.
+        assert_eq!(s.length(0), 6);
+        assert_eq!(s.length(1), 36);
+        assert_eq!(s.length(2), 216);
+        assert!((s.cost(0) - 2.0).abs() < 1e-12);
+        assert!((s.cost(2) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_with_gamma_below_one_has_economies() {
+        let s = LeaseStructure::geometric(5, 1, 2, 1.0, 0.7);
+        assert!(s.has_economies_of_scale());
+        assert_eq!(s.l_max(), 16);
+    }
+
+    #[test]
+    fn rounding_to_powers_of_two_rounds_up_and_merges() {
+        let s = LeaseStructure::new(vec![
+            LeaseType::new(3, 2.0),
+            LeaseType::new(4, 5.0),
+            LeaseType::new(9, 7.0),
+        ])
+        .unwrap();
+        let r = s.rounded_to_powers_of_two();
+        // 3 -> 4 merges with existing 4 keeping the cheaper cost 2.0.
+        assert_eq!(r.num_types(), 2);
+        assert_eq!(r.length(0), 4);
+        assert!((r.cost(0) - 2.0).abs() < 1e-12);
+        assert_eq!(r.length(1), 16);
+        assert!(r.is_interval_model_shape());
+    }
+
+    #[test]
+    fn interval_model_shape_requires_divisibility() {
+        // 2 and 8 are powers of two and 2 | 8 -> OK.
+        let ok = LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 2.0)]).unwrap();
+        assert!(ok.is_interval_model_shape());
+        // 3 is not a power of two.
+        let bad = LeaseStructure::new(vec![LeaseType::new(3, 1.0)]).unwrap();
+        assert!(!bad.is_interval_model_shape());
+    }
+
+    #[test]
+    fn lease_window_and_cost() {
+        let s = simple();
+        let lease = Lease::new(1, 8);
+        assert_eq!(lease.window(&s), Window::new(8, 4));
+        assert!((lease.cost(&s) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covers_all_checks_every_demand() {
+        let s = simple();
+        let leases = vec![Lease::new(0, 2), Lease::new(1, 4)];
+        assert!(covers_all(&s, &leases, &[2, 4, 7]));
+        assert!(!covers_all(&s, &leases, &[2, 8]));
+        assert!((solution_cost(&s, &leases) - 4.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn rounded_lengths_are_powers_of_two_and_at_least_original(
+            lens in proptest::collection::vec(1u64..10_000, 1..6)
+        ) {
+            let mut sorted = lens;
+            sorted.sort_unstable();
+            sorted.dedup();
+            let types: Vec<LeaseType> =
+                sorted.iter().map(|&l| LeaseType::new(l, l as f64)).collect();
+            let s = LeaseStructure::new(types).unwrap();
+            let r = s.rounded_to_powers_of_two();
+            prop_assert!(r.is_interval_model_shape() || r.types().iter().all(|t| t.length.is_power_of_two()));
+            // Every original type maps to a rounded type of at least its length
+            // and at most twice its length.
+            for t in s.types() {
+                let target = t.length.next_power_of_two();
+                prop_assert!(r.types().iter().any(|rt| rt.length == target));
+                prop_assert!(target < 2 * t.length || target == t.length || t.length == 1);
+            }
+        }
+
+        #[test]
+        fn geometric_structure_is_always_valid(
+            k in 1usize..7, l_min in 1u64..10, factor in 2u64..5,
+            base in 0.1f64..10.0, gamma in 0.0f64..1.0
+        ) {
+            let s = LeaseStructure::geometric(k, l_min, factor, base, gamma);
+            prop_assert_eq!(s.num_types(), k);
+            prop_assert!(s.has_economies_of_scale());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Seeded randomness helpers.
+//!
+//! All experiment randomness flows through [`seeded`] so every table in
+//! `EXPERIMENTS.md` is reproducible from its printed seed. The
+//! [`min_of_uniforms`] sampler implements the threshold distribution used by
+//! the randomized rounding schemes of Chapters 3 and 5: the paper keeps, per
+//! candidate, `q` independent `U[0,1]` variables and compares the fraction
+//! against their minimum; sampling the minimum directly via inverse CDF is
+//! distributionally identical and saves memory.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A deterministic RNG derived from `seed`.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples `min(U_1, …, U_q)` for iid `U_i ~ U[0,1]` via the inverse CDF
+/// `F^{-1}(u) = 1 - (1-u)^{1/q}`.
+///
+/// # Panics
+///
+/// Panics if `q == 0`.
+pub fn min_of_uniforms<R: Rng + ?Sized>(rng: &mut R, q: u32) -> f64 {
+    assert!(q > 0, "need at least one uniform variable");
+    let u: f64 = rng.random();
+    1.0 - (1.0 - u).powf(1.0 / q as f64)
+}
+
+/// The paper's threshold count `2 ⌈log₂(x + 1)⌉` (used with `x = n` in
+/// Chapter 3, `x = δ·n` in Corollary 3.5 and `x = l_max` in Chapter 5),
+/// clamped below by 1 so the degenerate `x = 0` case still rounds.
+pub fn threshold_count(x: u64) -> u32 {
+    let log = ((x + 1) as f64).log2().ceil() as u32;
+    (2 * log).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        let xs: Vec<f64> = (0..5).map(|_| a.random()).collect();
+        let ys: Vec<f64> = (0..5).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let x: f64 = a.random();
+        let y: f64 = b.random();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn min_of_uniforms_lies_in_unit_interval() {
+        let mut rng = seeded(7);
+        for q in [1u32, 2, 8, 64] {
+            for _ in 0..100 {
+                let m = min_of_uniforms(&mut rng, q);
+                assert!((0.0..=1.0).contains(&m), "out of range for q={q}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_of_uniforms_mean_matches_theory() {
+        // E[min of q uniforms] = 1/(q+1).
+        let mut rng = seeded(11);
+        for q in [1u32, 4, 16] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| min_of_uniforms(&mut rng, q)).sum::<f64>() / n as f64;
+            let expect = 1.0 / (q as f64 + 1.0);
+            assert!(
+                (mean - expect).abs() < 0.01,
+                "q={q}: mean {mean} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one uniform")]
+    fn min_of_uniforms_rejects_q_zero() {
+        let mut rng = seeded(1);
+        let _ = min_of_uniforms(&mut rng, 0);
+    }
+
+    #[test]
+    fn threshold_count_matches_formula() {
+        assert_eq!(threshold_count(0), 1);
+        assert_eq!(threshold_count(1), 2); // 2*ceil(log2 2) = 2
+        assert_eq!(threshold_count(3), 4); // 2*ceil(log2 4) = 4
+        assert_eq!(threshold_count(7), 6); // 2*ceil(log2 8) = 6
+        assert_eq!(threshold_count(1000), 20); // 2*ceil(log2 1001) = 20
+    }
+}

@@ -1,0 +1,131 @@
+//! The classic ski-rental problem — the `K = 2` intuition behind every
+//! leasing result in the thesis (Chapter 1 motivates leasing via exactly
+//! this rent-vs-buy trade-off).
+//!
+//! A skier needs skis for an unknown number of days. Renting costs `1` per
+//! day; buying costs `b` once. The *break-even* deterministic strategy
+//! (rent for `b - 1` days, then buy) is `(2 - 1/b)`-competitive, which is
+//! optimal for deterministic algorithms; the classic randomized strategy
+//! achieves `e/(e-1) ≈ 1.582`.
+
+use rand::{Rng, RngExt};
+
+/// Cost of the optimal offline strategy for `days` days of skiing with buy
+/// price `b`: `min(days, b)`.
+pub fn offline_cost(days: u64, b: u64) -> f64 {
+    days.min(b) as f64
+}
+
+/// Cost of the deterministic break-even strategy: rent for `b - 1` days,
+/// buy on day `b` if still skiing.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn break_even_cost(days: u64, b: u64) -> f64 {
+    assert!(b > 0, "buy price must be positive");
+    if days < b {
+        days as f64
+    } else {
+        (b - 1) as f64 + b as f64
+    }
+}
+
+/// Cost of the randomized strategy that buys at the start of day `i` (1-based)
+/// with probability proportional to `(1 - 1/b)^(b - i)`, achieving expected
+/// competitive ratio `e/(e-1)` as `b → ∞`.
+///
+/// Returns the cost for one sampled buy day.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn randomized_cost<R: Rng + ?Sized>(rng: &mut R, days: u64, b: u64) -> f64 {
+    assert!(b > 0, "buy price must be positive");
+    // Sample buy day D ∈ {1..b} with P(D = i) ∝ (1 - 1/b)^(b - i).
+    let q = 1.0 - 1.0 / b as f64;
+    let weights: Vec<f64> = (1..=b).map(|i| q.powi((b - i) as i32)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut pick: f64 = rng.random::<f64>() * total;
+    let mut buy_day = b;
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            buy_day = i as u64 + 1;
+            break;
+        }
+        pick -= w;
+    }
+    if days < buy_day {
+        days as f64
+    } else {
+        (buy_day - 1) as f64 + b as f64
+    }
+}
+
+/// The deterministic competitive ratio `2 - 1/b` that [`break_even_cost`]
+/// attains in the worst case (`days = b`).
+pub fn deterministic_ratio(b: u64) -> f64 {
+    2.0 - 1.0 / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn offline_is_min_of_rent_and_buy() {
+        assert_eq!(offline_cost(3, 10), 3.0);
+        assert_eq!(offline_cost(30, 10), 10.0);
+        assert_eq!(offline_cost(10, 10), 10.0);
+    }
+
+    #[test]
+    fn break_even_never_exceeds_twice_optimum() {
+        for b in 1..50u64 {
+            for days in 0..120u64 {
+                let alg = break_even_cost(days, b);
+                let opt = offline_cost(days, b);
+                if opt > 0.0 {
+                    assert!(
+                        alg / opt <= deterministic_ratio(b) + 1e-12,
+                        "b={b} days={days}: ratio {}",
+                        alg / opt
+                    );
+                } else {
+                    assert_eq!(alg, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn break_even_worst_case_is_tight_at_days_equals_b() {
+        let b = 25;
+        let ratio = break_even_cost(b, b) / offline_cost(b, b);
+        assert!((ratio - deterministic_ratio(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomized_beats_deterministic_in_expectation() {
+        let b = 50u64;
+        let days = b; // adversarial day count
+        let mut rng = seeded(3);
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| randomized_cost(&mut rng, days, b))
+            .sum::<f64>()
+            / trials as f64;
+        let ratio = mean / offline_cost(days, b);
+        let e = std::f64::consts::E;
+        // e/(e-1) ≈ 1.582; allow slack for finite b and sampling noise.
+        assert!(ratio < deterministic_ratio(b) - 0.2, "ratio {ratio}");
+        assert!(ratio > e / (e - 1.0) - 0.1, "ratio {ratio} suspiciously small");
+    }
+
+    #[test]
+    fn randomized_cost_zero_days_is_free() {
+        let mut rng = seeded(5);
+        assert_eq!(randomized_cost(&mut rng, 0, 10), 0.0);
+    }
+}

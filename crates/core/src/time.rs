@@ -1,0 +1,192 @@
+//! Discrete time model.
+//!
+//! Time proceeds in integral *days* (the thesis speaks of days for the
+//! parking permit problem and of generic *time steps* elsewhere); a lease
+//! bought at time `t` with length `l` is active during the half-open window
+//! `[t, t + l)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in discrete time. Day `0` is the first day of the horizon.
+pub type TimeStep = u64;
+
+/// A half-open time window `[start, start + len)`.
+///
+/// Windows model both lease validity periods and client service windows
+/// (Chapter 5). A window with `len == 0` is empty and contains no time step.
+///
+/// ```
+/// use leasing_core::time::Window;
+/// let w = Window::new(10, 5);
+/// assert!(w.contains(10) && w.contains(14) && !w.contains(15));
+/// assert!(w.intersects(&Window::new(14, 100)));
+/// assert!(!w.intersects(&Window::new(15, 100)));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Window {
+    /// First time step inside the window.
+    pub start: TimeStep,
+    /// Number of time steps spanned.
+    pub len: u64,
+}
+
+impl Window {
+    /// Creates the window `[start, start + len)`.
+    pub fn new(start: TimeStep, len: u64) -> Self {
+        Window { start, len }
+    }
+
+    /// Creates the window covering `[start, end]` *inclusively* on both ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn closed(start: TimeStep, end: TimeStep) -> Self {
+        assert!(end >= start, "closed window requires end >= start");
+        Window { start, len: end - start + 1 }
+    }
+
+    /// One-past-the-end time step.
+    pub fn end(&self) -> TimeStep {
+        self.start + self.len
+    }
+
+    /// Last time step inside the window, or `None` for an empty window.
+    pub fn last(&self) -> Option<TimeStep> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.start + self.len - 1)
+        }
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether time step `t` lies inside the window.
+    pub fn contains(&self, t: TimeStep) -> bool {
+        t >= self.start && t < self.end()
+    }
+
+    /// Whether the two windows share at least one time step. Empty windows
+    /// intersect nothing.
+    pub fn intersects(&self, other: &Window) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
+    }
+
+    /// The common part of two windows, or `None` if disjoint/empty.
+    pub fn intersection(&self, other: &Window) -> Option<Window> {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        if start < end {
+            Some(Window { start, len: end - start })
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all time steps inside the window.
+    pub fn iter(&self) -> impl Iterator<Item = TimeStep> {
+        self.start..self.end()
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn closed_window_is_inclusive() {
+        let w = Window::closed(3, 7);
+        assert_eq!(w.len, 5);
+        assert!(w.contains(3) && w.contains(7) && !w.contains(8));
+        assert_eq!(w.last(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "end >= start")]
+    fn closed_window_rejects_reversed_bounds() {
+        let _ = Window::closed(7, 3);
+    }
+
+    #[test]
+    fn empty_window_contains_nothing() {
+        let w = Window::new(5, 0);
+        assert!(w.is_empty());
+        assert!(!w.contains(5));
+        assert_eq!(w.last(), None);
+        assert!(!w.intersects(&Window::new(0, 100)));
+    }
+
+    #[test]
+    fn intersection_of_touching_windows_is_none() {
+        let a = Window::new(0, 5);
+        let b = Window::new(5, 5);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn intersection_of_nested_windows_is_inner() {
+        let outer = Window::new(0, 100);
+        let inner = Window::new(10, 5);
+        assert_eq!(outer.intersection(&inner), Some(inner));
+    }
+
+    #[test]
+    fn iter_enumerates_all_days() {
+        let w = Window::new(2, 3);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn display_is_half_open_notation() {
+        assert_eq!(Window::new(1, 4).to_string(), "[1, 5)");
+    }
+
+    proptest! {
+        #[test]
+        fn intersects_is_symmetric(s1 in 0u64..1000, l1 in 0u64..100, s2 in 0u64..1000, l2 in 0u64..100) {
+            let a = Window::new(s1, l1);
+            let b = Window::new(s2, l2);
+            prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        }
+
+        #[test]
+        fn intersects_agrees_with_intersection(s1 in 0u64..1000, l1 in 0u64..100, s2 in 0u64..1000, l2 in 0u64..100) {
+            let a = Window::new(s1, l1);
+            let b = Window::new(s2, l2);
+            prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+        }
+
+        #[test]
+        fn intersection_contained_in_both(s1 in 0u64..1000, l1 in 0u64..100, s2 in 0u64..1000, l2 in 0u64..100) {
+            let a = Window::new(s1, l1);
+            let b = Window::new(s2, l2);
+            if let Some(c) = a.intersection(&b) {
+                for t in c.iter() {
+                    prop_assert!(a.contains(t) && b.contains(t));
+                }
+            }
+        }
+
+        #[test]
+        fn contains_matches_iter(s in 0u64..1000, l in 0u64..64, t in 0u64..1100) {
+            let w = Window::new(s, l);
+            let by_iter = w.iter().any(|x| x == t);
+            prop_assert_eq!(w.contains(t), by_iter);
+        }
+    }
+}

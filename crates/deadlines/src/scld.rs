@@ -1,0 +1,443 @@
+//! **Set cover leasing with deadlines** — SCLD (thesis §5.5, Algorithm 5).
+//!
+//! Elements arrive with a deadline and must be covered by a set leased at
+//! some point inside their window. The randomized algorithm grows a
+//! fractional solution per candidate triple and rounds it against
+//! per-triple thresholds formed from `2⌈log₂ l_max⌉` uniforms — replacing
+//! the `log n` threshold count of Chapter 3 and thereby making the
+//! competitive factor `O(log(m(K + d_max/l_min)) · log l_max)` *independent
+//! of time* (Theorem 5.7). With `d_max = 0` this improves SetCoverLeasing
+//! to `O(log(mK) · log l_max)` (Corollary 5.8).
+
+use leasing_core::framework::Triple;
+use leasing_core::interval::candidates_intersecting;
+use leasing_core::lease::LeaseStructure;
+use leasing_core::rng::{min_of_uniforms, threshold_count};
+use leasing_core::time::{TimeStep, Window};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use set_cover_leasing::system::SetSystem;
+use std::collections::{HashMap, HashSet};
+
+/// One SCLD demand: element `element` arrives at `time` and must be covered
+/// by a set leased during some day of `[time, time + slack]`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScldArrival {
+    /// Arrival day.
+    pub time: TimeStep,
+    /// Days the demand may wait (`0` = cover on arrival, recovering
+    /// SetCoverLeasing).
+    pub slack: u64,
+    /// The arriving element.
+    pub element: usize,
+}
+
+impl ScldArrival {
+    /// Creates the demand `(time, element, slack)`.
+    pub fn new(time: TimeStep, element: usize, slack: u64) -> Self {
+        ScldArrival { time, slack, element }
+    }
+
+    /// The inclusive service window.
+    pub fn window(&self) -> Window {
+        Window::closed(self.time, self.time + self.slack)
+    }
+}
+
+/// Why an [`ScldInstance`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScldInstanceError {
+    /// An arrival references an element outside the universe or one
+    /// belonging to no set.
+    UncoverableElement(ScldArrival),
+    /// Arrivals must have non-decreasing times; index of the offender.
+    UnsortedArrivals(usize),
+    /// Cost matrix shape or entries invalid (`(set, type)`).
+    BadCost(usize, usize),
+}
+
+impl std::fmt::Display for ScldInstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScldInstanceError::UncoverableElement(a) => {
+                write!(f, "arrival {a:?} cannot be covered by any set")
+            }
+            ScldInstanceError::UnsortedArrivals(i) => {
+                write!(f, "arrival {i} breaks the non-decreasing time order")
+            }
+            ScldInstanceError::BadCost(s, k) => {
+                write!(f, "cost of set {s} lease type {k} is missing or invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScldInstanceError {}
+
+/// An SCLD instance: set system, lease durations, per-set/type costs and
+/// deadline-flexible arrivals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScldInstance {
+    /// The set system.
+    pub system: SetSystem,
+    /// Lease durations (reference costs in the `cost` field).
+    pub structure: LeaseStructure,
+    /// `costs[s][k]`.
+    pub costs: Vec<Vec<f64>>,
+    /// Demands in non-decreasing time order.
+    pub arrivals: Vec<ScldArrival>,
+}
+
+impl ScldInstance {
+    /// Validates and builds an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ScldInstanceError`] on malformed costs, unsorted
+    /// arrivals or uncoverable elements.
+    pub fn new(
+        system: SetSystem,
+        structure: LeaseStructure,
+        costs: Vec<Vec<f64>>,
+        arrivals: Vec<ScldArrival>,
+    ) -> Result<Self, ScldInstanceError> {
+        if costs.len() != system.num_sets() {
+            return Err(ScldInstanceError::BadCost(costs.len(), 0));
+        }
+        for (s, row) in costs.iter().enumerate() {
+            if row.len() != structure.num_types() {
+                return Err(ScldInstanceError::BadCost(s, row.len()));
+            }
+            for (k, &c) in row.iter().enumerate() {
+                if !c.is_finite() || c <= 0.0 {
+                    return Err(ScldInstanceError::BadCost(s, k));
+                }
+            }
+        }
+        for (i, a) in arrivals.iter().enumerate() {
+            if a.element >= system.num_elements()
+                || system.sets_containing(a.element).is_empty()
+            {
+                return Err(ScldInstanceError::UncoverableElement(*a));
+            }
+            if i > 0 && arrivals[i - 1].time > a.time {
+                return Err(ScldInstanceError::UnsortedArrivals(i));
+            }
+        }
+        Ok(ScldInstance { system, structure, costs, arrivals })
+    }
+
+    /// Uniform costs (`c_{S,k} = c_k` from the structure).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScldInstance::new`].
+    pub fn uniform(
+        system: SetSystem,
+        structure: LeaseStructure,
+        arrivals: Vec<ScldArrival>,
+    ) -> Result<Self, ScldInstanceError> {
+        let row: Vec<f64> = structure.types().iter().map(|t| t.cost).collect();
+        let costs = vec![row; system.num_sets()];
+        ScldInstance::new(system, structure, costs, arrivals)
+    }
+
+    /// Cost `c_{S,k}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cost(&self, s: usize, k: usize) -> f64 {
+        self.costs[s][k]
+    }
+
+    /// Largest slack `d_max`.
+    pub fn d_max(&self) -> u64 {
+        self.arrivals.iter().map(|a| a.slack).max().unwrap_or(0)
+    }
+
+    /// The candidate triples `F_{(e,t,d)}` of an arrival.
+    pub fn candidates(&self, a: &ScldArrival) -> Vec<Triple> {
+        let mut out = Vec::new();
+        for &s in self.system.sets_containing(a.element) {
+            for lease in candidates_intersecting(&self.structure, a.window()) {
+                out.push(Triple::new(s, lease.type_index, lease.start));
+            }
+        }
+        out
+    }
+}
+
+/// Per-run telemetry of [`ScldOnline`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScldStats {
+    /// Accumulated fractional cost (Lemma 5.5 bounds it by
+    /// `O(log(δ(K + d_max/l_min))) · Opt` per `l_max` interval).
+    pub fractional_cost: f64,
+    /// Cost of threshold-rounded purchases.
+    pub rounded_cost: f64,
+    /// Cost of cheapest-candidate fallbacks (probability `≤ 1/l_max²` per
+    /// arrival, Lemma 5.6).
+    pub fallback_cost: f64,
+    /// Number of fallbacks.
+    pub fallbacks: usize,
+}
+
+/// The randomized SCLD algorithm (Algorithm 5).
+#[derive(Debug)]
+pub struct ScldOnline<'a> {
+    instance: &'a ScldInstance,
+    fractions: HashMap<Triple, f64>,
+    thresholds: HashMap<Triple, f64>,
+    q: u32,
+    owned: HashSet<Triple>,
+    cost: f64,
+    stats: ScldStats,
+    rng: StdRng,
+    next_arrival: usize,
+}
+
+impl<'a> ScldOnline<'a> {
+    /// Creates the algorithm with the paper's threshold count
+    /// `q = 2⌈log₂(l_max)⌉`.
+    pub fn new(instance: &'a ScldInstance, seed: u64) -> Self {
+        let q = threshold_count(instance.structure.l_max());
+        ScldOnline::with_threshold_count(instance, seed, q)
+    }
+
+    /// Creates the algorithm with an explicit threshold count (used by the
+    /// E14 ablation against the Chapter 3 `log n` thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn with_threshold_count(instance: &'a ScldInstance, seed: u64, q: u32) -> Self {
+        assert!(q > 0, "threshold count must be positive");
+        ScldOnline {
+            instance,
+            fractions: HashMap::new(),
+            thresholds: HashMap::new(),
+            q,
+            owned: HashSet::new(),
+            cost: 0.0,
+            stats: ScldStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+            next_arrival: 0,
+        }
+    }
+
+    /// Serves all remaining arrivals; returns the total cost.
+    pub fn run(&mut self) -> f64 {
+        while self.next_arrival < self.instance.arrivals.len() {
+            let a = self.instance.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            self.serve(&a);
+        }
+        self.cost
+    }
+
+    /// Total cost paid so far.
+    pub fn total_cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> ScldStats {
+        self.stats
+    }
+
+    /// The triples leased so far.
+    pub fn owned(&self) -> impl Iterator<Item = &Triple> {
+        self.owned.iter()
+    }
+
+    /// Serves one arrival.
+    pub fn serve(&mut self, a: &ScldArrival) {
+        let candidates = self.instance.candidates(a);
+        debug_assert!(!candidates.is_empty(), "validated instances are coverable");
+        let f_len = candidates.len() as f64;
+
+        // (i) LP phase: multiplicative growth until fractions sum to 1.
+        loop {
+            let sum: f64 = candidates.iter().map(|c| self.fraction(c)).sum();
+            if sum >= 1.0 {
+                break;
+            }
+            for c in &candidates {
+                let cost = self.instance.cost(c.element, c.type_index);
+                let f = self.fractions.entry(*c).or_insert(0.0);
+                let delta = *f / cost + 1.0 / (f_len * cost);
+                *f += delta;
+                self.stats.fractional_cost += cost * delta;
+            }
+        }
+
+        // (ii) Rounding phase: buy candidates whose fraction beats their
+        // threshold; fall back to the cheapest candidate if uncovered.
+        for c in &candidates {
+            let f = self.fraction(c);
+            let mu = self.threshold(c);
+            if f > mu && !self.owned.contains(c) {
+                let cost = self.instance.cost(c.element, c.type_index);
+                self.owned.insert(*c);
+                self.cost += cost;
+                self.stats.rounded_cost += cost;
+            }
+        }
+        if !candidates.iter().any(|c| self.owned.contains(c)) {
+            let cheapest = candidates
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    let ca = self.instance.cost(a.element, a.type_index);
+                    let cb = self.instance.cost(b.element, b.type_index);
+                    ca.partial_cmp(&cb).expect("finite costs")
+                })
+                .expect("candidates are non-empty");
+            let cost = self.instance.cost(cheapest.element, cheapest.type_index);
+            self.owned.insert(cheapest);
+            self.cost += cost;
+            self.stats.fallback_cost += cost;
+            self.stats.fallbacks += 1;
+        }
+    }
+
+    fn fraction(&self, c: &Triple) -> f64 {
+        self.fractions.get(c).copied().unwrap_or(0.0)
+    }
+
+    fn threshold(&mut self, c: &Triple) -> f64 {
+        if let Some(&mu) = self.thresholds.get(c) {
+            return mu;
+        }
+        let mu = min_of_uniforms(&mut self.rng, self.q);
+        self.thresholds.insert(*c, mu);
+        mu
+    }
+}
+
+/// Checks that every arrival's window holds a leased candidate.
+pub fn is_feasible(instance: &ScldInstance, owned: &HashSet<Triple>) -> bool {
+    instance
+        .arrivals
+        .iter()
+        .all(|a| instance.candidates(a).iter().any(|c| owned.contains(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::LeaseType;
+
+    fn system() -> SetSystem {
+        SetSystem::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap()
+    }
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(16, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn all_arrivals_are_covered() {
+        let inst = ScldInstance::uniform(
+            system(),
+            structure(),
+            vec![
+                ScldArrival::new(0, 0, 4),
+                ScldArrival::new(2, 1, 0),
+                ScldArrival::new(9, 2, 8),
+            ],
+        )
+        .unwrap();
+        for seed in 0..10 {
+            let mut alg = ScldOnline::new(&inst, seed);
+            let cost = alg.run();
+            assert!(cost > 0.0);
+            let owned: HashSet<Triple> = alg.owned().copied().collect();
+            assert!(is_feasible(&inst, &owned), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn candidates_span_the_whole_window() {
+        let inst = ScldInstance::uniform(
+            system(),
+            structure(),
+            vec![ScldArrival::new(1, 0, 4)],
+        )
+        .unwrap();
+        let cands = inst.candidates(&inst.arrivals[0]);
+        // Element 0 is in sets 0 and 2; window [1,5] touches short leases at
+        // 0,2,4 and the long lease at 0: 4 leases per set.
+        assert_eq!(cands.len(), 8);
+    }
+
+    #[test]
+    fn zero_slack_reduces_to_set_cover_leasing() {
+        let inst = ScldInstance::uniform(
+            system(),
+            structure(),
+            vec![ScldArrival::new(3, 0, 0)],
+        )
+        .unwrap();
+        assert_eq!(inst.d_max(), 0);
+        let cands = inst.candidates(&inst.arrivals[0]);
+        // Exactly K candidates per containing set.
+        assert_eq!(cands.len(), 2 * inst.structure.num_types());
+        let mut alg = ScldOnline::new(&inst, 1);
+        alg.run();
+        let owned: HashSet<Triple> = alg.owned().copied().collect();
+        assert!(is_feasible(&inst, &owned));
+    }
+
+    #[test]
+    fn uncoverable_elements_are_rejected() {
+        let sys = SetSystem::new(2, vec![vec![0]]).unwrap();
+        let err = ScldInstance::uniform(
+            sys,
+            structure(),
+            vec![ScldArrival::new(0, 1, 0)],
+        );
+        assert!(matches!(err, Err(ScldInstanceError::UncoverableElement(_))));
+    }
+
+    #[test]
+    fn unsorted_arrivals_are_rejected() {
+        let err = ScldInstance::uniform(
+            system(),
+            structure(),
+            vec![ScldArrival::new(5, 0, 0), ScldArrival::new(1, 1, 0)],
+        );
+        assert!(matches!(err, Err(ScldInstanceError::UnsortedArrivals(1))));
+    }
+
+    #[test]
+    fn reproducible_under_seed() {
+        let inst = ScldInstance::uniform(
+            system(),
+            structure(),
+            vec![ScldArrival::new(0, 0, 2), ScldArrival::new(4, 2, 6)],
+        )
+        .unwrap();
+        let run = |seed| {
+            let mut alg = ScldOnline::new(&inst, seed);
+            alg.run()
+        };
+        assert_eq!(run(9).to_bits(), run(9).to_bits());
+    }
+
+    #[test]
+    fn stats_track_rounded_and_fallback_costs() {
+        let inst = ScldInstance::uniform(
+            system(),
+            structure(),
+            vec![ScldArrival::new(0, 0, 0), ScldArrival::new(1, 1, 3)],
+        )
+        .unwrap();
+        let mut alg = ScldOnline::new(&inst, 4);
+        let cost = alg.run();
+        let stats = alg.stats();
+        assert!((stats.rounded_cost + stats.fallback_cost - cost).abs() < 1e-9);
+        assert!(stats.fractional_cost > 0.0);
+    }
+}

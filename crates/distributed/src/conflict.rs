@@ -1,0 +1,201 @@
+//! Distributed conflict resolution for the facility-leasing phase 2.
+//!
+//! Phase 2 of the Chapter 4 algorithm builds, per lease type, a *conflict
+//! graph* on the temporarily open facilities (an edge when two facilities
+//! share a bidding client) and permanently opens a maximal independent set.
+//! Centralized code picks the MIS greedily; in the distributed setting of
+//! the §4.5 outlook each candidate facility is a network node and the MIS
+//! is computed with Luby's algorithm in `O(log n)` LOCAL rounds.
+//!
+//! The analysis of Lemma 4.1/Proposition 4.2 only uses that the chosen set
+//! is *some* MIS — maximality guarantees every closed candidate has a
+//! conflicting open neighbor to reconnect its clients to (at triangle-
+//! inequality cost `3 α̂_j`). Both strategies below therefore yield valid
+//! phase-2 outcomes; the experiments compare their round/message prices.
+
+use crate::luby::{greedy_mis, is_mis, luby_mis};
+use crate::net::RunStats;
+use leasing_graph::graph::Graph;
+
+/// A conflict instance: candidates `0..num_candidates` and the conflicting
+/// pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConflictInstance {
+    /// Number of temporarily open candidates.
+    pub num_candidates: usize,
+    /// Conflicting candidate pairs (shared bidding clients).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl ConflictInstance {
+    /// Builds the conflict instance induced by client bids: candidates
+    /// conflict when at least one client bids on both.
+    ///
+    /// `bids[c]` lists the candidates client `c` bids on.
+    pub fn from_bids(num_candidates: usize, bids: &[Vec<usize>]) -> Self {
+        let mut edges = std::collections::BTreeSet::new();
+        for per_client in bids {
+            for (ai, &a) in per_client.iter().enumerate() {
+                for &b in &per_client[ai + 1..] {
+                    if a != b {
+                        edges.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        ConflictInstance { num_candidates, edges: edges.into_iter().collect() }
+    }
+
+    /// The conflict graph (unit weights).
+    pub fn graph(&self) -> Graph {
+        Graph::new(
+            self.num_candidates,
+            self.edges.iter().map(|&(a, b)| (a, b, 1.0)).collect(),
+        )
+        .expect("conflict pairs reference valid candidates")
+    }
+}
+
+/// How phase 2 picks its maximal independent set.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MisStrategy {
+    /// Centralized greedy in candidate-id order (the thesis' sequential
+    /// implementation).
+    SequentialGreedy,
+    /// Luby's algorithm over the simulated network, with the given seed.
+    DistributedLuby {
+        /// RNG seed of the run.
+        seed: u64,
+    },
+}
+
+/// Result of a phase-2 conflict resolution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase2Outcome {
+    /// Which candidates open permanently.
+    pub chosen: Vec<bool>,
+    /// LOCAL-model accounting (distributed strategy only).
+    pub stats: Option<RunStats>,
+}
+
+impl Phase2Outcome {
+    /// Ids of the permanently opened candidates.
+    pub fn open_ids(&self) -> Vec<usize> {
+        self.chosen
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| c.then_some(i))
+            .collect()
+    }
+}
+
+/// Resolves the conflicts with the chosen strategy. The result is always a
+/// maximal independent set of the conflict graph.
+///
+/// # Panics
+///
+/// Panics if the distributed run fails to terminate within its generous
+/// round budget (statistically impossible for sane instances).
+pub fn resolve_conflicts(instance: &ConflictInstance, strategy: MisStrategy) -> Phase2Outcome {
+    let graph = instance.graph();
+    match strategy {
+        MisStrategy::SequentialGreedy => {
+            Phase2Outcome { chosen: greedy_mis(&graph), stats: None }
+        }
+        MisStrategy::DistributedLuby { seed } => {
+            let budget = 90 + 60 * (instance.num_candidates.max(2)).ilog2() as usize;
+            let (chosen, stats) = luby_mis(&graph, seed, budget);
+            Phase2Outcome { chosen, stats: Some(stats) }
+        }
+    }
+}
+
+/// Checks the property the Chapter 4 analysis needs from phase 2: the
+/// chosen set is an MIS, so every closed candidate has a conflicting chosen
+/// neighbor to reconnect to.
+pub fn reconnection_targets_exist(instance: &ConflictInstance, outcome: &Phase2Outcome) -> bool {
+    is_mis(&instance.graph(), &outcome.chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::rng::seeded;
+    use rand::RngExt;
+
+    fn star_bids() -> ConflictInstance {
+        // One client bidding on everything: a clique of conflicts.
+        ConflictInstance::from_bids(4, &[vec![0, 1, 2, 3]])
+    }
+
+    #[test]
+    fn bids_induce_conflict_edges() {
+        let inst = ConflictInstance::from_bids(3, &[vec![0, 1], vec![1, 2]]);
+        assert_eq!(inst.edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn duplicate_and_self_bids_are_ignored() {
+        let inst = ConflictInstance::from_bids(3, &[vec![0, 0, 1], vec![0, 1]]);
+        assert_eq!(inst.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn clique_conflicts_open_exactly_one_candidate() {
+        let inst = star_bids();
+        for strategy in [
+            MisStrategy::SequentialGreedy,
+            MisStrategy::DistributedLuby { seed: 7 },
+        ] {
+            let outcome = resolve_conflicts(&inst, strategy);
+            assert_eq!(outcome.open_ids().len(), 1, "{strategy:?}");
+            assert!(reconnection_targets_exist(&inst, &outcome));
+        }
+    }
+
+    #[test]
+    fn conflict_free_candidates_all_open() {
+        let inst = ConflictInstance::from_bids(3, &[vec![0], vec![1], vec![2]]);
+        let outcome = resolve_conflicts(&inst, MisStrategy::SequentialGreedy);
+        assert_eq!(outcome.open_ids(), vec![0, 1, 2]);
+        let dist = resolve_conflicts(&inst, MisStrategy::DistributedLuby { seed: 3 });
+        assert_eq!(dist.open_ids(), vec![0, 1, 2]);
+        assert_eq!(dist.stats.expect("distributed run has stats").messages, 0);
+    }
+
+    #[test]
+    fn distributed_stats_are_reported() {
+        let inst = star_bids();
+        let outcome = resolve_conflicts(&inst, MisStrategy::DistributedLuby { seed: 1 });
+        let stats = outcome.stats.expect("distributed run has stats");
+        assert!(stats.terminated);
+        assert!(stats.rounds >= 2);
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn both_strategies_always_give_reconnection_targets() {
+        let mut rng = seeded(88);
+        for trial in 0..20 {
+            let m = 2 + (trial % 10);
+            let num_clients = 1 + (trial % 7);
+            let bids: Vec<Vec<usize>> = (0..num_clients)
+                .map(|_| {
+                    let k = 1 + rng.random_range(0..m.min(4));
+                    (0..k).map(|_| rng.random_range(0..m)).collect()
+                })
+                .collect();
+            let inst = ConflictInstance::from_bids(m, &bids);
+            for strategy in [
+                MisStrategy::SequentialGreedy,
+                MisStrategy::DistributedLuby { seed: trial as u64 },
+            ] {
+                let outcome = resolve_conflicts(&inst, strategy);
+                assert!(
+                    reconnection_targets_exist(&inst, &outcome),
+                    "strategy {strategy:?} trial {trial}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! **Distributed leasing** — the Chapter 4 outlook on distributed and local
+//! implementations, "where a solution is computed not by a central authority
+//! but a network of distributed sensor nodes".
+//!
+//! * [`net`] — a synchronous message-passing simulator (the LOCAL model)
+//!   with round and message accounting,
+//! * [`luby`] — Luby's randomized distributed maximal-independent-set
+//!   algorithm (`O(log n)` rounds w.h.p.) plus the sequential greedy
+//!   baseline,
+//! * [`conflict`] — phase 2 of the facility-leasing primal-dual as a
+//!   conflict-resolution problem, solvable centrally or distributedly; the
+//!   analysis only needs *some* MIS, so both strategies preserve the
+//!   competitive guarantee while the experiments compare their round and
+//!   message prices.
+//!
+//! # Example
+//!
+//! ```
+//! use distributed_leasing::luby::{is_mis, luby_mis};
+//! use leasing_graph::generators::grid;
+//!
+//! let network = grid(5, 5, 1.0);
+//! let (mask, stats) = luby_mis(&network, 42, 600);
+//! assert!(is_mis(&network, &mask));
+//! assert!(stats.terminated);
+//! ```
+
+pub mod bidding;
+pub mod conflict;
+pub mod luby;
+pub mod net;
+
+pub use bidding::{distributed_bidding, distributed_step, BiddingInstance, BiddingOutcome, DistributedStepOutcome};
+pub use conflict::{resolve_conflicts, ConflictInstance, MisStrategy, Phase2Outcome};
+pub use luby::{greedy_mis, is_mis, luby_mis};
+pub use net::{run, Envelope, Protocol, RunStats};

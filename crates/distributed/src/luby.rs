@@ -1,0 +1,265 @@
+//! Luby's randomized distributed maximal-independent-set algorithm.
+//!
+//! Each phase takes three synchronous rounds: active nodes (1) draw a random
+//! priority and exchange it with active neighbors, (2) join the MIS when
+//! they hold the strict local minimum and announce it, (3) drop out when a
+//! neighbor joined. With constant probability a constant fraction of edges
+//! disappears per phase, giving `O(log n)` phases with high probability —
+//! the round complexity the experiments measure.
+
+use crate::net::{run, Envelope, Protocol, RunStats};
+use leasing_graph::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-node state of the Luby protocol.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum NodeState {
+    /// Still competing.
+    Active,
+    /// Joined the MIS.
+    In,
+    /// A neighbor joined; permanently out.
+    Out,
+}
+
+/// The message alphabet.
+#[derive(Copy, Clone, Debug, PartialEq)]
+enum Msg {
+    /// A drawn priority.
+    Priority(f64),
+    /// "I joined the MIS".
+    Joined,
+}
+
+/// Luby's algorithm as a [`Protocol`].
+struct Luby {
+    states: Vec<NodeState>,
+    /// Priority drawn this phase.
+    priorities: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Luby {
+    fn new(n: usize, seed: u64) -> Self {
+        Luby {
+            states: vec![NodeState::Active; n],
+            priorities: vec![0.0; n],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Protocol for Luby {
+    type Message = Msg;
+
+    fn step(&mut self, node: usize, round: usize, inbox: &[Envelope<Msg>]) -> Vec<(usize, Msg)> {
+        // Sends computed in sub-round r are delivered in sub-round r+1.
+        match round % 3 {
+            0 => {
+                // Sub-round 0: active nodes draw and broadcast a priority.
+                if self.states[node] == NodeState::Active {
+                    self.priorities[node] = self.rng.random();
+                    return vec![(usize::MAX, Msg::Priority(self.priorities[node]))];
+                }
+                vec![]
+            }
+            1 => {
+                // Sub-round 1: join on a strict local minimum among the
+                // active neighbors' priorities received from sub-round 0.
+                if self.states[node] != NodeState::Active {
+                    return vec![];
+                }
+                let min_nbr = inbox
+                    .iter()
+                    .filter_map(|e| match e.payload {
+                        Msg::Priority(p) => Some(p),
+                        Msg::Joined => None,
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if self.priorities[node] < min_nbr {
+                    self.states[node] = NodeState::In;
+                    return vec![(usize::MAX, Msg::Joined)];
+                }
+                vec![]
+            }
+            _ => {
+                // Sub-round 2: drop out on a neighbor's Joined announcement
+                // (sent in sub-round 1, delivered now).
+                if self.states[node] == NodeState::Active
+                    && inbox.iter().any(|e| matches!(e.payload, Msg::Joined))
+                {
+                    self.states[node] = NodeState::Out;
+                }
+                vec![]
+            }
+        }
+    }
+
+    fn is_done(&self, node: usize) -> bool {
+        self.states[node] != NodeState::Active
+    }
+}
+
+/// Broadcast adapter: `usize::MAX` destinations fan out to all neighbors.
+struct Broadcast<'a, P> {
+    graph: &'a Graph,
+    inner: P,
+}
+
+impl<'a, P: Protocol> Protocol for Broadcast<'a, P> {
+    type Message = P::Message;
+
+    fn step(
+        &mut self,
+        node: usize,
+        round: usize,
+        inbox: &[Envelope<P::Message>],
+    ) -> Vec<(usize, P::Message)> {
+        let mut out = Vec::new();
+        for (to, payload) in self.inner.step(node, round, inbox) {
+            if to == usize::MAX {
+                for &(_, v) in self.graph.neighbors(node) {
+                    out.push((v, payload.clone()));
+                }
+            } else {
+                out.push((to, payload));
+            }
+        }
+        out
+    }
+
+    fn is_done(&self, node: usize) -> bool {
+        self.inner.is_done(node)
+    }
+}
+
+/// Runs Luby's MIS on `graph`; returns the membership mask and the run
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if the protocol fails to terminate within `max_rounds` (pass a
+/// generous budget; `O(log n)` phases of 3 rounds suffice w.h.p.).
+pub fn luby_mis(graph: &Graph, seed: u64, max_rounds: usize) -> (Vec<bool>, RunStats) {
+    let mut proto = Broadcast { graph, inner: Luby::new(graph.num_nodes(), seed) };
+    let stats = run(graph, &mut proto, max_rounds);
+    assert!(stats.terminated, "Luby did not terminate within {max_rounds} rounds");
+    let mask = proto.inner.states.iter().map(|&s| s == NodeState::In).collect();
+    (mask, stats)
+}
+
+/// Sequential greedy MIS in node-id order (the centralized baseline used by
+/// the facility-leasing phase 2).
+pub fn greedy_mis(graph: &Graph) -> Vec<bool> {
+    let mut mask = vec![false; graph.num_nodes()];
+    for v in 0..graph.num_nodes() {
+        if graph.neighbors(v).iter().all(|&(_, u)| !mask[u]) {
+            mask[v] = true;
+        }
+    }
+    mask
+}
+
+/// Whether `mask` is a maximal independent set of `graph`.
+pub fn is_mis(graph: &Graph, mask: &[bool]) -> bool {
+    if mask.len() != graph.num_nodes() {
+        return false;
+    }
+    // Independence.
+    for e in graph.edges() {
+        if mask[e.u] && mask[e.v] {
+            return false;
+        }
+    }
+    // Maximality: every excluded node has an included neighbor.
+    (0..graph.num_nodes()).all(|v| {
+        mask[v] || graph.neighbors(v).iter().any(|&(_, u)| mask[u])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::rng::seeded;
+    use leasing_graph::generators::{connected_erdos_renyi, grid};
+    use proptest::prelude::*;
+
+    #[test]
+    fn luby_produces_a_valid_mis_on_a_grid() {
+        let g = grid(6, 6, 1.0);
+        let (mask, stats) = luby_mis(&g, 42, 600);
+        assert!(is_mis(&g, &mask));
+        assert!(stats.terminated);
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn luby_handles_edgeless_graphs() {
+        let g = Graph::new(5, vec![]).unwrap();
+        let (mask, stats) = luby_mis(&g, 1, 30);
+        // Everyone joins: no neighbors, so every node is the local minimum.
+        assert!(mask.iter().all(|&m| m));
+        assert!(is_mis(&g, &mask));
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn greedy_mis_is_valid_and_id_ordered() {
+        let g = grid(4, 4, 1.0);
+        let mask = greedy_mis(&g);
+        assert!(is_mis(&g, &mask));
+        assert!(mask[0], "node 0 always joins the greedy MIS");
+    }
+
+    #[test]
+    fn luby_round_count_scales_logarithmically() {
+        // Average phases over seeds for n = 64 and n = 4096 grid-ish
+        // graphs; the ratio must be far below the linear ratio 64.
+        let mut mean_rounds = Vec::new();
+        for n_side in [8usize, 64] {
+            let g = grid(n_side, n_side, 1.0);
+            let mut total = 0usize;
+            for seed in 0..5u64 {
+                let (_, stats) = luby_mis(&g, seed, 3_000);
+                total += stats.rounds;
+            }
+            mean_rounds.push(total as f64 / 5.0);
+        }
+        let growth = mean_rounds[1] / mean_rounds[0];
+        // n grows 64x; O(log n) predicts ~2x round growth, linear predicts 64x.
+        assert!(growth < 8.0, "round growth {growth} too steep for O(log n)");
+    }
+
+    #[test]
+    fn is_mis_rejects_non_independent_and_non_maximal_sets() {
+        let g = Graph::new(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(!is_mis(&g, &[true, true, false])); // adjacent pair
+        assert!(!is_mis(&g, &[false, false, false])); // not maximal
+        assert!(is_mis(&g, &[true, false, true]));
+        assert!(is_mis(&g, &[false, true, false]));
+        assert!(!is_mis(&g, &[true, false])); // wrong length
+    }
+
+    proptest! {
+        /// Luby's output is a valid MIS on random connected graphs,
+        /// regardless of seed.
+        #[test]
+        fn luby_is_always_a_valid_mis(seed in 0u64..100, n in 2usize..20) {
+            let mut rng = seeded(seed);
+            let g = connected_erdos_renyi(&mut rng, n, 0.3, 1.0..2.0);
+            let (mask, _) = luby_mis(&g, seed ^ 0xABCD, 3_000);
+            prop_assert!(is_mis(&g, &mask));
+        }
+
+        /// The two MIS constructions agree on validity (not on the set).
+        #[test]
+        fn greedy_and_luby_are_both_valid(seed in 0u64..50, n in 2usize..16) {
+            let mut rng = seeded(seed);
+            let g = connected_erdos_renyi(&mut rng, n, 0.4, 1.0..2.0);
+            prop_assert!(is_mis(&g, &greedy_mis(&g)));
+            let (mask, _) = luby_mis(&g, seed, 3_000);
+            prop_assert!(is_mis(&g, &mask));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! A synchronous message-passing network simulator (the LOCAL model).
+//!
+//! The Chapter 4 outlook points at distributed implementations of the
+//! primal-dual facility-leasing algorithm "where a solution is computed not
+//! by a central authority but a network of distributed sensor nodes". This
+//! module provides the substrate: nodes execute in lockstep rounds, exchange
+//! messages only along graph edges, and the driver accounts rounds and
+//! messages — the two complexity measures of the LOCAL model.
+
+use leasing_graph::graph::Graph;
+
+/// A message in flight: `from → to` with `payload`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node (must be a neighbor of `from`).
+    pub to: usize,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+/// A distributed protocol: one state machine covering all nodes (indexed
+/// state), stepped synchronously.
+pub trait Protocol {
+    /// The message type exchanged along edges.
+    type Message: Clone;
+
+    /// Executes round `round` at `node` with the messages delivered this
+    /// round; returns `(neighbor, payload)` sends for the next round.
+    fn step(
+        &mut self,
+        node: usize,
+        round: usize,
+        inbox: &[Envelope<Self::Message>],
+    ) -> Vec<(usize, Self::Message)>;
+
+    /// Whether `node` has terminated (quiescent nodes still receive
+    /// messages but send nothing once done).
+    fn is_done(&self, node: usize) -> bool;
+}
+
+/// Round and message counters of a protocol run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Synchronous rounds executed.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Whether every node terminated within the round budget.
+    pub terminated: bool,
+}
+
+/// Runs `protocol` on `graph` until every node is done or `max_rounds`
+/// elapse.
+///
+/// # Panics
+///
+/// Panics if a node addresses a message to a non-neighbor (a violation of
+/// the LOCAL model).
+pub fn run<P: Protocol>(graph: &Graph, protocol: &mut P, max_rounds: usize) -> RunStats {
+    let n = graph.num_nodes();
+    let mut inboxes: Vec<Vec<Envelope<P::Message>>> = vec![Vec::new(); n];
+    let mut stats = RunStats::default();
+    for round in 0..max_rounds {
+        if (0..n).all(|v| protocol.is_done(v)) {
+            stats.terminated = true;
+            return stats;
+        }
+        stats.rounds = round + 1;
+        let mut next: Vec<Vec<Envelope<P::Message>>> = vec![Vec::new(); n];
+        for (node, slot) in inboxes.iter_mut().enumerate() {
+            let inbox = std::mem::take(slot);
+            for (to, payload) in protocol.step(node, round, &inbox) {
+                assert!(
+                    graph.neighbors(node).iter().any(|&(_, v)| v == to),
+                    "LOCAL model violation: node {node} sent to non-neighbor {to}"
+                );
+                stats.messages += 1;
+                next[to].push(Envelope { from: node, to, payload });
+            }
+        }
+        inboxes = next;
+    }
+    stats.terminated = (0..n).all(|v| protocol.is_done(v));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_graph::graph::Graph;
+
+    /// Flood-fill: node 0 starts "colored"; colored nodes notify neighbors
+    /// once; every node terminates when colored.
+    struct Flood {
+        colored: Vec<bool>,
+        announced: Vec<bool>,
+    }
+
+    impl Protocol for Flood {
+        type Message = ();
+
+        fn step(&mut self, node: usize, round: usize, inbox: &[Envelope<()>]) -> Vec<(usize, ())> {
+            if round == 0 && node == 0 {
+                self.colored[0] = true;
+            }
+            if !inbox.is_empty() {
+                self.colored[node] = true;
+            }
+            if self.colored[node] && !self.announced[node] {
+                self.announced[node] = true;
+                return vec![]; // sends filled by the driver below
+            }
+            vec![]
+        }
+
+        fn is_done(&self, node: usize) -> bool {
+            self.colored[node]
+        }
+    }
+
+    /// Flood variant that actually sends to neighbors (needs the graph).
+    struct FloodOn<'a> {
+        graph: &'a Graph,
+        inner: Flood,
+    }
+
+    impl<'a> Protocol for FloodOn<'a> {
+        type Message = ();
+
+        fn step(&mut self, node: usize, round: usize, inbox: &[Envelope<()>]) -> Vec<(usize, ())> {
+            let was_announced = self.inner.announced[node];
+            let _ = self.inner.step(node, round, inbox);
+            if self.inner.announced[node] && !was_announced {
+                self.graph.neighbors(node).iter().map(|&(_, v)| (v, ())).collect()
+            } else {
+                vec![]
+            }
+        }
+
+        fn is_done(&self, node: usize) -> bool {
+            self.inner.is_done(node)
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        Graph::new(n, (0..n - 1).map(|i| (i, i + 1, 1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn flood_takes_diameter_rounds_on_a_path() {
+        let g = path(6);
+        let mut proto = FloodOn {
+            graph: &g,
+            inner: Flood { colored: vec![false; 6], announced: vec![false; 6] },
+        };
+        let stats = run(&g, &mut proto, 100);
+        assert!(stats.terminated);
+        assert!(proto.inner.colored.iter().all(|&c| c));
+        // Information travels one hop per round: ~diameter rounds.
+        assert!(stats.rounds >= 5 && stats.rounds <= 8, "rounds {}", stats.rounds);
+    }
+
+    #[test]
+    fn message_count_is_accounted() {
+        let g = path(4);
+        let mut proto = FloodOn {
+            graph: &g,
+            inner: Flood { colored: vec![false; 4], announced: vec![false; 4] },
+        };
+        let stats = run(&g, &mut proto, 100);
+        // Every node announces once to each neighbor: sum of degrees = 2|E|.
+        assert_eq!(stats.messages, 6);
+    }
+
+    #[test]
+    fn round_budget_cuts_off_unfinished_runs() {
+        let g = path(10);
+        let mut proto = FloodOn {
+            graph: &g,
+            inner: Flood { colored: vec![false; 10], announced: vec![false; 10] },
+        };
+        let stats = run(&g, &mut proto, 3);
+        assert!(!stats.terminated);
+        assert_eq!(stats.rounds, 3);
+    }
+
+    /// A protocol that cheats by messaging a non-neighbor must panic.
+    struct Cheater;
+
+    impl Protocol for Cheater {
+        type Message = ();
+
+        fn step(&mut self, node: usize, _round: usize, _inbox: &[Envelope<()>]) -> Vec<(usize, ())> {
+            if node == 0 {
+                vec![(2, ())] // not adjacent on a path of 3
+            } else {
+                vec![]
+            }
+        }
+
+        fn is_done(&self, _node: usize) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "LOCAL model violation")]
+    fn non_neighbor_sends_are_rejected() {
+        let g = path(3);
+        let _ = run(&g, &mut Cheater, 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the distributed layer: conflict-instance
+//! construction, MIS validity of both strategies across arbitrary bid
+//! patterns, and LOCAL-model accounting sanity.
+
+use distributed_leasing::conflict::{
+    reconnection_targets_exist, resolve_conflicts, ConflictInstance, MisStrategy,
+};
+use distributed_leasing::luby::{greedy_mis, is_mis, luby_mis};
+use leasing_core::rng::seeded;
+use leasing_graph::generators::connected_erdos_renyi;
+use proptest::prelude::*;
+use rand::RngExt;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Conflict edges are exactly the co-bid pairs: symmetric, loop-free,
+    /// deduplicated.
+    #[test]
+    fn conflict_instances_are_simple_graphs(
+        seed in 0u64..300, m in 2usize..12, clients in 1usize..10
+    ) {
+        let mut rng = seeded(seed);
+        let bids: Vec<Vec<usize>> = (0..clients)
+            .map(|_| {
+                let k = 1 + rng.random_range(0..3);
+                (0..k).map(|_| rng.random_range(0..m)).collect()
+            })
+            .collect();
+        let inst = ConflictInstance::from_bids(m, &bids);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &inst.edges {
+            prop_assert!(a < b, "edges must be normalized");
+            prop_assert!(b < m, "endpoint out of range");
+            prop_assert!(seen.insert((a, b)), "duplicate edge");
+            // The pair must actually co-occur in some client's bids.
+            prop_assert!(bids.iter().any(|c| c.contains(&a) && c.contains(&b)));
+        }
+    }
+
+    /// Both MIS strategies always leave a reconnection target for every
+    /// closed candidate (the property the Chapter 4 analysis needs).
+    #[test]
+    fn phase2_outcomes_are_valid_mis(
+        seed in 0u64..200, m in 2usize..15, clients in 1usize..12
+    ) {
+        let mut rng = seeded(seed);
+        let bids: Vec<Vec<usize>> = (0..clients)
+            .map(|_| {
+                let k = 1 + rng.random_range(0..4);
+                (0..k).map(|_| rng.random_range(0..m)).collect()
+            })
+            .collect();
+        let inst = ConflictInstance::from_bids(m, &bids);
+        for strategy in [
+            MisStrategy::SequentialGreedy,
+            MisStrategy::DistributedLuby { seed },
+        ] {
+            let outcome = resolve_conflicts(&inst, strategy);
+            prop_assert!(reconnection_targets_exist(&inst, &outcome));
+        }
+    }
+
+    /// Luby terminates within its round budget on random connected graphs
+    /// and its message count never exceeds rounds × 2|E| (each edge carries
+    /// at most one message per direction per round).
+    #[test]
+    fn luby_accounting_is_bounded(seed in 0u64..150, n in 2usize..20) {
+        let mut rng = seeded(seed);
+        let g = connected_erdos_renyi(&mut rng, n, 0.3, 1.0..2.0);
+        let (mask, stats) = luby_mis(&g, seed, 5_000);
+        prop_assert!(is_mis(&g, &mask));
+        prop_assert!(stats.terminated);
+        prop_assert!(stats.messages <= stats.rounds * 2 * g.num_edges(),
+            "messages {} exceed rounds {} x 2|E| {}",
+            stats.messages, stats.rounds, 2 * g.num_edges());
+    }
+
+    /// The greedy MIS is canonical: node 0 always joins, and the mask is
+    /// deterministic for a fixed graph.
+    #[test]
+    fn greedy_mis_is_deterministic(seed in 0u64..150, n in 1usize..15) {
+        let mut rng = seeded(seed);
+        let g = connected_erdos_renyi(&mut rng, n, 0.4, 1.0..2.0);
+        let a = greedy_mis(&g);
+        let b = greedy_mis(&g);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a[0]);
+        prop_assert!(is_mis(&g, &a));
+    }
+}

@@ -1,0 +1,493 @@
+//! **Facility leasing with deadlines** — the §5.6 outlook ("one may want to
+//! look at other infrastructure leasing problems starting, for instance,
+//! with FacilityLeasing"), combining the Chapter 4 model with the
+//! Chapter 5 deadline model.
+//!
+//! A client now arrives with a *slack*: client `(j, t, d)` must be
+//! connected to a facility holding an active lease on **some** day of
+//! `[t, t + d]` (OLD-style service windows); connection still costs the
+//! metric distance. `d = 0` for all clients recovers plain FacilityLeasing.
+//!
+//! Two online strategies, both reductions to the §4.3 primal-dual
+//! algorithm:
+//!
+//! * [`FldInstance::serve_on_arrival`] ignores the slack and runs the
+//!   Chapter 4 algorithm on the arrival times — always feasible, never
+//!   exploits flexibility;
+//! * [`FldInstance::defer_to_deadline`] postpones every client to its
+//!   deadline day and batches clients sharing one. This is
+//!   online-implementable (at day `t` only clients with deadline `t` are
+//!   processed, all known by then) and pools demand the way the Chapter 5
+//!   algorithms pool intersecting windows. Mirroring the OLD intuition,
+//!   deferral trades connection immediacy for lease sharing.
+//!
+//! The exact optimum extends the Figure 4.1 ILP with window semantics: a
+//! service variable `z_{j,(i,k,s)}` per client and candidate lease whose
+//! window meets the client's window, with `z ≤ x` and `Σ z ≥ 1`.
+//! Experiment E27 sweeps the slack to price the value of flexibility.
+
+use crate::instance::{Batch, FacilityInstance};
+use leasing_core::framework::Triple;
+use leasing_core::interval::aligned_start;
+use leasing_core::time::{TimeStep, Window};
+use leasing_lp::{Cmp, IntegerProgram, LinearProgram};
+use std::collections::{BTreeMap, HashMap};
+
+/// Why an [`FldInstance`] failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FldError {
+    /// The slack list must have one entry per client of the base instance.
+    SlackCountMismatch {
+        /// Entries provided.
+        got: usize,
+        /// Clients in the base instance.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for FldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FldError::SlackCountMismatch { got, expected } => {
+                write!(f, "slack list has {got} entries for {expected} clients")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FldError {}
+
+/// A facility-leasing-with-deadlines instance: a base [`FacilityInstance`]
+/// (arrival-time batches) plus a slack per client.
+///
+/// ```
+/// use facility_leasing::fld::{self, FldInstance};
+/// use facility_leasing::instance::FacilityInstance;
+/// use facility_leasing::metric::Point;
+/// use facility_leasing::online::PrimalDualFacility;
+/// use leasing_core::lease::{LeaseStructure, LeaseType};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let structure = LeaseStructure::new(vec![LeaseType::new(2, 2.0)])?;
+/// // Co-located clients in different lease windows, both fine with day 2.
+/// let base = FacilityInstance::euclidean(
+///     vec![Point::new(0.0, 0.0)],
+///     structure,
+///     vec![(0, vec![Point::new(0.1, 0.0)]), (2, vec![Point::new(0.1, 0.0)])],
+/// )?;
+/// let inst = FldInstance::new(base, vec![2, 0])?;
+/// // Deferring pools both clients onto day 2: one lease instead of two.
+/// let defer = PrimalDualFacility::new(&inst.defer_to_deadline()).run();
+/// let arrive = PrimalDualFacility::new(&inst.serve_on_arrival()).run();
+/// assert!(defer < arrive);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FldInstance {
+    base: FacilityInstance,
+    slack: Vec<u64>,
+}
+
+impl FldInstance {
+    /// Attaches per-client slacks to a base instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FldError::SlackCountMismatch`] when the slack list length
+    /// differs from the client count.
+    pub fn new(base: FacilityInstance, slack: Vec<u64>) -> Result<Self, FldError> {
+        if slack.len() != base.num_clients() {
+            return Err(FldError::SlackCountMismatch {
+                got: slack.len(),
+                expected: base.num_clients(),
+            });
+        }
+        Ok(FldInstance { base, slack })
+    }
+
+    /// The base instance (arrival-time batches).
+    pub fn base(&self) -> &FacilityInstance {
+        &self.base
+    }
+
+    /// Client `j`'s slack `d_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn slack(&self, j: usize) -> u64 {
+        self.slack[j]
+    }
+
+    /// Client `j`'s arrival day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is unknown to the base instance.
+    pub fn arrival(&self, j: usize) -> TimeStep {
+        self.base
+            .batches()
+            .iter()
+            .find(|b| b.clients.contains(&j))
+            .map(|b| b.time)
+            .expect("client belongs to some batch")
+    }
+
+    /// Client `j`'s inclusive service window `[t, t + d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn window(&self, j: usize) -> Window {
+        let a = self.arrival(j);
+        Window::closed(a, a + self.slack[j])
+    }
+
+    /// Largest slack (the `d_max` of the model).
+    pub fn d_max(&self) -> u64 {
+        self.slack.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The serve-on-arrival reduction: the base instance itself (slack
+    /// ignored). Running the §4.3 algorithm on it is always feasible.
+    pub fn serve_on_arrival(&self) -> FacilityInstance {
+        self.base.clone()
+    }
+
+    /// The defer-to-deadline reduction: every client moved to its deadline
+    /// day, clients sharing a deadline batched together. Feasible for the
+    /// deadline model because the deadline lies inside every window, and
+    /// online-implementable because day `t` only touches clients whose
+    /// deadline is `t`.
+    pub fn defer_to_deadline(&self) -> FacilityInstance {
+        let mut by_deadline: BTreeMap<TimeStep, Vec<usize>> = BTreeMap::new();
+        for b in self.base.batches() {
+            for &j in &b.clients {
+                by_deadline.entry(b.time + self.slack[j]).or_default().push(j);
+            }
+        }
+        let batches: Vec<Batch> = by_deadline
+            .into_iter()
+            .map(|(time, clients)| Batch { time, clients })
+            .collect();
+        let costs: Vec<Vec<f64>> = (0..self.base.num_facilities())
+            .map(|i| {
+                (0..self.base.structure().num_types())
+                    .map(|k| self.base.cost(i, k))
+                    .collect()
+            })
+            .collect();
+        let dist: Vec<Vec<f64>> = (0..self.base.num_facilities())
+            .map(|i| {
+                (0..self.base.num_clients())
+                    .map(|j| self.base.distance(i, j))
+                    .collect()
+            })
+            .collect();
+        FacilityInstance::from_distances(self.base.structure().clone(), costs, dist, batches)
+            .expect("deadline grouping preserves validity")
+    }
+
+    /// The defer-to-aligned reduction: each client is served on the *last
+    /// aligned `l_min`-window boundary* inside its service window (falling
+    /// back to the deadline when the window contains no boundary). Unlike
+    /// [`defer_to_deadline`](FldInstance::defer_to_deadline), which scatters
+    /// co-arriving clients across their individual deadlines, snapping to
+    /// lease boundaries pools clients with *different* deadlines onto
+    /// common service days — the same alignment idea the interval model
+    /// (Lemma 2.6) and the OLD Step 2 mirror exploit. Still
+    /// online-implementable: a client's service day is fixed at arrival
+    /// and never precedes it.
+    pub fn defer_to_aligned(&self) -> FacilityInstance {
+        let l_min = self.base.structure().l_min();
+        let mut by_day: BTreeMap<TimeStep, Vec<usize>> = BTreeMap::new();
+        for b in self.base.batches() {
+            for &j in &b.clients {
+                let deadline = b.time + self.slack[j];
+                let snapped = aligned_start(deadline, l_min);
+                let day = if snapped >= b.time { snapped } else { deadline };
+                by_day.entry(day).or_default().push(j);
+            }
+        }
+        let batches: Vec<Batch> = by_day
+            .into_iter()
+            .map(|(time, clients)| Batch { time, clients })
+            .collect();
+        let costs: Vec<Vec<f64>> = (0..self.base.num_facilities())
+            .map(|i| {
+                (0..self.base.structure().num_types())
+                    .map(|k| self.base.cost(i, k))
+                    .collect()
+            })
+            .collect();
+        let dist: Vec<Vec<f64>> = (0..self.base.num_facilities())
+            .map(|i| {
+                (0..self.base.num_clients())
+                    .map(|j| self.base.distance(i, j))
+                    .collect()
+            })
+            .collect();
+        FacilityInstance::from_distances(self.base.structure().clone(), costs, dist, batches)
+            .expect("snapped grouping preserves validity")
+    }
+
+    /// The candidate lease triples able to serve client `j`: aligned leases
+    /// of every facility and type whose window meets `j`'s service window.
+    pub fn candidates(&self, j: usize) -> Vec<Triple> {
+        let w = self.window(j);
+        let structure = self.base.structure();
+        let mut out = Vec::new();
+        for i in 0..self.base.num_facilities() {
+            for k in 0..structure.num_types() {
+                let len = structure.length(k);
+                let mut s = aligned_start(w.start, len);
+                while s < w.end() {
+                    out.push(Triple::new(i, k, s));
+                    s += len;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the window-extended Figure 4.1 ILP: binary `x` per candidate
+/// triple, service variable `z_{j,triple}` (continuous; integral `x` admits
+/// an integral optimal `z`) with `z ≤ x` and `Σ_triples z ≥ 1` per client.
+pub fn build_fld_ilp(instance: &FldInstance) -> (IntegerProgram, Vec<Triple>) {
+    let base = instance.base();
+    let mut lp = LinearProgram::new();
+    let mut x_of: HashMap<Triple, usize> = HashMap::new();
+    let mut triples: Vec<Triple> = Vec::new();
+
+    let mut per_client: Vec<(usize, Vec<Triple>)> = Vec::new();
+    for b in base.batches() {
+        for &j in &b.clients {
+            per_client.push((j, instance.candidates(j)));
+        }
+    }
+    for (_, cands) in &per_client {
+        for tr in cands {
+            x_of.entry(*tr).or_insert_with(|| {
+                triples.push(*tr);
+                lp.add_bounded_var(base.cost(tr.element, tr.type_index), 1.0)
+            });
+        }
+    }
+    for (j, cands) in &per_client {
+        let mut assign_row = Vec::new();
+        for tr in cands {
+            let z = lp.add_bounded_var(base.distance(tr.element, *j), 1.0);
+            assign_row.push((z, 1.0));
+            lp.add_constraint(vec![(z, 1.0), (x_of[tr], -1.0)], Cmp::Le, 0.0);
+        }
+        lp.add_constraint(assign_row, Cmp::Ge, 1.0);
+    }
+
+    let mut ip = IntegerProgram::new(lp);
+    for tr in &triples {
+        ip.mark_integer(x_of[tr]);
+    }
+    (ip, triples)
+}
+
+/// Exact FLD optimum; `None` if the branch-and-bound node budget is
+/// exhausted.
+pub fn optimal_cost(instance: &FldInstance, node_limit: usize) -> Option<f64> {
+    if instance.base().num_clients() == 0 {
+        return Some(0.0);
+    }
+    let (ip, _) = build_fld_ilp(instance);
+    match ip.solve(node_limit) {
+        leasing_lp::IlpOutcome::Optimal(sol) => Some(sol.objective),
+        _ => None,
+    }
+}
+
+/// LP-relaxation lower bound on the FLD optimum.
+pub fn lp_lower_bound(instance: &FldInstance) -> f64 {
+    if instance.base().num_clients() == 0 {
+        return 0.0;
+    }
+    let (ip, _) = build_fld_ilp(instance);
+    ip.relaxation_bound().expect("covering relaxation is feasible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Point;
+    use crate::offline;
+    use crate::online::PrimalDualFacility;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+
+    fn lengths() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 2.0), LeaseType::new(16, 6.0)]).unwrap()
+    }
+
+    fn staggered_same_site() -> FldInstance {
+        // Five co-located clients, one per day, all with deadline day 4.
+        let base = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0)],
+            lengths(),
+            (0..5u64).map(|t| (t, vec![Point::new(0.1, 0.0)])).collect(),
+        )
+        .unwrap();
+        FldInstance::new(base, vec![4, 3, 2, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn rejects_wrong_slack_count() {
+        let base = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0)],
+            lengths(),
+            vec![(0, vec![Point::new(1.0, 0.0)])],
+        )
+        .unwrap();
+        let err = FldInstance::new(base, vec![1, 2]);
+        assert_eq!(err, Err(FldError::SlackCountMismatch { got: 2, expected: 1 }));
+    }
+
+    #[test]
+    fn windows_and_dmax_are_reported() {
+        let inst = staggered_same_site();
+        assert_eq!(inst.window(0), Window::closed(0, 4));
+        assert_eq!(inst.window(4), Window::closed(4, 4));
+        assert_eq!(inst.d_max(), 4);
+    }
+
+    #[test]
+    fn zero_slack_collapses_to_plain_facility_leasing() {
+        let base = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            lengths(),
+            vec![
+                (0, vec![Point::new(1.0, 0.0)]),
+                (5, vec![Point::new(9.0, 0.0)]),
+            ],
+        )
+        .unwrap();
+        let inst = FldInstance::new(base.clone(), vec![0, 0]).unwrap();
+        assert_eq!(inst.defer_to_deadline(), base);
+        let fld_opt = optimal_cost(&inst, 100_000).unwrap();
+        let base_opt = offline::optimal_cost(&base, 100_000).unwrap();
+        assert!((fld_opt - base_opt).abs() < 1e-9, "fld {fld_opt} vs base {base_opt}");
+    }
+
+    #[test]
+    fn defer_groups_clients_by_deadline() {
+        let inst = staggered_same_site();
+        let deferred = inst.defer_to_deadline();
+        assert_eq!(deferred.batches().len(), 1, "all deadlines are day 4");
+        assert_eq!(deferred.batches()[0].time, 4);
+        assert_eq!(deferred.batches()[0].clients.len(), 5);
+    }
+
+    #[test]
+    fn defer_beats_serve_on_arrival_on_staggered_demand() {
+        // Short lease covers 2 days: serving on arrival needs ~3 leases;
+        // deferring pools all five clients into one day and one lease.
+        let inst = staggered_same_site();
+        let arrive = PrimalDualFacility::new(&inst.serve_on_arrival()).run();
+        let deferred_inst = inst.defer_to_deadline();
+        let defer = PrimalDualFacility::new(&deferred_inst).run();
+        assert!(
+            defer < arrive - 1.0,
+            "defer {defer} should beat serve-on-arrival {arrive}"
+        );
+    }
+
+    #[test]
+    fn flexibility_never_raises_the_optimum() {
+        let inst = staggered_same_site();
+        let flexible = optimal_cost(&inst, 100_000).unwrap();
+        let rigid = FldInstance::new(inst.base().clone(), vec![0; 5]).unwrap();
+        let rigid_opt = optimal_cost(&rigid, 100_000).unwrap();
+        assert!(flexible <= rigid_opt + 1e-9, "flex {flexible} vs rigid {rigid_opt}");
+    }
+
+    #[test]
+    fn online_reductions_dominate_the_fld_optimum() {
+        let inst = staggered_same_site();
+        let opt = optimal_cost(&inst, 100_000).unwrap();
+        let arrive = PrimalDualFacility::new(&inst.serve_on_arrival()).run();
+        let deferred_inst = inst.defer_to_deadline();
+        let defer = PrimalDualFacility::new(&deferred_inst).run();
+        assert!(arrive >= opt - 1e-9);
+        assert!(defer >= opt - 1e-9);
+    }
+
+    #[test]
+    fn candidates_cover_exactly_the_window() {
+        let inst = staggered_same_site();
+        // Client 0: window [0, 4]; short lease (len 2) candidates start at
+        // 0, 2, 4; long lease (len 16) candidate starts at 0.
+        let cands = inst.candidates(0);
+        let shorts: Vec<_> = cands.iter().filter(|t| t.type_index == 0).collect();
+        let longs: Vec<_> = cands.iter().filter(|t| t.type_index == 1).collect();
+        assert_eq!(shorts.len(), 3);
+        assert_eq!(longs.len(), 1);
+        let structure = inst.base().structure().clone();
+        for c in &cands {
+            assert!(c.window(&structure).intersects(&inst.window(0)));
+        }
+    }
+
+    #[test]
+    fn lp_bound_never_exceeds_the_ilp_optimum() {
+        let inst = staggered_same_site();
+        let lp = lp_lower_bound(&inst);
+        let ilp = optimal_cost(&inst, 100_000).unwrap();
+        assert!(lp <= ilp + 1e-9, "lp {lp} vs ilp {ilp}");
+    }
+
+    #[test]
+    fn aligned_days_lie_inside_every_window() {
+        // Clients with scattered arrivals and slacks: each served day must
+        // fall in [arrival, deadline].
+        let base = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0)],
+            lengths(),
+            (0..6u64).map(|t| (t, vec![Point::new(0.1, 0.0)])).collect(),
+        )
+        .unwrap();
+        let inst = FldInstance::new(base, vec![0, 5, 1, 3, 0, 2]).unwrap();
+        let aligned = inst.defer_to_aligned();
+        for b in aligned.batches() {
+            for &j in &b.clients {
+                assert!(
+                    inst.window(j).contains(b.time),
+                    "client {j} served at {} outside {:?}",
+                    b.time,
+                    inst.window(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_snapping_pools_scattered_deadlines() {
+        // Arrivals on days 0 and 1 with slacks 3 and 2: deadlines differ
+        // (3 vs 3 — adjust: slacks 3 and 4 give deadlines 3 and 5), yet
+        // both snap to the same l_min = 2 boundary day inside their
+        // windows, ending up in one batch.
+        let base = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0)],
+            lengths(),
+            vec![
+                (0, vec![Point::new(0.1, 0.0)]),
+                (1, vec![Point::new(0.2, 0.0)]),
+            ],
+        )
+        .unwrap();
+        let inst = FldInstance::new(base, vec![2, 4]).unwrap();
+        // Deadlines 2 and 5; snapped: aligned_start(2, 2) = 2 and
+        // aligned_start(5, 2) = 4 -> different days. Use slacks giving the
+        // same boundary instead: deadlines 3 and 3 -> snapped 2 and 2.
+        let inst_same = FldInstance::new(inst.base().clone(), vec![3, 2]).unwrap();
+        let aligned = inst_same.defer_to_aligned();
+        assert_eq!(aligned.batches().len(), 1, "both snap to day 2");
+        assert_eq!(aligned.batches()[0].time, 2);
+    }
+}

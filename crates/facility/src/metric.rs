@@ -1,0 +1,176 @@
+//! Metric spaces for facility leasing.
+//!
+//! The Chapter 4 analysis needs the triangle inequality (Propositions 4.2
+//! and 4.3); this module provides Euclidean point sets (trivially metric)
+//! and explicit distance matrices with an optional metric-property check.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates the point `(x, y)`.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Why a [`MatrixMetric`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricError {
+    /// The matrix is not square (`rows`, `cols` of the offending row).
+    NotSquare(usize, usize),
+    /// Negative or non-finite entry at `(i, j)`.
+    BadEntry(usize, usize),
+    /// Asymmetric pair at `(i, j)`.
+    Asymmetric(usize, usize),
+    /// Triangle inequality violated on the triple `(i, j, k)`.
+    TriangleViolation(usize, usize, usize),
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::NotSquare(r, c) => write!(f, "row {r} has {c} entries (matrix not square)"),
+            MetricError::BadEntry(i, j) => write!(f, "entry ({i},{j}) is negative or not finite"),
+            MetricError::Asymmetric(i, j) => write!(f, "entries ({i},{j}) and ({j},{i}) differ"),
+            MetricError::TriangleViolation(i, j, k) => {
+                write!(f, "triangle inequality violated on ({i},{j},{k})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// An explicit symmetric distance matrix over `n` sites.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MatrixMetric {
+    dist: Vec<Vec<f64>>,
+}
+
+impl MatrixMetric {
+    /// Validates shape, symmetry, non-negativity and the triangle
+    /// inequality.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MetricError`] found.
+    pub fn new(dist: Vec<Vec<f64>>) -> Result<Self, MetricError> {
+        let n = dist.len();
+        for (i, row) in dist.iter().enumerate() {
+            if row.len() != n {
+                return Err(MetricError::NotSquare(i, row.len()));
+            }
+            for (j, &d) in row.iter().enumerate() {
+                if !d.is_finite() || d < 0.0 {
+                    return Err(MetricError::BadEntry(i, j));
+                }
+            }
+        }
+        for (i, row) in dist.iter().enumerate() {
+            for (j, &d_ij) in row.iter().enumerate().skip(i + 1) {
+                if (d_ij - dist[j][i]).abs() > 1e-9 {
+                    return Err(MetricError::Asymmetric(i, j));
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    if dist[i][j] > dist[i][k] + dist[k][j] + 1e-9 {
+                        return Err(MetricError::TriangleViolation(i, j, k));
+                    }
+                }
+            }
+        }
+        Ok(MatrixMetric { dist })
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Whether the metric has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Distance between sites `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.dist[i][j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn matrix_metric_accepts_valid_input() {
+        let m = MatrixMetric::new(vec![
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 1.5],
+            vec![2.0, 1.5, 0.0],
+        ])
+        .unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.distance(0, 2), 2.0);
+    }
+
+    #[test]
+    fn matrix_metric_rejects_asymmetry() {
+        let err = MatrixMetric::new(vec![vec![0.0, 1.0], vec![2.0, 0.0]]);
+        assert_eq!(err, Err(MetricError::Asymmetric(0, 1)));
+    }
+
+    #[test]
+    fn matrix_metric_rejects_triangle_violation() {
+        let err = MatrixMetric::new(vec![
+            vec![0.0, 10.0, 1.0],
+            vec![10.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]);
+        assert_eq!(err, Err(MetricError::TriangleViolation(0, 1, 2)));
+    }
+
+    #[test]
+    fn matrix_metric_rejects_bad_entries_and_shape() {
+        assert_eq!(
+            MatrixMetric::new(vec![vec![0.0, -1.0], vec![-1.0, 0.0]]),
+            Err(MetricError::BadEntry(0, 1))
+        );
+        assert_eq!(
+            MatrixMetric::new(vec![vec![0.0], vec![0.0, 0.0]]),
+            Err(MetricError::NotSquare(0, 1))
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! An experimental **randomized** facility-leasing algorithm (thesis §4.5:
+//! "one may hope to improve these bounds to `O(l_max log K)` and
+//! `O(log K log l_max)` using randomization; preliminary ideas can be found
+//! in \[47\]").
+//!
+//! The composition mirrors the Steiner-leasing construction: a myopic
+//! facility-location assignment rule decides *which* facility serves each
+//! client, and a per-facility randomized parking permit (the `O(log K)`
+//! algorithm of §2.2.3) decides *how long* to lease it. No competitive
+//! proof is claimed here — the thesis leaves it open — but experiment E22
+//! measures the ratio against the deterministic `4(3+K)·H_{l_max}`
+//! algorithm and against exact optima on small instances.
+
+use crate::instance::FacilityInstance;
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::time::TimeStep;
+use parking_permit::rand_alg::RandomizedPermit;
+use parking_permit::PermitOnline;
+use rand::Rng;
+
+/// Randomized facility leasing: myopic assignment + per-facility randomized
+/// permits.
+#[derive(Clone, Debug)]
+pub struct RandomizedFacility<'a> {
+    instance: &'a FacilityInstance,
+    permits: Vec<RandomizedPermit>,
+    connection_cost: f64,
+    /// `(client, facility)` assignments in service order.
+    assignments: Vec<(usize, usize)>,
+}
+
+impl<'a> RandomizedFacility<'a> {
+    /// Creates the algorithm, drawing each facility's rounding threshold
+    /// from `rng`.
+    pub fn new<R: Rng + ?Sized>(instance: &'a FacilityInstance, rng: &mut R) -> Self {
+        let permits = (0..instance.num_facilities())
+            .map(|i| {
+                let types: Vec<LeaseType> = instance
+                    .structure()
+                    .types()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, t)| LeaseType::new(t.length, instance.cost(i, k)))
+                    .collect();
+                let s = LeaseStructure::new(types)
+                    .expect("instance costs are validated positive");
+                RandomizedPermit::new(s, rng)
+            })
+            .collect();
+        RandomizedFacility {
+            instance,
+            permits,
+            connection_cost: 0.0,
+            assignments: Vec::new(),
+        }
+    }
+
+    /// Whether facility `i` holds an active lease at time `t`.
+    pub fn is_active(&self, i: usize, t: TimeStep) -> bool {
+        self.permits[i].is_covered(t)
+    }
+
+    /// Serves one batch of clients at time `t`: each client picks the
+    /// facility minimizing `d_ij` (active) or `d_ij + cheapest lease` (not
+    /// active); inactive picks feed a permit demand.
+    pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
+        let inst = self.instance;
+        for &j in clients {
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..inst.num_facilities() {
+                let d = inst.distance(i, j);
+                let marginal = if self.permits[i].is_covered(t) {
+                    d
+                } else {
+                    let cheapest = (0..inst.structure().num_types())
+                        .map(|k| inst.cost(i, k))
+                        .fold(f64::INFINITY, f64::min);
+                    d + cheapest
+                };
+                if best.is_none_or(|(b, _)| marginal < b) {
+                    best = Some((marginal, i));
+                }
+            }
+            let (_, i) = best.expect("validated instances have facilities");
+            if !self.permits[i].is_covered(t) {
+                self.permits[i].serve_demand(t);
+            }
+            self.connection_cost += inst.distance(i, j);
+            self.assignments.push((j, i));
+        }
+    }
+
+    /// Runs the whole instance and returns the final total cost.
+    pub fn run(&mut self) -> f64 {
+        for batch in self.instance.batches().to_vec() {
+            self.serve_batch(batch.time, &batch.clients);
+        }
+        self.total_cost()
+    }
+
+    /// Lease cost paid so far (sum over the per-facility permits).
+    pub fn lease_cost(&self) -> f64 {
+        self.permits.iter().map(|p| p.total_cost()).sum()
+    }
+
+    /// Connection cost paid so far.
+    pub fn connection_cost(&self) -> f64 {
+        self.connection_cost
+    }
+
+    /// Lease plus connection cost.
+    pub fn total_cost(&self) -> f64 {
+        self.lease_cost() + self.connection_cost
+    }
+
+    /// `(client, facility)` assignments in service order.
+    pub fn assignments(&self) -> &[(usize, usize)] {
+        &self.assignments
+    }
+
+    /// Whether every client was assigned to a facility active at the
+    /// client's arrival time.
+    pub fn is_feasible(&self) -> bool {
+        let mut assigned = vec![None; self.instance.num_clients()];
+        for &(j, i) in &self.assignments {
+            assigned[j] = Some(i);
+        }
+        self.instance.batches().iter().all(|b| {
+            b.clients.iter().all(|&j| {
+                assigned[j].is_some_and(|i| self.permits[i].is_covered(b.time))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::FacilityInstance;
+    use crate::metric::Point;
+    use crate::offline;
+    use crate::online::PrimalDualFacility;
+    use leasing_core::lease::LeaseStructure;
+    use leasing_core::rng::seeded;
+    use rand::RngExt;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
+    }
+
+    fn two_site_instance(batches: Vec<(u64, Vec<Point>)>) -> FacilityInstance {
+        FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)],
+            structure(),
+            batches,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_all_clients_feasibly() {
+        let inst = two_site_instance(vec![
+            (0, vec![Point::new(0.1, 0.0), Point::new(3.9, 0.0)]),
+            (3, vec![Point::new(0.2, 0.0)]),
+            (11, vec![Point::new(4.1, 0.0)]),
+        ]);
+        let mut rng = seeded(5);
+        let mut alg = RandomizedFacility::new(&inst, &mut rng);
+        let cost = alg.run();
+        assert!(cost > 0.0);
+        assert!(alg.is_feasible());
+        assert_eq!(alg.assignments().len(), 4);
+    }
+
+    #[test]
+    fn clients_prefer_the_near_facility() {
+        let inst = two_site_instance(vec![(0, vec![Point::new(0.1, 0.0)])]);
+        let mut rng = seeded(6);
+        let mut alg = RandomizedFacility::new(&inst, &mut rng);
+        let _ = alg.run();
+        assert_eq!(alg.assignments()[0].1, 0, "the co-located site must win");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_run() {
+        let inst = two_site_instance(vec![
+            (0, vec![Point::new(0.1, 0.0)]),
+            (5, vec![Point::new(0.3, 0.0)]),
+        ]);
+        let mut a = RandomizedFacility::new(&inst, &mut seeded(9));
+        let mut b = RandomizedFacility::new(&inst, &mut seeded(9));
+        assert_eq!(a.run(), b.run());
+    }
+
+    #[test]
+    fn never_beats_the_exact_optimum() {
+        let mut rng = seeded(12);
+        for trial in 0..5u64 {
+            let batches: Vec<(u64, Vec<Point>)> = (0..3)
+                .map(|b| {
+                    (
+                        2 * b,
+                        vec![Point::new(rng.random::<f64>() * 4.0, rng.random())],
+                    )
+                })
+                .collect();
+            let inst = two_site_instance(batches);
+            let opt = offline::optimal_cost(&inst, 400_000).expect("small instance");
+            let mut alg = RandomizedFacility::new(&inst, &mut seeded(100 + trial));
+            let cost = alg.run();
+            assert!(cost >= opt - 1e-6, "trial {trial}: {cost} < opt {opt}");
+        }
+    }
+
+    #[test]
+    fn sustained_demand_escalates_to_long_leases_in_expectation() {
+        // A client at the same site every step for 16 steps: across seeds,
+        // the randomized permit must sometimes pick the long lease, and the
+        // average cost must stay below always-short (8 short leases = 8).
+        let batches: Vec<(u64, Vec<Point>)> =
+            (0..16).map(|t| (t, vec![Point::new(0.0, 0.0)])).collect();
+        let inst = two_site_instance(batches);
+        let mut total = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let mut alg = RandomizedFacility::new(&inst, &mut seeded(seed));
+            total += alg.run();
+        }
+        let mean = total / runs as f64;
+        assert!(mean < 8.0, "mean {mean} should beat the all-short cost 8");
+    }
+
+    #[test]
+    fn comparable_to_the_deterministic_algorithm() {
+        // Not a theorem — just a smoke comparison on a benign instance: the
+        // randomized composition should be within a small constant of the
+        // deterministic primal-dual.
+        let batches: Vec<(u64, Vec<Point>)> = (0..6)
+            .map(|t| (2 * t, vec![Point::new(0.1, 0.0), Point::new(3.9, 0.1)]))
+            .collect();
+        let inst = two_site_instance(batches);
+        let det = PrimalDualFacility::new(&inst).run();
+        let mut sum = 0.0;
+        let runs = 10;
+        for seed in 0..runs {
+            sum += RandomizedFacility::new(&inst, &mut seeded(seed)).run();
+        }
+        let mean = sum / runs as f64;
+        assert!(
+            mean <= 3.0 * det + 1e-9,
+            "randomized mean {mean} vs deterministic {det}"
+        );
+    }
+}

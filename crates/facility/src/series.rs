@@ -1,0 +1,170 @@
+//! The `H_q` series of Equation 4.3 and the arrival-pattern taxonomy of
+//! Corollaries 4.6 and 4.7.
+//!
+//! `H_q = Σ_{i=1}^{q} |D_i| / Σ_{j=1}^{i} |D_j|` describes how bursty the
+//! client arrivals are; the §4.3 algorithm is `4(3+K)·H_{l_max}`-competitive.
+//! For constant-ish, non-increasing or polynomially bounded batch sizes
+//! `H_q = O(log q)` (Corollary 4.7); for exponentially growing batches
+//! `H_q = Θ(q)` (the conjectured-hard case after Corollary 4.7).
+
+/// Computes `H_q` for the given batch sizes (`q = batch_sizes.len()`).
+/// Empty batches are allowed and contribute zero terms.
+pub fn h_series(batch_sizes: &[usize]) -> f64 {
+    let mut total = 0usize;
+    let mut h = 0.0;
+    for &d in batch_sizes {
+        total += d;
+        if total > 0 && d > 0 {
+            h += d as f64 / total as f64;
+        }
+    }
+    h
+}
+
+/// The harmonic number `H(q) = Σ_{i=1}^q 1/i` — the value `h_series`
+/// attains on constant batch sizes.
+pub fn harmonic(q: usize) -> f64 {
+    (1..=q).map(|i| 1.0 / i as f64).sum()
+}
+
+/// The `H_{l_max}` value entering Theorem 4.5: the analysis partitions time
+/// into independent rounds `τ_i = [(i−1)·l_max, i·l_max)` and bounds each
+/// round by `(3+K)·H` of *that round's* batch sizes; the whole run is
+/// governed by the worst round. Computing `h_series` over the full horizon
+/// instead would grow without bound and misstate the theorem's
+/// time-independence.
+pub fn h_lmax_rounds(timed_sizes: &[(u64, usize)], l_max: u64) -> f64 {
+    assert!(l_max > 0, "l_max must be positive");
+    let mut per_round: std::collections::BTreeMap<u64, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for &(t, d) in timed_sizes {
+        per_round.entry(t / l_max).or_default().push(d);
+    }
+    per_round
+        .values()
+        .map(|sizes| h_series(sizes))
+        .fold(0.0, f64::max)
+}
+
+/// Named batch-size patterns used across the Chapter 4 experiments.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// `|D_t| = c` for all `t` — `H_q = Θ(log q)` (Corollary 4.7).
+    Constant(usize),
+    /// `|D_t|` halves every step (starting from `start`, min 1) —
+    /// non-increasing, `H_q = O(log q)` (Corollary 4.7).
+    Halving(usize),
+    /// `|D_t| = (t+1)^d` — polynomially bounded, `H_q = O(d log q)`
+    /// (Corollary 4.7).
+    Polynomial(u32),
+    /// `|D_t| = 2^t` — the conjectured-hard exponential pattern,
+    /// `H_q = Θ(q)`.
+    Exponential,
+}
+
+impl ArrivalPattern {
+    /// The batch sizes of the first `q` steps under this pattern.
+    pub fn batch_sizes(&self, q: usize) -> Vec<usize> {
+        (0..q)
+            .map(|t| match *self {
+                ArrivalPattern::Constant(c) => c.max(1),
+                ArrivalPattern::Halving(start) => (start >> t).max(1),
+                ArrivalPattern::Polynomial(d) => (t + 1).pow(d),
+                ArrivalPattern::Exponential => 1usize << t.min(30),
+            })
+            .collect()
+    }
+
+    /// Human-readable name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Constant(_) => "constant",
+            ArrivalPattern::Halving(_) => "non-increasing",
+            ArrivalPattern::Polynomial(_) => "polynomial",
+            ArrivalPattern::Exponential => "exponential",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_batches_give_harmonic_series() {
+        let sizes = ArrivalPattern::Constant(1).batch_sizes(100);
+        let h = h_series(&sizes);
+        assert!((h - harmonic(100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_batches_of_any_size_are_logarithmic() {
+        let sizes = ArrivalPattern::Constant(7).batch_sizes(64);
+        let h = h_series(&sizes);
+        assert!((h - harmonic(64)).abs() < 1e-9, "c cancels in every term");
+    }
+
+    #[test]
+    fn exponential_batches_give_linear_h() {
+        let sizes = ArrivalPattern::Exponential.batch_sizes(20);
+        let h = h_series(&sizes);
+        // Each term is 2^t / (2^{t+1} - 1) ≈ 1/2: H ≈ q/2.
+        assert!(h > 9.0 && h < 11.0, "H {h}");
+    }
+
+    #[test]
+    fn halving_batches_are_logarithmic() {
+        let sizes = ArrivalPattern::Halving(1 << 16).batch_sizes(64);
+        let h = h_series(&sizes);
+        assert!(h < 2.0 * harmonic(64) + 2.0, "H {h}");
+    }
+
+    #[test]
+    fn polynomial_batches_are_logarithmic_times_degree() {
+        let q = 128;
+        let h3 = h_series(&ArrivalPattern::Polynomial(3).batch_sizes(q));
+        assert!(h3 < 4.0 * (harmonic(q) + 1.0), "H {h3}");
+    }
+
+    #[test]
+    fn empty_and_zero_batches_are_handled() {
+        assert_eq!(h_series(&[]), 0.0);
+        assert_eq!(h_series(&[0, 0]), 0.0);
+        let h = h_series(&[0, 5, 0, 5]);
+        assert!((h - 1.5).abs() < 1e-12); // 5/5 + 5/10
+    }
+
+    #[test]
+    fn pattern_names_are_stable() {
+        assert_eq!(ArrivalPattern::Exponential.name(), "exponential");
+        assert_eq!(ArrivalPattern::Constant(3).name(), "constant");
+    }
+
+    #[test]
+    fn h_lmax_rounds_takes_the_worst_round() {
+        // Round [0, 4): sizes [1, 1]; round [4, 8): sizes [1, 4].
+        let timed = [(0u64, 1usize), (1, 1), (4, 1), (5, 4)];
+        let per_round = h_lmax_rounds(&timed, 4);
+        let r1 = h_series(&[1, 1]);
+        let r2 = h_series(&[1, 4]);
+        assert!((per_round - r1.max(r2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_lmax_rounds_is_bounded_for_constant_arrivals_on_long_horizons() {
+        // Constant arrivals over 40 rounds: every round contributes the
+        // same harmonic-like value; the whole-horizon h_series keeps
+        // growing instead.
+        let timed: Vec<(u64, usize)> = (0..160).map(|t| (t, 2usize)).collect();
+        let rounds = h_lmax_rounds(&timed, 4);
+        assert!((rounds - harmonic(4)).abs() < 1e-9, "rounds {rounds}");
+        let whole: Vec<usize> = timed.iter().map(|&(_, d)| d).collect();
+        assert!(h_series(&whole) > 2.0 * rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "l_max must be positive")]
+    fn h_lmax_rounds_rejects_zero_lmax() {
+        h_lmax_rounds(&[(0, 1)], 0);
+    }
+}

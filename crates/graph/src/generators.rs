@@ -1,0 +1,230 @@
+//! Seeded random graph generators for the experiments.
+
+use crate::graph::Graph;
+use rand::{Rng, RngExt};
+use std::ops::Range;
+
+/// Erdős–Rényi `G(n, p)` with weights drawn uniformly from `weights`.
+///
+/// The result may be disconnected; use [`connected_erdos_renyi`] when a
+/// connected instance is required.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0` and the weight range is positive.
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    p: f64,
+    weights: Range<f64>,
+) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(weights.start > 0.0 && weights.end > weights.start, "need a positive weight range");
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                edges.push((u, v, rng.random_range(weights.clone())));
+            }
+        }
+    }
+    Graph::new(n, edges).expect("generated edges are valid by construction")
+}
+
+/// A uniformly random spanning tree skeleton (random attachment): node `v`
+/// attaches to a uniform earlier node, giving a connected tree on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the weight range is not positive.
+pub fn random_tree<R: Rng + ?Sized>(rng: &mut R, n: usize, weights: Range<f64>) -> Graph {
+    assert!(n > 0, "need at least one node");
+    assert!(weights.start > 0.0 && weights.end > weights.start, "need a positive weight range");
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let u = rng.random_range(0..v);
+        edges.push((u, v, rng.random_range(weights.clone())));
+    }
+    Graph::new(n, edges).expect("tree edges are valid by construction")
+}
+
+/// `G(n, p)` overlaid on a random spanning tree, guaranteeing connectivity.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `p` is out of range, or the weight range is invalid.
+pub fn connected_erdos_renyi<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    p: f64,
+    weights: Range<f64>,
+) -> Graph {
+    assert!(n > 0, "need at least one node");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let tree = random_tree(rng, n, weights.clone());
+    let mut edges: Vec<(usize, usize, f64)> =
+        tree.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            // Skip pairs already joined by the tree skeleton to keep the
+            // graph simple in expectation (parallel edges are harmless but
+            // noisy).
+            let in_tree = edges.iter().take(n - 1).any(|&(a, b, _)| (a, b) == (u, v));
+            if !in_tree && rng.random::<f64>() < p {
+                edges.push((u, v, rng.random_range(weights.clone())));
+            }
+        }
+    }
+    Graph::new(n, edges).expect("generated edges are valid by construction")
+}
+
+/// A `width x height` grid with uniform edge weight. Node `(x, y)` has id
+/// `y * width + x`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or the weight is not positive/finite.
+pub fn grid(width: usize, height: usize, weight: f64) -> Graph {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+    let mut edges = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            let id = y * width + x;
+            if x + 1 < width {
+                edges.push((id, id + 1, weight));
+            }
+            if y + 1 < height {
+                edges.push((id, id + width, weight));
+            }
+        }
+    }
+    Graph::new(width * height, edges).expect("grid edges are valid by construction")
+}
+
+/// `n` uniform points in the unit square joined when within `radius`
+/// (Euclidean weights). Returns the graph and the points.
+///
+/// # Panics
+///
+/// Panics if `radius <= 0.0`.
+pub fn random_geometric<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    radius: f64,
+) -> (Graph, Vec<(f64, f64)>) {
+    assert!(radius > 0.0, "radius must be positive");
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.random(), rng.random())).collect();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d <= radius && d > 0.0 {
+                edges.push((u, v, d));
+            }
+        }
+    }
+    (Graph::new(n, edges).expect("geometric edges are valid by construction"), points)
+}
+
+/// The complete graph over `n` uniform points in the unit square with
+/// Euclidean weights (a metric graph). Returns the graph and the points.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete_metric<R: Rng + ?Sized>(rng: &mut R, n: usize) -> (Graph, Vec<(f64, f64)>) {
+    assert!(n >= 2, "a complete metric graph needs at least two nodes");
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.random(), rng.random())).collect();
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            let d = (dx * dx + dy * dy).sqrt().max(1e-6);
+            edges.push((u, v, d));
+        }
+    }
+    (Graph::new(n, edges).expect("metric edges are valid by construction"), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn erdos_renyi_respects_p_extremes() {
+        let empty = erdos_renyi(&mut rng(1), 8, 0.0, 1.0..2.0);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(&mut rng(1), 8, 1.0, 1.0..2.0);
+        assert_eq!(full.num_edges(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn random_tree_is_a_connected_tree() {
+        for seed in 0..5 {
+            let g = random_tree(&mut rng(seed), 17, 1.0..3.0);
+            assert_eq!(g.num_edges(), 16);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn connected_erdos_renyi_is_connected() {
+        for seed in 0..5 {
+            let g = connected_erdos_renyi(&mut rng(seed), 12, 0.1, 1.0..2.0);
+            assert!(g.is_connected());
+            assert!(g.num_edges() >= 11);
+        }
+    }
+
+    #[test]
+    fn grid_has_the_expected_shape() {
+        let g = grid(4, 3, 1.0);
+        assert_eq!(g.num_nodes(), 12);
+        // Horizontal: 3 per row * 3 rows; vertical: 4 per column * 2 gaps.
+        assert_eq!(g.num_edges(), 9 + 8);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn geometric_weights_are_euclidean() {
+        let (g, pts) = random_geometric(&mut rng(3), 20, 0.5);
+        for e in g.edges() {
+            let dx = pts[e.u].0 - pts[e.v].0;
+            let dy = pts[e.u].1 - pts[e.v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            assert!((e.weight - d).abs() < 1e-12);
+            assert!(e.weight <= 0.5);
+        }
+    }
+
+    #[test]
+    fn complete_metric_is_complete() {
+        let (g, _) = complete_metric(&mut rng(4), 7);
+        assert_eq!(g.num_edges(), 21);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = connected_erdos_renyi(&mut rng(9), 10, 0.3, 1.0..2.0);
+        let b = connected_erdos_renyi(&mut rng(9), 10, 0.3, 1.0..2.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let _ = erdos_renyi(&mut rng(1), 4, 1.5, 1.0..2.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Validated weighted undirected graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected edge `{u, v}` with a positive finite weight.
+#[derive(Copy, Clone, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// Edge weight (length / base cost). Always finite and `> 0`.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Creates the edge `{u, v}` with the given weight.
+    pub fn new(u: usize, v: usize, weight: f64) -> Self {
+        Edge { u, v, weight }
+    }
+
+    /// The endpoint that is not `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this edge.
+    pub fn other(&self, node: usize) -> usize {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!("node {node} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+        }
+    }
+}
+
+/// Why a [`Graph`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// Edge `edge` references node `node >= num_nodes`.
+    NodeOutOfRange {
+        /// Offending edge index.
+        edge: usize,
+        /// Offending node id.
+        node: usize,
+    },
+    /// Edge `usize` is a self loop, which no leasing problem here uses.
+    SelfLoop(usize),
+    /// Edge `usize` has a non-finite or non-positive weight.
+    InvalidWeight(usize),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { edge, node } => {
+                write!(f, "edge {edge} references out-of-range node {node}")
+            }
+            GraphError::SelfLoop(e) => write!(f, "edge {e} is a self loop"),
+            GraphError::InvalidWeight(e) => {
+                write!(f, "edge {e} has a non-finite or non-positive weight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A weighted undirected multigraph over nodes `{0, …, n-1}` with an
+/// adjacency index.
+///
+/// Parallel edges are allowed (they model alternative offers for the same
+/// connection); self loops and non-positive weights are rejected.
+///
+/// ```
+/// use leasing_graph::graph::Graph;
+/// let g = Graph::new(3, vec![(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    /// `adjacency[u]` lists `(edge_id, neighbor)` pairs.
+    adjacency: Vec<Vec<(usize, usize)>>,
+}
+
+impl Graph {
+    /// Validates and builds a graph from `(u, v, weight)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for out-of-range endpoints, self loops, or
+    /// invalid weights.
+    pub fn new(
+        num_nodes: usize,
+        edges: Vec<(usize, usize, f64)>,
+    ) -> Result<Self, GraphError> {
+        let mut adjacency = vec![Vec::new(); num_nodes];
+        let mut out = Vec::with_capacity(edges.len());
+        for (i, (u, v, w)) in edges.into_iter().enumerate() {
+            if u >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { edge: i, node: u });
+            }
+            if v >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { edge: i, node: v });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(i));
+            }
+            if !w.is_finite() || w <= 0.0 {
+                return Err(GraphError::InvalidWeight(i));
+            }
+            adjacency[u].push((i, v));
+            adjacency[v].push((i, u));
+            out.push(Edge::new(u, v, w));
+        }
+        Ok(Graph { num_nodes, edges: out, adjacency })
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: usize) -> &Edge {
+        &self.edges[e]
+    }
+
+    /// All edges, indexed by edge id.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// `(edge_id, neighbor)` pairs incident to `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[(usize, usize)] {
+        &self.adjacency[u]
+    }
+
+    /// Degree of node `u` (counting parallel edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Whether the graph is connected (the empty and one-node graphs are).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(_, v) in &self.adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::new(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_adjacency_index() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        let mut nbrs: Vec<usize> = g.neighbors(1).iter().map(|&(_, v)| v).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![0, 2]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoints() {
+        let err = Graph::new(2, vec![(0, 2, 1.0)]);
+        assert_eq!(err, Err(GraphError::NodeOutOfRange { edge: 0, node: 2 }));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_bad_weights() {
+        assert_eq!(Graph::new(2, vec![(1, 1, 1.0)]), Err(GraphError::SelfLoop(0)));
+        assert_eq!(Graph::new(2, vec![(0, 1, 0.0)]), Err(GraphError::InvalidWeight(0)));
+        assert_eq!(
+            Graph::new(2, vec![(0, 1, f64::INFINITY)]),
+            Err(GraphError::InvalidWeight(0))
+        );
+    }
+
+    #[test]
+    fn allows_parallel_edges() {
+        let g = Graph::new(2, vec![(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn edge_other_returns_opposite_endpoint() {
+        let e = Edge::new(3, 7, 1.0);
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_rejects_non_endpoint() {
+        let _ = Edge::new(3, 7, 1.0).other(5);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(triangle().is_connected());
+        let disconnected = Graph::new(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(!disconnected.is_connected());
+        assert!(Graph::new(1, vec![]).unwrap().is_connected());
+        assert!(Graph::new(0, vec![]).unwrap().is_connected());
+    }
+
+    #[test]
+    fn total_weight_sums_edges() {
+        assert!((triangle().total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = GraphError::NodeOutOfRange { edge: 2, node: 9 }.to_string();
+        assert!(msg.contains('2') && msg.contains('9'));
+        assert!(GraphError::SelfLoop(1).to_string().contains("self loop"));
+    }
+}

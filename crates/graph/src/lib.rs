@@ -1,0 +1,43 @@
+//! Graph substrate shared by the graph-flavoured leasing problems.
+//!
+//! The thesis instantiates its leasing framework (§2.3) on several graph
+//! problems: *online Steiner trees* (edges are leased to keep communicating
+//! pairs connected, introduced together with the parking permit problem in
+//! Meyerson's paper), and the covering problems named in the Chapter 3
+//! outlook (*vertex cover*, *edge cover*, *dominating set*). None of those
+//! need more than a small, well-tested graph toolkit, which this crate
+//! provides from scratch:
+//!
+//! * [`graph`] — validated weighted undirected multigraphs with an adjacency
+//!   index,
+//! * [`paths`] — Dijkstra shortest paths (optionally under a caller-supplied
+//!   edge-cost override, which the Steiner leasing algorithm uses to treat
+//!   currently-leased edges as free) and BFS hop counts,
+//! * [`mst`] — union-find, Kruskal minimum spanning trees/forests and
+//!   connected components,
+//! * [`generators`] — seeded random graphs (Erdős–Rényi, random geometric,
+//!   grids, trees, complete metrics) for the experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use leasing_graph::graph::Graph;
+//! use leasing_graph::paths::dijkstra;
+//!
+//! # fn main() -> Result<(), leasing_graph::graph::GraphError> {
+//! // A triangle with one heavy side.
+//! let g = Graph::new(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])?;
+//! let sp = dijkstra(&g, 0);
+//! assert_eq!(sp.distance(2), 2.0); // via node 1, not the heavy edge
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod generators;
+pub mod graph;
+pub mod mst;
+pub mod paths;
+
+pub use graph::{Edge, Graph, GraphError};
+pub use mst::{connected_components, kruskal_mst, DisjointSets, MstOutcome};
+pub use paths::{bfs_hops, dijkstra, dijkstra_with, ShortestPaths};

@@ -1,0 +1,242 @@
+//! Union-find, Kruskal spanning trees/forests and connected components.
+
+use crate::graph::Graph;
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Clone, Debug)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets `{0}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        DisjointSets { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of the set containing `x` (with path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` iff they were distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Result of [`kruskal_mst`]: a minimum spanning forest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MstOutcome {
+    /// Total weight of the chosen edges.
+    pub weight: f64,
+    /// Chosen edge ids, in the order Kruskal accepted them.
+    pub edges: Vec<usize>,
+    /// Whether the forest spans a single component (i.e. is a tree).
+    pub is_spanning_tree: bool,
+}
+
+/// Kruskal's minimum spanning forest under the graph's own weights.
+pub fn kruskal_mst(g: &Graph) -> MstOutcome {
+    kruskal_mst_with(g, |e| g.edge(e).weight)
+}
+
+/// Kruskal's minimum spanning forest under a caller-supplied edge cost.
+///
+/// Edges with cost `f64::INFINITY` are skipped. On a disconnected graph (or
+/// when blocked edges disconnect it) the result is a forest and
+/// `is_spanning_tree` is `false`.
+///
+/// # Panics
+///
+/// Panics if a cost is negative or NaN.
+pub fn kruskal_mst_with(g: &Graph, edge_cost: impl Fn(usize) -> f64) -> MstOutcome {
+    let mut order: Vec<(f64, usize)> = (0..g.num_edges())
+        .map(|e| {
+            let c = edge_cost(e);
+            assert!(!c.is_nan() && c >= 0.0, "edge cost must be non-negative, got {c}");
+            (c, e)
+        })
+        .filter(|&(c, _)| c.is_finite())
+        .collect();
+    order.sort_by(|a, b| a.partial_cmp(b).expect("finite costs compare"));
+    let mut ds = DisjointSets::new(g.num_nodes());
+    let mut weight = 0.0;
+    let mut edges = Vec::new();
+    for (c, e) in order {
+        let edge = g.edge(e);
+        if ds.union(edge.u, edge.v) {
+            weight += c;
+            edges.push(e);
+        }
+    }
+    MstOutcome { weight, edges, is_spanning_tree: ds.num_components() <= 1 }
+}
+
+/// Component label per node; labels are the smallest node id per component.
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let mut ds = DisjointSets::new(g.num_nodes());
+    for e in g.edges() {
+        ds.union(e.u, e.v);
+    }
+    let mut label = vec![usize::MAX; g.num_nodes()];
+    for v in 0..g.num_nodes() {
+        let root = ds.find(v);
+        if label[root] == usize::MAX {
+            label[root] = v; // first visit in id order => smallest id
+        }
+        label[v] = label[root];
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_find_tracks_components() {
+        let mut ds = DisjointSets::new(4);
+        assert_eq!(ds.num_components(), 4);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0));
+        assert!(ds.union(2, 3));
+        assert_eq!(ds.num_components(), 2);
+        assert!(ds.same_set(0, 1));
+        assert!(!ds.same_set(1, 2));
+        assert!(ds.union(0, 3));
+        assert_eq!(ds.num_components(), 1);
+        assert!(ds.same_set(1, 2));
+    }
+
+    #[test]
+    fn kruskal_finds_the_known_mst() {
+        // Square with one diagonal; MST weight = 1 + 1 + 2.
+        let g = Graph::new(
+            4,
+            vec![(0, 1, 1.0), (1, 2, 4.0), (2, 3, 2.0), (3, 0, 1.0), (0, 2, 5.0)],
+        )
+        .unwrap();
+        let mst = kruskal_mst(&g);
+        assert!(mst.is_spanning_tree);
+        assert_eq!(mst.edges.len(), 3);
+        assert!((mst.weight - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kruskal_on_disconnected_graph_yields_forest() {
+        let g = Graph::new(4, vec![(0, 1, 1.0), (2, 3, 2.0)]).unwrap();
+        let mst = kruskal_mst(&g);
+        assert!(!mst.is_spanning_tree);
+        assert_eq!(mst.edges.len(), 2);
+        assert!((mst.weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_override_changes_the_tree() {
+        let g = Graph::new(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)]).unwrap();
+        // Make the heavy edge free: it must now be chosen.
+        let mst = kruskal_mst_with(&g, |e| if e == 2 { 0.0 } else { g.edge(e).weight });
+        assert!(mst.edges.contains(&2));
+        assert!((mst.weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_costs_block_edges() {
+        let g = Graph::new(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mst = kruskal_mst_with(&g, |e| if e == 0 { f64::INFINITY } else { 1.0 });
+        assert!(!mst.is_spanning_tree);
+        assert_eq!(mst.edges, vec![1]);
+    }
+
+    #[test]
+    fn components_are_labelled_by_smallest_member() {
+        let g = Graph::new(5, vec![(1, 3, 1.0), (2, 4, 1.0)]).unwrap();
+        assert_eq!(connected_components(&g), vec![0, 1, 2, 1, 2]);
+    }
+
+    proptest! {
+        /// Kruskal's forest weight never exceeds the weight of a random
+        /// spanning-substructure built by accepting edges in arbitrary order.
+        #[test]
+        fn kruskal_beats_arbitrary_order_forests(seed in 0u64..300, n in 2usize..12) {
+            use rand::SeedableRng;
+            use rand::seq::SliceRandom;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let g = crate::generators::connected_erdos_renyi(&mut rng, n, 0.5, 1.0..9.0);
+            let mst = kruskal_mst(&g);
+            prop_assert!(mst.is_spanning_tree);
+            prop_assert_eq!(mst.edges.len(), n - 1);
+
+            let mut ids: Vec<usize> = (0..g.num_edges()).collect();
+            ids.shuffle(&mut rng);
+            let mut ds = DisjointSets::new(n);
+            let mut weight = 0.0;
+            for e in ids {
+                let edge = g.edge(e);
+                if ds.union(edge.u, edge.v) {
+                    weight += edge.weight;
+                }
+            }
+            prop_assert!(mst.weight <= weight + 1e-9);
+        }
+
+        /// Union-find component count always matches a fresh DFS count.
+        #[test]
+        fn component_count_matches_graph_connectivity(seed in 0u64..300, n in 1usize..12) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let g = crate::generators::erdos_renyi(&mut rng, n, 0.2, 1.0..2.0);
+            let labels = connected_components(&g);
+            let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+            let mut ds = DisjointSets::new(n);
+            for e in g.edges() { ds.union(e.u, e.v); }
+            prop_assert_eq!(distinct.len(), ds.num_components());
+            prop_assert_eq!(g.is_connected(), distinct.len() <= 1);
+        }
+    }
+}

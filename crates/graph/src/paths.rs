@@ -1,0 +1,300 @@
+//! Shortest paths: Dijkstra (with optional per-edge cost overrides) and BFS.
+
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A shortest-path tree rooted at [`source`](ShortestPaths::source).
+///
+/// Produced by [`dijkstra`] / [`dijkstra_with`]. Unreachable nodes have
+/// distance [`f64::INFINITY`] and no path.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: usize,
+    dist: Vec<f64>,
+    /// Edge used to reach each node in the shortest-path tree.
+    parent_edge: Vec<Option<usize>>,
+}
+
+impl ShortestPaths {
+    /// The root of this shortest-path tree.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Distance from the source to `v` (`f64::INFINITY` if unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn distance(&self, v: usize) -> f64 {
+        self.dist[v]
+    }
+
+    /// Whether `v` is reachable from the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_reachable(&self, v: usize) -> bool {
+        self.dist[v].is_finite()
+    }
+
+    /// The edge ids of the source→`v` shortest path, in path order, or
+    /// `None` if `v` is unreachable. The path of the source itself is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn path_edges(&self, g: &Graph, v: usize) -> Option<Vec<usize>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = v;
+        while let Some(e) = self.parent_edge[cur] {
+            out.push(e);
+            cur = g.edge(e).other(cur);
+        }
+        out.reverse();
+        Some(out)
+    }
+
+    /// The node ids of the source→`v` shortest path (including both
+    /// endpoints), or `None` if `v` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn path_nodes(&self, g: &Graph, v: usize) -> Option<Vec<usize>> {
+        let edges = self.path_edges(g, v)?;
+        let mut out = Vec::with_capacity(edges.len() + 1);
+        out.push(self.source);
+        let mut cur = self.source;
+        for e in edges {
+            cur = g.edge(e).other(cur);
+            out.push(cur);
+        }
+        Some(out)
+    }
+}
+
+/// Max-heap entry ordered so the *smallest* distance pops first.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the minimum distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `source` using the graph's own edge weights.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn dijkstra(g: &Graph, source: usize) -> ShortestPaths {
+    dijkstra_with(g, source, |e| g.edge(e).weight)
+}
+
+/// Dijkstra from `source` under a caller-supplied edge cost.
+///
+/// The override lets leasing algorithms price an already-leased edge at `0`
+/// and an unleased edge at its cheapest candidate lease. Costs must be
+/// non-negative and finite; `f64::INFINITY` marks an edge as unusable.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or a cost is negative/NaN.
+pub fn dijkstra_with(
+    g: &Graph,
+    source: usize,
+    edge_cost: impl Fn(usize) -> f64,
+) -> ShortestPaths {
+    assert!(source < g.num_nodes(), "source {source} out of range");
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_edge = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &(e, v) in g.neighbors(u) {
+            if done[v] {
+                continue;
+            }
+            let c = edge_cost(e);
+            assert!(!c.is_nan() && c >= 0.0, "edge cost must be non-negative, got {c}");
+            if c == f64::INFINITY {
+                continue;
+            }
+            let nd = d + c;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent_edge[v] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths { source, dist, parent_edge }
+}
+
+/// BFS hop counts from `source` (`None` for unreachable nodes).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_hops(g: &Graph, source: usize) -> Vec<Option<u64>> {
+    assert!(source < g.num_nodes(), "source {source} out of range");
+    let mut hops = vec![None; g.num_nodes()];
+    hops[source] = Some(0);
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let d = hops[u].expect("queued nodes have a hop count");
+        for &(_, v) in g.neighbors(u) {
+            if hops[v].is_none() {
+                hops[v] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grid;
+    use crate::graph::Graph;
+    use proptest::prelude::*;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3 and 0 -1- 2 -10- 3.
+        Graph::new(4, vec![(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 10.0)]).unwrap()
+    }
+
+    #[test]
+    fn dijkstra_picks_the_cheap_route() {
+        let sp = dijkstra(&diamond(), 0);
+        assert_eq!(sp.distance(3), 2.0);
+        assert_eq!(sp.path_nodes(&diamond(), 3), Some(vec![0, 1, 3]));
+        assert_eq!(sp.path_edges(&diamond(), 3), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn dijkstra_distance_of_source_is_zero_with_empty_path() {
+        let g = diamond();
+        let sp = dijkstra(&g, 2);
+        assert_eq!(sp.distance(2), 0.0);
+        assert_eq!(sp.path_edges(&g, 2), Some(vec![]));
+        assert_eq!(sp.path_nodes(&g, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn unreachable_nodes_report_infinity_and_no_path() {
+        let g = Graph::new(3, vec![(0, 1, 1.0)]).unwrap();
+        let sp = dijkstra(&g, 0);
+        assert!(!sp.is_reachable(2));
+        assert_eq!(sp.distance(2), f64::INFINITY);
+        assert_eq!(sp.path_edges(&g, 2), None);
+    }
+
+    #[test]
+    fn cost_override_reroutes() {
+        let g = diamond();
+        // Make the heavy edge free: now 0-2-3 costs 1, beating 0-1-3 at 2.
+        let sp = dijkstra_with(&g, 0, |e| if e == 3 { 0.0 } else { g.edge(e).weight });
+        assert_eq!(sp.distance(3), 1.0);
+        assert_eq!(sp.path_nodes(&g, 3), Some(vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn infinite_override_blocks_an_edge() {
+        let g = diamond();
+        // Block edge 1 (1-3): the only route to 3 is the heavy one.
+        let sp = dijkstra_with(&g, 0, |e| if e == 1 { f64::INFINITY } else { g.edge(e).weight });
+        assert_eq!(sp.distance(3), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_are_rejected() {
+        let g = diamond();
+        let _ = dijkstra_with(&g, 0, |_| -1.0);
+    }
+
+    #[test]
+    fn bfs_counts_hops() {
+        let g = Graph::new(5, vec![(0, 1, 9.0), (1, 2, 9.0), (0, 3, 9.0)]).unwrap();
+        let hops = bfs_hops(&g, 0);
+        assert_eq!(hops, vec![Some(0), Some(1), Some(2), Some(1), None]);
+    }
+
+    #[test]
+    fn grid_distances_match_manhattan_for_unit_weights() {
+        let g = grid(4, 3, 1.0);
+        let sp = dijkstra(&g, 0);
+        // Node (x, y) has id y * 4 + x; distance from (0,0) is x + y.
+        for y in 0..3 {
+            for x in 0..4 {
+                assert_eq!(sp.distance(y * 4 + x), (x + y) as f64);
+            }
+        }
+    }
+
+    proptest! {
+        /// Dijkstra distances satisfy the edge relaxation inequality
+        /// |d(u) - d(v)| <= w(u, v) for every edge of a connected graph.
+        #[test]
+        fn dijkstra_satisfies_triangle_inequality_on_edges(
+            seed in 0u64..500, n in 2usize..12
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let g = crate::generators::connected_erdos_renyi(&mut rng, n, 0.4, 1.0..5.0);
+            let sp = dijkstra(&g, 0);
+            for e in g.edges() {
+                let du = sp.distance(e.u);
+                let dv = sp.distance(e.v);
+                prop_assert!(du <= dv + e.weight + 1e-9);
+                prop_assert!(dv <= du + e.weight + 1e-9);
+            }
+        }
+
+        /// The reported distance equals the summed weight of the reported path.
+        #[test]
+        fn path_weight_equals_reported_distance(seed in 0u64..500, n in 2usize..12) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let g = crate::generators::connected_erdos_renyi(&mut rng, n, 0.4, 1.0..5.0);
+            let sp = dijkstra(&g, 0);
+            for v in 0..g.num_nodes() {
+                let path = sp.path_edges(&g, v).expect("connected");
+                let w: f64 = path.iter().map(|&e| g.edge(e).weight).sum();
+                prop_assert!((w - sp.distance(v)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! From-scratch LP/ILP substrate.
+//!
+//! Every problem in the thesis is specified by an integer linear program
+//! (Figures 2.2, 3.2, 4.1, 5.2 and 5.4), and every offline optimum used in
+//! the experiments is either a combinatorial DP or a solve of one of those
+//! ILPs. Since the workspace may not depend on external solvers, this crate
+//! implements:
+//!
+//! * [`model`] — a dense LP model builder (minimisation, `≤ / ≥ / =`
+//!   constraints, non-negative variables with optional upper bounds),
+//! * [`simplex`] — a two-phase primal simplex with Bland's anti-cycling rule
+//!   and dual-solution extraction (used to verify weak duality, Theorem 2.3),
+//! * [`ilp`] — branch-and-bound over the LP relaxation for integer programs.
+//!
+//! # Example
+//!
+//! ```
+//! use leasing_lp::model::{Cmp, LinearProgram};
+//!
+//! // min x0 + 2 x1  s.t.  x0 + x1 >= 1,  x1 >= 0.25
+//! let mut lp = LinearProgram::new();
+//! let x0 = lp.add_var(1.0);
+//! let x1 = lp.add_var(2.0);
+//! lp.add_constraint(vec![(x0, 1.0), (x1, 1.0)], Cmp::Ge, 1.0);
+//! lp.add_constraint(vec![(x1, 1.0)], Cmp::Ge, 0.25);
+//! let sol = lp.solve().expect_optimal();
+//! assert!((sol.objective - 1.25).abs() < 1e-7);
+//! ```
+
+pub mod ilp;
+pub mod model;
+pub mod simplex;
+
+pub use ilp::{IlpOutcome, IlpSolution, IntegerProgram};
+pub use model::{Cmp, LinearProgram, LpOutcome, LpSolution};
+
+/// Numerical tolerance used by the simplex pivoting and integrality tests.
+pub const LP_EPS: f64 = 1e-7;

@@ -1,0 +1,241 @@
+//! Dense LP model builder.
+
+use crate::simplex;
+
+/// Comparison direction of a linear constraint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `Σ a_j x_j ≤ rhs`
+    Le,
+    /// `Σ a_j x_j ≥ rhs`
+    Ge,
+    /// `Σ a_j x_j = rhs`
+    Eq,
+}
+
+/// One linear constraint over the LP's variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable index, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Comparison direction.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear *minimisation* program over non-negative variables with optional
+/// upper bounds.
+///
+/// Variables are created with [`add_var`](LinearProgram::add_var) (objective
+/// coefficient) or [`add_bounded_var`](LinearProgram::add_bounded_var)
+/// (objective coefficient + upper bound) and referenced by the returned
+/// dense index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    upper_bounds: Vec<Option<f64>>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        LinearProgram::default()
+    }
+
+    /// Adds a variable `x ≥ 0` with the given objective coefficient and
+    /// returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is not finite.
+    pub fn add_var(&mut self, cost: f64) -> usize {
+        assert!(cost.is_finite(), "objective coefficients must be finite");
+        self.objective.push(cost);
+        self.upper_bounds.push(None);
+        self.objective.len() - 1
+    }
+
+    /// Adds a variable `0 ≤ x ≤ upper` and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is not finite or `upper` is negative/not finite.
+    pub fn add_bounded_var(&mut self, cost: f64, upper: f64) -> usize {
+        assert!(upper.is_finite() && upper >= 0.0, "upper bound must be finite and non-negative");
+        let v = self.add_var(cost);
+        self.upper_bounds[v] = Some(upper);
+        v
+    }
+
+    /// Adds the constraint `Σ coeffs ⋈ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not exist or any coefficient /
+    /// the rhs is not finite.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        for &(v, c) in &coeffs {
+            assert!(v < self.num_vars(), "constraint references unknown variable {v}");
+            assert!(c.is_finite(), "coefficients must be finite");
+        }
+        self.constraints.push(Constraint { coeffs, cmp, rhs });
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far (excluding upper bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The explicit constraints (upper bounds are stored separately).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Per-variable upper bounds (`None` = unbounded above).
+    pub fn upper_bounds(&self) -> &[Option<f64>] {
+        &self.upper_bounds
+    }
+
+    /// Objective value of the assignment `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Whether `x` satisfies all constraints and bounds up to `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (j, &v) in x.iter().enumerate() {
+            if v < -tol {
+                return false;
+            }
+            if let Some(u) = self.upper_bounds[j] {
+                if v > u + tol {
+                    return false;
+                }
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+            match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Solves the program with the two-phase simplex of [`crate::simplex`].
+    pub fn solve(&self) -> LpOutcome {
+        simplex::solve(self)
+    }
+}
+
+/// An optimal LP solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal primal assignment (length = number of variables).
+    pub x: Vec<f64>,
+    /// Dual values, one per *explicit* constraint in insertion order
+    /// (upper-bound rows are internal and not reported). Signs follow the
+    /// convention of a minimisation primal: duals of `≥` rows are `≥ 0`,
+    /// duals of `≤` rows are `≤ 0`, duals of `=` rows are free.
+    pub duals: Vec<f64>,
+}
+
+/// Result of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(LpSolution),
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`LpOutcome::Optimal`].
+    pub fn expect_optimal(self) -> LpSolution {
+        match self {
+            LpOutcome::Optimal(sol) => sol,
+            LpOutcome::Infeasible => panic!("LP is infeasible"),
+            LpOutcome::Unbounded => panic!("LP is unbounded"),
+        }
+    }
+
+    /// The optimal solution, if any.
+    pub fn optimal(&self) -> Option<&LpSolution> {
+        match self {
+            LpOutcome::Optimal(sol) => Some(sol),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vars_and_constraints() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(1.0);
+        let b = lp.add_bounded_var(2.0, 1.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.upper_bounds(), &[None, Some(1.0)]);
+        assert_eq!(lp.objective_value(&[1.0, 0.5]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_on_unknown_variable_panics() {
+        let mut lp = LinearProgram::new();
+        lp.add_constraint(vec![(0, 1.0)], Cmp::Ge, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_cost_panics() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(f64::NAN);
+    }
+
+    #[test]
+    fn feasibility_check_covers_bounds_and_constraints() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_bounded_var(1.0, 1.0);
+        lp.add_constraint(vec![(x, 2.0)], Cmp::Le, 1.0);
+        assert!(lp.is_feasible(&[0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.8], 1e-9)); // violates 2x <= 1
+        assert!(!lp.is_feasible(&[-0.1], 1e-9)); // negative
+        assert!(!lp.is_feasible(&[0.5, 0.5], 1e-9)); // wrong arity
+    }
+}

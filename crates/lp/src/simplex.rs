@@ -1,0 +1,473 @@
+//! Two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! The implementation favours robustness over speed: dense tableau,
+//! Bland's rule for both the entering and the leaving variable, and dual
+//! recovery by solving `Bᵀy = c_B` on the *original* standard-form matrix
+//! with Gaussian elimination (immune to tableau drift).
+
+use crate::model::{Cmp, LinearProgram, LpOutcome, LpSolution};
+use crate::LP_EPS;
+
+/// Hard iteration cap. Bland's rule guarantees termination; this cap only
+/// guards against tolerance-induced stalls on pathological inputs.
+const MAX_ITERS: usize = 500_000;
+
+struct Tableau {
+    m: usize,
+    ncols: usize,
+    /// Current tableau rows (`m x ncols`).
+    a: Vec<Vec<f64>>,
+    /// Current right-hand sides (always kept `>= -LP_EPS`).
+    b: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+}
+
+enum StepOutcome {
+    Optimal(f64),
+    Unbounded,
+}
+
+impl Tableau {
+    fn pivot(&mut self, r: usize, c: usize) {
+        let piv = self.a[r][c];
+        debug_assert!(piv.abs() > LP_EPS, "pivot on (near-)zero element");
+        let inv = 1.0 / piv;
+        for j in 0..self.ncols {
+            self.a[r][j] *= inv;
+        }
+        self.b[r] *= inv;
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let f = self.a[i][c];
+            if f.abs() <= 1e-13 {
+                continue;
+            }
+            for j in 0..self.ncols {
+                self.a[i][j] -= f * self.a[r][j];
+            }
+            self.b[i] -= f * self.b[r];
+            // Clamp tiny negatives introduced by cancellation.
+            if self.b[i] < 0.0 && self.b[i] > -LP_EPS {
+                self.b[i] = 0.0;
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// Minimises `cost · x` from the current basis, only letting columns with
+    /// `allowed[j]` enter. Returns the optimal objective or `Unbounded`.
+    fn optimize(&mut self, cost: &[f64], allowed: &[bool]) -> StepOutcome {
+        debug_assert_eq!(cost.len(), self.ncols);
+        // Reduced costs d_j = c_j - c_B B^{-1} A_j, maintained incrementally.
+        let mut d: Vec<f64> = (0..self.ncols)
+            .map(|j| {
+                let mut v = cost[j];
+                for i in 0..self.m {
+                    let cb = cost[self.basis[i]];
+                    if cb != 0.0 {
+                        v -= cb * self.a[i][j];
+                    }
+                }
+                v
+            })
+            .collect();
+        for _ in 0..MAX_ITERS {
+            // Bland: entering column = smallest index with negative reduced cost.
+            let entering = (0..self.ncols).find(|&j| allowed[j] && d[j] < -LP_EPS);
+            let Some(c) = entering else {
+                let obj = (0..self.m).map(|i| cost[self.basis[i]] * self.b[i]).sum();
+                return StepOutcome::Optimal(obj);
+            };
+            // Ratio test; Bland tie-break on the basis index.
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..self.m {
+                if self.a[i][c] > LP_EPS {
+                    let ratio = self.b[i].max(0.0) / self.a[i][c];
+                    let better = match best {
+                        None => true,
+                        Some((br, bi)) => {
+                            ratio < br - 1e-12
+                                || ((ratio - br).abs() <= 1e-12 && self.basis[i] < self.basis[bi])
+                        }
+                    };
+                    if better {
+                        best = Some((ratio, i));
+                    }
+                }
+            }
+            let Some((_, r)) = best else {
+                return StepOutcome::Unbounded;
+            };
+            let d_c = d[c];
+            self.pivot(r, c);
+            for (dj, &arj) in d.iter_mut().zip(&self.a[r]) {
+                *dj -= d_c * arj;
+            }
+            d[c] = 0.0;
+        }
+        panic!("simplex iteration limit exceeded — pathological numerical input");
+    }
+}
+
+/// Solves `lp` (see [`LinearProgram::solve`]).
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    let n = lp.num_vars();
+
+    // --- Assemble rows: user constraints first, then upper bounds. ---
+    struct Row {
+        coeffs: Vec<f64>,
+        cmp: Cmp,
+        rhs: f64,
+        flipped: bool,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in lp.constraints() {
+        let mut dense = vec![0.0; n];
+        for &(j, a) in &c.coeffs {
+            dense[j] += a;
+        }
+        rows.push(Row { coeffs: dense, cmp: c.cmp, rhs: c.rhs, flipped: false });
+    }
+    let num_user_rows = rows.len();
+    for (j, ub) in lp.upper_bounds().iter().enumerate() {
+        if let Some(u) = ub {
+            let mut dense = vec![0.0; n];
+            dense[j] = 1.0;
+            rows.push(Row { coeffs: dense, cmp: Cmp::Le, rhs: *u, flipped: false });
+        }
+    }
+    // Normalise to rhs >= 0, flipping the comparison when negating.
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            for a in &mut row.coeffs {
+                *a = -*a;
+            }
+            row.rhs = -row.rhs;
+            row.flipped = true;
+            row.cmp = match row.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Columns: n structural, then one slack/surplus per inequality row, then
+    // one artificial per Ge/Eq row.
+    let num_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    let num_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+    let slack_start = n;
+    let art_start = n + num_slack;
+    let ncols = art_start + num_art;
+
+    let mut a0 = vec![vec![0.0; ncols]; m];
+    let mut b0 = vec![0.0; m];
+    let mut basis = vec![usize::MAX; m];
+    {
+        let mut next_slack = slack_start;
+        let mut next_art = art_start;
+        for (i, row) in rows.iter().enumerate() {
+            a0[i][..n].copy_from_slice(&row.coeffs);
+            b0[i] = row.rhs;
+            match row.cmp {
+                Cmp::Le => {
+                    a0[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    a0[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    a0[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    a0[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+    }
+
+    let mut tableau = Tableau {
+        m,
+        ncols,
+        a: a0.clone(),
+        b: b0.clone(),
+        basis,
+    };
+
+    // --- Phase 1: minimise the sum of artificials. ---
+    if num_art > 0 {
+        let mut phase1_cost = vec![0.0; ncols];
+        phase1_cost[art_start..].fill(1.0);
+        let allowed = vec![true; ncols];
+        match tableau.optimize(&phase1_cost, &allowed) {
+            StepOutcome::Optimal(obj) => {
+                if obj > 1e-6 {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            StepOutcome::Unbounded => {
+                unreachable!("phase-1 objective is bounded below by zero")
+            }
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for r in 0..m {
+            if tableau.basis[r] >= art_start {
+                if let Some(c) =
+                    (0..art_start).find(|&j| tableau.a[r][j].abs() > 1e-7)
+                {
+                    tableau.pivot(r, c);
+                }
+                // Otherwise the row is redundant; the artificial stays basic
+                // at value 0 and is barred from phase 2 below.
+            }
+        }
+    }
+
+    // --- Phase 2: minimise the real objective, artificials barred. ---
+    let mut phase2_cost = vec![0.0; ncols];
+    phase2_cost[..n].copy_from_slice(lp.objective());
+    let mut allowed = vec![true; ncols];
+    for item in allowed.iter_mut().skip(art_start) {
+        *item = false;
+    }
+    let objective = match tableau.optimize(&phase2_cost, &allowed) {
+        StepOutcome::Optimal(obj) => obj,
+        StepOutcome::Unbounded => return LpOutcome::Unbounded,
+    };
+
+    // --- Extract the primal solution. ---
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        let v = tableau.basis[i];
+        if v < n {
+            x[v] = tableau.b[i].max(0.0);
+        }
+    }
+
+    // --- Recover duals: solve Bᵀ y = c_B on the original matrix. ---
+    let y = solve_duals(&a0, &tableau.basis, &phase2_cost, m);
+    let duals = (0..num_user_rows)
+        .map(|i| if rows[i].flipped { -y[i] } else { y[i] })
+        .collect();
+
+    LpOutcome::Optimal(LpSolution { objective, x, duals })
+}
+
+/// Solves `Bᵀ y = c_B` by Gaussian elimination with partial pivoting, where
+/// `B` consists of the original standard-form columns of the basic
+/// variables. Returns `y` (length `m`); a numerically singular basis yields
+/// a least-effort solution with zeros in dependent positions.
+fn solve_duals(a0: &[Vec<f64>], basis: &[usize], cost: &[f64], m: usize) -> Vec<f64> {
+    // Build M = Bᵀ (m x m): M[i][r] = a0[r][basis[i]], rhs[i] = cost[basis[i]].
+    let mut mat = vec![vec![0.0; m + 1]; m];
+    for i in 0..m {
+        for r in 0..m {
+            mat[i][r] = a0[r][basis[i]];
+        }
+        mat[i][m] = cost[basis[i]];
+    }
+    // Forward elimination with partial pivoting.
+    let mut pivot_col_of_row = vec![usize::MAX; m];
+    let mut row = 0;
+    for col in 0..m {
+        let mut best = row;
+        for r in row..m {
+            if mat[r][col].abs() > mat[best][col].abs() {
+                best = r;
+            }
+        }
+        if mat[best][col].abs() <= 1e-10 {
+            continue;
+        }
+        mat.swap(row, best);
+        for r in (row + 1)..m {
+            let f = mat[r][col] / mat[row][col];
+            if f.abs() > 1e-13 {
+                let (head, tail) = mat.split_at_mut(r);
+                let (src, dst) = (&head[row], &mut tail[0]);
+                for (dj, &sj) in dst[col..=m].iter_mut().zip(&src[col..=m]) {
+                    *dj -= f * sj;
+                }
+            }
+        }
+        pivot_col_of_row[row] = col;
+        row += 1;
+        if row == m {
+            break;
+        }
+    }
+    // Back substitution.
+    let mut y = vec![0.0; m];
+    for r in (0..row).rev() {
+        let col = pivot_col_of_row[r];
+        let mut v = mat[r][m];
+        for j in (col + 1)..m {
+            v -= mat[r][j] * y[j];
+        }
+        y[col] = v / mat[r][col];
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Cmp, LinearProgram, LpOutcome};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_covering_lp() {
+        // min x + 2y  s.t. x + y >= 1, y >= 0.25
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Ge, 0.25);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 1.25);
+        assert_close(sol.x[0], 0.75);
+        assert_close(sol.x[1], 0.25);
+    }
+
+    #[test]
+    fn maximization_via_negated_costs() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic: opt 36)
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-3.0);
+        let y = lp.add_var(-5.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, -36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints_are_respected() {
+        // min x + y s.t. x + y = 2, x - y = 0 -> x = y = 1
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 0.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.x[0], 1.0);
+        assert_close(sol.x[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_lp_is_detected() {
+        // x >= 2 and x <= 1 is infeasible.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_lp_is_detected() {
+        // min -x with x unbounded above.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 0.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_cap_variables() {
+        // min -x, 0 <= x <= 3.5
+        let mut lp = LinearProgram::new();
+        let x = lp.add_bounded_var(-1.0, 3.5);
+        let _ = x;
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, -3.5);
+        assert_close(sol.x[0], 3.5);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // min x s.t. -x <= -2  (i.e. x >= 2)
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, -1.0)], Cmp::Le, -2.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Known degenerate instance (Beale-like); Bland must terminate.
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_var(-0.75);
+        let x2 = lp.add_var(150.0);
+        let x3 = lp.add_var(-0.02);
+        let x4 = lp.add_var(6.0);
+        lp.add_constraint(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
+        lp.add_constraint(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+        lp.add_constraint(vec![(x3, 1.0)], Cmp::Le, 1.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, -0.05);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_covering_lp() {
+        // min 3a + 2b s.t. a + b >= 2, a >= 0.5
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(3.0);
+        let b = lp.add_var(2.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 2.0);
+        lp.add_constraint(vec![(a, 1.0)], Cmp::Ge, 0.5);
+        let sol = lp.solve().expect_optimal();
+        // Dual objective = 2*y1 + 0.5*y2 must equal the primal optimum.
+        let dual_obj = 2.0 * sol.duals[0] + 0.5 * sol.duals[1];
+        assert_close(sol.objective, dual_obj);
+        // Covering duals are non-negative.
+        assert!(sol.duals.iter().all(|&y| y >= -1e-9));
+    }
+
+    #[test]
+    fn duals_of_le_rows_are_nonpositive_in_minimisation() {
+        // min -x s.t. x <= 5 -> dual of the row is -1.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 5.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.duals[0], -1.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // x + y = 1 listed twice.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0);
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 1.0);
+        assert_close(sol.x[0], 1.0);
+    }
+
+    #[test]
+    fn zero_variable_lp_is_trivially_optimal() {
+        let lp = LinearProgram::new();
+        let sol = lp.solve().expect_optimal();
+        assert_close(sol.objective, 0.0);
+        assert!(sol.x.is_empty());
+    }
+}

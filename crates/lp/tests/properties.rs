@@ -1,0 +1,105 @@
+//! Property tests for the LP/ILP substrate: weak duality, relaxation
+//! ordering and rounding feasibility on randomly generated covering
+//! programs (the shape every leasing ILP in this workspace takes).
+
+use leasing_lp::{Cmp, IlpOutcome, IntegerProgram, LinearProgram};
+use proptest::prelude::*;
+
+/// A random covering program: variables with positive costs and `>=`-rows
+/// with 0/1 coefficients and rhs 1, guaranteed feasible by construction
+/// (every row has at least one variable).
+///
+/// `bounded` adds the 0/1 upper bounds needed by branch-and-bound. The
+/// duality tests use the *unbounded* variant because the reported duals
+/// cover only the explicit rows, not the internal bound rows (which carry
+/// dual mass whenever a bound is tight).
+fn covering_program(costs: &[f64], rows: &[Vec<usize>], bounded: bool) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    let vars: Vec<usize> = costs
+        .iter()
+        .map(|&c| if bounded { lp.add_bounded_var(c, 1.0) } else { lp.add_var(c) })
+        .collect();
+    for row in rows {
+        let coeffs: Vec<(usize, f64)> = row.iter().map(|&v| (vars[v], 1.0)).collect();
+        lp.add_constraint(coeffs, Cmp::Ge, 1.0);
+    }
+    lp
+}
+
+fn arb_covering() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+    (2usize..6).prop_flat_map(|n| {
+        let costs = proptest::collection::vec(0.1f64..10.0, n);
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(0usize..n, 1..n.max(2)),
+            1..6,
+        );
+        (costs, rows)
+    })
+}
+
+proptest! {
+    /// Weak duality (Theorem 2.3): the dual objective never exceeds the
+    /// primal objective, and at the optimum they coincide (strong duality,
+    /// Theorem 2.4).
+    #[test]
+    fn strong_duality_holds_at_the_optimum((costs, rows) in arb_covering()) {
+        let lp = covering_program(&costs, &rows, false);
+        let sol = lp.solve().expect_optimal();
+        // Every explicit row has rhs 1, so the dual objective is Σ y_i.
+        let dual_obj: f64 = sol.duals.iter().sum();
+        prop_assert!((sol.objective - dual_obj).abs() < 1e-6,
+            "primal {} vs dual {}", sol.objective, dual_obj);
+        // Covering duals are non-negative.
+        prop_assert!(sol.duals.iter().all(|&y| y >= -1e-9));
+    }
+
+    /// The primal solution is feasible and within bounds.
+    #[test]
+    fn lp_solutions_are_feasible((costs, rows) in arb_covering()) {
+        let lp = covering_program(&costs, &rows, false);
+        let sol = lp.solve().expect_optimal();
+        for (v, &x) in sol.x.iter().enumerate().take(costs.len()) {
+            prop_assert!(x >= -1e-9, "x[{v}] = {x}");
+        }
+        for row in &rows {
+            let lhs: f64 = row.iter().map(|&v| sol.x[v]).sum();
+            prop_assert!(lhs >= 1.0 - 1e-6, "row {row:?} lhs {lhs}");
+        }
+    }
+
+    /// The ILP optimum is at least the LP relaxation and its assignment is
+    /// integral and feasible.
+    #[test]
+    fn ilp_dominates_its_relaxation((costs, rows) in arb_covering()) {
+        let lp = covering_program(&costs, &rows, true);
+        let relax = lp.solve().expect_optimal().objective;
+        let ip = IntegerProgram::all_integer(lp);
+        match ip.solve(100_000) {
+            IlpOutcome::Optimal(sol) => {
+                prop_assert!(sol.objective >= relax - 1e-6,
+                    "ILP {} below LP {}", sol.objective, relax);
+                for &x in sol.x.iter().take(costs.len()) {
+                    prop_assert!((x - x.round()).abs() < 1e-6, "non-integral {x}");
+                }
+                for row in &rows {
+                    let lhs: f64 = row.iter().map(|&v| sol.x[v]).sum();
+                    prop_assert!(lhs >= 1.0 - 1e-6);
+                }
+            }
+            other => prop_assert!(false, "covering ILP must solve, got {other:?}"),
+        }
+    }
+
+    /// Scaling every cost scales the optimum linearly (sanity of the
+    /// objective handling).
+    #[test]
+    fn objective_is_homogeneous((costs, rows) in arb_covering(), scale in 0.5f64..4.0) {
+        let base = covering_program(&costs, &rows, true).solve().expect_optimal().objective;
+        let scaled_costs: Vec<f64> = costs.iter().map(|c| c * scale).collect();
+        let scaled = covering_program(&scaled_costs, &rows, true)
+            .solve()
+            .expect_optimal()
+            .objective;
+        prop_assert!((scaled - scale * base).abs() < 1e-6 * (1.0 + base.abs()));
+    }
+}

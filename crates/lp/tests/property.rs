@@ -1,0 +1,236 @@
+//! Property-based fuzzing of the LP/ILP substrate against brute-force
+//! oracles.
+//!
+//! Every exact optimum in the workspace flows through this solver, so it is
+//! fuzzed harder than anything else: random covering LPs against the
+//! all-ones upper bound and strong duality, tiny dense LPs against vertex
+//! enumeration, and 0/1 covering ILPs against exhaustive search.
+
+use leasing_lp::model::{Cmp, LinearProgram, LpOutcome};
+use leasing_lp::IntegerProgram;
+use proptest::prelude::*;
+
+/// Builds a covering LP `min c·x  s.t.  Σ_{i ∈ S_j} x_i ≥ 1, x ≥ 0` from
+/// raw (variable, membership) data.
+fn covering_lp(costs: &[f64], rows: &[Vec<usize>]) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    let vars: Vec<usize> = costs.iter().map(|&c| lp.add_var(c)).collect();
+    for row in rows {
+        let coeffs: Vec<(usize, f64)> = row.iter().map(|&v| (vars[v], 1.0)).collect();
+        lp.add_constraint(coeffs, Cmp::Ge, 1.0);
+    }
+    lp
+}
+
+proptest! {
+    /// Random covering LPs: always optimal, feasible, bounded by the
+    /// all-ones solution, strong duality closes and covering duals are
+    /// non-negative.
+    #[test]
+    fn covering_lps_solve_with_strong_duality(
+        costs in proptest::collection::vec(1u32..20, 2..6),
+        raw_rows in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 1..4), 1..6,
+        ),
+    ) {
+        let costs: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        let rows: Vec<Vec<usize>> = raw_rows
+            .iter()
+            .map(|r| {
+                let mut r: Vec<usize> =
+                    r.iter().map(|&v| v % costs.len()).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let lp = covering_lp(&costs, &rows);
+        let sol = lp.solve().expect_optimal();
+
+        // Primal feasibility and the all-ones upper bound.
+        prop_assert!(lp.is_feasible(&sol.x, 1e-7));
+        let all_ones: f64 = costs.iter().sum();
+        prop_assert!(sol.objective <= all_ones + 1e-7);
+        prop_assert!(sol.objective >= 0.0);
+
+        // Strong duality (Theorem 2.4): dual objective equals primal.
+        let dual_obj: f64 = sol.duals.iter().sum(); // all RHS are 1
+        prop_assert!(
+            (dual_obj - sol.objective).abs() <= 1e-6 * (1.0 + sol.objective.abs()),
+            "duality gap: primal {} dual {}", sol.objective, dual_obj
+        );
+        // Covering duals are non-negative, and dual feasibility holds:
+        // Σ_{j: i ∈ S_j} y_j ≤ c_i.
+        for &y in &sol.duals {
+            prop_assert!(y >= -1e-7);
+        }
+        for (i, &c) in costs.iter().enumerate() {
+            let load: f64 = rows
+                .iter()
+                .zip(&sol.duals)
+                .filter(|(row, _)| row.contains(&i))
+                .map(|(_, &y)| y)
+                .sum();
+            prop_assert!(load <= c + 1e-6, "dual constraint {i} violated: {load} > {c}");
+        }
+    }
+
+    /// Tiny two-variable LPs against a vertex-enumeration oracle: the
+    /// optimum of a feasible bounded LP lies at an intersection of
+    /// constraint boundaries (including the axes).
+    #[test]
+    fn two_variable_lps_match_vertex_enumeration(
+        c in (1u32..10, 1u32..10),
+        rows in proptest::collection::vec(
+            (0u32..5, 0u32..5, 1u32..10), 1..4,
+        ),
+    ) {
+        // Constraints a·x + b·y >= r with a, b >= 0 (never unbounded since
+        // costs are positive; never infeasible since x can grow).
+        let (cx, cy) = (c.0 as f64, c.1 as f64);
+        let cons: Vec<(f64, f64, f64)> = rows
+            .iter()
+            .map(|&(a, b, r)| (a as f64, b as f64, r as f64))
+            .filter(|&(a, b, _)| a + b > 0.0)
+            .collect();
+        prop_assume!(!cons.is_empty());
+
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(cx);
+        let y = lp.add_var(cy);
+        for &(a, b, r) in &cons {
+            let mut row = Vec::new();
+            if a > 0.0 {
+                row.push((x, a));
+            }
+            if b > 0.0 {
+                row.push((y, b));
+            }
+            lp.add_constraint(row, Cmp::Ge, r);
+        }
+        let sol = lp.solve().expect_optimal();
+
+        // Oracle: enumerate candidate vertices — pairwise constraint
+        // intersections plus single-constraint axis crossings.
+        let feasible = |px: f64, py: f64| {
+            px >= -1e-9
+                && py >= -1e-9
+                && cons.iter().all(|&(a, b, r)| a * px + b * py >= r - 1e-7)
+        };
+        let mut best = f64::INFINITY;
+        let mut candidates: Vec<(f64, f64)> = vec![];
+        for &(a, b, r) in &cons {
+            if a > 0.0 {
+                candidates.push((r / a, 0.0));
+            }
+            if b > 0.0 {
+                candidates.push((0.0, r / b));
+            }
+        }
+        for (i, &(a1, b1, r1)) in cons.iter().enumerate() {
+            for &(a2, b2, r2) in &cons[i + 1..] {
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() > 1e-9 {
+                    let px = (r1 * b2 - r2 * b1) / det;
+                    let py = (a1 * r2 - a2 * r1) / det;
+                    candidates.push((px, py));
+                }
+            }
+        }
+        for (px, py) in candidates {
+            if feasible(px, py) {
+                best = best.min(cx * px + cy * py);
+            }
+        }
+        prop_assert!(
+            (sol.objective - best).abs() <= 1e-6 * (1.0 + best.abs()),
+            "simplex {} vs vertex oracle {}", sol.objective, best
+        );
+    }
+
+    /// 0/1 covering ILPs against exhaustive search over all subsets.
+    #[test]
+    fn covering_ilps_match_exhaustive_search(
+        costs in proptest::collection::vec(1u32..20, 2..7),
+        raw_rows in proptest::collection::vec(
+            proptest::collection::vec(0usize..7, 1..4), 1..6,
+        ),
+    ) {
+        let n = costs.len();
+        let costs: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        let rows: Vec<Vec<usize>> = raw_rows
+            .iter()
+            .map(|r| {
+                let mut r: Vec<usize> = r.iter().map(|&v| v % n).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let ip = IntegerProgram::all_integer(covering_lp(&costs, &rows));
+        let sol = ip.solve(100_000).expect_optimal();
+
+        // Oracle: all 2^n subsets.
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            let covers = rows
+                .iter()
+                .all(|row| row.iter().any(|&v| mask & (1 << v) != 0));
+            if covers {
+                let cost: f64 = (0..n)
+                    .filter(|&v| mask & (1 << v) != 0)
+                    .map(|v| costs[v])
+                    .sum();
+                best = best.min(cost);
+            }
+        }
+        prop_assert!(
+            (sol.objective - best).abs() <= 1e-6,
+            "branch-and-bound {} vs exhaustive {}", sol.objective, best
+        );
+        // The reported assignment must itself be integral and feasible.
+        for &v in &sol.x {
+            prop_assert!((v - v.round()).abs() <= 1e-6, "non-integral assignment {v}");
+        }
+    }
+
+    /// Upper-bounded variables are honoured: adding a binding upper bound
+    /// can only increase the optimum, and the solution respects it.
+    #[test]
+    fn upper_bounds_are_respected(
+        costs in proptest::collection::vec(1u32..10, 2..5),
+        bound_pct in 10u32..100,
+    ) {
+        let n = costs.len();
+        let costs: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        // One constraint covering everything: Σ x_i >= 2 forces mass 2.
+        let mut free = LinearProgram::new();
+        let free_vars: Vec<usize> = costs.iter().map(|&c| free.add_var(c)).collect();
+        free.add_constraint(free_vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Ge, 2.0);
+        let free_opt = free.solve().expect_optimal().objective;
+
+        let ub = 2.0 * bound_pct as f64 / 100.0 / n as f64 + 2.0 / n as f64;
+        let mut bounded = LinearProgram::new();
+        let b_vars: Vec<usize> =
+            costs.iter().map(|&c| bounded.add_bounded_var(c, ub)).collect();
+        bounded.add_constraint(
+            b_vars.iter().map(|&v| (v, 1.0)).collect(),
+            Cmp::Ge,
+            2.0,
+        );
+        match bounded.solve() {
+            LpOutcome::Optimal(sol) => {
+                prop_assert!(sol.objective >= free_opt - 1e-7,
+                    "bounding tightened the optimum downward");
+                for &v in &sol.x {
+                    prop_assert!(v <= ub + 1e-7, "upper bound violated: {v} > {ub}");
+                }
+            }
+            LpOutcome::Infeasible => {
+                // Only possible when the total available mass n·ub < 2.
+                prop_assert!(n as f64 * ub < 2.0 + 1e-7);
+            }
+            LpOutcome::Unbounded => prop_assert!(false, "covering LP cannot be unbounded"),
+        }
+    }
+}

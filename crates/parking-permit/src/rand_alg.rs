@@ -1,0 +1,258 @@
+//! The randomized parking-permit algorithm (thesis Algorithm 2, §2.2.3).
+//!
+//! The algorithm maintains a *fractional* solution (one fraction per aligned
+//! lease) that it grows multiplicatively whenever an arriving demand is
+//! fractionally uncovered, and converts it online into an integral solution
+//! with a single random threshold `τ ~ U[0,1]`: at each demand it buys the
+//! candidate type at which the suffix sums of the fractions cross `τ`.
+//! Expected competitive ratio: `O(log K)` — optimal by Theorem 2.9.
+
+use crate::PermitOnline;
+use leasing_core::framework::OnlineAlgorithm;
+use leasing_core::interval::candidates_covering;
+use leasing_core::lease::{Lease, LeaseStructure};
+use leasing_core::time::TimeStep;
+use rand::{Rng, RngExt};
+use std::collections::{HashMap, HashSet};
+
+/// Randomized fractional + threshold-rounding parking-permit algorithm.
+#[derive(Clone, Debug)]
+pub struct RandomizedPermit {
+    structure: LeaseStructure,
+    /// Fractions `f_{(k,t)}`, lazily materialised (absent = 0).
+    fractions: HashMap<Lease, f64>,
+    /// The single uniform threshold `τ` drawn up front.
+    tau: f64,
+    owned: HashSet<Lease>,
+    cost: f64,
+    /// Total fractional cost `Σ c_k · f_k` accumulated (for the Lemma-style
+    /// instrumentation: fractional cost ≤ O(log K)·Opt).
+    fractional_cost: f64,
+    purchases: Vec<Lease>,
+}
+
+impl RandomizedPermit {
+    /// Creates the algorithm, drawing its threshold from `rng`.
+    pub fn new<R: Rng + ?Sized>(structure: LeaseStructure, rng: &mut R) -> Self {
+        let tau = rng.random::<f64>();
+        RandomizedPermit::with_threshold(structure, tau)
+    }
+
+    /// Creates the algorithm with an explicit threshold (used by tests to
+    /// make the rounding deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < tau <= 1.0`.
+    pub fn with_threshold(structure: LeaseStructure, tau: f64) -> Self {
+        assert!(tau > 0.0 && tau <= 1.0, "threshold must lie in (0, 1]");
+        RandomizedPermit {
+            structure,
+            fractions: HashMap::new(),
+            tau,
+            owned: HashSet::new(),
+            cost: 0.0,
+            fractional_cost: 0.0,
+            purchases: Vec::new(),
+        }
+    }
+
+    /// The permit structure this algorithm leases from.
+    pub fn structure(&self) -> &LeaseStructure {
+        &self.structure
+    }
+
+    /// Accumulated fractional cost `Σ c · f` (grows by at most 2 per
+    /// while-loop iteration; see the proof of claim (i) in §2.2.3).
+    pub fn fractional_cost(&self) -> f64 {
+        self.fractional_cost
+    }
+
+    /// The leases bought so far, in purchase order.
+    pub fn purchases(&self) -> &[Lease] {
+        &self.purchases
+    }
+
+    /// Total cost paid so far (inherent mirror of the trait methods, so
+    /// callers need not disambiguate between [`PermitOnline`] and
+    /// [`OnlineAlgorithm`]).
+    pub fn total_cost(&self) -> f64 {
+        self.cost
+    }
+
+    fn fraction(&self, lease: &Lease) -> f64 {
+        self.fractions.get(lease).copied().unwrap_or(0.0)
+    }
+}
+
+impl PermitOnline for RandomizedPermit {
+    fn serve_demand(&mut self, t: TimeStep) {
+        let candidates = candidates_covering(&self.structure, t);
+        let q = candidates.len() as f64;
+
+        // (i) Fractional phase: grow fractions until they sum to >= 1.
+        loop {
+            let sum: f64 = candidates.iter().map(|c| self.fraction(c)).sum();
+            if sum >= 1.0 {
+                break;
+            }
+            for c in &candidates {
+                let ck = c.cost(&self.structure);
+                let f = self.fractions.entry(*c).or_insert(0.0);
+                let delta = *f / ck + 1.0 / (q * ck);
+                *f += delta;
+                self.fractional_cost += ck * delta;
+            }
+        }
+
+        // (ii) Integral phase: buy the candidate type at which the suffix
+        // sums of the fractions cross τ (types scanned from longest to
+        // shortest, as in the paper's Σ_{i=k..K}).
+        let mut suffix = 0.0;
+        let mut chosen: Option<Lease> = None;
+        for c in candidates.iter().rev() {
+            suffix += self.fraction(c);
+            if suffix >= self.tau {
+                chosen = Some(*c);
+                break;
+            }
+        }
+        // Σ f >= 1 >= τ guarantees a crossing; fall back to the shortest
+        // candidate against numerical loss.
+        let lease = chosen.unwrap_or(candidates[0]);
+        if self.owned.insert(lease) {
+            self.cost += lease.cost(&self.structure);
+            self.purchases.push(lease);
+        }
+        debug_assert!(self.is_covered(t));
+    }
+
+    fn is_covered(&self, t: TimeStep) -> bool {
+        candidates_covering(&self.structure, t)
+            .into_iter()
+            .any(|c| self.owned.contains(&c))
+    }
+
+    fn total_cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+impl OnlineAlgorithm for RandomizedPermit {
+    type Request = ();
+
+    fn serve(&mut self, time: TimeStep, _request: ()) {
+        self.serve_demand(time);
+    }
+
+    fn total_cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline;
+    use leasing_core::lease::LeaseType;
+    use leasing_core::rng::seeded;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![
+            LeaseType::new(1, 1.0),
+            LeaseType::new(4, 3.0),
+            LeaseType::new(16, 8.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn every_demand_ends_up_covered() {
+        let mut rng = seeded(1);
+        let mut alg = RandomizedPermit::new(structure(), &mut rng);
+        for t in [0u64, 1, 5, 6, 7, 20, 40, 41] {
+            alg.serve_demand(t);
+            assert!(alg.is_covered(t));
+        }
+        assert!(alg.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn threshold_one_buys_longest_viable_type() {
+        // τ = 1 requires the full suffix sum, so the crossing happens at the
+        // shortest type only after all fractions are accumulated; with a
+        // fresh instance the crossing index is the first type whose suffix
+        // reaches 1, i.e. scanning from the longest type downward.
+        let mut alg = RandomizedPermit::with_threshold(structure(), 1.0);
+        alg.serve_demand(0);
+        assert_eq!(alg.purchases().len(), 1);
+        assert!(alg.is_covered(0));
+    }
+
+    #[test]
+    fn tiny_threshold_prefers_long_leases() {
+        // τ -> 0 crosses at the longest type with non-zero fraction.
+        let mut alg = RandomizedPermit::with_threshold(structure(), 1e-12_f64.max(0.001));
+        alg.serve_demand(0);
+        assert_eq!(alg.purchases()[0].type_index, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_is_rejected() {
+        let _ = RandomizedPermit::with_threshold(structure(), 0.0);
+    }
+
+    #[test]
+    fn fractional_cost_grows_by_at_most_two_per_loop() {
+        let mut alg = RandomizedPermit::with_threshold(structure(), 0.5);
+        alg.serve_demand(0);
+        let after_first = alg.fractional_cost();
+        // Each while-loop iteration adds Σ f + 1 < 2 to the fractional cost.
+        // The number of iterations for a fresh day is bounded; just sanity
+        // check the invariant indirectly: fractional cost is positive, finite.
+        assert!(after_first > 0.0 && after_first.is_finite());
+        // Serving the same day again adds nothing (sum already >= 1).
+        alg.serve_demand(0);
+        assert!((alg.fractional_cost() - after_first).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_cost_is_reasonable_against_optimum() {
+        // Average over seeds; the expected ratio should be well below the
+        // deterministic worst case K on a bursty instance.
+        let s = structure();
+        let demands: Vec<u64> = (0..16).chain(48..52).collect();
+        let opt = offline::optimal_cost_interval_model(&s, &demands);
+        assert!(opt > 0.0);
+        let trials = 200;
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let mut rng = seeded(seed);
+            let mut alg = RandomizedPermit::new(s.clone(), &mut rng);
+            for &t in &demands {
+                alg.serve_demand(t);
+            }
+            total += alg.total_cost();
+        }
+        let mean = total / trials as f64;
+        let ratio = mean / opt;
+        // O(log K) with K = 3: expect single digits; assert a generous cap
+        // that a broken implementation (e.g. re-buying per demand) would blow.
+        assert!(ratio < 6.0, "mean ratio {ratio}");
+    }
+
+    #[test]
+    fn reproducible_under_fixed_seed() {
+        let s = structure();
+        let run = |seed: u64| {
+            let mut rng = seeded(seed);
+            let mut alg = RandomizedPermit::new(s.clone(), &mut rng);
+            for t in [0u64, 3, 9, 27] {
+                alg.serve_demand(t);
+            }
+            (alg.total_cost(), alg.purchases().to_vec())
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

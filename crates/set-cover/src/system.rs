@@ -1,0 +1,170 @@
+//! Validated set systems.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a [`SetSystem`] failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetSystemError {
+    /// Set `set` references element `element >= num_elements`.
+    ElementOutOfRange {
+        /// Offending set index.
+        set: usize,
+        /// Offending element id.
+        element: usize,
+    },
+    /// The family must contain at least one set.
+    NoSets,
+}
+
+impl std::fmt::Display for SetSystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetSystemError::ElementOutOfRange { set, element } => {
+                write!(f, "set {set} references out-of-range element {element}")
+            }
+            SetSystemError::NoSets => write!(f, "set system has no sets"),
+        }
+    }
+}
+
+impl std::error::Error for SetSystemError {}
+
+/// A family `F` of subsets of a universe `U = {0, …, n-1}`.
+///
+/// Maintains the inverse index (element → containing sets) and the two
+/// statistics the competitive ratios are stated in: `δ` (the maximum number
+/// of sets any element belongs to) and `Δ` (the maximum set cardinality).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SetSystem {
+    num_elements: usize,
+    sets: Vec<Vec<usize>>,
+    element_sets: Vec<Vec<usize>>,
+}
+
+impl SetSystem {
+    /// Validates and builds a set system over `num_elements` elements.
+    /// Duplicate element ids within a set are deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetSystemError`] if the family is empty or references an
+    /// element `>= num_elements`.
+    pub fn new(num_elements: usize, sets: Vec<Vec<usize>>) -> Result<Self, SetSystemError> {
+        if sets.is_empty() {
+            return Err(SetSystemError::NoSets);
+        }
+        let mut clean_sets = Vec::with_capacity(sets.len());
+        let mut element_sets = vec![Vec::new(); num_elements];
+        for (si, mut s) in sets.into_iter().enumerate() {
+            s.sort_unstable();
+            s.dedup();
+            for &e in &s {
+                if e >= num_elements {
+                    return Err(SetSystemError::ElementOutOfRange { set: si, element: e });
+                }
+                element_sets[e].push(si);
+            }
+            clean_sets.push(s);
+        }
+        Ok(SetSystem { num_elements, sets: clean_sets, element_sets })
+    }
+
+    /// Universe size `n`.
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Family size `m`.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The elements of set `s`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn elements_of(&self, s: usize) -> &[usize] {
+        &self.sets[s]
+    }
+
+    /// The sets containing element `e`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn sets_containing(&self, e: usize) -> &[usize] {
+        &self.element_sets[e]
+    }
+
+    /// `δ`: the maximum number of sets any single element belongs to.
+    pub fn delta(&self) -> usize {
+        self.element_sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `Δ`: the maximum set cardinality.
+    pub fn max_set_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether every element belongs to at least `p` sets (feasibility of a
+    /// multicover demand of multiplicity `p`).
+    pub fn supports_multiplicity(&self, e: usize, p: usize) -> bool {
+        e < self.num_elements && self.element_sets[e].len() >= p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_inverse_index() {
+        let s = SetSystem::new(3, vec![vec![0, 1], vec![1, 2], vec![2]]).unwrap();
+        assert_eq!(s.num_elements(), 3);
+        assert_eq!(s.num_sets(), 3);
+        assert_eq!(s.sets_containing(1), &[0, 1]);
+        assert_eq!(s.sets_containing(2), &[1, 2]);
+        assert_eq!(s.elements_of(0), &[0, 1]);
+    }
+
+    #[test]
+    fn computes_delta_and_max_size() {
+        let s = SetSystem::new(4, vec![vec![0, 1, 2], vec![0], vec![0, 3]]).unwrap();
+        assert_eq!(s.delta(), 3); // element 0 is in all three sets
+        assert_eq!(s.max_set_size(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_range_elements() {
+        let err = SetSystem::new(2, vec![vec![0, 2]]);
+        assert_eq!(err, Err(SetSystemError::ElementOutOfRange { set: 0, element: 2 }));
+    }
+
+    #[test]
+    fn rejects_empty_family() {
+        assert_eq!(SetSystem::new(2, vec![]), Err(SetSystemError::NoSets));
+    }
+
+    #[test]
+    fn deduplicates_within_sets() {
+        let s = SetSystem::new(2, vec![vec![1, 1, 0, 1]]).unwrap();
+        assert_eq!(s.elements_of(0), &[0, 1]);
+        assert_eq!(s.delta(), 1);
+    }
+
+    #[test]
+    fn multiplicity_support_checks_membership_count() {
+        let s = SetSystem::new(2, vec![vec![0, 1], vec![0]]).unwrap();
+        assert!(s.supports_multiplicity(0, 2));
+        assert!(!s.supports_multiplicity(1, 2));
+        assert!(!s.supports_multiplicity(5, 1));
+    }
+
+    #[test]
+    fn isolated_elements_belong_to_no_set() {
+        let s = SetSystem::new(3, vec![vec![0]]).unwrap();
+        assert!(s.sets_containing(2).is_empty());
+        assert_eq!(s.delta(), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Exact ILP for tiny Steiner-leasing instances via path enumeration.
+//!
+//! Steiner connectivity has no compact covering ILP, so for the calibration
+//! experiments we enumerate all simple `u`–`v` paths of each request (tiny
+//! graphs only), introduce one selection variable per `(request, path)` and
+//! one purchase variable per candidate `(edge, lease)`, and link them: a
+//! selected path needs every one of its edges leased at the request time.
+
+use crate::instance::SteinerInstance;
+use leasing_core::interval::aligned_start;
+use leasing_core::lease::Lease;
+use leasing_lp::{Cmp, IlpOutcome, IntegerProgram, LinearProgram};
+use leasing_graph::graph::Graph;
+
+/// All simple `u`–`v` paths as edge-id lists, or `None` once more than
+/// `max_paths` exist (the instance is too large for exact solving).
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range.
+pub fn enumerate_simple_paths(
+    g: &Graph,
+    u: usize,
+    v: usize,
+    max_paths: usize,
+) -> Option<Vec<Vec<usize>>> {
+    assert!(u < g.num_nodes() && v < g.num_nodes(), "endpoints out of range");
+    let mut paths = Vec::new();
+    let mut visited = vec![false; g.num_nodes()];
+    let mut stack_edges = Vec::new();
+    fn dfs(
+        g: &Graph,
+        cur: usize,
+        target: usize,
+        visited: &mut [bool],
+        stack_edges: &mut Vec<usize>,
+        paths: &mut Vec<Vec<usize>>,
+        max_paths: usize,
+    ) -> bool {
+        if cur == target {
+            if paths.len() >= max_paths {
+                return false;
+            }
+            paths.push(stack_edges.clone());
+            return true;
+        }
+        visited[cur] = true;
+        for &(e, nxt) in g.neighbors(cur) {
+            if !visited[nxt] {
+                stack_edges.push(e);
+                let ok = dfs(g, nxt, target, visited, stack_edges, paths, max_paths);
+                stack_edges.pop();
+                if !ok {
+                    visited[cur] = false;
+                    return false;
+                }
+            }
+        }
+        visited[cur] = false;
+        true
+    }
+    if dfs(g, u, v, &mut visited, &mut stack_edges, &mut paths, max_paths) {
+        Some(paths)
+    } else {
+        None
+    }
+}
+
+/// Builds the path-enumeration ILP, returning the program together with the
+/// candidate `(edge, lease)` pair of every purchase variable (selection
+/// variables follow after the purchases in variable order).
+///
+/// Returns `None` when some request has more than `max_paths` simple paths.
+pub fn build_steiner_ilp(
+    instance: &SteinerInstance,
+    max_paths: usize,
+) -> Option<(IntegerProgram, Vec<(usize, Lease)>)> {
+    let g = &instance.graph;
+    let s = &instance.structure;
+    // Candidate purchases: aligned leases of every type at every request time.
+    let mut candidates: Vec<(usize, Lease)> = Vec::new();
+    let mut index: std::collections::HashMap<(usize, Lease), usize> =
+        std::collections::HashMap::new();
+    let mut lp = LinearProgram::new();
+    for e in 0..g.num_edges() {
+        for k in 0..s.num_types() {
+            for req in &instance.requests {
+                let lease = Lease::new(k, aligned_start(req.time, s.length(k)));
+                if let std::collections::hash_map::Entry::Vacant(entry) =
+                    index.entry((e, lease))
+                {
+                    let var = lp.add_bounded_var(instance.lease_cost(e, k), 1.0);
+                    entry.insert(var);
+                    candidates.push((e, lease));
+                }
+            }
+        }
+    }
+    // Path selection variables and linking constraints.
+    for req in &instance.requests {
+        let paths = enumerate_simple_paths(g, req.u, req.v, max_paths)?;
+        let path_vars: Vec<usize> =
+            paths.iter().map(|_| lp.add_bounded_var(0.0, 1.0)).collect();
+        lp.add_constraint(
+            path_vars.iter().map(|&v| (v, 1.0)).collect(),
+            Cmp::Ge,
+            1.0,
+        );
+        for (p, path) in paths.iter().enumerate() {
+            for &e in path {
+                // Every covering candidate of edge e at the request time.
+                let mut coeffs: Vec<(usize, f64)> = (0..s.num_types())
+                    .map(|k| {
+                        let lease = Lease::new(k, aligned_start(req.time, s.length(k)));
+                        (index[&(e, lease)], 1.0)
+                    })
+                    .collect();
+                coeffs.push((path_vars[p], -1.0));
+                lp.add_constraint(coeffs, Cmp::Ge, 0.0);
+            }
+        }
+    }
+    Some((IntegerProgram::all_integer(lp), candidates))
+}
+
+/// The proven-optimal cost, or `None` when the instance is too large (path
+/// explosion) or the node budget runs out.
+pub fn steiner_optimal_cost(
+    instance: &SteinerInstance,
+    max_paths: usize,
+    node_limit: usize,
+) -> Option<f64> {
+    let (ip, _) = build_steiner_ilp(instance, max_paths)?;
+    match ip.solve(node_limit) {
+        IlpOutcome::Optimal(sol) => Some(sol.objective),
+        _ => None,
+    }
+}
+
+/// The LP relaxation bound — a certified lower bound on the true optimum.
+///
+/// Returns `None` when path enumeration explodes.
+pub fn steiner_lp_lower_bound(instance: &SteinerInstance, max_paths: usize) -> Option<f64> {
+    let (ip, _) = build_steiner_ilp(instance, max_paths)?;
+    ip.relaxation_bound()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{PairRequest, SteinerInstance};
+    use crate::offline::route_then_lease;
+    use crate::online::SteinerLeasingOnline;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+    use leasing_graph::graph::Graph;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
+    }
+
+    fn diamond() -> Graph {
+        Graph::new(4, vec![(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 10.0)]).unwrap()
+    }
+
+    #[test]
+    fn path_enumeration_finds_both_diamond_routes() {
+        let g = diamond();
+        let paths = enumerate_simple_paths(&g, 0, 3, 100).unwrap();
+        assert_eq!(paths.len(), 2);
+        let lens: Vec<usize> = paths.iter().map(Vec::len).collect();
+        assert!(lens.contains(&2));
+    }
+
+    #[test]
+    fn path_enumeration_bails_over_the_limit() {
+        let g = diamond();
+        assert_eq!(enumerate_simple_paths(&g, 0, 3, 1), None);
+    }
+
+    #[test]
+    fn ilp_optimum_picks_the_cheap_path() {
+        let inst = SteinerInstance::new(
+            diamond(),
+            structure(),
+            vec![PairRequest::new(0, 0, 3)],
+        )
+        .unwrap();
+        let opt = steiner_optimal_cost(&inst, 100, 50_000).unwrap();
+        // Two unit edges with one short lease each.
+        assert!((opt - 2.0).abs() < 1e-6, "opt {opt}");
+    }
+
+    #[test]
+    fn ilp_optimum_uses_the_long_lease_for_sustained_demand() {
+        let requests: Vec<PairRequest> =
+            (0..8u64).map(|t| PairRequest::new(t, 0, 1)).collect();
+        let g = Graph::new(2, vec![(0, 1, 1.0)]).unwrap();
+        let inst = SteinerInstance::new(g, structure(), requests).unwrap();
+        let opt = steiner_optimal_cost(&inst, 100, 50_000).unwrap();
+        assert!((opt - 3.0).abs() < 1e-6, "one long lease suffices, got {opt}");
+    }
+
+    #[test]
+    fn lp_bound_never_exceeds_the_ilp_optimum() {
+        let inst = SteinerInstance::new(
+            diamond(),
+            structure(),
+            vec![PairRequest::new(0, 0, 3), PairRequest::new(5, 1, 2)],
+        )
+        .unwrap();
+        let lp = steiner_lp_lower_bound(&inst, 100).unwrap();
+        let ilp = steiner_optimal_cost(&inst, 100, 50_000).unwrap();
+        assert!(lp <= ilp + 1e-6, "lp {lp} vs ilp {ilp}");
+    }
+
+    #[test]
+    fn online_and_offline_costs_sandwich_the_optimum() {
+        let inst = SteinerInstance::new(
+            diamond(),
+            structure(),
+            vec![
+                PairRequest::new(0, 0, 3),
+                PairRequest::new(1, 0, 3),
+                PairRequest::new(4, 2, 3),
+            ],
+        )
+        .unwrap();
+        let opt = steiner_optimal_cost(&inst, 100, 100_000).unwrap();
+        let offline = route_then_lease(&inst).cost;
+        let mut online = SteinerLeasingOnline::new(&inst);
+        let online_cost = online.run();
+        assert!(offline >= opt - 1e-6, "offline {offline} vs opt {opt}");
+        assert!(online_cost >= opt - 1e-6, "online {online_cost} vs opt {opt}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Online Steiner tree leasing.
+//!
+//! The algorithm composes the two ingredients Meyerson combined when he
+//! introduced the problem (thesis §5.1): the *online greedy Steiner* routing
+//! rule (route each arriving pair along the cheapest path, treating already
+//! acquired edges as free) and a *parking-permit subroutine per edge* that
+//! decides how long to lease an edge once the router uses it.
+//!
+//! * With the deterministic primal-dual permit per edge the composition is
+//!   `O(log n · K)`-competitive,
+//! * with the randomized permit per edge it is `O(log n · log K)` —
+//!   Meyerson's headline bound for `SteinerTreeLeasing`.
+
+use crate::instance::{PairRequest, SteinerInstance};
+use leasing_core::framework::OnlineAlgorithm;
+use leasing_core::lease::Lease;
+use leasing_core::time::TimeStep;
+use leasing_graph::paths::dijkstra_with;
+use parking_permit::det::DeterministicPrimalDual;
+use parking_permit::rand_alg::RandomizedPermit;
+use parking_permit::PermitOnline;
+use rand::Rng;
+
+/// Counters exposed by the online algorithms for the experiments.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SteinerStats {
+    /// Requests served.
+    pub requests: usize,
+    /// Total number of edges on chosen routing paths.
+    pub routed_edges: usize,
+    /// Permit demands issued to edges that were not already leased.
+    pub permit_demands: usize,
+}
+
+/// Online Steiner leasing with one [`PermitOnline`] subroutine per edge.
+///
+/// Generic over the permit flavour; use [`SteinerLeasingOnline`] for the
+/// deterministic and [`RandomizedSteinerLeasing`] for the randomized
+/// instantiation.
+#[derive(Clone, Debug)]
+pub struct GenericSteinerLeasing<'a, P> {
+    instance: &'a SteinerInstance,
+    permits: Vec<P>,
+    stats: SteinerStats,
+}
+
+/// Deterministic instantiation: per-edge primal-dual permits
+/// (`O(log n · K)`-competitive).
+pub type SteinerLeasingOnline<'a> = GenericSteinerLeasing<'a, DeterministicPrimalDual>;
+
+/// Randomized instantiation: per-edge threshold-rounding permits
+/// (`O(log n · log K)`-competitive in expectation).
+pub type RandomizedSteinerLeasing<'a> = GenericSteinerLeasing<'a, RandomizedPermit>;
+
+impl<'a> SteinerLeasingOnline<'a> {
+    /// Creates the deterministic algorithm for `instance`.
+    pub fn new(instance: &'a SteinerInstance) -> Self {
+        let permits = (0..instance.graph.num_edges())
+            .map(|e| DeterministicPrimalDual::new(instance.scaled_structure(e)))
+            .collect();
+        GenericSteinerLeasing { instance, permits, stats: SteinerStats::default() }
+    }
+}
+
+impl<'a> RandomizedSteinerLeasing<'a> {
+    /// Creates the randomized algorithm for `instance`, drawing each edge's
+    /// rounding threshold from `rng`.
+    pub fn new<R: Rng + ?Sized>(instance: &'a SteinerInstance, rng: &mut R) -> Self {
+        let permits = (0..instance.graph.num_edges())
+            .map(|e| RandomizedPermit::new(instance.scaled_structure(e), rng))
+            .collect();
+        GenericSteinerLeasing { instance, permits, stats: SteinerStats::default() }
+    }
+}
+
+impl<'a, P: PermitOnline> GenericSteinerLeasing<'a, P> {
+    /// The instance being served.
+    pub fn instance(&self) -> &SteinerInstance {
+        self.instance
+    }
+
+    /// Whether edge `e` holds an active lease at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge_active(&self, e: usize, t: TimeStep) -> bool {
+        self.permits[e].is_covered(t)
+    }
+
+    /// Experiment counters accumulated so far.
+    pub fn stats(&self) -> SteinerStats {
+        self.stats
+    }
+
+    /// Serves one pair request: routes it along the cheapest path (leased
+    /// edges are free, unleased edges are priced at their cheapest single
+    /// lease) and issues a permit demand on every unleased edge of the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request references out-of-range nodes (validated
+    /// instances never do).
+    pub fn serve_request(&mut self, req: PairRequest) {
+        let g = &self.instance.graph;
+        let t = req.time;
+        let rate = self.instance.cheapest_rate();
+        let sp = dijkstra_with(g, req.u, |e| {
+            if self.permits[e].is_covered(t) {
+                0.0
+            } else {
+                g.edge(e).weight * rate
+            }
+        });
+        let path = sp
+            .path_edges(g, req.v)
+            .expect("validated instances have connected graphs");
+        self.stats.requests += 1;
+        self.stats.routed_edges += path.len();
+        for e in path {
+            if !self.permits[e].is_covered(t) {
+                self.permits[e].serve_demand(t);
+                self.stats.permit_demands += 1;
+            }
+            debug_assert!(
+                self.permits[e].is_covered(t),
+                "permit subroutine must cover the routed day"
+            );
+        }
+    }
+
+    /// Runs the whole instance and returns the final cost.
+    pub fn run(&mut self) -> f64 {
+        for req in self.instance.requests.clone() {
+            self.serve_request(req);
+        }
+        self.total_cost()
+    }
+
+    /// Total leasing cost paid so far (the sum over the per-edge permits).
+    pub fn total_cost(&self) -> f64 {
+        self.permits.iter().map(|p| p.total_cost()).sum()
+    }
+}
+
+impl<'a, P: PermitOnline> OnlineAlgorithm for GenericSteinerLeasing<'a, P> {
+    type Request = (usize, usize);
+
+    fn serve(&mut self, time: TimeStep, request: (usize, usize)) {
+        self.serve_request(PairRequest::new(time, request.0, request.1));
+    }
+
+    fn total_cost(&self) -> f64 {
+        GenericSteinerLeasing::total_cost(self)
+    }
+}
+
+/// Whether `solution` (a list of `(edge, lease)` purchases under the
+/// instance's scaled per-edge costs) connects every request at its arrival
+/// time.
+pub fn is_feasible(instance: &SteinerInstance, solution: &[(usize, Lease)]) -> bool {
+    let g = &instance.graph;
+    instance.requests.iter().all(|req| {
+        let sp = dijkstra_with(g, req.u, |e| {
+            let active = solution.iter().any(|&(se, lease)| {
+                se == e && lease.window(&instance.structure).contains(req.time)
+            });
+            if active {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        });
+        sp.is_reachable(req.v)
+    })
+}
+
+/// Total cost of a `(edge, lease)` purchase list under the instance's scaled
+/// per-edge lease prices.
+pub fn solution_cost(instance: &SteinerInstance, solution: &[(usize, Lease)]) -> f64 {
+    solution
+        .iter()
+        .map(|&(e, lease)| instance.lease_cost(e, lease.type_index))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+    use leasing_core::rng::seeded;
+    use leasing_graph::graph::Graph;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
+    }
+
+    fn diamond_instance(requests: Vec<PairRequest>) -> SteinerInstance {
+        // 0 -1- 1 -1- 3 and 0 -1- 2 -10- 3.
+        let g = Graph::new(
+            4,
+            vec![(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 10.0)],
+        )
+        .unwrap();
+        SteinerInstance::new(g, structure(), requests).unwrap()
+    }
+
+    #[test]
+    fn routes_along_the_cheap_path_and_leases_it() {
+        let inst = diamond_instance(vec![PairRequest::new(0, 0, 3)]);
+        let mut alg = SteinerLeasingOnline::new(&inst);
+        let cost = alg.run();
+        // Cheap path 0-1-3 (weight 2), each edge gets a 2-day lease at rate 1.
+        assert!((cost - 2.0).abs() < 1e-9);
+        assert!(alg.edge_active(0, 0));
+        assert!(alg.edge_active(1, 1));
+        assert!(!alg.edge_active(3, 0));
+        assert_eq!(alg.stats().routed_edges, 2);
+    }
+
+    #[test]
+    fn leased_edges_are_reused_for_free() {
+        let inst = diamond_instance(vec![
+            PairRequest::new(0, 0, 3),
+            PairRequest::new(1, 0, 3), // same pair inside the lease window
+        ]);
+        let mut alg = SteinerLeasingOnline::new(&inst);
+        let cost = alg.run();
+        assert!((cost - 2.0).abs() < 1e-9, "second request must be free, got {cost}");
+        assert_eq!(alg.stats().permit_demands, 2);
+    }
+
+    #[test]
+    fn repeated_demand_escalates_to_long_leases() {
+        // The same pair every other day drives the per-edge permits to the
+        // long lease, exactly like the parking permit problem would.
+        let requests: Vec<PairRequest> =
+            (0..8u64).map(|i| PairRequest::new(i, 0, 1)).collect();
+        let g = Graph::new(2, vec![(0, 1, 1.0)]).unwrap();
+        let inst = SteinerInstance::new(g, structure(), requests).unwrap();
+        let mut alg = SteinerLeasingOnline::new(&inst);
+        let _ = alg.run();
+        let long_bought = alg.permits[0]
+            .purchases()
+            .iter()
+            .any(|l| l.type_index == 1);
+        assert!(long_bought, "sustained demand must trigger the long lease");
+    }
+
+    #[test]
+    fn expired_leases_force_repurchase() {
+        let inst = diamond_instance(vec![
+            PairRequest::new(0, 0, 3),
+            PairRequest::new(100, 0, 3), // far outside every lease window
+        ]);
+        let mut alg = SteinerLeasingOnline::new(&inst);
+        let cost = alg.run();
+        assert!(cost > 3.9, "both requests must pay, got {cost}");
+    }
+
+    #[test]
+    fn online_solution_is_feasible() {
+        let inst = diamond_instance(vec![
+            PairRequest::new(0, 0, 3),
+            PairRequest::new(3, 2, 3),
+            PairRequest::new(9, 0, 2),
+        ]);
+        let mut alg = SteinerLeasingOnline::new(&inst);
+        let _ = alg.run();
+        let mut solution: Vec<(usize, Lease)> = Vec::new();
+        for (e, permit) in alg.permits.iter().enumerate() {
+            for &lease in permit.purchases() {
+                solution.push((e, lease));
+            }
+        }
+        assert!(is_feasible(&inst, &solution));
+        assert!(
+            (solution_cost(&inst, &solution) - alg.total_cost()).abs() < 1e-9,
+            "per-edge permit costs must match the scaled lease prices"
+        );
+    }
+
+    #[test]
+    fn randomized_variant_is_feasible_and_seeded() {
+        let inst = diamond_instance(vec![
+            PairRequest::new(0, 0, 3),
+            PairRequest::new(2, 2, 1),
+            PairRequest::new(11, 0, 3),
+        ]);
+        let mut rng_a = seeded(5);
+        let mut a = RandomizedSteinerLeasing::new(&inst, &mut rng_a);
+        let cost_a = a.run();
+        let mut rng_b = seeded(5);
+        let mut b = RandomizedSteinerLeasing::new(&inst, &mut rng_b);
+        let cost_b = b.run();
+        assert_eq!(cost_a, cost_b, "same seed must reproduce the run");
+        for req in &inst.requests {
+            // Every request must be connected through active edges.
+            let g = &inst.graph;
+            let sp = dijkstra_with(g, req.u, |e| {
+                if a.edge_active(e, req.time) {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            });
+            assert!(sp.is_reachable(req.v));
+        }
+    }
+
+    #[test]
+    fn online_algorithm_trait_serves_pairs() {
+        use leasing_core::framework::run_online;
+        let inst = diamond_instance(vec![]);
+        let mut alg = SteinerLeasingOnline::new(&inst);
+        let cost = run_online(&mut alg, vec![(0u64, (0usize, 3usize)), (1, (2, 3))]);
+        assert!(cost > 0.0);
+    }
+}

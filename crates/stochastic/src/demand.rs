@@ -1,0 +1,251 @@
+//! Stochastic demand processes (thesis §3.5/§5.6 outlook: "what if we
+//! collect data from previous years and assume demands are given according
+//! to some probability distribution").
+//!
+//! Every process is seeded and exposes both a sampler and its *true* daily
+//! demand rate, so prediction-based policies can be tested with perfect,
+//! noisy, or estimated rates.
+
+use leasing_core::time::TimeStep;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A day-indexed demand process over a finite horizon.
+pub trait DemandProcess {
+    /// Number of days in the horizon.
+    fn horizon(&self) -> TimeStep;
+
+    /// Ground-truth probability that day `t` carries a demand.
+    fn rate(&self, t: TimeStep) -> f64;
+
+    /// Samples the demand days of one run.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TimeStep>;
+
+    /// Mean rate over the horizon.
+    fn mean_rate(&self) -> f64 {
+        if self.horizon() == 0 {
+            return 0.0;
+        }
+        (0..self.horizon()).map(|t| self.rate(t)).sum::<f64>() / self.horizon() as f64
+    }
+}
+
+/// Independent demands: each day demands with probability `p`.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Bernoulli {
+    /// Horizon length.
+    pub horizon: TimeStep,
+    /// Daily demand probability.
+    pub p: f64,
+}
+
+impl Bernoulli {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(horizon: TimeStep, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Bernoulli { horizon, p }
+    }
+}
+
+impl DemandProcess for Bernoulli {
+    fn horizon(&self) -> TimeStep {
+        self.horizon
+    }
+
+    fn rate(&self, _t: TimeStep) -> f64 {
+        self.p
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TimeStep> {
+        (0..self.horizon).filter(|_| rng.random::<f64>() < self.p).collect()
+    }
+}
+
+/// Two-state weather chain: demand days are "rainy" days; the chain stays
+/// rainy with probability `stay_rainy` and turns rainy with probability
+/// `turn_rainy`. Produces bursty, correlated demand.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarkovModulated {
+    /// Horizon length.
+    pub horizon: TimeStep,
+    /// `P(rainy_{t+1} | rainy_t)`.
+    pub stay_rainy: f64,
+    /// `P(rainy_{t+1} | dry_t)`.
+    pub turn_rainy: f64,
+}
+
+impl MarkovModulated {
+    /// Creates the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is out of `[0, 1]`.
+    pub fn new(horizon: TimeStep, stay_rainy: f64, turn_rainy: f64) -> Self {
+        assert!((0.0..=1.0).contains(&stay_rainy), "stay probability out of range");
+        assert!((0.0..=1.0).contains(&turn_rainy), "turn probability out of range");
+        MarkovModulated { horizon, stay_rainy, turn_rainy }
+    }
+
+    /// The stationary rainy probability `turn / (1 + turn - stay)`.
+    pub fn stationary_rate(&self) -> f64 {
+        let denom = 1.0 + self.turn_rainy - self.stay_rainy;
+        if denom <= 0.0 {
+            1.0
+        } else {
+            self.turn_rainy / denom
+        }
+    }
+}
+
+impl DemandProcess for MarkovModulated {
+    fn horizon(&self) -> TimeStep {
+        self.horizon
+    }
+
+    fn rate(&self, _t: TimeStep) -> f64 {
+        self.stationary_rate()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TimeStep> {
+        let mut rainy = rng.random::<f64>() < self.stationary_rate();
+        let mut out = Vec::new();
+        for t in 0..self.horizon {
+            if rainy {
+                out.push(t);
+            }
+            let p = if rainy { self.stay_rainy } else { self.turn_rainy };
+            rainy = rng.random::<f64>() < p;
+        }
+        out
+    }
+}
+
+/// Seasonal demand: `p_t = clamp(base + amplitude · sin(2πt / period))`.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Seasonal {
+    /// Horizon length.
+    pub horizon: TimeStep,
+    /// Mean daily probability.
+    pub base: f64,
+    /// Seasonal swing around the mean.
+    pub amplitude: f64,
+    /// Season length in days.
+    pub period: u64,
+}
+
+impl Seasonal {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `base` is outside `[0, 1]`.
+    pub fn new(horizon: TimeStep, base: f64, amplitude: f64, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!((0.0..=1.0).contains(&base), "base rate out of range");
+        Seasonal { horizon, base, amplitude, period }
+    }
+}
+
+impl DemandProcess for Seasonal {
+    fn horizon(&self) -> TimeStep {
+        self.horizon
+    }
+
+    fn rate(&self, t: TimeStep) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (t % self.period) as f64 / self.period as f64;
+        (self.base + self.amplitude * phase.sin()).clamp(0.0, 1.0)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TimeStep> {
+        (0..self.horizon).filter(|&t| rng.random::<f64>() < self.rate(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::rng::seeded;
+
+    #[test]
+    fn bernoulli_empirical_rate_matches_p() {
+        let proc = Bernoulli::new(20_000, 0.3);
+        let mut rng = seeded(1);
+        let days = proc.sample(&mut rng);
+        let rate = days.len() as f64 / proc.horizon() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical rate {rate}");
+        assert!((proc.mean_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = seeded(2);
+        assert!(Bernoulli::new(100, 0.0).sample(&mut rng).is_empty());
+        assert_eq!(Bernoulli::new(100, 1.0).sample(&mut rng).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = Bernoulli::new(10, 1.5);
+    }
+
+    #[test]
+    fn markov_stationary_rate_formula() {
+        let proc = MarkovModulated::new(10, 0.8, 0.1);
+        // pi = 0.1 / (1 + 0.1 - 0.8) = 1/3.
+        assert!((proc.stationary_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_empirical_rate_near_stationary() {
+        let proc = MarkovModulated::new(50_000, 0.8, 0.1);
+        let mut rng = seeded(3);
+        let days = proc.sample(&mut rng);
+        let rate = days.len() as f64 / proc.horizon() as f64;
+        assert!((rate - proc.stationary_rate()).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn markov_produces_bursts() {
+        // With sticky rain, consecutive demand days are much more common
+        // than under an independent process of the same mean rate.
+        let proc = MarkovModulated::new(10_000, 0.9, 0.05);
+        let mut rng = seeded(4);
+        let days = proc.sample(&mut rng);
+        let consecutive = days.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        let frac = consecutive as f64 / days.len().max(1) as f64;
+        assert!(frac > 0.5, "burst fraction {frac} too low for a sticky chain");
+    }
+
+    #[test]
+    fn seasonal_rate_oscillates_and_clamps() {
+        let proc = Seasonal::new(100, 0.5, 0.7, 20);
+        let rates: Vec<f64> = (0..20).map(|t| proc.rate(t)).collect();
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+        assert!(rates.contains(&1.0), "large amplitude must clamp at 1");
+        assert!(rates.contains(&0.0), "large amplitude must clamp at 0");
+    }
+
+    #[test]
+    fn seasonal_peak_days_demand_more_often() {
+        let proc = Seasonal::new(40_000, 0.5, 0.4, 40);
+        let mut rng = seeded(5);
+        let days = proc.sample(&mut rng);
+        // Peak quarter (around t ≡ 10 mod 40) vs trough quarter (t ≡ 30).
+        let peak = days.iter().filter(|&&t| (5..15).contains(&(t % 40))).count();
+        let trough = days.iter().filter(|&&t| (25..35).contains(&(t % 40))).count();
+        assert!(peak > 2 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let proc = Seasonal::new(500, 0.4, 0.2, 50);
+        let a = proc.sample(&mut seeded(9));
+        let b = proc.sample(&mut seeded(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! Demand-day and deadline generators (parking permit, OLD, service
+//! windows).
+
+use leasing_core::time::TimeStep;
+use leasing_deadlines::old::OldClient;
+use leasing_deadlines::windows::WindowClient;
+use rand::{Rng, RngExt};
+
+/// Independent rainy days: each day in `[0, horizon)` demands with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn rainy_days<R: Rng + ?Sized>(rng: &mut R, horizon: TimeStep, p: f64) -> Vec<TimeStep> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    (0..horizon).filter(|_| rng.random::<f64>() < p).collect()
+}
+
+/// Bursty demand: alternating bursts of consecutive demand days and gaps,
+/// with geometric-ish lengths around `burst_len` and `gap_len`.
+///
+/// # Panics
+///
+/// Panics if `burst_len == 0` or `gap_len == 0`.
+pub fn bursty_days<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    burst_len: u64,
+    gap_len: u64,
+) -> Vec<TimeStep> {
+    assert!(burst_len > 0 && gap_len > 0, "burst and gap lengths must be positive");
+    let mut days = Vec::new();
+    let mut t = 0u64;
+    while t < horizon {
+        let b = 1 + rng.random_range(0..2 * burst_len);
+        for d in t..(t + b).min(horizon) {
+            days.push(d);
+        }
+        let g = 1 + rng.random_range(0..2 * gap_len);
+        t += b + g;
+    }
+    days
+}
+
+/// OLD clients: a demand on each day with probability `p`, with slack drawn
+/// uniformly from `[0, max_slack]`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn old_clients<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    p: f64,
+    max_slack: u64,
+) -> Vec<OldClient> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut clients = Vec::new();
+    for t in 0..horizon {
+        if rng.random::<f64>() < p {
+            let slack = if max_slack == 0 { 0 } else { rng.random_range(0..=max_slack) };
+            clients.push(OldClient::new(t, slack));
+        }
+    }
+    clients
+}
+
+/// OLD clients with one fixed slack (the *uniform* OLD regime of
+/// Theorem 5.3).
+pub fn uniform_old_clients<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    p: f64,
+    slack: u64,
+) -> Vec<OldClient> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    (0..horizon)
+        .filter(|_| rng.random::<f64>() < p)
+        .map(|t| OldClient::new(t, slack))
+        .collect()
+}
+
+/// Service-window clients allowed every `stride`-th day of a span:
+/// arrivals are Bernoulli(`p`) per day over `[0, horizon)`, each client's
+/// allowed days are `{a, a+stride, …, a+span}` (the §5.6 "specific days"
+/// model; `stride = 1` recovers OLD clients).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0` and `stride > 0`.
+pub fn strided_window_clients<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    p: f64,
+    span: u64,
+    stride: u64,
+) -> Vec<WindowClient> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(stride > 0, "stride must be positive");
+    let mut out = Vec::new();
+    for t in 0..horizon {
+        if rng.random::<f64>() < p {
+            let days: Vec<TimeStep> =
+                (0..=span).step_by(stride as usize).map(|o| t + o).collect();
+            out.push(WindowClient::specific(t, days).expect("strided days are sorted"));
+        }
+    }
+    out
+}
+
+/// Periodic service-window clients ("any Tuesday"): arrivals are
+/// Bernoulli(`p`) per day, each allowed `count` days spaced `period` apart.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0`, `period > 0` and `count > 0`.
+pub fn periodic_window_clients<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    p: f64,
+    period: u64,
+    count: usize,
+) -> Vec<WindowClient> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(period > 0 && count > 0, "period and count must be positive");
+    (0..horizon)
+        .filter(|_| rng.random::<f64>() < p)
+        .map(|t| WindowClient::periodic(t, period, count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::rng::seeded;
+
+    #[test]
+    fn rainy_days_density_matches_p() {
+        let mut rng = seeded(1);
+        let days = rainy_days(&mut rng, 10_000, 0.3);
+        let density = days.len() as f64 / 10_000.0;
+        assert!((density - 0.3).abs() < 0.03, "density {density}");
+        assert!(days.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rainy_days_extremes() {
+        let mut rng = seeded(2);
+        assert!(rainy_days(&mut rng, 100, 0.0).is_empty());
+        assert_eq!(rainy_days(&mut rng, 100, 1.0).len(), 100);
+    }
+
+    #[test]
+    fn bursty_days_stay_in_horizon_and_sorted() {
+        let mut rng = seeded(3);
+        let days = bursty_days(&mut rng, 500, 5, 7);
+        assert!(days.iter().all(|&d| d < 500));
+        assert!(days.windows(2).all(|w| w[0] < w[1]));
+        assert!(!days.is_empty());
+    }
+
+    #[test]
+    fn old_clients_slacks_bounded() {
+        let mut rng = seeded(4);
+        let clients = old_clients(&mut rng, 1000, 0.5, 9);
+        assert!(clients.iter().all(|c| c.slack <= 9));
+        assert!(clients.windows(2).all(|w| w[0].arrival < w[1].arrival));
+        let uniform = uniform_old_clients(&mut rng, 1000, 0.5, 4);
+        assert!(uniform.iter().all(|c| c.slack == 4));
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let a = rainy_days(&mut seeded(7), 200, 0.4);
+        let b = rainy_days(&mut seeded(7), 200, 0.4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strided_window_clients_respect_span_and_stride() {
+        let mut rng = seeded(9);
+        let clients = strided_window_clients(&mut rng, 200, 0.3, 12, 4);
+        assert!(!clients.is_empty());
+        for c in &clients {
+            assert_eq!(c.span(), 12);
+            assert!(c.allowed_days().windows(2).all(|w| w[1] - w[0] == 4));
+        }
+        assert!(clients.windows(2).all(|w| w[0].arrival < w[1].arrival));
+    }
+
+    #[test]
+    fn strided_window_clients_with_stride_one_are_old_like() {
+        let mut rng = seeded(10);
+        let clients = strided_window_clients(&mut rng, 100, 0.5, 5, 1);
+        for c in &clients {
+            assert_eq!(c.allowed_days().len(), 6, "every day of the span allowed");
+        }
+    }
+
+    #[test]
+    fn periodic_window_clients_have_fixed_cadence() {
+        let mut rng = seeded(11);
+        let clients = periodic_window_clients(&mut rng, 100, 0.4, 7, 3);
+        assert!(!clients.is_empty());
+        for c in &clients {
+            assert_eq!(c.allowed_days().len(), 3);
+            assert!(c.allowed_days().windows(2).all(|w| w[1] - w[0] == 7));
+        }
+    }
+}

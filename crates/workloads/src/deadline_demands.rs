@@ -1,0 +1,112 @@
+//! Demand generators for the Chapter 5 extensions: multi-day clients and
+//! weighted, capacitated demands.
+
+use leasing_deadlines::capacitated::WeightedDemand;
+use leasing_deadlines::multi_day::MultiDayClient;
+use rand::{Rng, RngExt};
+
+/// Multi-day clients with durations in `1..=max_duration` and slack of
+/// `duration - 1 + 0..extra_slack` (always feasible).
+///
+/// # Panics
+///
+/// Panics if `max_duration == 0`, `extra_slack == 0` or `max_gap == 0`.
+pub fn multi_day_clients<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    max_gap: u64,
+    max_duration: u64,
+    extra_slack: u64,
+) -> Vec<MultiDayClient> {
+    assert!(max_duration > 0, "max_duration must be positive");
+    assert!(extra_slack > 0, "extra_slack must be positive");
+    assert!(max_gap > 0, "max_gap must be positive");
+    let mut out = Vec::with_capacity(count);
+    let mut t = 0u64;
+    for _ in 0..count {
+        t += rng.random_range(0..max_gap);
+        let duration = 1 + rng.random_range(0..max_duration);
+        let slack = duration - 1 + rng.random_range(0..extra_slack);
+        out.push(MultiDayClient::new(t, slack, duration));
+    }
+    out
+}
+
+/// Weighted demands with weights uniform in `(w_lo, w_hi]` and slack in
+/// `0..max_slack` (all weights must fit the instance capacity; callers pass
+/// `w_hi <= capacity`).
+///
+/// # Panics
+///
+/// Panics if the weight range is not `0 < w_lo < w_hi`, or `max_slack == 0`,
+/// or `max_gap == 0`.
+pub fn weighted_demands<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    max_gap: u64,
+    max_slack: u64,
+    w_lo: f64,
+    w_hi: f64,
+) -> Vec<WeightedDemand> {
+    assert!(w_lo > 0.0 && w_hi > w_lo, "need 0 < w_lo < w_hi");
+    assert!(max_slack > 0, "max_slack must be positive");
+    assert!(max_gap > 0, "max_gap must be positive");
+    let mut out = Vec::with_capacity(count);
+    let mut t = 0u64;
+    for _ in 0..count {
+        t += rng.random_range(0..max_gap);
+        let w = w_lo + (w_hi - w_lo) * rng.random::<f64>();
+        out.push(WeightedDemand::new(t, rng.random_range(0..max_slack), w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+    use leasing_core::rng::seeded;
+    use leasing_deadlines::capacitated::CapacitatedOldInstance;
+    use leasing_deadlines::multi_day::MultiDayInstance;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn multi_day_clients_always_validate() {
+        for seed in 0..10u64 {
+            let clients = multi_day_clients(&mut seeded(seed), 12, 4, 3, 5);
+            assert!(MultiDayInstance::new(structure(), clients).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weighted_demands_always_validate_under_matching_capacity() {
+        for seed in 0..10u64 {
+            let demands = weighted_demands(&mut seeded(seed), 10, 3, 4, 0.2, 0.9);
+            assert!(
+                CapacitatedOldInstance::new(structure(), 1.0, demands).is_ok(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn durations_and_slacks_respect_the_bounds() {
+        let clients = multi_day_clients(&mut seeded(3), 50, 3, 4, 6);
+        for c in &clients {
+            assert!((1..=4).contains(&c.duration));
+            assert!(c.slack >= c.duration - 1);
+            assert!(c.slack < c.duration - 1 + 6);
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        assert_eq!(
+            multi_day_clients(&mut seeded(4), 5, 2, 2, 3),
+            multi_day_clients(&mut seeded(4), 5, 2, 2, 3)
+        );
+    }
+}

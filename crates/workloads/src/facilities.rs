@@ -1,0 +1,135 @@
+//! Facility-leasing workload generators (Chapter 4).
+
+use facility_leasing::instance::FacilityInstance;
+use facility_leasing::metric::Point;
+use facility_leasing::series::ArrivalPattern;
+use leasing_core::lease::LeaseStructure;
+use rand::{Rng, RngExt};
+
+/// Uniformly random points in the `side x side` square.
+pub fn uniform_points<R: Rng + ?Sized>(rng: &mut R, count: usize, side: f64) -> Vec<Point> {
+    (0..count)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect()
+}
+
+/// Gaussian-ish clustered points: `count` points spread around randomly
+/// placed cluster centres with the given spread (box-Muller noise).
+///
+/// # Panics
+///
+/// Panics if `clusters == 0`.
+pub fn clustered_points<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    clusters: usize,
+    side: f64,
+    spread: f64,
+) -> Vec<Point> {
+    assert!(clusters > 0, "need at least one cluster");
+    let centres = uniform_points(rng, clusters, side);
+    (0..count)
+        .map(|i| {
+            let c = centres[i % clusters];
+            let (u1, u2): (f64, f64) = (rng.random(), rng.random());
+            let r = (-2.0 * (1.0 - u1).max(1e-12).ln()).sqrt() * spread;
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            Point::new(c.x + r * theta.cos(), c.y + r * theta.sin())
+        })
+        .collect()
+}
+
+/// A complete facility-leasing instance: `m` facilities at uniform sites,
+/// clients drawn near the facilities, batch sizes following `pattern` over
+/// `steps` consecutive time steps.
+pub fn facility_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    structure: LeaseStructure,
+    pattern: ArrivalPattern,
+    steps: usize,
+    side: f64,
+) -> FacilityInstance {
+    let facility_points = uniform_points(rng, m, side);
+    let sizes = pattern.batch_sizes(steps);
+    let batches: Vec<(u64, Vec<Point>)> = sizes
+        .iter()
+        .enumerate()
+        .map(|(t, &count)| {
+            let pts = clustered_points(rng, count, m.max(1), side, side / 20.0);
+            (t as u64, pts)
+        })
+        .collect();
+    FacilityInstance::euclidean(facility_points, structure, batches)
+        .expect("generated batches are sorted and costs valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::LeaseType;
+    use leasing_core::rng::seeded;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(4, 2.0), LeaseType::new(16, 6.0)]).unwrap()
+    }
+
+    #[test]
+    fn uniform_points_live_in_square() {
+        let mut rng = seeded(1);
+        let pts = uniform_points(&mut rng, 100, 50.0);
+        assert!(pts.iter().all(|p| (0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn clustered_points_stay_near_centres() {
+        let mut rng = seeded(2);
+        let pts = clustered_points(&mut rng, 200, 4, 100.0, 1.0);
+        assert_eq!(pts.len(), 200);
+    }
+
+    #[test]
+    fn facility_instance_matches_pattern() {
+        let mut rng = seeded(3);
+        let inst = facility_instance(
+            &mut rng,
+            5,
+            structure(),
+            ArrivalPattern::Constant(2),
+            6,
+            100.0,
+        );
+        assert_eq!(inst.num_facilities(), 5);
+        assert_eq!(inst.batch_sizes(), vec![2; 6]);
+        assert_eq!(inst.num_clients(), 12);
+    }
+
+    #[test]
+    fn exponential_pattern_blows_up_batches() {
+        let mut rng = seeded(4);
+        let inst = facility_instance(
+            &mut rng,
+            3,
+            structure(),
+            ArrivalPattern::Exponential,
+            5,
+            100.0,
+        );
+        assert_eq!(inst.batch_sizes(), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let gen = |seed| {
+            facility_instance(
+                &mut seeded(seed),
+                4,
+                structure(),
+                ArrivalPattern::Halving(8),
+                4,
+                10.0,
+            )
+        };
+        assert_eq!(gen(9), gen(9));
+    }
+}

@@ -1,0 +1,191 @@
+//! Request-stream generators for the graph-flavoured leasing problems
+//! (Steiner tree leasing, vertex/edge/dominating-set cover leasing).
+
+use leasing_core::time::TimeStep;
+use rand::{Rng, RngExt};
+use steiner_leasing::instance::PairRequest;
+
+/// Steiner pair requests with tunable temporal density and repetition.
+///
+/// Each request advances time by `0..max_gap` steps; with probability
+/// `repeat_bias` it re-issues a previously seen pair (sustained traffic —
+/// the regime where leasing beats per-request buying), otherwise it draws a
+/// fresh uniform pair.
+///
+/// # Panics
+///
+/// Panics if `num_nodes < 2`, `max_gap == 0`, or `repeat_bias` is outside
+/// `[0, 1]`.
+pub fn steiner_requests<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_nodes: usize,
+    count: usize,
+    repeat_bias: f64,
+    max_gap: u64,
+) -> Vec<PairRequest> {
+    assert!(num_nodes >= 2, "need at least two nodes for pairs");
+    assert!(max_gap > 0, "max_gap must be positive");
+    assert!((0.0..=1.0).contains(&repeat_bias), "repeat bias out of range");
+    let mut out: Vec<PairRequest> = Vec::with_capacity(count);
+    let mut t = 0u64;
+    for _ in 0..count {
+        t += rng.random_range(0..max_gap);
+        let (u, v) = if !out.is_empty() && rng.random::<f64>() < repeat_bias {
+            let prev = out[rng.random_range(0..out.len())];
+            (prev.u, prev.v)
+        } else {
+            let u = rng.random_range(0..num_nodes);
+            let v = (u + 1 + rng.random_range(0..num_nodes - 1)) % num_nodes;
+            (u, v)
+        };
+        out.push(PairRequest::new(t, u, v));
+    }
+    out
+}
+
+/// Timed item arrivals (edge ids for vertex cover leasing, vertex ids for
+/// edge cover / dominating set leasing): `count` draws from `0..num_items`,
+/// each advancing time by `0..max_gap`.
+///
+/// # Panics
+///
+/// Panics if `num_items == 0` or `max_gap == 0`.
+pub fn item_arrivals<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_items: usize,
+    count: usize,
+    max_gap: u64,
+) -> Vec<(TimeStep, usize)> {
+    assert!(num_items > 0, "need at least one item");
+    assert!(max_gap > 0, "max_gap must be positive");
+    let mut out = Vec::with_capacity(count);
+    let mut t = 0u64;
+    for _ in 0..count {
+        t += rng.random_range(0..max_gap);
+        out.push((t, rng.random_range(0..num_items)));
+    }
+    out
+}
+
+/// Hot-spot arrivals: a Zipf-ish skew where a few items receive most
+/// demands (the "popular file" / "popular edge" regime).
+///
+/// Item `i` is drawn with probability proportional to `1 / (i + 1)^skew`.
+///
+/// # Panics
+///
+/// Panics if `num_items == 0`, `max_gap == 0`, or `skew < 0`.
+pub fn hotspot_arrivals<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_items: usize,
+    count: usize,
+    skew: f64,
+    max_gap: u64,
+) -> Vec<(TimeStep, usize)> {
+    assert!(num_items > 0, "need at least one item");
+    assert!(max_gap > 0, "max_gap must be positive");
+    assert!(skew >= 0.0, "skew must be non-negative");
+    let weights: Vec<f64> =
+        (0..num_items).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(count);
+    let mut t = 0u64;
+    for _ in 0..count {
+        t += rng.random_range(0..max_gap);
+        let mut x = rng.random::<f64>() * total;
+        let mut item = num_items - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                item = i;
+                break;
+            }
+            x -= w;
+        }
+        out.push((t, item));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::rng::seeded;
+
+    #[test]
+    fn steiner_requests_are_sorted_and_well_formed() {
+        let reqs = steiner_requests(&mut seeded(1), 10, 50, 0.5, 3);
+        assert_eq!(reqs.len(), 50);
+        for w in reqs.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for r in &reqs {
+            assert!(r.u < 10 && r.v < 10);
+            assert_ne!(r.u, r.v);
+        }
+    }
+
+    #[test]
+    fn repeat_bias_one_repeats_the_first_pair() {
+        let reqs = steiner_requests(&mut seeded(2), 5, 20, 1.0, 2);
+        let (u, v) = (reqs[0].u, reqs[0].v);
+        assert!(reqs.iter().all(|r| (r.u, r.v) == (u, v)));
+    }
+
+    #[test]
+    fn repeat_bias_zero_gives_varied_pairs() {
+        let reqs = steiner_requests(&mut seeded(3), 20, 50, 0.0, 2);
+        let distinct: std::collections::HashSet<(usize, usize)> =
+            reqs.iter().map(|r| (r.u, r.v)).collect();
+        assert!(distinct.len() > 10, "only {} distinct pairs", distinct.len());
+    }
+
+    #[test]
+    fn item_arrivals_are_sorted_and_in_range() {
+        let arr = item_arrivals(&mut seeded(4), 7, 30, 4);
+        for w in arr.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(arr.iter().all(|&(_, i)| i < 7));
+    }
+
+    #[test]
+    fn hotspot_skew_concentrates_on_early_items() {
+        let arr = hotspot_arrivals(&mut seeded(5), 20, 2000, 2.0, 2);
+        let head = arr.iter().filter(|&&(_, i)| i < 2).count();
+        assert!(
+            head > arr.len() / 2,
+            "items 0-1 got only {head}/{} with skew 2",
+            arr.len()
+        );
+    }
+
+    #[test]
+    fn hotspot_skew_zero_is_roughly_uniform() {
+        let arr = hotspot_arrivals(&mut seeded(6), 4, 4000, 0.0, 2);
+        for item in 0..4 {
+            let n = arr.iter().filter(|&&(_, i)| i == item).count();
+            assert!(
+                (800..1200).contains(&n),
+                "item {item} drawn {n} times under uniform skew"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        assert_eq!(
+            steiner_requests(&mut seeded(7), 8, 10, 0.4, 3),
+            steiner_requests(&mut seeded(7), 8, 10, 0.4, 3)
+        );
+        assert_eq!(
+            hotspot_arrivals(&mut seeded(8), 5, 10, 1.0, 3),
+            hotspot_arrivals(&mut seeded(8), 5, 10, 1.0, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn steiner_requests_reject_tiny_graphs() {
+        let _ = steiner_requests(&mut seeded(9), 1, 5, 0.0, 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded workload generators for every experiment in the workspace.
+//!
+//! The thesis evaluates nothing empirically, so the experiments in
+//! `EXPERIMENTS.md` generate synthetic workloads that exercise exactly the
+//! regimes the theorems distinguish: arrival density and burstiness for the
+//! parking permit problem, `δ`-bounded random set systems for Chapter 3,
+//! clustered metrics and the four arrival patterns of Corollary 4.7 for
+//! Chapter 4, and slack distributions for Chapter 5.
+//!
+//! All generators are deterministic functions of an explicit [`rand::Rng`];
+//! experiments print their seeds.
+
+pub mod arrivals;
+pub mod deadline_demands;
+pub mod facilities;
+pub mod graph_demands;
+pub mod set_systems;
+
+pub use arrivals::{bursty_days, rainy_days};
+pub use deadline_demands::{multi_day_clients, weighted_demands};
+pub use graph_demands::{hotspot_arrivals, item_arrivals, steiner_requests};
+pub use set_systems::random_system;

@@ -1,0 +1,133 @@
+//! Random set systems and element arrival sequences (Chapters 3 and 5).
+
+use leasing_core::time::TimeStep;
+use rand::{Rng, RngExt};
+use set_cover_leasing::instance::Arrival;
+use set_cover_leasing::system::SetSystem;
+
+/// A random set system over `n` elements and `m` sets in which every
+/// element belongs to between 1 and `delta` sets (chosen uniformly).
+/// Guarantees `system.delta() <= delta` and full coverability.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0` or `delta == 0`.
+pub fn random_system<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    delta: usize,
+) -> SetSystem {
+    assert!(n > 0 && m > 0 && delta > 0, "system dimensions must be positive");
+    let delta = delta.min(m);
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for e in 0..n {
+        let memberships = 1 + rng.random_range(0..delta);
+        // Sample `memberships` distinct sets by partial Fisher-Yates.
+        let mut ids: Vec<usize> = (0..m).collect();
+        for pick in 0..memberships {
+            let j = pick + rng.random_range(0..(m - pick));
+            ids.swap(pick, j);
+            sets[ids[pick]].push(e);
+        }
+    }
+    SetSystem::new(n, sets).expect("generated memberships are in range")
+}
+
+/// Zipf-like element popularity: element `e` is drawn with probability
+/// proportional to `1/(e+1)^s`.
+fn zipf_pick<R: Rng + ?Sized>(rng: &mut R, n: usize, s: f64, weights_sum: f64) -> usize {
+    let mut target = rng.random::<f64>() * weights_sum;
+    for e in 0..n {
+        let w = 1.0 / ((e + 1) as f64).powf(s);
+        if target < w {
+            return e;
+        }
+        target -= w;
+    }
+    n - 1
+}
+
+/// A timed arrival sequence of `count` demands over `[0, horizon)`: arrival
+/// times sorted uniform, elements Zipf(`s`)-popular, multiplicities uniform
+/// in `[1, p_max]` (clamped to each element's membership count so the
+/// instance stays feasible).
+///
+/// # Panics
+///
+/// Panics if `horizon == 0` or `p_max == 0`.
+pub fn zipf_arrivals<R: Rng + ?Sized>(
+    rng: &mut R,
+    system: &SetSystem,
+    count: usize,
+    horizon: TimeStep,
+    s: f64,
+    p_max: usize,
+) -> Vec<Arrival> {
+    assert!(horizon > 0, "horizon must be positive");
+    assert!(p_max > 0, "p_max must be positive");
+    let n = system.num_elements();
+    let weights_sum: f64 = (0..n).map(|e| 1.0 / ((e + 1) as f64).powf(s)).sum();
+    let mut times: Vec<TimeStep> =
+        (0..count).map(|_| rng.random_range(0..horizon)).collect();
+    times.sort_unstable();
+    times
+        .into_iter()
+        .map(|t| {
+            let e = zipf_pick(rng, n, s, weights_sum);
+            let max_p = system.sets_containing(e).len().min(p_max).max(1);
+            let p = 1 + rng.random_range(0..max_p);
+            let p = p.min(max_p);
+            Arrival::new(t, e, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::rng::seeded;
+
+    #[test]
+    fn random_system_respects_delta_and_coverability() {
+        let mut rng = seeded(11);
+        for _ in 0..10 {
+            let sys = random_system(&mut rng, 20, 8, 3);
+            assert!(sys.delta() <= 3, "delta {}", sys.delta());
+            for e in 0..20 {
+                assert!(
+                    !sys.sets_containing(e).is_empty(),
+                    "element {e} must be coverable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_arrivals_are_sorted_and_feasible() {
+        let mut rng = seeded(13);
+        let sys = random_system(&mut rng, 30, 10, 4);
+        let arrivals = zipf_arrivals(&mut rng, &sys, 100, 64, 1.1, 3);
+        assert_eq!(arrivals.len(), 100);
+        assert!(arrivals.windows(2).all(|w| w[0].time <= w[1].time));
+        for a in &arrivals {
+            assert!(sys.supports_multiplicity(a.element, a.multiplicity));
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_index_elements() {
+        let mut rng = seeded(17);
+        let sys = random_system(&mut rng, 50, 10, 4);
+        let arrivals = zipf_arrivals(&mut rng, &sys, 2000, 100, 1.5, 1);
+        let low = arrivals.iter().filter(|a| a.element < 10).count();
+        assert!(low > arrivals.len() / 2, "low-index arrivals {low}");
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let a = random_system(&mut seeded(3), 10, 5, 2);
+        let b = random_system(&mut seeded(3), 10, 5, 2);
+        assert_eq!(a, b);
+    }
+}

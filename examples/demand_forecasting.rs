@@ -1,0 +1,61 @@
+//! Stochastic leasing: a subcontractor with last year's demand statistics
+//! (thesis §3.5/§5.6 outlook) leases smarter than the worst-case algorithm
+//! — and hedges against a wrong forecast.
+//!
+//! ```text
+//! cargo run --release --example demand_forecasting
+//! ```
+
+use online_resource_leasing::core::interval::power_of_two_structure;
+use online_resource_leasing::core::rng::seeded;
+use online_resource_leasing::parking_permit::det::DeterministicPrimalDual;
+use online_resource_leasing::parking_permit::offline;
+use online_resource_leasing::parking_permit::PermitOnline;
+use online_resource_leasing::stochastic::demand::{DemandProcess, MarkovModulated};
+use online_resource_leasing::stochastic::policies::{RateThreshold, SwitchCombiner};
+
+fn main() {
+    let seed = 99u64;
+    // Day / week / quarter leases.
+    let leases = power_of_two_structure(&[(0, 1.0), (3, 4.0), (6, 16.0)]);
+
+    // Bursty demand: rainy spells stick around (stay 0.85, turn 0.1).
+    let process = MarkovModulated::new(365, 0.85, 0.10);
+    let days = process.sample(&mut seeded(seed));
+    let opt = offline::optimal_cost_interval_model(&leases, &days);
+    println!(
+        "{} demand days over a year, stationary rate {:.2} (seed {seed})",
+        days.len(),
+        process.stationary_rate()
+    );
+    println!("clairvoyant optimum: {opt:>8.2}\n");
+
+    // Worst-case algorithm: no distributional knowledge.
+    let mut worst_case = DeterministicPrimalDual::new(leases.clone());
+    // Informed policy: knows the stationary rate.
+    let mut informed = RateThreshold::new(leases.clone(), process.stationary_rate());
+    // Hedged policy: follows a (possibly wrong) forecast but simulates the
+    // worst-case algorithm alongside and switches when the forecast loses.
+    let mut hedged = SwitchCombiner::new(
+        leases.clone(),
+        RateThreshold::new(leases.clone(), 0.05), // a badly wrong forecast
+        DeterministicPrimalDual::new(leases.clone()),
+    );
+    for &t in &days {
+        worst_case.serve_demand(t);
+        informed.serve_demand(t);
+        hedged.serve_demand(t);
+    }
+
+    let report = |name: &str, cost: f64| {
+        println!("{name:<28} {cost:>8.2}  (x{:.2} of OPT)", cost / opt);
+    };
+    report("worst-case primal-dual:", PermitOnline::total_cost(&worst_case));
+    report("rate-informed policy:", PermitOnline::total_cost(&informed));
+    report("hedged (wrong forecast):", PermitOnline::total_cost(&hedged));
+    println!(
+        "\nhedge switched leader {} times; inner costs (forecast, worst-case) = {:.2?}",
+        hedged.switches(),
+        hedged.inner_costs()
+    );
+}

@@ -1,0 +1,82 @@
+//! A sensor field elects its own service nodes — no central authority.
+//!
+//! ```text
+//! cargo run --release --example distributed_sensors
+//! ```
+//!
+//! The §4.5 outlook asks for facility leasing "where a solution is computed
+//! not by a central authority but a network of distributed sensor nodes".
+//! This example runs the full distributed per-step pipeline on a simulated
+//! sensor field:
+//!
+//! 1. **Phase 1 (bidding)** — client sensors grow their dual potentials
+//!    geometrically (`1 + ε` per round) and bid towards candidate gateway
+//!    nodes; a gateway declares itself open when the bids cover its lease
+//!    price. Pure message passing, LOCAL model, round/message accounting.
+//! 2. **Phase 2 (conflict resolution)** — temporarily open gateways run
+//!    Luby's randomized MIS on their conflict graph so no client pays for
+//!    two gateways.
+//!
+//! The centralized Jain–Vazirani-style primal-dual (the §4.1 offline
+//! baseline) runs on the same instance as the quality reference, and the
+//! example sweeps `ε` to show the accuracy/latency dial an operator gets.
+
+use online_resource_leasing::core::rng::seeded;
+use online_resource_leasing::distributed::bidding::{distributed_step, BiddingInstance};
+use online_resource_leasing::facility::instance::FacilityInstance;
+use online_resource_leasing::facility::metric::Point;
+use online_resource_leasing::facility::offline_primal_dual;
+use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
+use rand::RngExt;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 100m x 100m field: 5 candidate gateways, 24 client sensors.
+    let mut rng = seeded(45);
+    let side = 100.0;
+    let gateways: Vec<Point> = (0..5)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+    let sensors: Vec<Point> = (0..24)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+    let price = 30.0; // leasing a gateway for the step costs 30 energy units
+    let distances: Vec<Vec<f64>> = gateways
+        .iter()
+        .map(|g| sensors.iter().map(|s| g.distance(s)).collect())
+        .collect();
+    let instance = BiddingInstance::new(vec![price; gateways.len()], distances)?;
+
+    // Centralized reference: the exact primal-dual on the same single step.
+    let structure = LeaseStructure::new(vec![LeaseType::new(1, price)])?;
+    let central_inst =
+        FacilityInstance::euclidean(gateways.clone(), structure, vec![(0, sensors.clone())])
+            .expect("valid facility instance");
+    let central = offline_primal_dual::solve(&central_inst);
+    println!("centralized primal-dual reference: cost {:.1}\n", central.total_cost());
+
+    println!(
+        "{:>6} | {:>10} | {:>8} | {:>9} | {:>9} | {:>10}",
+        "eps", "cost", "vs exact", "rounds", "messages", "gateways"
+    );
+    println!("{}", "-".repeat(66));
+    for eps in [0.5, 0.2, 0.1, 0.05, 0.02] {
+        let step = distributed_step(&instance, eps, 45);
+        println!(
+            "{:>6.2} | {:>10.1} | {:>8.3} | {:>9} | {:>9} | {:>10}",
+            eps,
+            step.total_cost,
+            step.total_cost / central.total_cost(),
+            step.bidding.stats.rounds,
+            step.bidding.stats.messages,
+            step.chosen.len(),
+        );
+        // Every sensor must be assigned to a chosen gateway.
+        assert_eq!(step.assignment.len(), sensors.len());
+        assert!(step.assignment.iter().all(|g| step.chosen.contains(g)));
+    }
+
+    println!("\nSmaller ε buys accuracy (cost approaches the centralized reference)");
+    println!("at the price of more bidding rounds — the LOCAL-model latency dial.");
+    println!("No node ever talks to a non-neighbor; the simulator enforces it.");
+    Ok(())
+}

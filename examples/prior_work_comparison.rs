@@ -1,0 +1,67 @@
+//! Prior work vs the thesis: two online facility-leasing strategies side
+//! by side (thesis §4.1 vs §4.3).
+//!
+//! ```text
+//! cargo run --release --example prior_work_comparison
+//! ```
+//!
+//! A subcontractor (the Chapter 1.3 narrative) leases cloud machines near
+//! its clients. Before the thesis, the state of the art was the
+//! Nagarajan–Williamson sequential primal-dual with an `O(K log n)`
+//! guarantee — fine for short engagements, but its bound grows with the
+//! number of clients `n`. The Chapter 4 algorithm batches each day's
+//! clients and prunes conflicts per lease type, earning a guarantee that
+//! depends only on the lease structure (`4(3+K)·H_{l_max}`) — the business
+//! can run forever without the guarantee degrading.
+
+use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
+use online_resource_leasing::core::rng::seeded;
+use online_resource_leasing::facility::nagarajan_williamson::NagarajanWilliamson;
+use online_resource_leasing::facility::offline;
+use online_resource_leasing::facility::online::PrimalDualFacility;
+use online_resource_leasing::facility::series::{h_lmax_rounds, ArrivalPattern};
+use online_resource_leasing::workloads::facilities::facility_instance;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Machines: lease 4 days for 2.0 or 16 days for 6.0.
+    let leases = LeaseStructure::new(vec![
+        LeaseType::new(4, 2.0),
+        LeaseType::new(16, 6.0),
+    ])?;
+    let k = leases.num_types() as f64;
+
+    println!("horizon | n   | thesis | prior work | thesis bound | prior bound");
+    println!("--------+-----+--------+------------+--------------+------------");
+    for steps in [8usize, 16, 32, 64] {
+        let mut rng = seeded(2015);
+        let inst = facility_instance(
+            &mut rng,
+            5,
+            leases.clone(),
+            ArrivalPattern::Constant(2),
+            steps,
+            50.0,
+        );
+        let n = inst.num_clients();
+        let opt = offline::optimal_cost(&inst, 50_000)
+            .unwrap_or_else(|| offline::lp_lower_bound(&inst));
+
+        let thesis = PrimalDualFacility::new(&inst).run();
+        let prior = NagarajanWilliamson::new(&inst).run();
+        let timed: Vec<(u64, usize)> =
+            inst.batches().iter().map(|b| (b.time, b.clients.len())).collect();
+        let h = h_lmax_rounds(&timed, leases.l_max());
+        println!(
+            "{steps:7} | {n:3} | {:6.3} | {:10.3} | {:12.1} | {:10.1}",
+            thesis / opt,
+            prior / opt,
+            4.0 * (3.0 + k) * h,
+            k * (n as f64).log2(),
+        );
+    }
+    println!();
+    println!("Both stay near the optimum on random demand, but only the thesis");
+    println!("bound is independent of n: the prior-work column's guarantee keeps");
+    println!("growing as the subcontractor's client base does.");
+    Ok(())
+}

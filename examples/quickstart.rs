@@ -1,0 +1,61 @@
+//! Quickstart: the parking permit problem end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Buys permits online for a random rainy-day sequence with the
+//! deterministic `O(K)` algorithm and the randomized `O(log K)` algorithm,
+//! then compares both against the exact offline optimum.
+
+use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
+use online_resource_leasing::core::rng::seeded;
+use online_resource_leasing::parking_permit::det::DeterministicPrimalDual;
+use online_resource_leasing::parking_permit::offline;
+use online_resource_leasing::parking_permit::rand_alg::RandomizedPermit;
+use online_resource_leasing::parking_permit::PermitOnline;
+use online_resource_leasing::workloads::rainy_days;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Permits: 1 day for 1 EUR, a 8-day week pass for 5 EUR, a 64-day season
+    // pass for 20 EUR.
+    let permits = LeaseStructure::new(vec![
+        LeaseType::new(1, 1.0),
+        LeaseType::new(8, 5.0),
+        LeaseType::new(64, 20.0),
+    ])?;
+
+    let seed = 7u64;
+    let mut rng = seeded(seed);
+    let rain = rainy_days(&mut rng, 256, 0.35);
+    println!("{} rainy days over 256 days (seed {seed})", rain.len());
+
+    let mut det = DeterministicPrimalDual::new(permits.clone());
+    for &day in &rain {
+        det.serve_demand(day);
+    }
+
+    let mut rand_alg = RandomizedPermit::new(permits.clone(), &mut rng);
+    for &day in &rain {
+        rand_alg.serve_demand(day);
+    }
+
+    let opt = offline::optimal_cost_interval_model(&permits, &rain);
+    println!("offline optimum:        {opt:>8.2} EUR");
+    println!(
+        "deterministic online:   {:>8.2} EUR  (ratio {:.2}, bound K = {})",
+        det.total_cost(),
+        det.total_cost() / opt,
+        permits.num_types()
+    );
+    println!(
+        "randomized online:      {:>8.2} EUR  (ratio {:.2}, bound O(log K))",
+        rand_alg.total_cost(),
+        rand_alg.total_cost() / opt
+    );
+    println!(
+        "dual certificate:       {:>8.2} EUR  (lower bound on OPT by weak duality)",
+        det.dual_value()
+    );
+    Ok(())
+}

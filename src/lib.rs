@@ -1,0 +1,125 @@
+//! # Online Resource Leasing
+//!
+//! A faithful, from-scratch Rust reproduction of *“Online Resource
+//! Leasing”* (Christine Markarian, 2015; announced at PODC 2015 with
+//! Friedhelm Meyer auf der Heide). This facade crate re-exports the whole
+//! workspace:
+//!
+//! | Module | Thesis chapter | Contents |
+//! |---|---|---|
+//! | [`core`] | Ch. 2 | lease structures, interval model (Lemma 2.6), leasing framework (§2.3), ski rental |
+//! | [`lp`] | §2.1 | from-scratch two-phase simplex + branch-and-bound ILP substrate |
+//! | [`covering`] | §2.1 | generic online primal-dual covering engine (Buchbinder–Naor) with online dual certificates; Algorithms 2/3/5 as bit-equal instances |
+//! | [`parking_permit`] | §2.2 | Meyerson's parking permit problem: deterministic `O(K)` and randomized `O(log K)` algorithms, offline DP optima, lower-bound adversaries |
+//! | [`set_cover`] | Ch. 3 | set (multi)cover leasing: `O(log(δK) log n)` randomized algorithm, online set cover variants, §3.5 lower-bound adversaries |
+//! | [`facility`] | Ch. 4 | facility leasing: `4(3+K)·H_{l_max}`-competitive primal-dual algorithm, the Nagarajan–Williamson `O(K log n)` prior work, and facility leasing with deadlines (§5.6) |
+//! | [`deadlines`] | Ch. 5 | leasing with deadlines (OLD) and set cover leasing with deadlines (SCLD), plus the §5.6 multi-day, capacitated, specific-day-window and randomized extensions |
+//! | [`graph`] | — | graph substrate (Dijkstra, Kruskal, generators) |
+//! | [`steiner`] | §5.1 | Steiner tree leasing (Meyerson's companion problem) |
+//! | [`graph_cover`] | §3.5 | vertex/edge/dominating-set cover leasing |
+//! | [`capacitated`] | §4.5 | capacitated facility leasing and the scheduling view |
+//! | [`stochastic`] | §3.5/§5.6 | demand distributions, prediction policies, price paths |
+//! | [`distributed`] | §4.5 | LOCAL-model simulator, Luby MIS, distributed phase 2 |
+//! | [`workloads`] | — | seeded instance generators for every experiment |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
+//! use online_resource_leasing::parking_permit::{det::DeterministicPrimalDual, offline};
+//! use online_resource_leasing::core::framework::OnlineAlgorithm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Permits: 1 day for 1.0, 4 days for 3.0, 16 days for 8.0.
+//! let permits = LeaseStructure::new(vec![
+//!     LeaseType::new(1, 1.0),
+//!     LeaseType::new(4, 3.0),
+//!     LeaseType::new(16, 8.0),
+//! ])?;
+//!
+//! // Rainy days arrive online.
+//! let rainy_days = [0u64, 1, 2, 3, 9, 10, 11];
+//! let mut alg = DeterministicPrimalDual::new(permits.clone());
+//! for &day in &rainy_days {
+//!     alg.serve(day, ());
+//! }
+//!
+//! let opt = offline::optimal_cost_interval_model(&permits, &rainy_days);
+//! assert!(alg.total_cost() <= permits.num_types() as f64 * opt + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+/// Core leasing framework (re-export of [`leasing_core`]).
+pub mod core {
+    pub use leasing_core::*;
+}
+
+/// LP/ILP substrate (re-export of [`leasing_lp`]).
+pub mod lp {
+    pub use leasing_lp::*;
+}
+
+/// Generic online covering engine, §2.1 (re-export of [`online_covering`]).
+pub mod covering {
+    pub use online_covering::*;
+}
+
+/// Parking permit problem, §2.2 (re-export of [`parking_permit`]).
+pub mod parking_permit {
+    pub use ::parking_permit::*;
+}
+
+/// Set (multi)cover leasing, Chapter 3 (re-export of [`set_cover_leasing`]).
+pub mod set_cover {
+    pub use set_cover_leasing::*;
+}
+
+/// Facility leasing, Chapter 4 (re-export of [`facility_leasing`]).
+pub mod facility {
+    pub use facility_leasing::*;
+}
+
+/// Leasing with deadlines, Chapter 5 (re-export of [`leasing_deadlines`]).
+pub mod deadlines {
+    pub use leasing_deadlines::*;
+}
+
+/// Graph substrate (re-export of [`leasing_graph`]).
+pub mod graph {
+    pub use leasing_graph::*;
+}
+
+/// Steiner tree leasing, §5.1 (re-export of [`steiner_leasing`]).
+pub mod steiner {
+    pub use steiner_leasing::*;
+}
+
+/// Graph covering leasing, Chapter 3 outlook (re-export of
+/// [`graph_cover_leasing`]).
+pub mod graph_cover {
+    pub use graph_cover_leasing::*;
+}
+
+/// Capacitated facility leasing, Chapter 4 outlook (re-export of
+/// [`capacitated_facility`]).
+pub mod capacitated {
+    pub use capacitated_facility::*;
+}
+
+/// Stochastic leasing, Chapters 3/5 outlook (re-export of
+/// [`stochastic_leasing`]).
+pub mod stochastic {
+    pub use stochastic_leasing::*;
+}
+
+/// Distributed leasing, Chapter 4 outlook (re-export of
+/// [`distributed_leasing`]).
+pub mod distributed {
+    pub use distributed_leasing::*;
+}
+
+/// Seeded workload generators (re-export of [`leasing_workloads`]).
+pub mod workloads {
+    pub use leasing_workloads::*;
+}

@@ -1,0 +1,87 @@
+//! API-contract tests per the Rust API guidelines: every public data type
+//! implements the common traits (`Clone`, `Debug`), is `Send + Sync`
+//! (C-SEND-SYNC), and the instance/data types are Serde-serializable
+//! (C-SERDE). Error types implement `std::error::Error` and display
+//! lowercase, punctuation-free messages (C-GOOD-ERR).
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn assert_common<T: Clone + std::fmt::Debug + Send + Sync>() {}
+fn assert_serde<T: Serialize + DeserializeOwned>() {}
+fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+
+#[test]
+fn core_types_implement_the_common_traits() {
+    use online_resource_leasing::core::framework::Triple;
+    use online_resource_leasing::core::lease::{Lease, LeaseStructure, LeaseType};
+    use online_resource_leasing::core::time::Window;
+    assert_common::<LeaseType>();
+    assert_common::<LeaseStructure>();
+    assert_common::<Lease>();
+    assert_common::<Triple>();
+    assert_common::<Window>();
+    assert_serde::<LeaseType>();
+    assert_serde::<LeaseStructure>();
+    assert_serde::<Lease>();
+    assert_serde::<Triple>();
+    assert_serde::<Window>();
+}
+
+#[test]
+fn instance_types_are_serializable() {
+    assert_serde::<online_resource_leasing::set_cover::system::SetSystem>();
+    assert_serde::<online_resource_leasing::set_cover::instance::SmclInstance>();
+    assert_serde::<online_resource_leasing::facility::instance::FacilityInstance>();
+    assert_serde::<online_resource_leasing::graph::graph::Graph>();
+    assert_serde::<online_resource_leasing::steiner::instance::SteinerInstance>();
+    assert_serde::<online_resource_leasing::graph_cover::vertex_cover::VcLeasingInstance>();
+    assert_serde::<online_resource_leasing::capacitated::instance::CapacitatedInstance>();
+    assert_serde::<online_resource_leasing::deadlines::multi_day::MultiDayInstance>();
+    assert_serde::<online_resource_leasing::deadlines::capacitated::CapacitatedOldInstance>();
+}
+
+#[test]
+fn error_types_are_well_behaved() {
+    assert_error::<online_resource_leasing::core::lease::LeaseStructureError>();
+    assert_error::<online_resource_leasing::graph::graph::GraphError>();
+    assert_error::<online_resource_leasing::set_cover::system::SetSystemError>();
+    assert_error::<online_resource_leasing::set_cover::instance::InstanceError>();
+    assert_error::<online_resource_leasing::steiner::instance::SteinerInstanceError>();
+    assert_error::<online_resource_leasing::graph_cover::vertex_cover::VcInstanceError>();
+    assert_error::<online_resource_leasing::capacitated::instance::CapacitatedError>();
+    assert_error::<online_resource_leasing::deadlines::multi_day::MultiDayError>();
+    assert_error::<online_resource_leasing::deadlines::capacitated::CapacitatedOldError>();
+}
+
+#[test]
+fn error_messages_are_lowercase_without_trailing_punctuation() {
+    use online_resource_leasing::core::lease::LeaseStructureError;
+    use online_resource_leasing::graph::graph::GraphError;
+    let messages = [
+        LeaseStructureError::Empty.to_string(),
+        LeaseStructureError::ZeroLength(1).to_string(),
+        GraphError::SelfLoop(0).to_string(),
+        GraphError::InvalidWeight(2).to_string(),
+    ];
+    for msg in messages {
+        let first = msg.chars().next().expect("non-empty message");
+        assert!(
+            first.is_lowercase() || first.is_numeric(),
+            "message must start lowercase: {msg}"
+        );
+        assert!(
+            !msg.ends_with('.') && !msg.ends_with('!'),
+            "no trailing punctuation: {msg}"
+        );
+    }
+}
+
+#[test]
+fn algorithms_are_send_so_experiments_can_parallelize() {
+    fn assert_send<T: Send>() {}
+    assert_send::<online_resource_leasing::parking_permit::det::DeterministicPrimalDual>();
+    assert_send::<online_resource_leasing::parking_permit::rand_alg::RandomizedPermit>();
+    assert_send::<online_resource_leasing::stochastic::policies::RateThreshold>();
+    assert_send::<online_resource_leasing::stochastic::prices::PricePath>();
+}

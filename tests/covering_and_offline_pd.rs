@@ -1,0 +1,230 @@
+//! Cross-crate integration tests for the generic covering engine
+//! (`online-covering`), the offline facility primal-dual baseline and the
+//! distributed phase-1 bidding — the 0.3.0 additions.
+//!
+//! These complement the per-crate unit tests with workload-scale instances
+//! and cross-checks that need several crates at once (exact DP/ILP optima,
+//! LP lower bounds, the online algorithms being re-derived).
+
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::rng::seeded;
+use leasing_workloads::set_systems::{random_system, zipf_arrivals};
+use online_resource_leasing::covering::{GenericParkingPermit, GenericScld, GenericSmcl};
+use online_resource_leasing::deadlines::scld::{ScldArrival, ScldInstance};
+use online_resource_leasing::facility::instance::FacilityInstance;
+use online_resource_leasing::facility::metric::Point;
+use online_resource_leasing::facility::{offline as fac_offline, offline_primal_dual};
+use online_resource_leasing::parking_permit::rand_alg::RandomizedPermit;
+use online_resource_leasing::parking_permit::{offline as ppp_offline, PermitOnline};
+use online_resource_leasing::set_cover::instance::SmclInstance;
+use online_resource_leasing::set_cover::offline as sc_offline;
+use online_resource_leasing::set_cover::online::SmclOnline;
+use rand::RngExt;
+
+fn permits() -> LeaseStructure {
+    LeaseStructure::new(vec![
+        LeaseType::new(1, 1.0),
+        LeaseType::new(4, 3.0),
+        LeaseType::new(16, 8.0),
+    ])
+    .expect("valid structure")
+}
+
+fn sets_structure() -> LeaseStructure {
+    LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)])
+        .expect("valid structure")
+}
+
+/// The generic engine and the specialized Chapter 3 algorithm stay
+/// bit-equal on workload-scale instances, across seeds.
+#[test]
+fn unification_holds_at_workload_scale() {
+    for trial in 0..6u64 {
+        let mut rng = seeded(4000 + trial);
+        let system = random_system(&mut rng, 60, 30, 5);
+        let arrivals = zipf_arrivals(&mut rng, &system, 120, 256, 1.2, 3);
+        let inst =
+            SmclInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
+        let mut spec = SmclOnline::new(&inst, trial);
+        let mut gen = GenericSmcl::new(&inst, trial);
+        assert_eq!(spec.run().to_bits(), gen.run().to_bits(), "trial {trial}");
+    }
+}
+
+/// The engine's online dual certificate never exceeds the exact optimum,
+/// across all three problem families it re-derives.
+#[test]
+fn certificates_are_sound_across_problem_families() {
+    // Parking permit: exact DP optimum.
+    let mut rng = seeded(4100);
+    let days: Vec<u64> = (0..200u64).filter(|_| rng.random::<f64>() < 0.3).collect();
+    let mut permit = GenericParkingPermit::with_threshold(permits(), 0.37);
+    for &t in &days {
+        permit.serve_demand(t);
+    }
+    let opt = ppp_offline::optimal_cost_interval_model(&permits(), &days);
+    let cert = permit.certificate();
+    assert!(cert.lower_bound <= opt + 1e-9, "permit: {} > {opt}", cert.lower_bound);
+    assert!(cert.lower_bound > 0.0);
+
+    // SMCL: exact ILP (small instance).
+    let mut rng = seeded(4101);
+    let system = random_system(&mut rng, 16, 8, 3);
+    let arrivals = zipf_arrivals(&mut rng, &system, 16, 64, 1.1, 2);
+    let inst = SmclInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
+    let mut smcl = GenericSmcl::new(&inst, 9);
+    smcl.run();
+    let opt = sc_offline::optimal_cost(&inst, 50_000)
+        .unwrap_or_else(|| sc_offline::lp_lower_bound(&inst));
+    let cert = smcl.certificate();
+    assert!(cert.lower_bound <= opt + 1e-9, "smcl: {} > {opt}", cert.lower_bound);
+
+    // SCLD: certificate below the algorithm's own cost and non-negative
+    // (the served layers' LP has no small exact solver; soundness against
+    // the LP is covered by the unit tests of the fractional module).
+    let mut rng = seeded(4102);
+    let system = random_system(&mut rng, 16, 8, 3);
+    let mut t = 0u64;
+    let arrivals: Vec<ScldArrival> = (0..16)
+        .map(|_| {
+            t += rng.random_range(0..3u64);
+            ScldArrival::new(t, rng.random_range(0..16usize), rng.random_range(0..8u64))
+        })
+        .collect();
+    let inst = ScldInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
+    let mut scld = GenericScld::new(&inst, 9);
+    let cost = scld.run();
+    let cert = scld.certificate();
+    assert!(cert.lower_bound <= cost + 1e-9);
+    assert!(cert.lower_bound >= 0.0);
+}
+
+/// Certified ratios (cost / certificate) upper-bound true ratios
+/// (cost / Opt) — the property that makes the certificate useful when the
+/// ILP is out of reach.
+#[test]
+fn certified_ratio_dominates_true_ratio() {
+    for trial in 0..4u64 {
+        let mut rng = seeded(4200 + trial);
+        let system = random_system(&mut rng, 20, 10, 4);
+        let arrivals = zipf_arrivals(&mut rng, &system, 20, 64, 1.1, 2);
+        let inst =
+            SmclInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
+        let Some(opt) = sc_offline::optimal_cost(&inst, 50_000) else {
+            continue;
+        };
+        let mut alg = GenericSmcl::new(&inst, trial);
+        let cost = alg.run();
+        let cert = alg.certificate();
+        let true_ratio = cost / opt;
+        let certified = cost / cert.lower_bound.max(1e-12);
+        assert!(
+            certified + 1e-9 >= true_ratio,
+            "trial {trial}: certified {certified} < true {true_ratio}"
+        );
+    }
+}
+
+/// Both randomized parking-permit implementations (specialized and generic)
+/// have the same *expected* cost, estimated over many seeds — a sanity
+/// check beyond per-seed bit-equality.
+#[test]
+fn parking_permit_expected_costs_agree() {
+    let days: Vec<u64> = (0..24).chain(64..72).collect();
+    let trials = 60u64;
+    let (mut spec_total, mut gen_total) = (0.0, 0.0);
+    for seed in 0..trials {
+        let mut r1 = seeded(seed);
+        let mut r2 = seeded(seed);
+        let mut spec = RandomizedPermit::new(permits(), &mut r1);
+        let mut gen = GenericParkingPermit::new(permits(), &mut r2);
+        for &t in &days {
+            spec.serve_demand(t);
+            gen.serve_demand(t);
+        }
+        spec_total += PermitOnline::total_cost(&spec);
+        gen_total += PermitOnline::total_cost(&gen);
+    }
+    assert!((spec_total - gen_total).abs() < 1e-9);
+}
+
+/// The offline facility primal-dual is feasible, certified, and within the
+/// factor-3 envelope of the exact ILP on mixed-batch instances.
+#[test]
+fn offline_primal_dual_respects_three_approximation_envelope() {
+    let structure =
+        LeaseStructure::new(vec![LeaseType::new(4, 2.0), LeaseType::new(16, 6.0)])
+            .expect("valid structure");
+    for trial in 0..5u64 {
+        let mut rng = seeded(4300 + trial);
+        let facilities: Vec<Point> = (0..3)
+            .map(|_| Point::new(rng.random::<f64>() * 15.0, rng.random::<f64>() * 15.0))
+            .collect();
+        let batches: Vec<(u64, Vec<Point>)> = (0..4u64)
+            .map(|t| {
+                let pts = (0..2)
+                    .map(|_| {
+                        Point::new(rng.random::<f64>() * 15.0, rng.random::<f64>() * 15.0)
+                    })
+                    .collect();
+                (t * 3, pts)
+            })
+            .collect();
+        let inst = FacilityInstance::euclidean(facilities, structure.clone(), batches)
+            .expect("valid instance");
+        let sol = offline_primal_dual::solve(&inst);
+        assert!(offline_primal_dual::is_feasible(&inst, &sol), "trial {trial}");
+        assert!(
+            sol.dual_sum <= fac_offline::lp_lower_bound(&inst) + 1e-6,
+            "trial {trial}: weak duality violated"
+        );
+        if let Some(opt) = fac_offline::optimal_cost(&inst, 60_000) {
+            assert!(
+                sol.total_cost() <= 3.0 * opt + 1e-6,
+                "trial {trial}: {} > 3x{opt}",
+                sol.total_cost()
+            );
+        }
+    }
+}
+
+/// The fully distributed per-step pipeline tracks the exact centralized
+/// primal-dual within the discretization's accuracy envelope.
+#[test]
+fn distributed_pipeline_tracks_centralized_offline_pd() {
+    use online_resource_leasing::distributed::bidding::{distributed_step, BiddingInstance};
+    for trial in 0..4u64 {
+        let mut rng = seeded(4400 + trial);
+        let m = 3usize;
+        let c = 8usize;
+        let facilities: Vec<Point> = (0..m)
+            .map(|_| Point::new(rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0))
+            .collect();
+        let clients: Vec<Point> = (0..c)
+            .map(|_| Point::new(rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0))
+            .collect();
+        let distances: Vec<Vec<f64>> = facilities
+            .iter()
+            .map(|f| clients.iter().map(|cl| f.distance(cl)).collect())
+            .collect();
+        let bid_inst = BiddingInstance::new(vec![4.0; m], distances).expect("valid");
+        let structure =
+            LeaseStructure::new(vec![LeaseType::new(1, 4.0)]).expect("single type");
+        let fac_inst =
+            FacilityInstance::euclidean(facilities, structure, vec![(0, clients)])
+                .expect("valid instance");
+
+        let exact = offline_primal_dual::solve(&fac_inst);
+        let step = distributed_step(&bid_inst, 0.05, trial);
+        // Both are ~3-approximations of the same optimum; the distributed
+        // one additionally pays the ε discretization. A generous envelope
+        // catches structural regressions without flaking on randomness.
+        assert!(
+            step.total_cost <= 3.5 * exact.total_cost() + 1e-6,
+            "trial {trial}: distributed {} vs exact PD {}",
+            step.total_cost,
+            exact.total_cost()
+        );
+        assert!(step.bidding.stats.terminated);
+    }
+}
