@@ -31,8 +31,7 @@ fn bench_engine_serve(c: &mut Criterion) {
             &density,
             |b, &density| {
                 b.iter(|| {
-                    let mut engine: CoveringEngine<(usize, usize)> =
-                        CoveringEngine::new(8, 42);
+                    let mut engine: CoveringEngine<(usize, usize)> = CoveringEngine::new(8, 42);
                     for j in 0..64usize {
                         let candidates: Vec<((usize, usize), f64)> = (0..density)
                             .map(|i| (((j + i) % 96, i), 1.0 + (i % 4) as f64))

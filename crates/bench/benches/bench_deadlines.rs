@@ -65,7 +65,11 @@ fn bench_scld(c: &mut Criterion) {
         let mut arrivals = Vec::new();
         for t in 0..128u64 {
             if rng.random::<f64>() < 0.4 {
-                arrivals.push(ScldArrival::new(t, rng.random_range(0..n), rng.random_range(0..8)));
+                arrivals.push(ScldArrival::new(
+                    t,
+                    rng.random_range(0..n),
+                    rng.random_range(0..8),
+                ));
             }
         }
         let inst = ScldInstance::uniform(system, structure(), arrivals).unwrap();

@@ -1,0 +1,115 @@
+//! Performance of the `leasing_core::engine` hot path: ledger purchase
+//! recording (decision push + category update + expiry-heap insert) and
+//! expiry popping under advancing time, plus the full driver loop over the
+//! deterministic parking-permit algorithm.
+//!
+//! Run with `CRITERION_OUTPUT_JSON=BENCH_driver.json cargo bench --bench
+//! bench_driver` to refresh the machine-readable baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leasing_core::engine::{Driver, LeasingAlgorithm, Ledger};
+use leasing_core::framework::Triple;
+use leasing_core::lease::LeaseStructure;
+use leasing_core::rng::seeded;
+use leasing_workloads::rainy_days;
+use parking_permit::det::DeterministicPrimalDual;
+use std::hint::black_box;
+
+fn structure() -> LeaseStructure {
+    LeaseStructure::geometric(4, 1, 4, 1.0, 0.6)
+}
+
+/// Ledger insert throughput: `n` purchases across `n` elements, no expiry.
+fn bench_ledger_insert(c: &mut Criterion) {
+    let s = structure();
+    let mut group = c.benchmark_group("ledger_insert");
+    for n in [1024usize, 8192] {
+        group.bench_with_input(BenchmarkId::new("buy", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ledger = Ledger::new(s.clone());
+                for i in 0..n {
+                    ledger.buy(i as u64, Triple::new(i % 64, i % 4, i as u64));
+                }
+                black_box(ledger.total_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ledger insert + expiry pop: advancing time expires short leases as new
+/// ones arrive — the steady-state serving pattern.
+fn bench_ledger_expiry(c: &mut Criterion) {
+    let s = structure();
+    let mut group = c.benchmark_group("ledger_expiry");
+    for n in [1024usize, 8192] {
+        group.bench_with_input(BenchmarkId::new("buy_advance_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ledger = Ledger::new(s.clone());
+                let mut expired = 0usize;
+                for i in 0..n {
+                    let t = i as u64;
+                    expired += ledger.advance(t);
+                    // Alternate lease types so windows of different lengths
+                    // interleave in the heap.
+                    ledger.buy(t, Triple::new(i % 16, i % 4, t - t % s.length(i % 4)));
+                }
+                black_box((ledger.active_leases(), expired))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A no-op algorithm isolating the driver's own submission overhead
+/// (monotone check + clock advance + dispatch).
+struct Noop;
+
+impl LeasingAlgorithm for Noop {
+    type Request = ();
+    fn on_request(&mut self, _t: u64, _req: (), _ledger: &mut Ledger) {}
+}
+
+fn bench_driver_loop(c: &mut Criterion) {
+    let s = structure();
+    let mut group = c.benchmark_group("driver");
+    for horizon in [1024u64, 8192] {
+        group.bench_with_input(
+            BenchmarkId::new("submit_noop", horizon),
+            &horizon,
+            |b, &h| {
+                b.iter(|| {
+                    let mut driver = Driver::new(Noop, s.clone());
+                    for t in 0..h {
+                        driver.submit(t, ()).expect("monotone submission");
+                    }
+                    black_box(driver.requests())
+                })
+            },
+        );
+        let days = rainy_days(&mut seeded(1), horizon, 0.3);
+        group.bench_with_input(
+            BenchmarkId::new("submit_det_permit", horizon),
+            &days,
+            |b, days| {
+                b.iter(|| {
+                    let mut driver =
+                        Driver::new(DeterministicPrimalDual::new(s.clone()), s.clone());
+                    driver
+                        .submit_batch(days.iter().map(|&t| (t, ())))
+                        .expect("monotone submission");
+                    black_box(driver.cost())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ledger_insert,
+    bench_ledger_expiry,
+    bench_driver_loop
+);
+criterion_main!(benches);

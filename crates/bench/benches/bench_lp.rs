@@ -10,8 +10,9 @@ use std::hint::black_box;
 /// A random covering LP: minimise Σ c_j x_j subject to random 0/1 rows.
 fn covering_lp<R: Rng + ?Sized>(rng: &mut R, vars: usize, rows: usize) -> LinearProgram {
     let mut lp = LinearProgram::new();
-    let ids: Vec<usize> =
-        (0..vars).map(|_| lp.add_bounded_var(0.5 + rng.random::<f64>(), 1.0)).collect();
+    let ids: Vec<usize> = (0..vars)
+        .map(|_| lp.add_bounded_var(0.5 + rng.random::<f64>(), 1.0))
+        .collect();
     for _ in 0..rows {
         let coeffs: Vec<(usize, f64)> = ids
             .iter()

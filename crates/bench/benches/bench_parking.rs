@@ -34,20 +34,16 @@ fn bench_online(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("randomized", horizon),
-            &days,
-            |b, days| {
-                b.iter(|| {
-                    let mut rng = seeded(7);
-                    let mut alg = RandomizedPermit::new(s.clone(), &mut rng);
-                    for &d in days {
-                        alg.serve_demand(d);
-                    }
-                    black_box(alg.total_cost())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("randomized", horizon), &days, |b, days| {
+            b.iter(|| {
+                let mut rng = seeded(7);
+                let mut alg = RandomizedPermit::new(s.clone(), &mut rng);
+                for &d in days {
+                    alg.serve_demand(d);
+                }
+                black_box(alg.total_cost())
+            })
+        });
     }
     group.finish();
 }

@@ -17,7 +17,7 @@ fn instance(n: usize, requests: usize) -> SteinerInstance {
     let mut reqs = Vec::with_capacity(requests);
     let mut t = 0u64;
     for _ in 0..requests {
-        t += rng.random_range(0..3);
+        t += rng.random_range(0..3u64);
         let u = rng.random_range(0..n);
         let mut v = rng.random_range(0..n);
         if v == u {

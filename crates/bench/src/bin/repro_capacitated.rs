@@ -26,14 +26,16 @@ fn random_base(
     batches: usize,
     batch_size: usize,
 ) -> FacilityInstance {
-    let sites: Vec<Point> =
-        (0..facilities).map(|_| Point::new(rng.random(), rng.random())).collect();
+    let sites: Vec<Point> = (0..facilities)
+        .map(|_| Point::new(rng.random(), rng.random()))
+        .collect();
     let mut point_batches = Vec::new();
     let mut t = 0u64;
     for _ in 0..batches {
-        t += 1 + rng.random_range(0..3);
-        let pts: Vec<Point> =
-            (0..batch_size).map(|_| Point::new(rng.random(), rng.random())).collect();
+        t += 1 + rng.random_range(0..3u64);
+        let pts: Vec<Point> = (0..batch_size)
+            .map(|_| Point::new(rng.random(), rng.random()))
+            .collect();
         point_batches.push((t, pts));
     }
     FacilityInstance::euclidean(sites, structure.clone(), point_batches).unwrap()
@@ -53,7 +55,12 @@ fn main() {
         let opt = offline::optimal_cost(&inst, 500_000).unwrap_or(f64::NAN);
         let greedy = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal).run();
         table::row(
-            &[table::i(cap), table::f(opt), table::f(greedy), table::f(greedy / opt)],
+            &[
+                table::i(cap),
+                table::f(opt),
+                table::f(greedy),
+                table::f(greedy / opt),
+            ],
             10,
         );
     }
@@ -78,9 +85,18 @@ fn main() {
             cheap_sum += CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal).run();
             rate_sum += CapacitatedGreedy::new(&inst, LeaseChoice::BestRate).run();
         }
-        let winner = if rate_sum < cheap_sum { "best-rate" } else { "cheapest" };
+        let winner = if rate_sum < cheap_sum {
+            "best-rate"
+        } else {
+            "cheapest"
+        };
         table::row(
-            &[label.into(), table::f(cheap_sum / 5.0), table::f(rate_sum / 5.0), winner.into()],
+            &[
+                label.into(),
+                table::f(cheap_sum / 5.0),
+                table::f(rate_sum / 5.0),
+                winner.into(),
+            ],
             12,
         );
     }
@@ -88,17 +104,24 @@ fn main() {
 
     println!("== E18c: machine renting (scheduling view of §4.5) ==\n");
     let machines = vec![
-        Machine { rental_costs: vec![1.0, 3.0], capacity: 1 },
-        Machine { rental_costs: vec![1.5, 4.0], capacity: 2 },
+        Machine {
+            rental_costs: vec![1.0, 3.0],
+            capacity: 1,
+        },
+        Machine {
+            rental_costs: vec![1.5, 4.0],
+            capacity: 2,
+        },
     ];
     let mut rng = seeded(SEED * 5);
     let mut jobs = Vec::new();
     let mut t = 0u64;
     for _ in 0..4 {
-        t += 1 + rng.random_range(0..2);
+        t += 1 + rng.random_range(0..2u64);
         let n = 1 + rng.random_range(0..3usize).min(2);
-        let affinity: Vec<Vec<f64>> =
-            (0..n).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let affinity: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
         jobs.push(JobBatch { time: t, affinity });
     }
     let inst = to_capacitated(&machines, structure.clone(), &jobs).unwrap();

@@ -49,7 +49,9 @@ fn lease_structure(k: usize) -> LeaseStructure {
 }
 
 fn rainy_days<R: Rng + ?Sized>(rng: &mut R, horizon: u64, wet_fraction: f64) -> Vec<u64> {
-    (0..horizon).filter(|_| rng.random::<f64>() < wet_fraction).collect()
+    (0..horizon)
+        .filter(|_| rng.random::<f64>() < wet_fraction)
+        .collect()
 }
 
 fn main() {
@@ -73,7 +75,10 @@ fn main() {
                 spec.serve_demand(t);
                 gen.serve_demand(t);
             }
-            let (a, b) = (PermitOnline::total_cost(&spec), PermitOnline::total_cost(&gen));
+            let (a, b) = (
+                PermitOnline::total_cost(&spec),
+                PermitOnline::total_cost(&gen),
+            );
             all_equal &= a.to_bits() == b.to_bits();
             spec_total += a;
             gen_total += b;
@@ -133,8 +138,8 @@ fn main() {
                 let slack = rng.random_range(0..12u64);
                 arrivals.push(ScldArrival::new(t, e, slack));
             }
-            let inst = ScldInstance::uniform(system, lease_structure(2), arrivals)
-                .expect("feasible");
+            let inst =
+                ScldInstance::uniform(system, lease_structure(2), arrivals).expect("feasible");
             let mut spec = ScldOnline::new(&inst, seed);
             let mut gen = GenericScld::new(&inst, seed);
             let (a, b) = (spec.run(), gen.run());
@@ -168,7 +173,10 @@ fn main() {
                 spec.serve_demand(t);
                 gen.serve_demand(t);
             }
-            let (a, b) = (PermitOnline::total_cost(&spec), PermitOnline::total_cost(&gen));
+            let (a, b) = (
+                PermitOnline::total_cost(&spec),
+                PermitOnline::total_cost(&gen),
+            );
             all_equal &= a.to_bits() == b.to_bits();
             spec_total += a;
             gen_total += b;

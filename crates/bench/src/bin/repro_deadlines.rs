@@ -60,7 +60,9 @@ fn main() {
         );
     }
 
-    println!("\n== E11b: non-uniform OLD, ratio vs d_max/l_min (Theorem 5.3: O(K + d_max/l_min)) ==\n");
+    println!(
+        "\n== E11b: non-uniform OLD, ratio vs d_max/l_min (Theorem 5.3: O(K + d_max/l_min)) ==\n"
+    );
     let s = structure(2); // l_min = 2
     table::header(&["d_max", "d/l_min", "mean", "max", "K+d/l ref"], 10);
     for d_max in [0u64, 4, 16, 64] {
@@ -128,7 +130,11 @@ fn main() {
             for time in 0..64u64 {
                 if rng.random::<f64>() < 0.4 {
                     let e = rng.random_range(0..30usize);
-                    let slack = if d_max == 0 { 0 } else { rng.random_range(0..=d_max) };
+                    let slack = if d_max == 0 {
+                        0
+                    } else {
+                        rng.random_range(0..=d_max)
+                    };
                     arrivals.push(ScldArrival::new(time, e, slack));
                 }
             }

@@ -45,8 +45,7 @@ fn single_step_instance(
         .map(|f| clients.iter().map(|cl| f.distance(cl)).collect())
         .collect();
     let bidding = BiddingInstance::new(vec![price; m], distances).expect("valid instance");
-    let structure =
-        LeaseStructure::new(vec![LeaseType::new(1, price)]).expect("single type");
+    let structure = LeaseStructure::new(vec![LeaseType::new(1, price)]).expect("single type");
     let fac_inst = FacilityInstance::euclidean(facilities, structure, vec![(0, clients)])
         .expect("valid facility instance");
     (bidding, fac_inst)
@@ -85,7 +84,17 @@ fn main() {
     println!("\nExpect rounds to grow ~log n while messages track the edge count.\n");
 
     println!("== E20b: phase-2 conflict resolution — sequential vs distributed ==\n");
-    table::header(&["candidates", "conflicts", "seq open", "luby open", "rounds", "msgs"], 10);
+    table::header(
+        &[
+            "candidates",
+            "conflicts",
+            "seq open",
+            "luby open",
+            "rounds",
+            "msgs",
+        ],
+        10,
+    );
     for &m in &[10usize, 40, 160] {
         let mut rng = seeded(SEED * 3 + m as u64);
         let bids: Vec<Vec<usize>> = (0..2 * m)
@@ -119,7 +128,7 @@ fn main() {
     let mut checked = 0;
     for seed in 0..30u64 {
         let mut rng = seeded(SEED * 5 + seed);
-        let n = 2 + rng.random_range(0..40);
+        let n = 2 + rng.random_range(0..40usize);
         let g = connected_erdos_renyi(&mut rng, n, 0.2, 1.0..2.0);
         let (mask, stats) = luby_mis(&g, seed, 5_000);
         assert!(is_mis(&g, &mask), "seed {seed}");
@@ -132,7 +141,10 @@ fn main() {
     println!("reference: the exact centralized primal-dual on the same instance\n");
 
     println!("-- accuracy/rounds trade-off: sweep ε (m = 4, clients = 12) --");
-    table::header(&["eps", "dist/exact", "rounds", "messages", "INV1 viol"], 11);
+    table::header(
+        &["eps", "dist/exact", "rounds", "messages", "INV1 viol"],
+        11,
+    );
     for eps in [0.5f64, 0.2, 0.1, 0.05, 0.02] {
         let trials = 8u64;
         let mut ratio = 0.0;

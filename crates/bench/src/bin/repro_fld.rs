@@ -50,7 +50,14 @@ fn main() {
     let bases: Vec<_> = (0..TRIALS)
         .map(|t| {
             let mut rng = seeded(SEED + 31 * t);
-            facility_instance(&mut rng, 3, structure(), ArrivalPattern::Constant(2), 10, 30.0)
+            facility_instance(
+                &mut rng,
+                3,
+                structure(),
+                ArrivalPattern::Constant(2),
+                10,
+                30.0,
+            )
         })
         .collect();
     let rigid_opts: Vec<f64> = bases
@@ -71,12 +78,16 @@ fn main() {
             let mut slack_rng = seeded(SEED + 997 * max_slack + t as u64);
             let slacks: Vec<u64> = (0..base.num_clients())
                 .map(|_| {
-                    if max_slack == 0 { 0 } else { slack_rng.random_range(0..=max_slack) }
+                    if max_slack == 0 {
+                        0
+                    } else {
+                        slack_rng.random_range(0..=max_slack)
+                    }
                 })
                 .collect();
             let inst = FldInstance::new(base.clone(), slacks).expect("matching slack count");
-            let opt = fld::optimal_cost(&inst, 100_000)
-                .unwrap_or_else(|| fld::lp_lower_bound(&inst));
+            let opt =
+                fld::optimal_cost(&inst, 100_000).unwrap_or_else(|| fld::lp_lower_bound(&inst));
             if opt <= 0.0 || rigid_opts[t] <= 0.0 {
                 continue;
             }
@@ -119,8 +130,7 @@ fn main() {
         .expect("sorted batches");
         let slacks: Vec<u64> = (0..span).map(|t| span - t).collect();
         let inst = FldInstance::new(base, slacks).expect("matching slack count");
-        let opt = fld::optimal_cost(&inst, 200_000)
-            .unwrap_or_else(|| fld::lp_lower_bound(&inst));
+        let opt = fld::optimal_cost(&inst, 200_000).unwrap_or_else(|| fld::lp_lower_bound(&inst));
         let arrive = PrimalDualFacility::new(inst.base()).run() / opt;
         let by_deadline = inst.defer_to_deadline();
         let deadline = PrimalDualFacility::new(&by_deadline).run() / opt;

@@ -31,13 +31,11 @@ fn main() {
             let mut rng = seeded(SEED + 100 * k as u64 + trial);
             let g = connected_erdos_renyi(&mut rng, 6, 0.4, 1.0..2.0);
             let arrivals = item_arrivals(&mut rng, g.num_edges(), 8, 3);
-            let reduced =
-                vertex_cover_instance(&g, structure.clone(), &arrivals, None).unwrap();
+            let reduced = vertex_cover_instance(&g, structure.clone(), &arrivals, None).unwrap();
             let Some(opt) = offline::optimal_cost(&reduced, 400_000) else {
                 continue;
             };
-            let vc =
-                VcLeasingInstance::unweighted(g, structure.clone(), arrivals).unwrap();
+            let vc = VcLeasingInstance::unweighted(g, structure.clone(), arrivals).unwrap();
             let direct = VcPrimalDual::new(&vc).run();
             direct_stats.push(direct / opt);
             let randomized = SmclOnline::new(&reduced, SEED ^ trial).run();

@@ -6,15 +6,15 @@
 use leasing_bench::table;
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::rng::seeded;
+use leasing_deadlines::offline as dl_offline;
+use leasing_deadlines::old::{OldClient, OldInstance};
+use leasing_deadlines::tight::{tight_example, tight_example_optimum};
 use leasing_workloads::rainy_days;
 use leasing_workloads::set_systems::{random_system, zipf_arrivals};
 use parking_permit::{ilp as permit_ilp, offline as permit_offline, PermitInstance};
 use rand::RngExt;
 use set_cover_leasing::instance::SmclInstance;
 use set_cover_leasing::offline as sc_offline;
-use leasing_deadlines::offline as dl_offline;
-use leasing_deadlines::old::{OldClient, OldInstance};
-use leasing_deadlines::tight::{tight_example, tight_example_optimum};
 
 const SEED: u64 = 77001;
 
@@ -68,8 +68,14 @@ fn main() {
         let dist_opt = sc_offline::optimal_cost(&inst, 50_000).unwrap_or(f64::NAN);
         let (greedy_cost, _) = sc_offline::greedy(&inst);
         // Literal ILP is a relaxation of the distinct-set semantics.
-        assert!(lit_opt <= dist_opt + 1e-6, "literal must not exceed distinct");
-        assert!(greedy_cost >= dist_opt - 1e-6, "greedy is feasible, so >= opt");
+        assert!(
+            lit_opt <= dist_opt + 1e-6,
+            "literal must not exceed distinct"
+        );
+        assert!(
+            greedy_cost >= dist_opt - 1e-6,
+            "greedy is feasible, so >= opt"
+        );
         table::row(
             &[
                 table::i(trial),
@@ -113,17 +119,15 @@ fn main() {
         let mut var_of: std::collections::HashMap<leasing_core::lease::Lease, usize> =
             std::collections::HashMap::new();
         for client in &inst.clients {
-            let row: Vec<(usize, f64)> = leasing_core::interval::candidates_intersecting(
-                &inst.structure,
-                client.window(),
-            )
-            .into_iter()
-            .map(|lease| {
-                let cost = lease.cost(&inst.structure);
-                let v = *var_of.entry(lease).or_insert_with(|| lp.add_var(cost));
-                (v, 1.0)
-            })
-            .collect();
+            let row: Vec<(usize, f64)> =
+                leasing_core::interval::candidates_intersecting(&inst.structure, client.window())
+                    .into_iter()
+                    .map(|lease| {
+                        let cost = lease.cost(&inst.structure);
+                        let v = *var_of.entry(lease).or_insert_with(|| lp.add_var(cost));
+                        (v, 1.0)
+                    })
+                    .collect();
             lp.add_constraint(row, leasing_lp::Cmp::Ge, 1.0);
         }
         let sol = lp.solve().expect_optimal();
@@ -131,7 +135,10 @@ fn main() {
         let dual_obj: f64 = sol.duals.iter().sum();
         let gap = (sol.objective - dual_obj).abs();
         assert!(gap < 1e-5, "strong duality gap {gap}");
-        assert!(sol.duals.iter().all(|&y| y >= -1e-9), "covering duals must be >= 0");
+        assert!(
+            sol.duals.iter().all(|&y| y >= -1e-9),
+            "covering duals must be >= 0"
+        );
         table::row(
             &[
                 table::i(trial),

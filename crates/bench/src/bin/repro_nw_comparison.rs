@@ -42,7 +42,15 @@ fn main() {
 
     println!("== E23a: horizon growth (K = 2, l_max = 16, constant arrivals) ==\n");
     table::header(
-        &["steps", "n", "thesis", "nw", "greedy", "K·log2(n)", "(3+K)H"],
+        &[
+            "steps",
+            "n",
+            "thesis",
+            "nw",
+            "greedy",
+            "K·log2(n)",
+            "(3+K)H",
+        ],
         11,
     );
     let structure = structure_with_k(2);

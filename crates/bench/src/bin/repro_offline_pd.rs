@@ -46,7 +46,10 @@ fn main() {
                 20.0,
             );
             let sol = offline_primal_dual::solve(&inst);
-            assert!(is_feasible(&inst, &sol), "offline PD produced an infeasible solution");
+            assert!(
+                is_feasible(&inst, &sol),
+                "offline PD produced an infeasible solution"
+            );
             reopen += sol.witness_reopenings;
             certified += sol.certified_factor();
             let Some(opt) = offline::optimal_cost(&inst, 60_000) else {
@@ -89,7 +92,12 @@ fn main() {
             on += alg.run();
         }
         table::row(
-            &[name.to_string(), table::f(off), table::f(on), table::f(on / off)],
+            &[
+                name.to_string(),
+                table::f(off),
+                table::f(on),
+                table::f(on / off),
+            ],
             15,
         );
     }

@@ -22,7 +22,16 @@ fn main() {
     let structure = LeaseStructure::geometric(2, 2, 4, 1.0, 0.6);
 
     println!("== E21a: multi-day demands — online vs exact ILP (seed {SEED}) ==\n");
-    table::header(&["duration", "opt mean", "onl mean", "ratio mean", "ratio max"], 11);
+    table::header(
+        &[
+            "duration",
+            "opt mean",
+            "onl mean",
+            "ratio mean",
+            "ratio max",
+        ],
+        11,
+    );
     for duration in 1u64..=3 {
         let mut stats = RatioStats::new();
         let mut opt_sum = 0.0;
@@ -33,8 +42,8 @@ fn main() {
             let mut clients = Vec::new();
             let mut t = 0u64;
             for _ in 0..4 {
-                t += rng.random_range(0..5);
-                let slack = duration - 1 + rng.random_range(0..4);
+                t += rng.random_range(0..5u64);
+                let slack = duration - 1 + rng.random_range(0..4u64);
                 clients.push(MultiDayClient::new(t, slack, duration));
             }
             let inst = MultiDayInstance::new(structure.clone(), clients).unwrap();
@@ -61,7 +70,10 @@ fn main() {
     println!("\nExpect ratios to stay moderate; both costs grow with the duration.\n");
 
     println!("== E21b: weighted demands and lease capacities — first-fit vs ILP ==\n");
-    table::header(&["capacity", "opt mean", "ff mean", "ratio", "rule winner"], 12);
+    table::header(
+        &["capacity", "opt mean", "ff mean", "ratio", "rule winner"],
+        12,
+    );
     for &cap in &[1.0f64, 2.0, 4.0] {
         let mut opt_sum = 0.0;
         let mut cheap_sum = 0.0;
@@ -72,18 +84,15 @@ fn main() {
             let mut demands = Vec::new();
             let mut t = 0u64;
             for _ in 0..3 {
-                t += rng.random_range(0..3);
+                t += rng.random_range(0..3u64);
                 demands.push(WeightedDemand::new(
                     t,
                     rng.random_range(0..3),
                     0.3 + 0.6 * rng.random::<f64>(),
                 ));
             }
-            let inst =
-                CapacitatedOldInstance::new(structure.clone(), cap, demands).unwrap();
-            let Some(opt) =
-                leasing_deadlines::capacitated::optimal_cost(&inst, 3, 400_000)
-            else {
+            let inst = CapacitatedOldInstance::new(structure.clone(), cap, demands).unwrap();
+            let Some(opt) = leasing_deadlines::capacitated::optimal_cost(&inst, 3, 400_000) else {
                 continue;
             };
             let cheap = FirstFitOnline::new(&inst).run(BuyRule::Cheapest);
@@ -93,7 +102,11 @@ fn main() {
             rate_sum += rate;
             counted += 1;
         }
-        let winner = if rate_sum < cheap_sum { "best-rate" } else { "cheapest" };
+        let winner = if rate_sum < cheap_sum {
+            "best-rate"
+        } else {
+            "cheapest"
+        };
         table::row(
             &[
                 table::f(cap),

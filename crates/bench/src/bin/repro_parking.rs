@@ -13,13 +13,13 @@ use leasing_bench::table;
 use leasing_core::harness::RatioStats;
 use leasing_core::lease::LeaseStructure;
 use leasing_core::rng::seeded;
+use leasing_workloads as workloads;
 use parking_permit::adversary::{run_adaptive_adversary, RandomizedLowerBoundInstance};
 use parking_permit::det::DeterministicPrimalDual;
 use parking_permit::offline;
 use parking_permit::rand_alg::RandomizedPermit;
 use parking_permit::PermitOnline;
 use workloads::rainy_days;
-use leasing_workloads as workloads;
 
 const SEED: u64 = 20150615;
 

@@ -26,16 +26,19 @@ fn random_instance(
     facilities: usize,
     batches: usize,
 ) -> FacilityInstance {
-    let sites: Vec<Point> =
-        (0..facilities).map(|_| Point::new(rng.random(), rng.random())).collect();
+    let sites: Vec<Point> = (0..facilities)
+        .map(|_| Point::new(rng.random(), rng.random()))
+        .collect();
     let mut point_batches = Vec::new();
     let mut t = 0u64;
     for _ in 0..batches {
-        t += 1 + rng.random_range(0..2);
+        t += 1 + rng.random_range(0..2u64);
         let n = 1 + rng.random_range(0..2);
         point_batches.push((
             t,
-            (0..n).map(|_| Point::new(rng.random(), rng.random())).collect::<Vec<_>>(),
+            (0..n)
+                .map(|_| Point::new(rng.random(), rng.random()))
+                .collect::<Vec<_>>(),
         ));
     }
     FacilityInstance::euclidean(sites, structure.clone(), point_batches).unwrap()
@@ -59,8 +62,7 @@ fn main() {
             // Average the randomized algorithm over 5 seeds per instance.
             let mut sum = 0.0;
             for s in 0..5u64 {
-                sum += RandomizedFacility::new(&inst, &mut seeded(SEED ^ (trial * 5 + s)))
-                    .run();
+                sum += RandomizedFacility::new(&inst, &mut seeded(SEED ^ (trial * 5 + s))).run();
             }
             rnd_stats.push(sum / 5.0 / opt);
         }

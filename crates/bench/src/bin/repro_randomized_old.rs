@@ -65,7 +65,17 @@ fn main() {
     println!(" O(log(K + d/l) · log l_max) — the separation must widen with d/l)");
 
     println!("\n== E26b: d_max = 0 (parking permit), K sweep on random rainy days ==\n");
-    table::header(&["K", "det mean", "scld rand", "meyerson", "K ref", "log2(K)+1"], 11);
+    table::header(
+        &[
+            "K",
+            "det mean",
+            "scld rand",
+            "meyerson",
+            "K ref",
+            "log2(K)+1",
+        ],
+        11,
+    );
     for k in 1..=5usize {
         let structure = LeaseStructure::geometric(k, 2, 4, 1.0, 0.55);
         let mut det_stats = RatioStats::new();
@@ -77,8 +87,7 @@ fn main() {
             if days.is_empty() {
                 continue;
             }
-            let clients: Vec<OldClient> =
-                days.iter().map(|&d| OldClient::new(d, 0)).collect();
+            let clients: Vec<OldClient> = days.iter().map(|&d| OldClient::new(d, 0)).collect();
             let inst = OldInstance::new(structure.clone(), clients).expect("sorted");
             let opt = offline::old_optimal_cost(&inst, 100_000)
                 .unwrap_or_else(|| offline::old_lp_lower_bound(&inst));

@@ -65,9 +65,8 @@ fn main() {
 
     println!("\n== E25b: halving game on the power-set system (4 windows) ==\n");
     table::header(&["m", "n", "mean", "max", "log2(m)", "log2(n+1)"], 10);
-    let structure =
-        LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 2.5)])
-            .expect("increasing lengths");
+    let structure = LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 2.5)])
+        .expect("increasing lengths");
     for &m in &[2usize, 4, 8, 16] {
         let mut stats = RatioStats::new();
         let mut n = 0usize;

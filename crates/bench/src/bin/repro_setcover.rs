@@ -47,8 +47,8 @@ fn measure(
         let arr = zipf_arrivals(&mut rng, &system, arrivals, 64, 1.1, p_max);
         let inst = SmclInstance::uniform(system, lease_structure(k), arr)
             .expect("generated arrivals are feasible");
-        let opt = offline::optimal_cost(&inst, 30_000)
-            .unwrap_or_else(|| offline::lp_lower_bound(&inst));
+        let opt =
+            offline::optimal_cost(&inst, 30_000).unwrap_or_else(|| offline::lp_lower_bound(&inst));
         if opt <= 0.0 {
             continue;
         }
@@ -58,7 +58,11 @@ fn measure(
         frac_ratio += alg.stats().fractional_cost / opt;
         count += 1.0;
     }
-    let mean_frac = if count > 0.0 { frac_ratio / count } else { f64::NAN };
+    let mean_frac = if count > 0.0 {
+        frac_ratio / count
+    } else {
+        f64::NAN
+    };
     let reference = ((delta * k) as f64 + 1.0).log2() * ((n as f64) + 1.0).log2();
     (stats, mean_frac, reference)
 }
@@ -72,7 +76,13 @@ fn main() {
     for n in [10usize, 20, 40, 80] {
         let (stats, frac, reference) = measure(n, n / 2, 4, 2, n, 2, 5);
         table::row(
-            &[table::i(n), table::f(stats.mean()), table::f(stats.max()), table::f(frac), table::f(reference)],
+            &[
+                table::i(n),
+                table::f(stats.mean()),
+                table::f(stats.max()),
+                table::f(frac),
+                table::f(reference),
+            ],
             10,
         );
     }
@@ -82,7 +92,13 @@ fn main() {
     for delta in [2usize, 4, 8, 16] {
         let (stats, frac, reference) = measure(40, 20, delta, 2, 40, 2, 5);
         table::row(
-            &[table::i(delta), table::f(stats.mean()), table::f(stats.max()), table::f(frac), table::f(reference)],
+            &[
+                table::i(delta),
+                table::f(stats.mean()),
+                table::f(stats.max()),
+                table::f(frac),
+                table::f(reference),
+            ],
             10,
         );
     }
@@ -92,7 +108,13 @@ fn main() {
     for k in [1usize, 2, 3, 4] {
         let (stats, frac, reference) = measure(40, 20, 4, k, 40, 2, 5);
         table::row(
-            &[table::i(k), table::f(stats.mean()), table::f(stats.max()), table::f(frac), table::f(reference)],
+            &[
+                table::i(k),
+                table::f(stats.mean()),
+                table::f(stats.max()),
+                table::f(frac),
+                table::f(reference),
+            ],
             10,
         );
     }
@@ -107,8 +129,8 @@ fn main() {
             let arr = zipf_arrivals(&mut rng, &system, n, 64, 1.1, 2);
             let structure = set_cover_leasing::repetitions::buy_forever_structure(1.0);
             let factors = vec![1.0; system.num_sets()];
-            let inst = SmclInstance::with_set_factors(system, structure, &factors, arr)
-                .expect("feasible");
+            let inst =
+                SmclInstance::with_set_factors(system, structure, &factors, arr).expect("feasible");
             let opt = offline::optimal_cost(&inst, 30_000)
                 .unwrap_or_else(|| offline::lp_lower_bound(&inst));
             if opt <= 0.0 {
@@ -119,7 +141,12 @@ fn main() {
         }
         let reference = (4f64 + 1.0).log2() * ((n as f64) + 1.0).log2();
         table::row(
-            &[table::i(n), table::f(stats.mean()), table::f(stats.max()), table::f(reference)],
+            &[
+                table::i(n),
+                table::f(stats.mean()),
+                table::f(stats.max()),
+                table::f(reference),
+            ],
             10,
         );
     }

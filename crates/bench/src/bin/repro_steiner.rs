@@ -43,7 +43,13 @@ fn main() {
         det_stats.push(det / opt);
         rand_stats.push(rnd / opt);
         table::row(
-            &[table::i(trial), table::f(opt), table::f(det), table::f(rnd), table::f(off)],
+            &[
+                table::i(trial),
+                table::f(opt),
+                table::f(det),
+                table::f(rnd),
+                table::f(off),
+            ],
             10,
         );
     }
@@ -96,7 +102,10 @@ fn main() {
             let offline = route_then_lease(&inst).cost;
             stats.push(online / offline);
         }
-        table::row(&[table::i(n), table::f(stats.mean()), table::f(stats.max())], 14);
+        table::row(
+            &[table::i(n), table::f(stats.mean()), table::f(stats.max())],
+            14,
+        );
     }
     println!("\nExpect slow (logarithmic) growth of the online/offline ratio in n.");
 }

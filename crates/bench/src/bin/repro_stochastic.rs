@@ -89,7 +89,10 @@ fn main() {
     println!("\nExpect informed <= worst-case at high rates; all >= 1.\n");
 
     println!("== E19b: robustness of the switch combiner to wrong predictions ==\n");
-    table::header(&["true p", "pred p", "combined", "informed", "worst-case"], 11);
+    table::header(
+        &["true p", "pred p", "combined", "informed", "worst-case"],
+        11,
+    );
     for &(p_true, p_pred) in &[(0.9, 0.9), (0.9, 0.02), (0.05, 0.9)] {
         let proc = Bernoulli::new(512, p_true);
         let sample = |t: u64| proc.sample(&mut seeded(SEED * 3 + t));
@@ -136,7 +139,10 @@ fn main() {
             let opt = optimal_cost_priced(&s, &prices, &demands);
             stats.push(alg.total_cost() / opt);
         }
-        table::row(&[table::f(vol), table::f(stats.mean()), table::f(stats.max())], 13);
+        table::row(
+            &[table::f(vol), table::f(stats.mean()), table::f(stats.max())],
+            13,
+        );
     }
     println!("\nExpect the ratio to grow mildly with volatility (price risk).");
 }

@@ -16,23 +16,20 @@ use leasing_bench::table;
 use leasing_core::harness::RatioStats;
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::rng::seeded;
+use leasing_deadlines::scld::{ScldArrival, ScldInstance, ScldOnline};
 use leasing_workloads::set_systems::random_system;
 use rand::RngExt;
 use set_cover_leasing::instance::{Arrival, SmclInstance};
 use set_cover_leasing::offline;
 use set_cover_leasing::online::SmclOnline;
-use leasing_deadlines::scld::{ScldArrival, ScldInstance, ScldOnline};
 
 const SEED: u64 = 66001;
 
 fn main() {
     println!("== E14: SetCoverLeasing — Ch.3 (log n thresholds) vs Ch.5 (log l_max thresholds) ==");
     println!("l_max fixed at 16; universe and horizon grow together (Corollary 5.8)\n");
-    let structure = LeaseStructure::new(vec![
-        LeaseType::new(4, 1.0),
-        LeaseType::new(16, 3.0),
-    ])
-    .expect("valid");
+    let structure =
+        LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).expect("valid");
 
     table::header(
         &["n", "horizon", "ch3 mean", "ch5 mean", "ch3 q", "ch5 q"],
@@ -53,14 +50,18 @@ fn main() {
             let mut smcl_arrivals = Vec::new();
             let mut scld_arrivals = Vec::new();
             for (i, &time) in times.iter().enumerate() {
-                let e = if rng.random::<f64>() < 0.5 { i % n } else { rng.random_range(0..n) };
+                let e = if rng.random::<f64>() < 0.5 {
+                    i % n
+                } else {
+                    rng.random_range(0..n)
+                };
                 smcl_arrivals.push(Arrival::new(time, e, 1));
                 scld_arrivals.push(ScldArrival::new(time, e, 0));
             }
             let smcl = SmclInstance::uniform(system.clone(), structure.clone(), smcl_arrivals)
                 .expect("valid");
-            let scld = ScldInstance::uniform(system, structure.clone(), scld_arrivals)
-                .expect("valid");
+            let scld =
+                ScldInstance::uniform(system, structure.clone(), scld_arrivals).expect("valid");
             let opt = offline::optimal_cost(&smcl, 30_000)
                 .unwrap_or_else(|| offline::lp_lower_bound(&smcl));
             if opt <= 0.0 {

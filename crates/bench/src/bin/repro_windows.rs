@@ -20,12 +20,12 @@ use leasing_bench::table;
 use leasing_core::harness::RatioStats;
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::rng::seeded;
+use leasing_deadlines::offline::old_optimal_cost;
 use leasing_deadlines::old::{OldClient, OldInstance, OldPrimalDual};
 use leasing_deadlines::windows::{
     is_feasible, window_lp_lower_bound, window_optimal_cost, WindowClient, WindowInstance,
     WindowPrimalDual,
 };
-use leasing_deadlines::offline::old_optimal_cost;
 use leasing_workloads::arrivals::{periodic_window_clients, strided_window_clients};
 use rand::RngExt;
 
@@ -57,8 +57,8 @@ fn main() {
             }
             days_per_client = clients[0].allowed_days().len();
             let inst = WindowInstance::new(s.clone(), clients).expect("sorted arrivals");
-            let opt = window_optimal_cost(&inst, 50_000)
-                .unwrap_or_else(|| window_lp_lower_bound(&inst));
+            let opt =
+                window_optimal_cost(&inst, 50_000).unwrap_or_else(|| window_lp_lower_bound(&inst));
             if opt <= 0.0 {
                 continue;
             }
@@ -95,7 +95,10 @@ fn main() {
             }
             let w_inst = WindowInstance::new(
                 s.clone(),
-                arrivals.iter().map(|&a| WindowClient::interval(a, slack)).collect(),
+                arrivals
+                    .iter()
+                    .map(|&a| WindowClient::interval(a, slack))
+                    .collect(),
             )
             .expect("sorted arrivals");
             let o_inst = OldInstance::new(
@@ -105,7 +108,9 @@ fn main() {
             .expect("sorted arrivals");
             let w_opt = window_optimal_cost(&w_inst, 50_000);
             let o_opt = old_optimal_cost(&o_inst, 50_000);
-            let (Some(w_opt), Some(o_opt)) = (w_opt, o_opt) else { continue };
+            let (Some(w_opt), Some(o_opt)) = (w_opt, o_opt) else {
+                continue;
+            };
             max_gap = max_gap.max((w_opt - o_opt).abs());
             if w_opt <= 0.0 {
                 continue;
@@ -138,8 +143,8 @@ fn main() {
                 continue;
             }
             let inst = WindowInstance::new(s.clone(), clients).expect("sorted arrivals");
-            let opt = window_optimal_cost(&inst, 50_000)
-                .unwrap_or_else(|| window_lp_lower_bound(&inst));
+            let opt =
+                window_optimal_cost(&inst, 50_000).unwrap_or_else(|| window_lp_lower_bound(&inst));
             if opt <= 0.0 {
                 continue;
             }

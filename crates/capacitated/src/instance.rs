@@ -56,10 +56,7 @@ impl CapacitatedInstance {
     ///
     /// Returns a [`CapacitatedError`] if capacities are malformed or some
     /// batch is larger than the total capacity (structurally infeasible).
-    pub fn new(
-        base: FacilityInstance,
-        capacities: Vec<usize>,
-    ) -> Result<Self, CapacitatedError> {
+    pub fn new(base: FacilityInstance, capacities: Vec<usize>) -> Result<Self, CapacitatedError> {
         if capacities.len() != base.num_facilities() || capacities.contains(&0) {
             return Err(CapacitatedError::BadCapacities);
         }
@@ -106,7 +103,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(t, &n)| {
-                (t as u64, (0..n).map(|i| Point::new(0.1 * i as f64, 0.5)).collect())
+                (
+                    t as u64,
+                    (0..n).map(|i| Point::new(0.1 * i as f64, 0.5)).collect(),
+                )
             })
             .collect();
         FacilityInstance::euclidean(facilities, structure, batches).unwrap()
@@ -140,7 +140,11 @@ mod tests {
 
     #[test]
     fn error_display_covers_all_variants() {
-        assert!(CapacitatedError::BadCapacities.to_string().contains("capacities"));
-        assert!(CapacitatedError::BatchExceedsCapacity(2).to_string().contains('2'));
+        assert!(CapacitatedError::BadCapacities
+            .to_string()
+            .contains("capacities"));
+        assert!(CapacitatedError::BatchExceedsCapacity(2)
+            .to_string()
+            .contains('2'));
     }
 }

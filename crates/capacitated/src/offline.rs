@@ -156,12 +156,8 @@ mod tests {
 
     #[test]
     fn empty_instance_is_free() {
-        let base = FacilityInstance::euclidean(
-            vec![Point::new(0.0, 0.0)],
-            structure(),
-            vec![],
-        )
-        .unwrap();
+        let base =
+            FacilityInstance::euclidean(vec![Point::new(0.0, 0.0)], structure(), vec![]).unwrap();
         let inst = CapacitatedInstance::uniform(base, 1).unwrap();
         assert_eq!(optimal_cost(&inst, 10).unwrap(), 0.0);
         assert_eq!(lp_lower_bound(&inst), 0.0);

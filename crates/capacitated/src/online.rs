@@ -1,6 +1,7 @@
 //! Online greedy algorithms for capacitated facility leasing.
 
 use crate::instance::CapacitatedInstance;
+use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::time::TimeStep;
@@ -47,7 +48,8 @@ pub struct CapacitatedGreedy<'a> {
     owned: HashSet<Triple>,
     /// `(client, facility)` assignment log.
     assignments: Vec<(usize, usize)>,
-    costs: CapacitatedCosts,
+    /// Decision ledger backing the deprecated `serve_batch` entry point.
+    ledger: Ledger,
 }
 
 impl<'a> CapacitatedGreedy<'a> {
@@ -58,7 +60,7 @@ impl<'a> CapacitatedGreedy<'a> {
             choice,
             owned: HashSet::new(),
             assignments: Vec::new(),
-            costs: CapacitatedCosts::default(),
+            ledger: Ledger::new(instance.base.structure().clone()),
         }
     }
 
@@ -66,7 +68,10 @@ impl<'a> CapacitatedGreedy<'a> {
     pub fn is_active(&self, i: usize, t: TimeStep) -> bool {
         candidates_covering(self.instance.base.structure(), t)
             .into_iter()
-            .any(|lease| self.owned.contains(&Triple::new(i, lease.type_index, lease.start)))
+            .any(|lease| {
+                self.owned
+                    .contains(&Triple::new(i, lease.type_index, lease.start))
+            })
     }
 
     /// Serves one batch of clients arriving at time `t`.
@@ -75,7 +80,21 @@ impl<'a> CapacitatedGreedy<'a> {
     ///
     /// Panics if the batch structurally exceeds total capacity (validated
     /// instances never do).
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, clients, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core greedy assignment step, recording purchases and connection
+    /// charges into `ledger`.
+    fn serve_with(&mut self, t: TimeStep, clients: &[usize], ledger: &mut Ledger) {
+        ledger.advance(t);
         let base = &self.instance.base;
         let m = base.num_facilities();
         let mut usage = vec![0usize; m];
@@ -94,7 +113,11 @@ impl<'a> CapacitatedGreedy<'a> {
                         .into_iter()
                         .find(|l| l.type_index == k)
                         .expect("every type has an aligned candidate per step");
-                    (d + price, i, Some(Triple::new(i, lease.type_index, lease.start)))
+                    (
+                        d + price,
+                        i,
+                        Some(Triple::new(i, lease.type_index, lease.start)),
+                    )
                 };
                 if best.as_ref().is_none_or(|b| option.0 < b.0) {
                     best = Some(option);
@@ -104,9 +127,9 @@ impl<'a> CapacitatedGreedy<'a> {
                 best.expect("validated instances always leave an available facility");
             if let Some(triple) = new_lease {
                 self.owned.insert(triple);
-                self.costs.leasing += base.cost(i, triple.type_index);
+                ledger.buy_priced(t, triple, base.cost(i, triple.type_index), CATEGORY_LEASE);
             }
-            self.costs.connection += base.distance(i, j);
+            ledger.charge(t, i, base.distance(i, j), CATEGORY_CONNECTION);
             usage[i] += 1;
             self.assignments.push((j, i));
         }
@@ -114,20 +137,37 @@ impl<'a> CapacitatedGreedy<'a> {
 
     /// Runs the whole instance and returns the final total cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         for batch in self.instance.base.batches().to_vec() {
-            self.serve_batch(batch.time, &batch.clients);
+            self.serve_with(batch.time, &batch.clients, &mut ledger);
         }
+        self.ledger = ledger;
         self.total_cost()
     }
 
     /// Total cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.costs.total()
+        self.ledger.total_cost()
     }
 
-    /// Cost split into leasing and connection parts.
+    /// Cost split into leasing and connection parts (read from the
+    /// ledger's `"lease"` and `"connection"` categories).
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn costs(&self) -> CapacitatedCosts {
-        self.costs
+        CapacitatedCosts {
+            leasing: self.ledger.category_cost(CATEGORY_LEASE),
+            connection: self.ledger.category_cost(CATEGORY_CONNECTION),
+        }
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// `(client, facility)` assignments in service order.
@@ -158,6 +198,15 @@ impl<'a> CapacitatedGreedy<'a> {
     }
 }
 
+impl<'a> LeasingAlgorithm for CapacitatedGreedy<'a> {
+    /// The batch of (globally numbered) clients arriving at a time step.
+    type Request = Vec<usize>;
+
+    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, ledger: &mut Ledger) {
+        self.serve_with(time, &clients, ledger);
+    }
+}
+
 /// Whether `assignments` (paired with the bought `owned` leases) is a valid
 /// capacitated solution: every client is assigned to a facility that is
 /// active at the client's arrival step, and no facility exceeds its per-step
@@ -183,9 +232,9 @@ pub fn is_feasible_assignment(
             let Some(Some(i)) = assigned.get(j).copied() else {
                 return false;
             };
-            let active = owned.iter().any(|tr| {
-                tr.element == i && tr.covers(structure, batch.time)
-            });
+            let active = owned
+                .iter()
+                .any(|tr| tr.element == i && tr.covers(structure, batch.time));
             if !active {
                 return false;
             }
@@ -239,8 +288,7 @@ mod tests {
         let inst = two_facility_instance(&[2], 1);
         let mut alg = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);
         let _ = alg.run();
-        let facilities: HashSet<usize> =
-            alg.assignments().iter().map(|&(_, i)| i).collect();
+        let facilities: HashSet<usize> = alg.assignments().iter().map(|&(_, i)| i).collect();
         assert_eq!(facilities.len(), 2, "both facilities must serve");
         let owned: HashSet<Triple> = alg.owned().copied().collect();
         assert!(is_feasible_assignment(&inst, &owned, alg.assignments()));
@@ -252,8 +300,7 @@ mod tests {
         let inst = two_facility_instance(&[1, 1], 1);
         let mut alg = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);
         let _ = alg.run();
-        let facilities: HashSet<usize> =
-            alg.assignments().iter().map(|&(_, i)| i).collect();
+        let facilities: HashSet<usize> = alg.assignments().iter().map(|&(_, i)| i).collect();
         assert_eq!(facilities.len(), 1, "the same facility serves both steps");
     }
 
@@ -286,7 +333,7 @@ mod tests {
         let inst = two_facility_instance(&[2], 1);
         let mut owned = HashSet::new();
         owned.insert(Triple::new(0, 1, 0)); // long lease at facility 0
-        // Both clients at facility 0 exceeds capacity 1.
+                                            // Both clients at facility 0 exceeds capacity 1.
         assert!(!is_feasible_assignment(&inst, &owned, &[(0, 0), (1, 0)]));
         // Unassigned client is also infeasible.
         assert!(!is_feasible_assignment(&inst, &owned, &[(0, 0)]));

@@ -59,7 +59,10 @@ pub fn to_capacitated(
     for jb in jobs {
         let start = num_jobs;
         num_jobs += jb.affinity.len();
-        batches.push(Batch { time: jb.time, clients: (start..num_jobs).collect() });
+        batches.push(Batch {
+            time: jb.time,
+            clients: (start..num_jobs).collect(),
+        });
     }
     // dist[i][j] = affinity of global job j on machine i.
     let mut dist = vec![vec![0.0; num_jobs]; m];
@@ -67,9 +70,9 @@ pub fn to_capacitated(
     for jb in jobs {
         for row in &jb.affinity {
             if row.len() != m {
-                return Err(CapacitatedError::Base(FacilityInstanceError::SiteOutOfRange(
-                    row.len(),
-                )));
+                return Err(CapacitatedError::Base(
+                    FacilityInstanceError::SiteOutOfRange(row.len()),
+                ));
             }
             for (i, &a) in row.iter().enumerate() {
                 dist[i][j] = a;
@@ -97,8 +100,14 @@ mod tests {
 
     fn machines() -> Vec<Machine> {
         vec![
-            Machine { rental_costs: vec![1.0, 3.0], capacity: 1 },
-            Machine { rental_costs: vec![2.0, 5.0], capacity: 2 },
+            Machine {
+                rental_costs: vec![1.0, 3.0],
+                capacity: 1,
+            },
+            Machine {
+                rental_costs: vec![2.0, 5.0],
+                capacity: 2,
+            },
         ]
     }
 
@@ -119,15 +128,24 @@ mod tests {
 
     #[test]
     fn rejects_ragged_affinity_rows() {
-        let jobs = vec![JobBatch { time: 0, affinity: vec![vec![0.0]] }];
+        let jobs = vec![JobBatch {
+            time: 0,
+            affinity: vec![vec![0.0]],
+        }];
         assert!(to_capacitated(&machines(), structure(), &jobs).is_err());
     }
 
     #[test]
     fn greedy_schedules_jobs_feasibly() {
         let jobs = vec![
-            JobBatch { time: 0, affinity: vec![vec![0.0, 2.0], vec![0.1, 2.0]] },
-            JobBatch { time: 1, affinity: vec![vec![0.0, 2.0]] },
+            JobBatch {
+                time: 0,
+                affinity: vec![vec![0.0, 2.0], vec![0.1, 2.0]],
+            },
+            JobBatch {
+                time: 1,
+                affinity: vec![vec![0.0, 2.0]],
+            },
         ];
         let inst = to_capacitated(&machines(), structure(), &jobs).unwrap();
         let mut alg = CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal);

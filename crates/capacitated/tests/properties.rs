@@ -19,17 +19,20 @@ fn structure() -> LeaseStructure {
 
 fn random_instance(seed: u64, facilities: usize, cap: usize) -> CapacitatedInstance {
     let mut rng = seeded(seed);
-    let sites: Vec<Point> =
-        (0..facilities).map(|_| Point::new(rng.random(), rng.random())).collect();
+    let sites: Vec<Point> = (0..facilities)
+        .map(|_| Point::new(rng.random(), rng.random()))
+        .collect();
     let mut batches = Vec::new();
     let mut t = 0u64;
     let max_batch = facilities * cap;
     for _ in 0..4 {
-        t += 1 + rng.random_range(0..3);
+        t += 1 + rng.random_range(0..3u64);
         let n = 1 + rng.random_range(0..max_batch);
         batches.push((
             t,
-            (0..n).map(|_| Point::new(rng.random(), rng.random())).collect::<Vec<_>>(),
+            (0..n)
+                .map(|_| Point::new(rng.random(), rng.random()))
+                .collect::<Vec<_>>(),
         ));
     }
     let base = FacilityInstance::euclidean(sites, structure(), batches).unwrap();

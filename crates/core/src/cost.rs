@@ -35,7 +35,10 @@ impl CostMeter {
     /// Panics (in debug builds) if `amount` is negative or not finite —
     /// algorithms never un-spend money.
     pub fn charge(&mut self, category: &'static str, amount: f64) {
-        debug_assert!(amount.is_finite() && amount >= 0.0, "charges must be non-negative");
+        debug_assert!(
+            amount.is_finite() && amount >= 0.0,
+            "charges must be non-negative"
+        );
         self.total += amount;
         *self.by_category.entry(category).or_insert(0.0) += amount;
     }

@@ -1,0 +1,801 @@
+//! The unified leasing engine: one decision-oriented API over every
+//! problem crate in the workspace.
+//!
+//! The thesis's leasing framework (§2.3) is a single abstraction — demands
+//! arrive online and the algorithm irrevocably buys triples `(i, k, t)`
+//! from the infrastructure leasing set `Ī = I × {1..K} × ℕ`. This module
+//! makes that abstraction the driver-facing API:
+//!
+//! * [`Ledger`] — the centralized, serializable record of every purchase:
+//!   incremental cost (total and per category), the active-lease expiry
+//!   heap, the full decision trace and per-element statistics. Every
+//!   online algorithm in the problem crates records money *only* through
+//!   the ledger instead of keeping a private `total_cost` accumulator
+//!   (the `online_covering` substrate and the offline baselines keep
+//!   their own meters — they are not driver-facing).
+//! * [`LeasingAlgorithm`] — the trait every online algorithm implements:
+//!   `on_request(&mut self, t, request, &mut Ledger)` serves one request
+//!   immediately and irrevocably, recording purchases into the ledger.
+//! * [`Driver`] — feeds a request stream to an algorithm: batch
+//!   submission, monotone-time enforcement via [`DriverError`] (no
+//!   panics), ledger ownership and [`Report`] generation.
+//! * [`Report`] — cost, offline optimum, competitive ratio and decision
+//!   counts in one serializable summary, consumed uniformly by tests,
+//!   examples and the bench binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use leasing_core::engine::{Driver, LeasingAlgorithm, Ledger};
+//! use leasing_core::framework::Triple;
+//! use leasing_core::interval::aligned_start;
+//! use leasing_core::lease::{LeaseStructure, LeaseType};
+//! use leasing_core::time::TimeStep;
+//!
+//! /// Covers every demand with the shortest lease.
+//! struct ShortLease;
+//!
+//! impl LeasingAlgorithm for ShortLease {
+//!     type Request = ();
+//!     fn on_request(&mut self, t: TimeStep, _req: (), ledger: &mut Ledger) {
+//!         let start = aligned_start(t, ledger.structure().unwrap().length(0));
+//!         let triple = Triple::new(0, 0, start);
+//!         if !ledger.decisions().iter().any(|d| d.triple() == Some(triple)) {
+//!             ledger.buy(t, triple);
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let permits = LeaseStructure::new(vec![LeaseType::new(4, 3.0)])?;
+//! let mut driver = Driver::new(ShortLease, permits);
+//! driver.submit_batch([(0u64, ()), (1, ()), (9, ())])?;
+//! let report = driver.report(6.0);
+//! assert_eq!(report.leases_bought, 2);
+//! assert!((report.algorithm_cost - 6.0).abs() < 1e-9);
+//! assert!((report.ratio() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::framework::Triple;
+use crate::harness::CompetitiveOutcome;
+use crate::lease::{Lease, LeaseStructure};
+use crate::time::TimeStep;
+use serde::{de, json, Deserialize, Serialize, Value};
+use std::borrow::Cow;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Why a [`Driver`] rejected a submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DriverError {
+    /// A request arrived with a smaller time stamp than its predecessor —
+    /// the online model (§2.1) reveals requests in non-decreasing time
+    /// order.
+    TimeTravel {
+        /// Time of the latest accepted request.
+        previous: TimeStep,
+        /// Time of the rejected request.
+        attempted: TimeStep,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::TimeTravel {
+                previous,
+                attempted,
+            } => write!(
+                f,
+                "request at time {attempted} precedes the previous request at time {previous} \
+                 (requests must arrive in non-decreasing time order)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// One irrevocable spending decision recorded in a [`Ledger`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decision {
+    /// Time step at which the decision was made.
+    pub time: TimeStep,
+    /// Infrastructure element the money was spent on (set id, facility id,
+    /// edge id, vertex id, ... — `0` for single-resource problems).
+    pub element: usize,
+    /// The lease bought, or `None` for auxiliary charges (e.g. connection
+    /// costs in facility leasing).
+    pub lease: Option<Lease>,
+    /// Money paid.
+    pub cost: f64,
+    /// Spending category (`"lease"`, `"connection"`, `"rounded"`, ...).
+    pub category: Cow<'static, str>,
+}
+
+impl Decision {
+    /// The purchased triple `(element, k, start)`, when this decision is a
+    /// lease purchase.
+    pub fn triple(&self) -> Option<Triple> {
+        self.lease
+            .map(|l| Triple::new(self.element, l.type_index, l.start))
+    }
+}
+
+/// Per-element spending statistics maintained by the [`Ledger`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ElementStats {
+    /// Number of leases bought for the element.
+    pub leases: usize,
+    /// Money spent on leases of the element.
+    pub lease_cost: f64,
+    /// Auxiliary money charged against the element (connections, ...).
+    pub extra_cost: f64,
+}
+
+/// The default spending category of [`Ledger::buy`]/[`Ledger::buy_priced`].
+pub const CATEGORY_LEASE: &str = "lease";
+
+/// The spending category of client-connection charges in the facility
+/// problems.
+pub const CATEGORY_CONNECTION: &str = "connection";
+
+/// The centralized decision record of one online run.
+///
+/// Every purchase of a triple `(i, k, t)` and every auxiliary charge flows
+/// through the ledger, which maintains — incrementally, in `O(log n)` per
+/// decision — the total cost, a per-category breakdown, the decision trace,
+/// per-element statistics and a min-heap of active-lease expiries.
+///
+/// A ledger is normally owned by a [`Driver`]; the problem crates also keep
+/// one internally so their deprecated `serve_*` entry points stay usable.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    structure: Option<LeaseStructure>,
+    decisions: Vec<Decision>,
+    total: f64,
+    by_category: BTreeMap<Cow<'static, str>, f64>,
+    /// Min-heap of `(window end, triple)` for leases not yet expired at
+    /// [`now`](Ledger::now).
+    expiry: BinaryHeap<Reverse<(TimeStep, Triple)>>,
+    per_element: BTreeMap<usize, ElementStats>,
+    now: TimeStep,
+    leases_bought: usize,
+}
+
+impl Ledger {
+    /// An empty ledger pricing and windowing leases with `structure`.
+    pub fn new(structure: LeaseStructure) -> Self {
+        Ledger {
+            structure: Some(structure),
+            ..Ledger::default()
+        }
+    }
+
+    /// An empty ledger without a lease structure. [`Ledger::buy`] and the
+    /// expiry heap need a structure; [`Ledger::buy_priced`] with explicit
+    /// windows does not.
+    pub fn detached() -> Self {
+        Ledger::default()
+    }
+
+    /// The lease structure used for pricing and validity windows, if any.
+    pub fn structure(&self) -> Option<&LeaseStructure> {
+        self.structure.as_ref()
+    }
+
+    /// Advances the ledger clock to `t` (monotone), expiring every lease
+    /// whose window ends at or before `t`. Returns how many leases expired.
+    pub fn advance(&mut self, t: TimeStep) -> usize {
+        if t > self.now {
+            self.now = t;
+        }
+        let mut expired = 0;
+        while let Some(Reverse((end, _))) = self.expiry.peek() {
+            if *end > self.now {
+                break;
+            }
+            self.expiry.pop();
+            expired += 1;
+        }
+        expired
+    }
+
+    /// The current ledger clock (largest time seen so far).
+    pub fn now(&self) -> TimeStep {
+        self.now
+    }
+
+    /// Buys `triple` at time `t`, priced by the ledger's lease structure,
+    /// under the [`CATEGORY_LEASE`] category. Returns the price paid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger has no structure or the triple's type index is
+    /// out of range.
+    pub fn buy(&mut self, t: TimeStep, triple: Triple) -> f64 {
+        let structure = self
+            .structure
+            .as_ref()
+            .expect("Ledger::buy requires a lease structure; use buy_priced");
+        let cost = structure.cost(triple.type_index);
+        self.record_lease(t, triple, cost, Cow::Borrowed(CATEGORY_LEASE));
+        cost
+    }
+
+    /// Buys `triple` at time `t` for an explicit price under `category`
+    /// (problems with per-element prices: weighted set cover, facility
+    /// leasing, scaled edge structures, ...).
+    pub fn buy_priced(
+        &mut self,
+        t: TimeStep,
+        triple: Triple,
+        cost: f64,
+        category: &'static str,
+    ) -> f64 {
+        self.record_lease(t, triple, cost, Cow::Borrowed(category));
+        cost
+    }
+
+    fn record_lease(
+        &mut self,
+        t: TimeStep,
+        triple: Triple,
+        cost: f64,
+        category: Cow<'static, str>,
+    ) {
+        debug_assert!(
+            cost.is_finite() && cost >= 0.0,
+            "lease prices are non-negative"
+        );
+        self.total += cost;
+        *self.by_category.entry(category.clone()).or_insert(0.0) += cost;
+        let stats = self.per_element.entry(triple.element).or_default();
+        stats.leases += 1;
+        stats.lease_cost += cost;
+        self.leases_bought += 1;
+        if let Some(structure) = &self.structure {
+            if triple.type_index < structure.num_types() {
+                let end = triple.start + structure.length(triple.type_index);
+                if end > self.now {
+                    self.expiry.push(Reverse((end, triple)));
+                }
+            }
+        }
+        self.decisions.push(Decision {
+            time: t,
+            element: triple.element,
+            lease: Some(triple.lease()),
+            cost,
+            category,
+        });
+    }
+
+    /// Records an auxiliary (non-lease) charge of `cost` against `element`
+    /// at time `t` under `category` — connection costs, rounding
+    /// fallbacks, and so on.
+    pub fn charge(&mut self, t: TimeStep, element: usize, cost: f64, category: &'static str) {
+        self.record_charge(t, element, cost, Cow::Borrowed(category));
+    }
+
+    fn record_charge(
+        &mut self,
+        t: TimeStep,
+        element: usize,
+        cost: f64,
+        category: Cow<'static, str>,
+    ) {
+        debug_assert!(cost.is_finite() && cost >= 0.0, "charges are non-negative");
+        self.total += cost;
+        *self.by_category.entry(category.clone()).or_insert(0.0) += cost;
+        self.per_element.entry(element).or_default().extra_cost += cost;
+        self.decisions.push(Decision {
+            time: t,
+            element,
+            lease: None,
+            cost,
+            category,
+        });
+    }
+
+    /// Total money spent.
+    pub fn total_cost(&self) -> f64 {
+        self.total
+    }
+
+    /// Money spent under `category` (zero when never charged).
+    pub fn category_cost(&self, category: &str) -> f64 {
+        self.by_category.get(category).copied().unwrap_or(0.0)
+    }
+
+    /// All categories with their spend, ordered by name.
+    pub fn cost_breakdown(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.by_category.iter().map(|(k, &v)| (k.as_ref(), v))
+    }
+
+    /// The full decision trace in decision order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Number of decisions recorded (purchases plus charges).
+    pub fn decision_count(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Number of leases bought.
+    pub fn leases_bought(&self) -> usize {
+        self.leases_bought
+    }
+
+    /// Whether no decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Number of leases bought whose validity window extends beyond the
+    /// ledger clock (after the latest [`advance`](Ledger::advance)).
+    pub fn active_leases(&self) -> usize {
+        self.expiry.len()
+    }
+
+    /// The earliest pending lease expiry, if any lease is still active.
+    pub fn next_expiry(&self) -> Option<TimeStep> {
+        self.expiry.peek().map(|Reverse((end, _))| *end)
+    }
+
+    /// Spending statistics of `element`.
+    pub fn element_stats(&self, element: usize) -> ElementStats {
+        self.per_element.get(&element).copied().unwrap_or_default()
+    }
+
+    /// All elements money was spent on, with their statistics, ordered by
+    /// element id.
+    pub fn elements(&self) -> impl Iterator<Item = (usize, &ElementStats)> + '_ {
+        self.per_element.iter().map(|(&e, s)| (e, s))
+    }
+
+    /// Serializes the ledger to compact JSON.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Rebuilds a ledger from [`Ledger::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, de::Error> {
+        json::from_str(text)
+    }
+}
+
+impl Serialize for Ledger {
+    fn to_value(&self) -> Value {
+        let decisions: Vec<Value> = self
+            .decisions
+            .iter()
+            .map(|d| {
+                Value::Map(vec![
+                    ("time".to_string(), d.time.to_value()),
+                    ("element".to_string(), d.element.to_value()),
+                    ("lease".to_string(), d.lease.to_value()),
+                    ("cost".to_string(), d.cost.to_value()),
+                    ("category".to_string(), Value::Str(d.category.to_string())),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("structure".to_string(), self.structure.to_value()),
+            ("now".to_string(), self.now.to_value()),
+            ("decisions".to_string(), Value::Seq(decisions)),
+        ])
+    }
+}
+
+impl Deserialize for Ledger {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let structure: Option<LeaseStructure> =
+            Deserialize::from_value(serde::value_field(value, "structure")?)?;
+        let now: TimeStep = Deserialize::from_value(serde::value_field(value, "now")?)?;
+        let decisions = match serde::value_field(value, "decisions")? {
+            Value::Seq(items) => items,
+            other => {
+                return Err(de::Error::new(format!(
+                    "expected a decision sequence, found {other:?}"
+                )))
+            }
+        };
+        // Replay the trace so every derived quantity (totals, categories,
+        // element stats, expiry heap) is rebuilt consistently.
+        let mut ledger = match structure {
+            Some(s) => Ledger::new(s),
+            None => Ledger::detached(),
+        };
+        for d in decisions {
+            let time: TimeStep = Deserialize::from_value(serde::value_field(d, "time")?)?;
+            let element: usize = Deserialize::from_value(serde::value_field(d, "element")?)?;
+            let lease: Option<Lease> = Deserialize::from_value(serde::value_field(d, "lease")?)?;
+            let cost: f64 = Deserialize::from_value(serde::value_field(d, "cost")?)?;
+            let category: String = Deserialize::from_value(serde::value_field(d, "category")?)?;
+            match lease {
+                Some(lease) => ledger.record_lease(
+                    time,
+                    Triple::new(element, lease.type_index, lease.start),
+                    cost,
+                    Cow::Owned(category),
+                ),
+                None => ledger.record_charge(time, element, cost, Cow::Owned(category)),
+            }
+        }
+        ledger.advance(now);
+        Ok(ledger)
+    }
+}
+
+/// The driver-facing trait of every online leasing algorithm in the
+/// workspace.
+///
+/// Requests arrive in non-decreasing time order (enforced by the
+/// [`Driver`]); the algorithm serves each immediately and irrevocably,
+/// recording every purchase into the passed [`Ledger`] — the single source
+/// of truth for money spent.
+pub trait LeasingAlgorithm {
+    /// One unit of input revealed at a time step (a demand, a client batch,
+    /// an edge arrival, ...).
+    type Request;
+
+    /// Serves the request arriving at `time`, recording purchases into
+    /// `ledger`.
+    fn on_request(&mut self, time: TimeStep, request: Self::Request, ledger: &mut Ledger);
+}
+
+/// Generic driver: owns the [`Ledger`], feeds requests to a
+/// [`LeasingAlgorithm`] and enforces the online model's monotone arrival
+/// order with a typed error instead of a panic.
+#[derive(Clone, Debug)]
+pub struct Driver<A> {
+    algorithm: A,
+    ledger: Ledger,
+    last_time: Option<TimeStep>,
+    requests: usize,
+}
+
+impl<A: LeasingAlgorithm> Driver<A> {
+    /// A driver whose ledger prices and windows leases with `structure`.
+    pub fn new(algorithm: A, structure: LeaseStructure) -> Self {
+        Driver {
+            algorithm,
+            ledger: Ledger::new(structure),
+            last_time: None,
+            requests: 0,
+        }
+    }
+
+    /// A driver with a structure-less ledger (for algorithms that price
+    /// every purchase explicitly via [`Ledger::buy_priced`]).
+    pub fn detached(algorithm: A) -> Self {
+        Driver {
+            algorithm,
+            ledger: Ledger::detached(),
+            last_time: None,
+            requests: 0,
+        }
+    }
+
+    /// Submits one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::TimeTravel`] when `time` is smaller than the
+    /// previous request's time; the request is not served.
+    pub fn submit(&mut self, time: TimeStep, request: A::Request) -> Result<(), DriverError> {
+        if let Some(previous) = self.last_time {
+            if time < previous {
+                return Err(DriverError::TimeTravel {
+                    previous,
+                    attempted: time,
+                });
+            }
+        }
+        self.last_time = Some(time);
+        self.ledger.advance(time);
+        self.algorithm.on_request(time, request, &mut self.ledger);
+        self.requests += 1;
+        Ok(())
+    }
+
+    /// Submits a whole time-stamped request sequence.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`DriverError`]; earlier requests
+    /// stay served.
+    pub fn submit_batch(
+        &mut self,
+        requests: impl IntoIterator<Item = (TimeStep, A::Request)>,
+    ) -> Result<(), DriverError> {
+        for (t, r) in requests {
+            self.submit(t, r)?;
+        }
+        Ok(())
+    }
+
+    /// The algorithm being driven.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// The ledger accumulated so far.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Total cost recorded so far.
+    pub fn cost(&self) -> f64 {
+        self.ledger.total_cost()
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Summarizes the run against a (lower bound on the) offline optimum.
+    pub fn report(&self, optimum_cost: f64) -> Report {
+        Report {
+            algorithm_cost: self.ledger.total_cost(),
+            optimum_cost,
+            requests: self.requests,
+            decisions: self.ledger.decision_count(),
+            leases_bought: self.ledger.leases_bought(),
+            cost_by_category: self
+                .ledger
+                .cost_breakdown()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Releases the algorithm and the ledger.
+    pub fn into_parts(self) -> (A, Ledger) {
+        (self.algorithm, self.ledger)
+    }
+}
+
+/// Summary of one online run against an offline optimum — the uniform
+/// output consumed by tests, examples and the bench binaries.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Money the online algorithm spent.
+    pub algorithm_cost: f64,
+    /// The offline optimum (or a certified lower bound on it, in which
+    /// case [`ratio`](Report::ratio) over-estimates — the safe direction).
+    pub optimum_cost: f64,
+    /// Requests served.
+    pub requests: usize,
+    /// Ledger decisions recorded (purchases plus charges).
+    pub decisions: usize,
+    /// Leases bought.
+    pub leases_bought: usize,
+    /// Per-category spending, ordered by category name.
+    pub cost_by_category: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// The empirical competitive ratio (`0/0 = 1`, `x/0 = ∞`).
+    pub fn ratio(&self) -> f64 {
+        CompetitiveOutcome::new(self.algorithm_cost, self.optimum_cost).ratio()
+    }
+
+    /// Serializes the report to compact JSON.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alg={:.4} opt={:.4} ratio={:.4} requests={} decisions={} leases={}",
+            self.algorithm_cost,
+            self.optimum_cost,
+            self.ratio(),
+            self.requests,
+            self.decisions,
+            self.leases_bought
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::aligned_start;
+    use crate::lease::LeaseType;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap()
+    }
+
+    /// Buys the shortest candidate covering each request's day, once.
+    struct ShortBuyer {
+        owned: std::collections::HashSet<Triple>,
+    }
+
+    impl LeasingAlgorithm for ShortBuyer {
+        type Request = ();
+        fn on_request(&mut self, t: TimeStep, _req: (), ledger: &mut Ledger) {
+            let len = ledger.structure().unwrap().length(0);
+            let triple = Triple::new(0, 0, aligned_start(t, len));
+            if self.owned.insert(triple) {
+                ledger.buy(t, triple);
+            }
+        }
+    }
+
+    fn driver() -> Driver<ShortBuyer> {
+        Driver::new(
+            ShortBuyer {
+                owned: std::collections::HashSet::new(),
+            },
+            structure(),
+        )
+    }
+
+    #[test]
+    fn ledger_tracks_costs_categories_and_elements() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(7, 0, 0));
+        ledger.buy_priced(1, Triple::new(7, 1, 0), 2.5, "rounded");
+        ledger.charge(1, 3, 0.5, "connection");
+        assert!((ledger.total_cost() - 4.0).abs() < 1e-12);
+        assert!((ledger.category_cost(CATEGORY_LEASE) - 1.0).abs() < 1e-12);
+        assert!((ledger.category_cost("rounded") - 2.5).abs() < 1e-12);
+        assert!((ledger.category_cost("connection") - 0.5).abs() < 1e-12);
+        assert_eq!(ledger.decision_count(), 3);
+        assert_eq!(ledger.leases_bought(), 2);
+        let stats = ledger.element_stats(7);
+        assert_eq!(stats.leases, 2);
+        assert!((stats.lease_cost - 3.5).abs() < 1e-12);
+        assert!((ledger.element_stats(3).extra_cost - 0.5).abs() < 1e-12);
+        assert_eq!(ledger.elements().count(), 2);
+    }
+
+    #[test]
+    fn expiry_heap_pops_in_order_as_time_advances() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(0, 0, 0)); // expires at 4
+        ledger.buy(0, Triple::new(0, 1, 0)); // expires at 16
+        ledger.buy(2, Triple::new(1, 0, 0)); // expires at 4
+        assert_eq!(ledger.active_leases(), 3);
+        assert_eq!(ledger.next_expiry(), Some(4));
+        assert_eq!(ledger.advance(3), 0);
+        assert_eq!(ledger.advance(4), 2);
+        assert_eq!(ledger.active_leases(), 1);
+        assert_eq!(ledger.next_expiry(), Some(16));
+        assert_eq!(ledger.advance(40), 1);
+        assert_eq!(ledger.active_leases(), 0);
+        assert_eq!(ledger.next_expiry(), None);
+    }
+
+    #[test]
+    fn already_expired_purchases_never_enter_the_heap() {
+        let mut ledger = Ledger::new(structure());
+        ledger.advance(100);
+        ledger.buy(100, Triple::new(0, 0, 0)); // window [0, 4) is long gone
+        assert_eq!(ledger.active_leases(), 0);
+    }
+
+    #[test]
+    fn driver_enforces_monotone_time_with_typed_error() {
+        let mut d = driver();
+        d.submit(5, ()).unwrap();
+        let err = d.submit(3, ()).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::TimeTravel {
+                previous: 5,
+                attempted: 3
+            }
+        );
+        // The rejected request is not served.
+        assert_eq!(d.requests(), 1);
+        // Equal times are fine.
+        d.submit(5, ()).unwrap();
+        assert_eq!(d.requests(), 2);
+    }
+
+    #[test]
+    fn driver_error_is_well_behaved() {
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<DriverError>();
+        let msg = DriverError::TimeTravel {
+            previous: 5,
+            attempted: 3,
+        }
+        .to_string();
+        let first = msg.chars().next().unwrap();
+        assert!(first.is_lowercase(), "message must start lowercase: {msg}");
+        assert!(!msg.ends_with('.') && !msg.ends_with('!'));
+        assert!(msg.contains('5') && msg.contains('3'));
+    }
+
+    #[test]
+    fn submit_batch_stops_at_the_first_error() {
+        let mut d = driver();
+        let err = d
+            .submit_batch([(0, ()), (4, ()), (1, ()), (9, ())])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DriverError::TimeTravel {
+                previous: 4,
+                attempted: 1
+            }
+        ));
+        assert_eq!(d.requests(), 2, "requests before the violation stay served");
+    }
+
+    #[test]
+    fn report_summarizes_the_run() {
+        let mut d = driver();
+        d.submit_batch([(0u64, ()), (1, ()), (5, ())]).unwrap();
+        let report = d.report(2.0);
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.leases_bought, 2);
+        assert!((report.algorithm_cost - 2.0).abs() < 1e-12);
+        assert!((report.ratio() - 1.0).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("ratio=1.0000"), "{text}");
+        let json = report.to_json();
+        let back: Report = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(2, 0, 0));
+        ledger.buy_priced(3, Triple::new(2, 1, 0), 2.25, "rounded");
+        ledger.charge(3, 9, 1.5, "connection");
+        ledger.advance(5);
+        let json = ledger.to_json();
+        let back = Ledger::from_json(&json).unwrap();
+        assert_eq!(back.decisions(), ledger.decisions());
+        assert_eq!(back.total_cost().to_bits(), ledger.total_cost().to_bits());
+        assert_eq!(back.active_leases(), ledger.active_leases());
+        assert_eq!(back.leases_bought(), ledger.leases_bought());
+        assert_eq!(back.element_stats(2), ledger.element_stats(2));
+        assert_eq!(back.now(), ledger.now());
+    }
+
+    #[test]
+    fn detached_ledgers_accept_priced_purchases() {
+        let mut ledger = Ledger::detached();
+        ledger.buy_priced(0, Triple::new(0, 0, 0), 2.0, CATEGORY_LEASE);
+        assert!((ledger.total_cost() - 2.0).abs() < 1e-12);
+        // No structure — no expiry bookkeeping.
+        assert_eq!(ledger.active_leases(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a lease structure")]
+    fn structureless_buy_panics_with_guidance() {
+        let mut ledger = Ledger::detached();
+        let _ = ledger.buy(0, Triple::new(0, 0, 0));
+    }
+
+    #[test]
+    fn into_parts_releases_algorithm_and_ledger() {
+        let mut d = driver();
+        d.submit(0, ()).unwrap();
+        let (alg, ledger) = d.into_parts();
+        assert_eq!(alg.owned.len(), 1);
+        assert_eq!(ledger.decision_count(), 1);
+    }
+}

@@ -35,7 +35,11 @@ pub struct Triple {
 impl Triple {
     /// Creates the triple `(element, type_index, start)`.
     pub fn new(element: usize, type_index: usize, start: TimeStep) -> Self {
-        Triple { element, type_index, start }
+        Triple {
+            element,
+            type_index,
+            start,
+        }
     }
 
     /// The time component as a [`Lease`] (dropping the element).
@@ -82,22 +86,28 @@ pub trait OnlineAlgorithm {
 
 /// Feeds a time-stamped request sequence to `alg` and returns its final cost.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the request times are decreasing.
+/// Returns [`DriverError::TimeTravel`](crate::engine::DriverError) at the
+/// first request whose time decreases; earlier requests stay served.
 pub fn run_online<A: OnlineAlgorithm>(
     alg: &mut A,
     requests: impl IntoIterator<Item = (TimeStep, A::Request)>,
-) -> f64 {
+) -> Result<f64, crate::engine::DriverError> {
     let mut last: Option<TimeStep> = None;
     for (t, req) in requests {
-        if let Some(prev) = last {
-            assert!(t >= prev, "requests must arrive in non-decreasing time order");
+        if let Some(previous) = last {
+            if t < previous {
+                return Err(crate::engine::DriverError::TimeTravel {
+                    previous,
+                    attempted: t,
+                });
+            }
         }
         last = Some(t);
         alg.serve(t, req);
     }
-    alg.total_cost()
+    Ok(alg.total_cost())
 }
 
 #[cfg(test)]
@@ -122,16 +132,26 @@ mod tests {
     #[test]
     fn run_online_feeds_in_order_and_sums_cost() {
         let mut alg = CountingAlg { served: vec![] };
-        let cost = run_online(&mut alg, vec![(0, 1), (0, 2), (3, 4)]);
+        let cost = run_online(&mut alg, vec![(0, 1), (0, 2), (3, 4)]).unwrap();
         assert_eq!(cost, 7.0);
         assert_eq!(alg.served, vec![(0, 1), (0, 2), (3, 4)]);
     }
 
     #[test]
-    #[should_panic(expected = "non-decreasing")]
-    fn run_online_rejects_time_travel() {
+    fn run_online_rejects_time_travel_with_typed_error() {
+        use crate::engine::DriverError;
         let mut alg = CountingAlg { served: vec![] };
-        let _ = run_online(&mut alg, vec![(5, 1), (3, 1)]);
+        let err = run_online(&mut alg, vec![(5, 1), (3, 1)]).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::TimeTravel {
+                previous: 5,
+                attempted: 3
+            }
+        );
+        assert!(err.to_string().contains("non-decreasing time order"));
+        // The violating request was never served.
+        assert_eq!(alg.served, vec![(5, 1)]);
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub struct CompetitiveOutcome {
 impl CompetitiveOutcome {
     /// Bundles the two costs.
     pub fn new(algorithm_cost: f64, optimum_cost: f64) -> Self {
-        CompetitiveOutcome { algorithm_cost, optimum_cost }
+        CompetitiveOutcome {
+            algorithm_cost,
+            optimum_cost,
+        }
     }
 
     /// `algorithm_cost / optimum_cost`, with the conventions `0/0 = 1` and
@@ -121,7 +124,9 @@ impl RatioStats {
 
 impl FromIterator<f64> for RatioStats {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        RatioStats { samples: iter.into_iter().collect() }
+        RatioStats {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 

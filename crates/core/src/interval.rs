@@ -187,7 +187,8 @@ pub fn power_of_two_structure(spec: &[(u32, f64)]) -> LeaseStructure {
         .iter()
         .map(|&(e, c)| LeaseType::new(1u64 << e, c))
         .collect();
-    LeaseStructure::new(types).expect("power-of-two spec must be strictly increasing with valid costs")
+    LeaseStructure::new(types)
+        .expect("power-of-two spec must be strictly increasing with valid costs")
 }
 
 #[cfg(test)]
@@ -250,11 +251,8 @@ mod tests {
 
     #[test]
     fn lift_doubles_cost_and_preserves_coverage() {
-        let original = LeaseStructure::new(vec![
-            LeaseType::new(3, 2.0),
-            LeaseType::new(10, 5.0),
-        ])
-        .unwrap();
+        let original =
+            LeaseStructure::new(vec![LeaseType::new(3, 2.0), LeaseType::new(10, 5.0)]).unwrap();
         let red = IntervalModelReduction::new(&original);
         assert_eq!(red.rounded().length(0), 4);
         assert_eq!(red.rounded().length(1), 16);
@@ -262,10 +260,12 @@ mod tests {
         // An interval-model solution covering [0,4) and [16,32).
         let interval_sol = vec![Lease::new(0, 0), Lease::new(1, 16)];
         let lifted = red.lift(&interval_sol);
-        assert!((solution_cost(red.original(), &lifted)
-            - 2.0 * solution_cost(red.rounded(), &interval_sol))
+        assert!(
+            (solution_cost(red.original(), &lifted)
+                - 2.0 * solution_cost(red.rounded(), &interval_sol))
             .abs()
-            < 1e-9);
+                < 1e-9
+        );
         // Every day covered by the interval solution is covered by the lift.
         let days: Vec<u64> = (0..4).chain(16..32).collect();
         assert!(covers_all(red.original(), &lifted, &days));
@@ -273,11 +273,8 @@ mod tests {
 
     #[test]
     fn project_at_most_doubles_cost_and_preserves_coverage() {
-        let original = LeaseStructure::new(vec![
-            LeaseType::new(3, 2.0),
-            LeaseType::new(10, 5.0),
-        ])
-        .unwrap();
+        let original =
+            LeaseStructure::new(vec![LeaseType::new(3, 2.0), LeaseType::new(10, 5.0)]).unwrap();
         let red = IntervalModelReduction::new(&original);
         let general_sol = vec![Lease::new(0, 5), Lease::new(1, 13)];
         let projected = red.project(&general_sol);
@@ -292,11 +289,8 @@ mod tests {
 
     #[test]
     fn reduction_merges_types_keeping_cheapest() {
-        let original = LeaseStructure::new(vec![
-            LeaseType::new(3, 9.0),
-            LeaseType::new(4, 2.0),
-        ])
-        .unwrap();
+        let original =
+            LeaseStructure::new(vec![LeaseType::new(3, 9.0), LeaseType::new(4, 2.0)]).unwrap();
         let red = IntervalModelReduction::new(&original);
         assert_eq!(red.rounded().num_types(), 1);
         // Lift must use the cheap original type (index 1).

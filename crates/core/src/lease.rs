@@ -52,7 +52,10 @@ impl std::fmt::Display for LeaseStructureError {
         match self {
             LeaseStructureError::Empty => write!(f, "lease structure has no lease types"),
             LeaseStructureError::LengthsNotIncreasing(i) => {
-                write!(f, "lease lengths must be strictly increasing (violated at index {i})")
+                write!(
+                    f,
+                    "lease lengths must be strictly increasing (violated at index {i})"
+                )
             }
             LeaseStructureError::ZeroLength(i) => {
                 write!(f, "lease type {i} has zero length")
@@ -137,7 +140,10 @@ impl LeaseStructure {
     pub fn geometric(k: usize, l_min: u64, factor: u64, base_cost: f64, gamma: f64) -> Self {
         assert!(k > 0, "need at least one lease type");
         assert!(l_min > 0, "l_min must be positive");
-        assert!(factor >= 2, "factor must be at least 2 to keep lengths increasing");
+        assert!(
+            factor >= 2,
+            "factor must be at least 2 to keep lengths increasing"
+        );
         assert!(base_cost > 0.0, "base cost must be positive");
         assert!(gamma.is_finite(), "gamma must be finite");
         let mut types = Vec::with_capacity(k);
@@ -219,7 +225,10 @@ impl LeaseStructure {
     /// [`crate::interval`]).
     pub fn is_interval_model_shape(&self) -> bool {
         self.types.iter().all(|t| t.length.is_power_of_two())
-            && self.types.windows(2).all(|w| w[1].length % w[0].length == 0)
+            && self
+                .types
+                .windows(2)
+                .all(|w| w[1].length % w[0].length == 0)
     }
 
     /// Rounds every length up to the next power of two, merging types that
@@ -355,11 +364,8 @@ mod tests {
     #[test]
     fn economies_of_scale_detection() {
         assert!(simple().has_economies_of_scale());
-        let diseconomy = LeaseStructure::new(vec![
-            LeaseType::new(1, 1.0),
-            LeaseType::new(2, 10.0),
-        ])
-        .unwrap();
+        let diseconomy =
+            LeaseStructure::new(vec![LeaseType::new(1, 1.0), LeaseType::new(2, 10.0)]).unwrap();
         assert!(!diseconomy.has_economies_of_scale());
     }
 

@@ -11,6 +11,9 @@
 //!   the Lemma 2.6 transformation between the general and the interval model,
 //! * [`framework`] — the leasing framework of §2.3 that turns an online
 //!   covering problem into its leasing variant,
+//! * [`engine`] — the unified driver-facing API: [`LeasingAlgorithm`],
+//!   the centralized [`Ledger`] of decisions, the generic [`Driver`] with
+//!   typed monotone-time errors, and the [`Report`] summary,
 //! * [`harness`] — competitive-ratio accounting used by all experiments,
 //! * [`rng`] — seeded randomness helpers (e.g. the min-of-`q`-uniforms
 //!   thresholds used by the randomized rounding schemes in Chapters 3 and 5),
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod cost;
+pub mod engine;
 pub mod framework;
 pub mod harness;
 pub mod interval;
@@ -46,6 +50,7 @@ pub mod ski_rental;
 pub mod time;
 
 pub use cost::CostMeter;
+pub use engine::{Decision, Driver, DriverError, LeasingAlgorithm, Ledger, Report};
 pub use harness::{CompetitiveOutcome, RatioStats};
 pub use interval::{aligned_start, candidates_covering, candidates_intersecting};
 pub use lease::{Lease, LeaseStructure, LeaseStructureError, LeaseType};

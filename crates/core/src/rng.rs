@@ -75,8 +75,7 @@ mod tests {
         let mut rng = seeded(11);
         for q in [1u32, 4, 16] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| min_of_uniforms(&mut rng, q)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| min_of_uniforms(&mut rng, q)).sum::<f64>() / n as f64;
             let expect = 1.0 / (q as f64 + 1.0);
             assert!(
                 (mean - expect).abs() < 0.01,

@@ -120,7 +120,10 @@ mod tests {
         let e = std::f64::consts::E;
         // e/(e-1) ≈ 1.582; allow slack for finite b and sampling noise.
         assert!(ratio < deterministic_ratio(b) - 0.2, "ratio {ratio}");
-        assert!(ratio > e / (e - 1.0) - 0.1, "ratio {ratio} suspiciously small");
+        assert!(
+            ratio > e / (e - 1.0) - 0.1,
+            "ratio {ratio} suspiciously small"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Window {
     /// Panics if `end < start`.
     pub fn closed(start: TimeStep, end: TimeStep) -> Self {
         assert!(end >= start, "closed window requires end >= start");
-        Window { start, len: end - start + 1 }
+        Window {
+            start,
+            len: end - start + 1,
+        }
     }
 
     /// One-past-the-end time step.
@@ -84,7 +87,10 @@ impl Window {
         let start = self.start.max(other.start);
         let end = self.end().min(other.end());
         if start < end {
-            Some(Window { start, len: end - start })
+            Some(Window {
+                start,
+                len: end - start,
+            })
         } else {
             None
         }

@@ -165,7 +165,11 @@ impl<'a> GenericSmcl<'a> {
     ///
     /// Panics if `q == 0`.
     pub fn with_threshold_count(instance: &'a SmclInstance, seed: u64, q: u32) -> Self {
-        GenericSmcl { instance, engine: CoveringEngine::new(q, seed), cursor: 0 }
+        GenericSmcl {
+            instance,
+            engine: CoveringEngine::new(q, seed),
+            cursor: 0,
+        }
     }
 
     /// Runs over all arrivals of the instance; returns the total cost.
@@ -188,7 +192,10 @@ impl<'a> GenericSmcl<'a> {
         let mut used_sets: HashSet<usize> = HashSet::new();
         for _layer in 0..multiplicity {
             let candidates = self.candidates(t, element, &used_sets);
-            assert!(!candidates.is_empty(), "no usable set contains element {element}");
+            assert!(
+                !candidates.is_empty(),
+                "no usable set contains element {element}"
+            );
             let chosen = self.engine.serve(&candidates);
             used_sets.insert(chosen.element);
         }
@@ -268,7 +275,11 @@ impl<'a> GenericScld<'a> {
     ///
     /// Panics if `q == 0`.
     pub fn with_threshold_count(instance: &'a ScldInstance, seed: u64, q: u32) -> Self {
-        GenericScld { instance, engine: CoveringEngine::new(q, seed), next_arrival: 0 }
+        GenericScld {
+            instance,
+            engine: CoveringEngine::new(q, seed),
+            next_arrival: 0,
+        }
     }
 
     /// Serves all remaining arrivals; returns the total cost.
@@ -351,7 +362,10 @@ impl GenericDeterministicPermit {
     /// Creates the adapter for the given permit structure (used with
     /// aligned starts, i.e. the interval model).
     pub fn new(structure: LeaseStructure) -> Self {
-        GenericDeterministicPermit { structure, engine: DualAscent::new() }
+        GenericDeterministicPermit {
+            structure,
+            engine: DualAscent::new(),
+        }
     }
 
     /// The permit structure this adapter leases from.
@@ -482,11 +496,10 @@ impl<'a> GenericOld<'a> {
 
         // Step 1: raise over the whole window's candidates.
         let structure = &self.instance.structure;
-        let candidates: Vec<(Lease, f64)> =
-            candidates_intersecting(structure, client.window())
-                .into_iter()
-                .map(|l| (l, l.cost(structure)))
-                .collect();
+        let candidates: Vec<(Lease, f64)> = candidates_intersecting(structure, client.window())
+            .into_iter()
+            .map(|l| (l, l.cost(structure)))
+            .collect();
         let delta = self.engine.raise(&candidates);
         if delta > EPS {
             self.positive_clients.push(client);
@@ -501,7 +514,10 @@ impl<'a> GenericOld<'a> {
                 self.engine.buy(lease, cost);
             }
         }
-        debug_assert!(!bought_types.is_empty(), "Proposition 5.1 guarantees a tight cover");
+        debug_assert!(
+            !bought_types.is_empty(),
+            "Proposition 5.1 guarantees a tight cover"
+        );
 
         // Step 2: mirror at the deadline.
         if client.slack > 0 {
@@ -555,7 +571,11 @@ mod tests {
                 PermitOnline::total_cost(&gen).to_bits(),
                 "tau {tau}: integral costs diverge"
             );
-            assert_eq!(spec.purchases(), gen.purchases(), "tau {tau}: purchases diverge");
+            assert_eq!(
+                spec.purchases(),
+                gen.purchases(),
+                "tau {tau}: purchases diverge"
+            );
             assert_eq!(
                 spec.fractional_cost().to_bits(),
                 gen.fractional_cost().to_bits(),
@@ -589,18 +609,19 @@ mod tests {
             Arrival::new(20, 0, 2),
             Arrival::new(21, 1, 1),
         ];
-        let lengths = LeaseStructure::new(vec![
-            LeaseType::new(4, 1.0),
-            LeaseType::new(16, 3.0),
-        ])
-        .unwrap();
+        let lengths =
+            LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap();
         let inst = SmclInstance::uniform(triangle_system(), lengths, arrivals).unwrap();
         for seed in 0..20 {
             let mut spec = SmclOnline::new(&inst, seed);
             let spec_cost = spec.run();
             let mut gen = GenericSmcl::new(&inst, seed);
             let gen_cost = gen.run();
-            assert_eq!(spec_cost.to_bits(), gen_cost.to_bits(), "seed {seed}: costs diverge");
+            assert_eq!(
+                spec_cost.to_bits(),
+                gen_cost.to_bits(),
+                "seed {seed}: costs diverge"
+            );
             let spec_owned: HashSet<Triple> = spec.owned().copied().collect();
             let gen_owned: HashSet<Triple> = gen.owned().copied().collect();
             assert_eq!(spec_owned, gen_owned, "seed {seed}: owned sets diverge");
@@ -616,11 +637,8 @@ mod tests {
     #[test]
     fn smcl_adapter_solutions_are_feasible_multicovers() {
         let arrivals = vec![Arrival::new(0, 0, 2), Arrival::new(9, 2, 2)];
-        let lengths = LeaseStructure::new(vec![
-            LeaseType::new(4, 1.0),
-            LeaseType::new(16, 3.0),
-        ])
-        .unwrap();
+        let lengths =
+            LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap();
         let inst = SmclInstance::uniform(triangle_system(), lengths, arrivals).unwrap();
         for seed in 0..8 {
             let mut gen = GenericSmcl::new(&inst, seed);
@@ -633,11 +651,8 @@ mod tests {
     #[test]
     fn scld_adapter_is_bit_equal_to_scld_online() {
         use leasing_deadlines::scld::ScldOnline;
-        let lengths = LeaseStructure::new(vec![
-            LeaseType::new(4, 1.0),
-            LeaseType::new(16, 3.0),
-        ])
-        .unwrap();
+        let lengths =
+            LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap();
         let arrivals = vec![
             ScldArrival::new(0, 0, 3),
             ScldArrival::new(2, 1, 0),
@@ -650,7 +665,11 @@ mod tests {
             let spec_cost = spec.run();
             let mut gen = GenericScld::new(&inst, seed);
             let gen_cost = gen.run();
-            assert_eq!(spec_cost.to_bits(), gen_cost.to_bits(), "seed {seed}: costs diverge");
+            assert_eq!(
+                spec_cost.to_bits(),
+                gen_cost.to_bits(),
+                "seed {seed}: costs diverge"
+            );
             let spec_owned: HashSet<Triple> = spec.owned().copied().collect();
             let gen_owned: HashSet<Triple> = gen.owned().copied().collect();
             assert_eq!(spec_owned, gen_owned, "seed {seed}: owned sets diverge");
@@ -659,17 +678,17 @@ mod tests {
 
     #[test]
     fn scld_adapter_certificate_lower_bounds_measured_cost() {
-        let lengths = LeaseStructure::new(vec![
-            LeaseType::new(4, 1.0),
-            LeaseType::new(16, 3.0),
-        ])
-        .unwrap();
+        let lengths =
+            LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap();
         let arrivals = vec![ScldArrival::new(0, 0, 3), ScldArrival::new(9, 1, 1)];
         let inst = ScldInstance::uniform(triangle_system(), lengths, arrivals).unwrap();
         let mut gen = GenericScld::new(&inst, 5);
         let cost = gen.run();
         let cert = gen.certificate();
-        assert!(cert.lower_bound <= cost + 1e-9, "certificate must not exceed the paid cost");
+        assert!(
+            cert.lower_bound <= cost + 1e-9,
+            "certificate must not exceed the paid cost"
+        );
         assert!(cert.lower_bound >= 0.0);
     }
 
@@ -729,7 +748,10 @@ mod tests {
         for &t in &days {
             permit.serve_demand(t);
         }
-        assert_eq!(old_cost.to_bits(), PermitOnline::total_cost(&permit).to_bits());
+        assert_eq!(
+            old_cost.to_bits(),
+            PermitOnline::total_cost(&permit).to_bits()
+        );
     }
 
     #[test]

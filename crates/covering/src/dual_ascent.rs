@@ -68,11 +68,17 @@ impl<V: Eq + Hash + Copy> DualAscent<V> {
     /// Panics if `candidates` is empty or a price is non-finite or
     /// non-positive.
     pub fn raise(&mut self, candidates: &[(V, f64)]) -> f64 {
-        assert!(!candidates.is_empty(), "dual raise needs at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "dual raise needs at least one candidate"
+        );
         let delta = candidates
             .iter()
             .map(|&(v, c)| {
-                assert!(c.is_finite() && c > 0.0, "candidate price must be positive and finite");
+                assert!(
+                    c.is_finite() && c > 0.0,
+                    "candidate price must be positive and finite"
+                );
                 (c - self.contribution(&v)).max(0.0)
             })
             .fold(f64::INFINITY, f64::min);
@@ -180,7 +186,10 @@ mod tests {
         let mut e: DualAscent<u32> = DualAscent::new();
         e.serve(&[(0, 2.0)]);
         let again = e.serve(&[(0, 2.0)]);
-        assert!(again.is_empty(), "already-owned candidate must not be rebought");
+        assert!(
+            again.is_empty(),
+            "already-owned candidate must not be rebought"
+        );
         assert_eq!(e.total_cost(), 2.0);
         // The raise is free because the candidate is already tight.
         assert_eq!(e.dual_value(), 2.0);

@@ -196,7 +196,11 @@ mod tests {
         e.serve(&cands);
         let cost = e.total_cost();
         e.serve(&cands);
-        assert_eq!(e.total_cost(), cost, "re-serving an owned constraint is free");
+        assert_eq!(
+            e.total_cost(),
+            cost,
+            "re-serving an owned constraint is free"
+        );
     }
 
     #[test]

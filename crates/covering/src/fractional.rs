@@ -132,9 +132,15 @@ impl<V: Eq + Hash + Copy> FractionalCovering<V> {
     /// non-positive, or if a variable reappears with a different cost (the
     /// covering LP requires one fixed cost per variable).
     pub fn serve(&mut self, candidates: &[(V, f64)]) -> u64 {
-        assert!(!candidates.is_empty(), "covering constraint needs at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "covering constraint needs at least one candidate"
+        );
         for &(v, c) in candidates {
-            assert!(c.is_finite() && c > 0.0, "candidate cost must be positive and finite");
+            assert!(
+                c.is_finite() && c > 0.0,
+                "candidate cost must be positive and finite"
+            );
             let prior = *self.costs.entry(v).or_insert(c);
             assert!(
                 (prior - c).abs() <= 1e-12 * prior.abs().max(1.0),
@@ -167,7 +173,11 @@ impl<V: Eq + Hash + Copy> FractionalCovering<V> {
     /// Whether the constraint over `candidates` is already fractionally
     /// satisfied (`Σ f ≥ 1`), without mutating anything.
     pub fn is_satisfied(&self, candidates: &[(V, f64)]) -> bool {
-        candidates.iter().map(|(v, _)| self.fraction(v)).sum::<f64>() >= 1.0
+        candidates
+            .iter()
+            .map(|(v, _)| self.fraction(v))
+            .sum::<f64>()
+            >= 1.0
     }
 
     /// Dual load `L_v = Σ_{j : v ∈ Q_j} y_j` of variable `v`.
@@ -250,7 +260,10 @@ mod tests {
         };
         let l1 = loops_for(4.0);
         let l2 = loops_for(16.0);
-        assert!(l2 > 2 * l1, "loops {l1} -> {l2} should scale ~linearly in cost");
+        assert!(
+            l2 > 2 * l1,
+            "loops {l1} -> {l2} should scale ~linearly in cost"
+        );
     }
 
     #[test]
@@ -289,7 +302,10 @@ mod tests {
         let cert = frac.certificate();
 
         let mut lp = LinearProgram::new();
-        let vars: Vec<usize> = [1.0, 3.0, 2.0, 5.0].iter().map(|&c| lp.add_var(c)).collect();
+        let vars: Vec<usize> = [1.0, 3.0, 2.0, 5.0]
+            .iter()
+            .map(|&c| lp.add_var(c))
+            .collect();
         for c in &constraints {
             let coeffs = c.iter().map(|&(v, _)| (vars[v as usize], 1.0)).collect();
             lp.add_constraint(coeffs, Cmp::Ge, 1.0);
@@ -318,7 +334,11 @@ mod tests {
         // ln-scale bound with generous constant; a linear-scale bug (load
         // growing ~ d) would blow far past this.
         let bound = 4.0 * ((d as f64) + 2.0).ln() + 4.0;
-        assert!(cert.scale <= bound, "scale {} vs O(log d) bound {bound}", cert.scale);
+        assert!(
+            cert.scale <= bound,
+            "scale {} vs O(log d) bound {bound}",
+            cert.scale
+        );
     }
 
     #[test]
@@ -328,8 +348,14 @@ mod tests {
         // cheap cost's scale, and the certificate stays finite and sound.
         let mut frac: FractionalCovering<u32> = FractionalCovering::new();
         let loops = frac.serve(&[(0u32, 1e-3), (1, 1e3)]);
-        assert!(loops <= 64, "cheap candidate must satisfy the constraint fast: {loops}");
-        assert!(frac.fraction(&0) >= 0.5, "growth concentrates on the cheap candidate");
+        assert!(
+            loops <= 64,
+            "cheap candidate must satisfy the constraint fast: {loops}"
+        );
+        assert!(
+            frac.fraction(&0) >= 0.5,
+            "growth concentrates on the cheap candidate"
+        );
         let cert = frac.certificate();
         assert!(cert.lower_bound.is_finite() && cert.lower_bound >= 0.0);
         assert!(frac.fractional_cost() <= 2.0 * loops as f64 + 1e-9);

@@ -39,7 +39,11 @@ impl<V: Eq + Hash + Copy> ThresholdSampler<V> {
     /// Panics if `q == 0`.
     pub fn new(q: u32, seed: u64) -> Self {
         assert!(q > 0, "threshold count must be positive");
-        ThresholdSampler { thresholds: HashMap::new(), q, rng: StdRng::seed_from_u64(seed) }
+        ThresholdSampler {
+            thresholds: HashMap::new(),
+            q,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Number of uniforms per threshold.

@@ -10,6 +10,8 @@
 //! day. Multiple copies of the same `(type, start)` lease may be bought —
 //! solutions are multisets.
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::framework::Triple;
 use leasing_core::interval::{candidates_covering, candidates_intersecting};
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::{TimeStep, Window};
@@ -31,7 +33,11 @@ pub struct WeightedDemand {
 impl WeightedDemand {
     /// Creates the demand `(arrival, slack, weight)`.
     pub fn new(arrival: TimeStep, slack: u64, weight: f64) -> Self {
-        WeightedDemand { arrival, slack, weight }
+        WeightedDemand {
+            arrival,
+            slack,
+            weight,
+        }
     }
 
     /// The service window `[arrival, arrival + slack]` as a half-open
@@ -106,7 +112,11 @@ impl CapacitatedOldInstance {
                 return Err(CapacitatedOldError::UnsortedDemands(i));
             }
         }
-        Ok(CapacitatedOldInstance { structure, capacity, demands })
+        Ok(CapacitatedOldInstance {
+            structure,
+            capacity,
+            demands,
+        })
     }
 }
 
@@ -133,19 +143,38 @@ struct CopyState {
 pub struct FirstFitOnline<'a> {
     instance: &'a CapacitatedOldInstance,
     copies: Vec<CopyState>,
-    cost: f64,
     /// `(copy index, service day)` per demand, in serve order.
     assignments: Vec<(usize, TimeStep)>,
+    /// Decision ledger backing the deprecated `serve` entry point.
+    ledger: Ledger,
 }
 
 impl<'a> FirstFitOnline<'a> {
     /// Creates the algorithm for `instance`.
     pub fn new(instance: &'a CapacitatedOldInstance) -> Self {
-        FirstFitOnline { instance, copies: Vec::new(), cost: 0.0, assignments: Vec::new() }
+        FirstFitOnline {
+            instance,
+            copies: Vec::new(),
+            assignments: Vec::new(),
+            ledger: Ledger::new(instance.structure.clone()),
+        }
     }
 
     /// Serves one demand under the given buy rule.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve(&mut self, demand: WeightedDemand, rule: BuyRule) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(demand, rule, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core first-fit step, recording purchases into `ledger`.
+    fn serve_with(&mut self, demand: WeightedDemand, rule: BuyRule, ledger: &mut Ledger) {
+        ledger.advance(demand.arrival);
         let s = &self.instance.structure;
         let cap = self.instance.capacity;
         // First fit: earliest day of the window on which an existing copy
@@ -173,24 +202,41 @@ impl<'a> FirstFitOnline<'a> {
                 score(a).partial_cmp(&score(b)).expect("finite costs")
             })
             .expect("validated structures are non-empty");
-        self.cost += chosen.cost(s);
+        ledger.buy(
+            demand.arrival,
+            Triple::new(0, chosen.type_index, chosen.start),
+        );
         let mut load = HashMap::new();
         load.insert(demand.arrival, demand.weight);
-        self.copies.push(CopyState { lease: chosen, load });
-        self.assignments.push((self.copies.len() - 1, demand.arrival));
+        self.copies.push(CopyState {
+            lease: chosen,
+            load,
+        });
+        self.assignments
+            .push((self.copies.len() - 1, demand.arrival));
     }
 
     /// Runs the whole instance under `rule` and returns the final cost.
     pub fn run(&mut self, rule: BuyRule) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         for d in self.instance.demands.clone() {
-            self.serve(d, rule);
+            self.serve_with(d, rule, &mut ledger);
         }
-        self.cost
+        self.ledger = ledger;
+        self.ledger.total_cost()
     }
 
     /// Total cost of the copies bought so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// The purchased lease copies in buy order.
@@ -201,6 +247,16 @@ impl<'a> FirstFitOnline<'a> {
     /// `(copy index, service day)` per demand in serve order.
     pub fn assignments(&self) -> &[(usize, TimeStep)] {
         &self.assignments
+    }
+}
+
+impl<'a> LeasingAlgorithm for FirstFitOnline<'a> {
+    /// `(slack, weight, rule)` of the demand arriving at a time step.
+    type Request = (u64, f64, BuyRule);
+
+    fn on_request(&mut self, time: TimeStep, request: (u64, f64, BuyRule), ledger: &mut Ledger) {
+        let (slack, weight, rule) = request;
+        self.serve_with(WeightedDemand::new(time, slack, weight), rule, ledger);
     }
 }
 
@@ -266,11 +322,7 @@ pub fn build_ilp(
             copy_leases.push(*lease);
             if c > 0 {
                 // Symmetry break: copy c requires copy c-1.
-                lp.add_constraint(
-                    vec![(x[&(li, c - 1)], 1.0), (v, -1.0)],
-                    Cmp::Ge,
-                    0.0,
-                );
+                lp.add_constraint(vec![(x[&(li, c - 1)], 1.0), (v, -1.0)], Cmp::Ge, 0.0);
             }
         }
     }
@@ -336,18 +388,17 @@ mod tests {
             Err(CapacitatedOldError::BadCapacity)
         );
         assert_eq!(
-            CapacitatedOldInstance::new(
-                structure(),
-                1.0,
-                vec![WeightedDemand::new(0, 0, 2.0)]
-            ),
+            CapacitatedOldInstance::new(structure(), 1.0, vec![WeightedDemand::new(0, 0, 2.0)]),
             Err(CapacitatedOldError::BadWeight(0))
         );
         assert_eq!(
             CapacitatedOldInstance::new(
                 structure(),
                 1.0,
-                vec![WeightedDemand::new(3, 0, 1.0), WeightedDemand::new(1, 0, 1.0)]
+                vec![
+                    WeightedDemand::new(3, 0, 1.0),
+                    WeightedDemand::new(1, 0, 1.0)
+                ]
             ),
             Err(CapacitatedOldError::UnsortedDemands(1))
         );
@@ -358,12 +409,18 @@ mod tests {
         let inst = CapacitatedOldInstance::new(
             structure(),
             1.0,
-            vec![WeightedDemand::new(0, 0, 0.4), WeightedDemand::new(0, 0, 0.4)],
+            vec![
+                WeightedDemand::new(0, 0, 0.4),
+                WeightedDemand::new(0, 0, 0.4),
+            ],
         )
         .unwrap();
         let mut alg = FirstFitOnline::new(&inst);
         let cost = alg.run(BuyRule::Cheapest);
-        assert!((cost - 1.0).abs() < 1e-9, "one short copy suffices, got {cost}");
+        assert!(
+            (cost - 1.0).abs() < 1e-9,
+            "one short copy suffices, got {cost}"
+        );
         assert!(is_feasible(&inst, &alg.purchases(), alg.assignments()));
     }
 
@@ -372,7 +429,10 @@ mod tests {
         let inst = CapacitatedOldInstance::new(
             structure(),
             1.0,
-            vec![WeightedDemand::new(0, 0, 0.8), WeightedDemand::new(0, 0, 0.8)],
+            vec![
+                WeightedDemand::new(0, 0, 0.8),
+                WeightedDemand::new(0, 0, 0.8),
+            ],
         )
         .unwrap();
         let mut alg = FirstFitOnline::new(&inst);
@@ -388,12 +448,18 @@ mod tests {
         let inst = CapacitatedOldInstance::new(
             structure(),
             1.0,
-            vec![WeightedDemand::new(0, 0, 0.8), WeightedDemand::new(0, 1, 0.8)],
+            vec![
+                WeightedDemand::new(0, 0, 0.8),
+                WeightedDemand::new(0, 1, 0.8),
+            ],
         )
         .unwrap();
         let mut alg = FirstFitOnline::new(&inst);
         let cost = alg.run(BuyRule::Cheapest);
-        assert!((cost - 1.0).abs() < 1e-9, "the copy's second day has room, got {cost}");
+        assert!(
+            (cost - 1.0).abs() < 1e-9,
+            "the copy's second day has room, got {cost}"
+        );
         assert_eq!(alg.assignments()[1].1, 1);
     }
 
@@ -402,7 +468,10 @@ mod tests {
         let inst = CapacitatedOldInstance::new(
             structure(),
             1.0,
-            vec![WeightedDemand::new(0, 0, 0.8), WeightedDemand::new(0, 0, 0.8)],
+            vec![
+                WeightedDemand::new(0, 0, 0.8),
+                WeightedDemand::new(0, 0, 0.8),
+            ],
         )
         .unwrap();
         // Two copies of the short lease.
@@ -415,11 +484,17 @@ mod tests {
         let inst = CapacitatedOldInstance::new(
             structure(),
             1.0,
-            vec![WeightedDemand::new(0, 1, 0.8), WeightedDemand::new(0, 1, 0.8)],
+            vec![
+                WeightedDemand::new(0, 1, 0.8),
+                WeightedDemand::new(0, 1, 0.8),
+            ],
         )
         .unwrap();
         let opt = optimal_cost(&inst, 2, 200_000).unwrap();
-        assert!((opt - 1.0).abs() < 1e-6, "one copy over two days, got {opt}");
+        assert!(
+            (opt - 1.0).abs() < 1e-6,
+            "one copy over two days, got {opt}"
+        );
     }
 
     #[test]
@@ -429,7 +504,7 @@ mod tests {
             let mut demands = Vec::new();
             let mut t = 0u64;
             for _ in 0..3 {
-                t += rng.random_range(0..3);
+                t += rng.random_range(0..3u64);
                 demands.push(WeightedDemand::new(
                     t,
                     rng.random_range(0..3),
@@ -450,7 +525,10 @@ mod tests {
         let inst = CapacitatedOldInstance::new(
             structure(),
             1.0,
-            vec![WeightedDemand::new(0, 0, 0.8), WeightedDemand::new(0, 0, 0.8)],
+            vec![
+                WeightedDemand::new(0, 0, 0.8),
+                WeightedDemand::new(0, 0, 0.8),
+            ],
         )
         .unwrap();
         let copy = Lease::new(0, 0);

@@ -13,6 +13,8 @@
 //! contributions across clients. The exact ILP below calibrates it on small
 //! instances.
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::{TimeStep, Window};
@@ -35,7 +37,11 @@ pub struct MultiDayClient {
 impl MultiDayClient {
     /// Creates the client `(arrival, slack, duration)`.
     pub fn new(arrival: TimeStep, slack: u64, duration: u64) -> Self {
-        MultiDayClient { arrival, slack, duration }
+        MultiDayClient {
+            arrival,
+            slack,
+            duration,
+        }
     }
 
     /// The admissible start days of the service block:
@@ -126,9 +132,10 @@ pub struct MultiDayOnline<'a> {
     instance: &'a MultiDayInstance,
     contributions: HashMap<Lease, f64>,
     owned: HashSet<Lease>,
-    cost: f64,
     /// Chosen service block start per served client (in client order).
     service_starts: Vec<TimeStep>,
+    /// Decision ledger backing the deprecated `serve` entry point.
+    ledger: Ledger,
 }
 
 impl<'a> MultiDayOnline<'a> {
@@ -138,8 +145,8 @@ impl<'a> MultiDayOnline<'a> {
             instance,
             contributions: HashMap::new(),
             owned: HashSet::new(),
-            cost: 0.0,
             service_starts: Vec::new(),
+            ledger: Ledger::new(instance.structure.clone()),
         }
     }
 
@@ -158,7 +165,20 @@ impl<'a> MultiDayOnline<'a> {
     /// Serves one client: picks the block with the fewest uncovered days
     /// (earliest on ties) and covers its holes with primal-dual permit
     /// steps.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve(&mut self, client: MultiDayClient) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(client, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core block-choice + permit step, recording purchases into `ledger`.
+    fn serve_with(&mut self, client: MultiDayClient, ledger: &mut Ledger) {
+        ledger.advance(client.arrival);
         let mut best: Option<(u64, TimeStep)> = None;
         for b in client.start_days() {
             let holes = self.uncovered_days(client.block_at(b));
@@ -172,12 +192,12 @@ impl<'a> MultiDayOnline<'a> {
         let (_, start) = best.expect("validated clients have at least one block");
         self.service_starts.push(start);
         for t in client.block_at(start).iter() {
-            self.permit_step(t);
+            self.permit_step(t, ledger);
         }
     }
 
     /// One parking-permit primal-dual step covering day `t`.
-    fn permit_step(&mut self, t: TimeStep) {
+    fn permit_step(&mut self, t: TimeStep, ledger: &mut Ledger) {
         if self.is_covered(t) {
             return;
         }
@@ -194,7 +214,7 @@ impl<'a> MultiDayOnline<'a> {
             *entry += delta;
             if *entry >= c.cost(&self.instance.structure) - EPS && !self.owned.contains(&c) {
                 self.owned.insert(c);
-                self.cost += c.cost(&self.instance.structure);
+                ledger.buy(t, Triple::new(0, c.type_index, c.start));
             }
         }
         debug_assert!(self.is_covered(t));
@@ -202,15 +222,25 @@ impl<'a> MultiDayOnline<'a> {
 
     /// Runs the whole instance and returns the final cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         for c in self.instance.clients.clone() {
-            self.serve(c);
+            self.serve_with(c, &mut ledger);
         }
-        self.cost
+        self.ledger = ledger;
+        self.ledger.total_cost()
     }
 
     /// Total leasing cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// The chosen service-block start of each served client.
@@ -224,15 +254,28 @@ impl<'a> MultiDayOnline<'a> {
     }
 }
 
+impl<'a> LeasingAlgorithm for MultiDayOnline<'a> {
+    /// `(slack, duration)` of the client arriving at a time step.
+    type Request = (u64, u64);
+
+    fn on_request(&mut self, time: TimeStep, request: (u64, u64), ledger: &mut Ledger) {
+        let (slack, duration) = request;
+        self.serve_with(MultiDayClient::new(time, slack, duration), ledger);
+    }
+}
+
 /// Whether `leases` admits, for every client, a feasible block that is fully
 /// covered.
 pub fn is_feasible(instance: &MultiDayInstance, leases: &[Lease]) -> bool {
     let covered = |t: TimeStep| {
-        leases.iter().any(|l| l.window(&instance.structure).contains(t))
+        leases
+            .iter()
+            .any(|l| l.window(&instance.structure).contains(t))
     };
-    instance.clients.iter().all(|c| {
-        c.start_days().any(|b| c.block_at(b).iter().all(covered))
-    })
+    instance
+        .clients
+        .iter()
+        .all(|c| c.start_days().any(|b| c.block_at(b).iter().all(covered)))
 }
 
 /// Builds the exact ILP: binary `x` per candidate lease, binary `z` per
@@ -251,7 +294,10 @@ pub fn build_ilp(instance: &MultiDayInstance) -> (IntegerProgram, Vec<Lease>) {
     };
     for c in &instance.clients {
         let blocks: Vec<TimeStep> = c.start_days().collect();
-        let z_vars: Vec<usize> = blocks.iter().map(|_| lp.add_bounded_var(0.0, 1.0)).collect();
+        let z_vars: Vec<usize> = blocks
+            .iter()
+            .map(|_| lp.add_bounded_var(0.0, 1.0))
+            .collect();
         lp.add_constraint(z_vars.iter().map(|&z| (z, 1.0)).collect(), Cmp::Ge, 1.0);
         for (bi, &b) in blocks.iter().enumerate() {
             for t in c.block_at(b).iter() {
@@ -288,7 +334,8 @@ pub fn lp_lower_bound(instance: &MultiDayInstance) -> f64 {
         return 0.0;
     }
     let (ip, _) = build_ilp(instance);
-    ip.relaxation_bound().expect("multi-day covering relaxation is feasible")
+    ip.relaxation_bound()
+        .expect("multi-day covering relaxation is feasible")
 }
 
 #[cfg(test)]
@@ -327,8 +374,7 @@ mod tests {
 
     #[test]
     fn single_client_is_served_and_covered() {
-        let inst =
-            MultiDayInstance::new(structure(), vec![MultiDayClient::new(0, 3, 3)]).unwrap();
+        let inst = MultiDayInstance::new(structure(), vec![MultiDayClient::new(0, 3, 3)]).unwrap();
         let mut alg = MultiDayOnline::new(&inst);
         let cost = alg.run();
         assert!(cost > 0.0);
@@ -337,6 +383,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn covered_blocks_are_reused_for_free() {
         let inst = MultiDayInstance::new(
             structure(),
@@ -351,6 +398,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn block_choice_prefers_fewest_holes() {
         // Pre-cover days 4..6 by serving a first client there; the second
         // client (window [0, 6], duration 2) should slide to the covered
@@ -377,7 +425,7 @@ mod tests {
             let mut old_clients = Vec::new();
             let mut t = 0u64;
             for _ in 0..5 {
-                t += rng.random_range(0..4);
+                t += rng.random_range(0..4u64);
                 let slack = rng.random_range(0..5);
                 clients.push(MultiDayClient::new(t, slack, 1));
                 old_clients.push(OldClient::new(t, slack));
@@ -414,9 +462,9 @@ mod tests {
             let mut clients = Vec::new();
             let mut t = 0u64;
             for _ in 0..4 {
-                t += rng.random_range(0..5);
+                t += rng.random_range(0..5u64);
                 let duration = rng.random_range(1..3);
-                let slack = duration - 1 + rng.random_range(0..4);
+                let slack = duration - 1 + rng.random_range(0..4u64);
                 clients.push(MultiDayClient::new(t, slack, duration));
             }
             let inst = MultiDayInstance::new(structure(), clients).unwrap();
@@ -439,9 +487,9 @@ mod tests {
             let mut clients = Vec::new();
             let mut t = 0u64;
             for _ in 0..6 {
-                t += rng.random_range(0..6);
+                t += rng.random_range(0..6u64);
                 let duration = rng.random_range(1..4);
-                let slack = duration - 1 + rng.random_range(0..5);
+                let slack = duration - 1 + rng.random_range(0..5u64);
                 clients.push(MultiDayClient::new(t, slack, duration));
             }
             let inst = MultiDayInstance::new(structure(), clients).unwrap();

@@ -52,7 +52,8 @@ pub fn old_lp_lower_bound(instance: &OldInstance) -> f64 {
         return 0.0;
     }
     let (ip, _) = build_old_ilp(instance);
-    ip.relaxation_bound().expect("covering relaxation is feasible")
+    ip.relaxation_bound()
+        .expect("covering relaxation is feasible")
 }
 
 /// Builds the Figure 5.4 ILP for an SCLD instance: a binary variable per
@@ -97,7 +98,8 @@ pub fn scld_lp_lower_bound(instance: &ScldInstance) -> f64 {
         return 0.0;
     }
     let (ip, _) = build_scld_ilp(instance);
-    ip.relaxation_bound().expect("covering relaxation is feasible")
+    ip.relaxation_bound()
+        .expect("covering relaxation is feasible")
 }
 
 #[cfg(test)]
@@ -148,7 +150,11 @@ mod tests {
     fn old_lp_bound_is_valid() {
         let inst = OldInstance::new(
             structure(),
-            vec![OldClient::new(0, 2), OldClient::new(5, 1), OldClient::new(9, 4)],
+            vec![
+                OldClient::new(0, 2),
+                OldClient::new(5, 1),
+                OldClient::new(9, 4),
+            ],
         )
         .unwrap();
         let lb = old_lp_lower_bound(&inst);

@@ -10,6 +10,8 @@
 //! optimal `O(K)` ratio; general windows give `Θ(K + d_max/l_min)`
 //! (Theorem 5.3).
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::framework::Triple;
 use leasing_core::interval::{candidates_covering, candidates_intersecting};
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::{TimeStep, Window};
@@ -112,11 +114,16 @@ pub struct OldPrimalDual<'a> {
     owned: HashSet<Lease>,
     /// Clients with a strictly positive dual variable, with their dual.
     positive_clients: Vec<(OldClient, f64)>,
-    cost: f64,
     dual_value: f64,
     next_client: usize,
     purchases: Vec<Lease>,
+    /// Decision ledger backing the deprecated `serve` entry point.
+    ledger: Ledger,
 }
+
+/// The single leased resource of the OLD problem; its element id in the
+/// recorded [`Triple`] decisions.
+pub const OLD_ELEMENT: usize = 0;
 
 impl<'a> OldPrimalDual<'a> {
     /// Creates the algorithm for `instance`.
@@ -126,26 +133,36 @@ impl<'a> OldPrimalDual<'a> {
             contributions: HashMap::new(),
             owned: HashSet::new(),
             positive_clients: Vec::new(),
-            cost: 0.0,
             dual_value: 0.0,
             next_client: 0,
             purchases: Vec::new(),
+            ledger: Ledger::new(instance.structure.clone()),
         }
     }
 
     /// Serves all remaining clients and returns the total cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         while self.next_client < self.instance.clients.len() {
             let c = self.instance.clients[self.next_client];
             self.next_client += 1;
-            self.serve(c);
+            self.serve_with(c, &mut ledger);
         }
-        self.cost
+        self.ledger = ledger;
+        self.ledger.total_cost()
     }
 
     /// Total cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// Total dual value raised (a lower bound on the optimum by weak
@@ -168,7 +185,21 @@ impl<'a> OldPrimalDual<'a> {
     }
 
     /// Serves one client (they must be fed in arrival order).
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve(&mut self, client: OldClient) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(client, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core primal-dual step for one client, recording purchases into
+    /// `ledger`.
+    fn serve_with(&mut self, client: OldClient, ledger: &mut Ledger) {
+        ledger.advance(client.arrival);
         // Skip if the client "intersects" a previous positive-dual client
         // (t', d') at its deadline t' + d' (the §5.3 precondition): the
         // Step 2 mirror purchase at t' + d' already serves this client.
@@ -207,7 +238,7 @@ impl<'a> OldPrimalDual<'a> {
             let used = self.contributions.get(&c).copied().unwrap_or(0.0);
             if used >= c.cost(&self.instance.structure) - EPS {
                 bought_types.push(c.type_index);
-                self.buy(c);
+                self.buy(client.arrival, c, ledger);
             }
         }
         // Proposition 5.1: at least one tight candidate covers t.
@@ -221,17 +252,27 @@ impl<'a> OldPrimalDual<'a> {
             for k in bought_types {
                 let len = self.instance.structure.length(k);
                 let start = leasing_core::interval::aligned_start(client.deadline(), len);
-                self.buy(Lease::new(k, start));
+                self.buy(client.arrival, Lease::new(k, start), ledger);
             }
         }
         debug_assert!(self.is_served(&client));
     }
 
-    fn buy(&mut self, lease: Lease) {
+    fn buy(&mut self, t: TimeStep, lease: Lease, ledger: &mut Ledger) {
         if self.owned.insert(lease) {
-            self.cost += lease.cost(&self.instance.structure);
+            ledger.buy(t, Triple::new(OLD_ELEMENT, lease.type_index, lease.start));
             self.purchases.push(lease);
         }
+    }
+}
+
+impl<'a> LeasingAlgorithm for OldPrimalDual<'a> {
+    /// The arriving client's slack `d` (the request arrives at its arrival
+    /// time `t`, so the pair `(t, d)` reconstructs the client).
+    type Request = u64;
+
+    fn on_request(&mut self, time: TimeStep, slack: u64, ledger: &mut Ledger) {
+        self.serve_with(OldClient::new(time, slack), ledger);
     }
 }
 
@@ -240,7 +281,9 @@ impl<'a> OldPrimalDual<'a> {
 pub fn is_feasible(instance: &OldInstance, owned: &[Lease]) -> bool {
     instance.clients.iter().all(|c| {
         let w = c.window();
-        owned.iter().any(|l| l.window(&instance.structure).intersects(&w))
+        owned
+            .iter()
+            .any(|l| l.window(&instance.structure).intersects(&w))
     })
 }
 
@@ -304,6 +347,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn intersected_clients_are_skipped_for_free() {
         // Client 1 (0, 4) gets a positive dual and mirror purchases at day 4.
         // Client 2 (2, 4): window [2, 6] contains day 4 -> skipped.
@@ -316,7 +360,11 @@ mod tests {
         alg.serve(inst.clients[0]);
         let cost_after_first = alg.total_cost();
         alg.serve(inst.clients[1]);
-        assert_eq!(alg.total_cost(), cost_after_first, "second client must be free");
+        assert_eq!(
+            alg.total_cost(),
+            cost_after_first,
+            "second client must be free"
+        );
         assert!(alg.is_served(&inst.clients[1]));
     }
 

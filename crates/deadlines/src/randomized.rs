@@ -72,8 +72,10 @@ pub fn randomized_old(instance: &OldInstance, seed: u64) -> RandomizedOldRun {
     let scld = singleton_scld(instance);
     let mut alg = ScldOnline::new(&scld, seed);
     let cost = alg.run();
-    let purchases: Vec<Lease> =
-        alg.owned().map(|t| Lease::new(t.type_index, t.start)).collect();
+    let purchases: Vec<Lease> = alg
+        .owned()
+        .map(|t| Lease::new(t.type_index, t.start))
+        .collect();
     RandomizedOldRun { cost, purchases }
 }
 
@@ -104,7 +106,10 @@ mod tests {
         let scld = singleton_scld(&inst);
         let old_opt = offline::old_optimal_cost(&inst, 100_000).unwrap();
         let scld_opt = offline::scld_optimal_cost(&scld, 100_000).unwrap();
-        assert!((old_opt - scld_opt).abs() < 1e-9, "old {old_opt} vs scld {scld_opt}");
+        assert!(
+            (old_opt - scld_opt).abs() < 1e-9,
+            "old {old_opt} vs scld {scld_opt}"
+        );
     }
 
     #[test]
@@ -115,8 +120,7 @@ mod tests {
             let run = randomized_old(&inst, seed);
             assert!(is_feasible(&inst, &run.purchases), "seed {seed}");
             assert!(run.cost >= opt - 1e-9, "seed {seed}: cost below opt");
-            let paid: f64 =
-                run.purchases.iter().map(|l| l.cost(&inst.structure)).sum();
+            let paid: f64 = run.purchases.iter().map(|l| l.cost(&inst.structure)).sum();
             assert!((paid - run.cost).abs() < 1e-9, "cost accounting");
         }
     }

@@ -9,6 +9,7 @@
 //! of time* (Theorem 5.7). With `d_max = 0` this improves SetCoverLeasing
 //! to `O(log(mK) · log l_max)` (Corollary 5.8).
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_intersecting;
 use leasing_core::lease::LeaseStructure;
@@ -35,7 +36,11 @@ pub struct ScldArrival {
 impl ScldArrival {
     /// Creates the demand `(time, element, slack)`.
     pub fn new(time: TimeStep, element: usize, slack: u64) -> Self {
-        ScldArrival { time, slack, element }
+        ScldArrival {
+            time,
+            slack,
+            element,
+        }
     }
 
     /// The inclusive service window.
@@ -115,16 +120,19 @@ impl ScldInstance {
             }
         }
         for (i, a) in arrivals.iter().enumerate() {
-            if a.element >= system.num_elements()
-                || system.sets_containing(a.element).is_empty()
-            {
+            if a.element >= system.num_elements() || system.sets_containing(a.element).is_empty() {
                 return Err(ScldInstanceError::UncoverableElement(*a));
             }
             if i > 0 && arrivals[i - 1].time > a.time {
                 return Err(ScldInstanceError::UnsortedArrivals(i));
             }
         }
-        Ok(ScldInstance { system, structure, costs, arrivals })
+        Ok(ScldInstance {
+            system,
+            structure,
+            costs,
+            arrivals,
+        })
     }
 
     /// Uniform costs (`c_{S,k} = c_k` from the structure).
@@ -191,10 +199,11 @@ pub struct ScldOnline<'a> {
     thresholds: HashMap<Triple, f64>,
     q: u32,
     owned: HashSet<Triple>,
-    cost: f64,
     stats: ScldStats,
     rng: StdRng,
     next_arrival: usize,
+    /// Decision ledger backing the deprecated `serve` entry point.
+    ledger: Ledger,
 }
 
 impl<'a> ScldOnline<'a> {
@@ -219,26 +228,36 @@ impl<'a> ScldOnline<'a> {
             thresholds: HashMap::new(),
             q,
             owned: HashSet::new(),
-            cost: 0.0,
             stats: ScldStats::default(),
             rng: StdRng::seed_from_u64(seed),
             next_arrival: 0,
+            ledger: Ledger::new(instance.structure.clone()),
         }
     }
 
     /// Serves all remaining arrivals; returns the total cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         while self.next_arrival < self.instance.arrivals.len() {
             let a = self.instance.arrivals[self.next_arrival];
             self.next_arrival += 1;
-            self.serve(&a);
+            self.serve_with(&a, &mut ledger);
         }
-        self.cost
+        self.ledger = ledger;
+        self.ledger.total_cost()
     }
 
     /// Total cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// Instrumentation counters.
@@ -252,7 +271,20 @@ impl<'a> ScldOnline<'a> {
     }
 
     /// Serves one arrival.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve(&mut self, a: &ScldArrival) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(a, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core LP-growth + rounding step, recording purchases into `ledger`.
+    fn serve_with(&mut self, a: &ScldArrival, ledger: &mut Ledger) {
+        ledger.advance(a.time);
         let candidates = self.instance.candidates(a);
         debug_assert!(!candidates.is_empty(), "validated instances are coverable");
         let f_len = candidates.len() as f64;
@@ -280,7 +312,7 @@ impl<'a> ScldOnline<'a> {
             if f > mu && !self.owned.contains(c) {
                 let cost = self.instance.cost(c.element, c.type_index);
                 self.owned.insert(*c);
-                self.cost += cost;
+                ledger.buy_priced(a.time, *c, cost, "rounded");
                 self.stats.rounded_cost += cost;
             }
         }
@@ -296,7 +328,7 @@ impl<'a> ScldOnline<'a> {
                 .expect("candidates are non-empty");
             let cost = self.instance.cost(cheapest.element, cheapest.type_index);
             self.owned.insert(cheapest);
-            self.cost += cost;
+            ledger.buy_priced(a.time, cheapest, cost, "fallback");
             self.stats.fallback_cost += cost;
             self.stats.fallbacks += 1;
         }
@@ -322,6 +354,23 @@ pub fn is_feasible(instance: &ScldInstance, owned: &HashSet<Triple>) -> bool {
         .arrivals
         .iter()
         .all(|a| instance.candidates(a).iter().any(|c| owned.contains(c)))
+}
+
+impl<'a> LeasingAlgorithm for ScldOnline<'a> {
+    /// `(slack, element)` of the arrival revealed at a time step.
+    type Request = (u64, usize);
+
+    fn on_request(&mut self, time: TimeStep, request: (u64, usize), ledger: &mut Ledger) {
+        let (slack, element) = request;
+        self.serve_with(
+            &ScldArrival {
+                time,
+                slack,
+                element,
+            },
+            ledger,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -360,12 +409,8 @@ mod tests {
 
     #[test]
     fn candidates_span_the_whole_window() {
-        let inst = ScldInstance::uniform(
-            system(),
-            structure(),
-            vec![ScldArrival::new(1, 0, 4)],
-        )
-        .unwrap();
+        let inst =
+            ScldInstance::uniform(system(), structure(), vec![ScldArrival::new(1, 0, 4)]).unwrap();
         let cands = inst.candidates(&inst.arrivals[0]);
         // Element 0 is in sets 0 and 2; window [1,5] touches short leases at
         // 0,2,4 and the long lease at 0: 4 leases per set.
@@ -374,12 +419,8 @@ mod tests {
 
     #[test]
     fn zero_slack_reduces_to_set_cover_leasing() {
-        let inst = ScldInstance::uniform(
-            system(),
-            structure(),
-            vec![ScldArrival::new(3, 0, 0)],
-        )
-        .unwrap();
+        let inst =
+            ScldInstance::uniform(system(), structure(), vec![ScldArrival::new(3, 0, 0)]).unwrap();
         assert_eq!(inst.d_max(), 0);
         let cands = inst.candidates(&inst.arrivals[0]);
         // Exactly K candidates per containing set.
@@ -393,11 +434,7 @@ mod tests {
     #[test]
     fn uncoverable_elements_are_rejected() {
         let sys = SetSystem::new(2, vec![vec![0]]).unwrap();
-        let err = ScldInstance::uniform(
-            sys,
-            structure(),
-            vec![ScldArrival::new(0, 1, 0)],
-        );
+        let err = ScldInstance::uniform(sys, structure(), vec![ScldArrival::new(0, 1, 0)]);
         assert!(matches!(err, Err(ScldInstanceError::UncoverableElement(_))));
     }
 

@@ -17,7 +17,10 @@ use leasing_core::lease::{LeaseStructure, LeaseType};
 /// Panics unless `l_min >= 1`, `d_max >= 2 * l_min` and `epsilon > 0`.
 pub fn tight_example(d_max: u64, l_min: u64, epsilon: f64) -> OldInstance {
     assert!(l_min >= 1, "l_min must be positive");
-    assert!(d_max >= 2 * l_min, "need d_max >= 2*l_min for a non-trivial example");
+    assert!(
+        d_max >= 2 * l_min,
+        "need d_max >= 2*l_min for a non-trivial example"
+    );
     assert!(epsilon > 0.0, "epsilon must be positive");
     let long_len = d_max.next_power_of_two().max(2 * l_min);
     let structure = LeaseStructure::new(vec![
@@ -65,7 +68,10 @@ mod tests {
     fn declared_optimum_matches_ilp() {
         let inst = tight_example(16, 2, 0.01);
         let opt = offline::old_optimal_cost(&inst, 200_000).unwrap();
-        assert!((opt - tight_example_optimum(0.01)).abs() < 1e-6, "opt {opt}");
+        assert!(
+            (opt - tight_example_optimum(0.01)).abs() < 1e-6,
+            "opt {opt}"
+        );
     }
 
     #[test]

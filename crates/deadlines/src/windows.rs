@@ -34,6 +34,8 @@
 //! with `d_max` replaced by the largest *span* `max F − a`; sparser day sets
 //! have fewer candidates per unit span, which experiment E24 sweeps.
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::framework::Triple;
 use leasing_core::interval::{aligned_start, candidates_covering};
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
@@ -101,7 +103,10 @@ impl WindowClient {
         if days[0] < arrival {
             return Err(WindowError::DayBeforeArrival(days[0]));
         }
-        Ok(WindowClient { arrival, allowed: days })
+        Ok(WindowClient {
+            arrival,
+            allowed: days,
+        })
     }
 
     /// The OLD client `(arrival, slack)`: every day of `[a, a + d]` is
@@ -164,10 +169,7 @@ impl WindowInstance {
     /// # Errors
     ///
     /// Returns [`WindowError::UnsortedClients`] when arrivals decrease.
-    pub fn new(
-        structure: LeaseStructure,
-        clients: Vec<WindowClient>,
-    ) -> Result<Self, WindowError> {
+    pub fn new(structure: LeaseStructure, clients: Vec<WindowClient>) -> Result<Self, WindowError> {
         for i in 1..clients.len() {
             if clients[i - 1].arrival > clients[i].arrival {
                 return Err(WindowError::UnsortedClients(i));
@@ -223,10 +225,11 @@ pub struct WindowPrimalDual<'a> {
     instance: &'a WindowInstance,
     contributions: HashMap<Lease, f64>,
     owned: HashSet<Lease>,
-    cost: f64,
     dual_value: f64,
     next_client: usize,
     purchases: Vec<Lease>,
+    /// Decision ledger backing the deprecated `serve` entry point.
+    ledger: Ledger,
 }
 
 impl<'a> WindowPrimalDual<'a> {
@@ -236,26 +239,36 @@ impl<'a> WindowPrimalDual<'a> {
             instance,
             contributions: HashMap::new(),
             owned: HashSet::new(),
-            cost: 0.0,
             dual_value: 0.0,
             next_client: 0,
             purchases: Vec::new(),
+            ledger: Ledger::new(instance.structure.clone()),
         }
     }
 
     /// Serves all remaining clients and returns the total cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         while self.next_client < self.instance.clients.len() {
             let c = self.instance.clients[self.next_client].clone();
             self.next_client += 1;
-            self.serve(&c);
+            self.serve_with(&c, &mut ledger);
         }
-        self.cost
+        self.ledger = ledger;
+        self.ledger.total_cost()
     }
 
     /// Total cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// Total dual value raised — a lower bound on the optimum by weak
@@ -277,7 +290,21 @@ impl<'a> WindowPrimalDual<'a> {
     }
 
     /// Serves one client (they must be fed in arrival order).
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve(&mut self, client: &WindowClient) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(client, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core primal-dual step for one window client, recording purchases
+    /// into `ledger`.
+    fn serve_with(&mut self, client: &WindowClient, ledger: &mut Ledger) {
+        ledger.advance(client.arrival);
         if self.is_served(client) {
             return;
         }
@@ -309,30 +336,54 @@ impl<'a> WindowPrimalDual<'a> {
                 used >= c.cost(&self.instance.structure) - EPS
             })
             .collect();
-        debug_assert!(!tight.is_empty(), "the minimum-remaining candidate is tight");
+        debug_assert!(
+            !tight.is_empty(),
+            "the minimum-remaining candidate is tight"
+        );
         let f_star = client
             .allowed_days()
             .iter()
             .copied()
-            .find(|&d| tight.iter().any(|c| c.window(&self.instance.structure).contains(d)))
+            .find(|&d| {
+                tight
+                    .iter()
+                    .any(|c| c.window(&self.instance.structure).contains(d))
+            })
             .expect("every tight candidate covers some allowed day");
         let deadline = client.deadline();
         for c in tight {
             if !c.window(&self.instance.structure).contains(f_star) {
                 continue;
             }
-            self.buy(c);
+            self.buy(client.arrival, c, ledger);
             let len = self.instance.structure.length(c.type_index);
-            self.buy(Lease::new(c.type_index, aligned_start(deadline, len)));
+            self.buy(
+                client.arrival,
+                Lease::new(c.type_index, aligned_start(deadline, len)),
+                ledger,
+            );
         }
-        debug_assert!(self.is_served(client), "a bought candidate serves the client");
+        debug_assert!(
+            self.is_served(client),
+            "a bought candidate serves the client"
+        );
     }
 
-    fn buy(&mut self, lease: Lease) {
+    fn buy(&mut self, t: TimeStep, lease: Lease, ledger: &mut Ledger) {
         if self.owned.insert(lease) {
-            self.cost += lease.cost(&self.instance.structure);
+            ledger.buy(t, Triple::new(0, lease.type_index, lease.start));
             self.purchases.push(lease);
         }
+    }
+}
+
+impl<'a> LeasingAlgorithm for WindowPrimalDual<'a> {
+    /// The client arriving at a time step (its allowed days are not
+    /// derivable from the arrival alone).
+    type Request = WindowClient;
+
+    fn on_request(&mut self, _time: TimeStep, client: WindowClient, ledger: &mut Ledger) {
+        self.serve_with(&client, ledger);
     }
 }
 
@@ -389,7 +440,8 @@ pub fn window_lp_lower_bound(instance: &WindowInstance) -> f64 {
         return 0.0;
     }
     let (ip, _) = build_window_ilp(instance);
-    ip.relaxation_bound().expect("covering relaxation is feasible")
+    ip.relaxation_bound()
+        .expect("covering relaxation is feasible")
 }
 
 #[cfg(test)]
@@ -404,7 +456,10 @@ mod tests {
 
     #[test]
     fn specific_validates_day_sets() {
-        assert_eq!(WindowClient::specific(0, vec![]), Err(WindowError::EmptyDays));
+        assert_eq!(
+            WindowClient::specific(0, vec![]),
+            Err(WindowError::EmptyDays)
+        );
         assert_eq!(
             WindowClient::specific(0, vec![3, 3]),
             Err(WindowError::UnsortedDays(1))
@@ -476,6 +531,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn served_clients_are_skipped_for_free() {
         let inst = WindowInstance::new(
             structure(),
@@ -510,7 +566,10 @@ mod tests {
         .unwrap();
         let w_cost = WindowPrimalDual::new(&w_inst).run();
         let o_cost = OldPrimalDual::new(&o_inst).run();
-        assert!((w_cost - o_cost).abs() < 1e-9, "window {w_cost} vs old {o_cost}");
+        assert!(
+            (w_cost - o_cost).abs() < 1e-9,
+            "window {w_cost} vs old {o_cost}"
+        );
     }
 
     #[test]
@@ -566,7 +625,10 @@ mod tests {
         .unwrap();
         let w_opt = window_optimal_cost(&w_inst, 10_000).unwrap();
         let o_opt = crate::offline::old_optimal_cost(&o_inst, 10_000).unwrap();
-        assert!((w_opt - o_opt).abs() < 1e-9, "window {w_opt} vs old {o_opt}");
+        assert!(
+            (w_opt - o_opt).abs() < 1e-9,
+            "window {w_opt} vs old {o_opt}"
+        );
     }
 
     #[test]

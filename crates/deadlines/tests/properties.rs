@@ -4,8 +4,7 @@
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::rng::seeded;
 use leasing_deadlines::capacitated::{
-    is_feasible as cap_feasible, BuyRule, CapacitatedOldInstance, FirstFitOnline,
-    WeightedDemand,
+    is_feasible as cap_feasible, BuyRule, CapacitatedOldInstance, FirstFitOnline, WeightedDemand,
 };
 use leasing_deadlines::offline;
 use leasing_deadlines::old::{is_feasible as old_feasible, OldClient, OldInstance, OldPrimalDual};
@@ -27,7 +26,7 @@ fn random_clients(seed: u64, count: usize, max_slack: u64) -> Vec<OldClient> {
     let mut out = Vec::with_capacity(count);
     let mut t = 0u64;
     for _ in 0..count {
-        t += rng.random_range(0..4);
+        t += rng.random_range(0..4u64);
         out.push(OldClient::new(t, rng.random_range(0..max_slack)));
     }
     out
@@ -62,7 +61,7 @@ proptest! {
         let mut t = 0u64;
         let slack = rng.random_range(0..4u64);
         for _ in 0..5 {
-            t += rng.random_range(0..4);
+            t += rng.random_range(0..4u64);
             clients.push(OldClient::new(t, slack)); // uniform slack
         }
         let inst = OldInstance::new(structure(), clients).unwrap();
@@ -87,7 +86,7 @@ proptest! {
         let mut arrivals = Vec::new();
         let mut t = 0u64;
         for _ in 0..6 {
-            t += rng.random_range(0..3);
+            t += rng.random_range(0..3u64);
             arrivals.push(ScldArrival::new(t, rng.random_range(0..4), rng.random_range(0..4)));
         }
         let inst = ScldInstance::uniform(system, structure(), arrivals).unwrap();
@@ -107,7 +106,7 @@ proptest! {
         let mut clients = Vec::new();
         let mut t = 0u64;
         for _ in 0..6 {
-            t += rng.random_range(0..4);
+            t += rng.random_range(0..4u64);
             // Random day sets: between 1 and 4 days inside a span of <= 12.
             let count = 1 + rng.random_range(0..4usize);
             let mut days: Vec<u64> = (0..count)
@@ -159,7 +158,7 @@ proptest! {
         let mut demands = Vec::new();
         let mut t = 0u64;
         for _ in 0..8 {
-            t += rng.random_range(0..3);
+            t += rng.random_range(0..3u64);
             demands.push(WeightedDemand::new(
                 t,
                 rng.random_range(0..4),

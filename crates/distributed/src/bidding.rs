@@ -237,12 +237,17 @@ impl<'a> BiddingProtocol<'a> {
     ///
     /// Panics unless `epsilon > 0`.
     pub fn new(instance: &'a BiddingInstance, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         let f = instance.num_facilities();
         let c = instance.num_clients();
         // Starting potential: small enough that the total starting bid mass
         // stays below ε times the cheapest price.
-        let p_min = (0..f).map(|i| instance.price(i)).fold(f64::INFINITY, f64::min);
+        let p_min = (0..f)
+            .map(|i| instance.price(i))
+            .fold(f64::INFINITY, f64::min);
         let alpha0 = (epsilon * p_min / c as f64).min(p_min);
         let mut states = Vec::with_capacity(f + c);
         for i in 0..f {
@@ -263,7 +268,12 @@ impl<'a> BiddingProtocol<'a> {
                 connected_to: None,
             });
         }
-        BiddingProtocol { instance, states, alpha0, epsilon }
+        BiddingProtocol {
+            instance,
+            states,
+            alpha0,
+            epsilon,
+        }
     }
 
     fn num_facilities(&self) -> usize {
@@ -285,7 +295,11 @@ impl<'a> BiddingProtocol<'a> {
         }
         for (j, bids) in positive_bids.iter_mut().enumerate() {
             match &self.states[f + j] {
-                NodeState::Client { alpha: a, connected_to: Some(t), .. } => {
+                NodeState::Client {
+                    alpha: a,
+                    connected_to: Some(t),
+                    ..
+                } => {
                     alpha.push(*a);
                     connected_to.push(*t);
                     for i in 0..f {
@@ -329,7 +343,13 @@ impl Protocol for BiddingProtocol<'_> {
         let alpha0 = self.alpha0;
         let epsilon = self.epsilon;
         match &mut self.states[node] {
-            NodeState::Facility { price, bids, open, announced, frozen_neighbors } => {
+            NodeState::Facility {
+                price,
+                bids,
+                open,
+                announced,
+                frozen_neighbors,
+            } => {
                 for env in inbox {
                     match &env.payload {
                         BidMessage::Bid(b) => {
@@ -344,14 +364,19 @@ impl Protocol for BiddingProtocol<'_> {
                 }
                 if *open && !*announced {
                     *announced = true;
-                    let targets: Vec<usize> = (0..self.instance.num_clients())
-                        .map(|j| f + j)
-                        .collect();
+                    let targets: Vec<usize> =
+                        (0..self.instance.num_clients()).map(|j| f + j).collect();
                     return targets.into_iter().map(|t| (t, BidMessage::Open)).collect();
                 }
                 Vec::new()
             }
-            NodeState::Client { alpha, frozen, sent_frozen, open_neighbors, connected_to } => {
+            NodeState::Client {
+                alpha,
+                frozen,
+                sent_frozen,
+                open_neighbors,
+                connected_to,
+            } => {
                 let j = node - f;
                 for env in inbox {
                     if matches!(env.payload, BidMessage::Open) {
@@ -381,7 +406,11 @@ impl Protocol for BiddingProtocol<'_> {
                 if round.is_multiple_of(2) {
                     // Grow geometrically, capped at the nearest known-open
                     // facility's distance (the exact freeze point).
-                    let mut next = if *alpha <= 0.0 { alpha0 } else { *alpha * (1.0 + epsilon) };
+                    let mut next = if *alpha <= 0.0 {
+                        alpha0
+                    } else {
+                        *alpha * (1.0 + epsilon)
+                    };
                     if let Some(&(target, d)) = open_neighbors
                         .iter()
                         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
@@ -415,9 +444,9 @@ impl Protocol for BiddingProtocol<'_> {
         match &self.states[node] {
             // Facilities are passive: done once every client froze (they
             // heard a Frozen from each) or they announced their opening.
-            NodeState::Facility { frozen_neighbors, .. } => {
-                *frozen_neighbors == self.instance.num_clients()
-            }
+            NodeState::Facility {
+                frozen_neighbors, ..
+            } => *frozen_neighbors == self.instance.num_clients(),
             NodeState::Client { sent_frozen, .. } => {
                 let _ = f;
                 *sent_frozen
@@ -438,7 +467,9 @@ pub fn distributed_bidding(instance: &BiddingInstance, epsilon: f64) -> BiddingO
     let mut protocol = BiddingProtocol::new(instance, epsilon);
     // Range: from α0 to the largest conceivable potential (price sum + max
     // distance); geometric growth crosses it in log_{1+ε} steps.
-    let p_sum: f64 = (0..instance.num_facilities()).map(|i| instance.price(i)).sum();
+    let p_sum: f64 = (0..instance.num_facilities())
+        .map(|i| instance.price(i))
+        .sum();
     let d_max = (0..instance.num_facilities())
         .flat_map(|i| (0..instance.num_clients()).map(move |j| (i, j)))
         .map(|(i, j)| instance.distance(i, j))
@@ -447,7 +478,10 @@ pub fn distributed_bidding(instance: &BiddingInstance, epsilon: f64) -> BiddingO
     let growth_steps = range.ln() / (1.0 + epsilon).ln();
     let budget = 16 + 4 * growth_steps.ceil().max(1.0) as usize;
     let stats = run(&graph, &mut protocol, budget);
-    assert!(stats.terminated, "bidding did not terminate within {budget} rounds");
+    assert!(
+        stats.terminated,
+        "bidding did not terminate within {budget} rounds"
+    );
     protocol.outcome(stats)
 }
 
@@ -485,19 +519,24 @@ pub fn distributed_step(
     let open_ids: Vec<usize> = (0..instance.num_facilities())
         .filter(|&i| bidding.open[i])
         .collect();
-    let dense: HashMap<usize, usize> =
-        open_ids.iter().enumerate().map(|(d, &i)| (i, d)).collect();
+    let dense: HashMap<usize, usize> = open_ids.iter().enumerate().map(|(d, &i)| (i, d)).collect();
     let bids: Vec<Vec<usize>> = bidding
         .positive_bids
         .iter()
         .map(|per_client| {
-            per_client.iter().filter_map(|i| dense.get(i).copied()).collect()
+            per_client
+                .iter()
+                .filter_map(|i| dense.get(i).copied())
+                .collect()
         })
         .collect();
     let conflict = ConflictInstance::from_bids(open_ids.len(), &bids);
     let outcome = resolve_conflicts(&conflict, MisStrategy::DistributedLuby { seed });
     let chosen: Vec<usize> = outcome.open_ids().iter().map(|&d| open_ids[d]).collect();
-    assert!(!chosen.is_empty(), "at least one open facility survives conflict resolution");
+    assert!(
+        !chosen.is_empty(),
+        "at least one open facility survives conflict resolution"
+    );
 
     let mut assignment = Vec::with_capacity(instance.num_clients());
     let mut total_cost: f64 = chosen.iter().map(|&i| instance.price(i)).sum();
@@ -534,7 +573,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_inputs() {
-        assert_eq!(BiddingInstance::new(vec![], vec![]), Err(BiddingError::Empty));
+        assert_eq!(
+            BiddingInstance::new(vec![], vec![]),
+            Err(BiddingError::Empty)
+        );
         assert_eq!(
             BiddingInstance::new(vec![0.0], vec![vec![1.0]]),
             Err(BiddingError::BadPrice(0))
@@ -557,7 +599,11 @@ mod tests {
         // α must cover price + distance: exact value is 5; geometric growth
         // overshoots by at most (1 + ε).
         assert!(outcome.alpha[0] >= 5.0 - 1e-6);
-        assert!(outcome.alpha[0] <= 5.0 * 1.05 + 1e-6, "alpha {}", outcome.alpha[0]);
+        assert!(
+            outcome.alpha[0] <= 5.0 * 1.05 + 1e-6,
+            "alpha {}",
+            outcome.alpha[0]
+        );
         assert!(outcome.stats.terminated);
     }
 
@@ -613,7 +659,10 @@ mod tests {
         // 8 should freeze at α ≈ 8 (the cap rule), not overshoot.
         let inst = BiddingInstance::new(vec![1.0], vec![vec![0.0, 8.0]]).unwrap();
         let outcome = distributed_bidding(&inst, 0.1);
-        assert!((outcome.alpha[1] - 8.0).abs() < 1e-9, "cap freezes exactly at d");
+        assert!(
+            (outcome.alpha[1] - 8.0).abs() < 1e-9,
+            "cap freezes exactly at d"
+        );
     }
 
     #[test]
@@ -630,11 +679,8 @@ mod tests {
 
     #[test]
     fn certified_lower_bound_is_consistent() {
-        let inst = BiddingInstance::new(
-            vec![3.0, 3.0],
-            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
-        )
-        .unwrap();
+        let inst =
+            BiddingInstance::new(vec![3.0, 3.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let outcome = distributed_bidding(&inst, 0.05);
         let lb = outcome.certified_lower_bound();
         // Serving both clients costs at least one facility price: lb must
@@ -657,7 +703,10 @@ mod tests {
         let step = distributed_step(&inst, 0.1, 7);
         assert_eq!(step.assignment.len(), 4);
         for (j, &i) in step.assignment.iter().enumerate() {
-            assert!(step.chosen.contains(&i), "client {j} assigned to unchosen facility");
+            assert!(
+                step.chosen.contains(&i),
+                "client {j} assigned to unchosen facility"
+            );
         }
         assert!(step.total_cost > 0.0);
     }

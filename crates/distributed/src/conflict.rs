@@ -43,7 +43,10 @@ impl ConflictInstance {
                 }
             }
         }
-        ConflictInstance { num_candidates, edges: edges.into_iter().collect() }
+        ConflictInstance {
+            num_candidates,
+            edges: edges.into_iter().collect(),
+        }
     }
 
     /// The conflict graph (unit weights).
@@ -99,13 +102,17 @@ impl Phase2Outcome {
 pub fn resolve_conflicts(instance: &ConflictInstance, strategy: MisStrategy) -> Phase2Outcome {
     let graph = instance.graph();
     match strategy {
-        MisStrategy::SequentialGreedy => {
-            Phase2Outcome { chosen: greedy_mis(&graph), stats: None }
-        }
+        MisStrategy::SequentialGreedy => Phase2Outcome {
+            chosen: greedy_mis(&graph),
+            stats: None,
+        },
         MisStrategy::DistributedLuby { seed } => {
             let budget = 90 + 60 * (instance.num_candidates.max(2)).ilog2() as usize;
             let (chosen, stats) = luby_mis(&graph, seed, budget);
-            Phase2Outcome { chosen, stats: Some(stats) }
+            Phase2Outcome {
+                chosen,
+                stats: Some(stats),
+            }
         }
     }
 }

@@ -27,10 +27,14 @@
 
 pub mod bidding;
 pub mod conflict;
+pub mod leasing;
 pub mod luby;
 pub mod net;
 
-pub use bidding::{distributed_bidding, distributed_step, BiddingInstance, BiddingOutcome, DistributedStepOutcome};
+pub use bidding::{
+    distributed_bidding, distributed_step, BiddingInstance, BiddingOutcome, DistributedStepOutcome,
+};
 pub use conflict::{resolve_conflicts, ConflictInstance, MisStrategy, Phase2Outcome};
+pub use leasing::{DistributedFacilityLeasing, LeasingRunStats};
 pub use luby::{greedy_mis, is_mis, luby_mis};
 pub use net::{run, Envelope, Protocol, RunStats};

@@ -142,10 +142,21 @@ impl<'a, P: Protocol> Protocol for Broadcast<'a, P> {
 /// Panics if the protocol fails to terminate within `max_rounds` (pass a
 /// generous budget; `O(log n)` phases of 3 rounds suffice w.h.p.).
 pub fn luby_mis(graph: &Graph, seed: u64, max_rounds: usize) -> (Vec<bool>, RunStats) {
-    let mut proto = Broadcast { graph, inner: Luby::new(graph.num_nodes(), seed) };
+    let mut proto = Broadcast {
+        graph,
+        inner: Luby::new(graph.num_nodes(), seed),
+    };
     let stats = run(graph, &mut proto, max_rounds);
-    assert!(stats.terminated, "Luby did not terminate within {max_rounds} rounds");
-    let mask = proto.inner.states.iter().map(|&s| s == NodeState::In).collect();
+    assert!(
+        stats.terminated,
+        "Luby did not terminate within {max_rounds} rounds"
+    );
+    let mask = proto
+        .inner
+        .states
+        .iter()
+        .map(|&s| s == NodeState::In)
+        .collect();
     (mask, stats)
 }
 
@@ -173,9 +184,7 @@ pub fn is_mis(graph: &Graph, mask: &[bool]) -> bool {
         }
     }
     // Maximality: every excluded node has an included neighbor.
-    (0..graph.num_nodes()).all(|v| {
-        mask[v] || graph.neighbors(v).iter().any(|&(_, u)| mask[u])
-    })
+    (0..graph.num_nodes()).all(|v| mask[v] || graph.neighbors(v).iter().any(|&(_, u)| mask[u]))
 }
 
 #[cfg(test)]

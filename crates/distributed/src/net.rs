@@ -77,7 +77,11 @@ pub fn run<P: Protocol>(graph: &Graph, protocol: &mut P, max_rounds: usize) -> R
                     "LOCAL model violation: node {node} sent to non-neighbor {to}"
                 );
                 stats.messages += 1;
-                next[to].push(Envelope { from: node, to, payload });
+                next[to].push(Envelope {
+                    from: node,
+                    to,
+                    payload,
+                });
             }
         }
         inboxes = next;
@@ -133,7 +137,11 @@ mod tests {
             let was_announced = self.inner.announced[node];
             let _ = self.inner.step(node, round, inbox);
             if self.inner.announced[node] && !was_announced {
-                self.graph.neighbors(node).iter().map(|&(_, v)| (v, ())).collect()
+                self.graph
+                    .neighbors(node)
+                    .iter()
+                    .map(|&(_, v)| (v, ()))
+                    .collect()
             } else {
                 vec![]
             }
@@ -153,13 +161,20 @@ mod tests {
         let g = path(6);
         let mut proto = FloodOn {
             graph: &g,
-            inner: Flood { colored: vec![false; 6], announced: vec![false; 6] },
+            inner: Flood {
+                colored: vec![false; 6],
+                announced: vec![false; 6],
+            },
         };
         let stats = run(&g, &mut proto, 100);
         assert!(stats.terminated);
         assert!(proto.inner.colored.iter().all(|&c| c));
         // Information travels one hop per round: ~diameter rounds.
-        assert!(stats.rounds >= 5 && stats.rounds <= 8, "rounds {}", stats.rounds);
+        assert!(
+            stats.rounds >= 5 && stats.rounds <= 8,
+            "rounds {}",
+            stats.rounds
+        );
     }
 
     #[test]
@@ -167,7 +182,10 @@ mod tests {
         let g = path(4);
         let mut proto = FloodOn {
             graph: &g,
-            inner: Flood { colored: vec![false; 4], announced: vec![false; 4] },
+            inner: Flood {
+                colored: vec![false; 4],
+                announced: vec![false; 4],
+            },
         };
         let stats = run(&g, &mut proto, 100);
         // Every node announces once to each neighbor: sum of degrees = 2|E|.
@@ -179,7 +197,10 @@ mod tests {
         let g = path(10);
         let mut proto = FloodOn {
             graph: &g,
-            inner: Flood { colored: vec![false; 10], announced: vec![false; 10] },
+            inner: Flood {
+                colored: vec![false; 10],
+                announced: vec![false; 10],
+            },
         };
         let stats = run(&g, &mut proto, 3);
         assert!(!stats.terminated);
@@ -192,7 +213,12 @@ mod tests {
     impl Protocol for Cheater {
         type Message = ();
 
-        fn step(&mut self, node: usize, _round: usize, _inbox: &[Envelope<()>]) -> Vec<(usize, ())> {
+        fn step(
+            &mut self,
+            node: usize,
+            _round: usize,
+            _inbox: &[Envelope<()>],
+        ) -> Vec<(usize, ())> {
             if node == 0 {
                 vec![(2, ())] // not adjacent on a path of 3
             } else {

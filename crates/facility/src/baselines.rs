@@ -66,8 +66,7 @@ impl<'a> GreedyLease<'a> {
                         }
                     }
                 }
-                let (lease_total, li, lk) =
-                    best_lease.expect("instance has at least one facility");
+                let (lease_total, li, lk) = best_lease.expect("instance has at least one facility");
                 match best_connect {
                     Some((d, i, k)) if d <= lease_total => {
                         self.connect_cost += d;

@@ -164,7 +164,10 @@ impl FldInstance {
         let mut by_deadline: BTreeMap<TimeStep, Vec<usize>> = BTreeMap::new();
         for b in self.base.batches() {
             for &j in &b.clients {
-                by_deadline.entry(b.time + self.slack[j]).or_default().push(j);
+                by_deadline
+                    .entry(b.time + self.slack[j])
+                    .or_default()
+                    .push(j);
             }
         }
         let batches: Vec<Batch> = by_deadline
@@ -311,7 +314,8 @@ pub fn lp_lower_bound(instance: &FldInstance) -> f64 {
         return 0.0;
     }
     let (ip, _) = build_fld_ilp(instance);
-    ip.relaxation_bound().expect("covering relaxation is feasible")
+    ip.relaxation_bound()
+        .expect("covering relaxation is feasible")
 }
 
 #[cfg(test)]
@@ -346,7 +350,13 @@ mod tests {
         )
         .unwrap();
         let err = FldInstance::new(base, vec![1, 2]);
-        assert_eq!(err, Err(FldError::SlackCountMismatch { got: 2, expected: 1 }));
+        assert_eq!(
+            err,
+            Err(FldError::SlackCountMismatch {
+                got: 2,
+                expected: 1
+            })
+        );
     }
 
     #[test]
@@ -372,7 +382,10 @@ mod tests {
         assert_eq!(inst.defer_to_deadline(), base);
         let fld_opt = optimal_cost(&inst, 100_000).unwrap();
         let base_opt = offline::optimal_cost(&base, 100_000).unwrap();
-        assert!((fld_opt - base_opt).abs() < 1e-9, "fld {fld_opt} vs base {base_opt}");
+        assert!(
+            (fld_opt - base_opt).abs() < 1e-9,
+            "fld {fld_opt} vs base {base_opt}"
+        );
     }
 
     #[test]
@@ -404,7 +417,10 @@ mod tests {
         let flexible = optimal_cost(&inst, 100_000).unwrap();
         let rigid = FldInstance::new(inst.base().clone(), vec![0; 5]).unwrap();
         let rigid_opt = optimal_cost(&rigid, 100_000).unwrap();
-        assert!(flexible <= rigid_opt + 1e-9, "flex {flexible} vs rigid {rigid_opt}");
+        assert!(
+            flexible <= rigid_opt + 1e-9,
+            "flex {flexible} vs rigid {rigid_opt}"
+        );
     }
 
     #[test]

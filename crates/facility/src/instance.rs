@@ -37,7 +37,10 @@ impl std::fmt::Display for FacilityInstanceError {
                 write!(f, "batch {i} breaks the strictly increasing time order")
             }
             FacilityInstanceError::BadCost(i, k) => {
-                write!(f, "cost of facility {i} lease type {k} is missing or invalid")
+                write!(
+                    f,
+                    "cost of facility {i} lease type {k} is missing or invalid"
+                )
             }
             FacilityInstanceError::SiteOutOfRange(s) => {
                 write!(f, "site {s} is outside the metric")
@@ -111,7 +114,13 @@ impl FacilityInstance {
                 }
             }
         }
-        Ok(FacilityInstance { structure, costs, batches, dist, num_clients })
+        Ok(FacilityInstance {
+            structure,
+            costs,
+            batches,
+            dist,
+            num_clients,
+        })
     }
 
     /// Builds a Euclidean instance with uniform costs (`c_{i,k} = c_k` from
@@ -147,7 +156,10 @@ impl FacilityInstance {
         for (time, pts) in point_batches {
             let start = client_points.len();
             client_points.extend(pts);
-            batches.push(Batch { time, clients: (start..client_points.len()).collect() });
+            batches.push(Batch {
+                time,
+                clients: (start..client_points.len()).collect(),
+            });
         }
         let dist: Vec<Vec<f64>> = facility_points
             .iter()
@@ -185,11 +197,19 @@ impl FacilityInstance {
             }
             let start = client_sites.len();
             client_sites.extend(sites);
-            batches.push(Batch { time, clients: (start..client_sites.len()).collect() });
+            batches.push(Batch {
+                time,
+                clients: (start..client_sites.len()).collect(),
+            });
         }
         let dist: Vec<Vec<f64>> = facility_sites
             .iter()
-            .map(|&fs| client_sites.iter().map(|&cs| metric.distance(fs, cs)).collect())
+            .map(|&fs| {
+                client_sites
+                    .iter()
+                    .map(|&cs| metric.distance(fs, cs))
+                    .collect()
+            })
             .collect();
         FacilityInstance::from_distances(structure, costs, dist, batches)
     }
@@ -253,7 +273,10 @@ mod tests {
         let inst = FacilityInstance::euclidean(
             vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
             lengths(),
-            vec![(0, vec![Point::new(1.0, 0.0)]), (3, vec![Point::new(9.0, 0.0)])],
+            vec![
+                (0, vec![Point::new(1.0, 0.0)]),
+                (3, vec![Point::new(9.0, 0.0)]),
+            ],
         )
         .unwrap();
         assert_eq!(inst.num_facilities(), 2);
@@ -268,7 +291,10 @@ mod tests {
         let err = FacilityInstance::euclidean(
             vec![Point::new(0.0, 0.0)],
             lengths(),
-            vec![(5, vec![Point::new(0.0, 0.0)]), (5, vec![Point::new(1.0, 0.0)])],
+            vec![
+                (5, vec![Point::new(0.0, 0.0)]),
+                (5, vec![Point::new(1.0, 0.0)]),
+            ],
         );
         assert_eq!(err, Err(FacilityInstanceError::UnsortedBatches(1)));
     }
@@ -313,13 +339,8 @@ mod tests {
     #[test]
     fn metric_backed_instance_rejects_unknown_sites() {
         let metric = MatrixMetric::new(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
-        let err = FacilityInstance::on_metric(
-            &metric,
-            &[5],
-            lengths(),
-            vec![vec![2.0, 6.0]],
-            vec![],
-        );
+        let err =
+            FacilityInstance::on_metric(&metric, &[5], lengths(), vec![vec![2.0, 6.0]], vec![]);
         assert_eq!(err, Err(FacilityInstanceError::SiteOutOfRange(5)));
     }
 }

@@ -45,7 +45,9 @@ pub enum MetricError {
 impl std::fmt::Display for MetricError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MetricError::NotSquare(r, c) => write!(f, "row {r} has {c} entries (matrix not square)"),
+            MetricError::NotSquare(r, c) => {
+                write!(f, "row {r} has {c} entries (matrix not square)")
+            }
             MetricError::BadEntry(i, j) => write!(f, "entry ({i},{j}) is negative or not finite"),
             MetricError::Asymmetric(i, j) => write!(f, "entries ({i},{j}) and ({j},{i}) differ"),
             MetricError::TriangleViolation(i, j, k) => {

@@ -34,6 +34,7 @@
 //! independent of `n`.
 
 use crate::instance::FacilityInstance;
+use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_core::time::TimeStep;
@@ -69,9 +70,9 @@ pub struct NagarajanWilliamson<'a> {
     /// Arrival time per served client (bids are window-gated on it).
     arrival: Vec<Option<TimeStep>>,
     assignments: Vec<Option<(usize, usize)>>,
-    lease_cost: f64,
-    connect_cost: f64,
     next_batch: usize,
+    /// Decision ledger backing the `step`/`run` entry points.
+    ledger: Ledger,
 }
 
 impl<'a> NagarajanWilliamson<'a> {
@@ -83,9 +84,8 @@ impl<'a> NagarajanWilliamson<'a> {
             alpha_hat: vec![0.0; instance.num_clients()],
             arrival: vec![None; instance.num_clients()],
             assignments: vec![None; instance.num_clients()],
-            lease_cost: 0.0,
-            connect_cost: 0.0,
             next_batch: 0,
+            ledger: Ledger::new(instance.structure().clone()),
         }
     }
 
@@ -104,25 +104,41 @@ impl<'a> NagarajanWilliamson<'a> {
         let batch = &self.instance.batches()[self.next_batch];
         self.next_batch += 1;
         let time = batch.time;
+        let mut ledger = std::mem::take(&mut self.ledger);
         for &j in &batch.clients.clone() {
-            self.serve_client(j, time);
+            self.serve_client(j, time, &mut ledger);
         }
+        self.ledger = ledger;
         true
     }
 
     /// Total (lease + connection) cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.lease_cost + self.connect_cost
+        self.ledger.total_cost()
     }
 
     /// Lease cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn lease_cost(&self) -> f64 {
-        self.lease_cost
+        self.ledger.category_cost(CATEGORY_LEASE)
     }
 
     /// Connection cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn connection_cost(&self) -> f64 {
-        self.connect_cost
+        self.ledger.category_cost(CATEGORY_CONNECTION)
+    }
+
+    /// The internal decision ledger backing the step/run path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// The frozen dual values `α̂_j` of all clients served so far.
@@ -156,7 +172,8 @@ impl<'a> NagarajanWilliamson<'a> {
             .sum()
     }
 
-    fn serve_client(&mut self, j: usize, time: TimeStep) {
+    fn serve_client(&mut self, j: usize, time: TimeStep, ledger: &mut Ledger) {
+        ledger.advance(time);
         let inst = self.instance;
         let m = inst.num_facilities();
         let kk = inst.structure().num_types();
@@ -197,28 +214,57 @@ impl<'a> NagarajanWilliamson<'a> {
         match (connect, buy) {
             // Ties prefer connecting: no purchase is made.
             (Some((d, i, k)), Some((event, _))) if d <= event => {
-                self.finish(j, time, d, i, k);
+                self.finish(j, time, d, i, k, ledger);
             }
             (Some((d, i, k)), None) => {
-                self.finish(j, time, d, i, k);
+                self.finish(j, time, d, i, k, ledger);
             }
             (_, Some((event, triple))) => {
-                self.lease_cost += inst.cost(triple.element, triple.type_index);
+                ledger.buy_priced(
+                    time,
+                    triple,
+                    inst.cost(triple.element, triple.type_index),
+                    CATEGORY_LEASE,
+                );
                 self.owned.insert(triple);
                 self.alpha_hat[j] = event;
                 self.arrival[j] = Some(time);
                 self.assignments[j] = Some((triple.element, triple.type_index));
-                self.connect_cost += inst.distance(triple.element, j);
+                ledger.charge(
+                    time,
+                    triple.element,
+                    inst.distance(triple.element, j),
+                    CATEGORY_CONNECTION,
+                );
             }
             (None, None) => unreachable!("every instance has at least one facility"),
         }
     }
 
-    fn finish(&mut self, j: usize, time: TimeStep, alpha: f64, i: usize, k: usize) {
+    fn finish(
+        &mut self,
+        j: usize,
+        time: TimeStep,
+        alpha: f64,
+        i: usize,
+        k: usize,
+        ledger: &mut Ledger,
+    ) {
         self.alpha_hat[j] = alpha;
         self.arrival[j] = Some(time);
         self.assignments[j] = Some((i, k));
-        self.connect_cost += self.instance.distance(i, j);
+        ledger.charge(time, i, self.instance.distance(i, j), CATEGORY_CONNECTION);
+    }
+}
+
+impl<'a> LeasingAlgorithm for NagarajanWilliamson<'a> {
+    /// The batch of (globally numbered) clients arriving at a time step.
+    type Request = Vec<usize>;
+
+    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, ledger: &mut Ledger) {
+        for j in clients {
+            self.serve_client(j, time, ledger);
+        }
     }
 }
 
@@ -280,8 +326,15 @@ mod tests {
         .unwrap();
         let mut alg = NagarajanWilliamson::new(&inst);
         alg.run();
-        assert_eq!(alg.owned_leases().count(), 1, "second client connects for free");
-        assert!((alg.alpha_hat()[1] - 0.2).abs() < 1e-9, "α̂ = connection distance");
+        assert_eq!(
+            alg.owned_leases().count(),
+            1,
+            "second client connects for free"
+        );
+        assert!(
+            (alg.alpha_hat()[1] - 0.2).abs() < 1e-9,
+            "α̂ = connection distance"
+        );
     }
 
     #[test]
@@ -323,7 +376,10 @@ mod tests {
         let mut alg = NagarajanWilliamson::new(&inst);
         alg.run();
         let opened: HashSet<usize> = alg.owned_leases().map(|t| t.element).collect();
-        assert!(opened.contains(&1), "bids must eventually open facility 1: {opened:?}");
+        assert!(
+            opened.contains(&1),
+            "bids must eventually open facility 1: {opened:?}"
+        );
         // Once open, later co-located clients connect for free.
         let last = inst.num_clients() - 1;
         assert!(alg.alpha_hat()[last] < 2.0 - 1e-9);

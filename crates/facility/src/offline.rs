@@ -78,7 +78,8 @@ pub fn lp_lower_bound(instance: &FacilityInstance) -> f64 {
         return 0.0;
     }
     let (ip, _) = build_ilp(instance);
-    ip.relaxation_bound().expect("facility covering relaxation is feasible")
+    ip.relaxation_bound()
+        .expect("facility covering relaxation is feasible")
 }
 
 #[cfg(test)]
@@ -107,8 +108,9 @@ mod tests {
     fn long_lease_amortises_many_batches() {
         // Client at the facility site every 2 steps for 16 steps: one long
         // lease (6) beats four short ones (8).
-        let batches: Vec<(u64, Vec<Point>)> =
-            (0..8).map(|i| (2 * i, vec![Point::new(0.0, 0.0)])).collect();
+        let batches: Vec<(u64, Vec<Point>)> = (0..8)
+            .map(|i| (2 * i, vec![Point::new(0.0, 0.0)]))
+            .collect();
         let inst =
             FacilityInstance::euclidean(vec![Point::new(0.0, 0.0)], lengths(), batches).unwrap();
         let opt = optimal_cost(&inst, 200_000).unwrap();

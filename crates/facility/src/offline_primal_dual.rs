@@ -94,7 +94,12 @@ pub fn solve(instance: &FacilityInstance) -> PrimalDualSolution {
     let demands: Vec<Demand> = instance
         .batches()
         .iter()
-        .flat_map(|b| b.clients.iter().map(|&j| Demand { client: j, time: b.time }))
+        .flat_map(|b| {
+            b.clients.iter().map(|&j| Demand {
+                client: j,
+                time: b.time,
+            })
+        })
         .collect();
     if demands.is_empty() {
         return PrimalDualSolution {
@@ -247,12 +252,13 @@ pub fn solve(instance: &FacilityInstance) -> PrimalDualSolution {
         }
     }
 
-    debug_assert!(dual_is_feasible(instance, &demands, &triples, &covered, &alpha));
+    debug_assert!(dual_is_feasible(
+        instance, &demands, &triples, &covered, &alpha
+    ));
 
     // ---- Phase 2: conflict resolution in opening order. --------------------
-    let contrib = |d: usize, ti: usize| -> f64 {
-        (alpha[d] - dist(&triples[ti], &demands[d])).max(0.0)
-    };
+    let contrib =
+        |d: usize, ti: usize| -> f64 { (alpha[d] - dist(&triples[ti], &demands[d])).max(0.0) };
     let mut chosen: Vec<usize> = Vec::new();
     for &ti in &opening_order {
         let conflicts = chosen.iter().any(|&si| {
@@ -338,9 +344,9 @@ pub fn is_feasible(instance: &FacilityInstance, sol: &PrimalDualSolution) -> boo
     if sol.assignment.len() != instance.num_clients() {
         return false;
     }
-    sol.assignment.iter().all(|(j, tr)| {
-        sol.opened.contains(tr) && tr.covers(instance.structure(), times[j])
-    })
+    sol.assignment
+        .iter()
+        .all(|(j, tr)| sol.opened.contains(tr) && tr.covers(instance.structure(), times[j]))
 }
 
 #[cfg(test)]
@@ -376,7 +382,11 @@ mod tests {
         let sol = solve(&inst);
         assert!(is_feasible(&inst, &sol));
         // Opt = cheap lease (2) + distance (3) = 5; primal-dual matches here.
-        assert!((sol.total_cost() - 5.0).abs() < 1e-6, "cost {}", sol.total_cost());
+        assert!(
+            (sol.total_cost() - 5.0).abs() < 1e-6,
+            "cost {}",
+            sol.total_cost()
+        );
         assert_eq!(sol.witness_reopenings, 0);
     }
 
@@ -385,25 +395,41 @@ mod tests {
         let inst = FacilityInstance::euclidean(
             vec![Point::new(0.0, 0.0)],
             lengths(),
-            vec![(0, vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(0.0, 0.0)])],
+            vec![(
+                0,
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(0.0, 0.0),
+                    Point::new(0.0, 0.0),
+                ],
+            )],
         )
         .unwrap();
         let sol = solve(&inst);
         assert!(is_feasible(&inst, &sol));
-        assert!((sol.total_cost() - 2.0).abs() < 1e-6, "one cheap lease suffices");
+        assert!(
+            (sol.total_cost() - 2.0).abs() < 1e-6,
+            "one cheap lease suffices"
+        );
     }
 
     #[test]
     fn repeating_client_prefers_the_long_lease() {
         // Same site every 2 steps for 16 steps: long lease (6) beats 4x short (8).
-        let batches: Vec<(u64, Vec<Point>)> =
-            (0..8).map(|i| (2 * i, vec![Point::new(0.0, 0.0)])).collect();
+        let batches: Vec<(u64, Vec<Point>)> = (0..8)
+            .map(|i| (2 * i, vec![Point::new(0.0, 0.0)]))
+            .collect();
         let inst =
             FacilityInstance::euclidean(vec![Point::new(0.0, 0.0)], lengths(), batches).unwrap();
         let sol = solve(&inst);
         assert!(is_feasible(&inst, &sol));
         let opt = offline::optimal_cost(&inst, 200_000).unwrap();
-        assert!(sol.total_cost() <= 3.0 * opt + 1e-6, "{} vs 3x{}", sol.total_cost(), opt);
+        assert!(
+            sol.total_cost() <= 3.0 * opt + 1e-6,
+            "{} vs 3x{}",
+            sol.total_cost(),
+            opt
+        );
     }
 
     #[test]
@@ -419,7 +445,11 @@ mod tests {
         .unwrap();
         let sol = solve(&inst);
         let lp = offline::lp_lower_bound(&inst);
-        assert!(sol.dual_sum <= lp + 1e-6, "dual {} vs LP {lp}", sol.dual_sum);
+        assert!(
+            sol.dual_sum <= lp + 1e-6,
+            "dual {} vs LP {lp}",
+            sol.dual_sum
+        );
         assert!(sol.dual_sum > 0.0);
     }
 
@@ -454,7 +484,11 @@ mod tests {
         .unwrap();
         let sol = solve(&inst);
         assert!(is_feasible(&inst, &sol));
-        assert_eq!(sol.opened.len(), 2, "no single facility can serve both cheaply");
+        assert_eq!(
+            sol.opened.len(),
+            2,
+            "no single facility can serve both cheaply"
+        );
         assert!(sol.connection_cost < 1e-9);
     }
 
@@ -463,7 +497,10 @@ mod tests {
         let inst = FacilityInstance::euclidean(
             vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)],
             lengths(),
-            vec![(0, vec![Point::new(1.0, 0.0)]), (3, vec![Point::new(4.0, 0.0)])],
+            vec![
+                (0, vec![Point::new(1.0, 0.0)]),
+                (3, vec![Point::new(4.0, 0.0)]),
+            ],
         )
         .unwrap();
         let sol = solve(&inst);

@@ -19,6 +19,7 @@
 //! Competitive ratio: `4(3 + K) · H_{l_max}` (Theorem 4.5).
 
 use crate::instance::FacilityInstance;
+use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_core::time::TimeStep;
@@ -36,8 +37,8 @@ pub struct PrimalDualFacility<'a> {
     alpha_hat: Vec<f64>,
     /// Final `(facility, lease type)` per client.
     assignments: Vec<Option<(usize, usize)>>,
-    lease_cost: f64,
-    connect_cost: f64,
+    /// Decision ledger backing the deprecated `step`/`run` entry points.
+    ledger: Ledger,
     next_batch: usize,
     /// Global ids of all clients that have arrived so far.
     arrived: Vec<usize>,
@@ -51,8 +52,7 @@ impl<'a> PrimalDualFacility<'a> {
             owned: HashSet::new(),
             alpha_hat: vec![0.0; instance.num_clients()],
             assignments: vec![None; instance.num_clients()],
-            lease_cost: 0.0,
-            connect_cost: 0.0,
+            ledger: Ledger::new(instance.structure().clone()),
             next_batch: 0,
             arrived: Vec::new(),
         }
@@ -77,23 +77,39 @@ impl<'a> PrimalDualFacility<'a> {
         let time = batch.time;
         let new_clients: Vec<usize> = batch.clients.clone();
         self.arrived.extend(new_clients.iter().copied());
-        self.process_round(time, &new_clients);
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.process_round(time, &new_clients, &mut ledger);
+        self.ledger = ledger;
         true
     }
 
     /// Total (lease + connection) cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.lease_cost + self.connect_cost
+        self.ledger.total_cost()
     }
 
     /// Lease cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn lease_cost(&self) -> f64 {
-        self.lease_cost
+        self.ledger.category_cost(CATEGORY_LEASE)
     }
 
     /// Connection cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn connection_cost(&self) -> f64 {
-        self.connect_cost
+        self.ledger.category_cost(CATEGORY_CONNECTION)
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// The dual values `α̂_j` of all clients processed so far.
@@ -123,7 +139,8 @@ impl<'a> PrimalDualFacility<'a> {
         })
     }
 
-    fn process_round(&mut self, time: TimeStep, new_clients: &[usize]) {
+    fn process_round(&mut self, time: TimeStep, new_clients: &[usize], ledger: &mut Ledger) {
+        ledger.advance(time);
         let inst = self.instance;
         let m = inst.num_facilities();
         let kk = inst.structure().num_types();
@@ -134,8 +151,9 @@ impl<'a> PrimalDualFacility<'a> {
         }
 
         // Current aligned lease start per type.
-        let starts: Vec<TimeStep> =
-            (0..kk).map(|k| aligned_start(time, inst.structure().length(k))).collect();
+        let starts: Vec<TimeStep> = (0..kk)
+            .map(|k| aligned_start(time, inst.structure().length(k)))
+            .collect();
 
         // Facility state per (i, k).
         let mut perm = vec![vec![false; kk]; m];
@@ -148,10 +166,7 @@ impl<'a> PrimalDualFacility<'a> {
             }
         }
 
-        let is_new: Vec<bool> = clients
-            .iter()
-            .map(|&j| new_clients.contains(&j))
-            .collect();
+        let is_new: Vec<bool> = clients.iter().map(|&j| new_clients.contains(&j)).collect();
         // Per (client slot, k): final potential value (None while rising).
         let mut stopped: Vec<Vec<Option<f64>>> = vec![vec![None; kk]; nc];
         // Cap per client slot: old clients capped at α̂; new clients capped
@@ -235,8 +250,15 @@ impl<'a> PrimalDualFacility<'a> {
         };
 
         settle(
-            tau, &mut temp, &mut opening_time, &contribution, &mut stopped, &mut cap, &mut pref,
-            &perm, &is_new,
+            tau,
+            &mut temp,
+            &mut opening_time,
+            &contribution,
+            &mut stopped,
+            &mut cap,
+            &mut pref,
+            &perm,
+            &is_new,
         );
 
         // Event loop: advance τ to the next event until all potentials stop.
@@ -302,8 +324,15 @@ impl<'a> PrimalDualFacility<'a> {
             }
             tau = t_next;
             settle(
-                tau, &mut temp, &mut opening_time, &contribution, &mut stopped, &mut cap,
-                &mut pref, &perm, &is_new,
+                tau,
+                &mut temp,
+                &mut opening_time,
+                &contribution,
+                &mut stopped,
+                &mut cap,
+                &mut pref,
+                &perm,
+                &is_new,
             );
         }
 
@@ -353,7 +382,7 @@ impl<'a> PrimalDualFacility<'a> {
                     // Permanently open: buy the lease.
                     let triple = Triple::new(i, k, starts[k]);
                     if self.owned.insert(triple) {
-                        self.lease_cost += inst.cost(i, k);
+                        ledger.buy_priced(time, triple, inst.cost(i, k), CATEGORY_LEASE);
                     }
                 }
             }
@@ -369,16 +398,18 @@ impl<'a> PrimalDualFacility<'a> {
                 let j = clients[c];
                 if mis.contains(&i) || perm[i][k] {
                     self.assignments[j] = Some((i, k));
-                    self.connect_cost += dist(i, c);
+                    ledger.charge(time, i, dist(i, c), CATEGORY_CONNECTION);
                 } else {
                     // Reconnect to the cheapest conflicting MIS member.
-                    let target = mis
-                        .iter()
-                        .copied()
-                        .filter(|&x| conflicts(i, x))
-                        .min_by(|&a, &b| {
-                            dist(a, c).partial_cmp(&dist(b, c)).expect("finite distances")
-                        });
+                    let target =
+                        mis.iter()
+                            .copied()
+                            .filter(|&x| conflicts(i, x))
+                            .min_by(|&a, &b| {
+                                dist(a, c)
+                                    .partial_cmp(&dist(b, c))
+                                    .expect("finite distances")
+                            });
                     let target = target.unwrap_or_else(|| {
                         // Maximality guarantees a conflicting MIS member;
                         // fall back to the nearest MIS member if numeric
@@ -386,12 +417,14 @@ impl<'a> PrimalDualFacility<'a> {
                         mis.iter()
                             .copied()
                             .min_by(|&a, &b| {
-                                dist(a, c).partial_cmp(&dist(b, c)).expect("finite distances")
+                                dist(a, c)
+                                    .partial_cmp(&dist(b, c))
+                                    .expect("finite distances")
                             })
                             .expect("MIS of a non-empty open set is non-empty")
                     });
                     self.assignments[j] = Some((target, k));
-                    self.connect_cost += dist(target, c);
+                    ledger.charge(time, target, dist(target, c), CATEGORY_CONNECTION);
                 }
             }
         }
@@ -400,6 +433,16 @@ impl<'a> PrimalDualFacility<'a> {
             new_clients.iter().all(|&j| self.assignments[j].is_some()),
             "every new client must leave the round connected"
         );
+    }
+}
+
+impl<'a> LeasingAlgorithm for PrimalDualFacility<'a> {
+    /// The batch of (globally numbered) clients arriving at a time step.
+    type Request = Vec<usize>;
+
+    fn on_request(&mut self, time: TimeStep, new_clients: Vec<usize>, ledger: &mut Ledger) {
+        self.arrived.extend(new_clients.iter().copied());
+        self.process_round(time, &new_clients, ledger);
     }
 }
 
@@ -418,7 +461,12 @@ pub fn is_feasible(
         }
     }
     let assigned: HashSet<usize> = assignments.iter().map(|&(j, _, _)| j).collect();
-    if instance.batches().iter().flat_map(|b| &b.clients).any(|j| !assigned.contains(j)) {
+    if instance
+        .batches()
+        .iter()
+        .flat_map(|b| &b.clients)
+        .any(|j| !assigned.contains(j))
+    {
         return false;
     }
     assignments.iter().all(|&(j, i, k)| {
@@ -472,7 +520,11 @@ mod tests {
         let cost = alg.run();
         // One facility, one client: the algorithm opens the facility with
         // the cheaper lease (cost 2) and connects over distance 3.
-        assert!((alg.lease_cost() - 2.0).abs() < 1e-6, "lease {}", alg.lease_cost());
+        assert!(
+            (alg.lease_cost() - 2.0).abs() < 1e-6,
+            "lease {}",
+            alg.lease_cost()
+        );
         assert!((alg.connection_cost() - 3.0).abs() < 1e-6);
         assert!((cost - 5.0).abs() < 1e-6);
         // α̂ = d + c (the client pays the whole opening bid).
@@ -484,17 +536,23 @@ mod tests {
         let inst = FacilityInstance::euclidean(
             vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
             lengths(),
-            vec![(0, vec![
-                Point::new(0.5, 0.0),
-                Point::new(-0.5, 0.0),
-                Point::new(0.0, 0.5),
-            ])],
+            vec![(
+                0,
+                vec![
+                    Point::new(0.5, 0.0),
+                    Point::new(-0.5, 0.0),
+                    Point::new(0.0, 0.5),
+                ],
+            )],
         )
         .unwrap();
         let mut alg = PrimalDualFacility::new(&inst);
         alg.run();
         let assignments = alg.assignments();
-        assert!(assignments.iter().all(|&(_, i, _)| i == 0), "{assignments:?}");
+        assert!(
+            assignments.iter().all(|&(_, i, _)| i == 0),
+            "{assignments:?}"
+        );
         // Exactly one lease of facility 0 is bought in this round.
         assert_eq!(alg.owned_leases().count(), 1);
     }
@@ -515,7 +573,11 @@ mod tests {
         .unwrap();
         let mut alg = PrimalDualFacility::new(&inst);
         alg.run();
-        assert_eq!(alg.owned_leases().count(), 1, "second client reuses the lease");
+        assert_eq!(
+            alg.owned_leases().count(),
+            1,
+            "second client reuses the lease"
+        );
         // The second client's dual is just its connection distance.
         assert!(alg.alpha_hat()[1] <= 0.2 + 1e-6);
     }
@@ -535,7 +597,10 @@ mod tests {
         .unwrap();
         let mut alg = PrimalDualFacility::new(&inst);
         alg.run();
-        assert!(alg.owned_leases().count() >= 2, "lease must be bought twice");
+        assert!(
+            alg.owned_leases().count() >= 2,
+            "lease must be bought twice"
+        );
     }
 
     #[test]
@@ -566,16 +631,16 @@ mod tests {
         let inst = FacilityInstance::euclidean(
             vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
             lengths(),
-            vec![(0, vec![
-                Point::new(1.0, 0.0),
-                Point::new(99.0, 0.0),
-            ])],
+            vec![(0, vec![Point::new(1.0, 0.0), Point::new(99.0, 0.0)])],
         )
         .unwrap();
         let mut alg = PrimalDualFacility::new(&inst);
         alg.run();
-        let facilities: HashSet<usize> =
-            alg.assignments().iter().map(|&(_, i, _)| i).collect();
-        assert_eq!(facilities.len(), 2, "distant clients use their own facility");
+        let facilities: HashSet<usize> = alg.assignments().iter().map(|&(_, i, _)| i).collect();
+        assert_eq!(
+            facilities.len(),
+            2,
+            "distant clients use their own facility"
+        );
     }
 }

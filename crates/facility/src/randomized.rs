@@ -12,6 +12,8 @@
 //! algorithm and against exact optima on small instances.
 
 use crate::instance::FacilityInstance;
+use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+use leasing_core::framework::Triple;
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::time::TimeStep;
 use parking_permit::rand_alg::RandomizedPermit;
@@ -24,9 +26,13 @@ use rand::Rng;
 pub struct RandomizedFacility<'a> {
     instance: &'a FacilityInstance,
     permits: Vec<RandomizedPermit>,
-    connection_cost: f64,
+    /// How many purchases of each facility's permit have been mirrored
+    /// into the ledger.
+    mirrored: Vec<usize>,
     /// `(client, facility)` assignments in service order.
     assignments: Vec<(usize, usize)>,
+    /// Decision ledger backing the deprecated `serve_batch` entry point.
+    ledger: Ledger,
 }
 
 impl<'a> RandomizedFacility<'a> {
@@ -42,28 +48,24 @@ impl<'a> RandomizedFacility<'a> {
                     .enumerate()
                     .map(|(k, t)| LeaseType::new(t.length, instance.cost(i, k)))
                     .collect();
-                let s = LeaseStructure::new(types)
-                    .expect("instance costs are validated positive");
+                let s = LeaseStructure::new(types).expect("instance costs are validated positive");
                 RandomizedPermit::new(s, rng)
             })
             .collect();
+        let mirrored = vec![0; instance.num_facilities()];
         RandomizedFacility {
             instance,
             permits,
-            connection_cost: 0.0,
+            mirrored,
             assignments: Vec::new(),
+            ledger: Ledger::new(instance.structure().clone()),
         }
     }
 
-    /// Whether facility `i` holds an active lease at time `t`.
-    pub fn is_active(&self, i: usize, t: TimeStep) -> bool {
-        self.permits[i].is_covered(t)
-    }
-
-    /// Serves one batch of clients at time `t`: each client picks the
-    /// facility minimizing `d_ij` (active) or `d_ij + cheapest lease` (not
-    /// active); inactive picks feed a permit demand.
-    pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
+    /// Core assignment + per-facility permit step, recording purchases and
+    /// connection charges into `ledger`.
+    fn serve_with(&mut self, t: TimeStep, clients: &[usize], ledger: &mut Ledger) {
+        ledger.advance(t);
         let inst = self.instance;
         for &j in clients {
             let mut best: Option<(f64, usize)> = None;
@@ -84,33 +86,86 @@ impl<'a> RandomizedFacility<'a> {
             let (_, i) = best.expect("validated instances have facilities");
             if !self.permits[i].is_covered(t) {
                 self.permits[i].serve_demand(t);
+                self.mirror_purchases(t, i, ledger);
             }
-            self.connection_cost += inst.distance(i, j);
+            ledger.charge(t, i, inst.distance(i, j), CATEGORY_CONNECTION);
             self.assignments.push((j, i));
         }
     }
 
+    /// Copies the permit subroutine's new purchases into the ledger at
+    /// their per-facility scaled prices.
+    fn mirror_purchases(&mut self, t: TimeStep, i: usize, ledger: &mut Ledger) {
+        let permit = &self.permits[i];
+        let fresh = &permit.purchases()[self.mirrored[i]..];
+        for lease in fresh {
+            let cost = permit.structure().cost(lease.type_index);
+            ledger.buy_priced(
+                t,
+                Triple::new(i, lease.type_index, lease.start),
+                cost,
+                CATEGORY_LEASE,
+            );
+        }
+        self.mirrored[i] = permit.purchases().len();
+    }
+
+    /// Whether facility `i` holds an active lease at time `t`.
+    pub fn is_active(&self, i: usize, t: TimeStep) -> bool {
+        self.permits[i].is_covered(t)
+    }
+
+    /// Serves one batch of clients at time `t`: each client picks the
+    /// facility minimizing `d_ij` (active) or `d_ij + cheapest lease` (not
+    /// active); inactive picks feed a permit demand.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
+    pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, clients, &mut ledger);
+        self.ledger = ledger;
+    }
+
     /// Runs the whole instance and returns the final total cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         for batch in self.instance.batches().to_vec() {
-            self.serve_batch(batch.time, &batch.clients);
+            self.serve_with(batch.time, &batch.clients, &mut ledger);
         }
+        self.ledger = ledger;
         self.total_cost()
     }
 
     /// Lease cost paid so far (sum over the per-facility permits).
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn lease_cost(&self) -> f64 {
-        self.permits.iter().map(|p| p.total_cost()).sum()
+        self.ledger.category_cost(CATEGORY_LEASE)
     }
 
     /// Connection cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn connection_cost(&self) -> f64 {
-        self.connection_cost
+        self.ledger.category_cost(CATEGORY_CONNECTION)
     }
 
     /// Lease plus connection cost.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.lease_cost() + self.connection_cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// `(client, facility)` assignments in service order.
@@ -126,10 +181,19 @@ impl<'a> RandomizedFacility<'a> {
             assigned[j] = Some(i);
         }
         self.instance.batches().iter().all(|b| {
-            b.clients.iter().all(|&j| {
-                assigned[j].is_some_and(|i| self.permits[i].is_covered(b.time))
-            })
+            b.clients
+                .iter()
+                .all(|&j| assigned[j].is_some_and(|i| self.permits[i].is_covered(b.time)))
         })
+    }
+}
+
+impl<'a> LeasingAlgorithm for RandomizedFacility<'a> {
+    /// The batch of (globally numbered) clients arriving at a time step.
+    type Request = Vec<usize>;
+
+    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, ledger: &mut Ledger) {
+        self.serve_with(time, &clients, ledger);
     }
 }
 

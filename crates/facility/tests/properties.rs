@@ -24,16 +24,19 @@ fn structure() -> LeaseStructure {
 
 fn random_instance(seed: u64, facilities: usize, batches: usize) -> FacilityInstance {
     let mut rng = seeded(seed);
-    let sites: Vec<Point> =
-        (0..facilities).map(|_| Point::new(rng.random(), rng.random())).collect();
+    let sites: Vec<Point> = (0..facilities)
+        .map(|_| Point::new(rng.random(), rng.random()))
+        .collect();
     let mut point_batches = Vec::new();
     let mut t = 0u64;
     for _ in 0..batches {
-        t += 1 + rng.random_range(0..3);
+        t += 1 + rng.random_range(0..3u64);
         let n = 1 + rng.random_range(0..3);
         point_batches.push((
             t,
-            (0..n).map(|_| Point::new(rng.random(), rng.random())).collect::<Vec<_>>(),
+            (0..n)
+                .map(|_| Point::new(rng.random(), rng.random()))
+                .collect::<Vec<_>>(),
         ));
     }
     FacilityInstance::euclidean(sites, structure(), point_batches).unwrap()

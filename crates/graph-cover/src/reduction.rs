@@ -39,8 +39,10 @@ pub fn vertex_cover_instance(
         .collect();
     let system = SetSystem::new(graph.num_edges(), sets)
         .expect("a graph with nodes always yields a valid system");
-    let arrivals: Vec<Arrival> =
-        arrivals.iter().map(|&(t, e)| Arrival::new(t, e, 1)).collect();
+    let arrivals: Vec<Arrival> = arrivals
+        .iter()
+        .map(|&(t, e)| Arrival::new(t, e, 1))
+        .collect();
     match vertex_weights {
         Some(w) => SmclInstance::with_set_factors(system, structure, w, arrivals),
         None => SmclInstance::uniform(system, structure, arrivals),
@@ -63,8 +65,10 @@ pub fn edge_cover_instance(
     let sets: Vec<Vec<usize>> = graph.edges().iter().map(|e| vec![e.u, e.v]).collect();
     let system = SetSystem::new(graph.num_nodes(), sets)
         .expect("edges reference valid nodes by graph validation");
-    let arrivals: Vec<Arrival> =
-        arrivals.iter().map(|&(t, v)| Arrival::new(t, v, 1)).collect();
+    let arrivals: Vec<Arrival> = arrivals
+        .iter()
+        .map(|&(t, v)| Arrival::new(t, v, 1))
+        .collect();
     if edge_weights_as_cost {
         let factors: Vec<f64> = graph.edges().iter().map(|e| e.weight).collect();
         SmclInstance::with_set_factors(system, structure, &factors, arrivals)
@@ -89,16 +93,17 @@ pub fn dominating_set_instance(
 ) -> Result<SmclInstance, InstanceError> {
     let sets: Vec<Vec<usize>> = (0..graph.num_nodes())
         .map(|v| {
-            let mut nbhd: Vec<usize> =
-                graph.neighbors(v).iter().map(|&(_, u)| u).collect();
+            let mut nbhd: Vec<usize> = graph.neighbors(v).iter().map(|&(_, u)| u).collect();
             nbhd.push(v);
             nbhd
         })
         .collect();
     let system = SetSystem::new(graph.num_nodes(), sets)
         .expect("closed neighborhoods reference valid nodes");
-    let arrivals: Vec<Arrival> =
-        arrivals.iter().map(|&(t, v, p)| Arrival::new(t, v, p)).collect();
+    let arrivals: Vec<Arrival> = arrivals
+        .iter()
+        .map(|&(t, v, p)| Arrival::new(t, v, p))
+        .collect();
     SmclInstance::uniform(system, structure, arrivals)
 }
 
@@ -120,28 +125,25 @@ mod tests {
     #[test]
     fn vertex_cover_reduction_has_delta_two() {
         let inst =
-            vertex_cover_instance(&star(), structure(), &[(0, 0), (0, 1), (1, 2)], None)
-                .unwrap();
+            vertex_cover_instance(&star(), structure(), &[(0, 0), (0, 1), (1, 2)], None).unwrap();
         assert_eq!(inst.system.delta(), 2);
         assert_eq!(inst.system.num_elements(), 3); // edges
         assert_eq!(inst.system.num_sets(), 4); // vertices
-        // Hub vertex covers all edges.
+                                               // Hub vertex covers all edges.
         assert_eq!(inst.system.elements_of(0), &[0, 1, 2]);
     }
 
     #[test]
     fn vertex_cover_weights_scale_prices() {
         let w = [10.0, 1.0, 1.0, 1.0];
-        let inst =
-            vertex_cover_instance(&star(), structure(), &[(0, 0)], Some(&w)).unwrap();
+        let inst = vertex_cover_instance(&star(), structure(), &[(0, 0)], Some(&w)).unwrap();
         assert!((inst.cost(0, 0) - 10.0).abs() < 1e-12);
         assert!((inst.cost(1, 1) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn edge_cover_reduction_uses_endpoints() {
-        let inst = edge_cover_instance(&star(), structure(), &[(0, 1), (0, 3)], false)
-            .unwrap();
+        let inst = edge_cover_instance(&star(), structure(), &[(0, 1), (0, 3)], false).unwrap();
         assert_eq!(inst.system.num_elements(), 4); // vertices
         assert_eq!(inst.system.num_sets(), 3); // edges
         assert_eq!(inst.system.elements_of(0), &[0, 1]);
@@ -158,9 +160,7 @@ mod tests {
 
     #[test]
     fn dominating_set_reduction_uses_closed_neighborhoods() {
-        let inst =
-            dominating_set_instance(&star(), structure(), &[(0, 1, 1), (2, 0, 2)])
-                .unwrap();
+        let inst = dominating_set_instance(&star(), structure(), &[(0, 1, 1), (2, 0, 2)]).unwrap();
         // N[1] = {0, 1}; N[0] = everything.
         assert_eq!(inst.system.elements_of(1), &[0, 1]);
         assert_eq!(inst.system.elements_of(0), &[0, 1, 2, 3]);
@@ -179,11 +179,9 @@ mod tests {
     #[test]
     fn chapter3_algorithm_solves_the_reduced_instances() {
         for inst in [
-            vertex_cover_instance(&star(), structure(), &[(0, 0), (1, 1), (5, 2)], None)
-                .unwrap(),
+            vertex_cover_instance(&star(), structure(), &[(0, 0), (1, 1), (5, 2)], None).unwrap(),
             edge_cover_instance(&star(), structure(), &[(0, 1), (2, 2)], true).unwrap(),
-            dominating_set_instance(&star(), structure(), &[(0, 1, 1), (1, 2, 2)])
-                .unwrap(),
+            dominating_set_instance(&star(), structure(), &[(0, 1, 1), (1, 2, 2)]).unwrap(),
         ] {
             let mut alg = SmclOnline::new(&inst, 42);
             let cost = alg.run();

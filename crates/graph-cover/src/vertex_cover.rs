@@ -11,6 +11,8 @@
 //! `O(log(2K) log n)` bound obtained through the Chapter 3 reduction
 //! (`δ = 2`).
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_LEASE};
+use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
@@ -40,7 +42,10 @@ impl std::fmt::Display for VcInstanceError {
                 write!(f, "arrival {i} breaks the non-decreasing time order")
             }
             VcInstanceError::BadWeights => {
-                write!(f, "vertex weights must be one per vertex, positive and finite")
+                write!(
+                    f,
+                    "vertex weights must be one per vertex, positive and finite"
+                )
             }
         }
     }
@@ -89,7 +94,12 @@ impl VcLeasingInstance {
                 return Err(VcInstanceError::UnsortedArrivals(i));
             }
         }
-        Ok(VcLeasingInstance { graph, structure, vertex_weights, arrivals })
+        Ok(VcLeasingInstance {
+            graph,
+            structure,
+            vertex_weights,
+            arrivals,
+        })
     }
 
     /// Unweighted instance (all vertex multipliers `1.0`).
@@ -122,9 +132,10 @@ pub struct VcPrimalDual<'a> {
     instance: &'a VcLeasingInstance,
     contributions: HashMap<(usize, Lease), f64>,
     owned: HashSet<(usize, Lease)>,
-    cost: f64,
     dual_value: f64,
     purchases: Vec<(usize, Lease)>,
+    /// Decision ledger backing the deprecated `serve_edge` entry point.
+    ledger: Ledger,
 }
 
 impl<'a> VcPrimalDual<'a> {
@@ -134,9 +145,9 @@ impl<'a> VcPrimalDual<'a> {
             instance,
             contributions: HashMap::new(),
             owned: HashSet::new(),
-            cost: 0.0,
             dual_value: 0.0,
             purchases: Vec::new(),
+            ledger: Ledger::new(instance.structure.clone()),
         }
     }
 
@@ -159,7 +170,21 @@ impl<'a> VcPrimalDual<'a> {
     /// # Panics
     ///
     /// Panics if `e` is out of range.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve_edge(&mut self, t: TimeStep, e: usize) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, e, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core primal-dual step for one edge arrival, recording purchases into
+    /// `ledger`.
+    fn serve_with(&mut self, t: TimeStep, e: usize, ledger: &mut Ledger) {
+        ledger.advance(t);
         if self.is_covered(e, t) {
             return;
         }
@@ -186,24 +211,42 @@ impl<'a> VcPrimalDual<'a> {
             let price = self.instance.lease_cost(v, lease.type_index);
             if *entry >= price - EPS && !self.owned.contains(&(v, lease)) {
                 self.owned.insert((v, lease));
-                self.cost += price;
+                ledger.buy_priced(
+                    t,
+                    Triple::new(v, lease.type_index, lease.start),
+                    price,
+                    CATEGORY_LEASE,
+                );
                 self.purchases.push((v, lease));
             }
         }
-        debug_assert!(self.is_covered(e, t), "primal-dual step must cover the edge");
+        debug_assert!(
+            self.is_covered(e, t),
+            "primal-dual step must cover the edge"
+        );
     }
 
     /// Runs the whole instance and returns the final cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         for &(t, e) in &self.instance.arrivals.clone() {
-            self.serve_edge(t, e);
+            self.serve_with(t, e, &mut ledger);
         }
-        self.cost
+        self.ledger = ledger;
+        self.ledger.total_cost()
     }
 
     /// Total primal cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// Total dual value raised so far — by weak duality a lower bound on the
@@ -215,6 +258,15 @@ impl<'a> VcPrimalDual<'a> {
     /// Purchases as `(vertex, lease)` pairs in buy order.
     pub fn purchases(&self) -> &[(usize, Lease)] {
         &self.purchases
+    }
+}
+
+impl<'a> LeasingAlgorithm for VcPrimalDual<'a> {
+    /// The arriving edge id.
+    type Request = usize;
+
+    fn on_request(&mut self, time: TimeStep, edge: usize, ledger: &mut Ledger) {
+        self.serve_with(time, edge, ledger);
     }
 }
 
@@ -276,6 +328,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn covered_arrivals_are_free() {
         let inst = path_instance(vec![(0, 0), (1, 0)]);
         let mut alg = VcPrimalDual::new(&inst);
@@ -288,8 +341,7 @@ mod tests {
     #[test]
     fn weighted_vertices_steer_purchases() {
         let g = leasing_graph::graph::Graph::new(2, vec![(0, 1, 1.0)]).unwrap();
-        let inst =
-            VcLeasingInstance::new(g, structure(), vec![100.0, 1.0], vec![(0, 0)]).unwrap();
+        let inst = VcLeasingInstance::new(g, structure(), vec![100.0, 1.0], vec![(0, 0)]).unwrap();
         let mut alg = VcPrimalDual::new(&inst);
         let cost = alg.run();
         // The cheap endpoint must be bought, not the expensive one.
@@ -305,7 +357,7 @@ mod tests {
             let mut arrivals: Vec<(TimeStep, usize)> = Vec::new();
             let mut t = 0u64;
             for _ in 0..20 {
-                t += rng.random_range(0..3);
+                t += rng.random_range(0..3u64);
                 arrivals.push((t, rng.random_range(0..g.num_edges())));
             }
             let inst = VcLeasingInstance::unweighted(g, structure(), arrivals).unwrap();
@@ -320,10 +372,10 @@ mod tests {
     fn dual_lower_bounds_the_reduced_ilp_optimum() {
         let mut rng = seeded(77);
         let g = connected_erdos_renyi(&mut rng, 5, 0.5, 1.0..2.0);
-        let arrivals: Vec<(TimeStep, usize)> =
-            (0..6u64).map(|t| (t, rng.random_range(0..g.num_edges()))).collect();
-        let inst =
-            VcLeasingInstance::unweighted(g.clone(), structure(), arrivals.clone()).unwrap();
+        let arrivals: Vec<(TimeStep, usize)> = (0..6u64)
+            .map(|t| (t, rng.random_range(0..g.num_edges())))
+            .collect();
+        let inst = VcLeasingInstance::unweighted(g.clone(), structure(), arrivals.clone()).unwrap();
         let mut alg = VcPrimalDual::new(&inst);
         let cost = alg.run();
         let reduced = vertex_cover_instance(&g, structure(), &arrivals, None).unwrap();
@@ -333,7 +385,10 @@ mod tests {
             "dual {} must lower-bound opt {opt}",
             alg.dual_value()
         );
-        assert!(cost >= opt - 1e-6, "online cost {cost} cannot beat opt {opt}");
+        assert!(
+            cost >= opt - 1e-6,
+            "online cost {cost} cannot beat opt {opt}"
+        );
     }
 
     proptest! {
@@ -346,7 +401,7 @@ mod tests {
             let mut arrivals: Vec<(TimeStep, usize)> = Vec::new();
             let mut t = 0u64;
             for _ in 0..12 {
-                t += rng.random_range(0..4);
+                t += rng.random_range(0..4u64);
                 arrivals.push((t, rng.random_range(0..g.num_edges())));
             }
             let inst = VcLeasingInstance::unweighted(g, structure(), arrivals).unwrap();

@@ -73,7 +73,7 @@ proptest! {
         let mut edge_arrivals = Vec::new();
         let mut node_arrivals = Vec::new();
         for _ in 0..5 {
-            t += rng.random_range(0..3);
+            t += rng.random_range(0..3u64);
             edge_arrivals.push((t, rng.random_range(0..g.num_edges())));
             node_arrivals.push((t, rng.random_range(0..g.num_nodes())));
         }

@@ -12,14 +12,12 @@ use std::ops::Range;
 /// # Panics
 ///
 /// Panics unless `0.0 <= p <= 1.0` and the weight range is positive.
-pub fn erdos_renyi<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    p: f64,
-    weights: Range<f64>,
-) -> Graph {
+pub fn erdos_renyi<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, weights: Range<f64>) -> Graph {
     assert!((0.0..=1.0).contains(&p), "probability out of range");
-    assert!(weights.start > 0.0 && weights.end > weights.start, "need a positive weight range");
+    assert!(
+        weights.start > 0.0 && weights.end > weights.start,
+        "need a positive weight range"
+    );
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
@@ -39,7 +37,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
 /// Panics if `n == 0` or the weight range is not positive.
 pub fn random_tree<R: Rng + ?Sized>(rng: &mut R, n: usize, weights: Range<f64>) -> Graph {
     assert!(n > 0, "need at least one node");
-    assert!(weights.start > 0.0 && weights.end > weights.start, "need a positive weight range");
+    assert!(
+        weights.start > 0.0 && weights.end > weights.start,
+        "need a positive weight range"
+    );
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     for v in 1..n {
         let u = rng.random_range(0..v);
@@ -86,7 +87,10 @@ pub fn connected_erdos_renyi<R: Rng + ?Sized>(
 /// Panics if either dimension is zero or the weight is not positive/finite.
 pub fn grid(width: usize, height: usize, weight: f64) -> Graph {
     assert!(width > 0 && height > 0, "grid dimensions must be positive");
-    assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+    assert!(
+        weight.is_finite() && weight > 0.0,
+        "weight must be positive"
+    );
     let mut edges = Vec::new();
     for y in 0..height {
         for x in 0..width {
@@ -126,7 +130,10 @@ pub fn random_geometric<R: Rng + ?Sized>(
             }
         }
     }
-    (Graph::new(n, edges).expect("geometric edges are valid by construction"), points)
+    (
+        Graph::new(n, edges).expect("geometric edges are valid by construction"),
+        points,
+    )
 }
 
 /// The complete graph over `n` uniform points in the unit square with
@@ -147,7 +154,10 @@ pub fn complete_metric<R: Rng + ?Sized>(rng: &mut R, n: usize) -> (Graph, Vec<(f
             edges.push((u, v, d));
         }
     }
-    (Graph::new(n, edges).expect("metric edges are valid by construction"), points)
+    (
+        Graph::new(n, edges).expect("metric edges are valid by construction"),
+        points,
+    )
 }
 
 #[cfg(test)]

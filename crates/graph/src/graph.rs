@@ -30,7 +30,10 @@ impl Edge {
         } else if node == self.v {
             self.u
         } else {
-            panic!("node {node} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+            panic!(
+                "node {node} is not an endpoint of edge {{{}, {}}}",
+                self.u, self.v
+            )
         }
     }
 }
@@ -94,10 +97,7 @@ impl Graph {
     ///
     /// Returns a [`GraphError`] for out-of-range endpoints, self loops, or
     /// invalid weights.
-    pub fn new(
-        num_nodes: usize,
-        edges: Vec<(usize, usize, f64)>,
-    ) -> Result<Self, GraphError> {
+    pub fn new(num_nodes: usize, edges: Vec<(usize, usize, f64)>) -> Result<Self, GraphError> {
         let mut adjacency = vec![Vec::new(); num_nodes];
         let mut out = Vec::with_capacity(edges.len());
         for (i, (u, v, w)) in edges.into_iter().enumerate() {
@@ -117,7 +117,11 @@ impl Graph {
             adjacency[v].push((i, u));
             out.push(Edge::new(u, v, w));
         }
-        Ok(Graph { num_nodes, edges: out, adjacency })
+        Ok(Graph {
+            num_nodes,
+            edges: out,
+            adjacency,
+        })
     }
 
     /// Number of nodes `n`.
@@ -222,8 +226,14 @@ mod tests {
 
     #[test]
     fn rejects_self_loops_and_bad_weights() {
-        assert_eq!(Graph::new(2, vec![(1, 1, 1.0)]), Err(GraphError::SelfLoop(0)));
-        assert_eq!(Graph::new(2, vec![(0, 1, 0.0)]), Err(GraphError::InvalidWeight(0)));
+        assert_eq!(
+            Graph::new(2, vec![(1, 1, 1.0)]),
+            Err(GraphError::SelfLoop(0))
+        );
+        assert_eq!(
+            Graph::new(2, vec![(0, 1, 0.0)]),
+            Err(GraphError::InvalidWeight(0))
+        );
         assert_eq!(
             Graph::new(2, vec![(0, 1, f64::INFINITY)]),
             Err(GraphError::InvalidWeight(0))

@@ -13,7 +13,11 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// `n` singleton sets `{0}, …, {n-1}`.
     pub fn new(n: usize) -> Self {
-        DisjointSets { parent: (0..n).collect(), rank: vec![0; n], components: n }
+        DisjointSets {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Representative of the set containing `x` (with path halving).
@@ -96,7 +100,10 @@ pub fn kruskal_mst_with(g: &Graph, edge_cost: impl Fn(usize) -> f64) -> MstOutco
     let mut order: Vec<(f64, usize)> = (0..g.num_edges())
         .map(|e| {
             let c = edge_cost(e);
-            assert!(!c.is_nan() && c >= 0.0, "edge cost must be non-negative, got {c}");
+            assert!(
+                !c.is_nan() && c >= 0.0,
+                "edge cost must be non-negative, got {c}"
+            );
             (c, e)
         })
         .filter(|&(c, _)| c.is_finite())
@@ -112,7 +119,11 @@ pub fn kruskal_mst_with(g: &Graph, edge_cost: impl Fn(usize) -> f64) -> MstOutco
             edges.push(e);
         }
     }
-    MstOutcome { weight, edges, is_spanning_tree: ds.num_components() <= 1 }
+    MstOutcome {
+        weight,
+        edges,
+        is_spanning_tree: ds.num_components() <= 1,
+    }
 }
 
 /// Component label per node; labels are the smallest node id per component.
@@ -158,7 +169,13 @@ mod tests {
         // Square with one diagonal; MST weight = 1 + 1 + 2.
         let g = Graph::new(
             4,
-            vec![(0, 1, 1.0), (1, 2, 4.0), (2, 3, 2.0), (3, 0, 1.0), (0, 2, 5.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 4.0),
+                (2, 3, 2.0),
+                (3, 0, 1.0),
+                (0, 2, 5.0),
+            ],
         )
         .unwrap();
         let mst = kruskal_mst(&g);

@@ -123,11 +123,7 @@ pub fn dijkstra(g: &Graph, source: usize) -> ShortestPaths {
 /// # Panics
 ///
 /// Panics if `source` is out of range or a cost is negative/NaN.
-pub fn dijkstra_with(
-    g: &Graph,
-    source: usize,
-    edge_cost: impl Fn(usize) -> f64,
-) -> ShortestPaths {
+pub fn dijkstra_with(g: &Graph, source: usize, edge_cost: impl Fn(usize) -> f64) -> ShortestPaths {
     assert!(source < g.num_nodes(), "source {source} out of range");
     let n = g.num_nodes();
     let mut dist = vec![f64::INFINITY; n];
@@ -135,7 +131,10 @@ pub fn dijkstra_with(
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if done[u] {
             continue;
@@ -146,7 +145,10 @@ pub fn dijkstra_with(
                 continue;
             }
             let c = edge_cost(e);
-            assert!(!c.is_nan() && c >= 0.0, "edge cost must be non-negative, got {c}");
+            assert!(
+                !c.is_nan() && c >= 0.0,
+                "edge cost must be non-negative, got {c}"
+            );
             if c == f64::INFINITY {
                 continue;
             }
@@ -158,7 +160,11 @@ pub fn dijkstra_with(
             }
         }
     }
-    ShortestPaths { source, dist, parent_edge }
+    ShortestPaths {
+        source,
+        dist,
+        parent_edge,
+    }
 }
 
 /// BFS hop counts from `source` (`None` for unreachable nodes).
@@ -234,7 +240,13 @@ mod tests {
     fn infinite_override_blocks_an_edge() {
         let g = diamond();
         // Block edge 1 (1-3): the only route to 3 is the heavy one.
-        let sp = dijkstra_with(&g, 0, |e| if e == 1 { f64::INFINITY } else { g.edge(e).weight });
+        let sp = dijkstra_with(&g, 0, |e| {
+            if e == 1 {
+                f64::INFINITY
+            } else {
+                g.edge(e).weight
+            }
+        });
         assert_eq!(sp.distance(3), 11.0);
     }
 

@@ -71,14 +71,20 @@ impl IntegerProgram {
     /// the thesis' 0/1 formulations).
     pub fn all_integer(lp: LinearProgram) -> Self {
         let n = lp.num_vars();
-        IntegerProgram { lp, integer: vec![true; n] }
+        IntegerProgram {
+            lp,
+            integer: vec![true; n],
+        }
     }
 
     /// Wraps `lp` with no integer variables; mark them individually with
     /// [`mark_integer`](IntegerProgram::mark_integer).
     pub fn new(lp: LinearProgram) -> Self {
         let n = lp.num_vars();
-        IntegerProgram { lp, integer: vec![false; n] }
+        IntegerProgram {
+            lp,
+            integer: vec![false; n],
+        }
     }
 
     /// Requires variable `var` to take an integral value.
@@ -208,7 +214,10 @@ impl IntegerProgram {
             } else {
                 self.relaxation_bound().unwrap_or(f64::NEG_INFINITY)
             };
-            return IlpOutcome::NodeLimit { best, lower_bound: lb };
+            return IlpOutcome::NodeLimit {
+                best,
+                lower_bound: lb,
+            };
         }
         match best {
             Some(sol) => IlpOutcome::Optimal(sol),
@@ -224,7 +233,9 @@ enum BranchDir {
 }
 
 fn lower_of(best: &Option<IlpSolution>) -> f64 {
-    best.as_ref().map(|b| b.objective).unwrap_or(f64::NEG_INFINITY)
+    best.as_ref()
+        .map(|b| b.objective)
+        .unwrap_or(f64::NEG_INFINITY)
 }
 
 #[cfg(test)]
@@ -236,7 +247,10 @@ mod tests {
     /// of `universe_size` by the given sets.
     fn set_cover_ilp(universe_size: usize, sets: &[(Vec<usize>, f64)]) -> IntegerProgram {
         let mut lp = LinearProgram::new();
-        let vars: Vec<usize> = sets.iter().map(|(_, c)| lp.add_bounded_var(*c, 1.0)).collect();
+        let vars: Vec<usize> = sets
+            .iter()
+            .map(|(_, c)| lp.add_bounded_var(*c, 1.0))
+            .collect();
         for e in 0..universe_size {
             let coeffs: Vec<(usize, f64)> = sets
                 .iter()
@@ -253,11 +267,7 @@ mod tests {
     fn fractional_cover_is_rounded_to_integral_optimum() {
         // Classic: 3 elements, 3 pairwise sets of cost 1; LP opt = 1.5 (each
         // set at 1/2), ILP opt = 2.
-        let sets = vec![
-            (vec![0, 1], 1.0),
-            (vec![1, 2], 1.0),
-            (vec![0, 2], 1.0),
-        ];
+        let sets = vec![(vec![0, 1], 1.0), (vec![1, 2], 1.0), (vec![0, 2], 1.0)];
         let ip = set_cover_ilp(3, &sets);
         let relax = ip.relaxation_bound().unwrap();
         assert!((relax - 1.5).abs() < 1e-6, "relaxation {relax}");
@@ -341,8 +351,9 @@ mod tests {
             let num_sets = 2 + (trial % 6);
             let sets: Vec<(Vec<usize>, f64)> = (0..num_sets)
                 .map(|_| {
-                    let elems: Vec<usize> =
-                        (0..universe).filter(|_| rng.random::<f64>() < 0.6).collect();
+                    let elems: Vec<usize> = (0..universe)
+                        .filter(|_| rng.random::<f64>() < 0.6)
+                        .collect();
                     let cost = 0.5 + rng.random::<f64>() * 4.0;
                     (elems, cost)
                 })

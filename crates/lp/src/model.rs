@@ -63,7 +63,10 @@ impl LinearProgram {
     ///
     /// Panics if `cost` is not finite or `upper` is negative/not finite.
     pub fn add_bounded_var(&mut self, cost: f64, upper: f64) -> usize {
-        assert!(upper.is_finite() && upper >= 0.0, "upper bound must be finite and non-negative");
+        assert!(
+            upper.is_finite() && upper >= 0.0,
+            "upper bound must be finite and non-negative"
+        );
         let v = self.add_var(cost);
         self.upper_bounds[v] = Some(upper);
         v
@@ -78,7 +81,10 @@ impl LinearProgram {
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
         assert!(rhs.is_finite(), "rhs must be finite");
         for &(v, c) in &coeffs {
-            assert!(v < self.num_vars(), "constraint references unknown variable {v}");
+            assert!(
+                v < self.num_vars(),
+                "constraint references unknown variable {v}"
+            );
             assert!(c.is_finite(), "coefficients must be finite");
         }
         self.constraints.push(Constraint { coeffs, cmp, rhs });

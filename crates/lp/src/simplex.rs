@@ -129,14 +129,24 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
         for &(j, a) in &c.coeffs {
             dense[j] += a;
         }
-        rows.push(Row { coeffs: dense, cmp: c.cmp, rhs: c.rhs, flipped: false });
+        rows.push(Row {
+            coeffs: dense,
+            cmp: c.cmp,
+            rhs: c.rhs,
+            flipped: false,
+        });
     }
     let num_user_rows = rows.len();
     for (j, ub) in lp.upper_bounds().iter().enumerate() {
         if let Some(u) = ub {
             let mut dense = vec![0.0; n];
             dense[j] = 1.0;
-            rows.push(Row { coeffs: dense, cmp: Cmp::Le, rhs: *u, flipped: false });
+            rows.push(Row {
+                coeffs: dense,
+                cmp: Cmp::Le,
+                rhs: *u,
+                flipped: false,
+            });
         }
     }
     // Normalise to rhs >= 0, flipping the comparison when negating.
@@ -221,9 +231,7 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
         // Drive remaining artificials out of the basis where possible.
         for r in 0..m {
             if tableau.basis[r] >= art_start {
-                if let Some(c) =
-                    (0..art_start).find(|&j| tableau.a[r][j].abs() > 1e-7)
-                {
+                if let Some(c) = (0..art_start).find(|&j| tableau.a[r][j].abs() > 1e-7) {
                     tableau.pivot(r, c);
                 }
                 // Otherwise the row is redundant; the artificial stays basic
@@ -259,7 +267,11 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
         .map(|i| if rows[i].flipped { -y[i] } else { y[i] })
         .collect();
 
-    LpOutcome::Optimal(LpSolution { objective, x, duals })
+    LpOutcome::Optimal(LpSolution {
+        objective,
+        x,
+        duals,
+    })
 }
 
 /// Solves `Bᵀ y = c_B` by Gaussian elimination with partial pivoting, where
@@ -417,8 +429,16 @@ mod tests {
         let x2 = lp.add_var(150.0);
         let x3 = lp.add_var(-0.02);
         let x4 = lp.add_var(6.0);
-        lp.add_constraint(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
-        lp.add_constraint(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+        lp.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
         lp.add_constraint(vec![(x3, 1.0)], Cmp::Le, 1.0);
         let sol = lp.solve().expect_optimal();
         assert_close(sol.objective, -0.05);

@@ -17,7 +17,13 @@ fn covering_program(costs: &[f64], rows: &[Vec<usize>], bounded: bool) -> Linear
     let mut lp = LinearProgram::new();
     let vars: Vec<usize> = costs
         .iter()
-        .map(|&c| if bounded { lp.add_bounded_var(c, 1.0) } else { lp.add_var(c) })
+        .map(|&c| {
+            if bounded {
+                lp.add_bounded_var(c, 1.0)
+            } else {
+                lp.add_var(c)
+            }
+        })
         .collect();
     for row in rows {
         let coeffs: Vec<(usize, f64)> = row.iter().map(|&v| (vars[v], 1.0)).collect();
@@ -29,10 +35,8 @@ fn covering_program(costs: &[f64], rows: &[Vec<usize>], bounded: bool) -> Linear
 fn arb_covering() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
     (2usize..6).prop_flat_map(|n| {
         let costs = proptest::collection::vec(0.1f64..10.0, n);
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0usize..n, 1..n.max(2)),
-            1..6,
-        );
+        let rows =
+            proptest::collection::vec(proptest::collection::vec(0usize..n, 1..n.max(2)), 1..6);
         (costs, rows)
     })
 }

@@ -22,10 +22,7 @@ use rand::{Rng, RngExt};
 ///
 /// Returns the demand days the adversary issued (which an offline optimum
 /// can then be computed on).
-pub fn run_adaptive_adversary<A: PermitOnline>(
-    alg: &mut A,
-    horizon: TimeStep,
-) -> Vec<TimeStep> {
+pub fn run_adaptive_adversary<A: PermitOnline>(alg: &mut A, horizon: TimeStep) -> Vec<TimeStep> {
     let mut demands = Vec::new();
     for t in 0..horizon {
         if !alg.is_covered(t) {
@@ -192,7 +189,10 @@ mod tests {
             ratio_sum += alg.total_cost() / opt;
         }
         let mean = ratio_sum / trials as f64;
-        assert!(mean < 2.0 * s.num_types() as f64, "mean randomized ratio {mean}");
+        assert!(
+            mean < 2.0 * s.num_types() as f64,
+            "mean randomized ratio {mean}"
+        );
         assert!(mean >= 1.0 - 1e-9, "ratios cannot beat the optimum");
     }
 }

@@ -7,8 +7,9 @@
 //! `K` times the dual value and yields the `O(K)` competitive ratio of
 //! Theorem 2.7.
 
-use crate::PermitOnline;
-use leasing_core::framework::OnlineAlgorithm;
+use crate::{PermitOnline, PurchaseLog, PERMIT_ELEMENT};
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::framework::{OnlineAlgorithm, Triple};
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
@@ -24,13 +25,14 @@ pub struct DeterministicPrimalDual {
     contributions: HashMap<Lease, f64>,
     /// Leases bought so far.
     owned: HashSet<Lease>,
-    /// Total primal cost paid.
-    cost: f64,
     /// Total dual value Σ y raised so far (a lower bound on the interval
     /// model optimum by weak duality — used by tests and experiments).
     dual_value: f64,
     /// Purchase log in buy order.
     purchases: Vec<Lease>,
+    /// Decision ledger backing the deprecated [`PermitOnline`] entry point;
+    /// the single source of truth for cost on that path.
+    ledger: Ledger,
 }
 
 impl DeterministicPrimalDual {
@@ -41,14 +43,43 @@ impl DeterministicPrimalDual {
     /// 2.5. Lengths need not be powers of two; alignment alone guarantees
     /// the "exactly `K` candidates per day" property the analysis needs.
     pub fn new(structure: LeaseStructure) -> Self {
+        let ledger = Ledger::new(structure.clone());
         DeterministicPrimalDual {
             structure,
             contributions: HashMap::new(),
             owned: HashSet::new(),
-            cost: 0.0,
             dual_value: 0.0,
             purchases: Vec::new(),
+            ledger,
         }
+    }
+
+    /// Core primal-dual step, recording purchases into `ledger`.
+    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
+        ledger.advance(t);
+        if self.is_covered(t) {
+            return;
+        }
+        let candidates = candidates_covering(&self.structure, t);
+        // Raise y_t until the first candidate constraint becomes tight.
+        let delta = candidates
+            .iter()
+            .map(|c| {
+                let used = self.contributions.get(c).copied().unwrap_or(0.0);
+                (c.cost(&self.structure) - used).max(0.0)
+            })
+            .fold(f64::INFINITY, f64::min);
+        self.dual_value += delta;
+        for c in candidates {
+            let entry = self.contributions.entry(c).or_insert(0.0);
+            *entry += delta;
+            if *entry >= c.cost(&self.structure) - EPS && !self.owned.contains(&c) {
+                self.owned.insert(c);
+                ledger.buy(t, Triple::new(PERMIT_ELEMENT, c.type_index, c.start));
+                self.purchases.push(c);
+            }
+        }
+        debug_assert!(self.is_covered(t), "primal-dual step must cover the demand");
     }
 
     /// The permit structure this algorithm leases from.
@@ -70,36 +101,38 @@ impl DeterministicPrimalDual {
     /// Total primal cost paid so far (inherent mirror of the trait methods,
     /// so callers need not disambiguate between [`PermitOnline`] and
     /// [`OnlineAlgorithm`]).
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+}
+
+impl LeasingAlgorithm for DeterministicPrimalDual {
+    type Request = ();
+
+    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
+        self.serve_with(time, ledger);
+    }
+}
+
+impl PurchaseLog for DeterministicPrimalDual {
+    fn purchases(&self) -> &[Lease] {
+        &self.purchases
     }
 }
 
 impl PermitOnline for DeterministicPrimalDual {
     fn serve_demand(&mut self, t: TimeStep) {
-        if self.is_covered(t) {
-            return;
-        }
-        let candidates = candidates_covering(&self.structure, t);
-        // Raise y_t until the first candidate constraint becomes tight.
-        let delta = candidates
-            .iter()
-            .map(|c| {
-                let used = self.contributions.get(c).copied().unwrap_or(0.0);
-                (c.cost(&self.structure) - used).max(0.0)
-            })
-            .fold(f64::INFINITY, f64::min);
-        self.dual_value += delta;
-        for c in candidates {
-            let entry = self.contributions.entry(c).or_insert(0.0);
-            *entry += delta;
-            if *entry >= c.cost(&self.structure) - EPS && !self.owned.contains(&c) {
-                self.owned.insert(c);
-                self.cost += c.cost(&self.structure);
-                self.purchases.push(c);
-            }
-        }
-        debug_assert!(self.is_covered(t), "primal-dual step must cover the demand");
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, &mut ledger);
+        self.ledger = ledger;
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
@@ -109,7 +142,7 @@ impl PermitOnline for DeterministicPrimalDual {
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
     }
 }
 
@@ -121,7 +154,7 @@ impl OnlineAlgorithm for DeterministicPrimalDual {
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
     }
 }
 
@@ -243,7 +276,7 @@ mod tests {
     fn online_algorithm_trait_delegates() {
         use leasing_core::framework::run_online;
         let mut alg = DeterministicPrimalDual::new(two_type());
-        let cost = run_online(&mut alg, vec![(0, ()), (1, ())]);
+        let cost = run_online(&mut alg, vec![(0, ()), (1, ())]).unwrap();
         assert!(cost > 0.0);
     }
 }

@@ -52,8 +52,27 @@ pub mod rand_alg;
 
 use leasing_core::time::TimeStep;
 
+/// The single infrastructure element of the parking permit problem (there
+/// is one parking lot); its id in [`Triple`](leasing_core::framework::Triple)
+/// decisions recorded by the permit algorithms.
+pub const PERMIT_ELEMENT: usize = 0;
+
+/// Access to the ordered purchase log of a permit algorithm — the hook
+/// composite algorithms (e.g. Steiner leasing's per-edge permits) use to
+/// mirror subroutine purchases into their own
+/// [`Ledger`](leasing_core::engine::Ledger).
+pub trait PurchaseLog {
+    /// Leases bought so far, in purchase order.
+    fn purchases(&self) -> &[leasing_core::lease::Lease];
+}
+
 /// Common interface of the online parking-permit algorithms, rich enough for
 /// the adaptive adversary of Theorem 2.8 (which must observe coverage).
+///
+/// This is the legacy entry point kept for the adversary and the
+/// prediction-policy combiners; new drivers should use
+/// [`LeasingAlgorithm`](leasing_core::engine::LeasingAlgorithm) through a
+/// [`Driver`](leasing_core::engine::Driver) instead.
 pub trait PermitOnline {
     /// Serves a demand (a rainy day) at time `t`. Days must be served in
     /// non-decreasing order.
@@ -79,10 +98,7 @@ pub struct PermitInstance {
 impl PermitInstance {
     /// Bundles a structure and demand days, sorting and deduplicating the
     /// days.
-    pub fn new(
-        structure: leasing_core::lease::LeaseStructure,
-        mut demands: Vec<TimeStep>,
-    ) -> Self {
+    pub fn new(structure: leasing_core::lease::LeaseStructure, mut demands: Vec<TimeStep>) -> Self {
         demands.sort_unstable();
         demands.dedup();
         PermitInstance { structure, demands }

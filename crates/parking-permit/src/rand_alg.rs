@@ -7,8 +7,9 @@
 //! candidate type at which the suffix sums of the fractions cross `τ`.
 //! Expected competitive ratio: `O(log K)` — optimal by Theorem 2.9.
 
-use crate::PermitOnline;
-use leasing_core::framework::OnlineAlgorithm;
+use crate::{PermitOnline, PurchaseLog, PERMIT_ELEMENT};
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::framework::{OnlineAlgorithm, Triple};
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
@@ -24,11 +25,12 @@ pub struct RandomizedPermit {
     /// The single uniform threshold `τ` drawn up front.
     tau: f64,
     owned: HashSet<Lease>,
-    cost: f64,
     /// Total fractional cost `Σ c_k · f_k` accumulated (for the Lemma-style
     /// instrumentation: fractional cost ≤ O(log K)·Opt).
     fractional_cost: f64,
     purchases: Vec<Lease>,
+    /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
+    ledger: Ledger,
 }
 
 impl RandomizedPermit {
@@ -46,47 +48,22 @@ impl RandomizedPermit {
     /// Panics unless `0.0 < tau <= 1.0`.
     pub fn with_threshold(structure: LeaseStructure, tau: f64) -> Self {
         assert!(tau > 0.0 && tau <= 1.0, "threshold must lie in (0, 1]");
+        let ledger = Ledger::new(structure.clone());
         RandomizedPermit {
             structure,
             fractions: HashMap::new(),
             tau,
             owned: HashSet::new(),
-            cost: 0.0,
             fractional_cost: 0.0,
             purchases: Vec::new(),
+            ledger,
         }
     }
 
-    /// The permit structure this algorithm leases from.
-    pub fn structure(&self) -> &LeaseStructure {
-        &self.structure
-    }
-
-    /// Accumulated fractional cost `Σ c · f` (grows by at most 2 per
-    /// while-loop iteration; see the proof of claim (i) in §2.2.3).
-    pub fn fractional_cost(&self) -> f64 {
-        self.fractional_cost
-    }
-
-    /// The leases bought so far, in purchase order.
-    pub fn purchases(&self) -> &[Lease] {
-        &self.purchases
-    }
-
-    /// Total cost paid so far (inherent mirror of the trait methods, so
-    /// callers need not disambiguate between [`PermitOnline`] and
-    /// [`OnlineAlgorithm`]).
-    pub fn total_cost(&self) -> f64 {
-        self.cost
-    }
-
-    fn fraction(&self, lease: &Lease) -> f64 {
-        self.fractions.get(lease).copied().unwrap_or(0.0)
-    }
-}
-
-impl PermitOnline for RandomizedPermit {
-    fn serve_demand(&mut self, t: TimeStep) {
+    /// Core fractional-growth + threshold-rounding step, recording the
+    /// purchase into `ledger`.
+    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
+        ledger.advance(t);
         let candidates = candidates_covering(&self.structure, t);
         let q = candidates.len() as f64;
 
@@ -121,10 +98,70 @@ impl PermitOnline for RandomizedPermit {
         // candidate against numerical loss.
         let lease = chosen.unwrap_or(candidates[0]);
         if self.owned.insert(lease) {
-            self.cost += lease.cost(&self.structure);
+            ledger.buy(
+                t,
+                Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
+            );
             self.purchases.push(lease);
         }
         debug_assert!(self.is_covered(t));
+    }
+
+    /// The permit structure this algorithm leases from.
+    pub fn structure(&self) -> &LeaseStructure {
+        &self.structure
+    }
+
+    /// Accumulated fractional cost `Σ c · f` (grows by at most 2 per
+    /// while-loop iteration; see the proof of claim (i) in §2.2.3).
+    pub fn fractional_cost(&self) -> f64 {
+        self.fractional_cost
+    }
+
+    /// The leases bought so far, in purchase order.
+    pub fn purchases(&self) -> &[Lease] {
+        &self.purchases
+    }
+
+    /// Total cost paid so far (inherent mirror of the trait methods, so
+    /// callers need not disambiguate between [`PermitOnline`] and
+    /// [`OnlineAlgorithm`]).
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
+    pub fn total_cost(&self) -> f64 {
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    fn fraction(&self, lease: &Lease) -> f64 {
+        self.fractions.get(lease).copied().unwrap_or(0.0)
+    }
+}
+
+impl LeasingAlgorithm for RandomizedPermit {
+    type Request = ();
+
+    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
+        self.serve_with(time, ledger);
+    }
+}
+
+impl PurchaseLog for RandomizedPermit {
+    fn purchases(&self) -> &[Lease] {
+        &self.purchases
+    }
+}
+
+impl PermitOnline for RandomizedPermit {
+    fn serve_demand(&mut self, t: TimeStep) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, &mut ledger);
+        self.ledger = ledger;
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
@@ -134,7 +171,7 @@ impl PermitOnline for RandomizedPermit {
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
     }
 }
 
@@ -146,7 +183,7 @@ impl OnlineAlgorithm for RandomizedPermit {
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
     }
 }
 

@@ -21,7 +21,9 @@ fn structure() -> LeaseStructure {
 fn demand_days(seed: u64, horizon: u64, density: f64) -> Vec<u64> {
     use rand::RngExt;
     let mut rng = seeded(seed);
-    (0..horizon).filter(|_| rng.random::<f64>() < density).collect()
+    (0..horizon)
+        .filter(|_| rng.random::<f64>() < density)
+        .collect()
 }
 
 proptest! {

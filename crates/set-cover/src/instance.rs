@@ -21,7 +21,11 @@ pub struct Arrival {
 impl Arrival {
     /// Creates the demand `(time, element, multiplicity)`.
     pub fn new(time: TimeStep, element: usize, multiplicity: usize) -> Self {
-        Arrival { time, element, multiplicity }
+        Arrival {
+            time,
+            element,
+            multiplicity,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ impl std::fmt::Display for InstanceError {
                 write!(f, "arrival {i} breaks the non-decreasing time order")
             }
             InstanceError::BadCost(s, k) => {
-                write!(f, "cost of set {s} with lease type {k} is missing or invalid")
+                write!(
+                    f,
+                    "cost of set {s} with lease type {k} is missing or invalid"
+                )
             }
         }
     }
@@ -115,7 +122,12 @@ impl SmclInstance {
                 return Err(InstanceError::UnsortedArrivals(i));
             }
         }
-        Ok(SmclInstance { system, structure, costs, arrivals })
+        Ok(SmclInstance {
+            system,
+            structure,
+            costs,
+            arrivals,
+        })
     }
 
     /// Builds an instance where every set uses the structure's own costs
@@ -168,7 +180,11 @@ impl SmclInstance {
     /// Largest multiplicity demanded by any arrival (`p_max`, the number of
     /// layers in Figure 3.3).
     pub fn p_max(&self) -> usize {
-        self.arrivals.iter().map(|a| a.multiplicity).max().unwrap_or(0)
+        self.arrivals
+            .iter()
+            .map(|a| a.multiplicity)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -205,7 +221,10 @@ mod tests {
         let bad_elem = SmclInstance::uniform(system(), lengths(), vec![Arrival::new(0, 7, 1)]);
         assert!(matches!(bad_elem, Err(InstanceError::UnknownElement(_))));
         let bad_mult = SmclInstance::uniform(system(), lengths(), vec![Arrival::new(0, 0, 3)]);
-        assert!(matches!(bad_mult, Err(InstanceError::InfeasibleMultiplicity(_))));
+        assert!(matches!(
+            bad_mult,
+            Err(InstanceError::InfeasibleMultiplicity(_))
+        ));
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub mod repetitions;
 pub mod system;
 
 pub use instance::{Arrival, SmclInstance};
-pub use online::SmclOnline;
 pub use lower_bounds::{drive_halving_adversary, drive_ppp_embedding, DrivenOutcome};
+pub use online::SmclOnline;
 pub use system::SetSystem;

@@ -42,7 +42,10 @@ use leasing_core::time::TimeStep;
 /// Panics if `m` is zero or large enough for `2^m − 1` elements to be
 /// unreasonable (`m > 16`).
 pub fn power_set_system(m: usize) -> SetSystem {
-    assert!((1..=16).contains(&m), "power-set universe needs 1 <= m <= 16");
+    assert!(
+        (1..=16).contains(&m),
+        "power-set universe needs 1 <= m <= 16"
+    );
     let n = (1usize << m) - 1;
     let sets: Vec<Vec<usize>> = (0..m)
         .map(|j| (0..n).filter(|e| (e + 1) >> j & 1 == 1).collect())
@@ -57,7 +60,10 @@ pub fn power_set_system(m: usize) -> SetSystem {
 ///
 /// Panics if `sets` is empty (no element is contained in zero sets).
 pub fn element_for_sets(sets: &[usize]) -> usize {
-    assert!(!sets.is_empty(), "an element needs at least one containing set");
+    assert!(
+        !sets.is_empty(),
+        "an element needs at least one containing set"
+    );
     let mask: usize = sets.iter().fold(0, |acc, &j| acc | (1 << j));
     mask - 1
 }
@@ -110,11 +116,15 @@ pub fn drive_ppp_embedding(
     let mut arrivals = Vec::new();
     for t in 0..horizon {
         if !alg.set_active_at(0, t) {
+            #[allow(deprecated)]
             alg.serve_arrival(t, 0, 1);
             arrivals.push(Arrival::new(t, 0, 1));
         }
     }
-    let outcome = DrivenOutcome { arrivals, algorithm_cost: alg.total_cost() };
+    let outcome = DrivenOutcome {
+        arrivals,
+        algorithm_cost: alg.total_cost(),
+    };
     (template, outcome)
 }
 
@@ -136,7 +146,10 @@ pub fn drive_halving_adversary(
     sequences: usize,
     seed: u64,
 ) -> (SmclInstance, DrivenOutcome) {
-    assert!(m.is_power_of_two(), "the halving game needs m to be a power of two");
+    assert!(
+        m.is_power_of_two(),
+        "the halving game needs m to be a power of two"
+    );
     let system = power_set_system(m);
     let template = SmclInstance::uniform(system, structure.clone(), Vec::new())
         .expect("empty arrival list is valid");
@@ -148,21 +161,23 @@ pub fn drive_halving_adversary(
         while candidates.len() > 1 {
             let mid = candidates.len() / 2;
             let (first, second) = candidates.split_at(mid);
-            let active = |half: &[usize]| {
-                half.iter().filter(|&&s| alg.set_active_at(s, t)).count()
-            };
+            let active = |half: &[usize]| half.iter().filter(|&&s| alg.set_active_at(s, t)).count();
             let chosen: Vec<usize> = if active(first) <= active(second) {
                 first.to_vec()
             } else {
                 second.to_vec()
             };
             let element = element_for_sets(&chosen);
+            #[allow(deprecated)]
             alg.serve_arrival(t, element, 1);
             arrivals.push(Arrival::new(t, element, 1));
             candidates = chosen;
         }
     }
-    let outcome = DrivenOutcome { arrivals, algorithm_cost: alg.total_cost() };
+    let outcome = DrivenOutcome {
+        arrivals,
+        algorithm_cost: alg.total_cost(),
+    };
     (template, outcome)
 }
 
@@ -213,8 +228,7 @@ mod tests {
     fn ppp_embedding_ratio_grows_with_k() {
         let ratio_for = |k: usize| {
             let structure = LeaseStructure::meyerson_adversarial(k);
-            let (template, outcome) =
-                drive_ppp_embedding(&structure, structure.l_max(), 13);
+            let (template, outcome) = drive_ppp_embedding(&structure, structure.l_max(), 13);
             let cost = outcome.algorithm_cost;
             let inst = outcome.into_instance(&template);
             let opt = offline::optimal_cost(&inst, 100_000)
@@ -236,7 +250,10 @@ mod tests {
         // a window is nested.
         for seq in outcome.arrivals.chunks(3) {
             let masks: Vec<usize> = seq.iter().map(|a| a.element + 1).collect();
-            assert!(masks.windows(2).all(|w| w[1] & w[0] == w[1]), "nested halves: {masks:?}");
+            assert!(
+                masks.windows(2).all(|w| w[1] & w[0] == w[1]),
+                "nested halves: {masks:?}"
+            );
         }
     }
 

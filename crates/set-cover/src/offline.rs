@@ -116,7 +116,8 @@ pub fn lp_lower_bound(instance: &SmclInstance) -> f64 {
         return 0.0;
     }
     let (ip, _) = build_ilp_distinct(instance);
-    ip.relaxation_bound().expect("covering relaxation is feasible")
+    ip.relaxation_bound()
+        .expect("covering relaxation is feasible")
 }
 
 /// Density-greedy offline heuristic: repeatedly buy the triple with the best
@@ -125,10 +126,8 @@ pub fn lp_lower_bound(instance: &SmclInstance) -> f64 {
 pub fn greedy(instance: &SmclInstance) -> (f64, Vec<Triple>) {
     let (triples, per_arrival) = enumerate_candidates(instance);
     // arrival -> set -> already covering?
-    let mut covered_by: Vec<HashSet<usize>> =
-        vec![HashSet::new(); instance.arrivals.len()];
-    let mut residual: Vec<usize> =
-        instance.arrivals.iter().map(|a| a.multiplicity).collect();
+    let mut covered_by: Vec<HashSet<usize>> = vec![HashSet::new(); instance.arrivals.len()];
+    let mut residual: Vec<usize> = instance.arrivals.iter().map(|a| a.multiplicity).collect();
     // triple index -> arrivals it can serve
     let mut serves: Vec<Vec<usize>> = vec![Vec::new(); triples.len()];
     for (ai, list) in per_arrival.iter().enumerate() {
@@ -251,7 +250,11 @@ mod tests {
         let inst = SmclInstance::uniform(
             triangle(),
             lengths(),
-            vec![Arrival::new(0, 0, 2), Arrival::new(1, 1, 2), Arrival::new(2, 2, 2)],
+            vec![
+                Arrival::new(0, 0, 2),
+                Arrival::new(1, 1, 2),
+                Arrival::new(2, 2, 2),
+            ],
         )
         .unwrap();
         let lb = lp_lower_bound(&inst);
@@ -265,7 +268,11 @@ mod tests {
         let inst = SmclInstance::uniform(
             triangle(),
             lengths(),
-            vec![Arrival::new(0, 0, 2), Arrival::new(5, 1, 2), Arrival::new(21, 2, 1)],
+            vec![
+                Arrival::new(0, 0, 2),
+                Arrival::new(5, 1, 2),
+                Arrival::new(21, 2, 1),
+            ],
         )
         .unwrap();
         let (cost, bought) = greedy(&inst);

@@ -11,6 +11,7 @@
 //! Expected competitive ratio: `O(log(δK) · log n)` (Theorem 3.3).
 
 use crate::instance::SmclInstance;
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_core::rng::{min_of_uniforms, threshold_count};
@@ -25,7 +26,8 @@ pub struct SmclStats {
     /// Total fractional cost `Σ c · f` accumulated (Lemma 3.1 bounds this by
     /// `O(log(δK)) · Opt`).
     pub fractional_cost: f64,
-    /// Cost of leases bought by threshold rounding.
+    /// Cost of leases bought by threshold rounding (instrumentation mirror
+    /// of the ledger's `"rounded"` category).
     pub rounded_cost: f64,
     /// Cost of cheapest-candidate fallbacks (Lemma 3.2 shows these occur
     /// with probability at most `1/n²` per layer).
@@ -51,9 +53,10 @@ pub struct SmclOnline<'a> {
     /// Number of uniforms whose minimum forms each threshold.
     q: u32,
     owned: HashSet<Triple>,
-    cost: f64,
     stats: SmclStats,
     rng: StdRng,
+    /// Decision ledger backing the deprecated `serve_arrival` entry point.
+    ledger: Ledger,
     /// Next arrival index expected by [`run`](SmclOnline::run)-style drivers.
     cursor: usize,
 }
@@ -80,19 +83,30 @@ impl<'a> SmclOnline<'a> {
             thresholds: HashMap::new(),
             q,
             owned: HashSet::new(),
-            cost: 0.0,
             stats: SmclStats::default(),
             rng: StdRng::seed_from_u64(seed),
+            ledger: Ledger::new(instance.structure.clone()),
             cursor: 0,
         }
     }
 
     /// Total cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// Instrumentation counters.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn stats(&self) -> SmclStats {
         self.stats
     }
@@ -113,12 +127,14 @@ impl<'a> SmclOnline<'a> {
     /// Runs the algorithm over all arrivals of the instance and returns the
     /// total cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         while self.cursor < self.instance.arrivals.len() {
             let a = self.instance.arrivals[self.cursor];
             self.cursor += 1;
-            self.serve_arrival(a.time, a.element, a.multiplicity);
+            self.serve_with(a.time, a.element, a.multiplicity, &mut ledger);
         }
-        self.cost
+        self.ledger = ledger;
+        self.ledger.total_cost()
     }
 
     /// Serves one demand: element `element` at time `t` with the given
@@ -129,10 +145,28 @@ impl<'a> SmclOnline<'a> {
     ///
     /// Panics if the multiplicity exceeds the number of sets containing the
     /// element (instances validate this up front).
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve_arrival(&mut self, t: TimeStep, element: usize, multiplicity: usize) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, element, multiplicity, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Serves one demand, recording purchases into `ledger`.
+    fn serve_with(
+        &mut self,
+        t: TimeStep,
+        element: usize,
+        multiplicity: usize,
+        ledger: &mut Ledger,
+    ) {
         let mut used_sets: HashSet<usize> = HashSet::new();
         for _layer in 0..multiplicity {
-            let covering = self.cover_once(t, element, &used_sets);
+            let covering = self.cover_once_with(t, element, &used_sets, ledger);
             used_sets.insert(covering);
         }
     }
@@ -143,12 +177,22 @@ impl<'a> SmclOnline<'a> {
     /// # Panics
     ///
     /// Panics if every set containing the element is excluded.
-    pub fn cover_once(
+    pub fn cover_once(&mut self, t: TimeStep, element: usize, excluded: &HashSet<usize>) -> usize {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        let covering = self.cover_once_with(t, element, excluded, &mut ledger);
+        self.ledger = ledger;
+        covering
+    }
+
+    /// One round of *i-Cover*, recording purchases into `ledger`.
+    pub(crate) fn cover_once_with(
         &mut self,
         t: TimeStep,
         element: usize,
         excluded: &HashSet<usize>,
+        ledger: &mut Ledger,
     ) -> usize {
+        ledger.advance(t);
         let candidates = self.candidates(t, element, excluded);
         assert!(
             !candidates.is_empty(),
@@ -180,7 +224,7 @@ impl<'a> SmclOnline<'a> {
             if f > mu && !self.owned.contains(c) {
                 let cost = self.instance.cost(c.element, c.type_index);
                 self.owned.insert(*c);
-                self.cost += cost;
+                ledger.buy_priced(t, *c, cost, "rounded");
                 self.stats.rounded_cost += cost;
             }
         }
@@ -201,7 +245,7 @@ impl<'a> SmclOnline<'a> {
                     .expect("candidates are non-empty");
                 let cost = self.instance.cost(cheapest.element, cheapest.type_index);
                 self.owned.insert(cheapest);
-                self.cost += cost;
+                ledger.buy_priced(t, cheapest, cost, "fallback");
                 self.stats.fallback_cost += cost;
                 self.stats.fallbacks += 1;
                 cheapest.element
@@ -237,6 +281,16 @@ impl<'a> SmclOnline<'a> {
         let mu = min_of_uniforms(&mut self.rng, self.q);
         self.thresholds.insert(*c, mu);
         mu
+    }
+}
+
+impl<'a> LeasingAlgorithm for SmclOnline<'a> {
+    /// `(element, multiplicity)` revealed at a time step.
+    type Request = (usize, usize);
+
+    fn on_request(&mut self, time: TimeStep, request: (usize, usize), ledger: &mut Ledger) {
+        let (element, multiplicity) = request;
+        self.serve_with(time, element, multiplicity, ledger);
     }
 }
 
@@ -294,8 +348,7 @@ mod tests {
     #[test]
     fn multiplicity_uses_distinct_sets() {
         let system = SetSystem::new(1, vec![vec![0], vec![0], vec![0]]).unwrap();
-        let inst =
-            SmclInstance::uniform(system, lengths(), vec![Arrival::new(0, 0, 3)]).unwrap();
+        let inst = SmclInstance::uniform(system, lengths(), vec![Arrival::new(0, 0, 3)]).unwrap();
         let mut alg = SmclOnline::new(&inst, 3);
         alg.run();
         let sets: HashSet<usize> = alg.owned().map(|tr| tr.element).collect();
@@ -373,12 +426,8 @@ mod tests {
 
     #[test]
     fn set_active_at_reflects_ownership_windows() {
-        let inst = SmclInstance::uniform(
-            triangle_system(),
-            lengths(),
-            vec![Arrival::new(0, 0, 1)],
-        )
-        .unwrap();
+        let inst = SmclInstance::uniform(triangle_system(), lengths(), vec![Arrival::new(0, 0, 1)])
+            .unwrap();
         let mut alg = SmclOnline::new(&inst, 2);
         alg.run();
         // Some set covering element 0 is active at time 0.

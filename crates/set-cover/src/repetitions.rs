@@ -10,6 +10,7 @@
 use crate::instance::{Arrival, InstanceError, SmclInstance};
 use crate::online::SmclOnline;
 use crate::system::SetSystem;
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::rng::threshold_count;
 use leasing_core::time::TimeStep;
@@ -67,6 +68,11 @@ impl<'a> RepetitionsOnline<'a> {
     /// # Panics
     ///
     /// Panics if the element has already exhausted all sets containing it.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve_arrival(&mut self, t: TimeStep, element: usize) {
         let excluded = self.used.entry(element).or_default().clone();
         let chosen = self.inner.cover_once(t, element, &excluded);
@@ -99,6 +105,18 @@ impl<'a> RepetitionsOnline<'a> {
     }
 }
 
+impl<'a> LeasingAlgorithm for RepetitionsOnline<'a> {
+    /// The arriving element id.
+    type Request = usize;
+
+    fn on_request(&mut self, time: TimeStep, element: usize, ledger: &mut Ledger) {
+        let excluded = self.used.entry(element).or_default().clone();
+        let chosen = self.inner.cover_once_with(time, element, &excluded, ledger);
+        self.used.entry(element).or_default().insert(chosen);
+        self.arrivals_served += 1;
+    }
+}
+
 /// Builds a `K = 1, l = ∞` instance for the repetitions problem from a set
 /// system, per-set costs and a timed arrival sequence (an element may appear
 /// any number of times).
@@ -124,8 +142,10 @@ pub fn repetition_instance(
         }
     }
     let structure = buy_forever_structure(1.0);
-    let smcl_arrivals: Vec<Arrival> =
-        arrivals.into_iter().map(|(t, e)| Arrival::new(t, e, 1)).collect();
+    let smcl_arrivals: Vec<Arrival> = arrivals
+        .into_iter()
+        .map(|(t, e)| Arrival::new(t, e, 1))
+        .collect();
     SmclInstance::with_set_factors(system, structure, set_costs, smcl_arrivals)
 }
 
@@ -148,7 +168,10 @@ mod tests {
         let mut alg = RepetitionsOnline::new(&inst, 7);
         alg.run();
         assert_eq!(alg.sets_used_for(0), 3);
-        assert!(alg.total_cost() >= 3.0 - 1e-9, "three distinct sets cost >= 3");
+        assert!(
+            alg.total_cost() >= 3.0 - 1e-9,
+            "three distinct sets cost >= 3"
+        );
     }
 
     #[test]
@@ -163,9 +186,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn serve_arrival_tracks_usage_incrementally() {
-        let inst =
-            repetition_instance(system(), &[1.0; 4], vec![]).unwrap();
+        let inst = repetition_instance(system(), &[1.0; 4], vec![]).unwrap();
         let mut alg = RepetitionsOnline::new(&inst, 3);
         alg.serve_arrival(0, 1);
         assert_eq!(alg.sets_used_for(1), 1);
@@ -177,11 +200,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "K = 1")]
     fn multi_type_instances_are_rejected() {
-        let structure = LeaseStructure::new(vec![
-            LeaseType::new(4, 1.0),
-            LeaseType::new(16, 2.0),
-        ])
-        .unwrap();
+        let structure =
+            LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 2.0)]).unwrap();
         let inst = SmclInstance::uniform(system(), structure, vec![]).unwrap();
         let _ = RepetitionsOnline::new(&inst, 0);
     }

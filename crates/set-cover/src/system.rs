@@ -60,13 +60,20 @@ impl SetSystem {
             s.dedup();
             for &e in &s {
                 if e >= num_elements {
-                    return Err(SetSystemError::ElementOutOfRange { set: si, element: e });
+                    return Err(SetSystemError::ElementOutOfRange {
+                        set: si,
+                        element: e,
+                    });
                 }
                 element_sets[e].push(si);
             }
             clean_sets.push(s);
         }
-        Ok(SetSystem { num_elements, sets: clean_sets, element_sets })
+        Ok(SetSystem {
+            num_elements,
+            sets: clean_sets,
+            element_sets,
+        })
     }
 
     /// Universe size `n`.
@@ -138,7 +145,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_elements() {
         let err = SetSystem::new(2, vec![vec![0, 2]]);
-        assert_eq!(err, Err(SetSystemError::ElementOutOfRange { set: 0, element: 2 }));
+        assert_eq!(
+            err,
+            Err(SetSystemError::ElementOutOfRange { set: 0, element: 2 })
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn random_instance(seed: u64, n: usize, m: usize, demands: usize) -> SmclInstanc
     let mut arrivals = Vec::new();
     let mut t = 0u64;
     for _ in 0..demands {
-        t += rng.random_range(0..3);
+        t += rng.random_range(0..3u64);
         let e = rng.random_range(0..n);
         let max_p = system.sets_containing(e).len();
         let p = 1 + rng.random_range(0..max_p.min(2));

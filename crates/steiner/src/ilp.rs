@@ -9,8 +9,8 @@
 use crate::instance::SteinerInstance;
 use leasing_core::interval::aligned_start;
 use leasing_core::lease::Lease;
-use leasing_lp::{Cmp, IlpOutcome, IntegerProgram, LinearProgram};
 use leasing_graph::graph::Graph;
+use leasing_lp::{Cmp, IlpOutcome, IntegerProgram, LinearProgram};
 
 /// All simple `u`–`v` paths as edge-id lists, or `None` once more than
 /// `max_paths` exist (the instance is too large for exact solving).
@@ -24,7 +24,10 @@ pub fn enumerate_simple_paths(
     v: usize,
     max_paths: usize,
 ) -> Option<Vec<Vec<usize>>> {
-    assert!(u < g.num_nodes() && v < g.num_nodes(), "endpoints out of range");
+    assert!(
+        u < g.num_nodes() && v < g.num_nodes(),
+        "endpoints out of range"
+    );
     let mut paths = Vec::new();
     let mut visited = vec![false; g.num_nodes()];
     let mut stack_edges = Vec::new();
@@ -59,7 +62,15 @@ pub fn enumerate_simple_paths(
         visited[cur] = false;
         true
     }
-    if dfs(g, u, v, &mut visited, &mut stack_edges, &mut paths, max_paths) {
+    if dfs(
+        g,
+        u,
+        v,
+        &mut visited,
+        &mut stack_edges,
+        &mut paths,
+        max_paths,
+    ) {
         Some(paths)
     } else {
         None
@@ -86,9 +97,7 @@ pub fn build_steiner_ilp(
         for k in 0..s.num_types() {
             for req in &instance.requests {
                 let lease = Lease::new(k, aligned_start(req.time, s.length(k)));
-                if let std::collections::hash_map::Entry::Vacant(entry) =
-                    index.entry((e, lease))
-                {
+                if let std::collections::hash_map::Entry::Vacant(entry) = index.entry((e, lease)) {
                     let var = lp.add_bounded_var(instance.lease_cost(e, k), 1.0);
                     entry.insert(var);
                     candidates.push((e, lease));
@@ -99,13 +108,8 @@ pub fn build_steiner_ilp(
     // Path selection variables and linking constraints.
     for req in &instance.requests {
         let paths = enumerate_simple_paths(g, req.u, req.v, max_paths)?;
-        let path_vars: Vec<usize> =
-            paths.iter().map(|_| lp.add_bounded_var(0.0, 1.0)).collect();
-        lp.add_constraint(
-            path_vars.iter().map(|&v| (v, 1.0)).collect(),
-            Cmp::Ge,
-            1.0,
-        );
+        let path_vars: Vec<usize> = paths.iter().map(|_| lp.add_bounded_var(0.0, 1.0)).collect();
+        lp.add_constraint(path_vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Ge, 1.0);
         for (p, path) in paths.iter().enumerate() {
             for &e in path {
                 // Every covering candidate of edge e at the request time.
@@ -179,12 +183,8 @@ mod tests {
 
     #[test]
     fn ilp_optimum_picks_the_cheap_path() {
-        let inst = SteinerInstance::new(
-            diamond(),
-            structure(),
-            vec![PairRequest::new(0, 0, 3)],
-        )
-        .unwrap();
+        let inst =
+            SteinerInstance::new(diamond(), structure(), vec![PairRequest::new(0, 0, 3)]).unwrap();
         let opt = steiner_optimal_cost(&inst, 100, 50_000).unwrap();
         // Two unit edges with one short lease each.
         assert!((opt - 2.0).abs() < 1e-6, "opt {opt}");
@@ -192,12 +192,14 @@ mod tests {
 
     #[test]
     fn ilp_optimum_uses_the_long_lease_for_sustained_demand() {
-        let requests: Vec<PairRequest> =
-            (0..8u64).map(|t| PairRequest::new(t, 0, 1)).collect();
+        let requests: Vec<PairRequest> = (0..8u64).map(|t| PairRequest::new(t, 0, 1)).collect();
         let g = Graph::new(2, vec![(0, 1, 1.0)]).unwrap();
         let inst = SteinerInstance::new(g, structure(), requests).unwrap();
         let opt = steiner_optimal_cost(&inst, 100, 50_000).unwrap();
-        assert!((opt - 3.0).abs() < 1e-6, "one long lease suffices, got {opt}");
+        assert!(
+            (opt - 3.0).abs() < 1e-6,
+            "one long lease suffices, got {opt}"
+        );
     }
 
     #[test]
@@ -230,6 +232,9 @@ mod tests {
         let mut online = SteinerLeasingOnline::new(&inst);
         let online_cost = online.run();
         assert!(offline >= opt - 1e-6, "offline {offline} vs opt {opt}");
-        assert!(online_cost >= opt - 1e-6, "online {online_cost} vs opt {opt}");
+        assert!(
+            online_cost >= opt - 1e-6,
+            "online {online_cost} vs opt {opt}"
+        );
     }
 }

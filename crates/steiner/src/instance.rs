@@ -101,7 +101,11 @@ impl SteinerInstance {
                 return Err(SteinerInstanceError::UnsortedRequests(i));
             }
         }
-        Ok(SteinerInstance { graph, structure, requests })
+        Ok(SteinerInstance {
+            graph,
+            structure,
+            requests,
+        })
     }
 
     /// Cost of leasing edge `e` with type `k`: `w_e · c_k`.
@@ -184,17 +188,11 @@ mod tests {
 
     #[test]
     fn rejects_bad_requests() {
-        let bad_node = SteinerInstance::new(
-            path_graph(),
-            structure(),
-            vec![PairRequest::new(0, 0, 9)],
-        );
+        let bad_node =
+            SteinerInstance::new(path_graph(), structure(), vec![PairRequest::new(0, 0, 9)]);
         assert_eq!(bad_node, Err(SteinerInstanceError::NodeOutOfRange(0)));
-        let degenerate = SteinerInstance::new(
-            path_graph(),
-            structure(),
-            vec![PairRequest::new(0, 1, 1)],
-        );
+        let degenerate =
+            SteinerInstance::new(path_graph(), structure(), vec![PairRequest::new(0, 1, 1)]);
         assert_eq!(degenerate, Err(SteinerInstanceError::DegeneratePair(0)));
         let unsorted = SteinerInstance::new(
             path_graph(),

@@ -43,14 +43,10 @@ pub fn route_then_lease(instance: &SteinerInstance) -> OfflineSolution {
             window_start = Some(ws);
             marked.iter_mut().for_each(|m| *m = false);
         }
-        let sp = dijkstra_with(g, req.u, |e| {
-            if marked[e] {
-                0.0
-            } else {
-                g.edge(e).weight
-            }
-        });
-        let path = sp.path_edges(g, req.v).expect("validated instances are connected");
+        let sp = dijkstra_with(g, req.u, |e| if marked[e] { 0.0 } else { g.edge(e).weight });
+        let path = sp
+            .path_edges(g, req.v)
+            .expect("validated instances are connected");
         for e in path {
             marked[e] = true;
             edge_days[e].push(req.time);
@@ -88,7 +84,9 @@ pub fn buy_per_request(instance: &SteinerInstance) -> OfflineSolution {
         .expect("validated structures are non-empty");
     for req in &instance.requests {
         let sp = dijkstra_with(g, req.u, |e| g.edge(e).weight);
-        let path = sp.path_edges(g, req.v).expect("validated instances are connected");
+        let path = sp
+            .path_edges(g, req.v)
+            .expect("validated instances are connected");
         for e in path {
             let start = aligned_start(req.time, instance.structure.length(cheapest));
             purchases.push((e, Lease::new(cheapest, start)));
@@ -131,8 +129,7 @@ mod tests {
     fn repeated_requests_get_a_long_lease_offline() {
         // The pair (0, 2) every day for 8 days: offline leases both edges
         // once with the long type (cost 2 * 3) instead of 4 short leases each.
-        let requests: Vec<PairRequest> =
-            (0..8u64).map(|t| PairRequest::new(t, 0, 2)).collect();
+        let requests: Vec<PairRequest> = (0..8u64).map(|t| PairRequest::new(t, 0, 2)).collect();
         let inst = line_instance(requests);
         let sol = route_then_lease(&inst);
         assert!((sol.cost - 6.0).abs() < 1e-9, "cost {}", sol.cost);
@@ -141,8 +138,7 @@ mod tests {
 
     #[test]
     fn naive_baseline_pays_per_request() {
-        let requests: Vec<PairRequest> =
-            (0..8u64).map(|t| PairRequest::new(t, 0, 2)).collect();
+        let requests: Vec<PairRequest> = (0..8u64).map(|t| PairRequest::new(t, 0, 2)).collect();
         let inst = line_instance(requests);
         let naive = buy_per_request(&inst);
         let smart = route_then_lease(&inst);

@@ -12,13 +12,14 @@
 //!   Meyerson's headline bound for `SteinerTreeLeasing`.
 
 use crate::instance::{PairRequest, SteinerInstance};
-use leasing_core::framework::OnlineAlgorithm;
+use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_LEASE};
+use leasing_core::framework::{OnlineAlgorithm, Triple};
 use leasing_core::lease::Lease;
 use leasing_core::time::TimeStep;
 use leasing_graph::paths::dijkstra_with;
 use parking_permit::det::DeterministicPrimalDual;
 use parking_permit::rand_alg::RandomizedPermit;
-use parking_permit::PermitOnline;
+use parking_permit::{PermitOnline, PurchaseLog};
 use rand::Rng;
 
 /// Counters exposed by the online algorithms for the experiments.
@@ -41,7 +42,12 @@ pub struct SteinerStats {
 pub struct GenericSteinerLeasing<'a, P> {
     instance: &'a SteinerInstance,
     permits: Vec<P>,
+    /// How many purchases of each edge's permit have been mirrored into
+    /// the ledger.
+    mirrored: Vec<usize>,
     stats: SteinerStats,
+    /// Decision ledger backing the deprecated `serve_request` entry point.
+    ledger: Ledger,
 }
 
 /// Deterministic instantiation: per-edge primal-dual permits
@@ -55,10 +61,17 @@ pub type RandomizedSteinerLeasing<'a> = GenericSteinerLeasing<'a, RandomizedPerm
 impl<'a> SteinerLeasingOnline<'a> {
     /// Creates the deterministic algorithm for `instance`.
     pub fn new(instance: &'a SteinerInstance) -> Self {
-        let permits = (0..instance.graph.num_edges())
+        let permits: Vec<DeterministicPrimalDual> = (0..instance.graph.num_edges())
             .map(|e| DeterministicPrimalDual::new(instance.scaled_structure(e)))
             .collect();
-        GenericSteinerLeasing { instance, permits, stats: SteinerStats::default() }
+        let mirrored = vec![0; permits.len()];
+        GenericSteinerLeasing {
+            instance,
+            permits,
+            mirrored,
+            stats: SteinerStats::default(),
+            ledger: Ledger::new(instance.structure.clone()),
+        }
     }
 }
 
@@ -66,14 +79,21 @@ impl<'a> RandomizedSteinerLeasing<'a> {
     /// Creates the randomized algorithm for `instance`, drawing each edge's
     /// rounding threshold from `rng`.
     pub fn new<R: Rng + ?Sized>(instance: &'a SteinerInstance, rng: &mut R) -> Self {
-        let permits = (0..instance.graph.num_edges())
+        let permits: Vec<RandomizedPermit> = (0..instance.graph.num_edges())
             .map(|e| RandomizedPermit::new(instance.scaled_structure(e), rng))
             .collect();
-        GenericSteinerLeasing { instance, permits, stats: SteinerStats::default() }
+        let mirrored = vec![0; permits.len()];
+        GenericSteinerLeasing {
+            instance,
+            permits,
+            mirrored,
+            stats: SteinerStats::default(),
+            ledger: Ledger::new(instance.structure.clone()),
+        }
     }
 }
 
-impl<'a, P: PermitOnline> GenericSteinerLeasing<'a, P> {
+impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
     /// The instance being served.
     pub fn instance(&self) -> &SteinerInstance {
         self.instance
@@ -101,7 +121,21 @@ impl<'a, P: PermitOnline> GenericSteinerLeasing<'a, P> {
     ///
     /// Panics if the request references out-of-range nodes (validated
     /// instances never do).
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the algorithm through \
+        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
+    )]
     pub fn serve_request(&mut self, req: PairRequest) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(req, &mut ledger);
+        self.ledger = ledger;
+    }
+
+    /// Core routing + per-edge permit step, recording purchases into
+    /// `ledger`.
+    fn serve_with(&mut self, req: PairRequest, ledger: &mut Ledger) {
+        ledger.advance(req.time);
         let g = &self.instance.graph;
         let t = req.time;
         let rate = self.instance.cheapest_rate();
@@ -121,6 +155,7 @@ impl<'a, P: PermitOnline> GenericSteinerLeasing<'a, P> {
             if !self.permits[e].is_covered(t) {
                 self.permits[e].serve_demand(t);
                 self.stats.permit_demands += 1;
+                self.mirror_purchases(t, e, ledger);
             }
             debug_assert!(
                 self.permits[e].is_covered(t),
@@ -129,25 +164,62 @@ impl<'a, P: PermitOnline> GenericSteinerLeasing<'a, P> {
         }
     }
 
+    /// Copies the permit subroutine's new purchases into the ledger at the
+    /// edge's scaled lease prices.
+    fn mirror_purchases(&mut self, t: TimeStep, e: usize, ledger: &mut Ledger) {
+        let fresh = &self.permits[e].purchases()[self.mirrored[e]..];
+        for lease in fresh {
+            let cost = self.instance.lease_cost(e, lease.type_index);
+            ledger.buy_priced(
+                t,
+                Triple::new(e, lease.type_index, lease.start),
+                cost,
+                CATEGORY_LEASE,
+            );
+        }
+        self.mirrored[e] = self.permits[e].purchases().len();
+    }
+
     /// Runs the whole instance and returns the final cost.
     pub fn run(&mut self) -> f64 {
+        let mut ledger = std::mem::take(&mut self.ledger);
         for req in self.instance.requests.clone() {
-            self.serve_request(req);
+            self.serve_with(req, &mut ledger);
         }
+        self.ledger = ledger;
         self.total_cost()
     }
 
-    /// Total leasing cost paid so far (the sum over the per-edge permits).
+    /// Total leasing cost paid so far.
+    /// Reports the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), read the driver's ledger
+    /// (or [`Report`](leasing_core::engine::Report)) instead.
     pub fn total_cost(&self) -> f64 {
-        self.permits.iter().map(|p| p.total_cost()).sum()
+        self.ledger.total_cost()
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 }
 
-impl<'a, P: PermitOnline> OnlineAlgorithm for GenericSteinerLeasing<'a, P> {
+impl<'a, P: PermitOnline + PurchaseLog> LeasingAlgorithm for GenericSteinerLeasing<'a, P> {
+    /// The `(u, v)` terminal pair to connect.
+    type Request = (usize, usize);
+
+    fn on_request(&mut self, time: TimeStep, request: (usize, usize), ledger: &mut Ledger) {
+        self.serve_with(PairRequest::new(time, request.0, request.1), ledger);
+    }
+}
+
+impl<'a, P: PermitOnline + PurchaseLog> OnlineAlgorithm for GenericSteinerLeasing<'a, P> {
     type Request = (usize, usize);
 
     fn serve(&mut self, time: TimeStep, request: (usize, usize)) {
-        self.serve_request(PairRequest::new(time, request.0, request.1));
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(PairRequest::new(time, request.0, request.1), &mut ledger);
+        self.ledger = ledger;
     }
 
     fn total_cost(&self) -> f64 {
@@ -197,11 +269,7 @@ mod tests {
 
     fn diamond_instance(requests: Vec<PairRequest>) -> SteinerInstance {
         // 0 -1- 1 -1- 3 and 0 -1- 2 -10- 3.
-        let g = Graph::new(
-            4,
-            vec![(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 10.0)],
-        )
-        .unwrap();
+        let g = Graph::new(4, vec![(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 10.0)]).unwrap();
         SteinerInstance::new(g, structure(), requests).unwrap()
     }
 
@@ -226,7 +294,10 @@ mod tests {
         ]);
         let mut alg = SteinerLeasingOnline::new(&inst);
         let cost = alg.run();
-        assert!((cost - 2.0).abs() < 1e-9, "second request must be free, got {cost}");
+        assert!(
+            (cost - 2.0).abs() < 1e-9,
+            "second request must be free, got {cost}"
+        );
         assert_eq!(alg.stats().permit_demands, 2);
     }
 
@@ -234,16 +305,12 @@ mod tests {
     fn repeated_demand_escalates_to_long_leases() {
         // The same pair every other day drives the per-edge permits to the
         // long lease, exactly like the parking permit problem would.
-        let requests: Vec<PairRequest> =
-            (0..8u64).map(|i| PairRequest::new(i, 0, 1)).collect();
+        let requests: Vec<PairRequest> = (0..8u64).map(|i| PairRequest::new(i, 0, 1)).collect();
         let g = Graph::new(2, vec![(0, 1, 1.0)]).unwrap();
         let inst = SteinerInstance::new(g, structure(), requests).unwrap();
         let mut alg = SteinerLeasingOnline::new(&inst);
         let _ = alg.run();
-        let long_bought = alg.permits[0]
-            .purchases()
-            .iter()
-            .any(|l| l.type_index == 1);
+        let long_bought = alg.permits[0].purchases().iter().any(|l| l.type_index == 1);
         assert!(long_bought, "sustained demand must trigger the long lease");
     }
 
@@ -313,7 +380,7 @@ mod tests {
         use leasing_core::framework::run_online;
         let inst = diamond_instance(vec![]);
         let mut alg = SteinerLeasingOnline::new(&inst);
-        let cost = run_online(&mut alg, vec![(0u64, (0usize, 3usize)), (1, (2, 3))]);
+        let cost = run_online(&mut alg, vec![(0u64, (0usize, 3usize)), (1, (2, 3))]).unwrap();
         assert!(cost > 0.0);
     }
 }

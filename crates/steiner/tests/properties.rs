@@ -22,7 +22,7 @@ fn random_instance(seed: u64, n: usize, requests: usize) -> SteinerInstance {
     let mut reqs = Vec::with_capacity(requests);
     let mut t = 0u64;
     for _ in 0..requests {
-        t += rng.random_range(0..4);
+        t += rng.random_range(0..4u64);
         let u = rng.random_range(0..n);
         let v = (u + 1 + rng.random_range(0..n - 1)) % n;
         reqs.push(PairRequest::new(t, u, v));

@@ -61,7 +61,9 @@ impl DemandProcess for Bernoulli {
     }
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TimeStep> {
-        (0..self.horizon).filter(|_| rng.random::<f64>() < self.p).collect()
+        (0..self.horizon)
+            .filter(|_| rng.random::<f64>() < self.p)
+            .collect()
     }
 }
 
@@ -85,9 +87,19 @@ impl MarkovModulated {
     ///
     /// Panics if either probability is out of `[0, 1]`.
     pub fn new(horizon: TimeStep, stay_rainy: f64, turn_rainy: f64) -> Self {
-        assert!((0.0..=1.0).contains(&stay_rainy), "stay probability out of range");
-        assert!((0.0..=1.0).contains(&turn_rainy), "turn probability out of range");
-        MarkovModulated { horizon, stay_rainy, turn_rainy }
+        assert!(
+            (0.0..=1.0).contains(&stay_rainy),
+            "stay probability out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&turn_rainy),
+            "turn probability out of range"
+        );
+        MarkovModulated {
+            horizon,
+            stay_rainy,
+            turn_rainy,
+        }
     }
 
     /// The stationary rainy probability `turn / (1 + turn - stay)`.
@@ -117,7 +129,11 @@ impl DemandProcess for MarkovModulated {
             if rainy {
                 out.push(t);
             }
-            let p = if rainy { self.stay_rainy } else { self.turn_rainy };
+            let p = if rainy {
+                self.stay_rainy
+            } else {
+                self.turn_rainy
+            };
             rainy = rng.random::<f64>() < p;
         }
         out
@@ -146,7 +162,12 @@ impl Seasonal {
     pub fn new(horizon: TimeStep, base: f64, amplitude: f64, period: u64) -> Self {
         assert!(period > 0, "period must be positive");
         assert!((0.0..=1.0).contains(&base), "base rate out of range");
-        Seasonal { horizon, base, amplitude, period }
+        Seasonal {
+            horizon,
+            base,
+            amplitude,
+            period,
+        }
     }
 }
 
@@ -161,7 +182,9 @@ impl DemandProcess for Seasonal {
     }
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TimeStep> {
-        (0..self.horizon).filter(|&t| rng.random::<f64>() < self.rate(t)).collect()
+        (0..self.horizon)
+            .filter(|&t| rng.random::<f64>() < self.rate(t))
+            .collect()
     }
 }
 
@@ -218,7 +241,10 @@ mod tests {
         let days = proc.sample(&mut rng);
         let consecutive = days.windows(2).filter(|w| w[1] == w[0] + 1).count();
         let frac = consecutive as f64 / days.len().max(1) as f64;
-        assert!(frac > 0.5, "burst fraction {frac} too low for a sticky chain");
+        assert!(
+            frac > 0.5,
+            "burst fraction {frac} too low for a sticky chain"
+        );
     }
 
     #[test]
@@ -236,8 +262,14 @@ mod tests {
         let mut rng = seeded(5);
         let days = proc.sample(&mut rng);
         // Peak quarter (around t ≡ 10 mod 40) vs trough quarter (t ≡ 30).
-        let peak = days.iter().filter(|&&t| (5..15).contains(&(t % 40))).count();
-        let trough = days.iter().filter(|&&t| (25..35).contains(&(t % 40))).count();
+        let peak = days
+            .iter()
+            .filter(|&&t| (5..15).contains(&(t % 40)))
+            .count();
+        let trough = days
+            .iter()
+            .filter(|&&t| (25..35).contains(&(t % 40)))
+            .count();
         assert!(peak > 2 * trough, "peak {peak} vs trough {trough}");
     }
 

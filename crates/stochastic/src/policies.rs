@@ -12,10 +12,12 @@
 //!   policy and the worst-case primal-dual side by side and always *buys*
 //!   with the currently cheaper one, hedging bad predictions.
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
-use parking_permit::PermitOnline;
+use parking_permit::{PermitOnline, PurchaseLog, PERMIT_ELEMENT};
 use std::collections::HashSet;
 
 /// Expected number of demands a type-`k` lease covers when each of its
@@ -44,7 +46,9 @@ pub struct RateThreshold {
     structure: LeaseStructure,
     p: f64,
     owned: HashSet<Lease>,
-    cost: f64,
+    purchases: Vec<Lease>,
+    /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
+    ledger: Ledger,
 }
 
 impl RateThreshold {
@@ -55,7 +59,33 @@ impl RateThreshold {
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn new(structure: LeaseStructure, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "rate out of range");
-        RateThreshold { structure, p, owned: HashSet::new(), cost: 0.0 }
+        let ledger = Ledger::new(structure.clone());
+        RateThreshold {
+            structure,
+            p,
+            owned: HashSet::new(),
+            purchases: Vec::new(),
+            ledger,
+        }
+    }
+
+    /// Core policy step, recording the purchase into `ledger`.
+    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
+        ledger.advance(t);
+        if self.is_covered(t) {
+            return;
+        }
+        let k = self.chosen_type();
+        let lease = candidates_covering(&self.structure, t)
+            .into_iter()
+            .find(|l| l.type_index == k)
+            .expect("every type has an aligned candidate");
+        self.owned.insert(lease);
+        ledger.buy(
+            t,
+            Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
+        );
+        self.purchases.push(lease);
     }
 
     /// The lease type this policy currently buys.
@@ -67,28 +97,42 @@ impl RateThreshold {
     pub fn owned(&self) -> impl Iterator<Item = &Lease> {
         self.owned.iter()
     }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
 }
 
 impl PermitOnline for RateThreshold {
     fn serve_demand(&mut self, t: TimeStep) {
-        if self.is_covered(t) {
-            return;
-        }
-        let k = self.chosen_type();
-        let lease = candidates_covering(&self.structure, t)
-            .into_iter()
-            .find(|l| l.type_index == k)
-            .expect("every type has an aligned candidate");
-        self.owned.insert(lease);
-        self.cost += lease.cost(&self.structure);
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, &mut ledger);
+        self.ledger = ledger;
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t).into_iter().any(|l| self.owned.contains(&l))
+        candidates_covering(&self.structure, t)
+            .into_iter()
+            .any(|l| self.owned.contains(&l))
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+}
+
+impl LeasingAlgorithm for RateThreshold {
+    type Request = ();
+
+    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
+        self.serve_with(time, ledger);
+    }
+}
+
+impl PurchaseLog for RateThreshold {
+    fn purchases(&self) -> &[Lease] {
+        &self.purchases
     }
 }
 
@@ -102,20 +146,51 @@ pub struct EmpiricalRate {
     first_day: Option<TimeStep>,
     last_day: TimeStep,
     owned: HashSet<Lease>,
-    cost: f64,
+    purchases: Vec<Lease>,
+    /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
+    ledger: Ledger,
 }
 
 impl EmpiricalRate {
     /// Creates the estimating policy.
     pub fn new(structure: LeaseStructure) -> Self {
+        let ledger = Ledger::new(structure.clone());
         EmpiricalRate {
             structure,
             demands_seen: 0,
             first_day: None,
             last_day: 0,
             owned: HashSet::new(),
-            cost: 0.0,
+            purchases: Vec::new(),
+            ledger,
         }
+    }
+
+    /// Core policy step, recording the purchase into `ledger`.
+    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
+        ledger.advance(t);
+        self.first_day.get_or_insert(t);
+        self.last_day = self.last_day.max(t);
+        self.demands_seen += 1;
+        if self.is_covered(t) {
+            return;
+        }
+        let k = best_type_for_rate(&self.structure, self.estimate());
+        let lease = candidates_covering(&self.structure, t)
+            .into_iter()
+            .find(|l| l.type_index == k)
+            .expect("every type has an aligned candidate");
+        self.owned.insert(lease);
+        ledger.buy(
+            t,
+            Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
+        );
+        self.purchases.push(lease);
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// Current (Laplace-smoothed) rate estimate.
@@ -130,27 +205,33 @@ impl EmpiricalRate {
 
 impl PermitOnline for EmpiricalRate {
     fn serve_demand(&mut self, t: TimeStep) {
-        self.first_day.get_or_insert(t);
-        self.last_day = self.last_day.max(t);
-        self.demands_seen += 1;
-        if self.is_covered(t) {
-            return;
-        }
-        let k = best_type_for_rate(&self.structure, self.estimate());
-        let lease = candidates_covering(&self.structure, t)
-            .into_iter()
-            .find(|l| l.type_index == k)
-            .expect("every type has an aligned candidate");
-        self.owned.insert(lease);
-        self.cost += lease.cost(&self.structure);
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, &mut ledger);
+        self.ledger = ledger;
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t).into_iter().any(|l| self.owned.contains(&l))
+        candidates_covering(&self.structure, t)
+            .into_iter()
+            .any(|l| self.owned.contains(&l))
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+}
+
+impl LeasingAlgorithm for EmpiricalRate {
+    type Request = ();
+
+    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
+        self.serve_with(time, ledger);
+    }
+}
+
+impl PurchaseLog for EmpiricalRate {
+    fn purchases(&self) -> &[Lease] {
+        &self.purchases
     }
 }
 
@@ -203,49 +284,31 @@ pub struct SwitchCombiner<A, B> {
     b: B,
     owned: HashSet<Lease>,
     structure: LeaseStructure,
-    cost: f64,
     switches: usize,
     last_leader_a: bool,
+    /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
+    ledger: Ledger,
 }
 
 impl<A: PermitOnline + CoveringLease, B: PermitOnline + CoveringLease> SwitchCombiner<A, B> {
     /// Combines `a` (e.g. a prediction policy) with `b` (e.g. the worst-case
     /// primal-dual).
     pub fn new(structure: LeaseStructure, a: A, b: B) -> Self {
+        let ledger = Ledger::new(structure.clone());
         SwitchCombiner {
             a,
             b,
             owned: HashSet::new(),
             structure,
-            cost: 0.0,
             switches: 0,
             last_leader_a: true,
+            ledger,
         }
     }
 
-    /// How many times the leader changed.
-    pub fn switches(&self) -> usize {
-        self.switches
-    }
-
-    /// Simulated cost of the two inner policies `(A, B)`.
-    pub fn inner_costs(&self) -> (f64, f64) {
-        (self.a.total_cost(), self.b.total_cost())
-    }
-
-    fn buy(&mut self, lease: Lease) {
-        if self.owned.insert(lease) {
-            self.cost += lease.cost(&self.structure);
-        }
-    }
-}
-
-impl<A, B> PermitOnline for SwitchCombiner<A, B>
-where
-    A: PermitOnline + CoveringLease,
-    B: PermitOnline + CoveringLease,
-{
-    fn serve_demand(&mut self, t: TimeStep) {
+    /// Core combiner step, recording the replicated purchase into `ledger`.
+    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
+        ledger.advance(t);
         // Both simulations always advance.
         self.a.serve_demand(t);
         self.b.serve_demand(t);
@@ -261,20 +324,70 @@ where
         // somehow exposes none (both policies must cover t after serving),
         // fall back to the follower's.
         let lease = if leader_a {
-            self.a.covering_lease_at(t).or_else(|| self.b.covering_lease_at(t))
+            self.a
+                .covering_lease_at(t)
+                .or_else(|| self.b.covering_lease_at(t))
         } else {
-            self.b.covering_lease_at(t).or_else(|| self.a.covering_lease_at(t))
+            self.b
+                .covering_lease_at(t)
+                .or_else(|| self.a.covering_lease_at(t))
         }
         .expect("an inner policy must cover the demand it just served");
-        self.buy(lease);
+        if self.owned.insert(lease) {
+            ledger.buy(
+                t,
+                Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
+            );
+        }
+    }
+
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// How many times the leader changed.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Simulated cost of the two inner policies `(A, B)`.
+    pub fn inner_costs(&self) -> (f64, f64) {
+        (self.a.total_cost(), self.b.total_cost())
+    }
+}
+
+impl<A, B> PermitOnline for SwitchCombiner<A, B>
+where
+    A: PermitOnline + CoveringLease,
+    B: PermitOnline + CoveringLease,
+{
+    fn serve_demand(&mut self, t: TimeStep) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, &mut ledger);
+        self.ledger = ledger;
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t).into_iter().any(|l| self.owned.contains(&l))
+        candidates_covering(&self.structure, t)
+            .into_iter()
+            .any(|l| self.owned.contains(&l))
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+}
+
+impl<A, B> LeasingAlgorithm for SwitchCombiner<A, B>
+where
+    A: PermitOnline + CoveringLease,
+    B: PermitOnline + CoveringLease,
+{
+    type Request = ();
+
+    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
+        self.serve_with(time, ledger);
     }
 }
 

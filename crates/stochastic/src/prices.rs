@@ -8,6 +8,8 @@
 //! charge current prices, and [`optimal_cost_priced`] is the exact
 //! hierarchical DP under the same price path (the clairvoyant baseline).
 
+use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_LEASE};
+use leasing_core::framework::Triple;
 use leasing_core::interval::{aligned_start, candidates_covering};
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
@@ -51,7 +53,9 @@ impl PricePath {
 
     /// A flat path (multiplier `1.0` everywhere) — prices never move.
     pub fn flat(horizon: TimeStep) -> Self {
-        PricePath { multipliers: vec![1.0; horizon as usize] }
+        PricePath {
+            multipliers: vec![1.0; horizon as usize],
+        }
     }
 
     /// The multiplier of day `t` (days beyond the horizon keep the last
@@ -81,18 +85,20 @@ pub struct PriceAwarePermit<'a> {
     prices: &'a PricePath,
     contributions: HashMap<Lease, f64>,
     owned: HashSet<Lease>,
-    cost: f64,
+    /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
+    ledger: Ledger,
 }
 
 impl<'a> PriceAwarePermit<'a> {
     /// Creates the algorithm under the given price path.
     pub fn new(structure: LeaseStructure, prices: &'a PricePath) -> Self {
+        let ledger = Ledger::new(structure.clone());
         PriceAwarePermit {
             structure,
             prices,
             contributions: HashMap::new(),
             owned: HashSet::new(),
-            cost: 0.0,
+            ledger,
         }
     }
 
@@ -100,10 +106,16 @@ impl<'a> PriceAwarePermit<'a> {
     pub fn owned(&self) -> impl Iterator<Item = &Lease> {
         self.owned.iter()
     }
-}
 
-impl<'a> PermitOnline for PriceAwarePermit<'a> {
-    fn serve_demand(&mut self, t: TimeStep) {
+    /// The internal decision ledger backing the deprecated serve path.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Core price-aware primal-dual step, recording purchases into
+    /// `ledger` at day-of-purchase prices.
+    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
+        ledger.advance(t);
         if self.is_covered(t) {
             return;
         }
@@ -121,18 +133,41 @@ impl<'a> PermitOnline for PriceAwarePermit<'a> {
             *entry += delta;
             if *entry >= price(&c) - EPS && !self.owned.contains(&c) {
                 self.owned.insert(c);
-                self.cost += price(&c);
+                ledger.buy_priced(
+                    t,
+                    Triple::new(parking_permit::PERMIT_ELEMENT, c.type_index, c.start),
+                    price(&c),
+                    CATEGORY_LEASE,
+                );
             }
         }
         debug_assert!(self.is_covered(t));
     }
+}
+
+impl<'a> PermitOnline for PriceAwarePermit<'a> {
+    fn serve_demand(&mut self, t: TimeStep) {
+        let mut ledger = std::mem::take(&mut self.ledger);
+        self.serve_with(t, &mut ledger);
+        self.ledger = ledger;
+    }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t).into_iter().any(|l| self.owned.contains(&l))
+        candidates_covering(&self.structure, t)
+            .into_iter()
+            .any(|l| self.owned.contains(&l))
     }
 
     fn total_cost(&self) -> f64 {
-        self.cost
+        self.ledger.total_cost()
+    }
+}
+
+impl<'a> LeasingAlgorithm for PriceAwarePermit<'a> {
+    type Request = ();
+
+    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
+        self.serve_with(time, ledger);
     }
 }
 
@@ -231,12 +266,13 @@ mod tests {
         let prices = PricePath::flat(256);
         let mut rng = seeded(3);
         use rand::RngExt;
-        let demands: Vec<TimeStep> =
-            (0..256).filter(|_| rng.random::<f64>() < 0.3).collect();
+        let demands: Vec<TimeStep> = (0..256).filter(|_| rng.random::<f64>() < 0.3).collect();
         let priced = optimal_cost_priced(&structure(), &prices, &demands);
-        let plain =
-            parking_permit::offline::optimal_cost_interval_model(&structure(), &demands);
-        assert!((priced - plain).abs() < 1e-9, "priced {priced} vs plain {plain}");
+        let plain = parking_permit::offline::optimal_cost_interval_model(&structure(), &demands);
+        assert!(
+            (priced - plain).abs() < 1e-9,
+            "priced {priced} vs plain {plain}"
+        );
     }
 
     #[test]
@@ -260,8 +296,7 @@ mod tests {
         let prices = PricePath::sample(&mut seeded(9), 512, 0.3, 0.5, 2.0);
         let mut rng = seeded(10);
         use rand::RngExt;
-        let demands: Vec<TimeStep> =
-            (0..512).filter(|_| rng.random::<f64>() < 0.2).collect();
+        let demands: Vec<TimeStep> = (0..512).filter(|_| rng.random::<f64>() < 0.2).collect();
         let mut alg = PriceAwarePermit::new(structure(), &prices);
         for &t in &demands {
             alg.serve_demand(t);
@@ -276,8 +311,7 @@ mod tests {
             let prices = PricePath::sample(&mut seeded(seed), 256, 0.3, 0.5, 2.0);
             let mut rng = seeded(1000 + seed);
             use rand::RngExt;
-            let demands: Vec<TimeStep> =
-                (0..256).filter(|_| rng.random::<f64>() < 0.25).collect();
+            let demands: Vec<TimeStep> = (0..256).filter(|_| rng.random::<f64>() < 0.25).collect();
             if demands.is_empty() {
                 continue;
             }

@@ -29,7 +29,10 @@ pub fn bursty_days<R: Rng + ?Sized>(
     burst_len: u64,
     gap_len: u64,
 ) -> Vec<TimeStep> {
-    assert!(burst_len > 0 && gap_len > 0, "burst and gap lengths must be positive");
+    assert!(
+        burst_len > 0 && gap_len > 0,
+        "burst and gap lengths must be positive"
+    );
     let mut days = Vec::new();
     let mut t = 0u64;
     while t < horizon {
@@ -59,7 +62,11 @@ pub fn old_clients<R: Rng + ?Sized>(
     let mut clients = Vec::new();
     for t in 0..horizon {
         if rng.random::<f64>() < p {
-            let slack = if max_slack == 0 { 0 } else { rng.random_range(0..=max_slack) };
+            let slack = if max_slack == 0 {
+                0
+            } else {
+                rng.random_range(0..=max_slack)
+            };
             clients.push(OldClient::new(t, slack));
         }
     }
@@ -101,8 +108,7 @@ pub fn strided_window_clients<R: Rng + ?Sized>(
     let mut out = Vec::new();
     for t in 0..horizon {
         if rng.random::<f64>() < p {
-            let days: Vec<TimeStep> =
-                (0..=span).step_by(stride as usize).map(|o| t + o).collect();
+            let days: Vec<TimeStep> = (0..=span).step_by(stride as usize).map(|o| t + o).collect();
             out.push(WindowClient::specific(t, days).expect("strided days are sorted"));
         }
     }

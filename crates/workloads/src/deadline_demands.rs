@@ -77,7 +77,10 @@ mod tests {
     fn multi_day_clients_always_validate() {
         for seed in 0..10u64 {
             let clients = multi_day_clients(&mut seeded(seed), 12, 4, 3, 5);
-            assert!(MultiDayInstance::new(structure(), clients).is_ok(), "seed {seed}");
+            assert!(
+                MultiDayInstance::new(structure(), clients).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 

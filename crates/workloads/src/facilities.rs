@@ -78,7 +78,9 @@ mod tests {
     fn uniform_points_live_in_square() {
         let mut rng = seeded(1);
         let pts = uniform_points(&mut rng, 100, 50.0);
-        assert!(pts.iter().all(|p| (0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
     }
 
     #[test]

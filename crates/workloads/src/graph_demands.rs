@@ -25,7 +25,10 @@ pub fn steiner_requests<R: Rng + ?Sized>(
 ) -> Vec<PairRequest> {
     assert!(num_nodes >= 2, "need at least two nodes for pairs");
     assert!(max_gap > 0, "max_gap must be positive");
-    assert!((0.0..=1.0).contains(&repeat_bias), "repeat bias out of range");
+    assert!(
+        (0.0..=1.0).contains(&repeat_bias),
+        "repeat bias out of range"
+    );
     let mut out: Vec<PairRequest> = Vec::with_capacity(count);
     let mut t = 0u64;
     for _ in 0..count {
@@ -85,8 +88,9 @@ pub fn hotspot_arrivals<R: Rng + ?Sized>(
     assert!(num_items > 0, "need at least one item");
     assert!(max_gap > 0, "max_gap must be positive");
     assert!(skew >= 0.0, "skew must be non-negative");
-    let weights: Vec<f64> =
-        (0..num_items).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).collect();
+    let weights: Vec<f64> = (0..num_items)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(skew))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut out = Vec::with_capacity(count);
     let mut t = 0u64;
@@ -136,7 +140,11 @@ mod tests {
         let reqs = steiner_requests(&mut seeded(3), 20, 50, 0.0, 2);
         let distinct: std::collections::HashSet<(usize, usize)> =
             reqs.iter().map(|r| (r.u, r.v)).collect();
-        assert!(distinct.len() > 10, "only {} distinct pairs", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct pairs",
+            distinct.len()
+        );
     }
 
     #[test]

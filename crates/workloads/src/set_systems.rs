@@ -12,13 +12,11 @@ use set_cover_leasing::system::SetSystem;
 /// # Panics
 ///
 /// Panics if `n == 0`, `m == 0` or `delta == 0`.
-pub fn random_system<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    m: usize,
-    delta: usize,
-) -> SetSystem {
-    assert!(n > 0 && m > 0 && delta > 0, "system dimensions must be positive");
+pub fn random_system<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize, delta: usize) -> SetSystem {
+    assert!(
+        n > 0 && m > 0 && delta > 0,
+        "system dimensions must be positive"
+    );
     let delta = delta.min(m);
     let mut sets: Vec<Vec<usize>> = vec![Vec::new(); m];
     for e in 0..n {
@@ -68,8 +66,7 @@ pub fn zipf_arrivals<R: Rng + ?Sized>(
     assert!(p_max > 0, "p_max must be positive");
     let n = system.num_elements();
     let weights_sum: f64 = (0..n).map(|e| 1.0 / ((e + 1) as f64).powf(s)).sum();
-    let mut times: Vec<TimeStep> =
-        (0..count).map(|_| rng.random_range(0..horizon)).collect();
+    let mut times: Vec<TimeStep> = (0..count).map(|_| rng.random_range(0..horizon)).collect();
     times.sort_unstable();
     times
         .into_iter()

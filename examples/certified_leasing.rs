@@ -31,14 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // leases of 4 days (1 EUR) or 16 days (3 EUR).
     let mut rng = seeded(42);
     let system = random_system(&mut rng, 20, 10, 4);
-    let structure =
-        LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)])?;
+    let structure = LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)])?;
     let arrivals = zipf_arrivals(&mut rng, &system, 40, 28, 1.2, 2);
     let instance = SmclInstance::uniform(system, structure, arrivals)
         .expect("generated arrivals are coverable");
 
     println!("certified online leasing — one month of service requests\n");
-    println!("{:>6} | {:>10} | {:>12} | {:>15}", "day", "spend", "certificate", "certified ratio");
+    println!(
+        "{:>6} | {:>10} | {:>12} | {:>15}",
+        "day", "spend", "certificate", "certified ratio"
+    );
     println!("{}", "-".repeat(52));
 
     let mut alg = GenericSmcl::new(&instance, 7);
@@ -70,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(opt) => {
             println!("\nexact offline optimum (ILP):    {opt:.2}");
             println!("final certificate:              {:.2}", cert.lower_bound);
-            println!("true ratio:                     {:.2}", alg.total_cost() / opt);
+            println!(
+                "true ratio:                     {:.2}",
+                alg.total_cost() / opt
+            );
             println!(
                 "certified ratio (no hindsight): {:.2}",
                 alg.total_cost() / cert.lower_bound
@@ -82,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         None => {
             let lp = offline::lp_lower_bound(&instance);
-            println!("\nILP out of budget; LP bound: {lp:.2} (certificate {:.2})", cert.lower_bound);
+            println!(
+                "\nILP out of budget; LP bound: {lp:.2} (certificate {:.2})",
+                cert.lower_bound
+            );
         }
     }
     println!("\nThe certificate is computed online, from the dual of the fractional");

@@ -29,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Point::new(10.0, 25.0),
         Point::new(28.0, 28.0),
     ];
-    let leases = LeaseStructure::new(vec![
-        LeaseType::new(1, 2.0),
-        LeaseType::new(8, 8.0),
-    ])?;
+    let leases = LeaseStructure::new(vec![LeaseType::new(1, 2.0), LeaseType::new(8, 8.0)])?;
 
     // Clients phone in over 16 days, clustered near the providers.
     let mut rng = seeded(2015);

@@ -50,9 +50,15 @@ fn main() {
     let report = |name: &str, cost: f64| {
         println!("{name:<28} {cost:>8.2}  (x{:.2} of OPT)", cost / opt);
     };
-    report("worst-case primal-dual:", PermitOnline::total_cost(&worst_case));
+    report(
+        "worst-case primal-dual:",
+        PermitOnline::total_cost(&worst_case),
+    );
     report("rate-informed policy:", PermitOnline::total_cost(&informed));
-    report("hedged (wrong forecast):", PermitOnline::total_cost(&hedged));
+    report(
+        "hedged (wrong forecast):",
+        PermitOnline::total_cost(&hedged),
+    );
     println!(
         "\nhedge switched leader {} times; inner costs (forecast, worst-case) = {:.2?}",
         hedged.switches(),

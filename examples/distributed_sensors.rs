@@ -21,12 +21,12 @@
 //! baseline) runs on the same instance as the quality reference, and the
 //! example sweeps `ε` to show the accuracy/latency dial an operator gets.
 
+use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
 use online_resource_leasing::core::rng::seeded;
 use online_resource_leasing::distributed::bidding::{distributed_step, BiddingInstance};
 use online_resource_leasing::facility::instance::FacilityInstance;
 use online_resource_leasing::facility::metric::Point;
 use online_resource_leasing::facility::offline_primal_dual;
-use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
 use rand::RngExt;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FacilityInstance::euclidean(gateways.clone(), structure, vec![(0, sensors.clone())])
             .expect("valid facility instance");
     let central = offline_primal_dual::solve(&central_inst);
-    println!("centralized primal-dual reference: cost {:.1}\n", central.total_cost());
+    println!(
+        "centralized primal-dual reference: cost {:.1}\n",
+        central.total_cost()
+    );
 
     println!(
         "{:>6} | {:>10} | {:>8} | {:>9} | {:>9} | {:>10}",

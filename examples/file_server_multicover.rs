@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Servers can be activated for 4 days (1.0) or 32 days (4.0).
-    let leases = LeaseStructure::new(vec![
-        LeaseType::new(4, 1.0),
-        LeaseType::new(32, 4.0),
-    ])?;
+    let leases = LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(32, 4.0)])?;
 
     // 60 user requests over 64 days, Zipf-popular files, redundancy 1-2.
     let requests: Vec<Arrival> = zipf_arrivals(&mut rng, &catalogue, 60, 64, 1.2, 2);

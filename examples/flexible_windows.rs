@@ -21,10 +21,7 @@ use rand::RngExt;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Guide contracts: 2 days for 1.0 or 16 days for 3.0.
-    let contracts = LeaseStructure::new(vec![
-        LeaseType::new(2, 1.0),
-        LeaseType::new(16, 3.0),
-    ])?;
+    let contracts = LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(16, 3.0)])?;
 
     // A mixed season over ~9 weeks: weekend-only visitors, Tuesday
     // regulars, and fully flexible tourists.
@@ -44,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tourists.push(t);
         }
     }
-    println!("{} tourists with mixed flexibility over 63 days", tourists.len());
+    println!(
+        "{} tourists with mixed flexibility over 63 days",
+        tourists.len()
+    );
 
     let instance = WindowInstance::new(contracts, tourists)?;
     let mut alg = WindowPrimalDual::new(&instance);

@@ -27,16 +27,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three machines: a cheap single-job box, a mid-range duo and a big
     // quad-capacity server.
     let machines = vec![
-        Machine { rental_costs: vec![1.0, 2.5], capacity: 1 },
-        Machine { rental_costs: vec![1.6, 4.0], capacity: 2 },
-        Machine { rental_costs: vec![2.8, 7.0], capacity: 4 },
+        Machine {
+            rental_costs: vec![1.0, 2.5],
+            capacity: 1,
+        },
+        Machine {
+            rental_costs: vec![1.6, 4.0],
+            capacity: 2,
+        },
+        Machine {
+            rental_costs: vec![2.8, 7.0],
+            capacity: 4,
+        },
     ];
 
     // Job batches over two weeks; affinity = data-transfer cost per machine.
     let mut jobs = Vec::new();
     let mut t = 0u64;
     for _ in 0..6 {
-        t += 1 + rng.random_range(0..3);
+        t += 1 + rng.random_range(0..3u64);
         let n = 1 + rng.random_range(0..3);
         let affinity: Vec<Vec<f64>> = (0..n)
             .map(|_| (0..3).map(|_| rng.random::<f64>() * 0.8).collect())

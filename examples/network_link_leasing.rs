@@ -15,9 +15,7 @@ use online_resource_leasing::core::rng::seeded;
 use online_resource_leasing::graph::generators::connected_erdos_renyi;
 use online_resource_leasing::steiner::instance::{PairRequest, SteinerInstance};
 use online_resource_leasing::steiner::offline::{buy_per_request, route_then_lease};
-use online_resource_leasing::steiner::online::{
-    RandomizedSteinerLeasing, SteinerLeasingOnline,
-};
+use online_resource_leasing::steiner::online::{RandomizedSteinerLeasing, SteinerLeasingOnline};
 use rand::RngExt;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,14 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t = 0u64;
     for i in 0..120 {
         if i % 2 == 0 {
-            t += rng.random_range(0..2);
+            t += rng.random_range(0..2u64);
         }
         let (u, v) = if !requests.is_empty() && rng.random::<f64>() < 0.85 {
             let prev: &PairRequest = &requests[rng.random_range(0..requests.len())];
             (prev.u, prev.v)
         } else {
             let u = rng.random_range(0..30);
-            let v = (u + 1 + rng.random_range(0..29)) % 30;
+            let v = (u + 1 + rng.random_range(0..29usize)) % 30;
             (u, v)
         };
         requests.push(PairRequest::new(t, u, v));

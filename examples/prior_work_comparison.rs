@@ -24,10 +24,7 @@ use online_resource_leasing::workloads::facilities::facility_instance;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Machines: lease 4 days for 2.0 or 16 days for 6.0.
-    let leases = LeaseStructure::new(vec![
-        LeaseType::new(4, 2.0),
-        LeaseType::new(16, 6.0),
-    ])?;
+    let leases = LeaseStructure::new(vec![LeaseType::new(4, 2.0), LeaseType::new(16, 6.0)])?;
     let k = leases.num_types() as f64;
 
     println!("horizon | n   | thesis | prior work | thesis bound | prior bound");
@@ -43,13 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             50.0,
         );
         let n = inst.num_clients();
-        let opt = offline::optimal_cost(&inst, 50_000)
-            .unwrap_or_else(|| offline::lp_lower_bound(&inst));
+        let opt =
+            offline::optimal_cost(&inst, 50_000).unwrap_or_else(|| offline::lp_lower_bound(&inst));
 
         let thesis = PrimalDualFacility::new(&inst).run();
         let prior = NagarajanWilliamson::new(&inst).run();
-        let timed: Vec<(u64, usize)> =
-            inst.batches().iter().map(|b| (b.time, b.clients.len())).collect();
+        let timed: Vec<(u64, usize)> = inst
+            .batches()
+            .iter()
+            .map(|b| (b.time, b.clients.len()))
+            .collect();
         let h = h_lmax_rounds(&timed, leases.l_max());
         println!(
             "{steps:7} | {n:3} | {:6.3} | {:10.3} | {:12.1} | {:10.1}",

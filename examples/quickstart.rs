@@ -1,19 +1,20 @@
-//! Quickstart: the parking permit problem end to end.
+//! Quickstart: the parking permit problem end to end, on the unified
+//! `LeasingEngine` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Buys permits online for a random rainy-day sequence with the
-//! deterministic `O(K)` algorithm and the randomized `O(log K)` algorithm,
-//! then compares both against the exact offline optimum.
+//! Drives the deterministic `O(K)` algorithm and the randomized
+//! `O(log K)` algorithm through the generic [`Driver`], then compares
+//! both [`Report`]s against the exact offline optimum.
 
 use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
 use online_resource_leasing::core::rng::seeded;
+use online_resource_leasing::engine::Driver;
 use online_resource_leasing::parking_permit::det::DeterministicPrimalDual;
 use online_resource_leasing::parking_permit::offline;
 use online_resource_leasing::parking_permit::rand_alg::RandomizedPermit;
-use online_resource_leasing::parking_permit::PermitOnline;
 use online_resource_leasing::workloads::rainy_days;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,32 +31,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rain = rainy_days(&mut rng, 256, 0.35);
     println!("{} rainy days over 256 days (seed {seed})", rain.len());
 
-    let mut det = DeterministicPrimalDual::new(permits.clone());
-    for &day in &rain {
-        det.serve_demand(day);
-    }
+    // Each algorithm runs behind the same generic driver; the driver owns
+    // the ledger and rejects out-of-order requests with a typed error.
+    let mut det = Driver::new(
+        DeterministicPrimalDual::new(permits.clone()),
+        permits.clone(),
+    );
+    det.submit_batch(rain.iter().map(|&day| (day, ())))?;
 
-    let mut rand_alg = RandomizedPermit::new(permits.clone(), &mut rng);
-    for &day in &rain {
-        rand_alg.serve_demand(day);
-    }
+    let mut rand_alg = Driver::new(
+        RandomizedPermit::new(permits.clone(), &mut rng),
+        permits.clone(),
+    );
+    rand_alg.submit_batch(rain.iter().map(|&day| (day, ())))?;
 
     let opt = offline::optimal_cost_interval_model(&permits, &rain);
     println!("offline optimum:        {opt:>8.2} EUR");
+    let det_report = det.report(opt);
     println!(
-        "deterministic online:   {:>8.2} EUR  (ratio {:.2}, bound K = {})",
-        det.total_cost(),
-        det.total_cost() / opt,
-        permits.num_types()
+        "deterministic online:   {:>8.2} EUR  (ratio {:.2}, bound K = {}, {} leases)",
+        det_report.algorithm_cost,
+        det_report.ratio(),
+        permits.num_types(),
+        det_report.leases_bought,
     );
+    let rand_report = rand_alg.report(opt);
     println!(
-        "randomized online:      {:>8.2} EUR  (ratio {:.2}, bound O(log K))",
-        rand_alg.total_cost(),
-        rand_alg.total_cost() / opt
+        "randomized online:      {:>8.2} EUR  (ratio {:.2}, bound O(log K), {} leases)",
+        rand_report.algorithm_cost,
+        rand_report.ratio(),
+        rand_report.leases_bought,
     );
     println!(
         "dual certificate:       {:>8.2} EUR  (lower bound on OPT by weak duality)",
-        det.dual_value()
+        det.algorithm().dual_value()
+    );
+    println!(
+        "ledger: {} decisions, {} still active at day {}",
+        det.ledger().decision_count(),
+        det.ledger().active_leases(),
+        det.ledger().now(),
     );
     Ok(())
 }

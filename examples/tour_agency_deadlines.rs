@@ -19,20 +19,23 @@ use online_resource_leasing::workloads::arrivals::old_clients;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Guides: one day for 1.0, a 16-day engagement for 4.0.
-    let contracts = LeaseStructure::new(vec![
-        LeaseType::new(1, 1.0),
-        LeaseType::new(16, 4.0),
-    ])?;
+    let contracts = LeaseStructure::new(vec![LeaseType::new(1, 1.0), LeaseType::new(16, 4.0)])?;
 
     // A season of tourists with up to a week of flexibility.
     let mut rng = seeded(99);
     let tourists = old_clients(&mut rng, 128, 0.4, 7);
-    println!("{} tourists over 128 days, slack up to 7 days", tourists.len());
+    println!(
+        "{} tourists over 128 days, slack up to 7 days",
+        tourists.len()
+    );
     let instance = OldInstance::new(contracts, tourists)?;
 
     let mut alg = OldPrimalDual::new(&instance);
     let cost = alg.run();
-    println!("online cost {cost:.2} ({} guide contracts)", alg.purchases().len());
+    println!(
+        "online cost {cost:.2} ({} guide contracts)",
+        alg.purchases().len()
+    );
     match offline::old_optimal_cost(&instance, 200_000) {
         Some(opt) => println!("offline optimum {opt:.2}; ratio {:.2}", cost / opt),
         None => {

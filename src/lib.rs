@@ -7,6 +7,7 @@
 //!
 //! | Module | Thesis chapter | Contents |
 //! |---|---|---|
+//! | [`engine`] | §2.3 | **the unified driver-facing API**: [`LeasingAlgorithm`](engine::LeasingAlgorithm), [`Driver`](engine::Driver), the centralized [`Ledger`](engine::Ledger) and the [`Report`](engine::Report) summary |
 //! | [`core`] | Ch. 2 | lease structures, interval model (Lemma 2.6), leasing framework (§2.3), ski rental |
 //! | [`lp`] | §2.1 | from-scratch two-phase simplex + branch-and-bound ILP substrate |
 //! | [`covering`] | §2.1 | generic online primal-dual covering engine (Buchbinder–Naor) with online dual certificates; Algorithms 2/3/5 as bit-equal instances |
@@ -24,10 +25,17 @@
 //!
 //! # Quickstart
 //!
+//! Every online algorithm in this workspace implements
+//! [`LeasingAlgorithm`](engine::LeasingAlgorithm): requests are fed through
+//! a generic [`Driver`](engine::Driver) that owns the
+//! [`Ledger`](engine::Ledger) — the centralized record of every purchased
+//! triple `(i, k, t)` — and turns a run into a serializable
+//! [`Report`](engine::Report):
+//!
 //! ```
 //! use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
+//! use online_resource_leasing::engine::Driver;
 //! use online_resource_leasing::parking_permit::{det::DeterministicPrimalDual, offline};
-//! use online_resource_leasing::core::framework::OnlineAlgorithm;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Permits: 1 day for 1.0, 4 days for 3.0, 16 days for 8.0.
@@ -37,15 +45,21 @@
 //!     LeaseType::new(16, 8.0),
 //! ])?;
 //!
-//! // Rainy days arrive online.
+//! // Rainy days arrive online; the driver enforces the online model
+//! // (monotone time) with a typed error instead of a panic.
 //! let rainy_days = [0u64, 1, 2, 3, 9, 10, 11];
-//! let mut alg = DeterministicPrimalDual::new(permits.clone());
-//! for &day in &rainy_days {
-//!     alg.serve(day, ());
-//! }
+//! let mut driver = Driver::new(DeterministicPrimalDual::new(permits.clone()), permits.clone());
+//! driver.submit_batch(rainy_days.iter().map(|&day| (day, ())))?;
 //!
+//! // The ledger is the single source of truth for money spent.
+//! let ledger = driver.ledger();
+//! assert_eq!(ledger.leases_bought(), ledger.decision_count());
+//!
+//! // Compare against the exact offline optimum.
 //! let opt = offline::optimal_cost_interval_model(&permits, &rainy_days);
-//! assert!(alg.total_cost() <= permits.num_types() as f64 * opt + 1e-9);
+//! let report = driver.report(opt);
+//! assert!(report.ratio() <= permits.num_types() as f64 + 1e-9);
+//! println!("{report}");
 //! # Ok(())
 //! # }
 //! ```
@@ -53,6 +67,14 @@
 /// Core leasing framework (re-export of [`leasing_core`]).
 pub mod core {
     pub use leasing_core::*;
+}
+
+/// The unified leasing engine (re-export of [`leasing_core::engine`]):
+/// [`LeasingAlgorithm`](engine::LeasingAlgorithm), [`Driver`](engine::Driver),
+/// [`Ledger`](engine::Ledger), [`Report`](engine::Report) and
+/// [`DriverError`](engine::DriverError).
+pub mod engine {
+    pub use leasing_core::engine::*;
 }
 
 /// LP/ILP substrate (re-export of [`leasing_lp`]).

@@ -43,6 +43,7 @@ fn instance_types_are_serializable() {
 
 #[test]
 fn error_types_are_well_behaved() {
+    assert_error::<online_resource_leasing::core::engine::DriverError>();
     assert_error::<online_resource_leasing::core::lease::LeaseStructureError>();
     assert_error::<online_resource_leasing::graph::graph::GraphError>();
     assert_error::<online_resource_leasing::set_cover::system::SetSystemError>();
@@ -56,6 +57,7 @@ fn error_types_are_well_behaved() {
 
 #[test]
 fn error_messages_are_lowercase_without_trailing_punctuation() {
+    use online_resource_leasing::core::engine::DriverError;
     use online_resource_leasing::core::lease::LeaseStructureError;
     use online_resource_leasing::graph::graph::GraphError;
     let messages = [
@@ -63,6 +65,11 @@ fn error_messages_are_lowercase_without_trailing_punctuation() {
         LeaseStructureError::ZeroLength(1).to_string(),
         GraphError::SelfLoop(0).to_string(),
         GraphError::InvalidWeight(2).to_string(),
+        DriverError::TimeTravel {
+            previous: 7,
+            attempted: 3,
+        }
+        .to_string(),
     ];
     for msg in messages {
         let first = msg.chars().next().expect("non-empty message");
@@ -75,6 +82,16 @@ fn error_messages_are_lowercase_without_trailing_punctuation() {
             "no trailing punctuation: {msg}"
         );
     }
+}
+
+#[test]
+fn engine_types_implement_the_common_traits() {
+    use online_resource_leasing::core::engine::{Decision, Ledger, Report};
+    assert_common::<Ledger>();
+    assert_common::<Decision>();
+    assert_common::<Report>();
+    assert_serde::<Ledger>();
+    assert_serde::<Report>();
 }
 
 #[test]

@@ -43,8 +43,7 @@ fn unification_holds_at_workload_scale() {
         let mut rng = seeded(4000 + trial);
         let system = random_system(&mut rng, 60, 30, 5);
         let arrivals = zipf_arrivals(&mut rng, &system, 120, 256, 1.2, 3);
-        let inst =
-            SmclInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
+        let inst = SmclInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
         let mut spec = SmclOnline::new(&inst, trial);
         let mut gen = GenericSmcl::new(&inst, trial);
         assert_eq!(spec.run().to_bits(), gen.run().to_bits(), "trial {trial}");
@@ -64,7 +63,11 @@ fn certificates_are_sound_across_problem_families() {
     }
     let opt = ppp_offline::optimal_cost_interval_model(&permits(), &days);
     let cert = permit.certificate();
-    assert!(cert.lower_bound <= opt + 1e-9, "permit: {} > {opt}", cert.lower_bound);
+    assert!(
+        cert.lower_bound <= opt + 1e-9,
+        "permit: {} > {opt}",
+        cert.lower_bound
+    );
     assert!(cert.lower_bound > 0.0);
 
     // SMCL: exact ILP (small instance).
@@ -77,7 +80,11 @@ fn certificates_are_sound_across_problem_families() {
     let opt = sc_offline::optimal_cost(&inst, 50_000)
         .unwrap_or_else(|| sc_offline::lp_lower_bound(&inst));
     let cert = smcl.certificate();
-    assert!(cert.lower_bound <= opt + 1e-9, "smcl: {} > {opt}", cert.lower_bound);
+    assert!(
+        cert.lower_bound <= opt + 1e-9,
+        "smcl: {} > {opt}",
+        cert.lower_bound
+    );
 
     // SCLD: certificate below the algorithm's own cost and non-negative
     // (the served layers' LP has no small exact solver; soundness against
@@ -108,8 +115,7 @@ fn certified_ratio_dominates_true_ratio() {
         let mut rng = seeded(4200 + trial);
         let system = random_system(&mut rng, 20, 10, 4);
         let arrivals = zipf_arrivals(&mut rng, &system, 20, 64, 1.1, 2);
-        let inst =
-            SmclInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
+        let inst = SmclInstance::uniform(system, sets_structure(), arrivals).expect("feasible");
         let Some(opt) = sc_offline::optimal_cost(&inst, 50_000) else {
             continue;
         };
@@ -152,9 +158,8 @@ fn parking_permit_expected_costs_agree() {
 /// factor-3 envelope of the exact ILP on mixed-batch instances.
 #[test]
 fn offline_primal_dual_respects_three_approximation_envelope() {
-    let structure =
-        LeaseStructure::new(vec![LeaseType::new(4, 2.0), LeaseType::new(16, 6.0)])
-            .expect("valid structure");
+    let structure = LeaseStructure::new(vec![LeaseType::new(4, 2.0), LeaseType::new(16, 6.0)])
+        .expect("valid structure");
     for trial in 0..5u64 {
         let mut rng = seeded(4300 + trial);
         let facilities: Vec<Point> = (0..3)
@@ -163,9 +168,7 @@ fn offline_primal_dual_respects_three_approximation_envelope() {
         let batches: Vec<(u64, Vec<Point>)> = (0..4u64)
             .map(|t| {
                 let pts = (0..2)
-                    .map(|_| {
-                        Point::new(rng.random::<f64>() * 15.0, rng.random::<f64>() * 15.0)
-                    })
+                    .map(|_| Point::new(rng.random::<f64>() * 15.0, rng.random::<f64>() * 15.0))
                     .collect();
                 (t * 3, pts)
             })
@@ -173,7 +176,10 @@ fn offline_primal_dual_respects_three_approximation_envelope() {
         let inst = FacilityInstance::euclidean(facilities, structure.clone(), batches)
             .expect("valid instance");
         let sol = offline_primal_dual::solve(&inst);
-        assert!(offline_primal_dual::is_feasible(&inst, &sol), "trial {trial}");
+        assert!(
+            offline_primal_dual::is_feasible(&inst, &sol),
+            "trial {trial}"
+        );
         assert!(
             sol.dual_sum <= fac_offline::lp_lower_bound(&inst) + 1e-6,
             "trial {trial}: weak duality violated"
@@ -208,11 +214,9 @@ fn distributed_pipeline_tracks_centralized_offline_pd() {
             .map(|f| clients.iter().map(|cl| f.distance(cl)).collect())
             .collect();
         let bid_inst = BiddingInstance::new(vec![4.0; m], distances).expect("valid");
-        let structure =
-            LeaseStructure::new(vec![LeaseType::new(1, 4.0)]).expect("single type");
-        let fac_inst =
-            FacilityInstance::euclidean(facilities, structure, vec![(0, clients)])
-                .expect("valid instance");
+        let structure = LeaseStructure::new(vec![LeaseType::new(1, 4.0)]).expect("single type");
+        let fac_inst = FacilityInstance::euclidean(facilities, structure, vec![(0, clients)])
+            .expect("valid instance");
 
         let exact = offline_primal_dual::solve(&fac_inst);
         let step = distributed_step(&bid_inst, 0.05, trial);

@@ -9,9 +9,7 @@ use online_resource_leasing::core::rng::seeded;
 use online_resource_leasing::deadlines::capacitated::{
     BuyRule, CapacitatedOldInstance, FirstFitOnline, WeightedDemand,
 };
-use online_resource_leasing::deadlines::multi_day::{
-    MultiDayClient, MultiDayInstance,
-};
+use online_resource_leasing::deadlines::multi_day::{MultiDayClient, MultiDayInstance};
 use online_resource_leasing::deadlines::offline as dl_offline;
 use online_resource_leasing::deadlines::old::{OldClient, OldInstance};
 use online_resource_leasing::facility::instance::FacilityInstance;
@@ -34,7 +32,14 @@ fn structure() -> LeaseStructure {
 fn capacity_monotonicity_of_the_optimum() {
     let facilities = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
     let batches: Vec<(u64, Vec<Point>)> = vec![
-        (0, vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(0.2, 0.0)]),
+        (
+            0,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.1, 0.0),
+                Point::new(0.2, 0.0),
+            ],
+        ),
         (3, vec![Point::new(0.0, 0.1)]),
     ];
     let base = FacilityInstance::euclidean(facilities, structure(), batches).unwrap();
@@ -45,7 +50,10 @@ fn capacity_monotonicity_of_the_optimum() {
     for cap in [2usize, 3, 4] {
         let inst = CapacitatedInstance::uniform(base.clone(), cap).unwrap();
         let opt = cap_offline::optimal_cost(&inst, 400_000).expect("small instance");
-        assert!(opt <= last + 1e-6, "cap {cap}: opt {opt} must not exceed {last}");
+        assert!(
+            opt <= last + 1e-6,
+            "cap {cap}: opt {opt} must not exceed {last}"
+        );
         assert!(opt >= plain - 1e-6, "capacitated opt below uncapacitated");
         last = opt;
     }
@@ -68,11 +76,13 @@ fn capacitated_greedy_is_sound_on_random_instances() {
         let mut batches = Vec::new();
         let mut t = 0u64;
         for _ in 0..3 {
-            t += 1 + rng.random_range(0..3);
+            t += 1 + rng.random_range(0..3u64);
             let n = 1 + rng.random_range(0..2);
             batches.push((
                 t,
-                (0..n).map(|_| Point::new(rng.random(), rng.random())).collect::<Vec<_>>(),
+                (0..n)
+                    .map(|_| Point::new(rng.random(), rng.random()))
+                    .collect::<Vec<_>>(),
             ));
         }
         let base = FacilityInstance::euclidean(facilities, structure(), batches).unwrap();
@@ -80,7 +90,10 @@ fn capacitated_greedy_is_sound_on_random_instances() {
         let opt = cap_offline::optimal_cost(&inst, 400_000).expect("small instance");
         for choice in [LeaseChoice::CheapestTotal, LeaseChoice::BestRate] {
             let cost = CapacitatedGreedy::new(&inst, choice).run();
-            assert!(cost >= opt - 1e-6, "trial {trial} {choice:?}: {cost} < {opt}");
+            assert!(
+                cost >= opt - 1e-6,
+                "trial {trial} {choice:?}: {cost} < {opt}"
+            );
         }
     }
 }
@@ -94,7 +107,7 @@ fn multi_day_duration_monotonicity() {
         let mut arrivals: Vec<u64> = Vec::new();
         let mut t = 0u64;
         for _ in 0..4 {
-            t += rng.random_range(0..4);
+            t += rng.random_range(0..4u64);
             arrivals.push(t);
         }
         let mut last = 0.0f64;
@@ -104,9 +117,8 @@ fn multi_day_duration_monotonicity() {
                 .map(|&a| MultiDayClient::new(a, duration + 2, duration))
                 .collect();
             let inst = MultiDayInstance::new(structure(), clients).unwrap();
-            let opt =
-                online_resource_leasing::deadlines::multi_day::optimal_cost(&inst, 400_000)
-                    .expect("small instance");
+            let opt = online_resource_leasing::deadlines::multi_day::optimal_cost(&inst, 400_000)
+                .expect("small instance");
             assert!(
                 opt >= last - 1e-6,
                 "duration {duration}: opt {opt} must not drop below {last}"
@@ -121,8 +133,10 @@ fn multi_day_duration_monotonicity() {
 #[test]
 fn weighted_first_fit_collapses_at_large_capacity() {
     // Light demands far apart: each buys exactly one short lease.
-    let demands =
-        vec![WeightedDemand::new(0, 0, 0.1), WeightedDemand::new(10, 0, 0.1)];
+    let demands = vec![
+        WeightedDemand::new(0, 0, 0.1),
+        WeightedDemand::new(10, 0, 0.1),
+    ];
     let inst = CapacitatedOldInstance::new(structure(), 1000.0, demands).unwrap();
     let mut alg = FirstFitOnline::new(&inst);
     let cost = alg.run(BuyRule::Cheapest);
@@ -138,19 +152,18 @@ fn weighted_and_unweighted_old_optima_are_ordered() {
         let mut demands = Vec::new();
         let mut t = 0u64;
         for _ in 0..3 {
-            t += rng.random_range(0..3);
+            t += rng.random_range(0..3u64);
             demands.push(WeightedDemand::new(t, rng.random_range(0..3), 0.9));
         }
-        let cap_inst =
-            CapacitatedOldInstance::new(structure(), 1.0, demands.clone()).unwrap();
+        let cap_inst = CapacitatedOldInstance::new(structure(), 1.0, demands.clone()).unwrap();
         let cap_opt =
-            online_resource_leasing::deadlines::capacitated::optimal_cost(
-                &cap_inst, 3, 400_000,
-            )
-            .expect("small instance");
+            online_resource_leasing::deadlines::capacitated::optimal_cost(&cap_inst, 3, 400_000)
+                .expect("small instance");
         // The unweighted OLD relaxation (capacity ∞) can only be cheaper.
-        let clients: Vec<OldClient> =
-            demands.iter().map(|d| OldClient::new(d.arrival, d.slack)).collect();
+        let clients: Vec<OldClient> = demands
+            .iter()
+            .map(|d| OldClient::new(d.arrival, d.slack))
+            .collect();
         let old_inst = OldInstance::new(structure(), clients).unwrap();
         let old_opt = dl_offline::old_optimal_cost(&old_inst, 400_000).unwrap();
         assert!(
@@ -184,8 +197,7 @@ fn stochastic_policies_respect_offline_bounds() {
         assert!(PermitOnline::total_cost(&informed) >= opt - 1e-6);
         assert!(PermitOnline::total_cost(&worst_case) >= opt - 1e-6);
         assert!(
-            PermitOnline::total_cost(&worst_case)
-                <= s.num_types() as f64 * opt + 1e-6,
+            PermitOnline::total_cost(&worst_case) <= s.num_types() as f64 * opt + 1e-6,
             "Theorem 2.7 bound must hold on stochastic inputs too"
         );
     }

@@ -4,9 +4,7 @@
 
 use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
 use online_resource_leasing::core::rng::seeded;
-use online_resource_leasing::distributed::{
-    resolve_conflicts, ConflictInstance, MisStrategy,
-};
+use online_resource_leasing::distributed::{resolve_conflicts, ConflictInstance, MisStrategy};
 use online_resource_leasing::graph::generators::connected_erdos_renyi;
 use online_resource_leasing::graph::graph::Graph;
 use online_resource_leasing::graph_cover::vertex_cover::{
@@ -59,7 +57,7 @@ fn steiner_online_sandwiched_between_opt_and_naive() {
         let mut requests = Vec::new();
         let mut t = 0u64;
         for _ in 0..4 {
-            t += rng.random_range(0..4);
+            t += rng.random_range(0..4u64);
             let u = rng.random_range(0..5);
             let mut v = rng.random_range(0..5);
             if v == u {
@@ -74,7 +72,10 @@ fn steiner_online_sandwiched_between_opt_and_naive() {
         let mut online = SteinerLeasingOnline::new(&inst);
         let online_cost = online.run();
         let naive = steiner_offline::buy_per_request(&inst).cost;
-        assert!(online_cost >= opt - 1e-6, "trial {trial}: online {online_cost} < opt {opt}");
+        assert!(
+            online_cost >= opt - 1e-6,
+            "trial {trial}: online {online_cost} < opt {opt}"
+        );
         assert!(
             naive >= opt - 1e-6,
             "trial {trial}: naive {naive} < opt {opt} (must be feasible)"
@@ -94,7 +95,7 @@ fn vertex_cover_direct_vs_reduction() {
         let mut arrivals: Vec<(u64, usize)> = Vec::new();
         let mut t = 0u64;
         for _ in 0..8 {
-            t += rng.random_range(0..3);
+            t += rng.random_range(0..3u64);
             arrivals.push((t, rng.random_range(0..g.num_edges())));
         }
         // Direct primal-dual.
@@ -128,8 +129,7 @@ fn vertex_cover_direct_vs_reduction() {
 #[test]
 fn dominating_set_star_optimum_is_one_hub_lease() {
     let g = Graph::new(5, vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]).unwrap();
-    let arrivals: Vec<(u64, usize, usize)> =
-        vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)];
+    let arrivals: Vec<(u64, usize, usize)> = vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)];
     let inst = dominating_set_instance(&g, structure(), &arrivals).unwrap();
     let opt = sc_offline::optimal_cost(&inst, 400_000).expect("small instance");
     // The hub covers everyone; two aligned 2-step hub leases (t ∈ [0,2) and
@@ -153,8 +153,14 @@ fn distributed_phase2_pipeline() {
     let inst = ConflictInstance::from_bids(m, &bids);
     let seq = resolve_conflicts(&inst, MisStrategy::SequentialGreedy);
     let dist = resolve_conflicts(&inst, MisStrategy::DistributedLuby { seed: 5 });
-    assert!(online_resource_leasing::distributed::is_mis(&inst.graph(), &seq.chosen));
-    assert!(online_resource_leasing::distributed::is_mis(&inst.graph(), &dist.chosen));
+    assert!(online_resource_leasing::distributed::is_mis(
+        &inst.graph(),
+        &seq.chosen
+    ));
+    assert!(online_resource_leasing::distributed::is_mis(
+        &inst.graph(),
+        &dist.chosen
+    ));
     let stats = dist.stats.expect("distributed run reports stats");
     assert!(stats.terminated);
     assert!(

@@ -45,8 +45,14 @@ fn prior_work_and_thesis_agree_on_feasible_costs() {
             .unwrap_or_else(|| fac_offline::lp_lower_bound(&inst));
         let thesis = PrimalDualFacility::new(&inst).run();
         let prior = NagarajanWilliamson::new(&inst).run();
-        assert!(thesis >= opt - 1e-6, "thesis {thesis} below opt {opt} (seed {seed})");
-        assert!(prior >= opt - 1e-6, "prior {prior} below opt {opt} (seed {seed})");
+        assert!(
+            thesis >= opt - 1e-6,
+            "thesis {thesis} below opt {opt} (seed {seed})"
+        );
+        assert!(
+            prior >= opt - 1e-6,
+            "prior {prior} below opt {opt} (seed {seed})"
+        );
     }
 }
 
@@ -59,22 +65,31 @@ fn window_model_collapses_to_old_on_intervals() {
         let mut arrivals = Vec::new();
         let mut t = 0u64;
         for _ in 0..6 {
-            t += rng.random_range(0..4);
+            t += rng.random_range(0..4u64);
             arrivals.push((t, rng.random_range(0..5u64)));
         }
         let o_inst = OldInstance::new(
             lease_structure(),
-            arrivals.iter().map(|&(a, d)| OldClient::new(a, d)).collect(),
+            arrivals
+                .iter()
+                .map(|&(a, d)| OldClient::new(a, d))
+                .collect(),
         )
         .unwrap();
         let w_inst = WindowInstance::new(
             lease_structure(),
-            arrivals.iter().map(|&(a, d)| WindowClient::interval(a, d)).collect(),
+            arrivals
+                .iter()
+                .map(|&(a, d)| WindowClient::interval(a, d))
+                .collect(),
         )
         .unwrap();
         let o_opt = dl_offline::old_optimal_cost(&o_inst, 200_000).unwrap();
         let w_opt = window_optimal_cost(&w_inst, 200_000).unwrap();
-        assert!((o_opt - w_opt).abs() < 1e-9, "optima diverge at seed {seed}");
+        assert!(
+            (o_opt - w_opt).abs() < 1e-9,
+            "optima diverge at seed {seed}"
+        );
         // Both online algorithms serve everything and stay above opt.
         let o_cost = OldPrimalDual::new(&o_inst).run();
         let w_cost = WindowPrimalDual::new(&w_inst).run();
@@ -96,7 +111,10 @@ fn window_model_collapses_to_parking_permit_on_single_days() {
     .unwrap();
     let w_opt = window_optimal_cost(&w_inst, 200_000).unwrap();
     let dp = pp_offline::optimal_cost_interval_model(&structure, &days);
-    assert!((w_opt - dp).abs() < 1e-9, "window ILP {w_opt} vs permit DP {dp}");
+    assert!(
+        (w_opt - dp).abs() < 1e-9,
+        "window ILP {w_opt} vs permit DP {dp}"
+    );
 }
 
 /// The PPP-embedding driver reproduces parking-permit hardness inside the
@@ -111,7 +129,10 @@ fn ppp_embedding_optimum_matches_permit_dp() {
     let inst = outcome.into_instance(&template);
     let ilp = sc_offline::optimal_cost(&inst, 200_000).unwrap();
     let dp = pp_offline::optimal_cost_interval_model(&structure, &days);
-    assert!((ilp - dp).abs() < 1e-9, "Figure 3.2 ILP {ilp} vs permit DP {dp}");
+    assert!(
+        (ilp - dp).abs() < 1e-9,
+        "Figure 3.2 ILP {ilp} vs permit DP {dp}"
+    );
     assert!(cost >= ilp - 1e-9);
 }
 

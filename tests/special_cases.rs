@@ -79,7 +79,7 @@ fn scld_ilp_with_zero_slack_matches_smcl_ilp() {
         let mut smcl_arrivals = Vec::new();
         let mut t = 0u64;
         for _ in 0..6 {
-            t += rng.random_range(0..4);
+            t += rng.random_range(0..4u64);
             let e = rng.random_range(0..4);
             scld_arrivals.push(ScldArrival::new(t, e, 0));
             smcl_arrivals.push(Arrival::new(t, e, 1));

@@ -1,0 +1,263 @@
+//! Workspace-vendored micro-benchmark harness.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the `criterion` API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `bench_with_input`, [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
+//! warmup + fixed-duration sampling loop (no outlier analysis); results are
+//! printed per benchmark and, when `CRITERION_OUTPUT_JSON` names a file, the
+//! full run is also written there as machine-readable JSON.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
+/// Identifies one benchmark within a group: a function name plus an input
+/// parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just `parameter` (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    measured: Option<(f64, u64)>,
+    sample_ms: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warmup, then batches until the sampling
+    /// budget elapses. The mean ns/iteration is recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and initial calibration.
+        let calibrate_start = Instant::now();
+        let mut calls = 0u64;
+        while calibrate_start.elapsed() < Duration::from_millis(5) {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = calibrate_start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+        let budget = Duration::from_millis(self.sample_ms);
+        let batch = ((budget.as_nanos() as f64 / per_call.max(1.0)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iterations += batch;
+        }
+        let mean = start.elapsed().as_nanos() as f64 / iterations.max(1) as f64;
+        self.measured = Some((mean, iterations));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_ms: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Hint for the sampling effort (mapped onto the sampling budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion counts samples; here the budget scales mildly.
+        self.sample_ms = (n as u64).clamp(10, 200);
+        self
+    }
+
+    /// Benchmarks `routine` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        let mut bencher = Bencher {
+            measured: None,
+            sample_ms: self.sample_ms,
+        };
+        routine(&mut bencher, input);
+        self.criterion.record(full, bencher);
+        self
+    }
+
+    /// Benchmarks `routine` under `id` without an input parameter.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            measured: None,
+            sample_ms: self.sample_ms,
+        };
+        routine(&mut bencher);
+        self.criterion.record(full, bencher);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; recording is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager: collects measurements and reports them.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Begins a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_ms: 60,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            measured: None,
+            sample_ms: 60,
+        };
+        routine(&mut bencher);
+        self.record(name.into(), bencher);
+        self
+    }
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        let Some((mean_ns, iterations)) = bencher.measured else {
+            eprintln!("warning: benchmark {id} never called Bencher::iter");
+            return;
+        };
+        println!(
+            "{id:60} time: {:>12.1} ns/iter  ({iterations} iters)",
+            mean_ns
+        );
+        self.results.push(Measurement {
+            id,
+            mean_ns,
+            iterations,
+        });
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Writes the collected measurements as JSON to
+    /// `$CRITERION_OUTPUT_JSON` when that variable is set.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iterations\": {}}}{}\n",
+                m.id.replace('"', "'"),
+                m.mean_ns,
+                m.iterations,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote benchmark baseline to {path}");
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($function(c);)+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("unit");
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.finish();
+        }
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].mean_ns > 0.0);
+        assert!(c.measurements()[0].id.contains("unit/sum/64"));
+    }
+
+    #[test]
+    fn bench_function_records_under_plain_name() {
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.measurements()[0].id, "plain");
+    }
+}

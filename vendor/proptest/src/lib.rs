@@ -1,0 +1,496 @@
+//! Workspace-vendored property testing.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the `proptest` API the workspace's tests use: the
+//! [`proptest!`] macro, range/tuple/[`collection::vec`] strategies,
+//! [`any`], `prop_assert*` and [`ProptestConfig`]. Unlike real proptest
+//! there is no shrinking — a failing case panics with the generated inputs
+//! so the seed can be reproduced (generation is deterministic per test
+//! name).
+
+use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+/// Number of cases to run per property (mirrors proptest's config knob).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a property case failed (carried through `Result` by `prop_assert*`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Marks the case as rejected by `prop_assume!` (treated as skipped).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: format!("__proptest_reject__{}", message.into()),
+        }
+    }
+
+    /// Whether this error is an assumption rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.message.starts_with("__proptest_reject__")
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug + Clone;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug + Clone,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+
+    /// A strategy generating a value, building a second strategy from it,
+    /// and drawing from that (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug + Clone,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Strategy for "any value of `T`" — see [`any`].
+#[derive(Copy, Clone, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical [`Any`] strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug + Clone {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngExt;
+        rng.random()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::RngExt;
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy of `T` (`any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A strategy always yielding a fixed value.
+#[derive(Copy, Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: std::fmt::Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Copy, Clone, Debug)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// A half-open range of lengths.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange::Range(*r.start(), *r.end() + 1)
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            use rand::RngExt;
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => {
+                    assert!(lo < hi, "empty vec length range");
+                    rng.random_range(lo..hi)
+                }
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner internals used by the generated test bodies.
+
+    pub use super::{ProptestConfig, TestCaseError};
+
+    /// The `Result` type property bodies evaluate to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod prelude {
+    //! Everything the property tests import.
+
+    pub use super::collection;
+    pub use super::test_runner::TestCaseResult;
+    pub use super::{any, Any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic per-test seed derived from the test path (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `cases` generated cases of `body` over `strategy`.
+///
+/// # Panics
+///
+/// Panics with the generated inputs on the first failing case.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for(test_name));
+    let mut executed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(16).max(64);
+    while executed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "property {test_name} rejected too many cases (prop_assume too strict)"
+        );
+        let input = strategy.generate(&mut rng);
+        match body(input.clone()) {
+            Ok(()) => executed += 1,
+            Err(e) if e.is_rejection() => continue,
+            Err(e) => panic!(
+                "property {test_name} failed after {executed} passing cases\n\
+                 input: {input:?}\n{e}"
+            ),
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` block runs
+/// against `cases` random inputs (default 256, overridable with
+/// `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    &strategy,
+                    |($($arg,)+)| -> Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $($(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$attr])*
+            fn $name($($arg in $strategy),+) $body)*
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, y in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vecs_respect_length_ranges(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_any_compose(pair in (0usize..4, any::<bool>())) {
+            let (n, b) = pair;
+            prop_assert!(n < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+}

@@ -1,0 +1,799 @@
+//! Workspace-vendored serialization facade.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of `serde` the workspace relies on: the
+//! [`Serialize`]/[`Deserialize`] traits with derive macros, plus a JSON
+//! renderer/parser over an owned [`Value`] tree (see [`json`]). Unlike real
+//! serde there is no zero-copy visitor machinery — every type serializes
+//! through `Value`, which is plenty for instance snapshots, ledgers and
+//! bench baselines.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An owned serialization tree (the data model of the vendored facade).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer (used when the value is negative).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key-value map.
+    Map(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The entry named `key` when this is a map.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in a map value, yielding `Null` for missing keys so
+/// `Option` fields deserialize to `None`. Used by the derive macros.
+///
+/// # Errors
+///
+/// Returns an error when `value` is not a map.
+pub fn value_field<'v>(value: &'v Value, key: &str) -> Result<&'v Value, de::Error> {
+    match value {
+        Value::Map(_) => Ok(value.get(key).unwrap_or(&NULL)),
+        other => Err(de::Error::new(format!(
+            "expected a map with field {key}, found {other:?}"
+        ))),
+    }
+}
+
+/// Looks up position `index` in a sequence value. Used by the derive macros.
+///
+/// # Errors
+///
+/// Returns an error when `value` is not a sequence or too short.
+pub fn value_index(value: &Value, index: usize) -> Result<&Value, de::Error> {
+    match value {
+        Value::Seq(items) => items
+            .get(index)
+            .ok_or_else(|| de::Error::new(format!("sequence too short for index {index}"))),
+        other => Err(de::Error::new(format!(
+            "expected a sequence, found {other:?}"
+        ))),
+    }
+}
+
+/// Extracts a string slice from a value. Used by the derive macros for unit
+/// enums.
+///
+/// # Errors
+///
+/// Returns an error when `value` is not a string.
+pub fn value_str(value: &Value) -> Result<&str, de::Error> {
+    match value {
+        Value::Str(s) => Ok(s),
+        other => Err(de::Error::new(format!(
+            "expected a string, found {other:?}"
+        ))),
+    }
+}
+
+/// Types renderable into the [`Value`] data model.
+pub trait Serialize {
+    /// The value tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] when the tree has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+pub mod de {
+    //! Deserialization support types.
+
+    /// Marker for types deserializable without borrowing from the input —
+    /// with the owned [`Value`](crate::Value) model, every
+    /// [`Deserialize`](crate::Deserialize) type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+
+    /// A deserialization failure with a human-readable message.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Wraps a message.
+        pub fn new(message: impl Into<String>) -> Self {
+            Error {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| de::Error::new("unsigned integer out of range")),
+                    Value::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| de::Error::new("integer out of range")),
+                    other => Err(de::Error::new(format!("expected an integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| de::Error::new("integer out of range")),
+                    Value::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| de::Error::new("integer out of range")),
+                    other => Err(de::Error::new(format!("expected an integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match value {
+                    Value::Float(v) => Ok(*v as $t),
+                    Value::UInt(v) => Ok(*v as $t),
+                    Value::Int(v) => Ok(*v as $t),
+                    other => Err(de::Error::new(format!("expected a number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::new(format!(
+                "expected a boolean, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        value_str(value).map(str::to_string)
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::new(format!(
+                "expected a sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                Ok(($($name::from_value(value_index(value, $idx)?)?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::new(format!("expected a map, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::new(format!("expected a map, found {other:?}"))),
+        }
+    }
+}
+
+pub mod json {
+    //! JSON rendering and parsing over the [`Value`](crate::Value) tree.
+
+    use super::{de, Deserialize, Serialize, Value};
+
+    /// Renders `value` as compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&value.to_value(), &mut out);
+        out
+    }
+
+    /// Renders `value` as indented JSON (two-space indent).
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value_pretty(&value.to_value(), &mut out, 0);
+        out
+    }
+
+    /// Parses JSON text into a `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] on malformed JSON or shape mismatches.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, de::Error> {
+        let value = parse(text)?;
+        T::from_value(&value)
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_float(v: f64, out: &mut String) {
+        if v.is_finite() {
+            let rendered = format!("{v}");
+            out.push_str(&rendered);
+        } else {
+            // JSON has no infinities/NaN; fall back to null like serde_json's
+            // lossy modes.
+            out.push_str("null");
+        }
+    }
+
+    fn write_value(value: &Value, out: &mut String) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(v) => out.push_str(&v.to_string()),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => write_float(*v, out),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(item, out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    write_value(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_value_pretty(value: &Value, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, depth: usize| {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        };
+        match value {
+            Value::Seq(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    write_value_pretty(item, out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Value::Map(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    pad(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    write_value_pretty(v, out, depth + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+            other => write_value(other, out),
+        }
+    }
+
+    struct Parser<'s> {
+        bytes: &'s [u8],
+        pos: usize,
+    }
+
+    /// Parses JSON text into a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, de::Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(de::Error::new("trailing characters after json value"));
+        }
+        Ok(value)
+    }
+
+    impl<'s> Parser<'s> {
+        fn skip_ws(&mut self) {
+            while self.pos < self.bytes.len()
+                && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, de::Error> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| de::Error::new("unexpected end of json input"))
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), de::Error> {
+            if self.peek()? == byte {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(de::Error::new(format!(
+                    "expected `{}` at byte {}",
+                    byte as char, self.pos
+                )))
+            }
+        }
+
+        fn literal(&mut self, lit: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, de::Error> {
+            match self.peek()? {
+                b'n' => {
+                    if self.literal("null") {
+                        Ok(Value::Null)
+                    } else {
+                        Err(de::Error::new("invalid literal"))
+                    }
+                }
+                b't' => {
+                    if self.literal("true") {
+                        Ok(Value::Bool(true))
+                    } else {
+                        Err(de::Error::new("invalid literal"))
+                    }
+                }
+                b'f' => {
+                    if self.literal("false") {
+                        Ok(Value::Bool(false))
+                    } else {
+                        Err(de::Error::new("invalid literal"))
+                    }
+                }
+                b'"' => self.string().map(Value::Str),
+                b'[' => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    if self.peek()? == b']' {
+                        self.pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        match self.peek()? {
+                            b',' => self.pos += 1,
+                            b']' => {
+                                self.pos += 1;
+                                return Ok(Value::Seq(items));
+                            }
+                            _ => return Err(de::Error::new("expected `,` or `]`")),
+                        }
+                    }
+                }
+                b'{' => {
+                    self.pos += 1;
+                    let mut entries = Vec::new();
+                    if self.peek()? == b'}' {
+                        self.pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.expect(b':')?;
+                        entries.push((key, self.value()?));
+                        match self.peek()? {
+                            b',' => self.pos += 1,
+                            b'}' => {
+                                self.pos += 1;
+                                return Ok(Value::Map(entries));
+                            }
+                            _ => return Err(de::Error::new("expected `,` or `}`")),
+                        }
+                    }
+                }
+                _ => self.number(),
+            }
+        }
+
+        /// Reads the four hex digits of a `\uXXXX` escape (cursor already
+        /// past the `\u`).
+        fn hex_escape(&mut self) -> Result<u32, de::Error> {
+            let hex = self
+                .bytes
+                .get(self.pos..self.pos + 4)
+                .ok_or_else(|| de::Error::new("truncated unicode escape"))?;
+            let hex =
+                std::str::from_utf8(hex).map_err(|_| de::Error::new("invalid unicode escape"))?;
+            let code = u32::from_str_radix(hex, 16)
+                .map_err(|_| de::Error::new("invalid unicode escape"))?;
+            self.pos += 4;
+            Ok(code)
+        }
+
+        fn string(&mut self) -> Result<String, de::Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    return Err(de::Error::new("unterminated string"));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&esc) = self.bytes.get(self.pos) else {
+                            return Err(de::Error::new("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let mut code = self.hex_escape()?;
+                                // Combine UTF-16 surrogate pairs
+                                // (\uD83D\uDE00 and friends).
+                                if (0xD800..0xDC00).contains(&code) {
+                                    if self.bytes.get(self.pos) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(de::Error::new(
+                                            "unpaired high surrogate in string",
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex_escape()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(de::Error::new(
+                                            "invalid low surrogate in string",
+                                        ));
+                                    }
+                                    code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                }
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| de::Error::new("invalid code point"))?,
+                                );
+                            }
+                            _ => return Err(de::Error::new("unknown escape sequence")),
+                        }
+                    }
+                    b => {
+                        // Re-decode multi-byte UTF-8 sequences from the source.
+                        if b < 0x80 {
+                            out.push(b as char);
+                        } else {
+                            let start = self.pos - 1;
+                            let width = match b {
+                                0xC0..=0xDF => 2,
+                                0xE0..=0xEF => 3,
+                                _ => 4,
+                            };
+                            let slice = self
+                                .bytes
+                                .get(start..start + width)
+                                .ok_or_else(|| de::Error::new("truncated utf-8 sequence"))?;
+                            let s = std::str::from_utf8(slice)
+                                .map_err(|_| de::Error::new("invalid utf-8 in string"))?;
+                            out.push_str(s);
+                            self.pos = start + width;
+                        }
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, de::Error> {
+            self.skip_ws();
+            let start = self.pos;
+            while self.pos < self.bytes.len()
+                && matches!(
+                    self.bytes[self.pos],
+                    b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'
+                )
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| de::Error::new("invalid number"))?;
+            if text.is_empty() {
+                return Err(de::Error::new(format!(
+                    "unexpected character at byte {start}"
+                )));
+            }
+            if !text.contains(['.', 'e', 'E']) {
+                if let Ok(v) = text.parse::<u64>() {
+                    return Ok(Value::UInt(v));
+                }
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::Int(v));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| de::Error::new(format!("invalid number literal {text}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_json() {
+        let v: Vec<(u64, f64)> = vec![(1, 0.5), (2, -3.25)];
+        let text = json::to_string(&v);
+        assert_eq!(text, "[[1,0.5],[2,-3.25]]");
+        let back: Vec<(u64, f64)> = json::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        let v: Vec<Option<u32>> = vec![Some(3), None];
+        let text = json::to_string(&v);
+        assert_eq!(text, "[3,null]");
+        let back: Vec<Option<u32>> = json::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd".to_string();
+        let text = json::to_string(&s);
+        let back: String = json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn maps_preserve_entries() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("alpha".to_string(), 1u64);
+        m.insert("beta".to_string(), 2u64);
+        let text = json::to_string(&m);
+        assert_eq!(text, "{\"alpha\":1,\"beta\":2}");
+        let back: std::collections::BTreeMap<String, u64> = json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(json::parse("{\"a\":}").is_err());
+        assert!(json::parse("[1,2").is_err());
+        assert!(json::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse_to_astral_chars() {
+        let back: String = json::from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(back, "\u{1F600}");
+        // Unpaired or malformed surrogates are typed errors, not panics.
+        assert!(json::from_str::<String>("\"\\ud83d\"").is_err());
+        assert!(json::from_str::<String>("\"\\ud83d\\u0041\"").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_parseable() {
+        let v: Vec<Vec<u32>> = vec![vec![1, 2], vec![]];
+        let text = json::to_string_pretty(&v);
+        let back: Vec<Vec<u32>> = json::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,270 @@
+//! Workspace-vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no network access, so this proc-macro crate
+//! re-implements the subset of `serde_derive` the workspace needs: plain
+//! (non-generic) structs with named fields, tuple structs, and enums with
+//! unit variants. The generated impls target the vendored `serde` facade's
+//! value-tree data model ([`serde::Value`]).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving item.
+enum Item {
+    /// `struct Name { a: A, b: B }` — field names in declaration order.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);` — number of fields.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { X, Y }` — unit variant names.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Parses the item a derive macro was attached to. Panics (compile error)
+/// on shapes the vendored derive does not support.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _bracket = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _scope = tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => panic!("unsupported token before item keyword: {other}"),
+            None => panic!("expected a struct or enum"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected an item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic items ({name})");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("expected an item body for {name}, found {other:?}"),
+    };
+    if kind == "enum" {
+        let variants = parse_unit_variants(&name, body.stream());
+        return Item::UnitEnum { name, variants };
+    }
+    match body.delimiter() {
+        Delimiter::Brace => Item::NamedStruct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        Delimiter::Parenthesis => Item::TupleStruct {
+            name,
+            arity: count_top_level_fields(body.stream()),
+        },
+        other => panic!("unsupported struct body delimiter {other:?} for {name}"),
+    }
+}
+
+/// Field names of a brace-delimited struct body: the identifier directly
+/// before each top-level `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility ahead of the field name.
+        let field = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _bracket = tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _scope = tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other}"),
+                None => return fields,
+            }
+        };
+        fields.push(field);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: everything up to the next top-level comma. Generic
+        // argument lists nest via `<`/`>` which are Puncts, so track depth.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Number of top-level comma-separated fields in a tuple-struct body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        arity + 1
+    } else {
+        arity
+    }
+}
+
+/// Variant names of an enum body; panics on data-carrying variants.
+fn parse_unit_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _bracket = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match tokens.next() {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => panic!(
+                        "the vendored serde derive supports only unit enum variants \
+                         ({name}::{id} carries {other})"
+                    ),
+                }
+            }
+            Some(other) => panic!("unexpected token in enum body: {other}"),
+            None => break,
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {} }}.to_string())\n\
+                     }}\n\
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value_field(value, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::de::Error> {{\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value(::serde::value_index(value, {i})?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::de::Error> {{\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::de::Error> {{\n\
+                         match ::serde::value_str(value)? {{\n\
+                             {}\n\
+                             other => Err(::serde::de::Error::new(format!(\n\
+                                 \"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
