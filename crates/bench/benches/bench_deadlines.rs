@@ -19,7 +19,7 @@ fn structure() -> LeaseStructure {
 fn bench_old(c: &mut Criterion) {
     let mut group = c.benchmark_group("old_primal_dual");
     for horizon in [256u64, 1024, 4096] {
-        let clients = old_clients(&mut seeded(3), horizon, 0.3, 8);
+        let clients = old_clients(&mut seeded(3), horizon, 0.3, 8).expect("valid parameters");
         let inst = OldInstance::new(structure(), clients).unwrap();
         group.bench_with_input(BenchmarkId::new("serve_all", horizon), &inst, |b, inst| {
             b.iter(|| {

@@ -87,7 +87,7 @@ fn bench_driver_loop(c: &mut Criterion) {
                 })
             },
         );
-        let days = rainy_days(&mut seeded(1), horizon, 0.3);
+        let days = rainy_days(&mut seeded(1), horizon, 0.3).expect("valid parameters");
         group.bench_with_input(
             BenchmarkId::new("submit_det_permit", horizon),
             &days,

@@ -20,7 +20,7 @@ fn bench_online(c: &mut Criterion) {
     let s = structure();
     let mut group = c.benchmark_group("parking_online");
     for horizon in [256u64, 1024, 4096] {
-        let days = rainy_days(&mut seeded(1), horizon, 0.3);
+        let days = rainy_days(&mut seeded(1), horizon, 0.3).expect("valid parameters");
         group.bench_with_input(
             BenchmarkId::new("deterministic", horizon),
             &days,
@@ -52,7 +52,7 @@ fn bench_offline(c: &mut Criterion) {
     let s = structure();
     let mut group = c.benchmark_group("parking_offline");
     for horizon in [256u64, 1024, 4096] {
-        let days = rainy_days(&mut seeded(2), horizon, 0.3);
+        let days = rainy_days(&mut seeded(2), horizon, 0.3).expect("valid parameters");
         group.bench_with_input(BenchmarkId::new("dp_general", horizon), &days, |b, days| {
             b.iter(|| black_box(offline::optimal_cost_general(&s, days)))
         });

@@ -16,10 +16,12 @@
 //!   algorithm, again bit-exactly.
 
 use leasing_bench::table;
+use leasing_core::engine::Driver;
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::rng::seeded;
 use leasing_deadlines::old::{OldClient, OldInstance, OldPrimalDual};
 use leasing_deadlines::scld::{ScldArrival, ScldInstance, ScldOnline};
+use leasing_workloads::rainy_days;
 use leasing_workloads::set_systems::{random_system, zipf_arrivals};
 use online_covering::{
     GenericDeterministicPermit, GenericOld, GenericParkingPermit, GenericScld, GenericSmcl,
@@ -27,7 +29,7 @@ use online_covering::{
 use parking_permit::det::DeterministicPrimalDual;
 use parking_permit::rand_alg::RandomizedPermit;
 use parking_permit::{offline, PermitOnline};
-use rand::{Rng, RngExt};
+use rand::RngExt;
 use set_cover_leasing::instance::SmclInstance;
 use set_cover_leasing::offline as sc_offline;
 use set_cover_leasing::online::SmclOnline;
@@ -48,12 +50,6 @@ fn lease_structure(k: usize) -> LeaseStructure {
     LeaseStructure::new(types).expect("increasing lengths")
 }
 
-fn rainy_days<R: Rng + ?Sized>(rng: &mut R, horizon: u64, wet_fraction: f64) -> Vec<u64> {
-    (0..horizon)
-        .filter(|_| rng.random::<f64>() < wet_fraction)
-        .collect()
-}
-
 fn main() {
     println!("== E28a: adapters are bit-exact re-derivations (unification) ==");
     println!("columns: specialized cost, generic cost (must agree to the last bit)\n");
@@ -67,18 +63,16 @@ fn main() {
         let mut gen_total = 0.0;
         for seed in 0..10u64 {
             let mut rng = seeded(SEED ^ seed);
-            let days = rainy_days(&mut rng, 96, 0.4);
+            let days = rainy_days(&mut rng, 96, 0.4).expect("valid parameters");
             let tau = seeded(seed + 1).random::<f64>().max(1e-6);
-            let mut spec = RandomizedPermit::with_threshold(s.clone(), tau);
+            let mut spec = Driver::new(RandomizedPermit::with_threshold(s.clone(), tau), s.clone());
             let mut gen = GenericParkingPermit::with_threshold(s.clone(), tau);
+            spec.submit_batch(days.iter().map(|&t| (t, ())))
+                .expect("sorted demand days");
             for &t in &days {
-                spec.serve_demand(t);
                 gen.serve_demand(t);
             }
-            let (a, b) = (
-                PermitOnline::total_cost(&spec),
-                PermitOnline::total_cost(&gen),
-            );
+            let (a, b) = (spec.cost(), PermitOnline::total_cost(&gen));
             all_equal &= a.to_bits() == b.to_bits();
             spec_total += a;
             gen_total += b;
@@ -166,17 +160,15 @@ fn main() {
         let mut gen_total = 0.0;
         for seed in 0..10u64 {
             let mut rng = seeded(SEED ^ (seed * 5 + 3));
-            let days = rainy_days(&mut rng, 96, 0.4);
-            let mut spec = DeterministicPrimalDual::new(s.clone());
+            let days = rainy_days(&mut rng, 96, 0.4).expect("valid parameters");
+            let mut spec = Driver::new(DeterministicPrimalDual::new(s.clone()), s.clone());
             let mut gen = GenericDeterministicPermit::new(s.clone());
+            spec.submit_batch(days.iter().map(|&t| (t, ())))
+                .expect("sorted demand days");
             for &t in &days {
-                spec.serve_demand(t);
                 gen.serve_demand(t);
             }
-            let (a, b) = (
-                PermitOnline::total_cost(&spec),
-                PermitOnline::total_cost(&gen),
-            );
+            let (a, b) = (spec.cost(), PermitOnline::total_cost(&gen));
             all_equal &= a.to_bits() == b.to_bits();
             spec_total += a;
             gen_total += b;
@@ -236,7 +228,7 @@ fn main() {
         let trials = 20u64;
         for seed in 0..trials {
             let mut rng = seeded(SEED ^ (seed * 101 + k as u64));
-            let days = rainy_days(&mut rng, 128, 0.35);
+            let days = rainy_days(&mut rng, 128, 0.35).expect("valid parameters");
             if days.is_empty() {
                 continue;
             }

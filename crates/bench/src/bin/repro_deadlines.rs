@@ -35,7 +35,7 @@ fn main() {
         let mut stats = RatioStats::new();
         for t in 0..6u64 {
             let mut rng = seeded(SEED + t * 13 + k as u64);
-            let clients = uniform_old_clients(&mut rng, 256, 0.3, 4);
+            let clients = uniform_old_clients(&mut rng, 256, 0.3, 4).expect("valid parameters");
             if clients.is_empty() {
                 continue;
             }
@@ -69,7 +69,7 @@ fn main() {
         let mut stats = RatioStats::new();
         for t in 0..6u64 {
             let mut rng = seeded(SEED ^ (t * 7 + d_max));
-            let clients = old_clients(&mut rng, 256, 0.3, d_max);
+            let clients = old_clients(&mut rng, 256, 0.3, d_max).expect("valid parameters");
             if clients.is_empty() {
                 continue;
             }

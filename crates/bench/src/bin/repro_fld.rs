@@ -65,7 +65,9 @@ fn main() {
         .map(|base| {
             let rigid = FldInstance::new(base.clone(), vec![0; base.num_clients()])
                 .expect("matching slack count");
-            fld::optimal_cost(&rigid, 100_000).unwrap_or_else(|| fld::lp_lower_bound(&rigid))
+            fld::optimal_cost(&rigid, 100_000)
+                .or_else(|_| fld::lp_lower_bound(&rigid))
+                .expect("covering relaxation is solvable")
         })
         .collect();
 
@@ -86,16 +88,17 @@ fn main() {
                 })
                 .collect();
             let inst = FldInstance::new(base.clone(), slacks).expect("matching slack count");
-            let opt =
-                fld::optimal_cost(&inst, 100_000).unwrap_or_else(|| fld::lp_lower_bound(&inst));
+            let opt = fld::optimal_cost(&inst, 100_000)
+                .or_else(|_| fld::lp_lower_bound(&inst))
+                .expect("covering relaxation is solvable");
             if opt <= 0.0 || rigid_opts[t] <= 0.0 {
                 continue;
             }
             opt_rel.push(opt / rigid_opts[t]);
             arrive_stats.push(PrimalDualFacility::new(inst.base()).run() / opt);
-            let by_deadline = inst.defer_to_deadline();
+            let by_deadline = inst.defer_to_deadline().expect("valid regrouping");
             deadline_stats.push(PrimalDualFacility::new(&by_deadline).run() / opt);
-            let by_aligned = inst.defer_to_aligned();
+            let by_aligned = inst.defer_to_aligned().expect("valid regrouping");
             aligned_stats.push(PrimalDualFacility::new(&by_aligned).run() / opt);
         }
         table::row(
@@ -130,11 +133,13 @@ fn main() {
         .expect("sorted batches");
         let slacks: Vec<u64> = (0..span).map(|t| span - t).collect();
         let inst = FldInstance::new(base, slacks).expect("matching slack count");
-        let opt = fld::optimal_cost(&inst, 200_000).unwrap_or_else(|| fld::lp_lower_bound(&inst));
+        let opt = fld::optimal_cost(&inst, 200_000)
+            .or_else(|_| fld::lp_lower_bound(&inst))
+            .expect("covering relaxation is solvable");
         let arrive = PrimalDualFacility::new(inst.base()).run() / opt;
-        let by_deadline = inst.defer_to_deadline();
+        let by_deadline = inst.defer_to_deadline().expect("valid regrouping");
         let deadline = PrimalDualFacility::new(&by_deadline).run() / opt;
-        let by_aligned = inst.defer_to_aligned();
+        let by_aligned = inst.defer_to_aligned().expect("valid regrouping");
         let aligned = PrimalDualFacility::new(&by_aligned).run() / opt;
         table::row(
             &[

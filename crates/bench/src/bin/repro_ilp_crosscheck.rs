@@ -31,7 +31,7 @@ fn main() {
     let mut max_gap = 0.0f64;
     for trial in 0..6u64 {
         let mut rng = seeded(SEED + trial);
-        let days = rainy_days(&mut rng, 64, 0.3);
+        let days = rainy_days(&mut rng, 64, 0.3).expect("valid parameters");
         let inst = PermitInstance::new(structure.clone(), days.clone());
         let dp = permit_offline::optimal_cost_interval_model(&structure, &inst.demands);
         let ilp = permit_ilp::optimal_cost_ilp(&inst);

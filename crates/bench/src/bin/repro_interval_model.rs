@@ -44,7 +44,7 @@ fn main() {
                 let original = random_structure(&mut rng, k);
                 let red = IntervalModelReduction::new(&original);
                 let horizon = (red.rounded().l_max() * 4).min(4096);
-                let days = rainy_days(&mut rng, horizon, p);
+                let days = rainy_days(&mut rng, horizon, p).expect("valid parameters");
                 if days.is_empty() {
                     continue;
                 }

@@ -83,7 +83,7 @@ fn main() {
         let mut meyerson_stats = RatioStats::new();
         for t in 0..6u64 {
             let mut rng = seeded(SEED + 31 * t + k as u64);
-            let days = rainy_days(&mut rng, structure.l_max() * 2, 0.3);
+            let days = rainy_days(&mut rng, structure.l_max() * 2, 0.3).expect("valid parameters");
             if days.is_empty() {
                 continue;
             }

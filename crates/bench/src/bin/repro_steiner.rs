@@ -33,7 +33,7 @@ fn main() {
         let g = connected_erdos_renyi(&mut rng, 5, 0.4, 1.0..3.0);
         let requests = steiner_requests(&mut rng, 5, 4, 0.3, 3);
         let inst = SteinerInstance::new(g, structure.clone(), requests).unwrap();
-        let Some(opt) = steiner_optimal_cost(&inst, 300, 400_000) else {
+        let Ok(opt) = steiner_optimal_cost(&inst, 300, 400_000) else {
             continue;
         };
         let det = SteinerLeasingOnline::new(&inst).run();

@@ -1,45 +1,54 @@
 //! Experiment E19: stochastic leasing (thesis §3.5/§5.6 outlook).
 //!
-//! * E19a: rate-informed policies vs the worst-case primal-dual vs the
-//!   clairvoyant DP, across demand processes and rates.
+//! * E19a: rate-informed policies vs the worst-case primal-dual across the
+//!   SimLab scenario matrix (Bernoulli sweep, bursty, diurnal) — the
+//!   hand-written process/trial loops are replaced by one `run_matrix`
+//!   call per rate regime.
 //! * E19b: robustness — the switch combiner with a *wrong* prediction stays
 //!   close to the worst-case algorithm; with a right one it tracks the
-//!   informed policy.
+//!   informed policy. All policies run behind the generic [`Driver`].
 //! * E19c: time-varying prices — price-aware online vs the priced DP.
 
 use leasing_bench::table;
+use leasing_core::engine::Driver;
 use leasing_core::harness::RatioStats;
 use leasing_core::interval::power_of_two_structure;
+use leasing_core::lease::LeaseStructure;
 use leasing_core::rng::seeded;
+use leasing_simlab::registry::select_algorithms;
+use leasing_simlab::runner::{run_matrix, MatrixConfig};
+use leasing_simlab::scenario::{Scenario, WorkloadSpec};
 use parking_permit::det::DeterministicPrimalDual;
 use parking_permit::offline;
-use parking_permit::PermitOnline;
-use stochastic_leasing::demand::{Bernoulli, DemandProcess, MarkovModulated, Seasonal};
-use stochastic_leasing::policies::{EmpiricalRate, RateThreshold, SwitchCombiner};
+use stochastic_leasing::demand::{Bernoulli, DemandProcess};
+use stochastic_leasing::policies::{RateThreshold, SwitchCombiner};
 use stochastic_leasing::prices::{optimal_cost_priced, PriceAwarePermit, PricePath};
-
-type DaySampler = Box<dyn Fn(u64) -> Vec<u64>>;
 
 const SEED: u64 = 19001;
 const TRIALS: u64 = 10;
 
-fn mean_ratio<P: PermitOnline>(
-    make: impl Fn() -> P,
+/// Mean cost/OPT of `make()` over `TRIALS` sampled day sequences, driving
+/// the policy through the generic engine driver.
+fn mean_ratio<A>(
+    make: impl Fn() -> A,
     sample: impl Fn(u64) -> Vec<u64>,
-    structure: &leasing_core::lease::LeaseStructure,
-) -> f64 {
+    structure: &LeaseStructure,
+) -> f64
+where
+    A: leasing_core::engine::LeasingAlgorithm<Request = ()>,
+{
     let mut stats = RatioStats::new();
     for trial in 0..TRIALS {
         let days = sample(trial);
         if days.is_empty() {
             continue;
         }
-        let mut alg = make();
-        for &t in &days {
-            alg.serve_demand(t);
-        }
+        let mut driver = Driver::new(make(), structure.clone());
+        driver
+            .submit_batch(days.iter().map(|&t| (t, ())))
+            .expect("sorted demand days");
         let opt = offline::optimal_cost_interval_model(structure, &days);
-        stats.push(alg.total_cost() / opt);
+        stats.push(driver.cost() / opt);
     }
     stats.mean()
 }
@@ -47,43 +56,67 @@ fn mean_ratio<P: PermitOnline>(
 fn main() {
     let s = power_of_two_structure(&[(0, 1.0), (3, 4.0), (6, 16.0)]);
 
-    println!("== E19a: mean cost / clairvoyant-DP per process (seed {SEED}) ==\n");
-    table::header(&["process", "p", "informed", "empirical", "worst-case"], 11);
-    let processes: Vec<(&str, f64, DaySampler)> = vec![
-        ("bernoulli", 0.1, {
-            let p = Bernoulli::new(512, 0.1);
-            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
-        }),
-        ("bernoulli", 0.5, {
-            let p = Bernoulli::new(512, 0.5);
-            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
-        }),
-        ("bernoulli", 0.9, {
-            let p = Bernoulli::new(512, 0.9);
-            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
-        }),
-        ("markov", 0.33, {
-            let p = MarkovModulated::new(512, 0.8, 0.1);
-            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
-        }),
-        ("seasonal", 0.5, {
-            let p = Seasonal::new(512, 0.5, 0.4, 64);
-            Box::new(move |t| p.sample(&mut seeded(SEED + t)))
-        }),
+    println!(
+        "== E19a: SimLab matrix — informed/empirical/worst-case per scenario (seed {SEED}) ==\n"
+    );
+    let scenarios = vec![
+        Scenario {
+            name: "bernoulli-0.1".into(),
+            spec: WorkloadSpec::Rainy { p: 0.1 },
+        },
+        Scenario {
+            name: "bernoulli-0.5".into(),
+            spec: WorkloadSpec::Rainy { p: 0.5 },
+        },
+        Scenario {
+            name: "bernoulli-0.9".into(),
+            spec: WorkloadSpec::Rainy { p: 0.9 },
+        },
+        Scenario {
+            name: "bursty".into(),
+            spec: WorkloadSpec::Bursty {
+                burst_len: 8,
+                gap_len: 16,
+            },
+        },
+        Scenario {
+            name: "diurnal".into(),
+            spec: WorkloadSpec::Diurnal {
+                base_p: 0.5,
+                amplitude: 0.4,
+                period: 64,
+            },
+        },
     ];
-    for (name, rate, sampler) in &processes {
-        let informed = mean_ratio(|| RateThreshold::new(s.clone(), *rate), sampler, &s);
-        let empirical = mean_ratio(|| EmpiricalRate::new(s.clone()), sampler, &s);
-        let worst = mean_ratio(|| DeterministicPrimalDual::new(s.clone()), sampler, &s);
+    let algorithms =
+        select_algorithms("rate-threshold,empirical-rate,permit-det").expect("registered");
+    let config = MatrixConfig {
+        horizon: 512,
+        num_elements: 1,
+        structure: s.clone(),
+        threads: 2,
+    };
+    let seeds: Vec<u64> = (0..TRIALS).map(|t| SEED + t).collect();
+    let report = run_matrix(&algorithms, &scenarios, &seeds, &config);
+    table::header(&["scenario", "informed", "empirical", "worst-case"], 14);
+    for scenario in &scenarios {
+        let mean_of = |alg: &str| {
+            report
+                .aggregates
+                .iter()
+                .find(|a| a.algorithm == alg && a.workload == scenario.name)
+                .and_then(|a| a.ratio)
+                .map(|r| r.mean)
+                .unwrap_or(f64::NAN)
+        };
         table::row(
             &[
-                (*name).into(),
-                table::f(*rate),
-                table::f(informed),
-                table::f(empirical),
-                table::f(worst),
+                scenario.name.clone(),
+                table::f(mean_of("rate-threshold")),
+                table::f(mean_of("empirical-rate")),
+                table::f(mean_of("permit-det")),
             ],
-            11,
+            14,
         );
     }
     println!("\nExpect informed <= worst-case at high rates; all >= 1.\n");
@@ -132,12 +165,12 @@ fn main() {
             if demands.is_empty() {
                 continue;
             }
-            let mut alg = PriceAwarePermit::new(s.clone(), &prices);
-            for &t in &demands {
-                alg.serve_demand(t);
-            }
+            let mut driver = Driver::new(PriceAwarePermit::new(s.clone(), &prices), s.clone());
+            driver
+                .submit_batch(demands.iter().map(|&t| (t, ())))
+                .expect("sorted demand days");
             let opt = optimal_cost_priced(&s, &prices, &demands);
-            stats.push(alg.total_cost() / opt);
+            stats.push(driver.cost() / opt);
         }
         table::row(
             &[table::f(vol), table::f(stats.mean()), table::f(stats.max())],

@@ -51,7 +51,8 @@ fn main() {
         let mut days_per_client = 0usize;
         for t in 0..TRIALS {
             let mut rng = seeded(SEED + 31 * t + stride);
-            let clients = strided_window_clients(&mut rng, 64, 0.25, span, stride);
+            let clients =
+                strided_window_clients(&mut rng, 64, 0.25, span, stride).expect("valid parameters");
             if clients.is_empty() {
                 continue;
             }
@@ -138,7 +139,8 @@ fn main() {
         let mut dual_stats = RatioStats::new();
         for t in 0..TRIALS {
             let mut rng = seeded(SEED + 57 * t + period);
-            let clients = periodic_window_clients(&mut rng, 48, 0.2, period, 4);
+            let clients =
+                periodic_window_clients(&mut rng, 48, 0.2, period, 4).expect("valid parameters");
             if clients.is_empty() {
                 continue;
             }

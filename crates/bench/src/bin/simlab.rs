@@ -1,0 +1,178 @@
+//! `simlab` — the scenario-matrix CLI over the SimLab subsystem.
+//!
+//! Runs a cross product of {algorithm × workload × seed} through the
+//! unified engine, sharded across worker threads, and emits both a summary
+//! table and a machine-readable `BENCH_simlab.json`. The aggregate
+//! statistics are bit-identical regardless of `--threads`.
+//!
+//! ```text
+//! cargo run --release --bin simlab -- \
+//!     --algorithms permit-det,permit-rand,old \
+//!     --workloads rainy,diurnal,spikes --seeds 8 --threads 4
+//! simlab --list            # show every algorithm and workload preset
+//! simlab --algorithms all  # run the whole registry
+//! ```
+
+use leasing_bench::table;
+use leasing_simlab::registry::{select_algorithms, standard_registry};
+use leasing_simlab::runner::{run_matrix, MatrixConfig};
+use leasing_simlab::scenario::Scenario;
+
+struct Args {
+    algorithms: String,
+    workloads: String,
+    seeds: u64,
+    seed_base: u64,
+    threads: usize,
+    horizon: u64,
+    elements: usize,
+    out: String,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        algorithms: "permit-det,permit-rand,rate-threshold,empirical-rate,old".into(),
+        workloads: "rainy,diurnal,spikes".into(),
+        seeds: 8,
+        seed_base: 1,
+        threads: 2,
+        horizon: 64,
+        elements: 4,
+        out: "BENCH_simlab.json".into(),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--algorithms" => args.algorithms = value("--algorithms")?,
+            "--workloads" => args.workloads = value("--workloads")?,
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--seed-base" => {
+                args.seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|e| format!("--seed-base: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--horizon" => {
+                args.horizon = value("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?
+            }
+            "--elements" => {
+                args.elements = value("--elements")?
+                    .parse()
+                    .map_err(|e| format!("--elements: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--list" => args.list = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("simlab: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.list {
+        println!("algorithms:");
+        for alg in standard_registry() {
+            println!("  {:<16} ({})", alg.name, alg.family);
+        }
+        println!("\nworkloads:");
+        for s in Scenario::presets() {
+            println!("  {:<16} {:?}", s.name, s.spec);
+        }
+        return;
+    }
+
+    let algorithms = match select_algorithms(&args.algorithms) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simlab: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scenarios = match Scenario::select(&args.workloads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simlab: {e}");
+            std::process::exit(2);
+        }
+    };
+    let seeds: Vec<u64> = (0..args.seeds).map(|i| args.seed_base + i).collect();
+    let config = MatrixConfig {
+        horizon: args.horizon,
+        num_elements: args.elements,
+        threads: args.threads,
+        ..MatrixConfig::default_config()
+    };
+
+    println!(
+        "== simlab: {} algorithms x {} workloads x {} seeds on {} threads (horizon {}) ==\n",
+        algorithms.len(),
+        scenarios.len(),
+        seeds.len(),
+        config.threads,
+        config.horizon
+    );
+    let started = std::time::Instant::now();
+    let report = run_matrix(&algorithms, &scenarios, &seeds, &config);
+    let elapsed = started.elapsed();
+
+    table::header(
+        &["algorithm", "workload", "mean", "p50", "p99", "max", "fail"],
+        12,
+    );
+    for agg in &report.aggregates {
+        let (mean, p50, p99, max) = agg.ratio.map(|r| (r.mean, r.p50, r.p99, r.max)).unwrap_or((
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+        ));
+        table::row(
+            &[
+                agg.algorithm.clone(),
+                agg.workload.clone(),
+                table::f(mean),
+                table::f(p50),
+                table::f(p99),
+                table::f(max),
+                table::i(agg.failures),
+            ],
+            12,
+        );
+    }
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("simlab: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    let failures: usize = report.aggregates.iter().map(|a| a.failures).sum();
+    println!(
+        "\n{} cells in {:.2?} ({} failed); report written to {}",
+        report.cells.len(),
+        elapsed,
+        failures,
+        args.out
+    );
+    println!("(aggregates are bit-identical for any --threads value)");
+}

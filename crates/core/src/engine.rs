@@ -204,7 +204,12 @@ impl Ledger {
         expired
     }
 
-    /// The current ledger clock (largest time seen so far).
+    /// The current ledger clock: the largest time passed to
+    /// [`advance`](Ledger::advance) so far. Decision times given to
+    /// [`buy`](Ledger::buy)/[`charge`](Ledger::charge) do **not** move the
+    /// clock — the [`Driver`] advances it once per submitted request, so
+    /// expiry bookkeeping is always relative to the request stream, not to
+    /// (possibly backdated) purchase times.
     pub fn now(&self) -> TimeStep {
         self.now
     }
@@ -689,6 +694,99 @@ mod tests {
         ledger.advance(100);
         ledger.buy(100, Triple::new(0, 0, 0)); // window [0, 4) is long gone
         assert_eq!(ledger.active_leases(), 0);
+    }
+
+    // Expiry-heap semantics pinned by the PR 2 audit: duplicate purchases,
+    // past-time windows and non-monotone advance calls under batch
+    // submission must all behave deterministically.
+
+    #[test]
+    fn duplicate_triple_purchases_each_occupy_an_expiry_slot() {
+        let mut ledger = Ledger::new(structure());
+        let tr = Triple::new(0, 0, 0); // window [0, 4)
+        ledger.buy(0, tr);
+        ledger.buy(1, tr); // double spend on the same lease
+        assert_eq!(
+            ledger.active_leases(),
+            2,
+            "the heap tracks purchases, not distinct triples"
+        );
+        assert_eq!(ledger.leases_bought(), 2);
+        assert_eq!(ledger.next_expiry(), Some(4));
+        assert_eq!(
+            ledger.advance(4),
+            2,
+            "every purchased instance expires at the shared window end"
+        );
+        assert_eq!(ledger.active_leases(), 0);
+    }
+
+    #[test]
+    fn decision_times_do_not_move_the_clock() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(10, Triple::new(0, 0, 8)); // window [8, 12)
+        assert_eq!(ledger.now(), 0, "only advance() moves the clock");
+        assert_eq!(ledger.active_leases(), 1);
+        // The window end is exclusive: alive at 11, expired at 12.
+        assert_eq!(ledger.advance(11), 0);
+        assert_eq!(ledger.advance(12), 1);
+    }
+
+    #[test]
+    fn advance_never_rewinds_and_is_idempotent() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(0, 0, 0)); // [0, 4)
+        ledger.buy(0, Triple::new(0, 1, 0)); // [0, 16)
+        assert_eq!(ledger.advance(5), 1);
+        assert_eq!(ledger.now(), 5);
+        assert_eq!(ledger.advance(3), 0, "past times never rewind the clock");
+        assert_eq!(ledger.now(), 5);
+        assert_eq!(ledger.advance(5), 0, "re-advancing to now is a no-op");
+        assert_eq!(ledger.active_leases(), 1);
+    }
+
+    /// Buys the aligned short lease of `t.saturating_sub(5)` at every
+    /// request — a deliberately backdated purchase whose window may already
+    /// have ended by the time it is recorded.
+    struct BackdatedBuyer;
+
+    impl LeasingAlgorithm for BackdatedBuyer {
+        type Request = ();
+        fn on_request(&mut self, t: TimeStep, _req: (), ledger: &mut Ledger) {
+            let len = ledger.structure().unwrap().length(0);
+            let start = aligned_start(t.saturating_sub(5), len);
+            ledger.buy(t, Triple::new(0, 0, start));
+        }
+    }
+
+    #[test]
+    fn backdated_purchases_under_batch_submission_never_linger_in_the_heap() {
+        let mut d = Driver::new(BackdatedBuyer, structure());
+        // t = 0: buys [0, 4) (alive). t = 9: buys aligned(4) = [4, 8),
+        // whose window already ended at the ledger clock 9 — it must not
+        // enter the heap. t = 10: buys aligned(5) = [4, 8), same story.
+        d.submit_batch([(0u64, ()), (9, ()), (10, ())]).unwrap();
+        assert_eq!(d.ledger().leases_bought(), 3);
+        assert_eq!(
+            d.ledger().active_leases(),
+            0,
+            "the [0,4) lease expired at t = 9 and the backdated buys never entered"
+        );
+        assert_eq!(d.ledger().next_expiry(), None);
+    }
+
+    #[test]
+    fn batch_submission_with_equal_times_advances_once() {
+        let mut d = driver();
+        // Repeated timestamps are legal; the dedup in ShortBuyer means one
+        // lease per aligned window, and re-advancing to the same time must
+        // not double-expire anything.
+        d.submit_batch([(0u64, ()), (0, ()), (4, ()), (4, ()), (9, ())])
+            .unwrap();
+        let ledger = d.ledger();
+        assert_eq!(ledger.leases_bought(), 3); // windows [0,4), [4,8), [8,12)
+        assert_eq!(ledger.active_leases(), 1, "only [8, 12) is still alive");
+        assert_eq!(ledger.next_expiry(), Some(12));
     }
 
     #[test]

@@ -33,8 +33,9 @@ use leasing_core::time::{TimeStep, Window};
 use leasing_lp::{Cmp, IntegerProgram, LinearProgram};
 use std::collections::{BTreeMap, HashMap};
 
-/// Why an [`FldInstance`] failed validation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Why an [`FldInstance`] operation failed.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum FldError {
     /// The slack list must have one entry per client of the base instance.
     SlackCountMismatch {
@@ -43,6 +44,28 @@ pub enum FldError {
         /// Clients in the base instance.
         expected: usize,
     },
+    /// A queried client id does not exist in the base instance.
+    UnknownClient {
+        /// The offending client id.
+        client: usize,
+        /// Clients in the base instance.
+        num_clients: usize,
+    },
+    /// Regrouping the clients produced an invalid base instance (should be
+    /// unreachable for a validated base; reported instead of panicking so a
+    /// sharded run survives).
+    Rebuild {
+        /// The underlying instance-validation message.
+        reason: String,
+    },
+    /// Branch-and-bound exhausted its node budget before proving
+    /// optimality.
+    BudgetExhausted {
+        /// The node budget that ran out.
+        node_limit: usize,
+    },
+    /// The LP relaxation could not be solved.
+    RelaxationUnavailable,
 }
 
 impl std::fmt::Display for FldError {
@@ -50,6 +73,27 @@ impl std::fmt::Display for FldError {
         match self {
             FldError::SlackCountMismatch { got, expected } => {
                 write!(f, "slack list has {got} entries for {expected} clients")
+            }
+            FldError::UnknownClient {
+                client,
+                num_clients,
+            } => {
+                write!(
+                    f,
+                    "client {client} is out of range for {num_clients} clients"
+                )
+            }
+            FldError::Rebuild { reason } => {
+                write!(f, "regrouped instance failed validation: {reason}")
+            }
+            FldError::BudgetExhausted { node_limit } => {
+                write!(
+                    f,
+                    "branch-and-bound exhausted its budget of {node_limit} nodes"
+                )
+            }
+            FldError::RelaxationUnavailable => {
+                write!(f, "the LP relaxation could not be solved")
             }
         }
     }
@@ -77,7 +121,8 @@ impl std::error::Error for FldError {}
 /// )?;
 /// let inst = FldInstance::new(base, vec![2, 0])?;
 /// // Deferring pools both clients onto day 2: one lease instead of two.
-/// let defer = PrimalDualFacility::new(&inst.defer_to_deadline()).run();
+/// let deferred = inst.defer_to_deadline()?;
+/// let defer = PrimalDualFacility::new(&deferred).run();
 /// let arrive = PrimalDualFacility::new(&inst.serve_on_arrival()).run();
 /// assert!(defer < arrive);
 /// # Ok(())
@@ -113,35 +158,42 @@ impl FldInstance {
 
     /// Client `j`'s slack `d_j`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `j` is out of range.
-    pub fn slack(&self, j: usize) -> u64 {
-        self.slack[j]
+    /// Returns [`FldError::UnknownClient`] if `j` is out of range.
+    pub fn slack(&self, j: usize) -> Result<u64, FldError> {
+        self.slack.get(j).copied().ok_or(FldError::UnknownClient {
+            client: j,
+            num_clients: self.slack.len(),
+        })
     }
 
     /// Client `j`'s arrival day.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `j` is unknown to the base instance.
-    pub fn arrival(&self, j: usize) -> TimeStep {
+    /// Returns [`FldError::UnknownClient`] if `j` is unknown to the base
+    /// instance.
+    pub fn arrival(&self, j: usize) -> Result<TimeStep, FldError> {
         self.base
             .batches()
             .iter()
             .find(|b| b.clients.contains(&j))
             .map(|b| b.time)
-            .expect("client belongs to some batch")
+            .ok_or(FldError::UnknownClient {
+                client: j,
+                num_clients: self.base.num_clients(),
+            })
     }
 
     /// Client `j`'s inclusive service window `[t, t + d]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `j` is out of range.
-    pub fn window(&self, j: usize) -> Window {
-        let a = self.arrival(j);
-        Window::closed(a, a + self.slack[j])
+    /// Returns [`FldError::UnknownClient`] if `j` is out of range.
+    pub fn window(&self, j: usize) -> Result<Window, FldError> {
+        let a = self.arrival(j)?;
+        Ok(Window::closed(a, a + self.slack(j)?))
     }
 
     /// Largest slack (the `d_max` of the model).
@@ -160,7 +212,7 @@ impl FldInstance {
     /// deadline model because the deadline lies inside every window, and
     /// online-implementable because day `t` only touches clients whose
     /// deadline is `t`.
-    pub fn defer_to_deadline(&self) -> FacilityInstance {
+    pub fn defer_to_deadline(&self) -> Result<FacilityInstance, FldError> {
         let mut by_deadline: BTreeMap<TimeStep, Vec<usize>> = BTreeMap::new();
         for b in self.base.batches() {
             for &j in &b.clients {
@@ -174,22 +226,7 @@ impl FldInstance {
             .into_iter()
             .map(|(time, clients)| Batch { time, clients })
             .collect();
-        let costs: Vec<Vec<f64>> = (0..self.base.num_facilities())
-            .map(|i| {
-                (0..self.base.structure().num_types())
-                    .map(|k| self.base.cost(i, k))
-                    .collect()
-            })
-            .collect();
-        let dist: Vec<Vec<f64>> = (0..self.base.num_facilities())
-            .map(|i| {
-                (0..self.base.num_clients())
-                    .map(|j| self.base.distance(i, j))
-                    .collect()
-            })
-            .collect();
-        FacilityInstance::from_distances(self.base.structure().clone(), costs, dist, batches)
-            .expect("deadline grouping preserves validity")
+        self.rebuild_with_batches(batches)
     }
 
     /// The defer-to-aligned reduction: each client is served on the *last
@@ -202,7 +239,7 @@ impl FldInstance {
     /// (Lemma 2.6) and the OLD Step 2 mirror exploit. Still
     /// online-implementable: a client's service day is fixed at arrival
     /// and never precedes it.
-    pub fn defer_to_aligned(&self) -> FacilityInstance {
+    pub fn defer_to_aligned(&self) -> Result<FacilityInstance, FldError> {
         let l_min = self.base.structure().l_min();
         let mut by_day: BTreeMap<TimeStep, Vec<usize>> = BTreeMap::new();
         for b in self.base.batches() {
@@ -217,6 +254,13 @@ impl FldInstance {
             .into_iter()
             .map(|(time, clients)| Batch { time, clients })
             .collect();
+        self.rebuild_with_batches(batches)
+    }
+
+    /// Rebuilds the base instance with the same metric but regrouped
+    /// batches, mapping validation failures into [`FldError::Rebuild`]
+    /// instead of panicking.
+    fn rebuild_with_batches(&self, batches: Vec<Batch>) -> Result<FacilityInstance, FldError> {
         let costs: Vec<Vec<f64>> = (0..self.base.num_facilities())
             .map(|i| {
                 (0..self.base.structure().num_types())
@@ -232,13 +276,19 @@ impl FldInstance {
             })
             .collect();
         FacilityInstance::from_distances(self.base.structure().clone(), costs, dist, batches)
-            .expect("snapped grouping preserves validity")
+            .map_err(|e| FldError::Rebuild {
+                reason: e.to_string(),
+            })
     }
 
     /// The candidate lease triples able to serve client `j`: aligned leases
     /// of every facility and type whose window meets `j`'s service window.
-    pub fn candidates(&self, j: usize) -> Vec<Triple> {
-        let w = self.window(j);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FldError::UnknownClient`] if `j` is out of range.
+    pub fn candidates(&self, j: usize) -> Result<Vec<Triple>, FldError> {
+        let w = self.window(j)?;
         let structure = self.base.structure();
         let mut out = Vec::new();
         for i in 0..self.base.num_facilities() {
@@ -251,14 +301,19 @@ impl FldInstance {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
 /// Builds the window-extended Figure 4.1 ILP: binary `x` per candidate
 /// triple, service variable `z_{j,triple}` (continuous; integral `x` admits
 /// an integral optimal `z`) with `z ≤ x` and `Σ_triples z ≥ 1` per client.
-pub fn build_fld_ilp(instance: &FldInstance) -> (IntegerProgram, Vec<Triple>) {
+///
+/// # Errors
+///
+/// Returns [`FldError::UnknownClient`] when a batch references a client id
+/// outside the instance (unreachable for validated instances).
+pub fn build_fld_ilp(instance: &FldInstance) -> Result<(IntegerProgram, Vec<Triple>), FldError> {
     let base = instance.base();
     let mut lp = LinearProgram::new();
     let mut x_of: HashMap<Triple, usize> = HashMap::new();
@@ -267,7 +322,7 @@ pub fn build_fld_ilp(instance: &FldInstance) -> (IntegerProgram, Vec<Triple>) {
     let mut per_client: Vec<(usize, Vec<Triple>)> = Vec::new();
     for b in base.batches() {
         for &j in &b.clients {
-            per_client.push((j, instance.candidates(j)));
+            per_client.push((j, instance.candidates(j)?));
         }
     }
     for (_, cands) in &per_client {
@@ -292,30 +347,39 @@ pub fn build_fld_ilp(instance: &FldInstance) -> (IntegerProgram, Vec<Triple>) {
     for tr in &triples {
         ip.mark_integer(x_of[tr]);
     }
-    (ip, triples)
+    Ok((ip, triples))
 }
 
-/// Exact FLD optimum; `None` if the branch-and-bound node budget is
-/// exhausted.
-pub fn optimal_cost(instance: &FldInstance, node_limit: usize) -> Option<f64> {
+/// Exact FLD optimum.
+///
+/// # Errors
+///
+/// Returns [`FldError::BudgetExhausted`] if the branch-and-bound node
+/// budget runs out before proving optimality.
+pub fn optimal_cost(instance: &FldInstance, node_limit: usize) -> Result<f64, FldError> {
     if instance.base().num_clients() == 0 {
-        return Some(0.0);
+        return Ok(0.0);
     }
-    let (ip, _) = build_fld_ilp(instance);
+    let (ip, _) = build_fld_ilp(instance)?;
     match ip.solve(node_limit) {
-        leasing_lp::IlpOutcome::Optimal(sol) => Some(sol.objective),
-        _ => None,
+        leasing_lp::IlpOutcome::Optimal(sol) => Ok(sol.objective),
+        _ => Err(FldError::BudgetExhausted { node_limit }),
     }
 }
 
 /// LP-relaxation lower bound on the FLD optimum.
-pub fn lp_lower_bound(instance: &FldInstance) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`FldError::RelaxationUnavailable`] if the LP solver fails
+/// (infeasible or unbounded — neither arises for well-formed covering
+/// relaxations).
+pub fn lp_lower_bound(instance: &FldInstance) -> Result<f64, FldError> {
     if instance.base().num_clients() == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
-    let (ip, _) = build_fld_ilp(instance);
-    ip.relaxation_bound()
-        .expect("covering relaxation is feasible")
+    let (ip, _) = build_fld_ilp(instance)?;
+    ip.relaxation_bound().ok_or(FldError::RelaxationUnavailable)
 }
 
 #[cfg(test)]
@@ -362,8 +426,8 @@ mod tests {
     #[test]
     fn windows_and_dmax_are_reported() {
         let inst = staggered_same_site();
-        assert_eq!(inst.window(0), Window::closed(0, 4));
-        assert_eq!(inst.window(4), Window::closed(4, 4));
+        assert_eq!(inst.window(0), Ok(Window::closed(0, 4)));
+        assert_eq!(inst.window(4), Ok(Window::closed(4, 4)));
         assert_eq!(inst.d_max(), 4);
     }
 
@@ -379,7 +443,7 @@ mod tests {
         )
         .unwrap();
         let inst = FldInstance::new(base.clone(), vec![0, 0]).unwrap();
-        assert_eq!(inst.defer_to_deadline(), base);
+        assert_eq!(inst.defer_to_deadline(), Ok(base.clone()));
         let fld_opt = optimal_cost(&inst, 100_000).unwrap();
         let base_opt = offline::optimal_cost(&base, 100_000).unwrap();
         assert!(
@@ -391,7 +455,7 @@ mod tests {
     #[test]
     fn defer_groups_clients_by_deadline() {
         let inst = staggered_same_site();
-        let deferred = inst.defer_to_deadline();
+        let deferred = inst.defer_to_deadline().unwrap();
         assert_eq!(deferred.batches().len(), 1, "all deadlines are day 4");
         assert_eq!(deferred.batches()[0].time, 4);
         assert_eq!(deferred.batches()[0].clients.len(), 5);
@@ -403,7 +467,7 @@ mod tests {
         // deferring pools all five clients into one day and one lease.
         let inst = staggered_same_site();
         let arrive = PrimalDualFacility::new(&inst.serve_on_arrival()).run();
-        let deferred_inst = inst.defer_to_deadline();
+        let deferred_inst = inst.defer_to_deadline().unwrap();
         let defer = PrimalDualFacility::new(&deferred_inst).run();
         assert!(
             defer < arrive - 1.0,
@@ -428,7 +492,7 @@ mod tests {
         let inst = staggered_same_site();
         let opt = optimal_cost(&inst, 100_000).unwrap();
         let arrive = PrimalDualFacility::new(&inst.serve_on_arrival()).run();
-        let deferred_inst = inst.defer_to_deadline();
+        let deferred_inst = inst.defer_to_deadline().unwrap();
         let defer = PrimalDualFacility::new(&deferred_inst).run();
         assert!(arrive >= opt - 1e-9);
         assert!(defer >= opt - 1e-9);
@@ -439,21 +503,21 @@ mod tests {
         let inst = staggered_same_site();
         // Client 0: window [0, 4]; short lease (len 2) candidates start at
         // 0, 2, 4; long lease (len 16) candidate starts at 0.
-        let cands = inst.candidates(0);
+        let cands = inst.candidates(0).unwrap();
         let shorts: Vec<_> = cands.iter().filter(|t| t.type_index == 0).collect();
         let longs: Vec<_> = cands.iter().filter(|t| t.type_index == 1).collect();
         assert_eq!(shorts.len(), 3);
         assert_eq!(longs.len(), 1);
         let structure = inst.base().structure().clone();
         for c in &cands {
-            assert!(c.window(&structure).intersects(&inst.window(0)));
+            assert!(c.window(&structure).intersects(&inst.window(0).unwrap()));
         }
     }
 
     #[test]
     fn lp_bound_never_exceeds_the_ilp_optimum() {
         let inst = staggered_same_site();
-        let lp = lp_lower_bound(&inst);
+        let lp = lp_lower_bound(&inst).unwrap();
         let ilp = optimal_cost(&inst, 100_000).unwrap();
         assert!(lp <= ilp + 1e-9, "lp {lp} vs ilp {ilp}");
     }
@@ -469,14 +533,14 @@ mod tests {
         )
         .unwrap();
         let inst = FldInstance::new(base, vec![0, 5, 1, 3, 0, 2]).unwrap();
-        let aligned = inst.defer_to_aligned();
+        let aligned = inst.defer_to_aligned().unwrap();
         for b in aligned.batches() {
             for &j in &b.clients {
                 assert!(
-                    inst.window(j).contains(b.time),
+                    inst.window(j).unwrap().contains(b.time),
                     "client {j} served at {} outside {:?}",
                     b.time,
-                    inst.window(j)
+                    inst.window(j).unwrap()
                 );
             }
         }
@@ -502,7 +566,7 @@ mod tests {
         // aligned_start(5, 2) = 4 -> different days. Use slacks giving the
         // same boundary instead: deadlines 3 and 3 -> snapped 2 and 2.
         let inst_same = FldInstance::new(inst.base().clone(), vec![3, 2]).unwrap();
-        let aligned = inst_same.defer_to_aligned();
+        let aligned = inst_same.defer_to_aligned().unwrap();
         assert_eq!(aligned.batches().len(), 1, "both snap to day 2");
         assert_eq!(aligned.batches()[0].time, 2);
     }

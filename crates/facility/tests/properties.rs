@@ -123,30 +123,33 @@ proptest! {
             .collect();
         let inst = FldInstance::new(base.clone(), slacks).unwrap();
         // Service days of both deferral reductions lie inside the windows.
-        for derived in [inst.defer_to_deadline(), inst.defer_to_aligned()] {
+        for derived in [
+            inst.defer_to_deadline().unwrap(),
+            inst.defer_to_aligned().unwrap(),
+        ] {
             for b in derived.batches() {
                 for &j in &b.clients {
                     prop_assert!(
-                        inst.window(j).contains(b.time),
+                        inst.window(j).unwrap().contains(b.time),
                         "client {j} served at {} outside {:?}", b.time, inst.window(j)
                     );
                 }
             }
         }
-        let Some(opt) = fld::optimal_cost(&inst, 300_000) else {
+        let Ok(opt) = fld::optimal_cost(&inst, 300_000) else {
             return Ok(());
         };
         let arrive = PrimalDualFacility::new(inst.base()).run();
-        let by_deadline = inst.defer_to_deadline();
+        let by_deadline = inst.defer_to_deadline().unwrap();
         let deadline = PrimalDualFacility::new(&by_deadline).run();
-        let by_aligned = inst.defer_to_aligned();
+        let by_aligned = inst.defer_to_aligned().unwrap();
         let aligned = PrimalDualFacility::new(&by_aligned).run();
         for (name, cost) in [("arrive", arrive), ("deadline", deadline), ("aligned", aligned)] {
             prop_assert!(cost >= opt - 1e-6, "{name} {cost} below FLD opt {opt}");
         }
         // Widening windows cannot make the hindsight optimum worse.
         let rigid = FldInstance::new(base, vec![0; inst.base().num_clients()]).unwrap();
-        if let Some(rigid_opt) = fld::optimal_cost(&rigid, 300_000) {
+        if let Ok(rigid_opt) = fld::optimal_cost(&rigid, 300_000) {
             prop_assert!(opt <= rigid_opt + 1e-6, "flex {opt} above rigid {rigid_opt}");
         }
     }

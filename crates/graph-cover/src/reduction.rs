@@ -17,7 +17,49 @@ use leasing_core::lease::LeaseStructure;
 use leasing_core::time::TimeStep;
 use leasing_graph::graph::Graph;
 use set_cover_leasing::instance::{Arrival, InstanceError, SmclInstance};
-use set_cover_leasing::system::SetSystem;
+use set_cover_leasing::system::{SetSystem, SetSystemError};
+
+/// Why a graph-covering reduction failed to build its [`SmclInstance`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ReductionError {
+    /// The reduced set system is invalid (e.g. the graph has no vertices or
+    /// edges to form a covering family from).
+    System(SetSystemError),
+    /// The reduced instance is invalid (unsorted arrivals, unknown
+    /// elements, infeasible multiplicities, ...).
+    Instance(InstanceError),
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::System(e) => write!(f, "reduced set system is invalid: {e}"),
+            ReductionError::Instance(e) => write!(f, "reduced instance is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReductionError::System(e) => Some(e),
+            ReductionError::Instance(e) => Some(e),
+        }
+    }
+}
+
+impl From<SetSystemError> for ReductionError {
+    fn from(e: SetSystemError) -> Self {
+        ReductionError::System(e)
+    }
+}
+
+impl From<InstanceError> for ReductionError {
+    fn from(e: InstanceError) -> Self {
+        ReductionError::Instance(e)
+    }
+}
 
 /// Vertex cover leasing: edges of `graph` arrive over time and must be
 /// covered by leasing one of their endpoints. Arrivals are `(time, edge id)`
@@ -26,27 +68,28 @@ use set_cover_leasing::system::SetSystem;
 ///
 /// # Errors
 ///
-/// Returns [`InstanceError`] if arrivals are unsorted or reference unknown
-/// edges (mapped to unknown elements).
+/// Returns [`ReductionError`] if the graph yields no covering family or the
+/// arrivals are unsorted or reference unknown edges (mapped to unknown
+/// elements).
 pub fn vertex_cover_instance(
     graph: &Graph,
     structure: LeaseStructure,
     arrivals: &[(TimeStep, usize)],
     vertex_weights: Option<&[f64]>,
-) -> Result<SmclInstance, InstanceError> {
+) -> Result<SmclInstance, ReductionError> {
     let sets: Vec<Vec<usize>> = (0..graph.num_nodes())
         .map(|v| graph.neighbors(v).iter().map(|&(e, _)| e).collect())
         .collect();
-    let system = SetSystem::new(graph.num_edges(), sets)
-        .expect("a graph with nodes always yields a valid system");
+    let system = SetSystem::new(graph.num_edges(), sets)?;
     let arrivals: Vec<Arrival> = arrivals
         .iter()
         .map(|&(t, e)| Arrival::new(t, e, 1))
         .collect();
-    match vertex_weights {
-        Some(w) => SmclInstance::with_set_factors(system, structure, w, arrivals),
-        None => SmclInstance::uniform(system, structure, arrivals),
-    }
+    let instance = match vertex_weights {
+        Some(w) => SmclInstance::with_set_factors(system, structure, w, arrivals)?,
+        None => SmclInstance::uniform(system, structure, arrivals)?,
+    };
+    Ok(instance)
 }
 
 /// Edge cover leasing: vertices arrive over time and must be covered by
@@ -54,27 +97,28 @@ pub fn vertex_cover_instance(
 ///
 /// # Errors
 ///
-/// Returns [`InstanceError`] if arrivals are unsorted or an arriving vertex
-/// is isolated (no incident edge can ever cover it).
+/// Returns [`ReductionError`] if the graph has no edges or the arrivals are
+/// unsorted or reference an isolated vertex (no incident edge can ever
+/// cover it).
 pub fn edge_cover_instance(
     graph: &Graph,
     structure: LeaseStructure,
     arrivals: &[(TimeStep, usize)],
     edge_weights_as_cost: bool,
-) -> Result<SmclInstance, InstanceError> {
+) -> Result<SmclInstance, ReductionError> {
     let sets: Vec<Vec<usize>> = graph.edges().iter().map(|e| vec![e.u, e.v]).collect();
-    let system = SetSystem::new(graph.num_nodes(), sets)
-        .expect("edges reference valid nodes by graph validation");
+    let system = SetSystem::new(graph.num_nodes(), sets)?;
     let arrivals: Vec<Arrival> = arrivals
         .iter()
         .map(|&(t, v)| Arrival::new(t, v, 1))
         .collect();
-    if edge_weights_as_cost {
+    let instance = if edge_weights_as_cost {
         let factors: Vec<f64> = graph.edges().iter().map(|e| e.weight).collect();
-        SmclInstance::with_set_factors(system, structure, &factors, arrivals)
+        SmclInstance::with_set_factors(system, structure, &factors, arrivals)?
     } else {
-        SmclInstance::uniform(system, structure, arrivals)
-    }
+        SmclInstance::uniform(system, structure, arrivals)?
+    };
+    Ok(instance)
 }
 
 /// Dominating set leasing: vertices arrive over time and must be covered by
@@ -84,13 +128,14 @@ pub fn edge_cover_instance(
 ///
 /// # Errors
 ///
-/// Returns [`InstanceError`] if arrivals are unsorted or a vertex demands
-/// more dominators than its closed neighborhood offers.
+/// Returns [`ReductionError`] if the graph has no vertices or the arrivals
+/// are unsorted or demand more dominators than a closed neighborhood
+/// offers.
 pub fn dominating_set_instance(
     graph: &Graph,
     structure: LeaseStructure,
     arrivals: &[(TimeStep, usize, usize)],
-) -> Result<SmclInstance, InstanceError> {
+) -> Result<SmclInstance, ReductionError> {
     let sets: Vec<Vec<usize>> = (0..graph.num_nodes())
         .map(|v| {
             let mut nbhd: Vec<usize> = graph.neighbors(v).iter().map(|&(_, u)| u).collect();
@@ -98,13 +143,12 @@ pub fn dominating_set_instance(
             nbhd
         })
         .collect();
-    let system = SetSystem::new(graph.num_nodes(), sets)
-        .expect("closed neighborhoods reference valid nodes");
+    let system = SetSystem::new(graph.num_nodes(), sets)?;
     let arrivals: Vec<Arrival> = arrivals
         .iter()
         .map(|&(t, v, p)| Arrival::new(t, v, p))
         .collect();
-    SmclInstance::uniform(system, structure, arrivals)
+    Ok(SmclInstance::uniform(system, structure, arrivals)?)
 }
 
 #[cfg(test)]
@@ -155,7 +199,12 @@ mod tests {
     fn edge_cover_rejects_isolated_arrivals() {
         let g = Graph::new(3, vec![(0, 1, 1.0)]).unwrap(); // node 2 isolated
         let err = edge_cover_instance(&g, structure(), &[(0, 2)], false);
-        assert!(matches!(err, Err(InstanceError::InfeasibleMultiplicity(_))));
+        assert!(matches!(
+            err,
+            Err(ReductionError::Instance(
+                InstanceError::InfeasibleMultiplicity(_)
+            ))
+        ));
     }
 
     #[test]
@@ -173,7 +222,12 @@ mod tests {
     fn dominating_set_rejects_excess_multiplicity() {
         // A spoke has only 2 dominators; demanding 3 is infeasible.
         let err = dominating_set_instance(&star(), structure(), &[(0, 1, 3)]);
-        assert!(matches!(err, Err(InstanceError::InfeasibleMultiplicity(_))));
+        assert!(matches!(
+            err,
+            Err(ReductionError::Instance(
+                InstanceError::InfeasibleMultiplicity(_)
+            ))
+        ));
     }
 
     #[test]

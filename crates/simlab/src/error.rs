@@ -1,0 +1,90 @@
+//! The typed failure channel of a SimLab run: one cell failing must never
+//! abort a sharded matrix, so every stage reports through [`SimError`].
+
+use leasing_core::engine::DriverError;
+use leasing_workloads::ArrivalError;
+
+/// Why a single simulation cell (or a matrix configuration) failed.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The scenario generator rejected its parameters.
+    Workload(ArrivalError),
+    /// The driver rejected the request stream.
+    Driver(DriverError),
+    /// An instance could not be built from the generated trace.
+    Instance {
+        /// The underlying validation message.
+        what: String,
+    },
+    /// The offline optimum (or its certified lower bound) could not be
+    /// computed for this cell.
+    Optimum {
+        /// The underlying failure message.
+        what: String,
+    },
+    /// The cell produced a non-finite competitive ratio (zero optimum with
+    /// positive online cost).
+    UnboundedRatio,
+    /// The requested algorithm is not in the registry.
+    UnknownAlgorithm(String),
+    /// The requested workload preset is not known.
+    UnknownWorkload(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Workload(e) => write!(f, "workload generation failed: {e}"),
+            SimError::Driver(e) => write!(f, "driver rejected the request stream: {e}"),
+            SimError::Instance { what } => write!(f, "instance construction failed: {what}"),
+            SimError::Optimum { what } => write!(f, "offline optimum unavailable: {what}"),
+            SimError::UnboundedRatio => {
+                write!(f, "competitive ratio is unbounded (zero offline optimum)")
+            }
+            SimError::UnknownAlgorithm(name) => {
+                write!(f, "unknown algorithm `{name}` (see the registry listing)")
+            }
+            SimError::UnknownWorkload(name) => {
+                write!(f, "unknown workload `{name}` (see the scenario listing)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ArrivalError> for SimError {
+    fn from(e: ArrivalError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+impl From<DriverError> for SimError {
+    fn from(e: DriverError) -> Self {
+        SimError::Driver(e)
+    }
+}
+
+/// Shorthand for instance-construction failures from any problem crate.
+pub(crate) fn instance_err(e: impl std::fmt::Display) -> SimError {
+    SimError::Instance {
+        what: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+        let msg = SimError::UnknownAlgorithm("nope".into()).to_string();
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(msg.contains("nope"));
+        let from: SimError = ArrivalError::ZeroHorizon.into();
+        assert!(matches!(from, SimError::Workload(_)));
+    }
+}

@@ -1,0 +1,57 @@
+//! **SimLab** — the scenario-driven, sharded simulation subsystem of the
+//! online-resource-leasing workspace.
+//!
+//! The problem crates each ship one online algorithm behind the
+//! [`leasing_core::engine::Driver`]; SimLab turns them into a fleet. A run
+//! is a cross product `{algorithm × workload × seed}`:
+//!
+//! * the [`registry`] wraps every algorithm (parking permit det/rand,
+//!   set cover, facility PD/NW/randomized, Steiner, vertex cover,
+//!   capacitated, deadlines OLD/SCLD, stochastic policies) behind one
+//!   boxed-run interface;
+//! * the [`scenario`] layer expands named arrival processes (Bernoulli,
+//!   bursty, diurnal, heavy-tail Pareto, adversarial spike trains,
+//!   correlated multi-element demand) into per-cell traces;
+//! * the [`runner`] shards the cells across `std::thread` workers and
+//!   aggregates per-cell [`leasing_core::engine::Report`]s into
+//!   mean/p50/p99 competitive-ratio statistics;
+//! * the [`report`] module renders the whole matrix as deterministic JSON
+//!   (`BENCH_simlab.json`).
+//!
+//! Determinism is load-bearing: every cell derives all of its randomness
+//! from its own seed, so the same matrix yields a **bit-identical** report
+//! on 1 worker thread and on N (pinned by property tests).
+//!
+//! ```
+//! use leasing_simlab::registry::select_algorithms;
+//! use leasing_simlab::runner::{run_matrix, MatrixConfig};
+//! use leasing_simlab::scenario::Scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let algorithms = select_algorithms("permit-det,permit-rand")?;
+//! let scenarios = Scenario::select("rainy,spikes")?;
+//! let report = run_matrix(
+//!     &algorithms,
+//!     &scenarios,
+//!     &[1, 2, 3],
+//!     &MatrixConfig::default_config(),
+//! );
+//! assert_eq!(report.cells.len(), 2 * 2 * 3);
+//! assert!(report.aggregates.iter().all(|a| a.failures == 0));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod stats;
+
+pub use error::SimError;
+pub use registry::{select_algorithms, standard_registry, AlgorithmSpec, RunContext};
+pub use report::{AggregateRecord, CellRecord, MatrixReport};
+pub use runner::{run_matrix, MatrixConfig};
+pub use scenario::{Scenario, Trace, WorkloadSpec};
+pub use stats::Summary;

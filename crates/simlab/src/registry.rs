@@ -1,0 +1,561 @@
+//! The algorithm registry: every online algorithm of the workspace behind
+//! one boxed-run interface, so a scenario matrix can drive them uniformly.
+//!
+//! Each entry maps the cell's [`Trace`] into its problem domain (demand
+//! days, set-cover arrivals, facility client batches, Steiner pair
+//! requests, deadline clients, ...) **deterministically from the cell
+//! seed**, drives the algorithm through
+//! [`leasing_core::engine::Driver`], computes an offline optimum (exact
+//! where cheap, a certified LP/dual lower bound otherwise) and returns the
+//! resulting [`Report`]. Any failure comes back as a typed
+//! [`SimError`] so one bad cell never aborts a sharded run.
+
+use crate::error::{instance_err, SimError};
+use crate::scenario::Trace;
+use capacitated_facility::instance::CapacitatedInstance;
+use capacitated_facility::online::{CapacitatedGreedy, LeaseChoice};
+use facility_leasing::instance::FacilityInstance;
+use facility_leasing::metric::Point;
+use facility_leasing::nagarajan_williamson::NagarajanWilliamson;
+use facility_leasing::online::PrimalDualFacility;
+use facility_leasing::randomized::RandomizedFacility;
+use graph_cover_leasing::vertex_cover::{VcLeasingInstance, VcPrimalDual};
+use leasing_core::engine::{Driver, LeasingAlgorithm, Report};
+use leasing_core::lease::LeaseStructure;
+use leasing_core::rng::seeded;
+use leasing_core::time::TimeStep;
+use leasing_deadlines::old::{OldClient, OldInstance, OldPrimalDual};
+use leasing_deadlines::scld::{ScldArrival, ScldInstance, ScldOnline};
+use leasing_graph::graph::Graph;
+use leasing_workloads::set_systems::random_system;
+use parking_permit::det::DeterministicPrimalDual;
+use parking_permit::offline as permit_offline;
+use parking_permit::rand_alg::RandomizedPermit;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use set_cover_leasing::instance::{Arrival, SmclInstance};
+use set_cover_leasing::offline as sc_offline;
+use set_cover_leasing::online::SmclOnline;
+use steiner_leasing::instance::{PairRequest, SteinerInstance};
+use steiner_leasing::online::SteinerLeasingOnline;
+use stochastic_leasing::policies::{EmpiricalRate, RateThreshold};
+
+/// Everything a registry entry needs to run one cell.
+#[derive(Clone, Debug)]
+pub struct RunContext {
+    /// The lease structure shared by the whole matrix.
+    pub structure: LeaseStructure,
+    /// The cell seed; entries derive their private randomness from it with
+    /// per-entry salts, so cells are independent of execution order.
+    pub seed: u64,
+}
+
+impl RunContext {
+    /// A deterministic RNG private to `(cell seed, salt)`.
+    fn rng(&self, salt: u64) -> StdRng {
+        seeded(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// The boxed run interface every registered algorithm implements.
+pub type RunFn = Box<dyn Fn(&Trace, &RunContext) -> Result<Report, SimError> + Send + Sync>;
+
+/// One registry entry: a named algorithm with its problem family.
+pub struct AlgorithmSpec {
+    /// CLI/report name, e.g. `"permit-det"`.
+    pub name: &'static str,
+    /// Problem family label, e.g. `"parking-permit"`.
+    pub family: &'static str,
+    run: RunFn,
+}
+
+impl AlgorithmSpec {
+    /// Runs the algorithm on one cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] of whichever stage failed.
+    pub fn run(&self, trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+        (self.run)(trace, ctx)
+    }
+}
+
+impl std::fmt::Debug for AlgorithmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmSpec")
+            .field("name", &self.name)
+            .field("family", &self.family)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Submits `(time, request)` pairs and reports against `optimum`.
+fn drive<A: LeasingAlgorithm>(
+    algorithm: A,
+    structure: &LeaseStructure,
+    requests: impl IntoIterator<Item = (TimeStep, A::Request)>,
+    optimum: f64,
+) -> Result<Report, SimError> {
+    let mut driver = Driver::new(algorithm, structure.clone());
+    driver.submit_batch(requests)?;
+    Ok(driver.report(optimum))
+}
+
+/// Checks the report's ratio is finite before accepting the cell.
+fn finite(report: Report) -> Result<Report, SimError> {
+    if report.ratio().is_finite() {
+        Ok(report)
+    } else {
+        Err(SimError::UnboundedRatio)
+    }
+}
+
+// --- per-family trace mappings -------------------------------------------
+
+/// Parking-permit-family cells run on the distinct demand days with the
+/// exact interval-model DP as the optimum.
+fn permit_cell<A: LeasingAlgorithm<Request = ()>>(
+    algorithm: A,
+    trace: &Trace,
+    ctx: &RunContext,
+) -> Result<Report, SimError> {
+    let days = trace.days();
+    let opt = permit_offline::optimal_cost_interval_model(&ctx.structure, &days);
+    finite(drive(
+        algorithm,
+        &ctx.structure,
+        days.iter().map(|&t| (t, ())),
+        opt,
+    )?)
+}
+
+/// The set system shared by the covering-family mappings (elements of the
+/// trace universe, `m = max(2, n/2)` sets, membership degree ≤ 3).
+fn covering_system(
+    trace: &Trace,
+    ctx: &RunContext,
+    salt: u64,
+) -> set_cover_leasing::system::SetSystem {
+    let n = trace.num_elements.max(2);
+    random_system(&mut ctx.rng(salt), n, (n / 2).max(2), 3)
+}
+
+fn set_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+    let system = covering_system(trace, ctx, 0x5e7c);
+    let n = system.num_elements();
+    let arrivals: Vec<Arrival> = trace
+        .events
+        .iter()
+        .map(|ev| {
+            let e = ev.element % n;
+            let p = ev.weight.clamp(1, system.sets_containing(e).len().max(1));
+            Arrival::new(ev.time, e, p)
+        })
+        .collect();
+    let inst =
+        SmclInstance::uniform(system, ctx.structure.clone(), arrivals).map_err(instance_err)?;
+    let opt = sc_offline::lp_lower_bound(&inst);
+    let alg_seed = ctx.rng(0x5e7d).random::<u64>();
+    let requests: Vec<(TimeStep, (usize, usize))> = inst
+        .arrivals
+        .iter()
+        .map(|a| (a.time, (a.element, a.multiplicity)))
+        .collect();
+    finite(drive(
+        SmclOnline::new(&inst, alg_seed),
+        &ctx.structure,
+        requests,
+        opt,
+    )?)
+}
+
+fn vertex_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+    // A ring with chords: connected, δ = 2 per edge, deterministic shape
+    // with seeded weights-free topology.
+    let n = trace.num_elements.max(4);
+    let mut edges: Vec<(usize, usize, f64)> = (0..n).map(|v| (v, (v + 1) % n, 1.0)).collect();
+    for v in 0..n / 2 {
+        edges.push((v, (v + n / 2) % n, 1.0));
+    }
+    let g = Graph::new(n, edges).map_err(instance_err)?;
+    let num_edges = g.num_edges();
+    let arrivals: Vec<(TimeStep, usize)> = trace
+        .events
+        .iter()
+        .map(|ev| (ev.time, ev.element % num_edges))
+        .collect();
+    let inst = VcLeasingInstance::unweighted(g, ctx.structure.clone(), arrivals.clone())
+        .map_err(instance_err)?;
+    let mut driver = Driver::new(VcPrimalDual::new(&inst), ctx.structure.clone());
+    driver.submit_batch(arrivals)?;
+    // Weak duality: the primal-dual's dual value certifies the lower bound.
+    let opt = driver.algorithm().dual_value();
+    finite(driver.report(opt))
+}
+
+/// Facility-family base instance: 3 facility sites, one client batch per
+/// demand day, clients placed near the element's facility.
+fn facility_instance(trace: &Trace, ctx: &RunContext) -> Result<FacilityInstance, SimError> {
+    let mut rng = ctx.rng(0xfac1);
+    let m = 3usize;
+    let side = 10.0;
+    let facilities: Vec<Point> = (0..m)
+        .map(|_| Point::new(rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+    let mut batches: Vec<(TimeStep, Vec<Point>)> = Vec::new();
+    for ev in &trace.events {
+        let site = facilities[ev.element % m];
+        let mut jitter = || (rng.random::<f64>() - 0.5) * 1.0;
+        let p = Point::new(site.x + jitter(), site.y + jitter());
+        match batches.last_mut() {
+            Some((t, clients)) if *t == ev.time => clients.push(p),
+            _ => batches.push((ev.time, vec![p])),
+        }
+    }
+    FacilityInstance::euclidean(facilities, ctx.structure.clone(), batches).map_err(instance_err)
+}
+
+fn facility_cell<'a, A, F>(
+    make: F,
+    ctx: &RunContext,
+    inst: &'a FacilityInstance,
+) -> Result<Report, SimError>
+where
+    A: LeasingAlgorithm<Request = Vec<usize>> + 'a,
+    F: FnOnce(&'a FacilityInstance) -> A,
+{
+    let opt = facility_leasing::offline::lp_lower_bound(inst);
+    let requests: Vec<(TimeStep, Vec<usize>)> = inst
+        .batches()
+        .iter()
+        .map(|b| (b.time, b.clients.clone()))
+        .collect();
+    finite(drive(make(inst), &ctx.structure, requests, opt)?)
+}
+
+fn capacitated_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+    let base = facility_instance(trace, ctx)?;
+    let inst = CapacitatedInstance::uniform(base, 2).map_err(instance_err)?;
+    let opt = capacitated_facility::offline::lp_lower_bound(&inst);
+    let requests: Vec<(TimeStep, Vec<usize>)> = inst
+        .base
+        .batches()
+        .iter()
+        .map(|b| (b.time, b.clients.clone()))
+        .collect();
+    finite(drive(
+        CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal),
+        &ctx.structure,
+        requests,
+        opt,
+    )?)
+}
+
+fn steiner_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+    // A fixed 5-node diamond-with-chord topology; edge weights seeded.
+    let mut rng = ctx.rng(0x57e1);
+    let mut w = || 1.0 + rng.random::<f64>() * 2.0;
+    let g = Graph::new(
+        5,
+        vec![
+            (0, 1, w()),
+            (1, 2, w()),
+            (2, 3, w()),
+            (3, 4, w()),
+            (4, 0, w()),
+            (1, 3, w()),
+        ],
+    )
+    .map_err(instance_err)?;
+    let n = g.num_nodes();
+    let requests: Vec<PairRequest> = trace
+        .days()
+        .into_iter()
+        .map(|t| {
+            let u = ((t as usize).wrapping_mul(7) + 1) % n;
+            let span = 1 + (t as usize % (n - 1));
+            PairRequest::new(t, u, (u + span) % n)
+        })
+        .collect();
+    let inst =
+        SteinerInstance::new(g, ctx.structure.clone(), requests.clone()).map_err(instance_err)?;
+    let opt =
+        steiner_leasing::ilp::steiner_lp_lower_bound(&inst, 64).map_err(|e| SimError::Optimum {
+            what: e.to_string(),
+        })?;
+    let pair_requests: Vec<(TimeStep, (usize, usize))> =
+        requests.iter().map(|r| (r.time, (r.u, r.v))).collect();
+    finite(drive(
+        SteinerLeasingOnline::new(&inst),
+        &ctx.structure,
+        pair_requests,
+        opt,
+    )?)
+}
+
+fn old_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+    let mut rng = ctx.rng(0x01d0);
+    let clients: Vec<OldClient> = trace
+        .days()
+        .into_iter()
+        .map(|t| OldClient::new(t, rng.random_range(0..=8u64)))
+        .collect();
+    let inst = OldInstance::new(ctx.structure.clone(), clients.clone()).map_err(instance_err)?;
+    let opt = leasing_deadlines::offline::old_lp_lower_bound(&inst);
+    let requests: Vec<(TimeStep, u64)> = clients.iter().map(|c| (c.arrival, c.slack)).collect();
+    finite(drive(
+        OldPrimalDual::new(&inst),
+        &ctx.structure,
+        requests,
+        opt,
+    )?)
+}
+
+fn scld_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+    let system = covering_system(trace, ctx, 0x5c1d);
+    let n = system.num_elements();
+    let mut rng = ctx.rng(0x5c1e);
+    let arrivals: Vec<ScldArrival> = trace
+        .events
+        .iter()
+        .map(|ev| ScldArrival::new(ev.time, ev.element % n, rng.random_range(0..=6u64)))
+        .collect();
+    let inst = ScldInstance::uniform(system, ctx.structure.clone(), arrivals.clone())
+        .map_err(instance_err)?;
+    let opt = leasing_deadlines::offline::scld_lp_lower_bound(&inst);
+    let alg_seed = ctx.rng(0x5c1f).random::<u64>();
+    let requests: Vec<(TimeStep, (u64, usize))> = arrivals
+        .iter()
+        .map(|a| (a.time, (a.slack, a.element)))
+        .collect();
+    finite(drive(
+        ScldOnline::new(&inst, alg_seed),
+        &ctx.structure,
+        requests,
+        opt,
+    )?)
+}
+
+/// The standard registry: every problem crate's online algorithm behind
+/// the boxed-run interface.
+pub fn standard_registry() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec {
+            name: "permit-det",
+            family: "parking-permit",
+            run: Box::new(|trace, ctx| {
+                permit_cell(
+                    DeterministicPrimalDual::new(ctx.structure.clone()),
+                    trace,
+                    ctx,
+                )
+            }),
+        },
+        AlgorithmSpec {
+            name: "permit-rand",
+            family: "parking-permit",
+            run: Box::new(|trace, ctx| {
+                let mut rng = ctx.rng(0x9a4d);
+                permit_cell(
+                    RandomizedPermit::new(ctx.structure.clone(), &mut rng),
+                    trace,
+                    ctx,
+                )
+            }),
+        },
+        AlgorithmSpec {
+            name: "rate-threshold",
+            family: "stochastic",
+            run: Box::new(|trace, ctx| {
+                // The informed policy gets the trace's true empirical rate.
+                let rate = trace.days().len() as f64 / trace.horizon.max(1) as f64;
+                permit_cell(
+                    RateThreshold::new(ctx.structure.clone(), rate.clamp(0.0, 1.0)),
+                    trace,
+                    ctx,
+                )
+            }),
+        },
+        AlgorithmSpec {
+            name: "empirical-rate",
+            family: "stochastic",
+            run: Box::new(|trace, ctx| {
+                permit_cell(EmpiricalRate::new(ctx.structure.clone()), trace, ctx)
+            }),
+        },
+        AlgorithmSpec {
+            name: "set-cover",
+            family: "set-cover",
+            run: Box::new(set_cover_cell),
+        },
+        AlgorithmSpec {
+            name: "vertex-cover",
+            family: "graph-cover",
+            run: Box::new(vertex_cover_cell),
+        },
+        AlgorithmSpec {
+            name: "facility-pd",
+            family: "facility",
+            run: Box::new(|trace, ctx| {
+                let inst = facility_instance(trace, ctx)?;
+                facility_cell(PrimalDualFacility::new, ctx, &inst)
+            }),
+        },
+        AlgorithmSpec {
+            name: "facility-nw",
+            family: "facility",
+            run: Box::new(|trace, ctx| {
+                let inst = facility_instance(trace, ctx)?;
+                facility_cell(NagarajanWilliamson::new, ctx, &inst)
+            }),
+        },
+        AlgorithmSpec {
+            name: "facility-rand",
+            family: "facility",
+            run: Box::new(|trace, ctx| {
+                let inst = facility_instance(trace, ctx)?;
+                let mut rng = ctx.rng(0xfa2d);
+                facility_cell(
+                    move |i: &FacilityInstance| RandomizedFacility::new(i, &mut rng),
+                    ctx,
+                    &inst,
+                )
+            }),
+        },
+        AlgorithmSpec {
+            name: "capacitated",
+            family: "capacitated",
+            run: Box::new(capacitated_cell),
+        },
+        AlgorithmSpec {
+            name: "steiner",
+            family: "steiner",
+            run: Box::new(steiner_cell),
+        },
+        AlgorithmSpec {
+            name: "old",
+            family: "deadlines",
+            run: Box::new(old_cell),
+        },
+        AlgorithmSpec {
+            name: "scld",
+            family: "deadlines",
+            run: Box::new(scld_cell),
+        },
+    ]
+}
+
+/// Looks up registry entries by comma-separated names (`"all"` selects the
+/// whole registry).
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownAlgorithm`] for an unrecognized name.
+pub fn select_algorithms(names: &str) -> Result<Vec<AlgorithmSpec>, SimError> {
+    let mut registry = standard_registry();
+    if names == "all" {
+        return Ok(registry);
+    }
+    let mut picked = Vec::new();
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let idx = registry
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| SimError::UnknownAlgorithm(name.to_string()))?;
+        picked.push(registry.swap_remove(idx));
+    }
+    Ok(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use leasing_core::lease::LeaseType;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![
+            LeaseType::new(1, 1.0),
+            LeaseType::new(4, 2.5),
+            LeaseType::new(16, 6.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn every_registered_algorithm_completes_every_preset() {
+        let ctx = RunContext {
+            structure: structure(),
+            seed: 42,
+        };
+        for scenario in Scenario::presets() {
+            let trace = scenario.generate(48, 4, ctx.seed).unwrap();
+            for alg in standard_registry() {
+                let report = alg
+                    .run(&trace, &ctx)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name, scenario.name));
+                assert!(
+                    report.ratio() >= 1.0 - 1e-6,
+                    "{} on {}: ratio {} below 1 (optimum not a lower bound?)",
+                    alg.name,
+                    scenario.name,
+                    report.ratio()
+                );
+                assert!(report.ratio().is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic_given_the_seed() {
+        let ctx = RunContext {
+            structure: structure(),
+            seed: 7,
+        };
+        let trace = Scenario::presets()[0].generate(64, 4, 7).unwrap();
+        for alg in standard_registry() {
+            let a = alg.run(&trace, &ctx).unwrap();
+            let b = alg.run(&trace, &ctx).unwrap();
+            assert_eq!(
+                a.algorithm_cost.to_bits(),
+                b.algorithm_cost.to_bits(),
+                "{} must be bit-deterministic",
+                alg.name
+            );
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn selection_resolves_names_and_rejects_unknowns() {
+        let picked = select_algorithms("permit-det, steiner").unwrap();
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[1].name, "steiner");
+        assert_eq!(
+            select_algorithms("all").unwrap().len(),
+            standard_registry().len()
+        );
+        assert!(matches!(
+            select_algorithms("bogus"),
+            Err(SimError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn empty_traces_yield_ratio_one_everywhere() {
+        let ctx = RunContext {
+            structure: structure(),
+            seed: 3,
+        };
+        let trace = Trace {
+            events: Vec::new(),
+            horizon: 32,
+            num_elements: 4,
+        };
+        for alg in standard_registry() {
+            let report = alg.run(&trace, &ctx).unwrap();
+            assert_eq!(report.algorithm_cost, 0.0, "{}", alg.name);
+            assert!((report.ratio() - 1.0).abs() < 1e-12, "{}", alg.name);
+        }
+    }
+}

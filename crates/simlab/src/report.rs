@@ -1,0 +1,123 @@
+//! Machine-readable matrix output (`BENCH_simlab.json`).
+
+use crate::stats::Summary;
+use serde::{json, Deserialize, Serialize};
+
+/// One cell of the matrix: a single `(algorithm, workload, seed)` run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Registry name of the algorithm.
+    pub algorithm: String,
+    /// Scenario name.
+    pub workload: String,
+    /// Cell seed.
+    pub seed: u64,
+    /// Empirical competitive ratio (0 when the cell failed).
+    pub ratio: f64,
+    /// Online cost.
+    pub algorithm_cost: f64,
+    /// Offline optimum or certified lower bound.
+    pub optimum_cost: f64,
+    /// Requests served.
+    pub requests: usize,
+    /// Leases bought.
+    pub leases_bought: usize,
+    /// The failure message when the cell could not run.
+    pub error: Option<String>,
+}
+
+/// Aggregate over the seeds of one `(algorithm, workload)` group.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AggregateRecord {
+    /// Registry name of the algorithm.
+    pub algorithm: String,
+    /// Scenario name.
+    pub workload: String,
+    /// Cells attempted.
+    pub runs: usize,
+    /// Cells that failed.
+    pub failures: usize,
+    /// Ratio statistics over the successful cells (`None` when all
+    /// failed).
+    pub ratio: Option<Summary>,
+    /// Mean online cost over the successful cells.
+    pub mean_cost: f64,
+}
+
+/// The full, deterministic matrix report — identical for identical inputs
+/// regardless of the worker-thread count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MatrixReport {
+    /// Schema tag (`"simlab/v1"`).
+    pub schema: String,
+    /// Trace horizon per cell.
+    pub horizon: u64,
+    /// Element-universe size per cell.
+    pub num_elements: usize,
+    /// The seed axis of the matrix.
+    pub seeds: Vec<u64>,
+    /// The algorithm axis, in matrix order.
+    pub algorithms: Vec<String>,
+    /// The workload axis, in matrix order.
+    pub workloads: Vec<String>,
+    /// Every cell, in matrix order (algorithm-major, workload, seed).
+    pub cells: Vec<CellRecord>,
+    /// Per-(algorithm, workload) aggregates, in matrix order.
+    pub aggregates: Vec<AggregateRecord>,
+}
+
+impl MatrixReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        json::to_string_pretty(self)
+    }
+
+    /// Rebuilds a report from [`MatrixReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserialization error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde::de::Error> {
+        json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = MatrixReport {
+            schema: "simlab/v1".into(),
+            horizon: 64,
+            num_elements: 4,
+            seeds: vec![1, 2],
+            algorithms: vec!["permit-det".into()],
+            workloads: vec!["rainy".into()],
+            cells: vec![CellRecord {
+                algorithm: "permit-det".into(),
+                workload: "rainy".into(),
+                seed: 1,
+                ratio: 1.5,
+                algorithm_cost: 3.0,
+                optimum_cost: 2.0,
+                requests: 7,
+                leases_bought: 3,
+                error: None,
+            }],
+            aggregates: vec![AggregateRecord {
+                algorithm: "permit-det".into(),
+                workload: "rainy".into(),
+                runs: 2,
+                failures: 1,
+                ratio: Summary::of(&[1.5]),
+                mean_cost: 3.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\""));
+        let back = MatrixReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

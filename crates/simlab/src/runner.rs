@@ -1,0 +1,253 @@
+//! The sharded matrix runner: expands {algorithm × workload × seed} into
+//! cells, distributes them over `std::thread` workers via a work-stealing
+//! cursor, and aggregates per-cell [`Report`]s into deterministic
+//! statistics.
+//!
+//! Determinism contract: every cell is a pure function of
+//! `(algorithm, workload, seed, structure)` — workers share no mutable
+//! state besides the cursor and the indexed result slots, and aggregation
+//! runs over cells in matrix order. The same matrix therefore produces a
+//! **bit-identical** [`MatrixReport`] on 1 thread and on N threads.
+
+use crate::error::SimError;
+use crate::registry::{AlgorithmSpec, RunContext};
+use crate::report::{AggregateRecord, CellRecord, MatrixReport};
+use crate::scenario::Scenario;
+use crate::stats::Summary;
+use leasing_core::lease::LeaseStructure;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The full configuration of one matrix run.
+#[derive(Clone, Debug)]
+pub struct MatrixConfig {
+    /// Trace horizon per cell.
+    pub horizon: u64,
+    /// Element-universe size per cell.
+    pub num_elements: usize,
+    /// The lease structure shared by every cell.
+    pub structure: LeaseStructure,
+    /// Worker threads (clamped below by 1).
+    pub threads: usize,
+}
+
+impl MatrixConfig {
+    /// A small default matrix configuration (3-type geometric-ish
+    /// structure, horizon 64, 4 elements, 2 threads).
+    pub fn default_config() -> Self {
+        use leasing_core::lease::LeaseType;
+        MatrixConfig {
+            horizon: 64,
+            num_elements: 4,
+            structure: LeaseStructure::new(vec![
+                LeaseType::new(1, 1.0),
+                LeaseType::new(4, 2.5),
+                LeaseType::new(16, 6.0),
+            ])
+            .expect("increasing lengths and positive costs"),
+            threads: 2,
+        }
+    }
+}
+
+/// Runs the cross product of `algorithms × scenarios × seeds`, sharded
+/// across `config.threads` workers, and aggregates the per-cell reports.
+///
+/// Cell failures are recorded in the report (`error` field) instead of
+/// aborting the run.
+pub fn run_matrix(
+    algorithms: &[AlgorithmSpec],
+    scenarios: &[Scenario],
+    seeds: &[u64],
+    config: &MatrixConfig,
+) -> MatrixReport {
+    // Matrix order: algorithm-major, then workload, then seed — the
+    // aggregation and JSON output follow this order exactly.
+    let cells: Vec<(usize, usize, u64)> = algorithms
+        .iter()
+        .enumerate()
+        .flat_map(|(a, _)| {
+            scenarios
+                .iter()
+                .enumerate()
+                .flat_map(move |(w, _)| seeds.iter().map(move |&s| (a, w, s)))
+        })
+        .collect();
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CellRecord>>> = Mutex::new(vec![None; cells.len()]);
+    let workers = config.threads.max(1).min(cells.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (a, w, seed) = cells[i];
+                let record = run_cell(&algorithms[a], &scenarios[w], seed, config);
+                results.lock().expect("no worker panics while holding")[i] = Some(record);
+            });
+        }
+    });
+
+    let cells: Vec<CellRecord> = results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every cell index was claimed"))
+        .collect();
+
+    let aggregates = aggregate(algorithms, scenarios, &cells);
+    MatrixReport {
+        schema: "simlab/v1".to_string(),
+        horizon: config.horizon,
+        num_elements: config.num_elements,
+        seeds: seeds.to_vec(),
+        algorithms: algorithms.iter().map(|a| a.name.to_string()).collect(),
+        workloads: scenarios.iter().map(|s| s.name.clone()).collect(),
+        cells,
+        aggregates,
+    }
+}
+
+/// Runs one cell end to end, mapping failures into the record.
+fn run_cell(
+    algorithm: &AlgorithmSpec,
+    scenario: &Scenario,
+    seed: u64,
+    config: &MatrixConfig,
+) -> CellRecord {
+    let outcome: Result<_, SimError> = scenario
+        .generate(config.horizon, config.num_elements, seed)
+        .and_then(|trace| {
+            let ctx = RunContext {
+                structure: config.structure.clone(),
+                seed,
+            };
+            algorithm.run(&trace, &ctx)
+        });
+    match outcome {
+        Ok(report) => CellRecord {
+            algorithm: algorithm.name.to_string(),
+            workload: scenario.name.clone(),
+            seed,
+            ratio: report.ratio(),
+            algorithm_cost: report.algorithm_cost,
+            optimum_cost: report.optimum_cost,
+            requests: report.requests,
+            leases_bought: report.leases_bought,
+            error: None,
+        },
+        Err(e) => CellRecord {
+            algorithm: algorithm.name.to_string(),
+            workload: scenario.name.clone(),
+            seed,
+            ratio: 0.0,
+            algorithm_cost: 0.0,
+            optimum_cost: 0.0,
+            requests: 0,
+            leases_bought: 0,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Aggregates cells per (algorithm, workload) group. Cells arrive in
+/// strict matrix order (algorithm-major, workload, seed), so each group is
+/// the next contiguous `seeds`-sized chunk — positional slicing rather than
+/// name matching, which also keeps duplicate scenario names distinct.
+fn aggregate(
+    algorithms: &[AlgorithmSpec],
+    scenarios: &[Scenario],
+    cells: &[CellRecord],
+) -> Vec<AggregateRecord> {
+    let groups = algorithms.len() * scenarios.len();
+    let seeds = cells.len().checked_div(groups).unwrap_or(0);
+    let mut out = Vec::with_capacity(groups);
+    let mut chunks = cells.chunks_exact(seeds.max(1));
+    for alg in algorithms {
+        for scenario in scenarios {
+            let group = chunks.next().unwrap_or_default();
+            let ok: Vec<&CellRecord> = group.iter().filter(|c| c.error.is_none()).collect();
+            let ratios: Vec<f64> = ok.iter().map(|c| c.ratio).collect();
+            let mean_cost = if ok.is_empty() {
+                0.0
+            } else {
+                ok.iter().map(|c| c.algorithm_cost).sum::<f64>() / ok.len() as f64
+            };
+            out.push(AggregateRecord {
+                algorithm: alg.name.to_string(),
+                workload: scenario.name.clone(),
+                runs: group.len(),
+                failures: group.len() - ok.len(),
+                ratio: Summary::of(&ratios),
+                mean_cost,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::select_algorithms;
+
+    fn small_matrix(threads: usize) -> MatrixReport {
+        let algorithms = select_algorithms("permit-det,permit-rand,old").unwrap();
+        let scenarios = Scenario::select("rainy,spikes").unwrap();
+        let config = MatrixConfig {
+            threads,
+            ..MatrixConfig::default_config()
+        };
+        run_matrix(&algorithms, &scenarios, &[1, 2, 3, 4], &config)
+    }
+
+    #[test]
+    fn matrix_covers_every_cell_and_aggregates() {
+        let report = small_matrix(2);
+        assert_eq!(report.cells.len(), 3 * 2 * 4);
+        assert_eq!(report.aggregates.len(), 3 * 2);
+        for agg in &report.aggregates {
+            assert_eq!(agg.runs, 4);
+            assert_eq!(agg.failures, 0, "{}/{}", agg.algorithm, agg.workload);
+            let ratio = agg.ratio.expect("successful cells");
+            assert!(ratio.mean >= 1.0 - 1e-9);
+            assert!(ratio.p99 >= ratio.p50);
+            assert!(ratio.max >= ratio.min);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let single = small_matrix(1);
+        let sharded = small_matrix(4);
+        let oversubscribed = small_matrix(64);
+        assert_eq!(single, sharded);
+        assert_eq!(single, oversubscribed);
+        // Bit-exact JSON too — the machine-readable artifact is stable.
+        assert_eq!(single.to_json(), sharded.to_json());
+    }
+
+    #[test]
+    fn failing_cells_are_recorded_not_fatal() {
+        let algorithms = select_algorithms("permit-det").unwrap();
+        let scenarios = vec![Scenario {
+            name: "broken".into(),
+            spec: crate::scenario::WorkloadSpec::Rainy { p: 2.0 },
+        }];
+        let report = run_matrix(
+            &algorithms,
+            &scenarios,
+            &[1, 2],
+            &MatrixConfig::default_config(),
+        );
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.cells.iter().all(|c| c.error.is_some()));
+        let agg = &report.aggregates[0];
+        assert_eq!(agg.failures, 2);
+        assert_eq!(agg.ratio, None);
+    }
+}

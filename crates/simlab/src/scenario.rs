@@ -1,0 +1,301 @@
+//! Scenario layer: named arrival processes that expand into a [`Trace`] of
+//! [`ElementDemand`]s, the common input currency of every registered
+//! algorithm.
+
+use crate::error::SimError;
+use leasing_core::rng::seeded;
+use leasing_core::time::TimeStep;
+use leasing_workloads::arrivals::{
+    adversarial_spikes, bursty_days, correlated_element_demands, diurnal_days, pareto_gap_days,
+    rainy_days, ElementDemand,
+};
+use rand::RngExt;
+
+/// One arrival process of the scenario matrix, with its parameters.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadSpec {
+    /// Independent Bernoulli demand days.
+    Rainy {
+        /// Per-day demand probability.
+        p: f64,
+    },
+    /// Alternating bursts and gaps.
+    Bursty {
+        /// Expected burst length.
+        burst_len: u64,
+        /// Expected gap length.
+        gap_len: u64,
+    },
+    /// Sinusoidally modulated Bernoulli demand (day/night load shape).
+    Diurnal {
+        /// Mean demand probability.
+        base_p: f64,
+        /// Modulation amplitude (`base_p ± amplitude` must stay in `[0,1]`).
+        amplitude: f64,
+        /// Modulation period in time steps.
+        period: u64,
+    },
+    /// Pareto-distributed inter-arrival gaps (heavy-tailed quiet spells).
+    HeavyTail {
+        /// Pareto tail index; smaller is heavier.
+        alpha: f64,
+    },
+    /// Deterministic adversarial spike train.
+    Spikes {
+        /// Steps between spike starts.
+        period: u64,
+        /// Consecutive demand days per spike.
+        width: u64,
+    },
+    /// Correlated multi-element demand (global on/off regime).
+    Correlated {
+        /// Probability a day is globally hot.
+        p_hot: f64,
+        /// Per-element fire probability on hot days.
+        p_fire: f64,
+    },
+}
+
+/// A named workload of the matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Display name used in reports and the CLI.
+    pub name: String,
+    /// The arrival process.
+    pub spec: WorkloadSpec,
+}
+
+impl Scenario {
+    /// The standard scenario presets, addressable by name from the CLI.
+    pub fn presets() -> Vec<Scenario> {
+        vec![
+            Scenario {
+                name: "rainy".into(),
+                spec: WorkloadSpec::Rainy { p: 0.3 },
+            },
+            Scenario {
+                name: "bursty".into(),
+                spec: WorkloadSpec::Bursty {
+                    burst_len: 4,
+                    gap_len: 6,
+                },
+            },
+            Scenario {
+                name: "diurnal".into(),
+                spec: WorkloadSpec::Diurnal {
+                    base_p: 0.35,
+                    amplitude: 0.3,
+                    period: 24,
+                },
+            },
+            Scenario {
+                name: "heavy-tail".into(),
+                spec: WorkloadSpec::HeavyTail { alpha: 1.3 },
+            },
+            Scenario {
+                name: "spikes".into(),
+                spec: WorkloadSpec::Spikes {
+                    period: 17,
+                    width: 2,
+                },
+            },
+            Scenario {
+                name: "correlated".into(),
+                spec: WorkloadSpec::Correlated {
+                    p_hot: 0.25,
+                    p_fire: 0.8,
+                },
+            },
+        ]
+    }
+
+    /// Looks up presets by comma-separated names (`"all"` selects every
+    /// preset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownWorkload`] for an unrecognized name.
+    pub fn select(names: &str) -> Result<Vec<Scenario>, SimError> {
+        let presets = Scenario::presets();
+        if names == "all" {
+            return Ok(presets);
+        }
+        names
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|n| {
+                presets
+                    .iter()
+                    .find(|s| s.name == n)
+                    .cloned()
+                    .ok_or_else(|| SimError::UnknownWorkload(n.to_string()))
+            })
+            .collect()
+    }
+
+    /// Expands the scenario into a trace of `horizon` steps over
+    /// `num_elements` elements, deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Workload`] when the spec's parameters are
+    /// invalid for the given horizon.
+    pub fn generate(
+        &self,
+        horizon: TimeStep,
+        num_elements: usize,
+        seed: u64,
+    ) -> Result<Trace, SimError> {
+        let mut rng = seeded(seed ^ 0x51_6d_4c_61_62);
+        let events = match &self.spec {
+            WorkloadSpec::Rainy { p } => {
+                spread_days(rainy_days(&mut rng, horizon, *p)?, num_elements, seed)
+            }
+            WorkloadSpec::Bursty { burst_len, gap_len } => spread_days(
+                bursty_days(&mut rng, horizon, *burst_len, *gap_len)?,
+                num_elements,
+                seed,
+            ),
+            WorkloadSpec::Diurnal {
+                base_p,
+                amplitude,
+                period,
+            } => spread_days(
+                diurnal_days(&mut rng, horizon, *base_p, *amplitude, *period)?,
+                num_elements,
+                seed,
+            ),
+            WorkloadSpec::HeavyTail { alpha } => spread_days(
+                pareto_gap_days(&mut rng, horizon, *alpha)?,
+                num_elements,
+                seed,
+            ),
+            WorkloadSpec::Spikes { period, width } => spread_days(
+                adversarial_spikes(horizon, *period, *width)?,
+                num_elements,
+                seed,
+            ),
+            WorkloadSpec::Correlated { p_hot, p_fire } => {
+                correlated_element_demands(&mut rng, horizon, num_elements, *p_hot, *p_fire)?
+            }
+        };
+        Ok(Trace {
+            events,
+            horizon,
+            num_elements,
+        })
+    }
+}
+
+/// Assigns one element (seeded, uniform) to each single-resource demand
+/// day, so day-based processes drive multi-element problems too.
+fn spread_days(days: Vec<TimeStep>, num_elements: usize, seed: u64) -> Vec<ElementDemand> {
+    let mut rng = seeded(seed ^ 0x45_6c_65_6d);
+    days.into_iter()
+        .map(|t| {
+            let e = if num_elements <= 1 {
+                0
+            } else {
+                rng.random_range(0..num_elements)
+            };
+            ElementDemand::new(t, e, 1)
+        })
+        .collect()
+}
+
+/// The expanded workload of one cell: time-sorted element demands plus the
+/// matrix dimensions they were generated for.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Demands in non-decreasing time order.
+    pub events: Vec<ElementDemand>,
+    /// The generation horizon.
+    pub horizon: TimeStep,
+    /// The element-universe size the events index into.
+    pub num_elements: usize,
+}
+
+impl Trace {
+    /// The distinct demand days, sorted ascending.
+    pub fn days(&self) -> Vec<TimeStep> {
+        let mut days: Vec<TimeStep> = self.events.iter().map(|e| e.time).collect();
+        days.dedup();
+        days
+    }
+
+    /// Whether the trace carries no demand at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_generate_sorted_traces() {
+        for scenario in Scenario::presets() {
+            let trace = scenario.generate(96, 5, 11).unwrap();
+            assert!(
+                trace.events.windows(2).all(|w| w[0].time <= w[1].time),
+                "{} events must be time-sorted",
+                scenario.name
+            );
+            assert!(
+                trace.events.iter().all(|e| e.time < 96 && e.element < 5),
+                "{} events must respect the matrix dimensions",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for scenario in Scenario::presets() {
+            let a = scenario.generate(64, 4, 3).unwrap();
+            let b = scenario.generate(64, 4, 3).unwrap();
+            assert_eq!(a, b, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn select_resolves_names_and_rejects_unknowns() {
+        let picked = Scenario::select("rainy, spikes").unwrap();
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[1].name, "spikes");
+        assert_eq!(Scenario::select("all").unwrap().len(), 6);
+        assert_eq!(
+            Scenario::select("nope"),
+            Err(SimError::UnknownWorkload("nope".into()))
+        );
+    }
+
+    #[test]
+    fn days_deduplicate_multi_element_bursts() {
+        let scenario = Scenario {
+            name: "correlated".into(),
+            spec: WorkloadSpec::Correlated {
+                p_hot: 1.0,
+                p_fire: 1.0,
+            },
+        };
+        let trace = scenario.generate(10, 3, 1).unwrap();
+        assert_eq!(trace.events.len(), 30);
+        assert_eq!(trace.days().len(), 10);
+    }
+
+    #[test]
+    fn bad_spec_parameters_surface_as_workload_errors() {
+        let scenario = Scenario {
+            name: "broken".into(),
+            spec: WorkloadSpec::Rainy { p: 1.5 },
+        };
+        assert!(matches!(
+            scenario.generate(64, 2, 0),
+            Err(SimError::Workload(_))
+        ));
+    }
+}

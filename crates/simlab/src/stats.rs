@@ -1,0 +1,83 @@
+//! Aggregate statistics over per-cell competitive ratios.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean/median/tail summary of one metric across the seeds of a matrix
+/// cell group. Percentiles use the nearest-rank method on the sorted
+/// sample, so equal inputs yield bit-identical summaries regardless of
+/// accumulation order.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`; `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let idx = (q * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Some(Summary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of(&[3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0); // nearest rank: ceil(0.5 * 4) = 2nd sorted
+        assert_eq!(s.p99, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let a = Summary::of(&[1.0, 5.0, 2.0, 2.0, 9.0]).unwrap();
+        let b = Summary::of(&[9.0, 2.0, 1.0, 5.0, 2.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_sample_collapses_everything() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(
+            (s.mean, s.p50, s.p99, s.min, s.max),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
+    }
+}

@@ -5,6 +5,10 @@
 //! graphs only), introduce one selection variable per `(request, path)` and
 //! one purchase variable per candidate `(edge, lease)`, and link them: a
 //! selected path needs every one of its edges leased at the request time.
+//!
+//! Every entry point returns a typed [`SteinerIlpError`] instead of
+//! panicking (or silently collapsing distinct failure modes into `None`),
+//! so a sharded simulation run can record the failure and move on.
 
 use crate::instance::SteinerInstance;
 use leasing_core::interval::aligned_start;
@@ -12,22 +16,87 @@ use leasing_core::lease::Lease;
 use leasing_graph::graph::Graph;
 use leasing_lp::{Cmp, IlpOutcome, IntegerProgram, LinearProgram};
 
-/// All simple `u`–`v` paths as edge-id lists, or `None` once more than
-/// `max_paths` exist (the instance is too large for exact solving).
+/// Why an exact Steiner-leasing computation could not produce a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SteinerIlpError {
+    /// A request endpoint does not exist in the graph.
+    EndpointOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// Some request has more than `max_paths` simple paths — the instance
+    /// is too large for exact solving.
+    TooManyPaths {
+        /// Source endpoint of the exploding request.
+        u: usize,
+        /// Target endpoint of the exploding request.
+        v: usize,
+        /// The enumeration budget that was exceeded.
+        max_paths: usize,
+    },
+    /// Branch-and-bound exhausted its node budget before proving
+    /// optimality.
+    BudgetExhausted {
+        /// The node budget that ran out.
+        node_limit: usize,
+    },
+    /// The LP relaxation could not be solved (infeasible or unbounded —
+    /// neither arises for well-formed covering instances).
+    RelaxationUnavailable,
+}
+
+impl std::fmt::Display for SteinerIlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SteinerIlpError::EndpointOutOfRange { node, num_nodes } => {
+                write!(f, "endpoint {node} is out of range for {num_nodes} nodes")
+            }
+            SteinerIlpError::TooManyPaths { u, v, max_paths } => {
+                write!(
+                    f,
+                    "request {u}-{v} has more than {max_paths} simple paths \
+                     (instance too large for exact solving)"
+                )
+            }
+            SteinerIlpError::BudgetExhausted { node_limit } => {
+                write!(
+                    f,
+                    "branch-and-bound exhausted its budget of {node_limit} nodes"
+                )
+            }
+            SteinerIlpError::RelaxationUnavailable => {
+                write!(f, "the LP relaxation could not be solved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SteinerIlpError {}
+
+/// All simple `u`–`v` paths as edge-id lists.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `u` or `v` is out of range.
+/// Returns [`SteinerIlpError::EndpointOutOfRange`] for unknown endpoints
+/// and [`SteinerIlpError::TooManyPaths`] once more than `max_paths` paths
+/// exist (the instance is too large for exact solving).
 pub fn enumerate_simple_paths(
     g: &Graph,
     u: usize,
     v: usize,
     max_paths: usize,
-) -> Option<Vec<Vec<usize>>> {
-    assert!(
-        u < g.num_nodes() && v < g.num_nodes(),
-        "endpoints out of range"
-    );
+) -> Result<Vec<Vec<usize>>, SteinerIlpError> {
+    for node in [u, v] {
+        if node >= g.num_nodes() {
+            return Err(SteinerIlpError::EndpointOutOfRange {
+                node,
+                num_nodes: g.num_nodes(),
+            });
+        }
+    }
     let mut paths = Vec::new();
     let mut visited = vec![false; g.num_nodes()];
     let mut stack_edges = Vec::new();
@@ -71,9 +140,9 @@ pub fn enumerate_simple_paths(
         &mut paths,
         max_paths,
     ) {
-        Some(paths)
+        Ok(paths)
     } else {
-        None
+        Err(SteinerIlpError::TooManyPaths { u, v, max_paths })
     }
 }
 
@@ -81,11 +150,14 @@ pub fn enumerate_simple_paths(
 /// candidate `(edge, lease)` pair of every purchase variable (selection
 /// variables follow after the purchases in variable order).
 ///
-/// Returns `None` when some request has more than `max_paths` simple paths.
+/// # Errors
+///
+/// Returns [`SteinerIlpError`] when some request has an unknown endpoint or
+/// more than `max_paths` simple paths.
 pub fn build_steiner_ilp(
     instance: &SteinerInstance,
     max_paths: usize,
-) -> Option<(IntegerProgram, Vec<(usize, Lease)>)> {
+) -> Result<(IntegerProgram, Vec<(usize, Lease)>), SteinerIlpError> {
     let g = &instance.graph;
     let s = &instance.structure;
     // Candidate purchases: aligned leases of every type at every request time.
@@ -124,29 +196,41 @@ pub fn build_steiner_ilp(
             }
         }
     }
-    Some((IntegerProgram::all_integer(lp), candidates))
+    Ok((IntegerProgram::all_integer(lp), candidates))
 }
 
-/// The proven-optimal cost, or `None` when the instance is too large (path
-/// explosion) or the node budget runs out.
+/// The proven-optimal cost.
+///
+/// # Errors
+///
+/// Returns [`SteinerIlpError`] when the instance is too large (path
+/// explosion), a request endpoint is unknown, or the branch-and-bound node
+/// budget runs out.
 pub fn steiner_optimal_cost(
     instance: &SteinerInstance,
     max_paths: usize,
     node_limit: usize,
-) -> Option<f64> {
+) -> Result<f64, SteinerIlpError> {
     let (ip, _) = build_steiner_ilp(instance, max_paths)?;
     match ip.solve(node_limit) {
-        IlpOutcome::Optimal(sol) => Some(sol.objective),
-        _ => None,
+        IlpOutcome::Optimal(sol) => Ok(sol.objective),
+        _ => Err(SteinerIlpError::BudgetExhausted { node_limit }),
     }
 }
 
 /// The LP relaxation bound — a certified lower bound on the true optimum.
 ///
-/// Returns `None` when path enumeration explodes.
-pub fn steiner_lp_lower_bound(instance: &SteinerInstance, max_paths: usize) -> Option<f64> {
+/// # Errors
+///
+/// Returns [`SteinerIlpError`] when path enumeration explodes or the
+/// relaxation cannot be solved.
+pub fn steiner_lp_lower_bound(
+    instance: &SteinerInstance,
+    max_paths: usize,
+) -> Result<f64, SteinerIlpError> {
     let (ip, _) = build_steiner_ilp(instance, max_paths)?;
     ip.relaxation_bound()
+        .ok_or(SteinerIlpError::RelaxationUnavailable)
 }
 
 #[cfg(test)]
@@ -178,7 +262,42 @@ mod tests {
     #[test]
     fn path_enumeration_bails_over_the_limit() {
         let g = diamond();
-        assert_eq!(enumerate_simple_paths(&g, 0, 3, 1), None);
+        assert_eq!(
+            enumerate_simple_paths(&g, 0, 3, 1),
+            Err(SteinerIlpError::TooManyPaths {
+                u: 0,
+                v: 3,
+                max_paths: 1
+            })
+        );
+    }
+
+    #[test]
+    fn path_enumeration_rejects_unknown_endpoints() {
+        let g = diamond();
+        assert_eq!(
+            enumerate_simple_paths(&g, 0, 9, 100),
+            Err(SteinerIlpError::EndpointOutOfRange {
+                node: 9,
+                num_nodes: 4
+            })
+        );
+        assert_eq!(
+            enumerate_simple_paths(&g, 7, 3, 100),
+            Err(SteinerIlpError::EndpointOutOfRange {
+                node: 7,
+                num_nodes: 4
+            })
+        );
+    }
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SteinerIlpError>();
+        let msg = SteinerIlpError::BudgetExhausted { node_limit: 10 }.to_string();
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(msg.contains("10"));
     }
 
     #[test]
@@ -199,6 +318,20 @@ mod tests {
         assert!(
             (opt - 3.0).abs() < 1e-6,
             "one long lease suffices, got {opt}"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_as_such() {
+        let inst = SteinerInstance::new(
+            diamond(),
+            structure(),
+            vec![PairRequest::new(0, 0, 3), PairRequest::new(5, 1, 2)],
+        )
+        .unwrap();
+        assert_eq!(
+            steiner_optimal_cost(&inst, 100, 0),
+            Err(SteinerIlpError::BudgetExhausted { node_limit: 0 })
         );
     }
 

@@ -1,38 +1,163 @@
 //! Demand-day and deadline generators (parking permit, OLD, service
-//! windows).
+//! windows) plus the SimLab scenario processes (diurnal, heavy-tail,
+//! adversarial spike trains, correlated multi-element demand).
+//!
+//! # Validation contract
+//!
+//! Every generator validates its probability/rate parameters **up front**
+//! and returns a typed [`ArrivalError`] instead of panicking or silently
+//! clamping: a bad scenario configuration must fail loudly before it can
+//! skew a whole simulation matrix. In particular
+//!
+//! * probabilities must lie in `[0, 1]` (NaN is rejected),
+//! * horizons must be non-zero (a zero horizon would yield an empty trace
+//!   that looks like a legitimate "no demand" sample),
+//! * lengths, periods and strides must be positive,
+//! * continuous shape parameters (tail index, amplitude) must be finite and
+//!   inside their documented domain.
 
 use leasing_core::time::TimeStep;
 use leasing_deadlines::old::OldClient;
 use leasing_deadlines::windows::WindowClient;
 use rand::{Rng, RngExt};
 
+/// Why an arrival-process generator rejected its parameters.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ArrivalError {
+    /// The horizon is zero — no day could ever demand, which silently
+    /// yields an empty workload instead of a sampled one.
+    ZeroHorizon,
+    /// A probability parameter lies outside `[0, 1]` (or is NaN).
+    ProbabilityOutOfRange {
+        /// Parameter name as written in the generator signature.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// An integer parameter that must be positive was zero.
+    ZeroParameter {
+        /// Parameter name as written in the generator signature.
+        name: &'static str,
+    },
+    /// A continuous parameter fell outside its documented domain.
+    OutOfDomain {
+        /// Parameter name as written in the generator signature.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable domain, e.g. `"> 0 and finite"`.
+        domain: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArrivalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalError::ZeroHorizon => write!(f, "horizon must be positive"),
+            ArrivalError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "probability `{name}` = {value} lies outside [0, 1]")
+            }
+            ArrivalError::ZeroParameter { name } => {
+                write!(f, "parameter `{name}` must be positive")
+            }
+            ArrivalError::OutOfDomain {
+                name,
+                value,
+                domain,
+            } => {
+                write!(f, "parameter `{name}` = {value} must be {domain}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrivalError {}
+
+fn check_probability(name: &'static str, p: f64) -> Result<(), ArrivalError> {
+    // `(0.0..=1.0).contains` is false for NaN, so NaN is rejected too.
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(ArrivalError::ProbabilityOutOfRange { name, value: p })
+    }
+}
+
+fn check_horizon(horizon: TimeStep) -> Result<(), ArrivalError> {
+    if horizon == 0 {
+        Err(ArrivalError::ZeroHorizon)
+    } else {
+        Ok(())
+    }
+}
+
+fn check_positive(name: &'static str, value: u64) -> Result<(), ArrivalError> {
+    if value == 0 {
+        Err(ArrivalError::ZeroParameter { name })
+    } else {
+        Ok(())
+    }
+}
+
+/// One unit of multi-element demand: `weight` requests for `element` at
+/// `time`. The common currency between the scenario generators and the
+/// SimLab algorithm registry — single-resource problems read only the
+/// times, covering problems read the element, multicover problems read the
+/// weight.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ElementDemand {
+    /// Arrival time step.
+    pub time: TimeStep,
+    /// Demanded infrastructure element (interpretation is per problem).
+    pub element: usize,
+    /// Demand multiplicity. Always `>= 1`.
+    pub weight: usize,
+}
+
+impl ElementDemand {
+    /// A demand of the given time, element and weight.
+    pub fn new(time: TimeStep, element: usize, weight: usize) -> Self {
+        ElementDemand {
+            time,
+            element,
+            weight,
+        }
+    }
+}
+
 /// Independent rainy days: each day in `[0, horizon)` demands with
 /// probability `p`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0.0 <= p <= 1.0`.
-pub fn rainy_days<R: Rng + ?Sized>(rng: &mut R, horizon: TimeStep, p: f64) -> Vec<TimeStep> {
-    assert!((0.0..=1.0).contains(&p), "probability out of range");
-    (0..horizon).filter(|_| rng.random::<f64>() < p).collect()
+/// Returns [`ArrivalError`] when `p` is outside `[0, 1]` or the horizon is
+/// zero.
+pub fn rainy_days<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    p: f64,
+) -> Result<Vec<TimeStep>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_probability("p", p)?;
+    Ok((0..horizon).filter(|_| rng.random::<f64>() < p).collect())
 }
 
 /// Bursty demand: alternating bursts of consecutive demand days and gaps,
 /// with geometric-ish lengths around `burst_len` and `gap_len`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `burst_len == 0` or `gap_len == 0`.
+/// Returns [`ArrivalError`] when `burst_len` or `gap_len` is zero or the
+/// horizon is zero.
 pub fn bursty_days<R: Rng + ?Sized>(
     rng: &mut R,
     horizon: TimeStep,
     burst_len: u64,
     gap_len: u64,
-) -> Vec<TimeStep> {
-    assert!(
-        burst_len > 0 && gap_len > 0,
-        "burst and gap lengths must be positive"
-    );
+) -> Result<Vec<TimeStep>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_positive("burst_len", burst_len)?;
+    check_positive("gap_len", gap_len)?;
     let mut days = Vec::new();
     let mut t = 0u64;
     while t < horizon {
@@ -43,22 +168,177 @@ pub fn bursty_days<R: Rng + ?Sized>(
         let g = 1 + rng.random_range(0..2 * gap_len);
         t += b + g;
     }
-    days
+    Ok(days)
+}
+
+/// Diurnal demand: a sinusoidally modulated Bernoulli process,
+/// `p_t = base_p + amplitude * sin(2π t / period)` — the day/night (or
+/// weekday/weekend) load shape of service traffic.
+///
+/// # Errors
+///
+/// Returns [`ArrivalError`] when the horizon or period is zero, `base_p` is
+/// outside `[0, 1]`, or `amplitude` pushes the modulated probability
+/// outside `[0, 1]` (i.e. unless `0 <= base_p ± amplitude <= 1`).
+pub fn diurnal_days<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    base_p: f64,
+    amplitude: f64,
+    period: u64,
+) -> Result<Vec<TimeStep>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_probability("base_p", base_p)?;
+    check_positive("period", period)?;
+    if !amplitude.is_finite()
+        || amplitude < 0.0
+        || base_p + amplitude > 1.0
+        || base_p - amplitude < 0.0
+    {
+        return Err(ArrivalError::OutOfDomain {
+            name: "amplitude",
+            value: amplitude,
+            domain: "non-negative and keep base_p ± amplitude inside [0, 1]",
+        });
+    }
+    let days = (0..horizon)
+        .filter(|&t| {
+            let phase = 2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64;
+            let p_t = base_p + amplitude * phase.sin();
+            rng.random::<f64>() < p_t
+        })
+        .collect();
+    Ok(days)
+}
+
+/// Heavy-tailed demand: inter-arrival gaps drawn from a Pareto
+/// distribution with tail index `alpha` and minimum gap 1 (via inverse-CDF
+/// `gap = ⌈1 / U^(1/alpha)⌉`). Small `alpha` (≤ 2) produces the
+/// rare-but-huge quiet spells that trip policies tuned to Poisson-like
+/// traffic.
+///
+/// # Errors
+///
+/// Returns [`ArrivalError`] when the horizon is zero or `alpha` is not
+/// finite and positive.
+pub fn pareto_gap_days<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    alpha: f64,
+) -> Result<Vec<TimeStep>, ArrivalError> {
+    check_horizon(horizon)?;
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return Err(ArrivalError::OutOfDomain {
+            name: "alpha",
+            value: alpha,
+            domain: "> 0 and finite",
+        });
+    }
+    let mut days = Vec::new();
+    let mut t = 0u64;
+    while t < horizon {
+        days.push(t);
+        // U in (0, 1]: guard the open end so the gap stays finite.
+        let u = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+        let gap = (1.0 / u.powf(1.0 / alpha)).ceil();
+        // Cap at the horizon so the loop terminates even for tiny alpha.
+        t = t.saturating_add(if gap >= horizon as f64 {
+            horizon
+        } else {
+            gap as u64
+        });
+    }
+    Ok(days)
+}
+
+/// Adversarial spike train: a deterministic demand pattern with one demand
+/// day every `period` steps, each spike lasting `width` consecutive days.
+/// Choosing `period` just above a lease length reproduces the
+/// buy-then-idle thrash behind the Theorem 2.8 lower bound — the worst
+/// case a scenario matrix should always include.
+///
+/// # Errors
+///
+/// Returns [`ArrivalError`] when the horizon, period or width is zero, or
+/// when `width > period` (the spikes would overlap and the train would
+/// degenerate into constant demand).
+pub fn adversarial_spikes(
+    horizon: TimeStep,
+    period: u64,
+    width: u64,
+) -> Result<Vec<TimeStep>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_positive("period", period)?;
+    check_positive("width", width)?;
+    if width > period {
+        return Err(ArrivalError::OutOfDomain {
+            name: "width",
+            value: width as f64,
+            domain: "at most the period (spikes must not overlap)",
+        });
+    }
+    let mut days = Vec::new();
+    let mut start = 0u64;
+    while start < horizon {
+        for d in start..(start + width).min(horizon) {
+            days.push(d);
+        }
+        start = start.saturating_add(period);
+    }
+    Ok(days)
+}
+
+/// Correlated multi-element demand: a global on/off regime (hot with
+/// probability `p_hot` each day); on hot days every element fires
+/// independently with probability `p_fire`, on cold days nothing fires.
+/// Elements therefore co-fire far more often than under independent
+/// Bernoulli demand with the same marginal rate — the regime that rewards
+/// lease sharing across elements.
+///
+/// # Errors
+///
+/// Returns [`ArrivalError`] when the horizon or `num_elements` is zero, or
+/// either probability is outside `[0, 1]`.
+pub fn correlated_element_demands<R: Rng + ?Sized>(
+    rng: &mut R,
+    horizon: TimeStep,
+    num_elements: usize,
+    p_hot: f64,
+    p_fire: f64,
+) -> Result<Vec<ElementDemand>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_positive("num_elements", num_elements as u64)?;
+    check_probability("p_hot", p_hot)?;
+    check_probability("p_fire", p_fire)?;
+    let mut events = Vec::new();
+    for t in 0..horizon {
+        if rng.random::<f64>() >= p_hot {
+            continue;
+        }
+        for e in 0..num_elements {
+            if rng.random::<f64>() < p_fire {
+                events.push(ElementDemand::new(t, e, 1));
+            }
+        }
+    }
+    Ok(events)
 }
 
 /// OLD clients: a demand on each day with probability `p`, with slack drawn
 /// uniformly from `[0, max_slack]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0.0 <= p <= 1.0`.
+/// Returns [`ArrivalError`] when `p` is outside `[0, 1]` or the horizon is
+/// zero.
 pub fn old_clients<R: Rng + ?Sized>(
     rng: &mut R,
     horizon: TimeStep,
     p: f64,
     max_slack: u64,
-) -> Vec<OldClient> {
-    assert!((0.0..=1.0).contains(&p), "probability out of range");
+) -> Result<Vec<OldClient>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_probability("p", p)?;
     let mut clients = Vec::new();
     for t in 0..horizon {
         if rng.random::<f64>() < p {
@@ -70,22 +350,28 @@ pub fn old_clients<R: Rng + ?Sized>(
             clients.push(OldClient::new(t, slack));
         }
     }
-    clients
+    Ok(clients)
 }
 
 /// OLD clients with one fixed slack (the *uniform* OLD regime of
 /// Theorem 5.3).
+///
+/// # Errors
+///
+/// Returns [`ArrivalError`] when `p` is outside `[0, 1]` or the horizon is
+/// zero.
 pub fn uniform_old_clients<R: Rng + ?Sized>(
     rng: &mut R,
     horizon: TimeStep,
     p: f64,
     slack: u64,
-) -> Vec<OldClient> {
-    assert!((0.0..=1.0).contains(&p), "probability out of range");
-    (0..horizon)
+) -> Result<Vec<OldClient>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_probability("p", p)?;
+    Ok((0..horizon)
         .filter(|_| rng.random::<f64>() < p)
         .map(|t| OldClient::new(t, slack))
-        .collect()
+        .collect())
 }
 
 /// Service-window clients allowed every `stride`-th day of a span:
@@ -93,18 +379,20 @@ pub fn uniform_old_clients<R: Rng + ?Sized>(
 /// allowed days are `{a, a+stride, …, a+span}` (the §5.6 "specific days"
 /// model; `stride = 1` recovers OLD clients).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0.0 <= p <= 1.0` and `stride > 0`.
+/// Returns [`ArrivalError`] when `p` is outside `[0, 1]`, the horizon is
+/// zero, or the stride is zero.
 pub fn strided_window_clients<R: Rng + ?Sized>(
     rng: &mut R,
     horizon: TimeStep,
     p: f64,
     span: u64,
     stride: u64,
-) -> Vec<WindowClient> {
-    assert!((0.0..=1.0).contains(&p), "probability out of range");
-    assert!(stride > 0, "stride must be positive");
+) -> Result<Vec<WindowClient>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_probability("p", p)?;
+    check_positive("stride", stride)?;
     let mut out = Vec::new();
     for t in 0..horizon {
         if rng.random::<f64>() < p {
@@ -112,28 +400,31 @@ pub fn strided_window_clients<R: Rng + ?Sized>(
             out.push(WindowClient::specific(t, days).expect("strided days are sorted"));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Periodic service-window clients ("any Tuesday"): arrivals are
 /// Bernoulli(`p`) per day, each allowed `count` days spaced `period` apart.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0.0 <= p <= 1.0`, `period > 0` and `count > 0`.
+/// Returns [`ArrivalError`] when `p` is outside `[0, 1]`, the horizon is
+/// zero, or the period or count is zero.
 pub fn periodic_window_clients<R: Rng + ?Sized>(
     rng: &mut R,
     horizon: TimeStep,
     p: f64,
     period: u64,
     count: usize,
-) -> Vec<WindowClient> {
-    assert!((0.0..=1.0).contains(&p), "probability out of range");
-    assert!(period > 0 && count > 0, "period and count must be positive");
-    (0..horizon)
+) -> Result<Vec<WindowClient>, ArrivalError> {
+    check_horizon(horizon)?;
+    check_probability("p", p)?;
+    check_positive("period", period)?;
+    check_positive("count", count as u64)?;
+    Ok((0..horizon)
         .filter(|_| rng.random::<f64>() < p)
         .map(|t| WindowClient::periodic(t, period, count))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -144,7 +435,7 @@ mod tests {
     #[test]
     fn rainy_days_density_matches_p() {
         let mut rng = seeded(1);
-        let days = rainy_days(&mut rng, 10_000, 0.3);
+        let days = rainy_days(&mut rng, 10_000, 0.3).unwrap();
         let density = days.len() as f64 / 10_000.0;
         assert!((density - 0.3).abs() < 0.03, "density {density}");
         assert!(days.windows(2).all(|w| w[0] < w[1]));
@@ -153,40 +444,220 @@ mod tests {
     #[test]
     fn rainy_days_extremes() {
         let mut rng = seeded(2);
-        assert!(rainy_days(&mut rng, 100, 0.0).is_empty());
-        assert_eq!(rainy_days(&mut rng, 100, 1.0).len(), 100);
+        assert!(rainy_days(&mut rng, 100, 0.0).unwrap().is_empty());
+        assert_eq!(rainy_days(&mut rng, 100, 1.0).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn rainy_days_rejects_bad_probability() {
+        let mut rng = seeded(2);
+        for p in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = rainy_days(&mut rng, 100, p).unwrap_err();
+            assert!(
+                matches!(err, ArrivalError::ProbabilityOutOfRange { name: "p", .. }),
+                "p = {p}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_generator_rejects_zero_horizon() {
+        let mut rng = seeded(3);
+        assert_eq!(rainy_days(&mut rng, 0, 0.5), Err(ArrivalError::ZeroHorizon));
+        assert_eq!(
+            bursty_days(&mut rng, 0, 2, 2),
+            Err(ArrivalError::ZeroHorizon)
+        );
+        assert_eq!(
+            diurnal_days(&mut rng, 0, 0.5, 0.2, 24),
+            Err(ArrivalError::ZeroHorizon)
+        );
+        assert_eq!(
+            pareto_gap_days(&mut rng, 0, 1.5),
+            Err(ArrivalError::ZeroHorizon)
+        );
+        assert_eq!(adversarial_spikes(0, 4, 1), Err(ArrivalError::ZeroHorizon));
+        assert_eq!(
+            correlated_element_demands(&mut rng, 0, 3, 0.5, 0.5),
+            Err(ArrivalError::ZeroHorizon)
+        );
+        assert!(old_clients(&mut rng, 0, 0.5, 3).is_err());
+        assert!(uniform_old_clients(&mut rng, 0, 0.5, 3).is_err());
+        assert!(strided_window_clients(&mut rng, 0, 0.5, 4, 2).is_err());
+        assert!(periodic_window_clients(&mut rng, 0, 0.5, 4, 2).is_err());
     }
 
     #[test]
     fn bursty_days_stay_in_horizon_and_sorted() {
         let mut rng = seeded(3);
-        let days = bursty_days(&mut rng, 500, 5, 7);
+        let days = bursty_days(&mut rng, 500, 5, 7).unwrap();
         assert!(days.iter().all(|&d| d < 500));
         assert!(days.windows(2).all(|w| w[0] < w[1]));
         assert!(!days.is_empty());
     }
 
     #[test]
+    fn bursty_days_rejects_zero_lengths() {
+        let mut rng = seeded(3);
+        assert_eq!(
+            bursty_days(&mut rng, 100, 0, 7),
+            Err(ArrivalError::ZeroParameter { name: "burst_len" })
+        );
+        assert_eq!(
+            bursty_days(&mut rng, 100, 5, 0),
+            Err(ArrivalError::ZeroParameter { name: "gap_len" })
+        );
+    }
+
+    #[test]
     fn old_clients_slacks_bounded() {
         let mut rng = seeded(4);
-        let clients = old_clients(&mut rng, 1000, 0.5, 9);
+        let clients = old_clients(&mut rng, 1000, 0.5, 9).unwrap();
         assert!(clients.iter().all(|c| c.slack <= 9));
         assert!(clients.windows(2).all(|w| w[0].arrival < w[1].arrival));
-        let uniform = uniform_old_clients(&mut rng, 1000, 0.5, 4);
+        let uniform = uniform_old_clients(&mut rng, 1000, 0.5, 4).unwrap();
         assert!(uniform.iter().all(|c| c.slack == 4));
     }
 
     #[test]
     fn generators_are_reproducible() {
-        let a = rainy_days(&mut seeded(7), 200, 0.4);
-        let b = rainy_days(&mut seeded(7), 200, 0.4);
+        let a = rainy_days(&mut seeded(7), 200, 0.4).unwrap();
+        let b = rainy_days(&mut seeded(7), 200, 0.4).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diurnal_days_modulate_density_with_phase() {
+        let mut rng = seeded(8);
+        let days = diurnal_days(&mut rng, 48_000, 0.5, 0.45, 48).unwrap();
+        // Quarter-period around the sine peak vs the sine trough.
+        let peak: usize = days
+            .iter()
+            .filter(|&&d| (6..18).contains(&(d % 48)))
+            .count();
+        let trough: usize = days
+            .iter()
+            .filter(|&&d| (30..42).contains(&(d % 48)))
+            .count();
+        assert!(
+            peak > 3 * trough,
+            "peak {peak} should dominate trough {trough}"
+        );
+        assert!(days.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn diurnal_days_reject_amplitude_outside_unit_interval() {
+        let mut rng = seeded(8);
+        for (base, amp) in [(0.9, 0.2), (0.1, 0.2), (0.5, -0.1), (0.5, f64::NAN)] {
+            let err = diurnal_days(&mut rng, 100, base, amp, 24).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ArrivalError::OutOfDomain {
+                        name: "amplitude",
+                        ..
+                    }
+                ),
+                "base {base} amp {amp}: {err}"
+            );
+        }
+        assert_eq!(
+            diurnal_days(&mut rng, 100, 0.5, 0.1, 0),
+            Err(ArrivalError::ZeroParameter { name: "period" })
+        );
+    }
+
+    #[test]
+    fn pareto_gap_days_are_sorted_heavy_tailed_and_bounded() {
+        let mut rng = seeded(9);
+        let days = pareto_gap_days(&mut rng, 20_000, 1.2).unwrap();
+        assert!(!days.is_empty());
+        assert!(days.iter().all(|&d| d < 20_000));
+        assert!(days.windows(2).all(|w| w[0] < w[1]));
+        // Heavy tail: at least one gap far above the median gap.
+        let gaps: Vec<u64> = days.windows(2).map(|w| w[1] - w[0]).collect();
+        let max_gap = gaps.iter().copied().max().unwrap();
+        assert!(max_gap >= 20, "expected a rare long gap, max {max_gap}");
+    }
+
+    #[test]
+    fn pareto_rejects_bad_alpha() {
+        let mut rng = seeded(9);
+        for alpha in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = pareto_gap_days(&mut rng, 100, alpha).unwrap_err();
+            assert!(
+                matches!(err, ArrivalError::OutOfDomain { name: "alpha", .. }),
+                "alpha {alpha}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_spikes_are_deterministic_and_periodic() {
+        let a = adversarial_spikes(64, 9, 2).unwrap();
+        let b = adversarial_spikes(64, 9, 2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(&a[..4], &[0, 1, 9, 10]);
+        assert!(a.iter().all(|&d| d < 64));
+        assert_eq!(
+            adversarial_spikes(64, 0, 2),
+            Err(ArrivalError::ZeroParameter { name: "period" })
+        );
+        assert_eq!(
+            adversarial_spikes(64, 9, 0),
+            Err(ArrivalError::ZeroParameter { name: "width" })
+        );
+    }
+
+    #[test]
+    fn adversarial_spikes_reject_overlapping_spikes() {
+        let err = adversarial_spikes(32, 2, 5).unwrap_err();
+        assert!(
+            matches!(err, ArrivalError::OutOfDomain { name: "width", .. }),
+            "{err}"
+        );
+        // width == period is the densest legal train: constant demand.
+        assert_eq!(adversarial_spikes(8, 2, 2).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn correlated_demands_co_fire_on_hot_days() {
+        let mut rng = seeded(10);
+        let events = correlated_element_demands(&mut rng, 4_000, 4, 0.3, 0.9).unwrap();
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(events.iter().all(|e| e.element < 4 && e.weight == 1));
+        // On a hot day most of the 4 elements fire: events per active day
+        // should average well above 1 (independent thinning would give ~1).
+        let active_days: std::collections::BTreeSet<u64> = events.iter().map(|e| e.time).collect();
+        let per_day = events.len() as f64 / active_days.len() as f64;
+        assert!(per_day > 2.5, "co-firing rate {per_day}");
+    }
+
+    #[test]
+    fn correlated_demands_validate_all_parameters() {
+        let mut rng = seeded(10);
+        assert!(matches!(
+            correlated_element_demands(&mut rng, 100, 0, 0.5, 0.5),
+            Err(ArrivalError::ZeroParameter {
+                name: "num_elements"
+            })
+        ));
+        assert!(matches!(
+            correlated_element_demands(&mut rng, 100, 3, 1.5, 0.5),
+            Err(ArrivalError::ProbabilityOutOfRange { name: "p_hot", .. })
+        ));
+        assert!(matches!(
+            correlated_element_demands(&mut rng, 100, 3, 0.5, -0.5),
+            Err(ArrivalError::ProbabilityOutOfRange { name: "p_fire", .. })
+        ));
     }
 
     #[test]
     fn strided_window_clients_respect_span_and_stride() {
         let mut rng = seeded(9);
-        let clients = strided_window_clients(&mut rng, 200, 0.3, 12, 4);
+        let clients = strided_window_clients(&mut rng, 200, 0.3, 12, 4).unwrap();
         assert!(!clients.is_empty());
         for c in &clients {
             assert_eq!(c.span(), 12);
@@ -198,20 +669,45 @@ mod tests {
     #[test]
     fn strided_window_clients_with_stride_one_are_old_like() {
         let mut rng = seeded(10);
-        let clients = strided_window_clients(&mut rng, 100, 0.5, 5, 1);
+        let clients = strided_window_clients(&mut rng, 100, 0.5, 5, 1).unwrap();
         for c in &clients {
             assert_eq!(c.allowed_days().len(), 6, "every day of the span allowed");
         }
+        assert_eq!(
+            strided_window_clients(&mut rng, 100, 0.5, 5, 0),
+            Err(ArrivalError::ZeroParameter { name: "stride" })
+        );
     }
 
     #[test]
     fn periodic_window_clients_have_fixed_cadence() {
         let mut rng = seeded(11);
-        let clients = periodic_window_clients(&mut rng, 100, 0.4, 7, 3);
+        let clients = periodic_window_clients(&mut rng, 100, 0.4, 7, 3).unwrap();
         assert!(!clients.is_empty());
         for c in &clients {
             assert_eq!(c.allowed_days().len(), 3);
             assert!(c.allowed_days().windows(2).all(|w| w[1] - w[0] == 7));
         }
+        assert_eq!(
+            periodic_window_clients(&mut rng, 100, 0.4, 0, 3),
+            Err(ArrivalError::ZeroParameter { name: "period" })
+        );
+        assert_eq!(
+            periodic_window_clients(&mut rng, 100, 0.4, 7, 0),
+            Err(ArrivalError::ZeroParameter { name: "count" })
+        );
+    }
+
+    #[test]
+    fn arrival_error_is_well_behaved() {
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ArrivalError>();
+        let msg = ArrivalError::ProbabilityOutOfRange {
+            name: "p",
+            value: 1.5,
+        }
+        .to_string();
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(msg.contains("1.5"));
     }
 }

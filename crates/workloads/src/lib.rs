@@ -16,7 +16,10 @@ pub mod facilities;
 pub mod graph_demands;
 pub mod set_systems;
 
-pub use arrivals::{bursty_days, rainy_days};
+pub use arrivals::{
+    adversarial_spikes, bursty_days, correlated_element_demands, diurnal_days, pareto_gap_days,
+    rainy_days, ArrivalError, ElementDemand,
+};
 pub use deadline_demands::{multi_day_clients, weighted_demands};
 pub use graph_demands::{hotspot_arrivals, item_arrivals, steiner_requests};
 pub use set_systems::random_system;

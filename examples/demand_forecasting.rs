@@ -1,20 +1,21 @@
 //! Stochastic leasing: a subcontractor with last year's demand statistics
 //! (thesis §3.5/§5.6 outlook) leases smarter than the worst-case algorithm
-//! — and hedges against a wrong forecast.
+//! — and hedges against a wrong forecast. Every policy runs behind the
+//! generic engine [`Driver`].
 //!
 //! ```text
 //! cargo run --release --example demand_forecasting
 //! ```
 
+use online_resource_leasing::core::engine::Driver;
 use online_resource_leasing::core::interval::power_of_two_structure;
 use online_resource_leasing::core::rng::seeded;
 use online_resource_leasing::parking_permit::det::DeterministicPrimalDual;
 use online_resource_leasing::parking_permit::offline;
-use online_resource_leasing::parking_permit::PermitOnline;
 use online_resource_leasing::stochastic::demand::{DemandProcess, MarkovModulated};
 use online_resource_leasing::stochastic::policies::{RateThreshold, SwitchCombiner};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 99u64;
     // Day / week / quarter leases.
     let leases = power_of_two_structure(&[(0, 1.0), (3, 4.0), (6, 16.0)]);
@@ -31,37 +32,37 @@ fn main() {
     println!("clairvoyant optimum: {opt:>8.2}\n");
 
     // Worst-case algorithm: no distributional knowledge.
-    let mut worst_case = DeterministicPrimalDual::new(leases.clone());
+    let mut worst_case = Driver::new(DeterministicPrimalDual::new(leases.clone()), leases.clone());
     // Informed policy: knows the stationary rate.
-    let mut informed = RateThreshold::new(leases.clone(), process.stationary_rate());
+    let mut informed = Driver::new(
+        RateThreshold::new(leases.clone(), process.stationary_rate()),
+        leases.clone(),
+    );
     // Hedged policy: follows a (possibly wrong) forecast but simulates the
     // worst-case algorithm alongside and switches when the forecast loses.
-    let mut hedged = SwitchCombiner::new(
+    let mut hedged = Driver::new(
+        SwitchCombiner::new(
+            leases.clone(),
+            RateThreshold::new(leases.clone(), 0.05), // a badly wrong forecast
+            DeterministicPrimalDual::new(leases.clone()),
+        ),
         leases.clone(),
-        RateThreshold::new(leases.clone(), 0.05), // a badly wrong forecast
-        DeterministicPrimalDual::new(leases.clone()),
     );
-    for &t in &days {
-        worst_case.serve_demand(t);
-        informed.serve_demand(t);
-        hedged.serve_demand(t);
-    }
+    let requests = || days.iter().map(|&t| (t, ()));
+    worst_case.submit_batch(requests())?;
+    informed.submit_batch(requests())?;
+    hedged.submit_batch(requests())?;
 
     let report = |name: &str, cost: f64| {
         println!("{name:<28} {cost:>8.2}  (x{:.2} of OPT)", cost / opt);
     };
-    report(
-        "worst-case primal-dual:",
-        PermitOnline::total_cost(&worst_case),
-    );
-    report("rate-informed policy:", PermitOnline::total_cost(&informed));
-    report(
-        "hedged (wrong forecast):",
-        PermitOnline::total_cost(&hedged),
-    );
+    report("worst-case primal-dual:", worst_case.cost());
+    report("rate-informed policy:", informed.cost());
+    report("hedged (wrong forecast):", hedged.cost());
     println!(
         "\nhedge switched leader {} times; inner costs (forecast, worst-case) = {:.2?}",
-        hedged.switches(),
-        hedged.inner_costs()
+        hedged.algorithm().switches(),
+        hedged.algorithm().inner_costs()
     );
+    Ok(())
 }

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let seed = 7u64;
     let mut rng = seeded(seed);
-    let rain = rainy_days(&mut rng, 256, 0.35);
+    let rain = rainy_days(&mut rng, 256, 0.35)?;
     println!("{} rainy days over 256 days (seed {seed})", rain.len());
 
     // Each algorithm runs behind the same generic driver; the driver owns

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A season of tourists with up to a week of flexibility.
     let mut rng = seeded(99);
-    let tourists = old_clients(&mut rng, 128, 0.4, 7);
+    let tourists = old_clients(&mut rng, 128, 0.4, 7).expect("valid parameters");
     println!(
         "{} tourists over 128 days, slack up to 7 days",
         tourists.len()

@@ -145,3 +145,9 @@ pub mod distributed {
 pub mod workloads {
     pub use leasing_workloads::*;
 }
+
+/// SimLab — the sharded scenario-matrix simulation harness (re-export of
+/// [`leasing_simlab`]).
+pub mod simlab {
+    pub use leasing_simlab::*;
+}

@@ -66,7 +66,7 @@ fn steiner_online_sandwiched_between_opt_and_naive() {
             requests.push(PairRequest::new(t, u, v));
         }
         let inst = SteinerInstance::new(g, structure(), requests).unwrap();
-        let Some(opt) = steiner_ilp::steiner_optimal_cost(&inst, 200, 300_000) else {
+        let Ok(opt) = steiner_ilp::steiner_optimal_cost(&inst, 200, 300_000) else {
             continue; // path explosion: skip this trial
         };
         let mut online = SteinerLeasingOnline::new(&inst);
