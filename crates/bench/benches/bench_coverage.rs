@@ -1,0 +1,171 @@
+//! Performance of the ledger's coverage index on long-horizon streams:
+//! point queries against a ledger holding 10^5 recorded purchases, the
+//! naive decision-trace scan they replace, and the full driver loop over a
+//! 10^5-request stream (the deterministic permit algorithm now answers
+//! every "is this day covered?" through the index).
+//!
+//! Run with `CRITERION_OUTPUT_JSON=$PWD/BENCH_driver.json cargo bench
+//! --bench bench_coverage` to refresh the machine-readable baseline
+//! alongside (merged with) the `bench_driver` numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leasing_core::engine::{Driver, Ledger};
+use leasing_core::framework::Triple;
+use leasing_core::interval::aligned_start;
+use leasing_core::lease::LeaseStructure;
+use leasing_core::rng::seeded;
+use leasing_workloads::rainy_days;
+use parking_permit::det::DeterministicPrimalDual;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn structure() -> LeaseStructure {
+    LeaseStructure::geometric(4, 1, 4, 1.0, 0.6)
+}
+
+/// A ledger with `n` lease purchases spread over `elements` elements on a
+/// long horizon — the steady state of a large simulation cell.
+fn populated_ledger(n: usize, elements: usize) -> (Ledger, u64) {
+    let s = structure();
+    let mut ledger = Ledger::new(s.clone());
+    let mut rng = seeded(7);
+    let mut clock = 0u64;
+    for i in 0..n {
+        clock += rng.random_range(0..3u64);
+        ledger.advance(clock);
+        let k = i % s.num_types();
+        ledger.buy(
+            clock,
+            Triple::new(i % elements, k, aligned_start(clock, s.length(k))),
+        );
+    }
+    (ledger, clock)
+}
+
+/// The old hand-rolled pattern every problem crate used: scan the full
+/// decision trace for a covering triple.
+fn naive_covered(ledger: &Ledger, element: usize, t: u64) -> bool {
+    let s = ledger
+        .structure()
+        .expect("populated ledgers have structures");
+    ledger
+        .decisions()
+        .iter()
+        .filter_map(|d| d.triple())
+        .any(|tr| tr.element == element && tr.covers(s, t))
+}
+
+/// Indexed point queries vs the O(decisions) scan they replace, on a
+/// 10^5-purchase ledger.
+fn bench_coverage_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_query");
+    for n in [10_000usize, 100_000] {
+        let (ledger, horizon) = populated_ledger(n, 64);
+        let queries: Vec<(usize, u64)> = {
+            let mut rng = seeded(11);
+            (0..256)
+                .map(|_| {
+                    (
+                        rng.random_range(0..64usize),
+                        rng.random_range(0..horizon + 2),
+                    )
+                })
+                .collect()
+        };
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(e, t) in &queries {
+                    hits += usize::from(ledger.covered(e, t));
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                // Same 256-query workload as `indexed`, so the two ids in
+                // BENCH_driver.json are directly comparable per iteration.
+                for &(e, t) in &queries {
+                    hits += usize::from(naive_covered(&ledger, e, t));
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("active_lease", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ends = 0u64;
+                for &(e, t) in &queries {
+                    if let Some(tr) = ledger.active_lease(e, t) {
+                        ends = ends.wrapping_add(tr.start);
+                    }
+                }
+                black_box(ends)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("active_count", n), &n, |b, _| {
+            b.iter(|| black_box(ledger.active_count(horizon / 2)))
+        });
+    }
+    group.finish();
+}
+
+/// The full driver loop over a long-horizon rainy stream: 10^5 requests
+/// through the deterministic permit algorithm, whose covered/owns checks
+/// now run on the index. This is the end-to-end number the refactor moves.
+fn bench_driver_long_horizon(c: &mut Criterion) {
+    let s = structure();
+    let mut group = c.benchmark_group("driver_long_horizon");
+    for horizon in [100_000u64, 400_000] {
+        let days = rainy_days(&mut seeded(3), horizon, 0.35).expect("valid parameters");
+        group.bench_with_input(
+            BenchmarkId::new("submit_det_permit", days.len()),
+            &days,
+            |b, days| {
+                b.iter(|| {
+                    let mut driver =
+                        Driver::new(DeterministicPrimalDual::new(s.clone()), s.clone());
+                    driver
+                        .submit_batch(days.iter().map(|&t| (t, ())))
+                        .expect("monotone submission");
+                    black_box(driver.cost())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Equal-time batches through `submit_at`: expiry processing runs once per
+/// distinct time step regardless of the batch width.
+fn bench_batched_timesteps(c: &mut Criterion) {
+    let s = structure();
+    let mut group = c.benchmark_group("driver_batched");
+    for width in [1usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("submit_at_width", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    let mut driver =
+                        Driver::new(DeterministicPrimalDual::new(s.clone()), s.clone());
+                    for t in 0..2_000u64 {
+                        driver
+                            .submit_at(t, std::iter::repeat_n((), w))
+                            .expect("monotone submission");
+                    }
+                    black_box(driver.cost())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coverage_query,
+    bench_driver_long_horizon,
+    bench_batched_timesteps
+);
+criterion_main!(benches);

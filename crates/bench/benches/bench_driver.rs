@@ -3,8 +3,10 @@
 //! expiry popping under advancing time, plus the full driver loop over the
 //! deterministic parking-permit algorithm.
 //!
-//! Run with `CRITERION_OUTPUT_JSON=BENCH_driver.json cargo bench --bench
-//! bench_driver` to refresh the machine-readable baseline.
+//! Run with `CRITERION_OUTPUT_JSON=$PWD/BENCH_driver.json cargo bench
+//! --bench bench_driver` to refresh the machine-readable baseline (the
+//! file merges across bench binaries — `bench_coverage` writes its
+//! coverage-index numbers into the same baseline).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use leasing_core::engine::{Driver, LeasingAlgorithm, Ledger};

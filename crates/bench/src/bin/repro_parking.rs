@@ -52,6 +52,7 @@ fn main() {
             num_elements: 1,
             structure: s.clone(),
             threads: 2,
+            cell_budget_ms: None,
         };
         let seeds: Vec<u64> = (0..10).map(|t| SEED + t).collect();
         let report = run_matrix(&det, &rainy, &seeds, &config);

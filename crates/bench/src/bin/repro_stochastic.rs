@@ -95,6 +95,7 @@ fn main() {
         num_elements: 1,
         structure: s.clone(),
         threads: 2,
+        cell_budget_ms: None,
     };
     let seeds: Vec<u64> = (0..TRIALS).map(|t| SEED + t).collect();
     let report = run_matrix(&algorithms, &scenarios, &seeds, &config);

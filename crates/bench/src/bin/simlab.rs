@@ -8,13 +8,21 @@
 //! ```text
 //! cargo run --release --bin simlab -- \
 //!     --algorithms permit-det,permit-rand,old \
-//!     --workloads rainy,diurnal,spikes --seeds 8 --threads 4
-//! simlab --list            # show every algorithm and workload preset
-//! simlab --algorithms all  # run the whole registry
+//!     --workloads rainy:p=0.7,diurnal,spikes --seeds 8 --threads 4
+//! simlab --list                       # show algorithms and presets
+//! simlab --algorithms all             # run the whole registry
+//! simlab --cell-budget-ms 5000        # timeout slow cells as failures
+//! simlab --baseline old.json          # diff the fresh run vs a baseline
+//! simlab --baseline old.json --candidate new.json   # pure file diff
 //! ```
+//!
+//! With `--baseline`, competitive-ratio regressions beyond `--tolerance`
+//! (relative, default 0.05) exit with status 3.
 
 use leasing_bench::table;
+use leasing_simlab::baseline::diff_reports;
 use leasing_simlab::registry::{select_algorithms, standard_registry};
+use leasing_simlab::report::MatrixReport;
 use leasing_simlab::runner::{run_matrix, MatrixConfig};
 use leasing_simlab::scenario::Scenario;
 
@@ -28,6 +36,10 @@ struct Args {
     elements: usize,
     out: String,
     list: bool,
+    cell_budget_ms: u64,
+    baseline: Option<String>,
+    candidate: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
         elements: 4,
         out: "BENCH_simlab.json".into(),
         list: false,
+        cell_budget_ms: 0,
+        baseline: None,
+        candidate: None,
+        tolerance: 0.05,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,10 +91,67 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--list" => args.list = true,
+            "--cell-budget-ms" => {
+                args.cell_budget_ms = value("--cell-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("--cell-budget-ms: {e}"))?
+            }
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--candidate" => args.candidate = Some(value("--candidate")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if args.candidate.is_some() && args.baseline.is_none() {
+        return Err("--candidate requires --baseline".into());
+    }
     Ok(args)
+}
+
+fn load_report(path: &str) -> MatrixReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("simlab: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    MatrixReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("simlab: {path} is not a matrix report: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Diffs `current` against the baseline file; exits 3 on regressions.
+/// Baseline groups the candidate no longer covers are warned about (a
+/// regressing group must not pass the gate by being renamed or dropped)
+/// but do not fail the diff — narrower candidate runs are legitimate.
+fn gate_on_baseline(baseline_path: &str, current: &MatrixReport, tolerance: f64) {
+    let baseline = load_report(baseline_path);
+    for (algorithm, workload) in leasing_simlab::baseline::missing_groups(&baseline, current) {
+        eprintln!(
+            "warning: baseline group {algorithm}/{workload} is absent from the candidate \
+             (not compared)"
+        );
+    }
+    let regressions = diff_reports(&baseline, current, tolerance);
+    if regressions.is_empty() {
+        println!(
+            "baseline {baseline_path}: no competitive-ratio regressions beyond {:.1}%",
+            tolerance * 100.0
+        );
+        return;
+    }
+    eprintln!(
+        "baseline {baseline_path}: {} regression(s) beyond {:.1}%:",
+        regressions.len(),
+        tolerance * 100.0
+    );
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    std::process::exit(3);
 }
 
 fn main() {
@@ -95,10 +168,17 @@ fn main() {
         for alg in standard_registry() {
             println!("  {:<16} ({})", alg.name, alg.family);
         }
-        println!("\nworkloads:");
+        println!("\nworkloads (parameterizable, e.g. rainy:p=0.7, pareto:alpha=1.5):");
         for s in Scenario::presets() {
             println!("  {:<16} {:?}", s.name, s.spec);
         }
+        return;
+    }
+
+    // Pure diff mode: compare two existing reports, run nothing.
+    if let (Some(baseline), Some(candidate)) = (&args.baseline, &args.candidate) {
+        let current = load_report(candidate);
+        gate_on_baseline(baseline, &current, args.tolerance);
         return;
     }
 
@@ -121,6 +201,7 @@ fn main() {
         horizon: args.horizon,
         num_elements: args.elements,
         threads: args.threads,
+        cell_budget_ms: (args.cell_budget_ms > 0).then_some(args.cell_budget_ms),
         ..MatrixConfig::default_config()
     };
 
@@ -175,4 +256,8 @@ fn main() {
         args.out
     );
     println!("(aggregates are bit-identical for any --threads value)");
+
+    if let Some(baseline) = &args.baseline {
+        gate_on_baseline(baseline, &report, args.tolerance);
+    }
 }

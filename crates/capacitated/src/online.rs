@@ -64,14 +64,11 @@ impl<'a> CapacitatedGreedy<'a> {
         }
     }
 
-    /// Whether facility `i` holds an active lease at time `t`.
+    /// Whether facility `i` holds an active lease at time `t` (on the
+    /// internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), query the driver's ledger).
     pub fn is_active(&self, i: usize, t: TimeStep) -> bool {
-        candidates_covering(self.instance.base.structure(), t)
-            .into_iter()
-            .any(|lease| {
-                self.owned
-                    .contains(&Triple::new(i, lease.type_index, lease.start))
-            })
+        self.ledger.covered(i, t)
     }
 
     /// Serves one batch of clients arriving at time `t`.
@@ -92,7 +89,8 @@ impl<'a> CapacitatedGreedy<'a> {
     }
 
     /// Core greedy assignment step, recording purchases and connection
-    /// charges into `ledger`.
+    /// charges into `ledger`. Facility activity is the ledger's coverage
+    /// index, not a private table.
     fn serve_with(&mut self, t: TimeStep, clients: &[usize], ledger: &mut Ledger) {
         ledger.advance(t);
         let base = &self.instance.base;
@@ -105,7 +103,7 @@ impl<'a> CapacitatedGreedy<'a> {
                     continue;
                 }
                 let d = base.distance(i, j);
-                let option = if self.is_active(i, t) {
+                let option = if ledger.covered(i, t) {
                     (d, i, None)
                 } else {
                     let (k, price) = self.pick_lease(i);

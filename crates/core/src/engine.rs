@@ -13,6 +13,24 @@
 //!   the ledger instead of keeping a private `total_cost` accumulator
 //!   (the `online_covering` substrate and the offline baselines keep
 //!   their own meters — they are not driver-facing).
+//! * **Coverage index** — the ledger also maintains, incrementally on
+//!   every purchase, a per-`(element, lease type)` sorted index of lease
+//!   start times. Because all leases of one type share the length `l_k`,
+//!   "is element `i` covered at time `t`?" reduces to one ordered range
+//!   lookup per type: a type-`k` lease covers `t` iff its start lies in
+//!   `(t − l_k, t]`. The point queries — [`Ledger::covered`],
+//!   [`Ledger::active_lease`], [`Ledger::active_lease_of_type`],
+//!   [`Ledger::owns`] and the window query [`Ledger::covered_during`] —
+//!   therefore run in `O(K log n)` for `n` recorded purchases instead of
+//!   the `O(n)` decision-trace scan every problem crate used to roll by
+//!   hand. [`Ledger::active_count`] counts distinct covered elements in
+//!   `O(E · K log n)` for `E` purchased-on elements. The index is
+//!   append-only (expiry never removes entries), so queries are valid at
+//!   *any* time step — past, present or future — not just the current
+//!   clock. The trade-off is two ordered-map insertions per purchase
+//!   (`ledger_insert` in `bench_driver` measures roughly a 2× slower raw
+//!   `buy`), bought back orders of magnitude over on every coverage
+//!   query — see `bench_coverage` in `BENCH_driver.json`.
 //! * [`LeasingAlgorithm`] — the trait every online algorithm implements:
 //!   `on_request(&mut self, t, request, &mut Ledger)` serves one request
 //!   immediately and irrevocably, recording purchases into the ledger.
@@ -38,10 +56,9 @@
 //! impl LeasingAlgorithm for ShortLease {
 //!     type Request = ();
 //!     fn on_request(&mut self, t: TimeStep, _req: (), ledger: &mut Ledger) {
-//!         let start = aligned_start(t, ledger.structure().unwrap().length(0));
-//!         let triple = Triple::new(0, 0, start);
-//!         if !ledger.decisions().iter().any(|d| d.triple() == Some(triple)) {
-//!             ledger.buy(t, triple);
+//!         if !ledger.covered(0, t) {
+//!             let start = aligned_start(t, ledger.structure().unwrap().length(0));
+//!             ledger.buy(t, Triple::new(0, 0, start));
 //!         }
 //!     }
 //! }
@@ -61,7 +78,7 @@
 use crate::framework::Triple;
 use crate::harness::CompetitiveOutcome;
 use crate::lease::{Lease, LeaseStructure};
-use crate::time::TimeStep;
+use crate::time::{TimeStep, Window};
 use serde::{de, json, Deserialize, Serialize, Value};
 use std::borrow::Cow;
 use std::cmp::Reverse;
@@ -136,6 +153,50 @@ pub struct ElementStats {
     pub extra_cost: f64,
 }
 
+/// The per-element active-lease index maintained incrementally by
+/// [`Ledger::buy`]/[`Ledger::buy_priced`].
+///
+/// Leases of one type all share the same length, so the index keys a sorted
+/// multiset of start times by `(element, type_index)`: a type-`k` lease of
+/// length `l_k` covers time `t` exactly when its start lies in the interval
+/// `(t − l_k, t]`, one `BTreeMap` range lookup. The index is append-only —
+/// advancing the clock never removes entries — so coverage queries are
+/// valid at arbitrary time steps, including backdated and future ones.
+#[derive(Clone, Debug, Default)]
+struct CoverageIndex {
+    /// `(element, type_index)` → start time → number of copies bought.
+    starts: BTreeMap<(usize, usize), BTreeMap<TimeStep, u32>>,
+}
+
+impl CoverageIndex {
+    fn insert(&mut self, triple: Triple) {
+        *self
+            .starts
+            .entry((triple.element, triple.type_index))
+            .or_default()
+            .entry(triple.start)
+            .or_insert(0) += 1;
+    }
+
+    /// The latest start of a type-`k` lease of `element` whose window of
+    /// length `len` covers `t`.
+    fn covering_start(&self, element: usize, k: usize, len: u64, t: TimeStep) -> Option<TimeStep> {
+        if len == 0 {
+            return None;
+        }
+        let slots = self.starts.get(&(element, k))?;
+        let lo = t.saturating_sub(len - 1);
+        slots.range(lo..=t).next_back().map(|(&s, _)| s)
+    }
+
+    /// Whether some type-`k` lease of `element` has a start in `[lo, hi]`.
+    fn any_start_in(&self, element: usize, k: usize, lo: TimeStep, hi: TimeStep) -> bool {
+        self.starts
+            .get(&(element, k))
+            .is_some_and(|slots| slots.range(lo..=hi).next().is_some())
+    }
+}
+
 /// The default spending category of [`Ledger::buy`]/[`Ledger::buy_priced`].
 pub const CATEGORY_LEASE: &str = "lease";
 
@@ -162,6 +223,9 @@ pub struct Ledger {
     /// [`now`](Ledger::now).
     expiry: BinaryHeap<Reverse<(TimeStep, Triple)>>,
     per_element: BTreeMap<usize, ElementStats>,
+    /// Append-only per-(element, type) start index behind the coverage
+    /// queries ([`covered`](Ledger::covered), [`owns`](Ledger::owns), ...).
+    coverage: CoverageIndex,
     now: TimeStep,
     leases_bought: usize,
 }
@@ -189,10 +253,18 @@ impl Ledger {
 
     /// Advances the ledger clock to `t` (monotone), expiring every lease
     /// whose window ends at or before `t`. Returns how many leases expired.
+    ///
+    /// Re-advancing to the current clock (or any earlier time) is a free
+    /// no-op: purchases only enter the expiry heap with a window end beyond
+    /// the clock, so expiry processing genuinely runs once per *distinct*
+    /// time even under equal-time batch submission.
     pub fn advance(&mut self, t: TimeStep) -> usize {
-        if t > self.now {
-            self.now = t;
+        if t <= self.now {
+            // Heap invariant: every queued window end exceeds `now`, so
+            // nothing can expire at or before it.
+            return 0;
         }
+        self.now = t;
         let mut expired = 0;
         while let Some(Reverse((end, _))) = self.expiry.peek() {
             if *end > self.now {
@@ -262,6 +334,7 @@ impl Ledger {
         stats.leases += 1;
         stats.lease_cost += cost;
         self.leases_bought += 1;
+        self.coverage.insert(triple);
         if let Some(structure) = &self.structure {
             if triple.type_index < structure.num_types() {
                 let end = triple.start + structure.length(triple.type_index);
@@ -350,6 +423,120 @@ impl Ledger {
     /// The earliest pending lease expiry, if any lease is still active.
     pub fn next_expiry(&self) -> Option<TimeStep> {
         self.expiry.peek().map(|Reverse((end, _))| *end)
+    }
+
+    /// Whether some purchased lease of `element` covers time step `t`.
+    ///
+    /// `O(K log n)` over the coverage index (`n` = purchases recorded so
+    /// far) — the fast replacement for scanning
+    /// [`decisions`](Ledger::decisions). Valid for *any* `t`, past or
+    /// future; structure-less ([`detached`](Ledger::detached)) ledgers have
+    /// no window information and always answer `false`.
+    pub fn covered(&self, element: usize, t: TimeStep) -> bool {
+        let Some(structure) = &self.structure else {
+            return false;
+        };
+        (0..structure.num_types()).any(|k| {
+            self.coverage
+                .covering_start(element, k, structure.length(k), t)
+                .is_some()
+        })
+    }
+
+    /// A purchased lease of `element` covering `t`, if any: the one whose
+    /// window ends last (ties broken toward the larger type index).
+    /// `O(K log n)`; `None` on structure-less ledgers.
+    pub fn active_lease(&self, element: usize, t: TimeStep) -> Option<Triple> {
+        let structure = self.structure.as_ref()?;
+        let mut best: Option<(TimeStep, usize, TimeStep)> = None; // (end, k, start)
+        for k in 0..structure.num_types() {
+            let len = structure.length(k);
+            if let Some(start) = self.coverage.covering_start(element, k, len, t) {
+                let end = start + len;
+                if best.is_none_or(|(be, bk, _)| (end, k) > (be, bk)) {
+                    best = Some((end, k, start));
+                }
+            }
+        }
+        best.map(|(_, k, start)| Triple::new(element, k, start))
+    }
+
+    /// The latest-starting purchased type-`type_index` lease of `element`
+    /// covering `t`, if any. `O(log n)`; `None` on structure-less ledgers
+    /// or out-of-range types.
+    pub fn active_lease_of_type(
+        &self,
+        element: usize,
+        type_index: usize,
+        t: TimeStep,
+    ) -> Option<Triple> {
+        let structure = self.structure.as_ref()?;
+        if type_index >= structure.num_types() {
+            return None;
+        }
+        self.coverage
+            .covering_start(element, type_index, structure.length(type_index), t)
+            .map(|start| Triple::new(element, type_index, start))
+    }
+
+    /// Whether some purchased lease of `element` covers at least one time
+    /// step of the half-open `window` — the query behind deadline-flexible
+    /// service checks (OLD / SCLD / service windows). `O(K log n)`; empty
+    /// windows and structure-less ledgers answer `false`.
+    pub fn covered_during(&self, element: usize, window: Window) -> bool {
+        let Some(structure) = &self.structure else {
+            return false;
+        };
+        let Some(last) = window.last() else {
+            return false;
+        };
+        // A type-k lease [s, s + l_k) meets [window.start, last] iff
+        // s ∈ [window.start − (l_k − 1), last]; lengths are validated ≥ 1.
+        (0..structure.num_types()).any(|k| {
+            let lo = window.start.saturating_sub(structure.length(k) - 1);
+            self.coverage.any_start_in(element, k, lo, last)
+        })
+    }
+
+    /// Number of distinct elements with a purchased lease covering `t`.
+    ///
+    /// `O(E · K log n)` for `E` elements ever purchased on — independent of
+    /// the decision count, unlike the naive trace scan.
+    pub fn active_count(&self, t: TimeStep) -> usize {
+        let Some(structure) = &self.structure else {
+            return 0;
+        };
+        let mut count = 0usize;
+        let mut current: Option<usize> = None;
+        let mut current_covered = false;
+        for &(element, k) in self.coverage.starts.keys() {
+            if current != Some(element) {
+                current = Some(element);
+                current_covered = false;
+            }
+            if current_covered || k >= structure.num_types() {
+                continue;
+            }
+            if self
+                .coverage
+                .covering_start(element, k, structure.length(k), t)
+                .is_some()
+            {
+                current_covered = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Whether the exact triple `(element, type, start)` has been purchased
+    /// (at least once). `O(log n)`; works on structure-less ledgers too —
+    /// ownership needs no window information.
+    pub fn owns(&self, triple: Triple) -> bool {
+        self.coverage
+            .starts
+            .get(&(triple.element, triple.type_index))
+            .is_some_and(|slots| slots.contains_key(&triple.start))
     }
 
     /// Spending statistics of `element`.
@@ -515,6 +702,10 @@ impl<A: LeasingAlgorithm> Driver<A> {
 
     /// Submits a whole time-stamped request sequence.
     ///
+    /// Expiry processing is batched per distinct time step: the ledger
+    /// clock advances (and pops the expiry heap) only when the time stamp
+    /// actually increases, so equal-time runs pay for one advancement.
+    ///
     /// # Errors
     ///
     /// Stops at and returns the first [`DriverError`]; earlier requests
@@ -527,6 +718,38 @@ impl<A: LeasingAlgorithm> Driver<A> {
             self.submit(t, r)?;
         }
         Ok(())
+    }
+
+    /// Submits every request of one time step: the monotonicity check and
+    /// the expiry advancement run once, then all requests are served at
+    /// `time`. Returns how many requests were served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::TimeTravel`] (serving nothing) when `time`
+    /// precedes the previous request's time.
+    pub fn submit_at(
+        &mut self,
+        time: TimeStep,
+        requests: impl IntoIterator<Item = A::Request>,
+    ) -> Result<usize, DriverError> {
+        if let Some(previous) = self.last_time {
+            if time < previous {
+                return Err(DriverError::TimeTravel {
+                    previous,
+                    attempted: time,
+                });
+            }
+        }
+        self.last_time = Some(time);
+        self.ledger.advance(time);
+        let mut served = 0;
+        for request in requests {
+            self.algorithm.on_request(time, request, &mut self.ledger);
+            self.requests += 1;
+            served += 1;
+        }
+        Ok(served)
     }
 
     /// The algorithm being driven.
@@ -787,6 +1010,152 @@ mod tests {
         assert_eq!(ledger.leases_bought(), 3); // windows [0,4), [4,8), [8,12)
         assert_eq!(ledger.active_leases(), 1, "only [8, 12) is still alive");
         assert_eq!(ledger.next_expiry(), Some(12));
+    }
+
+    // Coverage-index semantics, mirroring the PR 2 expiry-heap regression
+    // suite: window boundaries, duplicate triples, backdated aligned starts
+    // and equal-time batch submission must all answer deterministically.
+
+    #[test]
+    fn coverage_ends_exactly_at_the_window_boundary() {
+        // Zero-length overlap at the lease expiry boundary: [0, 4) covers 3
+        // but not 4, and the adjacent lease [4, 8) picks up exactly there.
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(0, 0, 0));
+        assert!(ledger.covered(0, 0) && ledger.covered(0, 3));
+        assert!(!ledger.covered(0, 4), "window ends are exclusive");
+        ledger.buy(4, Triple::new(0, 0, 4));
+        assert!(ledger.covered(0, 4) && !ledger.covered(0, 8));
+        // The boundary answer is clock-independent: advancing past the
+        // first window changes nothing (the index is append-only).
+        ledger.advance(4);
+        assert!(ledger.covered(0, 3), "historical queries stay valid");
+        assert_eq!(
+            ledger.active_lease(0, 4),
+            Some(Triple::new(0, 0, 4)),
+            "the adjacent lease takes over at its start"
+        );
+    }
+
+    #[test]
+    fn duplicate_triples_cover_once_and_own_once() {
+        let mut ledger = Ledger::new(structure());
+        let tr = Triple::new(3, 0, 8); // [8, 12)
+        ledger.buy(8, tr);
+        ledger.buy(9, tr); // double spend on the same lease
+        assert!(ledger.owns(tr));
+        assert!(ledger.covered(3, 9));
+        assert_eq!(ledger.active_lease(3, 9), Some(tr));
+        assert_eq!(
+            ledger.active_count(9),
+            1,
+            "one element, however many copies"
+        );
+        // Both copies still occupy expiry slots (pinned by the PR 2 suite).
+        assert_eq!(ledger.active_leases(), 2);
+    }
+
+    #[test]
+    fn backdated_aligned_starts_answer_from_their_true_window() {
+        let mut ledger = Ledger::new(structure());
+        ledger.advance(10);
+        // Backdated purchase: aligned window [4, 8) recorded at clock 10,
+        // after the window already ended.
+        ledger.buy(10, Triple::new(0, 0, 4));
+        assert!(ledger.owns(Triple::new(0, 0, 4)));
+        assert!(!ledger.covered(0, 10), "the window is over at the clock");
+        assert!(ledger.covered(0, 5), "but it did cover its own days");
+        assert_eq!(ledger.active_leases(), 0, "never entered the expiry heap");
+        // A backdated long lease [0, 16) still covers the present.
+        ledger.buy(10, Triple::new(0, 1, 0));
+        assert!(ledger.covered(0, 10));
+        assert_eq!(ledger.active_lease(0, 10), Some(Triple::new(0, 1, 0)));
+    }
+
+    #[test]
+    fn equal_time_batch_submission_advances_once_and_indexes_all() {
+        let mut d = driver();
+        d.submit_batch([(4u64, ()), (4, ()), (4, ()), (9, ())])
+            .unwrap();
+        let ledger = d.ledger();
+        // ShortBuyer dedups per aligned window: [4,8) and [8,12).
+        assert_eq!(ledger.leases_bought(), 2);
+        assert!(ledger.covered(0, 4) && ledger.covered(0, 9));
+        assert!(!ledger.covered(0, 3) && !ledger.covered(0, 12));
+        assert_eq!(ledger.active_count(9), 1);
+    }
+
+    #[test]
+    fn submit_at_serves_a_whole_time_step_with_one_advance() {
+        let mut d = driver();
+        assert_eq!(d.submit_at(4, [(), (), ()]).unwrap(), 3);
+        assert_eq!(d.requests(), 3);
+        assert_eq!(d.ledger().leases_bought(), 1, "one aligned window");
+        let err = d.submit_at(2, [()]).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::TimeTravel {
+                previous: 4,
+                attempted: 2
+            }
+        );
+        assert_eq!(d.requests(), 3, "nothing served on rejection");
+        // Equal and later times remain fine.
+        assert_eq!(d.submit_at(4, []).unwrap(), 0);
+        d.submit_at(9, [()]).unwrap();
+        assert_eq!(d.ledger().leases_bought(), 2);
+    }
+
+    #[test]
+    fn covered_during_matches_window_intersection() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(4, Triple::new(0, 0, 4)); // [4, 8)
+        assert!(ledger.covered_during(0, Window::new(0, 5))); // touches 4
+        assert!(ledger.covered_during(0, Window::new(7, 10))); // touches 7
+        assert!(!ledger.covered_during(0, Window::new(8, 10))); // starts at end
+        assert!(!ledger.covered_during(0, Window::new(0, 4))); // ends at start
+        assert!(!ledger.covered_during(0, Window::new(5, 0)), "empty window");
+        assert!(
+            !ledger.covered_during(1, Window::new(0, 100)),
+            "other element"
+        );
+    }
+
+    #[test]
+    fn active_count_tracks_distinct_elements() {
+        let mut ledger = Ledger::new(structure());
+        assert_eq!(ledger.active_count(0), 0);
+        ledger.buy(0, Triple::new(0, 0, 0)); // [0, 4)
+        ledger.buy(0, Triple::new(2, 1, 0)); // [0, 16)
+        ledger.buy(1, Triple::new(2, 0, 0)); // [0, 4) — same element again
+        assert_eq!(ledger.active_count(0), 2);
+        assert_eq!(ledger.active_count(4), 1, "only the long lease survives");
+        assert_eq!(ledger.active_count(16), 0);
+    }
+
+    #[test]
+    fn detached_ledgers_answer_ownership_but_not_coverage() {
+        let mut ledger = Ledger::detached();
+        let tr = Triple::new(0, 0, 0);
+        ledger.buy_priced(0, tr, 2.0, CATEGORY_LEASE);
+        assert!(ledger.owns(tr), "exact ownership needs no windows");
+        assert!(!ledger.covered(0, 0), "no structure, no window information");
+        assert_eq!(ledger.active_lease(0, 0), None);
+        assert_eq!(ledger.active_count(0), 0);
+    }
+
+    #[test]
+    fn coverage_index_survives_json_round_trips() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(1, 0, 0));
+        ledger.buy(3, Triple::new(1, 1, 0));
+        ledger.advance(6);
+        let back = Ledger::from_json(&ledger.to_json()).unwrap();
+        for t in 0..20 {
+            assert_eq!(back.covered(1, t), ledger.covered(1, t), "t = {t}");
+            assert_eq!(back.active_lease(1, t), ledger.active_lease(1, t));
+        }
+        assert!(back.owns(Triple::new(1, 0, 0)));
     }
 
     #[test]

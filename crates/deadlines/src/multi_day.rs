@@ -131,6 +131,8 @@ impl MultiDayInstance {
 pub struct MultiDayOnline<'a> {
     instance: &'a MultiDayInstance,
     contributions: HashMap<Lease, f64>,
+    /// Purchase mirror for the [`owned`](MultiDayOnline::owned) diagnostics
+    /// accessor; the serve path queries the ledger's coverage index.
     owned: HashSet<Lease>,
     /// Chosen service block start per served client (in client order).
     service_starts: Vec<TimeStep>,
@@ -150,16 +152,16 @@ impl<'a> MultiDayOnline<'a> {
         }
     }
 
-    /// Whether day `t` is covered by an owned lease.
+    /// Whether day `t` is covered by an owned lease (on the internal
+    /// legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), query the driver's ledger).
     pub fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.instance.structure, t)
-            .into_iter()
-            .any(|l| self.owned.contains(&l))
+        self.ledger.covered(0, t)
     }
 
-    /// Number of uncovered days in `window`.
-    fn uncovered_days(&self, window: Window) -> u64 {
-        window.iter().filter(|&t| !self.is_covered(t)).count() as u64
+    /// Number of days of `window` not covered according to `ledger`.
+    fn uncovered_days(ledger: &Ledger, window: Window) -> u64 {
+        window.iter().filter(|&t| !ledger.covered(0, t)).count() as u64
     }
 
     /// Serves one client: picks the block with the fewest uncovered days
@@ -181,7 +183,7 @@ impl<'a> MultiDayOnline<'a> {
         ledger.advance(client.arrival);
         let mut best: Option<(u64, TimeStep)> = None;
         for b in client.start_days() {
-            let holes = self.uncovered_days(client.block_at(b));
+            let holes = Self::uncovered_days(ledger, client.block_at(b));
             if best.is_none_or(|(h, _)| holes < h) {
                 best = Some((holes, b));
             }
@@ -198,7 +200,7 @@ impl<'a> MultiDayOnline<'a> {
 
     /// One parking-permit primal-dual step covering day `t`.
     fn permit_step(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        if self.is_covered(t) {
+        if ledger.covered(0, t) {
             return;
         }
         let candidates = candidates_covering(&self.instance.structure, t);
@@ -212,12 +214,13 @@ impl<'a> MultiDayOnline<'a> {
         for c in candidates {
             let entry = self.contributions.entry(c).or_insert(0.0);
             *entry += delta;
-            if *entry >= c.cost(&self.instance.structure) - EPS && !self.owned.contains(&c) {
+            let triple = Triple::new(0, c.type_index, c.start);
+            if *entry >= c.cost(&self.instance.structure) - EPS && !ledger.owns(triple) {
                 self.owned.insert(c);
-                ledger.buy(t, Triple::new(0, c.type_index, c.start));
+                ledger.buy(t, triple);
             }
         }
-        debug_assert!(self.is_covered(t));
+        debug_assert!(ledger.covered(0, t));
     }
 
     /// Runs the whole instance and returns the final cost.

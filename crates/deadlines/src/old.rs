@@ -16,7 +16,7 @@ use leasing_core::interval::{candidates_covering, candidates_intersecting};
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::{TimeStep, Window};
 use leasing_core::EPS;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A client with a service window: arrives at `arrival`, must be served by
 /// `arrival + slack` (the window `[arrival, arrival + slack]`, inclusive).
@@ -111,7 +111,6 @@ pub struct OldPrimalDual<'a> {
     instance: &'a OldInstance,
     /// Dual contribution accumulated per candidate lease.
     contributions: HashMap<Lease, f64>,
-    owned: HashSet<Lease>,
     /// Clients with a strictly positive dual variable, with their dual.
     positive_clients: Vec<(OldClient, f64)>,
     dual_value: f64,
@@ -131,7 +130,6 @@ impl<'a> OldPrimalDual<'a> {
         OldPrimalDual {
             instance,
             contributions: HashMap::new(),
-            owned: HashSet::new(),
             positive_clients: Vec::new(),
             dual_value: 0.0,
             next_client: 0,
@@ -176,12 +174,12 @@ impl<'a> OldPrimalDual<'a> {
         &self.purchases
     }
 
-    /// Whether `client`'s window currently holds an owned lease.
+    /// Whether `client`'s window currently holds an owned lease (on the
+    /// internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), query the driver's ledger
+    /// via [`Ledger::covered_during`]).
     pub fn is_served(&self, client: &OldClient) -> bool {
-        let w = client.window();
-        self.owned
-            .iter()
-            .any(|l| l.window(&self.instance.structure).intersects(&w))
+        self.ledger.covered_during(OLD_ELEMENT, client.window())
     }
 
     /// Serves one client (they must be fed in arrival order).
@@ -209,7 +207,10 @@ impl<'a> OldPrimalDual<'a> {
                 && p.deadline() <= client.deadline()
         });
         if skip {
-            debug_assert!(self.is_served(&client), "intersected client must be served");
+            debug_assert!(
+                ledger.covered_during(OLD_ELEMENT, client.window()),
+                "intersected client must be served"
+            );
             return;
         }
 
@@ -255,12 +256,13 @@ impl<'a> OldPrimalDual<'a> {
                 self.buy(client.arrival, Lease::new(k, start), ledger);
             }
         }
-        debug_assert!(self.is_served(&client));
+        debug_assert!(ledger.covered_during(OLD_ELEMENT, client.window()));
     }
 
     fn buy(&mut self, t: TimeStep, lease: Lease, ledger: &mut Ledger) {
-        if self.owned.insert(lease) {
-            ledger.buy(t, Triple::new(OLD_ELEMENT, lease.type_index, lease.start));
+        let triple = Triple::new(OLD_ELEMENT, lease.type_index, lease.start);
+        if !ledger.owns(triple) {
+            ledger.buy(t, triple);
             self.purchases.push(lease);
         }
     }

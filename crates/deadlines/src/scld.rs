@@ -198,6 +198,8 @@ pub struct ScldOnline<'a> {
     fractions: HashMap<Triple, f64>,
     thresholds: HashMap<Triple, f64>,
     q: u32,
+    /// Purchase mirror for the [`owned`](ScldOnline::owned) diagnostics
+    /// accessor; the serve path queries [`Ledger::owns`].
     owned: HashSet<Triple>,
     stats: ScldStats,
     rng: StdRng,
@@ -306,17 +308,18 @@ impl<'a> ScldOnline<'a> {
 
         // (ii) Rounding phase: buy candidates whose fraction beats their
         // threshold; fall back to the cheapest candidate if uncovered.
+        // Ownership is the ledger's coverage index, not a private table.
         for c in &candidates {
             let f = self.fraction(c);
             let mu = self.threshold(c);
-            if f > mu && !self.owned.contains(c) {
+            if f > mu && !ledger.owns(*c) {
                 let cost = self.instance.cost(c.element, c.type_index);
                 self.owned.insert(*c);
                 ledger.buy_priced(a.time, *c, cost, "rounded");
                 self.stats.rounded_cost += cost;
             }
         }
-        if !candidates.iter().any(|c| self.owned.contains(c)) {
+        if !candidates.iter().any(|c| ledger.owns(*c)) {
             let cheapest = candidates
                 .iter()
                 .copied()

@@ -41,7 +41,7 @@ use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
 use leasing_core::EPS;
 use leasing_lp::{Cmp, IntegerProgram, LinearProgram};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// A demand that may be served on any of an explicit set of days.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -224,7 +224,6 @@ impl WindowInstance {
 pub struct WindowPrimalDual<'a> {
     instance: &'a WindowInstance,
     contributions: HashMap<Lease, f64>,
-    owned: HashSet<Lease>,
     dual_value: f64,
     next_client: usize,
     purchases: Vec<Lease>,
@@ -238,7 +237,6 @@ impl<'a> WindowPrimalDual<'a> {
         WindowPrimalDual {
             instance,
             contributions: HashMap::new(),
-            owned: HashSet::new(),
             dual_value: 0.0,
             next_client: 0,
             purchases: Vec::new(),
@@ -282,11 +280,18 @@ impl<'a> WindowPrimalDual<'a> {
         &self.purchases
     }
 
-    /// Whether some owned lease covers one of `client`'s allowed days.
+    /// Whether some owned lease covers one of `client`'s allowed days (on
+    /// the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), query the driver's
+    /// ledger).
     pub fn is_served(&self, client: &WindowClient) -> bool {
-        self.owned
-            .iter()
-            .any(|l| client.served_by(&self.instance.structure, l))
+        Self::served_in(&self.ledger, client)
+    }
+
+    /// Whether `ledger` holds a lease covering one of the allowed days —
+    /// one `O(K log n)` point query per allowed day.
+    fn served_in(ledger: &Ledger, client: &WindowClient) -> bool {
+        client.allowed_days().iter().any(|&d| ledger.covered(0, d))
     }
 
     /// Serves one client (they must be fed in arrival order).
@@ -305,7 +310,7 @@ impl<'a> WindowPrimalDual<'a> {
     /// into `ledger`.
     fn serve_with(&mut self, client: &WindowClient, ledger: &mut Ledger) {
         ledger.advance(client.arrival);
-        if self.is_served(client) {
+        if Self::served_in(ledger, client) {
             return;
         }
         let candidates = self.instance.candidates(client);
@@ -364,14 +369,15 @@ impl<'a> WindowPrimalDual<'a> {
             );
         }
         debug_assert!(
-            self.is_served(client),
+            Self::served_in(ledger, client),
             "a bought candidate serves the client"
         );
     }
 
     fn buy(&mut self, t: TimeStep, lease: Lease, ledger: &mut Ledger) {
-        if self.owned.insert(lease) {
-            ledger.buy(t, Triple::new(0, lease.type_index, lease.start));
+        let triple = Triple::new(0, lease.type_index, lease.start);
+        if !ledger.owns(triple) {
+            ledger.buy(t, triple);
             self.purchases.push(lease);
         }
     }

@@ -175,7 +175,7 @@ impl DistributedFacilityLeasing {
         let type_multiplier = self.structure.cost(k);
         let effective_prices: Vec<f64> = (0..self.base_prices.len())
             .map(|i| {
-                if self.is_active(i, t) {
+                if ledger.covered(i, t) {
                     ACTIVE_PRICE
                 } else {
                     self.base_prices[i] * type_multiplier
@@ -200,15 +200,16 @@ impl DistributedFacilityLeasing {
         }
 
         for &i in &outcome.chosen {
-            if !self.is_active(i, t) {
+            if !ledger.covered(i, t) {
                 let triple = Triple::new(i, k, aligned_start(t, len));
-                if self.owned.insert(triple) {
+                if !ledger.owns(triple) {
                     ledger.buy_priced(
                         t,
                         triple,
                         self.base_prices[i] * type_multiplier,
                         CATEGORY_LEASE,
                     );
+                    self.owned.insert(triple);
                     self.active_until[i] = self.active_until[i].max(triple.start + len);
                 }
             }
@@ -240,16 +241,13 @@ impl LeasingAlgorithm for DistributedFacilityLeasing {
 /// `ledger` — pass `alg.ledger()` for the legacy serve path or the
 /// driver's ledger when driven through a
 /// [`Driver`](leasing_core::engine::Driver).
-pub fn is_feasible(alg: &DistributedFacilityLeasing, ledger: &Ledger) -> bool {
-    // Each connection charge must follow a lease of the same facility
-    // whose window contains the charge time.
-    ledger.decisions().iter().all(|d| {
-        if d.lease.is_some() {
-            return true;
-        }
-        alg.owned()
-            .any(|tr| tr.element == d.element && tr.covers(&alg.structure, d.time))
-    })
+pub fn is_feasible(_alg: &DistributedFacilityLeasing, ledger: &Ledger) -> bool {
+    // Each connection charge must land at a time some lease of the same
+    // facility covers — one coverage-index query per charge.
+    ledger
+        .decisions()
+        .iter()
+        .all(|d| d.lease.is_some() || ledger.covered(d.element, d.time))
 }
 
 #[cfg(test)]

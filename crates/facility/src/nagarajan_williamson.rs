@@ -64,6 +64,9 @@ use std::collections::HashSet;
 #[derive(Debug)]
 pub struct NagarajanWilliamson<'a> {
     instance: &'a FacilityInstance,
+    /// Purchase mirror backing
+    /// [`owned_leases`](NagarajanWilliamson::owned_leases); the serve path
+    /// queries the ledger's coverage index instead.
     owned: HashSet<Triple>,
     /// Frozen dual `α̂_j` per client, set when the client is served.
     alpha_hat: Vec<f64>,
@@ -178,18 +181,21 @@ impl<'a> NagarajanWilliamson<'a> {
         let m = inst.num_facilities();
         let kk = inst.structure().num_types();
 
-        // Event 1: reach a bought lease covering `time`. Distance ties are
-        // broken by (facility, type) so runs are order-independent despite
-        // the hash-set iteration.
+        // Event 1: reach a bought lease covering `time`, found through the
+        // ledger's per-(facility, type) coverage index. Iterating (i, k) in
+        // ascending order reproduces the original distance tie-break
+        // toward the smallest (facility, type).
         let mut connect: Option<(f64, usize, usize)> = None;
-        for triple in &self.owned {
-            if triple.covers(inst.structure(), time) {
-                let d = inst.distance(triple.element, j);
-                let better = connect.is_none_or(|(bd, bi, bk)| {
-                    d < bd || (d == bd && (triple.element, triple.type_index) < (bi, bk))
-                });
+        for i in 0..m {
+            let d = inst.distance(i, j);
+            for k in 0..kk {
+                if ledger.active_lease_of_type(i, k, time).is_none() {
+                    continue;
+                }
+                let better =
+                    connect.is_none_or(|(bd, bi, bk)| d < bd || (d == bd && (i, k) < (bi, bk)));
                 if better {
-                    connect = Some((d, triple.element, triple.type_index));
+                    connect = Some((d, i, k));
                 }
             }
         }
@@ -200,7 +206,7 @@ impl<'a> NagarajanWilliamson<'a> {
             for k in 0..kk {
                 let start = aligned_start(time, inst.structure().length(k));
                 let triple = Triple::new(i, k, start);
-                if self.owned.contains(&triple) {
+                if ledger.owns(triple) {
                     continue;
                 }
                 let remaining = (inst.cost(i, k) - self.old_bids(&triple)).max(0.0);

@@ -28,10 +28,15 @@ use std::collections::HashSet;
 const TIGHT_EPS: f64 = 1e-9;
 
 /// The state of the §4.3 online algorithm.
+///
+/// The driver-facing serve path derives which leases are permanently open
+/// from the ledger's coverage index ([`Ledger::owns`]); the `owned` set is
+/// only a purchase mirror for the diagnostics accessors.
 #[derive(Debug)]
 pub struct PrimalDualFacility<'a> {
     instance: &'a FacilityInstance,
-    /// Permanently bought leases.
+    /// Purchase mirror backing [`owned_leases`](PrimalDualFacility::owned_leases)
+    /// and [`facility_active_at`](PrimalDualFacility::facility_active_at).
     owned: HashSet<Triple>,
     /// `α̂_j` per client (fixed in the round of its arrival).
     alpha_hat: Vec<f64>,
@@ -162,7 +167,7 @@ impl<'a> PrimalDualFacility<'a> {
         let mut contribution = vec![vec![0.0f64; kk]; m];
         for (i, row) in perm.iter_mut().enumerate() {
             for (k, p) in row.iter_mut().enumerate() {
-                *p = self.owned.contains(&Triple::new(i, k, starts[k]));
+                *p = ledger.owns(Triple::new(i, k, starts[k]));
             }
         }
 
@@ -379,11 +384,12 @@ impl<'a> PrimalDualFacility<'a> {
             for &i in &temps {
                 if mis.iter().all(|&x| !conflicts(i, x)) {
                     mis.push(i);
-                    // Permanently open: buy the lease.
+                    // Permanently open: buy the lease (once).
                     let triple = Triple::new(i, k, starts[k]);
-                    if self.owned.insert(triple) {
+                    if !ledger.owns(triple) {
                         ledger.buy_priced(time, triple, inst.cost(i, k), CATEGORY_LEASE);
                     }
+                    self.owned.insert(triple);
                 }
             }
             // Connect new clients whose tentative facility has type k.

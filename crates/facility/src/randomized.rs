@@ -64,6 +64,11 @@ impl<'a> RandomizedFacility<'a> {
 
     /// Core assignment + per-facility permit step, recording purchases and
     /// connection charges into `ledger`.
+    ///
+    /// Facility activity is read from the ledger's coverage index — the
+    /// per-facility permits are consulted only to decide *which* lease to
+    /// buy, and every permit purchase is mirrored into the ledger
+    /// immediately, so the two views never diverge.
     fn serve_with(&mut self, t: TimeStep, clients: &[usize], ledger: &mut Ledger) {
         ledger.advance(t);
         let inst = self.instance;
@@ -71,7 +76,7 @@ impl<'a> RandomizedFacility<'a> {
             let mut best: Option<(f64, usize)> = None;
             for i in 0..inst.num_facilities() {
                 let d = inst.distance(i, j);
-                let marginal = if self.permits[i].is_covered(t) {
+                let marginal = if ledger.covered(i, t) {
                     d
                 } else {
                     let cheapest = (0..inst.structure().num_types())
@@ -84,7 +89,7 @@ impl<'a> RandomizedFacility<'a> {
                 }
             }
             let (_, i) = best.expect("validated instances have facilities");
-            if !self.permits[i].is_covered(t) {
+            if !ledger.covered(i, t) {
                 self.permits[i].serve_demand(t);
                 self.mirror_purchases(t, i, ledger);
             }

@@ -19,7 +19,7 @@ use leasing_core::time::TimeStep;
 use leasing_core::EPS;
 use leasing_graph::graph::Graph;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Why a [`VcLeasingInstance`] failed validation.
 #[derive(Clone, Debug, PartialEq)]
@@ -127,11 +127,14 @@ impl VcLeasingInstance {
 }
 
 /// The deterministic primal-dual algorithm for vertex cover leasing.
+///
+/// Coverage and ownership are queried from the ledger's coverage index
+/// ([`Ledger::covered`]/[`Ledger::owns`]) — the algorithm keeps no private
+/// active-lease table.
 #[derive(Clone, Debug)]
 pub struct VcPrimalDual<'a> {
     instance: &'a VcLeasingInstance,
     contributions: HashMap<(usize, Lease), f64>,
-    owned: HashSet<(usize, Lease)>,
     dual_value: f64,
     purchases: Vec<(usize, Lease)>,
     /// Decision ledger backing the deprecated `serve_edge` entry point.
@@ -144,25 +147,27 @@ impl<'a> VcPrimalDual<'a> {
         VcPrimalDual {
             instance,
             contributions: HashMap::new(),
-            owned: HashSet::new(),
             dual_value: 0.0,
             purchases: Vec::new(),
             ledger: Ledger::new(instance.structure.clone()),
         }
     }
 
-    /// Whether edge `e` has an endpoint with an active lease at time `t`.
+    /// Whether edge `e` has an endpoint with an active lease at time `t`
+    /// (on the internal legacy-path ledger; when driving through a
+    /// [`Driver`](leasing_core::engine::Driver), query the driver's ledger).
     ///
     /// # Panics
     ///
     /// Panics if `e` is out of range.
     pub fn is_covered(&self, e: usize, t: TimeStep) -> bool {
-        let edge = self.instance.graph.edge(e);
-        [edge.u, edge.v].into_iter().any(|v| {
-            candidates_covering(&self.instance.structure, t)
-                .into_iter()
-                .any(|lease| self.owned.contains(&(v, lease)))
-        })
+        Self::covered_in(self.instance, &self.ledger, e, t)
+    }
+
+    /// Whether edge `e` has a covered endpoint at `t` according to `ledger`.
+    fn covered_in(instance: &VcLeasingInstance, ledger: &Ledger, e: usize, t: TimeStep) -> bool {
+        let edge = instance.graph.edge(e);
+        ledger.covered(edge.u, t) || ledger.covered(edge.v, t)
     }
 
     /// Serves the arrival of edge `e` at time `t` (a no-op when covered).
@@ -185,7 +190,7 @@ impl<'a> VcPrimalDual<'a> {
     /// `ledger`.
     fn serve_with(&mut self, t: TimeStep, e: usize, ledger: &mut Ledger) {
         ledger.advance(t);
-        if self.is_covered(e, t) {
+        if Self::covered_in(self.instance, ledger, e, t) {
             return;
         }
         let edge = self.instance.graph.edge(e);
@@ -209,19 +214,14 @@ impl<'a> VcPrimalDual<'a> {
             let entry = self.contributions.entry((v, lease)).or_insert(0.0);
             *entry += delta;
             let price = self.instance.lease_cost(v, lease.type_index);
-            if *entry >= price - EPS && !self.owned.contains(&(v, lease)) {
-                self.owned.insert((v, lease));
-                ledger.buy_priced(
-                    t,
-                    Triple::new(v, lease.type_index, lease.start),
-                    price,
-                    CATEGORY_LEASE,
-                );
+            let triple = Triple::new(v, lease.type_index, lease.start);
+            if *entry >= price - EPS && !ledger.owns(triple) {
+                ledger.buy_priced(t, triple, price, CATEGORY_LEASE);
                 self.purchases.push((v, lease));
             }
         }
         debug_assert!(
-            self.is_covered(e, t),
+            Self::covered_in(self.instance, ledger, e, t),
             "primal-dual step must cover the edge"
         );
     }

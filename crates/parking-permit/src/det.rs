@@ -14,17 +14,19 @@ use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
 use leasing_core::EPS;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Deterministic primal-dual parking-permit algorithm over aligned
 /// (interval-model) leases.
+///
+/// Coverage and ownership are queried from the ledger's coverage index
+/// ([`Ledger::covered`]/[`Ledger::owns`]) — the algorithm keeps no private
+/// active-lease table.
 #[derive(Clone, Debug)]
 pub struct DeterministicPrimalDual {
     structure: LeaseStructure,
     /// Accumulated dual contribution `Σ y` per candidate lease.
     contributions: HashMap<Lease, f64>,
-    /// Leases bought so far.
-    owned: HashSet<Lease>,
     /// Total dual value Σ y raised so far (a lower bound on the interval
     /// model optimum by weak duality — used by tests and experiments).
     dual_value: f64,
@@ -47,7 +49,6 @@ impl DeterministicPrimalDual {
         DeterministicPrimalDual {
             structure,
             contributions: HashMap::new(),
-            owned: HashSet::new(),
             dual_value: 0.0,
             purchases: Vec::new(),
             ledger,
@@ -57,7 +58,7 @@ impl DeterministicPrimalDual {
     /// Core primal-dual step, recording purchases into `ledger`.
     fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
         ledger.advance(t);
-        if self.is_covered(t) {
+        if ledger.covered(PERMIT_ELEMENT, t) {
             return;
         }
         let candidates = candidates_covering(&self.structure, t);
@@ -73,13 +74,16 @@ impl DeterministicPrimalDual {
         for c in candidates {
             let entry = self.contributions.entry(c).or_insert(0.0);
             *entry += delta;
-            if *entry >= c.cost(&self.structure) - EPS && !self.owned.contains(&c) {
-                self.owned.insert(c);
-                ledger.buy(t, Triple::new(PERMIT_ELEMENT, c.type_index, c.start));
+            let triple = Triple::new(PERMIT_ELEMENT, c.type_index, c.start);
+            if *entry >= c.cost(&self.structure) - EPS && !ledger.owns(triple) {
+                ledger.buy(t, triple);
                 self.purchases.push(c);
             }
         }
-        debug_assert!(self.is_covered(t), "primal-dual step must cover the demand");
+        debug_assert!(
+            ledger.covered(PERMIT_ELEMENT, t),
+            "primal-dual step must cover the demand"
+        );
     }
 
     /// The permit structure this algorithm leases from.
@@ -136,9 +140,7 @@ impl PermitOnline for DeterministicPrimalDual {
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t)
-            .into_iter()
-            .any(|c| self.owned.contains(&c))
+        self.ledger.covered(PERMIT_ELEMENT, t)
     }
 
     fn total_cost(&self) -> f64 {

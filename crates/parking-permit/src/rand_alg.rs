@@ -14,9 +14,13 @@ use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
 use rand::{Rng, RngExt};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Randomized fractional + threshold-rounding parking-permit algorithm.
+///
+/// Coverage and ownership are queried from the ledger's coverage index
+/// ([`Ledger::covered`]/[`Ledger::owns`]) — the algorithm keeps no private
+/// active-lease table.
 #[derive(Clone, Debug)]
 pub struct RandomizedPermit {
     structure: LeaseStructure,
@@ -24,7 +28,6 @@ pub struct RandomizedPermit {
     fractions: HashMap<Lease, f64>,
     /// The single uniform threshold `τ` drawn up front.
     tau: f64,
-    owned: HashSet<Lease>,
     /// Total fractional cost `Σ c_k · f_k` accumulated (for the Lemma-style
     /// instrumentation: fractional cost ≤ O(log K)·Opt).
     fractional_cost: f64,
@@ -53,7 +56,6 @@ impl RandomizedPermit {
             structure,
             fractions: HashMap::new(),
             tau,
-            owned: HashSet::new(),
             fractional_cost: 0.0,
             purchases: Vec::new(),
             ledger,
@@ -97,14 +99,12 @@ impl RandomizedPermit {
         // Σ f >= 1 >= τ guarantees a crossing; fall back to the shortest
         // candidate against numerical loss.
         let lease = chosen.unwrap_or(candidates[0]);
-        if self.owned.insert(lease) {
-            ledger.buy(
-                t,
-                Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
-            );
+        let triple = Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start);
+        if !ledger.owns(triple) {
+            ledger.buy(t, triple);
             self.purchases.push(lease);
         }
-        debug_assert!(self.is_covered(t));
+        debug_assert!(ledger.covered(PERMIT_ELEMENT, t));
     }
 
     /// The permit structure this algorithm leases from.
@@ -165,9 +165,7 @@ impl PermitOnline for RandomizedPermit {
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t)
-            .into_iter()
-            .any(|c| self.owned.contains(&c))
+        self.ledger.covered(PERMIT_ELEMENT, t)
     }
 
     fn total_cost(&self) -> f64 {

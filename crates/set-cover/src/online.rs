@@ -52,6 +52,9 @@ pub struct SmclOnline<'a> {
     thresholds: HashMap<Triple, f64>,
     /// Number of uniforms whose minimum forms each threshold.
     q: u32,
+    /// Purchase mirror for the diagnostics accessors
+    /// ([`owned`](SmclOnline::owned)/[`set_active_at`](SmclOnline::set_active_at));
+    /// the serve path itself queries [`Ledger::owns`].
     owned: HashSet<Triple>,
     stats: SmclStats,
     rng: StdRng,
@@ -217,11 +220,12 @@ impl<'a> SmclOnline<'a> {
         }
 
         // (ii) Threshold rounding: lease every candidate whose fraction
-        // exceeds its threshold µ.
+        // exceeds its threshold µ. Ownership is the ledger's coverage
+        // index, not a private table.
         for c in &candidates {
             let f = self.fraction(c);
             let mu = self.threshold(c);
-            if f > mu && !self.owned.contains(c) {
+            if f > mu && !ledger.owns(*c) {
                 let cost = self.instance.cost(c.element, c.type_index);
                 self.owned.insert(*c);
                 ledger.buy_priced(t, *c, cost, "rounded");
@@ -230,7 +234,7 @@ impl<'a> SmclOnline<'a> {
         }
 
         // (iii) Fallback: if no candidate is leased, buy the cheapest.
-        let covering = candidates.iter().find(|c| self.owned.contains(c)).copied();
+        let covering = candidates.iter().find(|c| ledger.owns(**c)).copied();
         match covering {
             Some(c) => c.element,
             None => {

@@ -1,0 +1,201 @@
+//! Baseline diffing: compares two [`MatrixReport`]s (`BENCH_simlab.json`
+//! artifacts) and flags competitive-ratio regressions beyond a relative
+//! tolerance — the CI gate behind the `simlab --baseline` flag.
+//!
+//! Aggregates are joined on `(algorithm, workload)`; groups present in
+//! only one report are ignored (a new algorithm or scenario is not a
+//! regression). Within a joined group, the mean and p99 competitive
+//! ratios and the failure count are compared; a current value exceeding
+//! `baseline · (1 + tolerance)` (or any *new* cell failure) is reported.
+
+use crate::report::MatrixReport;
+
+/// One competitive-ratio (or failure-count) regression between a baseline
+/// and a candidate report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Registry name of the algorithm.
+    pub algorithm: String,
+    /// Scenario name.
+    pub workload: String,
+    /// Which metric regressed (`"mean ratio"`, `"p99 ratio"`,
+    /// `"failures"`).
+    pub metric: &'static str,
+    /// The baseline value.
+    pub baseline: f64,
+    /// The regressed current value.
+    pub current: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} regressed from {:.4} to {:.4}",
+            self.algorithm, self.workload, self.metric, self.baseline, self.current
+        )
+    }
+}
+
+/// The `(algorithm, workload)` groups of `baseline` with no counterpart in
+/// `current` — coverage that silently vanished from the candidate matrix.
+/// Not regressions by themselves (a narrower candidate run is legitimate),
+/// but a gate should surface them so a regressing group cannot pass CI by
+/// being renamed or dropped.
+pub fn missing_groups(baseline: &MatrixReport, current: &MatrixReport) -> Vec<(String, String)> {
+    baseline
+        .aggregates
+        .iter()
+        .filter(|b| {
+            !current
+                .aggregates
+                .iter()
+                .any(|c| c.algorithm == b.algorithm && c.workload == b.workload)
+        })
+        .map(|b| (b.algorithm.clone(), b.workload.clone()))
+        .collect()
+}
+
+/// Compares `current` against `baseline` and returns every regression
+/// beyond the relative `tolerance` (e.g. `0.05` = 5% slack), ordered by
+/// the current report's aggregate order. Groups found in only one report
+/// are skipped — list them with [`missing_groups`].
+pub fn diff_reports(
+    baseline: &MatrixReport,
+    current: &MatrixReport,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for agg in &current.aggregates {
+        let Some(base) = baseline
+            .aggregates
+            .iter()
+            .find(|b| b.algorithm == agg.algorithm && b.workload == agg.workload)
+        else {
+            continue; // new group: nothing to regress against
+        };
+        let regressed = |now: f64, then: f64| now > then * (1.0 + tolerance) + 1e-12;
+        if let (Some(now), Some(then)) = (agg.ratio, base.ratio) {
+            if regressed(now.mean, then.mean) {
+                out.push(Regression {
+                    algorithm: agg.algorithm.clone(),
+                    workload: agg.workload.clone(),
+                    metric: "mean ratio",
+                    baseline: then.mean,
+                    current: now.mean,
+                });
+            }
+            if regressed(now.p99, then.p99) {
+                out.push(Regression {
+                    algorithm: agg.algorithm.clone(),
+                    workload: agg.workload.clone(),
+                    metric: "p99 ratio",
+                    baseline: then.p99,
+                    current: now.p99,
+                });
+            }
+        }
+        if agg.failures > base.failures {
+            out.push(Regression {
+                algorithm: agg.algorithm.clone(),
+                workload: agg.workload.clone(),
+                metric: "failures",
+                baseline: base.failures as f64,
+                current: agg.failures as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::AggregateRecord;
+    use crate::stats::Summary;
+
+    fn report(groups: Vec<(&str, &str, f64, f64, usize)>) -> MatrixReport {
+        MatrixReport {
+            schema: "simlab/v1".into(),
+            horizon: 64,
+            num_elements: 4,
+            seeds: vec![1],
+            algorithms: groups.iter().map(|g| g.0.to_string()).collect(),
+            workloads: groups.iter().map(|g| g.1.to_string()).collect(),
+            cells: Vec::new(),
+            aggregates: groups
+                .into_iter()
+                .map(|(a, w, mean, p99, failures)| AggregateRecord {
+                    algorithm: a.into(),
+                    workload: w.into(),
+                    runs: 4,
+                    failures,
+                    ratio: Some(Summary {
+                        count: 4,
+                        mean,
+                        p50: mean,
+                        p99,
+                        min: mean,
+                        max: p99,
+                    }),
+                    mean_cost: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let a = report(vec![("permit-det", "rainy", 1.5, 1.9, 0)]);
+        assert_eq!(diff_reports(&a, &a.clone(), 0.05), Vec::new());
+    }
+
+    #[test]
+    fn within_tolerance_drift_is_accepted() {
+        let base = report(vec![("permit-det", "rainy", 1.50, 1.90, 0)]);
+        let current = report(vec![("permit-det", "rainy", 1.55, 1.95, 0)]);
+        assert!(diff_reports(&base, &current, 0.05).is_empty());
+    }
+
+    #[test]
+    fn mean_p99_and_failure_regressions_are_flagged() {
+        let base = report(vec![
+            ("permit-det", "rainy", 1.50, 1.90, 0),
+            ("old", "spikes", 2.00, 2.50, 1),
+        ]);
+        let current = report(vec![
+            ("permit-det", "rainy", 1.70, 2.30, 0), // mean + p99 regress
+            ("old", "spikes", 2.00, 2.50, 2),       // new failure
+        ]);
+        let regressions = diff_reports(&base, &current, 0.05);
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric).collect();
+        assert_eq!(metrics, vec!["mean ratio", "p99 ratio", "failures"]);
+        let text = regressions[0].to_string();
+        assert!(text.contains("permit-det/rainy") && text.contains("mean ratio"));
+    }
+
+    #[test]
+    fn new_groups_and_improvements_are_not_regressions() {
+        let base = report(vec![("permit-det", "rainy", 1.50, 1.90, 1)]);
+        let current = report(vec![
+            ("permit-det", "rainy", 1.20, 1.40, 0), // strictly better
+            ("steiner", "bursty", 9.00, 9.90, 2),   // not in baseline
+        ]);
+        assert!(diff_reports(&base, &current, 0.0).is_empty());
+        assert!(missing_groups(&base, &current).is_empty());
+    }
+
+    #[test]
+    fn vanished_baseline_groups_are_listed() {
+        let base = report(vec![
+            ("permit-det", "rainy", 1.50, 1.90, 0),
+            ("old", "spikes", 2.00, 2.50, 0),
+        ]);
+        let current = report(vec![("permit-det", "rainy", 1.50, 1.90, 0)]);
+        assert!(diff_reports(&base, &current, 0.0).is_empty());
+        assert_eq!(
+            missing_groups(&base, &current),
+            vec![("old".to_string(), "spikes".to_string())]
+        );
+    }
+}

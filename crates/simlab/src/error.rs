@@ -30,6 +30,18 @@ pub enum SimError {
     UnknownAlgorithm(String),
     /// The requested workload preset is not known.
     UnknownWorkload(String),
+    /// A workload parameter override (`rainy:p=0.7`) could not be applied.
+    WorkloadParam {
+        /// The full workload token being parsed.
+        spec: String,
+        /// What went wrong with it.
+        what: String,
+    },
+    /// The cell exceeded its wall-clock budget and was abandoned.
+    Timeout {
+        /// The budget that ran out, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -47,6 +59,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::UnknownWorkload(name) => {
                 write!(f, "unknown workload `{name}` (see the scenario listing)")
+            }
+            SimError::WorkloadParam { spec, what } => {
+                write!(f, "bad workload parameter in `{spec}`: {what}")
+            }
+            SimError::Timeout { budget_ms } => {
+                write!(f, "cell exceeded its wall-clock budget of {budget_ms} ms")
             }
         }
     }

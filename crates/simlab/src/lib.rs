@@ -11,12 +11,16 @@
 //!   boxed-run interface;
 //! * the [`scenario`] layer expands named arrival processes (Bernoulli,
 //!   bursty, diurnal, heavy-tail Pareto, adversarial spike trains,
-//!   correlated multi-element demand) into per-cell traces;
-//! * the [`runner`] shards the cells across `std::thread` workers and
-//!   aggregates per-cell [`leasing_core::engine::Report`]s into
-//!   mean/p50/p99 competitive-ratio statistics;
+//!   correlated multi-element demand) into per-cell traces, with
+//!   CLI-friendly `name:key=value` parameter overrides (`rainy:p=0.7`);
+//! * the [`runner`] shards the cells across `std::thread` workers —
+//!   optionally under a per-cell wall-clock budget that records timeouts
+//!   as cell failures — and aggregates per-cell
+//!   [`leasing_core::engine::Report`]s into mean/p50/p99
+//!   competitive-ratio statistics;
 //! * the [`report`] module renders the whole matrix as deterministic JSON
-//!   (`BENCH_simlab.json`).
+//!   (`BENCH_simlab.json`), and [`baseline`] diffs two such reports to
+//!   gate on competitive-ratio regressions.
 //!
 //! Determinism is load-bearing: every cell derives all of its randomness
 //! from its own seed, so the same matrix yields a **bit-identical** report
@@ -42,6 +46,7 @@
 //! # }
 //! ```
 
+pub mod baseline;
 pub mod error;
 pub mod registry;
 pub mod report;
@@ -49,6 +54,7 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 
+pub use baseline::{diff_reports, missing_groups, Regression};
 pub use error::SimError;
 pub use registry::{select_algorithms, standard_registry, AlgorithmSpec, RunContext};
 pub use report::{AggregateRecord, CellRecord, MatrixReport};

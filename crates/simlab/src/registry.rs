@@ -57,8 +57,12 @@ impl RunContext {
     }
 }
 
-/// The boxed run interface every registered algorithm implements.
-pub type RunFn = Box<dyn Fn(&Trace, &RunContext) -> Result<Report, SimError> + Send + Sync>;
+/// The shared run interface every registered algorithm implements. The
+/// closure sits behind an `Arc` so a watchdog can move a cheap handle onto
+/// a worker thread and abandon it when the cell exceeds its wall-clock
+/// budget (see `runner::run_matrix`).
+pub type RunFn =
+    std::sync::Arc<dyn Fn(&Trace, &RunContext) -> Result<Report, SimError> + Send + Sync>;
 
 /// One registry entry: a named algorithm with its problem family.
 pub struct AlgorithmSpec {
@@ -77,6 +81,17 @@ impl AlgorithmSpec {
     /// Returns the [`SimError`] of whichever stage failed.
     pub fn run(&self, trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
         (self.run)(trace, ctx)
+    }
+
+    /// A cheap shareable handle on the run closure (for budgeted workers).
+    pub fn runner(&self) -> RunFn {
+        std::sync::Arc::clone(&self.run)
+    }
+
+    /// A custom registry entry — callers can extend a matrix with their own
+    /// algorithms (or instrumented stand-ins in tests).
+    pub fn custom(name: &'static str, family: &'static str, run: RunFn) -> Self {
+        AlgorithmSpec { name, family, run }
     }
 }
 
@@ -343,7 +358,7 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             name: "permit-det",
             family: "parking-permit",
-            run: Box::new(|trace, ctx| {
+            run: std::sync::Arc::new(|trace, ctx| {
                 permit_cell(
                     DeterministicPrimalDual::new(ctx.structure.clone()),
                     trace,
@@ -354,7 +369,7 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             name: "permit-rand",
             family: "parking-permit",
-            run: Box::new(|trace, ctx| {
+            run: std::sync::Arc::new(|trace, ctx| {
                 let mut rng = ctx.rng(0x9a4d);
                 permit_cell(
                     RandomizedPermit::new(ctx.structure.clone(), &mut rng),
@@ -366,7 +381,7 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             name: "rate-threshold",
             family: "stochastic",
-            run: Box::new(|trace, ctx| {
+            run: std::sync::Arc::new(|trace, ctx| {
                 // The informed policy gets the trace's true empirical rate.
                 let rate = trace.days().len() as f64 / trace.horizon.max(1) as f64;
                 permit_cell(
@@ -379,24 +394,24 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             name: "empirical-rate",
             family: "stochastic",
-            run: Box::new(|trace, ctx| {
+            run: std::sync::Arc::new(|trace, ctx| {
                 permit_cell(EmpiricalRate::new(ctx.structure.clone()), trace, ctx)
             }),
         },
         AlgorithmSpec {
             name: "set-cover",
             family: "set-cover",
-            run: Box::new(set_cover_cell),
+            run: std::sync::Arc::new(set_cover_cell),
         },
         AlgorithmSpec {
             name: "vertex-cover",
             family: "graph-cover",
-            run: Box::new(vertex_cover_cell),
+            run: std::sync::Arc::new(vertex_cover_cell),
         },
         AlgorithmSpec {
             name: "facility-pd",
             family: "facility",
-            run: Box::new(|trace, ctx| {
+            run: std::sync::Arc::new(|trace, ctx| {
                 let inst = facility_instance(trace, ctx)?;
                 facility_cell(PrimalDualFacility::new, ctx, &inst)
             }),
@@ -404,7 +419,7 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             name: "facility-nw",
             family: "facility",
-            run: Box::new(|trace, ctx| {
+            run: std::sync::Arc::new(|trace, ctx| {
                 let inst = facility_instance(trace, ctx)?;
                 facility_cell(NagarajanWilliamson::new, ctx, &inst)
             }),
@@ -412,7 +427,7 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             name: "facility-rand",
             family: "facility",
-            run: Box::new(|trace, ctx| {
+            run: std::sync::Arc::new(|trace, ctx| {
                 let inst = facility_instance(trace, ctx)?;
                 let mut rng = ctx.rng(0xfa2d);
                 facility_cell(
@@ -425,22 +440,22 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
         AlgorithmSpec {
             name: "capacitated",
             family: "capacitated",
-            run: Box::new(capacitated_cell),
+            run: std::sync::Arc::new(capacitated_cell),
         },
         AlgorithmSpec {
             name: "steiner",
             family: "steiner",
-            run: Box::new(steiner_cell),
+            run: std::sync::Arc::new(steiner_cell),
         },
         AlgorithmSpec {
             name: "old",
             family: "deadlines",
-            run: Box::new(old_cell),
+            run: std::sync::Arc::new(old_cell),
         },
         AlgorithmSpec {
             name: "scld",
             family: "deadlines",
-            run: Box::new(scld_cell),
+            run: std::sync::Arc::new(scld_cell),
         },
     ]
 }
@@ -504,6 +519,37 @@ mod tests {
                 assert!(report.ratio().is_finite());
             }
         }
+    }
+
+    #[test]
+    fn long_horizon_cells_complete_on_the_coverage_index() {
+        // Pre-index, a 8192-step permit cell spent its time scanning the
+        // decision trace per request; the ledger's coverage index makes
+        // long-horizon presets practical for the matrix.
+        let ctx = RunContext {
+            structure: structure(),
+            seed: 9,
+        };
+        let trace = Scenario::presets()[0].generate(8192, 4, 9).unwrap();
+        let started = std::time::Instant::now();
+        for name in [
+            "permit-det",
+            "permit-rand",
+            "rate-threshold",
+            "empirical-rate",
+        ] {
+            let alg = select_algorithms(name).unwrap().remove(0);
+            let report = alg.run(&trace, &ctx).unwrap();
+            assert!(report.requests > 0, "{name}");
+            assert!(
+                report.ratio().is_finite() && report.ratio() >= 1.0 - 1e-6,
+                "{name}"
+            );
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(60),
+            "long-horizon cells must stay fast"
+        );
     }
 
     #[test]

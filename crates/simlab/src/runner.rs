@@ -29,11 +29,22 @@ pub struct MatrixConfig {
     pub structure: LeaseStructure,
     /// Worker threads (clamped below by 1).
     pub threads: usize,
+    /// Per-cell wall-clock budget in milliseconds. `None` runs every cell
+    /// to completion (bit-deterministic). With a budget, a cell exceeding
+    /// it is recorded as a [`SimError::Timeout`] failure and its worker
+    /// thread is abandoned, so one slow cell can never stall a sharded run
+    /// — at the price of wall-clock-dependent (non-deterministic) failure
+    /// sets. Abandoned workers keep consuming CPU until they finish on
+    /// their own (or the process exits): if a whole algorithm is stuck in
+    /// a hot loop, its abandoned cells compete with healthy workers and
+    /// can push *those* past their budgets too — prefer excluding a known
+    /// runaway algorithm over budgeting around it.
+    pub cell_budget_ms: Option<u64>,
 }
 
 impl MatrixConfig {
     /// A small default matrix configuration (3-type geometric-ish
-    /// structure, horizon 64, 4 elements, 2 threads).
+    /// structure, horizon 64, 4 elements, 2 threads, no cell budget).
     pub fn default_config() -> Self {
         use leasing_core::lease::LeaseType;
         MatrixConfig {
@@ -46,6 +57,7 @@ impl MatrixConfig {
             ])
             .expect("increasing lengths and positive costs"),
             threads: 2,
+            cell_budget_ms: None,
         }
     }
 }
@@ -112,22 +124,27 @@ pub fn run_matrix(
     }
 }
 
-/// Runs one cell end to end, mapping failures into the record.
+/// Runs one cell end to end, mapping failures into the record. With a
+/// configured budget the work runs on a watchdog-supervised thread that is
+/// abandoned on timeout.
 fn run_cell(
     algorithm: &AlgorithmSpec,
     scenario: &Scenario,
     seed: u64,
     config: &MatrixConfig,
 ) -> CellRecord {
-    let outcome: Result<_, SimError> = scenario
-        .generate(config.horizon, config.num_elements, seed)
-        .and_then(|trace| {
-            let ctx = RunContext {
-                structure: config.structure.clone(),
-                seed,
-            };
-            algorithm.run(&trace, &ctx)
-        });
+    let outcome: Result<_, SimError> = match config.cell_budget_ms {
+        None => scenario
+            .generate(config.horizon, config.num_elements, seed)
+            .and_then(|trace| {
+                let ctx = RunContext {
+                    structure: config.structure.clone(),
+                    seed,
+                };
+                algorithm.run(&trace, &ctx)
+            }),
+        Some(budget_ms) => run_budgeted(algorithm, scenario, seed, config, budget_ms),
+    };
     match outcome {
         Ok(report) => CellRecord {
             algorithm: algorithm.name.to_string(),
@@ -151,6 +168,36 @@ fn run_cell(
             leases_bought: 0,
             error: Some(e.to_string()),
         },
+    }
+}
+
+/// Runs the cell on a disposable thread and waits at most `budget_ms` for
+/// its result. On timeout the thread is abandoned (it keeps no locks and
+/// its late result is discarded with the channel) and the cell fails with
+/// [`SimError::Timeout`].
+fn run_budgeted(
+    algorithm: &AlgorithmSpec,
+    scenario: &Scenario,
+    seed: u64,
+    config: &MatrixConfig,
+    budget_ms: u64,
+) -> Result<leasing_core::engine::Report, SimError> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let run = algorithm.runner();
+    let scenario = scenario.clone();
+    let horizon = config.horizon;
+    let num_elements = config.num_elements;
+    let structure = config.structure.clone();
+    std::thread::spawn(move || {
+        let outcome = scenario
+            .generate(horizon, num_elements, seed)
+            .and_then(|trace| run(&trace, &RunContext { structure, seed }));
+        // The receiver is gone iff the watchdog already gave up on us.
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(std::time::Duration::from_millis(budget_ms)) {
+        Ok(outcome) => outcome,
+        Err(_) => Err(SimError::Timeout { budget_ms }),
     }
 }
 
@@ -229,6 +276,73 @@ mod tests {
         assert_eq!(single, oversubscribed);
         // Bit-exact JSON too — the machine-readable artifact is stable.
         assert_eq!(single.to_json(), sharded.to_json());
+    }
+
+    #[test]
+    fn generous_budgets_leave_the_report_unchanged() {
+        let algorithms = select_algorithms("permit-det,old").unwrap();
+        let scenarios = Scenario::select("rainy,spikes").unwrap();
+        let unbudgeted = run_matrix(
+            &algorithms,
+            &scenarios,
+            &[1, 2],
+            &MatrixConfig::default_config(),
+        );
+        let budgeted = run_matrix(
+            &algorithms,
+            &scenarios,
+            &[1, 2],
+            &MatrixConfig {
+                cell_budget_ms: Some(60_000),
+                ..MatrixConfig::default_config()
+            },
+        );
+        assert_eq!(unbudgeted, budgeted, "a never-hit budget is a no-op");
+    }
+
+    #[test]
+    fn exhausted_budgets_record_timeouts_instead_of_stalling() {
+        use crate::registry::AlgorithmSpec;
+        // A deliberately stalling cell: without a budget this matrix would
+        // hang for minutes; with one it must come back as timeout
+        // failures, with the healthy algorithm's cells unharmed.
+        let stall = AlgorithmSpec::custom(
+            "stall",
+            "test",
+            std::sync::Arc::new(|_trace, _ctx| {
+                std::thread::sleep(std::time::Duration::from_secs(120));
+                Err(crate::SimError::UnboundedRatio)
+            }),
+        );
+        let mut algorithms = select_algorithms("permit-det").unwrap();
+        algorithms.push(stall);
+        let scenarios = Scenario::select("rainy").unwrap();
+        let config = MatrixConfig {
+            cell_budget_ms: Some(40),
+            ..MatrixConfig::default_config()
+        };
+        let started = std::time::Instant::now();
+        let report = run_matrix(&algorithms, &scenarios, &[1, 2], &config);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "stalled cells must not stall the run"
+        );
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            if cell.algorithm == "stall" {
+                let err = cell.error.as_deref().expect("stalled cell must time out");
+                assert!(err.contains("wall-clock budget"), "{err}");
+            } else {
+                assert_eq!(cell.error, None, "healthy cells still complete");
+            }
+        }
+        let stalled = report
+            .aggregates
+            .iter()
+            .find(|a| a.algorithm == "stall")
+            .unwrap();
+        assert_eq!(stalled.failures, 2);
+        assert_eq!(stalled.ratio, None);
     }
 
     #[test]

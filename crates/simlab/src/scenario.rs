@@ -57,6 +57,57 @@ pub enum WorkloadSpec {
     },
 }
 
+impl WorkloadSpec {
+    /// Applies one `key=value` override from a parameterized workload token
+    /// (`rainy:p=0.7`). Values are only parsed here; their *domains* are
+    /// enforced by the `ArrivalError`-validated generators when the
+    /// scenario expands.
+    fn set_param(&mut self, token: &str, key: &str, value: &str) -> Result<(), SimError> {
+        fn bad(token: &str, what: String) -> SimError {
+            SimError::WorkloadParam {
+                spec: token.to_string(),
+                what,
+            }
+        }
+        fn float(token: &str, key: &str, value: &str) -> Result<f64, SimError> {
+            value
+                .parse()
+                .map_err(|e| bad(token, format!("`{key}` is not a number: {e}")))
+        }
+        fn int(token: &str, key: &str, value: &str) -> Result<u64, SimError> {
+            value
+                .parse()
+                .map_err(|e| bad(token, format!("`{key}` is not an integer: {e}")))
+        }
+        match (self, key) {
+            (WorkloadSpec::Rainy { p }, "p") => *p = float(token, key, value)?,
+            (WorkloadSpec::Bursty { burst_len, .. }, "burst_len") => {
+                *burst_len = int(token, key, value)?
+            }
+            (WorkloadSpec::Bursty { gap_len, .. }, "gap_len") => *gap_len = int(token, key, value)?,
+            (WorkloadSpec::Diurnal { base_p, .. }, "base_p") => *base_p = float(token, key, value)?,
+            (WorkloadSpec::Diurnal { amplitude, .. }, "amplitude") => {
+                *amplitude = float(token, key, value)?
+            }
+            (WorkloadSpec::Diurnal { period, .. }, "period") => *period = int(token, key, value)?,
+            (WorkloadSpec::HeavyTail { alpha }, "alpha") => *alpha = float(token, key, value)?,
+            (WorkloadSpec::Spikes { period, .. }, "period") => *period = int(token, key, value)?,
+            (WorkloadSpec::Spikes { width, .. }, "width") => *width = int(token, key, value)?,
+            (WorkloadSpec::Correlated { p_hot, .. }, "p_hot") => *p_hot = float(token, key, value)?,
+            (WorkloadSpec::Correlated { p_fire, .. }, "p_fire") => {
+                *p_fire = float(token, key, value)?
+            }
+            (spec, key) => {
+                return Err(bad(
+                    token,
+                    format!("`{key}` is not a parameter of {spec:?}"),
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A named workload of the matrix.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -111,28 +162,61 @@ impl Scenario {
     }
 
     /// Looks up presets by comma-separated names (`"all"` selects every
-    /// preset).
+    /// preset). Each name may carry `:key=value` parameter overrides —
+    /// `rainy:p=0.7`, `pareto:alpha=1.5`, `bursty:burst_len=8:gap_len=2` —
+    /// applied onto the preset's spec; the parameter values themselves are
+    /// validated by the `ArrivalError`-typed generators at expansion time.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownWorkload`] for an unrecognized name.
+    /// Returns [`SimError::UnknownWorkload`] for an unrecognized name and
+    /// [`SimError::WorkloadParam`] for an unparsable or unknown override.
     pub fn select(names: &str) -> Result<Vec<Scenario>, SimError> {
-        let presets = Scenario::presets();
         if names == "all" {
-            return Ok(presets);
+            return Ok(Scenario::presets());
         }
         names
             .split(',')
             .map(str::trim)
             .filter(|s| !s.is_empty())
-            .map(|n| {
-                presets
-                    .iter()
-                    .find(|s| s.name == n)
-                    .cloned()
-                    .ok_or_else(|| SimError::UnknownWorkload(n.to_string()))
-            })
+            .map(Scenario::parse)
             .collect()
+    }
+
+    /// Parses one workload token: a preset name (or alias `pareto` for
+    /// `heavy-tail`), optionally followed by `:key=value` overrides. The
+    /// returned scenario keeps the full token as its report name, so
+    /// parameterized variants stay distinguishable in the matrix output.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::select`].
+    pub fn parse(token: &str) -> Result<Scenario, SimError> {
+        let mut parts = token.split(':');
+        let base = parts.next().unwrap_or_default();
+        let resolved = match base {
+            "pareto" => "heavy-tail",
+            other => other,
+        };
+        let mut scenario = Scenario::presets()
+            .into_iter()
+            .find(|s| s.name == resolved)
+            .ok_or_else(|| SimError::UnknownWorkload(base.to_string()))?;
+        for pair in parts {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| SimError::WorkloadParam {
+                    spec: token.to_string(),
+                    what: format!("expected `key=value`, found `{pair}`"),
+                })?;
+            scenario.spec.set_param(token, key.trim(), value.trim())?;
+        }
+        // Report under the exact CLI token (aliases and overrides
+        // included), so baseline joins see deterministic names.
+        if scenario.name != token {
+            scenario.name = token.to_string();
+        }
+        Ok(scenario)
     }
 
     /// Expands the scenario into a trace of `horizon` steps over
@@ -271,6 +355,60 @@ mod tests {
             Scenario::select("nope"),
             Err(SimError::UnknownWorkload("nope".into()))
         );
+    }
+
+    #[test]
+    fn parameterized_tokens_override_preset_fields() {
+        let s = Scenario::parse("rainy:p=0.7").unwrap();
+        assert_eq!(s.name, "rainy:p=0.7");
+        assert_eq!(s.spec, WorkloadSpec::Rainy { p: 0.7 });
+        let s = Scenario::parse("pareto:alpha=1.5").unwrap();
+        assert_eq!(s.name, "pareto:alpha=1.5");
+        assert_eq!(s.spec, WorkloadSpec::HeavyTail { alpha: 1.5 });
+        // A bare alias also reports under the token it was requested as.
+        let s = Scenario::parse("pareto").unwrap();
+        assert_eq!(s.name, "pareto");
+        assert_eq!(s.spec, WorkloadSpec::HeavyTail { alpha: 1.3 });
+        let s = Scenario::parse("bursty:burst_len=8:gap_len=2").unwrap();
+        assert_eq!(
+            s.spec,
+            WorkloadSpec::Bursty {
+                burst_len: 8,
+                gap_len: 2
+            }
+        );
+        // Bare names keep their preset name and spec.
+        let s = Scenario::parse("spikes").unwrap();
+        assert_eq!(s.name, "spikes");
+        // And select() mixes both forms.
+        let picked = Scenario::select("rainy:p=0.7, spikes").unwrap();
+        assert_eq!(picked[0].name, "rainy:p=0.7");
+        assert_eq!(picked[1].name, "spikes");
+        picked[0].generate(32, 2, 1).unwrap();
+    }
+
+    #[test]
+    fn bad_parameter_tokens_are_typed_errors() {
+        assert!(matches!(
+            Scenario::parse("rainy:q=0.7"),
+            Err(SimError::WorkloadParam { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("rainy:p=zebra"),
+            Err(SimError::WorkloadParam { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("rainy:p"),
+            Err(SimError::WorkloadParam { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("zebra:p=0.5"),
+            Err(SimError::UnknownWorkload(_))
+        ));
+        // Out-of-domain values pass parsing and surface as the generators'
+        // ArrivalError when the scenario expands.
+        let s = Scenario::parse("rainy:p=1.5").unwrap();
+        assert!(matches!(s.generate(32, 2, 0), Err(SimError::Workload(_))));
     }
 
     #[test]

@@ -134,13 +134,18 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
 
     /// Core routing + per-edge permit step, recording purchases into
     /// `ledger`.
+    ///
+    /// Edge activity is read from the ledger's coverage index (`element` =
+    /// edge id); the per-edge permits only decide *how long* to lease, and
+    /// every permit purchase is mirrored into the ledger immediately, so
+    /// the two views never diverge.
     fn serve_with(&mut self, req: PairRequest, ledger: &mut Ledger) {
         ledger.advance(req.time);
         let g = &self.instance.graph;
         let t = req.time;
         let rate = self.instance.cheapest_rate();
         let sp = dijkstra_with(g, req.u, |e| {
-            if self.permits[e].is_covered(t) {
+            if ledger.covered(e, t) {
                 0.0
             } else {
                 g.edge(e).weight * rate
@@ -152,13 +157,13 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
         self.stats.requests += 1;
         self.stats.routed_edges += path.len();
         for e in path {
-            if !self.permits[e].is_covered(t) {
+            if !ledger.covered(e, t) {
                 self.permits[e].serve_demand(t);
                 self.stats.permit_demands += 1;
                 self.mirror_purchases(t, e, ledger);
             }
             debug_assert!(
-                self.permits[e].is_covered(t),
+                ledger.covered(e, t),
                 "permit subroutine must cover the routed day"
             );
         }

@@ -18,7 +18,6 @@ use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
 use parking_permit::{PermitOnline, PurchaseLog, PERMIT_ELEMENT};
-use std::collections::HashSet;
 
 /// Expected number of demands a type-`k` lease covers when each of its
 /// `l_k` days demands independently with probability `p` (at least one,
@@ -41,11 +40,16 @@ fn best_type_for_rate(structure: &LeaseStructure, p: f64) -> usize {
 /// Policy that knows the daily demand rate `p`: on an uncovered demand it
 /// buys the aligned candidate of the type with the best expected price per
 /// served demand.
+///
+/// The [`PermitOnline`]/[`CoveringLease`] accessors (`is_covered`,
+/// `covering_lease_at`, `total_cost`) answer from the internal legacy-path
+/// ledger; when driving through a
+/// [`Driver`](leasing_core::engine::Driver), query the driver's ledger
+/// ([`Ledger::covered`]/[`Ledger::active_lease`]) instead.
 #[derive(Clone, Debug)]
 pub struct RateThreshold {
     structure: LeaseStructure,
     p: f64,
-    owned: HashSet<Lease>,
     purchases: Vec<Lease>,
     /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
     ledger: Ledger,
@@ -63,7 +67,6 @@ impl RateThreshold {
         RateThreshold {
             structure,
             p,
-            owned: HashSet::new(),
             purchases: Vec::new(),
             ledger,
         }
@@ -72,7 +75,7 @@ impl RateThreshold {
     /// Core policy step, recording the purchase into `ledger`.
     fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
         ledger.advance(t);
-        if self.is_covered(t) {
+        if ledger.covered(PERMIT_ELEMENT, t) {
             return;
         }
         let k = self.chosen_type();
@@ -80,7 +83,6 @@ impl RateThreshold {
             .into_iter()
             .find(|l| l.type_index == k)
             .expect("every type has an aligned candidate");
-        self.owned.insert(lease);
         ledger.buy(
             t,
             Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
@@ -93,9 +95,9 @@ impl RateThreshold {
         best_type_for_rate(&self.structure, self.p)
     }
 
-    /// The purchases made so far.
+    /// The purchases made so far (each bought exactly once, in buy order).
     pub fn owned(&self) -> impl Iterator<Item = &Lease> {
-        self.owned.iter()
+        self.purchases.iter()
     }
 
     /// The internal decision ledger backing the deprecated serve path.
@@ -112,9 +114,7 @@ impl PermitOnline for RateThreshold {
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t)
-            .into_iter()
-            .any(|l| self.owned.contains(&l))
+        self.ledger.covered(PERMIT_ELEMENT, t)
     }
 
     fn total_cost(&self) -> f64 {
@@ -139,13 +139,17 @@ impl PurchaseLog for RateThreshold {
 /// Policy that estimates the rate online: after observing `d` demands over
 /// an elapsed horizon of `h` days it uses `p̂ = d / h` (Laplace-smoothed) in
 /// the same expected-price rule as [`RateThreshold`].
+///
+/// As with [`RateThreshold`], the `is_covered`/`covering_lease_at`/
+/// `total_cost` accessors answer from the internal legacy-path ledger —
+/// under a [`Driver`](leasing_core::engine::Driver), query the driver's
+/// ledger instead.
 #[derive(Clone, Debug)]
 pub struct EmpiricalRate {
     structure: LeaseStructure,
     demands_seen: u64,
     first_day: Option<TimeStep>,
     last_day: TimeStep,
-    owned: HashSet<Lease>,
     purchases: Vec<Lease>,
     /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
     ledger: Ledger,
@@ -160,7 +164,6 @@ impl EmpiricalRate {
             demands_seen: 0,
             first_day: None,
             last_day: 0,
-            owned: HashSet::new(),
             purchases: Vec::new(),
             ledger,
         }
@@ -172,7 +175,7 @@ impl EmpiricalRate {
         self.first_day.get_or_insert(t);
         self.last_day = self.last_day.max(t);
         self.demands_seen += 1;
-        if self.is_covered(t) {
+        if ledger.covered(PERMIT_ELEMENT, t) {
             return;
         }
         let k = best_type_for_rate(&self.structure, self.estimate());
@@ -180,7 +183,6 @@ impl EmpiricalRate {
             .into_iter()
             .find(|l| l.type_index == k)
             .expect("every type has an aligned candidate");
-        self.owned.insert(lease);
         ledger.buy(
             t,
             Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
@@ -211,9 +213,7 @@ impl PermitOnline for EmpiricalRate {
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t)
-            .into_iter()
-            .any(|l| self.owned.contains(&l))
+        self.ledger.covered(PERMIT_ELEMENT, t)
     }
 
     fn total_cost(&self) -> f64 {
@@ -245,9 +245,15 @@ pub trait CoveringLease {
 
 impl CoveringLease for RateThreshold {
     fn covering_lease_at(&self, t: TimeStep) -> Option<Lease> {
+        // Candidate order (shortest type first) is part of the combiner's
+        // replication contract, so probe ownership per aligned candidate
+        // instead of taking the ledger's latest-expiry pick.
         candidates_covering(&self.structure, t)
             .into_iter()
-            .find(|l| self.owned.contains(l))
+            .find(|l| {
+                self.ledger
+                    .owns(Triple::new(PERMIT_ELEMENT, l.type_index, l.start))
+            })
     }
 }
 
@@ -255,7 +261,10 @@ impl CoveringLease for EmpiricalRate {
     fn covering_lease_at(&self, t: TimeStep) -> Option<Lease> {
         candidates_covering(&self.structure, t)
             .into_iter()
-            .find(|l| self.owned.contains(l))
+            .find(|l| {
+                self.ledger
+                    .owns(Triple::new(PERMIT_ELEMENT, l.type_index, l.start))
+            })
     }
 }
 
@@ -282,8 +291,6 @@ impl CoveringLease for parking_permit::det::DeterministicPrimalDual {
 pub struct SwitchCombiner<A, B> {
     a: A,
     b: B,
-    owned: HashSet<Lease>,
-    structure: LeaseStructure,
     switches: usize,
     last_leader_a: bool,
     /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
@@ -294,12 +301,10 @@ impl<A: PermitOnline + CoveringLease, B: PermitOnline + CoveringLease> SwitchCom
     /// Combines `a` (e.g. a prediction policy) with `b` (e.g. the worst-case
     /// primal-dual).
     pub fn new(structure: LeaseStructure, a: A, b: B) -> Self {
-        let ledger = Ledger::new(structure.clone());
+        let ledger = Ledger::new(structure);
         SwitchCombiner {
             a,
             b,
-            owned: HashSet::new(),
-            structure,
             switches: 0,
             last_leader_a: true,
             ledger,
@@ -312,7 +317,7 @@ impl<A: PermitOnline + CoveringLease, B: PermitOnline + CoveringLease> SwitchCom
         // Both simulations always advance.
         self.a.serve_demand(t);
         self.b.serve_demand(t);
-        if self.is_covered(t) {
+        if ledger.covered(PERMIT_ELEMENT, t) {
             return;
         }
         let leader_a = self.a.total_cost() <= self.b.total_cost();
@@ -333,11 +338,9 @@ impl<A: PermitOnline + CoveringLease, B: PermitOnline + CoveringLease> SwitchCom
                 .or_else(|| self.a.covering_lease_at(t))
         }
         .expect("an inner policy must cover the demand it just served");
-        if self.owned.insert(lease) {
-            ledger.buy(
-                t,
-                Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
-            );
+        let triple = Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start);
+        if !ledger.owns(triple) {
+            ledger.buy(t, triple);
         }
     }
 
@@ -369,9 +372,7 @@ where
     }
 
     fn is_covered(&self, t: TimeStep) -> bool {
-        candidates_covering(&self.structure, t)
-            .into_iter()
-            .any(|l| self.owned.contains(&l))
+        self.ledger.covered(PERMIT_ELEMENT, t)
     }
 
     fn total_cost(&self) -> f64 {

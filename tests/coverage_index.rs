@@ -1,0 +1,209 @@
+//! Coverage-index oracle tests: every fast-path answer of the ledger's
+//! coverage API ([`Ledger::covered`], [`Ledger::active_lease`],
+//! [`Ledger::covered_during`], [`Ledger::active_count`], [`Ledger::owns`])
+//! must agree with a naive scan of the decision trace — the exact query the
+//! problem crates used to hand-roll before the index existed. Pinned across
+//! randomly drawn lease structures, purchase sequences (aligned, backdated
+//! and duplicated) and query times.
+
+use online_resource_leasing::core::engine::{Driver, Ledger};
+use online_resource_leasing::core::framework::Triple;
+use online_resource_leasing::core::interval::aligned_start;
+use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
+use online_resource_leasing::core::rng::seeded;
+use online_resource_leasing::core::time::Window;
+use online_resource_leasing::parking_permit::det::DeterministicPrimalDual;
+use proptest::prelude::*;
+use rand::RngExt;
+
+/// A random valid lease structure: 1..=4 types with strictly increasing
+/// lengths and positive costs.
+fn structures() -> impl Strategy<Value = LeaseStructure> {
+    (
+        proptest::collection::vec((1u64..6, 0.5f64..8.0), 1..5),
+        Just(()),
+    )
+        .prop_map(|(raw, ())| {
+            let mut len = 0u64;
+            let types: Vec<LeaseType> = raw
+                .into_iter()
+                .map(|(step, cost)| {
+                    len += step;
+                    LeaseType::new(len, cost)
+                })
+                .collect();
+            LeaseStructure::new(types).expect("increasing lengths, positive costs")
+        })
+}
+
+/// The naive oracle: scan the full decision trace for a lease of `element`
+/// covering `t`.
+fn oracle_covered(ledger: &Ledger, element: usize, t: u64) -> bool {
+    let structure = ledger.structure().expect("oracle needs windows");
+    ledger
+        .decisions()
+        .iter()
+        .filter_map(|d| d.triple())
+        .any(|tr| tr.element == element && tr.covers(structure, t))
+}
+
+fn oracle_covered_during(ledger: &Ledger, element: usize, w: Window) -> bool {
+    let structure = ledger.structure().expect("oracle needs windows");
+    ledger
+        .decisions()
+        .iter()
+        .filter_map(|d| d.triple())
+        .any(|tr| tr.element == element && tr.window(structure).intersects(&w))
+}
+
+fn oracle_active_count(ledger: &Ledger, elements: usize, t: u64) -> usize {
+    (0..elements)
+        .filter(|&e| oracle_covered(ledger, e, t))
+        .count()
+}
+
+fn oracle_owns(ledger: &Ledger, triple: Triple) -> bool {
+    ledger
+        .decisions()
+        .iter()
+        .any(|d| d.triple() == Some(triple))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Point coverage, window coverage, exact ownership and the distinct
+    /// active-element count all agree with the decision-trace oracle on a
+    /// random purchase mix of aligned, backdated and duplicate triples.
+    #[test]
+    fn index_matches_decision_trace_oracle(
+        structure in structures(),
+        seed in 0u64..1_000,
+        purchases in 1usize..60,
+    ) {
+        const ELEMENTS: usize = 5;
+        let mut rng = seeded(seed);
+        let mut ledger = Ledger::new(structure.clone());
+        let mut clock = 0u64;
+        for _ in 0..purchases {
+            clock += rng.random_range(0..4u64);
+            ledger.advance(clock);
+            let element = rng.random_range(0..ELEMENTS);
+            let k = rng.random_range(0..structure.num_types());
+            // Mix aligned current-window starts, backdated aligned starts
+            // and raw (unaligned) starts; occasionally repeat a purchase.
+            let start = match rng.random_range(0..4u32) {
+                0 => aligned_start(clock, structure.length(k)),
+                1 => aligned_start(clock.saturating_sub(rng.random_range(0..20u64)),
+                                   structure.length(k)),
+                2 => clock.saturating_sub(rng.random_range(0..10u64)),
+                _ => clock + rng.random_range(0..6u64), // future-dated
+            };
+            let triple = Triple::new(element, k, start);
+            if rng.random::<f64>() < 0.5 {
+                ledger.buy(clock, triple);
+            } else {
+                ledger.buy_priced(clock, triple, 1.0 + rng.random::<f64>(), "scaled");
+            }
+            if rng.random::<f64>() < 0.15 {
+                ledger.buy(clock, triple); // duplicate triple
+            }
+        }
+
+        let horizon = clock + structure.l_max() + 2;
+        for _ in 0..40 {
+            let t = rng.random_range(0..horizon);
+            let e = rng.random_range(0..ELEMENTS);
+            prop_assert_eq!(
+                ledger.covered(e, t),
+                oracle_covered(&ledger, e, t),
+                "covered({}, {})", e, t
+            );
+            // The reported active lease must itself be a purchased,
+            // covering triple with the latest window end.
+            match ledger.active_lease(e, t) {
+                Some(tr) => {
+                    prop_assert!(oracle_owns(&ledger, tr));
+                    prop_assert!(tr.covers(&structure, t));
+                    let best_end = ledger
+                        .decisions()
+                        .iter()
+                        .filter_map(|d| d.triple())
+                        .filter(|c| c.element == e && c.covers(&structure, t))
+                        .map(|c| c.window(&structure).end())
+                        .max()
+                        .expect("a covering lease exists");
+                    prop_assert_eq!(tr.window(&structure).end(), best_end);
+                }
+                None => prop_assert!(!oracle_covered(&ledger, e, t)),
+            }
+            let w = Window::new(t, rng.random_range(0..12u64));
+            prop_assert_eq!(
+                ledger.covered_during(e, w),
+                oracle_covered_during(&ledger, e, w),
+                "covered_during({}, {:?})", e, w
+            );
+            prop_assert_eq!(
+                ledger.active_count(t),
+                oracle_active_count(&ledger, ELEMENTS, t),
+                "active_count({})", t
+            );
+            let probe = Triple::new(
+                e,
+                rng.random_range(0..structure.num_types()),
+                rng.random_range(0..horizon),
+            );
+            prop_assert_eq!(ledger.owns(probe), oracle_owns(&ledger, probe));
+        }
+    }
+
+    /// The index agrees with the oracle when fed by a real algorithm driven
+    /// through the engine: every day of the horizon answers identically.
+    #[test]
+    fn index_matches_oracle_under_a_driven_algorithm(
+        structure in structures(),
+        seed in 0u64..500,
+        density in 0.1f64..0.9,
+    ) {
+        let mut rng = seeded(seed);
+        let days: Vec<u64> = (0..64u64).filter(|_| rng.random::<f64>() < density).collect();
+        let mut driver = Driver::new(
+            DeterministicPrimalDual::new(structure.clone()),
+            structure.clone(),
+        );
+        driver.submit_batch(days.iter().map(|&t| (t, ()))).unwrap();
+        let ledger = driver.ledger();
+        for t in 0..(64 + structure.l_max()) {
+            prop_assert_eq!(ledger.covered(0, t), oracle_covered(ledger, 0, t), "t = {}", t);
+        }
+        // Every demand day ends up covered — the primal-dual invariant as
+        // seen purely through the index.
+        for &d in &days {
+            prop_assert!(ledger.covered(0, d));
+        }
+    }
+
+    /// JSON round-trips preserve every index answer.
+    #[test]
+    fn round_tripped_ledgers_answer_identically(
+        structure in structures(),
+        seed in 0u64..200,
+    ) {
+        let mut rng = seeded(seed);
+        let mut ledger = Ledger::new(structure.clone());
+        for _ in 0..20 {
+            let t = rng.random_range(0..40u64);
+            let k = rng.random_range(0..structure.num_types());
+            ledger.buy(t, Triple::new(rng.random_range(0..3usize), k,
+                                      aligned_start(t, structure.length(k))));
+        }
+        let back = Ledger::from_json(&ledger.to_json()).unwrap();
+        for t in 0..60u64 {
+            for e in 0..3usize {
+                prop_assert_eq!(back.covered(e, t), ledger.covered(e, t));
+                prop_assert_eq!(back.active_lease(e, t), ledger.active_lease(e, t));
+            }
+            prop_assert_eq!(back.active_count(t), ledger.active_count(t));
+        }
+    }
+}

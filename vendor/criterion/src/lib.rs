@@ -186,6 +186,11 @@ impl Criterion {
 
     /// Writes the collected measurements as JSON to
     /// `$CRITERION_OUTPUT_JSON` when that variable is set.
+    ///
+    /// An existing baseline at that path is *merged*, not clobbered:
+    /// entries from earlier runs whose id this run did not re-measure are
+    /// kept, so several bench binaries (e.g. `bench_driver` and
+    /// `bench_coverage`) can accumulate into one machine-readable file.
     pub fn finalize(&self) {
         let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") else {
             return;
@@ -193,15 +198,39 @@ impl Criterion {
         if path.is_empty() {
             return;
         }
-        let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, m) in self.results.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iterations\": {}}}{}\n",
+        let mut lines: Vec<String> = Vec::new();
+        // Carry over previous entries (our own line-oriented format) that
+        // this run did not supersede.
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                let Some(rest) = line.trim().strip_prefix("{\"id\": \"") else {
+                    continue;
+                };
+                let Some(id) = rest.split('"').next() else {
+                    continue;
+                };
+                if self.results.iter().any(|m| m.id == id) {
+                    continue;
+                }
+                lines.push(line.trim().trim_end_matches(',').to_string());
+            }
+        }
+        for m in &self.results {
+            lines.push(format!(
+                "{{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iterations\": {}}}",
                 m.id.replace('"', "'"),
                 m.mean_ns,
                 m.iterations,
-                if i + 1 < self.results.len() { "," } else { "" }
             ));
+        }
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, line) in lines.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(line);
+            if i + 1 < lines.len() {
+                out.push(',');
+            }
+            out.push('\n');
         }
         out.push_str("  ]\n}\n");
         if let Err(e) = std::fs::write(&path, out) {
