@@ -34,6 +34,7 @@ fn main() {
     let rainy = vec![Scenario {
         name: "rainy".into(),
         spec: WorkloadSpec::Rainy { p: 0.25 },
+        universe: None,
     }];
     let det = select_algorithms("permit-det").expect("registered");
     for k in 1..=6usize {
@@ -56,7 +57,9 @@ fn main() {
         };
         let seeds: Vec<u64> = (0..10).map(|t| SEED + t).collect();
         let report = run_matrix(&det, &rainy, &seeds, &config);
-        let ratio = report.aggregates[0].ratio.expect("permit cells never fail");
+        let ratio = report.aggregates[0]
+            .empirical_ratio
+            .expect("permit cells never fail");
         table::row(
             &[
                 table::i(k),

@@ -63,14 +63,17 @@ fn main() {
         Scenario {
             name: "bernoulli-0.1".into(),
             spec: WorkloadSpec::Rainy { p: 0.1 },
+            universe: None,
         },
         Scenario {
             name: "bernoulli-0.5".into(),
             spec: WorkloadSpec::Rainy { p: 0.5 },
+            universe: None,
         },
         Scenario {
             name: "bernoulli-0.9".into(),
             spec: WorkloadSpec::Rainy { p: 0.9 },
+            universe: None,
         },
         Scenario {
             name: "bursty".into(),
@@ -78,6 +81,7 @@ fn main() {
                 burst_len: 8,
                 gap_len: 16,
             },
+            universe: None,
         },
         Scenario {
             name: "diurnal".into(),
@@ -86,6 +90,7 @@ fn main() {
                 amplitude: 0.4,
                 period: 64,
             },
+            universe: None,
         },
     ];
     let algorithms =
@@ -106,7 +111,7 @@ fn main() {
                 .aggregates
                 .iter()
                 .find(|a| a.algorithm == alg && a.workload == scenario.name)
-                .and_then(|a| a.ratio)
+                .and_then(|a| a.empirical_ratio)
                 .map(|r| r.mean)
                 .unwrap_or(f64::NAN)
         };

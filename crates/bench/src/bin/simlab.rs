@@ -14,13 +14,17 @@
 //! simlab --cell-budget-ms 5000        # timeout slow cells as failures
 //! simlab --baseline old.json          # diff the fresh run vs a baseline
 //! simlab --baseline old.json --candidate new.json   # pure file diff
+//! simlab --max-ratio 6.0              # absolute empirical-ratio gate
 //! ```
 //!
 //! With `--baseline`, competitive-ratio regressions beyond `--tolerance`
-//! (relative, default 0.05) exit with status 3.
+//! (relative, default 0.05) exit with status 3. With `--max-ratio`, any
+//! successful cell whose empirical ratio exceeds the bound also exits 3 —
+//! the CI guard that the online algorithms keep tracking the paper's
+//! guarantees against the offline oracles.
 
 use leasing_bench::table;
-use leasing_simlab::baseline::diff_reports;
+use leasing_simlab::baseline::{diff_reports, ratio_violations};
 use leasing_simlab::registry::{select_algorithms, standard_registry};
 use leasing_simlab::report::MatrixReport;
 use leasing_simlab::runner::{run_matrix, MatrixConfig};
@@ -40,6 +44,7 @@ struct Args {
     baseline: Option<String>,
     candidate: Option<String>,
     tolerance: f64,
+    max_ratio: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         candidate: None,
         tolerance: 0.05,
+        max_ratio: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -102,6 +108,15 @@ fn parse_args() -> Result<Args, String> {
                 args.tolerance = value("--tolerance")?
                     .parse()
                     .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--max-ratio" => {
+                let bound: f64 = value("--max-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-ratio: {e}"))?;
+                if !bound.is_finite() || bound < 1.0 {
+                    return Err("--max-ratio must be a finite ratio >= 1".into());
+                }
+                args.max_ratio = Some(bound);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -164,9 +179,14 @@ fn main() {
     };
 
     if args.list {
-        println!("algorithms:");
+        println!("algorithms (paper guarantee in brackets):");
         for alg in standard_registry() {
-            println!("  {:<16} ({})", alg.name, alg.family);
+            println!(
+                "  {:<16} ({}) [{}]",
+                alg.name,
+                alg.family,
+                alg.theory.unwrap_or("no worst-case bound")
+            );
         }
         println!("\nworkloads (parameterizable, e.g. rainy:p=0.7, pareto:alpha=1.5):");
         for s in Scenario::presets() {
@@ -218,24 +238,32 @@ fn main() {
     let elapsed = started.elapsed();
 
     table::header(
-        &["algorithm", "workload", "mean", "p50", "p99", "max", "fail"],
+        &[
+            "algorithm",
+            "workload",
+            "mean",
+            "p99",
+            "max",
+            "opt",
+            "act^",
+            "fail",
+        ],
         12,
     );
     for agg in &report.aggregates {
-        let (mean, p50, p99, max) = agg.ratio.map(|r| (r.mean, r.p50, r.p99, r.max)).unwrap_or((
-            f64::NAN,
-            f64::NAN,
-            f64::NAN,
-            f64::NAN,
-        ));
+        let (mean, p99, max) = agg
+            .empirical_ratio
+            .map(|r| (r.mean, r.p99, r.max))
+            .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
         table::row(
             &[
                 agg.algorithm.clone(),
                 agg.workload.clone(),
                 table::f(mean),
-                table::f(p50),
                 table::f(p99),
                 table::f(max),
+                table::f(agg.mean_opt_cost),
+                table::i(agg.active_peak),
                 table::i(agg.failures),
             ],
             12,
@@ -257,7 +285,49 @@ fn main() {
     );
     println!("(aggregates are bit-identical for any --threads value)");
 
+    if let Some(bound) = args.max_ratio {
+        gate_on_max_ratio(&report, bound);
+    }
+
     if let Some(baseline) = &args.baseline {
         gate_on_baseline(baseline, &report, args.tolerance);
     }
+}
+
+/// Enforces the absolute empirical-ratio bound; exits 3 listing every
+/// violating cell. Failed cells also trip the gate — a cell that never
+/// produced a ratio must not let the matrix pass vacuously (e.g. a shared
+/// oracle timing out and failing its whole family).
+fn gate_on_max_ratio(report: &MatrixReport, bound: f64) {
+    let violations = ratio_violations(report, bound);
+    let failed: Vec<_> = report.cells.iter().filter(|c| c.error.is_some()).collect();
+    if violations.is_empty() && failed.is_empty() {
+        println!("max-ratio {bound}: every cell ran and stayed within the bound");
+        return;
+    }
+    if !violations.is_empty() {
+        eprintln!(
+            "max-ratio {bound}: {} cell(s) beyond the bound:",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!(
+            "max-ratio {bound}: {} cell(s) failed and were never ratio-checked:",
+            failed.len()
+        );
+        for c in &failed {
+            eprintln!(
+                "  {}/{} seed {}: {}",
+                c.algorithm,
+                c.workload,
+                c.seed,
+                c.error.as_deref().unwrap_or("unknown failure")
+            );
+        }
+    }
+    std::process::exit(3);
 }

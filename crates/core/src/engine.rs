@@ -18,7 +18,10 @@
 //!   start times. Because all leases of one type share the length `l_k`,
 //!   "is element `i` covered at time `t`?" reduces to one ordered range
 //!   lookup per type: a type-`k` lease covers `t` iff its start lies in
-//!   `(t − l_k, t]`. The point queries — [`Ledger::covered`],
+//!   `(t − l_k, t]`. The index is append-only — queries hold at any past
+//!   or future step — with an opt-in [`Ledger::compact`] that prunes
+//!   long-expired entries for unbounded streams. The point queries —
+//!   [`Ledger::covered`],
 //!   [`Ledger::active_lease`], [`Ledger::active_lease_of_type`],
 //!   [`Ledger::owns`] and the window query [`Ledger::covered_during`] —
 //!   therefore run in `O(K log n)` for `n` recorded purchases instead of
@@ -176,6 +179,32 @@ impl CoverageIndex {
             .or_default()
             .entry(triple.start)
             .or_insert(0) += 1;
+    }
+
+    /// Removes every start of `(element, k)` whose window of length `len`
+    /// ended at or before `horizon` (`start + len ≤ horizon`). Returns the
+    /// number of purchased copies removed.
+    fn prune_expired(&mut self, horizon: TimeStep, lengths: &[u64]) -> usize {
+        let mut removed = 0usize;
+        self.starts.retain(|&(_, k), slots| {
+            // Purchases of out-of-range types carry no window information;
+            // they are kept so `owns` keeps answering for them.
+            let Some(&len) = lengths.get(k) else {
+                return true;
+            };
+            if horizon >= len {
+                let cutoff = horizon - len; // start ≤ cutoff ⇒ ended by horizon
+                while let Some((&start, &copies)) = slots.first_key_value() {
+                    if start > cutoff {
+                        break;
+                    }
+                    slots.remove(&start);
+                    removed += copies as usize;
+                }
+            }
+            !slots.is_empty()
+        });
+        removed
     }
 
     /// The latest start of a type-`k` lease of `element` whose window of
@@ -537,6 +566,40 @@ impl Ledger {
             .starts
             .get(&(triple.element, triple.type_index))
             .is_some_and(|slots| slots.contains_key(&triple.start))
+    }
+
+    /// Opt-in coverage-index compaction for unbounded streams: drops every
+    /// index entry whose validity window ended **at or before** `before_t`
+    /// (`start + length ≤ before_t`). Returns the number of purchased
+    /// copies pruned.
+    ///
+    /// The index is append-only by default so queries hold at *any* time;
+    /// on an unbounded request stream that means unbounded memory.
+    /// Compaction trades history for space: after `compact(h)`,
+    ///
+    /// * [`covered`](Ledger::covered), [`active_lease`](Ledger::active_lease),
+    ///   [`active_lease_of_type`](Ledger::active_lease_of_type) and
+    ///   [`active_count`](Ledger::active_count) are unchanged for every
+    ///   query time `t ≥ h` (a pruned window ending by `h` cannot cover a
+    ///   step at or after `h`);
+    /// * [`covered_during`](Ledger::covered_during) is unchanged for every
+    ///   window starting at or after `h`;
+    /// * [`owns`](Ledger::owns) is unchanged for every triple starting at
+    ///   or after `h`;
+    /// * queries **before** the horizon may under-report — callers choose a
+    ///   horizon they will never look behind (typically the earliest
+    ///   arrival time an algorithm can still reference).
+    ///
+    /// Purchases of out-of-range type indices (possible via
+    /// [`buy_priced`](Ledger::buy_priced)) have no window information and
+    /// are never pruned; the decision trace and all cost statistics are
+    /// untouched. Structure-less ledgers compact nothing.
+    pub fn compact(&mut self, before_t: TimeStep) -> usize {
+        let Some(structure) = &self.structure else {
+            return 0;
+        };
+        let lengths: Vec<u64> = structure.types().iter().map(|t| t.length).collect();
+        self.coverage.prune_expired(before_t, &lengths)
     }
 
     /// Spending statistics of `element`.
@@ -1131,6 +1194,47 @@ mod tests {
         assert_eq!(ledger.active_count(0), 2);
         assert_eq!(ledger.active_count(4), 1, "only the long lease survives");
         assert_eq!(ledger.active_count(16), 0);
+    }
+
+    #[test]
+    fn compaction_prunes_only_windows_ended_by_the_horizon() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(0, 0, 0)); // [0, 4) — ended by 8
+        ledger.buy(0, Triple::new(0, 0, 4)); // [4, 8) — ends exactly at 8
+        ledger.buy(0, Triple::new(0, 1, 0)); // [0, 16) — still open at 8
+        ledger.buy(2, Triple::new(1, 0, 8)); // [8, 12) — starts at horizon
+        assert_eq!(ledger.compact(8), 2, "both short ended windows go");
+        // At-or-after-horizon queries are unchanged.
+        assert!(ledger.covered(0, 8), "long lease still covers");
+        assert!(ledger.covered(1, 8));
+        assert!(!ledger.covered(0, 16));
+        assert!(ledger.owns(Triple::new(0, 1, 0)));
+        assert!(ledger.owns(Triple::new(1, 0, 8)));
+        // Historical answers may now under-report — that is the contract.
+        assert!(!ledger.owns(Triple::new(0, 0, 0)));
+        // Compacting again at the same horizon is a no-op.
+        assert_eq!(ledger.compact(8), 0);
+        // Costs and the decision trace are untouched.
+        assert_eq!(ledger.decision_count(), 4);
+        assert_eq!(ledger.leases_bought(), 4);
+    }
+
+    #[test]
+    fn compaction_counts_duplicate_copies_and_skips_unknown_types() {
+        let mut ledger = Ledger::new(structure());
+        let tr = Triple::new(5, 0, 0); // [0, 4)
+        ledger.buy(0, tr);
+        ledger.buy(1, tr); // second copy of the same lease
+        ledger.buy_priced(0, Triple::new(5, 9, 0), 1.0, "custom"); // no window info
+        assert_eq!(ledger.compact(100), 2, "copies count individually");
+        assert!(
+            ledger.owns(Triple::new(5, 9, 0)),
+            "window-less purchases are never pruned"
+        );
+        // Detached ledgers have no windows to compact.
+        let mut detached = Ledger::detached();
+        detached.buy_priced(0, Triple::new(0, 0, 0), 1.0, CATEGORY_LEASE);
+        assert_eq!(detached.compact(1_000), 0);
     }
 
     #[test]

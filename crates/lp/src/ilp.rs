@@ -111,17 +111,24 @@ impl IntegerProgram {
     }
 
     /// Solves by depth-first branch-and-bound, exploring at most
-    /// `node_limit` LP relaxations.
+    /// `node_limit` LP relaxations. Every node re-solves the root program
+    /// plus its branching rows **warm**, starting from the parent node's
+    /// optimal basis — appended rows keep the basis ids valid, so a child
+    /// typically needs a handful of pivots instead of a full two-phase
+    /// solve (an uninstallable basis silently falls back to cold).
     pub fn solve(&self, node_limit: usize) -> IlpOutcome {
+        use crate::simplex::WarmStart;
         let mut best: Option<IlpSolution> = None;
         let mut nodes_used = 0usize;
-        // Each node is a list of extra constraints (branching decisions).
-        let mut stack: Vec<Vec<(usize, BranchDir, f64)>> = vec![Vec::new()];
+        // Each node is a list of extra constraints (branching decisions)
+        // plus the parent's optimal basis as the warm start.
+        type Node = (Vec<(usize, BranchDir, f64)>, Option<WarmStart>);
+        let mut stack: Vec<Node> = vec![(Vec::new(), None)];
         let mut open_lower_bound = f64::INFINITY;
         let mut hit_limit = false;
         let mut root_infeasible = false;
 
-        while let Some(branches) = stack.pop() {
+        while let Some((branches, warm)) = stack.pop() {
             if nodes_used >= node_limit {
                 hit_limit = true;
                 open_lower_bound = open_lower_bound.min(f64::NEG_INFINITY.max(lower_of(&best)));
@@ -136,7 +143,8 @@ impl IntegerProgram {
                     BranchDir::AtLeast => lp.add_constraint(vec![(var, 1.0)], Cmp::Ge, bound),
                 }
             }
-            let sol = match lp.solve() {
+            let (outcome, next_warm) = lp.solve_warm(warm.as_ref());
+            let sol = match outcome {
                 LpOutcome::Optimal(sol) => sol,
                 LpOutcome::Infeasible => {
                     if branches.is_empty() {
@@ -193,13 +201,14 @@ impl IntegerProgram {
                 Some((j, v)) => {
                     let floor = v.floor();
                     // Explore "round down" first (DFS order: push up-branch
-                    // first so the down-branch pops next).
+                    // first so the down-branch pops next). Children warm-start
+                    // from this node's optimal basis.
                     let mut up = branches.clone();
                     up.push((j, BranchDir::AtLeast, floor + 1.0));
-                    stack.push(up);
+                    stack.push((up, next_warm.clone()));
                     let mut down = branches;
                     down.push((j, BranchDir::AtMost, floor));
-                    stack.push(down);
+                    stack.push((down, next_warm));
                     open_lower_bound = open_lower_bound.min(sol.objective);
                 }
             }

@@ -8,8 +8,11 @@
 //!
 //! * [`model`] — a dense LP model builder (minimisation, `≤ / ≥ / =`
 //!   constraints, non-negative variables with optional upper bounds),
-//! * [`simplex`] — a two-phase primal simplex with Bland's anti-cycling rule
-//!   and dual-solution extraction (used to verify weak duality, Theorem 2.3),
+//! * [`simplex`] — a two-phase primal simplex with Bland's anti-cycling rule,
+//!   dual-solution extraction (used to verify weak duality, Theorem 2.3) and
+//!   a [`WarmStart`] path that re-installs the previous optimal basis when a
+//!   program is re-solved after appending variables/constraints (the
+//!   incremental per-time LPs of the offline oracles),
 //! * [`ilp`] — branch-and-bound over the LP relaxation for integer programs.
 //!
 //! # Example
@@ -33,6 +36,7 @@ pub mod simplex;
 
 pub use ilp::{IlpOutcome, IlpSolution, IntegerProgram};
 pub use model::{Cmp, LinearProgram, LpOutcome, LpSolution};
+pub use simplex::WarmStart;
 
 /// Numerical tolerance used by the simplex pivoting and integrality tests.
 pub const LP_EPS: f64 = 1e-7;

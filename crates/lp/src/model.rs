@@ -154,6 +154,24 @@ impl LinearProgram {
     pub fn solve(&self) -> LpOutcome {
         simplex::solve(self)
     }
+
+    /// Solves the program starting from the basis of a previous solve of
+    /// the same — possibly since-grown — program, and returns the final
+    /// basis for the next solve.
+    ///
+    /// The outcome is always identical to [`solve`](LinearProgram::solve):
+    /// an unusable warm start (stale ids, singular or infeasible basis)
+    /// silently falls back to the cold two-phase method. Appending
+    /// variables and constraints keeps an old basis usable; removing or
+    /// editing them in place generally does not (and costs only the
+    /// fallback). Pass `None` for a cold start that still returns a reusable
+    /// [`simplex::WarmStart`].
+    pub fn solve_warm(
+        &self,
+        warm: Option<&simplex::WarmStart>,
+    ) -> (LpOutcome, Option<simplex::WarmStart>) {
+        simplex::solve_warm(self, warm)
+    }
 }
 
 /// An optimal LP solution.

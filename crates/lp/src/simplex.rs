@@ -1,12 +1,71 @@
-//! Two-phase primal simplex with Bland's anti-cycling rule.
+//! Two-phase primal simplex with Bland's anti-cycling rule and an optional
+//! warm-start path.
 //!
 //! The implementation favours robustness over speed: dense tableau,
 //! Bland's rule for both the entering and the leaving variable, and dual
 //! recovery by solving `Bᵀy = c_B` on the *original* standard-form matrix
 //! with Gaussian elimination (immune to tableau drift).
+//!
+//! # Warm starts
+//!
+//! [`solve_warm`] accepts the [`WarmStart`] returned by a previous solve
+//! and re-installs that basis before optimizing. Basis entries are keyed by
+//! *identity* (constraint insertion index, variable index), not by
+//! position, so the warm start stays valid when the program has since
+//! grown by appended variables and constraints — the incremental per-time
+//! covering LPs of the offline oracles. Installation is conservative:
+//! whenever the old basis cannot be re-established (singular pivot,
+//! primal-infeasible right-hand side, vanished rows), the solver silently
+//! falls back to the cold two-phase method, so a warm start can never
+//! change the outcome — only the work needed to reach it.
 
 use crate::model::{Cmp, LinearProgram, LpOutcome, LpSolution};
 use crate::LP_EPS;
+use std::collections::HashMap;
+
+/// Identity of an assembled row, stable across re-solves of a grown
+/// program: user constraints keep their insertion index, upper-bound rows
+/// follow their variable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+enum RowId {
+    /// The `i`-th explicitly added constraint.
+    Constraint(usize),
+    /// The internal `x_j ≤ u_j` row of variable `j`.
+    Bound(usize),
+}
+
+/// Identity of an assembled column, stable across re-solves.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+enum ColId {
+    /// Structural variable `j`.
+    Var(usize),
+    /// The slack/surplus column of a row.
+    Slack(RowId),
+    /// The phase-1 artificial column of a row (only ever basic at zero in
+    /// an optimal basis).
+    Artificial(RowId),
+}
+
+/// An opaque basis snapshot from a previous [`solve_warm`] call, reusable
+/// as the starting point of the next solve of the same — possibly grown —
+/// program.
+#[derive(Clone, Debug, Default)]
+pub struct WarmStart {
+    /// Basic column of each row, keyed by identity.
+    basis: Vec<(RowId, ColId)>,
+}
+
+impl WarmStart {
+    /// Number of basis entries recorded.
+    pub fn len(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Whether the snapshot carries no basis information.
+    pub fn is_empty(&self) -> bool {
+        self.basis.is_empty()
+    }
+}
 
 /// Hard iteration cap. Bland's rule guarantees termination; this cap only
 /// guards against tolerance-induced stalls on pathological inputs.
@@ -114,22 +173,31 @@ impl Tableau {
 
 /// Solves `lp` (see [`LinearProgram::solve`]).
 pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    solve_warm(lp, None).0
+}
+
+/// Solves `lp`, optionally starting from the basis of a previous solve of
+/// the same (possibly since-grown) program, and returns the final basis
+/// for the next solve (`None` unless the outcome is optimal).
+pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, Option<WarmStart>) {
     let n = lp.num_vars();
 
     // --- Assemble rows: user constraints first, then upper bounds. ---
     struct Row {
+        id: RowId,
         coeffs: Vec<f64>,
         cmp: Cmp,
         rhs: f64,
         flipped: bool,
     }
     let mut rows: Vec<Row> = Vec::new();
-    for c in lp.constraints() {
+    for (i, c) in lp.constraints().iter().enumerate() {
         let mut dense = vec![0.0; n];
         for &(j, a) in &c.coeffs {
             dense[j] += a;
         }
         rows.push(Row {
+            id: RowId::Constraint(i),
             coeffs: dense,
             cmp: c.cmp,
             rhs: c.rhs,
@@ -142,6 +210,7 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
             let mut dense = vec![0.0; n];
             dense[j] = 1.0;
             rows.push(Row {
+                id: RowId::Bound(j),
                 coeffs: dense,
                 cmp: Cmp::Le,
                 rhs: *u,
@@ -177,9 +246,21 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
     let mut a0 = vec![vec![0.0; ncols]; m];
     let mut b0 = vec![0.0; m];
     let mut basis = vec![usize::MAX; m];
+    // Identity of every non-structural column, for warm-start resolution
+    // in both directions.
+    let mut col_ids: Vec<ColId> = (0..n).map(ColId::Var).collect();
     {
         let mut next_slack = slack_start;
         let mut next_art = art_start;
+        // Artificial columns live after every slack; assign them in row
+        // order with a second pass so `col_ids` stays index-aligned.
+        let mut art_of_row = vec![usize::MAX; m];
+        for (i, row) in rows.iter().enumerate() {
+            if row.cmp != Cmp::Le {
+                art_of_row[i] = next_art;
+                next_art += 1;
+            }
+        }
         for (i, row) in rows.iter().enumerate() {
             a0[i][..n].copy_from_slice(&row.coeffs);
             b0[i] = row.rhs;
@@ -187,41 +268,62 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
                 Cmp::Le => {
                     a0[i][next_slack] = 1.0;
                     basis[i] = next_slack;
+                    col_ids.push(ColId::Slack(row.id));
                     next_slack += 1;
                 }
                 Cmp::Ge => {
                     a0[i][next_slack] = -1.0;
+                    col_ids.push(ColId::Slack(row.id));
                     next_slack += 1;
-                    a0[i][next_art] = 1.0;
-                    basis[i] = next_art;
-                    next_art += 1;
+                    a0[i][art_of_row[i]] = 1.0;
+                    basis[i] = art_of_row[i];
                 }
                 Cmp::Eq => {
-                    a0[i][next_art] = 1.0;
-                    basis[i] = next_art;
-                    next_art += 1;
+                    a0[i][art_of_row[i]] = 1.0;
+                    basis[i] = art_of_row[i];
                 }
             }
         }
+        for row in rows.iter().filter(|r| r.cmp != Cmp::Le) {
+            col_ids.push(ColId::Artificial(row.id));
+        }
+        debug_assert_eq!(col_ids.len(), ncols);
     }
 
-    let mut tableau = Tableau {
-        m,
-        ncols,
-        a: a0.clone(),
-        b: b0.clone(),
-        basis,
+    // --- Warm start: try to re-install the previous basis. ---
+    let default_basis = basis.clone();
+    let warm_tableau = warm.and_then(|w| {
+        let row_ids: Vec<RowId> = rows.iter().map(|r| r.id).collect();
+        install_warm_basis(w, &row_ids, &col_ids, &a0, &b0, &default_basis)
+    });
+    let (mut tableau, warm_feasible) = match warm_tableau {
+        Some(t) => {
+            // A fully re-installed basis with no artificial left is primal
+            // feasible as-is: phase 1 can be skipped entirely.
+            let clean = t.basis.iter().all(|&c| c < art_start);
+            (t, clean)
+        }
+        None => (
+            Tableau {
+                m,
+                ncols,
+                a: a0.clone(),
+                b: b0.clone(),
+                basis,
+            },
+            false,
+        ),
     };
 
     // --- Phase 1: minimise the sum of artificials. ---
-    if num_art > 0 {
+    if num_art > 0 && !warm_feasible {
         let mut phase1_cost = vec![0.0; ncols];
         phase1_cost[art_start..].fill(1.0);
         let allowed = vec![true; ncols];
         match tableau.optimize(&phase1_cost, &allowed) {
             StepOutcome::Optimal(obj) => {
                 if obj > 1e-6 {
-                    return LpOutcome::Infeasible;
+                    return (LpOutcome::Infeasible, None);
                 }
             }
             StepOutcome::Unbounded => {
@@ -249,7 +351,7 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
     }
     let objective = match tableau.optimize(&phase2_cost, &allowed) {
         StepOutcome::Optimal(obj) => obj,
-        StepOutcome::Unbounded => return LpOutcome::Unbounded,
+        StepOutcome::Unbounded => return (LpOutcome::Unbounded, None),
     };
 
     // --- Extract the primal solution. ---
@@ -267,11 +369,95 @@ pub fn solve(lp: &LinearProgram) -> LpOutcome {
         .map(|i| if rows[i].flipped { -y[i] } else { y[i] })
         .collect();
 
-    LpOutcome::Optimal(LpSolution {
-        objective,
-        x,
-        duals,
-    })
+    // --- Snapshot the optimal basis by identity for the next solve. ---
+    let next_warm = WarmStart {
+        basis: tableau
+            .basis
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (rows[i].id, col_ids[c]))
+            .collect(),
+    };
+
+    (
+        LpOutcome::Optimal(LpSolution {
+            objective,
+            x,
+            duals,
+        }),
+        Some(next_warm),
+    )
+}
+
+/// Tries to re-install a previous basis onto the freshly assembled
+/// standard form: resolves the identity-keyed entries against the current
+/// rows/columns, then runs designated-pivot Gauss-Jordan to make the basis
+/// columns unit. Returns `None` — cold start — whenever the basis cannot
+/// be re-established exactly (unresolvable ids, duplicate columns,
+/// singular pivots or a primal-infeasible right-hand side).
+fn install_warm_basis(
+    warm: &WarmStart,
+    row_ids: &[RowId],
+    col_ids: &[ColId],
+    a0: &[Vec<f64>],
+    b0: &[f64],
+    default_basis: &[usize],
+) -> Option<Tableau> {
+    let m = row_ids.len();
+    let ncols = col_ids.len();
+    if warm.basis.is_empty() {
+        return None;
+    }
+    let row_of: HashMap<RowId, usize> = row_ids.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let col_of: HashMap<ColId, usize> = col_ids.iter().enumerate().map(|(j, &c)| (c, j)).collect();
+
+    let mut basis = default_basis.to_vec();
+    for &(rid, cid) in &warm.basis {
+        if let (Some(&r), Some(&c)) = (row_of.get(&rid), col_of.get(&cid)) {
+            basis[r] = c;
+        }
+        // Vanished rows/columns keep their default (slack/artificial) basic.
+    }
+    // A basis must not repeat a column.
+    let mut used = vec![false; ncols];
+    for &c in &basis {
+        if std::mem::replace(&mut used[c], true) {
+            return None;
+        }
+    }
+
+    let mut tableau = Tableau {
+        m,
+        ncols,
+        a: a0.to_vec(),
+        b: b0.to_vec(),
+        basis: basis.clone(),
+    };
+    // Designated-pivot Gauss-Jordan: default rows already hold their unit
+    // slack/artificial column, so only overridden rows need a pivot.
+    for r in 0..m {
+        if basis[r] == default_basis[r] {
+            continue;
+        }
+        let c = basis[r];
+        if tableau.a[r][c].abs() <= 1e-9 {
+            return None;
+        }
+        tableau.pivot(r, c);
+    }
+    // The simplex invariant requires B⁻¹ b ≥ 0. Artificials basic at a
+    // *positive* value are fine — freshly appended rows start exactly
+    // there, and phase 1 (which runs whenever an artificial is basic) only
+    // has to repair those rows instead of re-deriving the whole basis.
+    for b in &mut tableau.b {
+        if *b < 0.0 && *b > -LP_EPS {
+            *b = 0.0;
+        }
+        if *b < 0.0 {
+            return None;
+        }
+    }
+    Some(tableau)
 }
 
 /// Solves `Bᵀ y = c_B` by Gaussian elimination with partial pivoting, where
@@ -489,5 +675,116 @@ mod tests {
         let sol = lp.solve().expect_optimal();
         assert_close(sol.objective, 0.0);
         assert!(sol.x.is_empty());
+    }
+
+    // --- warm starts -----------------------------------------------------
+
+    #[test]
+    fn warm_resolve_of_the_same_program_matches_cold() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Ge, 0.25);
+        let (cold, warm) = lp.solve_warm(None);
+        let warm = warm.expect("optimal solves return a basis");
+        assert!(!warm.is_empty());
+        let (again, _) = lp.solve_warm(Some(&warm));
+        let a = cold.expect_optimal();
+        let b = again.expect_optimal();
+        assert_close(a.objective, b.objective);
+        assert_eq!(a.x.len(), b.x.len());
+        for (u, v) in a.x.iter().zip(&b.x) {
+            assert_close(*u, *v);
+        }
+    }
+
+    /// The oracle use case: grow a covering LP constraint by constraint,
+    /// re-solving warm each step; every warm objective must equal the cold
+    /// objective of the same program.
+    #[test]
+    fn incrementally_grown_covering_lp_stays_correct_under_warm_starts() {
+        let mut lp = LinearProgram::new();
+        let mut warm: Option<crate::WarmStart> = None;
+        let mut vars = Vec::new();
+        for step in 0..6 {
+            // One new variable and one new covering row touching a window
+            // of recent variables — the shape of the per-time oracle LPs.
+            let v = lp.add_bounded_var(1.0 + 0.3 * step as f64, 1.0);
+            vars.push(v);
+            let row: Vec<(usize, f64)> = vars.iter().rev().take(3).map(|&v| (v, 1.0)).collect();
+            lp.add_constraint(row, Cmp::Ge, 1.0);
+            let (warm_outcome, next) = lp.solve_warm(warm.as_ref());
+            let warm_sol = warm_outcome.expect_optimal();
+            let cold_sol = lp.solve().expect_optimal();
+            assert_close(warm_sol.objective, cold_sol.objective);
+            assert!(lp.is_feasible(&warm_sol.x, 1e-6), "step {step}");
+            warm = next;
+        }
+    }
+
+    #[test]
+    fn warm_start_survives_infeasible_and_unbounded_transitions() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let (_, warm) = lp.solve_warm(None);
+        let warm = warm.unwrap();
+        // Growing into infeasibility is detected warm.
+        let mut infeasible = lp.clone();
+        infeasible.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        let (outcome, next) = infeasible.solve_warm(Some(&warm));
+        assert_eq!(outcome, LpOutcome::Infeasible);
+        assert!(next.is_none());
+        // Growing into unboundedness is detected warm.
+        let mut unbounded = lp;
+        let z = unbounded.add_var(-1.0);
+        unbounded.add_constraint(vec![(z, 1.0)], Cmp::Ge, 0.0);
+        let (outcome, next) = unbounded.solve_warm(Some(&warm));
+        assert_eq!(outcome, LpOutcome::Unbounded);
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn stale_warm_starts_fall_back_to_the_cold_answer() {
+        // Build a basis on one program, then apply it to an unrelated one:
+        // the ids resolve to different rows, installation fails or lands on
+        // a nonsense basis, and the fallback must still give the optimum.
+        let mut donor = LinearProgram::new();
+        let a = donor.add_var(1.0);
+        let b = donor.add_var(1.0);
+        donor.add_constraint(vec![(a, 1.0), (b, 2.0)], Cmp::Ge, 4.0);
+        let (_, warm) = donor.solve_warm(None);
+        let warm = warm.unwrap();
+
+        let mut other = LinearProgram::new();
+        let x = other.add_var(3.0);
+        let y = other.add_var(2.0);
+        other.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0);
+        other.add_constraint(vec![(x, 1.0)], Cmp::Ge, 0.5);
+        let cold = other.solve().expect_optimal();
+        let (warm_outcome, _) = other.solve_warm(Some(&warm));
+        assert_close(warm_outcome.expect_optimal().objective, cold.objective);
+    }
+
+    #[test]
+    fn warm_duals_match_cold_duals() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(3.0);
+        let b = lp.add_var(2.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 2.0);
+        lp.add_constraint(vec![(a, 1.0)], Cmp::Ge, 0.5);
+        let (_, warm) = lp.solve_warm(None);
+        lp.add_constraint(vec![(b, 1.0)], Cmp::Ge, 0.25);
+        let cold = lp.solve().expect_optimal();
+        let (warm_outcome, _) = lp.solve_warm(warm.as_ref());
+        let warm_sol = warm_outcome.expect_optimal();
+        assert_close(warm_sol.objective, cold.objective);
+        let dual_obj: f64 = [2.0, 0.5, 0.25]
+            .iter()
+            .zip(&warm_sol.duals)
+            .map(|(rhs, y)| rhs * y)
+            .sum();
+        assert_close(dual_obj, warm_sol.objective);
     }
 }

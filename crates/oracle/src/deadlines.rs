@@ -1,0 +1,103 @@
+//! Deadline-flexible oracles: the Figure 5.2 (OLD) and Figure 5.4 (SCLD)
+//! LP relaxations.
+
+use crate::{unavailable, OfflineOracle, OracleBound, OracleError};
+use leasing_deadlines::old::OldInstance;
+use leasing_deadlines::scld::ScldInstance;
+
+/// LP-relaxation lower bound for Online Leasing with Deadlines.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct OldLpOracle;
+
+impl OfflineOracle for OldLpOracle {
+    type Instance = OldInstance;
+
+    fn name(&self) -> &'static str {
+        "old-lp"
+    }
+
+    fn optimum(&self, instance: &OldInstance) -> Result<OracleBound, OracleError> {
+        if instance.clients.is_empty() {
+            return Ok(OracleBound::Exact(0.0));
+        }
+        let (ip, _) = leasing_deadlines::offline::build_old_ilp(instance);
+        ip.relaxation_bound()
+            .map(OracleBound::LowerBound)
+            .ok_or_else(|| unavailable("OLD covering relaxation unsolvable"))
+    }
+}
+
+/// LP-relaxation lower bound for Set Cover Leasing with Deadlines.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ScldLpOracle;
+
+impl OfflineOracle for ScldLpOracle {
+    type Instance = ScldInstance;
+
+    fn name(&self) -> &'static str {
+        "scld-lp"
+    }
+
+    fn optimum(&self, instance: &ScldInstance) -> Result<OracleBound, OracleError> {
+        if instance.arrivals.is_empty() {
+            return Ok(OracleBound::Exact(0.0));
+        }
+        let (ip, _) = leasing_deadlines::offline::build_scld_ilp(instance);
+        ip.relaxation_bound()
+            .map(OracleBound::LowerBound)
+            .ok_or_else(|| unavailable("SCLD covering relaxation unsolvable"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+    use leasing_deadlines::old::OldClient;
+    use leasing_deadlines::scld::ScldArrival;
+    use set_cover_leasing::system::SetSystem;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(16, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn old_bound_is_valid() {
+        let inst = OldInstance::new(
+            structure(),
+            vec![OldClient::new(0, 3), OldClient::new(6, 1)],
+        )
+        .unwrap();
+        let bound = OldLpOracle.optimum(&inst).unwrap();
+        let opt = leasing_deadlines::offline::old_optimal_cost(&inst, 100_000).unwrap();
+        assert!(bound.value() <= opt + 1e-6);
+        assert!(bound.value() > 0.0);
+    }
+
+    #[test]
+    fn scld_bound_is_valid() {
+        let system = SetSystem::new(2, vec![vec![0], vec![1]]).unwrap();
+        let inst = ScldInstance::uniform(
+            system,
+            structure(),
+            vec![ScldArrival::new(0, 0, 4), ScldArrival::new(4, 1, 0)],
+        )
+        .unwrap();
+        let bound = ScldLpOracle.optimum(&inst).unwrap();
+        let opt = leasing_deadlines::offline::scld_optimal_cost(&inst, 100_000).unwrap();
+        assert!(bound.value() <= opt + 1e-6);
+        assert!(bound.value() > 0.0);
+    }
+
+    #[test]
+    fn empty_instances_are_exactly_free() {
+        let old = OldInstance::new(structure(), vec![]).unwrap();
+        assert_eq!(OldLpOracle.optimum(&old).unwrap(), OracleBound::Exact(0.0));
+        let system = SetSystem::new(1, vec![vec![0]]).unwrap();
+        let scld = ScldInstance::uniform(system, structure(), vec![]).unwrap();
+        assert_eq!(
+            ScldLpOracle.optimum(&scld).unwrap(),
+            OracleBound::Exact(0.0)
+        );
+    }
+}

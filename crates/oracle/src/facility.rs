@@ -1,0 +1,107 @@
+//! Facility-leasing oracles: the Figure 4.1 LP relaxation, plain and with
+//! per-step capacity rows.
+
+use crate::{unavailable, OfflineOracle, OracleBound, OracleError};
+use capacitated_facility::instance::CapacitatedInstance;
+use facility_leasing::instance::FacilityInstance;
+
+/// LP-relaxation lower bound for (uncapacitated) facility leasing.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FacilityLpOracle;
+
+impl OfflineOracle for FacilityLpOracle {
+    type Instance = FacilityInstance;
+
+    fn name(&self) -> &'static str {
+        "facility-lp"
+    }
+
+    fn optimum(&self, instance: &FacilityInstance) -> Result<OracleBound, OracleError> {
+        if instance.num_clients() == 0 {
+            return Ok(OracleBound::Exact(0.0));
+        }
+        let (ip, _) = facility_leasing::offline::build_ilp(instance);
+        ip.relaxation_bound()
+            .map(OracleBound::LowerBound)
+            .ok_or_else(|| unavailable("facility covering relaxation unsolvable"))
+    }
+}
+
+/// LP-relaxation lower bound for capacitated facility leasing.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CapacitatedLpOracle;
+
+impl OfflineOracle for CapacitatedLpOracle {
+    type Instance = CapacitatedInstance;
+
+    fn name(&self) -> &'static str {
+        "capacitated-lp"
+    }
+
+    fn optimum(&self, instance: &CapacitatedInstance) -> Result<OracleBound, OracleError> {
+        if instance.base.num_clients() == 0 {
+            return Ok(OracleBound::Exact(0.0));
+        }
+        let (ip, _) = capacitated_facility::offline::build_ilp(instance);
+        ip.relaxation_bound()
+            .map(OracleBound::LowerBound)
+            .ok_or_else(|| unavailable("capacitated relaxation unsolvable"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_leasing::metric::Point;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(4, 2.0), LeaseType::new(16, 6.0)]).unwrap()
+    }
+
+    #[test]
+    fn facility_bound_is_valid_and_matches_offline_module() {
+        let inst = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)],
+            structure(),
+            vec![(0, vec![Point::new(1.0, 0.0), Point::new(7.0, 0.0)])],
+        )
+        .unwrap();
+        let bound = FacilityLpOracle.optimum(&inst).unwrap();
+        assert!(!bound.is_exact());
+        let reference = facility_leasing::offline::lp_lower_bound(&inst);
+        assert!((bound.value() - reference).abs() < 1e-9);
+        let opt = facility_leasing::offline::optimal_cost(&inst, 100_000).unwrap();
+        assert!(bound.value() <= opt + 1e-6);
+    }
+
+    #[test]
+    fn capacitated_bound_is_valid() {
+        let base = FacilityInstance::euclidean(
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            structure(),
+            vec![(0, vec![Point::new(0.0, 0.0); 2])],
+        )
+        .unwrap();
+        let inst = CapacitatedInstance::uniform(base, 1).unwrap();
+        let bound = CapacitatedLpOracle.optimum(&inst).unwrap();
+        let opt = capacitated_facility::offline::optimal_cost(&inst, 100_000).unwrap();
+        assert!(bound.value() <= opt + 1e-6);
+        assert!(bound.value() > 0.0);
+    }
+
+    #[test]
+    fn empty_instances_are_exactly_free() {
+        let inst =
+            FacilityInstance::euclidean(vec![Point::new(0.0, 0.0)], structure(), vec![]).unwrap();
+        assert_eq!(
+            FacilityLpOracle.optimum(&inst).unwrap(),
+            OracleBound::Exact(0.0)
+        );
+        let cap = CapacitatedInstance::uniform(inst, 1).unwrap();
+        assert_eq!(
+            CapacitatedLpOracle.optimum(&cap).unwrap(),
+            OracleBound::Exact(0.0)
+        );
+    }
+}

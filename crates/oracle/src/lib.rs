@@ -1,0 +1,151 @@
+//! **Offline-optimum oracles** — the denominator of every empirical
+//! competitive ratio in the workspace.
+//!
+//! The paper's guarantees are ratios against the offline optimum `Opt`;
+//! SimLab cells therefore need, per `(workload, seed)` instance, either
+//! the exact optimum or a *certified* lower bound on it (a lower bound
+//! over-estimates the ratio — the safe direction). This crate gathers the
+//! per-problem baselines behind one trait:
+//!
+//! * [`OfflineOracle`] — `optimum(instance) → OracleBound`, where
+//!   [`OracleBound`] says whether the value is [`Exact`](OracleBound::Exact)
+//!   (a DP or a solved ILP) or a [`LowerBound`](OracleBound::LowerBound)
+//!   (an LP relaxation or a dual value);
+//! * [`permit::PermitDpOracle`] — the exact interval-model DP for
+//!   parking-permit-style single-resource instances (plus the general-model
+//!   DP and a brute-force reference used to pin exactness in tests);
+//! * [`covering::SetCoverLpOracle`] — the set-multicover LP lower bound
+//!   (one-shot by default; an incremental mode re-solves a growing
+//!   program per time step from the previous [`leasing_lp::WarmStart`]
+//!   basis when every prefix bound is wanted);
+//! * [`facility::FacilityLpOracle`] / [`facility::CapacitatedLpOracle`] —
+//!   the Figure 4.1 relaxations (with per-step capacity rows for the
+//!   capacitated variant);
+//! * [`deadlines::OldLpOracle`] / [`deadlines::ScldLpOracle`] — the
+//!   Figure 5.2 / 5.4 relaxations for deadline-flexible instances;
+//! * [`steiner::SteinerLpOracle`] — the path-based Steiner leasing
+//!   relaxation.
+//!
+//! Every oracle is deterministic in its instance, so SimLab can compute a
+//! bound once per `(workload, seed)` cell and share it across all
+//! algorithms of the same problem family.
+
+pub mod covering;
+pub mod deadlines;
+pub mod facility;
+pub mod permit;
+pub mod steiner;
+
+pub use covering::SetCoverLpOracle;
+pub use deadlines::{OldLpOracle, ScldLpOracle};
+pub use facility::{CapacitatedLpOracle, FacilityLpOracle};
+pub use permit::{PermitDpOracle, PermitGeneralDpOracle};
+pub use steiner::SteinerLpOracle;
+
+/// The offline baseline of one instance: the exact optimum, or a certified
+/// lower bound on it when the exact solve is out of reach.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum OracleBound {
+    /// The exact offline optimum.
+    Exact(f64),
+    /// A certified lower bound on the offline optimum (LP relaxation, dual
+    /// value, ...). Ratios against it over-estimate — the safe direction.
+    LowerBound(f64),
+}
+
+impl OracleBound {
+    /// The numeric baseline, exact or not.
+    pub fn value(&self) -> f64 {
+        match *self {
+            OracleBound::Exact(v) | OracleBound::LowerBound(v) => v,
+        }
+    }
+
+    /// Whether the baseline is the exact optimum.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, OracleBound::Exact(_))
+    }
+}
+
+impl std::fmt::Display for OracleBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleBound::Exact(v) => write!(f, "opt={v:.4} (exact)"),
+            OracleBound::LowerBound(v) => write!(f, "opt>={v:.4} (lower bound)"),
+        }
+    }
+}
+
+/// Why an oracle could not produce a baseline for an instance.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// The offline solve failed (infeasible relaxation, exhausted budget,
+    /// unsupported structure shape, ...).
+    Unavailable {
+        /// The underlying failure.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Unavailable { what } => write!(f, "offline optimum unavailable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+pub(crate) fn unavailable(what: impl std::fmt::Display) -> OracleError {
+    OracleError::Unavailable {
+        what: what.to_string(),
+    }
+}
+
+/// A per-problem offline baseline: maps an instance to its exact optimum
+/// or a certified lower bound.
+///
+/// Implementations must be **deterministic** in the instance — callers
+/// cache and share bounds across algorithm runs.
+pub trait OfflineOracle {
+    /// The problem-specific instance the oracle evaluates.
+    type Instance: ?Sized;
+
+    /// A short stable name for reports (`"permit-dp"`, `"setcover-lp"`).
+    fn name(&self) -> &'static str;
+
+    /// The exact offline optimum or a certified lower bound on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::Unavailable`] when no baseline can be
+    /// certified for the instance.
+    fn optimum(&self, instance: &Self::Instance) -> Result<OracleBound, OracleError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_expose_value_and_exactness() {
+        let e = OracleBound::Exact(3.5);
+        let l = OracleBound::LowerBound(2.0);
+        assert_eq!(e.value(), 3.5);
+        assert_eq!(l.value(), 2.0);
+        assert!(e.is_exact() && !l.is_exact());
+        assert!(e.to_string().contains("exact"));
+        assert!(l.to_string().contains("lower bound"));
+    }
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<OracleError>();
+        let msg = unavailable("node budget exhausted").to_string();
+        assert!(msg.starts_with("offline optimum unavailable"));
+        assert!(msg.contains("node budget"));
+    }
+}

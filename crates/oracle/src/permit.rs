@@ -1,0 +1,200 @@
+//! Exact parking-permit oracles: the interval-model and general-model DPs
+//! of `parking_permit::offline`, plus a brute-force reference used to pin
+//! the DP's exactness on small horizons.
+
+use crate::{unavailable, OfflineOracle, OracleBound, OracleError};
+use leasing_core::lease::{covers_all, solution_cost, Lease, LeaseStructure};
+use leasing_core::time::TimeStep;
+use parking_permit::offline;
+
+/// The exact **interval-model** optimum (aligned starts, nested lengths)
+/// via the tree DP of [`offline::optimal_cost_interval_model`] — the
+/// baseline of every permit-family SimLab cell.
+#[derive(Clone, Debug)]
+pub struct PermitDpOracle {
+    structure: LeaseStructure,
+}
+
+impl PermitDpOracle {
+    /// An oracle pricing demands with `structure`.
+    pub fn new(structure: LeaseStructure) -> Self {
+        PermitDpOracle { structure }
+    }
+
+    /// The lease structure the oracle prices with.
+    pub fn structure(&self) -> &LeaseStructure {
+        &self.structure
+    }
+}
+
+impl OfflineOracle for PermitDpOracle {
+    type Instance = [TimeStep];
+
+    fn name(&self) -> &'static str {
+        "permit-dp"
+    }
+
+    fn optimum(&self, days: &[TimeStep]) -> Result<OracleBound, OracleError> {
+        // The tree DP needs nested lengths (each divides the next) — the
+        // exact precondition of `optimal_cost_interval_model`, weaker than
+        // `is_interval_model_shape` (which also demands powers of two).
+        let nested = self
+            .structure
+            .types()
+            .windows(2)
+            .all(|w| w[1].length % w[0].length == 0);
+        if !nested {
+            return Err(unavailable(
+                "interval-model DP requires nested lease lengths",
+            ));
+        }
+        Ok(OracleBound::Exact(offline::optimal_cost_interval_model(
+            &self.structure,
+            days,
+        )))
+    }
+}
+
+/// The exact **general-model** optimum (arbitrary lease starts) via the
+/// segment DP of [`offline::optimal_cost_general`]. Also a valid *lower
+/// bound* for the interval model (alignment only restricts the offline
+/// player).
+#[derive(Clone, Debug)]
+pub struct PermitGeneralDpOracle {
+    structure: LeaseStructure,
+}
+
+impl PermitGeneralDpOracle {
+    /// An oracle pricing demands with `structure`.
+    pub fn new(structure: LeaseStructure) -> Self {
+        PermitGeneralDpOracle { structure }
+    }
+}
+
+impl OfflineOracle for PermitGeneralDpOracle {
+    type Instance = [TimeStep];
+
+    fn name(&self) -> &'static str {
+        "permit-general-dp"
+    }
+
+    fn optimum(&self, days: &[TimeStep]) -> Result<OracleBound, OracleError> {
+        Ok(OracleBound::Exact(offline::optimal_cost_general(
+            &self.structure,
+            days,
+        )))
+    }
+}
+
+/// Brute-force interval-model optimum: enumerates every subset of the
+/// aligned candidate leases whose windows meet `[0, horizon)` and returns
+/// the cheapest feasible cover. Exponential — a test reference only.
+///
+/// # Panics
+///
+/// Panics when the candidate count exceeds 24 (the enumeration would not
+/// terminate in test time).
+pub fn brute_force_interval_optimum(
+    structure: &LeaseStructure,
+    days: &[TimeStep],
+    horizon: TimeStep,
+) -> f64 {
+    if days.is_empty() {
+        return 0.0;
+    }
+    let mut cands = Vec::new();
+    for k in 0..structure.num_types() {
+        let len = structure.length(k);
+        let mut start = 0;
+        while start < horizon {
+            cands.push(Lease::new(k, start));
+            start += len;
+        }
+    }
+    let m = cands.len();
+    assert!(m <= 24, "brute force too large: {m} candidates");
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << m) {
+        let chosen: Vec<Lease> = (0..m)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| cands[i])
+            .collect();
+        if covers_all(structure, &chosen, days) {
+            best = best.min(solution_cost(structure, &chosen));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::LeaseType;
+    use proptest::prelude::*;
+
+    fn nested() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 2.8)]).unwrap()
+    }
+
+    #[test]
+    fn empty_demand_is_free_and_exact() {
+        let oracle = PermitDpOracle::new(nested());
+        let bound = oracle.optimum(&[]).unwrap();
+        assert_eq!(bound, OracleBound::Exact(0.0));
+        assert_eq!(oracle.name(), "permit-dp");
+    }
+
+    #[test]
+    fn non_nested_structures_are_rejected_not_panicked() {
+        let s = LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(3, 2.0)]).unwrap();
+        let oracle = PermitDpOracle::new(s);
+        assert!(matches!(
+            oracle.optimum(&[0]),
+            Err(OracleError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_non_power_of_two_structures_are_supported() {
+        // Meyerson's adversarial structure: lengths (2K)^i — nested (each
+        // divides the next) but not powers of two. The DP handles it, so
+        // the oracle must too (regression: repro_parking's K-sweep).
+        let s = LeaseStructure::meyerson_adversarial(3);
+        let bound = PermitDpOracle::new(s.clone()).optimum(&[0, 7, 40]).unwrap();
+        assert!(bound.is_exact());
+        assert!(
+            (bound.value() - offline::optimal_cost_interval_model(&s, &[0, 7, 40])).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn general_dp_lower_bounds_the_interval_dp() {
+        let s = nested();
+        let days = vec![1, 2, 7, 9, 14];
+        let interval = PermitDpOracle::new(s.clone()).optimum(&days).unwrap();
+        let general = PermitGeneralDpOracle::new(s).optimum(&days).unwrap();
+        assert!(general.is_exact() && interval.is_exact());
+        assert!(general.value() <= interval.value() + 1e-9);
+    }
+
+    proptest! {
+        /// The satellite exactness pin: the interval DP must match the
+        /// brute-force enumeration of aligned lease subsets on every small
+        /// horizon.
+        #[test]
+        fn interval_dp_matches_brute_force_on_small_horizons(
+            days in proptest::collection::vec(0u64..12, 1..7)
+        ) {
+            let s = nested();
+            let mut days = days;
+            days.sort_unstable();
+            days.dedup();
+            let dp = PermitDpOracle::new(s.clone())
+                .optimum(&days)
+                .unwrap()
+                .value();
+            let brute = brute_force_interval_optimum(&s, &days, 12);
+            prop_assert!((dp - brute).abs() < 1e-9, "dp {dp} vs brute {brute} on {days:?}");
+        }
+    }
+}

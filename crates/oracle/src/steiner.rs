@@ -1,0 +1,72 @@
+//! Steiner-leasing oracle: the path-based LP relaxation of
+//! `steiner_leasing::ilp`, capped at a per-request candidate-path budget.
+
+use crate::{unavailable, OfflineOracle, OracleBound, OracleError};
+use steiner_leasing::instance::SteinerInstance;
+
+/// LP-relaxation lower bound for Steiner network leasing.
+#[derive(Copy, Clone, Debug)]
+pub struct SteinerLpOracle {
+    /// Candidate paths enumerated per request (the relaxation stays a
+    /// valid lower bound for any cap — fewer paths only weaken it).
+    pub max_paths: usize,
+}
+
+impl Default for SteinerLpOracle {
+    fn default() -> Self {
+        SteinerLpOracle { max_paths: 64 }
+    }
+}
+
+impl OfflineOracle for SteinerLpOracle {
+    type Instance = SteinerInstance;
+
+    fn name(&self) -> &'static str {
+        "steiner-lp"
+    }
+
+    fn optimum(&self, instance: &SteinerInstance) -> Result<OracleBound, OracleError> {
+        if instance.requests.is_empty() {
+            return Ok(OracleBound::Exact(0.0));
+        }
+        steiner_leasing::ilp::steiner_lp_lower_bound(instance, self.max_paths)
+            .map(OracleBound::LowerBound)
+            .map_err(unavailable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::{LeaseStructure, LeaseType};
+    use leasing_graph::graph::Graph;
+    use steiner_leasing::instance::PairRequest;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap()
+    }
+
+    fn triangle_instance(requests: Vec<PairRequest>) -> SteinerInstance {
+        let g = Graph::new(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.5)]).unwrap();
+        SteinerInstance::new(g, structure(), requests).unwrap()
+    }
+
+    #[test]
+    fn bound_matches_the_ilp_module_and_is_positive() {
+        let inst = triangle_instance(vec![PairRequest::new(0, 0, 2), PairRequest::new(3, 1, 2)]);
+        let bound = SteinerLpOracle::default().optimum(&inst).unwrap();
+        let reference = steiner_leasing::ilp::steiner_lp_lower_bound(&inst, 64).unwrap();
+        assert!((bound.value() - reference).abs() < 1e-9);
+        assert!(bound.value() > 0.0);
+        assert!(!bound.is_exact());
+    }
+
+    #[test]
+    fn empty_instances_are_exactly_free() {
+        let inst = triangle_instance(vec![]);
+        assert_eq!(
+            SteinerLpOracle::default().optimum(&inst).unwrap(),
+            OracleBound::Exact(0.0)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Cross-module oracle properties on generated instances: the
+//! warm-started incremental covering bound must agree with the one-shot
+//! cold bound on realistic (larger-universe) set systems, and every LP
+//! oracle must stay below an exact reference where one is computable.
+
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::rng::seeded;
+use leasing_oracle::{OfflineOracle, PermitDpOracle, PermitGeneralDpOracle, SetCoverLpOracle};
+use leasing_workloads::set_systems::random_system;
+use rand::RngExt;
+use set_cover_leasing::instance::{Arrival, SmclInstance};
+
+fn structure() -> LeaseStructure {
+    LeaseStructure::new(vec![
+        LeaseType::new(1, 1.0),
+        LeaseType::new(4, 2.5),
+        LeaseType::new(16, 6.0),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn warm_and_cold_covering_bounds_agree_on_large_universes() {
+    for (universe, arrivals, seed) in [(64usize, 24usize, 1u64), (512, 40, 2), (4096, 32, 3)] {
+        let mut rng = seeded(seed);
+        let system = random_system(&mut rng, universe, (universe / 2).max(2), 3);
+        let arrivals: Vec<Arrival> = (0..arrivals)
+            .map(|i| {
+                let e = rng.random_range(0..universe);
+                let p = 1 + rng.random_range(0..system.sets_containing(e).len());
+                Arrival::new(2 * i as u64, e, p)
+            })
+            .collect();
+        let inst = SmclInstance::uniform(system, structure(), arrivals).unwrap();
+        let warm = SetCoverLpOracle::incremental()
+            .optimum(&inst)
+            .unwrap()
+            .value();
+        let cold = SetCoverLpOracle::new().optimum(&inst).unwrap().value();
+        assert!(
+            (warm - cold).abs() < 1e-5,
+            "universe {universe}: warm {warm} vs cold {cold}"
+        );
+        assert!(warm > 0.0, "universe {universe}");
+    }
+}
+
+#[test]
+fn permit_dps_bound_each_other_on_random_day_sets() {
+    let s = structure();
+    let interval = PermitDpOracle::new(s.clone());
+    let general = PermitGeneralDpOracle::new(s.clone());
+    let mut rng = seeded(9);
+    for _ in 0..20 {
+        let days: Vec<u64> = (0..64).filter(|_| rng.random::<f64>() < 0.3).collect();
+        let i = interval.optimum(&days).unwrap().value();
+        let g = general.optimum(&days).unwrap().value();
+        // General starts anywhere, so it never exceeds the aligned optimum;
+        // alignment loses at most a constant factor (Lemma 2.6 shape).
+        assert!(g <= i + 1e-9, "general {g} above interval {i}");
+        let per_day = days.len() as f64 * s.cost(0);
+        assert!(i <= per_day + 1e-9, "interval {i} above trivial {per_day}");
+    }
+}

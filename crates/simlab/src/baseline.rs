@@ -1,10 +1,10 @@
-//! Baseline diffing: compares two [`MatrixReport`]s (`BENCH_simlab.json`
-//! artifacts) and flags competitive-ratio regressions beyond a relative
-//! tolerance — the CI gate behind the `simlab --baseline` flag.
+//! Competitive-ratio gates over [`MatrixReport`]s: baseline diffing
+//! (`simlab --baseline`) and the absolute [`ratio_violations`] bound
+//! (`simlab --max-ratio`), both exiting 3 from the CLI when tripped.
 //!
-//! Aggregates are joined on `(algorithm, workload)`; groups present in
-//! only one report are ignored (a new algorithm or scenario is not a
-//! regression). Within a joined group, the mean and p99 competitive
+//! For diffing, aggregates are joined on `(algorithm, workload)`; groups
+//! present in only one report are ignored (a new algorithm or scenario is
+//! not a regression). Within a joined group, the mean and p99 competitive
 //! ratios and the failure count are compared; a current value exceeding
 //! `baseline · (1 + tolerance)` (or any *new* cell failure) is reported.
 
@@ -75,7 +75,7 @@ pub fn diff_reports(
             continue; // new group: nothing to regress against
         };
         let regressed = |now: f64, then: f64| now > then * (1.0 + tolerance) + 1e-12;
-        if let (Some(now), Some(then)) = (agg.ratio, base.ratio) {
+        if let (Some(now), Some(then)) = (agg.empirical_ratio, base.empirical_ratio) {
             if regressed(now.mean, then.mean) {
                 out.push(Regression {
                     algorithm: agg.algorithm.clone(),
@@ -108,15 +108,60 @@ pub fn diff_reports(
     out
 }
 
+/// One cell whose empirical competitive ratio exceeds the configured
+/// absolute bound — the `simlab --max-ratio` gate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatioViolation {
+    /// Registry name of the algorithm.
+    pub algorithm: String,
+    /// Scenario name.
+    pub workload: String,
+    /// Cell seed.
+    pub seed: u64,
+    /// The offending empirical ratio.
+    pub ratio: f64,
+    /// The bound it exceeded.
+    pub bound: f64,
+}
+
+impl std::fmt::Display for RatioViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} seed {}: empirical ratio {:.4} exceeds the bound {:.4}",
+            self.algorithm, self.workload, self.seed, self.ratio, self.bound
+        )
+    }
+}
+
+/// Every successful cell of `report` whose empirical competitive ratio
+/// exceeds `max_ratio`, in matrix order. Failed cells are not ratio
+/// violations (they are already surfaced as failures); an empty result
+/// means the whole matrix respected the bound.
+pub fn ratio_violations(report: &MatrixReport, max_ratio: f64) -> Vec<RatioViolation> {
+    report
+        .cells
+        .iter()
+        .filter(|c| c.error.is_none() && c.empirical_ratio > max_ratio + 1e-12)
+        .map(|c| RatioViolation {
+            algorithm: c.algorithm.clone(),
+            workload: c.workload.clone(),
+            seed: c.seed,
+            ratio: c.empirical_ratio,
+            bound: max_ratio,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::AggregateRecord;
+    use crate::report::{AggregateRecord, CellRecord};
     use crate::stats::Summary;
 
     fn report(groups: Vec<(&str, &str, f64, f64, usize)>) -> MatrixReport {
         MatrixReport {
-            schema: "simlab/v1".into(),
+            schema: "simlab/v2".into(),
             horizon: 64,
             num_elements: 4,
             seeds: vec![1],
@@ -128,9 +173,10 @@ mod tests {
                 .map(|(a, w, mean, p99, failures)| AggregateRecord {
                     algorithm: a.into(),
                     workload: w.into(),
+                    theory: None,
                     runs: 4,
                     failures,
-                    ratio: Some(Summary {
+                    empirical_ratio: Some(Summary {
                         count: 4,
                         mean,
                         p50: mean,
@@ -139,8 +185,29 @@ mod tests {
                         max: p99,
                     }),
                     mean_cost: 1.0,
+                    mean_opt_cost: 1.0,
+                    exact_oracles: 0,
+                    active_peak: 0,
+                    active_mean: 0.0,
                 })
                 .collect(),
+        }
+    }
+
+    fn cell(algorithm: &str, seed: u64, ratio: f64, error: Option<&str>) -> CellRecord {
+        CellRecord {
+            algorithm: algorithm.into(),
+            workload: "rainy".into(),
+            seed,
+            empirical_ratio: ratio,
+            algorithm_cost: ratio,
+            opt_cost: 1.0,
+            oracle_exact: false,
+            requests: 1,
+            leases_bought: 1,
+            active_peak: 1,
+            active_mean: 0.5,
+            error: error.map(str::to_string),
         }
     }
 
@@ -183,6 +250,30 @@ mod tests {
         ]);
         assert!(diff_reports(&base, &current, 0.0).is_empty());
         assert!(missing_groups(&base, &current).is_empty());
+    }
+
+    #[test]
+    fn max_ratio_gate_flags_only_successful_cells_beyond_the_bound() {
+        let mut r = report(vec![("permit-det", "rainy", 1.5, 1.9, 0)]);
+        r.cells = vec![
+            cell("permit-det", 1, 1.8, None),
+            cell("permit-det", 2, 5.2, None),
+            cell("permit-det", 3, 9.0, Some("workload generation failed")),
+            cell("old", 1, 2.0, None),
+        ];
+        let violations = ratio_violations(&r, 2.0);
+        assert_eq!(violations.len(), 1, "failures and in-bound cells pass");
+        assert_eq!(violations[0].algorithm, "permit-det");
+        assert_eq!(violations[0].seed, 2);
+        assert_eq!(violations[0].bound, 2.0);
+        let text = violations[0].to_string();
+        assert!(
+            text.contains("permit-det/rainy") && text.contains("5.2"),
+            "{text}"
+        );
+        // Exactly-at-the-bound is not a violation; a generous bound passes.
+        assert!(ratio_violations(&r, 5.2).is_empty());
+        assert_eq!(ratio_violations(&r, 1.0).len(), 3);
     }
 
     #[test]

@@ -84,6 +84,14 @@ impl From<DriverError> for SimError {
     }
 }
 
+impl From<leasing_oracle::OracleError> for SimError {
+    fn from(e: leasing_oracle::OracleError) -> Self {
+        SimError::Optimum {
+            what: e.to_string(),
+        }
+    }
+}
+
 /// Shorthand for instance-construction failures from any problem crate.
 pub(crate) fn instance_err(e: impl std::fmt::Display) -> SimError {
     SimError::Instance {

@@ -13,14 +13,18 @@
 //!   bursty, diurnal, heavy-tail Pareto, adversarial spike trains,
 //!   correlated multi-element demand) into per-cell traces, with
 //!   CLI-friendly `name:key=value` parameter overrides (`rainy:p=0.7`);
-//! * the [`runner`] shards the cells across `std::thread` workers —
-//!   optionally under a per-cell wall-clock budget that records timeouts
-//!   as cell failures — and aggregates per-cell
-//!   [`leasing_core::engine::Report`]s into mean/p50/p99
-//!   competitive-ratio statistics;
+//! * the [`runner`] first computes the **offline baselines** — one
+//!   `leasing_oracle` evaluation per `(workload, seed, oracle key)`,
+//!   shared across every algorithm of a family — then shards the cells
+//!   across `std::thread` workers (optionally under a per-cell wall-clock
+//!   budget that records timeouts as cell failures) and aggregates
+//!   per-cell [`registry::CellOutcome`]s into mean/p50/p99
+//!   empirical-competitive-ratio statistics with concurrency snapshots;
 //! * the [`report`] module renders the whole matrix as deterministic JSON
-//!   (`BENCH_simlab.json`), and [`baseline`] diffs two such reports to
-//!   gate on competitive-ratio regressions.
+//!   (`BENCH_simlab.json`, schema `simlab/v2` with per-cell `opt_cost`,
+//!   `empirical_ratio` and `oracle_exact`), and [`baseline`] gates on it:
+//!   [`diff_reports`] flags regressions against a stored baseline and
+//!   [`ratio_violations`] enforces an absolute `--max-ratio` bound.
 //!
 //! Determinism is load-bearing: every cell derives all of its randomness
 //! from its own seed, so the same matrix yields a **bit-identical** report
@@ -54,9 +58,9 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 
-pub use baseline::{diff_reports, missing_groups, Regression};
+pub use baseline::{diff_reports, missing_groups, ratio_violations, RatioViolation, Regression};
 pub use error::SimError;
-pub use registry::{select_algorithms, standard_registry, AlgorithmSpec, RunContext};
+pub use registry::{select_algorithms, standard_registry, AlgorithmSpec, CellOutcome, RunContext};
 pub use report::{AggregateRecord, CellRecord, MatrixReport};
 pub use runner::{run_matrix, MatrixConfig};
 pub use scenario::{Scenario, Trace, WorkloadSpec};

@@ -5,10 +5,15 @@
 //! days, set-cover arrivals, facility client batches, Steiner pair
 //! requests, deadline clients, ...) **deterministically from the cell
 //! seed**, drives the algorithm through
-//! [`leasing_core::engine::Driver`], computes an offline optimum (exact
-//! where cheap, a certified LP/dual lower bound otherwise) and returns the
-//! resulting [`Report`]. Any failure comes back as a typed
-//! [`SimError`] so one bad cell never aborts a sharded run.
+//! [`leasing_core::engine::Driver`], and measures it against an offline
+//! baseline from `leasing_oracle` — exact where a DP exists (parking
+//! permit), a certified LP/dual lower bound otherwise. Entries of the same
+//! problem family share an **oracle key**: the matrix runner computes the
+//! baseline once per `(workload, seed, key)` and hands it to every
+//! algorithm of that family through [`RunContext::oracle`], so
+//! `permit-det`, `permit-rand` and both stochastic policies never re-run
+//! the same DP. Any failure comes back as a typed [`SimError`] so one bad
+//! cell never aborts a sharded run.
 
 use crate::error::{instance_err, SimError};
 use crate::scenario::Trace;
@@ -20,21 +25,23 @@ use facility_leasing::nagarajan_williamson::NagarajanWilliamson;
 use facility_leasing::online::PrimalDualFacility;
 use facility_leasing::randomized::RandomizedFacility;
 use graph_cover_leasing::vertex_cover::{VcLeasingInstance, VcPrimalDual};
-use leasing_core::engine::{Driver, LeasingAlgorithm, Report};
+use leasing_core::engine::{Driver, LeasingAlgorithm, Ledger, Report};
 use leasing_core::lease::LeaseStructure;
 use leasing_core::rng::seeded;
 use leasing_core::time::TimeStep;
 use leasing_deadlines::old::{OldClient, OldInstance, OldPrimalDual};
 use leasing_deadlines::scld::{ScldArrival, ScldInstance, ScldOnline};
 use leasing_graph::graph::Graph;
+use leasing_oracle::{
+    CapacitatedLpOracle, FacilityLpOracle, OfflineOracle, OldLpOracle, OracleBound, PermitDpOracle,
+    ScldLpOracle, SetCoverLpOracle, SteinerLpOracle,
+};
 use leasing_workloads::set_systems::random_system;
 use parking_permit::det::DeterministicPrimalDual;
-use parking_permit::offline as permit_offline;
 use parking_permit::rand_alg::RandomizedPermit;
 use rand::rngs::StdRng;
 use rand::RngExt;
 use set_cover_leasing::instance::{Arrival, SmclInstance};
-use set_cover_leasing::offline as sc_offline;
 use set_cover_leasing::online::SmclOnline;
 use steiner_leasing::instance::{PairRequest, SteinerInstance};
 use steiner_leasing::online::SteinerLeasingOnline;
@@ -48,12 +55,62 @@ pub struct RunContext {
     /// The cell seed; entries derive their private randomness from it with
     /// per-entry salts, so cells are independent of execution order.
     pub seed: u64,
+    /// The offline baseline precomputed by the matrix runner for this
+    /// cell's `(workload, seed, oracle key)` — shared across every
+    /// algorithm of the family. `None` makes the cell compute it inline
+    /// (bit-identical: both paths run the same oracle).
+    pub oracle: Option<OracleBound>,
 }
 
 impl RunContext {
+    /// A context with no precomputed oracle.
+    pub fn new(structure: LeaseStructure, seed: u64) -> Self {
+        RunContext {
+            structure,
+            seed,
+            oracle: None,
+        }
+    }
+
     /// A deterministic RNG private to `(cell seed, salt)`.
     fn rng(&self, salt: u64) -> StdRng {
         seeded(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The cell's offline baseline: the runner-precomputed bound if one
+    /// was handed in, otherwise `fallback` computed inline.
+    fn resolve_oracle(
+        &self,
+        fallback: impl FnOnce() -> Result<OracleBound, SimError>,
+    ) -> Result<OracleBound, SimError> {
+        match self.oracle {
+            Some(bound) => Ok(bound),
+            None => fallback(),
+        }
+    }
+}
+
+/// The result of one cell: the driver's [`Report`] plus the ratio and
+/// concurrency metadata SimLab layers on top.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellOutcome {
+    /// Cost/optimum/decision summary of the run.
+    pub report: Report,
+    /// Whether [`Report::optimum_cost`] is the exact offline optimum
+    /// (`true`) or a certified lower bound (`false`, the ratio
+    /// over-estimates — the safe direction).
+    pub oracle_exact: bool,
+    /// Peak number of concurrently covered elements over the trace
+    /// horizon.
+    pub active_peak: usize,
+    /// Mean number of concurrently covered elements over the horizon.
+    pub active_mean: f64,
+}
+
+impl CellOutcome {
+    /// The empirical competitive ratio of the run.
+    pub fn ratio(&self) -> f64 {
+        self.report.ratio()
     }
 }
 
@@ -62,7 +119,12 @@ impl RunContext {
 /// a worker thread and abandon it when the cell exceeds its wall-clock
 /// budget (see `runner::run_matrix`).
 pub type RunFn =
-    std::sync::Arc<dyn Fn(&Trace, &RunContext) -> Result<Report, SimError> + Send + Sync>;
+    std::sync::Arc<dyn Fn(&Trace, &RunContext) -> Result<CellOutcome, SimError> + Send + Sync>;
+
+/// A shareable offline-baseline computation: maps the cell's trace to the
+/// family's instance and asks the family oracle for its optimum.
+pub type OracleFn =
+    std::sync::Arc<dyn Fn(&Trace, &RunContext) -> Result<OracleBound, SimError> + Send + Sync>;
 
 /// One registry entry: a named algorithm with its problem family.
 pub struct AlgorithmSpec {
@@ -70,7 +132,16 @@ pub struct AlgorithmSpec {
     pub name: &'static str,
     /// Problem family label, e.g. `"parking-permit"`.
     pub family: &'static str,
+    /// The paper's guarantee for this algorithm, as a report annotation
+    /// (`None` = no worst-case bound, e.g. heuristics and stochastic
+    /// policies).
+    pub theory: Option<&'static str>,
     run: RunFn,
+    /// Shared offline baseline: `(sharing key, computation)`. Entries with
+    /// the same key on the same `(workload, seed)` cell get one oracle
+    /// evaluation between them. `None` = the baseline only exists inside
+    /// the run (e.g. the vertex-cover dual value).
+    oracle: Option<(&'static str, OracleFn)>,
 }
 
 impl AlgorithmSpec {
@@ -79,7 +150,7 @@ impl AlgorithmSpec {
     /// # Errors
     ///
     /// Returns the [`SimError`] of whichever stage failed.
-    pub fn run(&self, trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+    pub fn run(&self, trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
         (self.run)(trace, ctx)
     }
 
@@ -88,10 +159,28 @@ impl AlgorithmSpec {
         std::sync::Arc::clone(&self.run)
     }
 
+    /// The oracle-sharing key, when the entry has a precomputable offline
+    /// baseline.
+    pub fn oracle_key(&self) -> Option<&'static str> {
+        self.oracle.as_ref().map(|(key, _)| *key)
+    }
+
+    /// A shareable handle on the oracle computation, if any.
+    pub fn oracle_fn(&self) -> Option<OracleFn> {
+        self.oracle.as_ref().map(|(_, f)| std::sync::Arc::clone(f))
+    }
+
     /// A custom registry entry — callers can extend a matrix with their own
-    /// algorithms (or instrumented stand-ins in tests).
+    /// algorithms (or instrumented stand-ins in tests). No shared oracle,
+    /// no theory annotation.
     pub fn custom(name: &'static str, family: &'static str, run: RunFn) -> Self {
-        AlgorithmSpec { name, family, run }
+        AlgorithmSpec {
+            name,
+            family,
+            theory: None,
+            run,
+            oracle: None,
+        }
     }
 }
 
@@ -100,48 +189,81 @@ impl std::fmt::Debug for AlgorithmSpec {
         f.debug_struct("AlgorithmSpec")
             .field("name", &self.name)
             .field("family", &self.family)
+            .field("theory", &self.theory)
+            .field("oracle_key", &self.oracle_key())
             .finish_non_exhaustive()
     }
 }
 
-/// Submits `(time, request)` pairs and reports against `optimum`.
+/// Peak and mean of [`Ledger::active_count`] sampled at every step of the
+/// horizon.
+fn active_stats(ledger: &Ledger, horizon: TimeStep) -> (usize, f64) {
+    if horizon == 0 {
+        return (0, 0.0);
+    }
+    let mut peak = 0usize;
+    let mut sum = 0usize;
+    for t in 0..horizon {
+        let count = ledger.active_count(t);
+        peak = peak.max(count);
+        sum += count;
+    }
+    (peak, sum as f64 / horizon as f64)
+}
+
+/// Submits `(time, request)` pairs and reports against the offline
+/// baseline `opt`, sampling concurrency over `horizon`.
 fn drive<A: LeasingAlgorithm>(
     algorithm: A,
     structure: &LeaseStructure,
     requests: impl IntoIterator<Item = (TimeStep, A::Request)>,
-    optimum: f64,
-) -> Result<Report, SimError> {
+    opt: OracleBound,
+    horizon: TimeStep,
+) -> Result<CellOutcome, SimError> {
     let mut driver = Driver::new(algorithm, structure.clone());
     driver.submit_batch(requests)?;
-    Ok(driver.report(optimum))
+    let (active_peak, active_mean) = active_stats(driver.ledger(), horizon);
+    finite(CellOutcome {
+        report: driver.report(opt.value()),
+        oracle_exact: opt.is_exact(),
+        active_peak,
+        active_mean,
+    })
 }
 
-/// Checks the report's ratio is finite before accepting the cell.
-fn finite(report: Report) -> Result<Report, SimError> {
-    if report.ratio().is_finite() {
-        Ok(report)
+/// Checks the outcome's ratio is finite before accepting the cell.
+fn finite(outcome: CellOutcome) -> Result<CellOutcome, SimError> {
+    if outcome.ratio().is_finite() {
+        Ok(outcome)
     } else {
         Err(SimError::UnboundedRatio)
     }
 }
 
-// --- per-family trace mappings -------------------------------------------
+// --- per-family oracles and trace mappings -------------------------------
 
-/// Parking-permit-family cells run on the distinct demand days with the
-/// exact interval-model DP as the optimum.
+/// The permit-family baseline: the exact interval-model DP on the trace's
+/// distinct demand days.
+fn permit_oracle(trace: &Trace, ctx: &RunContext) -> Result<OracleBound, SimError> {
+    Ok(PermitDpOracle::new(ctx.structure.clone()).optimum(&trace.days())?)
+}
+
+/// Parking-permit-family cells run on the distinct demand days against the
+/// exact interval-model DP.
 fn permit_cell<A: LeasingAlgorithm<Request = ()>>(
     algorithm: A,
     trace: &Trace,
     ctx: &RunContext,
-) -> Result<Report, SimError> {
+) -> Result<CellOutcome, SimError> {
+    let opt = ctx.resolve_oracle(|| permit_oracle(trace, ctx))?;
     let days = trace.days();
-    let opt = permit_offline::optimal_cost_interval_model(&ctx.structure, &days);
-    finite(drive(
+    drive(
         algorithm,
         &ctx.structure,
         days.iter().map(|&t| (t, ())),
         opt,
-    )?)
+        trace.horizon,
+    )
 }
 
 /// The set system shared by the covering-family mappings (elements of the
@@ -155,7 +277,9 @@ fn covering_system(
     random_system(&mut ctx.rng(salt), n, (n / 2).max(2), 3)
 }
 
-fn set_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+/// The set-cover instance of a cell, deterministic in `(trace, seed)` —
+/// built identically by the cell run and the shared oracle.
+fn set_cover_instance(trace: &Trace, ctx: &RunContext) -> Result<SmclInstance, SimError> {
     let system = covering_system(trace, ctx, 0x5e7c);
     let n = system.num_elements();
     let arrivals: Vec<Arrival> = trace
@@ -167,24 +291,35 @@ fn set_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
             Arrival::new(ev.time, e, p)
         })
         .collect();
-    let inst =
-        SmclInstance::uniform(system, ctx.structure.clone(), arrivals).map_err(instance_err)?;
-    let opt = sc_offline::lp_lower_bound(&inst);
+    SmclInstance::uniform(system, ctx.structure.clone(), arrivals).map_err(instance_err)
+}
+
+/// The covering baseline: the one-shot LP lower bound (fastest for a
+/// single final bound; `SetCoverLpOracle::incremental()` is the
+/// warm-started per-prefix variant).
+fn set_cover_oracle(trace: &Trace, ctx: &RunContext) -> Result<OracleBound, SimError> {
+    Ok(SetCoverLpOracle::new().optimum(&set_cover_instance(trace, ctx)?)?)
+}
+
+fn set_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
+    let inst = set_cover_instance(trace, ctx)?;
+    let opt = ctx.resolve_oracle(|| Ok(SetCoverLpOracle::new().optimum(&inst)?))?;
     let alg_seed = ctx.rng(0x5e7d).random::<u64>();
     let requests: Vec<(TimeStep, (usize, usize))> = inst
         .arrivals
         .iter()
         .map(|a| (a.time, (a.element, a.multiplicity)))
         .collect();
-    finite(drive(
+    drive(
         SmclOnline::new(&inst, alg_seed),
         &ctx.structure,
         requests,
         opt,
-    )?)
+        trace.horizon,
+    )
 }
 
-fn vertex_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+fn vertex_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
     // A ring with chords: connected, δ = 2 per edge, deterministic shape
     // with seeded weights-free topology.
     let n = trace.num_elements.max(4);
@@ -203,9 +338,17 @@ fn vertex_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError
         .map_err(instance_err)?;
     let mut driver = Driver::new(VcPrimalDual::new(&inst), ctx.structure.clone());
     driver.submit_batch(arrivals)?;
-    // Weak duality: the primal-dual's dual value certifies the lower bound.
-    let opt = driver.algorithm().dual_value();
-    finite(driver.report(opt))
+    // Weak duality: the primal-dual's dual value certifies the lower
+    // bound. It only exists after the run, so this family has no shared
+    // oracle.
+    let opt = OracleBound::LowerBound(driver.algorithm().dual_value());
+    let (active_peak, active_mean) = active_stats(driver.ledger(), trace.horizon);
+    finite(CellOutcome {
+        report: driver.report(opt.value()),
+        oracle_exact: opt.is_exact(),
+        active_peak,
+        active_mean,
+    })
 }
 
 /// Facility-family base instance: 3 facility sites, one client batch per
@@ -230,43 +373,58 @@ fn facility_instance(trace: &Trace, ctx: &RunContext) -> Result<FacilityInstance
     FacilityInstance::euclidean(facilities, ctx.structure.clone(), batches).map_err(instance_err)
 }
 
+/// The facility baseline: the Figure 4.1 LP relaxation.
+fn facility_oracle(trace: &Trace, ctx: &RunContext) -> Result<OracleBound, SimError> {
+    Ok(FacilityLpOracle.optimum(&facility_instance(trace, ctx)?)?)
+}
+
 fn facility_cell<'a, A, F>(
     make: F,
+    trace: &Trace,
     ctx: &RunContext,
     inst: &'a FacilityInstance,
-) -> Result<Report, SimError>
+) -> Result<CellOutcome, SimError>
 where
     A: LeasingAlgorithm<Request = Vec<usize>> + 'a,
     F: FnOnce(&'a FacilityInstance) -> A,
 {
-    let opt = facility_leasing::offline::lp_lower_bound(inst);
+    let opt = ctx.resolve_oracle(|| Ok(FacilityLpOracle.optimum(inst)?))?;
     let requests: Vec<(TimeStep, Vec<usize>)> = inst
         .batches()
         .iter()
         .map(|b| (b.time, b.clients.clone()))
         .collect();
-    finite(drive(make(inst), &ctx.structure, requests, opt)?)
+    drive(make(inst), &ctx.structure, requests, opt, trace.horizon)
 }
 
-fn capacitated_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+fn capacitated_instance(trace: &Trace, ctx: &RunContext) -> Result<CapacitatedInstance, SimError> {
     let base = facility_instance(trace, ctx)?;
-    let inst = CapacitatedInstance::uniform(base, 2).map_err(instance_err)?;
-    let opt = capacitated_facility::offline::lp_lower_bound(&inst);
+    CapacitatedInstance::uniform(base, 2).map_err(instance_err)
+}
+
+fn capacitated_oracle(trace: &Trace, ctx: &RunContext) -> Result<OracleBound, SimError> {
+    Ok(CapacitatedLpOracle.optimum(&capacitated_instance(trace, ctx)?)?)
+}
+
+fn capacitated_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
+    let inst = capacitated_instance(trace, ctx)?;
+    let opt = ctx.resolve_oracle(|| Ok(CapacitatedLpOracle.optimum(&inst)?))?;
     let requests: Vec<(TimeStep, Vec<usize>)> = inst
         .base
         .batches()
         .iter()
         .map(|b| (b.time, b.clients.clone()))
         .collect();
-    finite(drive(
+    drive(
         CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal),
         &ctx.structure,
         requests,
         opt,
-    )?)
+        trace.horizon,
+    )
 }
 
-fn steiner_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+fn steiner_instance(trace: &Trace, ctx: &RunContext) -> Result<SteinerInstance, SimError> {
     // A fixed 5-node diamond-with-chord topology; edge weights seeded.
     let mut rng = ctx.rng(0x57e1);
     let mut w = || 1.0 + rng.random::<f64>() * 2.0;
@@ -292,41 +450,56 @@ fn steiner_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
             PairRequest::new(t, u, (u + span) % n)
         })
         .collect();
-    let inst =
-        SteinerInstance::new(g, ctx.structure.clone(), requests.clone()).map_err(instance_err)?;
-    let opt =
-        steiner_leasing::ilp::steiner_lp_lower_bound(&inst, 64).map_err(|e| SimError::Optimum {
-            what: e.to_string(),
-        })?;
+    SteinerInstance::new(g, ctx.structure.clone(), requests).map_err(instance_err)
+}
+
+fn steiner_oracle(trace: &Trace, ctx: &RunContext) -> Result<OracleBound, SimError> {
+    Ok(SteinerLpOracle::default().optimum(&steiner_instance(trace, ctx)?)?)
+}
+
+fn steiner_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
+    let inst = steiner_instance(trace, ctx)?;
+    let opt = ctx.resolve_oracle(|| Ok(SteinerLpOracle::default().optimum(&inst)?))?;
     let pair_requests: Vec<(TimeStep, (usize, usize))> =
-        requests.iter().map(|r| (r.time, (r.u, r.v))).collect();
-    finite(drive(
+        inst.requests.iter().map(|r| (r.time, (r.u, r.v))).collect();
+    drive(
         SteinerLeasingOnline::new(&inst),
         &ctx.structure,
         pair_requests,
         opt,
-    )?)
+        trace.horizon,
+    )
 }
 
-fn old_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+fn old_instance(trace: &Trace, ctx: &RunContext) -> Result<OldInstance, SimError> {
     let mut rng = ctx.rng(0x01d0);
     let clients: Vec<OldClient> = trace
         .days()
         .into_iter()
         .map(|t| OldClient::new(t, rng.random_range(0..=8u64)))
         .collect();
-    let inst = OldInstance::new(ctx.structure.clone(), clients.clone()).map_err(instance_err)?;
-    let opt = leasing_deadlines::offline::old_lp_lower_bound(&inst);
-    let requests: Vec<(TimeStep, u64)> = clients.iter().map(|c| (c.arrival, c.slack)).collect();
-    finite(drive(
+    OldInstance::new(ctx.structure.clone(), clients).map_err(instance_err)
+}
+
+fn old_oracle(trace: &Trace, ctx: &RunContext) -> Result<OracleBound, SimError> {
+    Ok(OldLpOracle.optimum(&old_instance(trace, ctx)?)?)
+}
+
+fn old_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
+    let inst = old_instance(trace, ctx)?;
+    let opt = ctx.resolve_oracle(|| Ok(OldLpOracle.optimum(&inst)?))?;
+    let requests: Vec<(TimeStep, u64)> =
+        inst.clients.iter().map(|c| (c.arrival, c.slack)).collect();
+    drive(
         OldPrimalDual::new(&inst),
         &ctx.structure,
         requests,
         opt,
-    )?)
+        trace.horizon,
+    )
 }
 
-fn scld_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
+fn scld_instance(trace: &Trace, ctx: &RunContext) -> Result<ScldInstance, SimError> {
     let system = covering_system(trace, ctx, 0x5c1d);
     let n = system.num_elements();
     let mut rng = ctx.rng(0x5c1e);
@@ -335,29 +508,44 @@ fn scld_cell(trace: &Trace, ctx: &RunContext) -> Result<Report, SimError> {
         .iter()
         .map(|ev| ScldArrival::new(ev.time, ev.element % n, rng.random_range(0..=6u64)))
         .collect();
-    let inst = ScldInstance::uniform(system, ctx.structure.clone(), arrivals.clone())
-        .map_err(instance_err)?;
-    let opt = leasing_deadlines::offline::scld_lp_lower_bound(&inst);
+    ScldInstance::uniform(system, ctx.structure.clone(), arrivals).map_err(instance_err)
+}
+
+fn scld_oracle(trace: &Trace, ctx: &RunContext) -> Result<OracleBound, SimError> {
+    Ok(ScldLpOracle.optimum(&scld_instance(trace, ctx)?)?)
+}
+
+fn scld_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
+    let inst = scld_instance(trace, ctx)?;
+    let opt = ctx.resolve_oracle(|| Ok(ScldLpOracle.optimum(&inst)?))?;
     let alg_seed = ctx.rng(0x5c1f).random::<u64>();
-    let requests: Vec<(TimeStep, (u64, usize))> = arrivals
+    let requests: Vec<(TimeStep, (u64, usize))> = inst
+        .arrivals
         .iter()
         .map(|a| (a.time, (a.slack, a.element)))
         .collect();
-    finite(drive(
+    drive(
         ScldOnline::new(&inst, alg_seed),
         &ctx.structure,
         requests,
         opt,
-    )?)
+        trace.horizon,
+    )
+}
+
+fn oracle(key: &'static str, f: OracleFn) -> Option<(&'static str, OracleFn)> {
+    Some((key, f))
 }
 
 /// The standard registry: every problem crate's online algorithm behind
-/// the boxed-run interface.
+/// the boxed-run interface, with its family oracle and the paper's
+/// guarantee label.
 pub fn standard_registry() -> Vec<AlgorithmSpec> {
     vec![
         AlgorithmSpec {
             name: "permit-det",
             family: "parking-permit",
+            theory: Some("O(K)"),
             run: std::sync::Arc::new(|trace, ctx| {
                 permit_cell(
                     DeterministicPrimalDual::new(ctx.structure.clone()),
@@ -365,10 +553,12 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
                     ctx,
                 )
             }),
+            oracle: oracle("permit-dp", std::sync::Arc::new(permit_oracle)),
         },
         AlgorithmSpec {
             name: "permit-rand",
             family: "parking-permit",
+            theory: Some("O(log K)"),
             run: std::sync::Arc::new(|trace, ctx| {
                 let mut rng = ctx.rng(0x9a4d);
                 permit_cell(
@@ -377,10 +567,12 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
                     ctx,
                 )
             }),
+            oracle: oracle("permit-dp", std::sync::Arc::new(permit_oracle)),
         },
         AlgorithmSpec {
             name: "rate-threshold",
             family: "stochastic",
+            theory: None,
             run: std::sync::Arc::new(|trace, ctx| {
                 // The informed policy gets the trace's true empirical rate.
                 let rate = trace.days().len() as f64 / trace.horizon.max(1) as f64;
@@ -390,72 +582,94 @@ pub fn standard_registry() -> Vec<AlgorithmSpec> {
                     ctx,
                 )
             }),
+            oracle: oracle("permit-dp", std::sync::Arc::new(permit_oracle)),
         },
         AlgorithmSpec {
             name: "empirical-rate",
             family: "stochastic",
+            theory: None,
             run: std::sync::Arc::new(|trace, ctx| {
                 permit_cell(EmpiricalRate::new(ctx.structure.clone()), trace, ctx)
             }),
+            oracle: oracle("permit-dp", std::sync::Arc::new(permit_oracle)),
         },
         AlgorithmSpec {
             name: "set-cover",
             family: "set-cover",
+            theory: Some("O(log(δK)·log n)"),
             run: std::sync::Arc::new(set_cover_cell),
+            oracle: oracle("setcover-lp", std::sync::Arc::new(set_cover_oracle)),
         },
         AlgorithmSpec {
             name: "vertex-cover",
             family: "graph-cover",
+            theory: Some("2K"),
             run: std::sync::Arc::new(vertex_cover_cell),
+            oracle: None,
         },
         AlgorithmSpec {
             name: "facility-pd",
             family: "facility",
+            theory: Some("O(K·H(l_max))"),
             run: std::sync::Arc::new(|trace, ctx| {
                 let inst = facility_instance(trace, ctx)?;
-                facility_cell(PrimalDualFacility::new, ctx, &inst)
+                facility_cell(PrimalDualFacility::new, trace, ctx, &inst)
             }),
+            oracle: oracle("facility-lp", std::sync::Arc::new(facility_oracle)),
         },
         AlgorithmSpec {
             name: "facility-nw",
             family: "facility",
+            theory: Some("O(K·log n)"),
             run: std::sync::Arc::new(|trace, ctx| {
                 let inst = facility_instance(trace, ctx)?;
-                facility_cell(NagarajanWilliamson::new, ctx, &inst)
+                facility_cell(NagarajanWilliamson::new, trace, ctx, &inst)
             }),
+            oracle: oracle("facility-lp", std::sync::Arc::new(facility_oracle)),
         },
         AlgorithmSpec {
             name: "facility-rand",
             family: "facility",
+            theory: None,
             run: std::sync::Arc::new(|trace, ctx| {
                 let inst = facility_instance(trace, ctx)?;
                 let mut rng = ctx.rng(0xfa2d);
                 facility_cell(
                     move |i: &FacilityInstance| RandomizedFacility::new(i, &mut rng),
+                    trace,
                     ctx,
                     &inst,
                 )
             }),
+            oracle: oracle("facility-lp", std::sync::Arc::new(facility_oracle)),
         },
         AlgorithmSpec {
             name: "capacitated",
             family: "capacitated",
+            theory: None,
             run: std::sync::Arc::new(capacitated_cell),
+            oracle: oracle("capacitated-lp", std::sync::Arc::new(capacitated_oracle)),
         },
         AlgorithmSpec {
             name: "steiner",
             family: "steiner",
+            theory: Some("O(K·log n)"),
             run: std::sync::Arc::new(steiner_cell),
+            oracle: oracle("steiner-lp", std::sync::Arc::new(steiner_oracle)),
         },
         AlgorithmSpec {
             name: "old",
             family: "deadlines",
+            theory: Some("Θ(K + d_max/l_min)"),
             run: std::sync::Arc::new(old_cell),
+            oracle: oracle("old-lp", std::sync::Arc::new(old_oracle)),
         },
         AlgorithmSpec {
             name: "scld",
             family: "deadlines",
+            theory: Some("O(log(m(K + d_max/l_min))·log l_max)"),
             run: std::sync::Arc::new(scld_cell),
+            oracle: oracle("scld-lp", std::sync::Arc::new(scld_oracle)),
         },
     ]
 }
@@ -499,26 +713,83 @@ mod tests {
 
     #[test]
     fn every_registered_algorithm_completes_every_preset() {
-        let ctx = RunContext {
-            structure: structure(),
-            seed: 42,
-        };
+        let ctx = RunContext::new(structure(), 42);
         for scenario in Scenario::presets() {
             let trace = scenario.generate(48, 4, ctx.seed).unwrap();
             for alg in standard_registry() {
-                let report = alg
+                let outcome = alg
                     .run(&trace, &ctx)
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name, scenario.name));
                 assert!(
-                    report.ratio() >= 1.0 - 1e-6,
+                    outcome.ratio() >= 1.0 - 1e-6,
                     "{} on {}: ratio {} below 1 (optimum not a lower bound?)",
                     alg.name,
                     scenario.name,
-                    report.ratio()
+                    outcome.ratio()
                 );
-                assert!(report.ratio().is_finite());
+                assert!(outcome.ratio().is_finite());
+                assert!(
+                    outcome.active_peak as f64 >= outcome.active_mean,
+                    "{} on {}",
+                    alg.name,
+                    scenario.name
+                );
+                if trace.is_empty() {
+                    assert_eq!(outcome.active_peak, 0);
+                }
             }
         }
+    }
+
+    #[test]
+    fn precomputed_oracles_match_inline_computation() {
+        // The sharing contract: running a cell with the runner-precomputed
+        // bound must be bit-identical to computing it inline.
+        let ctx = RunContext::new(structure(), 17);
+        let trace = Scenario::presets()[0].generate(48, 4, 17).unwrap();
+        for alg in standard_registry() {
+            let Some(oracle_fn) = alg.oracle_fn() else {
+                continue;
+            };
+            let bound = oracle_fn(&trace, &ctx).unwrap();
+            let inline = alg.run(&trace, &ctx).unwrap();
+            let shared_ctx = RunContext {
+                oracle: Some(bound),
+                ..ctx.clone()
+            };
+            let shared = alg.run(&trace, &shared_ctx).unwrap();
+            assert_eq!(
+                inline.report.optimum_cost.to_bits(),
+                shared.report.optimum_cost.to_bits(),
+                "{}",
+                alg.name
+            );
+            assert_eq!(inline, shared, "{}", alg.name);
+            assert_eq!(bound.value(), inline.report.optimum_cost, "{}", alg.name);
+        }
+    }
+
+    #[test]
+    fn permit_family_shares_one_oracle_key() {
+        let keys: Vec<Option<&str>> = ["permit-det", "permit-rand", "rate-threshold"]
+            .iter()
+            .map(|n| select_algorithms(n).unwrap().remove(0).oracle_key())
+            .collect();
+        assert!(keys.iter().all(|k| *k == Some("permit-dp")));
+        // The permit DP is exact, so permit cells report exact oracles.
+        let ctx = RunContext::new(structure(), 3);
+        let trace = Scenario::presets()[0].generate(32, 4, 3).unwrap();
+        let outcome = select_algorithms("permit-det")
+            .unwrap()
+            .remove(0)
+            .run(&trace, &ctx)
+            .unwrap();
+        assert!(outcome.oracle_exact, "interval DP is exact");
+        // The vertex-cover dual bound is not precomputable.
+        assert_eq!(
+            select_algorithms("vertex-cover").unwrap()[0].oracle_key(),
+            None
+        );
     }
 
     #[test]
@@ -526,10 +797,7 @@ mod tests {
         // Pre-index, a 8192-step permit cell spent its time scanning the
         // decision trace per request; the ledger's coverage index makes
         // long-horizon presets practical for the matrix.
-        let ctx = RunContext {
-            structure: structure(),
-            seed: 9,
-        };
+        let ctx = RunContext::new(structure(), 9);
         let trace = Scenario::presets()[0].generate(8192, 4, 9).unwrap();
         let started = std::time::Instant::now();
         for name in [
@@ -539,10 +807,10 @@ mod tests {
             "empirical-rate",
         ] {
             let alg = select_algorithms(name).unwrap().remove(0);
-            let report = alg.run(&trace, &ctx).unwrap();
-            assert!(report.requests > 0, "{name}");
+            let outcome = alg.run(&trace, &ctx).unwrap();
+            assert!(outcome.report.requests > 0, "{name}");
             assert!(
-                report.ratio().is_finite() && report.ratio() >= 1.0 - 1e-6,
+                outcome.ratio().is_finite() && outcome.ratio() >= 1.0 - 1e-6,
                 "{name}"
             );
         }
@@ -554,17 +822,14 @@ mod tests {
 
     #[test]
     fn cells_are_deterministic_given_the_seed() {
-        let ctx = RunContext {
-            structure: structure(),
-            seed: 7,
-        };
+        let ctx = RunContext::new(structure(), 7);
         let trace = Scenario::presets()[0].generate(64, 4, 7).unwrap();
         for alg in standard_registry() {
             let a = alg.run(&trace, &ctx).unwrap();
             let b = alg.run(&trace, &ctx).unwrap();
             assert_eq!(
-                a.algorithm_cost.to_bits(),
-                b.algorithm_cost.to_bits(),
+                a.report.algorithm_cost.to_bits(),
+                b.report.algorithm_cost.to_bits(),
                 "{} must be bit-deterministic",
                 alg.name
             );
@@ -589,19 +854,18 @@ mod tests {
 
     #[test]
     fn empty_traces_yield_ratio_one_everywhere() {
-        let ctx = RunContext {
-            structure: structure(),
-            seed: 3,
-        };
+        let ctx = RunContext::new(structure(), 3);
         let trace = Trace {
             events: Vec::new(),
             horizon: 32,
             num_elements: 4,
         };
         for alg in standard_registry() {
-            let report = alg.run(&trace, &ctx).unwrap();
-            assert_eq!(report.algorithm_cost, 0.0, "{}", alg.name);
-            assert!((report.ratio() - 1.0).abs() < 1e-12, "{}", alg.name);
+            let outcome = alg.run(&trace, &ctx).unwrap();
+            assert_eq!(outcome.report.algorithm_cost, 0.0, "{}", alg.name);
+            assert!((outcome.ratio() - 1.0).abs() < 1e-12, "{}", alg.name);
+            assert_eq!(outcome.active_peak, 0, "{}", alg.name);
+            assert_eq!(outcome.active_mean, 0.0, "{}", alg.name);
         }
     }
 }

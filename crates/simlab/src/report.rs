@@ -1,4 +1,8 @@
-//! Machine-readable matrix output (`BENCH_simlab.json`).
+//! Machine-readable matrix output (`BENCH_simlab.json`, schema
+//! `simlab/v2`): per-cell online cost, offline baseline (`opt_cost`, with
+//! its exactness flag), empirical competitive ratio and concurrency
+//! snapshots, plus per-group aggregates annotated with the paper's
+//! theoretical guarantee.
 
 use crate::stats::Summary;
 use serde::{json, Deserialize, Serialize};
@@ -12,16 +16,25 @@ pub struct CellRecord {
     pub workload: String,
     /// Cell seed.
     pub seed: u64,
-    /// Empirical competitive ratio (0 when the cell failed).
-    pub ratio: f64,
+    /// Empirical competitive ratio `algorithm_cost / opt_cost`
+    /// (0 when the cell failed).
+    pub empirical_ratio: f64,
     /// Online cost.
     pub algorithm_cost: f64,
-    /// Offline optimum or certified lower bound.
-    pub optimum_cost: f64,
+    /// Offline optimum or certified lower bound (the ratio denominator).
+    pub opt_cost: f64,
+    /// Whether `opt_cost` is the exact offline optimum (`true`) or a
+    /// certified lower bound (`false`; the ratio then over-estimates —
+    /// the safe direction).
+    pub oracle_exact: bool,
     /// Requests served.
     pub requests: usize,
     /// Leases bought.
     pub leases_bought: usize,
+    /// Peak number of concurrently covered elements over the horizon.
+    pub active_peak: usize,
+    /// Mean number of concurrently covered elements over the horizon.
+    pub active_mean: f64,
     /// The failure message when the cell could not run.
     pub error: Option<String>,
 }
@@ -33,22 +46,33 @@ pub struct AggregateRecord {
     pub algorithm: String,
     /// Scenario name.
     pub workload: String,
+    /// The paper's guarantee for the algorithm, as an annotation next to
+    /// the measured ratios (`None` = no worst-case bound).
+    pub theory: Option<String>,
     /// Cells attempted.
     pub runs: usize,
     /// Cells that failed.
     pub failures: usize,
-    /// Ratio statistics over the successful cells (`None` when all
-    /// failed).
-    pub ratio: Option<Summary>,
+    /// Empirical-competitive-ratio statistics over the successful cells
+    /// (`None` when all failed).
+    pub empirical_ratio: Option<Summary>,
     /// Mean online cost over the successful cells.
     pub mean_cost: f64,
+    /// Mean offline baseline over the successful cells.
+    pub mean_opt_cost: f64,
+    /// Successful cells whose baseline was the exact optimum.
+    pub exact_oracles: usize,
+    /// Largest per-cell concurrency peak in the group.
+    pub active_peak: usize,
+    /// Mean of the per-cell mean concurrency.
+    pub active_mean: f64,
 }
 
 /// The full, deterministic matrix report — identical for identical inputs
 /// regardless of the worker-thread count.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MatrixReport {
-    /// Schema tag (`"simlab/v1"`).
+    /// Schema tag (`"simlab/v2"`).
     pub schema: String,
     /// Trace horizon per cell.
     pub horizon: u64,
@@ -89,7 +113,7 @@ mod tests {
     #[test]
     fn report_round_trips_through_json() {
         let report = MatrixReport {
-            schema: "simlab/v1".into(),
+            schema: "simlab/v2".into(),
             horizon: 64,
             num_elements: 4,
             seeds: vec![1, 2],
@@ -99,24 +123,37 @@ mod tests {
                 algorithm: "permit-det".into(),
                 workload: "rainy".into(),
                 seed: 1,
-                ratio: 1.5,
+                empirical_ratio: 1.5,
                 algorithm_cost: 3.0,
-                optimum_cost: 2.0,
+                opt_cost: 2.0,
+                oracle_exact: true,
                 requests: 7,
                 leases_bought: 3,
+                active_peak: 2,
+                active_mean: 0.75,
                 error: None,
             }],
             aggregates: vec![AggregateRecord {
                 algorithm: "permit-det".into(),
                 workload: "rainy".into(),
+                theory: Some("O(K)".into()),
                 runs: 2,
                 failures: 1,
-                ratio: Summary::of(&[1.5]),
+                empirical_ratio: Summary::of(&[1.5]),
                 mean_cost: 3.0,
+                mean_opt_cost: 2.0,
+                exact_oracles: 1,
+                active_peak: 2,
+                active_mean: 0.75,
             }],
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\""));
+        assert!(json.contains("\"opt_cost\""));
+        assert!(json.contains("\"empirical_ratio\""));
+        assert!(json.contains("\"oracle_exact\""));
+        assert!(json.contains("\"active_peak\""));
+        assert!(json.contains("\"theory\""));
         let back = MatrixReport::from_json(&json).unwrap();
         assert_eq!(back, report);
     }

@@ -1,20 +1,30 @@
 //! The sharded matrix runner: expands {algorithm × workload × seed} into
 //! cells, distributes them over `std::thread` workers via a work-stealing
-//! cursor, and aggregates per-cell [`Report`]s into deterministic
+//! cursor, and aggregates per-cell [`CellOutcome`]s into deterministic
 //! statistics.
 //!
+//! A run has two sharded phases. **Phase 1** computes the offline
+//! baselines: every `(workload, seed, oracle key)` combination present in
+//! the matrix is evaluated exactly once, so the four permit-family
+//! algorithms (or the three facility ones) share a single DP/LP solve per
+//! cell instead of four. **Phase 2** runs the algorithm cells with the
+//! precomputed bound injected through [`RunContext::oracle`].
+//!
 //! Determinism contract: every cell is a pure function of
-//! `(algorithm, workload, seed, structure)` — workers share no mutable
-//! state besides the cursor and the indexed result slots, and aggregation
-//! runs over cells in matrix order. The same matrix therefore produces a
-//! **bit-identical** [`MatrixReport`] on 1 thread and on N threads.
+//! `(algorithm, workload, seed, structure)` — oracles are deterministic in
+//! the same inputs, workers share no mutable state besides the cursors and
+//! the indexed result slots, and aggregation runs over cells in matrix
+//! order. The same matrix therefore produces a **bit-identical**
+//! [`MatrixReport`] on 1 thread and on N threads.
 
 use crate::error::SimError;
-use crate::registry::{AlgorithmSpec, RunContext};
+use crate::registry::{AlgorithmSpec, CellOutcome, OracleFn, RunContext, RunFn};
 use crate::report::{AggregateRecord, CellRecord, MatrixReport};
 use crate::scenario::Scenario;
 use crate::stats::Summary;
 use leasing_core::lease::LeaseStructure;
+use leasing_oracle::OracleBound;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -23,7 +33,8 @@ use std::sync::Mutex;
 pub struct MatrixConfig {
     /// Trace horizon per cell.
     pub horizon: u64,
-    /// Element-universe size per cell.
+    /// Element-universe size per cell (scenarios with a `universe`
+    /// override ignore it).
     pub num_elements: usize,
     /// The lease structure shared by every cell.
     pub structure: LeaseStructure,
@@ -34,7 +45,9 @@ pub struct MatrixConfig {
     /// it is recorded as a [`SimError::Timeout`] failure and its worker
     /// thread is abandoned, so one slow cell can never stall a sharded run
     /// — at the price of wall-clock-dependent (non-deterministic) failure
-    /// sets. Abandoned workers keep consuming CPU until they finish on
+    /// sets. Shared oracle computations run under the same budget; an
+    /// oracle timing out fails every cell that would have consumed it.
+    /// Abandoned workers keep consuming CPU until they finish on
     /// their own (or the process exits): if a whole algorithm is stuck in
     /// a hot loop, its abandoned cells compete with healthy workers and
     /// can push *those* past their budgets too — prefer excluding a known
@@ -62,6 +75,33 @@ impl MatrixConfig {
     }
 }
 
+/// Distributes `tasks` indices over `threads` workers with a
+/// work-stealing cursor; each worker runs `work(i)` and stores the result
+/// in slot `i`.
+fn shard<T: Send>(tasks: usize, threads: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..tasks).map(|_| None).collect());
+    let workers = threads.max(1).min(tasks.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let result = work(i);
+                results.lock().expect("no worker panics while holding")[i] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every task index was claimed"))
+        .collect()
+}
+
 /// Runs the cross product of `algorithms × scenarios × seeds`, sharded
 /// across `config.threads` workers, and aggregates the per-cell reports.
 ///
@@ -73,9 +113,35 @@ pub fn run_matrix(
     seeds: &[u64],
     config: &MatrixConfig,
 ) -> MatrixReport {
-    // Matrix order: algorithm-major, then workload, then seed — the
-    // aggregation and JSON output follow this order exactly.
-    let cells: Vec<(usize, usize, u64)> = algorithms
+    // --- Phase 1: shared offline baselines, one per (workload, seed, key).
+    let mut oracle_tasks: Vec<(usize, u64, &'static str, OracleFn)> = Vec::new();
+    for (w, _) in scenarios.iter().enumerate() {
+        for &seed in seeds {
+            let mut keys_here: Vec<&'static str> = Vec::new();
+            for alg in algorithms {
+                if let (Some(key), Some(f)) = (alg.oracle_key(), alg.oracle_fn()) {
+                    if !keys_here.contains(&key) {
+                        keys_here.push(key);
+                        oracle_tasks.push((w, seed, key, f));
+                    }
+                }
+            }
+        }
+    }
+    let oracle_results = shard(oracle_tasks.len(), config.threads, |i| {
+        let (w, seed, _, ref f) = oracle_tasks[i];
+        compute_oracle(f, &scenarios[w], seed, config)
+    });
+    let oracles: HashMap<(usize, u64, &'static str), Result<OracleBound, SimError>> = oracle_tasks
+        .iter()
+        .zip(oracle_results)
+        .map(|(&(w, seed, key, _), result)| ((w, seed, key), result))
+        .collect();
+
+    // --- Phase 2: the algorithm cells, in matrix order (algorithm-major,
+    // then workload, then seed) — the aggregation and JSON output follow
+    // this order exactly.
+    let cells_spec: Vec<(usize, usize, u64)> = algorithms
         .iter()
         .enumerate()
         .flat_map(|(a, _)| {
@@ -85,35 +151,17 @@ pub fn run_matrix(
                 .flat_map(move |(w, _)| seeds.iter().map(move |&s| (a, w, s)))
         })
         .collect();
-
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<CellRecord>>> = Mutex::new(vec![None; cells.len()]);
-    let workers = config.threads.max(1).min(cells.len().max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let (a, w, seed) = cells[i];
-                let record = run_cell(&algorithms[a], &scenarios[w], seed, config);
-                results.lock().expect("no worker panics while holding")[i] = Some(record);
-            });
-        }
+    let cells = shard(cells_spec.len(), config.threads, |i| {
+        let (a, w, seed) = cells_spec[i];
+        let oracle = algorithms[a]
+            .oracle_key()
+            .map(|key| oracles[&(w, seed, key)].clone());
+        run_cell(&algorithms[a], &scenarios[w], seed, config, oracle)
     });
-
-    let cells: Vec<CellRecord> = results
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|r| r.expect("every cell index was claimed"))
-        .collect();
 
     let aggregates = aggregate(algorithms, scenarios, &cells);
     MatrixReport {
-        schema: "simlab/v1".to_string(),
+        schema: "simlab/v2".to_string(),
         horizon: config.horizon,
         num_elements: config.num_elements,
         seeds: seeds.to_vec(),
@@ -124,76 +172,133 @@ pub fn run_matrix(
     }
 }
 
-/// Runs one cell end to end, mapping failures into the record. With a
-/// configured budget the work runs on a watchdog-supervised thread that is
-/// abandoned on timeout.
+/// Evaluates one shared oracle task (trace generation + offline solve),
+/// under the cell budget when one is configured.
+fn compute_oracle(
+    oracle: &OracleFn,
+    scenario: &Scenario,
+    seed: u64,
+    config: &MatrixConfig,
+) -> Result<OracleBound, SimError> {
+    let run = {
+        let oracle = std::sync::Arc::clone(oracle);
+        let scenario = scenario.clone();
+        let horizon = config.horizon;
+        let num_elements = config.num_elements;
+        let structure = config.structure.clone();
+        move || {
+            scenario
+                .generate(horizon, num_elements, seed)
+                .and_then(|trace| oracle(&trace, &RunContext::new(structure, seed)))
+        }
+    };
+    match config.cell_budget_ms {
+        None => run(),
+        Some(budget_ms) => run_budgeted(run, budget_ms),
+    }
+}
+
+/// Runs one cell end to end, mapping failures into the record.
+/// `oracle` is the phase-1 result for this cell's family: `Some(Ok(_))`
+/// injects the shared bound, `Some(Err(_))` fails the cell with the
+/// oracle's error, `None` (no shared oracle) lets the cell compute its
+/// baseline inline.
 fn run_cell(
     algorithm: &AlgorithmSpec,
     scenario: &Scenario,
     seed: u64,
     config: &MatrixConfig,
+    oracle: Option<Result<OracleBound, SimError>>,
 ) -> CellRecord {
-    let outcome: Result<_, SimError> = match config.cell_budget_ms {
+    let oracle = match oracle.transpose() {
+        Ok(bound) => bound,
+        Err(e) => return failed_cell(algorithm, scenario, seed, e),
+    };
+    let outcome: Result<CellOutcome, SimError> = match config.cell_budget_ms {
         None => scenario
             .generate(config.horizon, config.num_elements, seed)
             .and_then(|trace| {
                 let ctx = RunContext {
                     structure: config.structure.clone(),
                     seed,
+                    oracle,
                 };
                 algorithm.run(&trace, &ctx)
             }),
-        Some(budget_ms) => run_budgeted(algorithm, scenario, seed, config, budget_ms),
+        Some(budget_ms) => {
+            let run: RunFn = algorithm.runner();
+            let scenario = scenario.clone();
+            let horizon = config.horizon;
+            let num_elements = config.num_elements;
+            let structure = config.structure.clone();
+            run_budgeted(
+                move || {
+                    let ctx = RunContext {
+                        structure,
+                        seed,
+                        oracle,
+                    };
+                    scenario
+                        .generate(horizon, num_elements, seed)
+                        .and_then(|trace| run(&trace, &ctx))
+                },
+                budget_ms,
+            )
+        }
     };
     match outcome {
-        Ok(report) => CellRecord {
+        Ok(outcome) => CellRecord {
             algorithm: algorithm.name.to_string(),
             workload: scenario.name.clone(),
             seed,
-            ratio: report.ratio(),
-            algorithm_cost: report.algorithm_cost,
-            optimum_cost: report.optimum_cost,
-            requests: report.requests,
-            leases_bought: report.leases_bought,
+            empirical_ratio: outcome.ratio(),
+            algorithm_cost: outcome.report.algorithm_cost,
+            opt_cost: outcome.report.optimum_cost,
+            oracle_exact: outcome.oracle_exact,
+            requests: outcome.report.requests,
+            leases_bought: outcome.report.leases_bought,
+            active_peak: outcome.active_peak,
+            active_mean: outcome.active_mean,
             error: None,
         },
-        Err(e) => CellRecord {
-            algorithm: algorithm.name.to_string(),
-            workload: scenario.name.clone(),
-            seed,
-            ratio: 0.0,
-            algorithm_cost: 0.0,
-            optimum_cost: 0.0,
-            requests: 0,
-            leases_bought: 0,
-            error: Some(e.to_string()),
-        },
+        Err(e) => failed_cell(algorithm, scenario, seed, e),
     }
 }
 
-/// Runs the cell on a disposable thread and waits at most `budget_ms` for
-/// its result. On timeout the thread is abandoned (it keeps no locks and
-/// its late result is discarded with the channel) and the cell fails with
-/// [`SimError::Timeout`].
-fn run_budgeted(
+fn failed_cell(
     algorithm: &AlgorithmSpec,
     scenario: &Scenario,
     seed: u64,
-    config: &MatrixConfig,
+    error: SimError,
+) -> CellRecord {
+    CellRecord {
+        algorithm: algorithm.name.to_string(),
+        workload: scenario.name.clone(),
+        seed,
+        empirical_ratio: 0.0,
+        algorithm_cost: 0.0,
+        opt_cost: 0.0,
+        oracle_exact: false,
+        requests: 0,
+        leases_bought: 0,
+        active_peak: 0,
+        active_mean: 0.0,
+        error: Some(error.to_string()),
+    }
+}
+
+/// Runs `work` on a disposable thread and waits at most `budget_ms` for
+/// its result. On timeout the thread is abandoned (it keeps no locks and
+/// its late result is discarded with the channel) and the task fails with
+/// [`SimError::Timeout`].
+fn run_budgeted<T: Send + 'static>(
+    work: impl FnOnce() -> Result<T, SimError> + Send + 'static,
     budget_ms: u64,
-) -> Result<leasing_core::engine::Report, SimError> {
+) -> Result<T, SimError> {
     let (tx, rx) = std::sync::mpsc::channel();
-    let run = algorithm.runner();
-    let scenario = scenario.clone();
-    let horizon = config.horizon;
-    let num_elements = config.num_elements;
-    let structure = config.structure.clone();
     std::thread::spawn(move || {
-        let outcome = scenario
-            .generate(horizon, num_elements, seed)
-            .and_then(|trace| run(&trace, &RunContext { structure, seed }));
         // The receiver is gone iff the watchdog already gave up on us.
-        let _ = tx.send(outcome);
+        let _ = tx.send(work());
     });
     match rx.recv_timeout(std::time::Duration::from_millis(budget_ms)) {
         Ok(outcome) => outcome,
@@ -218,19 +323,26 @@ fn aggregate(
         for scenario in scenarios {
             let group = chunks.next().unwrap_or_default();
             let ok: Vec<&CellRecord> = group.iter().filter(|c| c.error.is_none()).collect();
-            let ratios: Vec<f64> = ok.iter().map(|c| c.ratio).collect();
-            let mean_cost = if ok.is_empty() {
-                0.0
-            } else {
-                ok.iter().map(|c| c.algorithm_cost).sum::<f64>() / ok.len() as f64
+            let ratios: Vec<f64> = ok.iter().map(|c| c.empirical_ratio).collect();
+            let mean_of = |f: fn(&CellRecord) -> f64| {
+                if ok.is_empty() {
+                    0.0
+                } else {
+                    ok.iter().map(|c| f(c)).sum::<f64>() / ok.len() as f64
+                }
             };
             out.push(AggregateRecord {
                 algorithm: alg.name.to_string(),
                 workload: scenario.name.clone(),
+                theory: alg.theory.map(str::to_string),
                 runs: group.len(),
                 failures: group.len() - ok.len(),
-                ratio: Summary::of(&ratios),
-                mean_cost,
+                empirical_ratio: Summary::of(&ratios),
+                mean_cost: mean_of(|c| c.algorithm_cost),
+                mean_opt_cost: mean_of(|c| c.opt_cost),
+                exact_oracles: ok.iter().filter(|c| c.oracle_exact).count(),
+                active_peak: ok.iter().map(|c| c.active_peak).max().unwrap_or(0),
+                active_mean: mean_of(|c| c.active_mean),
             });
         }
     }
@@ -260,10 +372,19 @@ mod tests {
         for agg in &report.aggregates {
             assert_eq!(agg.runs, 4);
             assert_eq!(agg.failures, 0, "{}/{}", agg.algorithm, agg.workload);
-            let ratio = agg.ratio.expect("successful cells");
+            let ratio = agg.empirical_ratio.expect("successful cells");
             assert!(ratio.mean >= 1.0 - 1e-9);
             assert!(ratio.p99 >= ratio.p50);
             assert!(ratio.max >= ratio.min);
+            assert!(agg.mean_opt_cost > 0.0, "non-empty workloads have opt > 0");
+            assert!(agg.mean_cost >= agg.mean_opt_cost - 1e-9);
+            assert!(agg.active_peak as f64 >= agg.active_mean);
+        }
+        // Permit-family cells run against the exact DP; OLD against an LP
+        // lower bound.
+        for cell in &report.cells {
+            let expect_exact = cell.algorithm.starts_with("permit");
+            assert_eq!(cell.oracle_exact, expect_exact, "{}", cell.algorithm);
         }
     }
 
@@ -342,7 +463,7 @@ mod tests {
             .find(|a| a.algorithm == "stall")
             .unwrap();
         assert_eq!(stalled.failures, 2);
-        assert_eq!(stalled.ratio, None);
+        assert_eq!(stalled.empirical_ratio, None);
     }
 
     #[test]
@@ -351,6 +472,7 @@ mod tests {
         let scenarios = vec![Scenario {
             name: "broken".into(),
             spec: crate::scenario::WorkloadSpec::Rainy { p: 2.0 },
+            universe: None,
         }];
         let report = run_matrix(
             &algorithms,
@@ -362,6 +484,41 @@ mod tests {
         assert!(report.cells.iter().all(|c| c.error.is_some()));
         let agg = &report.aggregates[0];
         assert_eq!(agg.failures, 2);
-        assert_eq!(agg.ratio, None);
+        assert_eq!(agg.empirical_ratio, None);
+    }
+
+    #[test]
+    fn shared_oracles_match_single_runs() {
+        // The matrix (shared phase-1 oracles) must report exactly what a
+        // direct inline run of each cell reports.
+        let algorithms =
+            select_algorithms("permit-det,permit-rand,rate-threshold,empirical-rate").unwrap();
+        let scenarios = Scenario::select("rainy").unwrap();
+        let config = MatrixConfig::default_config();
+        let report = run_matrix(&algorithms, &scenarios, &[5, 6], &config);
+        for cell in &report.cells {
+            let alg = select_algorithms(&cell.algorithm).unwrap().remove(0);
+            let trace = scenarios[0]
+                .generate(config.horizon, config.num_elements, cell.seed)
+                .unwrap();
+            let inline = alg
+                .run(
+                    &trace,
+                    &RunContext::new(config.structure.clone(), cell.seed),
+                )
+                .unwrap();
+            assert_eq!(
+                cell.opt_cost.to_bits(),
+                inline.report.optimum_cost.to_bits(),
+                "{}",
+                cell.algorithm
+            );
+            assert_eq!(
+                cell.empirical_ratio.to_bits(),
+                inline.ratio().to_bits(),
+                "{}",
+                cell.algorithm
+            );
+        }
     }
 }

@@ -115,6 +115,11 @@ pub struct Scenario {
     pub name: String,
     /// The arrival process.
     pub spec: WorkloadSpec,
+    /// Element-universe override: when set, the scenario expands over this
+    /// many elements instead of the matrix-wide `num_elements` — the knob
+    /// behind larger-universe covering presets (`setcover:universe=4096`).
+    /// Every workload token accepts `universe=N`.
+    pub universe: Option<usize>,
 }
 
 impl Scenario {
@@ -124,6 +129,7 @@ impl Scenario {
             Scenario {
                 name: "rainy".into(),
                 spec: WorkloadSpec::Rainy { p: 0.3 },
+                universe: None,
             },
             Scenario {
                 name: "bursty".into(),
@@ -131,6 +137,7 @@ impl Scenario {
                     burst_len: 4,
                     gap_len: 6,
                 },
+                universe: None,
             },
             Scenario {
                 name: "diurnal".into(),
@@ -139,10 +146,12 @@ impl Scenario {
                     amplitude: 0.3,
                     period: 24,
                 },
+                universe: None,
             },
             Scenario {
                 name: "heavy-tail".into(),
                 spec: WorkloadSpec::HeavyTail { alpha: 1.3 },
+                universe: None,
             },
             Scenario {
                 name: "spikes".into(),
@@ -150,6 +159,7 @@ impl Scenario {
                     period: 17,
                     width: 2,
                 },
+                universe: None,
             },
             Scenario {
                 name: "correlated".into(),
@@ -157,6 +167,16 @@ impl Scenario {
                     p_hot: 0.25,
                     p_fire: 0.8,
                 },
+                universe: None,
+            },
+            // Covering-oriented preset: demand days spread over a large
+            // element universe, so set-cover/SCLD cells exercise big set
+            // systems while the per-cell LP stays bounded by the arrival
+            // count, keeping the oracle solves cheap at any universe size.
+            Scenario {
+                name: "setcover".into(),
+                spec: WorkloadSpec::Rainy { p: 0.5 },
+                universe: Some(256),
             },
         ]
     }
@@ -209,7 +229,24 @@ impl Scenario {
                     spec: token.to_string(),
                     what: format!("expected `key=value`, found `{pair}`"),
                 })?;
-            scenario.spec.set_param(token, key.trim(), value.trim())?;
+            let (key, value) = (key.trim(), value.trim());
+            // `universe=N` applies to every workload: it overrides the
+            // matrix-wide element count, not a spec parameter.
+            if key == "universe" {
+                let n: usize = value.parse().map_err(|e| SimError::WorkloadParam {
+                    spec: token.to_string(),
+                    what: format!("`universe` is not an integer: {e}"),
+                })?;
+                if n == 0 {
+                    return Err(SimError::WorkloadParam {
+                        spec: token.to_string(),
+                        what: "`universe` must be positive".into(),
+                    });
+                }
+                scenario.universe = Some(n);
+                continue;
+            }
+            scenario.spec.set_param(token, key, value)?;
         }
         // Report under the exact CLI token (aliases and overrides
         // included), so baseline joins see deterministic names.
@@ -220,7 +257,9 @@ impl Scenario {
     }
 
     /// Expands the scenario into a trace of `horizon` steps over
-    /// `num_elements` elements, deterministically from `seed`.
+    /// `num_elements` elements (overridden by the scenario's own
+    /// [`universe`](Scenario::universe) when set), deterministically from
+    /// `seed`.
     ///
     /// # Errors
     ///
@@ -232,6 +271,7 @@ impl Scenario {
         num_elements: usize,
         seed: u64,
     ) -> Result<Trace, SimError> {
+        let num_elements = self.universe.unwrap_or(num_elements);
         let mut rng = seeded(seed ^ 0x51_6d_4c_61_62);
         let events = match &self.spec {
             WorkloadSpec::Rainy { p } => {
@@ -328,8 +368,13 @@ mod tests {
                 "{} events must be time-sorted",
                 scenario.name
             );
+            let universe = scenario.universe.unwrap_or(5);
+            assert_eq!(trace.num_elements, universe);
             assert!(
-                trace.events.iter().all(|e| e.time < 96 && e.element < 5),
+                trace
+                    .events
+                    .iter()
+                    .all(|e| e.time < 96 && e.element < universe),
                 "{} events must respect the matrix dimensions",
                 scenario.name
             );
@@ -350,11 +395,41 @@ mod tests {
         let picked = Scenario::select("rainy, spikes").unwrap();
         assert_eq!(picked.len(), 2);
         assert_eq!(picked[1].name, "spikes");
-        assert_eq!(Scenario::select("all").unwrap().len(), 6);
+        assert_eq!(Scenario::select("all").unwrap().len(), 7);
         assert_eq!(
             Scenario::select("nope"),
             Err(SimError::UnknownWorkload("nope".into()))
         );
+    }
+
+    #[test]
+    fn universe_overrides_apply_to_any_workload_token() {
+        let s = Scenario::parse("setcover").unwrap();
+        assert_eq!(s.universe, Some(256), "the preset carries its default");
+        let s = Scenario::parse("setcover:universe=4096").unwrap();
+        assert_eq!(s.name, "setcover:universe=4096");
+        assert_eq!(s.universe, Some(4096));
+        let trace = s.generate(32, 4, 1).unwrap();
+        assert_eq!(trace.num_elements, 4096, "override beats the matrix knob");
+        assert!(trace.events.iter().all(|e| e.element < 4096));
+        // Works on non-covering presets too, composed with spec params.
+        let s = Scenario::parse("rainy:p=0.9:universe=64").unwrap();
+        assert_eq!(s.universe, Some(64));
+        assert_eq!(s.spec, WorkloadSpec::Rainy { p: 0.9 });
+        assert_eq!(s.generate(32, 4, 1).unwrap().num_elements, 64);
+        // Without an override the matrix-wide count stands.
+        let s = Scenario::parse("rainy").unwrap();
+        assert_eq!(s.universe, None);
+        assert_eq!(s.generate(32, 4, 1).unwrap().num_elements, 4);
+        // Zero and garbage universes are typed errors.
+        assert!(matches!(
+            Scenario::parse("rainy:universe=0"),
+            Err(SimError::WorkloadParam { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("rainy:universe=big"),
+            Err(SimError::WorkloadParam { .. })
+        ));
     }
 
     #[test]
@@ -419,6 +494,7 @@ mod tests {
                 p_hot: 1.0,
                 p_fire: 1.0,
             },
+            universe: None,
         };
         let trace = scenario.generate(10, 3, 1).unwrap();
         assert_eq!(trace.events.len(), 30);
@@ -430,6 +506,7 @@ mod tests {
         let scenario = Scenario {
             name: "broken".into(),
             spec: WorkloadSpec::Rainy { p: 1.5 },
+            universe: None,
         };
         assert!(matches!(
             scenario.generate(64, 2, 0),

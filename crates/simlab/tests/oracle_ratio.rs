@@ -1,0 +1,123 @@
+//! Cross-registry oracle properties: for **every** algorithm × workload
+//! preset, the offline baseline never exceeds the online cost (the
+//! denominator really is a lower bound, so every empirical ratio is a
+//! genuine competitive ratio), shared phase-1 oracles agree bit-for-bit
+//! with inline computation, and the `--max-ratio` gate trips exactly on
+//! out-of-bound cells.
+
+use leasing_simlab::baseline::ratio_violations;
+use leasing_simlab::registry::{standard_registry, RunContext};
+use leasing_simlab::runner::{run_matrix, MatrixConfig};
+use leasing_simlab::scenario::Scenario;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The satellite property: `oracle.optimum(trace) <= online cost` for
+    /// every registered algorithm on every workload preset, across random
+    /// seeds — checked through the full shared-oracle matrix pipeline.
+    #[test]
+    fn offline_baseline_never_exceeds_online_cost(seed in 0u64..10_000) {
+        let registry = standard_registry();
+        let scenarios = Scenario::presets();
+        let config = MatrixConfig {
+            horizon: 32,
+            ..MatrixConfig::default_config()
+        };
+        let report = run_matrix(&registry, &scenarios, &[seed], &config);
+        prop_assert_eq!(report.cells.len(), registry.len() * scenarios.len());
+        for cell in &report.cells {
+            prop_assert_eq!(
+                &cell.error, &None,
+                "{}/{} seed {} failed", cell.algorithm, cell.workload, cell.seed
+            );
+            prop_assert!(
+                cell.opt_cost <= cell.algorithm_cost + 1e-6,
+                "{}/{}: opt {} above online cost {}",
+                cell.algorithm, cell.workload, cell.opt_cost, cell.algorithm_cost
+            );
+            prop_assert!(
+                cell.empirical_ratio >= 1.0 - 1e-6 && cell.empirical_ratio.is_finite(),
+                "{}/{}: ratio {}", cell.algorithm, cell.workload, cell.empirical_ratio
+            );
+            prop_assert!(cell.active_peak as f64 >= cell.active_mean);
+        }
+        // Exactness flags follow the oracle kind: the permit DP is exact
+        // on non-empty traces, LP relaxations never claim exactness.
+        for cell in report.cells.iter().filter(|c| c.requests > 0) {
+            let permit_family = matches!(
+                cell.algorithm.as_str(),
+                "permit-det" | "permit-rand" | "rate-threshold" | "empirical-rate"
+            );
+            prop_assert_eq!(
+                cell.oracle_exact, permit_family,
+                "{}: exactness flag", cell.algorithm
+            );
+        }
+    }
+
+    /// Matrix cells (phase-1 shared oracles) agree bit-for-bit with
+    /// direct inline runs of the same cells.
+    #[test]
+    fn shared_oracle_cells_match_inline_runs(seed in 0u64..10_000) {
+        let registry = standard_registry();
+        let scenarios = vec![Scenario::parse("setcover:universe=512").unwrap()];
+        let config = MatrixConfig {
+            horizon: 32,
+            ..MatrixConfig::default_config()
+        };
+        let report = run_matrix(&registry, &scenarios, &[seed], &config);
+        for (alg, cell) in registry.iter().zip(&report.cells) {
+            let trace = scenarios[0]
+                .generate(config.horizon, config.num_elements, seed)
+                .unwrap();
+            let inline = alg
+                .run(&trace, &RunContext::new(config.structure.clone(), seed))
+                .unwrap();
+            prop_assert_eq!(
+                cell.opt_cost.to_bits(),
+                inline.report.optimum_cost.to_bits(),
+                "{}", alg.name
+            );
+            prop_assert_eq!(
+                cell.algorithm_cost.to_bits(),
+                inline.report.algorithm_cost.to_bits(),
+                "{}", alg.name
+            );
+            prop_assert_eq!(cell.active_peak, inline.active_peak, "{}", alg.name);
+        }
+    }
+}
+
+/// The acceptance-criterion gate: `--max-ratio` must pass on a generous
+/// bound and flag exactly the cells beyond a tight one.
+#[test]
+fn max_ratio_gate_is_exercised_end_to_end() {
+    let registry = standard_registry();
+    let scenarios = Scenario::select("rainy,setcover").unwrap();
+    let config = MatrixConfig {
+        horizon: 32,
+        ..MatrixConfig::default_config()
+    };
+    let report = run_matrix(&registry, &scenarios, &[1, 2], &config);
+    // Every cell succeeded, so a generous bound passes cleanly...
+    assert!(ratio_violations(&report, 1e9).is_empty());
+    // ...an impossible bound flags every successful cell with ratio > 1...
+    let strict = ratio_violations(&report, 1.0);
+    let beyond: usize = report
+        .cells
+        .iter()
+        .filter(|c| c.error.is_none() && c.empirical_ratio > 1.0 + 1e-12)
+        .count();
+    assert_eq!(strict.len(), beyond);
+    assert!(!strict.is_empty(), "some algorithm pays > opt somewhere");
+    // ...and the violation records point at real cells.
+    for v in &strict {
+        assert!(v.ratio > v.bound);
+        assert!(report
+            .cells
+            .iter()
+            .any(|c| c.algorithm == v.algorithm && c.workload == v.workload && c.seed == v.seed));
+    }
+}

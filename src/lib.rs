@@ -9,7 +9,8 @@
 //! |---|---|---|
 //! | [`engine`] | §2.3 | **the unified driver-facing API**: [`LeasingAlgorithm`](engine::LeasingAlgorithm), [`Driver`](engine::Driver), the centralized [`Ledger`](engine::Ledger) and the [`Report`](engine::Report) summary |
 //! | [`core`] | Ch. 2 | lease structures, interval model (Lemma 2.6), leasing framework (§2.3), ski rental |
-//! | [`lp`] | §2.1 | from-scratch two-phase simplex + branch-and-bound ILP substrate |
+//! | [`lp`] | §2.1 | from-scratch two-phase simplex (warm-startable) + branch-and-bound ILP substrate |
+//! | [`oracle`] | — | offline-optimum oracles: exact DPs and certified LP lower bounds behind one [`OfflineOracle`](oracle::OfflineOracle) trait |
 //! | [`covering`] | §2.1 | generic online primal-dual covering engine (Buchbinder–Naor) with online dual certificates; Algorithms 2/3/5 as bit-equal instances |
 //! | [`parking_permit`] | §2.2 | Meyerson's parking permit problem: deterministic `O(K)` and randomized `O(log K)` algorithms, offline DP optima, lower-bound adversaries |
 //! | [`set_cover`] | Ch. 3 | set (multi)cover leasing: `O(log(δK) log n)` randomized algorithm, online set cover variants, §3.5 lower-bound adversaries |
@@ -144,6 +145,12 @@ pub mod distributed {
 /// Seeded workload generators (re-export of [`leasing_workloads`]).
 pub mod workloads {
     pub use leasing_workloads::*;
+}
+
+/// Offline-optimum oracles — exact DPs and certified LP lower bounds
+/// behind one `OfflineOracle` trait (re-export of [`leasing_oracle`]).
+pub mod oracle {
+    pub use leasing_oracle::*;
 }
 
 /// SimLab — the sharded scenario-matrix simulation harness (re-export of

@@ -183,6 +183,82 @@ proptest! {
         }
     }
 
+    /// The compaction contract: after `compact(h)`, every query **at or
+    /// after** the horizon `h` answers exactly as the uncompacted ledger —
+    /// point coverage, the reported active lease, window coverage for
+    /// windows starting at `h` or later, the active count and ownership of
+    /// triples starting at `h` or later.
+    #[test]
+    fn compaction_preserves_all_queries_at_or_after_the_horizon(
+        structure in structures(),
+        seed in 0u64..1_000,
+        purchases in 1usize..50,
+        horizon_frac in 0.0f64..1.2,
+    ) {
+        const ELEMENTS: usize = 4;
+        let mut rng = seeded(seed);
+        let mut full = Ledger::new(structure.clone());
+        let mut clock = 0u64;
+        for _ in 0..purchases {
+            clock += rng.random_range(0..4u64);
+            full.advance(clock);
+            let element = rng.random_range(0..ELEMENTS);
+            let k = rng.random_range(0..structure.num_types());
+            let start = match rng.random_range(0..3u32) {
+                0 => aligned_start(clock, structure.length(k)),
+                1 => clock.saturating_sub(rng.random_range(0..10u64)),
+                _ => clock + rng.random_range(0..6u64),
+            };
+            full.buy(clock, Triple::new(element, k, start));
+            if rng.random::<f64>() < 0.2 {
+                full.buy(clock, Triple::new(element, k, start)); // duplicate
+            }
+        }
+        let last = clock + structure.l_max() + 2;
+        let h = ((last as f64) * horizon_frac) as u64;
+        let mut compacted = full.clone();
+        let pruned = compacted.compact(h);
+        prop_assert!(pruned <= full.leases_bought());
+        // Re-compacting at the same horizon removes nothing further.
+        prop_assert_eq!(compacted.clone().compact(h), 0);
+        for _ in 0..40 {
+            let t = h + rng.random_range(0..(last.saturating_sub(h) + 4));
+            let e = rng.random_range(0..ELEMENTS);
+            prop_assert_eq!(
+                compacted.covered(e, t),
+                full.covered(e, t),
+                "covered({}, {}) after compact({})", e, t, h
+            );
+            prop_assert_eq!(
+                compacted.active_lease(e, t),
+                full.active_lease(e, t),
+                "active_lease({}, {}) after compact({})", e, t, h
+            );
+            for k in 0..structure.num_types() {
+                prop_assert_eq!(
+                    compacted.active_lease_of_type(e, k, t),
+                    full.active_lease_of_type(e, k, t)
+                );
+            }
+            prop_assert_eq!(compacted.active_count(t), full.active_count(t));
+            let w = Window::new(t, rng.random_range(0..12u64));
+            prop_assert_eq!(
+                compacted.covered_during(e, w),
+                full.covered_during(e, w),
+                "covered_during({}, {:?}) after compact({})", e, w, h
+            );
+            let probe = Triple::new(
+                e,
+                rng.random_range(0..structure.num_types()),
+                t, // starts at or after the horizon
+            );
+            prop_assert_eq!(compacted.owns(probe), full.owns(probe));
+        }
+        // Costs and the decision trace never change under compaction.
+        prop_assert_eq!(compacted.total_cost().to_bits(), full.total_cost().to_bits());
+        prop_assert_eq!(compacted.decision_count(), full.decision_count());
+    }
+
     /// JSON round-trips preserve every index answer.
     #[test]
     fn round_tripped_ledgers_answer_identically(
