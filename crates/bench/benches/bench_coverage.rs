@@ -8,7 +8,7 @@
 //! --bench bench_coverage` to refresh the machine-readable baseline
 //! alongside (merged with) the `bench_driver` numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use leasing_core::engine::{Driver, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
@@ -72,6 +72,7 @@ fn bench_coverage_query(c: &mut Criterion) {
                 })
                 .collect()
         };
+        group.throughput(Throughput::Elements(queries.len() as u64));
         group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
             b.iter(|| {
                 let mut hits = 0usize;
@@ -103,6 +104,7 @@ fn bench_coverage_query(c: &mut Criterion) {
                 black_box(ends)
             })
         });
+        group.throughput(Throughput::Elements(1));
         group.bench_with_input(BenchmarkId::new("active_count", n), &n, |b, _| {
             b.iter(|| black_box(ledger.active_count(horizon / 2)))
         });
@@ -118,6 +120,7 @@ fn bench_driver_long_horizon(c: &mut Criterion) {
     let mut group = c.benchmark_group("driver_long_horizon");
     for horizon in [100_000u64, 400_000] {
         let days = rainy_days(&mut seeded(3), horizon, 0.35).expect("valid parameters");
+        group.throughput(Throughput::Elements(days.len() as u64));
         group.bench_with_input(
             BenchmarkId::new("submit_det_permit", days.len()),
             &days,
@@ -142,6 +145,7 @@ fn bench_batched_timesteps(c: &mut Criterion) {
     let s = structure();
     let mut group = c.benchmark_group("driver_batched");
     for width in [1usize, 16] {
+        group.throughput(Throughput::Elements(2_000 * width as u64));
         group.bench_with_input(
             BenchmarkId::new("submit_at_width", width),
             &width,

@@ -8,7 +8,7 @@
 //! file merges across bench binaries — `bench_coverage` writes its
 //! coverage-index numbers into the same baseline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use leasing_core::engine::{Driver, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::lease::LeaseStructure;
@@ -26,6 +26,7 @@ fn bench_ledger_insert(c: &mut Criterion) {
     let s = structure();
     let mut group = c.benchmark_group("ledger_insert");
     for n in [1024usize, 8192] {
+        group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("buy", n), &n, |b, &n| {
             b.iter(|| {
                 let mut ledger = Ledger::new(s.clone());
@@ -45,6 +46,7 @@ fn bench_ledger_expiry(c: &mut Criterion) {
     let s = structure();
     let mut group = c.benchmark_group("ledger_expiry");
     for n in [1024usize, 8192] {
+        group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("buy_advance_pop", n), &n, |b, &n| {
             b.iter(|| {
                 let mut ledger = Ledger::new(s.clone());
@@ -75,7 +77,11 @@ impl LeasingAlgorithm for Noop {
 fn bench_driver_loop(c: &mut Criterion) {
     let s = structure();
     let mut group = c.benchmark_group("driver");
+    // The driver group feeds the CI bench gate — sample it longer so the
+    // committed baseline is stable against scheduler noise.
+    group.sample_size(200);
     for horizon in [1024u64, 8192] {
+        group.throughput(Throughput::Elements(horizon));
         group.bench_with_input(
             BenchmarkId::new("submit_noop", horizon),
             &horizon,
@@ -90,6 +96,7 @@ fn bench_driver_loop(c: &mut Criterion) {
             },
         );
         let days = rainy_days(&mut seeded(1), horizon, 0.3).expect("valid parameters");
+        group.throughput(Throughput::Elements(days.len() as u64));
         group.bench_with_input(
             BenchmarkId::new("submit_det_permit", horizon),
             &days,

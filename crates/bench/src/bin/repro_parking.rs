@@ -54,6 +54,7 @@ fn main() {
             structure: s.clone(),
             threads: 2,
             cell_budget_ms: None,
+            compact_every: None,
         };
         let seeds: Vec<u64> = (0..10).map(|t| SEED + t).collect();
         let report = run_matrix(&det, &rainy, &seeds, &config);

@@ -101,6 +101,7 @@ fn main() {
         structure: s.clone(),
         threads: 2,
         cell_budget_ms: None,
+        compact_every: None,
     };
     let seeds: Vec<u64> = (0..TRIALS).map(|t| SEED + t).collect();
     let report = run_matrix(&algorithms, &scenarios, &seeds, &config);

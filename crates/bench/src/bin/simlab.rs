@@ -12,6 +12,7 @@
 //! simlab --list                       # show algorithms and presets
 //! simlab --algorithms all             # run the whole registry
 //! simlab --cell-budget-ms 5000        # timeout slow cells as failures
+//! simlab --compact-every=2048         # prune coverage history on horizons >= 8192
 //! simlab --baseline old.json          # diff the fresh run vs a baseline
 //! simlab --baseline old.json --candidate new.json   # pure file diff
 //! simlab --max-ratio 6.0              # absolute empirical-ratio gate
@@ -41,6 +42,7 @@ struct Args {
     out: String,
     list: bool,
     cell_budget_ms: u64,
+    compact_every: Option<u64>,
     baseline: Option<String>,
     candidate: Option<String>,
     tolerance: f64,
@@ -59,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_simlab.json".into(),
         list: false,
         cell_budget_ms: 0,
+        compact_every: None,
         baseline: None,
         candidate: None,
         tolerance: 0.05,
@@ -102,6 +105,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cell-budget-ms: {e}"))?
             }
+            "--compact-every" => {
+                args.compact_every = Some(parse_compact_every(&value("--compact-every")?)?)
+            }
+            other if other.starts_with("--compact-every=") => {
+                args.compact_every = Some(parse_compact_every(&other["--compact-every=".len()..])?)
+            }
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--candidate" => args.candidate = Some(value("--candidate")?),
             "--tolerance" => {
@@ -127,6 +136,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn parse_compact_every(text: &str) -> Result<u64, String> {
+    let n: u64 = text.parse().map_err(|e| format!("--compact-every: {e}"))?;
+    if n == 0 {
+        return Err("--compact-every must be at least 1".into());
+    }
+    Ok(n)
+}
+
 fn load_report(path: &str) -> MatrixReport {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("simlab: cannot read {path}: {e}");
@@ -138,11 +155,13 @@ fn load_report(path: &str) -> MatrixReport {
     })
 }
 
-/// Diffs `current` against the baseline file; exits 3 on regressions.
+/// Diffs `current` against the baseline file; returns `false` on
+/// regressions (the caller combines every gate's verdict before exiting,
+/// so one tripped gate never hides another's report).
 /// Baseline groups the candidate no longer covers are warned about (a
 /// regressing group must not pass the gate by being renamed or dropped)
 /// but do not fail the diff — narrower candidate runs are legitimate.
-fn gate_on_baseline(baseline_path: &str, current: &MatrixReport, tolerance: f64) {
+fn gate_on_baseline(baseline_path: &str, current: &MatrixReport, tolerance: f64) -> bool {
     let baseline = load_report(baseline_path);
     for (algorithm, workload) in leasing_simlab::baseline::missing_groups(&baseline, current) {
         eprintln!(
@@ -156,7 +175,7 @@ fn gate_on_baseline(baseline_path: &str, current: &MatrixReport, tolerance: f64)
             "baseline {baseline_path}: no competitive-ratio regressions beyond {:.1}%",
             tolerance * 100.0
         );
-        return;
+        return true;
     }
     eprintln!(
         "baseline {baseline_path}: {} regression(s) beyond {:.1}%:",
@@ -166,7 +185,7 @@ fn gate_on_baseline(baseline_path: &str, current: &MatrixReport, tolerance: f64)
     for r in &regressions {
         eprintln!("  {r}");
     }
-    std::process::exit(3);
+    false
 }
 
 fn main() {
@@ -198,7 +217,9 @@ fn main() {
     // Pure diff mode: compare two existing reports, run nothing.
     if let (Some(baseline), Some(candidate)) = (&args.baseline, &args.candidate) {
         let current = load_report(candidate);
-        gate_on_baseline(baseline, &current, args.tolerance);
+        if !gate_on_baseline(baseline, &current, args.tolerance) {
+            std::process::exit(3);
+        }
         return;
     }
 
@@ -222,6 +243,7 @@ fn main() {
         num_elements: args.elements,
         threads: args.threads,
         cell_budget_ms: (args.cell_budget_ms > 0).then_some(args.cell_budget_ms),
+        compact_every: args.compact_every,
         ..MatrixConfig::default_config()
     };
 
@@ -285,25 +307,32 @@ fn main() {
     );
     println!("(aggregates are bit-identical for any --threads value)");
 
+    // Every requested gate runs and reports before the process exits, so
+    // a tripped ratio bound never hides a simultaneous baseline
+    // regression (or vice versa).
+    let mut clean = true;
     if let Some(bound) = args.max_ratio {
-        gate_on_max_ratio(&report, bound);
+        clean &= gate_on_max_ratio(&report, bound);
     }
-
     if let Some(baseline) = &args.baseline {
-        gate_on_baseline(baseline, &report, args.tolerance);
+        clean &= gate_on_baseline(baseline, &report, args.tolerance);
+    }
+    if !clean {
+        std::process::exit(3);
     }
 }
 
-/// Enforces the absolute empirical-ratio bound; exits 3 listing every
-/// violating cell. Failed cells also trip the gate — a cell that never
-/// produced a ratio must not let the matrix pass vacuously (e.g. a shared
-/// oracle timing out and failing its whole family).
-fn gate_on_max_ratio(report: &MatrixReport, bound: f64) {
+/// Enforces the absolute empirical-ratio bound, listing every violating
+/// cell; returns `false` when the gate trips. Failed cells also trip the
+/// gate — a cell that never produced a ratio must not let the matrix pass
+/// vacuously (e.g. a shared oracle timing out and failing its whole
+/// family).
+fn gate_on_max_ratio(report: &MatrixReport, bound: f64) -> bool {
     let violations = ratio_violations(report, bound);
     let failed: Vec<_> = report.cells.iter().filter(|c| c.error.is_some()).collect();
     if violations.is_empty() && failed.is_empty() {
         println!("max-ratio {bound}: every cell ran and stayed within the bound");
-        return;
+        return true;
     }
     if !violations.is_empty() {
         eprintln!(
@@ -329,5 +358,5 @@ fn gate_on_max_ratio(report: &MatrixReport, bound: f64) {
             );
         }
     }
-    std::process::exit(3);
+    false
 }

@@ -2,4 +2,5 @@
 //! benchmarks. See each binary under `src/bin/` for the per-experiment
 //! tables (E1-E15 in `DESIGN.md`).
 
+pub mod gate;
 pub mod table;

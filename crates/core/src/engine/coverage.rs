@@ -1,0 +1,582 @@
+//! The flat coverage index behind the [`Ledger`](super::Ledger)'s query
+//! API.
+//!
+//! Purchases are recorded twice, in two flat structures:
+//!
+//! * **Start runs** — per `(element, type_index)` slot, a sorted
+//!   `Vec<(start, copies)>` of lease start times. Arrivals are near-sorted
+//!   in every workload, so recording is an amortized O(1) append (an
+//!   out-of-order start falls back to a binary-search insert whose shift
+//!   work is tracked in [`CoverageStats::shift_work`]); exact-triple
+//!   queries ([`owns`](CoverageIndex::owns)) and per-type window queries
+//!   ([`covering_start`](CoverageIndex::covering_start)) are one binary
+//!   search over contiguous memory.
+//! * **Coverage profiles** — per element, the *merged union* of every
+//!   purchased validity window as a sorted list of disjoint `[start, end)`
+//!   intervals. Overlapping leases collapse, so point coverage
+//!   ([`covered_element`](CoverageIndex::covered_element)), window
+//!   coverage and the distinct-element count
+//!   ([`count_covered_elements`](CoverageIndex::count_covered_elements))
+//!   run over a list that is usually a handful of entries regardless of
+//!   how many leases were bought.
+//!
+//! Slot ids are resolved through an `FxHash`-style table (the index is
+//! `no_std`-grade: no external hasher crate, just the multiply-rotate mix
+//! rustc itself uses), and every container keeps its allocation across
+//! [`reset`](CoverageIndex::reset) so a recycled ledger records purchases
+//! without touching the allocator.
+
+use crate::framework::Triple;
+use crate::time::TimeStep;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::OnceLock;
+
+/// The multiply-rotate word hasher used by rustc (`FxHash`): far cheaper
+/// than the default SipHash for the small integer keys of the slot tables,
+/// and deterministic (no per-process random state), which keeps SimLab's
+/// bit-determinism contract trivially intact.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Size diagnostics of a [`CoverageIndex`] — used by the long-horizon
+/// scaling tests to pin the amortized-append contract without relying on
+/// wall-clock measurements.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Distinct `(element, type)` slots allocated.
+    pub slots: usize,
+    /// Total `(start, copies)` runs across all slots.
+    pub start_runs: usize,
+    /// Total merged coverage intervals across all elements.
+    pub intervals: usize,
+    /// Total elements shifted by out-of-order (non-append) inserts since
+    /// the last reset. Near-sorted arrivals keep this at zero; a value
+    /// growing superlinearly in the purchase count means the append fast
+    /// path stopped applying.
+    pub shift_work: u64,
+}
+
+/// Per-`(element, type)` sorted start-time runs.
+#[derive(Clone, Debug)]
+struct SlotRuns {
+    type_index: usize,
+    /// Sorted `(start, copies)`; duplicate purchases merge into `copies`.
+    starts: Vec<(TimeStep, u32)>,
+}
+
+/// Per-element merged coverage profile: sorted, disjoint, non-adjacent
+/// `[start, end)` intervals — exactly the union of every purchased window.
+#[derive(Clone, Debug)]
+struct Profile {
+    intervals: Vec<(TimeStep, TimeStep)>,
+}
+
+/// The stabbing-count index behind
+/// [`count_covered_elements`](CoverageIndex::count_covered_elements).
+///
+/// Profile intervals are disjoint per element, so at most one interval of
+/// any element contains a given `t` — the distinct-covered-element count
+/// is exactly the number of intervals stabbed by `t`, which two
+/// independently sorted arrays answer in two binary searches:
+/// `#starts ≤ t − #ends ≤ t`. Built lazily on the first count query and
+/// dropped by any mutation, so a populated ledger answers count sweeps in
+/// `O(log I)` per query with one `O(I log I)` build amortized over the
+/// whole mutation-free query run.
+#[derive(Clone, Debug, Default)]
+struct StabIndex {
+    starts: Vec<TimeStep>,
+    ends: Vec<TimeStep>,
+}
+
+/// The flat per-element coverage index maintained incrementally by
+/// [`Ledger::buy`](super::Ledger::buy)/[`Ledger::buy_priced`](super::Ledger::buy_priced).
+///
+/// The index is append-only — advancing the clock never removes entries —
+/// so coverage queries are valid at arbitrary time steps, including
+/// backdated and future ones. The opt-in
+/// [`prune_expired`](CoverageIndex::prune_expired) trades history for
+/// space on unbounded streams.
+#[derive(Clone, Debug)]
+pub(super) struct CoverageIndex {
+    /// Dense-table stride: the number of in-range lease types (`K`). Slot
+    /// lookups for `k < stride` and small element ids go through the
+    /// dense tables below — a bounds check and one indexed load, no
+    /// hashing on the hot path.
+    stride: usize,
+    /// Element-major dense slot table: entry `element * stride + k` is an
+    /// index into `runs`, or [`NO_SLOT`]. Grown lazily to the largest
+    /// purchased-on element id below [`DENSE_ELEMENT_LIMIT`].
+    dense_runs: Vec<u32>,
+    /// Dense `element` → `profiles` index table (stride 1).
+    dense_profiles: Vec<u32>,
+    /// Sparse fallback for out-of-stride types and huge element ids:
+    /// `(element, type_index)` → index into `runs`.
+    slots: FxHashMap<(usize, usize), u32>,
+    runs: Vec<SlotRuns>,
+    /// Sparse fallback: `element` → index into `profiles`.
+    profile_slots: FxHashMap<usize, u32>,
+    profiles: Vec<Profile>,
+    /// Recycled backing vectors (arena reuse across [`reset`](Self::reset)).
+    spare_starts: Vec<Vec<(TimeStep, u32)>>,
+    spare_intervals: Vec<Vec<(TimeStep, TimeStep)>>,
+    /// Lazily built stabbing-count index; dropped by every mutation.
+    stab: OnceLock<StabIndex>,
+    shift_work: u64,
+}
+
+/// Empty dense-table entry.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Element ids below this go through the dense tables; anything larger
+/// falls back to the hash maps (dense memory stays bounded by
+/// `DENSE_ELEMENT_LIMIT * K` entries, grown lazily).
+const DENSE_ELEMENT_LIMIT: usize = 1 << 14;
+
+impl Default for CoverageIndex {
+    fn default() -> Self {
+        CoverageIndex {
+            stride: 1,
+            dense_runs: Vec::new(),
+            dense_profiles: Vec::new(),
+            slots: FxHashMap::default(),
+            runs: Vec::new(),
+            profile_slots: FxHashMap::default(),
+            profiles: Vec::new(),
+            spare_starts: Vec::new(),
+            spare_intervals: Vec::new(),
+            stab: OnceLock::new(),
+            shift_work: 0,
+        }
+    }
+}
+
+impl CoverageIndex {
+    /// Sets the dense-table stride (the structure's type count). Only
+    /// valid while the index is empty — [`Ledger::new`](super::Ledger::new)
+    /// and [`Ledger::reset`](super::Ledger::reset) call it before any
+    /// purchase.
+    pub fn set_stride(&mut self, num_types: usize) {
+        debug_assert!(self.runs.is_empty(), "stride is fixed once purchases exist");
+        self.stride = num_types.max(1);
+    }
+
+    /// The `runs` index of `(element, k)`, if that slot exists.
+    #[inline]
+    fn run_slot(&self, element: usize, k: usize) -> Option<u32> {
+        if k < self.stride && element < DENSE_ELEMENT_LIMIT {
+            let id = *self.dense_runs.get(element * self.stride + k)?;
+            (id != NO_SLOT).then_some(id)
+        } else {
+            self.slots.get(&(element, k)).copied()
+        }
+    }
+
+    /// The `runs` index of `(element, k)`, creating the slot on first use.
+    fn run_slot_or_insert(&mut self, element: usize, k: usize) -> u32 {
+        let next_id = u32::try_from(self.runs.len()).expect("fewer than 2^32 slots");
+        let id = if k < self.stride && element < DENSE_ELEMENT_LIMIT {
+            let idx = element * self.stride + k;
+            if idx >= self.dense_runs.len() {
+                let grown = (idx + 1).max(self.dense_runs.len() * 2);
+                self.dense_runs.resize(grown, NO_SLOT);
+            }
+            let entry = &mut self.dense_runs[idx];
+            if *entry == NO_SLOT {
+                *entry = next_id;
+            }
+            *entry
+        } else {
+            *self.slots.entry((element, k)).or_insert(next_id)
+        };
+        if id == next_id {
+            self.runs.push(SlotRuns {
+                type_index: k,
+                starts: self.spare_starts.pop().unwrap_or_default(),
+            });
+        }
+        id
+    }
+
+    /// The `profiles` index of `element`, if a profile exists.
+    #[inline]
+    fn profile_slot(&self, element: usize) -> Option<u32> {
+        if element < DENSE_ELEMENT_LIMIT {
+            let id = *self.dense_profiles.get(element)?;
+            (id != NO_SLOT).then_some(id)
+        } else {
+            self.profile_slots.get(&element).copied()
+        }
+    }
+
+    /// The `profiles` index of `element`, creating the profile on first
+    /// use.
+    fn profile_slot_or_insert(&mut self, element: usize) -> u32 {
+        let next_id = u32::try_from(self.profiles.len()).expect("fewer than 2^32 elements");
+        let id = if element < DENSE_ELEMENT_LIMIT {
+            if element >= self.dense_profiles.len() {
+                let grown = (element + 1).max(self.dense_profiles.len() * 2);
+                self.dense_profiles.resize(grown, NO_SLOT);
+            }
+            let entry = &mut self.dense_profiles[element];
+            if *entry == NO_SLOT {
+                *entry = next_id;
+            }
+            *entry
+        } else {
+            *self.profile_slots.entry(element).or_insert(next_id)
+        };
+        if id == next_id {
+            self.profiles.push(Profile {
+                intervals: self.spare_intervals.pop().unwrap_or_default(),
+            });
+        }
+        id
+    }
+
+    /// Records one purchase of `triple`; `window_len` is the validity
+    /// window length when the triple's type is in range for the ledger's
+    /// structure (out-of-range purchases carry no window information and
+    /// only enter the ownership runs).
+    pub fn insert(&mut self, triple: Triple, window_len: Option<u64>) {
+        let slot = self.run_slot_or_insert(triple.element, triple.type_index);
+        let starts = &mut self.runs[slot as usize].starts;
+        match starts.last_mut() {
+            Some(last) if last.0 == triple.start => last.1 += 1,
+            Some(last) if last.0 < triple.start => starts.push((triple.start, 1)),
+            None => starts.push((triple.start, 1)),
+            _ => {
+                // Out-of-order (backdated) start: binary-search insert.
+                let idx = starts.partition_point(|&(s, _)| s < triple.start);
+                if starts[idx].0 == triple.start {
+                    starts[idx].1 += 1;
+                } else {
+                    self.shift_work += (starts.len() - idx) as u64;
+                    starts.insert(idx, (triple.start, 1));
+                }
+            }
+        }
+        if let Some(len) = window_len {
+            self.add_window(triple.element, triple.start, triple.start + len);
+        }
+    }
+
+    /// Merges the window `[start, end)` into `element`'s coverage profile.
+    fn add_window(&mut self, element: usize, start: TimeStep, end: TimeStep) {
+        self.stab.take();
+        let slot = self.profile_slot_or_insert(element);
+        let intervals = &mut self.profiles[slot as usize].intervals;
+        match intervals.last_mut() {
+            None => intervals.push((start, end)),
+            Some(last) if start > last.1 => intervals.push((start, end)),
+            Some(last) if start >= last.0 => last.1 = last.1.max(end),
+            _ => {
+                // Out-of-order window: splice `[start, end)` into the sorted
+                // disjoint list, merging every interval it touches
+                // (adjacency included — the profile stores a true union).
+                let lo = intervals.partition_point(|&(_, e)| e < start);
+                let hi = intervals.partition_point(|&(s, _)| s <= end);
+                if lo == hi {
+                    self.shift_work += (intervals.len() - lo) as u64;
+                    intervals.insert(lo, (start, end));
+                } else {
+                    let merged = (intervals[lo].0.min(start), intervals[hi - 1].1.max(end));
+                    intervals[lo] = merged;
+                    if hi - lo > 1 {
+                        self.shift_work += (intervals.len() - hi) as u64;
+                        intervals.drain(lo + 1..hi);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether some purchased window of `element` covers `t` — one binary
+    /// search over the merged profile.
+    pub fn covered_element(&self, element: usize, t: TimeStep) -> bool {
+        let Some(slot) = self.profile_slot(element) else {
+            return false;
+        };
+        let intervals = &self.profiles[slot as usize].intervals;
+        let idx = intervals.partition_point(|&(s, _)| s <= t);
+        idx > 0 && intervals[idx - 1].1 > t
+    }
+
+    /// Whether some purchased window of `element` intersects the closed
+    /// step range `[lo, hi]`.
+    pub fn covered_element_during(&self, element: usize, lo: TimeStep, hi: TimeStep) -> bool {
+        let Some(slot) = self.profile_slot(element) else {
+            return false;
+        };
+        let intervals = &self.profiles[slot as usize].intervals;
+        // Intervals are disjoint and sorted, so ends are increasing: the
+        // only candidate is the last interval starting at or before `hi`.
+        let idx = intervals.partition_point(|&(s, _)| s <= hi);
+        idx > 0 && intervals[idx - 1].1 > lo
+    }
+
+    /// Number of distinct elements with a purchased window covering `t` —
+    /// two binary searches over the lazily built [`StabIndex`],
+    /// independent of both the element count and the decision count.
+    pub fn count_covered_elements(&self, t: TimeStep) -> usize {
+        let stab = self.stab.get_or_init(|| {
+            let mut index = StabIndex::default();
+            for profile in &self.profiles {
+                for &(start, end) in &profile.intervals {
+                    index.starts.push(start);
+                    index.ends.push(end);
+                }
+            }
+            index.starts.sort_unstable();
+            index.ends.sort_unstable();
+            index
+        });
+        stab.starts.partition_point(|&s| s <= t) - stab.ends.partition_point(|&e| e <= t)
+    }
+
+    /// The latest start of a type-`k` lease of `element` whose window of
+    /// length `len` covers `t`.
+    pub fn covering_start(
+        &self,
+        element: usize,
+        k: usize,
+        len: u64,
+        t: TimeStep,
+    ) -> Option<TimeStep> {
+        if len == 0 {
+            return None;
+        }
+        let starts = self.slot_starts(element, k)?;
+        let idx = Self::rank_le(starts, t);
+        if idx == 0 {
+            return None;
+        }
+        let start = starts[idx - 1].0;
+        (start >= t.saturating_sub(len - 1)).then_some(start)
+    }
+
+    /// Whether the exact triple has been purchased at least once.
+    pub fn owns(&self, triple: Triple) -> bool {
+        self.slot_starts(triple.element, triple.type_index)
+            .is_some_and(|starts| {
+                let idx = Self::rank_le(starts, triple.start);
+                idx > 0 && starts[idx - 1].0 == triple.start
+            })
+    }
+
+    fn slot_starts(&self, element: usize, k: usize) -> Option<&[(TimeStep, u32)]> {
+        self.run_slot(element, k)
+            .map(|id| self.runs[id as usize].starts.as_slice())
+    }
+
+    /// The number of starts at or before `t` (equivalently, the index of
+    /// the first start beyond `t`), galloping from the tail: online
+    /// serve paths query starts near the clock, so the probe count scales
+    /// with how far behind the tail `t` lies rather than with the run
+    /// length — recent-history queries stay O(1)-ish however long the
+    /// stream grows.
+    fn rank_le(starts: &[(TimeStep, u32)], t: TimeStep) -> usize {
+        let n = starts.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut back = 1usize;
+        while back <= n && starts[n - back].0 > t {
+            back *= 2;
+        }
+        // All starts below `n - back` are ≤ t (or the slice begins there);
+        // everything from `n - back/2` on is > t.
+        let lo = n.saturating_sub(back);
+        let hi = n - back / 2;
+        lo + starts[lo..hi].partition_point(|&(s, _)| s <= t)
+    }
+
+    /// Removes every start run of a known lease type whose window of the
+    /// corresponding length ended at or before `horizon`
+    /// (`start + len ≤ horizon`), and every profile interval that ended by
+    /// the horizon. Returns the number of purchased copies removed.
+    pub fn prune_expired(&mut self, horizon: TimeStep, lengths: &[u64]) -> usize {
+        self.stab.take();
+        let mut removed = 0usize;
+        for run in &mut self.runs {
+            // Purchases of out-of-range types carry no window information;
+            // they are kept so `owns` keeps answering for them.
+            let Some(&len) = lengths.get(run.type_index) else {
+                continue;
+            };
+            if horizon < len {
+                continue;
+            }
+            let cutoff = horizon - len; // start ≤ cutoff ⇒ ended by horizon
+            let n = run.starts.partition_point(|&(s, _)| s <= cutoff);
+            if n > 0 {
+                removed += run.starts[..n]
+                    .iter()
+                    .map(|&(_, c)| c as usize)
+                    .sum::<usize>();
+                run.starts.drain(..n);
+            }
+        }
+        for profile in &mut self.profiles {
+            let n = profile.intervals.partition_point(|&(_, e)| e <= horizon);
+            profile.intervals.drain(..n);
+        }
+        removed
+    }
+
+    /// Clears every recorded purchase while keeping allocated capacity —
+    /// the arena-reuse path behind [`Ledger::reset`](super::Ledger::reset).
+    pub fn reset(&mut self) {
+        self.stab.take();
+        // Cleared dense tables keep their capacity; `resize` refills the
+        // sentinel lazily as elements reappear.
+        self.dense_runs.clear();
+        self.dense_profiles.clear();
+        self.slots.clear();
+        self.profile_slots.clear();
+        for mut run in self.runs.drain(..) {
+            run.starts.clear();
+            self.spare_starts.push(run.starts);
+        }
+        for mut profile in self.profiles.drain(..) {
+            profile.intervals.clear();
+            self.spare_intervals.push(profile.intervals);
+        }
+        self.shift_work = 0;
+    }
+
+    /// Current size and shift-work diagnostics.
+    pub fn stats(&self) -> CoverageStats {
+        CoverageStats {
+            slots: self.runs.len(),
+            start_runs: self.runs.iter().map(|r| r.starts.len()).sum(),
+            intervals: self.profiles.iter().map(|p| p.intervals.len()).sum(),
+            shift_work: self.shift_work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_merges_overlapping_and_adjacent_windows() {
+        let mut index = CoverageIndex::default();
+        index.insert(Triple::new(0, 0, 4), Some(4)); // [4, 8)
+        index.insert(Triple::new(0, 0, 8), Some(4)); // adjacent [8, 12)
+        index.insert(Triple::new(0, 1, 6), Some(16)); // overlapping [6, 22)
+        let stats = index.stats();
+        assert_eq!(stats.intervals, 1, "one merged [4, 22) interval");
+        assert!(index.covered_element(0, 4));
+        assert!(index.covered_element(0, 21));
+        assert!(!index.covered_element(0, 22));
+        assert!(!index.covered_element(0, 3));
+    }
+
+    #[test]
+    fn out_of_order_windows_splice_and_merge() {
+        let mut index = CoverageIndex::default();
+        index.insert(Triple::new(0, 0, 20), Some(4)); // [20, 24)
+        index.insert(Triple::new(0, 0, 0), Some(4)); // backdated [0, 4)
+        index.insert(Triple::new(0, 0, 10), Some(4)); // backdated [10, 14)
+        assert_eq!(index.stats().intervals, 3);
+        // A bridging window merges all three into one.
+        index.insert(Triple::new(0, 1, 2), Some(20)); // [2, 22)
+        assert_eq!(index.stats().intervals, 1);
+        assert!(index.covered_element(0, 0));
+        assert!(index.covered_element(0, 23));
+        assert!(!index.covered_element(0, 24));
+        assert!(index.stats().shift_work > 0, "backdating is counted");
+    }
+
+    #[test]
+    fn append_path_does_no_shift_work() {
+        let mut index = CoverageIndex::default();
+        for t in 0..1_000u64 {
+            index.insert(Triple::new((t % 7) as usize, 0, t), Some(3));
+        }
+        assert_eq!(index.stats().shift_work, 0, "sorted arrivals are appends");
+    }
+
+    #[test]
+    fn duplicate_starts_merge_into_copies() {
+        let mut index = CoverageIndex::default();
+        let tr = Triple::new(3, 1, 8);
+        index.insert(tr, Some(4));
+        index.insert(tr, Some(4));
+        assert_eq!(index.stats().start_runs, 1);
+        assert!(index.owns(tr));
+        assert!(!index.owns(Triple::new(3, 1, 9)));
+        // Both copies count when pruned.
+        assert_eq!(index.prune_expired(12, &[2, 4]), 2);
+        assert!(!index.owns(tr));
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_clears_answers() {
+        let mut index = CoverageIndex::default();
+        for t in 0..100u64 {
+            index.insert(Triple::new(0, 0, t), Some(5));
+        }
+        assert!(index.covered_element(0, 50));
+        index.reset();
+        assert_eq!(index.stats(), CoverageStats::default());
+        assert!(!index.covered_element(0, 50));
+        assert!(!index.owns(Triple::new(0, 0, 0)));
+        assert_eq!(index.count_covered_elements(50), 0);
+        // Recycled vectors are reused without fresh allocation.
+        index.insert(Triple::new(0, 0, 1), Some(5));
+        assert!(index.covered_element(0, 3));
+    }
+}

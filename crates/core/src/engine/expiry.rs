@@ -1,0 +1,230 @@
+//! The bucketed expiry timeline behind [`Ledger::advance`](super::Ledger::advance).
+//!
+//! The ledger only ever needs three things from its pending-expiry set: how
+//! many leases are still active, when the next one expires, and how many
+//! expire when the clock advances. No triple identity is consumed on
+//! expiry, so the old `BinaryHeap<Reverse<(TimeStep, Triple)>>` — N pops
+//! with triple comparisons per advance — is replaced by a ring of `u32`
+//! *counts*: bucket `end % RING` holds the number of copies expiring at
+//! `end` for every `end` in the clock window `(now, now + RING]`, with a
+//! 64-bit occupancy mask so [`advance_to`](ExpiryTimeline::advance_to)
+//! drains only non-empty buckets (a couple of bit operations per distinct
+//! expiry time, independent of how far the clock jumps). Expiries beyond
+//! the window — far-future starts or very long leases — overflow into a
+//! `BTreeMap<TimeStep, u32>` and slide into the ring as the clock reaches
+//! them.
+
+use crate::time::TimeStep;
+use std::collections::BTreeMap;
+
+/// Ring span in time steps: one `u64` occupancy word.
+const RING: u64 = 64;
+
+/// Pending lease expiries, bucketed by expiry step.
+#[derive(Clone, Debug)]
+pub(super) struct ExpiryTimeline {
+    /// Clock anchor; the ring covers expiry times in `(base, base + RING]`.
+    base: TimeStep,
+    /// `ring[end % RING]` = copies expiring at the unique in-window `end`
+    /// with that residue.
+    ring: [u32; RING as usize],
+    /// Bit `i` set iff `ring[i] > 0`.
+    occupied: u64,
+    /// Expiries beyond the ring window: `end` → copies. Every key exceeds
+    /// `base + RING`.
+    far: BTreeMap<TimeStep, u32>,
+    /// Total pending copies (ring + far).
+    pending: usize,
+}
+
+impl Default for ExpiryTimeline {
+    fn default() -> Self {
+        ExpiryTimeline {
+            base: 0,
+            ring: [0; RING as usize],
+            occupied: 0,
+            far: BTreeMap::new(),
+            pending: 0,
+        }
+    }
+}
+
+impl ExpiryTimeline {
+    /// Number of pending (not yet expired) copies.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Schedules one lease copy expiring at `end`; callers guarantee
+    /// `end > now` (already-expired purchases never enter the timeline).
+    pub fn schedule(&mut self, end: TimeStep) {
+        debug_assert!(end > self.base, "expiry at or before the clock");
+        self.pending += 1;
+        if end - self.base <= RING {
+            let idx = (end % RING) as usize;
+            self.ring[idx] += 1;
+            self.occupied |= 1 << idx;
+        } else {
+            *self.far.entry(end).or_insert(0) += 1;
+        }
+    }
+
+    /// Advances the clock to `t`, draining every bucket whose expiry time
+    /// is at or before `t`. Returns the number of copies expired.
+    pub fn advance_to(&mut self, t: TimeStep) -> usize {
+        if t <= self.base {
+            return 0;
+        }
+        if self.pending == 0 {
+            // Nothing scheduled: just move the anchor (the hot no-op path
+            // of drivers whose leases have all expired or never existed).
+            self.base = t;
+            return 0;
+        }
+        let mut expired = 0usize;
+        // Ring buckets with expiry in (base, min(t, base + RING)]: a
+        // contiguous residue range of the occupancy word.
+        let span = t - self.base;
+        let hits = if span >= RING {
+            self.occupied
+        } else {
+            let lo = ((self.base + 1) % RING) as u32;
+            self.occupied & ((1u64 << span) - 1).rotate_left(lo)
+        };
+        let mut bits = hits;
+        while bits != 0 {
+            let idx = bits.trailing_zeros() as usize;
+            expired += self.ring[idx] as usize;
+            self.ring[idx] = 0;
+            bits &= bits - 1;
+        }
+        self.occupied &= !hits;
+        self.base = t;
+        // Far buckets the clock jumped over entirely.
+        while let Some((&end, &copies)) = self.far.first_key_value() {
+            if end > t {
+                break;
+            }
+            self.far.pop_first();
+            expired += copies as usize;
+        }
+        // Far buckets that now fit the window slide into the ring. Within
+        // one window every residue names a unique time, so a non-empty
+        // target bucket can only be the *same* expiry time scheduled after
+        // the far entry was — counts merge.
+        while let Some((&end, &copies)) = self.far.first_key_value() {
+            if end - t > RING {
+                break;
+            }
+            self.far.pop_first();
+            let idx = (end % RING) as usize;
+            self.ring[idx] += copies;
+            self.occupied |= 1 << idx;
+        }
+        self.pending -= expired;
+        expired
+    }
+
+    /// The earliest pending expiry time, if any.
+    pub fn next_expiry(&self) -> Option<TimeStep> {
+        if self.occupied != 0 {
+            // Rotate so the bit of time `base + 1` lands at position 0;
+            // trailing zeros then count steps past it.
+            let lo = ((self.base + 1) % RING) as u32;
+            let offset = self.occupied.rotate_right(lo).trailing_zeros() as u64;
+            Some(self.base + 1 + offset)
+        } else {
+            self.far.first_key_value().map(|(&end, _)| end)
+        }
+    }
+
+    /// Clears all pending expiries and rewinds the clock anchor.
+    pub fn reset(&mut self) {
+        self.base = 0;
+        self.ring = [0; RING as usize];
+        self.occupied = 0;
+        self.far.clear();
+        self.pending = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_window_and_far_buckets() {
+        let mut tl = ExpiryTimeline::default();
+        tl.schedule(4);
+        tl.schedule(4);
+        tl.schedule(16);
+        tl.schedule(500); // far beyond the ring
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl.next_expiry(), Some(4));
+        assert_eq!(tl.advance_to(3), 0);
+        assert_eq!(tl.advance_to(4), 2);
+        assert_eq!(tl.next_expiry(), Some(16));
+        assert_eq!(tl.advance_to(400), 1);
+        assert_eq!(tl.next_expiry(), Some(500), "far bucket slid into view");
+        assert_eq!(tl.advance_to(5_000), 1);
+        assert_eq!(tl.len(), 0);
+        assert_eq!(tl.next_expiry(), None);
+    }
+
+    #[test]
+    fn ring_residues_wrap_without_collision() {
+        let mut tl = ExpiryTimeline::default();
+        // Walk the clock far past several ring generations.
+        let mut pending_ends: Vec<u64> = Vec::new();
+        let mut expired = 0usize;
+        for t in 1..1_000u64 {
+            expired += tl.advance_to(t);
+            let end = t + 1 + (t % 63);
+            tl.schedule(end);
+            pending_ends.push(end);
+        }
+        let total: usize = pending_ends.len();
+        expired += tl.advance_to(10_000);
+        assert_eq!(expired, total, "every scheduled copy expires exactly once");
+        assert_eq!(tl.len(), 0);
+    }
+
+    #[test]
+    fn exact_ring_boundary_schedules_and_drains() {
+        let mut tl = ExpiryTimeline::default();
+        tl.advance_to(100);
+        tl.schedule(100 + RING); // last in-window slot
+        tl.schedule(100 + RING + 1); // first far slot
+        assert_eq!(tl.next_expiry(), Some(100 + RING));
+        assert_eq!(tl.advance_to(100 + RING), 1);
+        assert_eq!(tl.next_expiry(), Some(100 + RING + 1));
+        assert_eq!(tl.advance_to(100 + RING + 1), 1);
+        assert_eq!(tl.len(), 0);
+    }
+
+    #[test]
+    fn far_and_ring_copies_of_the_same_end_merge() {
+        let mut tl = ExpiryTimeline::default();
+        tl.schedule(70); // far: 70 - 0 > RING
+        tl.advance_to(10);
+        tl.schedule(70); // in-window now: 70 - 10 <= RING
+        assert_eq!(tl.advance_to(11), 0, "sliding in must not drop copies");
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.advance_to(70), 2);
+        assert_eq!(tl.len(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut tl = ExpiryTimeline::default();
+        tl.advance_to(10);
+        tl.schedule(12);
+        tl.schedule(900);
+        tl.reset();
+        assert_eq!(tl.len(), 0);
+        assert_eq!(tl.next_expiry(), None);
+        // Reusable from the rewound anchor.
+        tl.schedule(3);
+        assert_eq!(tl.advance_to(3), 1);
+    }
+}

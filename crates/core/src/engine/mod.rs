@@ -7,33 +7,30 @@
 //! makes that abstraction the driver-facing API:
 //!
 //! * [`Ledger`] — the centralized, serializable record of every purchase:
-//!   incremental cost (total and per category), the active-lease expiry
-//!   heap, the full decision trace and per-element statistics. Every
-//!   online algorithm in the problem crates records money *only* through
-//!   the ledger instead of keeping a private `total_cost` accumulator
-//!   (the `online_covering` substrate and the offline baselines keep
-//!   their own meters — they are not driver-facing).
+//!   incremental cost (total and per interned category), the active-lease
+//!   expiry timeline, the full decision trace and per-element statistics.
+//!   Every online algorithm in the problem crates records money *only*
+//!   through the ledger instead of keeping a private `total_cost`
+//!   accumulator (the `online_covering` substrate and the offline
+//!   baselines keep their own meters — they are not driver-facing).
 //! * **Coverage index** — the ledger also maintains, incrementally on
-//!   every purchase, a per-`(element, lease type)` sorted index of lease
-//!   start times. Because all leases of one type share the length `l_k`,
-//!   "is element `i` covered at time `t`?" reduces to one ordered range
-//!   lookup per type: a type-`k` lease covers `t` iff its start lies in
-//!   `(t − l_k, t]`. The index is append-only — queries hold at any past
-//!   or future step — with an opt-in [`Ledger::compact`] that prunes
-//!   long-expired entries for unbounded streams. The point queries —
-//!   [`Ledger::covered`],
-//!   [`Ledger::active_lease`], [`Ledger::active_lease_of_type`],
-//!   [`Ledger::owns`] and the window query [`Ledger::covered_during`] —
-//!   therefore run in `O(K log n)` for `n` recorded purchases instead of
-//!   the `O(n)` decision-trace scan every problem crate used to roll by
-//!   hand. [`Ledger::active_count`] counts distinct covered elements in
-//!   `O(E · K log n)` for `E` purchased-on elements. The index is
-//!   append-only (expiry never removes entries), so queries are valid at
-//!   *any* time step — past, present or future — not just the current
-//!   clock. The trade-off is two ordered-map insertions per purchase
-//!   (`ledger_insert` in `bench_driver` measures roughly a 2× slower raw
-//!   `buy`), bought back orders of magnitude over on every coverage
-//!   query — see `bench_coverage` in `BENCH_driver.json`.
+//!   every purchase, a flat per-element index ([`coverage`]): sorted
+//!   start-time runs per `(element, lease type)` slot plus a *merged
+//!   coverage profile* per element (the union of every purchased validity
+//!   window as disjoint intervals). Point and window coverage queries —
+//!   [`Ledger::covered`], [`Ledger::covered_during`] — are one binary
+//!   search over a handful of merged intervals; [`Ledger::active_lease`],
+//!   [`Ledger::active_lease_of_type`] and [`Ledger::owns`] are `O(log n)`
+//!   searches over contiguous start runs; [`Ledger::active_count`] is two
+//!   binary searches over a lazily built (mutation-invalidated) stabbing
+//!   index, independent of both the element count and the decision
+//!   count. The index is append-only — queries are valid at *any* time
+//!   step, past, present or future — with an opt-in [`Ledger::compact`]
+//!   that prunes long-expired entries for unbounded streams. Arrivals are
+//!   near-sorted in every workload, so maintaining the index is an
+//!   amortized O(1) append per purchase with **zero steady-state
+//!   allocation** — see `bench_driver`/`bench_coverage` in
+//!   `BENCH_driver.json`.
 //! * [`LeasingAlgorithm`] — the trait every online algorithm implements:
 //!   `on_request(&mut self, t, request, &mut Ledger)` serves one request
 //!   immediately and irrevocably, recording purchases into the ledger.
@@ -78,14 +75,17 @@
 //! # }
 //! ```
 
-use crate::framework::Triple;
+mod coverage;
+mod expiry;
+mod ledger;
+
+pub use coverage::{CoverageStats, FxHashMap, FxHasher};
+pub use ledger::{Decision, ElementStats, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+
 use crate::harness::CompetitiveOutcome;
-use crate::lease::{Lease, LeaseStructure};
-use crate::time::{TimeStep, Window};
-use serde::{de, json, Deserialize, Serialize, Value};
-use std::borrow::Cow;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use crate::lease::LeaseStructure;
+use crate::time::TimeStep;
+use serde::{json, Deserialize, Serialize};
 
 /// Why a [`Driver`] rejected a submission.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,578 +118,6 @@ impl std::fmt::Display for DriverError {
 }
 
 impl std::error::Error for DriverError {}
-
-/// One irrevocable spending decision recorded in a [`Ledger`].
-#[derive(Clone, Debug, PartialEq)]
-pub struct Decision {
-    /// Time step at which the decision was made.
-    pub time: TimeStep,
-    /// Infrastructure element the money was spent on (set id, facility id,
-    /// edge id, vertex id, ... — `0` for single-resource problems).
-    pub element: usize,
-    /// The lease bought, or `None` for auxiliary charges (e.g. connection
-    /// costs in facility leasing).
-    pub lease: Option<Lease>,
-    /// Money paid.
-    pub cost: f64,
-    /// Spending category (`"lease"`, `"connection"`, `"rounded"`, ...).
-    pub category: Cow<'static, str>,
-}
-
-impl Decision {
-    /// The purchased triple `(element, k, start)`, when this decision is a
-    /// lease purchase.
-    pub fn triple(&self) -> Option<Triple> {
-        self.lease
-            .map(|l| Triple::new(self.element, l.type_index, l.start))
-    }
-}
-
-/// Per-element spending statistics maintained by the [`Ledger`].
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct ElementStats {
-    /// Number of leases bought for the element.
-    pub leases: usize,
-    /// Money spent on leases of the element.
-    pub lease_cost: f64,
-    /// Auxiliary money charged against the element (connections, ...).
-    pub extra_cost: f64,
-}
-
-/// The per-element active-lease index maintained incrementally by
-/// [`Ledger::buy`]/[`Ledger::buy_priced`].
-///
-/// Leases of one type all share the same length, so the index keys a sorted
-/// multiset of start times by `(element, type_index)`: a type-`k` lease of
-/// length `l_k` covers time `t` exactly when its start lies in the interval
-/// `(t − l_k, t]`, one `BTreeMap` range lookup. The index is append-only —
-/// advancing the clock never removes entries — so coverage queries are
-/// valid at arbitrary time steps, including backdated and future ones.
-#[derive(Clone, Debug, Default)]
-struct CoverageIndex {
-    /// `(element, type_index)` → start time → number of copies bought.
-    starts: BTreeMap<(usize, usize), BTreeMap<TimeStep, u32>>,
-}
-
-impl CoverageIndex {
-    fn insert(&mut self, triple: Triple) {
-        *self
-            .starts
-            .entry((triple.element, triple.type_index))
-            .or_default()
-            .entry(triple.start)
-            .or_insert(0) += 1;
-    }
-
-    /// Removes every start of `(element, k)` whose window of length `len`
-    /// ended at or before `horizon` (`start + len ≤ horizon`). Returns the
-    /// number of purchased copies removed.
-    fn prune_expired(&mut self, horizon: TimeStep, lengths: &[u64]) -> usize {
-        let mut removed = 0usize;
-        self.starts.retain(|&(_, k), slots| {
-            // Purchases of out-of-range types carry no window information;
-            // they are kept so `owns` keeps answering for them.
-            let Some(&len) = lengths.get(k) else {
-                return true;
-            };
-            if horizon >= len {
-                let cutoff = horizon - len; // start ≤ cutoff ⇒ ended by horizon
-                while let Some((&start, &copies)) = slots.first_key_value() {
-                    if start > cutoff {
-                        break;
-                    }
-                    slots.remove(&start);
-                    removed += copies as usize;
-                }
-            }
-            !slots.is_empty()
-        });
-        removed
-    }
-
-    /// The latest start of a type-`k` lease of `element` whose window of
-    /// length `len` covers `t`.
-    fn covering_start(&self, element: usize, k: usize, len: u64, t: TimeStep) -> Option<TimeStep> {
-        if len == 0 {
-            return None;
-        }
-        let slots = self.starts.get(&(element, k))?;
-        let lo = t.saturating_sub(len - 1);
-        slots.range(lo..=t).next_back().map(|(&s, _)| s)
-    }
-
-    /// Whether some type-`k` lease of `element` has a start in `[lo, hi]`.
-    fn any_start_in(&self, element: usize, k: usize, lo: TimeStep, hi: TimeStep) -> bool {
-        self.starts
-            .get(&(element, k))
-            .is_some_and(|slots| slots.range(lo..=hi).next().is_some())
-    }
-}
-
-/// The default spending category of [`Ledger::buy`]/[`Ledger::buy_priced`].
-pub const CATEGORY_LEASE: &str = "lease";
-
-/// The spending category of client-connection charges in the facility
-/// problems.
-pub const CATEGORY_CONNECTION: &str = "connection";
-
-/// The centralized decision record of one online run.
-///
-/// Every purchase of a triple `(i, k, t)` and every auxiliary charge flows
-/// through the ledger, which maintains — incrementally, in `O(log n)` per
-/// decision — the total cost, a per-category breakdown, the decision trace,
-/// per-element statistics and a min-heap of active-lease expiries.
-///
-/// A ledger is normally owned by a [`Driver`]; the problem crates also keep
-/// one internally so their deprecated `serve_*` entry points stay usable.
-#[derive(Clone, Debug, Default)]
-pub struct Ledger {
-    structure: Option<LeaseStructure>,
-    decisions: Vec<Decision>,
-    total: f64,
-    by_category: BTreeMap<Cow<'static, str>, f64>,
-    /// Min-heap of `(window end, triple)` for leases not yet expired at
-    /// [`now`](Ledger::now).
-    expiry: BinaryHeap<Reverse<(TimeStep, Triple)>>,
-    per_element: BTreeMap<usize, ElementStats>,
-    /// Append-only per-(element, type) start index behind the coverage
-    /// queries ([`covered`](Ledger::covered), [`owns`](Ledger::owns), ...).
-    coverage: CoverageIndex,
-    now: TimeStep,
-    leases_bought: usize,
-}
-
-impl Ledger {
-    /// An empty ledger pricing and windowing leases with `structure`.
-    pub fn new(structure: LeaseStructure) -> Self {
-        Ledger {
-            structure: Some(structure),
-            ..Ledger::default()
-        }
-    }
-
-    /// An empty ledger without a lease structure. [`Ledger::buy`] and the
-    /// expiry heap need a structure; [`Ledger::buy_priced`] with explicit
-    /// windows does not.
-    pub fn detached() -> Self {
-        Ledger::default()
-    }
-
-    /// The lease structure used for pricing and validity windows, if any.
-    pub fn structure(&self) -> Option<&LeaseStructure> {
-        self.structure.as_ref()
-    }
-
-    /// Advances the ledger clock to `t` (monotone), expiring every lease
-    /// whose window ends at or before `t`. Returns how many leases expired.
-    ///
-    /// Re-advancing to the current clock (or any earlier time) is a free
-    /// no-op: purchases only enter the expiry heap with a window end beyond
-    /// the clock, so expiry processing genuinely runs once per *distinct*
-    /// time even under equal-time batch submission.
-    pub fn advance(&mut self, t: TimeStep) -> usize {
-        if t <= self.now {
-            // Heap invariant: every queued window end exceeds `now`, so
-            // nothing can expire at or before it.
-            return 0;
-        }
-        self.now = t;
-        let mut expired = 0;
-        while let Some(Reverse((end, _))) = self.expiry.peek() {
-            if *end > self.now {
-                break;
-            }
-            self.expiry.pop();
-            expired += 1;
-        }
-        expired
-    }
-
-    /// The current ledger clock: the largest time passed to
-    /// [`advance`](Ledger::advance) so far. Decision times given to
-    /// [`buy`](Ledger::buy)/[`charge`](Ledger::charge) do **not** move the
-    /// clock — the [`Driver`] advances it once per submitted request, so
-    /// expiry bookkeeping is always relative to the request stream, not to
-    /// (possibly backdated) purchase times.
-    pub fn now(&self) -> TimeStep {
-        self.now
-    }
-
-    /// Buys `triple` at time `t`, priced by the ledger's lease structure,
-    /// under the [`CATEGORY_LEASE`] category. Returns the price paid.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ledger has no structure or the triple's type index is
-    /// out of range.
-    pub fn buy(&mut self, t: TimeStep, triple: Triple) -> f64 {
-        let structure = self
-            .structure
-            .as_ref()
-            .expect("Ledger::buy requires a lease structure; use buy_priced");
-        let cost = structure.cost(triple.type_index);
-        self.record_lease(t, triple, cost, Cow::Borrowed(CATEGORY_LEASE));
-        cost
-    }
-
-    /// Buys `triple` at time `t` for an explicit price under `category`
-    /// (problems with per-element prices: weighted set cover, facility
-    /// leasing, scaled edge structures, ...).
-    pub fn buy_priced(
-        &mut self,
-        t: TimeStep,
-        triple: Triple,
-        cost: f64,
-        category: &'static str,
-    ) -> f64 {
-        self.record_lease(t, triple, cost, Cow::Borrowed(category));
-        cost
-    }
-
-    fn record_lease(
-        &mut self,
-        t: TimeStep,
-        triple: Triple,
-        cost: f64,
-        category: Cow<'static, str>,
-    ) {
-        debug_assert!(
-            cost.is_finite() && cost >= 0.0,
-            "lease prices are non-negative"
-        );
-        self.total += cost;
-        *self.by_category.entry(category.clone()).or_insert(0.0) += cost;
-        let stats = self.per_element.entry(triple.element).or_default();
-        stats.leases += 1;
-        stats.lease_cost += cost;
-        self.leases_bought += 1;
-        self.coverage.insert(triple);
-        if let Some(structure) = &self.structure {
-            if triple.type_index < structure.num_types() {
-                let end = triple.start + structure.length(triple.type_index);
-                if end > self.now {
-                    self.expiry.push(Reverse((end, triple)));
-                }
-            }
-        }
-        self.decisions.push(Decision {
-            time: t,
-            element: triple.element,
-            lease: Some(triple.lease()),
-            cost,
-            category,
-        });
-    }
-
-    /// Records an auxiliary (non-lease) charge of `cost` against `element`
-    /// at time `t` under `category` — connection costs, rounding
-    /// fallbacks, and so on.
-    pub fn charge(&mut self, t: TimeStep, element: usize, cost: f64, category: &'static str) {
-        self.record_charge(t, element, cost, Cow::Borrowed(category));
-    }
-
-    fn record_charge(
-        &mut self,
-        t: TimeStep,
-        element: usize,
-        cost: f64,
-        category: Cow<'static, str>,
-    ) {
-        debug_assert!(cost.is_finite() && cost >= 0.0, "charges are non-negative");
-        self.total += cost;
-        *self.by_category.entry(category.clone()).or_insert(0.0) += cost;
-        self.per_element.entry(element).or_default().extra_cost += cost;
-        self.decisions.push(Decision {
-            time: t,
-            element,
-            lease: None,
-            cost,
-            category,
-        });
-    }
-
-    /// Total money spent.
-    pub fn total_cost(&self) -> f64 {
-        self.total
-    }
-
-    /// Money spent under `category` (zero when never charged).
-    pub fn category_cost(&self, category: &str) -> f64 {
-        self.by_category.get(category).copied().unwrap_or(0.0)
-    }
-
-    /// All categories with their spend, ordered by name.
-    pub fn cost_breakdown(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
-        self.by_category.iter().map(|(k, &v)| (k.as_ref(), v))
-    }
-
-    /// The full decision trace in decision order.
-    pub fn decisions(&self) -> &[Decision] {
-        &self.decisions
-    }
-
-    /// Number of decisions recorded (purchases plus charges).
-    pub fn decision_count(&self) -> usize {
-        self.decisions.len()
-    }
-
-    /// Number of leases bought.
-    pub fn leases_bought(&self) -> usize {
-        self.leases_bought
-    }
-
-    /// Whether no decision has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.decisions.is_empty()
-    }
-
-    /// Number of leases bought whose validity window extends beyond the
-    /// ledger clock (after the latest [`advance`](Ledger::advance)).
-    pub fn active_leases(&self) -> usize {
-        self.expiry.len()
-    }
-
-    /// The earliest pending lease expiry, if any lease is still active.
-    pub fn next_expiry(&self) -> Option<TimeStep> {
-        self.expiry.peek().map(|Reverse((end, _))| *end)
-    }
-
-    /// Whether some purchased lease of `element` covers time step `t`.
-    ///
-    /// `O(K log n)` over the coverage index (`n` = purchases recorded so
-    /// far) — the fast replacement for scanning
-    /// [`decisions`](Ledger::decisions). Valid for *any* `t`, past or
-    /// future; structure-less ([`detached`](Ledger::detached)) ledgers have
-    /// no window information and always answer `false`.
-    pub fn covered(&self, element: usize, t: TimeStep) -> bool {
-        let Some(structure) = &self.structure else {
-            return false;
-        };
-        (0..structure.num_types()).any(|k| {
-            self.coverage
-                .covering_start(element, k, structure.length(k), t)
-                .is_some()
-        })
-    }
-
-    /// A purchased lease of `element` covering `t`, if any: the one whose
-    /// window ends last (ties broken toward the larger type index).
-    /// `O(K log n)`; `None` on structure-less ledgers.
-    pub fn active_lease(&self, element: usize, t: TimeStep) -> Option<Triple> {
-        let structure = self.structure.as_ref()?;
-        let mut best: Option<(TimeStep, usize, TimeStep)> = None; // (end, k, start)
-        for k in 0..structure.num_types() {
-            let len = structure.length(k);
-            if let Some(start) = self.coverage.covering_start(element, k, len, t) {
-                let end = start + len;
-                if best.is_none_or(|(be, bk, _)| (end, k) > (be, bk)) {
-                    best = Some((end, k, start));
-                }
-            }
-        }
-        best.map(|(_, k, start)| Triple::new(element, k, start))
-    }
-
-    /// The latest-starting purchased type-`type_index` lease of `element`
-    /// covering `t`, if any. `O(log n)`; `None` on structure-less ledgers
-    /// or out-of-range types.
-    pub fn active_lease_of_type(
-        &self,
-        element: usize,
-        type_index: usize,
-        t: TimeStep,
-    ) -> Option<Triple> {
-        let structure = self.structure.as_ref()?;
-        if type_index >= structure.num_types() {
-            return None;
-        }
-        self.coverage
-            .covering_start(element, type_index, structure.length(type_index), t)
-            .map(|start| Triple::new(element, type_index, start))
-    }
-
-    /// Whether some purchased lease of `element` covers at least one time
-    /// step of the half-open `window` — the query behind deadline-flexible
-    /// service checks (OLD / SCLD / service windows). `O(K log n)`; empty
-    /// windows and structure-less ledgers answer `false`.
-    pub fn covered_during(&self, element: usize, window: Window) -> bool {
-        let Some(structure) = &self.structure else {
-            return false;
-        };
-        let Some(last) = window.last() else {
-            return false;
-        };
-        // A type-k lease [s, s + l_k) meets [window.start, last] iff
-        // s ∈ [window.start − (l_k − 1), last]; lengths are validated ≥ 1.
-        (0..structure.num_types()).any(|k| {
-            let lo = window.start.saturating_sub(structure.length(k) - 1);
-            self.coverage.any_start_in(element, k, lo, last)
-        })
-    }
-
-    /// Number of distinct elements with a purchased lease covering `t`.
-    ///
-    /// `O(E · K log n)` for `E` elements ever purchased on — independent of
-    /// the decision count, unlike the naive trace scan.
-    pub fn active_count(&self, t: TimeStep) -> usize {
-        let Some(structure) = &self.structure else {
-            return 0;
-        };
-        let mut count = 0usize;
-        let mut current: Option<usize> = None;
-        let mut current_covered = false;
-        for &(element, k) in self.coverage.starts.keys() {
-            if current != Some(element) {
-                current = Some(element);
-                current_covered = false;
-            }
-            if current_covered || k >= structure.num_types() {
-                continue;
-            }
-            if self
-                .coverage
-                .covering_start(element, k, structure.length(k), t)
-                .is_some()
-            {
-                current_covered = true;
-                count += 1;
-            }
-        }
-        count
-    }
-
-    /// Whether the exact triple `(element, type, start)` has been purchased
-    /// (at least once). `O(log n)`; works on structure-less ledgers too —
-    /// ownership needs no window information.
-    pub fn owns(&self, triple: Triple) -> bool {
-        self.coverage
-            .starts
-            .get(&(triple.element, triple.type_index))
-            .is_some_and(|slots| slots.contains_key(&triple.start))
-    }
-
-    /// Opt-in coverage-index compaction for unbounded streams: drops every
-    /// index entry whose validity window ended **at or before** `before_t`
-    /// (`start + length ≤ before_t`). Returns the number of purchased
-    /// copies pruned.
-    ///
-    /// The index is append-only by default so queries hold at *any* time;
-    /// on an unbounded request stream that means unbounded memory.
-    /// Compaction trades history for space: after `compact(h)`,
-    ///
-    /// * [`covered`](Ledger::covered), [`active_lease`](Ledger::active_lease),
-    ///   [`active_lease_of_type`](Ledger::active_lease_of_type) and
-    ///   [`active_count`](Ledger::active_count) are unchanged for every
-    ///   query time `t ≥ h` (a pruned window ending by `h` cannot cover a
-    ///   step at or after `h`);
-    /// * [`covered_during`](Ledger::covered_during) is unchanged for every
-    ///   window starting at or after `h`;
-    /// * [`owns`](Ledger::owns) is unchanged for every triple starting at
-    ///   or after `h`;
-    /// * queries **before** the horizon may under-report — callers choose a
-    ///   horizon they will never look behind (typically the earliest
-    ///   arrival time an algorithm can still reference).
-    ///
-    /// Purchases of out-of-range type indices (possible via
-    /// [`buy_priced`](Ledger::buy_priced)) have no window information and
-    /// are never pruned; the decision trace and all cost statistics are
-    /// untouched. Structure-less ledgers compact nothing.
-    pub fn compact(&mut self, before_t: TimeStep) -> usize {
-        let Some(structure) = &self.structure else {
-            return 0;
-        };
-        let lengths: Vec<u64> = structure.types().iter().map(|t| t.length).collect();
-        self.coverage.prune_expired(before_t, &lengths)
-    }
-
-    /// Spending statistics of `element`.
-    pub fn element_stats(&self, element: usize) -> ElementStats {
-        self.per_element.get(&element).copied().unwrap_or_default()
-    }
-
-    /// All elements money was spent on, with their statistics, ordered by
-    /// element id.
-    pub fn elements(&self) -> impl Iterator<Item = (usize, &ElementStats)> + '_ {
-        self.per_element.iter().map(|(&e, s)| (e, s))
-    }
-
-    /// Serializes the ledger to compact JSON.
-    pub fn to_json(&self) -> String {
-        json::to_string(self)
-    }
-
-    /// Rebuilds a ledger from [`Ledger::to_json`] output.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`de::Error`] on malformed input.
-    pub fn from_json(text: &str) -> Result<Self, de::Error> {
-        json::from_str(text)
-    }
-}
-
-impl Serialize for Ledger {
-    fn to_value(&self) -> Value {
-        let decisions: Vec<Value> = self
-            .decisions
-            .iter()
-            .map(|d| {
-                Value::Map(vec![
-                    ("time".to_string(), d.time.to_value()),
-                    ("element".to_string(), d.element.to_value()),
-                    ("lease".to_string(), d.lease.to_value()),
-                    ("cost".to_string(), d.cost.to_value()),
-                    ("category".to_string(), Value::Str(d.category.to_string())),
-                ])
-            })
-            .collect();
-        Value::Map(vec![
-            ("structure".to_string(), self.structure.to_value()),
-            ("now".to_string(), self.now.to_value()),
-            ("decisions".to_string(), Value::Seq(decisions)),
-        ])
-    }
-}
-
-impl Deserialize for Ledger {
-    fn from_value(value: &Value) -> Result<Self, de::Error> {
-        let structure: Option<LeaseStructure> =
-            Deserialize::from_value(serde::value_field(value, "structure")?)?;
-        let now: TimeStep = Deserialize::from_value(serde::value_field(value, "now")?)?;
-        let decisions = match serde::value_field(value, "decisions")? {
-            Value::Seq(items) => items,
-            other => {
-                return Err(de::Error::new(format!(
-                    "expected a decision sequence, found {other:?}"
-                )))
-            }
-        };
-        // Replay the trace so every derived quantity (totals, categories,
-        // element stats, expiry heap) is rebuilt consistently.
-        let mut ledger = match structure {
-            Some(s) => Ledger::new(s),
-            None => Ledger::detached(),
-        };
-        for d in decisions {
-            let time: TimeStep = Deserialize::from_value(serde::value_field(d, "time")?)?;
-            let element: usize = Deserialize::from_value(serde::value_field(d, "element")?)?;
-            let lease: Option<Lease> = Deserialize::from_value(serde::value_field(d, "lease")?)?;
-            let cost: f64 = Deserialize::from_value(serde::value_field(d, "cost")?)?;
-            let category: String = Deserialize::from_value(serde::value_field(d, "category")?)?;
-            match lease {
-                Some(lease) => ledger.record_lease(
-                    time,
-                    Triple::new(element, lease.type_index, lease.start),
-                    cost,
-                    Cow::Owned(category),
-                ),
-                None => ledger.record_charge(time, element, cost, Cow::Owned(category)),
-            }
-        }
-        ledger.advance(now);
-        Ok(ledger)
-    }
-}
 
 /// The driver-facing trait of every online leasing algorithm in the
 /// workspace.
@@ -741,6 +169,19 @@ impl<A: LeasingAlgorithm> Driver<A> {
         }
     }
 
+    /// A driver over a caller-provided ledger — the arena-reuse path.
+    /// Long-lived workers recycle one ledger across runs
+    /// ([`Ledger::reset`] keeps its allocations); a freshly reset ledger
+    /// makes this identical to [`Driver::new`] with its structure.
+    pub fn with_ledger(algorithm: A, ledger: Ledger) -> Self {
+        Driver {
+            algorithm,
+            ledger,
+            last_time: None,
+            requests: 0,
+        }
+    }
+
     /// Submits one request.
     ///
     /// # Errors
@@ -766,8 +207,9 @@ impl<A: LeasingAlgorithm> Driver<A> {
     /// Submits a whole time-stamped request sequence.
     ///
     /// Expiry processing is batched per distinct time step: the ledger
-    /// clock advances (and pops the expiry heap) only when the time stamp
-    /// actually increases, so equal-time runs pay for one advancement.
+    /// clock advances (and drains the expiry timeline) only when the time
+    /// stamp actually increases, so equal-time runs pay for one
+    /// advancement.
     ///
     /// # Errors
     ///
@@ -813,6 +255,13 @@ impl<A: LeasingAlgorithm> Driver<A> {
             served += 1;
         }
         Ok(served)
+    }
+
+    /// Compacts the ledger's coverage index ([`Ledger::compact`]) —
+    /// long-running drivers on unbounded streams call this periodically
+    /// with a horizon their algorithm will never look behind.
+    pub fn compact(&mut self, before_t: TimeStep) -> usize {
+        self.ledger.compact(before_t)
     }
 
     /// The algorithm being driven.
@@ -906,8 +355,11 @@ impl std::fmt::Display for Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::Triple;
     use crate::interval::aligned_start;
     use crate::lease::LeaseType;
+    use crate::time::Window;
+    use std::borrow::Cow;
 
     fn structure() -> LeaseStructure {
         LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap()
@@ -958,7 +410,37 @@ mod tests {
     }
 
     #[test]
-    fn expiry_heap_pops_in_order_as_time_advances() {
+    fn cost_breakdown_is_ordered_by_name_regardless_of_first_use() {
+        let mut ledger = Ledger::new(structure());
+        ledger.charge(0, 0, 1.0, "zeta");
+        ledger.charge(0, 0, 2.0, "alpha");
+        ledger.buy(0, Triple::new(0, 0, 0));
+        ledger.charge(1, 0, 4.0, "zeta");
+        let breakdown: Vec<(&str, f64)> = ledger.cost_breakdown().collect();
+        assert_eq!(
+            breakdown,
+            vec![("alpha", 2.0), ("lease", 1.0), ("zeta", 5.0)],
+            "name order, not first-use order"
+        );
+        assert_eq!(ledger.interned_categories(), 3);
+    }
+
+    #[test]
+    fn categories_intern_once_however_many_purchases() {
+        let mut ledger = Ledger::new(structure());
+        for i in 0..10_000u64 {
+            ledger.buy(i, Triple::new(0, 0, i));
+        }
+        assert_eq!(
+            ledger.interned_categories(),
+            1,
+            "one category entry — the purchase path never clones the key again"
+        );
+        assert!((ledger.category_cost(CATEGORY_LEASE) - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expiry_timeline_pops_in_order_as_time_advances() {
         let mut ledger = Ledger::new(structure());
         ledger.buy(0, Triple::new(0, 0, 0)); // expires at 4
         ledger.buy(0, Triple::new(0, 1, 0)); // expires at 16
@@ -975,14 +457,14 @@ mod tests {
     }
 
     #[test]
-    fn already_expired_purchases_never_enter_the_heap() {
+    fn already_expired_purchases_never_enter_the_timeline() {
         let mut ledger = Ledger::new(structure());
         ledger.advance(100);
         ledger.buy(100, Triple::new(0, 0, 0)); // window [0, 4) is long gone
         assert_eq!(ledger.active_leases(), 0);
     }
 
-    // Expiry-heap semantics pinned by the PR 2 audit: duplicate purchases,
+    // Expiry semantics pinned by the PR 2 audit: duplicate purchases,
     // past-time windows and non-monotone advance calls under batch
     // submission must all behave deterministically.
 
@@ -995,7 +477,7 @@ mod tests {
         assert_eq!(
             ledger.active_leases(),
             2,
-            "the heap tracks purchases, not distinct triples"
+            "the timeline tracks purchases, not distinct triples"
         );
         assert_eq!(ledger.leases_bought(), 2);
         assert_eq!(ledger.next_expiry(), Some(4));
@@ -1046,11 +528,11 @@ mod tests {
     }
 
     #[test]
-    fn backdated_purchases_under_batch_submission_never_linger_in_the_heap() {
+    fn backdated_purchases_under_batch_submission_never_linger_in_the_timeline() {
         let mut d = Driver::new(BackdatedBuyer, structure());
         // t = 0: buys [0, 4) (alive). t = 9: buys aligned(4) = [4, 8),
         // whose window already ended at the ledger clock 9 — it must not
-        // enter the heap. t = 10: buys aligned(5) = [4, 8), same story.
+        // enter the timeline. t = 10: buys aligned(5) = [4, 8), same story.
         d.submit_batch([(0u64, ()), (9, ()), (10, ())]).unwrap();
         assert_eq!(d.ledger().leases_bought(), 3);
         assert_eq!(
@@ -1075,7 +557,7 @@ mod tests {
         assert_eq!(ledger.next_expiry(), Some(12));
     }
 
-    // Coverage-index semantics, mirroring the PR 2 expiry-heap regression
+    // Coverage-index semantics, mirroring the PR 2 expiry regression
     // suite: window boundaries, duplicate triples, backdated aligned starts
     // and equal-time batch submission must all answer deterministically.
 
@@ -1128,7 +610,7 @@ mod tests {
         assert!(ledger.owns(Triple::new(0, 0, 4)));
         assert!(!ledger.covered(0, 10), "the window is over at the clock");
         assert!(ledger.covered(0, 5), "but it did cover its own days");
-        assert_eq!(ledger.active_leases(), 0, "never entered the expiry heap");
+        assert_eq!(ledger.active_leases(), 0, "never entered the timeline");
         // A backdated long lease [0, 16) still covers the present.
         ledger.buy(10, Triple::new(0, 1, 0));
         assert!(ledger.covered(0, 10));
@@ -1263,6 +745,66 @@ mod tests {
     }
 
     #[test]
+    fn reset_behaves_like_a_fresh_ledger() {
+        let mut recycled = Ledger::new(structure());
+        recycled.buy(0, Triple::new(3, 0, 0));
+        recycled.buy_priced(2, Triple::new(1, 1, 0), 2.0, "scaled");
+        recycled.charge(3, 0, 1.0, "connection");
+        recycled.advance(7);
+        recycled.reset(structure());
+        let fresh = Ledger::new(structure());
+        assert_eq!(recycled.now(), fresh.now());
+        assert_eq!(recycled.decision_count(), 0);
+        assert_eq!(
+            recycled.total_cost().to_bits(),
+            fresh.total_cost().to_bits()
+        );
+        assert_eq!(recycled.interned_categories(), 0);
+        assert_eq!(recycled.active_leases(), 0);
+        assert_eq!(recycled.next_expiry(), None);
+        assert_eq!(recycled.leases_bought(), 0);
+        assert_eq!(recycled.elements().count(), 0);
+        assert!(!recycled.covered(3, 0));
+        assert!(!recycled.owns(Triple::new(3, 0, 0)));
+        assert_eq!(recycled.coverage_stats(), fresh.coverage_stats());
+        // Replaying the same run on the recycled ledger answers
+        // identically to a fresh one — the arena-reuse contract.
+        let mut reference = Ledger::new(structure());
+        for ledger in [&mut recycled, &mut reference] {
+            ledger.buy(0, Triple::new(0, 0, 0));
+            ledger.buy(5, Triple::new(0, 1, 0));
+            ledger.advance(6);
+        }
+        assert_eq!(recycled.to_json(), reference.to_json());
+        assert_eq!(recycled.active_leases(), reference.active_leases());
+        for t in 0..20 {
+            assert_eq!(recycled.covered(0, t), reference.covered(0, t));
+            assert_eq!(recycled.active_count(t), reference.active_count(t));
+        }
+    }
+
+    #[test]
+    fn driver_with_ledger_matches_driver_new() {
+        let mut recycled = Ledger::new(structure());
+        for i in 0..50u64 {
+            recycled.buy(i, Triple::new((i % 3) as usize, 0, i));
+        }
+        recycled.reset(structure());
+        let mut a = Driver::with_ledger(
+            ShortBuyer {
+                owned: std::collections::HashSet::new(),
+            },
+            recycled,
+        );
+        let mut b = driver();
+        let days = [0u64, 1, 4, 9, 9, 17];
+        a.submit_batch(days.iter().map(|&t| (t, ()))).unwrap();
+        b.submit_batch(days.iter().map(|&t| (t, ()))).unwrap();
+        assert_eq!(a.ledger().to_json(), b.ledger().to_json());
+        assert_eq!(a.report(1.0), b.report(1.0));
+    }
+
+    #[test]
     fn driver_enforces_monotone_time_with_typed_error() {
         let mut d = driver();
         d.submit(5, ()).unwrap();
@@ -1346,6 +888,25 @@ mod tests {
     }
 
     #[test]
+    fn deserialized_categories_keep_their_interned_totals() {
+        let mut ledger = Ledger::new(structure());
+        ledger.buy_priced(0, Triple::new(0, 0, 0), 1.5, "scaled");
+        ledger.buy_priced(1, Triple::new(0, 0, 4), 2.5, "scaled");
+        ledger.charge(1, 1, 0.25, "connection");
+        let back = Ledger::from_json(&ledger.to_json()).unwrap();
+        assert_eq!(back.interned_categories(), ledger.interned_categories());
+        let a: Vec<(String, f64)> = ledger
+            .cost_breakdown()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let b: Vec<(String, f64)> = back
+            .cost_breakdown()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn detached_ledgers_accept_priced_purchases() {
         let mut ledger = Ledger::detached();
         ledger.buy_priced(0, Triple::new(0, 0, 0), 2.0, CATEGORY_LEASE);
@@ -1368,5 +929,20 @@ mod tests {
         let (alg, ledger) = d.into_parts();
         assert_eq!(alg.owned.len(), 1);
         assert_eq!(ledger.decision_count(), 1);
+    }
+
+    #[test]
+    fn decision_categories_preserve_cow_variants() {
+        // The interning refactor must not change what `Decision.category`
+        // holds: borrowed statics on the record path, owned strings after
+        // deserialization.
+        let mut ledger = Ledger::new(structure());
+        ledger.buy(0, Triple::new(0, 0, 0));
+        assert!(matches!(
+            ledger.decisions()[0].category,
+            Cow::Borrowed(CATEGORY_LEASE)
+        ));
+        let back = Ledger::from_json(&ledger.to_json()).unwrap();
+        assert_eq!(back.decisions()[0].category.as_ref(), CATEGORY_LEASE);
     }
 }

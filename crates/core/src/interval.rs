@@ -36,9 +36,17 @@ pub fn aligned_start(t: TimeStep, len: u64) -> TimeStep {
 /// `\bar{I}(t)` of the leasing framework (§2.3), restricted to the interval
 /// model.
 pub fn candidates_covering(structure: &LeaseStructure, t: TimeStep) -> Vec<Lease> {
-    (0..structure.num_types())
-        .map(|k| Lease::new(k, aligned_start(t, structure.length(k))))
-        .collect()
+    candidate_leases(structure, t).collect()
+}
+
+/// Iterator form of [`candidates_covering`] — the same `K` candidates in
+/// the same order, with no allocation (the hot-path variant for per-request
+/// serve loops).
+pub fn candidate_leases(
+    structure: &LeaseStructure,
+    t: TimeStep,
+) -> impl Iterator<Item = Lease> + '_ {
+    (0..structure.num_types()).map(move |k| Lease::new(k, aligned_start(t, structure.length(k))))
 }
 
 /// All aligned leases whose validity window intersects `window`

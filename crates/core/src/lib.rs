@@ -52,7 +52,7 @@ pub mod time;
 pub use cost::CostMeter;
 pub use engine::{Decision, Driver, DriverError, LeasingAlgorithm, Ledger, Report};
 pub use harness::{CompetitiveOutcome, RatioStats};
-pub use interval::{aligned_start, candidates_covering, candidates_intersecting};
+pub use interval::{aligned_start, candidate_leases, candidates_covering, candidates_intersecting};
 pub use lease::{Lease, LeaseStructure, LeaseStructureError, LeaseType};
 pub use time::{TimeStep, Window};
 

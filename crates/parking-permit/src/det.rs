@@ -10,11 +10,10 @@
 use crate::{PermitOnline, PurchaseLog, PERMIT_ELEMENT};
 use leasing_core::engine::{LeasingAlgorithm, Ledger};
 use leasing_core::framework::{OnlineAlgorithm, Triple};
-use leasing_core::interval::candidates_covering;
+use leasing_core::interval::aligned_start;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
 use leasing_core::EPS;
-use std::collections::HashMap;
 
 /// Deterministic primal-dual parking-permit algorithm over aligned
 /// (interval-model) leases.
@@ -25,8 +24,14 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct DeterministicPrimalDual {
     structure: LeaseStructure,
-    /// Accumulated dual contribution `Σ y` per candidate lease.
-    contributions: HashMap<Lease, f64>,
+    /// Accumulated dual contribution `Σ y` of the *current* aligned
+    /// window per lease type: `(window start, Σ y)`. The candidates of
+    /// day `t` are exactly the aligned windows containing `t`, and a
+    /// window the clock has left never becomes a candidate again, so only
+    /// `K` live accumulators are ever needed — the per-lease map the
+    /// algorithm used to keep was write-only beyond the current windows.
+    /// Stale entries (start ≠ the current aligned start) read as zero.
+    contributions: Vec<(TimeStep, f64)>,
     /// Total dual value Σ y raised so far (a lower bound on the interval
     /// model optimum by weak duality — used by tests and experiments).
     dual_value: f64,
@@ -46,9 +51,11 @@ impl DeterministicPrimalDual {
     /// the "exactly `K` candidates per day" property the analysis needs.
     pub fn new(structure: LeaseStructure) -> Self {
         let ledger = Ledger::new(structure.clone());
+        // Sentinel start: no aligned window starts at `u64::MAX`.
+        let contributions = vec![(TimeStep::MAX, 0.0); structure.num_types()];
         DeterministicPrimalDual {
             structure,
-            contributions: HashMap::new(),
+            contributions,
             dual_value: 0.0,
             purchases: Vec::new(),
             ledger,
@@ -61,23 +68,26 @@ impl DeterministicPrimalDual {
         if ledger.covered(PERMIT_ELEMENT, t) {
             return;
         }
-        let candidates = candidates_covering(&self.structure, t);
-        // Raise y_t until the first candidate constraint becomes tight.
-        let delta = candidates
-            .iter()
-            .map(|c| {
-                let used = self.contributions.get(c).copied().unwrap_or(0.0);
-                (c.cost(&self.structure) - used).max(0.0)
-            })
-            .fold(f64::INFINITY, f64::min);
+        // Slide each type's accumulator to the aligned window containing
+        // `t` (windows the clock has left reset to zero — they can never
+        // be candidates again), then raise y_t until the first candidate
+        // constraint becomes tight. No allocation, no hashing: K slots.
+        let structure = &self.structure;
+        let mut delta = f64::INFINITY;
+        for (k, slot) in self.contributions.iter_mut().enumerate() {
+            let start = aligned_start(t, structure.length(k));
+            if slot.0 != start {
+                *slot = (start, 0.0);
+            }
+            delta = delta.min((structure.cost(k) - slot.1).max(0.0));
+        }
         self.dual_value += delta;
-        for c in candidates {
-            let entry = self.contributions.entry(c).or_insert(0.0);
-            *entry += delta;
-            let triple = Triple::new(PERMIT_ELEMENT, c.type_index, c.start);
-            if *entry >= c.cost(&self.structure) - EPS && !ledger.owns(triple) {
+        for (k, slot) in self.contributions.iter_mut().enumerate() {
+            slot.1 += delta;
+            let triple = Triple::new(PERMIT_ELEMENT, k, slot.0);
+            if slot.1 >= structure.cost(k) - EPS && !ledger.owns(triple) {
                 ledger.buy(t, triple);
-                self.purchases.push(c);
+                self.purchases.push(Lease::new(k, slot.0));
             }
         }
         debug_assert!(

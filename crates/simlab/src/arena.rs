@@ -1,0 +1,89 @@
+//! Per-worker ledger arena: each SimLab worker thread recycles one (or a
+//! few) [`Ledger`]s across the cells it runs instead of constructing a
+//! fresh one per `(algorithm, workload, seed)` cell.
+//!
+//! [`Ledger::reset`] keeps every allocation — the decision trace, the
+//! coverage-index slot tables and start runs, the interned category table
+//! and the expiry ring — so the steady-state cell loop records purchases
+//! without touching the allocator. A reset ledger is observationally
+//! identical to a fresh one (pinned in `leasing_core`), which keeps
+//! SimLab's bit-determinism contract: the matrix report is byte-identical
+//! with and without reuse, on 1 worker thread and on N.
+//!
+//! The pool is thread-local, so workers share nothing and budgeted cells
+//! (which run on disposable watchdog threads) simply start with an empty
+//! pool.
+
+use leasing_core::engine::Ledger;
+use leasing_core::lease::LeaseStructure;
+use std::cell::RefCell;
+
+/// A few ledgers per worker cover nested use (a cell building a scratch
+/// driver while another is in flight) without hoarding memory.
+const POOL_CAP: usize = 4;
+
+thread_local! {
+    static POOL: RefCell<Vec<Ledger>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a recycled ledger from this worker's pool (resetting it onto
+/// `structure`), or builds a fresh one when the pool is empty.
+pub fn take_ledger(structure: &LeaseStructure) -> Ledger {
+    let recycled = POOL.with(|pool| pool.borrow_mut().pop());
+    match recycled {
+        Some(mut ledger) => {
+            ledger.reset(structure.clone());
+            ledger
+        }
+        None => Ledger::new(structure.clone()),
+    }
+}
+
+/// Returns a ledger to this worker's pool for the next cell. Full pools
+/// drop the ledger.
+pub fn recycle_ledger(ledger: Ledger) {
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(ledger);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::framework::Triple;
+    use leasing_core::lease::LeaseType;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn recycled_ledgers_start_empty() {
+        let s = structure();
+        let mut ledger = take_ledger(&s);
+        ledger.buy(0, Triple::new(0, 0, 0));
+        ledger.advance(5);
+        recycle_ledger(ledger);
+        let again = take_ledger(&s);
+        assert!(again.is_empty());
+        assert_eq!(again.now(), 0);
+        assert_eq!(again.active_leases(), 0);
+        assert!(!again.covered(0, 0));
+        recycle_ledger(again);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let s = structure();
+        let ledgers: Vec<Ledger> = (0..POOL_CAP + 3).map(|_| Ledger::new(s.clone())).collect();
+        for ledger in ledgers {
+            recycle_ledger(ledger);
+        }
+        for _ in 0..POOL_CAP + 3 {
+            let _ = take_ledger(&s);
+        }
+    }
+}

@@ -50,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod baseline;
 pub mod error;
 pub mod registry;

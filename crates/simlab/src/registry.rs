@@ -60,15 +60,24 @@ pub struct RunContext {
     /// algorithm of the family. `None` makes the cell compute it inline
     /// (bit-identical: both paths run the same oracle).
     pub oracle: Option<OracleBound>,
+    /// Opt-in periodic [`Ledger::compact`] period (the CLI's
+    /// `--compact-every=N`). Cells with a horizon of at least
+    /// [`COMPACT_MIN_HORIZON`] compact every `N` steps, pruning
+    /// coverage-index entries behind a safe lag (`max(N, l_max + 64)`
+    /// behind the clock — beyond how far any registry algorithm's
+    /// purchases or queries reach), bounding index growth on unbounded
+    /// streams with cell outcomes unchanged for every period value.
+    pub compact_every: Option<u64>,
 }
 
 impl RunContext {
-    /// A context with no precomputed oracle.
+    /// A context with no precomputed oracle and no compaction.
     pub fn new(structure: LeaseStructure, seed: u64) -> Self {
         RunContext {
             structure,
             seed,
             oracle: None,
+            compact_every: None,
         }
     }
 
@@ -195,40 +204,117 @@ impl std::fmt::Debug for AlgorithmSpec {
     }
 }
 
-/// Peak and mean of [`Ledger::active_count`] sampled at every step of the
-/// horizon.
-fn active_stats(ledger: &Ledger, horizon: TimeStep) -> (usize, f64) {
-    if horizon == 0 {
-        return (0, 0.0);
+/// Horizon at or beyond which [`RunContext::compact_every`] engages —
+/// shorter cells gain nothing from pruning their coverage index.
+pub const COMPACT_MIN_HORIZON: TimeStep = 8192;
+
+/// Floor (beyond `l_max`) on how far behind the clock periodic
+/// compaction prunes, whatever period the user asked for. Registry
+/// algorithms backdate purchases at most `l_max − 1` steps and query
+/// deadline windows reaching at most a few steps behind their arrival,
+/// so a lag of `l_max + 64` guarantees compaction can never change a
+/// cell outcome — small `--compact-every` values compact *often* but
+/// never *closer* than this.
+const COMPACT_SAFE_LOOKBEHIND: u64 = 64;
+
+/// Incremental peak/mean sampler of [`Ledger::active_count`] over the
+/// horizon. Without compaction everything is sampled once at the end of
+/// the run — bit-identical to the old post-run sweep. With periodic
+/// compaction, the history about to be pruned is sampled *just before*
+/// each [`Ledger::compact`] call; the compaction lag guarantees no later
+/// purchase can retro-cover an already-sampled step, so the two sampling
+/// schedules agree.
+struct ActiveSampler {
+    horizon: TimeStep,
+    next: TimeStep,
+    peak: usize,
+    sum: usize,
+}
+
+impl ActiveSampler {
+    fn new(horizon: TimeStep) -> Self {
+        ActiveSampler {
+            horizon,
+            next: 0,
+            peak: 0,
+            sum: 0,
+        }
     }
-    let mut peak = 0usize;
-    let mut sum = 0usize;
-    for t in 0..horizon {
-        let count = ledger.active_count(t);
-        peak = peak.max(count);
-        sum += count;
+
+    fn sample_up_to(&mut self, until: TimeStep, ledger: &Ledger) {
+        let until = until.min(self.horizon);
+        while self.next < until {
+            let count = ledger.active_count(self.next);
+            self.peak = self.peak.max(count);
+            self.sum += count;
+            self.next += 1;
+        }
     }
-    (peak, sum as f64 / horizon as f64)
+
+    fn finish(mut self, ledger: &Ledger) -> (usize, f64) {
+        self.sample_up_to(self.horizon, ledger);
+        if self.horizon == 0 {
+            (0, 0.0)
+        } else {
+            (self.peak, self.sum as f64 / self.horizon as f64)
+        }
+    }
 }
 
 /// Submits `(time, request)` pairs and reports against the offline
 /// baseline `opt`, sampling concurrency over `horizon`.
+///
+/// The driver runs on a recycled per-worker ledger
+/// ([`crate::arena`]), so steady-state cells record purchases without
+/// touching the allocator; with [`RunContext::compact_every`] set and a
+/// long enough horizon, the coverage index is additionally pruned every
+/// period so unbounded streams cannot grow it without bound.
 fn drive<A: LeasingAlgorithm>(
     algorithm: A,
-    structure: &LeaseStructure,
+    ctx: &RunContext,
     requests: impl IntoIterator<Item = (TimeStep, A::Request)>,
     opt: OracleBound,
     horizon: TimeStep,
 ) -> Result<CellOutcome, SimError> {
-    let mut driver = Driver::new(algorithm, structure.clone());
-    driver.submit_batch(requests)?;
-    let (active_peak, active_mean) = active_stats(driver.ledger(), horizon);
-    finite(CellOutcome {
+    let mut driver = Driver::with_ledger(algorithm, crate::arena::take_ledger(&ctx.structure));
+    let mut sampler = ActiveSampler::new(horizon);
+    match ctx
+        .compact_every
+        .filter(|_| horizon >= COMPACT_MIN_HORIZON)
+        .map(|every| every.max(1))
+    {
+        None => driver.submit_batch(requests)?,
+        Some(every) => {
+            // The period controls how often compaction runs; the lag —
+            // how far behind the clock it prunes — is floored at
+            // `l_max + COMPACT_SAFE_LOOKBEHIND` so algorithms (and the
+            // sampler) can always look far enough behind the clock,
+            // keeping outcomes unchanged for *every* period value.
+            let lag = every.max(ctx.structure.l_max() + COMPACT_SAFE_LOOKBEHIND);
+            let mut next_compact = every;
+            for (t, request) in requests {
+                if t >= next_compact {
+                    // Sample the history below the pruning horizon
+                    // before it goes away.
+                    let before = t.saturating_sub(lag);
+                    sampler.sample_up_to(before, driver.ledger());
+                    driver.compact(before);
+                    next_compact = t + every;
+                }
+                driver.submit(t, request)?;
+            }
+        }
+    }
+    let (active_peak, active_mean) = sampler.finish(driver.ledger());
+    let outcome = CellOutcome {
         report: driver.report(opt.value()),
         oracle_exact: opt.is_exact(),
         active_peak,
         active_mean,
-    })
+    };
+    let (_, ledger) = driver.into_parts();
+    crate::arena::recycle_ledger(ledger);
+    finite(outcome)
 }
 
 /// Checks the outcome's ratio is finite before accepting the cell.
@@ -259,7 +345,7 @@ fn permit_cell<A: LeasingAlgorithm<Request = ()>>(
     let days = trace.days();
     drive(
         algorithm,
-        &ctx.structure,
+        ctx,
         days.iter().map(|&t| (t, ())),
         opt,
         trace.horizon,
@@ -312,7 +398,7 @@ fn set_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimErr
         .collect();
     drive(
         SmclOnline::new(&inst, alg_seed),
-        &ctx.structure,
+        ctx,
         requests,
         opt,
         trace.horizon,
@@ -336,19 +422,25 @@ fn vertex_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, Sim
         .collect();
     let inst = VcLeasingInstance::unweighted(g, ctx.structure.clone(), arrivals.clone())
         .map_err(instance_err)?;
-    let mut driver = Driver::new(VcPrimalDual::new(&inst), ctx.structure.clone());
+    let mut driver = Driver::with_ledger(
+        VcPrimalDual::new(&inst),
+        crate::arena::take_ledger(&ctx.structure),
+    );
     driver.submit_batch(arrivals)?;
     // Weak duality: the primal-dual's dual value certifies the lower
     // bound. It only exists after the run, so this family has no shared
     // oracle.
     let opt = OracleBound::LowerBound(driver.algorithm().dual_value());
-    let (active_peak, active_mean) = active_stats(driver.ledger(), trace.horizon);
-    finite(CellOutcome {
+    let (active_peak, active_mean) = ActiveSampler::new(trace.horizon).finish(driver.ledger());
+    let outcome = CellOutcome {
         report: driver.report(opt.value()),
         oracle_exact: opt.is_exact(),
         active_peak,
         active_mean,
-    })
+    };
+    let (_, ledger) = driver.into_parts();
+    crate::arena::recycle_ledger(ledger);
+    finite(outcome)
 }
 
 /// Facility-family base instance: 3 facility sites, one client batch per
@@ -394,7 +486,7 @@ where
         .iter()
         .map(|b| (b.time, b.clients.clone()))
         .collect();
-    drive(make(inst), &ctx.structure, requests, opt, trace.horizon)
+    drive(make(inst), ctx, requests, opt, trace.horizon)
 }
 
 fn capacitated_instance(trace: &Trace, ctx: &RunContext) -> Result<CapacitatedInstance, SimError> {
@@ -417,7 +509,7 @@ fn capacitated_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimE
         .collect();
     drive(
         CapacitatedGreedy::new(&inst, LeaseChoice::CheapestTotal),
-        &ctx.structure,
+        ctx,
         requests,
         opt,
         trace.horizon,
@@ -464,7 +556,7 @@ fn steiner_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError
         inst.requests.iter().map(|r| (r.time, (r.u, r.v))).collect();
     drive(
         SteinerLeasingOnline::new(&inst),
-        &ctx.structure,
+        ctx,
         pair_requests,
         opt,
         trace.horizon,
@@ -490,13 +582,7 @@ fn old_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
     let opt = ctx.resolve_oracle(|| Ok(OldLpOracle.optimum(&inst)?))?;
     let requests: Vec<(TimeStep, u64)> =
         inst.clients.iter().map(|c| (c.arrival, c.slack)).collect();
-    drive(
-        OldPrimalDual::new(&inst),
-        &ctx.structure,
-        requests,
-        opt,
-        trace.horizon,
-    )
+    drive(OldPrimalDual::new(&inst), ctx, requests, opt, trace.horizon)
 }
 
 fn scld_instance(trace: &Trace, ctx: &RunContext) -> Result<ScldInstance, SimError> {
@@ -526,7 +612,7 @@ fn scld_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, SimError> {
         .collect();
     drive(
         ScldOnline::new(&inst, alg_seed),
-        &ctx.structure,
+        ctx,
         requests,
         opt,
         trace.horizon,

@@ -53,6 +53,14 @@ pub struct MatrixConfig {
     /// can push *those* past their budgets too — prefer excluding a known
     /// runaway algorithm over budgeting around it.
     pub cell_budget_ms: Option<u64>,
+    /// Opt-in periodic coverage-index compaction (the CLI's
+    /// `--compact-every=N`): cells with a horizon of at least
+    /// [`crate::registry::COMPACT_MIN_HORIZON`] invoke
+    /// `Ledger::compact` every `N` steps behind a safe lag, bounding
+    /// index growth on unbounded streams. `None` never compacts. Cell
+    /// outcomes are pinned unchanged under the flag for every registry
+    /// algorithm.
+    pub compact_every: Option<u64>,
 }
 
 impl MatrixConfig {
@@ -71,6 +79,7 @@ impl MatrixConfig {
             .expect("increasing lengths and positive costs"),
             threads: 2,
             cell_budget_ms: None,
+            compact_every: None,
         }
     }
 }
@@ -222,6 +231,7 @@ fn run_cell(
                     structure: config.structure.clone(),
                     seed,
                     oracle,
+                    compact_every: config.compact_every,
                 };
                 algorithm.run(&trace, &ctx)
             }),
@@ -231,12 +241,14 @@ fn run_cell(
             let horizon = config.horizon;
             let num_elements = config.num_elements;
             let structure = config.structure.clone();
+            let compact_every = config.compact_every;
             run_budgeted(
                 move || {
                     let ctx = RunContext {
                         structure,
                         seed,
                         oracle,
+                        compact_every,
                     };
                     scenario
                         .generate(horizon, num_elements, seed)
@@ -464,6 +476,49 @@ mod tests {
             .unwrap();
         assert_eq!(stalled.failures, 2);
         assert_eq!(stalled.empirical_ratio, None);
+    }
+
+    #[test]
+    fn compaction_leaves_long_horizon_outcomes_unchanged() {
+        // --compact-every prunes the coverage index mid-run; every cell
+        // outcome (costs, ratios, active-count stats) must be bit-identical
+        // to the uncompacted run on horizons at or beyond the 8192 floor.
+        let algorithms = select_algorithms("permit-det,permit-rand,empirical-rate").unwrap();
+        let scenarios = Scenario::select("rainy").unwrap();
+        let config = MatrixConfig {
+            horizon: 8192,
+            threads: 2,
+            ..MatrixConfig::default_config()
+        };
+        let plain = run_matrix(&algorithms, &scenarios, &[1, 2], &config);
+        // The safe-lag floor makes outcomes period-independent — even an
+        // absurdly aggressive every-step period must match exactly.
+        for every in [1, 64, 4096] {
+            let compacting = MatrixConfig {
+                compact_every: Some(every),
+                ..config.clone()
+            };
+            let compacted = run_matrix(&algorithms, &scenarios, &[1, 2], &compacting);
+            assert_eq!(
+                plain, compacted,
+                "compact_every={every} must not change outcomes"
+            );
+            assert_eq!(plain.to_json(), compacted.to_json());
+        }
+    }
+
+    #[test]
+    fn compaction_below_the_horizon_floor_is_a_no_op() {
+        let algorithms = select_algorithms("permit-det,old").unwrap();
+        let scenarios = Scenario::select("rainy,spikes").unwrap();
+        let config = MatrixConfig::default_config(); // horizon 64 < 8192
+        let compacting = MatrixConfig {
+            compact_every: Some(4),
+            ..config.clone()
+        };
+        let plain = run_matrix(&algorithms, &scenarios, &[1, 2], &config);
+        let compacted = run_matrix(&algorithms, &scenarios, &[1, 2], &compacting);
+        assert_eq!(plain, compacted);
     }
 
     #[test]

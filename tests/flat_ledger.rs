@@ -1,0 +1,209 @@
+//! Regression pins for the flat-arena ledger hot path:
+//!
+//! * **Category interning** — a 10^5-purchase run makes exactly one
+//!   category-string clone (the intern-table length *is* the allocation
+//!   count for category keys), killing the per-purchase `Cow` clone of the
+//!   old `BTreeMap` accounting.
+//! * **Long-horizon scaling** — per-request driver cost at 64k requests
+//!   stays within 1.5× of the 1k-request per-request cost, and the
+//!   deterministic shift-work counter pins that near-sorted arrivals never
+//!   leave the amortized-append fast path (the structural property behind
+//!   the wall-clock bound, immune to CI noise).
+//! * **JSON schema compatibility** — serialization is byte-identical to
+//!   the pre-interning schema: a golden string captured from the old
+//!   implementation, plus a proptest that round-trips preserve category
+//!   names, name ordering and bit-exact `by_category` sums.
+
+use online_resource_leasing::core::engine::{Driver, Ledger};
+use online_resource_leasing::core::framework::Triple;
+use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
+use online_resource_leasing::core::rng::seeded;
+use online_resource_leasing::parking_permit::det::DeterministicPrimalDual;
+use online_resource_leasing::workloads::rainy_days;
+use proptest::prelude::*;
+use rand::RngExt;
+
+fn structure() -> LeaseStructure {
+    LeaseStructure::new(vec![LeaseType::new(4, 1.0), LeaseType::new(16, 3.0)]).unwrap()
+}
+
+// --- category interning --------------------------------------------------
+
+#[test]
+fn hundred_thousand_buys_intern_one_category_string() {
+    let s = LeaseStructure::geometric(4, 1, 4, 1.0, 0.6);
+    let mut ledger = Ledger::new(s.clone());
+    for i in 0..100_000u64 {
+        ledger.buy(i, Triple::new((i % 64) as usize, (i % 4) as usize, i));
+    }
+    assert_eq!(ledger.leases_bought(), 100_000);
+    // The intern table length counts every category-string clone the
+    // ledger ever made: one entry = one clone, 99_999 allocation-free
+    // re-uses on the `by_category` path.
+    assert_eq!(ledger.interned_categories(), 1);
+    assert!((ledger.category_cost("lease") - ledger.total_cost()).abs() < 1e-6);
+}
+
+#[test]
+fn mixed_category_runs_intern_each_name_once() {
+    let mut ledger = Ledger::new(structure());
+    for i in 0..10_000u64 {
+        ledger.buy_priced(i, Triple::new(0, 0, i), 1.0, "scaled");
+        ledger.charge(i, 0, 0.5, "connection");
+        ledger.buy(i, Triple::new(1, 0, i));
+    }
+    assert_eq!(ledger.decision_count(), 30_000);
+    assert_eq!(
+        ledger.interned_categories(),
+        3,
+        "three distinct names, three clones, ever"
+    );
+}
+
+// --- long-horizon scaling ------------------------------------------------
+
+/// Per-request wall-clock cost (ns) of one full det-permit driver run over
+/// `days`, minimized over `reps` runs (the minimum is the least noisy
+/// location statistic for micro-timings).
+fn per_request_ns(s: &LeaseStructure, days: &[u64], reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = std::time::Instant::now();
+        let mut driver = Driver::new(DeterministicPrimalDual::new(s.clone()), s.clone());
+        driver
+            .submit_batch(days.iter().map(|&t| (t, ())))
+            .expect("monotone submission");
+        let elapsed = started.elapsed().as_nanos() as f64;
+        assert!(driver.cost() > 0.0);
+        best = best.min(elapsed / days.len() as f64);
+    }
+    best
+}
+
+#[test]
+fn per_request_cost_stays_flat_from_1k_to_64k_requests() {
+    let s = LeaseStructure::geometric(4, 1, 4, 1.0, 0.6);
+    // rainy(p = 0.5) over horizons 2^11 and 2^17 gives ~1k and ~64k
+    // requests.
+    let short = rainy_days(&mut seeded(3), 1 << 11, 0.5).unwrap();
+    let long = rainy_days(&mut seeded(3), 1 << 17, 0.5).unwrap();
+    assert!(short.len() > 900 && short.len() < 1_200, "{}", short.len());
+    assert!(long.len() > 60_000 && long.len() < 70_000, "{}", long.len());
+
+    // Structural pin first — deterministic, CI-noise-free: the 64k run
+    // must stay entirely on the amortized-append fast path (aligned
+    // permit starts are non-decreasing per lease type), so index
+    // maintenance does O(1) work per purchase at any horizon.
+    let mut driver = Driver::new(DeterministicPrimalDual::new(s.clone()), s.clone());
+    driver.submit_batch(long.iter().map(|&t| (t, ()))).unwrap();
+    let stats = driver.ledger().coverage_stats();
+    assert_eq!(
+        stats.shift_work, 0,
+        "near-sorted arrivals must never shift index entries"
+    );
+    assert!(
+        stats.intervals <= 8,
+        "dense coverage must merge into a handful of profile intervals, got {}",
+        stats.intervals
+    );
+
+    // Wall-clock pin: 64k per-request cost within 1.5x of 1k. The old
+    // BTreeMap engine sat at ~3.5x (109 ns -> 501 ns per request by 35k).
+    let short_ns = per_request_ns(&s, &short, 7);
+    let long_ns = per_request_ns(&s, &long, 3);
+    let ratio = long_ns / short_ns;
+    assert!(
+        ratio <= 1.5,
+        "per-request cost grew {ratio:.2}x from 1k to 64k requests \
+         ({short_ns:.0} ns -> {long_ns:.0} ns)"
+    );
+}
+
+// --- JSON schema compatibility -------------------------------------------
+
+/// Captured verbatim from the pre-interning implementation (PR 4 state);
+/// the flat engine must serialize byte-identically.
+const GOLDEN: &str = "{\"structure\":{\"types\":[{\"length\":4,\"cost\":1},{\"length\":16,\
+                      \"cost\":3}]},\"now\":5,\"decisions\":[{\"time\":0,\"element\":2,\
+                      \"lease\":{\"type_index\":0,\"start\":0},\"cost\":1,\"category\":\
+                      \"lease\"},{\"time\":3,\"element\":2,\"lease\":{\"type_index\":1,\
+                      \"start\":0},\"cost\":2.25,\"category\":\"rounded\"},{\"time\":3,\
+                      \"element\":9,\"lease\":null,\"cost\":1.5,\"category\":\"connection\"},\
+                      {\"time\":5,\"element\":0,\"lease\":{\"type_index\":0,\"start\":4},\
+                      \"cost\":1,\"category\":\"lease\"}]}";
+
+#[test]
+fn ledger_json_matches_the_pre_interning_golden_schema() {
+    let mut ledger = Ledger::new(structure());
+    ledger.buy(0, Triple::new(2, 0, 0));
+    ledger.buy_priced(3, Triple::new(2, 1, 0), 2.25, "rounded");
+    ledger.charge(3, 9, 1.5, "connection");
+    ledger.buy(5, Triple::new(0, 0, 4));
+    ledger.advance(5);
+    assert_eq!(ledger.to_json(), GOLDEN);
+    assert_eq!(
+        Ledger::detached().to_json(),
+        "{\"structure\":null,\"now\":0,\"decisions\":[]}"
+    );
+}
+
+const CATEGORY_POOL: [&str; 4] = ["lease", "connection", "rounded", "scaled"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// JSON round-trips of ledgers with interned categories are
+    /// byte-identical, and the per-category accounting (names, name
+    /// ordering, bit-exact sums) survives unchanged.
+    #[test]
+    fn json_round_trip_is_byte_identical_with_interned_categories(
+        seed in 0u64..1_000,
+        decisions in 1usize..60,
+    ) {
+        let s = structure();
+        let mut rng = seeded(seed);
+        let mut ledger = Ledger::new(s.clone());
+        let mut clock = 0u64;
+        for _ in 0..decisions {
+            clock += rng.random_range(0..3u64);
+            ledger.advance(clock);
+            let category = CATEGORY_POOL[rng.random_range(0..CATEGORY_POOL.len())];
+            let element = rng.random_range(0..5usize);
+            if rng.random::<f64>() < 0.7 {
+                let k = rng.random_range(0..s.num_types());
+                let start = clock.saturating_sub(rng.random_range(0..6u64));
+                ledger.buy_priced(
+                    clock,
+                    Triple::new(element, k, start),
+                    0.25 + rng.random::<f64>(),
+                    category,
+                );
+            } else {
+                ledger.charge(clock, element, rng.random::<f64>(), category);
+            }
+        }
+
+        let json = ledger.to_json();
+        let back = Ledger::from_json(&json).unwrap();
+        // Byte-identical re-serialization: the schema carries no trace of
+        // the intern table.
+        prop_assert_eq!(&back.to_json(), &json);
+
+        // Category names, name ordering and sums are unchanged, bit for
+        // bit.
+        let original: Vec<(String, u64)> = ledger
+            .cost_breakdown()
+            .map(|(name, total)| (name.to_string(), total.to_bits()))
+            .collect();
+        let round_tripped: Vec<(String, u64)> = back
+            .cost_breakdown()
+            .map(|(name, total)| (name.to_string(), total.to_bits()))
+            .collect();
+        prop_assert_eq!(&original, &round_tripped);
+        let mut sorted = original.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(&original, &sorted, "breakdown is name-ordered");
+        prop_assert_eq!(back.interned_categories(), ledger.interned_categories());
+        prop_assert_eq!(back.total_cost().to_bits(), ledger.total_cost().to_bits());
+    }
+}

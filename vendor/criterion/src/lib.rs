@@ -22,6 +22,34 @@ pub struct Measurement {
     pub mean_ns: f64,
     /// Iterations measured.
     pub iterations: u64,
+    /// Work items (requests, queries, ...) processed per iteration, from
+    /// [`BenchmarkGroup::throughput`]; `1` when no throughput was declared.
+    pub elements: u64,
+}
+
+impl Measurement {
+    /// Work items per second: `elements / (mean_ns / 1e9)`.
+    pub fn throughput_rps(&self) -> f64 {
+        self.elements as f64 * 1e9 / self.mean_ns.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Declares how much work one benchmark iteration performs, so reported
+/// numbers can carry a requests-per-second rate alongside ns/iteration.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical items (requests, queries, ...).
+    Elements(u64),
+    /// Iterations process this many bytes (treated like elements here).
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn count(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
 }
 
 /// Identifies one benchmark within a group: a function name plus an input
@@ -85,6 +113,7 @@ pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     name: String,
     sample_ms: u64,
+    elements: u64,
 }
 
 impl BenchmarkGroup<'_> {
@@ -92,6 +121,14 @@ impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         // Real criterion counts samples; here the budget scales mildly.
         self.sample_ms = (n as u64).clamp(10, 200);
+        self
+    }
+
+    /// Declares the per-iteration work of subsequent benchmarks in this
+    /// group; reported entries then carry a `throughput_rps` rate. Call it
+    /// again before each `bench_with_input` when the parameter changes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.elements = throughput.count().max(1);
         self
     }
 
@@ -108,7 +145,7 @@ impl BenchmarkGroup<'_> {
             sample_ms: self.sample_ms,
         };
         routine(&mut bencher, input);
-        self.criterion.record(full, bencher);
+        self.criterion.record(full, bencher, self.elements);
         self
     }
 
@@ -124,7 +161,7 @@ impl BenchmarkGroup<'_> {
             sample_ms: self.sample_ms,
         };
         routine(&mut bencher);
-        self.criterion.record(full, bencher);
+        self.criterion.record(full, bencher, self.elements);
         self
     }
 
@@ -145,6 +182,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_ms: 60,
+            elements: 1,
         }
     }
 
@@ -159,11 +197,11 @@ impl Criterion {
             sample_ms: 60,
         };
         routine(&mut bencher);
-        self.record(name.into(), bencher);
+        self.record(name.into(), bencher, 1);
         self
     }
 
-    fn record(&mut self, id: String, bencher: Bencher) {
+    fn record(&mut self, id: String, bencher: Bencher, elements: u64) {
         let Some((mean_ns, iterations)) = bencher.measured else {
             eprintln!("warning: benchmark {id} never called Bencher::iter");
             return;
@@ -176,6 +214,7 @@ impl Criterion {
             id,
             mean_ns,
             iterations,
+            elements,
         });
     }
 
@@ -217,10 +256,12 @@ impl Criterion {
         }
         for m in &self.results {
             lines.push(format!(
-                "{{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iterations\": {}}}",
+                "{{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iterations\": {}, \
+                 \"throughput_rps\": {:.1}}}",
                 m.id.replace('"', "'"),
                 m.mean_ns,
                 m.iterations,
+                m.throughput_rps(),
             ));
         }
         let mut out = String::from("{\n  \"benchmarks\": [\n");
@@ -273,14 +314,19 @@ mod tests {
         {
             let mut group = c.benchmark_group("unit");
             group.sample_size(10);
+            group.throughput(Throughput::Elements(64));
             group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
                 b.iter(|| (0..n).sum::<u64>())
             });
             group.finish();
         }
         assert_eq!(c.measurements().len(), 1);
-        assert!(c.measurements()[0].mean_ns > 0.0);
-        assert!(c.measurements()[0].id.contains("unit/sum/64"));
+        let m = &c.measurements()[0];
+        assert!(m.mean_ns > 0.0);
+        assert!(m.id.contains("unit/sum/64"));
+        assert_eq!(m.elements, 64);
+        let expected = 64.0 * 1e9 / m.mean_ns;
+        assert!((m.throughput_rps() - expected).abs() < expected * 1e-9);
     }
 
     #[test]
