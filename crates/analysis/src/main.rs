@@ -1,0 +1,170 @@
+//! `leasing-analysis` — the workspace determinism & panic-safety lint
+//! gate.
+//!
+//! ```text
+//! leasing-analysis check [--root DIR] [--baseline FILE] [--out FILE]
+//! leasing-analysis check --write-baseline analysis_baseline.json
+//! ```
+//!
+//! `check` scans every workspace source (see `leasing_analysis::walk`),
+//! prints a summary, and gates against the committed baseline: any
+//! (file, rule) group exceeding its baselined finding count — or any
+//! `unsafe` finding at all — fails. Without `--baseline`, every finding
+//! counts as new, so a violation-free tree is required (this is the mode
+//! the seeded-fixture acceptance test runs in).
+//!
+//! Exit codes follow the `bench_gate` / `simlab` convention: 0 clean,
+//! 2 unusable input, 3 new findings.
+
+use leasing_analysis::report::{diff_against_baseline, Baseline};
+use leasing_analysis::scan_workspace;
+use std::path::PathBuf;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<String>,
+    out: Option<String>,
+    write_baseline: Option<String>,
+}
+
+const USAGE: &str = "usage: leasing-analysis check [--root DIR] [--baseline FILE] \
+                     [--out FILE] [--write-baseline FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        out: None,
+        write_baseline: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("leasing-analysis: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let report = match scan_workspace(&args.root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("leasing-analysis: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("leasing-analysis: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let totals: Vec<String> = report
+        .counts
+        .iter()
+        .map(|c| format!("{} {}", c.count, c.rule))
+        .collect();
+    println!(
+        "leasing-analysis: {} files, {} finding(s) ({}), {} waived",
+        report.files_scanned,
+        report.findings.len(),
+        totals.join(", "),
+        report.waived
+    );
+
+    if let Some(path) = &args.write_baseline {
+        let baseline = Baseline::from_findings(&report.findings);
+        if let Err(e) = std::fs::write(path, baseline.to_json()) {
+            eprintln!("leasing-analysis: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "leasing-analysis: wrote {} (file, rule) group(s) to {path}",
+            baseline.entries.len()
+        );
+        return;
+    }
+
+    let baseline = match &args.baseline {
+        None => Baseline::empty(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("leasing-analysis: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match Baseline::from_json(&text) {
+                Ok(baseline) => baseline,
+                Err(e) => {
+                    eprintln!("leasing-analysis: {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+
+    let outcome = diff_against_baseline(&report.findings, &baseline);
+    for group in &outcome.improved {
+        println!(
+            "improved: {} {} findings {} -> {} (re-baseline with --write-baseline to lock in)",
+            group.file, group.rule, group.baseline, group.current
+        );
+    }
+    let unsafe_findings = report.findings.iter().filter(|f| f.rule == "unsafe");
+    let mut failed = false;
+    for finding in unsafe_findings {
+        failed = true;
+        eprintln!(
+            "unsafe: {}:{}:{}: {}",
+            finding.file, finding.line, finding.column, finding.message
+        );
+    }
+    if !outcome.new.is_empty() {
+        failed = true;
+        eprintln!(
+            "leasing-analysis: {} (file, rule) group(s) exceed the baseline:",
+            outcome.new.len()
+        );
+        for group in &outcome.new {
+            eprintln!(
+                "  {} [{}]: {} finding(s), baseline accepts {}",
+                group.file, group.rule, group.current, group.baseline
+            );
+            for finding in report
+                .findings
+                .iter()
+                .filter(|f| f.file == group.file && f.rule == group.rule)
+            {
+                eprintln!(
+                    "    {}:{}:{}: {} ({})",
+                    finding.file, finding.line, finding.column, finding.excerpt, finding.message
+                );
+            }
+        }
+    }
+    if failed {
+        std::process::exit(3);
+    }
+    println!("leasing-analysis: no new findings");
+}

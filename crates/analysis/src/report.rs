@@ -1,0 +1,334 @@
+//! Machine-readable findings, the committed baseline, and the
+//! new-findings diff that the CI gate exits 3 on.
+//!
+//! The baseline deliberately stores per-(file, rule) *counts* rather than
+//! line numbers: unrelated edits shift lines constantly, but a count only
+//! moves when a violation is added or removed. The gate therefore acts as
+//! a ratchet — any (file, rule) group exceeding its baselined count fails,
+//! any group shrinking below it is reported as burn-down and can be
+//! re-baselined with `--write-baseline`.
+
+use serde::{json, Deserialize, Serialize};
+
+/// Schema tag of the findings report JSON.
+pub const REPORT_SCHEMA: &str = "analysis/v1";
+/// Schema tag of the committed baseline JSON.
+pub const BASELINE_SCHEMA: &str = "analysis-baseline/v1";
+
+/// One rule violation at one source position.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule family slug (`determinism`, `panic`, `cast`, `unsafe`).
+    pub rule: String,
+    /// Root-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Why this construct is flagged.
+    pub message: String,
+    /// The offending token(s).
+    pub excerpt: String,
+}
+
+/// Total findings of one rule family.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleCount {
+    /// Rule family slug.
+    pub rule: String,
+    /// Number of (unwaived) findings.
+    pub count: usize,
+}
+
+/// The full result of one workspace scan.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct AnalysisReport {
+    /// [`REPORT_SCHEMA`].
+    pub schema: String,
+    /// Scan root as given on the command line.
+    pub root: String,
+    /// Number of `.rs` files walked.
+    pub files_scanned: usize,
+    /// Findings suppressed by `lint:allow` waivers.
+    pub waived: usize,
+    /// Per-family totals, in fixed family order.
+    pub counts: Vec<RuleCount>,
+    /// Every finding, sorted by (file, line, column, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Assembles a report from sorted findings, computing the per-family
+    /// totals.
+    pub fn new(root: String, files_scanned: usize, waived: usize, findings: Vec<Finding>) -> Self {
+        let counts = crate::rules::Family::ALL
+            .iter()
+            .map(|family| RuleCount {
+                rule: family.slug().to_string(),
+                count: findings.iter().filter(|f| f.rule == family.slug()).count(),
+            })
+            .collect();
+        AnalysisReport {
+            schema: REPORT_SCHEMA.to_string(),
+            root,
+            files_scanned,
+            waived,
+            counts,
+            findings,
+        }
+    }
+
+    /// Pretty JSON rendering of the report (the CI artifact).
+    pub fn to_json(&self) -> String {
+        json::to_string_pretty(self)
+    }
+}
+
+/// One baselined (file, rule) group.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Root-relative path.
+    pub file: String,
+    /// Rule family slug.
+    pub rule: String,
+    /// Accepted pre-existing finding count.
+    pub count: usize,
+}
+
+/// The committed backlog: per-(file, rule) finding counts the gate
+/// tolerates.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// [`BASELINE_SCHEMA`].
+    pub schema: String,
+    /// Sorted by (file, rule).
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// An empty baseline (every finding counts as new).
+    pub fn empty() -> Self {
+        Baseline {
+            schema: BASELINE_SCHEMA.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Collapses findings into their (file, rule) counts.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: std::collections::BTreeMap<(&str, &str), usize> =
+            std::collections::BTreeMap::new();
+        for finding in findings {
+            *counts
+                .entry((finding.file.as_str(), finding.rule.as_str()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            schema: BASELINE_SCHEMA.to_string(),
+            entries: counts
+                .into_iter()
+                .map(|((file, rule), count)| BaselineEntry {
+                    file: file.to_string(),
+                    rule: rule.to_string(),
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Pretty JSON rendering (the committed `analysis_baseline.json`).
+    pub fn to_json(&self) -> String {
+        json::to_string_pretty(self)
+    }
+
+    /// Parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the text is not valid baseline JSON or
+    /// carries an unexpected schema tag.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let baseline: Baseline =
+            json::from_str(text).map_err(|e| format!("not a baseline JSON: {e}"))?;
+        if baseline.schema != BASELINE_SCHEMA {
+            return Err(format!(
+                "unexpected baseline schema `{}` (expected `{BASELINE_SCHEMA}`)",
+                baseline.schema
+            ));
+        }
+        Ok(baseline)
+    }
+
+    fn count_of(&self, file: &str, rule: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|e| e.file == file && e.rule == rule)
+            .map_or(0, |e| e.count)
+    }
+}
+
+/// A (file, rule) group whose current count differs from the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupDelta {
+    /// Root-relative path.
+    pub file: String,
+    /// Rule family slug.
+    pub rule: String,
+    /// Baselined count.
+    pub baseline: usize,
+    /// Count in the current scan.
+    pub current: usize,
+}
+
+/// The gate's verdict: groups over the baseline (fail) and groups under
+/// it (burn-down, informational).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GateOutcome {
+    /// Groups with more findings than the baseline accepts — each fails
+    /// the gate.
+    pub new: Vec<GroupDelta>,
+    /// Groups that shrank below (or vanished from) their baselined count.
+    pub improved: Vec<GroupDelta>,
+}
+
+/// Diffs the current findings against the baseline, per (file, rule)
+/// group, in sorted group order.
+pub fn diff_against_baseline(findings: &[Finding], baseline: &Baseline) -> GateOutcome {
+    let current = Baseline::from_findings(findings);
+    let mut outcome = GateOutcome::default();
+    for entry in &current.entries {
+        let accepted = baseline.count_of(&entry.file, &entry.rule);
+        if entry.count > accepted {
+            outcome.new.push(GroupDelta {
+                file: entry.file.clone(),
+                rule: entry.rule.clone(),
+                baseline: accepted,
+                current: entry.count,
+            });
+        } else if entry.count < accepted {
+            outcome.improved.push(GroupDelta {
+                file: entry.file.clone(),
+                rule: entry.rule.clone(),
+                baseline: accepted,
+                current: entry.count,
+            });
+        }
+    }
+    for entry in &baseline.entries {
+        if current.count_of(&entry.file, &entry.rule) == 0 && entry.count > 0 {
+            outcome.improved.push(GroupDelta {
+                file: entry.file.clone(),
+                rule: entry.rule.clone(),
+                baseline: entry.count,
+                current: 0,
+            });
+        }
+    }
+    outcome
+        .improved
+        .sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+    outcome.improved.dedup();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &str, line: usize) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            column: 1,
+            message: "m".into(),
+            excerpt: "e".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_counts_collapse_per_file_and_rule() {
+        let findings = vec![
+            finding("a.rs", "panic", 1),
+            finding("a.rs", "panic", 9),
+            finding("a.rs", "determinism", 2),
+            finding("b.rs", "panic", 3),
+        ];
+        let baseline = Baseline::from_findings(&findings);
+        assert_eq!(baseline.entries.len(), 3);
+        assert_eq!(baseline.count_of("a.rs", "panic"), 2);
+        assert_eq!(baseline.count_of("a.rs", "determinism"), 1);
+        assert_eq!(baseline.count_of("b.rs", "panic"), 1);
+        assert_eq!(baseline.count_of("b.rs", "cast"), 0);
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let baseline = Baseline::from_findings(&[finding("a.rs", "panic", 1)]);
+        let parsed = Baseline::from_json(&baseline.to_json()).expect("round-trips");
+        assert_eq!(baseline, parsed);
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(Baseline::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn gate_flags_only_groups_over_their_baseline() {
+        let baseline = Baseline::from_findings(&[
+            finding("a.rs", "panic", 1),
+            finding("a.rs", "panic", 2),
+            finding("b.rs", "cast", 3),
+        ]);
+        // a.rs stays at 2 (lines moved — irrelevant), b.rs gains one cast,
+        // c.rs appears with a brand-new finding.
+        let current = vec![
+            finding("a.rs", "panic", 10),
+            finding("a.rs", "panic", 20),
+            finding("b.rs", "cast", 3),
+            finding("b.rs", "cast", 4),
+            finding("c.rs", "determinism", 1),
+        ];
+        let outcome = diff_against_baseline(&current, &baseline);
+        assert_eq!(outcome.new.len(), 2);
+        assert_eq!(outcome.new[0].file, "b.rs");
+        assert_eq!(outcome.new[0].baseline, 1);
+        assert_eq!(outcome.new[0].current, 2);
+        assert_eq!(outcome.new[1].file, "c.rs");
+        assert!(outcome.improved.is_empty());
+    }
+
+    #[test]
+    fn gate_reports_burn_down_without_failing() {
+        let baseline = Baseline::from_findings(&[
+            finding("a.rs", "panic", 1),
+            finding("a.rs", "panic", 2),
+            finding("gone.rs", "panic", 1),
+        ]);
+        let outcome = diff_against_baseline(&[finding("a.rs", "panic", 1)], &baseline);
+        assert!(outcome.new.is_empty());
+        assert_eq!(outcome.improved.len(), 2);
+        assert_eq!(outcome.improved[0].file, "a.rs");
+        assert_eq!(outcome.improved[0].current, 1);
+        assert_eq!(outcome.improved[1].file, "gone.rs");
+        assert_eq!(outcome.improved[1].current, 0);
+    }
+
+    #[test]
+    fn report_totals_follow_family_order() {
+        let report = AnalysisReport::new(
+            ".".into(),
+            3,
+            1,
+            vec![
+                finding("a.rs", "panic", 1),
+                finding("a.rs", "unsafe", 2),
+                finding("b.rs", "panic", 1),
+            ],
+        );
+        let slugs: Vec<&str> = report.counts.iter().map(|c| c.rule.as_str()).collect();
+        assert_eq!(slugs, vec!["determinism", "panic", "cast", "unsafe"]);
+        let totals: Vec<usize> = report.counts.iter().map(|c| c.count).collect();
+        assert_eq!(totals, vec![0, 2, 0, 1]);
+        assert!(report.to_json().contains("\"schema\": \"analysis/v1\""));
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic workspace source walker.
+//!
+//! Collects every `.rs` file under the scan root in sorted order,
+//! skipping:
+//!
+//! * `vendor/` — the offline third-party shims mimic external APIs
+//!   (including the constructs the rules ban) and are not this
+//!   workspace's code;
+//! * `target/` and dot-directories — build products and VCS state;
+//! * `fixtures/` — the linter's own seeded-violation test corpus, which
+//!   exists precisely to contain findings.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+pub const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures"];
+
+/// One source file: its scan-root-relative path (forward slashes) and its
+/// filesystem path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceEntry {
+    /// Root-relative path, `/`-separated — the stable key used in
+    /// findings and baselines.
+    pub rel: String,
+    /// Absolute (or root-joined) path for reading.
+    pub path: PathBuf,
+}
+
+/// Walks `root` recursively and returns every `.rs` file, sorted by
+/// relative path so scans are reproducible across filesystems.
+///
+/// # Errors
+///
+/// Propagates the first directory-read failure.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceEntry>> {
+    let mut out = Vec::new();
+    walk_dir(root, String::new(), &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_dir(dir: &Path, rel_prefix: String, out: &mut Vec<SourceEntry>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let rel = if rel_prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel_prefix}/{name}")
+        };
+        let path = entry.path();
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk_dir(&path, rel, out)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            out.push(SourceEntry { rel, path });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(path: &Path) {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("mkdir");
+        }
+        std::fs::write(path, "fn x() {}\n").expect("write");
+    }
+
+    #[test]
+    fn walks_sorted_and_skips_vendor_target_fixtures_and_dotdirs() {
+        let root =
+            std::env::temp_dir().join(format!("leasing-analysis-walk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        touch(&root.join("crates/b/src/lib.rs"));
+        touch(&root.join("crates/a/src/lib.rs"));
+        touch(&root.join("src/lib.rs"));
+        touch(&root.join("vendor/serde/src/lib.rs"));
+        touch(&root.join("target/debug/build.rs"));
+        touch(&root.join("crates/a/tests/fixtures/bad.rs"));
+        touch(&root.join(".git/hook.rs"));
+        touch(&root.join("crates/a/README.md"));
+        let rels: Vec<String> = collect_sources(&root)
+            .expect("walks")
+            .into_iter()
+            .map(|s| s.rel)
+            .collect();
+        assert_eq!(
+            rels,
+            vec!["crates/a/src/lib.rs", "crates/b/src/lib.rs", "src/lib.rs"]
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

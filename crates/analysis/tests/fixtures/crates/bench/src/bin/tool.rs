@@ -1,0 +1,7 @@
+//! Binaries are exempt from the panic family: no findings here.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let first = args.first().expect("argv[0] exists");
+    println!("{first}");
+}

@@ -1,0 +1,36 @@
+//! Seeded violations for the `leasing-analysis` golden test: every rule
+//! family fires at least once in this file. This tree is never compiled
+//! (and the workspace walker skips `fixtures/` directories); it exists
+//! only to be scanned by `crates/analysis/tests/lint_gate.rs`.
+
+use std::collections::HashMap;
+
+/// determinism: default-hashed construction and annotation.
+pub fn histogram(xs: &[u64]) -> HashMap<u64, u32> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// cast: narrowing without a documented bound.
+pub fn truncate(x: u64) -> u32 {
+    x as u32
+}
+
+/// cast, waived: the bound is documented inline.
+pub fn residue(x: u64) -> u32 {
+    // lint:allow(cast: a mod-64 residue always fits u32)
+    (x % 64) as u32
+}
+
+/// panic: slice indexing in library code.
+pub fn head(xs: &[u64]) -> u64 {
+    xs[0]
+}
+
+/// Flagged even in a fixture that never compiles.
+pub unsafe fn read_raw(p: *const u64) -> u64 {
+    *p
+}

@@ -1,0 +1,16 @@
+//! Seeded panic-family violations outside any deterministic path.
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    let first = xs.first().copied().unwrap();
+    let second = xs.get(1).copied().expect("at least two");
+    if i >= xs.len() {
+        panic!("index {i} out of range");
+    }
+    first + second + xs[i]
+}
+
+/// Waived: the caller guarantees a non-empty slice.
+pub fn last(xs: &[u64]) -> u64 {
+    // lint:allow(panic: callers pass non-empty slices by contract)
+    *xs.last().unwrap()
+}

@@ -1,0 +1,30 @@
+//! Seeded determinism violations in a SimLab-style report path, plus a
+//! test region the mask must exempt.
+
+use std::collections::HashSet;
+
+pub fn distinct(xs: &[u64]) -> usize {
+    let mut seen = HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}
+
+pub fn elapsed_label() -> u64 {
+    let start = Instant::now();
+    let _jitter = thread_rng();
+    start.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn masked_region_is_exempt_from_everything_but_unsafe() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

@@ -1,0 +1,11 @@
+//! A clean library file: the golden report contains nothing for it.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u64]) -> BTreeMap<u64, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests of the lint gate: the seeded fixture corpus against
+//! its golden findings JSON, the CLI exit codes, and the freshness of the
+//! committed workspace baseline.
+
+use leasing_analysis::report::{AnalysisReport, Baseline};
+use leasing_analysis::scan_workspace;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// Scans the fixture corpus with the `root` field pinned to a stable
+/// string so the JSON is machine-independent.
+fn fixture_report() -> AnalysisReport {
+    let report = scan_workspace(&fixtures_root()).expect("fixture corpus scans");
+    AnalysisReport::new(
+        "tests/fixtures".into(),
+        report.files_scanned,
+        report.waived,
+        report.findings,
+    )
+}
+
+#[test]
+fn fixture_scan_matches_the_golden_findings_json() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_findings.json");
+    let actual = fixture_report().to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &actual).expect("golden written");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        actual, golden,
+        "fixture findings drifted from tests/golden_findings.json; \
+         re-bless with UPDATE_GOLDEN=1 cargo test -p leasing-analysis"
+    );
+}
+
+#[test]
+fn seeded_fixtures_cover_every_rule_family() {
+    let report = fixture_report();
+    let totals: Vec<(&str, usize)> = report
+        .counts
+        .iter()
+        .map(|c| (c.rule.as_str(), c.count))
+        .collect();
+    assert_eq!(
+        totals,
+        vec![("determinism", 7), ("panic", 5), ("cast", 1), ("unsafe", 1)]
+    );
+    assert_eq!(report.files_scanned, 5, "fixture corpus size");
+    assert_eq!(report.waived, 2, "one cast + one panic waiver");
+}
+
+#[test]
+fn cli_exits_3_on_the_seeded_fixture_corpus() {
+    let output = Command::new(env!("CARGO_BIN_EXE_leasing-analysis"))
+        .args(["check", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "seeded violations must fail the gate\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("exceed the baseline"), "stderr: {stderr}");
+    assert!(stderr.contains("unsafe:"), "stderr: {stderr}");
+}
+
+#[test]
+fn cli_exits_2_on_unusable_input() {
+    let output = Command::new(env!("CARGO_BIN_EXE_leasing-analysis"))
+        .args(["check", "--frob"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let output = Command::new(env!("CARGO_BIN_EXE_leasing-analysis"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2), "missing subcommand");
+}
+
+#[test]
+fn cli_is_clean_against_the_committed_workspace_baseline() {
+    let root = repo_root();
+    let output = Command::new(env!("CARGO_BIN_EXE_leasing-analysis"))
+        .arg("check")
+        .arg("--root")
+        .arg(&root)
+        .arg("--baseline")
+        .arg(root.join("analysis_baseline.json"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "the workspace must be clean against its committed baseline\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("no new findings"), "stdout: {stdout}");
+}
+
+#[test]
+fn committed_baseline_matches_a_fresh_workspace_scan() {
+    let root = repo_root();
+    let report = scan_workspace(&root).expect("workspace scans");
+    let fresh = Baseline::from_findings(&report.findings);
+    let text = std::fs::read_to_string(root.join("analysis_baseline.json"))
+        .expect("committed analysis_baseline.json exists");
+    let committed = Baseline::from_json(&text).expect("committed baseline parses");
+    assert_eq!(
+        fresh, committed,
+        "analysis_baseline.json is stale; regenerate with \
+         cargo run -p leasing-analysis -- check --write-baseline analysis_baseline.json"
+    );
+}
+
+#[test]
+fn deterministic_paths_have_no_determinism_findings() {
+    let report = scan_workspace(&repo_root()).expect("workspace scans");
+    let offenders: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "determinism" || f.rule == "unsafe")
+        .map(|f| format!("{}:{}:{} {}", f.file, f.line, f.column, f.excerpt))
+        .collect();
+    assert_eq!(
+        offenders,
+        Vec::<String>::new(),
+        "determinism and unsafe findings are fixed (or waived), never baselined"
+    );
+}

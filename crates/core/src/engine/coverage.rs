@@ -28,6 +28,7 @@
 
 use crate::framework::Triple;
 use crate::time::TimeStep;
+// lint:allow(determinism: only instantiated with the FxHasher below, never the random SipHash state)
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::OnceLock;
@@ -290,6 +291,7 @@ impl CoverageIndex {
     /// only enter the ownership runs).
     pub fn insert(&mut self, triple: Triple, window_len: Option<u64>) {
         let slot = self.run_slot_or_insert(triple.element, triple.type_index);
+        // lint:allow(cast: slot ids are u32 indices into `runs` and widen into usize)
         let starts = &mut self.runs[slot as usize].starts;
         match starts.last_mut() {
             Some(last) if last.0 == triple.start => last.1 += 1,
@@ -315,6 +317,7 @@ impl CoverageIndex {
     fn add_window(&mut self, element: usize, start: TimeStep, end: TimeStep) {
         self.stab.take();
         let slot = self.profile_slot_or_insert(element);
+        // lint:allow(cast: slot ids are u32 indices into `profiles` and widen into usize)
         let intervals = &mut self.profiles[slot as usize].intervals;
         match intervals.last_mut() {
             None => intervals.push((start, end)),
@@ -347,6 +350,7 @@ impl CoverageIndex {
         let Some(slot) = self.profile_slot(element) else {
             return false;
         };
+        // lint:allow(cast: slot ids are u32 indices into `profiles` and widen into usize)
         let intervals = &self.profiles[slot as usize].intervals;
         let idx = intervals.partition_point(|&(s, _)| s <= t);
         idx > 0 && intervals[idx - 1].1 > t
@@ -358,6 +362,7 @@ impl CoverageIndex {
         let Some(slot) = self.profile_slot(element) else {
             return false;
         };
+        // lint:allow(cast: slot ids are u32 indices into `profiles` and widen into usize)
         let intervals = &self.profiles[slot as usize].intervals;
         // Intervals are disjoint and sorted, so ends are increasing: the
         // only candidate is the last interval starting at or before `hi`.
@@ -416,6 +421,7 @@ impl CoverageIndex {
 
     fn slot_starts(&self, element: usize, k: usize) -> Option<&[(TimeStep, u32)]> {
         self.run_slot(element, k)
+            // lint:allow(cast: slot ids are u32 indices into `runs` and widen into usize)
             .map(|id| self.runs[id as usize].starts.as_slice())
     }
 
@@ -462,6 +468,7 @@ impl CoverageIndex {
             if n > 0 {
                 removed += run.starts[..n]
                     .iter()
+                    // lint:allow(cast: u32 copy counts always widen into usize)
                     .map(|&(_, c)| c as usize)
                     .sum::<usize>();
                 run.starts.drain(..n);

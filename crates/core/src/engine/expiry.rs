@@ -27,6 +27,7 @@ pub(super) struct ExpiryTimeline {
     base: TimeStep,
     /// `ring[end % RING]` = copies expiring at the unique in-window `end`
     /// with that residue.
+    // lint:allow(cast: RING is the constant 64, which fits any usize)
     ring: [u32; RING as usize],
     /// Bit `i` set iff `ring[i] > 0`.
     occupied: u64,
@@ -41,6 +42,7 @@ impl Default for ExpiryTimeline {
     fn default() -> Self {
         ExpiryTimeline {
             base: 0,
+            // lint:allow(cast: RING is the constant 64, which fits any usize)
             ring: [0; RING as usize],
             occupied: 0,
             far: BTreeMap::new(),
@@ -61,6 +63,7 @@ impl ExpiryTimeline {
         debug_assert!(end > self.base, "expiry at or before the clock");
         self.pending += 1;
         if end - self.base <= RING {
+            // lint:allow(cast: end % RING is below 64 by construction)
             let idx = (end % RING) as usize;
             self.ring[idx] += 1;
             self.occupied |= 1 << idx;
@@ -88,12 +91,15 @@ impl ExpiryTimeline {
         let hits = if span >= RING {
             self.occupied
         } else {
+            // lint:allow(cast: a mod-64 residue always fits u32)
             let lo = ((self.base + 1) % RING) as u32;
             self.occupied & ((1u64 << span) - 1).rotate_left(lo)
         };
         let mut bits = hits;
         while bits != 0 {
+            // lint:allow(cast: trailing_zeros of a u64 is at most 64)
             let idx = bits.trailing_zeros() as usize;
+            // lint:allow(cast: u32 bucket counts always widen into usize)
             expired += self.ring[idx] as usize;
             self.ring[idx] = 0;
             bits &= bits - 1;
@@ -106,6 +112,7 @@ impl ExpiryTimeline {
                 break;
             }
             self.far.pop_first();
+            // lint:allow(cast: u32 bucket counts always widen into usize)
             expired += copies as usize;
         }
         // Far buckets that now fit the window slide into the ring. Within
@@ -117,6 +124,7 @@ impl ExpiryTimeline {
                 break;
             }
             self.far.pop_first();
+            // lint:allow(cast: end % RING is below 64 by construction)
             let idx = (end % RING) as usize;
             self.ring[idx] += copies;
             self.occupied |= 1 << idx;
@@ -130,6 +138,7 @@ impl ExpiryTimeline {
         if self.occupied != 0 {
             // Rotate so the bit of time `base + 1` lands at position 0;
             // trailing zeros then count steps past it.
+            // lint:allow(cast: a mod-64 residue always fits u32)
             let lo = ((self.base + 1) % RING) as u32;
             let offset = self.occupied.rotate_right(lo).trailing_zeros() as u64;
             Some(self.base + 1 + offset)
@@ -141,6 +150,7 @@ impl ExpiryTimeline {
     /// Clears all pending expiries and rewinds the clock anchor.
     pub fn reset(&mut self) {
         self.base = 0;
+        // lint:allow(cast: RING is the constant 64, which fits any usize)
         self.ring = [0; RING as usize];
         self.occupied = 0;
         self.far.clear();

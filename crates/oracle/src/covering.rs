@@ -19,7 +19,7 @@ use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_lp::{Cmp, LinearProgram, WarmStart};
 use set_cover_leasing::instance::SmclInstance;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How the oracle solves the covering relaxation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -92,7 +92,7 @@ impl OfflineOracle for SetCoverLpOracle {
 fn incremental_lower_bound(instance: &SmclInstance) -> Result<OracleBound, OracleError> {
     let mut lp = LinearProgram::new();
     let mut warm: Option<WarmStart> = None;
-    let mut x_of: HashMap<Triple, usize> = HashMap::new();
+    let mut x_of: BTreeMap<Triple, usize> = BTreeMap::new();
     let mut bound = 0.0;
 
     let mut i = 0;

@@ -24,7 +24,7 @@ use crate::scenario::Scenario;
 use crate::stats::Summary;
 use leasing_core::lease::LeaseStructure;
 use leasing_oracle::OracleBound;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -141,7 +141,7 @@ pub fn run_matrix(
         let (w, seed, _, ref f) = oracle_tasks[i];
         compute_oracle(f, &scenarios[w], seed, config)
     });
-    let oracles: HashMap<(usize, u64, &'static str), Result<OracleBound, SimError>> = oracle_tasks
+    let oracles: BTreeMap<(usize, u64, &'static str), Result<OracleBound, SimError>> = oracle_tasks
         .iter()
         .zip(oracle_results)
         .map(|(&(w, seed, key, _), result)| ((w, seed, key), result))

@@ -1,0 +1,559 @@
+//! Workspace-vendored Rust source lexer.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of `syn` the workspace relies on: [`parse_file`],
+//! which lexes a Rust source file into a flat, lossless token stream with
+//! line/column spans. Unlike real `syn` there is no abstract syntax tree —
+//! the `leasing-analysis` linter works on syntactic patterns (identifiers,
+//! punctuation adjacency, bracket matching, comments for inline waivers),
+//! and a faithful token stream is exactly the data those rules need while
+//! staying a few hundred lines of dependency-free code.
+//!
+//! The lexer understands the constructs that would otherwise break naive
+//! text matching: line and nested block comments, string/byte-string/raw
+//! string literals (any `#` depth), character literals vs. lifetimes, raw
+//! identifiers, and numeric literals. Everything else is emitted as
+//! single-character punctuation — multi-character operators (`::`, `->`,
+//! `>>`) arrive as adjacent punct tokens, which keeps angle-bracket
+//! matching in downstream consumers trivial.
+
+/// A 1-based source position.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in characters, not bytes).
+    pub column: usize,
+}
+
+/// The lexical class of one token.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`Ledger`, `fn`, `as`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// String, byte-string, raw-string, character, or numeric literal.
+    Literal,
+    /// A single punctuation character (`.`, `[`, `<`, `#`, ...).
+    Punct(char),
+    /// Line (`// ...`) or block (`/* ... */`) comment, doc or plain.
+    Comment,
+}
+
+/// One lexed token with its source text and start position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// Position of the token's first character.
+    pub span: Span,
+}
+
+impl Token {
+    /// True for comment tokens (insignificant to syntax, significant to
+    /// waiver scanning).
+    pub fn is_comment(&self) -> bool {
+        self.kind == TokenKind::Comment
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// A lexed source file: the full token stream, comments included.
+#[derive(Clone, Debug, Default)]
+pub struct File {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+}
+
+/// A lexing failure (unterminated string or block comment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the offending construct started.
+    pub span: Span,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.message, self.span.line, self.span.column
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lexes `source` into a [`File`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] for unterminated strings, character literals, or
+/// block comments; every other byte sequence lexes (unknown characters
+/// become punctuation tokens).
+pub fn parse_file(source: &str) -> Result<File, Error> {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, span: Span) {
+        self.tokens.push(Token { kind, text, span });
+    }
+
+    fn error(&self, message: &str, span: Span) -> Error {
+        Error {
+            message: message.to_string(),
+            span,
+        }
+    }
+
+    fn run(mut self) -> Result<File, Error> {
+        while let Some(c) = self.peek(0) {
+            let span = self.span();
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(span),
+                '/' if self.peek(1) == Some('*') => self.block_comment(span)?,
+                '"' => self.string(span, String::new())?,
+                '\'' => self.char_or_lifetime(span)?,
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(span)?,
+                c if is_ident_start(c) => self.ident(span),
+                c if c.is_ascii_digit() => self.number(span),
+                _ => {
+                    let c = self.bump().unwrap_or_default();
+                    self.push(TokenKind::Punct(c), c.to_string(), span);
+                }
+            }
+        }
+        Ok(File {
+            tokens: self.tokens,
+        })
+    }
+
+    fn line_comment(&mut self, span: Span) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, span);
+    }
+
+    fn block_comment(&mut self, span: Span) -> Result<(), Error> {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        loop {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    self.bump();
+                    self.bump();
+                    if depth == 0 {
+                        self.push(TokenKind::Comment, text, span);
+                        return Ok(());
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => return Err(self.error("unterminated block comment", span)),
+            }
+        }
+    }
+
+    /// Consumes a `"..."` string literal; `prefix` holds any already-read
+    /// `b` prefix.
+    fn string(&mut self, span: Span, prefix: String) -> Result<(), Error> {
+        let mut text = prefix;
+        text.extend(self.bump()); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    text.push('\\');
+                    text.extend(self.bump());
+                }
+                Some('"') => {
+                    text.push('"');
+                    self.push(TokenKind::Literal, text, span);
+                    return Ok(());
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.error("unterminated string literal", span)),
+            }
+        }
+    }
+
+    /// True when the `r`/`b` at the cursor starts a raw string, byte
+    /// string, or raw identifier rather than a plain identifier.
+    fn raw_or_byte_prefix(&self) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        // Skip the `#` depth of a raw string / raw identifier.
+        let mut hashes = 0;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(ahead + hashes) {
+            Some('"') => true,
+            Some('\'') if self.peek(0) == Some('b') && ahead == 1 && hashes == 0 => true,
+            Some(c) if hashes == 1 && is_ident_start(c) && ahead == 1 => {
+                self.peek(0) == Some('r') // raw identifier `r#type`
+            }
+            _ => false,
+        }
+    }
+
+    /// Lexes `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, and raw
+    /// identifiers `r#ident`.
+    fn prefixed_literal(&mut self, span: Span) -> Result<(), Error> {
+        let mut text = String::new();
+        text.extend(self.bump()); // r or b
+        if text == "b" && self.peek(0) == Some('r') {
+            text.extend(self.bump());
+        }
+        if text == "b" && self.peek(0) == Some('\'') {
+            // Byte literal: same shape as a char literal.
+            text.extend(self.bump());
+            loop {
+                match self.bump() {
+                    Some('\\') => {
+                        text.push('\\');
+                        text.extend(self.bump());
+                    }
+                    Some('\'') => {
+                        text.push('\'');
+                        self.push(TokenKind::Literal, text, span);
+                        return Ok(());
+                    }
+                    Some(c) => text.push(c),
+                    None => return Err(self.error("unterminated byte literal", span)),
+                }
+            }
+        }
+        let mut hashes = 0;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if hashes == 1 && text.starts_with('r') && !text.starts_with("br") {
+            if let Some(c) = self.peek(0) {
+                if is_ident_start(c) {
+                    // Raw identifier: keep lexing ident characters.
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        text.push(c);
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, text, span);
+                    return Ok(());
+                }
+            }
+        }
+        // Raw (byte) string: `"` ... `"` followed by `hashes` hashes.
+        if self.peek(0) != Some('"') {
+            // Defensive: `raw_or_byte_prefix` said this was a literal, but
+            // fall back to punctuation-by-punctuation rather than failing.
+            self.push(TokenKind::Ident, text, span);
+            return Ok(());
+        }
+        text.extend(self.bump());
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    text.push('"');
+                    let mut matched = 0;
+                    while matched < hashes && self.peek(0) == Some('#') {
+                        matched += 1;
+                        text.push('#');
+                        self.bump();
+                    }
+                    if matched == hashes {
+                        self.push(TokenKind::Literal, text, span);
+                        return Ok(());
+                    }
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.error("unterminated raw string literal", span)),
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes).
+    fn char_or_lifetime(&mut self, span: Span) -> Result<(), Error> {
+        let mut text = String::new();
+        text.extend(self.bump()); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                loop {
+                    match self.bump() {
+                        Some('\\') => {
+                            text.push('\\');
+                            text.extend(self.bump());
+                        }
+                        Some('\'') => {
+                            text.push('\'');
+                            self.push(TokenKind::Literal, text, span);
+                            return Ok(());
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.error("unterminated character literal", span)),
+                    }
+                }
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be 'x' (char) or 'x / 'xyz (lifetime).
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                    self.push(TokenKind::Literal, text, span);
+                } else {
+                    self.push(TokenKind::Lifetime, text, span);
+                }
+                Ok(())
+            }
+            Some(_) => {
+                // Non-alphanumeric char literal like ' ' or '['.
+                text.extend(self.bump());
+                if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                    self.push(TokenKind::Literal, text, span);
+                } else {
+                    // Lone quote — emit as punctuation and move on.
+                    self.push(TokenKind::Punct('\''), text, span);
+                }
+                Ok(())
+            }
+            None => Err(self.error("unterminated character literal", span)),
+        }
+    }
+
+    fn ident(&mut self, span: Span) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, span);
+    }
+
+    /// Numeric literal. Exact numeric grammar is irrelevant downstream; the
+    /// token only needs to swallow digits, radix prefixes, `_` separators,
+    /// type suffixes, and a fractional part — while leaving `0..n` range
+    /// syntax as separate punctuation.
+    fn number(&mut self, span: Span) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let fractional_dot =
+                c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
+            if c.is_ascii_alphanumeric() || c == '_' || fractional_dot {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, text, span);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        parse_file(src)
+            .expect("lexes")
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_numbers() {
+        let toks = kinds("let x = foo.bar[0] + 1.5;");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "foo", ".", "bar", "[", "0", "]", "+", "1.5", ";"]
+        );
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[2].0, TokenKind::Punct('='));
+        assert_eq!(toks[7].0, TokenKind::Literal);
+    }
+
+    #[test]
+    fn range_syntax_is_not_swallowed_by_numbers() {
+        let texts: Vec<String> = kinds("0..n").into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, vec!["0", ".", ".", "n"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        let toks = kinds(r#"let s = "panic! unwrap [0] // not a comment";"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("not a comment")));
+    }
+
+    #[test]
+    fn escaped_quotes_and_raw_strings_lex() {
+        let toks = kinds(r###"("a\"b", r"raw", r#"ra"w"#, br##"x"##, b"bytes")"###);
+        let lits = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 5);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { m('x', '\\n', ' '); }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let chars = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Literal && t.starts_with('\''))
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn comments_are_preserved_with_spans() {
+        let file = parse_file("a // lint:allow(panic: fine)\n/* block\n*/ b").expect("lexes");
+        let comments: Vec<&Token> = file.tokens.iter().filter(|t| t.is_comment()).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("lint:allow"));
+        assert_eq!(comments[0].span.line, 1);
+        assert_eq!(comments[1].span.line, 2);
+        let b = file.tokens.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.span.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* outer /* inner */ still outer */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn unterminated_constructs_error_with_position() {
+        assert!(parse_file("\"open").is_err());
+        assert!(parse_file("/* open").is_err());
+        let err = parse_file("x\n  \"open").expect_err("unterminated");
+        assert_eq!(err.span.line, 2);
+        assert!(err.to_string().contains("unterminated"));
+    }
+}
