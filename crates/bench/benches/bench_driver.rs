@@ -71,7 +71,7 @@ struct Noop;
 
 impl LeasingAlgorithm for Noop {
     type Request = ();
-    fn on_request(&mut self, _t: u64, _req: (), _ledger: &mut Ledger) {}
+    fn on_request(&mut self, _t: u64, _req: (), _books: leasing_core::engine::Books<'_>) {}
 }
 
 fn bench_driver_loop(c: &mut Criterion) {

@@ -1,0 +1,226 @@
+//! Load generator for the `leased` daemon.
+//!
+//! ```text
+//! loadgen drive [--addr ADDR] [--leases N] [--tenants N]
+//!               [--connections C] [--out FILE] [--id ID]
+//! loadgen stats    [--addr ADDR]
+//! loadgen snapshot [--addr ADDR]
+//! loadgen shutdown [--addr ADDR]
+//! ```
+//!
+//! `drive` pushes `--leases` submit operations across `--tenants` tenants
+//! through `--connections` parallel client connections, measures the
+//! wall-clock latency of every round-trip, and writes a bench-gate
+//! compatible `{"benchmarks": [...]}` report carrying `mean_ns`,
+//! `throughput_rps` and `p99_ns`. The traffic is deterministic: request
+//! `i` is tenant `i % tenants` at time `i / tenants`, and each connection
+//! owns the tenants congruent to its index, so per-tenant order is
+//! preserved no matter the connection count.
+//!
+//! Defaults exercise the ISSUE scale: 100_000 leases over 1_000 tenants.
+//! The CI smoke run passes `--leases 1000 --tenants 16`.
+//!
+//! `stats` prints the daemon's deterministic stats JSON to stdout — the CI
+//! restart check diffs this output byte-for-byte across a
+//! snapshot/shutdown/restart cycle.
+
+use leased::client::Client;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: loadgen <drive|stats|snapshot|shutdown> [--addr ADDR] \
+                     [--leases N] [--tenants N] [--connections C] [--out FILE] [--id ID]";
+
+struct Args {
+    command: String,
+    addr: String,
+    leases: u64,
+    tenants: u64,
+    connections: usize,
+    out: Option<String>,
+    id: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().ok_or(USAGE.to_string())?;
+    if !matches!(
+        command.as_str(),
+        "drive" | "stats" | "snapshot" | "shutdown"
+    ) {
+        return Err(format!("unknown command {command:?}\n{USAGE}"));
+    }
+    let mut args = Args {
+        command,
+        addr: "127.0.0.1:7878".to_string(),
+        leases: 100_000,
+        tenants: 1_000,
+        connections: 4,
+        out: None,
+        id: "leased/loadgen/submit".to_string(),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--leases" => {
+                args.leases = value("--leases")?
+                    .parse()
+                    .map_err(|e| format!("--leases: {e}"))?
+            }
+            "--tenants" => {
+                args.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--id" => args.id = value("--id")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.leases == 0 || args.tenants == 0 {
+        return Err("--leases and --tenants must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// Per-connection drive: submits every request whose tenant is congruent
+/// to `lane` modulo `lanes`, recording each round-trip in nanoseconds.
+fn drive_lane(
+    addr: &str,
+    leases: u64,
+    tenants: u64,
+    lane: u64,
+    lanes: u64,
+) -> Result<Vec<u64>, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut samples = Vec::new();
+    for i in 0..leases {
+        let tenant = i % tenants;
+        if tenant % lanes != lane {
+            continue;
+        }
+        let time = i / tenants;
+        let started = Instant::now();
+        client
+            .submit(tenant, time)
+            .map_err(|e| format!("submit tenant {tenant} at {time}: {e}"))?;
+        let nanos = started.elapsed().as_nanos();
+        samples.push(u64::try_from(nanos).unwrap_or(u64::MAX));
+    }
+    Ok(samples)
+}
+
+struct DriveReport {
+    iterations: u64,
+    mean_ns: f64,
+    p99_ns: u64,
+    throughput_rps: f64,
+}
+
+fn drive(args: &Args) -> Result<DriveReport, String> {
+    let lanes = u64::try_from(args.connections.max(1)).map_err(|e| e.to_string())?;
+    let lanes = lanes.min(args.tenants);
+    let started = Instant::now();
+    let mut samples: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..lanes)
+            .map(|lane| {
+                let addr = args.addr.as_str();
+                let (leases, tenants) = (args.leases, args.tenants);
+                scope.spawn(move || drive_lane(addr, leases, tenants, lane, lanes))
+            })
+            .collect();
+        let mut merged = Ok(Vec::new());
+        for worker in workers {
+            match (worker.join(), &mut merged) {
+                (Ok(Ok(lane_samples)), Ok(all)) => all.extend(lane_samples),
+                (Ok(Err(message)), merged @ Ok(_)) => *merged = Err(message),
+                (Err(_), merged @ Ok(_)) => *merged = Err("drive worker panicked".to_string()),
+                _ => {}
+            }
+        }
+        merged
+    })?;
+    let elapsed = started.elapsed();
+    samples.sort_unstable();
+    let count = samples.len();
+    if count == 0 {
+        return Err("no requests were sent".to_string());
+    }
+    let total: u128 = samples.iter().map(|&n| u128::from(n)).sum();
+    let p99_index = (count.saturating_mul(99).div_ceil(100)).saturating_sub(1);
+    Ok(DriveReport {
+        iterations: u64::try_from(count).map_err(|e| e.to_string())?,
+        mean_ns: total as f64 / count as f64,
+        p99_ns: samples.get(p99_index).copied().unwrap_or(u64::MAX),
+        throughput_rps: count as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+    })
+}
+
+fn report_json(id: &str, report: &DriveReport) -> String {
+    format!(
+        "{{\n  \"benchmarks\": [\n    {{\"id\": \"{id}\", \"mean_ns\": {:.2}, \"iterations\": {}, \
+         \"throughput_rps\": {:.1}, \"p99_ns\": {}}}\n  ]\n}}\n",
+        report.mean_ns, report.iterations, report.throughput_rps, report.p99_ns
+    )
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "drive" => {
+            let report = drive(args)?;
+            let text = report_json(&args.id, &report);
+            println!(
+                "loadgen: {} submits, mean {:.0} ns, p99 {} ns, {:.0} rps",
+                report.iterations, report.mean_ns, report.p99_ns, report.throughput_rps
+            );
+            if let Some(out) = &args.out {
+                std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+            } else {
+                print!("{text}");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let mut client =
+                Client::connect(args.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!("{}", stats.to_json());
+            Ok(())
+        }
+        "snapshot" => {
+            let mut client =
+                Client::connect(args.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+            client.snapshot().map_err(|e| e.to_string())
+        }
+        "shutdown" => {
+            let mut client =
+                Client::connect(args.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+            client.shutdown().map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::from(1)
+        }
+    }
+}

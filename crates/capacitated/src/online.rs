@@ -1,7 +1,7 @@
 //! Online greedy algorithms for capacitated facility leasing.
 
 use crate::instance::CapacitatedInstance;
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::time::TimeStep;
@@ -48,7 +48,7 @@ pub struct CapacitatedGreedy<'a> {
     owned: HashSet<Triple>,
     /// `(client, facility)` assignment log.
     assignments: Vec<(usize, usize)>,
-    /// Decision ledger backing the deprecated `serve_batch` entry point.
+    /// Decision ledger backing the legacy `run` entry point.
     ledger: Ledger,
 }
 
@@ -71,28 +71,10 @@ impl<'a> CapacitatedGreedy<'a> {
         self.ledger.covered(i, t)
     }
 
-    /// Serves one batch of clients arriving at time `t`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the batch structurally exceeds total capacity (validated
-    /// instances never do).
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, clients, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core greedy assignment step, recording purchases and connection
     /// charges into `ledger`. Facility activity is the ledger's coverage
     /// index, not a private table.
-    fn serve_with(&mut self, t: TimeStep, clients: &[usize], ledger: &mut Ledger) {
-        ledger.advance(t);
+    fn serve_with(&mut self, t: TimeStep, clients: &[usize], books: &mut Books<'_>) {
         let base = &self.instance.base;
         let m = base.num_facilities();
         let mut usage = vec![0usize; m];
@@ -103,7 +85,7 @@ impl<'a> CapacitatedGreedy<'a> {
                     continue;
                 }
                 let d = base.distance(i, j);
-                let option = if ledger.covered(i, t) {
+                let option = if books.covered(i, t) {
                     (d, i, None)
                 } else {
                     let (k, price) = self.pick_lease(i);
@@ -125,9 +107,9 @@ impl<'a> CapacitatedGreedy<'a> {
                 best.expect("validated instances always leave an available facility");
             if let Some(triple) = new_lease {
                 self.owned.insert(triple);
-                ledger.buy_priced(t, triple, base.cost(i, triple.type_index), CATEGORY_LEASE);
+                books.buy_priced(t, triple, base.cost(i, triple.type_index), CATEGORY_LEASE);
             }
-            ledger.charge(t, i, base.distance(i, j), CATEGORY_CONNECTION);
+            books.charge(t, i, base.distance(i, j), CATEGORY_CONNECTION);
             usage[i] += 1;
             self.assignments.push((j, i));
         }
@@ -137,7 +119,8 @@ impl<'a> CapacitatedGreedy<'a> {
     pub fn run(&mut self) -> f64 {
         let mut ledger = std::mem::take(&mut self.ledger);
         for batch in self.instance.base.batches().to_vec() {
-            self.serve_with(batch.time, &batch.clients, &mut ledger);
+            ledger.advance(batch.time);
+            self.serve_with(batch.time, &batch.clients, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.total_cost()
@@ -200,8 +183,8 @@ impl<'a> LeasingAlgorithm for CapacitatedGreedy<'a> {
     /// The batch of (globally numbered) clients arriving at a time step.
     type Request = Vec<usize>;
 
-    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, ledger: &mut Ledger) {
-        self.serve_with(time, &clients, ledger);
+    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, mut books: Books<'_>) {
+        self.serve_with(time, &clients, &mut books);
     }
 }
 

@@ -174,15 +174,28 @@ impl Ledger {
     /// # Panics
     ///
     /// Panics if the ledger has no structure or the triple's type index is
-    /// out of range.
+    /// out of range — both are programming errors on the driver path, where
+    /// the structure is installed at construction. Fallible callers use
+    /// [`Ledger::try_buy`].
     pub fn buy(&mut self, t: TimeStep, triple: Triple) -> f64 {
-        let structure = self
+        match self.try_buy(t, triple) {
+            Some(cost) => cost,
+            // lint:allow(panic: documented API contract, pinned by the structureless_buy_panics_with_guidance test — detached ledgers must use buy_priced)
+            None => panic!("Ledger::buy requires a lease structure; use buy_priced"),
+        }
+    }
+
+    /// Fallible twin of [`Ledger::buy`]: returns `None` — recording
+    /// nothing — when the ledger has no structure or the triple's type
+    /// index is out of range.
+    pub fn try_buy(&mut self, t: TimeStep, triple: Triple) -> Option<f64> {
+        let cost = self
             .structure
             .as_ref()
-            .expect("Ledger::buy requires a lease structure; use buy_priced");
-        let cost = structure.cost(triple.type_index);
+            .filter(|s| triple.type_index < s.num_types())
+            .map(|s| s.cost(triple.type_index))?;
         self.record_lease(t, triple, cost, Cow::Borrowed(CATEGORY_LEASE));
-        cost
+        Some(cost)
     }
 
     /// Buys `triple` at time `t` for an explicit price under `category`
@@ -502,6 +515,95 @@ impl Ledger {
     /// Returns a [`de::Error`] on malformed input.
     pub fn from_json(text: &str) -> Result<Self, de::Error> {
         json::from_str(text)
+    }
+
+    /// Serializes the ledger into a self-describing snapshot envelope,
+    /// schema-tagged [`LEDGER_SNAPSHOT_SCHEMA`].
+    ///
+    /// The payload is exactly the golden-tested decision-trace JSON of
+    /// [`Ledger::to_json`]; [`Ledger::restore`] replays it, so a restored
+    /// ledger is observationally identical — decisions, coverage answers,
+    /// cost categories and the expiry ring all match bit-for-bit (the same
+    /// contract as [`Ledger::reset`] reuse). Snapshotting the same ledger
+    /// twice yields byte-identical text.
+    pub fn snapshot(&self) -> String {
+        let envelope = Value::Map(vec![
+            (
+                "schema".to_string(),
+                Value::Str(LEDGER_SNAPSHOT_SCHEMA.to_string()),
+            ),
+            ("ledger".to_string(), self.to_value()),
+        ]);
+        json::to_string(&envelope)
+    }
+
+    /// Rebuilds a ledger from [`Ledger::snapshot`] output by replaying the
+    /// embedded decision trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Schema`] when the envelope is tagged with
+    /// anything but [`LEDGER_SNAPSHOT_SCHEMA`], and
+    /// [`SnapshotError::Malformed`] on invalid JSON or a payload that does
+    /// not deserialize.
+    pub fn restore(text: &str) -> Result<Self, SnapshotError> {
+        let envelope = json::parse(text).map_err(SnapshotError::Malformed)?;
+        check_schema(&envelope, LEDGER_SNAPSHOT_SCHEMA)?;
+        let payload = serde::value_field(&envelope, "ledger").map_err(SnapshotError::Malformed)?;
+        Deserialize::from_value(payload).map_err(SnapshotError::Malformed)
+    }
+}
+
+/// Schema tag of [`Ledger::snapshot`] envelopes.
+pub const LEDGER_SNAPSHOT_SCHEMA: &str = "ledger-snapshot/v1";
+
+/// Why a snapshot failed to restore.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The text is not valid JSON, or the payload has the wrong shape.
+    Malformed(de::Error),
+    /// The envelope's schema tag does not match the expected version.
+    Schema {
+        /// The schema tag this reader understands.
+        expected: &'static str,
+        /// The tag found in the envelope (`"<missing>"` when absent).
+        found: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Malformed(e) => write!(f, "malformed snapshot: {e}"),
+            SnapshotError::Schema { expected, found } => write!(
+                f,
+                "snapshot schema mismatch: expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Malformed(e) => Some(e),
+            SnapshotError::Schema { .. } => None,
+        }
+    }
+}
+
+/// Validates the `schema` tag of a snapshot envelope against `expected`.
+pub(super) fn check_schema(envelope: &Value, expected: &'static str) -> Result<(), SnapshotError> {
+    let found = match envelope.get("schema") {
+        Some(Value::Str(tag)) => tag.clone(),
+        Some(other) => format!("{other:?}"),
+        None => "<missing>".to_string(),
+    };
+    if found == expected {
+        Ok(())
+    } else {
+        Err(SnapshotError::Schema { expected, found })
     }
 }
 

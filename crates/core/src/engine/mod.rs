@@ -32,11 +32,17 @@
 //!   allocation** — see `bench_driver`/`bench_coverage` in
 //!   `BENCH_driver.json`.
 //! * [`LeasingAlgorithm`] — the trait every online algorithm implements:
-//!   `on_request(&mut self, t, request, &mut Ledger)` serves one request
-//!   immediately and irrevocably, recording purchases into the ledger.
+//!   `on_request(&mut self, t, request, Books<'_>)` serves one request
+//!   immediately and irrevocably, recording purchases through the
+//!   [`Books`] — the narrowed, algorithm-facing view of the ledger
+//!   (queries by deref, mutation limited to `buy`/`buy_priced`/`charge`).
 //! * [`Driver`] — feeds a request stream to an algorithm: batch
 //!   submission, monotone-time enforcement via [`DriverError`] (no
 //!   panics), ledger ownership and [`Report`] generation.
+//! * [`EngineHandle`] — the type-erased owned engine: a boxed policy
+//!   bound to its own arena-backed ledger, with `submit`/`submit_at`/
+//!   `advance`/`stats` plus bit-exact snapshot/restore — what the SimLab
+//!   harness and the `leased` daemon hold per worker/tenant shard.
 //! * [`Report`] — cost, offline optimum, competitive ratio and decision
 //!   counts in one serializable summary, consumed uniformly by tests,
 //!   examples and the bench binaries.
@@ -44,7 +50,7 @@
 //! # Example
 //!
 //! ```
-//! use leasing_core::engine::{Driver, LeasingAlgorithm, Ledger};
+//! use leasing_core::engine::{Books, Driver, LeasingAlgorithm};
 //! use leasing_core::framework::Triple;
 //! use leasing_core::interval::aligned_start;
 //! use leasing_core::lease::{LeaseStructure, LeaseType};
@@ -55,10 +61,10 @@
 //!
 //! impl LeasingAlgorithm for ShortLease {
 //!     type Request = ();
-//!     fn on_request(&mut self, t: TimeStep, _req: (), ledger: &mut Ledger) {
-//!         if !ledger.covered(0, t) {
-//!             let start = aligned_start(t, ledger.structure().unwrap().length(0));
-//!             ledger.buy(t, Triple::new(0, 0, start));
+//!     fn on_request(&mut self, t: TimeStep, _req: (), mut books: Books<'_>) {
+//!         if !books.covered(0, t) {
+//!             let start = aligned_start(t, books.structure().unwrap().length(0));
+//!             books.buy(t, Triple::new(0, 0, start));
 //!         }
 //!     }
 //! }
@@ -75,12 +81,19 @@
 //! # }
 //! ```
 
+mod books;
 mod coverage;
 mod expiry;
+mod handle;
 mod ledger;
 
+pub use books::Books;
 pub use coverage::{CoverageStats, FxHashMap, FxHasher};
-pub use ledger::{Decision, ElementStats, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+pub use handle::{EngineHandle, EngineStats, ENGINE_SNAPSHOT_SCHEMA};
+pub use ledger::{
+    Decision, ElementStats, Ledger, SnapshotError, CATEGORY_CONNECTION, CATEGORY_LEASE,
+    LEDGER_SNAPSHOT_SCHEMA,
+};
 
 use crate::harness::CompetitiveOutcome;
 use crate::lease::LeaseStructure;
@@ -124,16 +137,38 @@ impl std::error::Error for DriverError {}
 ///
 /// Requests arrive in non-decreasing time order (enforced by the
 /// [`Driver`]); the algorithm serves each immediately and irrevocably,
-/// recording every purchase into the passed [`Ledger`] — the single source
-/// of truth for money spent.
+/// recording every purchase through the passed [`Books`] — the narrowed
+/// view of the driver-owned [`Ledger`], the single source of truth for
+/// money spent.
 pub trait LeasingAlgorithm {
     /// One unit of input revealed at a time step (a demand, a client batch,
     /// an edge arrival, ...).
     type Request;
 
     /// Serves the request arriving at `time`, recording purchases into
-    /// `ledger`.
-    fn on_request(&mut self, time: TimeStep, request: Self::Request, ledger: &mut Ledger);
+    /// `books`.
+    fn on_request(&mut self, time: TimeStep, request: Self::Request, books: Books<'_>);
+}
+
+/// Mutable references forward, so a caller can drive an algorithm it still
+/// owns — e.g. box `&mut alg` into an [`EngineHandle`], run the stream,
+/// then read `alg`'s final state (dual values, purchase logs) directly.
+impl<A: LeasingAlgorithm + ?Sized> LeasingAlgorithm for &mut A {
+    type Request = A::Request;
+
+    fn on_request(&mut self, time: TimeStep, request: A::Request, books: Books<'_>) {
+        (**self).on_request(time, request, books);
+    }
+}
+
+/// Boxes forward, making `Box<dyn LeasingAlgorithm<Request = R>>` itself an
+/// algorithm — the type-erasure [`EngineHandle`] is built on.
+impl<A: LeasingAlgorithm + ?Sized> LeasingAlgorithm for Box<A> {
+    type Request = A::Request;
+
+    fn on_request(&mut self, time: TimeStep, request: A::Request, books: Books<'_>) {
+        (**self).on_request(time, request, books);
+    }
 }
 
 /// Generic driver: owns the [`Ledger`], feeds requests to a
@@ -199,7 +234,8 @@ impl<A: LeasingAlgorithm> Driver<A> {
         }
         self.last_time = Some(time);
         self.ledger.advance(time);
-        self.algorithm.on_request(time, request, &mut self.ledger);
+        self.algorithm
+            .on_request(time, request, Books::new(&mut self.ledger));
         self.requests += 1;
         Ok(())
     }
@@ -250,11 +286,34 @@ impl<A: LeasingAlgorithm> Driver<A> {
         self.ledger.advance(time);
         let mut served = 0;
         for request in requests {
-            self.algorithm.on_request(time, request, &mut self.ledger);
+            self.algorithm
+                .on_request(time, request, Books::new(&mut self.ledger));
             self.requests += 1;
             served += 1;
         }
         Ok(served)
+    }
+
+    /// Advances the ledger clock to `time` without serving a request,
+    /// expiring leases whose windows end at or before it. Returns how many
+    /// leases expired. The advanced-to time participates in the monotone
+    /// arrival order: later submissions must not precede it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::TimeTravel`] when `time` precedes the
+    /// previous request's (or advance's) time.
+    pub fn advance(&mut self, time: TimeStep) -> Result<usize, DriverError> {
+        if let Some(previous) = self.last_time {
+            if time < previous {
+                return Err(DriverError::TimeTravel {
+                    previous,
+                    attempted: time,
+                });
+            }
+        }
+        self.last_time = Some(time);
+        Ok(self.ledger.advance(time))
     }
 
     /// Compacts the ledger's coverage index ([`Ledger::compact`]) —
@@ -372,11 +431,11 @@ mod tests {
 
     impl LeasingAlgorithm for ShortBuyer {
         type Request = ();
-        fn on_request(&mut self, t: TimeStep, _req: (), ledger: &mut Ledger) {
-            let len = ledger.structure().unwrap().length(0);
+        fn on_request(&mut self, t: TimeStep, _req: (), mut books: Books<'_>) {
+            let len = books.structure().unwrap().length(0);
             let triple = Triple::new(0, 0, aligned_start(t, len));
             if self.owned.insert(triple) {
-                ledger.buy(t, triple);
+                books.buy(t, triple);
             }
         }
     }
@@ -520,10 +579,10 @@ mod tests {
 
     impl LeasingAlgorithm for BackdatedBuyer {
         type Request = ();
-        fn on_request(&mut self, t: TimeStep, _req: (), ledger: &mut Ledger) {
-            let len = ledger.structure().unwrap().length(0);
+        fn on_request(&mut self, t: TimeStep, _req: (), mut books: Books<'_>) {
+            let len = books.structure().unwrap().length(0);
             let start = aligned_start(t.saturating_sub(5), len);
-            ledger.buy(t, Triple::new(0, 0, start));
+            books.buy(t, Triple::new(0, 0, start));
         }
     }
 

@@ -50,7 +50,10 @@ pub mod ski_rental;
 pub mod time;
 
 pub use cost::CostMeter;
-pub use engine::{Decision, Driver, DriverError, LeasingAlgorithm, Ledger, Report};
+pub use engine::{
+    Books, Decision, Driver, DriverError, EngineHandle, EngineStats, LeasingAlgorithm, Ledger,
+    Report, SnapshotError,
+};
 pub use harness::{CompetitiveOutcome, RatioStats};
 pub use interval::{aligned_start, candidate_leases, candidates_covering, candidates_intersecting};
 pub use lease::{Lease, LeaseStructure, LeaseStructureError, LeaseType};

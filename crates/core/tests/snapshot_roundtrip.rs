@@ -1,0 +1,171 @@
+//! Snapshot/restore contracts for the engine layer.
+//!
+//! Two property tests drive random request streams through an
+//! [`EngineHandle`] and assert the round trip is *byte*-identical (not
+//! just observationally equal), and two golden-file tests pin the
+//! `ledger-snapshot/v1` and `engine-snapshot/v1` wire schemas: any edit
+//! that changes the serialized shape of a snapshot fails against the
+//! committed goldens and forces a deliberate schema bump.
+//!
+//! Regenerate the goldens with `UPDATE_GOLDEN=1 cargo test -p
+//! leasing_core --test snapshot_roundtrip` after an intentional change.
+
+use leasing_core::engine::{
+    Books, EngineHandle, LeasingAlgorithm, Ledger, ENGINE_SNAPSHOT_SCHEMA, LEDGER_SNAPSHOT_SCHEMA,
+};
+use leasing_core::framework::Triple;
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use leasing_core::time::TimeStep;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A stateless policy: covers each demand with the lease type rotated by
+/// `element + time`, so streams exercise every type without the policy
+/// carrying cross-request state (policy state is out of snapshot scope —
+/// see [`EngineHandle::restore`]).
+struct Rotating {
+    types: usize,
+}
+
+impl LeasingAlgorithm for Rotating {
+    type Request = usize;
+
+    fn on_request(&mut self, time: TimeStep, element: usize, mut books: Books<'_>) {
+        if !books.covered(element, time) {
+            let k = (element + usize::try_from(time % 97).unwrap_or(0)) % self.types;
+            books.buy(time, Triple::new(element, k, time));
+        }
+    }
+}
+
+fn structure() -> LeaseStructure {
+    LeaseStructure::new(vec![
+        LeaseType::new(1, 1.0),
+        LeaseType::new(4, 2.5),
+        LeaseType::new(16, 6.0),
+    ])
+    .unwrap()
+}
+
+fn rotating() -> Rotating {
+    Rotating {
+        types: structure().num_types(),
+    }
+}
+
+/// Replays `(dt, element)` deltas as a monotone request stream.
+fn driven_engine(ops: &[(u64, usize)]) -> EngineHandle<'static, usize> {
+    let mut engine = EngineHandle::new(rotating(), structure());
+    let mut t: TimeStep = 0;
+    for &(dt, element) in ops {
+        t += dt;
+        engine.submit(t, element).unwrap();
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// snapshot → restore → snapshot is the identity on bytes, and the
+    /// restored engine serves further traffic exactly like the original.
+    #[test]
+    fn engine_snapshot_round_trips_byte_identically(
+        ops in proptest::collection::vec((0u64..4, 0usize..8), 1..60),
+    ) {
+        let mut original = driven_engine(&ops);
+        let text = original.snapshot();
+        prop_assert!(text.contains(ENGINE_SNAPSHOT_SCHEMA));
+
+        let mut restored = EngineHandle::restore(rotating(), &text).unwrap();
+        prop_assert_eq!(restored.snapshot(), text.clone(), "re-snapshot drifted");
+        prop_assert_eq!(restored.stats().to_json(), original.stats().to_json());
+
+        // Post-restore traffic: both engines serve the same tail stream
+        // and stay byte-identical (monotone clock resumed correctly).
+        let tail = original.stats().now + 1;
+        for (offset, element) in (0..4u64).zip([0usize, 3, 5, 7]) {
+            original.submit(tail + offset, element).unwrap();
+            restored.submit(tail + offset, element).unwrap();
+        }
+        prop_assert_eq!(restored.snapshot(), original.snapshot());
+    }
+
+    /// The bare ledger payload round-trips byte-identically too — the
+    /// engine envelope pins its own counters, this pins the decision
+    /// trace underneath.
+    #[test]
+    fn ledger_snapshot_round_trips_byte_identically(
+        ops in proptest::collection::vec((0u64..4, 0usize..8), 1..60),
+    ) {
+        let engine = driven_engine(&ops);
+        let text = engine.ledger().snapshot();
+        prop_assert!(text.contains(LEDGER_SNAPSHOT_SCHEMA));
+
+        let restored = Ledger::restore(&text).unwrap();
+        prop_assert_eq!(restored.snapshot(), text);
+        prop_assert_eq!(restored.total_cost(), engine.ledger().total_cost());
+        prop_assert_eq!(restored.decision_count(), engine.ledger().decision_count());
+        prop_assert_eq!(restored.leases_bought(), engine.ledger().leases_bought());
+    }
+}
+
+/// The fixed stream behind the goldens: every lease type, a re-covered
+/// demand (no purchase), and a time gap that expires the short leases.
+fn golden_engine() -> EngineHandle<'static, usize> {
+    driven_engine(&[
+        (0, 0),
+        (0, 1),
+        (1, 2),
+        (0, 2), // covered: no new lease
+        (2, 3),
+        (5, 0), // day lease expired: re-buys
+        (9, 4),
+        (1, 1),
+    ])
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `text` against the committed golden (or rewrites it under
+/// `UPDATE_GOLDEN=1`).
+fn assert_matches_golden(name: &str, text: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(
+        text, golden,
+        "{name} drifted from the committed schema; if intentional, bump the \
+         schema tag and regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn ledger_snapshot_v1_matches_the_committed_golden() {
+    let engine = golden_engine();
+    let text = engine.ledger().snapshot();
+    assert!(text.contains(LEDGER_SNAPSHOT_SCHEMA));
+    assert_matches_golden("ledger-snapshot-v1.json", &text);
+    // The golden is restorable, not just stable.
+    let restored = Ledger::restore(&text).unwrap();
+    assert_eq!(restored.snapshot(), text);
+}
+
+#[test]
+fn engine_snapshot_v1_matches_the_committed_golden() {
+    let engine = golden_engine();
+    let text = engine.snapshot();
+    assert!(text.contains(ENGINE_SNAPSHOT_SCHEMA));
+    assert_matches_golden("engine-snapshot-v1.json", &text);
+    let restored = EngineHandle::restore(rotating(), &text).unwrap();
+    assert_eq!(restored.stats().to_json(), engine.stats().to_json());
+}

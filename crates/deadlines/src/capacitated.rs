@@ -10,7 +10,7 @@
 //! day. Multiple copies of the same `(type, start)` lease may be bought —
 //! solutions are multisets.
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::{candidates_covering, candidates_intersecting};
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -160,21 +160,8 @@ impl<'a> FirstFitOnline<'a> {
         }
     }
 
-    /// Serves one demand under the given buy rule.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve(&mut self, demand: WeightedDemand, rule: BuyRule) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(demand, rule, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core first-fit step, recording purchases into `ledger`.
-    fn serve_with(&mut self, demand: WeightedDemand, rule: BuyRule, ledger: &mut Ledger) {
-        ledger.advance(demand.arrival);
+    fn serve_with(&mut self, demand: WeightedDemand, rule: BuyRule, books: &mut Books<'_>) {
         let s = &self.instance.structure;
         let cap = self.instance.capacity;
         // First fit: earliest day of the window on which an existing copy
@@ -202,7 +189,7 @@ impl<'a> FirstFitOnline<'a> {
                 score(a).partial_cmp(&score(b)).expect("finite costs")
             })
             .expect("validated structures are non-empty");
-        ledger.buy(
+        books.buy(
             demand.arrival,
             Triple::new(0, chosen.type_index, chosen.start),
         );
@@ -220,7 +207,8 @@ impl<'a> FirstFitOnline<'a> {
     pub fn run(&mut self, rule: BuyRule) -> f64 {
         let mut ledger = std::mem::take(&mut self.ledger);
         for d in self.instance.demands.clone() {
-            self.serve_with(d, rule, &mut ledger);
+            ledger.advance(d.arrival);
+            self.serve_with(d, rule, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.ledger.total_cost()
@@ -234,7 +222,7 @@ impl<'a> FirstFitOnline<'a> {
         self.ledger.total_cost()
     }
 
-    /// The internal decision ledger backing the deprecated serve path.
+    /// The internal decision ledger backing the legacy serve path.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }
@@ -254,9 +242,9 @@ impl<'a> LeasingAlgorithm for FirstFitOnline<'a> {
     /// `(slack, weight, rule)` of the demand arriving at a time step.
     type Request = (u64, f64, BuyRule);
 
-    fn on_request(&mut self, time: TimeStep, request: (u64, f64, BuyRule), ledger: &mut Ledger) {
+    fn on_request(&mut self, time: TimeStep, request: (u64, f64, BuyRule), mut books: Books<'_>) {
         let (slack, weight, rule) = request;
-        self.serve_with(WeightedDemand::new(time, slack, weight), rule, ledger);
+        self.serve_with(WeightedDemand::new(time, slack, weight), rule, &mut books);
     }
 }
 

@@ -13,7 +13,7 @@
 //! contributions across clients. The exact ILP below calibrates it on small
 //! instances.
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -164,26 +164,11 @@ impl<'a> MultiDayOnline<'a> {
         window.iter().filter(|&t| !ledger.covered(0, t)).count() as u64
     }
 
-    /// Serves one client: picks the block with the fewest uncovered days
-    /// (earliest on ties) and covers its holes with primal-dual permit
-    /// steps.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve(&mut self, client: MultiDayClient) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(client, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core block-choice + permit step, recording purchases into `ledger`.
-    fn serve_with(&mut self, client: MultiDayClient, ledger: &mut Ledger) {
-        ledger.advance(client.arrival);
+    fn serve_with(&mut self, client: MultiDayClient, books: &mut Books<'_>) {
         let mut best: Option<(u64, TimeStep)> = None;
         for b in client.start_days() {
-            let holes = Self::uncovered_days(ledger, client.block_at(b));
+            let holes = Self::uncovered_days(books, client.block_at(b));
             if best.is_none_or(|(h, _)| holes < h) {
                 best = Some((holes, b));
             }
@@ -194,13 +179,13 @@ impl<'a> MultiDayOnline<'a> {
         let (_, start) = best.expect("validated clients have at least one block");
         self.service_starts.push(start);
         for t in client.block_at(start).iter() {
-            self.permit_step(t, ledger);
+            self.permit_step(t, books);
         }
     }
 
     /// One parking-permit primal-dual step covering day `t`.
-    fn permit_step(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        if ledger.covered(0, t) {
+    fn permit_step(&mut self, t: TimeStep, books: &mut Books<'_>) {
+        if books.covered(0, t) {
             return;
         }
         let candidates = candidates_covering(&self.instance.structure, t);
@@ -215,19 +200,20 @@ impl<'a> MultiDayOnline<'a> {
             let entry = self.contributions.entry(c).or_insert(0.0);
             *entry += delta;
             let triple = Triple::new(0, c.type_index, c.start);
-            if *entry >= c.cost(&self.instance.structure) - EPS && !ledger.owns(triple) {
+            if *entry >= c.cost(&self.instance.structure) - EPS && !books.owns(triple) {
                 self.owned.insert(c);
-                ledger.buy(t, triple);
+                books.buy(t, triple);
             }
         }
-        debug_assert!(ledger.covered(0, t));
+        debug_assert!(books.covered(0, t));
     }
 
     /// Runs the whole instance and returns the final cost.
     pub fn run(&mut self) -> f64 {
         let mut ledger = std::mem::take(&mut self.ledger);
         for c in self.instance.clients.clone() {
-            self.serve_with(c, &mut ledger);
+            ledger.advance(c.arrival);
+            self.serve_with(c, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.ledger.total_cost()
@@ -241,7 +227,7 @@ impl<'a> MultiDayOnline<'a> {
         self.ledger.total_cost()
     }
 
-    /// The internal decision ledger backing the deprecated serve path.
+    /// The internal decision ledger backing the legacy serve path.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }
@@ -261,9 +247,9 @@ impl<'a> LeasingAlgorithm for MultiDayOnline<'a> {
     /// `(slack, duration)` of the client arriving at a time step.
     type Request = (u64, u64);
 
-    fn on_request(&mut self, time: TimeStep, request: (u64, u64), ledger: &mut Ledger) {
+    fn on_request(&mut self, time: TimeStep, request: (u64, u64), mut books: Books<'_>) {
         let (slack, duration) = request;
-        self.serve_with(MultiDayClient::new(time, slack, duration), ledger);
+        self.serve_with(MultiDayClient::new(time, slack, duration), &mut books);
     }
 }
 
@@ -386,22 +372,27 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn covered_blocks_are_reused_for_free() {
         let inst = MultiDayInstance::new(
             structure(),
             vec![MultiDayClient::new(0, 1, 2), MultiDayClient::new(0, 1, 2)],
         )
         .unwrap();
-        let mut alg = MultiDayOnline::new(&inst);
-        alg.serve(inst.clients[0]);
-        let cost = alg.total_cost();
-        alg.serve(inst.clients[1]);
-        assert_eq!(alg.total_cost(), cost, "the identical block must be free");
+        let mut driver = leasing_core::engine::Driver::with_ledger(
+            MultiDayOnline::new(&inst),
+            Ledger::new(inst.structure.clone()),
+        );
+        driver.submit(0, (1, 2)).unwrap();
+        let cost = driver.ledger().total_cost();
+        driver.submit(0, (1, 2)).unwrap();
+        assert_eq!(
+            driver.ledger().total_cost(),
+            cost,
+            "the identical block must be free"
+        );
     }
 
     #[test]
-    #[allow(deprecated)]
     fn block_choice_prefers_fewest_holes() {
         // Pre-cover days 4..6 by serving a first client there; the second
         // client (window [0, 6], duration 2) should slide to the covered
@@ -411,12 +402,15 @@ mod tests {
             vec![MultiDayClient::new(4, 1, 2), MultiDayClient::new(4, 2, 2)],
         )
         .unwrap();
-        let mut alg = MultiDayOnline::new(&inst);
-        alg.serve(inst.clients[0]);
-        let cost = alg.total_cost();
-        alg.serve(inst.clients[1]);
-        assert_eq!(alg.total_cost(), cost);
-        assert_eq!(alg.service_starts()[1], 4);
+        let mut driver = leasing_core::engine::Driver::with_ledger(
+            MultiDayOnline::new(&inst),
+            Ledger::new(inst.structure.clone()),
+        );
+        driver.submit(4, (1, 2)).unwrap();
+        let cost = driver.ledger().total_cost();
+        driver.submit(4, (2, 2)).unwrap();
+        assert_eq!(driver.ledger().total_cost(), cost);
+        assert_eq!(driver.algorithm().service_starts()[1], 4);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! optimal `O(K)` ratio; general windows give `Θ(K + d_max/l_min)`
 //! (Theorem 5.3).
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::{candidates_covering, candidates_intersecting};
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -144,7 +144,8 @@ impl<'a> OldPrimalDual<'a> {
         while self.next_client < self.instance.clients.len() {
             let c = self.instance.clients[self.next_client];
             self.next_client += 1;
-            self.serve_with(c, &mut ledger);
+            ledger.advance(c.arrival);
+            self.serve_with(c, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.ledger.total_cost()
@@ -158,7 +159,7 @@ impl<'a> OldPrimalDual<'a> {
         self.ledger.total_cost()
     }
 
-    /// The internal decision ledger backing the deprecated serve path.
+    /// The internal decision ledger backing the legacy serve path.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }
@@ -182,22 +183,9 @@ impl<'a> OldPrimalDual<'a> {
         self.ledger.covered_during(OLD_ELEMENT, client.window())
     }
 
-    /// Serves one client (they must be fed in arrival order).
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve(&mut self, client: OldClient) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(client, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core primal-dual step for one client, recording purchases into
     /// `ledger`.
-    fn serve_with(&mut self, client: OldClient, ledger: &mut Ledger) {
-        ledger.advance(client.arrival);
+    fn serve_with(&mut self, client: OldClient, books: &mut Books<'_>) {
         // Skip if the client "intersects" a previous positive-dual client
         // (t', d') at its deadline t' + d' (the §5.3 precondition): the
         // Step 2 mirror purchase at t' + d' already serves this client.
@@ -208,7 +196,7 @@ impl<'a> OldPrimalDual<'a> {
         });
         if skip {
             debug_assert!(
-                ledger.covered_during(OLD_ELEMENT, client.window()),
+                books.covered_during(OLD_ELEMENT, client.window()),
                 "intersected client must be served"
             );
             return;
@@ -239,7 +227,7 @@ impl<'a> OldPrimalDual<'a> {
             let used = self.contributions.get(&c).copied().unwrap_or(0.0);
             if used >= c.cost(&self.instance.structure) - EPS {
                 bought_types.push(c.type_index);
-                self.buy(client.arrival, c, ledger);
+                self.buy(client.arrival, c, books);
             }
         }
         // Proposition 5.1: at least one tight candidate covers t.
@@ -253,16 +241,16 @@ impl<'a> OldPrimalDual<'a> {
             for k in bought_types {
                 let len = self.instance.structure.length(k);
                 let start = leasing_core::interval::aligned_start(client.deadline(), len);
-                self.buy(client.arrival, Lease::new(k, start), ledger);
+                self.buy(client.arrival, Lease::new(k, start), books);
             }
         }
-        debug_assert!(ledger.covered_during(OLD_ELEMENT, client.window()));
+        debug_assert!(books.covered_during(OLD_ELEMENT, client.window()));
     }
 
-    fn buy(&mut self, t: TimeStep, lease: Lease, ledger: &mut Ledger) {
+    fn buy(&mut self, t: TimeStep, lease: Lease, books: &mut Books<'_>) {
         let triple = Triple::new(OLD_ELEMENT, lease.type_index, lease.start);
-        if !ledger.owns(triple) {
-            ledger.buy(t, triple);
+        if !books.owns(triple) {
+            books.buy(t, triple);
             self.purchases.push(lease);
         }
     }
@@ -273,8 +261,8 @@ impl<'a> LeasingAlgorithm for OldPrimalDual<'a> {
     /// time `t`, so the pair `(t, d)` reconstructs the client).
     type Request = u64;
 
-    fn on_request(&mut self, time: TimeStep, slack: u64, ledger: &mut Ledger) {
-        self.serve_with(OldClient::new(time, slack), ledger);
+    fn on_request(&mut self, time: TimeStep, slack: u64, mut books: Books<'_>) {
+        self.serve_with(OldClient::new(time, slack), &mut books);
     }
 }
 
@@ -349,7 +337,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn intersected_clients_are_skipped_for_free() {
         // Client 1 (0, 4) gets a positive dual and mirror purchases at day 4.
         // Client 2 (2, 4): window [2, 6] contains day 4 -> skipped.
@@ -358,16 +345,21 @@ mod tests {
             vec![OldClient::new(0, 4), OldClient::new(2, 4)],
         )
         .unwrap();
-        let mut alg = OldPrimalDual::new(&inst);
-        alg.serve(inst.clients[0]);
-        let cost_after_first = alg.total_cost();
-        alg.serve(inst.clients[1]);
+        let mut driver = leasing_core::engine::Driver::with_ledger(
+            OldPrimalDual::new(&inst),
+            Ledger::new(inst.structure.clone()),
+        );
+        driver.submit(0, 4).unwrap();
+        let cost_after_first = driver.ledger().total_cost();
+        driver.submit(2, 4).unwrap();
         assert_eq!(
-            alg.total_cost(),
+            driver.ledger().total_cost(),
             cost_after_first,
             "second client must be free"
         );
-        assert!(alg.is_served(&inst.clients[1]));
+        assert!(driver
+            .ledger()
+            .covered_during(OLD_ELEMENT, inst.clients[1].window()));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! of time* (Theorem 5.7). With `d_max = 0` this improves SetCoverLeasing
 //! to `O(log(mK) · log l_max)` (Corollary 5.8).
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_intersecting;
 use leasing_core::lease::LeaseStructure;
@@ -243,7 +243,8 @@ impl<'a> ScldOnline<'a> {
         while self.next_arrival < self.instance.arrivals.len() {
             let a = self.instance.arrivals[self.next_arrival];
             self.next_arrival += 1;
-            self.serve_with(&a, &mut ledger);
+            ledger.advance(a.time);
+            self.serve_with(&a, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.ledger.total_cost()
@@ -257,7 +258,7 @@ impl<'a> ScldOnline<'a> {
         self.ledger.total_cost()
     }
 
-    /// The internal decision ledger backing the deprecated serve path.
+    /// The internal decision ledger backing the legacy serve path.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }
@@ -272,21 +273,8 @@ impl<'a> ScldOnline<'a> {
         self.owned.iter()
     }
 
-    /// Serves one arrival.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve(&mut self, a: &ScldArrival) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(a, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core LP-growth + rounding step, recording purchases into `ledger`.
-    fn serve_with(&mut self, a: &ScldArrival, ledger: &mut Ledger) {
-        ledger.advance(a.time);
+    fn serve_with(&mut self, a: &ScldArrival, books: &mut Books<'_>) {
         let candidates = self.instance.candidates(a);
         debug_assert!(!candidates.is_empty(), "validated instances are coverable");
         let f_len = candidates.len() as f64;
@@ -308,18 +296,18 @@ impl<'a> ScldOnline<'a> {
 
         // (ii) Rounding phase: buy candidates whose fraction beats their
         // threshold; fall back to the cheapest candidate if uncovered.
-        // Ownership is the ledger's coverage index, not a private table.
+        // Ownership is the books's coverage index, not a private table.
         for c in &candidates {
             let f = self.fraction(c);
             let mu = self.threshold(c);
-            if f > mu && !ledger.owns(*c) {
+            if f > mu && !books.owns(*c) {
                 let cost = self.instance.cost(c.element, c.type_index);
                 self.owned.insert(*c);
-                ledger.buy_priced(a.time, *c, cost, "rounded");
+                books.buy_priced(a.time, *c, cost, "rounded");
                 self.stats.rounded_cost += cost;
             }
         }
-        if !candidates.iter().any(|c| ledger.owns(*c)) {
+        if !candidates.iter().any(|c| books.owns(*c)) {
             let cheapest = candidates
                 .iter()
                 .copied()
@@ -331,7 +319,7 @@ impl<'a> ScldOnline<'a> {
                 .expect("candidates are non-empty");
             let cost = self.instance.cost(cheapest.element, cheapest.type_index);
             self.owned.insert(cheapest);
-            ledger.buy_priced(a.time, cheapest, cost, "fallback");
+            books.buy_priced(a.time, cheapest, cost, "fallback");
             self.stats.fallback_cost += cost;
             self.stats.fallbacks += 1;
         }
@@ -363,7 +351,7 @@ impl<'a> LeasingAlgorithm for ScldOnline<'a> {
     /// `(slack, element)` of the arrival revealed at a time step.
     type Request = (u64, usize);
 
-    fn on_request(&mut self, time: TimeStep, request: (u64, usize), ledger: &mut Ledger) {
+    fn on_request(&mut self, time: TimeStep, request: (u64, usize), mut books: Books<'_>) {
         let (slack, element) = request;
         self.serve_with(
             &ScldArrival {
@@ -371,7 +359,7 @@ impl<'a> LeasingAlgorithm for ScldOnline<'a> {
                 slack,
                 element,
             },
-            ledger,
+            &mut books,
         );
     }
 }

@@ -34,7 +34,7 @@
 //! with `d_max` replaced by the largest *span* `max F − a`; sparser day sets
 //! have fewer candidates per unit span, which experiment E24 sweeps.
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::{aligned_start, candidates_covering};
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -250,7 +250,8 @@ impl<'a> WindowPrimalDual<'a> {
         while self.next_client < self.instance.clients.len() {
             let c = self.instance.clients[self.next_client].clone();
             self.next_client += 1;
-            self.serve_with(&c, &mut ledger);
+            ledger.advance(c.arrival);
+            self.serve_with(&c, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.ledger.total_cost()
@@ -264,7 +265,7 @@ impl<'a> WindowPrimalDual<'a> {
         self.ledger.total_cost()
     }
 
-    /// The internal decision ledger backing the deprecated serve path.
+    /// The internal decision ledger backing the legacy serve path.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }
@@ -294,23 +295,10 @@ impl<'a> WindowPrimalDual<'a> {
         client.allowed_days().iter().any(|&d| ledger.covered(0, d))
     }
 
-    /// Serves one client (they must be fed in arrival order).
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve(&mut self, client: &WindowClient) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(client, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core primal-dual step for one window client, recording purchases
     /// into `ledger`.
-    fn serve_with(&mut self, client: &WindowClient, ledger: &mut Ledger) {
-        ledger.advance(client.arrival);
-        if Self::served_in(ledger, client) {
+    fn serve_with(&mut self, client: &WindowClient, books: &mut Books<'_>) {
+        if Self::served_in(books, client) {
             return;
         }
         let candidates = self.instance.candidates(client);
@@ -360,24 +348,24 @@ impl<'a> WindowPrimalDual<'a> {
             if !c.window(&self.instance.structure).contains(f_star) {
                 continue;
             }
-            self.buy(client.arrival, c, ledger);
+            self.buy(client.arrival, c, books);
             let len = self.instance.structure.length(c.type_index);
             self.buy(
                 client.arrival,
                 Lease::new(c.type_index, aligned_start(deadline, len)),
-                ledger,
+                books,
             );
         }
         debug_assert!(
-            Self::served_in(ledger, client),
+            Self::served_in(books, client),
             "a bought candidate serves the client"
         );
     }
 
-    fn buy(&mut self, t: TimeStep, lease: Lease, ledger: &mut Ledger) {
+    fn buy(&mut self, t: TimeStep, lease: Lease, books: &mut Books<'_>) {
         let triple = Triple::new(0, lease.type_index, lease.start);
-        if !ledger.owns(triple) {
-            ledger.buy(t, triple);
+        if !books.owns(triple) {
+            books.buy(t, triple);
             self.purchases.push(lease);
         }
     }
@@ -388,8 +376,8 @@ impl<'a> LeasingAlgorithm for WindowPrimalDual<'a> {
     /// derivable from the arrival alone).
     type Request = WindowClient;
 
-    fn on_request(&mut self, _time: TimeStep, client: WindowClient, ledger: &mut Ledger) {
-        self.serve_with(&client, ledger);
+    fn on_request(&mut self, _time: TimeStep, client: WindowClient, mut books: Books<'_>) {
+        self.serve_with(&client, &mut books);
     }
 }
 
@@ -537,7 +525,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn served_clients_are_skipped_for_free() {
         let inst = WindowInstance::new(
             structure(),
@@ -548,11 +535,14 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut alg = WindowPrimalDual::new(&inst);
-        alg.serve(&inst.clients[0].clone());
-        let after_first = alg.total_cost();
-        alg.serve(&inst.clients[1].clone());
-        assert_eq!(alg.total_cost(), after_first);
+        let mut driver = leasing_core::engine::Driver::with_ledger(
+            WindowPrimalDual::new(&inst),
+            Ledger::new(inst.structure.clone()),
+        );
+        driver.submit(0, inst.clients[0].clone()).unwrap();
+        let after_first = driver.ledger().total_cost();
+        driver.submit(0, inst.clients[1].clone()).unwrap();
+        assert_eq!(driver.ledger().total_cost(), after_first);
     }
 
     #[test]

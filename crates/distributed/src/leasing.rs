@@ -11,7 +11,7 @@
 //! [`Ledger`](leasing_core::engine::Ledger).
 
 use crate::bidding::{distributed_step, BiddingError, BiddingInstance};
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_core::lease::LeaseStructure;
@@ -56,7 +56,7 @@ pub struct DistributedFacilityLeasing {
     /// `(client, facility)` assignments in service order.
     assignments: Vec<(usize, usize)>,
     stats: LeasingRunStats,
-    /// Decision ledger backing the deprecated `serve_batch` entry point.
+    /// Decision ledger backing the legacy entry points.
     ledger: Ledger,
 }
 
@@ -147,26 +147,9 @@ impl DistributedFacilityLeasing {
         &self.ledger
     }
 
-    /// Serves one batch of (global) client ids arriving at time `t`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a client id is out of range for the distance table.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, clients, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core step: distributed bidding + MIS over effective prices, then
     /// lease purchases and connection charges into `ledger`.
-    fn serve_with(&mut self, t: TimeStep, clients: &[usize], ledger: &mut Ledger) {
-        ledger.advance(t);
+    fn serve_with(&mut self, t: TimeStep, clients: &[usize], books: &mut Books<'_>) {
         if clients.is_empty() {
             return;
         }
@@ -175,7 +158,7 @@ impl DistributedFacilityLeasing {
         let type_multiplier = self.structure.cost(k);
         let effective_prices: Vec<f64> = (0..self.base_prices.len())
             .map(|i| {
-                if ledger.covered(i, t) {
+                if books.covered(i, t) {
                     ACTIVE_PRICE
                 } else {
                     self.base_prices[i] * type_multiplier
@@ -200,10 +183,10 @@ impl DistributedFacilityLeasing {
         }
 
         for &i in &outcome.chosen {
-            if !ledger.covered(i, t) {
+            if !books.covered(i, t) {
                 let triple = Triple::new(i, k, aligned_start(t, len));
-                if !ledger.owns(triple) {
-                    ledger.buy_priced(
+                if !books.owns(triple) {
+                    books.buy_priced(
                         t,
                         triple,
                         self.base_prices[i] * type_multiplier,
@@ -216,7 +199,7 @@ impl DistributedFacilityLeasing {
         }
         for (slot, &j) in clients.iter().enumerate() {
             let facility = outcome.assignment[slot];
-            ledger.charge(
+            books.charge(
                 t,
                 facility,
                 self.distances[facility][j],
@@ -231,8 +214,8 @@ impl LeasingAlgorithm for DistributedFacilityLeasing {
     /// The batch of (globally numbered) clients arriving at a time step.
     type Request = Vec<usize>;
 
-    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, ledger: &mut Ledger) {
-        self.serve_with(time, &clients, ledger);
+    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, mut books: Books<'_>) {
+        self.serve_with(time, &clients, &mut books);
     }
 }
 
@@ -271,43 +254,47 @@ mod tests {
         .unwrap()
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn batches_end_up_feasibly_assigned() {
-        let mut alg = algorithm();
-        alg.serve_batch(0, &[0, 2]);
-        alg.serve_batch(1, &[1]);
-        assert_eq!(alg.assignments().len(), 3);
-        assert!(is_feasible(&alg, alg.ledger()));
-        assert!(alg.total_cost() > 0.0);
-        assert!(alg.stats().rounds > 0 && alg.stats().messages > 0);
+    fn driven(
+        alg: DistributedFacilityLeasing,
+    ) -> leasing_core::engine::Driver<DistributedFacilityLeasing> {
+        leasing_core::engine::Driver::with_ledger(alg, Ledger::new(structure()))
     }
 
     #[test]
-    #[allow(deprecated)]
+    fn batches_end_up_feasibly_assigned() {
+        let mut driver = driven(algorithm());
+        driver.submit(0, vec![0, 2]).unwrap();
+        driver.submit(1, vec![1]).unwrap();
+        assert_eq!(driver.algorithm().assignments().len(), 3);
+        assert!(is_feasible(driver.algorithm(), driver.ledger()));
+        assert!(driver.ledger().total_cost() > 0.0);
+        let stats = driver.algorithm().stats();
+        assert!(stats.rounds > 0 && stats.messages > 0);
+    }
+
+    #[test]
     fn active_leases_are_reused_within_their_window() {
-        let mut alg = algorithm();
-        alg.serve_batch(0, &[0]);
-        let leases_after_first = alg.owned().count();
+        let mut driver = driven(algorithm());
+        driver.submit(0, vec![0]).unwrap();
+        let leases_after_first = driver.algorithm().owned().count();
         // Same window [0, 4): the nearby facility stays active.
-        alg.serve_batch(1, &[1]);
+        driver.submit(1, vec![1]).unwrap();
         assert_eq!(
-            alg.owned().count(),
+            driver.algorithm().owned().count(),
             leases_after_first,
             "lease must be reused"
         );
     }
 
     #[test]
-    #[allow(deprecated)]
     fn expired_leases_force_repurchase() {
-        let mut alg = algorithm();
-        alg.serve_batch(0, &[0]);
-        let cost_after_first = alg.total_cost();
+        let mut driver = driven(algorithm());
+        driver.submit(0, vec![0]).unwrap();
+        let cost_after_first = driver.ledger().total_cost();
         // Both lease windows starting at 0 have expired by t = 16.
-        alg.serve_batch(16, &[0]);
+        driver.submit(16, vec![0]).unwrap();
         assert!(
-            alg.total_cost() > cost_after_first + 1.0,
+            driver.ledger().total_cost() > cost_after_first + 1.0,
             "new lease must be bought"
         );
     }

@@ -34,7 +34,7 @@
 //! independent of `n`.
 
 use crate::instance::FacilityInstance;
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_core::time::TimeStep;
@@ -108,8 +108,9 @@ impl<'a> NagarajanWilliamson<'a> {
         self.next_batch += 1;
         let time = batch.time;
         let mut ledger = std::mem::take(&mut self.ledger);
+        ledger.advance(time);
         for &j in &batch.clients.clone() {
-            self.serve_client(j, time, &mut ledger);
+            self.serve_client(j, time, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         true
@@ -175,21 +176,20 @@ impl<'a> NagarajanWilliamson<'a> {
             .sum()
     }
 
-    fn serve_client(&mut self, j: usize, time: TimeStep, ledger: &mut Ledger) {
-        ledger.advance(time);
+    fn serve_client(&mut self, j: usize, time: TimeStep, books: &mut Books<'_>) {
         let inst = self.instance;
         let m = inst.num_facilities();
         let kk = inst.structure().num_types();
 
         // Event 1: reach a bought lease covering `time`, found through the
-        // ledger's per-(facility, type) coverage index. Iterating (i, k) in
+        // books's per-(facility, type) coverage index. Iterating (i, k) in
         // ascending order reproduces the original distance tie-break
         // toward the smallest (facility, type).
         let mut connect: Option<(f64, usize, usize)> = None;
         for i in 0..m {
             let d = inst.distance(i, j);
             for k in 0..kk {
-                if ledger.active_lease_of_type(i, k, time).is_none() {
+                if books.active_lease_of_type(i, k, time).is_none() {
                     continue;
                 }
                 let better =
@@ -206,7 +206,7 @@ impl<'a> NagarajanWilliamson<'a> {
             for k in 0..kk {
                 let start = aligned_start(time, inst.structure().length(k));
                 let triple = Triple::new(i, k, start);
-                if ledger.owns(triple) {
+                if books.owns(triple) {
                     continue;
                 }
                 let remaining = (inst.cost(i, k) - self.old_bids(&triple)).max(0.0);
@@ -220,13 +220,13 @@ impl<'a> NagarajanWilliamson<'a> {
         match (connect, buy) {
             // Ties prefer connecting: no purchase is made.
             (Some((d, i, k)), Some((event, _))) if d <= event => {
-                self.finish(j, time, d, i, k, ledger);
+                self.finish(j, time, d, i, k, books);
             }
             (Some((d, i, k)), None) => {
-                self.finish(j, time, d, i, k, ledger);
+                self.finish(j, time, d, i, k, books);
             }
             (_, Some((event, triple))) => {
-                ledger.buy_priced(
+                books.buy_priced(
                     time,
                     triple,
                     inst.cost(triple.element, triple.type_index),
@@ -236,7 +236,7 @@ impl<'a> NagarajanWilliamson<'a> {
                 self.alpha_hat[j] = event;
                 self.arrival[j] = Some(time);
                 self.assignments[j] = Some((triple.element, triple.type_index));
-                ledger.charge(
+                books.charge(
                     time,
                     triple.element,
                     inst.distance(triple.element, j),
@@ -254,12 +254,12 @@ impl<'a> NagarajanWilliamson<'a> {
         alpha: f64,
         i: usize,
         k: usize,
-        ledger: &mut Ledger,
+        books: &mut Books<'_>,
     ) {
         self.alpha_hat[j] = alpha;
         self.arrival[j] = Some(time);
         self.assignments[j] = Some((i, k));
-        ledger.charge(time, i, self.instance.distance(i, j), CATEGORY_CONNECTION);
+        books.charge(time, i, self.instance.distance(i, j), CATEGORY_CONNECTION);
     }
 }
 
@@ -267,9 +267,9 @@ impl<'a> LeasingAlgorithm for NagarajanWilliamson<'a> {
     /// The batch of (globally numbered) clients arriving at a time step.
     type Request = Vec<usize>;
 
-    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, ledger: &mut Ledger) {
+    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, mut books: Books<'_>) {
         for j in clients {
-            self.serve_client(j, time, ledger);
+            self.serve_client(j, time, &mut books);
         }
     }
 }

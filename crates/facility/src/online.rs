@@ -19,7 +19,7 @@
 //! Competitive ratio: `4(3 + K) · H_{l_max}` (Theorem 4.5).
 
 use crate::instance::FacilityInstance;
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_core::time::TimeStep;
@@ -83,7 +83,8 @@ impl<'a> PrimalDualFacility<'a> {
         let new_clients: Vec<usize> = batch.clients.clone();
         self.arrived.extend(new_clients.iter().copied());
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.process_round(time, &new_clients, &mut ledger);
+        ledger.advance(time);
+        self.process_round(time, &new_clients, &mut Books::new(&mut ledger));
         self.ledger = ledger;
         true
     }
@@ -144,8 +145,7 @@ impl<'a> PrimalDualFacility<'a> {
         })
     }
 
-    fn process_round(&mut self, time: TimeStep, new_clients: &[usize], ledger: &mut Ledger) {
-        ledger.advance(time);
+    fn process_round(&mut self, time: TimeStep, new_clients: &[usize], books: &mut Books<'_>) {
         let inst = self.instance;
         let m = inst.num_facilities();
         let kk = inst.structure().num_types();
@@ -167,7 +167,7 @@ impl<'a> PrimalDualFacility<'a> {
         let mut contribution = vec![vec![0.0f64; kk]; m];
         for (i, row) in perm.iter_mut().enumerate() {
             for (k, p) in row.iter_mut().enumerate() {
-                *p = ledger.owns(Triple::new(i, k, starts[k]));
+                *p = books.owns(Triple::new(i, k, starts[k]));
             }
         }
 
@@ -386,8 +386,8 @@ impl<'a> PrimalDualFacility<'a> {
                     mis.push(i);
                     // Permanently open: buy the lease (once).
                     let triple = Triple::new(i, k, starts[k]);
-                    if !ledger.owns(triple) {
-                        ledger.buy_priced(time, triple, inst.cost(i, k), CATEGORY_LEASE);
+                    if !books.owns(triple) {
+                        books.buy_priced(time, triple, inst.cost(i, k), CATEGORY_LEASE);
                     }
                     self.owned.insert(triple);
                 }
@@ -404,7 +404,7 @@ impl<'a> PrimalDualFacility<'a> {
                 let j = clients[c];
                 if mis.contains(&i) || perm[i][k] {
                     self.assignments[j] = Some((i, k));
-                    ledger.charge(time, i, dist(i, c), CATEGORY_CONNECTION);
+                    books.charge(time, i, dist(i, c), CATEGORY_CONNECTION);
                 } else {
                     // Reconnect to the cheapest conflicting MIS member.
                     let target =
@@ -430,7 +430,7 @@ impl<'a> PrimalDualFacility<'a> {
                             .expect("MIS of a non-empty open set is non-empty")
                     });
                     self.assignments[j] = Some((target, k));
-                    ledger.charge(time, target, dist(target, c), CATEGORY_CONNECTION);
+                    books.charge(time, target, dist(target, c), CATEGORY_CONNECTION);
                 }
             }
         }
@@ -446,9 +446,9 @@ impl<'a> LeasingAlgorithm for PrimalDualFacility<'a> {
     /// The batch of (globally numbered) clients arriving at a time step.
     type Request = Vec<usize>;
 
-    fn on_request(&mut self, time: TimeStep, new_clients: Vec<usize>, ledger: &mut Ledger) {
+    fn on_request(&mut self, time: TimeStep, new_clients: Vec<usize>, mut books: Books<'_>) {
         self.arrived.extend(new_clients.iter().copied());
-        self.process_round(time, &new_clients, ledger);
+        self.process_round(time, &new_clients, &mut books);
     }
 }
 

@@ -12,7 +12,7 @@
 //! algorithm and against exact optima on small instances.
 
 use crate::instance::FacilityInstance;
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_CONNECTION, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::time::TimeStep;
@@ -31,7 +31,7 @@ pub struct RandomizedFacility<'a> {
     mirrored: Vec<usize>,
     /// `(client, facility)` assignments in service order.
     assignments: Vec<(usize, usize)>,
-    /// Decision ledger backing the deprecated `serve_batch` entry point.
+    /// Decision ledger backing the legacy `run` entry point.
     ledger: Ledger,
 }
 
@@ -69,14 +69,13 @@ impl<'a> RandomizedFacility<'a> {
     /// per-facility permits are consulted only to decide *which* lease to
     /// buy, and every permit purchase is mirrored into the ledger
     /// immediately, so the two views never diverge.
-    fn serve_with(&mut self, t: TimeStep, clients: &[usize], ledger: &mut Ledger) {
-        ledger.advance(t);
+    fn serve_with(&mut self, t: TimeStep, clients: &[usize], books: &mut Books<'_>) {
         let inst = self.instance;
         for &j in clients {
             let mut best: Option<(f64, usize)> = None;
             for i in 0..inst.num_facilities() {
                 let d = inst.distance(i, j);
-                let marginal = if ledger.covered(i, t) {
+                let marginal = if books.covered(i, t) {
                     d
                 } else {
                     let cheapest = (0..inst.structure().num_types())
@@ -89,23 +88,23 @@ impl<'a> RandomizedFacility<'a> {
                 }
             }
             let (_, i) = best.expect("validated instances have facilities");
-            if !ledger.covered(i, t) {
+            if !books.covered(i, t) {
                 self.permits[i].serve_demand(t);
-                self.mirror_purchases(t, i, ledger);
+                self.mirror_purchases(t, i, books);
             }
-            ledger.charge(t, i, inst.distance(i, j), CATEGORY_CONNECTION);
+            books.charge(t, i, inst.distance(i, j), CATEGORY_CONNECTION);
             self.assignments.push((j, i));
         }
     }
 
     /// Copies the permit subroutine's new purchases into the ledger at
     /// their per-facility scaled prices.
-    fn mirror_purchases(&mut self, t: TimeStep, i: usize, ledger: &mut Ledger) {
+    fn mirror_purchases(&mut self, t: TimeStep, i: usize, books: &mut Books<'_>) {
         let permit = &self.permits[i];
         let fresh = &permit.purchases()[self.mirrored[i]..];
         for lease in fresh {
             let cost = permit.structure().cost(lease.type_index);
-            ledger.buy_priced(
+            books.buy_priced(
                 t,
                 Triple::new(i, lease.type_index, lease.start),
                 cost,
@@ -120,25 +119,12 @@ impl<'a> RandomizedFacility<'a> {
         self.permits[i].is_covered(t)
     }
 
-    /// Serves one batch of clients at time `t`: each client picks the
-    /// facility minimizing `d_ij` (active) or `d_ij + cheapest lease` (not
-    /// active); inactive picks feed a permit demand.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve_batch(&mut self, t: TimeStep, clients: &[usize]) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, clients, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Runs the whole instance and returns the final total cost.
     pub fn run(&mut self) -> f64 {
         let mut ledger = std::mem::take(&mut self.ledger);
         for batch in self.instance.batches().to_vec() {
-            self.serve_with(batch.time, &batch.clients, &mut ledger);
+            ledger.advance(batch.time);
+            self.serve_with(batch.time, &batch.clients, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.total_cost()
@@ -197,8 +183,8 @@ impl<'a> LeasingAlgorithm for RandomizedFacility<'a> {
     /// The batch of (globally numbered) clients arriving at a time step.
     type Request = Vec<usize>;
 
-    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, ledger: &mut Ledger) {
-        self.serve_with(time, &clients, ledger);
+    fn on_request(&mut self, time: TimeStep, clients: Vec<usize>, mut books: Books<'_>) {
+        self.serve_with(time, &clients, &mut books);
     }
 }
 

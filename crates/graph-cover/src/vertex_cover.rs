@@ -11,7 +11,7 @@
 //! `O(log(2K) log n)` bound obtained through the Chapter 3 reduction
 //! (`δ = 2`).
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -137,7 +137,7 @@ pub struct VcPrimalDual<'a> {
     contributions: HashMap<(usize, Lease), f64>,
     dual_value: f64,
     purchases: Vec<(usize, Lease)>,
-    /// Decision ledger backing the deprecated `serve_edge` entry point.
+    /// Decision ledger backing the legacy `run` entry point.
     ledger: Ledger,
 }
 
@@ -170,27 +170,10 @@ impl<'a> VcPrimalDual<'a> {
         ledger.covered(edge.u, t) || ledger.covered(edge.v, t)
     }
 
-    /// Serves the arrival of edge `e` at time `t` (a no-op when covered).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `e` is out of range.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve_edge(&mut self, t: TimeStep, e: usize) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, e, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core primal-dual step for one edge arrival, recording purchases into
     /// `ledger`.
-    fn serve_with(&mut self, t: TimeStep, e: usize, ledger: &mut Ledger) {
-        ledger.advance(t);
-        if Self::covered_in(self.instance, ledger, e, t) {
+    fn serve_with(&mut self, t: TimeStep, e: usize, books: &mut Books<'_>) {
+        if Self::covered_in(self.instance, books, e, t) {
             return;
         }
         let edge = self.instance.graph.edge(e);
@@ -215,13 +198,13 @@ impl<'a> VcPrimalDual<'a> {
             *entry += delta;
             let price = self.instance.lease_cost(v, lease.type_index);
             let triple = Triple::new(v, lease.type_index, lease.start);
-            if *entry >= price - EPS && !ledger.owns(triple) {
-                ledger.buy_priced(t, triple, price, CATEGORY_LEASE);
+            if *entry >= price - EPS && !books.owns(triple) {
+                books.buy_priced(t, triple, price, CATEGORY_LEASE);
                 self.purchases.push((v, lease));
             }
         }
         debug_assert!(
-            Self::covered_in(self.instance, ledger, e, t),
+            Self::covered_in(self.instance, books, e, t),
             "primal-dual step must cover the edge"
         );
     }
@@ -230,7 +213,8 @@ impl<'a> VcPrimalDual<'a> {
     pub fn run(&mut self) -> f64 {
         let mut ledger = std::mem::take(&mut self.ledger);
         for &(t, e) in &self.instance.arrivals.clone() {
-            self.serve_with(t, e, &mut ledger);
+            ledger.advance(t);
+            self.serve_with(t, e, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.ledger.total_cost()
@@ -265,8 +249,8 @@ impl<'a> LeasingAlgorithm for VcPrimalDual<'a> {
     /// The arriving edge id.
     type Request = usize;
 
-    fn on_request(&mut self, time: TimeStep, edge: usize, ledger: &mut Ledger) {
-        self.serve_with(time, edge, ledger);
+    fn on_request(&mut self, time: TimeStep, edge: usize, mut books: Books<'_>) {
+        self.serve_with(time, edge, &mut books);
     }
 }
 
@@ -328,14 +312,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn covered_arrivals_are_free() {
         let inst = path_instance(vec![(0, 0), (1, 0)]);
-        let mut alg = VcPrimalDual::new(&inst);
-        alg.serve_edge(0, 0);
-        let cost = alg.total_cost();
-        alg.serve_edge(1, 0);
-        assert_eq!(alg.total_cost(), cost);
+        let mut driver = leasing_core::engine::Driver::with_ledger(
+            VcPrimalDual::new(&inst),
+            Ledger::new(inst.structure.clone()),
+        );
+        driver.submit(0, 0).unwrap();
+        let cost = driver.ledger().total_cost();
+        driver.submit(1, 0).unwrap();
+        assert_eq!(driver.ledger().total_cost(), cost);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The `leased` daemon binary.
+//!
+//! ```text
+//! leased [--listen ADDR] [--shards N] [--queue-cap N]
+//!        [--snapshot-dir DIR] [--lease LEN:COST[,LEN:COST...]]
+//! ```
+//!
+//! Defaults: `--listen 127.0.0.1:7878`, `--shards 4`, `--queue-cap 1024`,
+//! no persistence, and the three-type structure `1:1,4:2.5,16:6`. On
+//! start the daemon prints `leased: listening on ADDR (N shards)` —
+//! scripts wait for that line before driving traffic.
+
+use leased::server::{Server, ServerConfig};
+use leasing_core::lease::{LeaseStructure, LeaseType};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: leased [--listen ADDR] [--shards N] [--queue-cap N] \
+                     [--snapshot-dir DIR] [--lease LEN:COST[,LEN:COST...]]";
+
+struct Args {
+    listen: String,
+    shards: usize,
+    queue_cap: usize,
+    snapshot_dir: Option<String>,
+    lease_spec: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:7878".to_string(),
+        shards: 4,
+        queue_cap: 1024,
+        snapshot_dir: None,
+        lease_spec: "1:1,4:2.5,16:6".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--snapshot-dir" => args.snapshot_dir = Some(value("--snapshot-dir")?),
+            "--lease" => args.lease_spec = value("--lease")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_structure(spec: &str) -> Result<LeaseStructure, String> {
+    let mut types = Vec::new();
+    for part in spec.split(',') {
+        let (len, cost) = part
+            .split_once(':')
+            .ok_or(format!("lease type {part:?} is not LEN:COST"))?;
+        let len: u64 = len.trim().parse().map_err(|e| format!("{part:?}: {e}"))?;
+        let cost: f64 = cost.trim().parse().map_err(|e| format!("{part:?}: {e}"))?;
+        types.push(LeaseType::new(len, cost));
+    }
+    LeaseStructure::new(types).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let structure = match parse_structure(&args.lease_spec) {
+        Ok(structure) => structure,
+        Err(message) => {
+            eprintln!("leased: bad --lease: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = ServerConfig {
+        shards: args.shards,
+        queue_capacity: args.queue_cap,
+        structure,
+        snapshot_dir: args.snapshot_dir.map(std::path::PathBuf::from),
+    };
+    let server = match Server::bind(args.listen.as_str(), &config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("leased: bind {}: {e}", args.listen);
+            return ExitCode::from(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("leased: listening on {addr} ({} shards)", config.shards),
+        Err(e) => {
+            eprintln!("leased: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("leased: {e}");
+        return ExitCode::from(1);
+    }
+    println!("leased: shut down cleanly");
+    ExitCode::SUCCESS
+}

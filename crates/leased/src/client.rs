@@ -1,0 +1,126 @@
+//! A blocking client for the `leased` wire protocol — used by the bench
+//! crate's `loadgen`, the CI smoke test, and operators scripting the
+//! daemon.
+
+use crate::error::LeasedError;
+use crate::protocol::{self, ActiveLease, DaemonStats, Request, Response};
+use leasing_core::time::TimeStep;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a `leased` daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, LeasedError> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is strict request/response with tiny frames; without
+        // TCP_NODELAY every round-trip eats a Nagle delay.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads the daemon's answer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures. A daemon-side
+    /// [`Response::Error`] is returned as a successful `Response` — use
+    /// the typed helpers below to turn it into [`LeasedError::Remote`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, LeasedError> {
+        protocol::write_frame(&mut self.stream, &protocol::encode(request))?;
+        let payload = protocol::read_frame(&mut self.stream)?;
+        protocol::decode(&payload)
+    }
+
+    /// Serves a demand of `tenant` at `time`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn submit(&mut self, tenant: u64, time: TimeStep) -> Result<(), LeasedError> {
+        match self.request(&Request::Submit { tenant, time })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lists `tenant`'s live leases at `time`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn list_active(
+        &mut self,
+        tenant: u64,
+        time: TimeStep,
+    ) -> Result<Vec<ActiveLease>, LeasedError> {
+        match self.request(&Request::ListActive { tenant, time })? {
+            Response::Leases(leases) => Ok(leases),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Voids `tenant`'s live leases at `time`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn force_release(&mut self, tenant: u64, time: TimeStep) -> Result<(), LeasedError> {
+        match self.request(&Request::ForceRelease { tenant, time })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches per-shard engine statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn stats(&mut self) -> Result<DaemonStats, LeasedError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to persist every shard snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors (e.g. no snapshot
+    /// directory configured).
+    pub fn snapshot(&mut self) -> Result<(), LeasedError> {
+        match self.request(&Request::Snapshot)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Stops the daemon (snapshotting first when persistence is
+    /// configured).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn shutdown(&mut self) -> Result<(), LeasedError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> LeasedError {
+    match response {
+        Response::Error(message) => LeasedError::Remote(message),
+        other => LeasedError::Protocol(format!("unexpected response {other:?}")),
+    }
+}

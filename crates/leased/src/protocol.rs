@@ -1,0 +1,341 @@
+//! The wire protocol: length-delimited JSON frames and the typed
+//! request/response vocabulary.
+//!
+//! A frame is a 4-byte little-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Requests are maps tagged with an `"op"` field;
+//! responses carry `"ok": true` plus an optional payload, or `"ok": false`
+//! with an `"error"` message. Both directions are deterministic: the same
+//! value always encodes to the same bytes (the JSON renderer is the
+//! workspace's canonical one).
+
+use crate::error::LeasedError;
+use leasing_core::engine::EngineStats;
+use leasing_core::time::TimeStep;
+use serde::{de, json, value_field, value_str, Deserialize, Serialize, Value};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame payload, guarding the daemon against a garbage
+/// length prefix allocating gigabytes.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Writes `payload` as one length-delimited frame.
+///
+/// # Errors
+///
+/// Propagates socket errors; refuses payloads beyond [`MAX_FRAME_LEN`].
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame payload too large",
+        ));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one length-delimited frame, returning its payload.
+///
+/// # Errors
+///
+/// Propagates socket errors (including clean EOF as
+/// [`std::io::ErrorKind::UnexpectedEof`]); rejects frames beyond
+/// [`MAX_FRAME_LEN`] and non-UTF-8 payloads.
+pub fn read_frame(reader: &mut impl Read) -> std::io::Result<String> {
+    let mut len = [0u8; 4];
+    reader.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame length prefix too large",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A client operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Serve a lease demand of `tenant` at logical time `time`.
+    Submit {
+        /// Tenant id (routes to shard `tenant % shards`).
+        tenant: u64,
+        /// Logical time of the demand (clamped forward to the shard clock).
+        time: TimeStep,
+    },
+    /// List `tenant`'s live (non-released) leases at `time`.
+    ListActive {
+        /// Tenant id.
+        tenant: u64,
+        /// Query time (clamped forward to the shard clock).
+        time: TimeStep,
+    },
+    /// Void `tenant`'s live leases from `time` on (zero-cost audit charge;
+    /// the next demand buys fresh).
+    ForceRelease {
+        /// Tenant id.
+        tenant: u64,
+        /// Release time (clamped forward to the shard clock).
+        time: TimeStep,
+    },
+    /// Per-shard [`EngineStats`], in shard order.
+    Stats,
+    /// Persist every shard's snapshot to the daemon's snapshot directory.
+    Snapshot,
+    /// Snapshot (when a directory is configured) and stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    fn tagged(op: &str, tenant_time: Option<(u64, TimeStep)>) -> Value {
+        let mut fields = vec![("op".to_string(), Value::Str(op.to_string()))];
+        if let Some((tenant, time)) = tenant_time {
+            fields.push(("tenant".to_string(), Value::UInt(tenant)));
+            fields.push(("time".to_string(), Value::UInt(time)));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match *self {
+            Request::Submit { tenant, time } => Request::tagged("submit", Some((tenant, time))),
+            Request::ListActive { tenant, time } => {
+                Request::tagged("list-active", Some((tenant, time)))
+            }
+            Request::ForceRelease { tenant, time } => {
+                Request::tagged("force-release", Some((tenant, time)))
+            }
+            Request::Stats => Request::tagged("stats", None),
+            Request::Snapshot => Request::tagged("snapshot", None),
+            Request::Shutdown => Request::tagged("shutdown", None),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let op = value_str(value_field(value, "op")?)?;
+        let tenant_time = |value: &Value| -> Result<(u64, TimeStep), de::Error> {
+            let tenant = u64::from_value(value_field(value, "tenant")?)?;
+            let time = TimeStep::from_value(value_field(value, "time")?)?;
+            Ok((tenant, time))
+        };
+        match op {
+            "submit" => {
+                let (tenant, time) = tenant_time(value)?;
+                Ok(Request::Submit { tenant, time })
+            }
+            "list-active" => {
+                let (tenant, time) = tenant_time(value)?;
+                Ok(Request::ListActive { tenant, time })
+            }
+            "force-release" => {
+                let (tenant, time) = tenant_time(value)?;
+                Ok(Request::ForceRelease { tenant, time })
+            }
+            "stats" => Ok(Request::Stats),
+            "snapshot" => Ok(Request::Snapshot),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(de::Error::new(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// One live lease in a `list-active` answer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveLease {
+    /// Owning tenant.
+    pub tenant: u64,
+    /// Lease type index into the daemon's structure.
+    pub type_index: usize,
+    /// Window start (inclusive).
+    pub start: TimeStep,
+    /// Window end (exclusive).
+    pub end: TimeStep,
+}
+
+/// The `stats` payload: per-shard engine statistics, in shard order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// One [`EngineStats`] per shard.
+    pub shards: Vec<EngineStats>,
+}
+
+impl DaemonStats {
+    /// Total requests served across shards.
+    pub fn requests(&self) -> usize {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total money spent across shards.
+    pub fn total_cost(&self) -> f64 {
+        self.shards.iter().map(|s| s.total_cost).sum()
+    }
+
+    /// Leases bought across shards.
+    pub fn leases_bought(&self) -> usize {
+        self.shards.iter().map(|s| s.leases_bought).sum()
+    }
+
+    /// Deterministic JSON rendering (same state, same bytes) — the
+    /// restart-equivalence check in CI compares these strings.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+}
+
+/// A daemon answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The operation succeeded with no payload.
+    Ok,
+    /// `list-active` payload.
+    Leases(Vec<ActiveLease>),
+    /// `stats` payload.
+    Stats(DaemonStats),
+    /// The operation failed; the daemon stays up.
+    Error(String),
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Ok => Value::Map(vec![("ok".to_string(), Value::Bool(true))]),
+            Response::Leases(leases) => Value::Map(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("leases".to_string(), leases.to_value()),
+            ]),
+            Response::Stats(stats) => Value::Map(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("stats".to_string(), stats.to_value()),
+            ]),
+            Response::Error(message) => Value::Map(vec![
+                ("ok".to_string(), Value::Bool(false)),
+                ("error".to_string(), Value::Str(message.clone())),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let ok = bool::from_value(value_field(value, "ok")?)?;
+        if !ok {
+            let message = String::from_value(value_field(value, "error")?)?;
+            return Ok(Response::Error(message));
+        }
+        if let Some(leases) = value.get("leases") {
+            return Ok(Response::Leases(Vec::<ActiveLease>::from_value(leases)?));
+        }
+        if let Some(stats) = value.get("stats") {
+            return Ok(Response::Stats(DaemonStats::from_value(stats)?));
+        }
+        Ok(Response::Ok)
+    }
+}
+
+/// Encodes a request/response into its frame payload.
+pub fn encode<T: Serialize>(message: &T) -> String {
+    json::to_string(&message.to_value())
+}
+
+/// Decodes a frame payload into a request/response.
+///
+/// # Errors
+///
+/// Returns [`LeasedError::Protocol`] on malformed JSON or vocabulary.
+pub fn decode<T: Deserialize>(payload: &str) -> Result<T, LeasedError> {
+    let value = json::parse(payload)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        let requests = [
+            Request::Submit {
+                tenant: 7,
+                time: 42,
+            },
+            Request::ListActive { tenant: 0, time: 0 },
+            Request::ForceRelease {
+                tenant: u64::MAX,
+                time: 9,
+            },
+            Request::Stats,
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let payload = encode(&request);
+            let back: Request = decode(&payload).unwrap();
+            assert_eq!(back, request, "{payload}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_encoding() {
+        let responses = [
+            Response::Ok,
+            Response::Leases(vec![ActiveLease {
+                tenant: 3,
+                type_index: 1,
+                start: 8,
+                end: 16,
+            }]),
+            Response::Stats(DaemonStats { shards: Vec::new() }),
+            Response::Error("nope".to_string()),
+        ];
+        for response in responses {
+            let payload = encode(&response);
+            let back: Response = decode(&payload).unwrap();
+            assert_eq!(back, response, "{payload}");
+        }
+    }
+
+    #[test]
+    fn unknown_ops_and_garbage_are_rejected() {
+        assert!(decode::<Request>("{\"op\":\"mystery\"}").is_err());
+        assert!(decode::<Request>("not json").is_err());
+        assert!(
+            decode::<Request>("{\"op\":\"submit\"}").is_err(),
+            "missing fields"
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "hello").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap(), "hello");
+        assert_eq!(read_frame(&mut reader).unwrap(), "");
+        assert_eq!(
+            read_frame(&mut reader).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut wire.as_slice()).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

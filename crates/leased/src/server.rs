@@ -1,0 +1,287 @@
+//! The TCP daemon: accepts length-delimited connections, routes
+//! operations to tenant shards, and persists/restores shard snapshots.
+//!
+//! Every connection gets its own handler thread; requests from different
+//! connections interleave at shard-mailbox granularity, so one slow
+//! client never blocks the rest.
+//! `shutdown` snapshots every shard into the snapshot directory
+//! (when configured) and stops the daemon; a daemon started over the same
+//! directory restores each shard before accepting traffic.
+
+use crate::error::LeasedError;
+use crate::protocol::{self, DaemonStats, Request, Response};
+use crate::shard::{Shard, ShardReply, ShardRequest};
+use crate::shard_of;
+use leasing_core::engine::EngineStats;
+use leasing_core::lease::LeaseStructure;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of tenant shards (worker threads). Clamped below by 1.
+    pub shards: usize,
+    /// Bounded mailbox capacity per shard.
+    pub queue_capacity: usize,
+    /// The lease structure every shard prices from.
+    pub structure: LeaseStructure,
+    /// Snapshot directory: written on `snapshot`/`shutdown`, read on
+    /// start. `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// A daemon over `structure` with 4 shards, a 1024-deep mailbox and
+    /// no persistence.
+    pub fn new(structure: LeaseStructure) -> Self {
+        ServerConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            structure,
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// Path of shard `index`'s snapshot inside `dir`.
+pub fn shard_snapshot_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index}.json"))
+}
+
+/// A bound daemon ready to serve.
+pub struct Server {
+    listener: TcpListener,
+    shards: Vec<Shard>,
+    snapshot_dir: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds `addr` and spawns the shard workers, restoring any shard
+    /// whose snapshot file exists under the configured directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: &ServerConfig) -> Result<Server, LeasedError> {
+        let listener = TcpListener::bind(addr)?;
+        let shards = (0..config.shards.max(1))
+            .map(|index| {
+                let restore = config
+                    .snapshot_dir
+                    .as_deref()
+                    .map(|dir| shard_snapshot_path(dir, index))
+                    .filter(|path| path.exists())
+                    .and_then(|path| std::fs::read_to_string(path).ok());
+                Shard::spawn(
+                    index,
+                    config.structure.clone(),
+                    config.queue_capacity,
+                    restore,
+                )
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            shards,
+            snapshot_dir: config.snapshot_dir.clone(),
+        })
+    }
+
+    /// The bound address (port 0 binds resolve to a concrete port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection failures.
+    pub fn local_addr(&self) -> Result<SocketAddr, LeasedError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serves connections until a client sends `shutdown`, then snapshots
+    /// (when persistence is configured), stops the workers and returns.
+    ///
+    /// Each connection gets its own handler thread; requests from
+    /// different connections interleave at shard-mailbox granularity, so
+    /// a slow client never blocks the others.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures; per-connection errors only drop
+    /// that connection.
+    pub fn run(self) -> Result<(), LeasedError> {
+        let local = self.local_addr()?;
+        let stopping = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if stopping.load(std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Tiny request/response frames: disable Nagle so answers
+                // are not batched behind a delayed-ACK round-trip.
+                let _ = stream.set_nodelay(true);
+                let server = &self;
+                let stopping = &stopping;
+                scope.spawn(move || {
+                    if server.serve_connection(stream) {
+                        stopping.store(true, std::sync::atomic::Ordering::SeqCst);
+                        // The accept loop blocks in `accept`; a throwaway
+                        // connection wakes it so it can observe the flag.
+                        let _ = TcpStream::connect(local);
+                    }
+                });
+            }
+        });
+        for shard in self.shards {
+            shard.join();
+        }
+        Ok(())
+    }
+
+    /// Serves one connection to completion; `true` means shutdown was
+    /// requested and the accept loop must stop.
+    fn serve_connection(&self, mut stream: TcpStream) -> bool {
+        loop {
+            let payload = match protocol::read_frame(&mut stream) {
+                Ok(payload) => payload,
+                // Disconnect (clean or not): move on to the next client.
+                Err(_) => return false,
+            };
+            let request = match protocol::decode::<Request>(&payload) {
+                Ok(request) => request,
+                Err(e) => {
+                    let _ = self.respond(&mut stream, &Response::Error(e.to_string()));
+                    continue;
+                }
+            };
+            let shutdown = request == Request::Shutdown;
+            let response = self.dispatch(request);
+            let delivered = self.respond(&mut stream, &response);
+            if shutdown && !matches!(response, Response::Error(_)) {
+                return true;
+            }
+            if !delivered {
+                return false;
+            }
+        }
+    }
+
+    fn respond(&self, stream: &mut TcpStream, response: &Response) -> bool {
+        protocol::write_frame(stream, &protocol::encode(response)).is_ok()
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
+        match request {
+            Request::Submit { tenant, time } => {
+                self.tenant_op(tenant, |tenant| ShardRequest::Submit { tenant, time })
+            }
+            Request::ForceRelease { tenant, time } => {
+                self.tenant_op(tenant, |tenant| ShardRequest::ForceRelease { tenant, time })
+            }
+            Request::ListActive { tenant, time } => {
+                self.tenant_op(tenant, |tenant| ShardRequest::ListActive { tenant, time })
+            }
+            Request::Stats => match self.collect_stats() {
+                Ok(shards) => Response::Stats(DaemonStats { shards }),
+                Err(message) => Response::Error(message),
+            },
+            Request::Snapshot => match self.snapshot_all() {
+                Ok(()) => Response::Ok,
+                Err(message) => Response::Error(message),
+            },
+            Request::Shutdown => {
+                // Snapshot first (while the workers are still alive); a
+                // failed snapshot refuses the shutdown so no state is
+                // lost. Without persistence configured, just stop.
+                let persisted = if self.snapshot_dir.is_some() {
+                    self.snapshot_all()
+                } else {
+                    Ok(())
+                };
+                match persisted {
+                    Ok(()) => {
+                        for shard in &self.shards {
+                            let _ = shard.call(ShardRequest::Shutdown);
+                        }
+                        Response::Ok
+                    }
+                    Err(message) => Response::Error(message),
+                }
+            }
+        }
+    }
+
+    /// Routes one tenant-scoped operation to its shard.
+    fn tenant_op(&self, tenant: u64, request: impl FnOnce(usize) -> ShardRequest) -> Response {
+        let Ok(tenant_index) = usize::try_from(tenant) else {
+            return Response::Error(format!("tenant id {tenant} overflows this platform"));
+        };
+        let shard_index = shard_of(tenant, self.shards.len());
+        let Some(shard) = self.shards.get(shard_index) else {
+            return Response::Error(format!("no shard {shard_index}"));
+        };
+        match shard.call(request(tenant_index)) {
+            Ok(ShardReply::Done) => Response::Ok,
+            Ok(ShardReply::Leases(leases)) => Response::Leases(leases),
+            Ok(ShardReply::Failed(message)) => Response::Error(message),
+            Ok(other) => Response::Error(format!("unexpected shard reply {other:?}")),
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+
+    fn collect_stats(&self) -> Result<Vec<EngineStats>, String> {
+        self.shards
+            .iter()
+            .map(|shard| match shard.call(ShardRequest::Stats) {
+                Ok(ShardReply::Stats(stats)) => Ok(stats),
+                Ok(ShardReply::Failed(message)) => Err(message),
+                Ok(other) => Err(format!("unexpected shard reply {other:?}")),
+                Err(e) => Err(e.to_string()),
+            })
+            .collect()
+    }
+
+    /// Snapshots every shard into the snapshot directory.
+    fn snapshot_all(&self) -> Result<(), String> {
+        let Some(dir) = self.snapshot_dir.as_deref() else {
+            return Err("daemon started without --snapshot-dir".to_string());
+        };
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        for shard in &self.shards {
+            let text = match shard.call(ShardRequest::Snapshot) {
+                Ok(ShardReply::Snapshot(text)) => text,
+                Ok(ShardReply::Failed(message)) => return Err(message),
+                Ok(other) => return Err(format!("unexpected shard reply {other:?}")),
+                Err(e) => return Err(e.to_string()),
+            };
+            let path = shard_snapshot_path(dir, shard.index());
+            std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::LeaseType;
+
+    #[test]
+    fn snapshot_paths_are_per_shard_and_stable() {
+        let dir = PathBuf::from("/tmp/leased-state");
+        assert_eq!(
+            shard_snapshot_path(&dir, 3),
+            PathBuf::from("/tmp/leased-state/shard-3.json")
+        );
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let structure =
+            LeaseStructure::new(vec![LeaseType::new(1, 1.0), LeaseType::new(4, 3.0)]).unwrap();
+        let config = ServerConfig::new(structure);
+        assert_eq!(config.shards, 4);
+        assert!(config.queue_capacity >= 1);
+        assert!(config.snapshot_dir.is_none());
+    }
+}

@@ -1,0 +1,425 @@
+//! One tenant shard: a worker thread owning an
+//! [`EngineHandle`] bound to the [`TenantPermit`] policy, fed through a
+//! bounded channel.
+//!
+//! [`EngineHandle`] is deliberately not `Send` (policies may hold `Rc`
+//! state, as [`TenantPermit`] does), so the engine is **constructed inside
+//! the worker thread** — [`Shard::spawn`] ships only `Send` inputs (the
+//! structure and an optional snapshot string) across.
+//!
+//! The shard clock is monotone: operations carrying a timestamp behind the
+//! clock are clamped forward, so replayed or reordered client traffic can
+//! never wedge a shard with a time-travel error.
+
+use crate::error::LeasedError;
+use crate::policy::{PermitCore, TenantOp, TenantPermit};
+use crate::protocol::ActiveLease;
+use leasing_core::engine::{EngineHandle, EngineStats};
+use leasing_core::lease::LeaseStructure;
+use leasing_core::time::TimeStep;
+use serde::{json, value_field, value_str, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::mpsc;
+
+/// Schema tag of shard snapshots: the engine's `engine-snapshot/v1`
+/// envelope plus the policy overlay.
+pub const SHARD_SNAPSHOT_SCHEMA: &str = "leased-shard/v1";
+
+/// One operation for a shard worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardRequest {
+    /// Serve a demand of `tenant` at `time` (clamped to the shard clock).
+    Submit {
+        /// Tenant id (already routed to this shard).
+        tenant: usize,
+        /// Demand time.
+        time: TimeStep,
+    },
+    /// List `tenant`'s live leases at `time` (a pure read — evaluated at
+    /// the requested time, not clamped).
+    ListActive {
+        /// Tenant id.
+        tenant: usize,
+        /// Query time.
+        time: TimeStep,
+    },
+    /// Void `tenant`'s live leases.
+    ForceRelease {
+        /// Tenant id.
+        tenant: usize,
+        /// Release time.
+        time: TimeStep,
+    },
+    /// The shard's [`EngineStats`].
+    Stats,
+    /// Serialize the shard (engine + policy) to a snapshot string.
+    Snapshot,
+    /// Snapshot and stop the worker.
+    Shutdown,
+}
+
+/// A shard worker's answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardReply {
+    /// Submit/force-release succeeded.
+    Done,
+    /// `ListActive` payload.
+    Leases(Vec<ActiveLease>),
+    /// `Stats` payload.
+    Stats(EngineStats),
+    /// `Snapshot`/`Shutdown` payload.
+    Snapshot(String),
+    /// The operation failed; the worker stays up (except on `Shutdown`).
+    Failed(String),
+}
+
+struct ShardMail {
+    request: ShardRequest,
+    reply: mpsc::Sender<ShardReply>,
+}
+
+/// A running shard: the bounded mailbox plus the worker's join handle.
+pub struct Shard {
+    index: usize,
+    tx: mpsc::SyncSender<ShardMail>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawns shard `index`: a worker thread owning a fresh engine over
+    /// `structure`, or one restored from `restore_from` (a
+    /// [`SHARD_SNAPSHOT_SCHEMA`] string). The mailbox holds at most
+    /// `queue_capacity` in-flight operations; senders beyond that block.
+    pub fn spawn(
+        index: usize,
+        structure: LeaseStructure,
+        queue_capacity: usize,
+        restore_from: Option<String>,
+    ) -> Shard {
+        let (tx, rx) = mpsc::sync_channel::<ShardMail>(queue_capacity.max(1));
+        let worker = std::thread::spawn(move || worker_loop(structure, rx, restore_from));
+        Shard {
+            index,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// This shard's index in the daemon's shard vector.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Sends one operation and waits for the worker's answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LeasedError::ShardDown`] when the worker is gone.
+    pub fn call(&self, request: ShardRequest) -> Result<ShardReply, LeasedError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(ShardMail {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|_| LeasedError::ShardDown(self.index))?;
+        reply_rx
+            .recv()
+            .map_err(|_| LeasedError::ShardDown(self.index))
+    }
+
+    /// Waits for the worker to exit (after a `Shutdown` call).
+    pub fn join(mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker body: builds (or restores) the engine, then serves the
+/// mailbox until `Shutdown` or every sender is gone.
+fn worker_loop(
+    structure: LeaseStructure,
+    rx: mpsc::Receiver<ShardMail>,
+    restore_from: Option<String>,
+) {
+    let (mut engine, core) = match build_engine(structure, restore_from) {
+        Ok(pair) => pair,
+        Err(e) => {
+            // Construction failed (corrupt snapshot): answer every caller
+            // with the failure until the daemon drops the mailbox.
+            let message = e.to_string();
+            while let Ok(mail) = rx.recv() {
+                let _ = mail.reply.send(ShardReply::Failed(message.clone()));
+            }
+            return;
+        }
+    };
+    let mut clock = engine.stats().now;
+    while let Ok(mail) = rx.recv() {
+        let stop = matches!(mail.request, ShardRequest::Shutdown);
+        let reply = handle(&mut engine, &core, &mut clock, mail.request);
+        let _ = mail.reply.send(reply);
+        if stop {
+            break;
+        }
+    }
+}
+
+fn handle(
+    engine: &mut EngineHandle<'static, TenantOp>,
+    core: &Rc<RefCell<PermitCore>>,
+    clock: &mut TimeStep,
+    request: ShardRequest,
+) -> ShardReply {
+    match request {
+        ShardRequest::Submit { tenant, time } => {
+            let t = time.max(*clock);
+            match engine.submit(t, TenantOp::Demand(tenant)) {
+                Ok(()) => {
+                    *clock = t;
+                    ShardReply::Done
+                }
+                Err(e) => ShardReply::Failed(e.to_string()),
+            }
+        }
+        ShardRequest::ForceRelease { tenant, time } => {
+            let t = time.max(*clock);
+            match engine.submit(t, TenantOp::Release(tenant)) {
+                Ok(()) => {
+                    *clock = t;
+                    ShardReply::Done
+                }
+                Err(e) => ShardReply::Failed(e.to_string()),
+            }
+        }
+        ShardRequest::ListActive { tenant, time } => {
+            let core = core.borrow();
+            let ledger = engine.ledger();
+            let leases = (0..core.structure().num_types())
+                .filter_map(|k| {
+                    ledger
+                        .active_lease_of_type(tenant, k, time)
+                        .filter(|&triple| !core.is_released(triple))
+                        .map(|triple| ActiveLease {
+                            tenant: tenant as u64,
+                            type_index: k,
+                            start: triple.start,
+                            end: triple.start + core.structure().length(k),
+                        })
+                })
+                .collect();
+            ShardReply::Leases(leases)
+        }
+        ShardRequest::Stats => ShardReply::Stats(engine.stats()),
+        ShardRequest::Snapshot | ShardRequest::Shutdown => match snapshot(engine, core) {
+            Ok(text) => ShardReply::Snapshot(text),
+            Err(e) => ShardReply::Failed(e.to_string()),
+        },
+    }
+}
+
+/// Serializes the shard: `{"schema": "leased-shard/v1", "engine": <engine
+/// snapshot>, "policy": <policy snapshot>}`.
+fn snapshot(
+    engine: &EngineHandle<'static, TenantOp>,
+    core: &Rc<RefCell<PermitCore>>,
+) -> Result<String, LeasedError> {
+    let engine_value = json::parse(&engine.snapshot())?;
+    let envelope = Value::Map(vec![
+        (
+            "schema".to_string(),
+            Value::Str(SHARD_SNAPSHOT_SCHEMA.to_string()),
+        ),
+        ("engine".to_string(), engine_value),
+        ("policy".to_string(), core.borrow().to_value()),
+    ]);
+    Ok(json::to_string(&envelope))
+}
+
+/// Builds a fresh engine over `structure`, or restores one from a
+/// [`SHARD_SNAPSHOT_SCHEMA`] string.
+fn build_engine(
+    structure: LeaseStructure,
+    restore_from: Option<String>,
+) -> Result<(EngineHandle<'static, TenantOp>, Rc<RefCell<PermitCore>>), LeasedError> {
+    match restore_from {
+        None => {
+            let policy = TenantPermit::new(structure.clone());
+            let core = policy.core();
+            Ok((EngineHandle::new(policy, structure), core))
+        }
+        Some(text) => restore_shard(structure, &text),
+    }
+}
+
+/// Restores an engine + policy pair from a shard snapshot.
+///
+/// # Errors
+///
+/// Rejects wrong schema tags, malformed JSON, and engine payloads the
+/// core engine refuses.
+pub fn restore_shard(
+    structure: LeaseStructure,
+    text: &str,
+) -> Result<(EngineHandle<'static, TenantOp>, Rc<RefCell<PermitCore>>), LeasedError> {
+    let envelope = json::parse(text)?;
+    let schema = value_str(value_field(&envelope, "schema")?)?;
+    if schema != SHARD_SNAPSHOT_SCHEMA {
+        return Err(LeasedError::Protocol(format!(
+            "expected schema {SHARD_SNAPSHOT_SCHEMA}, found {schema}"
+        )));
+    }
+    let policy_value = value_field(&envelope, "policy")?;
+    let core = Rc::new(RefCell::new(PermitCore::from_value(
+        structure,
+        policy_value,
+    )?));
+    let engine_text = json::to_string(value_field(&envelope, "engine")?);
+    let engine = EngineHandle::restore(TenantPermit::from_core(Rc::clone(&core)), &engine_text)
+        .map_err(|e| LeasedError::Protocol(e.to_string()))?;
+    Ok((engine, core))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leasing_core::lease::LeaseType;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
+    }
+
+    fn call(shard: &Shard, request: ShardRequest) -> ShardReply {
+        shard.call(request).unwrap()
+    }
+
+    #[test]
+    fn shard_serves_submits_and_lists_live_leases() {
+        let shard = Shard::spawn(0, structure(), 16, None);
+        assert_eq!(
+            call(&shard, ShardRequest::Submit { tenant: 3, time: 0 }),
+            ShardReply::Done
+        );
+        let ShardReply::Leases(leases) =
+            call(&shard, ShardRequest::ListActive { tenant: 3, time: 0 })
+        else {
+            panic!("expected leases");
+        };
+        assert_eq!(leases.len(), 1);
+        assert_eq!(leases[0].tenant, 3);
+        assert_eq!(leases[0].end - leases[0].start, 2, "short lease");
+        let ShardReply::Stats(stats) = call(&shard, ShardRequest::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.requests, 1);
+        assert!(stats.total_cost > 0.0);
+        call(&shard, ShardRequest::Shutdown);
+        shard.join();
+    }
+
+    #[test]
+    fn stale_timestamps_clamp_forward_instead_of_failing() {
+        let shard = Shard::spawn(0, structure(), 16, None);
+        assert_eq!(
+            call(
+                &shard,
+                ShardRequest::Submit {
+                    tenant: 1,
+                    time: 10
+                }
+            ),
+            ShardReply::Done
+        );
+        // Behind the clock: clamped to t=10, not a time-travel error.
+        assert_eq!(
+            call(&shard, ShardRequest::Submit { tenant: 2, time: 4 }),
+            ShardReply::Done
+        );
+        let ShardReply::Stats(stats) = call(&shard, ShardRequest::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.now, 10);
+        call(&shard, ShardRequest::Shutdown);
+        shard.join();
+    }
+
+    #[test]
+    fn force_release_empties_the_active_list() {
+        let shard = Shard::spawn(0, structure(), 16, None);
+        call(&shard, ShardRequest::Submit { tenant: 5, time: 0 });
+        call(&shard, ShardRequest::ForceRelease { tenant: 5, time: 0 });
+        let ShardReply::Leases(leases) =
+            call(&shard, ShardRequest::ListActive { tenant: 5, time: 0 })
+        else {
+            panic!("expected leases");
+        };
+        assert!(leases.is_empty(), "released leases are not listed");
+        call(&shard, ShardRequest::Shutdown);
+        shard.join();
+    }
+
+    #[test]
+    fn snapshot_restores_to_byte_identical_stats() {
+        let shard = Shard::spawn(0, structure(), 16, None);
+        for t in 0..20u64 {
+            call(
+                &shard,
+                ShardRequest::Submit {
+                    tenant: (t % 5) as usize,
+                    time: t,
+                },
+            );
+        }
+        call(
+            &shard,
+            ShardRequest::ForceRelease {
+                tenant: 2,
+                time: 19,
+            },
+        );
+        let ShardReply::Stats(stats) = call(&shard, ShardRequest::Stats) else {
+            panic!("expected stats");
+        };
+        let ShardReply::Snapshot(snap) = call(&shard, ShardRequest::Shutdown) else {
+            panic!("expected snapshot");
+        };
+        shard.join();
+
+        let restored = Shard::spawn(0, structure(), 16, Some(snap.clone()));
+        let ShardReply::Stats(restored_stats) = call(&restored, ShardRequest::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(restored_stats.to_json(), stats.to_json());
+        // The restored shard keeps serving where the snapshot left off —
+        // and re-snapshots identically before any new traffic.
+        let ShardReply::Snapshot(again) = call(&restored, ShardRequest::Snapshot) else {
+            panic!("expected snapshot");
+        };
+        assert_eq!(again, snap, "snapshots are idempotent across restore");
+        assert_eq!(
+            call(
+                &restored,
+                ShardRequest::Submit {
+                    tenant: 7,
+                    time: 25
+                }
+            ),
+            ShardReply::Done
+        );
+        call(&restored, ShardRequest::Shutdown);
+        restored.join();
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_calls_instead_of_panicking() {
+        let shard = Shard::spawn(0, structure(), 16, Some("not json".to_string()));
+        assert!(matches!(
+            call(&shard, ShardRequest::Stats),
+            ShardReply::Failed(_)
+        ));
+        drop(shard);
+    }
+}

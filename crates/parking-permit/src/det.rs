@@ -8,7 +8,7 @@
 //! Theorem 2.7.
 
 use crate::{PermitOnline, PurchaseLog, PERMIT_ELEMENT};
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::{OnlineAlgorithm, Triple};
 use leasing_core::interval::aligned_start;
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -62,10 +62,9 @@ impl DeterministicPrimalDual {
         }
     }
 
-    /// Core primal-dual step, recording purchases into `ledger`.
-    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        ledger.advance(t);
-        if ledger.covered(PERMIT_ELEMENT, t) {
+    /// Core primal-dual step, recording purchases into the books.
+    fn serve_with(&mut self, t: TimeStep, books: &mut Books<'_>) {
+        if books.covered(PERMIT_ELEMENT, t) {
             return;
         }
         // Slide each type's accumulator to the aligned window containing
@@ -85,13 +84,13 @@ impl DeterministicPrimalDual {
         for (k, slot) in self.contributions.iter_mut().enumerate() {
             slot.1 += delta;
             let triple = Triple::new(PERMIT_ELEMENT, k, slot.0);
-            if slot.1 >= structure.cost(k) - EPS && !ledger.owns(triple) {
-                ledger.buy(t, triple);
+            if slot.1 >= structure.cost(k) - EPS && !books.owns(triple) {
+                books.buy(t, triple);
                 self.purchases.push(Lease::new(k, slot.0));
             }
         }
         debug_assert!(
-            ledger.covered(PERMIT_ELEMENT, t),
+            books.covered(PERMIT_ELEMENT, t),
             "primal-dual step must cover the demand"
         );
     }
@@ -131,8 +130,8 @@ impl DeterministicPrimalDual {
 impl LeasingAlgorithm for DeterministicPrimalDual {
     type Request = ();
 
-    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
-        self.serve_with(time, ledger);
+    fn on_request(&mut self, time: TimeStep, _request: (), mut books: Books<'_>) {
+        self.serve_with(time, &mut books);
     }
 }
 
@@ -145,7 +144,8 @@ impl PurchaseLog for DeterministicPrimalDual {
 impl PermitOnline for DeterministicPrimalDual {
     fn serve_demand(&mut self, t: TimeStep) {
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, &mut ledger);
+        ledger.advance(t);
+        self.serve_with(t, &mut Books::new(&mut ledger));
         self.ledger = ledger;
     }
 

@@ -8,7 +8,7 @@
 //! Expected competitive ratio: `O(log K)` — optimal by Theorem 2.9.
 
 use crate::{PermitOnline, PurchaseLog, PERMIT_ELEMENT};
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::{OnlineAlgorithm, Triple};
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -63,9 +63,8 @@ impl RandomizedPermit {
     }
 
     /// Core fractional-growth + threshold-rounding step, recording the
-    /// purchase into `ledger`.
-    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        ledger.advance(t);
+    /// purchase into the books.
+    fn serve_with(&mut self, t: TimeStep, books: &mut Books<'_>) {
         let candidates = candidates_covering(&self.structure, t);
         let q = candidates.len() as f64;
 
@@ -100,11 +99,11 @@ impl RandomizedPermit {
         // candidate against numerical loss.
         let lease = chosen.unwrap_or(candidates[0]);
         let triple = Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start);
-        if !ledger.owns(triple) {
-            ledger.buy(t, triple);
+        if !books.owns(triple) {
+            books.buy(t, triple);
             self.purchases.push(lease);
         }
-        debug_assert!(ledger.covered(PERMIT_ELEMENT, t));
+        debug_assert!(books.covered(PERMIT_ELEMENT, t));
     }
 
     /// The permit structure this algorithm leases from.
@@ -146,8 +145,8 @@ impl RandomizedPermit {
 impl LeasingAlgorithm for RandomizedPermit {
     type Request = ();
 
-    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
-        self.serve_with(time, ledger);
+    fn on_request(&mut self, time: TimeStep, _request: (), mut books: Books<'_>) {
+        self.serve_with(time, &mut books);
     }
 }
 
@@ -160,7 +159,8 @@ impl PurchaseLog for RandomizedPermit {
 impl PermitOnline for RandomizedPermit {
     fn serve_demand(&mut self, t: TimeStep) {
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, &mut ledger);
+        ledger.advance(t);
+        self.serve_with(t, &mut Books::new(&mut ledger));
         self.ledger = ledger;
     }
 

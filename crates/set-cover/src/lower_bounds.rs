@@ -31,6 +31,7 @@ use crate::online::SmclOnline;
 use crate::system::SetSystem;
 use leasing_core::lease::LeaseStructure;
 use leasing_core::time::TimeStep;
+use std::collections::HashSet;
 
 /// The set system whose universe is every non-empty subset of the `m` sets:
 /// element `e` (encoding mask `e + 1`) belongs to set `j` iff bit `j` of the
@@ -116,8 +117,7 @@ pub fn drive_ppp_embedding(
     let mut arrivals = Vec::new();
     for t in 0..horizon {
         if !alg.set_active_at(0, t) {
-            #[allow(deprecated)]
-            alg.serve_arrival(t, 0, 1);
+            alg.cover_once(t, 0, &HashSet::new());
             arrivals.push(Arrival::new(t, 0, 1));
         }
     }
@@ -168,8 +168,7 @@ pub fn drive_halving_adversary(
                 second.to_vec()
             };
             let element = element_for_sets(&chosen);
-            #[allow(deprecated)]
-            alg.serve_arrival(t, element, 1);
+            alg.cover_once(t, element, &HashSet::new());
             arrivals.push(Arrival::new(t, element, 1));
             candidates = chosen;
         }

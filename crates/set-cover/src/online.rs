@@ -11,7 +11,7 @@
 //! Expected competitive ratio: `O(log(δK) · log n)` (Theorem 3.3).
 
 use crate::instance::SmclInstance;
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::aligned_start;
 use leasing_core::rng::{min_of_uniforms, threshold_count};
@@ -58,7 +58,7 @@ pub struct SmclOnline<'a> {
     owned: HashSet<Triple>,
     stats: SmclStats,
     rng: StdRng,
-    /// Decision ledger backing the deprecated `serve_arrival` entry point.
+    /// Decision ledger backing the legacy `run`/`cover_once` entry points.
     ledger: Ledger,
     /// Next arrival index expected by [`run`](SmclOnline::run)-style drivers.
     cursor: usize,
@@ -101,7 +101,7 @@ impl<'a> SmclOnline<'a> {
         self.ledger.total_cost()
     }
 
-    /// The internal decision ledger backing the deprecated serve path.
+    /// The internal decision ledger backing the legacy serve path.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }
@@ -134,42 +134,29 @@ impl<'a> SmclOnline<'a> {
         while self.cursor < self.instance.arrivals.len() {
             let a = self.instance.arrivals[self.cursor];
             self.cursor += 1;
-            self.serve_with(a.time, a.element, a.multiplicity, &mut ledger);
+            ledger.advance(a.time);
+            self.serve_with(
+                a.time,
+                a.element,
+                a.multiplicity,
+                &mut Books::new(&mut ledger),
+            );
         }
         self.ledger = ledger;
         self.ledger.total_cost()
     }
 
-    /// Serves one demand: element `element` at time `t` with the given
-    /// multiplicity. The demand ends up covered by `multiplicity` *distinct*
-    /// sets with leases active at `t`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the multiplicity exceeds the number of sets containing the
-    /// element (instances validate this up front).
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve_arrival(&mut self, t: TimeStep, element: usize, multiplicity: usize) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, element, multiplicity, &mut ledger);
-        self.ledger = ledger;
-    }
-
-    /// Serves one demand, recording purchases into `ledger`.
+    /// Serves one demand, recording purchases into the books.
     fn serve_with(
         &mut self,
         t: TimeStep,
         element: usize,
         multiplicity: usize,
-        ledger: &mut Ledger,
+        books: &mut Books<'_>,
     ) {
         let mut used_sets: HashSet<usize> = HashSet::new();
         for _layer in 0..multiplicity {
-            let covering = self.cover_once_with(t, element, &used_sets, ledger);
+            let covering = self.cover_once_with(t, element, &used_sets, books);
             used_sets.insert(covering);
         }
     }
@@ -182,7 +169,8 @@ impl<'a> SmclOnline<'a> {
     /// Panics if every set containing the element is excluded.
     pub fn cover_once(&mut self, t: TimeStep, element: usize, excluded: &HashSet<usize>) -> usize {
         let mut ledger = std::mem::take(&mut self.ledger);
-        let covering = self.cover_once_with(t, element, excluded, &mut ledger);
+        ledger.advance(t);
+        let covering = self.cover_once_with(t, element, excluded, &mut Books::new(&mut ledger));
         self.ledger = ledger;
         covering
     }
@@ -193,9 +181,8 @@ impl<'a> SmclOnline<'a> {
         t: TimeStep,
         element: usize,
         excluded: &HashSet<usize>,
-        ledger: &mut Ledger,
+        books: &mut Books<'_>,
     ) -> usize {
-        ledger.advance(t);
         let candidates = self.candidates(t, element, excluded);
         assert!(
             !candidates.is_empty(),
@@ -220,21 +207,21 @@ impl<'a> SmclOnline<'a> {
         }
 
         // (ii) Threshold rounding: lease every candidate whose fraction
-        // exceeds its threshold µ. Ownership is the ledger's coverage
+        // exceeds its threshold µ. Ownership is the books's coverage
         // index, not a private table.
         for c in &candidates {
             let f = self.fraction(c);
             let mu = self.threshold(c);
-            if f > mu && !ledger.owns(*c) {
+            if f > mu && !books.owns(*c) {
                 let cost = self.instance.cost(c.element, c.type_index);
                 self.owned.insert(*c);
-                ledger.buy_priced(t, *c, cost, "rounded");
+                books.buy_priced(t, *c, cost, "rounded");
                 self.stats.rounded_cost += cost;
             }
         }
 
         // (iii) Fallback: if no candidate is leased, buy the cheapest.
-        let covering = candidates.iter().find(|c| ledger.owns(**c)).copied();
+        let covering = candidates.iter().find(|c| books.owns(**c)).copied();
         match covering {
             Some(c) => c.element,
             None => {
@@ -249,7 +236,7 @@ impl<'a> SmclOnline<'a> {
                     .expect("candidates are non-empty");
                 let cost = self.instance.cost(cheapest.element, cheapest.type_index);
                 self.owned.insert(cheapest);
-                ledger.buy_priced(t, cheapest, cost, "fallback");
+                books.buy_priced(t, cheapest, cost, "fallback");
                 self.stats.fallback_cost += cost;
                 self.stats.fallbacks += 1;
                 cheapest.element
@@ -292,9 +279,9 @@ impl<'a> LeasingAlgorithm for SmclOnline<'a> {
     /// `(element, multiplicity)` revealed at a time step.
     type Request = (usize, usize);
 
-    fn on_request(&mut self, time: TimeStep, request: (usize, usize), ledger: &mut Ledger) {
+    fn on_request(&mut self, time: TimeStep, request: (usize, usize), mut books: Books<'_>) {
         let (element, multiplicity) = request;
-        self.serve_with(time, element, multiplicity, ledger);
+        self.serve_with(time, element, multiplicity, &mut books);
     }
 }
 

@@ -10,7 +10,7 @@
 use crate::instance::{Arrival, InstanceError, SmclInstance};
 use crate::online::SmclOnline;
 use crate::system::SetSystem;
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm};
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use leasing_core::rng::threshold_count;
 use leasing_core::time::TimeStep;
@@ -62,24 +62,6 @@ impl<'a> RepetitionsOnline<'a> {
         }
     }
 
-    /// Serves one arrival of `element` at `t`, covering it by a set that has
-    /// never covered this element before.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the element has already exhausted all sets containing it.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve_arrival(&mut self, t: TimeStep, element: usize) {
-        let excluded = self.used.entry(element).or_default().clone();
-        let chosen = self.inner.cover_once(t, element, &excluded);
-        self.used.entry(element).or_default().insert(chosen);
-        self.arrivals_served += 1;
-    }
-
     /// Runs over all instance arrivals (multiplicities are interpreted as
     /// repeated arrivals at the same time step).
     pub fn run(&mut self) -> f64 {
@@ -109,9 +91,11 @@ impl<'a> LeasingAlgorithm for RepetitionsOnline<'a> {
     /// The arriving element id.
     type Request = usize;
 
-    fn on_request(&mut self, time: TimeStep, element: usize, ledger: &mut Ledger) {
+    fn on_request(&mut self, time: TimeStep, element: usize, mut books: Books<'_>) {
         let excluded = self.used.entry(element).or_default().clone();
-        let chosen = self.inner.cover_once_with(time, element, &excluded, ledger);
+        let chosen = self
+            .inner
+            .cover_once_with(time, element, &excluded, &mut books);
         self.used.entry(element).or_default().insert(chosen);
         self.arrivals_served += 1;
     }
@@ -186,15 +170,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn serve_arrival_tracks_usage_incrementally() {
+    fn driven_arrivals_track_usage_incrementally() {
         let inst = repetition_instance(system(), &[1.0; 4], vec![]).unwrap();
-        let mut alg = RepetitionsOnline::new(&inst, 3);
-        alg.serve_arrival(0, 1);
-        assert_eq!(alg.sets_used_for(1), 1);
-        alg.serve_arrival(5, 1);
-        assert_eq!(alg.sets_used_for(1), 2);
-        assert_eq!(alg.sets_used_for(0), 0);
+        let mut driver = leasing_core::engine::Driver::with_ledger(
+            RepetitionsOnline::new(&inst, 3),
+            leasing_core::engine::Ledger::new(inst.structure.clone()),
+        );
+        driver.submit(0, 1).unwrap();
+        assert_eq!(driver.algorithm().sets_used_for(1), 1);
+        driver.submit(5, 1).unwrap();
+        assert_eq!(driver.algorithm().sets_used_for(1), 2);
+        assert_eq!(driver.algorithm().sets_used_for(0), 0);
     }
 
     #[test]

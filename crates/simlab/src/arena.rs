@@ -1,6 +1,8 @@
 //! Per-worker ledger arena: each SimLab worker thread recycles one (or a
 //! few) [`Ledger`]s across the cells it runs instead of constructing a
-//! fresh one per `(algorithm, workload, seed)` cell.
+//! fresh one per `(algorithm, workload, seed)` cell. Cells bind a policy
+//! to an arena ledger through [`take_handle`], drive the returned
+//! [`EngineHandle`], and hand the ledger back with [`recycle_handle`].
 //!
 //! [`Ledger::reset`] keeps every allocation — the decision trace, the
 //! coverage-index slot tables and start runs, the interned category table
@@ -14,7 +16,7 @@
 //! (which run on disposable watchdog threads) simply start with an empty
 //! pool.
 
-use leasing_core::engine::Ledger;
+use leasing_core::engine::{EngineHandle, LeasingAlgorithm, Ledger};
 use leasing_core::lease::LeaseStructure;
 use std::cell::RefCell;
 
@@ -50,6 +52,21 @@ pub fn recycle_ledger(ledger: Ledger) {
     });
 }
 
+/// Binds `algorithm` to a recycled (or fresh) arena ledger, returning the
+/// type-erased engine handle the runner drives cells through.
+pub fn take_handle<'p, R, A>(algorithm: A, structure: &LeaseStructure) -> EngineHandle<'p, R>
+where
+    A: LeasingAlgorithm<Request = R> + 'p,
+{
+    EngineHandle::with_ledger(algorithm, take_ledger(structure))
+}
+
+/// Tears a finished handle down, returning its ledger to the pool for the
+/// next cell.
+pub fn recycle_handle<R>(handle: EngineHandle<'_, R>) {
+    recycle_ledger(handle.into_ledger());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +89,30 @@ mod tests {
         assert_eq!(again.now(), 0);
         assert_eq!(again.active_leases(), 0);
         assert!(!again.covered(0, 0));
+        recycle_ledger(again);
+    }
+
+    #[test]
+    fn handles_recycle_their_arena_ledger() {
+        struct Buyer;
+        impl LeasingAlgorithm for Buyer {
+            type Request = ();
+            fn on_request(
+                &mut self,
+                t: leasing_core::time::TimeStep,
+                _req: (),
+                mut books: leasing_core::engine::Books<'_>,
+            ) {
+                books.buy(t, Triple::new(0, 0, t));
+            }
+        }
+        let s = structure();
+        let mut handle = take_handle(Buyer, &s);
+        handle.submit(0, ()).unwrap();
+        assert!(handle.cost() > 0.0);
+        recycle_handle(handle);
+        let again = take_ledger(&s);
+        assert!(again.is_empty(), "recycled handle ledgers come back reset");
         recycle_ledger(again);
     }
 

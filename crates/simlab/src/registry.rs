@@ -25,7 +25,7 @@ use facility_leasing::nagarajan_williamson::NagarajanWilliamson;
 use facility_leasing::online::PrimalDualFacility;
 use facility_leasing::randomized::RandomizedFacility;
 use graph_cover_leasing::vertex_cover::{VcLeasingInstance, VcPrimalDual};
-use leasing_core::engine::{Driver, LeasingAlgorithm, Ledger, Report};
+use leasing_core::engine::{LeasingAlgorithm, Ledger, Report};
 use leasing_core::lease::LeaseStructure;
 use leasing_core::rng::seeded;
 use leasing_core::time::TimeStep;
@@ -276,14 +276,14 @@ fn drive<A: LeasingAlgorithm>(
     opt: OracleBound,
     horizon: TimeStep,
 ) -> Result<CellOutcome, SimError> {
-    let mut driver = Driver::with_ledger(algorithm, crate::arena::take_ledger(&ctx.structure));
+    let mut engine = crate::arena::take_handle(algorithm, &ctx.structure);
     let mut sampler = ActiveSampler::new(horizon);
     match ctx
         .compact_every
         .filter(|_| horizon >= COMPACT_MIN_HORIZON)
         .map(|every| every.max(1))
     {
-        None => driver.submit_batch(requests)?,
+        None => engine.submit_batch(requests)?,
         Some(every) => {
             // The period controls how often compaction runs; the lag —
             // how far behind the clock it prunes — is floored at
@@ -297,23 +297,22 @@ fn drive<A: LeasingAlgorithm>(
                     // Sample the history below the pruning horizon
                     // before it goes away.
                     let before = t.saturating_sub(lag);
-                    sampler.sample_up_to(before, driver.ledger());
-                    driver.compact(before);
+                    sampler.sample_up_to(before, engine.ledger());
+                    engine.compact(before);
                     next_compact = t + every;
                 }
-                driver.submit(t, request)?;
+                engine.submit(t, request)?;
             }
         }
     }
-    let (active_peak, active_mean) = sampler.finish(driver.ledger());
+    let (active_peak, active_mean) = sampler.finish(engine.ledger());
     let outcome = CellOutcome {
-        report: driver.report(opt.value()),
+        report: engine.report(opt.value()),
         oracle_exact: opt.is_exact(),
         active_peak,
         active_mean,
     };
-    let (_, ledger) = driver.into_parts();
-    crate::arena::recycle_ledger(ledger);
+    crate::arena::recycle_handle(engine);
     finite(outcome)
 }
 
@@ -422,23 +421,32 @@ fn vertex_cover_cell(trace: &Trace, ctx: &RunContext) -> Result<CellOutcome, Sim
         .collect();
     let inst = VcLeasingInstance::unweighted(g, ctx.structure.clone(), arrivals.clone())
         .map_err(instance_err)?;
-    let mut driver = Driver::with_ledger(
-        VcPrimalDual::new(&inst),
-        crate::arena::take_ledger(&ctx.structure),
-    );
-    driver.submit_batch(arrivals)?;
+    let mut alg = VcPrimalDual::new(&inst);
+    let mut engine = crate::arena::take_handle(&mut alg, &ctx.structure);
+    engine.submit_batch(arrivals)?;
+    let requests = engine.requests();
+    let (active_peak, active_mean) = ActiveSampler::new(trace.horizon).finish(engine.ledger());
+    let ledger = engine.into_ledger();
     // Weak duality: the primal-dual's dual value certifies the lower
-    // bound. It only exists after the run, so this family has no shared
-    // oracle.
-    let opt = OracleBound::LowerBound(driver.algorithm().dual_value());
-    let (active_peak, active_mean) = ActiveSampler::new(trace.horizon).finish(driver.ledger());
+    // bound. It only exists after the run (released by tearing the handle
+    // down above), so this family has no shared oracle.
+    let opt = OracleBound::LowerBound(alg.dual_value());
     let outcome = CellOutcome {
-        report: driver.report(opt.value()),
+        report: Report {
+            algorithm_cost: ledger.total_cost(),
+            optimum_cost: opt.value(),
+            requests,
+            decisions: ledger.decision_count(),
+            leases_bought: ledger.leases_bought(),
+            cost_by_category: ledger
+                .cost_breakdown()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        },
         oracle_exact: opt.is_exact(),
         active_peak,
         active_mean,
     };
-    let (_, ledger) = driver.into_parts();
     crate::arena::recycle_ledger(ledger);
     finite(outcome)
 }

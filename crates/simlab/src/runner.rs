@@ -26,7 +26,6 @@ use leasing_core::lease::LeaseStructure;
 use leasing_oracle::OracleBound;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The full configuration of one matrix run.
 #[derive(Clone, Debug)]
@@ -76,6 +75,7 @@ impl MatrixConfig {
                 LeaseType::new(4, 2.5),
                 LeaseType::new(16, 6.0),
             ])
+            // lint:allow(panic: static literal — increasing lengths, positive costs)
             .expect("increasing lengths and positive costs"),
             threads: 2,
             cell_budget_ms: None,
@@ -84,31 +84,37 @@ impl MatrixConfig {
     }
 }
 
-/// Distributes `tasks` indices over `threads` workers with a
-/// work-stealing cursor; each worker runs `work(i)` and stores the result
-/// in slot `i`.
-fn shard<T: Send>(tasks: usize, threads: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// Distributes `tasks` over `threads` workers with a work-stealing
+/// cursor; each worker runs `work(&task)` and ships `(index, result)`
+/// over a channel, and the results are merged back into task order.
+/// [`std::thread::scope`] re-raises any worker panic, so after the scope
+/// every claimed index has exactly one result.
+fn shard<I: Sync, T: Send>(tasks: &[I], threads: usize, work: impl Fn(&I) -> T + Sync) -> Vec<T> {
     let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..tasks).map(|_| None).collect());
-    let workers = threads.max(1).min(tasks.max(1));
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let workers = threads.max(1).min(tasks.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let work = &work;
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks {
+                let Some(task) = tasks.get(i) else { break };
+                if tx.send((i, work(task))).is_err() {
                     break;
                 }
-                let result = work(i);
-                results.lock().expect("no worker panics while holding")[i] = Some(result);
             });
         }
     });
-    results
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|r| r.expect("every task index was claimed"))
-        .collect()
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..tasks.len()).map(|_| None).collect();
+    for (i, result) in rx {
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(result);
+        }
+    }
+    slots.into_iter().flatten().collect()
 }
 
 /// Runs the cross product of `algorithms × scenarios × seeds`, sharded
@@ -123,49 +129,51 @@ pub fn run_matrix(
     config: &MatrixConfig,
 ) -> MatrixReport {
     // --- Phase 1: shared offline baselines, one per (workload, seed, key).
-    let mut oracle_tasks: Vec<(usize, u64, &'static str, OracleFn)> = Vec::new();
-    for (w, _) in scenarios.iter().enumerate() {
+    let mut oracle_tasks: Vec<(usize, &Scenario, u64, &'static str, OracleFn)> = Vec::new();
+    for (w, scenario) in scenarios.iter().enumerate() {
         for &seed in seeds {
             let mut keys_here: Vec<&'static str> = Vec::new();
             for alg in algorithms {
                 if let (Some(key), Some(f)) = (alg.oracle_key(), alg.oracle_fn()) {
                     if !keys_here.contains(&key) {
                         keys_here.push(key);
-                        oracle_tasks.push((w, seed, key, f));
+                        oracle_tasks.push((w, scenario, seed, key, f));
                     }
                 }
             }
         }
     }
-    let oracle_results = shard(oracle_tasks.len(), config.threads, |i| {
-        let (w, seed, _, ref f) = oracle_tasks[i];
-        compute_oracle(f, &scenarios[w], seed, config)
-    });
+    let oracle_results = shard(
+        &oracle_tasks,
+        config.threads,
+        |(_, scenario, seed, _, f)| compute_oracle(f, scenario, *seed, config),
+    );
     let oracles: BTreeMap<(usize, u64, &'static str), Result<OracleBound, SimError>> = oracle_tasks
         .iter()
         .zip(oracle_results)
-        .map(|(&(w, seed, key, _), result)| ((w, seed, key), result))
+        .map(|(&(w, _, seed, key, _), result)| ((w, seed, key), result))
         .collect();
 
     // --- Phase 2: the algorithm cells, in matrix order (algorithm-major,
     // then workload, then seed) — the aggregation and JSON output follow
     // this order exactly.
-    let cells_spec: Vec<(usize, usize, u64)> = algorithms
+    let cells_spec: Vec<(&AlgorithmSpec, &Scenario, usize, u64)> = algorithms
         .iter()
-        .enumerate()
-        .flat_map(|(a, _)| {
+        .flat_map(|alg| {
             scenarios
                 .iter()
                 .enumerate()
-                .flat_map(move |(w, _)| seeds.iter().map(move |&s| (a, w, s)))
+                .flat_map(move |(w, scenario)| seeds.iter().map(move |&s| (alg, scenario, w, s)))
         })
         .collect();
-    let cells = shard(cells_spec.len(), config.threads, |i| {
-        let (a, w, seed) = cells_spec[i];
-        let oracle = algorithms[a]
+    let cells = shard(&cells_spec, config.threads, |&(alg, scenario, w, seed)| {
+        // A missing map entry (impossible for keys enumerated above) falls
+        // back to `None`, i.e. the cell computes its baseline inline.
+        let oracle = alg
             .oracle_key()
-            .map(|key| oracles[&(w, seed, key)].clone());
-        run_cell(&algorithms[a], &scenarios[w], seed, config, oracle)
+            .and_then(|key| oracles.get(&(w, seed, key)))
+            .cloned();
+        run_cell(alg, scenario, seed, config, oracle)
     });
 
     let aggregates = aggregate(algorithms, scenarios, &cells);

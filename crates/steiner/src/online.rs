@@ -12,7 +12,7 @@
 //!   Meyerson's headline bound for `SteinerTreeLeasing`.
 
 use crate::instance::{PairRequest, SteinerInstance};
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_LEASE};
 use leasing_core::framework::{OnlineAlgorithm, Triple};
 use leasing_core::lease::Lease;
 use leasing_core::time::TimeStep;
@@ -46,7 +46,7 @@ pub struct GenericSteinerLeasing<'a, P> {
     /// the ledger.
     mirrored: Vec<usize>,
     stats: SteinerStats,
-    /// Decision ledger backing the deprecated `serve_request` entry point.
+    /// Decision ledger backing the legacy `run`/`OnlineAlgorithm` entry points.
     ledger: Ledger,
 }
 
@@ -113,25 +113,6 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
         self.stats
     }
 
-    /// Serves one pair request: routes it along the cheapest path (leased
-    /// edges are free, unleased edges are priced at their cheapest single
-    /// lease) and issues a permit demand on every unleased edge of the path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the request references out-of-range nodes (validated
-    /// instances never do).
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the algorithm through \
-        `leasing_core::engine::Driver` and `LeasingAlgorithm::on_request`"
-    )]
-    pub fn serve_request(&mut self, req: PairRequest) {
-        let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(req, &mut ledger);
-        self.ledger = ledger;
-    }
-
     /// Core routing + per-edge permit step, recording purchases into
     /// `ledger`.
     ///
@@ -139,13 +120,12 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
     /// edge id); the per-edge permits only decide *how long* to lease, and
     /// every permit purchase is mirrored into the ledger immediately, so
     /// the two views never diverge.
-    fn serve_with(&mut self, req: PairRequest, ledger: &mut Ledger) {
-        ledger.advance(req.time);
+    fn serve_with(&mut self, req: PairRequest, books: &mut Books<'_>) {
         let g = &self.instance.graph;
         let t = req.time;
         let rate = self.instance.cheapest_rate();
         let sp = dijkstra_with(g, req.u, |e| {
-            if ledger.covered(e, t) {
+            if books.covered(e, t) {
                 0.0
             } else {
                 g.edge(e).weight * rate
@@ -157,13 +137,13 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
         self.stats.requests += 1;
         self.stats.routed_edges += path.len();
         for e in path {
-            if !ledger.covered(e, t) {
+            if !books.covered(e, t) {
                 self.permits[e].serve_demand(t);
                 self.stats.permit_demands += 1;
-                self.mirror_purchases(t, e, ledger);
+                self.mirror_purchases(t, e, books);
             }
             debug_assert!(
-                ledger.covered(e, t),
+                books.covered(e, t),
                 "permit subroutine must cover the routed day"
             );
         }
@@ -171,11 +151,11 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
 
     /// Copies the permit subroutine's new purchases into the ledger at the
     /// edge's scaled lease prices.
-    fn mirror_purchases(&mut self, t: TimeStep, e: usize, ledger: &mut Ledger) {
+    fn mirror_purchases(&mut self, t: TimeStep, e: usize, books: &mut Books<'_>) {
         let fresh = &self.permits[e].purchases()[self.mirrored[e]..];
         for lease in fresh {
             let cost = self.instance.lease_cost(e, lease.type_index);
-            ledger.buy_priced(
+            books.buy_priced(
                 t,
                 Triple::new(e, lease.type_index, lease.start),
                 cost,
@@ -189,7 +169,8 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
     pub fn run(&mut self) -> f64 {
         let mut ledger = std::mem::take(&mut self.ledger);
         for req in self.instance.requests.clone() {
-            self.serve_with(req, &mut ledger);
+            ledger.advance(req.time);
+            self.serve_with(req, &mut Books::new(&mut ledger));
         }
         self.ledger = ledger;
         self.total_cost()
@@ -203,7 +184,7 @@ impl<'a, P: PermitOnline + PurchaseLog> GenericSteinerLeasing<'a, P> {
         self.ledger.total_cost()
     }
 
-    /// The internal decision ledger backing the deprecated serve path.
+    /// The internal decision ledger backing the legacy serve path.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
     }
@@ -213,8 +194,8 @@ impl<'a, P: PermitOnline + PurchaseLog> LeasingAlgorithm for GenericSteinerLeasi
     /// The `(u, v)` terminal pair to connect.
     type Request = (usize, usize);
 
-    fn on_request(&mut self, time: TimeStep, request: (usize, usize), ledger: &mut Ledger) {
-        self.serve_with(PairRequest::new(time, request.0, request.1), ledger);
+    fn on_request(&mut self, time: TimeStep, request: (usize, usize), mut books: Books<'_>) {
+        self.serve_with(PairRequest::new(time, request.0, request.1), &mut books);
     }
 }
 
@@ -223,7 +204,11 @@ impl<'a, P: PermitOnline + PurchaseLog> OnlineAlgorithm for GenericSteinerLeasin
 
     fn serve(&mut self, time: TimeStep, request: (usize, usize)) {
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(PairRequest::new(time, request.0, request.1), &mut ledger);
+        ledger.advance(time);
+        self.serve_with(
+            PairRequest::new(time, request.0, request.1),
+            &mut Books::new(&mut ledger),
+        );
         self.ledger = ledger;
     }
 

@@ -12,7 +12,7 @@
 //!   policy and the worst-case primal-dual side by side and always *buys*
 //!   with the currently cheaper one, hedging bad predictions.
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger};
 use leasing_core::framework::Triple;
 use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -73,9 +73,8 @@ impl RateThreshold {
     }
 
     /// Core policy step, recording the purchase into `ledger`.
-    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        ledger.advance(t);
-        if ledger.covered(PERMIT_ELEMENT, t) {
+    fn serve_with(&mut self, t: TimeStep, books: &mut Books<'_>) {
+        if books.covered(PERMIT_ELEMENT, t) {
             return;
         }
         let k = self.chosen_type();
@@ -83,7 +82,7 @@ impl RateThreshold {
             .into_iter()
             .find(|l| l.type_index == k)
             .expect("every type has an aligned candidate");
-        ledger.buy(
+        books.buy(
             t,
             Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
         );
@@ -109,7 +108,8 @@ impl RateThreshold {
 impl PermitOnline for RateThreshold {
     fn serve_demand(&mut self, t: TimeStep) {
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, &mut ledger);
+        ledger.advance(t);
+        self.serve_with(t, &mut Books::new(&mut ledger));
         self.ledger = ledger;
     }
 
@@ -125,8 +125,8 @@ impl PermitOnline for RateThreshold {
 impl LeasingAlgorithm for RateThreshold {
     type Request = ();
 
-    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
-        self.serve_with(time, ledger);
+    fn on_request(&mut self, time: TimeStep, _request: (), mut books: Books<'_>) {
+        self.serve_with(time, &mut books);
     }
 }
 
@@ -170,12 +170,11 @@ impl EmpiricalRate {
     }
 
     /// Core policy step, recording the purchase into `ledger`.
-    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        ledger.advance(t);
+    fn serve_with(&mut self, t: TimeStep, books: &mut Books<'_>) {
         self.first_day.get_or_insert(t);
         self.last_day = self.last_day.max(t);
         self.demands_seen += 1;
-        if ledger.covered(PERMIT_ELEMENT, t) {
+        if books.covered(PERMIT_ELEMENT, t) {
             return;
         }
         let k = best_type_for_rate(&self.structure, self.estimate());
@@ -183,7 +182,7 @@ impl EmpiricalRate {
             .into_iter()
             .find(|l| l.type_index == k)
             .expect("every type has an aligned candidate");
-        ledger.buy(
+        books.buy(
             t,
             Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start),
         );
@@ -208,7 +207,8 @@ impl EmpiricalRate {
 impl PermitOnline for EmpiricalRate {
     fn serve_demand(&mut self, t: TimeStep) {
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, &mut ledger);
+        ledger.advance(t);
+        self.serve_with(t, &mut Books::new(&mut ledger));
         self.ledger = ledger;
     }
 
@@ -224,8 +224,8 @@ impl PermitOnline for EmpiricalRate {
 impl LeasingAlgorithm for EmpiricalRate {
     type Request = ();
 
-    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
-        self.serve_with(time, ledger);
+    fn on_request(&mut self, time: TimeStep, _request: (), mut books: Books<'_>) {
+        self.serve_with(time, &mut books);
     }
 }
 
@@ -312,12 +312,11 @@ impl<A: PermitOnline + CoveringLease, B: PermitOnline + CoveringLease> SwitchCom
     }
 
     /// Core combiner step, recording the replicated purchase into `ledger`.
-    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        ledger.advance(t);
+    fn serve_with(&mut self, t: TimeStep, books: &mut Books<'_>) {
         // Both simulations always advance.
         self.a.serve_demand(t);
         self.b.serve_demand(t);
-        if ledger.covered(PERMIT_ELEMENT, t) {
+        if books.covered(PERMIT_ELEMENT, t) {
             return;
         }
         let leader_a = self.a.total_cost() <= self.b.total_cost();
@@ -339,8 +338,8 @@ impl<A: PermitOnline + CoveringLease, B: PermitOnline + CoveringLease> SwitchCom
         }
         .expect("an inner policy must cover the demand it just served");
         let triple = Triple::new(PERMIT_ELEMENT, lease.type_index, lease.start);
-        if !ledger.owns(triple) {
-            ledger.buy(t, triple);
+        if !books.owns(triple) {
+            books.buy(t, triple);
         }
     }
 
@@ -367,7 +366,8 @@ where
 {
     fn serve_demand(&mut self, t: TimeStep) {
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, &mut ledger);
+        ledger.advance(t);
+        self.serve_with(t, &mut Books::new(&mut ledger));
         self.ledger = ledger;
     }
 
@@ -387,8 +387,8 @@ where
 {
     type Request = ();
 
-    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
-        self.serve_with(time, ledger);
+    fn on_request(&mut self, time: TimeStep, _request: (), mut books: Books<'_>) {
+        self.serve_with(time, &mut books);
     }
 }
 

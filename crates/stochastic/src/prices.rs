@@ -8,7 +8,7 @@
 //! charge current prices, and [`optimal_cost_priced`] is the exact
 //! hierarchical DP under the same price path (the clairvoyant baseline).
 
-use leasing_core::engine::{LeasingAlgorithm, Ledger, CATEGORY_LEASE};
+use leasing_core::engine::{Books, LeasingAlgorithm, Ledger, CATEGORY_LEASE};
 use leasing_core::framework::Triple;
 use leasing_core::interval::{aligned_start, candidates_covering};
 use leasing_core::lease::{Lease, LeaseStructure};
@@ -114,8 +114,7 @@ impl<'a> PriceAwarePermit<'a> {
 
     /// Core price-aware primal-dual step, recording purchases into
     /// `ledger` at day-of-purchase prices.
-    fn serve_with(&mut self, t: TimeStep, ledger: &mut Ledger) {
-        ledger.advance(t);
+    fn serve_with(&mut self, t: TimeStep, books: &mut Books<'_>) {
         if self.is_covered(t) {
             return;
         }
@@ -133,7 +132,7 @@ impl<'a> PriceAwarePermit<'a> {
             *entry += delta;
             if *entry >= price(&c) - EPS && !self.owned.contains(&c) {
                 self.owned.insert(c);
-                ledger.buy_priced(
+                books.buy_priced(
                     t,
                     Triple::new(parking_permit::PERMIT_ELEMENT, c.type_index, c.start),
                     price(&c),
@@ -148,7 +147,8 @@ impl<'a> PriceAwarePermit<'a> {
 impl<'a> PermitOnline for PriceAwarePermit<'a> {
     fn serve_demand(&mut self, t: TimeStep) {
         let mut ledger = std::mem::take(&mut self.ledger);
-        self.serve_with(t, &mut ledger);
+        ledger.advance(t);
+        self.serve_with(t, &mut Books::new(&mut ledger));
         self.ledger = ledger;
     }
 
@@ -166,8 +166,8 @@ impl<'a> PermitOnline for PriceAwarePermit<'a> {
 impl<'a> LeasingAlgorithm for PriceAwarePermit<'a> {
     type Request = ();
 
-    fn on_request(&mut self, time: TimeStep, _request: (), ledger: &mut Ledger) {
-        self.serve_with(time, ledger);
+    fn on_request(&mut self, time: TimeStep, _request: (), mut books: Books<'_>) {
+        self.serve_with(time, &mut books);
     }
 }
 

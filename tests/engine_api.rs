@@ -1,12 +1,12 @@
-//! API-equivalence tests for the unified `LeasingEngine` surface: for every
-//! problem crate, the deprecated `serve_*` wrapper and the new
+//! API-equivalence tests for the unified engine surface: for every problem
+//! crate, the type-erased [`EngineHandle`] and the generic
 //! [`LeasingAlgorithm`]/[`Driver`] path must produce **bit-identical**
 //! costs and decision traces — both flow through the same core step, so
-//! any divergence is a migration bug.
+//! any divergence is a handle-plumbing bug. Crates that retain a
+//! non-deprecated legacy entry point (`PermitOnline::serve_demand`,
+//! `run()`) are additionally pinned against it.
 
-#![allow(deprecated)]
-
-use online_resource_leasing::core::engine::{Driver, DriverError, Ledger};
+use online_resource_leasing::core::engine::{Driver, DriverError, EngineHandle, Ledger};
 use online_resource_leasing::core::lease::{LeaseStructure, LeaseType};
 use online_resource_leasing::core::rng::seeded;
 use proptest::prelude::*;
@@ -95,15 +95,15 @@ proptest! {
             arrivals.push(Arrival::new(t, rng.random_range(0..3usize), 1 + rng.random_range(0..2usize)));
         }
         let inst = SmclInstance::uniform(system, structure(), arrivals.clone()).unwrap();
-        let mut legacy = SmclOnline::new(&inst, seed);
-        for a in &arrivals {
-            legacy.serve_arrival(a.time, a.element, a.multiplicity);
-        }
+        let mut handle = EngineHandle::new(SmclOnline::new(&inst, seed), structure());
+        handle
+            .submit_batch(arrivals.iter().map(|a| (a.time, (a.element, a.multiplicity))))
+            .unwrap();
         let mut driver = Driver::new(SmclOnline::new(&inst, seed), structure());
         driver
             .submit_batch(arrivals.iter().map(|a| (a.time, (a.element, a.multiplicity))))
             .unwrap();
-        assert_equivalent(legacy.ledger(), driver.ledger());
+        assert_equivalent(handle.ledger(), driver.ledger());
     }
 
     #[test]
@@ -156,15 +156,15 @@ proptest! {
             requests.push(PairRequest::new(t, u, v));
         }
         let inst = SteinerInstance::new(g, structure(), requests.clone()).unwrap();
-        let mut legacy = SteinerLeasingOnline::new(&inst);
-        for req in &requests {
-            legacy.serve_request(*req);
-        }
+        let mut handle = EngineHandle::new(SteinerLeasingOnline::new(&inst), structure());
+        handle
+            .submit_batch(requests.iter().map(|r| (r.time, (r.u, r.v))))
+            .unwrap();
         let mut driver = Driver::new(SteinerLeasingOnline::new(&inst), structure());
         driver
             .submit_batch(requests.iter().map(|r| (r.time, (r.u, r.v))))
             .unwrap();
-        assert_equivalent(legacy.ledger(), driver.ledger());
+        assert_equivalent(handle.ledger(), driver.ledger());
     }
 
     #[test]
@@ -181,13 +181,11 @@ proptest! {
             arrivals.push((t, rng.random_range(0..4usize)));
         }
         let inst = VcLeasingInstance::unweighted(g, structure(), arrivals.clone()).unwrap();
-        let mut legacy = VcPrimalDual::new(&inst);
-        for &(t, e) in &arrivals {
-            legacy.serve_edge(t, e);
-        }
+        let mut handle = EngineHandle::new(VcPrimalDual::new(&inst), structure());
+        handle.submit_batch(arrivals.iter().copied()).unwrap();
         let mut driver = Driver::new(VcPrimalDual::new(&inst), structure());
         driver.submit_batch(arrivals.iter().copied()).unwrap();
-        assert_equivalent(legacy.ledger(), driver.ledger());
+        assert_equivalent(handle.ledger(), driver.ledger());
     }
 
     #[test]
@@ -211,15 +209,15 @@ proptest! {
         let base = FacilityInstance::euclidean(facilities, structure(), batches).unwrap();
         let inst = CapacitatedInstance::uniform(base, 2).unwrap();
         for choice in [LeaseChoice::CheapestTotal, LeaseChoice::BestRate] {
-            let mut legacy = CapacitatedGreedy::new(&inst, choice);
-            for batch in inst.base.batches().to_vec() {
-                legacy.serve_batch(batch.time, &batch.clients);
-            }
+            let mut handle = EngineHandle::new(CapacitatedGreedy::new(&inst, choice), structure());
+            handle
+                .submit_batch(inst.base.batches().iter().map(|b| (b.time, b.clients.clone())))
+                .unwrap();
             let mut driver = Driver::new(CapacitatedGreedy::new(&inst, choice), structure());
             driver
                 .submit_batch(inst.base.batches().iter().map(|b| (b.time, b.clients.clone())))
                 .unwrap();
-            assert_equivalent(legacy.ledger(), driver.ledger());
+            assert_equivalent(handle.ledger(), driver.ledger());
         }
     }
 
@@ -234,15 +232,15 @@ proptest! {
             clients.push(OldClient::new(t, rng.random_range(0..6u64)));
         }
         let inst = OldInstance::new(structure(), clients.clone()).unwrap();
-        let mut legacy = OldPrimalDual::new(&inst);
-        for c in &clients {
-            legacy.serve(*c);
-        }
+        let mut handle = EngineHandle::new(OldPrimalDual::new(&inst), structure());
+        handle
+            .submit_batch(clients.iter().map(|c| (c.arrival, c.slack)))
+            .unwrap();
         let mut driver = Driver::new(OldPrimalDual::new(&inst), structure());
         driver
             .submit_batch(clients.iter().map(|c| (c.arrival, c.slack)))
             .unwrap();
-        assert_equivalent(legacy.ledger(), driver.ledger());
+        assert_equivalent(handle.ledger(), driver.ledger());
     }
 
     #[test]
@@ -288,15 +286,15 @@ proptest! {
         };
         let batches: Vec<(u64, Vec<usize>)> =
             vec![(0, vec![0, 2]), (2, vec![1]), (17, vec![3])];
-        let mut legacy = build();
-        for (t, clients) in &batches {
-            legacy.serve_batch(*t, clients);
-        }
+        let mut handle = EngineHandle::new(build(), structure());
+        handle
+            .submit_batch(batches.iter().map(|(t, c)| (*t, c.clone())))
+            .unwrap();
         let mut driver = Driver::new(build(), structure());
         driver
             .submit_batch(batches.iter().map(|(t, c)| (*t, c.clone())))
             .unwrap();
-        assert_equivalent(legacy.ledger(), driver.ledger());
+        assert_equivalent(handle.ledger(), driver.ledger());
     }
 }
 
