@@ -56,7 +56,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         for chunk in bytes.chunks(8) {
             let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
+            for (dst, src) in buf.iter_mut().zip(chunk) {
+                *dst = *src;
+            }
             self.add(u64::from_le_bytes(buf));
         }
     }
@@ -216,15 +218,19 @@ impl CoverageIndex {
     #[inline]
     fn run_slot(&self, element: usize, k: usize) -> Option<u32> {
         if k < self.stride && element < DENSE_ELEMENT_LIMIT {
-            let id = *self.dense_runs.get(element * self.stride + k)?;
-            (id != NO_SLOT).then_some(id)
-        } else {
-            self.slots.get(&(element, k)).copied()
+            if let Some(&id) = self.dense_runs.get(element * self.stride + k) {
+                return (id != NO_SLOT).then_some(id);
+            }
+            // The dense table hasn't grown to this entry — fall through to
+            // the sparse map so reads always agree with whatever the
+            // insert path recorded.
         }
+        self.slots.get(&(element, k)).copied()
     }
 
     /// The `runs` index of `(element, k)`, creating the slot on first use.
     fn run_slot_or_insert(&mut self, element: usize, k: usize) -> u32 {
+        // lint:allow(panic: 2^32 slots at ≥32 bytes apiece would exceed 128 GiB of runs — unreachable by memory alone)
         let next_id = u32::try_from(self.runs.len()).expect("fewer than 2^32 slots");
         let id = if k < self.stride && element < DENSE_ELEMENT_LIMIT {
             let idx = element * self.stride + k;
@@ -232,11 +238,18 @@ impl CoverageIndex {
                 let grown = (idx + 1).max(self.dense_runs.len() * 2);
                 self.dense_runs.resize(grown, NO_SLOT);
             }
-            let entry = &mut self.dense_runs[idx];
-            if *entry == NO_SLOT {
-                *entry = next_id;
+            match self.dense_runs.get_mut(idx) {
+                Some(entry) => {
+                    if *entry == NO_SLOT {
+                        *entry = next_id;
+                    }
+                    *entry
+                }
+                // Unreachable after the resize above; the sparse map keeps
+                // the index consistent even if it weren't (reads check it
+                // on a dense miss).
+                None => *self.slots.entry((element, k)).or_insert(next_id),
             }
-            *entry
         } else {
             *self.slots.entry((element, k)).or_insert(next_id)
         };
@@ -253,27 +266,35 @@ impl CoverageIndex {
     #[inline]
     fn profile_slot(&self, element: usize) -> Option<u32> {
         if element < DENSE_ELEMENT_LIMIT {
-            let id = *self.dense_profiles.get(element)?;
-            (id != NO_SLOT).then_some(id)
-        } else {
-            self.profile_slots.get(&element).copied()
+            if let Some(&id) = self.dense_profiles.get(element) {
+                return (id != NO_SLOT).then_some(id);
+            }
+            // Dense miss — agree with the sparse map, as in `run_slot`.
         }
+        self.profile_slots.get(&element).copied()
     }
 
     /// The `profiles` index of `element`, creating the profile on first
     /// use.
     fn profile_slot_or_insert(&mut self, element: usize) -> u32 {
+        // lint:allow(panic: 2^32 distinct elements would exceed memory long before the id space — unreachable bound)
         let next_id = u32::try_from(self.profiles.len()).expect("fewer than 2^32 elements");
         let id = if element < DENSE_ELEMENT_LIMIT {
             if element >= self.dense_profiles.len() {
                 let grown = (element + 1).max(self.dense_profiles.len() * 2);
                 self.dense_profiles.resize(grown, NO_SLOT);
             }
-            let entry = &mut self.dense_profiles[element];
-            if *entry == NO_SLOT {
-                *entry = next_id;
+            match self.dense_profiles.get_mut(element) {
+                Some(entry) => {
+                    if *entry == NO_SLOT {
+                        *entry = next_id;
+                    }
+                    *entry
+                }
+                // Unreachable after the resize above; the sparse map keeps
+                // reads consistent regardless.
+                None => *self.profile_slots.entry(element).or_insert(next_id),
             }
-            *entry
         } else {
             *self.profile_slots.entry(element).or_insert(next_id)
         };
@@ -291,23 +312,28 @@ impl CoverageIndex {
     /// only enter the ownership runs).
     pub fn insert(&mut self, triple: Triple, window_len: Option<u64>) {
         let slot = self.run_slot_or_insert(triple.element, triple.type_index);
+        let mut shift = 0u64;
         // lint:allow(cast: slot ids are u32 indices into `runs` and widen into usize)
-        let starts = &mut self.runs[slot as usize].starts;
-        match starts.last_mut() {
-            Some(last) if last.0 == triple.start => last.1 += 1,
-            Some(last) if last.0 < triple.start => starts.push((triple.start, 1)),
-            None => starts.push((triple.start, 1)),
-            _ => {
-                // Out-of-order (backdated) start: binary-search insert.
-                let idx = starts.partition_point(|&(s, _)| s < triple.start);
-                if starts[idx].0 == triple.start {
-                    starts[idx].1 += 1;
-                } else {
-                    self.shift_work += (starts.len() - idx) as u64;
-                    starts.insert(idx, (triple.start, 1));
+        if let Some(run) = self.runs.get_mut(slot as usize) {
+            let starts = &mut run.starts;
+            match starts.last_mut() {
+                Some(last) if last.0 == triple.start => last.1 += 1,
+                Some(last) if last.0 < triple.start => starts.push((triple.start, 1)),
+                None => starts.push((triple.start, 1)),
+                _ => {
+                    // Out-of-order (backdated) start: binary-search insert.
+                    let idx = starts.partition_point(|&(s, _)| s < triple.start);
+                    match starts.get_mut(idx) {
+                        Some(at) if at.0 == triple.start => at.1 += 1,
+                        _ => {
+                            shift = (starts.len() - idx) as u64;
+                            starts.insert(idx, (triple.start, 1));
+                        }
+                    }
                 }
             }
         }
+        self.shift_work += shift;
         if let Some(len) = window_len {
             self.add_window(triple.element, triple.start, triple.start + len);
         }
@@ -317,57 +343,79 @@ impl CoverageIndex {
     fn add_window(&mut self, element: usize, start: TimeStep, end: TimeStep) {
         self.stab.take();
         let slot = self.profile_slot_or_insert(element);
+        let mut shift = 0u64;
         // lint:allow(cast: slot ids are u32 indices into `profiles` and widen into usize)
-        let intervals = &mut self.profiles[slot as usize].intervals;
-        match intervals.last_mut() {
-            None => intervals.push((start, end)),
-            Some(last) if start > last.1 => intervals.push((start, end)),
-            Some(last) if start >= last.0 => last.1 = last.1.max(end),
-            _ => {
-                // Out-of-order window: splice `[start, end)` into the sorted
-                // disjoint list, merging every interval it touches
-                // (adjacency included — the profile stores a true union).
-                let lo = intervals.partition_point(|&(_, e)| e < start);
-                let hi = intervals.partition_point(|&(s, _)| s <= end);
-                if lo == hi {
-                    self.shift_work += (intervals.len() - lo) as u64;
-                    intervals.insert(lo, (start, end));
-                } else {
-                    let merged = (intervals[lo].0.min(start), intervals[hi - 1].1.max(end));
-                    intervals[lo] = merged;
-                    if hi - lo > 1 {
-                        self.shift_work += (intervals.len() - hi) as u64;
-                        intervals.drain(lo + 1..hi);
+        if let Some(profile) = self.profiles.get_mut(slot as usize) {
+            let intervals = &mut profile.intervals;
+            match intervals.last_mut() {
+                None => intervals.push((start, end)),
+                Some(last) if start > last.1 => intervals.push((start, end)),
+                Some(last) if start >= last.0 => last.1 = last.1.max(end),
+                _ => {
+                    // Out-of-order window: splice `[start, end)` into the
+                    // sorted disjoint list, merging every interval it
+                    // touches (adjacency included — the profile stores a
+                    // true union).
+                    let lo = intervals.partition_point(|&(_, e)| e < start);
+                    let hi = intervals.partition_point(|&(s, _)| s <= end);
+                    if lo == hi {
+                        shift = (intervals.len() - lo) as u64;
+                        intervals.insert(lo, (start, end));
+                    } else {
+                        // lo < hi: the window touches at least one
+                        // interval, so both boundary lookups resolve.
+                        let merged_start = intervals.get(lo).map_or(start, |&(s, _)| s.min(start));
+                        let merged_end = intervals
+                            .get(hi.wrapping_sub(1))
+                            .map_or(end, |&(_, e)| e.max(end));
+                        if let Some(first) = intervals.get_mut(lo) {
+                            *first = (merged_start, merged_end);
+                        }
+                        if hi - lo > 1 {
+                            shift = (intervals.len() - hi) as u64;
+                            intervals.drain(lo + 1..hi);
+                        }
                     }
                 }
             }
         }
+        self.shift_work += shift;
     }
 
     /// Whether some purchased window of `element` covers `t` — one binary
     /// search over the merged profile.
     pub fn covered_element(&self, element: usize, t: TimeStep) -> bool {
-        let Some(slot) = self.profile_slot(element) else {
+        let Some(intervals) = self.profile_intervals(element) else {
             return false;
         };
-        // lint:allow(cast: slot ids are u32 indices into `profiles` and widen into usize)
-        let intervals = &self.profiles[slot as usize].intervals;
         let idx = intervals.partition_point(|&(s, _)| s <= t);
-        idx > 0 && intervals[idx - 1].1 > t
+        idx.checked_sub(1)
+            .and_then(|i| intervals.get(i))
+            .is_some_and(|&(_, end)| end > t)
     }
 
     /// Whether some purchased window of `element` intersects the closed
     /// step range `[lo, hi]`.
     pub fn covered_element_during(&self, element: usize, lo: TimeStep, hi: TimeStep) -> bool {
-        let Some(slot) = self.profile_slot(element) else {
+        let Some(intervals) = self.profile_intervals(element) else {
             return false;
         };
-        // lint:allow(cast: slot ids are u32 indices into `profiles` and widen into usize)
-        let intervals = &self.profiles[slot as usize].intervals;
         // Intervals are disjoint and sorted, so ends are increasing: the
         // only candidate is the last interval starting at or before `hi`.
         let idx = intervals.partition_point(|&(s, _)| s <= hi);
-        idx > 0 && intervals[idx - 1].1 > lo
+        idx.checked_sub(1)
+            .and_then(|i| intervals.get(i))
+            .is_some_and(|&(_, end)| end > lo)
+    }
+
+    /// `element`'s merged coverage intervals, if a profile exists.
+    #[inline]
+    fn profile_intervals(&self, element: usize) -> Option<&[(TimeStep, TimeStep)]> {
+        // lint:allow(cast: slot ids are u32 indices into `profiles` and widen into usize)
+        let slot = self.profile_slot(element)? as usize;
+        self.profiles
+            .get(slot)
+            .map(|profile| profile.intervals.as_slice())
     }
 
     /// Number of distinct elements with a purchased window covering `t` —
@@ -403,10 +451,7 @@ impl CoverageIndex {
         }
         let starts = self.slot_starts(element, k)?;
         let idx = Self::rank_le(starts, t);
-        if idx == 0 {
-            return None;
-        }
-        let start = starts[idx - 1].0;
+        let &(start, _) = idx.checked_sub(1).and_then(|i| starts.get(i))?;
         (start >= t.saturating_sub(len - 1)).then_some(start)
     }
 
@@ -415,14 +460,17 @@ impl CoverageIndex {
         self.slot_starts(triple.element, triple.type_index)
             .is_some_and(|starts| {
                 let idx = Self::rank_le(starts, triple.start);
-                idx > 0 && starts[idx - 1].0 == triple.start
+                idx.checked_sub(1)
+                    .and_then(|i| starts.get(i))
+                    .is_some_and(|&(start, _)| start == triple.start)
             })
     }
 
     fn slot_starts(&self, element: usize, k: usize) -> Option<&[(TimeStep, u32)]> {
         self.run_slot(element, k)
             // lint:allow(cast: slot ids are u32 indices into `runs` and widen into usize)
-            .map(|id| self.runs[id as usize].starts.as_slice())
+            .and_then(|id| self.runs.get(id as usize))
+            .map(|run| run.starts.as_slice())
     }
 
     /// The number of starts at or before `t` (equivalently, the index of
@@ -437,14 +485,18 @@ impl CoverageIndex {
             return 0;
         }
         let mut back = 1usize;
-        while back <= n && starts[n - back].0 > t {
-            back *= 2;
+        while back <= n {
+            match starts.get(n - back) {
+                Some(&(start, _)) if start > t => back *= 2,
+                _ => break,
+            }
         }
         // All starts below `n - back` are ≤ t (or the slice begins there);
         // everything from `n - back/2` on is > t.
         let lo = n.saturating_sub(back);
         let hi = n - back / 2;
-        lo + starts[lo..hi].partition_point(|&(s, _)| s <= t)
+        let window = starts.get(lo..hi).unwrap_or_default();
+        lo + window.partition_point(|&(s, _)| s <= t)
     }
 
     /// Removes every start run of a known lease type whose window of the
@@ -466,7 +518,10 @@ impl CoverageIndex {
             let cutoff = horizon - len; // start ≤ cutoff ⇒ ended by horizon
             let n = run.starts.partition_point(|&(s, _)| s <= cutoff);
             if n > 0 {
-                removed += run.starts[..n]
+                removed += run
+                    .starts
+                    .get(..n)
+                    .unwrap_or_default()
                     .iter()
                     // lint:allow(cast: u32 copy counts always widen into usize)
                     .map(|&(_, c)| c as usize)

@@ -103,6 +103,24 @@ impl<'p, R> EngineHandle<'p, R> {
         self.driver.submit_at(time, requests)
     }
 
+    /// Submits a column-shaped batch — the batched fast path: the times
+    /// column is validated once, each distinct time pays one clock/expiry
+    /// advancement, and the result is bit-identical to a loop of
+    /// [`submit`](EngineHandle::submit) calls. See
+    /// [`Driver::submit_columns`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first out-of-order time stamp and returns
+    /// [`DriverError::TimeTravel`]; earlier requests stay served.
+    pub fn submit_columns(
+        &mut self,
+        times: &[TimeStep],
+        requests: impl IntoIterator<Item = R>,
+    ) -> Result<usize, DriverError> {
+        self.driver.submit_columns(times, requests)
+    }
+
     /// Advances the engine clock to `time` without serving a request,
     /// expiring leases whose windows end at or before it. Returns how many
     /// leases expired. See [`Driver::advance`].
@@ -118,6 +136,12 @@ impl<'p, R> EngineHandle<'p, R> {
     /// Compacts the ledger's coverage index. See [`Ledger::compact`].
     pub fn compact(&mut self, before_t: TimeStep) -> usize {
         self.driver.compact(before_t)
+    }
+
+    /// Reserves decision-trace capacity for a stream whose arrival count
+    /// is known up front. See [`Ledger::reserve_decisions`].
+    pub fn reserve_decisions(&mut self, additional: usize) {
+        self.driver.reserve_decisions(additional);
     }
 
     /// The ledger accumulated so far.

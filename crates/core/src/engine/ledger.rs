@@ -343,6 +343,16 @@ impl Ledger {
         self.decisions.len()
     }
 
+    /// Reserves capacity for at least `additional` more decisions.
+    ///
+    /// The trace is append-only and, on mega-scale streams, grows into the
+    /// hundreds of megabytes; callers that know (or can bound) the arrival
+    /// count ahead of time skip every doubling-growth copy of that buffer.
+    /// Purely an allocation hint — recorded decisions are unaffected.
+    pub fn reserve_decisions(&mut self, additional: usize) {
+        self.decisions.reserve(additional);
+    }
+
     /// Number of leases bought.
     pub fn leases_bought(&self) -> usize {
         self.leases_bought

@@ -180,28 +180,36 @@ pub struct Driver<A> {
     ledger: Ledger,
     last_time: Option<TimeStep>,
     requests: usize,
+    /// Column-wise scratch for [`Driver::submit_columns`]: the distinct
+    /// times of the validated batch prefix (one entry per equal-time run)
+    /// and, in parallel, each run's exclusive end index in the times
+    /// column. Cleared per batch, capacity kept — steady-state batched
+    /// submission allocates nothing.
+    run_times: Vec<TimeStep>,
+    run_ends: Vec<usize>,
 }
 
 impl<A: LeasingAlgorithm> Driver<A> {
-    /// A driver whose ledger prices and windows leases with `structure`.
-    pub fn new(algorithm: A, structure: LeaseStructure) -> Self {
+    fn from_ledger(algorithm: A, ledger: Ledger) -> Self {
         Driver {
             algorithm,
-            ledger: Ledger::new(structure),
+            ledger,
             last_time: None,
             requests: 0,
+            run_times: Vec::new(),
+            run_ends: Vec::new(),
         }
+    }
+
+    /// A driver whose ledger prices and windows leases with `structure`.
+    pub fn new(algorithm: A, structure: LeaseStructure) -> Self {
+        Driver::from_ledger(algorithm, Ledger::new(structure))
     }
 
     /// A driver with a structure-less ledger (for algorithms that price
     /// every purchase explicitly via [`Ledger::buy_priced`]).
     pub fn detached(algorithm: A) -> Self {
-        Driver {
-            algorithm,
-            ledger: Ledger::detached(),
-            last_time: None,
-            requests: 0,
-        }
+        Driver::from_ledger(algorithm, Ledger::detached())
     }
 
     /// A driver over a caller-provided ledger — the arena-reuse path.
@@ -209,12 +217,7 @@ impl<A: LeasingAlgorithm> Driver<A> {
     /// ([`Ledger::reset`] keeps its allocations); a freshly reset ledger
     /// makes this identical to [`Driver::new`] with its structure.
     pub fn with_ledger(algorithm: A, ledger: Ledger) -> Self {
-        Driver {
-            algorithm,
-            ledger,
-            last_time: None,
-            requests: 0,
-        }
+        Driver::from_ledger(algorithm, ledger)
     }
 
     /// Submits one request.
@@ -294,6 +297,95 @@ impl<A: LeasingAlgorithm> Driver<A> {
         Ok(served)
     }
 
+    /// Submits a column-shaped batch: `times[i]` stamps the `i`-th request
+    /// pulled from `requests`. This is the batched fast path — the whole
+    /// times column is validated against the monotone arrival order in one
+    /// pass that also records equal-time run boundaries into scratch
+    /// columns reused across batches (zero steady-state allocation), then
+    /// each distinct time pays for exactly one clock/expiry advancement
+    /// while its run of requests is served back to back. Serving order is
+    /// identical to a loop of [`Driver::submit`] calls, so the ledger —
+    /// decision trace, f64 cost accumulation order, expiry timeline — is
+    /// bit-identical to the per-request path.
+    ///
+    /// Returns how many requests were served. When `requests` yields fewer
+    /// items than `times` has entries, serving stops with the requests
+    /// (extra times are ignored); extra requests beyond the times column
+    /// are never pulled.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first out-of-order time stamp and returns
+    /// [`DriverError::TimeTravel`]; requests before the violation stay
+    /// served, exactly like [`Driver::submit_batch`].
+    pub fn submit_columns(
+        &mut self,
+        times: &[TimeStep],
+        requests: impl IntoIterator<Item = A::Request>,
+    ) -> Result<usize, DriverError> {
+        // Pass 1 (columnar): validate the times column once, recording the
+        // boundary of every equal-time run into the reused scratch.
+        self.run_times.clear();
+        self.run_ends.clear();
+        let mut previous = self.last_time;
+        let mut violation = None;
+        let mut valid = times.len();
+        for (index, &time) in times.iter().enumerate() {
+            match previous {
+                Some(p) if time < p => {
+                    violation = Some(DriverError::TimeTravel {
+                        previous: p,
+                        attempted: time,
+                    });
+                    valid = index;
+                    break;
+                }
+                Some(p) if time == p && !self.run_times.is_empty() => {}
+                _ => {
+                    self.run_times.push(time);
+                    self.run_ends.push(index);
+                }
+            }
+            previous = Some(time);
+        }
+        // Close every run: shift `run_ends` left by one so each entry is
+        // its run's exclusive end, terminated by the valid prefix length.
+        if !self.run_ends.is_empty() {
+            self.run_ends.remove(0);
+            self.run_ends.push(valid);
+        }
+        // Pass 2: serve run by run — one advancement per distinct time.
+        // The clock only moves once a run's first request materializes, so
+        // an exhausted request iterator leaves the driver exactly where a
+        // zipped loop of `submit` calls would have stopped.
+        let mut requests = requests.into_iter();
+        let mut served = 0;
+        let mut cursor = 0;
+        for (&time, &end) in self.run_times.iter().zip(self.run_ends.iter()) {
+            let mut advanced = false;
+            while cursor < end {
+                let Some(request) = requests.next() else {
+                    self.requests += served;
+                    return Ok(served);
+                };
+                if !advanced {
+                    self.last_time = Some(time);
+                    self.ledger.advance(time);
+                    advanced = true;
+                }
+                cursor += 1;
+                self.algorithm
+                    .on_request(time, request, Books::new(&mut self.ledger));
+                served += 1;
+            }
+        }
+        self.requests += served;
+        match violation {
+            Some(error) => Err(error),
+            None => Ok(served),
+        }
+    }
+
     /// Advances the ledger clock to `time` without serving a request,
     /// expiring leases whose windows end at or before it. Returns how many
     /// leases expired. The advanced-to time participates in the monotone
@@ -321,6 +413,14 @@ impl<A: LeasingAlgorithm> Driver<A> {
     /// with a horizon their algorithm will never look behind.
     pub fn compact(&mut self, before_t: TimeStep) -> usize {
         self.ledger.compact(before_t)
+    }
+
+    /// Reserves decision-trace capacity ([`Ledger::reserve_decisions`]) —
+    /// the companion hint for streams whose arrival count is known up
+    /// front, pairing with [`submit_columns`](Driver::submit_columns) on
+    /// the mega-scale tier.
+    pub fn reserve_decisions(&mut self, additional: usize) {
+        self.ledger.reserve_decisions(additional);
     }
 
     /// The algorithm being driven.
@@ -708,6 +808,97 @@ mod tests {
         assert_eq!(d.submit_at(4, []).unwrap(), 0);
         d.submit_at(9, [()]).unwrap();
         assert_eq!(d.ledger().leases_bought(), 2);
+    }
+
+    #[test]
+    fn submit_columns_matches_loop_of_submit_bit_for_bit() {
+        let times = [0u64, 0, 3, 4, 4, 4, 9, 17, 17];
+        let mut columnar = driver();
+        let mut looped = driver();
+        assert_eq!(
+            columnar
+                .submit_columns(&times, std::iter::repeat(()))
+                .unwrap(),
+            times.len()
+        );
+        for &t in &times {
+            looped.submit(t, ()).unwrap();
+        }
+        assert_eq!(columnar.ledger().to_json(), looped.ledger().to_json());
+        assert_eq!(columnar.requests(), looped.requests());
+        assert_eq!(
+            columnar.cost().to_bits(),
+            looped.cost().to_bits(),
+            "identical f64 accumulation order"
+        );
+    }
+
+    #[test]
+    fn submit_columns_reuses_scratch_across_batches() {
+        let mut d = driver();
+        d.submit_columns(&[0, 1, 1, 4], std::iter::repeat(()))
+            .unwrap();
+        let cap = (d.run_times.capacity(), d.run_ends.capacity());
+        // A same-shape batch fits the warmed scratch: no growth.
+        d.submit_columns(&[5, 6, 6, 9], std::iter::repeat(()))
+            .unwrap();
+        assert_eq!((d.run_times.capacity(), d.run_ends.capacity()), cap);
+        assert_eq!(d.requests(), 8);
+    }
+
+    #[test]
+    fn submit_columns_stops_at_the_first_violation() {
+        let mut d = driver();
+        let err = d
+            .submit_columns(&[0, 4, 1, 9], std::iter::repeat(()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::TimeTravel {
+                previous: 4,
+                attempted: 1
+            }
+        );
+        assert_eq!(d.requests(), 2, "requests before the violation stay served");
+        // The violation also respects the cross-batch clock.
+        let err = d.submit_columns(&[3], std::iter::once(())).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::TimeTravel {
+                previous: 4,
+                attempted: 3
+            }
+        );
+        assert_eq!(d.requests(), 2);
+    }
+
+    #[test]
+    fn submit_columns_with_short_request_iterators_stops_cleanly() {
+        let mut columnar = driver();
+        // Only two requests materialize for a four-entry times column: the
+        // clock must stop where a zipped loop of submits would have.
+        assert_eq!(
+            columnar.submit_columns(&[0, 4, 9, 12], [(), ()]).unwrap(),
+            2
+        );
+        let mut looped = driver();
+        looped.submit(0, ()).unwrap();
+        looped.submit(4, ()).unwrap();
+        assert_eq!(columnar.ledger().to_json(), looped.ledger().to_json());
+        assert_eq!(columnar.requests(), 2);
+        // An empty request iterator never moves the clock, even past a
+        // violating times column.
+        let mut idle = driver();
+        assert_eq!(idle.submit_columns(&[5, 3], std::iter::empty()).unwrap(), 0);
+        assert_eq!(idle.requests(), 0);
+        idle.submit(0, ()).unwrap();
+    }
+
+    #[test]
+    fn submit_columns_on_empty_columns_is_a_no_op() {
+        let mut d = driver();
+        assert_eq!(d.submit_columns(&[], std::iter::repeat(())).unwrap(), 0);
+        assert_eq!(d.requests(), 0);
     }
 
     #[test]

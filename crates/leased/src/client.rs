@@ -5,11 +5,21 @@
 use crate::error::LeasedError;
 use crate::protocol::{self, ActiveLease, DaemonStats, Request, Response};
 use leasing_core::time::TimeStep;
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// One connection to a `leased` daemon.
+///
+/// The connection is pipelining-capable: [`send`](Client::send) queues a
+/// frame into a buffered writer without waiting for the answer,
+/// [`flush`](Client::flush) pushes the queued burst onto the wire in one
+/// write, and [`recv`](Client::recv) reads the next answer in order (the
+/// daemon answers frames strictly in arrival order). The one-shot
+/// [`request`](Client::request) and the typed helpers keep the plain
+/// lockstep behavior.
 pub struct Client {
-    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
 }
 
 impl Client {
@@ -23,7 +33,43 @@ impl Client {
         // The protocol is strict request/response with tiny frames; without
         // TCP_NODELAY every round-trip eats a Nagle delay.
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Queues one request frame without flushing — the pipelined send
+    /// half. Every queued frame owes exactly one [`recv`](Client::recv).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), LeasedError> {
+        protocol::queue_frame(&mut self.writer, &protocol::encode(request))?;
+        Ok(())
+    }
+
+    /// Flushes every queued frame onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn flush(&mut self) -> Result<(), LeasedError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next in-order answer for a previously
+    /// [`send`](Client::send)-queued (and flushed) request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn recv(&mut self) -> Result<Response, LeasedError> {
+        let payload = protocol::read_frame(&mut self.reader)?;
+        protocol::decode(&payload)
     }
 
     /// Sends one request and reads the daemon's answer.
@@ -34,9 +80,9 @@ impl Client {
     /// [`Response::Error`] is returned as a successful `Response` — use
     /// the typed helpers below to turn it into [`LeasedError::Remote`].
     pub fn request(&mut self, request: &Request) -> Result<Response, LeasedError> {
-        protocol::write_frame(&mut self.stream, &protocol::encode(request))?;
-        let payload = protocol::read_frame(&mut self.stream)?;
-        protocol::decode(&payload)
+        self.send(request)?;
+        self.flush()?;
+        self.recv()
     }
 
     /// Serves a demand of `tenant` at `time`.
@@ -47,6 +93,21 @@ impl Client {
     pub fn submit(&mut self, tenant: u64, time: TimeStep) -> Result<(), LeasedError> {
         match self.request(&Request::Submit { tenant, time })? {
             Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Serves a whole `(tenant, time)` demand batch in one round-trip,
+    /// returning how many demands were served.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn submit_batch(&mut self, entries: &[(u64, TimeStep)]) -> Result<u64, LeasedError> {
+        match self.request(&Request::SubmitBatch {
+            entries: entries.to_vec(),
+        })? {
+            Response::Submitted(count) => Ok(count),
             other => Err(unexpected(other)),
         }
     }

@@ -18,12 +18,24 @@ use std::io::{Read, Write};
 /// length prefix allocating gigabytes.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
-/// Writes `payload` as one length-delimited frame.
+/// Writes `payload` as one length-delimited frame and flushes.
 ///
 /// # Errors
 ///
 /// Propagates socket errors; refuses payloads beyond [`MAX_FRAME_LEN`].
 pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    queue_frame(writer, payload)?;
+    writer.flush()
+}
+
+/// Writes `payload` as one length-delimited frame *without* flushing —
+/// the pipelined building block: queue a burst of frames into a buffered
+/// writer, then flush once.
+///
+/// # Errors
+///
+/// Propagates socket errors; refuses payloads beyond [`MAX_FRAME_LEN`].
+pub fn queue_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -33,8 +45,7 @@ pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()
     let len = u32::try_from(payload.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
     writer.write_all(&len.to_le_bytes())?;
-    writer.write_all(payload.as_bytes())?;
-    writer.flush()
+    writer.write_all(payload.as_bytes())
 }
 
 /// Reads one length-delimited frame, returning its payload.
@@ -60,6 +71,47 @@ pub fn read_frame(reader: &mut impl Read) -> std::io::Result<String> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// Outcome of a lenient frame read — see [`read_frame_lenient`].
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A well-formed frame payload.
+    Payload(String),
+    /// A frame whose declared length exceeded [`MAX_FRAME_LEN`]. Its
+    /// payload bytes were drained off the wire, so the stream is still
+    /// frame-aligned and subsequent frames parse normally.
+    Oversized(usize),
+}
+
+/// Reads one frame like [`read_frame`], but survives an oversized length
+/// prefix by draining (not buffering) the declared payload and reporting
+/// [`FrameRead::Oversized`] — the daemon answers with an in-band error
+/// instead of desyncing or dropping a pipelined connection.
+///
+/// # Errors
+///
+/// Propagates socket errors (including EOF mid-drain) and non-UTF-8
+/// payloads.
+pub fn read_frame_lenient(reader: &mut impl Read) -> std::io::Result<FrameRead> {
+    let mut len = [0u8; 4];
+    reader.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        let drained = std::io::copy(&mut reader.take(len as u64), &mut std::io::sink())?;
+        if drained != len as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside an oversized frame",
+            ));
+        }
+        return Ok(FrameRead::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(FrameRead::Payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
 /// A client operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -69,6 +121,17 @@ pub enum Request {
         tenant: u64,
         /// Logical time of the demand (clamped forward to the shard clock).
         time: TimeStep,
+    },
+    /// Serve a whole batch of `(tenant, time)` demands in one round-trip.
+    ///
+    /// Entries may mix tenants living on different shards: the daemon
+    /// splits the batch deterministically — per-shard sub-batches preserve
+    /// the batch's arrival order and are applied in shard-index order —
+    /// so the end state is identical to submitting each entry
+    /// individually. Answered by [`Response::Submitted`].
+    SubmitBatch {
+        /// `(tenant, time)` demands, in arrival order.
+        entries: Vec<(u64, TimeStep)>,
     },
     /// List `tenant`'s live (non-released) leases at `time`.
     ListActive {
@@ -108,6 +171,10 @@ impl Serialize for Request {
     fn to_value(&self) -> Value {
         match *self {
             Request::Submit { tenant, time } => Request::tagged("submit", Some((tenant, time))),
+            Request::SubmitBatch { ref entries } => Value::Map(vec![
+                ("op".to_string(), Value::Str("submit-batch".to_string())),
+                ("entries".to_string(), entries.to_value()),
+            ]),
             Request::ListActive { tenant, time } => {
                 Request::tagged("list-active", Some((tenant, time)))
             }
@@ -133,6 +200,10 @@ impl Deserialize for Request {
             "submit" => {
                 let (tenant, time) = tenant_time(value)?;
                 Ok(Request::Submit { tenant, time })
+            }
+            "submit-batch" => {
+                let entries = Vec::from_value(value_field(value, "entries")?)?;
+                Ok(Request::SubmitBatch { entries })
             }
             "list-active" => {
                 let (tenant, time) = tenant_time(value)?;
@@ -198,6 +269,8 @@ impl DaemonStats {
 pub enum Response {
     /// The operation succeeded with no payload.
     Ok,
+    /// `submit-batch` payload: how many demands were served.
+    Submitted(u64),
     /// `list-active` payload.
     Leases(Vec<ActiveLease>),
     /// `stats` payload.
@@ -210,6 +283,10 @@ impl Serialize for Response {
     fn to_value(&self) -> Value {
         match self {
             Response::Ok => Value::Map(vec![("ok".to_string(), Value::Bool(true))]),
+            Response::Submitted(count) => Value::Map(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("submitted".to_string(), Value::UInt(*count)),
+            ]),
             Response::Leases(leases) => Value::Map(vec![
                 ("ok".to_string(), Value::Bool(true)),
                 ("leases".to_string(), leases.to_value()),
@@ -232,6 +309,9 @@ impl Deserialize for Response {
         if !ok {
             let message = String::from_value(value_field(value, "error")?)?;
             return Ok(Response::Error(message));
+        }
+        if let Some(count) = value.get("submitted") {
+            return Ok(Response::Submitted(u64::from_value(count)?));
         }
         if let Some(leases) = value.get("leases") {
             return Ok(Response::Leases(Vec::<ActiveLease>::from_value(leases)?));
@@ -274,6 +354,12 @@ mod tests {
                 tenant: u64::MAX,
                 time: 9,
             },
+            Request::SubmitBatch {
+                entries: vec![(7, 42), (8, 42), (7, 43)],
+            },
+            Request::SubmitBatch {
+                entries: Vec::new(),
+            },
             Request::Stats,
             Request::Snapshot,
             Request::Shutdown,
@@ -289,6 +375,8 @@ mod tests {
     fn responses_round_trip_through_the_wire_encoding() {
         let responses = [
             Response::Ok,
+            Response::Submitted(0),
+            Response::Submitted(1_000_000),
             Response::Leases(vec![ActiveLease {
                 tenant: 3,
                 type_index: 1,
@@ -336,6 +424,74 @@ mod tests {
         assert_eq!(
             read_frame(&mut wire.as_slice()).unwrap_err().kind(),
             std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn queued_frames_only_hit_the_wire_as_one_burst() {
+        struct CountingWriter {
+            bytes: Vec<u8>,
+            flushes: usize,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes += 1;
+                Ok(())
+            }
+        }
+        let mut wire = CountingWriter {
+            bytes: Vec::new(),
+            flushes: 0,
+        };
+        queue_frame(&mut wire, "a").unwrap();
+        queue_frame(&mut wire, "bb").unwrap();
+        assert_eq!(wire.flushes, 0, "queueing never flushes");
+        write_frame(&mut wire, "c").unwrap();
+        assert_eq!(wire.flushes, 1, "write_frame = queue + one flush");
+        let mut reader = wire.bytes.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap(), "a");
+        assert_eq!(read_frame(&mut reader).unwrap(), "bb");
+        assert_eq!(read_frame(&mut reader).unwrap(), "c");
+    }
+
+    #[test]
+    fn lenient_reads_drain_oversized_frames_and_stay_aligned() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "before").unwrap();
+        let oversized = MAX_FRAME_LEN + 1;
+        wire.extend_from_slice(&u32::try_from(oversized).unwrap().to_le_bytes());
+        wire.extend(std::iter::repeat_n(b'x', oversized));
+        write_frame(&mut wire, "after").unwrap();
+        let mut reader = wire.as_slice();
+        assert!(matches!(
+            read_frame_lenient(&mut reader).unwrap(),
+            FrameRead::Payload(p) if p == "before"
+        ));
+        assert!(matches!(
+            read_frame_lenient(&mut reader).unwrap(),
+            FrameRead::Oversized(len) if len == oversized
+        ));
+        assert!(
+            matches!(
+                read_frame_lenient(&mut reader).unwrap(),
+                FrameRead::Payload(p) if p == "after"
+            ),
+            "the stream stays frame-aligned after the drain"
+        );
+    }
+
+    #[test]
+    fn lenient_reads_report_truncated_oversized_frames_as_eof() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(b"only a few bytes");
+        assert_eq!(
+            read_frame_lenient(&mut wire.as_slice()).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
         );
     }
 }

@@ -9,13 +9,19 @@
 //! directory restores each shard before accepting traffic.
 
 use crate::error::LeasedError;
-use crate::protocol::{self, DaemonStats, Request, Response};
+use crate::protocol::{self, DaemonStats, FrameRead, Request, Response, MAX_FRAME_LEN};
 use crate::shard::{Shard, ShardReply, ShardRequest};
 use crate::shard_of;
 use leasing_core::engine::EngineStats;
 use leasing_core::lease::LeaseStructure;
+use leasing_core::time::TimeStep;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
+
+/// Read-side buffer per connection: one syscall pulls a whole burst of
+/// pipelined frames.
+const READ_BURST_BYTES: usize = 64 * 1024;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -42,6 +48,18 @@ impl ServerConfig {
             snapshot_dir: None,
         }
     }
+}
+
+/// Whether `buffered` (the unread tail of a connection's read buffer)
+/// already holds one complete frame. Pipelined serving flushes its
+/// response burst before blocking on the socket again, so a client that
+/// sent only part of its next frame is never deadlocked waiting for
+/// answers the server is still buffering.
+fn holds_complete_frame(buffered: &[u8]) -> bool {
+    let Some((prefix, rest)) = buffered.split_first_chunk::<4>() else {
+        return false;
+    };
+    u32::from_le_bytes(*prefix) as usize <= rest.len()
 }
 
 /// Path of shard `index`'s snapshot inside `dir`.
@@ -140,34 +158,55 @@ impl Server {
 
     /// Serves one connection to completion; `true` means shutdown was
     /// requested and the accept loop must stop.
-    fn serve_connection(&self, mut stream: TcpStream) -> bool {
+    ///
+    /// The loop is pipelined: frames are pulled from a read buffer filled
+    /// a burst at a time, responses accumulate in a write buffer, and the
+    /// burst is flushed in one write only when the read buffer holds no
+    /// further complete frame — a lone request still gets an immediate
+    /// answer, while a pipelined burst pays one syscall each way.
+    fn serve_connection(&self, stream: TcpStream) -> bool {
+        let Ok(read_half) = stream.try_clone() else {
+            return false;
+        };
+        let mut reader = BufReader::with_capacity(READ_BURST_BYTES, read_half);
+        let mut writer = stream;
+        let mut burst: Vec<u8> = Vec::new();
         loop {
-            let payload = match protocol::read_frame(&mut stream) {
-                Ok(payload) => payload,
+            let frame = match protocol::read_frame_lenient(&mut reader) {
+                Ok(frame) => frame,
                 // Disconnect (clean or not): move on to the next client.
                 Err(_) => return false,
             };
-            let request = match protocol::decode::<Request>(&payload) {
-                Ok(request) => request,
-                Err(e) => {
-                    let _ = self.respond(&mut stream, &Response::Error(e.to_string()));
-                    continue;
-                }
+            let (response, shutdown) = match frame {
+                FrameRead::Oversized(len) => (
+                    Response::Error(format!(
+                        "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                    )),
+                    false,
+                ),
+                FrameRead::Payload(payload) => match protocol::decode::<Request>(&payload) {
+                    Err(e) => (Response::Error(e.to_string()), false),
+                    Ok(request) => {
+                        let asked = request == Request::Shutdown;
+                        let response = self.dispatch(request);
+                        let granted = asked && !matches!(response, Response::Error(_));
+                        (response, granted)
+                    }
+                },
             };
-            let shutdown = request == Request::Shutdown;
-            let response = self.dispatch(request);
-            let delivered = self.respond(&mut stream, &response);
-            if shutdown && !matches!(response, Response::Error(_)) {
-                return true;
-            }
-            if !delivered {
+            if protocol::queue_frame(&mut burst, &protocol::encode(&response)).is_err() {
                 return false;
             }
+            if shutdown || !holds_complete_frame(reader.buffer()) {
+                if writer.write_all(&burst).is_err() {
+                    return false;
+                }
+                burst.clear();
+                if shutdown {
+                    return true;
+                }
+            }
         }
-    }
-
-    fn respond(&self, stream: &mut TcpStream, response: &Response) -> bool {
-        protocol::write_frame(stream, &protocol::encode(response)).is_ok()
     }
 
     fn dispatch(&self, request: Request) -> Response {
@@ -175,6 +214,7 @@ impl Server {
             Request::Submit { tenant, time } => {
                 self.tenant_op(tenant, |tenant| ShardRequest::Submit { tenant, time })
             }
+            Request::SubmitBatch { entries } => self.submit_batch(entries),
             Request::ForceRelease { tenant, time } => {
                 self.tenant_op(tenant, |tenant| ShardRequest::ForceRelease { tenant, time })
             }
@@ -209,6 +249,40 @@ impl Server {
                 }
             }
         }
+    }
+
+    /// Serves a `submit-batch`: the batch splits deterministically into
+    /// per-shard sub-batches (each preserving the batch's arrival order)
+    /// which are applied in shard-index order — the end state is identical
+    /// to submitting every entry individually. The whole batch is
+    /// validated before any shard is touched; a shard failure mid-batch
+    /// reports an error but leaves earlier shards' sub-batches applied
+    /// (exactly as individual submits would have).
+    fn submit_batch(&self, entries: Vec<(u64, TimeStep)>) -> Response {
+        let mut per_shard: Vec<Vec<(usize, TimeStep)>> = vec![Vec::new(); self.shards.len()];
+        for (tenant, time) in entries {
+            let Ok(tenant_index) = usize::try_from(tenant) else {
+                return Response::Error(format!("tenant id {tenant} overflows this platform"));
+            };
+            let shard_index = shard_of(tenant, self.shards.len());
+            let Some(bucket) = per_shard.get_mut(shard_index) else {
+                return Response::Error(format!("no shard {shard_index}"));
+            };
+            bucket.push((tenant_index, time));
+        }
+        let mut submitted = 0u64;
+        for (shard, batch) in self.shards.iter().zip(per_shard) {
+            if batch.is_empty() {
+                continue;
+            }
+            match shard.call(ShardRequest::SubmitBatch { entries: batch }) {
+                Ok(ShardReply::Submitted(count)) => submitted += count,
+                Ok(ShardReply::Failed(message)) => return Response::Error(message),
+                Ok(other) => return Response::Error(format!("unexpected shard reply {other:?}")),
+                Err(e) => return Response::Error(e.to_string()),
+            }
+        }
+        Response::Submitted(submitted)
     }
 
     /// Routes one tenant-scoped operation to its shard.

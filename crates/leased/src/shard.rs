@@ -19,6 +19,7 @@ use leasing_core::lease::LeaseStructure;
 use leasing_core::time::TimeStep;
 use serde::{json, value_field, value_str, Value};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::mpsc;
 
@@ -35,6 +36,13 @@ pub enum ShardRequest {
         tenant: usize,
         /// Demand time.
         time: TimeStep,
+    },
+    /// Serve a batch of demands in arrival order. Runs of entries whose
+    /// clamped times are equal collapse into one engine `submit_at` call;
+    /// the end state is bit-identical to submitting each entry alone.
+    SubmitBatch {
+        /// `(tenant, time)` demands, already routed to this shard.
+        entries: Vec<(usize, TimeStep)>,
     },
     /// List `tenant`'s live leases at `time` (a pure read — evaluated at
     /// the requested time, not clamped).
@@ -64,6 +72,8 @@ pub enum ShardRequest {
 pub enum ShardReply {
     /// Submit/force-release succeeded.
     Done,
+    /// `SubmitBatch` payload: how many demands were served.
+    Submitted(u64),
     /// `ListActive` payload.
     Leases(Vec<ActiveLease>),
     /// `Stats` payload.
@@ -137,8 +147,19 @@ impl Shard {
     }
 }
 
+/// How many queued operations one mailbox drain may pull — bounds both
+/// the latency a drained burst can add and the length of a collapsed
+/// `submit_at` run.
+const MICRO_BATCH: usize = 128;
+
 /// The worker body: builds (or restores) the engine, then serves the
 /// mailbox until `Shutdown` or every sender is gone.
+///
+/// The drain loop micro-batches: each blocking `recv` is topped up with
+/// up to [`MICRO_BATCH`] already-queued operations, and the front run of
+/// submits whose clamped times are equal collapses into one engine
+/// `submit_at` call — one monotonicity check and one expiry advancement
+/// for the whole run, bit-identical to serving each submit alone.
 fn worker_loop(
     structure: LeaseStructure,
     rx: mpsc::Receiver<ShardMail>,
@@ -157,12 +178,71 @@ fn worker_loop(
         }
     };
     let mut clock = engine.stats().now;
-    while let Ok(mail) = rx.recv() {
-        let stop = matches!(mail.request, ShardRequest::Shutdown);
-        let reply = handle(&mut engine, &core, &mut clock, mail.request);
-        let _ = mail.reply.send(reply);
-        if stop {
-            break;
+    let mut queue: VecDeque<ShardMail> = VecDeque::with_capacity(MICRO_BATCH);
+    let mut run: Vec<TenantOp> = Vec::with_capacity(MICRO_BATCH);
+    let mut waiters: Vec<mpsc::Sender<ShardReply>> = Vec::with_capacity(MICRO_BATCH);
+    loop {
+        if queue.is_empty() {
+            match rx.recv() {
+                Ok(mail) => queue.push_back(mail),
+                Err(_) => return,
+            }
+            while queue.len() < MICRO_BATCH {
+                match rx.try_recv() {
+                    Ok(mail) => queue.push_back(mail),
+                    Err(_) => break,
+                }
+            }
+        }
+        // The front run of equal-clamped-time submits becomes one
+        // `submit_at`; any other operation is served on its own.
+        let run_time: Option<TimeStep> = match queue.front() {
+            Some(ShardMail {
+                request: ShardRequest::Submit { time, .. },
+                ..
+            }) => Some((*time).max(clock)),
+            _ => None,
+        };
+        if let Some(t) = run_time {
+            run.clear();
+            waiters.clear();
+            loop {
+                // A submit joins the run iff its clamped time equals the
+                // run time (the clock would already be at `t` when its
+                // turn came in the one-at-a-time ordering).
+                let joins = matches!(
+                    queue.front(),
+                    Some(ShardMail {
+                        request: ShardRequest::Submit { time, .. },
+                        ..
+                    }) if *time <= t
+                );
+                if !joins {
+                    break;
+                }
+                let Some(mail) = queue.pop_front() else { break };
+                if let ShardRequest::Submit { tenant, .. } = mail.request {
+                    run.push(TenantOp::Demand(tenant));
+                    waiters.push(mail.reply);
+                }
+            }
+            let reply = match engine.submit_at(t, run.drain(..)) {
+                Ok(_) => {
+                    clock = t;
+                    ShardReply::Done
+                }
+                Err(e) => ShardReply::Failed(e.to_string()),
+            };
+            for waiter in waiters.drain(..) {
+                let _ = waiter.send(reply.clone());
+            }
+        } else if let Some(mail) = queue.pop_front() {
+            let stop = matches!(mail.request, ShardRequest::Shutdown);
+            let reply = handle(&mut engine, &core, &mut clock, mail.request);
+            let _ = mail.reply.send(reply);
+            if stop {
+                return;
+            }
         }
     }
 }
@@ -183,6 +263,37 @@ fn handle(
                 }
                 Err(e) => ShardReply::Failed(e.to_string()),
             }
+        }
+        ShardRequest::SubmitBatch { entries } => {
+            let mut submitted = 0u64;
+            let mut run: Vec<TenantOp> = Vec::new();
+            let mut entries = entries.into_iter().peekable();
+            while let Some((tenant, time)) = entries.next() {
+                let t = time.max(*clock);
+                run.clear();
+                run.push(TenantOp::Demand(tenant));
+                // Later entries whose clamped time equals `t` extend the
+                // run — they would be clamped to `t` anyway once the
+                // clock reaches it.
+                while let Some(&(next_tenant, next_time)) = entries.peek() {
+                    if next_time > t {
+                        break;
+                    }
+                    run.push(TenantOp::Demand(next_tenant));
+                    entries.next();
+                }
+                match engine.submit_at(t, run.drain(..)) {
+                    Ok(served) => {
+                        *clock = t;
+                        submitted += u64::try_from(served).unwrap_or(u64::MAX);
+                    }
+                    // Unreachable (t is clamped to the clock), but a
+                    // failure must not strand the caller: earlier runs
+                    // stay served, exactly like individual submits.
+                    Err(e) => return ShardReply::Failed(e.to_string()),
+                }
+            }
+            ShardReply::Submitted(submitted)
         }
         ShardRequest::ForceRelease { tenant, time } => {
             let t = time.max(*clock);
