@@ -13,7 +13,9 @@ use syn::{Token, TokenKind};
 
 /// Path prefixes (and exact files) whose output must be bit-deterministic:
 /// the engine + ledger, the SimLab harness, the offline oracles, and the
-/// bench regression gate. The `determinism` family applies only here.
+/// bench regression gate. The full `determinism` family applies only
+/// here; the narrower wall-clock check additionally covers every library
+/// file outside [`CLOCK_EXEMPT_PATHS`].
 pub const DETERMINISTIC_PATHS: &[&str] = &[
     "crates/core/src/",
     "crates/simlab/src/",
@@ -24,6 +26,14 @@ pub const DETERMINISTIC_PATHS: &[&str] = &[
 /// The flat-arena engine directory where narrowing `as` casts must be
 /// `try_into` or carry a documented-bound waiver.
 pub const ENGINE_HOT_PATH: &str = "crates/core/src/engine/";
+
+/// Path prefixes (and exact files) allowed to name wall-clock types
+/// (`Instant` / `SystemTime`) in library code: the telemetry crate, which
+/// owns the `Stopwatch` abstraction, and the daemon's metrics module,
+/// which renders operational timings. Everywhere else library code must
+/// route timing through `leasing_telemetry::Stopwatch` so determinism
+/// stays auditable at the token level.
+pub const CLOCK_EXEMPT_PATHS: &[&str] = &["crates/telemetry/src/", "crates/leased/src/metrics.rs"];
 
 /// A rule family.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -74,6 +84,10 @@ pub struct FileClass {
     pub deterministic: bool,
     /// Library code in the engine hot path: `cast` applies.
     pub engine: bool,
+    /// Library code outside both the deterministic paths and the
+    /// clock-exempt telemetry layer: wall-clock types are flagged
+    /// (`determinism` family) so `Stopwatch` stays the only timing API.
+    pub wall_clock: bool,
 }
 
 /// Classifies a root-relative path (forward slashes). The `unsafe` family
@@ -94,10 +108,22 @@ pub fn classify(rel: &str) -> FileClass {
             }
         });
     let engine = library && rel.starts_with(ENGINE_HOT_PATH);
+    let clock_exempt = CLOCK_EXEMPT_PATHS.iter().any(|p| {
+        if p.ends_with(".rs") {
+            rel == *p
+        } else {
+            rel.starts_with(p)
+        }
+    });
+    // Deterministic paths already flag clocks via the full determinism
+    // rule; `wall_clock` extends just the clock check to the rest of the
+    // library surface, minus the telemetry layer that owns the clock.
+    let wall_clock = library && !deterministic && !clock_exempt;
     FileClass {
         library,
         deterministic,
         engine,
+        wall_clock,
     }
 }
 
@@ -167,6 +193,20 @@ pub fn scan_source(rel: &str, source: &str) -> Result<ScanOutcome, syn::Error> {
 
         if class.deterministic {
             determinism_rule(&sig, i, token, next, &mut raw);
+        }
+        if class.wall_clock && (token.is_ident("Instant") || token.is_ident("SystemTime")) {
+            raw.push((
+                Family::Determinism,
+                line,
+                column,
+                format!(
+                    "`{}` reads the wall clock in library code; only crates/telemetry and \
+                     the daemon metrics module may name clock types — route timing through \
+                     leasing_telemetry::Stopwatch",
+                    token.text
+                ),
+                token.text.clone(),
+            ));
         }
         if class.library {
             panic_rule(token, prev, next, &mut raw);
@@ -498,6 +538,43 @@ mod tests {
         assert!(!classify("examples/quickstart.rs").library);
         assert!(classify("src/lib.rs").library);
         assert!(!classify("src/lib.rs").deterministic);
+    }
+
+    #[test]
+    fn wall_clock_class_covers_library_code_minus_the_telemetry_layer() {
+        // Ordinary library code: the clock check applies.
+        assert!(classify("crates/leased/src/server.rs").wall_clock);
+        assert!(classify("crates/facility/src/lib.rs").wall_clock);
+        // The telemetry crate and the daemon metrics module own the clock.
+        assert!(!classify("crates/telemetry/src/clock.rs").wall_clock);
+        assert!(!classify("crates/leased/src/metrics.rs").wall_clock);
+        // Deterministic paths are covered by the full determinism rule
+        // instead, and non-library code is out of scope entirely.
+        assert!(!classify("crates/core/src/engine/ledger.rs").wall_clock);
+        assert!(!classify("crates/bench/src/bin/loadgen.rs").wall_clock);
+        assert!(!classify("crates/leased/tests/daemon.rs").wall_clock);
+    }
+
+    #[test]
+    fn wall_clock_rule_flags_clock_types_outside_the_telemetry_layer() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let outcome = scan("crates/leased/src/server.rs", src);
+        assert_eq!(slugs(&outcome), vec!["determinism"; 2]);
+        assert!(outcome
+            .findings
+            .first()
+            .is_some_and(|f| f.message.contains("Stopwatch")));
+        // Exempt paths and test regions stay silent.
+        assert_eq!(scan("crates/telemetry/src/clock.rs", src).findings, vec![]);
+        assert_eq!(scan("crates/leased/src/metrics.rs", src).findings, vec![]);
+        let masked = "#[cfg(test)]\nmod tests { fn t() { let _ = Instant::now(); } }\n";
+        assert_eq!(scan("crates/leased/src/server.rs", masked).findings, vec![]);
+        // Waivers apply like any determinism finding.
+        let waived = "// lint:allow(determinism: operator-facing uptime label)\n\
+                      fn f() { let t = Instant::now(); }\n";
+        let outcome = scan("crates/leased/src/server.rs", waived);
+        assert_eq!(outcome.findings, vec![]);
+        assert_eq!(outcome.waived, 1);
     }
 
     #[test]

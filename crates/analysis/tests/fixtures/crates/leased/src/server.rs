@@ -1,0 +1,8 @@
+//! Seeded wall-clock violations in ordinary (non-deterministic-path)
+//! library code: clock types belong to the telemetry layer.
+
+pub fn uptime_label() -> u64 {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    start.elapsed().as_secs()
+}

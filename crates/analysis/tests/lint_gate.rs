@@ -57,9 +57,9 @@ fn seeded_fixtures_cover_every_rule_family() {
         .collect();
     assert_eq!(
         totals,
-        vec![("determinism", 7), ("panic", 5), ("cast", 1), ("unsafe", 1)]
+        vec![("determinism", 9), ("panic", 5), ("cast", 1), ("unsafe", 1)]
     );
-    assert_eq!(report.files_scanned, 5, "fixture corpus size");
+    assert_eq!(report.files_scanned, 7, "fixture corpus size");
     assert_eq!(report.waived, 2, "one cast + one panic waiver");
 }
 

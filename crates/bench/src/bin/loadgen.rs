@@ -3,8 +3,9 @@
 //! ```text
 //! loadgen drive [--addr ADDR] [--leases N] [--tenants N]
 //!               [--connections C] [--pipeline-depth D] [--batch B]
-//!               [--out FILE] [--id ID]
+//!               [--out FILE] [--id ID] [--check-metrics]
 //! loadgen stats    [--addr ADDR]
+//! loadgen metrics  [--addr ADDR]
 //! loadgen snapshot [--addr ADDR]
 //! loadgen shutdown [--addr ADDR]
 //! ```
@@ -24,8 +25,17 @@
 //! enqueue**: the clock starts when the frame is queued locally, not when
 //! the write returns, so p99 under depth > 1 reflects what a caller
 //! actually waits. `throughput_rps` always counts leases per second,
-//! whatever the framing. The sample buffer is preallocated — no mid-run
-//! reallocation on the timing path.
+//! whatever the framing. Samples go straight into the workspace's shared
+//! `leasing_telemetry` histogram — the same power-of-two bucketing the
+//! daemon reports server-side, so client p99 and server p99 are directly
+//! comparable — and recording is three relaxed atomic adds, no mid-run
+//! allocation on the timing path.
+//!
+//! `--check-metrics` scrapes the daemon's `metrics` op before and after
+//! the drive and verifies the served-demand delta
+//! (`leased_submit_demands_total` summed over shards) equals the number
+//! of leases this run submitted — the client-side count and the daemon's
+//! own books must agree exactly.
 //!
 //! Defaults exercise the PR 7 scale: 100_000 leases over 1_000 tenants,
 //! lockstep framing. The million-lease tier is
@@ -38,13 +48,14 @@
 
 use leased::client::Client;
 use leased::protocol::{Request, Response};
+use leasing_telemetry::Histogram;
 use std::collections::VecDeque;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: loadgen <drive|stats|snapshot|shutdown> [--addr ADDR] \
+const USAGE: &str = "usage: loadgen <drive|stats|metrics|snapshot|shutdown> [--addr ADDR] \
                      [--leases N] [--tenants N] [--connections C] [--pipeline-depth D] \
-                     [--batch B] [--out FILE] [--id ID]";
+                     [--batch B] [--out FILE] [--id ID] [--check-metrics]";
 
 struct Args {
     command: String,
@@ -56,6 +67,7 @@ struct Args {
     batch: usize,
     out: Option<String>,
     id: String,
+    check_metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,7 +75,7 @@ fn parse_args() -> Result<Args, String> {
     let command = it.next().ok_or(USAGE.to_string())?;
     if !matches!(
         command.as_str(),
-        "drive" | "stats" | "snapshot" | "shutdown"
+        "drive" | "stats" | "metrics" | "snapshot" | "shutdown"
     ) {
         return Err(format!("unknown command {command:?}\n{USAGE}"));
     }
@@ -77,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         batch: 1,
         out: None,
         id: "leased/loadgen/submit".to_string(),
+        check_metrics: false,
     };
     while let Some(flag) = it.next() {
         // Both `--flag value` and `--flag=value` spellings are accepted.
@@ -117,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--id" => args.id = value("--id")?,
+            "--check-metrics" => args.check_metrics = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -130,19 +144,30 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Per-connection drive: submits every request whose tenant is congruent
-/// to `lane` modulo `lanes`, packing `batch` demands per frame and
-/// keeping up to `depth` frames in flight. Returns one latency sample per
-/// frame, measured from enqueue to response.
-fn drive_lane(
-    addr: &str,
+/// The lane-independent drive parameters shared by every worker.
+struct LanePlan<'a> {
+    addr: &'a str,
     leases: u64,
     tenants: u64,
-    lane: u64,
     lanes: u64,
     depth: usize,
     batch: usize,
-) -> Result<Vec<u64>, String> {
+}
+
+/// Per-connection drive: submits every request whose tenant is congruent
+/// to `lane` modulo `plan.lanes`, packing `plan.batch` demands per frame
+/// and keeping up to `plan.depth` frames in flight. Records one latency
+/// sample per frame, measured from enqueue, into the shared `latency`
+/// histogram.
+fn drive_lane(plan: &LanePlan<'_>, lane: u64, latency: &Histogram) -> Result<(), String> {
+    let &LanePlan {
+        addr,
+        leases,
+        tenants,
+        lanes,
+        depth,
+        batch,
+    } = plan;
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     // The arrival stream is pre-generated so frame assembly is the only
     // per-op work on the timing path.
@@ -152,10 +177,8 @@ fn drive_lane(
             (tenant % lanes == lane).then(|| (tenant, i / tenants))
         })
         .collect();
-    let frames = ops.len().div_ceil(batch);
-    let mut samples: Vec<u64> = Vec::with_capacity(frames);
     let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(depth);
-    let mut settle = |client: &mut Client, inflight: &mut VecDeque<Instant>| {
+    let settle = |client: &mut Client, inflight: &mut VecDeque<Instant>| {
         let Some(enqueued) = inflight.pop_front() else {
             return Err("response accounting out of sync".to_string());
         };
@@ -165,7 +188,7 @@ fn drive_lane(
             other => return Err(format!("unexpected response {other:?}")),
         }
         let nanos = enqueued.elapsed().as_nanos();
-        samples.push(u64::try_from(nanos).unwrap_or(u64::MAX));
+        latency.record(u64::try_from(nanos).unwrap_or(u64::MAX));
         Ok(())
     };
     for chunk in ops.chunks(batch) {
@@ -188,7 +211,7 @@ fn drive_lane(
     while !inflight.is_empty() {
         settle(&mut client, &mut inflight)?;
     }
-    Ok(samples)
+    Ok(())
 }
 
 struct DriveReport {
@@ -201,44 +224,79 @@ struct DriveReport {
 fn drive(args: &Args) -> Result<DriveReport, String> {
     let lanes = u64::try_from(args.connections.max(1)).map_err(|e| e.to_string())?;
     let lanes = lanes.min(args.tenants);
+    // One lock-free histogram shared by every lane: recording is a few
+    // relaxed atomic adds, and the result is the exact merged view a
+    // post-run merge of per-lane histograms would produce.
+    let latency = Histogram::new();
+    let plan = LanePlan {
+        addr: args.addr.as_str(),
+        leases: args.leases,
+        tenants: args.tenants,
+        lanes,
+        depth: args.pipeline_depth,
+        batch: args.batch,
+    };
     let started = Instant::now();
-    let mut samples: Vec<u64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let workers: Vec<_> = (0..lanes)
             .map(|lane| {
-                let addr = args.addr.as_str();
-                let (leases, tenants) = (args.leases, args.tenants);
-                let (depth, batch) = (args.pipeline_depth, args.batch);
-                scope.spawn(move || drive_lane(addr, leases, tenants, lane, lanes, depth, batch))
+                let (plan, latency) = (&plan, &latency);
+                scope.spawn(move || drive_lane(plan, lane, latency))
             })
             .collect();
-        let mut merged = Ok(Vec::new());
+        let mut merged = Ok(());
         for worker in workers {
-            match (worker.join(), &mut merged) {
-                (Ok(Ok(lane_samples)), Ok(all)) => all.extend(lane_samples),
-                (Ok(Err(message)), merged @ Ok(_)) => *merged = Err(message),
-                (Err(_), merged @ Ok(_)) => *merged = Err("drive worker panicked".to_string()),
+            match (worker.join(), &merged) {
+                (Ok(Ok(())), _) => {}
+                (Ok(Err(message)), Ok(())) => merged = Err(message),
+                (Err(_), Ok(())) => merged = Err("drive worker panicked".to_string()),
                 _ => {}
             }
         }
         merged
     })?;
     let elapsed = started.elapsed();
-    samples.sort_unstable();
-    let count = samples.len();
-    if count == 0 {
+    let snapshot = latency.snapshot();
+    if snapshot.count() == 0 {
         return Err("no requests were sent".to_string());
     }
-    let total: u128 = samples.iter().map(|&n| u128::from(n)).sum();
-    let p99_index = (count.saturating_mul(99).div_ceil(100)).saturating_sub(1);
     Ok(DriveReport {
-        iterations: u64::try_from(count).map_err(|e| e.to_string())?,
-        mean_ns: total as f64 / count as f64,
-        p99_ns: samples.get(p99_index).copied().unwrap_or(u64::MAX),
+        iterations: snapshot.count(),
+        mean_ns: snapshot.mean(),
+        // Bucketed p99: never below the true order statistic, at most one
+        // power of two above it, clamped by the exact recorded max.
+        p99_ns: snapshot.quantile(0.99),
         // Throughput counts leases, not frames — a batched frame carries
         // `--batch` of them — so runs with different framing compare on
         // the same axis.
         throughput_rps: args.leases as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
     })
+}
+
+/// Sums every sample line of metric `family` in a Prometheus text
+/// exposition (bare or labelled), skipping `_bucket`/`_sum`/`_count`
+/// sibling series.
+fn metric_sum(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter(|line| !line.starts_with('#'))
+        .filter_map(|line| {
+            let rest = line.strip_prefix(family)?;
+            let value = match rest.strip_prefix('{') {
+                Some(tail) => tail.split_once('}').map(|(_, v)| v)?,
+                None if rest.starts_with(' ') => rest,
+                None => return None,
+            };
+            value.trim().parse::<u64>().ok()
+        })
+        .fold(0u64, |a, v| a.saturating_add(v))
+}
+
+/// Scrapes the daemon over the wire protocol and returns the total
+/// served-demand count across shards.
+fn scrape_submit_demands(addr: &str) -> Result<u64, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let text = client.metrics_text().map_err(|e| format!("metrics: {e}"))?;
+    Ok(metric_sum(&text, "leased_submit_demands_total"))
 }
 
 fn report_json(id: &str, report: &DriveReport) -> String {
@@ -252,7 +310,28 @@ fn report_json(id: &str, report: &DriveReport) -> String {
 fn run(args: &Args) -> Result<(), String> {
     match args.command.as_str() {
         "drive" => {
+            let demands_before = if args.check_metrics {
+                Some(scrape_submit_demands(&args.addr)?)
+            } else {
+                None
+            };
             let report = drive(args)?;
+            if let Some(before) = demands_before {
+                // The daemon's counters are cumulative across runs, so the
+                // cross-check compares the delta this drive produced.
+                let after = scrape_submit_demands(&args.addr)?;
+                let served = after.saturating_sub(before);
+                if served != args.leases {
+                    return Err(format!(
+                        "metrics cross-check failed: daemon counted {served} served demands, \
+                         client sent {}",
+                        args.leases
+                    ));
+                }
+                println!(
+                    "loadgen: metrics cross-check ok ({served} demands, client and daemon agree)"
+                );
+            }
             let text = report_json(&args.id, &report);
             println!(
                 "loadgen: {} leases in {} frames, mean {:.0} ns/frame, p99 {} ns, {:.0} rps",
@@ -274,6 +353,13 @@ fn run(args: &Args) -> Result<(), String> {
                 Client::connect(args.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
             let stats = client.stats().map_err(|e| e.to_string())?;
             println!("{}", stats.to_json());
+            Ok(())
+        }
+        "metrics" => {
+            let mut client =
+                Client::connect(args.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+            let text = client.metrics_text().map_err(|e| e.to_string())?;
+            print!("{text}");
             Ok(())
         }
         "snapshot" => {
@@ -304,5 +390,36 @@ fn main() -> ExitCode {
             eprintln!("loadgen: {message}");
             ExitCode::from(1)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::metric_sum;
+
+    #[test]
+    fn metric_sum_adds_labelled_and_bare_samples() {
+        let text = "# HELP leased_submit_demands_total demands\n\
+                    # TYPE leased_submit_demands_total counter\n\
+                    leased_submit_demands_total{shard=\"0\"} 40\n\
+                    leased_submit_demands_total{shard=\"1\"} 2\n\
+                    leased_frames_read_total 7\n";
+        assert_eq!(metric_sum(text, "leased_submit_demands_total"), 42);
+        assert_eq!(metric_sum(text, "leased_frames_read_total"), 7);
+        assert_eq!(metric_sum(text, "leased_missing"), 0);
+    }
+
+    #[test]
+    fn metric_sum_skips_sibling_series_and_comments() {
+        let text = "# TYPE leased_lat histogram\n\
+                    leased_lat_bucket{le=\"+Inf\"} 5\n\
+                    leased_lat_sum 900\n\
+                    leased_lat_count 5\n\
+                    leased_lat 3\n";
+        assert_eq!(
+            metric_sum(text, "leased_lat"),
+            3,
+            "suffixed series never leak into the family sum"
+        );
     }
 }

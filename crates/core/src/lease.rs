@@ -106,6 +106,7 @@ impl LeaseStructure {
         if types.is_empty() {
             return Err(LeaseStructureError::Empty);
         }
+        let mut prev_length = 0u64;
         for (i, t) in types.iter().enumerate() {
             if t.length == 0 {
                 return Err(LeaseStructureError::ZeroLength(i));
@@ -113,18 +114,24 @@ impl LeaseStructure {
             if !t.cost.is_finite() || t.cost <= 0.0 {
                 return Err(LeaseStructureError::InvalidCost(i));
             }
-            if i > 0 && types[i - 1].length >= t.length {
+            if i > 0 && prev_length >= t.length {
                 return Err(LeaseStructureError::LengthsNotIncreasing(i));
             }
+            prev_length = t.length;
         }
         Ok(LeaseStructure { types })
     }
 
     /// A single lease type of the given length and cost (the `K = 1` special
     /// case that recovers the non-leasing variant of each problem).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0` or `cost` is non-finite or non-positive.
     pub fn single(length: u64, cost: f64) -> Self {
         LeaseStructure::new(vec![LeaseType::new(length, cost)])
-            .expect("single lease type with positive length/cost is always valid")
+            // lint:allow(panic: documented `# Panics` contract on invalid length/cost)
+            .expect("single lease type needs a positive length and a finite positive cost")
     }
 
     /// Geometric structure: `l_k = l_min * factor^(k-1)` and
@@ -138,13 +145,18 @@ impl LeaseStructure {
     /// Panics if `k == 0`, `l_min == 0`, `factor < 2`, `base_cost <= 0`, or
     /// `gamma` is not finite.
     pub fn geometric(k: usize, l_min: u64, factor: u64, base_cost: f64, gamma: f64) -> Self {
+        // lint:allow(panic: documented `# Panics` parameter validation)
         assert!(k > 0, "need at least one lease type");
+        // lint:allow(panic: documented `# Panics` parameter validation)
         assert!(l_min > 0, "l_min must be positive");
+        // lint:allow(panic: documented `# Panics` parameter validation)
         assert!(
             factor >= 2,
             "factor must be at least 2 to keep lengths increasing"
         );
+        // lint:allow(panic: documented `# Panics` parameter validation)
         assert!(base_cost > 0.0, "base cost must be positive");
+        // lint:allow(panic: documented `# Panics` parameter validation)
         assert!(gamma.is_finite(), "gamma must be finite");
         let mut types = Vec::with_capacity(k);
         let mut len = l_min;
@@ -153,6 +165,7 @@ impl LeaseStructure {
             types.push(LeaseType::new(len, base_cost * ratio.powf(gamma)));
             len = len.saturating_mul(factor);
         }
+        // lint:allow(panic: validated k/l_min/factor make lengths strictly increase)
         LeaseStructure::new(types).expect("geometric construction yields increasing lengths")
     }
 
@@ -164,14 +177,17 @@ impl LeaseStructure {
     ///
     /// Panics if `k == 0` or the lengths overflow `u64`.
     pub fn meyerson_adversarial(k: usize) -> Self {
+        // lint:allow(panic: documented `# Panics` parameter validation)
         assert!(k > 0, "need at least one lease type");
         let base = 2 * k as u64;
         let mut types = Vec::with_capacity(k);
         let mut len = 1u64;
         for i in 1..=k {
+            // lint:allow(panic: documented `# Panics` on u64 length overflow)
             len = len.checked_mul(base).expect("lease length overflow");
             types.push(LeaseType::new(len, (2.0f64).powi(i as i32)));
         }
+        // lint:allow(panic: (2K)^k lengths strictly increase when k > 0)
         LeaseStructure::new(types).expect("adversarial construction yields increasing lengths")
     }
 
@@ -191,6 +207,7 @@ impl LeaseStructure {
     ///
     /// Panics if `k >= K`.
     pub fn length(&self, k: usize) -> u64 {
+        // lint:allow(panic: documented `# Panics` contract for out-of-range k)
         self.types[k].length
     }
 
@@ -200,24 +217,26 @@ impl LeaseStructure {
     ///
     /// Panics if `k >= K`.
     pub fn cost(&self, k: usize) -> f64 {
+        // lint:allow(panic: documented `# Panics` contract for out-of-range k)
         self.types[k].cost
     }
 
     /// Shortest lease length `l_min`.
     pub fn l_min(&self) -> u64 {
-        self.types[0].length
+        self.types.first().map_or(0, |t| t.length)
     }
 
     /// Longest lease length `l_max`.
     pub fn l_max(&self) -> u64 {
-        self.types[self.types.len() - 1].length
+        self.types.last().map_or(0, |t| t.length)
     }
 
     /// Whether cost per step is non-increasing in the lease length.
     pub fn has_economies_of_scale(&self) -> bool {
-        self.types
-            .windows(2)
-            .all(|w| w[1].cost_per_step() <= w[0].cost_per_step() + crate::EPS)
+        self.types.windows(2).all(|w| {
+            let [a, b] = w else { return true };
+            b.cost_per_step() <= a.cost_per_step() + crate::EPS
+        })
     }
 
     /// Whether every length is a power of two and each length divides the
@@ -225,10 +244,10 @@ impl LeaseStructure {
     /// [`crate::interval`]).
     pub fn is_interval_model_shape(&self) -> bool {
         self.types.iter().all(|t| t.length.is_power_of_two())
-            && self
-                .types
-                .windows(2)
-                .all(|w| w[1].length % w[0].length == 0)
+            && self.types.windows(2).all(|w| {
+                let [a, b] = w else { return true };
+                b.length % a.length == 0
+            })
     }
 
     /// Rounds every length up to the next power of two, merging types that
@@ -247,6 +266,7 @@ impl LeaseStructure {
                 _ => rounded.push(LeaseType::new(len, t.cost)),
             }
         }
+        // lint:allow(panic: rounding up then merging collisions preserves strict increase)
         LeaseStructure::new(rounded).expect("rounding preserves increasing lengths")
     }
 }

@@ -3,19 +3,27 @@
 //! ```text
 //! leased [--listen ADDR] [--shards N] [--queue-cap N]
 //!        [--snapshot-dir DIR] [--lease LEN:COST[,LEN:COST...]]
+//!        [--metrics-listen ADDR] [--trace-cap N]
 //! ```
 //!
 //! Defaults: `--listen 127.0.0.1:7878`, `--shards 4`, `--queue-cap 1024`,
-//! no persistence, and the three-type structure `1:1,4:2.5,16:6`. On
-//! start the daemon prints `leased: listening on ADDR (N shards)` —
-//! scripts wait for that line before driving traffic.
+//! no persistence, a 256-event trace ring per shard, no metrics endpoint,
+//! and the three-type structure `1:1,4:2.5,16:6`. On start the daemon
+//! prints `leased: listening on ADDR (N shards)` — scripts wait for that
+//! line before driving traffic. With `--metrics-listen` it also prints
+//! `leased: metrics on ADDR` and serves Prometheus text exposition at
+//! `GET /metrics` on that address.
 
+use leased::metrics::serve_metrics;
 use leased::server::{Server, ServerConfig};
 use leasing_core::lease::{LeaseStructure, LeaseType};
+use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage: leased [--listen ADDR] [--shards N] [--queue-cap N] \
-                     [--snapshot-dir DIR] [--lease LEN:COST[,LEN:COST...]]";
+                     [--snapshot-dir DIR] [--lease LEN:COST[,LEN:COST...]] \
+                     [--metrics-listen ADDR] [--trace-cap N]";
 
 struct Args {
     listen: String,
@@ -23,6 +31,8 @@ struct Args {
     queue_cap: usize,
     snapshot_dir: Option<String>,
     lease_spec: String,
+    metrics_listen: Option<String>,
+    trace_cap: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +42,8 @@ fn parse_args() -> Result<Args, String> {
         queue_cap: 1024,
         snapshot_dir: None,
         lease_spec: "1:1,4:2.5,16:6".to_string(),
+        metrics_listen: None,
+        trace_cap: 256,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,6 +62,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--snapshot-dir" => args.snapshot_dir = Some(value("--snapshot-dir")?),
             "--lease" => args.lease_spec = value("--lease")?,
+            "--metrics-listen" => args.metrics_listen = Some(value("--metrics-listen")?),
+            "--trace-cap" => {
+                args.trace_cap = value("--trace-cap")?
+                    .parse()
+                    .map_err(|e| format!("--trace-cap: {e}"))?
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -90,6 +108,7 @@ fn main() -> ExitCode {
         queue_capacity: args.queue_cap,
         structure,
         snapshot_dir: args.snapshot_dir.map(std::path::PathBuf::from),
+        trace_capacity: args.trace_cap,
     };
     let server = match Server::bind(args.listen.as_str(), &config) {
         Ok(server) => server,
@@ -98,6 +117,25 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if let Some(metrics_addr) = &args.metrics_listen {
+        let listener = match TcpListener::bind(metrics_addr.as_str()) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("leased: bind metrics {metrics_addr}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        match listener.local_addr() {
+            Ok(addr) => println!("leased: metrics on {addr}"),
+            Err(e) => {
+                eprintln!("leased: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        let metrics = Arc::clone(server.metrics());
+        // Detached on purpose: the scrape loop dies with the process.
+        std::thread::spawn(move || serve_metrics(listener, metrics));
+    }
     match server.local_addr() {
         Ok(addr) => println!("leased: listening on {addr} ({} shards)", config.shards),
         Err(e) => {

@@ -3,7 +3,7 @@
 //! daemon.
 
 use crate::error::LeasedError;
-use crate::protocol::{self, ActiveLease, DaemonStats, Request, Response};
+use crate::protocol::{self, ActiveLease, DaemonStats, Request, Response, TraceEvent};
 use leasing_core::time::TimeStep;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -148,6 +148,31 @@ impl Client {
     pub fn stats(&mut self) -> Result<DaemonStats, LeasedError> {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the daemon's metric registry as Prometheus text exposition
+    /// (the same document `--metrics-listen` serves over HTTP).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn metrics_text(&mut self) -> Result<String, LeasedError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches every shard's recent-operation trace ring, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn trace_dump(&mut self) -> Result<Vec<TraceEvent>, LeasedError> {
+        match self.request(&Request::TraceDump)? {
+            Response::Trace(events) => Ok(events),
             other => Err(unexpected(other)),
         }
     }

@@ -13,7 +13,14 @@
 //! Clients speak a length-delimited wire protocol over TCP — each frame is
 //! a 4-byte little-endian payload length followed by that many bytes of
 //! JSON (see [`protocol`]): `submit`, `list-active`, `force-release`,
-//! `stats`, `snapshot` and `shutdown`. Shutdown snapshots every shard
+//! `stats`, `metrics`, `trace-dump`, `snapshot` and `shutdown`. The
+//! daemon is instrumented end to end (see [`metrics`]): per-shard op
+//! counters, mailbox depth gauges, micro-batch and latency histograms and
+//! a bounded per-shard event ring, all exposed both in-band (`metrics`,
+//! `trace-dump`) and as a Prometheus scrape endpoint via
+//! `--metrics-listen`. Observability is a read-side overlay — enabling it
+//! never changes engine state, stats or snapshot bytes.
+//! Shutdown snapshots every shard
 //! (schema [`shard::SHARD_SNAPSHOT_SCHEMA`], wrapping the engine's
 //! `engine-snapshot/v1` envelope plus the policy state) into the snapshot
 //! directory; a daemon restarted with the same directory restores each
@@ -26,6 +33,7 @@
 
 pub mod client;
 pub mod error;
+pub mod metrics;
 pub mod policy;
 pub mod protocol;
 pub mod server;
@@ -33,8 +41,9 @@ pub mod shard;
 
 pub use client::Client;
 pub use error::LeasedError;
+pub use metrics::{DaemonMetrics, ShardMetrics, TransportMetrics};
 pub use policy::{TenantOp, TenantPermit, CATEGORY_FORCE_RELEASE};
-pub use protocol::{ActiveLease, DaemonStats, Request, Response};
+pub use protocol::{ActiveLease, DaemonStats, Request, Response, TraceEvent};
 pub use server::{Server, ServerConfig};
 pub use shard::{Shard, ShardReply, ShardRequest, SHARD_SNAPSHOT_SCHEMA};
 

@@ -150,6 +150,13 @@ pub enum Request {
     },
     /// Per-shard [`EngineStats`], in shard order.
     Stats,
+    /// The daemon's metric registry rendered as Prometheus text
+    /// exposition. Answered by [`Response::Metrics`].
+    Metrics,
+    /// The recent-operation event rings of every shard, concatenated in
+    /// shard order (each shard's events oldest first). Answered by
+    /// [`Response::Trace`].
+    TraceDump,
     /// Persist every shard's snapshot to the daemon's snapshot directory.
     Snapshot,
     /// Snapshot (when a directory is configured) and stop the daemon.
@@ -182,6 +189,8 @@ impl Serialize for Request {
                 Request::tagged("force-release", Some((tenant, time)))
             }
             Request::Stats => Request::tagged("stats", None),
+            Request::Metrics => Request::tagged("metrics", None),
+            Request::TraceDump => Request::tagged("trace-dump", None),
             Request::Snapshot => Request::tagged("snapshot", None),
             Request::Shutdown => Request::tagged("shutdown", None),
         }
@@ -214,6 +223,8 @@ impl Deserialize for Request {
                 Ok(Request::ForceRelease { tenant, time })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "trace-dump" => Ok(Request::TraceDump),
             "snapshot" => Ok(Request::Snapshot),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(de::Error::new(format!("unknown op {other:?}"))),
@@ -232,6 +243,26 @@ pub struct ActiveLease {
     pub start: TimeStep,
     /// Window end (exclusive).
     pub end: TimeStep,
+}
+
+/// One recent operation from a shard's bounded event ring, as returned
+/// by `trace-dump`. Events are observability data: they describe what the
+/// shard did (with its clamped clock) and never feed back into it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Per-shard sequence number (total events ever recorded when this
+    /// one was pushed; gaps mean the ring evicted older events).
+    pub seq: u64,
+    /// Shard that served the operation.
+    pub shard: u64,
+    /// Shard clock at which the operation applied (after clamping).
+    pub time: TimeStep,
+    /// Tenant the operation concerned.
+    pub tenant: u64,
+    /// Operation kind: `submit` or `force-release`.
+    pub op: String,
+    /// `ok`, `clamped` (served after a forward clamp), or `err: ...`.
+    pub outcome: String,
 }
 
 /// The `stats` payload: per-shard engine statistics, in shard order.
@@ -275,6 +306,11 @@ pub enum Response {
     Leases(Vec<ActiveLease>),
     /// `stats` payload.
     Stats(DaemonStats),
+    /// `metrics` payload: the Prometheus text exposition.
+    Metrics(String),
+    /// `trace-dump` payload: recent events, in shard order then oldest
+    /// first within a shard.
+    Trace(Vec<TraceEvent>),
     /// The operation failed; the daemon stays up.
     Error(String),
 }
@@ -294,6 +330,14 @@ impl Serialize for Response {
             Response::Stats(stats) => Value::Map(vec![
                 ("ok".to_string(), Value::Bool(true)),
                 ("stats".to_string(), stats.to_value()),
+            ]),
+            Response::Metrics(text) => Value::Map(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("metrics".to_string(), Value::Str(text.clone())),
+            ]),
+            Response::Trace(events) => Value::Map(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("events".to_string(), events.to_value()),
             ]),
             Response::Error(message) => Value::Map(vec![
                 ("ok".to_string(), Value::Bool(false)),
@@ -318,6 +362,12 @@ impl Deserialize for Response {
         }
         if let Some(stats) = value.get("stats") {
             return Ok(Response::Stats(DaemonStats::from_value(stats)?));
+        }
+        if let Some(text) = value.get("metrics") {
+            return Ok(Response::Metrics(String::from_value(text)?));
+        }
+        if let Some(events) = value.get("events") {
+            return Ok(Response::Trace(Vec::<TraceEvent>::from_value(events)?));
         }
         Ok(Response::Ok)
     }
@@ -361,6 +411,8 @@ mod tests {
                 entries: Vec::new(),
             },
             Request::Stats,
+            Request::Metrics,
+            Request::TraceDump,
             Request::Snapshot,
             Request::Shutdown,
         ];
@@ -384,6 +436,16 @@ mod tests {
                 end: 16,
             }]),
             Response::Stats(DaemonStats { shards: Vec::new() }),
+            Response::Metrics("# HELP x y\nx 1\n".to_string()),
+            Response::Trace(vec![TraceEvent {
+                seq: 41,
+                shard: 2,
+                time: 9,
+                tenant: 18,
+                op: "submit".to_string(),
+                outcome: "clamped".to_string(),
+            }]),
+            Response::Trace(Vec::new()),
             Response::Error("nope".to_string()),
         ];
         for response in responses {

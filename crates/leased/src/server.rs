@@ -9,15 +9,18 @@
 //! directory restores each shard before accepting traffic.
 
 use crate::error::LeasedError;
-use crate::protocol::{self, DaemonStats, FrameRead, Request, Response, MAX_FRAME_LEN};
+use crate::metrics::{DaemonMetrics, ShardMetrics};
+use crate::protocol::{self, DaemonStats, FrameRead, Request, Response, TraceEvent, MAX_FRAME_LEN};
 use crate::shard::{Shard, ShardReply, ShardRequest};
 use crate::shard_of;
 use leasing_core::engine::EngineStats;
 use leasing_core::lease::LeaseStructure;
 use leasing_core::time::TimeStep;
+use leasing_telemetry::Stopwatch;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Read-side buffer per connection: one syscall pulls a whole burst of
 /// pipelined frames.
@@ -35,17 +38,21 @@ pub struct ServerConfig {
     /// Snapshot directory: written on `snapshot`/`shutdown`, read on
     /// start. `None` disables persistence.
     pub snapshot_dir: Option<PathBuf>,
+    /// Recent operations each shard keeps for `trace-dump` (0 disables
+    /// tracing).
+    pub trace_capacity: usize,
 }
 
 impl ServerConfig {
-    /// A daemon over `structure` with 4 shards, a 1024-deep mailbox and
-    /// no persistence.
+    /// A daemon over `structure` with 4 shards, a 1024-deep mailbox, a
+    /// 256-event trace ring per shard and no persistence.
     pub fn new(structure: LeaseStructure) -> Self {
         ServerConfig {
             shards: 4,
             queue_capacity: 1024,
             structure,
             snapshot_dir: None,
+            trace_capacity: 256,
         }
     }
 }
@@ -72,6 +79,7 @@ pub struct Server {
     listener: TcpListener,
     shards: Vec<Shard>,
     snapshot_dir: Option<PathBuf>,
+    metrics: Arc<DaemonMetrics>,
 }
 
 impl Server {
@@ -83,6 +91,7 @@ impl Server {
     /// Propagates bind failures.
     pub fn bind(addr: impl ToSocketAddrs, config: &ServerConfig) -> Result<Server, LeasedError> {
         let listener = TcpListener::bind(addr)?;
+        let metrics = DaemonMetrics::new(config.shards.max(1));
         let shards = (0..config.shards.max(1))
             .map(|index| {
                 let restore = config
@@ -91,11 +100,17 @@ impl Server {
                     .map(|dir| shard_snapshot_path(dir, index))
                     .filter(|path| path.exists())
                     .and_then(|path| std::fs::read_to_string(path).ok());
+                let shard_metrics = metrics
+                    .shard(index)
+                    .map(Arc::clone)
+                    .unwrap_or_else(|| Arc::new(ShardMetrics::new()));
                 Shard::spawn(
                     index,
                     config.structure.clone(),
                     config.queue_capacity,
                     restore,
+                    shard_metrics,
+                    config.trace_capacity,
                 )
             })
             .collect();
@@ -103,7 +118,14 @@ impl Server {
             listener,
             shards,
             snapshot_dir: config.snapshot_dir.clone(),
+            metrics,
         })
+    }
+
+    /// The daemon's metric registry — share it with a scrape endpoint via
+    /// [`crate::metrics::serve_metrics`].
+    pub fn metrics(&self) -> &Arc<DaemonMetrics> {
+        &self.metrics
     }
 
     /// The bound address (port 0 binds resolve to a concrete port).
@@ -168,6 +190,8 @@ impl Server {
         let Ok(read_half) = stream.try_clone() else {
             return false;
         };
+        let transport = &self.metrics.transport;
+        transport.connections.inc();
         let mut reader = BufReader::with_capacity(READ_BURST_BYTES, read_half);
         let mut writer = stream;
         let mut burst: Vec<u8> = Vec::new();
@@ -177,26 +201,47 @@ impl Server {
                 // Disconnect (clean or not): move on to the next client.
                 Err(_) => return false,
             };
+            transport.frames_read.inc();
             let (response, shutdown) = match frame {
-                FrameRead::Oversized(len) => (
-                    Response::Error(format!(
-                        "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
-                    )),
-                    false,
-                ),
-                FrameRead::Payload(payload) => match protocol::decode::<Request>(&payload) {
-                    Err(e) => (Response::Error(e.to_string()), false),
-                    Ok(request) => {
-                        let asked = request == Request::Shutdown;
-                        let response = self.dispatch(request);
-                        let granted = asked && !matches!(response, Response::Error(_));
-                        (response, granted)
+                FrameRead::Oversized(len) => {
+                    transport.oversized_frames.inc();
+                    transport.bytes_read.add((len as u64).saturating_add(4));
+                    (
+                        Response::Error(format!(
+                            "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                        )),
+                        false,
+                    )
+                }
+                FrameRead::Payload(payload) => {
+                    transport.bytes_read.add(payload.len() as u64 + 4);
+                    match protocol::decode::<Request>(&payload) {
+                        Err(e) => (Response::Error(e.to_string()), false),
+                        Ok(request) => {
+                            let asked = request == Request::Shutdown;
+                            let timed = matches!(
+                                request,
+                                Request::Submit { .. } | Request::SubmitBatch { .. }
+                            );
+                            let watch = Stopwatch::start();
+                            let response = self.dispatch(request);
+                            if timed {
+                                self.metrics.submit_latency_ns.record(watch.elapsed_nanos());
+                            }
+                            let granted = asked && !matches!(response, Response::Error(_));
+                            (response, granted)
+                        }
                     }
-                },
+                }
             };
+            let queued_before = burst.len();
             if protocol::queue_frame(&mut burst, &protocol::encode(&response)).is_err() {
                 return false;
             }
+            transport.frames_written.inc();
+            transport
+                .bytes_written
+                .add((burst.len() - queued_before) as u64);
             if shutdown || !holds_complete_frame(reader.buffer()) {
                 if writer.write_all(&burst).is_err() {
                     return false;
@@ -223,6 +268,11 @@ impl Server {
             }
             Request::Stats => match self.collect_stats() {
                 Ok(shards) => Response::Stats(DaemonStats { shards }),
+                Err(message) => Response::Error(message),
+            },
+            Request::Metrics => Response::Metrics(self.metrics.render()),
+            Request::TraceDump => match self.collect_traces() {
+                Ok(events) => Response::Trace(events),
                 Err(message) => Response::Error(message),
             },
             Request::Snapshot => match self.snapshot_all() {
@@ -303,6 +353,21 @@ impl Server {
         }
     }
 
+    /// Gathers every shard's event ring, in shard order (each ring's
+    /// events oldest first).
+    fn collect_traces(&self) -> Result<Vec<TraceEvent>, String> {
+        let mut events = Vec::new();
+        for shard in &self.shards {
+            match shard.call(ShardRequest::TraceDump) {
+                Ok(ShardReply::Trace(shard_events)) => events.extend(shard_events),
+                Ok(ShardReply::Failed(message)) => return Err(message),
+                Ok(other) => return Err(format!("unexpected shard reply {other:?}")),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Ok(events)
+    }
+
     fn collect_stats(&self) -> Result<Vec<EngineStats>, String> {
         self.shards
             .iter()
@@ -357,5 +422,6 @@ mod tests {
         assert_eq!(config.shards, 4);
         assert!(config.queue_capacity >= 1);
         assert!(config.snapshot_dir.is_none());
+        assert_eq!(config.trace_capacity, 256);
     }
 }

@@ -12,16 +12,19 @@
 //! never wedge a shard with a time-travel error.
 
 use crate::error::LeasedError;
+use crate::metrics::ShardMetrics;
 use crate::policy::{PermitCore, TenantOp, TenantPermit};
-use crate::protocol::ActiveLease;
+use crate::protocol::{ActiveLease, TraceEvent};
 use leasing_core::engine::{EngineHandle, EngineStats};
 use leasing_core::lease::LeaseStructure;
 use leasing_core::time::TimeStep;
+use leasing_telemetry::{EventRing, Stopwatch};
 use serde::{json, value_field, value_str, Value};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Schema tag of shard snapshots: the engine's `engine-snapshot/v1`
 /// envelope plus the policy overlay.
@@ -61,6 +64,8 @@ pub enum ShardRequest {
     },
     /// The shard's [`EngineStats`].
     Stats,
+    /// The shard's recent-operation event ring, oldest first.
+    TraceDump,
     /// Serialize the shard (engine + policy) to a snapshot string.
     Snapshot,
     /// Snapshot and stop the worker.
@@ -78,6 +83,8 @@ pub enum ShardReply {
     Leases(Vec<ActiveLease>),
     /// `Stats` payload.
     Stats(EngineStats),
+    /// `TraceDump` payload.
+    Trace(Vec<TraceEvent>),
     /// `Snapshot`/`Shutdown` payload.
     Snapshot(String),
     /// The operation failed; the worker stays up (except on `Shutdown`).
@@ -93,6 +100,7 @@ struct ShardMail {
 pub struct Shard {
     index: usize,
     tx: mpsc::SyncSender<ShardMail>,
+    metrics: Arc<ShardMetrics>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -101,17 +109,32 @@ impl Shard {
     /// `structure`, or one restored from `restore_from` (a
     /// [`SHARD_SNAPSHOT_SCHEMA`] string). The mailbox holds at most
     /// `queue_capacity` in-flight operations; senders beyond that block.
+    /// The worker records into `metrics` and keeps its most recent
+    /// `trace_capacity` operations in an event ring (0 disables tracing).
     pub fn spawn(
         index: usize,
         structure: LeaseStructure,
         queue_capacity: usize,
         restore_from: Option<String>,
+        metrics: Arc<ShardMetrics>,
+        trace_capacity: usize,
     ) -> Shard {
         let (tx, rx) = mpsc::sync_channel::<ShardMail>(queue_capacity.max(1));
-        let worker = std::thread::spawn(move || worker_loop(structure, rx, restore_from));
+        let worker_metrics = Arc::clone(&metrics);
+        let worker = std::thread::spawn(move || {
+            worker_loop(
+                index,
+                structure,
+                rx,
+                restore_from,
+                worker_metrics,
+                trace_capacity,
+            );
+        });
         Shard {
             index,
             tx,
+            metrics,
             worker: Some(worker),
         }
     }
@@ -128,12 +151,20 @@ impl Shard {
     /// Returns [`LeasedError::ShardDown`] when the worker is gone.
     pub fn call(&self, request: ShardRequest) -> Result<ShardReply, LeasedError> {
         let (reply_tx, reply_rx) = mpsc::channel();
+        // The depth gauge counts enqueue-side; the worker decrements as it
+        // dequeues. `sync_channel` gives the pair a happens-before edge,
+        // so the gauge can sag toward zero but never wraps.
+        let depth = self.metrics.mailbox_depth.inc();
+        self.metrics.mailbox_high_watermark.record_max(depth);
         self.tx
             .send(ShardMail {
                 request,
                 reply: reply_tx,
             })
-            .map_err(|_| LeasedError::ShardDown(self.index))?;
+            .map_err(|_| {
+                self.metrics.mailbox_depth.dec();
+                LeasedError::ShardDown(self.index)
+            })?;
         reply_rx
             .recv()
             .map_err(|_| LeasedError::ShardDown(self.index))
@@ -161,35 +192,55 @@ const MICRO_BATCH: usize = 128;
 /// `submit_at` call — one monotonicity check and one expiry advancement
 /// for the whole run, bit-identical to serving each submit alone.
 fn worker_loop(
+    index: usize,
     structure: LeaseStructure,
     rx: mpsc::Receiver<ShardMail>,
     restore_from: Option<String>,
+    metrics: Arc<ShardMetrics>,
+    trace_capacity: usize,
 ) {
-    let (mut engine, core) = match build_engine(structure, restore_from) {
+    let restoring = restore_from.is_some();
+    let restore_watch = Stopwatch::start();
+    let built = build_engine(structure, restore_from);
+    if restoring {
+        metrics.restore_ns.record(restore_watch.elapsed_nanos());
+    }
+    let (mut engine, core) = match built {
         Ok(pair) => pair,
         Err(e) => {
             // Construction failed (corrupt snapshot): answer every caller
             // with the failure until the daemon drops the mailbox.
             let message = e.to_string();
             while let Ok(mail) = rx.recv() {
+                metrics.mailbox_depth.dec();
                 let _ = mail.reply.send(ShardReply::Failed(message.clone()));
             }
             return;
         }
     };
     let mut clock = engine.stats().now;
+    let mut ring: EventRing<TraceEvent> = EventRing::new(trace_capacity);
     let mut queue: VecDeque<ShardMail> = VecDeque::with_capacity(MICRO_BATCH);
     let mut run: Vec<TenantOp> = Vec::with_capacity(MICRO_BATCH);
     let mut waiters: Vec<mpsc::Sender<ShardReply>> = Vec::with_capacity(MICRO_BATCH);
+    // `(tenant, clamped)` per run entry, for counters and trace events
+    // once the run's outcome is known.
+    let mut run_info: Vec<(usize, bool)> = Vec::with_capacity(MICRO_BATCH);
     loop {
         if queue.is_empty() {
             match rx.recv() {
-                Ok(mail) => queue.push_back(mail),
+                Ok(mail) => {
+                    metrics.mailbox_depth.dec();
+                    queue.push_back(mail);
+                }
                 Err(_) => return,
             }
             while queue.len() < MICRO_BATCH {
                 match rx.try_recv() {
-                    Ok(mail) => queue.push_back(mail),
+                    Ok(mail) => {
+                        metrics.mailbox_depth.dec();
+                        queue.push_back(mail);
+                    }
                     Err(_) => break,
                 }
             }
@@ -206,6 +257,7 @@ fn worker_loop(
         if let Some(t) = run_time {
             run.clear();
             waiters.clear();
+            run_info.clear();
             loop {
                 // A submit joins the run iff its clamped time equals the
                 // run time (the clock would already be at `t` when its
@@ -221,11 +273,15 @@ fn worker_loop(
                     break;
                 }
                 let Some(mail) = queue.pop_front() else { break };
-                if let ShardRequest::Submit { tenant, .. } = mail.request {
+                if let ShardRequest::Submit { tenant, time } = mail.request {
                     run.push(TenantOp::Demand(tenant));
+                    run_info.push((tenant, time < t));
                     waiters.push(mail.reply);
                 }
             }
+            metrics.ops_submit.add(run.len() as u64);
+            metrics.submit_demands.add(run.len() as u64);
+            metrics.micro_batch_len.record(run.len() as u64);
             let reply = match engine.submit_at(t, run.drain(..)) {
                 Ok(_) => {
                     clock = t;
@@ -233,12 +289,35 @@ fn worker_loop(
                 }
                 Err(e) => ShardReply::Failed(e.to_string()),
             };
+            let failure = match &reply {
+                ShardReply::Failed(message) => Some(message.clone()),
+                _ => None,
+            };
+            for &(tenant, clamped) in &run_info {
+                if clamped {
+                    metrics.clamped_timestamps.inc();
+                }
+                let outcome = match &failure {
+                    Some(message) => format!("err: {message}"),
+                    None if clamped => "clamped".to_string(),
+                    None => "ok".to_string(),
+                };
+                trace(&mut ring, index, t, tenant, "submit", outcome);
+            }
             for waiter in waiters.drain(..) {
                 let _ = waiter.send(reply.clone());
             }
         } else if let Some(mail) = queue.pop_front() {
             let stop = matches!(mail.request, ShardRequest::Shutdown);
-            let reply = handle(&mut engine, &core, &mut clock, mail.request);
+            let reply = handle(
+                &mut engine,
+                &core,
+                &mut clock,
+                &metrics,
+                &mut ring,
+                index,
+                mail.request,
+            );
             let _ = mail.reply.send(reply);
             if stop {
                 return;
@@ -247,31 +326,73 @@ fn worker_loop(
     }
 }
 
+/// Pushes one event into the shard's trace ring (a no-op at capacity 0).
+fn trace(
+    ring: &mut EventRing<TraceEvent>,
+    shard: usize,
+    time: TimeStep,
+    tenant: usize,
+    op: &str,
+    outcome: String,
+) {
+    if ring.capacity() == 0 {
+        return;
+    }
+    ring.push(TraceEvent {
+        seq: ring.recorded().saturating_add(1),
+        shard: shard as u64,
+        time,
+        tenant: tenant as u64,
+        op: op.to_string(),
+        outcome,
+    });
+}
+
 fn handle(
     engine: &mut EngineHandle<'static, TenantOp>,
     core: &Rc<RefCell<PermitCore>>,
     clock: &mut TimeStep,
+    metrics: &ShardMetrics,
+    ring: &mut EventRing<TraceEvent>,
+    index: usize,
     request: ShardRequest,
 ) -> ShardReply {
     match request {
         ShardRequest::Submit { tenant, time } => {
             let t = time.max(*clock);
+            let clamped = time < t;
+            metrics.ops_submit.inc();
+            metrics.submit_demands.inc();
+            metrics.micro_batch_len.record(1);
+            if clamped {
+                metrics.clamped_timestamps.inc();
+            }
             match engine.submit(t, TenantOp::Demand(tenant)) {
                 Ok(()) => {
                     *clock = t;
+                    let outcome = if clamped { "clamped" } else { "ok" };
+                    trace(ring, index, t, tenant, "submit", outcome.to_string());
                     ShardReply::Done
                 }
-                Err(e) => ShardReply::Failed(e.to_string()),
+                Err(e) => {
+                    trace(ring, index, t, tenant, "submit", format!("err: {e}"));
+                    ShardReply::Failed(e.to_string())
+                }
             }
         }
         ShardRequest::SubmitBatch { entries } => {
+            metrics.ops_submit_batch.inc();
+            metrics.submit_demands.add(entries.len() as u64);
             let mut submitted = 0u64;
             let mut run: Vec<TenantOp> = Vec::new();
+            let mut run_info: Vec<(usize, bool)> = Vec::new();
             let mut entries = entries.into_iter().peekable();
             while let Some((tenant, time)) = entries.next() {
                 let t = time.max(*clock);
                 run.clear();
+                run_info.clear();
                 run.push(TenantOp::Demand(tenant));
+                run_info.push((tenant, time < t));
                 // Later entries whose clamped time equals `t` extend the
                 // run — they would be clamped to `t` anyway once the
                 // clock reaches it.
@@ -280,32 +401,57 @@ fn handle(
                         break;
                     }
                     run.push(TenantOp::Demand(next_tenant));
+                    run_info.push((next_tenant, next_time < t));
                     entries.next();
                 }
+                metrics.micro_batch_len.record(run.len() as u64);
                 match engine.submit_at(t, run.drain(..)) {
                     Ok(served) => {
                         *clock = t;
                         submitted += u64::try_from(served).unwrap_or(u64::MAX);
+                        for &(run_tenant, clamped) in &run_info {
+                            if clamped {
+                                metrics.clamped_timestamps.inc();
+                            }
+                            let outcome = if clamped { "clamped" } else { "ok" };
+                            trace(ring, index, t, run_tenant, "submit", outcome.to_string());
+                        }
                     }
                     // Unreachable (t is clamped to the clock), but a
                     // failure must not strand the caller: earlier runs
                     // stay served, exactly like individual submits.
-                    Err(e) => return ShardReply::Failed(e.to_string()),
+                    Err(e) => {
+                        for &(run_tenant, _) in &run_info {
+                            trace(ring, index, t, run_tenant, "submit", format!("err: {e}"));
+                        }
+                        return ShardReply::Failed(e.to_string());
+                    }
                 }
             }
             ShardReply::Submitted(submitted)
         }
         ShardRequest::ForceRelease { tenant, time } => {
             let t = time.max(*clock);
+            let clamped = time < t;
+            metrics.ops_force_release.inc();
+            if clamped {
+                metrics.clamped_timestamps.inc();
+            }
             match engine.submit(t, TenantOp::Release(tenant)) {
                 Ok(()) => {
                     *clock = t;
+                    let outcome = if clamped { "clamped" } else { "ok" };
+                    trace(ring, index, t, tenant, "force-release", outcome.to_string());
                     ShardReply::Done
                 }
-                Err(e) => ShardReply::Failed(e.to_string()),
+                Err(e) => {
+                    trace(ring, index, t, tenant, "force-release", format!("err: {e}"));
+                    ShardReply::Failed(e.to_string())
+                }
             }
         }
         ShardRequest::ListActive { tenant, time } => {
+            metrics.ops_list_active.inc();
             let core = core.borrow();
             let ledger = engine.ledger();
             let leases = (0..core.structure().num_types())
@@ -323,11 +469,24 @@ fn handle(
                 .collect();
             ShardReply::Leases(leases)
         }
-        ShardRequest::Stats => ShardReply::Stats(engine.stats()),
-        ShardRequest::Snapshot | ShardRequest::Shutdown => match snapshot(engine, core) {
-            Ok(text) => ShardReply::Snapshot(text),
-            Err(e) => ShardReply::Failed(e.to_string()),
-        },
+        ShardRequest::Stats => {
+            metrics.ops_stats.inc();
+            ShardReply::Stats(engine.stats())
+        }
+        ShardRequest::TraceDump => {
+            metrics.ops_trace_dump.inc();
+            ShardReply::Trace(ring.iter().cloned().collect())
+        }
+        ShardRequest::Snapshot | ShardRequest::Shutdown => {
+            metrics.ops_snapshot.inc();
+            let watch = Stopwatch::start();
+            let reply = match snapshot(engine, core) {
+                Ok(text) => ShardReply::Snapshot(text),
+                Err(e) => ShardReply::Failed(e.to_string()),
+            };
+            metrics.snapshot_ns.record(watch.elapsed_nanos());
+            reply
+        }
     }
 }
 
@@ -402,13 +561,19 @@ mod tests {
         LeaseStructure::new(vec![LeaseType::new(2, 1.0), LeaseType::new(8, 3.0)]).unwrap()
     }
 
+    fn spawn(restore: Option<String>) -> (Shard, Arc<ShardMetrics>) {
+        let metrics = Arc::new(ShardMetrics::new());
+        let shard = Shard::spawn(0, structure(), 16, restore, Arc::clone(&metrics), 32);
+        (shard, metrics)
+    }
+
     fn call(shard: &Shard, request: ShardRequest) -> ShardReply {
         shard.call(request).unwrap()
     }
 
     #[test]
     fn shard_serves_submits_and_lists_live_leases() {
-        let shard = Shard::spawn(0, structure(), 16, None);
+        let (shard, _) = spawn(None);
         assert_eq!(
             call(&shard, ShardRequest::Submit { tenant: 3, time: 0 }),
             ShardReply::Done
@@ -432,7 +597,7 @@ mod tests {
 
     #[test]
     fn stale_timestamps_clamp_forward_instead_of_failing() {
-        let shard = Shard::spawn(0, structure(), 16, None);
+        let (shard, metrics) = spawn(None);
         assert_eq!(
             call(
                 &shard,
@@ -453,13 +618,26 @@ mod tests {
         };
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.now, 10);
+        let ShardReply::Trace(events) = call(&shard, ShardRequest::TraceDump) else {
+            panic!("expected trace");
+        };
         call(&shard, ShardRequest::Shutdown);
         shard.join();
+        assert_eq!(metrics.submit_demands.get(), 2);
+        assert_eq!(metrics.clamped_timestamps.get(), 1, "one demand clamped");
+        assert_eq!(metrics.ops_trace_dump.get(), 1);
+        assert_eq!(metrics.ops_snapshot.get(), 1, "shutdown snapshots");
+        assert_eq!(events.len(), 2);
+        let clamped: Vec<_> = events.iter().filter(|e| e.outcome == "clamped").collect();
+        assert_eq!(clamped.len(), 1);
+        assert_eq!(clamped[0].tenant, 2);
+        assert_eq!(clamped[0].time, 10, "the event carries the clamped clock");
+        assert_eq!(clamped[0].op, "submit");
     }
 
     #[test]
     fn force_release_empties_the_active_list() {
-        let shard = Shard::spawn(0, structure(), 16, None);
+        let (shard, _) = spawn(None);
         call(&shard, ShardRequest::Submit { tenant: 5, time: 0 });
         call(&shard, ShardRequest::ForceRelease { tenant: 5, time: 0 });
         let ShardReply::Leases(leases) =
@@ -474,7 +652,7 @@ mod tests {
 
     #[test]
     fn snapshot_restores_to_byte_identical_stats() {
-        let shard = Shard::spawn(0, structure(), 16, None);
+        let (shard, _) = spawn(None);
         for t in 0..20u64 {
             call(
                 &shard,
@@ -499,7 +677,7 @@ mod tests {
         };
         shard.join();
 
-        let restored = Shard::spawn(0, structure(), 16, Some(snap.clone()));
+        let (restored, restored_metrics) = spawn(Some(snap.clone()));
         let ShardReply::Stats(restored_stats) = call(&restored, ShardRequest::Stats) else {
             panic!("expected stats");
         };
@@ -522,11 +700,16 @@ mod tests {
         );
         call(&restored, ShardRequest::Shutdown);
         restored.join();
+        assert_eq!(
+            restored_metrics.restore_ns.snapshot().count(),
+            1,
+            "restoring records one restore duration"
+        );
     }
 
     #[test]
     fn corrupt_snapshots_fail_calls_instead_of_panicking() {
-        let shard = Shard::spawn(0, structure(), 16, Some("not json".to_string()));
+        let (shard, _) = spawn(Some("not json".to_string()));
         assert!(matches!(
             call(&shard, ShardRequest::Stats),
             ShardReply::Failed(_)

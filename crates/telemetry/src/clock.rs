@@ -1,0 +1,46 @@
+//! The one wall-clock reader in the workspace's library code.
+//!
+//! The `leasing-analysis` determinism gate bans `Instant`/`SystemTime`
+//! tokens in every library path except this crate and the daemon's
+//! metrics modules. Timing-hungry daemon code therefore holds a
+//! [`Stopwatch`] instead of an `Instant`: the wall-clock *type* stays
+//! here, and the measured durations flow one way — into metrics, never
+//! into engine state.
+
+use std::time::Instant;
+
+/// A started monotonic timer.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds since [`start`](Stopwatch::start), saturating at
+    /// `u64::MAX` (584 years — histogram buckets would clip first).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Fractional seconds since [`start`](Stopwatch::start).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+}

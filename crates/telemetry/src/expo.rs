@@ -1,0 +1,179 @@
+//! Prometheus text exposition (format version 0.0.4) with stable
+//! ordering.
+//!
+//! The builder appends metric families in whatever order the caller
+//! chooses and renders values with fixed integer formatting, so the same
+//! metric state always produces the same bytes — scrapes are diffable and
+//! golden-testable. Histograms render the conventional cumulative
+//! `_bucket{le="..."}` series (only up to the highest non-empty bucket,
+//! plus `+Inf`) with `_sum` and `_count`.
+
+use crate::metrics::{bucket_upper, HistogramSnapshot};
+use std::fmt::Write as _;
+
+/// Label set: name/value pairs rendered as `{k="v",...}`.
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+/// A Prometheus text-format document under construction.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Exposition { out: String::new() }
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header of a metric family. `kind` is
+    /// the Prometheus type: `counter`, `gauge` or `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        // Writing into a String cannot fail; the results are discarded so
+        // the builder stays panic-free.
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: Labels<'_>, value: u64) {
+        self.out.push_str(name);
+        self.render_labels(labels, None);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emits a whole histogram: cumulative `_bucket` lines up to the
+    /// highest non-empty bucket plus `+Inf`, then `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, labels: Labels<'_>, snap: &HistogramSnapshot) {
+        let mut cumulative = 0u64;
+        if let Some(highest) = snap.highest_bucket() {
+            for (index, &count) in snap.counts.iter().enumerate().take(highest + 1) {
+                cumulative = cumulative.saturating_add(count);
+                let le = bucket_upper(index);
+                if le == u64::MAX {
+                    break; // the top bucket is the +Inf line below
+                }
+                self.out.push_str(name);
+                self.out.push_str("_bucket");
+                self.render_labels(labels, Some(le));
+                let _ = writeln!(self.out, " {cumulative}");
+            }
+        }
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        self.render_labels_inf(labels);
+        let _ = writeln!(self.out, " {}", snap.count());
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        self.render_labels(labels, None);
+        let _ = writeln!(self.out, " {}", snap.sum);
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        self.render_labels(labels, None);
+        let _ = writeln!(self.out, " {}", snap.count());
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn render_labels(&mut self, labels: Labels<'_>, le: Option<u64>) {
+        if labels.is_empty() && le.is_none() {
+            return;
+        }
+        self.out.push('{');
+        let mut first = true;
+        for (key, value) in labels {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            let _ = write!(self.out, "{key}=\"{value}\"");
+        }
+        if let Some(le) = le {
+            if !first {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "le=\"{le}\"");
+        }
+        self.out.push('}');
+    }
+
+    fn render_labels_inf(&mut self, labels: Labels<'_>) {
+        self.out.push('{');
+        let mut first = true;
+        for (key, value) in labels {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            let _ = write!(self.out, "{key}=\"{value}\"");
+        }
+        if !first {
+            self.out.push(',');
+        }
+        self.out.push_str("le=\"+Inf\"}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn samples_render_with_and_without_labels() {
+        let mut expo = Exposition::new();
+        expo.family("x_total", "counter", "an example");
+        expo.sample("x_total", &[], 3);
+        expo.sample("x_total", &[("shard", "0"), ("op", "submit")], 9);
+        assert_eq!(
+            expo.finish(),
+            "# HELP x_total an example\n\
+             # TYPE x_total counter\n\
+             x_total 3\n\
+             x_total{shard=\"0\",op=\"submit\"} 9\n"
+        );
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_and_count() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        let mut expo = Exposition::new();
+        expo.histogram("lat_ns", &[("shard", "1")], &h.snapshot());
+        assert_eq!(
+            expo.finish(),
+            "lat_ns_bucket{shard=\"1\",le=\"0\"} 0\n\
+             lat_ns_bucket{shard=\"1\",le=\"1\"} 1\n\
+             lat_ns_bucket{shard=\"1\",le=\"3\"} 3\n\
+             lat_ns_bucket{shard=\"1\",le=\"+Inf\"} 3\n\
+             lat_ns_sum{shard=\"1\"} 6\n\
+             lat_ns_count{shard=\"1\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn empty_histograms_render_only_the_inf_line() {
+        let mut expo = Exposition::new();
+        expo.histogram("lat_ns", &[], &HistogramSnapshot::empty());
+        assert_eq!(
+            expo.finish(),
+            "lat_ns_bucket{le=\"+Inf\"} 0\nlat_ns_sum 0\nlat_ns_count 0\n"
+        );
+    }
+
+    #[test]
+    fn the_rendering_is_deterministic() {
+        let build = || {
+            let mut expo = Exposition::new();
+            expo.family("m", "gauge", "g");
+            expo.sample("m", &[("a", "b")], 42);
+            expo.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,32 @@
+//! `leasing_telemetry` — zero-dependency observability primitives for the
+//! daemon and bench layers.
+//!
+//! The crate provides four building blocks:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars cheap enough to
+//!   bump on every operation of a million-rps hot path.
+//! * [`Histogram`] — an allocation-free, power-of-two-bucketed latency
+//!   histogram (fixed 64-bucket array, lock-free recording). Its
+//!   [`HistogramSnapshot`] is mergeable across shards and derives
+//!   p50/p99/mean/max deterministically from the counts.
+//! * [`EventRing`] — a bounded ring of recent events, owned by a single
+//!   writer (a shard worker), dumped on demand.
+//! * [`Exposition`] — a Prometheus text-format builder with stable output
+//!   ordering, so scrapes are diffable and golden-testable.
+//!
+//! **Determinism contract:** recording is a read-side overlay — nothing in
+//! this crate feeds back into engine state, and every consumer keeps its
+//! deterministic surfaces byte-identical with telemetry enabled. The one
+//! wall-clock reader, [`Stopwatch`], lives here (see [`clock`]) precisely
+//! so the `leasing-analysis` determinism gate can pin wall-clock types to
+//! this crate and the daemon's metrics modules and nowhere else.
+
+pub mod clock;
+pub mod expo;
+pub mod metrics;
+pub mod ring;
+
+pub use clock::Stopwatch;
+pub use expo::Exposition;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use ring::EventRing;

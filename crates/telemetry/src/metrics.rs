@@ -1,0 +1,322 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`] and the
+//! power-of-two-bucketed [`Histogram`].
+//!
+//! Everything here is built on relaxed atomics — recording a sample is a
+//! handful of uncontended atomic adds, cheap enough for a million-rps hot
+//! path — and nothing allocates after construction. Readers take
+//! [`HistogramSnapshot`]s, which are plain data: mergeable across shards
+//! and deterministic to render.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `i` (for `i < BUCKETS - 1`) counts
+/// values `v` with `bucket_upper(i-1) < v <= bucket_upper(i)` where the
+/// upper bounds are `0, 1, 3, 7, ..., 2^i - 1`; the last bucket absorbs
+/// everything larger.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value: 0 for 0, else
+/// `bits - leading_zeros`, clamped into the top bucket.
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `index` (the Prometheus `le` value).
+/// The top bucket is unbounded and reports `u64::MAX`.
+pub fn bucket_upper(index: usize) -> u64 {
+    if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        // index < 63 here, so the shift never overflows.
+        (1u64 << index) - 1
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level: queue depths, high watermarks, sizes.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the level by one, returning the new value (so callers can
+    /// feed a high-watermark gauge).
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed).saturating_add(1)
+    }
+
+    /// Lowers the level by one, saturating at zero rather than wrapping if
+    /// an increment/decrement pair ever races a reset.
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Raises the level to `value` if it is higher (high-watermark
+    /// tracking).
+    pub fn record_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An allocation-free latency/size histogram over power-of-two buckets.
+///
+/// Recording is three relaxed atomic operations (bucket count, running
+/// sum, running max); there is no lock and no allocation. Derive
+/// percentiles from a [`snapshot`](Histogram::snapshot).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        if let Some(count) = self.counts.get(bucket_of(value)) {
+            count.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state. Concurrent recording makes
+    /// the copy *a* consistent-enough view, not an atomic cut — fine for
+    /// monitoring, which is the only consumer.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| {
+                self.counts.get(i).map_or(0, |c| c.load(Ordering::Relaxed))
+            }),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data histogram state: mergeable, renderable, quantile-derivable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`BUCKETS`] for the bucket bounds).
+    pub counts: [u64; BUCKETS],
+    /// Sum of every recorded value (wrapping only beyond u64::MAX total).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().fold(0u64, |a, &c| a.saturating_add(c))
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Folds `other`'s samples into `self`. Merging per-shard snapshots
+    /// yields exactly the histogram a single shared instance would have
+    /// recorded.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the inclusive upper bound of the
+    /// bucket holding the rank-`ceil(q * count)` sample, clamped by the
+    /// exact recorded max — so the answer is never below the true quantile
+    /// and at most one power of two above it. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Index of the highest non-empty bucket, if any sample was recorded.
+    pub fn highest_bucket(&self) -> Option<usize> {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two_minus_one() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        // Every value lands in a bucket whose bound brackets it.
+        for v in [0u64, 1, 2, 5, 1000, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b), "{v}");
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.inc(), 2);
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        g.record_max(9);
+        g.record_max(3);
+        assert_eq!(g.get(), 9);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_records_and_derives_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        assert_eq!(snap.sum, 5050);
+        assert_eq!(snap.max, 100);
+        assert!((snap.mean() - 50.5).abs() < 1e-9);
+        // p50 of 1..=100 is 50; the bucket bound answer is in [50, 63].
+        let p50 = snap.quantile(0.5);
+        assert!((50..=63).contains(&p50), "{p50}");
+        // p100 is clamped by the exact max.
+        assert_eq!(snap.quantile(1.0), 100);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn snapshots_merge_like_shared_recording() {
+        let (a, b, shared) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 10, 100, 1000] {
+            a.record(v);
+            shared.record(v);
+        }
+        for v in [5u64, 50, 500_000] {
+            b.record(v);
+            shared.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, shared.snapshot());
+    }
+}

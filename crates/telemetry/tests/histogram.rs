@@ -1,0 +1,110 @@
+//! Histogram contract tests: merge associativity against shared
+//! recording, quantile bracketing against exact order statistics, and
+//! monotonicity — the properties the daemon's per-shard merge and the
+//! loadgen latency accounting rely on.
+
+use leasing_telemetry::{Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+/// Exact rank-`ceil(q * n)` order statistic of `values`.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn quantile_brackets_the_exact_order_statistic() {
+    let values: Vec<u64> = (0..1000u64).map(|i| i * i % 7919 + 1).collect();
+    let snap = record_all(&values);
+    for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+        let exact = exact_quantile(&values, q);
+        let approx = snap.quantile(q);
+        assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+        assert!(
+            approx <= exact.saturating_mul(2).max(1),
+            "q={q}: {approx} > 2x exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let values: Vec<u64> = (1..=500u64)
+        .map(|i| i.wrapping_mul(2654435761) % 100_000)
+        .collect();
+    let snap = record_all(&values);
+    let mut last = 0u64;
+    for step in 0..=100u64 {
+        let q = step as f64 / 100.0;
+        let v = snap.quantile(q);
+        assert!(v >= last, "quantile dipped at q={q}");
+        last = v;
+    }
+    assert_eq!(snap.quantile(1.0), snap.max);
+}
+
+#[test]
+fn extreme_values_stay_in_range() {
+    let snap = record_all(&[0, 1, u64::MAX]);
+    assert_eq!(snap.count(), 3);
+    assert_eq!(snap.max, u64::MAX);
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+    assert_eq!(
+        snap.counts[BUCKETS - 1],
+        1,
+        "u64::MAX lands in the top bucket"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merging_shards_equals_shared_recording(
+        a in collection::vec(0u64..1_000_000, 0..200),
+        b in collection::vec(0u64..1_000_000, 0..200),
+        c in collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        merged.merge(&record_all(&c));
+        let mut shared: Vec<u64> = a.clone();
+        shared.extend(&b);
+        shared.extend(&c);
+        prop_assert_eq!(merged, record_all(&shared));
+    }
+
+    #[test]
+    fn quantile_never_underestimates(
+        values in collection::vec(0u64..u64::MAX / 4, 1..300),
+        q_percent in 0u64..=100,
+    ) {
+        let q = q_percent as f64 / 100.0;
+        let snap = record_all(&values);
+        let exact = exact_quantile(&values, q);
+        let approx = snap.quantile(q);
+        prop_assert!(approx >= exact, "{} < {}", approx, exact);
+        // Power-of-two buckets: at most one octave of overshoot, and the
+        // recorded max caps the top end exactly.
+        prop_assert!(approx <= exact.saturating_mul(2).max(1));
+        prop_assert!(approx <= snap.max);
+    }
+
+    #[test]
+    fn count_sum_and_max_are_exact(values in collection::vec(0u64..1_000_000, 0..300)) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+    }
+}
