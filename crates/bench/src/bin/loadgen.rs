@@ -4,8 +4,9 @@
 //! loadgen drive [--addr ADDR] [--leases N] [--tenants N]
 //!               [--connections C] [--pipeline-depth D] [--batch B]
 //!               [--out FILE] [--id ID] [--check-metrics]
-//! loadgen stats    [--addr ADDR]
-//! loadgen metrics  [--addr ADDR]
+//! loadgen stats     [--addr ADDR]
+//! loadgen retention [--addr ADDR]
+//! loadgen metrics   [--addr ADDR]
 //! loadgen snapshot [--addr ADDR]
 //! loadgen shutdown [--addr ADDR]
 //! ```
@@ -44,7 +45,11 @@
 //!
 //! `stats` prints the daemon's deterministic stats JSON to stdout — the CI
 //! restart check diffs this output byte-for-byte across a
-//! snapshot/shutdown/restart cycle.
+//! snapshot/shutdown/restart cycle. `retention` prints the per-shard
+//! decision-trace retention report (`mode`, `limit`, `retained`, `total`)
+//! as one JSON line per shard — the CI bounded-retention check asserts
+//! `retained <= limit` while the stats JSON matches the full-retention
+//! lockstep daemon.
 
 use leased::client::Client;
 use leased::protocol::{Request, Response};
@@ -53,7 +58,8 @@ use std::collections::VecDeque;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: loadgen <drive|stats|metrics|snapshot|shutdown> [--addr ADDR] \
+const USAGE: &str =
+    "usage: loadgen <drive|stats|retention|metrics|snapshot|shutdown> [--addr ADDR] \
                      [--leases N] [--tenants N] [--connections C] [--pipeline-depth D] \
                      [--batch B] [--out FILE] [--id ID] [--check-metrics]";
 
@@ -75,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
     let command = it.next().ok_or(USAGE.to_string())?;
     if !matches!(
         command.as_str(),
-        "drive" | "stats" | "metrics" | "snapshot" | "shutdown"
+        "drive" | "stats" | "retention" | "metrics" | "snapshot" | "shutdown"
     ) {
         return Err(format!("unknown command {command:?}\n{USAGE}"));
     }
@@ -353,6 +359,19 @@ fn run(args: &Args) -> Result<(), String> {
                 Client::connect(args.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
             let stats = client.stats().map_err(|e| e.to_string())?;
             println!("{}", stats.to_json());
+            Ok(())
+        }
+        "retention" => {
+            let mut client =
+                Client::connect(args.addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+            let shards = client.retention_info().map_err(|e| e.to_string())?;
+            for (index, info) in shards.iter().enumerate() {
+                println!(
+                    "{{\"shard\": {index}, \"mode\": \"{}\", \"limit\": {}, \
+                     \"retained\": {}, \"total\": {}}}",
+                    info.mode, info.limit, info.retained, info.total
+                );
+            }
             Ok(())
         }
         "metrics" => {

@@ -55,6 +55,7 @@ fn main() {
             threads: 2,
             cell_budget_ms: None,
             compact_every: None,
+            retention: Default::default(),
         };
         let seeds: Vec<u64> = (0..10).map(|t| SEED + t).collect();
         let report = run_matrix(&det, &rainy, &seeds, &config);

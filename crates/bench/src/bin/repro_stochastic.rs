@@ -102,6 +102,7 @@ fn main() {
         threads: 2,
         cell_budget_ms: None,
         compact_every: None,
+        retention: Default::default(),
     };
     let seeds: Vec<u64> = (0..TRIALS).map(|t| SEED + t).collect();
     let report = run_matrix(&algorithms, &scenarios, &seeds, &config);

@@ -13,6 +13,7 @@
 //! simlab --algorithms all             # run the whole registry
 //! simlab --cell-budget-ms 5000        # timeout slow cells as failures
 //! simlab --compact-every=2048         # prune coverage history on horizons >= 8192
+//! simlab --retention bounded:4096     # cap the per-cell decision trace (or `aggregate`)
 //! simlab --baseline old.json          # diff the fresh run vs a baseline
 //! simlab --baseline old.json --candidate new.json   # pure file diff
 //! simlab --max-ratio 6.0              # absolute empirical-ratio gate
@@ -25,6 +26,7 @@
 //! guarantees against the offline oracles.
 
 use leasing_bench::table;
+use leasing_core::engine::DecisionRetention;
 use leasing_simlab::baseline::{diff_reports, ratio_violations};
 use leasing_simlab::registry::{select_algorithms, standard_registry};
 use leasing_simlab::report::MatrixReport;
@@ -43,6 +45,7 @@ struct Args {
     list: bool,
     cell_budget_ms: u64,
     compact_every: Option<u64>,
+    retention: DecisionRetention,
     baseline: Option<String>,
     candidate: Option<String>,
     tolerance: f64,
@@ -62,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         cell_budget_ms: 0,
         compact_every: None,
+        retention: DecisionRetention::Full,
         baseline: None,
         candidate: None,
         tolerance: 0.05,
@@ -111,6 +115,10 @@ fn parse_args() -> Result<Args, String> {
             other if other.starts_with("--compact-every=") => {
                 args.compact_every = Some(parse_compact_every(&other["--compact-every=".len()..])?)
             }
+            "--retention" => args.retention = parse_retention(&value("--retention")?)?,
+            other if other.starts_with("--retention=") => {
+                args.retention = parse_retention(&other["--retention=".len()..])?
+            }
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--candidate" => args.candidate = Some(value("--candidate")?),
             "--tolerance" => {
@@ -134,6 +142,25 @@ fn parse_args() -> Result<Args, String> {
         return Err("--candidate requires --baseline".into());
     }
     Ok(args)
+}
+
+/// Parses the `--retention` grammar shared with the `leased` daemon:
+/// `full`, `bounded:N`, or `aggregate`. Retention never changes the
+/// matrix report — only each cell's retained decision trace.
+fn parse_retention(spec: &str) -> Result<DecisionRetention, String> {
+    match spec {
+        "full" => Ok(DecisionRetention::Full),
+        "aggregate" | "aggregate-only" => Ok(DecisionRetention::AggregateOnly),
+        other => match other.strip_prefix("bounded:") {
+            Some(n) => n
+                .parse()
+                .map(DecisionRetention::Bounded)
+                .map_err(|e| format!("--retention bounded:{n}: {e}")),
+            None => Err(format!(
+                "--retention {other:?}: expected full, bounded:N, or aggregate"
+            )),
+        },
+    }
 }
 
 fn parse_compact_every(text: &str) -> Result<u64, String> {
@@ -244,6 +271,7 @@ fn main() {
         threads: args.threads,
         cell_budget_ms: (args.cell_budget_ms > 0).then_some(args.cell_budget_ms),
         compact_every: args.compact_every,
+        retention: args.retention,
         ..MatrixConfig::default_config()
     };
 

@@ -311,23 +311,33 @@ impl CoverageIndex {
     /// structure (out-of-range purchases carry no window information and
     /// only enter the ownership runs).
     pub fn insert(&mut self, triple: Triple, window_len: Option<u64>) {
+        self.insert_copies(triple, window_len, 1);
+    }
+
+    /// Records `copies` purchases of `triple` at once — the bulk twin of
+    /// [`insert`](Self::insert) behind snapshot restore, which re-installs
+    /// exported start runs instead of replaying the decision trace.
+    pub fn insert_copies(&mut self, triple: Triple, window_len: Option<u64>, copies: u32) {
+        if copies == 0 {
+            return;
+        }
         let slot = self.run_slot_or_insert(triple.element, triple.type_index);
         let mut shift = 0u64;
         // lint:allow(cast: slot ids are u32 indices into `runs` and widen into usize)
         if let Some(run) = self.runs.get_mut(slot as usize) {
             let starts = &mut run.starts;
             match starts.last_mut() {
-                Some(last) if last.0 == triple.start => last.1 += 1,
-                Some(last) if last.0 < triple.start => starts.push((triple.start, 1)),
-                None => starts.push((triple.start, 1)),
+                Some(last) if last.0 == triple.start => last.1 += copies,
+                Some(last) if last.0 < triple.start => starts.push((triple.start, copies)),
+                None => starts.push((triple.start, copies)),
                 _ => {
                     // Out-of-order (backdated) start: binary-search insert.
                     let idx = starts.partition_point(|&(s, _)| s < triple.start);
                     match starts.get_mut(idx) {
-                        Some(at) if at.0 == triple.start => at.1 += 1,
+                        Some(at) if at.0 == triple.start => at.1 += copies,
                         _ => {
                             shift = (starts.len() - idx) as u64;
-                            starts.insert(idx, (triple.start, 1));
+                            starts.insert(idx, (triple.start, copies));
                         }
                     }
                 }
@@ -337,6 +347,40 @@ impl CoverageIndex {
         if let Some(len) = window_len {
             self.add_window(triple.element, triple.start, triple.start + len);
         }
+    }
+
+    /// Every recorded start run as `(element, type_index, start, copies)`,
+    /// sorted — the deterministic export behind non-`Full` ledger
+    /// snapshots. Feeding the entries back through
+    /// [`insert_copies`](Self::insert_copies) (window lengths re-derived
+    /// from the lease structure) rebuilds an index answering every
+    /// ownership and coverage query identically, provided the exporting
+    /// index was never [pruned](Self::prune_expired) — after a prune the
+    /// rebuilt merged profiles may narrow *behind* the prune horizon,
+    /// exactly the region prune already left unreliable.
+    pub fn export_runs(&self) -> Vec<(usize, usize, TimeStep, u32)> {
+        // A slot lives in exactly one of the dense table and the sparse
+        // map (the insert path never writes both).
+        let mut slots: Vec<(usize, usize, u32)> = Vec::new();
+        for (idx, &id) in self.dense_runs.iter().enumerate() {
+            if id != NO_SLOT {
+                slots.push((idx / self.stride, idx % self.stride, id));
+            }
+        }
+        slots.extend(self.slots.iter().map(|(&(e, k), &id)| (e, k, id)));
+        slots.sort_unstable();
+        let mut out = Vec::new();
+        for (element, k, id) in slots {
+            // lint:allow(cast: slot ids are u32 indices into `runs` and widen into usize)
+            if let Some(run) = self.runs.get(id as usize) {
+                out.extend(
+                    run.starts
+                        .iter()
+                        .map(|&(start, copies)| (element, k, start, copies)),
+                );
+            }
+        }
+        out
     }
 
     /// Merges the window `[start, end)` into `element`'s coverage profile.
@@ -623,6 +667,39 @@ mod tests {
         // Both copies count when pruned.
         assert_eq!(index.prune_expired(12, &[2, 4]), 2);
         assert!(!index.owns(tr));
+    }
+
+    #[test]
+    fn export_runs_round_trip_through_insert_copies() {
+        let mut index = CoverageIndex::default();
+        index.set_stride(2);
+        index.insert(Triple::new(0, 0, 4), Some(4));
+        index.insert(Triple::new(0, 0, 4), Some(4)); // duplicate start merges
+        index.insert(Triple::new(3, 1, 8), Some(16));
+        index.insert(Triple::new(0, 1, 0), Some(16));
+        index.insert(Triple::new(7, 5, 2), None); // out-of-stride, no window
+        let runs = index.export_runs();
+        assert_eq!(
+            runs,
+            vec![(0, 0, 4, 2), (0, 1, 0, 1), (3, 1, 8, 1), (7, 5, 2, 1)]
+        );
+        let mut rebuilt = CoverageIndex::default();
+        rebuilt.set_stride(2);
+        for &(element, k, start, copies) in &runs {
+            let window_len = (k < 2).then_some(if k == 0 { 4 } else { 16 });
+            rebuilt.insert_copies(Triple::new(element, k, start), window_len, copies);
+        }
+        assert_eq!(rebuilt.export_runs(), runs);
+        for t in 0..24u64 {
+            assert_eq!(rebuilt.covered_element(0, t), index.covered_element(0, t));
+            assert_eq!(rebuilt.covered_element(3, t), index.covered_element(3, t));
+            assert_eq!(
+                rebuilt.count_covered_elements(t),
+                index.count_covered_elements(t)
+            );
+        }
+        assert!(rebuilt.owns(Triple::new(7, 5, 2)));
+        assert_eq!(rebuilt.stats().slots, index.stats().slots);
     }
 
     #[test]

@@ -133,6 +133,53 @@ impl ExpiryTimeline {
         expired
     }
 
+    /// Schedules `copies` lease copies expiring at `end` — the bulk twin
+    /// of [`schedule`](Self::schedule), used when a snapshot restore
+    /// re-installs a serialized timeline. Callers guarantee `end > now`.
+    pub fn schedule_copies(&mut self, end: TimeStep, copies: u32) {
+        debug_assert!(end > self.base, "expiry at or before the clock");
+        if copies == 0 {
+            return;
+        }
+        // lint:allow(cast: u32 bucket counts always widen into usize)
+        self.pending += copies as usize;
+        if end - self.base <= RING {
+            // lint:allow(cast: end % RING is below 64 by construction)
+            let idx = (end % RING) as usize;
+            if let Some(slot) = self.ring.get_mut(idx) {
+                *slot += copies;
+            }
+            self.occupied |= 1 << idx;
+        } else {
+            *self.far.entry(end).or_insert(0) += copies;
+        }
+    }
+
+    /// Every pending `(end, copies)` pair in ascending expiry order — the
+    /// deterministic export behind non-`Full` ledger snapshots, which
+    /// serialize the timeline directly instead of replaying the decision
+    /// trace that built it.
+    pub fn pending_entries(&self) -> Vec<(TimeStep, u32)> {
+        let mut out = Vec::new();
+        let mut bits = self.occupied;
+        while bits != 0 {
+            let idx = u64::from(bits.trailing_zeros());
+            // The unique in-window end with residue `idx`: within one ring
+            // generation `(base, base + RING]` every residue names exactly
+            // one time step.
+            let offset = (idx + RING - ((self.base + 1) % RING)) % RING;
+            let end = self.base + 1 + offset;
+            // lint:allow(cast: trailing_zeros of a u64 is at most 64)
+            let copies = self.ring.get(idx as usize).copied().unwrap_or(0);
+            out.push((end, copies));
+            bits &= bits - 1;
+        }
+        out.sort_unstable();
+        // Far keys all exceed `base + RING`, so appending keeps ascending.
+        out.extend(self.far.iter().map(|(&end, &copies)| (end, copies)));
+        out
+    }
+
     /// The earliest pending expiry time, if any.
     pub fn next_expiry(&self) -> Option<TimeStep> {
         if self.occupied != 0 {
@@ -222,6 +269,31 @@ mod tests {
         assert_eq!(tl.len(), 2);
         assert_eq!(tl.advance_to(70), 2);
         assert_eq!(tl.len(), 0);
+    }
+
+    #[test]
+    fn pending_entries_round_trip_through_schedule_copies() {
+        let mut tl = ExpiryTimeline::default();
+        tl.advance_to(10);
+        tl.schedule(12);
+        tl.schedule(12);
+        tl.schedule(10 + RING); // last in-window slot
+        tl.schedule(500); // far bucket
+        tl.schedule(500);
+        tl.schedule(900);
+        let entries = tl.pending_entries();
+        assert_eq!(entries, vec![(12, 2), (10 + RING, 1), (500, 2), (900, 1)]);
+        // Re-install onto a fresh timeline at the same clock.
+        let mut restored = ExpiryTimeline::default();
+        restored.advance_to(10);
+        for (end, copies) in entries {
+            restored.schedule_copies(end, copies);
+        }
+        assert_eq!(restored.len(), tl.len());
+        assert_eq!(restored.pending_entries(), tl.pending_entries());
+        // Both drain identically.
+        assert_eq!(restored.advance_to(600), tl.advance_to(600));
+        assert_eq!(restored.next_expiry(), tl.next_expiry());
     }
 
     #[test]

@@ -17,13 +17,104 @@
 //! the original left off.
 
 use super::ledger::{check_schema, SnapshotError};
-use super::{Driver, DriverError, LeasingAlgorithm, Ledger, Report};
+use super::{
+    DecisionRetention, Driver, DriverError, ElementPartitioned, LeasingAlgorithm, Ledger, Report,
+};
 use crate::lease::LeaseStructure;
 use crate::time::TimeStep;
 use serde::{json, Deserialize, Serialize, Value};
 
 /// Schema tag of [`EngineHandle::snapshot`] envelopes.
 pub const ENGINE_SNAPSHOT_SCHEMA: &str = "engine-snapshot/v1";
+
+/// Object-safe twin of [`ElementPartitioned`]: what a type-erased
+/// partitioned policy must do — serve a request, clone itself behind a
+/// box (for the per-partition workers) and absorb a boxed partition back
+/// (downcast to the concrete type behind the erasure).
+trait DynPartitioned<R>: Send {
+    fn serve(&mut self, time: TimeStep, request: R, books: super::Books<'_>);
+    fn clone_box(&self) -> Box<dyn DynPartitioned<R>>;
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+    fn absorb_box(&mut self, partition: Box<dyn std::any::Any>, elements: &[usize]);
+}
+
+impl<A> DynPartitioned<A::Request> for A
+where
+    A: ElementPartitioned + 'static,
+{
+    fn serve(&mut self, time: TimeStep, request: A::Request, books: super::Books<'_>) {
+        self.on_request(time, request, books);
+    }
+
+    fn clone_box(&self) -> Box<dyn DynPartitioned<A::Request>> {
+        Box::new(self.clone())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+
+    fn absorb_box(&mut self, partition: Box<dyn std::any::Any>, elements: &[usize]) {
+        // The partition is always a clone of `self` made by `clone_box`,
+        // so the downcast cannot fail; a foreign payload is ignored.
+        if let Ok(partition) = partition.downcast::<A>() {
+            self.absorb(*partition, elements);
+        }
+    }
+}
+
+/// The partitioned-capable erased policy: itself a [`LeasingAlgorithm`]
+/// and [`ElementPartitioned`], so the generic
+/// [`Driver::submit_columns_partitioned`] machinery runs unchanged behind
+/// the type erasure.
+struct PartitionedBox<R>(Box<dyn DynPartitioned<R>>);
+
+impl<R> Clone for PartitionedBox<R> {
+    fn clone(&self) -> Self {
+        PartitionedBox(self.0.clone_box())
+    }
+}
+
+impl<R> LeasingAlgorithm for PartitionedBox<R> {
+    type Request = R;
+
+    fn on_request(&mut self, time: TimeStep, request: R, books: super::Books<'_>) {
+        self.0.serve(time, request, books);
+    }
+}
+
+impl<R: Send> ElementPartitioned for PartitionedBox<R> {
+    fn absorb(&mut self, partition: Self, elements: &[usize]) {
+        self.0.absorb_box(partition.0.into_any(), elements);
+    }
+}
+
+/// The two erasures a handle can hold: the plain boxed policy, or the
+/// partitioned-capable one (owned, `'static`, [`ElementPartitioned`]).
+enum Inner<'p, R> {
+    Plain(Driver<Box<dyn LeasingAlgorithm<Request = R> + 'p>>),
+    Partitioned(Driver<PartitionedBox<R>>),
+}
+
+/// Runs `$body` with `$d` bound to whichever driver variant `$self`
+/// holds — the delegation boilerplate behind every handle method.
+macro_rules! on_driver {
+    ($self:expr, |$d:ident| $body:expr) => {
+        match &mut $self.inner {
+            Inner::Plain($d) => $body,
+            Inner::Partitioned($d) => $body,
+        }
+    };
+}
+
+macro_rules! on_driver_ref {
+    ($self:expr, |$d:ident| $body:expr) => {
+        match &$self.inner {
+            Inner::Plain($d) => $body,
+            Inner::Partitioned($d) => $body,
+        }
+    };
+}
 
 /// An owned engine: a boxed [`LeasingAlgorithm`] bound to its own
 /// [`Ledger`], exposing the full submit/advance/stats/snapshot surface
@@ -33,7 +124,7 @@ pub const ENGINE_SNAPSHOT_SCHEMA: &str = "engine-snapshot/v1";
 /// problem instance work fine); owned policies use `EngineHandle<'static,
 /// R>`.
 pub struct EngineHandle<'p, R> {
-    driver: Driver<Box<dyn LeasingAlgorithm<Request = R> + 'p>>,
+    inner: Inner<'p, R>,
 }
 
 impl<'p, R> EngineHandle<'p, R> {
@@ -43,7 +134,7 @@ impl<'p, R> EngineHandle<'p, R> {
         structure: LeaseStructure,
     ) -> Self {
         EngineHandle {
-            driver: Driver::new(Box::new(algorithm), structure),
+            inner: Inner::Plain(Driver::new(Box::new(algorithm), structure)),
         }
     }
 
@@ -51,7 +142,7 @@ impl<'p, R> EngineHandle<'p, R> {
     /// purchase explicitly via [`Ledger::buy_priced`]).
     pub fn detached(algorithm: impl LeasingAlgorithm<Request = R> + 'p) -> Self {
         EngineHandle {
-            driver: Driver::detached(Box::new(algorithm)),
+            inner: Inner::Plain(Driver::detached(Box::new(algorithm))),
         }
     }
 
@@ -60,7 +151,21 @@ impl<'p, R> EngineHandle<'p, R> {
     /// [`Ledger::reset`]).
     pub fn with_ledger(algorithm: impl LeasingAlgorithm<Request = R> + 'p, ledger: Ledger) -> Self {
         EngineHandle {
-            driver: Driver::with_ledger(Box::new(algorithm), ledger),
+            inner: Inner::Plain(Driver::with_ledger(Box::new(algorithm), ledger)),
+        }
+    }
+
+    /// A handle over an [`ElementPartitioned`] policy, keeping the
+    /// partitioned capability through the type erasure:
+    /// [`submit_columns_partitioned`](EngineHandle::submit_columns_partitioned)
+    /// on such a handle fans out across worker threads; on any other
+    /// handle it falls back to the serial path (same bytes either way).
+    pub fn new_partitioned(
+        algorithm: impl ElementPartitioned<Request = R> + 'static,
+        structure: LeaseStructure,
+    ) -> Self {
+        EngineHandle {
+            inner: Inner::Partitioned(Driver::new(PartitionedBox(Box::new(algorithm)), structure)),
         }
     }
 
@@ -71,7 +176,7 @@ impl<'p, R> EngineHandle<'p, R> {
     /// Returns [`DriverError::TimeTravel`] when `time` precedes the
     /// previous request's time; the request is not served.
     pub fn submit(&mut self, time: TimeStep, request: R) -> Result<(), DriverError> {
-        self.driver.submit(time, request)
+        on_driver!(self, |d| d.submit(time, request))
     }
 
     /// Submits a whole time-stamped request sequence. See
@@ -85,7 +190,7 @@ impl<'p, R> EngineHandle<'p, R> {
         &mut self,
         requests: impl IntoIterator<Item = (TimeStep, R)>,
     ) -> Result<(), DriverError> {
-        self.driver.submit_batch(requests)
+        on_driver!(self, |d| d.submit_batch(requests))
     }
 
     /// Submits every request of one time step with a single monotonicity
@@ -100,7 +205,7 @@ impl<'p, R> EngineHandle<'p, R> {
         time: TimeStep,
         requests: impl IntoIterator<Item = R>,
     ) -> Result<usize, DriverError> {
-        self.driver.submit_at(time, requests)
+        on_driver!(self, |d| d.submit_at(time, requests))
     }
 
     /// Submits a column-shaped batch — the batched fast path: the times
@@ -118,7 +223,37 @@ impl<'p, R> EngineHandle<'p, R> {
         times: &[TimeStep],
         requests: impl IntoIterator<Item = R>,
     ) -> Result<usize, DriverError> {
-        self.driver.submit_columns(times, requests)
+        on_driver!(self, |d| d.submit_columns(times, requests))
+    }
+
+    /// Submits a column-shaped batch in parallel across `threads` scoped
+    /// worker threads, partitioned by `elements[i] % threads` — available
+    /// on handles built with
+    /// [`new_partitioned`](EngineHandle::new_partitioned); every other
+    /// handle serves the batch serially. Both paths produce byte-identical
+    /// ledgers, stats and snapshots. See
+    /// [`Driver::submit_columns_partitioned`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first out-of-order time stamp and returns
+    /// [`DriverError::TimeTravel`]; earlier requests stay served.
+    pub fn submit_columns_partitioned(
+        &mut self,
+        times: &[TimeStep],
+        elements: &[usize],
+        requests: impl IntoIterator<Item = R>,
+        threads: usize,
+    ) -> Result<usize, DriverError>
+    where
+        R: Send,
+    {
+        match &mut self.inner {
+            Inner::Plain(d) => d.submit_columns(times, requests),
+            Inner::Partitioned(d) => {
+                d.submit_columns_partitioned(times, elements, requests, threads)
+            }
+        }
     }
 
     /// Advances the engine clock to `time` without serving a request,
@@ -130,33 +265,44 @@ impl<'p, R> EngineHandle<'p, R> {
     /// Returns [`DriverError::TimeTravel`] when `time` precedes the
     /// previous request's time.
     pub fn advance(&mut self, time: TimeStep) -> Result<usize, DriverError> {
-        self.driver.advance(time)
+        on_driver!(self, |d| d.advance(time))
     }
 
     /// Compacts the ledger's coverage index. See [`Ledger::compact`].
     pub fn compact(&mut self, before_t: TimeStep) -> usize {
-        self.driver.compact(before_t)
+        on_driver!(self, |d| d.compact(before_t))
     }
 
     /// Reserves decision-trace capacity for a stream whose arrival count
     /// is known up front. See [`Ledger::reserve_decisions`].
     pub fn reserve_decisions(&mut self, additional: usize) {
-        self.driver.reserve_decisions(additional);
+        on_driver!(self, |d| d.reserve_decisions(additional));
+    }
+
+    /// Switches the ledger's decision-retention policy. See
+    /// [`Ledger::set_retention`].
+    pub fn set_retention(&mut self, retention: DecisionRetention) {
+        on_driver!(self, |d| d.set_retention(retention));
+    }
+
+    /// The ledger's active [`DecisionRetention`] policy.
+    pub fn retention(&self) -> DecisionRetention {
+        on_driver_ref!(self, |d| d.retention())
     }
 
     /// The ledger accumulated so far.
     pub fn ledger(&self) -> &Ledger {
-        self.driver.ledger()
+        on_driver_ref!(self, |d| d.ledger())
     }
 
     /// Total cost recorded so far.
     pub fn cost(&self) -> f64 {
-        self.driver.cost()
+        on_driver_ref!(self, |d| d.cost())
     }
 
     /// Number of requests served.
     pub fn requests(&self) -> usize {
-        self.driver.requests()
+        on_driver_ref!(self, |d| d.requests())
     }
 
     /// A deterministic summary of the engine state. Two handles with the
@@ -164,9 +310,9 @@ impl<'p, R> EngineHandle<'p, R> {
     /// [`snapshot`](EngineHandle::snapshot) — produce byte-identical
     /// [`EngineStats::to_json`] output.
     pub fn stats(&self) -> EngineStats {
-        let ledger = self.driver.ledger();
+        let ledger = self.ledger();
         EngineStats {
-            requests: self.driver.requests(),
+            requests: self.requests(),
             decisions: ledger.decision_count(),
             leases_bought: ledger.leases_bought(),
             active_leases: ledger.active_leases(),
@@ -181,23 +327,27 @@ impl<'p, R> EngineHandle<'p, R> {
 
     /// Summarizes the run against a (lower bound on the) offline optimum.
     pub fn report(&self, optimum_cost: f64) -> Report {
-        self.driver.report(optimum_cost)
+        on_driver_ref!(self, |d| d.report(optimum_cost))
     }
 
     /// Serializes the engine into a self-describing snapshot envelope,
     /// schema-tagged [`ENGINE_SNAPSHOT_SCHEMA`]: the handle's submission
     /// counters plus the ledger's golden-tested decision trace
-    /// ([`Ledger::snapshot`] payload).
+    /// ([`Ledger::snapshot`] payload). Under a non-`Full`
+    /// [`DecisionRetention`] policy the ledger payload carries a versioned
+    /// `retention` field that round-trips the retained decision ring and
+    /// the cumulative aggregates losslessly (see [`Ledger::snapshot`]);
+    /// `Full`-mode snapshots keep the historical shape byte-for-byte.
     pub fn snapshot(&self) -> String {
-        let envelope = Value::Map(vec![
+        let envelope = on_driver_ref!(self, |d| Value::Map(vec![
             (
                 "schema".to_string(),
                 Value::Str(ENGINE_SNAPSHOT_SCHEMA.to_string()),
             ),
-            ("requests".to_string(), self.driver.requests.to_value()),
-            ("last_time".to_string(), self.driver.last_time.to_value()),
-            ("ledger".to_string(), self.driver.ledger.to_value()),
-        ]);
+            ("requests".to_string(), d.requests.to_value()),
+            ("last_time".to_string(), d.last_time.to_value()),
+            ("ledger".to_string(), d.ledger.to_value()),
+        ]));
         json::to_string(&envelope)
     }
 
@@ -221,42 +371,74 @@ impl<'p, R> EngineHandle<'p, R> {
         algorithm: impl LeasingAlgorithm<Request = R> + 'p,
         text: &str,
     ) -> Result<Self, SnapshotError> {
-        let envelope = json::parse(text).map_err(SnapshotError::Malformed)?;
-        check_schema(&envelope, ENGINE_SNAPSHOT_SCHEMA)?;
-        let requests: usize = Deserialize::from_value(
-            serde::value_field(&envelope, "requests").map_err(SnapshotError::Malformed)?,
-        )
-        .map_err(SnapshotError::Malformed)?;
-        let last_time: Option<TimeStep> = Deserialize::from_value(
-            serde::value_field(&envelope, "last_time").map_err(SnapshotError::Malformed)?,
-        )
-        .map_err(SnapshotError::Malformed)?;
-        let ledger: Ledger = Deserialize::from_value(
-            serde::value_field(&envelope, "ledger").map_err(SnapshotError::Malformed)?,
-        )
-        .map_err(SnapshotError::Malformed)?;
+        let (requests, last_time, ledger) = parse_snapshot(text)?;
         let mut driver = Driver::with_ledger(
             Box::new(algorithm) as Box<dyn LeasingAlgorithm<Request = R> + 'p>,
             ledger,
         );
         driver.requests = requests;
         driver.last_time = last_time;
-        Ok(EngineHandle { driver })
+        Ok(EngineHandle {
+            inner: Inner::Plain(driver),
+        })
+    }
+
+    /// [`restore`](EngineHandle::restore) for an [`ElementPartitioned`]
+    /// policy, keeping the partitioned capability — the counterpart of
+    /// [`new_partitioned`](EngineHandle::new_partitioned).
+    ///
+    /// # Errors
+    ///
+    /// Exactly like [`restore`](EngineHandle::restore).
+    pub fn restore_partitioned(
+        algorithm: impl ElementPartitioned<Request = R> + 'static,
+        text: &str,
+    ) -> Result<Self, SnapshotError> {
+        let (requests, last_time, ledger) = parse_snapshot(text)?;
+        let mut driver = Driver::with_ledger(PartitionedBox(Box::new(algorithm)), ledger);
+        driver.requests = requests;
+        driver.last_time = last_time;
+        Ok(EngineHandle {
+            inner: Inner::Partitioned(driver),
+        })
     }
 
     /// Releases the ledger (dropping the boxed policy) — the arena-recycle
     /// path for pooled workers.
     pub fn into_ledger(self) -> Ledger {
-        self.driver.into_parts().1
+        match self.inner {
+            Inner::Plain(d) => d.into_parts().1,
+            Inner::Partitioned(d) => d.into_parts().1,
+        }
     }
+}
+
+/// Decodes an [`ENGINE_SNAPSHOT_SCHEMA`] envelope into its counters and
+/// ledger — shared by both restore paths.
+fn parse_snapshot(text: &str) -> Result<(usize, Option<TimeStep>, Ledger), SnapshotError> {
+    let envelope = json::parse(text).map_err(SnapshotError::Malformed)?;
+    check_schema(&envelope, ENGINE_SNAPSHOT_SCHEMA)?;
+    let requests: usize = Deserialize::from_value(
+        serde::value_field(&envelope, "requests").map_err(SnapshotError::Malformed)?,
+    )
+    .map_err(SnapshotError::Malformed)?;
+    let last_time: Option<TimeStep> = Deserialize::from_value(
+        serde::value_field(&envelope, "last_time").map_err(SnapshotError::Malformed)?,
+    )
+    .map_err(SnapshotError::Malformed)?;
+    let ledger: Ledger = Deserialize::from_value(
+        serde::value_field(&envelope, "ledger").map_err(SnapshotError::Malformed)?,
+    )
+    .map_err(SnapshotError::Malformed)?;
+    Ok((requests, last_time, ledger))
 }
 
 impl<R> std::fmt::Debug for EngineHandle<'_, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EngineHandle")
-            .field("requests", &self.driver.requests())
-            .field("decisions", &self.driver.ledger().decision_count())
-            .field("now", &self.driver.ledger().now())
+            .field("requests", &self.requests())
+            .field("decisions", &self.ledger().decision_count())
+            .field("now", &self.ledger().now())
             .finish_non_exhaustive()
     }
 }

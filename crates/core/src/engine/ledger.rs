@@ -13,9 +13,15 @@
 //!   [`CoverageIndex`](super::coverage::CoverageIndex) of sorted start
 //!   runs and merged per-element coverage profiles.
 //!
-//! The JSON schema ([`Ledger::to_json`]) is unchanged: only the lease
-//! structure, the clock and the decision trace (with full category names)
-//! are serialized, and deserialization replays the trace.
+//! The JSON schema ([`Ledger::to_json`]) is unchanged for the default
+//! [`DecisionRetention::Full`] policy: only the lease structure, the clock
+//! and the decision trace (with full category names) are serialized, and
+//! deserialization replays the trace. Under [`DecisionRetention::Bounded`]
+//! and [`DecisionRetention::AggregateOnly`] the trace no longer determines
+//! the derived state, so the snapshot payload grows a versioned
+//! `retention` field and serializes the aggregates, coverage runs and
+//! expiry timeline directly; deserialization re-installs them without
+//! replay.
 
 use super::coverage::{CoverageIndex, CoverageStats, FxHashMap};
 use super::expiry::ExpiryTimeline;
@@ -62,6 +68,35 @@ pub struct ElementStats {
     pub extra_cost: f64,
 }
 
+/// How much of the decision trace a [`Ledger`] retains.
+///
+/// Every cost aggregate — [`total_cost`](Ledger::total_cost), the
+/// per-category breakdown, [`element_stats`](Ledger::element_stats),
+/// [`leases_bought`](Ledger::leases_bought),
+/// [`decision_count`](Ledger::decision_count) — and every coverage and
+/// expiry query is maintained incrementally at record time and is
+/// **bit-identical in every mode**. Retention only narrows what
+/// [`decisions`](Ledger::decisions) returns and what a snapshot can
+/// replay: trading replayability for flat memory on unbounded streams,
+/// where the append-only trace is the one per-request (rather than
+/// per-element) allocation left on the hot path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecisionRetention {
+    /// Keep every decision — the default, bit-identical to the historical
+    /// behaviour, and the only mode whose snapshots replay the full trace.
+    #[default]
+    Full,
+    /// Keep a ring of the most recent `n` decisions. Eviction is
+    /// deterministic (strictly oldest-first);
+    /// [`decisions`](Ledger::decisions) always returns the latest
+    /// `min(recorded, n)` entries in record order.
+    Bounded(usize),
+    /// Keep no decisions at all: every decision folds into the cost
+    /// aggregates (which happens at record time regardless) and is
+    /// dropped. Equivalent to `Bounded(0)` with the clearest intent.
+    AggregateOnly,
+}
+
 /// The default spending category of [`Ledger::buy`]/[`Ledger::buy_priced`].
 pub const CATEGORY_LEASE: &str = "lease";
 
@@ -85,6 +120,13 @@ pub const CATEGORY_CONNECTION: &str = "connection";
 pub struct Ledger {
     structure: Option<LeaseStructure>,
     decisions: Vec<Decision>,
+    /// Cumulative count of every decision ever recorded — equals
+    /// `decisions.len()` under `Full` retention, and keeps
+    /// [`decision_count`](Ledger::decision_count) (and every stats/report
+    /// consumer of it) byte-identical when retention narrows the trace.
+    decision_total: usize,
+    /// How much of the trace `decisions` retains.
+    retention: DecisionRetention,
     total: f64,
     /// Interned `(category, total)` table in first-use order.
     categories: Vec<(Cow<'static, str>, f64)>,
@@ -123,8 +165,12 @@ impl Ledger {
     /// path for workers running many ledgers in sequence (SimLab reuses
     /// one ledger per worker thread across cells). A reset ledger is
     /// observationally identical to `Ledger::new(structure)`.
+    ///
+    /// The [`DecisionRetention`] policy is configuration, not recorded
+    /// state, and survives the reset.
     pub fn reset(&mut self, structure: LeaseStructure) {
         self.decisions.clear();
+        self.decision_total = 0;
         self.total = 0.0;
         self.categories.clear();
         self.expiry.reset();
@@ -231,7 +277,31 @@ impl Ledger {
         }
     }
 
-    fn record_lease(
+    /// Appends `decision` to the retained trace under the current
+    /// retention policy, bumping the cumulative total. The policy only
+    /// governs storage — every aggregate was already updated by the
+    /// caller, so evicting (or never storing) a decision loses nothing
+    /// but its replayability.
+    fn push_decision(&mut self, decision: Decision) {
+        self.decision_total += 1;
+        match self.retention {
+            DecisionRetention::Full => self.decisions.push(decision),
+            DecisionRetention::AggregateOnly | DecisionRetention::Bounded(0) => {}
+            DecisionRetention::Bounded(n) => {
+                self.decisions.push(decision);
+                // Amortized ring: let the buffer grow to 2n, then drop the
+                // oldest half in one contiguous move — O(1) amortized per
+                // push, memory bounded by 2n, and the exposed window
+                // (`decisions()`) is always exactly the latest
+                // min(recorded, n) entries.
+                if self.decisions.len() >= n.saturating_mul(2) {
+                    self.decisions.drain(..self.decisions.len() - n);
+                }
+            }
+        }
+    }
+
+    pub(super) fn record_lease(
         &mut self,
         t: TimeStep,
         triple: Triple,
@@ -262,7 +332,7 @@ impl Ledger {
                 self.expiry.schedule(end);
             }
         }
-        self.decisions.push(Decision {
+        self.push_decision(Decision {
             time: t,
             element: triple.element,
             lease: Some(triple.lease()),
@@ -278,7 +348,7 @@ impl Ledger {
         self.record_charge(t, element, cost, Cow::Borrowed(category));
     }
 
-    fn record_charge(
+    pub(super) fn record_charge(
         &mut self,
         t: TimeStep,
         element: usize,
@@ -291,7 +361,7 @@ impl Ledger {
             self.categories.push((category.clone(), cost));
         }
         self.per_element.entry(element).or_default().extra_cost += cost;
-        self.decisions.push(Decision {
+        self.push_decision(Decision {
             time: t,
             element,
             lease: None,
@@ -333,14 +403,81 @@ impl Ledger {
         self.categories.len()
     }
 
-    /// The full decision trace in decision order.
+    /// The retained decision trace in decision order.
+    ///
+    /// Under [`DecisionRetention::Full`] this is the full trace; under
+    /// `Bounded(n)` it is the most recent `min(recorded, n)` decisions;
+    /// under `AggregateOnly` it is empty. Cost aggregates and coverage
+    /// queries never depend on this slice.
     pub fn decisions(&self) -> &[Decision] {
-        &self.decisions
+        match self.retention {
+            DecisionRetention::Bounded(n) => {
+                let skip = self.decisions.len().saturating_sub(n);
+                self.decisions.get(skip..).unwrap_or_default()
+            }
+            _ => &self.decisions,
+        }
     }
 
-    /// Number of decisions recorded (purchases plus charges).
+    /// Number of decisions ever recorded (purchases plus charges) —
+    /// cumulative, independent of the retention policy.
     pub fn decision_count(&self) -> usize {
-        self.decisions.len()
+        self.decision_total
+    }
+
+    /// Number of decisions currently retained in the trace
+    /// (`min(decision_count, n)` under `Bounded(n)`, `0` under
+    /// `AggregateOnly`, everything under `Full`).
+    pub fn retained_decisions(&self) -> usize {
+        self.decisions().len()
+    }
+
+    /// The active [`DecisionRetention`] policy.
+    pub fn retention(&self) -> DecisionRetention {
+        self.retention
+    }
+
+    /// Switches the retention policy, applying it to the already-recorded
+    /// trace: tightening to `Bounded(n)` keeps only the most recent `n`
+    /// decisions, `AggregateOnly` drops the trace entirely, and loosening
+    /// (back toward `Full`) keeps whatever is still retained — evicted
+    /// decisions are gone for good. Aggregates, coverage and expiry state
+    /// are untouched in every direction.
+    pub fn set_retention(&mut self, retention: DecisionRetention) {
+        match retention {
+            DecisionRetention::Full => {}
+            DecisionRetention::AggregateOnly | DecisionRetention::Bounded(0) => {
+                self.decisions.clear();
+            }
+            DecisionRetention::Bounded(n) => {
+                let excess = self.decisions.len().saturating_sub(n);
+                if excess > 0 {
+                    self.decisions.drain(..excess);
+                }
+            }
+        }
+        self.retention = retention;
+    }
+
+    /// A clone of every query-facing structure — coverage index, expiry
+    /// timeline, per-element statistics, cost accumulators — with an empty
+    /// decision trace forced to `Full` retention. This is the per-partition
+    /// scratch behind partitioned submission: workers serve against it so
+    /// coverage queries see all pre-batch history, and the trace it grows
+    /// holds exactly this batch's decisions (stable indices — `Full` never
+    /// evicts), ready to be replayed into the real ledger in arrival order.
+    pub(super) fn parallel_scratch(&self) -> Ledger {
+        let mut scratch = self.clone();
+        scratch.decisions = Vec::new();
+        scratch.decision_total = 0;
+        scratch.retention = DecisionRetention::Full;
+        scratch
+    }
+
+    /// Releases the retained decision trace — the partitioned-submission
+    /// merge consumes a scratch ledger's trace without cloning it.
+    pub(super) fn take_decisions(&mut self) -> Vec<Decision> {
+        std::mem::take(&mut self.decisions)
     }
 
     /// Reserves capacity for at least `additional` more decisions.
@@ -348,9 +485,16 @@ impl Ledger {
     /// The trace is append-only and, on mega-scale streams, grows into the
     /// hundreds of megabytes; callers that know (or can bound) the arrival
     /// count ahead of time skip every doubling-growth copy of that buffer.
-    /// Purely an allocation hint — recorded decisions are unaffected.
+    /// Purely an allocation hint — recorded decisions are unaffected, and
+    /// bounded/aggregate-only retention caps the hint at what the ring can
+    /// ever hold.
     pub fn reserve_decisions(&mut self, additional: usize) {
-        self.decisions.reserve(additional);
+        let hint = match self.retention {
+            DecisionRetention::Full => additional,
+            DecisionRetention::Bounded(n) => additional.min(n.saturating_mul(2)),
+            DecisionRetention::AggregateOnly => 0,
+        };
+        self.decisions.reserve(hint);
     }
 
     /// Number of leases bought.
@@ -360,7 +504,7 @@ impl Ledger {
 
     /// Whether no decision has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.decisions.is_empty()
+        self.decision_total == 0
     }
 
     /// Number of leases bought whose validity window extends beyond the
@@ -617,26 +761,203 @@ pub(super) fn check_schema(envelope: &Value, expected: &'static str) -> Result<(
     }
 }
 
-impl Serialize for Ledger {
-    fn to_value(&self) -> Value {
-        let decisions: Vec<Value> = self
-            .decisions
+/// Version of the `retention` snapshot field this reader understands. The
+/// field is versioned independently of the envelope schema so a future
+/// payload change (say, a delta-compressed ring) can bump it without
+/// invalidating every `Full`-mode snapshot in existence.
+const RETENTION_FIELD_VERSION: u64 = 1;
+
+fn decision_value(d: &Decision) -> Value {
+    Value::Map(vec![
+        ("time".to_string(), d.time.to_value()),
+        ("element".to_string(), d.element.to_value()),
+        ("lease".to_string(), d.lease.to_value()),
+        ("cost".to_string(), d.cost.to_value()),
+        ("category".to_string(), Value::Str(d.category.to_string())),
+    ])
+}
+
+fn decision_from_value(d: &Value) -> Result<Decision, de::Error> {
+    let time: TimeStep = Deserialize::from_value(serde::value_field(d, "time")?)?;
+    let element: usize = Deserialize::from_value(serde::value_field(d, "element")?)?;
+    let lease: Option<Lease> = Deserialize::from_value(serde::value_field(d, "lease")?)?;
+    let cost: f64 = Deserialize::from_value(serde::value_field(d, "cost")?)?;
+    let category: String = Deserialize::from_value(serde::value_field(d, "category")?)?;
+    Ok(Decision {
+        time,
+        element,
+        lease,
+        cost,
+        category: Cow::Owned(category),
+    })
+}
+
+fn retention_to_value(retention: DecisionRetention) -> Value {
+    let mut map = vec![("v".to_string(), RETENTION_FIELD_VERSION.to_value())];
+    match retention {
+        DecisionRetention::Full => map.push(("mode".to_string(), Value::Str("full".to_string()))),
+        DecisionRetention::Bounded(n) => {
+            map.push(("mode".to_string(), Value::Str("bounded".to_string())));
+            map.push(("limit".to_string(), n.to_value()));
+        }
+        DecisionRetention::AggregateOnly => {
+            map.push(("mode".to_string(), Value::Str("aggregate-only".to_string())));
+        }
+    }
+    Value::Map(map)
+}
+
+fn retention_from_value(value: &Value) -> Result<DecisionRetention, de::Error> {
+    let version: u64 = Deserialize::from_value(serde::value_field(value, "v")?)?;
+    if version != RETENTION_FIELD_VERSION {
+        return Err(de::Error::new(format!(
+            "unsupported retention field version {version} (this reader understands \
+             {RETENTION_FIELD_VERSION})"
+        )));
+    }
+    let mode: String = Deserialize::from_value(serde::value_field(value, "mode")?)?;
+    match mode.as_str() {
+        "full" => Ok(DecisionRetention::Full),
+        "bounded" => {
+            let limit: usize = Deserialize::from_value(serde::value_field(value, "limit")?)?;
+            Ok(DecisionRetention::Bounded(limit))
+        }
+        "aggregate-only" => Ok(DecisionRetention::AggregateOnly),
+        other => Err(de::Error::new(format!("unknown retention mode {other:?}"))),
+    }
+}
+
+fn seq_items<'v>(value: &'v Value, what: &str) -> Result<&'v [Value], de::Error> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(de::Error::new(format!(
+            "expected a {what} sequence, found {other:?}"
+        ))),
+    }
+}
+
+impl Ledger {
+    /// Serializes every aggregate the extended (non-`Full`) snapshot shape
+    /// installs directly instead of replaying: exact totals, the interned
+    /// category table in first-use order, and per-element statistics in
+    /// element order — all deterministic regardless of hash-map iteration.
+    fn aggregates_to_value(&self) -> Value {
+        let categories: Vec<Value> = self
+            .categories
             .iter()
-            .map(|d| {
-                Value::Map(vec![
-                    ("time".to_string(), d.time.to_value()),
-                    ("element".to_string(), d.element.to_value()),
-                    ("lease".to_string(), d.lease.to_value()),
-                    ("cost".to_string(), d.cost.to_value()),
-                    ("category".to_string(), Value::Str(d.category.to_string())),
+            .map(|(name, total)| Value::Seq(vec![Value::Str(name.to_string()), total.to_value()]))
+            .collect();
+        let per_element: Vec<Value> = self
+            .elements()
+            .map(|(element, stats)| Value::Seq(vec![element.to_value(), stats.to_value()]))
+            .collect();
+        Value::Map(vec![
+            ("total".to_string(), self.total.to_value()),
+            ("decision_total".to_string(), self.decision_total.to_value()),
+            ("leases_bought".to_string(), self.leases_bought.to_value()),
+            ("categories".to_string(), Value::Seq(categories)),
+            ("per_element".to_string(), Value::Seq(per_element)),
+        ])
+    }
+
+    fn coverage_to_value(&self) -> Value {
+        let runs: Vec<Value> = self
+            .coverage
+            .export_runs()
+            .into_iter()
+            .map(|(element, k, start, copies)| {
+                Value::Seq(vec![
+                    element.to_value(),
+                    k.to_value(),
+                    start.to_value(),
+                    copies.to_value(),
                 ])
             })
             .collect();
-        Value::Map(vec![
+        Value::Seq(runs)
+    }
+
+    fn expiry_to_value(&self) -> Value {
+        let entries: Vec<Value> = self
+            .expiry
+            .pending_entries()
+            .into_iter()
+            .map(|(end, copies)| Value::Seq(vec![end.to_value(), copies.to_value()]))
+            .collect();
+        Value::Seq(entries)
+    }
+
+    /// Installs the extended snapshot payload onto a fresh ledger: direct
+    /// re-installation of aggregates, coverage runs, expiry timeline and
+    /// the retained decision ring — no replay, so it works however little
+    /// of the trace the writer kept. Re-snapshotting the restored ledger
+    /// yields byte-identical text.
+    fn install_extended(&mut self, value: &Value) -> Result<(), de::Error> {
+        let aggregates = serde::value_field(value, "aggregates")?;
+        self.total = Deserialize::from_value(serde::value_field(aggregates, "total")?)?;
+        self.decision_total =
+            Deserialize::from_value(serde::value_field(aggregates, "decision_total")?)?;
+        self.leases_bought =
+            Deserialize::from_value(serde::value_field(aggregates, "leases_bought")?)?;
+        for entry in seq_items(serde::value_field(aggregates, "categories")?, "category")? {
+            let name: String = Deserialize::from_value(serde::value_index(entry, 0)?)?;
+            let total: f64 = Deserialize::from_value(serde::value_index(entry, 1)?)?;
+            self.categories.push((Cow::Owned(name), total));
+        }
+        for entry in seq_items(serde::value_field(aggregates, "per_element")?, "element")? {
+            let element: usize = Deserialize::from_value(serde::value_index(entry, 0)?)?;
+            let stats: ElementStats = Deserialize::from_value(serde::value_index(entry, 1)?)?;
+            self.per_element.insert(element, stats);
+        }
+        for entry in seq_items(serde::value_field(value, "coverage")?, "coverage run")? {
+            let element: usize = Deserialize::from_value(serde::value_index(entry, 0)?)?;
+            let type_index: usize = Deserialize::from_value(serde::value_index(entry, 1)?)?;
+            let start: TimeStep = Deserialize::from_value(serde::value_index(entry, 2)?)?;
+            let copies: u32 = Deserialize::from_value(serde::value_index(entry, 3)?)?;
+            let window_len = self
+                .structure
+                .as_ref()
+                .filter(|s| type_index < s.num_types())
+                .map(|s| s.length(type_index));
+            self.coverage.insert_copies(
+                Triple::new(element, type_index, start),
+                window_len,
+                copies,
+            );
+        }
+        for entry in seq_items(serde::value_field(value, "expiry")?, "expiry")? {
+            let end: TimeStep = Deserialize::from_value(serde::value_index(entry, 0)?)?;
+            let copies: u32 = Deserialize::from_value(serde::value_index(entry, 1)?)?;
+            self.expiry.schedule_copies(end, copies);
+        }
+        for d in seq_items(serde::value_field(value, "decisions")?, "decision")? {
+            // The retained ring is installed verbatim: aggregates already
+            // account for these decisions, so they bypass the record path.
+            self.decisions.push(decision_from_value(d)?);
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for Ledger {
+    fn to_value(&self) -> Value {
+        let decisions: Vec<Value> = self.decisions().iter().map(decision_value).collect();
+        let mut map = vec![
             ("structure".to_string(), self.structure.to_value()),
             ("now".to_string(), self.now.to_value()),
-            ("decisions".to_string(), Value::Seq(decisions)),
-        ])
+        ];
+        if self.retention != DecisionRetention::Full {
+            // The extended shape: the trace alone no longer determines the
+            // derived state, so aggregates, coverage runs and the expiry
+            // timeline are serialized directly. `Full` ledgers keep the
+            // historical three-field shape byte-for-byte.
+            map.push(("retention".to_string(), retention_to_value(self.retention)));
+            map.push(("aggregates".to_string(), self.aggregates_to_value()));
+            map.push(("coverage".to_string(), self.coverage_to_value()));
+            map.push(("expiry".to_string(), self.expiry_to_value()));
+        }
+        map.push(("decisions".to_string(), Value::Seq(decisions)));
+        Value::Map(map)
     }
 }
 
@@ -645,37 +966,44 @@ impl Deserialize for Ledger {
         let structure: Option<LeaseStructure> =
             Deserialize::from_value(serde::value_field(value, "structure")?)?;
         let now: TimeStep = Deserialize::from_value(serde::value_field(value, "now")?)?;
-        let decisions = match serde::value_field(value, "decisions")? {
-            Value::Seq(items) => items,
-            other => {
-                return Err(de::Error::new(format!(
-                    "expected a decision sequence, found {other:?}"
-                )))
-            }
-        };
-        // Replay the trace so every derived quantity (totals, categories,
-        // element stats, expiry timeline) is rebuilt consistently.
         let mut ledger = match structure {
             Some(s) => Ledger::new(s),
             None => Ledger::detached(),
         };
-        for d in decisions {
-            let time: TimeStep = Deserialize::from_value(serde::value_field(d, "time")?)?;
-            let element: usize = Deserialize::from_value(serde::value_field(d, "element")?)?;
-            let lease: Option<Lease> = Deserialize::from_value(serde::value_field(d, "lease")?)?;
-            let cost: f64 = Deserialize::from_value(serde::value_field(d, "cost")?)?;
-            let category: String = Deserialize::from_value(serde::value_field(d, "category")?)?;
-            match lease {
-                Some(lease) => ledger.record_lease(
-                    time,
-                    Triple::new(element, lease.type_index, lease.start),
-                    cost,
-                    Cow::Owned(category),
-                ),
-                None => ledger.record_charge(time, element, cost, Cow::Owned(category)),
+        match value.get("retention") {
+            Some(retention) if *retention != Value::Null => {
+                // Extended shape: install state directly, then advance the
+                // clock before re-scheduling expiries (every serialized
+                // pending end exceeds the writer's clock).
+                ledger.retention = retention_from_value(retention)?;
+                ledger.advance(now);
+                ledger.install_extended(value)?;
+                Ok(ledger)
+            }
+            _ => {
+                // Legacy (Full) shape: replay the trace so every derived
+                // quantity (totals, categories, element stats, expiry
+                // timeline) is rebuilt consistently.
+                for d in seq_items(serde::value_field(value, "decisions")?, "decision")? {
+                    let decision = decision_from_value(d)?;
+                    match decision.lease {
+                        Some(lease) => ledger.record_lease(
+                            decision.time,
+                            Triple::new(decision.element, lease.type_index, lease.start),
+                            decision.cost,
+                            decision.category,
+                        ),
+                        None => ledger.record_charge(
+                            decision.time,
+                            decision.element,
+                            decision.cost,
+                            decision.category,
+                        ),
+                    }
+                }
+                ledger.advance(now);
+                Ok(ledger)
             }
         }
-        ledger.advance(now);
-        Ok(ledger)
     }
 }

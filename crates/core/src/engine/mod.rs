@@ -91,9 +91,11 @@ pub use books::Books;
 pub use coverage::{CoverageStats, FxHashMap, FxHasher};
 pub use handle::{EngineHandle, EngineStats, ENGINE_SNAPSHOT_SCHEMA};
 pub use ledger::{
-    Decision, ElementStats, Ledger, SnapshotError, CATEGORY_CONNECTION, CATEGORY_LEASE,
-    LEDGER_SNAPSHOT_SCHEMA,
+    Decision, DecisionRetention, ElementStats, Ledger, SnapshotError, CATEGORY_CONNECTION,
+    CATEGORY_LEASE, LEDGER_SNAPSHOT_SCHEMA,
 };
+
+use crate::framework::Triple;
 
 use crate::harness::CompetitiveOutcome;
 use crate::lease::LeaseStructure;
@@ -169,6 +171,45 @@ impl<A: LeasingAlgorithm + ?Sized> LeasingAlgorithm for Box<A> {
     fn on_request(&mut self, time: TimeStep, request: A::Request, books: Books<'_>) {
         (**self).on_request(time, request, books);
     }
+}
+
+/// An algorithm whose state decomposes by element — the contract behind
+/// [`Driver::submit_columns_partitioned`].
+///
+/// Serving a request for element `e` must read and write only state
+/// attributed to `e` (plus immutable configuration like the lease
+/// structure), and must query the [`Books`] only about `e` — coverage,
+/// ownership and active-lease lookups for the request's own element.
+/// Global ledger queries (`active_count`, totals across elements) break
+/// the independence the parallel path exploits and are outside this
+/// contract. Every per-element permit policy in the workspace (the
+/// request's element fully determines which accumulators it touches)
+/// satisfies this naturally.
+pub trait ElementPartitioned: LeasingAlgorithm + Clone + Send {
+    /// Folds `partition` — a clone of `self` that served this batch's
+    /// requests for exactly `elements` — back into `self`, adopting the
+    /// partition's state for those elements and keeping `self`'s state for
+    /// every other element. `elements` is sorted and deduplicated, and
+    /// partitions are absorbed in deterministic (partition-index) order.
+    fn absorb(&mut self, partition: Self, elements: &[usize]);
+}
+
+/// One request routed to a partition bucket:
+/// `(original arrival index, time, element, request)`.
+type BucketEntry<R> = (usize, TimeStep, usize, R);
+
+/// What one partitioned-submission worker hands back for the merge: the
+/// batch decisions it recorded into its scratch ledger, one span per
+/// request (in arrival order), the algorithm clone that served them, and
+/// the sorted distinct elements it touched.
+struct PartitionOutcome<A> {
+    algorithm: A,
+    decisions: Vec<Decision>,
+    /// `(original arrival index, span start, span end)` into `decisions`.
+    spans: Vec<(usize, usize, usize)>,
+    /// Merge cursor into `spans`.
+    cursor: usize,
+    elements: Vec<usize>,
 }
 
 /// Generic driver: owns the [`Ledger`], feeds requests to a
@@ -386,6 +427,204 @@ impl<A: LeasingAlgorithm> Driver<A> {
         }
     }
 
+    /// Submits a column-shaped batch in parallel, partitioned by element:
+    /// `times[i]` stamps and `elements[i]` locates the `i`-th request.
+    /// Requests are bucketed by `element % threads`; each bucket is served
+    /// on its own scoped worker thread by a clone of the algorithm against
+    /// a scratch clone of the ledger's query state (so every coverage
+    /// query sees all pre-batch history plus the bucket's own purchases);
+    /// then the workers' decisions are replayed into the real ledger in
+    /// original arrival order and the algorithm clones are folded back via
+    /// [`ElementPartitioned::absorb`]. Because requests for the same
+    /// element never split across buckets and the merge re-runs the exact
+    /// recording sequence, the resulting driver — ledger bytes, f64
+    /// accumulation order, algorithm state — is identical to a serial
+    /// [`submit_columns`](Driver::submit_columns) call.
+    ///
+    /// `elements[i]` must be the element request `i` is about (the same
+    /// element the algorithm will touch). Degenerate shapes — `threads <=
+    /// 1`, a batch of fewer than two requests, or an `elements` column
+    /// shorter than the batch — fall back to the serial path.
+    ///
+    /// Returns how many requests were served; short request iterators and
+    /// extra times behave exactly like `submit_columns`.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first out-of-order time stamp and returns
+    /// [`DriverError::TimeTravel`]; requests before the violation stay
+    /// served.
+    pub fn submit_columns_partitioned(
+        &mut self,
+        times: &[TimeStep],
+        elements: &[usize],
+        requests: impl IntoIterator<Item = A::Request>,
+        threads: usize,
+    ) -> Result<usize, DriverError>
+    where
+        A: ElementPartitioned,
+        A::Request: Send,
+    {
+        // Pass 1 (columnar): validate the times column exactly like
+        // `submit_columns`, recording equal-time run boundaries.
+        self.run_times.clear();
+        self.run_ends.clear();
+        let mut previous = self.last_time;
+        let mut violation = None;
+        let mut valid = times.len();
+        for (index, &time) in times.iter().enumerate() {
+            match previous {
+                Some(p) if time < p => {
+                    violation = Some(DriverError::TimeTravel {
+                        previous: p,
+                        attempted: time,
+                    });
+                    valid = index;
+                    break;
+                }
+                Some(p) if time == p && !self.run_times.is_empty() => {}
+                _ => {
+                    self.run_times.push(time);
+                    self.run_ends.push(index);
+                }
+            }
+            previous = Some(time);
+        }
+        if !self.run_ends.is_empty() {
+            self.run_ends.remove(0);
+            self.run_ends.push(valid);
+        }
+        // The serial path pulls exactly min(valid, iterator length)
+        // requests; materialize the same prefix.
+        let collected: Vec<A::Request> = requests.into_iter().take(valid).collect();
+        let n = collected.len();
+        if threads <= 1 || n < 2 || elements.len() < n {
+            // Serial fallback — trivially byte-identical. The recomputed
+            // pass 1 sees the same driver clock and reaches the same
+            // verdict on the already-collected prefix.
+            return self.submit_columns(times, collected);
+        }
+
+        // Bucket requests by element partition, preserving arrival order
+        // within each bucket.
+        let mut buckets: Vec<Vec<BucketEntry<A::Request>>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        let mut part_of: Vec<usize> = Vec::with_capacity(n);
+        for (index, (request, (&time, &element))) in collected
+            .into_iter()
+            .zip(times.iter().zip(elements.iter()))
+            .enumerate()
+        {
+            let part = element % threads;
+            part_of.push(part);
+            if let Some(bucket) = buckets.get_mut(part) {
+                bucket.push((index, time, element, request));
+            }
+        }
+
+        // Serve every non-empty bucket on its own scoped worker thread.
+        let algorithm = &self.algorithm;
+        let ledger = &self.ledger;
+        let mut outcomes: Vec<Option<PartitionOutcome<A>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    if bucket.is_empty() {
+                        return None;
+                    }
+                    let mut worker = algorithm.clone();
+                    let mut scratch = ledger.parallel_scratch();
+                    Some(scope.spawn(move || {
+                        let mut spans = Vec::with_capacity(bucket.len());
+                        let mut touched: Vec<usize> =
+                            bucket.iter().map(|&(_, _, element, _)| element).collect();
+                        touched.sort_unstable();
+                        touched.dedup();
+                        let mut last = None;
+                        for (index, time, _, request) in bucket {
+                            if last != Some(time) {
+                                scratch.advance(time);
+                                last = Some(time);
+                            }
+                            let before = scratch.decisions().len();
+                            worker.on_request(time, request, Books::new(&mut scratch));
+                            spans.push((index, before, scratch.decisions().len()));
+                        }
+                        PartitionOutcome {
+                            algorithm: worker,
+                            decisions: scratch.take_decisions(),
+                            spans,
+                            cursor: 0,
+                            elements: touched,
+                        }
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.map(|handle| match handle.join() {
+                        Ok(outcome) => outcome,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                })
+                .collect()
+        });
+
+        // Merge: replay every request's decision span into the real ledger
+        // in original arrival order, advancing the clock once per distinct
+        // time exactly like the serial pass 2 — identical recording
+        // sequence, identical f64 accumulation order, identical bytes.
+        let mut cursor = 0usize;
+        for (&time, &end) in self.run_times.iter().zip(self.run_ends.iter()) {
+            if cursor >= n {
+                break;
+            }
+            self.last_time = Some(time);
+            self.ledger.advance(time);
+            let stop = end.min(n);
+            while cursor < stop {
+                if let Some(outcome) = part_of
+                    .get(cursor)
+                    .and_then(|&part| outcomes.get_mut(part))
+                    .and_then(Option::as_mut)
+                {
+                    if let Some(&(index, start, span_end)) = outcome.spans.get(outcome.cursor) {
+                        debug_assert_eq!(index, cursor, "spans replay in arrival order");
+                        outcome.cursor += 1;
+                        for d in outcome.decisions.get(start..span_end).unwrap_or_default() {
+                            match &d.lease {
+                                Some(lease) => self.ledger.record_lease(
+                                    d.time,
+                                    Triple::new(d.element, lease.type_index, lease.start),
+                                    d.cost,
+                                    d.category.clone(),
+                                ),
+                                None => self.ledger.record_charge(
+                                    d.time,
+                                    d.element,
+                                    d.cost,
+                                    d.category.clone(),
+                                ),
+                            }
+                        }
+                    }
+                }
+                cursor += 1;
+            }
+        }
+        self.requests += n;
+        // Fold each partition's per-element algorithm state back, in
+        // partition-index order.
+        for outcome in outcomes.into_iter().flatten() {
+            self.algorithm.absorb(outcome.algorithm, &outcome.elements);
+        }
+        match violation {
+            Some(error) if n == valid => Err(error),
+            _ => Ok(n),
+        }
+    }
+
     /// Advances the ledger clock to `time` without serving a request,
     /// expiring leases whose windows end at or before it. Returns how many
     /// leases expired. The advanced-to time participates in the monotone
@@ -413,6 +652,19 @@ impl<A: LeasingAlgorithm> Driver<A> {
     /// with a horizon their algorithm will never look behind.
     pub fn compact(&mut self, before_t: TimeStep) -> usize {
         self.ledger.compact(before_t)
+    }
+
+    /// Switches the ledger's decision-retention policy
+    /// ([`Ledger::set_retention`]) — `Bounded(n)`/`AggregateOnly` cap the
+    /// decision trace for flat-memory unbounded streams; every aggregate,
+    /// coverage query and report stays exactly identical to `Full`.
+    pub fn set_retention(&mut self, retention: DecisionRetention) {
+        self.ledger.set_retention(retention);
+    }
+
+    /// The ledger's active [`DecisionRetention`] policy.
+    pub fn retention(&self) -> DecisionRetention {
+        self.ledger.retention()
     }
 
     /// Reserves decision-trace capacity ([`Ledger::reserve_decisions`]) —
@@ -899,6 +1151,120 @@ mod tests {
         let mut d = driver();
         assert_eq!(d.submit_columns(&[], std::iter::repeat(())).unwrap(), 0);
         assert_eq!(d.requests(), 0);
+    }
+
+    /// Multi-element twin of [`ShortBuyer`]: the request names the element,
+    /// and ownership state decomposes per element — the shape
+    /// [`ElementPartitioned`] is about.
+    #[derive(Clone)]
+    struct MultiShortBuyer {
+        owned: std::collections::HashSet<Triple>,
+    }
+
+    impl LeasingAlgorithm for MultiShortBuyer {
+        type Request = usize;
+        fn on_request(&mut self, t: TimeStep, element: usize, mut books: Books<'_>) {
+            let len = books.structure().unwrap().length(0);
+            let triple = Triple::new(element, 0, aligned_start(t, len));
+            if self.owned.insert(triple) {
+                books.buy(t, triple);
+            }
+        }
+    }
+
+    impl ElementPartitioned for MultiShortBuyer {
+        fn absorb(&mut self, partition: Self, elements: &[usize]) {
+            self.owned
+                .retain(|tr| elements.binary_search(&tr.element).is_err());
+            self.owned.extend(
+                partition
+                    .owned
+                    .into_iter()
+                    .filter(|tr| elements.binary_search(&tr.element).is_ok()),
+            );
+        }
+    }
+
+    fn multi_driver() -> Driver<MultiShortBuyer> {
+        Driver::new(
+            MultiShortBuyer {
+                owned: std::collections::HashSet::new(),
+            },
+            structure(),
+        )
+    }
+
+    #[test]
+    fn submit_columns_partitioned_matches_serial_bit_for_bit() {
+        let times: Vec<TimeStep> = (0..200u64).map(|i| i / 3).collect();
+        let elements: Vec<usize> = (0..200usize).map(|i| (i * 7) % 13).collect();
+        for threads in [2, 4, 8] {
+            let mut parallel = multi_driver();
+            let mut serial = multi_driver();
+            assert_eq!(
+                parallel
+                    .submit_columns_partitioned(
+                        &times,
+                        &elements,
+                        elements.iter().copied(),
+                        threads
+                    )
+                    .unwrap(),
+                times.len()
+            );
+            serial
+                .submit_columns(&times, elements.iter().copied())
+                .unwrap();
+            assert_eq!(parallel.ledger().to_json(), serial.ledger().to_json());
+            assert_eq!(
+                parallel.cost().to_bits(),
+                serial.cost().to_bits(),
+                "identical f64 accumulation order on {threads} threads"
+            );
+            assert_eq!(parallel.requests(), serial.requests());
+            let mut a: Vec<Triple> = parallel.algorithm().owned.iter().copied().collect();
+            let mut b: Vec<Triple> = serial.algorithm().owned.iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "absorbed algorithm state matches serial");
+        }
+    }
+
+    #[test]
+    fn submit_columns_partitioned_handles_violations_and_short_iterators() {
+        // Violation mid-column: prefix served, typed error, like serial.
+        let times = [0u64, 2, 2, 5, 3, 9];
+        let elements = [0usize, 1, 2, 3, 0, 1];
+        let mut parallel = multi_driver();
+        let mut serial = multi_driver();
+        let ep = parallel
+            .submit_columns_partitioned(&times, &elements, elements.iter().copied(), 4)
+            .unwrap_err();
+        let es = serial
+            .submit_columns(&times, elements.iter().copied())
+            .unwrap_err();
+        assert_eq!(ep, es);
+        assert_eq!(parallel.ledger().to_json(), serial.ledger().to_json());
+        assert_eq!(parallel.requests(), serial.requests());
+        // Short request iterator: stops cleanly with Ok, like serial.
+        let mut parallel = multi_driver();
+        let mut serial = multi_driver();
+        assert_eq!(
+            parallel
+                .submit_columns_partitioned(&times[..4], &elements[..4], [0usize, 1].into_iter(), 4)
+                .unwrap(),
+            2
+        );
+        serial.submit_columns(&times[..4], [0usize, 1]).unwrap();
+        assert_eq!(parallel.ledger().to_json(), serial.ledger().to_json());
+        // Degenerate shapes fall back to serial.
+        let mut one = multi_driver();
+        assert_eq!(
+            one.submit_columns_partitioned(&[7], &[3], [3usize].into_iter(), 4)
+                .unwrap(),
+            1
+        );
+        assert_eq!(one.ledger().leases_bought(), 1);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! leasing_core --test snapshot_roundtrip` after an intentional change.
 
 use leasing_core::engine::{
-    Books, EngineHandle, LeasingAlgorithm, Ledger, ENGINE_SNAPSHOT_SCHEMA, LEDGER_SNAPSHOT_SCHEMA,
+    Books, DecisionRetention, EngineHandle, LeasingAlgorithm, Ledger, ENGINE_SNAPSHOT_SCHEMA,
+    LEDGER_SNAPSHOT_SCHEMA,
 };
 use leasing_core::framework::Triple;
 use leasing_core::lease::{LeaseStructure, LeaseType};
@@ -55,7 +56,17 @@ fn rotating() -> Rotating {
 
 /// Replays `(dt, element)` deltas as a monotone request stream.
 fn driven_engine(ops: &[(u64, usize)]) -> EngineHandle<'static, usize> {
+    driven_engine_with_retention(ops, DecisionRetention::Full)
+}
+
+/// [`driven_engine`] under an explicit retention policy, installed before
+/// any request is served.
+fn driven_engine_with_retention(
+    ops: &[(u64, usize)],
+    retention: DecisionRetention,
+) -> EngineHandle<'static, usize> {
     let mut engine = EngineHandle::new(rotating(), structure());
+    engine.set_retention(retention);
     let mut t: TimeStep = 0;
     for &(dt, element) in ops {
         t += dt;
@@ -89,6 +100,94 @@ proptest! {
             restored.submit(tail + offset, element).unwrap();
         }
         prop_assert_eq!(restored.snapshot(), original.snapshot());
+    }
+
+    /// Every retention mode produces byte-identical stats, reports and
+    /// coverage answers — only `decisions()` narrows. The aggregates are
+    /// maintained incrementally on the record path, so dropping the trace
+    /// must lose nothing observable.
+    #[test]
+    fn retention_modes_agree_on_stats_reports_and_coverage(
+        ops in proptest::collection::vec((0u64..4, 0usize..8), 1..60),
+        bound in 1usize..12,
+    ) {
+        let full = driven_engine(&ops);
+        let bounded = driven_engine_with_retention(&ops, DecisionRetention::Bounded(bound));
+        let aggregate = driven_engine_with_retention(&ops, DecisionRetention::AggregateOnly);
+        let reference = full.stats().to_json();
+        prop_assert_eq!(bounded.stats().to_json(), reference.clone());
+        prop_assert_eq!(aggregate.stats().to_json(), reference);
+        let reference = full.report(3.5).to_json();
+        prop_assert_eq!(bounded.report(3.5).to_json(), reference.clone());
+        prop_assert_eq!(aggregate.report(3.5).to_json(), reference);
+        let horizon = full.ledger().now() + 20;
+        for element in 0..8usize {
+            for t in 0..horizon {
+                let answer = full.ledger().covered(element, t);
+                prop_assert_eq!(bounded.ledger().covered(element, t), answer);
+                prop_assert_eq!(aggregate.ledger().covered(element, t), answer);
+                let lease = full.ledger().active_lease(element, t);
+                prop_assert_eq!(bounded.ledger().active_lease(element, t), lease);
+                prop_assert_eq!(aggregate.ledger().active_lease(element, t), lease);
+            }
+        }
+        // Ring eviction is deterministic: the bounded trace is exactly the
+        // most recent min(recorded, n) suffix of the full trace.
+        let all = full.ledger().decisions();
+        let tail = &all[all.len().saturating_sub(bound)..];
+        prop_assert_eq!(bounded.ledger().decisions(), tail);
+        prop_assert!(bounded.ledger().retained_decisions() <= bound);
+        prop_assert_eq!(aggregate.ledger().retained_decisions(), 0);
+        prop_assert_eq!(
+            bounded.ledger().decision_count(),
+            full.ledger().decision_count()
+        );
+    }
+
+    /// Bounded and aggregate-only snapshots restore to observationally
+    /// identical engines: byte-identical re-snapshot, stats and coverage,
+    /// and the restored engine serves further traffic exactly like the
+    /// original.
+    #[test]
+    fn bounded_snapshots_restore_observationally_identical(
+        ops in proptest::collection::vec((0u64..4, 0usize..8), 1..60),
+        bound in 0usize..12,
+    ) {
+        let retention = if bound == 0 {
+            DecisionRetention::AggregateOnly
+        } else {
+            DecisionRetention::Bounded(bound)
+        };
+        let mut original = driven_engine_with_retention(&ops, retention);
+        let text = original.snapshot();
+        prop_assert!(text.contains("\"retention\""));
+        let mut restored = EngineHandle::restore(rotating(), &text).unwrap();
+        prop_assert_eq!(restored.retention(), retention);
+        prop_assert_eq!(restored.snapshot(), text, "re-snapshot drifted");
+        prop_assert_eq!(restored.stats().to_json(), original.stats().to_json());
+        prop_assert_eq!(restored.ledger().decisions(), original.ledger().decisions());
+        prop_assert_eq!(
+            restored.ledger().active_leases(),
+            original.ledger().active_leases()
+        );
+        let horizon = original.ledger().now() + 20;
+        for element in 0..8usize {
+            for t in 0..horizon {
+                prop_assert_eq!(
+                    restored.ledger().covered(element, t),
+                    original.ledger().covered(element, t)
+                );
+            }
+        }
+        // Post-restore traffic stays byte-identical (the clock, expiry
+        // timeline and coverage index all resumed correctly).
+        let tail = original.stats().now + 1;
+        for (offset, element) in (0..4u64).zip([0usize, 3, 5, 7]) {
+            original.submit(tail + offset, element).unwrap();
+            restored.submit(tail + offset, element).unwrap();
+        }
+        prop_assert_eq!(restored.snapshot(), original.snapshot());
+        prop_assert_eq!(restored.stats().to_json(), original.stats().to_json());
     }
 
     /// The bare ledger payload round-trips byte-identically too — the
@@ -168,4 +267,32 @@ fn engine_snapshot_v1_matches_the_committed_golden() {
     assert_matches_golden("engine-snapshot-v1.json", &text);
     let restored = EngineHandle::restore(rotating(), &text).unwrap();
     assert_eq!(restored.stats().to_json(), engine.stats().to_json());
+}
+
+/// Pins the extended (non-`Full` retention) snapshot shape: the versioned
+/// `retention` field plus the aggregate/coverage/expiry sections that let a
+/// bounded trace restore without replay.
+#[test]
+fn engine_snapshot_v1_bounded_matches_the_committed_golden() {
+    let engine = driven_engine_with_retention(
+        &[
+            (0, 0),
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (5, 0),
+            (9, 4),
+            (1, 1),
+        ],
+        DecisionRetention::Bounded(4),
+    );
+    let text = engine.snapshot();
+    assert!(text.contains(ENGINE_SNAPSHOT_SCHEMA));
+    assert!(text.contains("\"retention\""));
+    assert_matches_golden("engine-snapshot-v1-bounded.json", &text);
+    let restored = EngineHandle::restore(rotating(), &text).unwrap();
+    assert_eq!(restored.snapshot(), text);
+    assert_eq!(restored.stats().to_json(), engine.stats().to_json());
+    assert_eq!(restored.retention(), DecisionRetention::Bounded(4));
 }

@@ -4,11 +4,15 @@
 //! leased [--listen ADDR] [--shards N] [--queue-cap N]
 //!        [--snapshot-dir DIR] [--lease LEN:COST[,LEN:COST...]]
 //!        [--metrics-listen ADDR] [--trace-cap N]
+//!        [--retention full|bounded:N|aggregate]
 //! ```
 //!
 //! Defaults: `--listen 127.0.0.1:7878`, `--shards 4`, `--queue-cap 1024`,
 //! no persistence, a 256-event trace ring per shard, no metrics endpoint,
-//! and the three-type structure `1:1,4:2.5,16:6`. On start the daemon
+//! full decision retention, and the three-type structure `1:1,4:2.5,16:6`.
+//! `--retention bounded:N` caps each shard's in-memory decision trace at
+//! the most recent `N` decisions (`aggregate` keeps none); `stats` output
+//! is bit-identical in every mode. On start the daemon
 //! prints `leased: listening on ADDR (N shards)` — scripts wait for that
 //! line before driving traffic. With `--metrics-listen` it also prints
 //! `leased: metrics on ADDR` and serves Prometheus text exposition at
@@ -16,6 +20,7 @@
 
 use leased::metrics::serve_metrics;
 use leased::server::{Server, ServerConfig};
+use leasing_core::engine::DecisionRetention;
 use leasing_core::lease::{LeaseStructure, LeaseType};
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -23,7 +28,8 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: leased [--listen ADDR] [--shards N] [--queue-cap N] \
                      [--snapshot-dir DIR] [--lease LEN:COST[,LEN:COST...]] \
-                     [--metrics-listen ADDR] [--trace-cap N]";
+                     [--metrics-listen ADDR] [--trace-cap N] \
+                     [--retention full|bounded:N|aggregate]";
 
 struct Args {
     listen: String,
@@ -33,6 +39,7 @@ struct Args {
     lease_spec: String,
     metrics_listen: Option<String>,
     trace_cap: usize,
+    retention: DecisionRetention,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         lease_spec: "1:1,4:2.5,16:6".to_string(),
         metrics_listen: None,
         trace_cap: 256,
+        retention: DecisionRetention::Full,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,11 +76,29 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--trace-cap: {e}"))?
             }
+            "--retention" => args.retention = parse_retention(&value("--retention")?)?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
     Ok(args)
+}
+
+/// Parses `full`, `bounded:N`, or `aggregate` into a retention policy.
+fn parse_retention(spec: &str) -> Result<DecisionRetention, String> {
+    match spec {
+        "full" => Ok(DecisionRetention::Full),
+        "aggregate" | "aggregate-only" => Ok(DecisionRetention::AggregateOnly),
+        other => match other.strip_prefix("bounded:") {
+            Some(n) => n
+                .parse()
+                .map(DecisionRetention::Bounded)
+                .map_err(|e| format!("--retention bounded:{n}: {e}")),
+            None => Err(format!(
+                "--retention {other:?}: expected full, bounded:N, or aggregate"
+            )),
+        },
+    }
 }
 
 fn parse_structure(spec: &str) -> Result<LeaseStructure, String> {
@@ -109,6 +135,7 @@ fn main() -> ExitCode {
         structure,
         snapshot_dir: args.snapshot_dir.map(std::path::PathBuf::from),
         trace_capacity: args.trace_cap,
+        retention: args.retention,
     };
     let server = match Server::bind(args.listen.as_str(), &config) {
         Ok(server) => server,

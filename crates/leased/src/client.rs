@@ -3,7 +3,9 @@
 //! daemon.
 
 use crate::error::LeasedError;
-use crate::protocol::{self, ActiveLease, DaemonStats, Request, Response, TraceEvent};
+use crate::protocol::{
+    self, ActiveLease, DaemonStats, Request, Response, RetentionInfo, TraceEvent,
+};
 use leasing_core::time::TimeStep;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -148,6 +150,18 @@ impl Client {
     pub fn stats(&mut self) -> Result<DaemonStats, LeasedError> {
         match self.request(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches per-shard decision-trace retention reports, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and daemon-side errors.
+    pub fn retention_info(&mut self) -> Result<Vec<RetentionInfo>, LeasedError> {
+        match self.request(&Request::RetentionInfo)? {
+            Response::Retention(shards) => Ok(shards),
             other => Err(unexpected(other)),
         }
     }

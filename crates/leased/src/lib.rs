@@ -43,7 +43,7 @@ pub use client::Client;
 pub use error::LeasedError;
 pub use metrics::{DaemonMetrics, ShardMetrics, TransportMetrics};
 pub use policy::{TenantOp, TenantPermit, CATEGORY_FORCE_RELEASE};
-pub use protocol::{ActiveLease, DaemonStats, Request, Response, TraceEvent};
+pub use protocol::{ActiveLease, DaemonStats, Request, Response, RetentionInfo, TraceEvent};
 pub use server::{Server, ServerConfig};
 pub use shard::{Shard, ShardReply, ShardRequest, SHARD_SNAPSHOT_SCHEMA};
 

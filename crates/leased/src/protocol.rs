@@ -150,6 +150,9 @@ pub enum Request {
     },
     /// Per-shard [`EngineStats`], in shard order.
     Stats,
+    /// Per-shard decision-trace retention report, in shard order.
+    /// Answered by [`Response::Retention`].
+    RetentionInfo,
     /// The daemon's metric registry rendered as Prometheus text
     /// exposition. Answered by [`Response::Metrics`].
     Metrics,
@@ -189,6 +192,7 @@ impl Serialize for Request {
                 Request::tagged("force-release", Some((tenant, time)))
             }
             Request::Stats => Request::tagged("stats", None),
+            Request::RetentionInfo => Request::tagged("retention", None),
             Request::Metrics => Request::tagged("metrics", None),
             Request::TraceDump => Request::tagged("trace-dump", None),
             Request::Snapshot => Request::tagged("snapshot", None),
@@ -223,6 +227,7 @@ impl Deserialize for Request {
                 Ok(Request::ForceRelease { tenant, time })
             }
             "stats" => Ok(Request::Stats),
+            "retention" => Ok(Request::RetentionInfo),
             "metrics" => Ok(Request::Metrics),
             "trace-dump" => Ok(Request::TraceDump),
             "snapshot" => Ok(Request::Snapshot),
@@ -263,6 +268,22 @@ pub struct TraceEvent {
     pub op: String,
     /// `ok`, `clamped` (served after a forward clamp), or `err: ...`.
     pub outcome: String,
+}
+
+/// One shard's decision-trace retention report, as returned by the
+/// `retention` op. Retention never changes what `stats` reports — the
+/// aggregates are maintained at record time — so this is the one place
+/// the daemon exposes how much trace memory each shard actually holds.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetentionInfo {
+    /// Retention mode: `full`, `bounded`, or `aggregate-only`.
+    pub mode: String,
+    /// Ring capacity under `bounded`; 0 otherwise.
+    pub limit: u64,
+    /// Decisions currently held in memory.
+    pub retained: u64,
+    /// Decisions ever recorded (the cumulative count `stats` agrees with).
+    pub total: u64,
 }
 
 /// The `stats` payload: per-shard engine statistics, in shard order.
@@ -306,6 +327,8 @@ pub enum Response {
     Leases(Vec<ActiveLease>),
     /// `stats` payload.
     Stats(DaemonStats),
+    /// `retention` payload: per-shard retention reports, in shard order.
+    Retention(Vec<RetentionInfo>),
     /// `metrics` payload: the Prometheus text exposition.
     Metrics(String),
     /// `trace-dump` payload: recent events, in shard order then oldest
@@ -330,6 +353,10 @@ impl Serialize for Response {
             Response::Stats(stats) => Value::Map(vec![
                 ("ok".to_string(), Value::Bool(true)),
                 ("stats".to_string(), stats.to_value()),
+            ]),
+            Response::Retention(shards) => Value::Map(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("retention".to_string(), shards.to_value()),
             ]),
             Response::Metrics(text) => Value::Map(vec![
                 ("ok".to_string(), Value::Bool(true)),
@@ -362,6 +389,11 @@ impl Deserialize for Response {
         }
         if let Some(stats) = value.get("stats") {
             return Ok(Response::Stats(DaemonStats::from_value(stats)?));
+        }
+        if let Some(shards) = value.get("retention") {
+            return Ok(Response::Retention(Vec::<RetentionInfo>::from_value(
+                shards,
+            )?));
         }
         if let Some(text) = value.get("metrics") {
             return Ok(Response::Metrics(String::from_value(text)?));
@@ -411,6 +443,7 @@ mod tests {
                 entries: Vec::new(),
             },
             Request::Stats,
+            Request::RetentionInfo,
             Request::Metrics,
             Request::TraceDump,
             Request::Snapshot,
@@ -436,6 +469,13 @@ mod tests {
                 end: 16,
             }]),
             Response::Stats(DaemonStats { shards: Vec::new() }),
+            Response::Retention(vec![RetentionInfo {
+                mode: "bounded".to_string(),
+                limit: 1024,
+                retained: 512,
+                total: 99_000,
+            }]),
+            Response::Retention(Vec::new()),
             Response::Metrics("# HELP x y\nx 1\n".to_string()),
             Response::Trace(vec![TraceEvent {
                 seq: 41,

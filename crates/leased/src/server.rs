@@ -10,10 +10,12 @@
 
 use crate::error::LeasedError;
 use crate::metrics::{DaemonMetrics, ShardMetrics};
-use crate::protocol::{self, DaemonStats, FrameRead, Request, Response, TraceEvent, MAX_FRAME_LEN};
+use crate::protocol::{
+    self, DaemonStats, FrameRead, Request, Response, RetentionInfo, TraceEvent, MAX_FRAME_LEN,
+};
 use crate::shard::{Shard, ShardReply, ShardRequest};
 use crate::shard_of;
-use leasing_core::engine::EngineStats;
+use leasing_core::engine::{DecisionRetention, EngineStats};
 use leasing_core::lease::LeaseStructure;
 use leasing_core::time::TimeStep;
 use leasing_telemetry::Stopwatch;
@@ -41,6 +43,10 @@ pub struct ServerConfig {
     /// Recent operations each shard keeps for `trace-dump` (0 disables
     /// tracing).
     pub trace_capacity: usize,
+    /// Decision-trace retention per shard engine. `Full` keeps the whole
+    /// trace (the default); `Bounded(n)`/`AggregateOnly` cap trace memory
+    /// on unbounded streams without changing what `stats` reports.
+    pub retention: DecisionRetention,
 }
 
 impl ServerConfig {
@@ -53,6 +59,7 @@ impl ServerConfig {
             structure,
             snapshot_dir: None,
             trace_capacity: 256,
+            retention: DecisionRetention::Full,
         }
     }
 }
@@ -111,6 +118,7 @@ impl Server {
                     restore,
                     shard_metrics,
                     config.trace_capacity,
+                    config.retention,
                 )
             })
             .collect();
@@ -270,6 +278,10 @@ impl Server {
                 Ok(shards) => Response::Stats(DaemonStats { shards }),
                 Err(message) => Response::Error(message),
             },
+            Request::RetentionInfo => match self.collect_retention() {
+                Ok(shards) => Response::Retention(shards),
+                Err(message) => Response::Error(message),
+            },
             Request::Metrics => Response::Metrics(self.metrics.render()),
             Request::TraceDump => match self.collect_traces() {
                 Ok(events) => Response::Trace(events),
@@ -368,6 +380,19 @@ impl Server {
         Ok(events)
     }
 
+    /// Gathers every shard's retention report, in shard order.
+    fn collect_retention(&self) -> Result<Vec<RetentionInfo>, String> {
+        self.shards
+            .iter()
+            .map(|shard| match shard.call(ShardRequest::RetentionInfo) {
+                Ok(ShardReply::Retention(info)) => Ok(info),
+                Ok(ShardReply::Failed(message)) => Err(message),
+                Ok(other) => Err(format!("unexpected shard reply {other:?}")),
+                Err(e) => Err(e.to_string()),
+            })
+            .collect()
+    }
+
     fn collect_stats(&self) -> Result<Vec<EngineStats>, String> {
         self.shards
             .iter()
@@ -423,5 +448,6 @@ mod tests {
         assert!(config.queue_capacity >= 1);
         assert!(config.snapshot_dir.is_none());
         assert_eq!(config.trace_capacity, 256);
+        assert_eq!(config.retention, DecisionRetention::Full);
     }
 }

@@ -14,8 +14,8 @@
 use crate::error::LeasedError;
 use crate::metrics::ShardMetrics;
 use crate::policy::{PermitCore, TenantOp, TenantPermit};
-use crate::protocol::{ActiveLease, TraceEvent};
-use leasing_core::engine::{EngineHandle, EngineStats};
+use crate::protocol::{ActiveLease, RetentionInfo, TraceEvent};
+use leasing_core::engine::{DecisionRetention, EngineHandle, EngineStats};
 use leasing_core::lease::LeaseStructure;
 use leasing_core::time::TimeStep;
 use leasing_telemetry::{EventRing, Stopwatch};
@@ -64,6 +64,8 @@ pub enum ShardRequest {
     },
     /// The shard's [`EngineStats`].
     Stats,
+    /// The shard's decision-trace retention report.
+    RetentionInfo,
     /// The shard's recent-operation event ring, oldest first.
     TraceDump,
     /// Serialize the shard (engine + policy) to a snapshot string.
@@ -83,6 +85,8 @@ pub enum ShardReply {
     Leases(Vec<ActiveLease>),
     /// `Stats` payload.
     Stats(EngineStats),
+    /// `RetentionInfo` payload.
+    Retention(RetentionInfo),
     /// `TraceDump` payload.
     Trace(Vec<TraceEvent>),
     /// `Snapshot`/`Shutdown` payload.
@@ -111,6 +115,9 @@ impl Shard {
     /// `queue_capacity` in-flight operations; senders beyond that block.
     /// The worker records into `metrics` and keeps its most recent
     /// `trace_capacity` operations in an event ring (0 disables tracing).
+    /// `retention` is the engine's decision-trace policy, applied after
+    /// construction (and after a restore — the daemon config wins over
+    /// whatever mode the snapshot was taken under).
     pub fn spawn(
         index: usize,
         structure: LeaseStructure,
@@ -118,6 +125,7 @@ impl Shard {
         restore_from: Option<String>,
         metrics: Arc<ShardMetrics>,
         trace_capacity: usize,
+        retention: DecisionRetention,
     ) -> Shard {
         let (tx, rx) = mpsc::sync_channel::<ShardMail>(queue_capacity.max(1));
         let worker_metrics = Arc::clone(&metrics);
@@ -129,6 +137,7 @@ impl Shard {
                 restore_from,
                 worker_metrics,
                 trace_capacity,
+                retention,
             );
         });
         Shard {
@@ -198,6 +207,7 @@ fn worker_loop(
     restore_from: Option<String>,
     metrics: Arc<ShardMetrics>,
     trace_capacity: usize,
+    retention: DecisionRetention,
 ) {
     let restoring = restore_from.is_some();
     let restore_watch = Stopwatch::start();
@@ -206,7 +216,10 @@ fn worker_loop(
         metrics.restore_ns.record(restore_watch.elapsed_nanos());
     }
     let (mut engine, core) = match built {
-        Ok(pair) => pair,
+        Ok((mut engine, core)) => {
+            engine.set_retention(retention);
+            (engine, core)
+        }
         Err(e) => {
             // Construction failed (corrupt snapshot): answer every caller
             // with the failure until the daemon drops the mailbox.
@@ -473,6 +486,21 @@ fn handle(
             metrics.ops_stats.inc();
             ShardReply::Stats(engine.stats())
         }
+        ShardRequest::RetentionInfo => {
+            metrics.ops_stats.inc();
+            let ledger = engine.ledger();
+            let (mode, limit) = match engine.retention() {
+                DecisionRetention::Full => ("full", 0u64),
+                DecisionRetention::Bounded(n) => ("bounded", u64::try_from(n).unwrap_or(u64::MAX)),
+                DecisionRetention::AggregateOnly => ("aggregate-only", 0),
+            };
+            ShardReply::Retention(RetentionInfo {
+                mode: mode.to_string(),
+                limit,
+                retained: u64::try_from(ledger.retained_decisions()).unwrap_or(u64::MAX),
+                total: u64::try_from(ledger.decision_count()).unwrap_or(u64::MAX),
+            })
+        }
         ShardRequest::TraceDump => {
             metrics.ops_trace_dump.inc();
             ShardReply::Trace(ring.iter().cloned().collect())
@@ -563,7 +591,15 @@ mod tests {
 
     fn spawn(restore: Option<String>) -> (Shard, Arc<ShardMetrics>) {
         let metrics = Arc::new(ShardMetrics::new());
-        let shard = Shard::spawn(0, structure(), 16, restore, Arc::clone(&metrics), 32);
+        let shard = Shard::spawn(
+            0,
+            structure(),
+            16,
+            restore,
+            Arc::clone(&metrics),
+            32,
+            DecisionRetention::Full,
+        );
         (shard, metrics)
     }
 

@@ -135,6 +135,55 @@ fn shutdown_snapshots_and_restart_restores_byte_identical_stats() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The CI leased-job contract for bounded retention: a bounded daemon
+/// serves the exact same traffic as a full-retention one with byte-equal
+/// `stats`, while each shard holds at most `n` decisions in memory and the
+/// cumulative total keeps counting.
+#[test]
+fn bounded_retention_matches_full_stats_with_capped_traces() {
+    use leasing_core::engine::DecisionRetention;
+    let bound = 16usize;
+    let drive = |retention: DecisionRetention| {
+        let config = ServerConfig {
+            shards: 2,
+            retention,
+            ..ServerConfig::new(structure())
+        };
+        let (addr, server) = start(&config);
+        let mut client = Client::connect(addr).unwrap();
+        for i in 0..400u64 {
+            client.submit(i % 19, i / 2).unwrap();
+        }
+        let stats = client.stats().unwrap();
+        let retention = client.retention_info().unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap();
+        (stats.to_json(), retention)
+    };
+
+    let (full_stats, full_info) = drive(DecisionRetention::Full);
+    let (bounded_stats, bounded_info) = drive(DecisionRetention::Bounded(bound));
+
+    assert_eq!(bounded_stats, full_stats, "retention never changes stats");
+    assert_eq!(bounded_info.len(), 2);
+    for (full, bounded) in full_info.iter().zip(&bounded_info) {
+        assert_eq!(full.mode, "full");
+        assert_eq!(bounded.mode, "bounded");
+        assert_eq!(bounded.limit, bound as u64);
+        assert!(
+            bounded.retained <= bound as u64,
+            "shard holds {} > {bound} decisions",
+            bounded.retained
+        );
+        assert_eq!(
+            bounded.total, full.total,
+            "the cumulative decision count keeps counting past eviction"
+        );
+        assert_eq!(full.retained, full.total, "full retention keeps the trace");
+        assert!(full.total > bound as u64, "the workload overflows the ring");
+    }
+}
+
 #[test]
 fn malformed_frames_get_an_error_without_killing_the_connection() {
     use leased::protocol::{read_frame, write_frame};

@@ -87,86 +87,128 @@ enum StepOutcome {
     Unbounded,
 }
 
+/// Bounds-checked element read. Out of range reads as `0.0`; every call
+/// site derives the index from a scan over the same row set, so the
+/// fallback is structurally unreachable and exists only to keep the
+/// panic-free contract explicit.
+fn at(row: &[f64], j: usize) -> f64 {
+    row.get(j).copied().unwrap_or(0.0)
+}
+
 impl Tableau {
     fn pivot(&mut self, r: usize, c: usize) {
-        let piv = self.a[r][c];
+        debug_assert!(r < self.m && c < self.ncols, "pivot indexes in range");
+        // Split the pivot row out so it can be read while every other row
+        // is rewritten; `r` comes from the ratio test (or the designated
+        // warm-start pivots), so the splits always succeed.
+        let (b_head, b_rest) = self.b.split_at_mut(r);
+        let (a_head, a_rest) = self.a.split_at_mut(r);
+        let (Some((b_r, b_tail)), Some((row_r, a_tail))) =
+            (b_rest.split_first_mut(), a_rest.split_first_mut())
+        else {
+            return;
+        };
+        let piv = at(row_r, c);
         debug_assert!(piv.abs() > LP_EPS, "pivot on (near-)zero element");
+        if piv == 0.0 {
+            return;
+        }
         let inv = 1.0 / piv;
-        for j in 0..self.ncols {
-            self.a[r][j] *= inv;
+        for v in row_r.iter_mut() {
+            *v *= inv;
         }
-        self.b[r] *= inv;
-        for i in 0..self.m {
-            if i == r {
-                continue;
-            }
-            let f = self.a[i][c];
+        *b_r *= inv;
+        let eliminate = |row_i: &mut Vec<f64>, b_i: &mut f64| {
+            let f = at(row_i, c);
             if f.abs() <= 1e-13 {
-                continue;
+                return;
             }
-            for j in 0..self.ncols {
-                self.a[i][j] -= f * self.a[r][j];
+            for (vi, &vr) in row_i.iter_mut().zip(row_r.iter()) {
+                *vi -= f * vr;
             }
-            self.b[i] -= f * self.b[r];
+            *b_i -= f * *b_r;
             // Clamp tiny negatives introduced by cancellation.
-            if self.b[i] < 0.0 && self.b[i] > -LP_EPS {
-                self.b[i] = 0.0;
+            if *b_i < 0.0 && *b_i > -LP_EPS {
+                *b_i = 0.0;
             }
+        };
+        for (row_i, b_i) in a_head.iter_mut().zip(b_head.iter_mut()) {
+            eliminate(row_i, b_i);
         }
-        self.basis[r] = c;
+        for (row_i, b_i) in a_tail.iter_mut().zip(b_tail.iter_mut()) {
+            eliminate(row_i, b_i);
+        }
+        if let Some(slot) = self.basis.get_mut(r) {
+            *slot = c;
+        }
     }
 
     /// Minimises `cost · x` from the current basis, only letting columns with
     /// `allowed[j]` enter. Returns the optimal objective or `Unbounded`.
     fn optimize(&mut self, cost: &[f64], allowed: &[bool]) -> StepOutcome {
         debug_assert_eq!(cost.len(), self.ncols);
+        // Basis entries always index `cost`; the fallback mirrors [`at`].
+        let cost_of = |j: usize| cost.get(j).copied().unwrap_or(0.0);
         // Reduced costs d_j = c_j - c_B B^{-1} A_j, maintained incrementally.
-        let mut d: Vec<f64> = (0..self.ncols)
-            .map(|j| {
-                let mut v = cost[j];
-                for i in 0..self.m {
-                    let cb = cost[self.basis[i]];
-                    if cb != 0.0 {
-                        v -= cb * self.a[i][j];
-                    }
+        // Row-by-row subtraction visits each d_j in the same i-order as the
+        // column-by-column definition, so the float stream is unchanged.
+        let mut d: Vec<f64> = cost.to_vec();
+        for (row, &bi) in self.a.iter().zip(&self.basis) {
+            let cb = cost_of(bi);
+            if cb != 0.0 {
+                for (dj, &aij) in d.iter_mut().zip(row) {
+                    *dj -= cb * aij;
                 }
-                v
-            })
-            .collect();
+            }
+        }
         for _ in 0..MAX_ITERS {
             // Bland: entering column = smallest index with negative reduced cost.
-            let entering = (0..self.ncols).find(|&j| allowed[j] && d[j] < -LP_EPS);
+            let entering = d
+                .iter()
+                .zip(allowed)
+                .position(|(&dj, &ok)| ok && dj < -LP_EPS);
             let Some(c) = entering else {
-                let obj = (0..self.m).map(|i| cost[self.basis[i]] * self.b[i]).sum();
+                let obj: f64 = self
+                    .basis
+                    .iter()
+                    .zip(&self.b)
+                    .map(|(&bi, &bv)| cost_of(bi) * bv)
+                    .sum();
                 return StepOutcome::Optimal(obj);
             };
             // Ratio test; Bland tie-break on the basis index.
-            let mut best: Option<(f64, usize)> = None;
-            for i in 0..self.m {
-                if self.a[i][c] > LP_EPS {
-                    let ratio = self.b[i].max(0.0) / self.a[i][c];
+            let mut best: Option<(f64, usize, usize)> = None;
+            for (i, ((row, &bv), &bvar)) in self.a.iter().zip(&self.b).zip(&self.basis).enumerate()
+            {
+                let aic = at(row, c);
+                if aic > LP_EPS {
+                    let ratio = bv.max(0.0) / aic;
                     let better = match best {
                         None => true,
-                        Some((br, bi)) => {
-                            ratio < br - 1e-12
-                                || ((ratio - br).abs() <= 1e-12 && self.basis[i] < self.basis[bi])
+                        Some((br, _, best_var)) => {
+                            ratio < br - 1e-12 || ((ratio - br).abs() <= 1e-12 && bvar < best_var)
                         }
                     };
                     if better {
-                        best = Some((ratio, i));
+                        best = Some((ratio, i, bvar));
                     }
                 }
             }
-            let Some((_, r)) = best else {
+            let Some((_, r, _)) = best else {
                 return StepOutcome::Unbounded;
             };
-            let d_c = d[c];
+            let d_c = d.get(c).copied().unwrap_or(0.0);
             self.pivot(r, c);
-            for (dj, &arj) in d.iter_mut().zip(&self.a[r]) {
-                *dj -= d_c * arj;
+            if let Some(row_r) = self.a.get(r) {
+                for (dj, &arj) in d.iter_mut().zip(row_r) {
+                    *dj -= d_c * arj;
+                }
             }
-            d[c] = 0.0;
+            if let Some(slot) = d.get_mut(c) {
+                *slot = 0.0;
+            }
         }
+        // lint:allow(panic: hard stop for tolerance-induced stalls; Bland's rule makes the cap unreachable on well-posed inputs)
         panic!("simplex iteration limit exceeded — pathological numerical input");
     }
 }
@@ -194,7 +236,12 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
     for (i, c) in lp.constraints().iter().enumerate() {
         let mut dense = vec![0.0; n];
         for &(j, a) in &c.coeffs {
-            dense[j] += a;
+            // The model builder validates variable indexes; an out-of-range
+            // coefficient would have been rejected there, so the miss arm
+            // is dead and the accumulation stays panic-free.
+            if let Some(slot) = dense.get_mut(j) {
+                *slot += a;
+            }
         }
         rows.push(Row {
             id: RowId::Constraint(i),
@@ -208,7 +255,9 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
     for (j, ub) in lp.upper_bounds().iter().enumerate() {
         if let Some(u) = ub {
             let mut dense = vec![0.0; n];
-            dense[j] = 1.0;
+            if let Some(slot) = dense.get_mut(j) {
+                *slot = 1.0;
+            }
             rows.push(Row {
                 id: RowId::Bound(j),
                 coeffs: dense,
@@ -250,37 +299,56 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
     // in both directions.
     let mut col_ids: Vec<ColId> = (0..n).map(ColId::Var).collect();
     {
-        let mut next_slack = slack_start;
-        let mut next_art = art_start;
-        // Artificial columns live after every slack; assign them in row
-        // order with a second pass so `col_ids` stays index-aligned.
-        let mut art_of_row = vec![usize::MAX; m];
-        for (i, row) in rows.iter().enumerate() {
-            if row.cmp != Cmp::Le {
-                art_of_row[i] = next_art;
-                next_art += 1;
+        // Writes a single assembled coefficient; columns are allocated
+        // above, so the slot always exists.
+        fn set(row: &mut [f64], col: usize, v: f64) {
+            debug_assert!(col < row.len(), "assembled column in range");
+            if let Some(slot) = row.get_mut(col) {
+                *slot = v;
             }
         }
-        for (i, row) in rows.iter().enumerate() {
-            a0[i][..n].copy_from_slice(&row.coeffs);
-            b0[i] = row.rhs;
+        let mut next_slack = slack_start;
+        // Artificial columns live after every slack; assign them in row
+        // order with a first pass so `col_ids` stays index-aligned.
+        let art_of_row: Vec<usize> = rows
+            .iter()
+            .scan(art_start, |next_art, row| {
+                Some(if row.cmp != Cmp::Le {
+                    let col = *next_art;
+                    *next_art += 1;
+                    col
+                } else {
+                    usize::MAX
+                })
+            })
+            .collect();
+        for (((row, a_row), b_slot), (basis_slot, &art_col)) in rows
+            .iter()
+            .zip(a0.iter_mut())
+            .zip(b0.iter_mut())
+            .zip(basis.iter_mut().zip(&art_of_row))
+        {
+            for (dst, &src) in a_row.iter_mut().zip(&row.coeffs) {
+                *dst = src;
+            }
+            *b_slot = row.rhs;
             match row.cmp {
                 Cmp::Le => {
-                    a0[i][next_slack] = 1.0;
-                    basis[i] = next_slack;
+                    set(a_row, next_slack, 1.0);
+                    *basis_slot = next_slack;
                     col_ids.push(ColId::Slack(row.id));
                     next_slack += 1;
                 }
                 Cmp::Ge => {
-                    a0[i][next_slack] = -1.0;
+                    set(a_row, next_slack, -1.0);
                     col_ids.push(ColId::Slack(row.id));
                     next_slack += 1;
-                    a0[i][art_of_row[i]] = 1.0;
-                    basis[i] = art_of_row[i];
+                    set(a_row, art_col, 1.0);
+                    *basis_slot = art_col;
                 }
                 Cmp::Eq => {
-                    a0[i][art_of_row[i]] = 1.0;
-                    basis[i] = art_of_row[i];
+                    set(a_row, art_col, 1.0);
+                    *basis_slot = art_col;
                 }
             }
         }
@@ -317,8 +385,8 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
 
     // --- Phase 1: minimise the sum of artificials. ---
     if num_art > 0 && !warm_feasible {
-        let mut phase1_cost = vec![0.0; ncols];
-        phase1_cost[art_start..].fill(1.0);
+        let mut phase1_cost = vec![0.0; art_start];
+        phase1_cost.resize(ncols, 1.0);
         let allowed = vec![true; ncols];
         match tableau.optimize(&phase1_cost, &allowed) {
             StepOutcome::Optimal(obj) => {
@@ -327,13 +395,18 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
                 }
             }
             StepOutcome::Unbounded => {
+                // lint:allow(panic: the phase-1 objective is a sum of nonnegative artificials, bounded below by zero)
                 unreachable!("phase-1 objective is bounded below by zero")
             }
         }
         // Drive remaining artificials out of the basis where possible.
         for r in 0..m {
-            if tableau.basis[r] >= art_start {
-                if let Some(c) = (0..art_start).find(|&j| tableau.a[r][j].abs() > 1e-7) {
+            if tableau.basis.get(r).is_some_and(|&v| v >= art_start) {
+                let pivot_col = tableau
+                    .a
+                    .get(r)
+                    .and_then(|row| row.iter().take(art_start).position(|v| v.abs() > 1e-7));
+                if let Some(c) = pivot_col {
                     tableau.pivot(r, c);
                 }
                 // Otherwise the row is redundant; the artificial stays basic
@@ -343,12 +416,10 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
     }
 
     // --- Phase 2: minimise the real objective, artificials barred. ---
-    let mut phase2_cost = vec![0.0; ncols];
-    phase2_cost[..n].copy_from_slice(lp.objective());
-    let mut allowed = vec![true; ncols];
-    for item in allowed.iter_mut().skip(art_start) {
-        *item = false;
-    }
+    let mut phase2_cost = lp.objective().to_vec();
+    phase2_cost.resize(ncols, 0.0);
+    let mut allowed = vec![true; art_start];
+    allowed.resize(ncols, false);
     let objective = match tableau.optimize(&phase2_cost, &allowed) {
         StepOutcome::Optimal(obj) => obj,
         StepOutcome::Unbounded => return (LpOutcome::Unbounded, None),
@@ -356,17 +427,21 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
 
     // --- Extract the primal solution. ---
     let mut x = vec![0.0; n];
-    for i in 0..m {
-        let v = tableau.basis[i];
-        if v < n {
-            x[v] = tableau.b[i].max(0.0);
+    for (&v, &bv) in tableau.basis.iter().zip(&tableau.b) {
+        // Only structural variables (v < n) land in `x`; slacks and
+        // artificials fall through the bounds-checked write.
+        if let Some(slot) = x.get_mut(v) {
+            *slot = bv.max(0.0);
         }
     }
 
     // --- Recover duals: solve Bᵀ y = c_B on the original matrix. ---
     let y = solve_duals(&a0, &tableau.basis, &phase2_cost, m);
-    let duals = (0..num_user_rows)
-        .map(|i| if rows[i].flipped { -y[i] } else { y[i] })
+    let duals = rows
+        .iter()
+        .zip(&y)
+        .take(num_user_rows)
+        .map(|(row, &yi)| if row.flipped { -yi } else { yi })
         .collect();
 
     // --- Snapshot the optimal basis by identity for the next solve. ---
@@ -374,8 +449,8 @@ pub fn solve_warm(lp: &LinearProgram, warm: Option<&WarmStart>) -> (LpOutcome, O
         basis: tableau
             .basis
             .iter()
-            .enumerate()
-            .map(|(i, &c)| (rows[i].id, col_ids[c]))
+            .zip(&rows)
+            .filter_map(|(&c, row)| col_ids.get(c).map(|&cid| (row.id, cid)))
             .collect(),
     };
 
@@ -414,15 +489,19 @@ fn install_warm_basis(
     let mut basis = default_basis.to_vec();
     for &(rid, cid) in &warm.basis {
         if let (Some(&r), Some(&c)) = (row_of.get(&rid), col_of.get(&cid)) {
-            basis[r] = c;
+            if let Some(slot) = basis.get_mut(r) {
+                *slot = c;
+            }
         }
         // Vanished rows/columns keep their default (slack/artificial) basic.
     }
-    // A basis must not repeat a column.
+    // A basis must not repeat a column (an out-of-range entry — impossible,
+    // since every entry came from `col_of` — also falls back to cold).
     let mut used = vec![false; ncols];
     for &c in &basis {
-        if std::mem::replace(&mut used[c], true) {
-            return None;
+        match used.get_mut(c) {
+            Some(flag) if !*flag => *flag = true,
+            _ => return None,
         }
     }
 
@@ -435,12 +514,12 @@ fn install_warm_basis(
     };
     // Designated-pivot Gauss-Jordan: default rows already hold their unit
     // slack/artificial column, so only overridden rows need a pivot.
-    for r in 0..m {
-        if basis[r] == default_basis[r] {
+    for (r, (&c, &default)) in basis.iter().zip(default_basis).enumerate() {
+        if c == default {
             continue;
         }
-        let c = basis[r];
-        if tableau.a[r][c].abs() <= 1e-9 {
+        let pivotable = tableau.a.get(r).is_some_and(|row| at(row, c).abs() > 1e-9);
+        if !pivotable {
             return None;
         }
         tableau.pivot(r, c);
@@ -465,39 +544,50 @@ fn install_warm_basis(
 /// variables. Returns `y` (length `m`); a numerically singular basis yields
 /// a least-effort solution with zeros in dependent positions.
 fn solve_duals(a0: &[Vec<f64>], basis: &[usize], cost: &[f64], m: usize) -> Vec<f64> {
-    // Build M = Bᵀ (m x m): M[i][r] = a0[r][basis[i]], rhs[i] = cost[basis[i]].
-    let mut mat = vec![vec![0.0; m + 1]; m];
-    for i in 0..m {
-        for r in 0..m {
-            mat[i][r] = a0[r][basis[i]];
-        }
-        mat[i][m] = cost[basis[i]];
-    }
+    // Build the augmented M = [Bᵀ | c_B] (m x m+1): row i is original
+    // column basis[i] read down all rows, with rhs cost[basis[i]].
+    let mut mat: Vec<Vec<f64>> = basis
+        .iter()
+        .take(m)
+        .map(|&bi| {
+            let mut row: Vec<f64> = a0.iter().map(|orig| at(orig, bi)).collect();
+            row.push(cost.get(bi).copied().unwrap_or(0.0));
+            row
+        })
+        .collect();
     // Forward elimination with partial pivoting.
     let mut pivot_col_of_row = vec![usize::MAX; m];
     let mut row = 0;
     for col in 0..m {
         let mut best = row;
-        for r in row..m {
-            if mat[r][col].abs() > mat[best][col].abs() {
+        let mut best_abs = 0.0;
+        for (r, mrow) in mat.iter().enumerate().skip(row) {
+            let v = at(mrow, col).abs();
+            if v > best_abs {
+                best_abs = v;
                 best = r;
             }
         }
-        if mat[best][col].abs() <= 1e-10 {
+        if best_abs <= 1e-10 {
             continue;
         }
         mat.swap(row, best);
-        for r in (row + 1)..m {
-            let f = mat[r][col] / mat[row][col];
+        // Split below the pivot row so it can be read while the rows under
+        // it are eliminated; `head` is non-empty because it ends at `row`.
+        let (head, tail) = mat.split_at_mut(row + 1);
+        let Some(src) = head.last() else { continue };
+        let piv = at(src, col);
+        for dst in tail.iter_mut() {
+            let f = at(dst, col) / piv;
             if f.abs() > 1e-13 {
-                let (head, tail) = mat.split_at_mut(r);
-                let (src, dst) = (&head[row], &mut tail[0]);
-                for (dj, &sj) in dst[col..=m].iter_mut().zip(&src[col..=m]) {
+                for (dj, &sj) in dst.iter_mut().zip(src.iter()).skip(col) {
                     *dj -= f * sj;
                 }
             }
         }
-        pivot_col_of_row[row] = col;
+        if let Some(slot) = pivot_col_of_row.get_mut(row) {
+            *slot = col;
+        }
         row += 1;
         if row == m {
             break;
@@ -506,12 +596,22 @@ fn solve_duals(a0: &[Vec<f64>], basis: &[usize], cost: &[f64], m: usize) -> Vec<
     // Back substitution.
     let mut y = vec![0.0; m];
     for r in (0..row).rev() {
-        let col = pivot_col_of_row[r];
-        let mut v = mat[r][m];
-        for j in (col + 1)..m {
-            v -= mat[r][j] * y[j];
+        let (Some(&col), Some(mrow)) = (pivot_col_of_row.get(r), mat.get(r)) else {
+            continue;
+        };
+        // Every row below `row` recorded its pivot column; the guard keeps
+        // the unset sentinel from overflowing `col + 1`.
+        if col >= m {
+            continue;
         }
-        y[col] = v / mat[r][col];
+        let mut v = at(mrow, m);
+        for (j, &yj) in y.iter().enumerate().skip(col + 1) {
+            v -= at(mrow, j) * yj;
+        }
+        let piv = at(mrow, col);
+        if let Some(slot) = y.get_mut(col) {
+            *slot = v / piv;
+        }
     }
     y
 }

@@ -47,6 +47,7 @@
 pub mod adversary;
 pub mod det;
 pub mod ilp;
+pub mod multi;
 pub mod offline;
 pub mod rand_alg;
 

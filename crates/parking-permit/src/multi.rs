@@ -1,0 +1,170 @@
+//! [`MultiPermit`]: independent parking-permit instances, one per element.
+//!
+//! The thesis' parking permit problem has a single parking lot; a fleet of
+//! lots with no shared constraints is just the product of independent
+//! instances, each running the deterministic primal-dual of [`det`]. The
+//! policy exists for exactly that workload shape — millions of independent
+//! elements on one engine — and is the reference implementation of
+//! [`ElementPartitioned`]: its state is keyed by element and its books
+//! queries are element-scoped, so a batch bucketed by element can be served
+//! on worker threads and merged back byte-identically.
+//!
+//! [`det`]: crate::det
+
+use leasing_core::engine::{Books, ElementPartitioned, LeasingAlgorithm};
+use leasing_core::framework::Triple;
+use leasing_core::interval::aligned_start;
+use leasing_core::lease::LeaseStructure;
+use leasing_core::time::TimeStep;
+use leasing_core::EPS;
+use std::collections::HashMap;
+
+/// Per-element deterministic primal-dual over aligned (interval-model)
+/// leases. The request is the demanding element.
+///
+/// Dual accumulators are materialized lazily per element and use the
+/// K-accumulator layout of [`det`](crate::det): one `(window start, Σy)`
+/// slot per lease type, sliding with the clock, so memory is `O(K)` per
+/// element ever demanded — not per lease ever considered.
+#[derive(Clone, Debug)]
+pub struct MultiPermit {
+    structure: LeaseStructure,
+    /// `element → K` dual accumulators `(current window start, Σy)`;
+    /// stale windows (start ≠ the aligned start of the queried day) read
+    /// as zero.
+    contributions: HashMap<usize, Vec<(TimeStep, f64)>>,
+}
+
+impl MultiPermit {
+    /// A fresh fleet policy over `structure`.
+    pub fn new(structure: LeaseStructure) -> Self {
+        MultiPermit {
+            structure,
+            contributions: HashMap::new(),
+        }
+    }
+
+    /// The permit structure every element leases from.
+    pub fn structure(&self) -> &LeaseStructure {
+        &self.structure
+    }
+
+    /// The number of elements that have ever demanded.
+    pub fn elements_seen(&self) -> usize {
+        self.contributions.len()
+    }
+}
+
+impl LeasingAlgorithm for MultiPermit {
+    type Request = usize;
+
+    fn on_request(&mut self, time: TimeStep, element: usize, mut books: Books<'_>) {
+        if books.covered(element, time) {
+            return;
+        }
+        let structure = &self.structure;
+        let slots = self
+            .contributions
+            .entry(element)
+            .or_insert_with(|| vec![(TimeStep::MAX, 0.0); structure.num_types()]);
+        // Slide each type's accumulator to the aligned window containing
+        // `time`, then raise y until the first candidate becomes tight and
+        // buy every tight candidate — Algorithm 1, per element.
+        let mut delta = f64::INFINITY;
+        for (k, slot) in slots.iter_mut().enumerate() {
+            let start = aligned_start(time, structure.length(k));
+            if slot.0 != start {
+                *slot = (start, 0.0);
+            }
+            delta = delta.min((structure.cost(k) - slot.1).max(0.0));
+        }
+        for (k, slot) in slots.iter_mut().enumerate() {
+            slot.1 += delta;
+            let triple = Triple::new(element, k, slot.0);
+            if slot.1 >= structure.cost(k) - EPS && !books.owns(triple) {
+                books.buy(time, triple);
+            }
+        }
+        debug_assert!(
+            books.covered(element, time),
+            "the primal-dual step must cover the demand"
+        );
+    }
+}
+
+impl ElementPartitioned for MultiPermit {
+    fn absorb(&mut self, mut partition: Self, elements: &[usize]) {
+        // The partition served exactly `elements`, so its accumulators for
+        // those elements are authoritative; its entries for every other
+        // element are stale copies from the pre-batch clone.
+        for &element in elements {
+            if let Some(slots) = partition.contributions.remove(&element) {
+                self.contributions.insert(element, slots);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::DeterministicPrimalDual;
+    use leasing_core::engine::EngineHandle;
+    use leasing_core::lease::LeaseType;
+
+    fn structure() -> LeaseStructure {
+        LeaseStructure::new(vec![LeaseType::new(1, 1.0), LeaseType::new(4, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn elements_are_independent_single_lot_instances() {
+        let mut fleet = EngineHandle::new(MultiPermit::new(structure()), structure());
+        let mut single = EngineHandle::new(DeterministicPrimalDual::new(structure()), structure());
+        // Element 7 sees the same demand days as a standalone instance.
+        for t in [0u64, 1, 2, 3, 9] {
+            fleet.submit(t, 7).unwrap();
+            single.submit(t, ()).unwrap();
+        }
+        assert_eq!(fleet.cost().to_bits(), single.cost().to_bits());
+        assert!(fleet.ledger().covered(7, 3));
+        assert!(!fleet.ledger().covered(8, 3));
+    }
+
+    #[test]
+    fn interleaved_elements_cost_the_sum_of_their_solo_runs() {
+        use leasing_core::engine::Driver;
+        let mut fleet = Driver::new(MultiPermit::new(structure()), structure());
+        for t in 0..4u64 {
+            for e in [0usize, 1, 2] {
+                fleet.submit(t, e).unwrap();
+            }
+        }
+        let mut solo = EngineHandle::new(DeterministicPrimalDual::new(structure()), structure());
+        for t in 0..4u64 {
+            solo.submit(t, ()).unwrap();
+        }
+        assert!((fleet.cost() - 3.0 * solo.cost()).abs() < 1e-9);
+        assert_eq!(fleet.algorithm().elements_seen(), 3);
+    }
+
+    #[test]
+    fn partitioned_submission_matches_serial_bit_for_bit() {
+        let times: Vec<u64> = (0..64u64).flat_map(|t| [t, t, t]).collect();
+        let elements: Vec<usize> = (0..times.len()).map(|i| (i * 5) % 7).collect();
+
+        let mut serial = EngineHandle::new(MultiPermit::new(structure()), structure());
+        serial
+            .submit_columns(&times, elements.iter().copied())
+            .unwrap();
+
+        for threads in [2usize, 4, 8] {
+            let mut parallel =
+                EngineHandle::new_partitioned(MultiPermit::new(structure()), structure());
+            parallel
+                .submit_columns_partitioned(&times, &elements, elements.iter().copied(), threads)
+                .unwrap();
+            assert_eq!(parallel.snapshot(), serial.snapshot(), "{threads} threads");
+            assert_eq!(parallel.ledger().to_json(), serial.ledger().to_json());
+        }
+    }
+}

@@ -14,7 +14,6 @@ use leasing_core::interval::candidates_covering;
 use leasing_core::lease::{Lease, LeaseStructure};
 use leasing_core::time::TimeStep;
 use rand::{Rng, RngExt};
-use std::collections::HashMap;
 
 /// Randomized fractional + threshold-rounding parking-permit algorithm.
 ///
@@ -24,8 +23,14 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct RandomizedPermit {
     structure: LeaseStructure,
-    /// Fractions `f_{(k,t)}`, lazily materialised (absent = 0).
-    fractions: HashMap<Lease, f64>,
+    /// K live fraction accumulators — the det-permit K-accumulator trick:
+    /// `fractions[k] = (aligned start, f)` holds the fraction of the
+    /// type-`k` candidate lease currently being grown. Under the monotone
+    /// arrival order only the candidate covering the present demand is
+    /// ever read, so when type `k`'s window slides the slot resets to a
+    /// fresh zero fraction — K slots total instead of one map entry per
+    /// aligned lease ever touched.
+    fractions: Vec<(TimeStep, f64)>,
     /// The single uniform threshold `τ` drawn up front.
     tau: f64,
     /// Total fractional cost `Σ c_k · f_k` accumulated (for the Lemma-style
@@ -53,8 +58,8 @@ impl RandomizedPermit {
         assert!(tau > 0.0 && tau <= 1.0, "threshold must lie in (0, 1]");
         let ledger = Ledger::new(structure.clone());
         RandomizedPermit {
+            fractions: vec![(TimeStep::MAX, 0.0); structure.num_types()],
             structure,
-            fractions: HashMap::new(),
             tau,
             fractional_cost: 0.0,
             purchases: Vec::new(),
@@ -68,6 +73,17 @@ impl RandomizedPermit {
         let candidates = candidates_covering(&self.structure, t);
         let q = candidates.len() as f64;
 
+        // Slide every accumulator whose window moved: a fresh window
+        // starts from fraction zero, exactly what the lazily-materialised
+        // map used to hand out for a never-touched lease.
+        for c in &candidates {
+            if let Some(slot) = self.fractions.get_mut(c.type_index) {
+                if slot.0 != c.start {
+                    *slot = (c.start, 0.0);
+                }
+            }
+        }
+
         // (i) Fractional phase: grow fractions until they sum to >= 1.
         loop {
             let sum: f64 = candidates.iter().map(|c| self.fraction(c)).sum();
@@ -76,10 +92,11 @@ impl RandomizedPermit {
             }
             for c in &candidates {
                 let ck = c.cost(&self.structure);
-                let f = self.fractions.entry(*c).or_insert(0.0);
-                let delta = *f / ck + 1.0 / (q * ck);
-                *f += delta;
-                self.fractional_cost += ck * delta;
+                if let Some(slot) = self.fractions.get_mut(c.type_index) {
+                    let delta = slot.1 / ck + 1.0 / (q * ck);
+                    slot.1 += delta;
+                    self.fractional_cost += ck * delta;
+                }
             }
         }
 
@@ -138,7 +155,11 @@ impl RandomizedPermit {
     }
 
     fn fraction(&self, lease: &Lease) -> f64 {
-        self.fractions.get(lease).copied().unwrap_or(0.0)
+        self.fractions
+            .get(lease.type_index)
+            .filter(|slot| slot.0 == lease.start)
+            .map(|slot| slot.1)
+            .unwrap_or(0.0)
     }
 }
 

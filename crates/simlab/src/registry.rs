@@ -25,7 +25,7 @@ use facility_leasing::nagarajan_williamson::NagarajanWilliamson;
 use facility_leasing::online::PrimalDualFacility;
 use facility_leasing::randomized::RandomizedFacility;
 use graph_cover_leasing::vertex_cover::{VcLeasingInstance, VcPrimalDual};
-use leasing_core::engine::{LeasingAlgorithm, Ledger, Report};
+use leasing_core::engine::{DecisionRetention, LeasingAlgorithm, Ledger, Report};
 use leasing_core::lease::LeaseStructure;
 use leasing_core::rng::seeded;
 use leasing_core::time::TimeStep;
@@ -68,16 +68,24 @@ pub struct RunContext {
     /// purchases or queries reach), bounding index growth on unbounded
     /// streams with cell outcomes unchanged for every period value.
     pub compact_every: Option<u64>,
+    /// Decision-trace retention for the cell engine (the CLI's
+    /// `--retention`). Retention only narrows the retained trace —
+    /// every cost aggregate, ratio and concurrency statistic SimLab
+    /// reports is maintained at record time, so cell outcomes are
+    /// **bit-identical in every mode** (pinned in `runner` tests).
+    pub retention: DecisionRetention,
 }
 
 impl RunContext {
-    /// A context with no precomputed oracle and no compaction.
+    /// A context with no precomputed oracle, no compaction, and full
+    /// decision retention.
     pub fn new(structure: LeaseStructure, seed: u64) -> Self {
         RunContext {
             structure,
             seed,
             oracle: None,
             compact_every: None,
+            retention: DecisionRetention::Full,
         }
     }
 
@@ -277,6 +285,9 @@ fn drive<A: LeasingAlgorithm>(
     horizon: TimeStep,
 ) -> Result<CellOutcome, SimError> {
     let mut engine = crate::arena::take_handle(algorithm, &ctx.structure);
+    // Unconditional: arena ledgers keep their retention across recycling,
+    // so every cell pins its own mode rather than inheriting the last one.
+    engine.set_retention(ctx.retention);
     let mut sampler = ActiveSampler::new(horizon);
     match ctx
         .compact_every

@@ -22,6 +22,7 @@ use crate::registry::{AlgorithmSpec, CellOutcome, OracleFn, RunContext, RunFn};
 use crate::report::{AggregateRecord, CellRecord, MatrixReport};
 use crate::scenario::Scenario;
 use crate::stats::Summary;
+use leasing_core::engine::DecisionRetention;
 use leasing_core::lease::LeaseStructure;
 use leasing_oracle::OracleBound;
 use std::collections::BTreeMap;
@@ -60,6 +61,13 @@ pub struct MatrixConfig {
     /// outcomes are pinned unchanged under the flag for every registry
     /// algorithm.
     pub compact_every: Option<u64>,
+    /// Decision-trace retention for every cell engine (the CLI's
+    /// `--retention=full|bounded:N|aggregate`). Retention trades the
+    /// replayable trace for flat memory on long horizons; every cost,
+    /// ratio and concurrency statistic in the report is maintained at
+    /// record time, so the [`MatrixReport`] is **bit-identical in every
+    /// mode** (pinned below).
+    pub retention: DecisionRetention,
 }
 
 impl MatrixConfig {
@@ -80,6 +88,7 @@ impl MatrixConfig {
             threads: 2,
             cell_budget_ms: None,
             compact_every: None,
+            retention: DecisionRetention::Full,
         }
     }
 }
@@ -240,6 +249,7 @@ fn run_cell(
                     seed,
                     oracle,
                     compact_every: config.compact_every,
+                    retention: config.retention,
                 };
                 algorithm.run(&trace, &ctx)
             }),
@@ -250,6 +260,7 @@ fn run_cell(
             let num_elements = config.num_elements;
             let structure = config.structure.clone();
             let compact_every = config.compact_every;
+            let retention = config.retention;
             run_budgeted(
                 move || {
                     let ctx = RunContext {
@@ -257,6 +268,7 @@ fn run_cell(
                         seed,
                         oracle,
                         compact_every,
+                        retention,
                     };
                     scenario
                         .generate(horizon, num_elements, seed)
@@ -512,6 +524,34 @@ mod tests {
                 "compact_every={every} must not change outcomes"
             );
             assert_eq!(plain.to_json(), compacted.to_json());
+        }
+    }
+
+    #[test]
+    fn retention_modes_leave_the_report_unchanged() {
+        // --retention drops trace entries, never aggregates: the matrix
+        // report (costs, ratios, concurrency stats, JSON bytes) must be
+        // bit-identical in every mode, including with arena-ledger reuse
+        // across cells of different modes on the same worker threads.
+        let algorithms = select_algorithms("permit-det,permit-rand,empirical-rate").unwrap();
+        let scenarios = Scenario::select("rainy,spikes").unwrap();
+        let config = MatrixConfig {
+            threads: 2,
+            ..MatrixConfig::default_config()
+        };
+        let full = run_matrix(&algorithms, &scenarios, &[1, 2, 3], &config);
+        for retention in [
+            DecisionRetention::Bounded(1),
+            DecisionRetention::Bounded(8),
+            DecisionRetention::AggregateOnly,
+        ] {
+            let narrowed = MatrixConfig {
+                retention,
+                ..config.clone()
+            };
+            let report = run_matrix(&algorithms, &scenarios, &[1, 2, 3], &narrowed);
+            assert_eq!(full, report, "{retention:?} must not change outcomes");
+            assert_eq!(full.to_json(), report.to_json());
         }
     }
 

@@ -16,7 +16,7 @@ use leasing_core::time::TimeStep;
 use leasing_core::EPS;
 use parking_permit::PermitOnline;
 use rand::{Rng, RngExt};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A sampled per-day multiplier path, bounded inside `[lo, hi]`.
 #[derive(Clone, Debug, PartialEq)]
@@ -83,7 +83,16 @@ impl PricePath {
 pub struct PriceAwarePermit<'a> {
     structure: LeaseStructure,
     prices: &'a PricePath,
-    contributions: HashMap<Lease, f64>,
+    /// K live dual accumulators — the det-permit K-accumulator trick:
+    /// `contributions[k] = (aligned start, paid)` holds the dual mass
+    /// charged against the type-`k` candidate lease currently in its
+    /// window. Under the monotone arrival order only the candidate
+    /// covering the present demand is ever read, so a slot resets to zero
+    /// when its window slides — K slots instead of one map entry per
+    /// aligned lease ever charged. Ownership history (`owned`) is kept in
+    /// full: it backs [`PermitOnline::is_covered`] and
+    /// [`owned`](PriceAwarePermit::owned).
+    contributions: Vec<(TimeStep, f64)>,
     owned: HashSet<Lease>,
     /// Decision ledger backing the deprecated [`PermitOnline`] entry point.
     ledger: Ledger,
@@ -94,9 +103,9 @@ impl<'a> PriceAwarePermit<'a> {
     pub fn new(structure: LeaseStructure, prices: &'a PricePath) -> Self {
         let ledger = Ledger::new(structure.clone());
         PriceAwarePermit {
+            contributions: vec![(TimeStep::MAX, 0.0); structure.num_types()],
             structure,
             prices,
-            contributions: HashMap::new(),
             owned: HashSet::new(),
             ledger,
         }
@@ -120,17 +129,36 @@ impl<'a> PriceAwarePermit<'a> {
         }
         let candidates = candidates_covering(&self.structure, t);
         let price = |l: &Lease| self.prices.price(&self.structure, l.type_index, t);
+        // Slide every accumulator whose window moved: a fresh window
+        // starts from zero dual mass, exactly what the lazily-materialised
+        // map used to hand out for a never-charged lease.
+        for c in &candidates {
+            if let Some(slot) = self.contributions.get_mut(c.type_index) {
+                if slot.0 != c.start {
+                    *slot = (c.start, 0.0);
+                }
+            }
+        }
         let delta = candidates
             .iter()
             .map(|c| {
-                let used = self.contributions.get(c).copied().unwrap_or(0.0);
+                let used = self
+                    .contributions
+                    .get(c.type_index)
+                    .map(|slot| slot.1)
+                    .unwrap_or(0.0);
                 (price(c) - used).max(0.0)
             })
             .fold(f64::INFINITY, f64::min);
         for c in candidates {
-            let entry = self.contributions.entry(c).or_insert(0.0);
-            *entry += delta;
-            if *entry >= price(&c) - EPS && !self.owned.contains(&c) {
+            let paid = match self.contributions.get_mut(c.type_index) {
+                Some(slot) => {
+                    slot.1 += delta;
+                    slot.1
+                }
+                None => delta,
+            };
+            if paid >= price(&c) - EPS && !self.owned.contains(&c) {
                 self.owned.insert(c);
                 books.buy_priced(
                     t,
